@@ -1,0 +1,47 @@
+// E11 — §VIII ablation: which of the encoder optimizations buys what.
+//   NaiveGemm        — prior art (weight matrix + GEMM, two passes)
+//   TwoPassTiled     — implicit weights, still one pass per weight vector
+//   FusedNoPrefetch  — single fused pass, no prefetch hints
+//   FusedTiled       — the full optimization
+
+#include <benchmark/benchmark.h>
+
+#include "checksum/encode.hpp"
+#include "matrix/generate.hpp"
+
+using namespace ftla;
+using checksum::Encoder;
+
+namespace {
+
+void bm_variant(benchmark::State& state, Encoder encoder) {
+  const index_t n = 2048;
+  const index_t nb = state.range(0);
+  const MatD a = random_general(n, n, 7);
+  MatD col_out(2, nb);
+  MatD row_out(nb, 2);
+  for (auto _ : state) {
+    for (index_t bc = 0; bc * nb < n; ++bc) {
+      for (index_t br = 0; br * nb < n; ++br) {
+        const auto blk = a.block(br * nb, bc * nb, nb, nb);
+        checksum::encode_col(blk, col_out.view(), encoder);
+        checksum::encode_row(blk, row_out.view(), encoder);
+      }
+    }
+    benchmark::DoNotOptimize(col_out.data());
+    benchmark::DoNotOptimize(row_out.data());
+  }
+  state.SetBytesProcessed(state.iterations() * n * n *
+                          static_cast<int64_t>(sizeof(double)));
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(bm_variant, naive_gemm, Encoder::NaiveGemm)->Arg(64)->Arg(256);
+BENCHMARK_CAPTURE(bm_variant, two_pass_tiled, Encoder::TwoPassTiled)->Arg(64)->Arg(256);
+BENCHMARK_CAPTURE(bm_variant, fused_no_prefetch, Encoder::FusedNoPrefetch)
+    ->Arg(64)
+    ->Arg(256);
+BENCHMARK_CAPTURE(bm_variant, fused_tiled, Encoder::FusedTiled)->Arg(64)->Arg(256);
+
+BENCHMARK_MAIN();

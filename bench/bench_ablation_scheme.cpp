@@ -1,0 +1,66 @@
+// E12 — §X.C/D ablations on the full FT decomposition:
+//   (a) the optimized encoding kernel's effect on total FT overhead
+//       (paper: reduces overall overhead by 3-5%);
+//   (b) checking-scheme cost comparison at a fixed size (prior-op checks
+//       cost more than post-op; ours is comparable to post-op).
+
+#include <cstdio>
+
+#include "bench/scaling_common.hpp"
+
+using namespace ftla;
+using namespace ftla::bench;
+using core::ChecksumKind;
+using core::Decomp;
+using core::FtOptions;
+using core::SchemeKind;
+
+int main() {
+  const index_t n = 768;
+  const index_t nb = 64;
+  const int reps = 5;
+
+  for (Decomp decomp : {Decomp::Cholesky, Decomp::Lu, Decomp::Qr}) {
+    const MatD a = scaling_input(decomp, n);
+
+    FtOptions base;
+    base.nb = nb;
+    base.ngpu = 2;
+    base.checksum = ChecksumKind::None;
+    const double t_base = median_seconds(decomp, a.const_view(), base, reps);
+
+    print_header(std::string("Ablation (") + core::to_string(decomp) +
+                 ", n=768, NB=64, 2 GPUs): scheme × encoder, overhead vs unprotected");
+    std::printf("%-14s %-12s %12s %12s\n", "scheme", "encoder", "seconds", "overhead");
+    print_rule(56);
+
+    struct Row {
+      SchemeKind scheme;
+      checksum::Encoder encoder;
+      const char* enc_name;
+    };
+    const Row rows[] = {
+        {SchemeKind::PriorOp, checksum::Encoder::FusedTiled, "optimized"},
+        {SchemeKind::PostOp, checksum::Encoder::FusedTiled, "optimized"},
+        {SchemeKind::NewScheme, checksum::Encoder::NaiveGemm, "naive-gemm"},
+        {SchemeKind::NewScheme, checksum::Encoder::FusedTiled, "optimized"},
+    };
+    for (const auto& row : rows) {
+      FtOptions opts = base;
+      opts.checksum = ChecksumKind::Full;
+      opts.scheme = row.scheme;
+      opts.encoder = row.encoder;
+      const double t = median_seconds(decomp, a.const_view(), opts, reps);
+      std::printf("%-14s %-12s %12.3f %12s\n", core::to_string(row.scheme), row.enc_name,
+                  t, pct((t - t_base) / t_base).c_str());
+    }
+    std::printf("baseline: %.3f s\n", t_base);
+  }
+  std::printf(
+      "\nReading: (a) swapping the naive encoder for the optimized kernel under\n"
+      "our scheme trims the total FT overhead (paper: 3-5 points); (b) the\n"
+      "prior-op scheme is the most expensive (it re-verifies the trailing matrix\n"
+      "as TMU input every iteration), ours is comparable to post-op while also\n"
+      "covering PCIe and 1D-propagation faults.\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// E4 — Figs 6-8: probability of the four outcomes (Fault Free / ABFT
+// Fixable / Local Restart / Complete Restart) for PD, PU and TMU across
+// the iterations of an LU decomposition, with the paper's §X.B rates
+// (λ1=1e-13, λ2=λ3=1e-9, λ4=1e-11, n=10240, nb=256).
+
+#include <cstdio>
+
+#include "bench/report_util.hpp"
+#include "model/probability.hpp"
+
+using namespace ftla;
+using namespace ftla::model;
+using core::ChecksumKind;
+using core::SchemeKind;
+
+namespace {
+
+struct Config {
+  const char* name;
+  ChecksumKind cs;
+  SchemeKind scheme;
+};
+
+void series_for(OpKind op) {
+  const Rates rates;
+  const index_t n = 10240;
+  const index_t nb = 256;
+  const Config configs[] = {
+      {"single+prior", ChecksumKind::SingleSide, SchemeKind::PriorOp},
+      {"single+post", ChecksumKind::SingleSide, SchemeKind::PostOp},
+      {"full+post", ChecksumKind::Full, SchemeKind::PostOp},
+      {"full+ours", ChecksumKind::Full, SchemeKind::NewScheme},
+  };
+
+  bench::print_header(std::string("Fig ") +
+                      (op == OpKind::PD ? "6" : op == OpKind::PU ? "7" : "8") +
+                      ": outcome probabilities for " + fault::to_string(op) +
+                      " (faulty-outcome split; fault-free truncated as in the paper)");
+  std::printf("%-8s %-13s %14s %14s %14s %14s\n", "iter", "approach", "P(faulty)",
+              "P(fixable)", "P(local-rst)", "P(complete)");
+  bench::print_rule(84);
+  for (index_t j = n; j >= nb; j -= 8 * nb) {
+    const auto profile = lu_profile(op, j, nb, 8);
+    for (const auto& cfg : configs) {
+      const auto dist = outcome_distribution(op, cfg.cs, cfg.scheme, rates, profile);
+      std::printf("%-8ld %-13s %14.3e %14.3e %14.3e %14.3e\n",
+                  static_cast<long>((n - j) / nb), cfg.name, dist.faulty(),
+                  dist.abft_fixable, dist.local_restart, dist.complete_restart);
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  series_for(OpKind::PD);
+  series_for(OpKind::PU);
+  series_for(OpKind::TMU);
+  std::printf(
+      "\nReading: the faulty-outcome mass shrinks along iterations with the\n"
+      "trailing size. Full checksum + our scheme pushes almost all faulty mass\n"
+      "into the ABFT-fixable bucket; single-side layouts leave 1D propagation\n"
+      "(TMU) and updated-panel errors (PU) in the complete-restart bucket.\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// E1 — Table VI: number of matrix blocks verified per iteration by each
+// ABFT checking scheme, analytic model side by side with instrumented
+// counts from the real FT-LU driver.
+
+#include <cstdio>
+
+#include "bench/report_util.hpp"
+#include "core/ft_driver.hpp"
+#include "matrix/generate.hpp"
+#include "model/verification_count.hpp"
+
+using namespace ftla;
+using namespace ftla::model;
+using core::ChecksumKind;
+using core::SchemeKind;
+
+int main() {
+  bench::print_header("Table VI (model): blocks verified per iteration");
+  std::printf("%-12s %10s %10s %10s %10s %10s %10s %12s\n", "scheme", "PD.pre", "PD.post",
+              "PU.pre", "PU.post", "TMU.pre", "TMU.post", "total");
+  bench::print_rule();
+  for (index_t b : {8, 16, 40, 64}) {
+    std::printf("-- b = j/NB = %ld --\n", static_cast<long>(b));
+    for (auto scheme : {SchemeKind::PriorOp, SchemeKind::PostOp, SchemeKind::NewScheme}) {
+      const auto c = blocks_per_iteration(scheme, b, /*k_repairs=*/0);
+      std::printf("%-12s %10.0f %10.0f %10.0f %10.0f %10.0f %10.0f %12.0f\n",
+                  core::to_string(scheme), c.pd_before, c.pd_after, c.pu_before,
+                  c.pu_after, c.tmu_before, c.tmu_after, c.total());
+    }
+  }
+  std::printf("\nK-repair sensitivity (ours, b = 40): ");
+  for (index_t k : {0, 1, 2, 4, 8}) {
+    std::printf("K=%ld:%0.f  ", static_cast<long>(k),
+                blocks_per_iteration(SchemeKind::NewScheme, 40, k).total());
+  }
+  std::printf("\n");
+
+  bench::print_header("Instrumented totals from the FT-LU driver (n=512, NB=32)");
+  const index_t n = 512;
+  const index_t nb = 32;
+  const MatD a = random_diag_dominant(n, 7);
+  std::printf("%-12s %16s %16s %14s\n", "scheme", "model total", "measured total",
+              "measured/model");
+  bench::print_rule(62);
+  for (auto scheme : {SchemeKind::PriorOp, SchemeKind::PostOp, SchemeKind::NewScheme}) {
+    core::FtOptions opts;
+    opts.nb = nb;
+    opts.checksum = ChecksumKind::Full;
+    opts.scheme = scheme;
+    const auto out = core::ft_lu(a.const_view(), opts);
+    const double model_total = total_blocks(scheme, n, nb);
+    std::printf("%-12s %16.0f %16llu %14.2f\n", core::to_string(scheme), model_total,
+                static_cast<unsigned long long>(out.stats.blocks_verified),
+                static_cast<double>(out.stats.blocks_verified) / model_total);
+  }
+  std::printf("\n(The measured/model ratio stays O(1): the implementation's extra\n"
+              "per-GPU broadcast checks and frozen-region checks shift constants,\n"
+              "not the asymptotic shape — prior/post grow with b^2, ours with b.)\n");
+  return 0;
+}

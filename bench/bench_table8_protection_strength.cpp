@@ -1,0 +1,179 @@
+// E3 — Table VIII: protection strength and recovery overhead of the four
+// ABFT approaches under one injected fault per run (LU decomposition, as
+// in the paper; Cholesky/QR summaries appended since "each shows very
+// similar result").
+//
+// Legend (paper's notation):
+//   Y  — fixed by ABFT with small overhead
+//   R  — detected, fixed via local restart
+//   N* — detected but needs a complete restart
+//   N  — undetected, wrong final result
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/report_util.hpp"
+#include "core/campaign.hpp"
+
+using namespace ftla;
+using namespace ftla::core;
+using fault::FaultSpec;
+using fault::FaultType;
+using fault::OpKind;
+using fault::OpSite;
+using fault::Part;
+using fault::Timing;
+
+namespace {
+
+struct Approach {
+  const char* name;
+  ChecksumKind cs;
+  SchemeKind scheme;
+};
+
+struct FaultCase {
+  const char* name;
+  FaultSpec spec;
+};
+
+FaultSpec spec_at(FaultType type, OpKind op, index_t iter, index_t br, index_t bc,
+                  Part part, Timing timing, int gpu = -1, index_t row = -1,
+                  index_t col = -1) {
+  FaultSpec s;
+  s.type = type;
+  s.site = OpSite{iter, op};
+  s.part = part;
+  s.timing = timing;
+  s.target_br = br;
+  s.target_bc = bc;
+  s.target_gpu = gpu;
+  s.row = row;
+  s.col = col;
+  s.seed = 20240707;
+  return s;
+}
+
+const char* cell(Outcome outcome, double overhead) {
+  static char buf[32];
+  switch (outcome) {
+    case Outcome::CorrectedAbft:
+      std::snprintf(buf, sizeof(buf), "Y %5.1f%%", overhead * 100.0);
+      return buf;
+    case Outcome::CorrectedRestart:
+      std::snprintf(buf, sizeof(buf), "R %5.1f%%", overhead * 100.0);
+      return buf;
+    case Outcome::NoImpact: return "Y (noop)";
+    case Outcome::DetectedUnrecoverable: return "N*";
+    case Outcome::WrongResult: return "N";
+    case Outcome::FaultNotTriggered: return "-";
+  }
+  return "?";
+}
+
+void run_table(Decomp decomp, index_t n, index_t nb) {
+  const std::vector<Approach> approaches = {
+      {"single+prior", ChecksumKind::SingleSide, SchemeKind::PriorOp},
+      {"single+post", ChecksumKind::SingleSide, SchemeKind::PostOp},
+      {"full+post", ChecksumKind::Full, SchemeKind::PostOp},
+      {"full+ours", ChecksumKind::Full, SchemeKind::NewScheme},
+  };
+
+  // One fault per column of Table VIII: DRAM between ops (ref/upd),
+  // DRAM/on-chip during op (ref/upd), PCIe broadcast, computation — for
+  // each of PD, PU, TMU where the combination exists for this
+  // decomposition. Elements are pinned into the regions the operation
+  // actually consumes (e.g. the strictly-lower part of L11 for PU
+  // reference faults) so every run exercises a live code path.
+  const bool chol = decomp == Decomp::Cholesky;
+  const bool qr = decomp == Decomp::Qr;
+  std::vector<FaultCase> cases = {
+      {"PD:dram-betw-ref",
+       spec_at(FaultType::MemoryDram, OpKind::PD, 1, chol ? 1 : 2, 1, Part::Reference,
+               Timing::BetweenOps, -1, chol ? 7 : -1, chol ? 3 : -1)},
+      {"PD:comp",
+       spec_at(FaultType::Computation, OpKind::PD, 1, 1, 1, Part::Update,
+               Timing::DuringOp, -1, chol ? 9 : -1, chol ? 2 : -1)},
+      {"PD:pcie-fetch",
+       spec_at(FaultType::Pcie, OpKind::PD, 1, 1, 1, Part::Update, Timing::DuringOp, -1,
+               chol ? 11 : -1, chol ? 4 : -1)},
+      {"bcast:pcie",
+       spec_at(FaultType::Pcie, chol ? OpKind::BroadcastD2D : OpKind::BroadcastH2D, 1, 1,
+               1, Part::Update, Timing::DuringOp, /*gpu=*/chol ? 0 : 1, chol ? 40 : -1,
+               chol ? 5 : -1)},
+      {"PU:dram-betw-upd",
+       spec_at(FaultType::MemoryDram, OpKind::PU, 1, chol ? 2 : 1, chol ? 1 : 2,
+               Part::Update, Timing::BetweenOps)},
+      {"PU:onchip-ref",
+       spec_at(FaultType::MemoryOnChip, OpKind::PU, 1, 1, 1, Part::Reference,
+               Timing::DuringOp, -1, /*row=*/9, /*col=*/2)},  // strictly lower: consumed
+      {"PU:comp",
+       spec_at(FaultType::Computation, OpKind::PU, 1, chol ? 2 : 1, chol ? 1 : 2,
+               Part::Update, Timing::DuringOp)},
+      {"TMU:dram-betw-upd",
+       spec_at(FaultType::MemoryDram, OpKind::TMU, 1, qr ? 1 : 3, 2, Part::Update,
+               Timing::BetweenOps)},
+      {"TMU:dram-dur-refL",
+       spec_at(FaultType::MemoryDram, OpKind::TMU, 1, chol ? 3 : 2, 1, Part::Reference,
+               Timing::DuringOp)},
+      {"TMU:dram-dur-refU",
+       spec_at(FaultType::MemoryDram, OpKind::TMU, 1, 1, 2, Part::Reference,
+               Timing::DuringOp)},
+      {"TMU:onchip-refU",
+       spec_at(FaultType::MemoryOnChip, OpKind::TMU, 1, 1, 2, Part::Reference,
+               Timing::DuringOp)},
+      {"TMU:comp",
+       spec_at(FaultType::Computation, OpKind::TMU, 1, qr ? 1 : chol ? 3 : 2, chol ? 2 : 3,
+               Part::Update, Timing::DuringOp)},
+  };
+  if (chol || qr) {
+    // Cholesky has no row panel (the transposed column panel plays both
+    // roles, Fig 2) and QR's only TMU reference is the V panel: the
+    // "U-side" cases do not exist for either.
+    std::erase_if(cases, [](const FaultCase& c) {
+      const std::string name = c.name;
+      return name == "TMU:dram-dur-refU" || name == "TMU:onchip-refU";
+    });
+  }
+
+  bench::print_header(std::string("Table VIII (") + to_string(decomp) +
+                      "): protection strength, n=" + std::to_string(n));
+  std::printf("%-18s", "fault");
+  for (const auto& a : approaches) std::printf(" | %-13s", a.name);
+  std::printf("\n");
+  bench::print_rule(84);
+
+  for (const auto& fc : cases) {
+    // QR has no PU step; its CTF takes that role.
+    if (decomp == Decomp::Qr && fc.spec.site.op == OpKind::PU) continue;
+    std::printf("%-18s", fc.name);
+    for (const auto& a : approaches) {
+      CampaignConfig cfg;
+      cfg.decomp = decomp;
+      cfg.n = n;
+      cfg.opts.nb = nb;
+      cfg.opts.ngpu = 2;
+      cfg.opts.checksum = a.cs;
+      cfg.opts.scheme = a.scheme;
+      Campaign campaign(cfg);
+      const auto result = campaign.run(fc.spec);
+      std::printf(" | %-13s", cell(result.outcome, result.recovery_overhead));
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  run_table(Decomp::Lu, 256, 32);
+  run_table(Decomp::Cholesky, 256, 32);
+  run_table(Decomp::Qr, 256, 32);
+  std::printf(
+      "\nReading: full checksum covers every fault class; single-side misses the\n"
+      "unprotected updated panel and 1D propagation (N cells). The new scheme's\n"
+      "receiver-side checks make PCIe corruption a cheap Y, where the post-op\n"
+      "scheme lets it freeze into the result (N). Recovery overheads are noisy at\n"
+      "these CI-sized problems; the paper reports <1%% at n=10240 per GPU.\n");
+  return 0;
+}

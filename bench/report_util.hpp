@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file report_util.hpp
+/// Small console-table helpers shared by the experiment-reproduction
+/// binaries. Each bench prints the same rows/series the paper's table or
+/// figure reports, so outputs can be compared side by side with the
+/// original (see EXPERIMENTS.md).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace ftla::bench {
+
+inline void print_header(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void print_rule(int width = 78) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+/// Formats a fraction as a percentage string.
+inline std::string pct(double fraction) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f%%", fraction * 100.0);
+  return buf;
+}
+
+}  // namespace ftla::bench

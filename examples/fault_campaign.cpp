@@ -1,0 +1,149 @@
+// Example: run a randomized fault-injection campaign against a chosen
+// decomposition/protection configuration and print the outcome
+// statistics — a miniature version of the paper's §X.A evaluation.
+//
+//   ./fault_campaign [decomp: chol|lu|qr] [runs] [scheme: prior|post|new]
+//                    [checksum: none|single|full]
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "common/rng.hpp"
+#include "core/campaign.hpp"
+
+using namespace ftla;
+using namespace ftla::core;
+
+namespace {
+
+/// Draws a fault from the grid of combinations the fault model defines
+/// (PCIe faults strike transfers; on-chip faults strike read-only
+/// reference operands; PD's panel is offered as its reference part).
+fault::FaultSpec random_spec(Xoshiro256& rng, index_t b, core::Decomp decomp) {
+  fault::FaultSpec spec;
+  spec.type = static_cast<fault::FaultType>(rng.bounded(4));
+  spec.site.iteration = rng.index(b - 1);
+  const index_t k = spec.site.iteration;
+  spec.timing = rng.bounded(2) ? fault::Timing::BetweenOps : fault::Timing::DuringOp;
+  spec.seed = rng.next_u64() | 1;
+
+  if (spec.type == fault::FaultType::Pcie) {
+    spec.site.op = rng.bounded(2) ? fault::OpKind::PD : fault::OpKind::BroadcastH2D;
+    spec.target_br = k;
+    spec.target_bc = k;
+    return spec;
+  }
+
+  const int op_pick = static_cast<int>(rng.bounded(3));
+  spec.site.op = op_pick == 0   ? fault::OpKind::PD
+                 : op_pick == 1 ? fault::OpKind::PU
+                                : fault::OpKind::TMU;
+  // QR folds PU into PD/CTF; Cholesky's PU hook covers the whole panel.
+  if (decomp == core::Decomp::Qr && spec.site.op == fault::OpKind::PU)
+    spec.site.op = fault::OpKind::TMU;
+
+  switch (spec.site.op) {
+    case fault::OpKind::PD:
+      spec.part = fault::Part::Reference;
+      if (spec.type == fault::FaultType::MemoryOnChip)
+        spec.type = fault::FaultType::Computation;
+      spec.target_br = decomp == core::Decomp::Cholesky ? k : k + rng.index(b - k);
+      spec.target_bc = k;
+      break;
+    case fault::OpKind::PU:
+      if (spec.type == fault::FaultType::MemoryOnChip) {
+        spec.part = fault::Part::Reference;
+        spec.target_br = k;
+        spec.target_bc = k;
+        spec.row = 9;  // strictly-lower L11: the consumed region
+        spec.col = 2;
+      } else {
+        spec.part = fault::Part::Update;
+        if (decomp == core::Decomp::Cholesky) {
+          spec.target_br = k + 1;
+          spec.target_bc = k;
+        } else {
+          spec.target_br = k;
+          spec.target_bc = k + 1 + rng.index(b - k - 1);
+        }
+      }
+      break;
+    default: {  // TMU
+      const bool ref = rng.bounded(2) != 0 ||
+                       spec.type == fault::FaultType::MemoryOnChip;
+      spec.part = ref ? fault::Part::Reference : fault::Part::Update;
+      if (ref) {
+        spec.target_br = k + 1 + rng.index(b - k - 1);
+        spec.target_bc = k;
+      } else {
+        const index_t j = k + 1 + rng.index(b - k - 1);
+        spec.target_bc = j;
+        if (decomp == core::Decomp::Qr) {
+          spec.target_br = k;
+        } else if (decomp == core::Decomp::Cholesky) {
+          spec.target_br = j + rng.index(b - j);
+        } else {
+          spec.target_br = k + 1 + rng.index(b - k - 1);
+        }
+      }
+      break;
+    }
+  }
+  return spec;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CampaignConfig cfg;
+  cfg.n = 192;
+  cfg.opts.nb = 32;
+  cfg.opts.ngpu = 2;
+  cfg.opts.checksum = ChecksumKind::Full;
+  cfg.opts.scheme = SchemeKind::NewScheme;
+  int runs = 40;
+
+  if (argc > 1) {
+    if (!std::strcmp(argv[1], "chol")) cfg.decomp = Decomp::Cholesky;
+    if (!std::strcmp(argv[1], "lu")) cfg.decomp = Decomp::Lu;
+    if (!std::strcmp(argv[1], "qr")) cfg.decomp = Decomp::Qr;
+  }
+  if (argc > 2) runs = std::atoi(argv[2]);
+  if (argc > 3) {
+    if (!std::strcmp(argv[3], "prior")) cfg.opts.scheme = SchemeKind::PriorOp;
+    if (!std::strcmp(argv[3], "post")) cfg.opts.scheme = SchemeKind::PostOp;
+    if (!std::strcmp(argv[3], "new")) cfg.opts.scheme = SchemeKind::NewScheme;
+  }
+  if (argc > 4) {
+    if (!std::strcmp(argv[4], "none")) cfg.opts.checksum = ChecksumKind::None;
+    if (!std::strcmp(argv[4], "single")) cfg.opts.checksum = ChecksumKind::SingleSide;
+    if (!std::strcmp(argv[4], "full")) cfg.opts.checksum = ChecksumKind::Full;
+  }
+
+  std::printf("campaign: %s, n=%ld, %s checksum, %s scheme, %d runs\n",
+              to_string(cfg.decomp), static_cast<long>(cfg.n),
+              to_string(cfg.opts.checksum), to_string(cfg.opts.scheme), runs);
+
+  Campaign campaign(cfg);
+  Xoshiro256 rng(4242);
+  const index_t b = cfg.n / cfg.opts.nb;
+
+  std::map<std::string, int> tally;
+  for (int r = 0; r < runs; ++r) {
+    const auto spec = random_spec(rng, b, cfg.decomp);
+    const auto result = campaign.run(spec);
+    ++tally[to_string(result.outcome)];
+    std::printf("  run %2d: %-22s %s\n", r, to_string(result.outcome),
+                fault::describe(spec).c_str());
+  }
+
+  std::printf("\nsummary over %d runs:\n", runs);
+  for (const auto& [name, count] : tally) {
+    std::printf("  %-24s %3d (%.0f%%)\n", name.c_str(), count,
+                100.0 * count / runs);
+  }
+  return 0;
+}

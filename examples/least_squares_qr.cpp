@@ -1,0 +1,100 @@
+// Domain example: polynomial regression via the fault-tolerant QR.
+// Builds a (square, padded) Vandermonde-style normal system, factors it
+// with FT-QR under an injected PCIe fault, and recovers the fitted
+// coefficients exactly.
+//
+//   ./least_squares_qr [n] [nb]
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "blas/blas.hpp"
+#include "core/ft_driver.hpp"
+#include "fault/injector.hpp"
+#include "lapack/lapack.hpp"
+#include "matrix/matrix.hpp"
+
+using namespace ftla;
+
+namespace {
+
+/// Least-squares-style square system: well-conditioned random rows with
+/// a smooth signal; solves min ‖Ax - b‖ via QR (square A ⇒ exact solve).
+MatD build_design_matrix(index_t n, index_t degree_cap) {
+  MatD a(n, n, 0.0);
+  for (index_t i = 0; i < n; ++i) {
+    const double t = -1.0 + 2.0 * static_cast<double>(i) / static_cast<double>(n - 1);
+    double p = 1.0;
+    for (index_t j = 0; j < n; ++j) {
+      a(i, j) = p;
+      p *= (j < degree_cap) ? t : 0.37;  // taper high "degrees" to keep conditioning
+      if (j >= degree_cap) p = (i + 1 + j) % 7 == 0 ? 1.0 : p;
+    }
+    a(i, i) += 3.0;  // keep the system comfortably full rank
+  }
+  return a;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const index_t n = argc > 1 ? std::atol(argv[1]) : 256;
+  const index_t nb = argc > 2 ? std::atol(argv[2]) : 32;
+
+  std::printf("FT-QR regression example: n=%ld, NB=%ld\n", static_cast<long>(n),
+              static_cast<long>(nb));
+
+  const MatD a = build_design_matrix(n, 6);
+  // Target: b = A·x* with x* decaying coefficients.
+  std::vector<double> x_true(static_cast<std::size_t>(n));
+  for (index_t j = 0; j < n; ++j)
+    x_true[static_cast<std::size_t>(j)] = std::exp(-0.1 * static_cast<double>(j));
+  std::vector<double> b(static_cast<std::size_t>(n), 0.0);
+  blas::gemv(blas::Trans::NoTrans, 1.0, a.const_view(), x_true.data(), 1, 0.0, b.data(),
+             1);
+
+  core::FtOptions opts;
+  opts.nb = nb;
+  opts.ngpu = 2;
+  opts.checksum = core::ChecksumKind::Full;
+  opts.scheme = core::SchemeKind::NewScheme;
+
+  // A PCIe fault strikes the panel broadcast of iteration 1 — the class
+  // of error no previous ABFT scheme protected (§VII.C).
+  fault::FaultInjector injector;
+  fault::FaultSpec spec;
+  spec.type = fault::FaultType::Pcie;
+  spec.site = {1, fault::OpKind::BroadcastH2D};
+  spec.target_br = 1;
+  spec.target_bc = 1;
+  spec.target_gpu = 0;
+  spec.seed = 7;
+  injector.schedule(spec);
+
+  const auto out = core::ft_qr(a.const_view(), opts, &injector);
+  if (!out.ok()) {
+    std::printf("factorization failed: %s\n", out.stats.summary().c_str());
+    return 1;
+  }
+  std::printf("PCIe faults corrected at receivers: %llu\n",
+              static_cast<unsigned long long>(out.stats.comm_errors_corrected));
+
+  // Solve R·x = Qᵀ·b.
+  const MatD q = lapack::orgqr(out.factors.const_view(), out.tau, nb);
+  std::vector<double> qtb(static_cast<std::size_t>(n), 0.0);
+  blas::gemv(blas::Trans::Trans, 1.0, q.const_view(), b.data(), 1, 0.0, qtb.data(), 1);
+  blas::trsv(blas::Uplo::Upper, blas::Trans::NoTrans, blas::Diag::NonUnit,
+             out.factors.const_view(), qtb.data(), 1);
+
+  double err = 0.0;
+  for (index_t j = 0; j < n; ++j)
+    err = std::max(err, std::abs(qtb[static_cast<std::size_t>(j)] -
+                                 x_true[static_cast<std::size_t>(j)]));
+  std::printf("coefficient error ‖x-x*‖∞ = %.3e\n", err);
+  std::printf("FT stats: %s\n", out.stats.summary().c_str());
+  std::printf(err < 1e-7 ? "OK: fit recovered despite the communication fault\n"
+                         : "FAIL\n");
+  return err < 1e-7 ? 0 : 1;
+}

@@ -1,0 +1,55 @@
+// Quickstart: factor an SPD system with the fault-tolerant Cholesky and
+// solve A·x = b, with full-checksum protection and the paper's new
+// checking scheme enabled.
+//
+//   ./quickstart [n] [nb] [ngpu]
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "blas/blas.hpp"
+#include "matrix/generate.hpp"
+#include "matrix/norms.hpp"
+#include "solve/solve.hpp"
+
+using namespace ftla;
+
+int main(int argc, char** argv) {
+  const index_t n = argc > 1 ? std::atol(argv[1]) : 512;
+  const index_t nb = argc > 2 ? std::atol(argv[2]) : 64;
+  const int ngpu = argc > 3 ? std::atoi(argv[3]) : 2;
+
+  std::printf("FT-LA quickstart: Cholesky solve, n=%ld, NB=%ld, %d simulated GPU(s)\n",
+              static_cast<long>(n), static_cast<long>(nb), ngpu);
+
+  // 1. Build a random SPD system A·x = b with known solution x* = 1.
+  const MatD a = random_spd(n, /*seed=*/2024);
+  std::vector<double> x(static_cast<std::size_t>(n), 1.0);
+  std::vector<double> b(static_cast<std::size_t>(n), 0.0);
+  blas::gemv(blas::Trans::NoTrans, 1.0, a.const_view(), x.data(), 1, 0.0, b.data(), 1);
+
+  // 2. One call: fault-tolerant Cholesky factorization on the simulated
+  //    heterogeneous system (full checksums + the paper's new checking
+  //    scheme are the library defaults) and a protected solve.
+  core::FtOptions opts;
+  opts.nb = nb;
+  opts.ngpu = ngpu;
+
+  MatD rhs(n, 1);
+  for (index_t i = 0; i < n; ++i) rhs(i, 0) = b[static_cast<std::size_t>(i)];
+  const auto result = solve::solve_spd(a.const_view(), rhs.const_view(), opts);
+  if (!result.ok) {
+    std::printf("solve failed: %s\n", result.stats.summary().c_str());
+    return 1;
+  }
+
+  double err = 0.0;
+  for (index_t i = 0; i < n; ++i) err = std::max(err, std::abs(result.x(i, 0) - 1.0));
+
+  std::printf("solve error ‖x-x*‖∞ = %.3e, residual = %.3e\n", err, result.residual);
+  std::printf("FT stats: %s\n", result.stats.summary().c_str());
+  std::printf("PCIe (modeled): %.3f ms across the run\n",
+              result.stats.comm_modeled_seconds * 1e3);
+  return err < 1e-8 ? 0 : 1;
+}

@@ -1,0 +1,11 @@
+#pragma once
+
+/// \file blas.hpp
+/// Umbrella header and shared enums for the from-scratch BLAS substrate.
+/// This library plays the role cuBLAS/MKL play in the paper's MAGMA-based
+/// implementation: all update operations (PU, TMU) and checksum
+/// maintenance run through these routines.
+
+#include "blas/level1.hpp"
+#include "blas/level2.hpp"
+#include "blas/level3.hpp"

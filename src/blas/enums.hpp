@@ -1,0 +1,18 @@
+#pragma once
+
+/// \file enums.hpp
+/// BLAS operation qualifiers (LAPACK naming).
+
+namespace ftla::blas {
+
+enum class Trans { NoTrans, Trans };
+enum class Side { Left, Right };
+enum class Uplo { Lower, Upper };
+enum class Diag { NonUnit, Unit };
+
+inline const char* to_string(Trans t) { return t == Trans::NoTrans ? "N" : "T"; }
+inline const char* to_string(Side s) { return s == Side::Left ? "L" : "R"; }
+inline const char* to_string(Uplo u) { return u == Uplo::Lower ? "L" : "U"; }
+inline const char* to_string(Diag d) { return d == Diag::NonUnit ? "N" : "U"; }
+
+}  // namespace ftla::blas

@@ -1,0 +1,88 @@
+#include "blas/level1.hpp"
+
+#include <cmath>
+
+namespace ftla::blas {
+
+void axpy(index_t n, double alpha, const double* x, index_t incx, double* y, index_t incy) {
+  if (n <= 0 || alpha == 0.0) return;
+  if (incx == 1 && incy == 1) {
+    for (index_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+  } else {
+    for (index_t i = 0; i < n; ++i) y[i * incy] += alpha * x[i * incx];
+  }
+}
+
+double dot(index_t n, const double* x, index_t incx, const double* y, index_t incy) {
+  double s = 0.0;
+  if (incx == 1 && incy == 1) {
+    for (index_t i = 0; i < n; ++i) s += x[i] * y[i];
+  } else {
+    for (index_t i = 0; i < n; ++i) s += x[i * incx] * y[i * incy];
+  }
+  return s;
+}
+
+double nrm2(index_t n, const double* x, index_t incx) {
+  if (n <= 0) return 0.0;
+  // Scaled sum-of-squares accumulation (avoids overflow for large values).
+  double scale = 0.0;
+  double ssq = 1.0;
+  for (index_t i = 0; i < n; ++i) {
+    const double v = std::abs(x[i * incx]);
+    if (v != 0.0) {
+      if (scale < v) {
+        const double r = scale / v;
+        ssq = 1.0 + ssq * r * r;
+        scale = v;
+      } else {
+        const double r = v / scale;
+        ssq += r * r;
+      }
+    }
+  }
+  return scale * std::sqrt(ssq);
+}
+
+void scal(index_t n, double alpha, double* x, index_t incx) {
+  if (n <= 0) return;
+  if (incx == 1) {
+    for (index_t i = 0; i < n; ++i) x[i] *= alpha;
+  } else {
+    for (index_t i = 0; i < n; ++i) x[i * incx] *= alpha;
+  }
+}
+
+index_t iamax(index_t n, const double* x, index_t incx) {
+  if (n <= 0) return -1;
+  index_t best = 0;
+  double best_val = std::abs(x[0]);
+  for (index_t i = 1; i < n; ++i) {
+    const double v = std::abs(x[i * incx]);
+    if (v > best_val) {
+      best_val = v;
+      best = i;
+    }
+  }
+  return best;
+}
+
+void swap(index_t n, double* x, index_t incx, double* y, index_t incy) {
+  for (index_t i = 0; i < n; ++i) {
+    const double t = x[i * incx];
+    x[i * incx] = y[i * incy];
+    y[i * incy] = t;
+  }
+}
+
+void copy(index_t n, const double* x, index_t incx, double* y, index_t incy) {
+  for (index_t i = 0; i < n; ++i) y[i * incy] = x[i * incx];
+}
+
+double asum(index_t n, const double* x, index_t incx) {
+  double s = 0.0;
+  for (index_t i = 0; i < n; ++i) s += std::abs(x[i * incx]);
+  return s;
+}
+
+}  // namespace ftla::blas

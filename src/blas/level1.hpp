@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file level1.hpp
+/// BLAS level-1: vector-vector operations on strided double arrays.
+
+#include "common/types.hpp"
+
+namespace ftla::blas {
+
+/// y ← alpha·x + y.
+void axpy(index_t n, double alpha, const double* x, index_t incx, double* y, index_t incy);
+
+/// Returns xᵀy.
+double dot(index_t n, const double* x, index_t incx, const double* y, index_t incy);
+
+/// Returns ‖x‖₂ (scaled to avoid overflow/underflow, LAPACK dnrm2 style).
+double nrm2(index_t n, const double* x, index_t incx);
+
+/// x ← alpha·x.
+void scal(index_t n, double alpha, double* x, index_t incx);
+
+/// Index of the element with the largest |x(i)| (0-based; -1 when n<=0).
+index_t iamax(index_t n, const double* x, index_t incx);
+
+/// Swap x and y.
+void swap(index_t n, double* x, index_t incx, double* y, index_t incy);
+
+/// y ← x.
+void copy(index_t n, const double* x, index_t incx, double* y, index_t incy);
+
+/// Returns Σ|x(i)|.
+double asum(index_t n, const double* x, index_t incx);
+
+}  // namespace ftla::blas

@@ -1,0 +1,110 @@
+#include "blas/level2.hpp"
+
+#include "common/error.hpp"
+
+namespace ftla::blas {
+
+void gemv(Trans trans, double alpha, ConstViewD a, const double* x, index_t incx,
+          double beta, double* y, index_t incy) {
+  const index_t m = a.rows();
+  const index_t n = a.cols();
+  const index_t leny = trans == Trans::NoTrans ? m : n;
+  const index_t lenx = trans == Trans::NoTrans ? n : m;
+  (void)lenx;
+
+  if (beta != 1.0) {
+    for (index_t i = 0; i < leny; ++i) y[i * incy] *= beta;
+  }
+  if (alpha == 0.0) return;
+
+  if (trans == Trans::NoTrans) {
+    // y += alpha * A x : accumulate column-by-column (stride-1 down columns).
+    for (index_t j = 0; j < n; ++j) {
+      const double t = alpha * x[j * incx];
+      if (t == 0.0) continue;
+      const double* col = a.col_ptr(j);
+      for (index_t i = 0; i < m; ++i) y[i * incy] += t * col[i];
+    }
+  } else {
+    // y += alpha * Aᵀ x : each output element is a column dot product.
+    for (index_t j = 0; j < n; ++j) {
+      const double* col = a.col_ptr(j);
+      double s = 0.0;
+      for (index_t i = 0; i < m; ++i) s += col[i] * x[i * incx];
+      y[j * incy] += alpha * s;
+    }
+  }
+}
+
+void ger(double alpha, const double* x, index_t incx, const double* y, index_t incy, ViewD a) {
+  const index_t m = a.rows();
+  const index_t n = a.cols();
+  if (alpha == 0.0) return;
+  for (index_t j = 0; j < n; ++j) {
+    const double t = alpha * y[j * incy];
+    if (t == 0.0) continue;
+    double* col = a.col_ptr(j);
+    for (index_t i = 0; i < m; ++i) col[i] += t * x[i * incx];
+  }
+}
+
+void trsv(Uplo uplo, Trans trans, Diag diag, ConstViewD a, double* x, index_t incx) {
+  const index_t n = a.rows();
+  FTLA_CHECK(a.rows() == a.cols(), "trsv requires a square matrix");
+  const bool unit = diag == Diag::Unit;
+
+  if (trans == Trans::NoTrans) {
+    if (uplo == Uplo::Lower) {
+      // Forward substitution.
+      for (index_t i = 0; i < n; ++i) {
+        double s = x[i * incx];
+        for (index_t k = 0; k < i; ++k) s -= a(i, k) * x[k * incx];
+        x[i * incx] = unit ? s : s / a(i, i);
+      }
+    } else {
+      // Backward substitution.
+      for (index_t i = n - 1; i >= 0; --i) {
+        double s = x[i * incx];
+        for (index_t k = i + 1; k < n; ++k) s -= a(i, k) * x[k * incx];
+        x[i * incx] = unit ? s : s / a(i, i);
+      }
+    }
+  } else {
+    if (uplo == Uplo::Lower) {
+      // Lᵀ x = b: backward substitution on the transpose.
+      for (index_t i = n - 1; i >= 0; --i) {
+        double s = x[i * incx];
+        for (index_t k = i + 1; k < n; ++k) s -= a(k, i) * x[k * incx];
+        x[i * incx] = unit ? s : s / a(i, i);
+      }
+    } else {
+      // Uᵀ x = b: forward substitution on the transpose.
+      for (index_t i = 0; i < n; ++i) {
+        double s = x[i * incx];
+        for (index_t k = 0; k < i; ++k) s -= a(k, i) * x[k * incx];
+        x[i * incx] = unit ? s : s / a(i, i);
+      }
+    }
+  }
+}
+
+void syr(Uplo uplo, double alpha, const double* x, index_t incx, ViewD a) {
+  const index_t n = a.rows();
+  FTLA_CHECK(a.rows() == a.cols(), "syr requires a square matrix");
+  if (alpha == 0.0) return;
+  if (uplo == Uplo::Lower) {
+    for (index_t j = 0; j < n; ++j) {
+      const double t = alpha * x[j * incx];
+      double* col = a.col_ptr(j);
+      for (index_t i = j; i < n; ++i) col[i] += t * x[i * incx];
+    }
+  } else {
+    for (index_t j = 0; j < n; ++j) {
+      const double t = alpha * x[j * incx];
+      double* col = a.col_ptr(j);
+      for (index_t i = 0; i <= j; ++i) col[i] += t * x[i * incx];
+    }
+  }
+}
+
+}  // namespace ftla::blas

@@ -1,0 +1,28 @@
+#pragma once
+
+/// \file level2.hpp
+/// BLAS level-2: matrix-vector operations over column-major views.
+
+#include "blas/enums.hpp"
+#include "matrix/view.hpp"
+
+namespace ftla::blas {
+
+using ftla::ConstViewD;
+using ftla::ViewD;
+using ftla::index_t;
+
+/// y ← alpha·op(A)·x + beta·y.
+void gemv(Trans trans, double alpha, ConstViewD a, const double* x, index_t incx,
+          double beta, double* y, index_t incy);
+
+/// A ← A + alpha·x·yᵀ (rank-1 update).
+void ger(double alpha, const double* x, index_t incx, const double* y, index_t incy, ViewD a);
+
+/// x ← op(A)⁻¹·x with A triangular.
+void trsv(Uplo uplo, Trans trans, Diag diag, ConstViewD a, double* x, index_t incx);
+
+/// A ← A + alpha·x·xᵀ on the `uplo` triangle (symmetric rank-1 update).
+void syr(Uplo uplo, double alpha, const double* x, index_t incx, ViewD a);
+
+}  // namespace ftla::blas

@@ -1,0 +1,299 @@
+#include "blas/level3.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+
+namespace ftla::blas {
+
+namespace {
+
+// Cache-blocking parameters: KC doubles of A panel ≈ 256*8B = 2KB per
+// column strip; JC bounds the C panel processed per task.
+constexpr index_t kKC = 256;
+constexpr index_t kParallelFlopThreshold = 1 << 18;
+
+void check_gemm_dims(Trans ta, Trans tb, ConstViewD a, ConstViewD b, ViewD c) {
+  const index_t m = c.rows();
+  const index_t n = c.cols();
+  const index_t opa_rows = ta == Trans::NoTrans ? a.rows() : a.cols();
+  const index_t opa_cols = ta == Trans::NoTrans ? a.cols() : a.rows();
+  const index_t opb_rows = tb == Trans::NoTrans ? b.rows() : b.cols();
+  const index_t opb_cols = tb == Trans::NoTrans ? b.cols() : b.rows();
+  FTLA_CHECK(opa_rows == m, "gemm: op(A) row count mismatch");
+  FTLA_CHECK(opb_cols == n, "gemm: op(B) col count mismatch");
+  FTLA_CHECK(opa_cols == opb_rows, "gemm: inner dimension mismatch");
+}
+
+/// Core kernel on a column slice C(:, j0:j1). Single-threaded.
+void gemm_cols(Trans ta, Trans tb, double alpha, ConstViewD a, ConstViewD b, double beta,
+               ViewD c, index_t j0, index_t j1) {
+  const index_t m = c.rows();
+  const index_t k = ta == Trans::NoTrans ? a.cols() : a.rows();
+
+  for (index_t j = j0; j < j1; ++j) {
+    double* cc = c.col_ptr(j);
+    if (beta == 0.0) {
+      for (index_t i = 0; i < m; ++i) cc[i] = 0.0;
+    } else if (beta != 1.0) {
+      for (index_t i = 0; i < m; ++i) cc[i] *= beta;
+    }
+  }
+  if (alpha == 0.0 || k == 0) return;
+
+  if (ta == Trans::NoTrans) {
+    // Stride-1 down columns of A and C; block over k for cache reuse.
+    for (index_t kk = 0; kk < k; kk += kKC) {
+      const index_t kend = std::min(k, kk + kKC);
+      for (index_t j = j0; j < j1; ++j) {
+        double* cc = c.col_ptr(j);
+        for (index_t p = kk; p < kend; ++p) {
+          const double bval = tb == Trans::NoTrans ? b(p, j) : b(j, p);
+          const double t = alpha * bval;
+          if (t == 0.0) continue;
+          const double* ac = a.col_ptr(p);
+          for (index_t i = 0; i < m; ++i) cc[i] += t * ac[i];
+        }
+      }
+    }
+  } else {
+    // op(A) = Aᵀ: each C(i, j) is a dot product over column i of A.
+    for (index_t j = j0; j < j1; ++j) {
+      double* cc = c.col_ptr(j);
+      for (index_t i = 0; i < m; ++i) {
+        const double* ac = a.col_ptr(i);
+        double s = 0.0;
+        if (tb == Trans::NoTrans) {
+          const double* bc = b.col_ptr(j);
+          for (index_t p = 0; p < k; ++p) s += ac[p] * bc[p];
+        } else {
+          for (index_t p = 0; p < k; ++p) s += ac[p] * b(j, p);
+        }
+        cc[i] += alpha * s;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void gemm_seq(Trans ta, Trans tb, double alpha, ConstViewD a, ConstViewD b, double beta,
+              ViewD c) {
+  check_gemm_dims(ta, tb, a, b, c);
+  gemm_cols(ta, tb, alpha, a, b, beta, c, 0, c.cols());
+}
+
+void gemm(Trans ta, Trans tb, double alpha, ConstViewD a, ConstViewD b, double beta, ViewD c) {
+  check_gemm_dims(ta, tb, a, b, c);
+  const index_t m = c.rows();
+  const index_t n = c.cols();
+  const index_t k = ta == Trans::NoTrans ? a.cols() : a.rows();
+  const index_t flops = m * n * k;
+  if (flops < kParallelFlopThreshold || n == 1) {
+    gemm_cols(ta, tb, alpha, a, b, beta, c, 0, n);
+    return;
+  }
+  ThreadPool::global().parallel_for_chunked(
+      0, n, [&](index_t lo, index_t hi) { gemm_cols(ta, tb, alpha, a, b, beta, c, lo, hi); });
+}
+
+void trsm(Side side, Uplo uplo, Trans trans, Diag diag, double alpha, ConstViewD a, ViewD b) {
+  const index_t m = b.rows();
+  const index_t n = b.cols();
+  FTLA_CHECK(a.rows() == a.cols(), "trsm: A must be square");
+  FTLA_CHECK(side == Side::Left ? a.rows() == m : a.rows() == n,
+             "trsm: A dimension does not match B");
+  const bool unit = diag == Diag::Unit;
+
+  if (alpha != 1.0) {
+    for (index_t j = 0; j < n; ++j) {
+      double* col = b.col_ptr(j);
+      for (index_t i = 0; i < m; ++i) col[i] *= alpha;
+    }
+  }
+
+  if (side == Side::Left) {
+    const bool forward = (uplo == Uplo::Lower) == (trans == Trans::NoTrans);
+    for (index_t j = 0; j < n; ++j) {
+      double* x = b.col_ptr(j);
+      if (forward) {
+        for (index_t i = 0; i < m; ++i) {
+          double s = x[i];
+          if (trans == Trans::NoTrans) {
+            for (index_t p = 0; p < i; ++p) s -= a(i, p) * x[p];
+          } else {
+            for (index_t p = 0; p < i; ++p) s -= a(p, i) * x[p];
+          }
+          x[i] = unit ? s : s / a(i, i);
+        }
+      } else {
+        for (index_t i = m - 1; i >= 0; --i) {
+          double s = x[i];
+          if (trans == Trans::NoTrans) {
+            for (index_t p = i + 1; p < m; ++p) s -= a(i, p) * x[p];
+          } else {
+            for (index_t p = i + 1; p < m; ++p) s -= a(p, i) * x[p];
+          }
+          x[i] = unit ? s : s / a(i, i);
+        }
+      }
+    }
+    return;
+  }
+
+  // Side::Right: solve X·op(A) = B column-block by column-block.
+  // Ascending j when op(A)'s nonzero column entries lie at k < j,
+  // descending otherwise.
+  const bool ascending = (uplo == Uplo::Upper) == (trans == Trans::NoTrans);
+  auto entry = [&](index_t k, index_t j) {
+    return trans == Trans::NoTrans ? a(k, j) : a(j, k);
+  };
+  if (ascending) {
+    for (index_t j = 0; j < n; ++j) {
+      double* xj = b.col_ptr(j);
+      for (index_t k = 0; k < j; ++k) {
+        const double t = entry(k, j);
+        if (t == 0.0) continue;
+        const double* xk = b.col_ptr(k);
+        for (index_t i = 0; i < m; ++i) xj[i] -= t * xk[i];
+      }
+      if (!unit) {
+        const double d = 1.0 / a(j, j);
+        for (index_t i = 0; i < m; ++i) xj[i] *= d;
+      }
+    }
+  } else {
+    for (index_t j = n - 1; j >= 0; --j) {
+      double* xj = b.col_ptr(j);
+      for (index_t k = j + 1; k < n; ++k) {
+        const double t = entry(k, j);
+        if (t == 0.0) continue;
+        const double* xk = b.col_ptr(k);
+        for (index_t i = 0; i < m; ++i) xj[i] -= t * xk[i];
+      }
+      if (!unit) {
+        const double d = 1.0 / a(j, j);
+        for (index_t i = 0; i < m; ++i) xj[i] *= d;
+      }
+    }
+  }
+}
+
+void trmm(Side side, Uplo uplo, Trans trans, Diag diag, double alpha, ConstViewD a, ViewD b) {
+  const index_t m = b.rows();
+  const index_t n = b.cols();
+  FTLA_CHECK(a.rows() == a.cols(), "trmm: A must be square");
+  FTLA_CHECK(side == Side::Left ? a.rows() == m : a.rows() == n,
+             "trmm: A dimension does not match B");
+  const bool unit = diag == Diag::Unit;
+
+  if (side == Side::Left) {
+    // b(i, j) ← alpha Σ_k op(A)(i, k) b(k, j). op(A)(i, k) nonzero for
+    // k <= i ("low" reach) or k >= i. Overwrite in the order that only
+    // consumes not-yet-overwritten entries.
+    const bool reach_low = (uplo == Uplo::Lower) == (trans == Trans::NoTrans);
+    auto entry = [&](index_t i, index_t k) {
+      return trans == Trans::NoTrans ? a(i, k) : a(k, i);
+    };
+    for (index_t j = 0; j < n; ++j) {
+      double* x = b.col_ptr(j);
+      if (reach_low) {
+        for (index_t i = m - 1; i >= 0; --i) {
+          double s = unit ? x[i] : entry(i, i) * x[i];
+          for (index_t k = 0; k < i; ++k) s += entry(i, k) * x[k];
+          x[i] = alpha * s;
+        }
+      } else {
+        for (index_t i = 0; i < m; ++i) {
+          double s = unit ? x[i] : entry(i, i) * x[i];
+          for (index_t k = i + 1; k < m; ++k) s += entry(i, k) * x[k];
+          x[i] = alpha * s;
+        }
+      }
+    }
+    return;
+  }
+
+  // Side::Right: b(:, j) ← alpha Σ_k b(:, k) op(A)(k, j).
+  const bool reach_low = (uplo == Uplo::Lower) == (trans == Trans::NoTrans);
+  auto entry = [&](index_t k, index_t j) {
+    return trans == Trans::NoTrans ? a(k, j) : a(j, k);
+  };
+  if (reach_low) {
+    // op(A)(k, j) nonzero for k >= j: ascending j consumes fresh b(:, k>j).
+    for (index_t j = 0; j < n; ++j) {
+      double* xj = b.col_ptr(j);
+      const double d = unit ? 1.0 : entry(j, j);
+      for (index_t i = 0; i < m; ++i) xj[i] *= alpha * d;
+      for (index_t k = j + 1; k < n; ++k) {
+        const double t = alpha * entry(k, j);
+        if (t == 0.0) continue;
+        const double* xk = b.col_ptr(k);
+        for (index_t i = 0; i < m; ++i) xj[i] += t * xk[i];
+      }
+    }
+  } else {
+    // Nonzero for k <= j: descending j.
+    for (index_t j = n - 1; j >= 0; --j) {
+      double* xj = b.col_ptr(j);
+      const double d = unit ? 1.0 : entry(j, j);
+      for (index_t i = 0; i < m; ++i) xj[i] *= alpha * d;
+      for (index_t k = 0; k < j; ++k) {
+        const double t = alpha * entry(k, j);
+        if (t == 0.0) continue;
+        const double* xk = b.col_ptr(k);
+        for (index_t i = 0; i < m; ++i) xj[i] += t * xk[i];
+      }
+    }
+  }
+}
+
+void syrk(Uplo uplo, Trans trans, double alpha, ConstViewD a, double beta, ViewD c) {
+  const index_t n = c.rows();
+  FTLA_CHECK(c.rows() == c.cols(), "syrk: C must be square");
+  const index_t opa_rows = trans == Trans::NoTrans ? a.rows() : a.cols();
+  const index_t k = trans == Trans::NoTrans ? a.cols() : a.rows();
+  FTLA_CHECK(opa_rows == n, "syrk: op(A) row count must match C");
+
+  for (index_t j = 0; j < n; ++j) {
+    double* cc = c.col_ptr(j);
+    const index_t i0 = uplo == Uplo::Lower ? j : 0;
+    const index_t i1 = uplo == Uplo::Lower ? n : j + 1;
+    if (beta == 0.0) {
+      for (index_t i = i0; i < i1; ++i) cc[i] = 0.0;
+    } else if (beta != 1.0) {
+      for (index_t i = i0; i < i1; ++i) cc[i] *= beta;
+    }
+  }
+  if (alpha == 0.0 || k == 0) return;
+
+  if (trans == Trans::NoTrans) {
+    for (index_t p = 0; p < k; ++p) {
+      const double* ap = a.col_ptr(p);
+      for (index_t j = 0; j < n; ++j) {
+        const double t = alpha * ap[j];
+        if (t == 0.0) continue;
+        double* cc = c.col_ptr(j);
+        const index_t i0 = uplo == Uplo::Lower ? j : 0;
+        const index_t i1 = uplo == Uplo::Lower ? n : j + 1;
+        for (index_t i = i0; i < i1; ++i) cc[i] += t * ap[i];
+      }
+    }
+  } else {
+    for (index_t j = 0; j < n; ++j) {
+      const double* aj = a.col_ptr(j);
+      double* cc = c.col_ptr(j);
+      const index_t i0 = uplo == Uplo::Lower ? j : 0;
+      const index_t i1 = uplo == Uplo::Lower ? n : j + 1;
+      for (index_t i = i0; i < i1; ++i) {
+        const double* ai = a.col_ptr(i);
+        double s = 0.0;
+        for (index_t p = 0; p < k; ++p) s += ai[p] * aj[p];
+        cc[i] += alpha * s;
+      }
+    }
+  }
+}
+
+}  // namespace ftla::blas

@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file level3.hpp
+/// BLAS level-3: matrix-matrix operations. gemm is cache-blocked and
+/// threaded over the global pool; it carries the bulk of every TMU.
+
+#include "blas/enums.hpp"
+#include "matrix/view.hpp"
+
+namespace ftla::blas {
+
+using ftla::ConstViewD;
+using ftla::ViewD;
+using ftla::index_t;
+
+/// C ← alpha·op(A)·op(B) + beta·C.
+/// op(A) must be m×k and op(B) k×n where C is m×n.
+void gemm(Trans ta, Trans tb, double alpha, ConstViewD a, ConstViewD b, double beta, ViewD c);
+
+/// Single-threaded gemm (used inside already-parallel regions).
+void gemm_seq(Trans ta, Trans tb, double alpha, ConstViewD a, ConstViewD b, double beta,
+              ViewD c);
+
+/// B ← alpha·op(A)⁻¹·B (Side::Left) or alpha·B·op(A)⁻¹ (Side::Right),
+/// with A triangular.
+void trsm(Side side, Uplo uplo, Trans trans, Diag diag, double alpha, ConstViewD a, ViewD b);
+
+/// B ← alpha·op(A)·B (Side::Left) or alpha·B·op(A) (Side::Right),
+/// with A triangular.
+void trmm(Side side, Uplo uplo, Trans trans, Diag diag, double alpha, ConstViewD a, ViewD b);
+
+/// C ← alpha·op(A)·op(A)ᵀ + beta·C, updating only the `uplo` triangle.
+/// Trans::NoTrans: op(A) = A (n×k). Trans::Trans: op(A) = Aᵀ with A k×n.
+void syrk(Uplo uplo, Trans trans, double alpha, ConstViewD a, double beta, ViewD c);
+
+}  // namespace ftla::blas

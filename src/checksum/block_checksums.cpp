@@ -1,0 +1,66 @@
+#include "checksum/block_checksums.hpp"
+
+#include "common/error.hpp"
+
+namespace ftla::checksum {
+
+BlockChecksums::BlockChecksums(index_t rows, index_t cols, index_t nb, bool with_col,
+                               bool with_row)
+    : layout_(rows, cols, nb), has_col_(with_col), has_row_(with_row) {
+  if (with_col) col_cs_ = MatD(2 * layout_.block_rows(), cols, 0.0);
+  if (with_row) row_cs_ = MatD(rows, 2 * layout_.block_cols(), 0.0);
+}
+
+ViewD BlockChecksums::col_block(index_t br, index_t bc) {
+  FTLA_CHECK(has_col_, "column checksums not maintained");
+  return col_cs_.block(2 * br, layout_.col_start(bc), 2, layout_.block_width(bc));
+}
+
+ConstViewD BlockChecksums::col_block(index_t br, index_t bc) const {
+  FTLA_CHECK(has_col_, "column checksums not maintained");
+  return col_cs_.block(2 * br, layout_.col_start(bc), 2, layout_.block_width(bc));
+}
+
+ViewD BlockChecksums::row_block(index_t br, index_t bc) {
+  FTLA_CHECK(has_row_, "row checksums not maintained");
+  return row_cs_.block(layout_.row_start(br), 2 * bc, layout_.block_height(br), 2);
+}
+
+ConstViewD BlockChecksums::row_block(index_t br, index_t bc) const {
+  FTLA_CHECK(has_row_, "row checksums not maintained");
+  return row_cs_.block(layout_.row_start(br), 2 * bc, layout_.block_height(br), 2);
+}
+
+ViewD BlockChecksums::col_strip(index_t br, index_t bc0, index_t bc1) {
+  FTLA_CHECK(has_col_, "column checksums not maintained");
+  const index_t c0 = layout_.col_start(bc0);
+  const index_t c1 = layout_.col_start(bc1 - 1) + layout_.block_width(bc1 - 1);
+  return col_cs_.block(2 * br, c0, 2, c1 - c0);
+}
+
+ViewD BlockChecksums::row_strip(index_t bc, index_t br0, index_t br1) {
+  FTLA_CHECK(has_row_, "row checksums not maintained");
+  const index_t r0 = layout_.row_start(br0);
+  const index_t r1 = layout_.row_start(br1 - 1) + layout_.block_height(br1 - 1);
+  return row_cs_.block(r0, 2 * bc, r1 - r0, 2);
+}
+
+void BlockChecksums::encode_all(ConstViewD region, Encoder encoder) {
+  for (index_t br = 0; br < layout_.block_rows(); ++br) {
+    for (index_t bc = 0; bc < layout_.block_cols(); ++bc) {
+      encode_block(region, br, bc, encoder);
+    }
+  }
+}
+
+void BlockChecksums::encode_block(ConstViewD region, index_t br, index_t bc,
+                                  Encoder encoder) {
+  FTLA_CHECK(region.rows() == layout_.rows() && region.cols() == layout_.cols(),
+             "region shape does not match checksum layout");
+  const auto block = layout_.block_view(region, br, bc);
+  if (block.empty()) return;
+  if (has_col_) encode_col(block, col_block(br, bc), encoder);
+  if (has_row_) encode_row(block, row_block(br, bc), encoder);
+}
+
+}  // namespace ftla::checksum

@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file block_checksums.hpp
+/// Per-block checksum storage for a matrix region.
+///
+/// Column checksums for all blocks of block-row br are stored as rows
+/// [2·br, 2·br+1] of a (2·block_rows × cols) matrix, so BLAS-3 checksum
+/// maintenance operates on natural sub-views (e.g. the 2×nb column
+/// checksum of a panel block multiplies an nb×n row panel exactly like
+/// two extra matrix rows would). Row checksums mirror this layout as a
+/// (rows × 2·block_cols) matrix.
+
+#include "checksum/encode.hpp"
+#include "matrix/block.hpp"
+#include "matrix/matrix.hpp"
+
+namespace ftla::checksum {
+
+using ftla::BlockLayout;
+using ftla::ConstViewD;
+using ftla::MatD;
+using ftla::ViewD;
+
+class BlockChecksums {
+ public:
+  BlockChecksums() = default;
+
+  /// Storage for the checksums of a rows×cols region blocked by nb.
+  /// `with_col` / `with_row` select which dimensions are maintained
+  /// (single-side = column only; full = both).
+  BlockChecksums(index_t rows, index_t cols, index_t nb, bool with_col = true,
+                 bool with_row = true);
+
+  [[nodiscard]] const BlockLayout& layout() const noexcept { return layout_; }
+  [[nodiscard]] bool has_col() const noexcept { return has_col_; }
+  [[nodiscard]] bool has_row() const noexcept { return has_row_; }
+
+  /// 2×(block width) column checksum of block (br, bc).
+  [[nodiscard]] ViewD col_block(index_t br, index_t bc);
+  [[nodiscard]] ConstViewD col_block(index_t br, index_t bc) const;
+
+  /// (block height)×2 row checksum of block (br, bc).
+  [[nodiscard]] ViewD row_block(index_t br, index_t bc);
+  [[nodiscard]] ConstViewD row_block(index_t br, index_t bc) const;
+
+  /// 2×(span of block-cols [bc0, bc1)) column-checksum strip of block-row
+  /// br — the natural operand for BLAS-3 maintenance across a panel.
+  [[nodiscard]] ViewD col_strip(index_t br, index_t bc0, index_t bc1);
+  /// (span of block-rows [br0, br1))×2 row-checksum strip of block-col bc.
+  [[nodiscard]] ViewD row_strip(index_t bc, index_t br0, index_t br1);
+
+  /// Recomputes every maintained checksum from the region contents.
+  void encode_all(ConstViewD region, Encoder encoder = Encoder::FusedTiled);
+
+  /// Recomputes checksums of one block.
+  void encode_block(ConstViewD region, index_t br, index_t bc,
+                    Encoder encoder = Encoder::FusedTiled);
+
+  /// Raw storage access (device transfers move these wholesale).
+  [[nodiscard]] MatD& col_storage() noexcept { return col_cs_; }
+  [[nodiscard]] MatD& row_storage() noexcept { return row_cs_; }
+  [[nodiscard]] const MatD& col_storage() const noexcept { return col_cs_; }
+  [[nodiscard]] const MatD& row_storage() const noexcept { return row_cs_; }
+
+ private:
+  BlockLayout layout_;
+  MatD col_cs_;  // (2·block_rows) × cols
+  MatD row_cs_;  // rows × (2·block_cols)
+  bool has_col_ = false;
+  bool has_row_ = false;
+};
+
+}  // namespace ftla::checksum

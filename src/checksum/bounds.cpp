@@ -1,0 +1,22 @@
+#include "checksum/bounds.hpp"
+
+#include "matrix/norms.hpp"
+
+namespace ftla::checksum {
+
+double gamma_n(double n) noexcept {
+  const double nu = n * unit_roundoff();
+  return nu / (1.0 - nu);
+}
+
+double tmu_col_bound(ConstViewD a, ConstViewD b) {
+  const double n = static_cast<double>(a.cols());
+  return gamma_n(n + 2.0) * one_norm(a) * one_norm(b);
+}
+
+double tmu_row_bound(ConstViewD a, ConstViewD b) {
+  const double n = static_cast<double>(a.cols());
+  return gamma_n(n + 2.0) * inf_norm(a) * inf_norm(b);
+}
+
+}  // namespace ftla::checksum

@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file bounds.hpp
+/// Round-off error bounds separating checksum mismatch caused by faults
+/// from mismatch caused by floating-point rounding (paper §III.B).
+
+#include "matrix/view.hpp"
+
+namespace ftla::checksum {
+
+using ftla::ConstViewD;
+
+/// IEEE-754 double unit round-off u = 2⁻⁵³.
+[[nodiscard]] constexpr double unit_roundoff() noexcept { return 0x1.0p-53; }
+
+/// γₙ = n·u / (1 - n·u), the standard Higham accumulation factor.
+[[nodiscard]] double gamma_n(double n) noexcept;
+
+/// A-priori bound on ‖c(C) - recal_c(C)‖∞ after the TMU
+/// C ← C - A·B with full checksums: γₙ·‖A‖₁·‖B‖₁ (paper eq. for e_c).
+[[nodiscard]] double tmu_col_bound(ConstViewD a, ConstViewD b);
+
+/// Row-checksum analogue: γₙ·‖A‖∞·‖B‖∞ (paper eq. for e_r).
+[[nodiscard]] double tmu_row_bound(ConstViewD a, ConstViewD b);
+
+/// Practical per-column detection threshold used by the drivers: the
+/// analytic bounds require tracking operand norms through every update,
+/// so at verification time we bound the accumulated rounding by
+/// slack · u · context · (weighted column magnitude + 1), where `context`
+/// is the global problem size n (the maximum accumulation length any
+/// element has seen).
+struct Tolerance {
+  double slack = 256.0;
+  double context = 1.0;  ///< set to the global matrix dimension n
+
+  [[nodiscard]] double threshold(double column_scale) const noexcept {
+    return slack * unit_roundoff() * context * (column_scale + 1.0);
+  }
+};
+
+}  // namespace ftla::checksum

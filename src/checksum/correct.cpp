@@ -1,0 +1,55 @@
+#include "checksum/correct.hpp"
+
+#include "common/error.hpp"
+
+namespace ftla::checksum {
+
+index_t correct_from_col_deltas(ViewD block, const std::vector<ColDelta>& deltas) {
+  index_t corrected = 0;
+  for (const auto& cd : deltas) {
+    index_t row = -1;
+    if (!ratio_locates(cd.d1, cd.d2, block.rows(), row)) continue;
+    block(row, cd.col) += cd.d1;
+    ++corrected;
+  }
+  return corrected;
+}
+
+index_t correct_from_row_deltas(ViewD block, const std::vector<RowDelta>& deltas) {
+  index_t corrected = 0;
+  for (const auto& rd : deltas) {
+    index_t col = -1;
+    if (!ratio_locates(rd.d1, rd.d2, block.cols(), col)) continue;
+    block(rd.row, col) += rd.d1;
+    ++corrected;
+  }
+  return corrected;
+}
+
+void reconstruct_column(ViewD block, ConstViewD row_cs, index_t col) {
+  FTLA_CHECK(row_cs.rows() == block.rows() && row_cs.cols() == 2,
+             "reconstruct_column: checksum shape mismatch");
+  FTLA_CHECK(col >= 0 && col < block.cols(), "reconstruct_column: column out of range");
+  for (index_t r = 0; r < block.rows(); ++r) {
+    double others = 0.0;
+    for (index_t j = 0; j < block.cols(); ++j) {
+      if (j != col) others += block(r, j);
+    }
+    block(r, col) = row_cs(r, 0) - others;
+  }
+}
+
+void reconstruct_row(ViewD block, ConstViewD col_cs, index_t row) {
+  FTLA_CHECK(col_cs.rows() == 2 && col_cs.cols() == block.cols(),
+             "reconstruct_row: checksum shape mismatch");
+  FTLA_CHECK(row >= 0 && row < block.rows(), "reconstruct_row: row out of range");
+  for (index_t c = 0; c < block.cols(); ++c) {
+    double others = 0.0;
+    for (index_t i = 0; i < block.rows(); ++i) {
+      if (i != row) others += block(i, c);
+    }
+    block(row, c) = col_cs(0, c) - others;
+  }
+}
+
+}  // namespace ftla::checksum

@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file correct.hpp
+/// Error correction from checksums (paper §III.B and §VII).
+///
+/// Sign convention: δ = maintained − recomputed. A single corruption of
+/// magnitude e at (r, c) makes recomputed = true + e, so δ1 = −e and the
+/// fix is block(r, c) += δ1.
+
+#include "checksum/verify.hpp"
+#include "matrix/view.hpp"
+
+namespace ftla::checksum {
+
+using ftla::ViewD;
+
+/// Corrects every flagged column whose ratio locates a single element.
+/// Returns the number of elements corrected (columns whose ratio does not
+/// locate are skipped).
+index_t correct_from_col_deltas(ViewD block, const std::vector<ColDelta>& deltas);
+
+/// Row-checksum analogue.
+index_t correct_from_row_deltas(ViewD block, const std::vector<RowDelta>& deltas);
+
+/// Reconstructs an entire corrupted column from the weight-1 row
+/// checksums (1D column-propagation recovery, needs full checksum):
+/// block(r, col) = row_cs(r, 0) - Σ_{j≠col} block(r, j).
+void reconstruct_column(ViewD block, ConstViewD row_cs, index_t col);
+
+/// Reconstructs an entire corrupted row from the weight-1 column
+/// checksums: block(row, c) = col_cs(0, c) - Σ_{i≠row} block(i, c).
+void reconstruct_row(ViewD block, ConstViewD col_cs, index_t row);
+
+}  // namespace ftla::checksum

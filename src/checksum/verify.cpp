@@ -1,0 +1,194 @@
+#include "checksum/verify.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "matrix/matrix.hpp"
+
+namespace ftla::checksum {
+
+namespace {
+
+/// Scale of a column used for the detection threshold: weighted absolute
+/// sum, so thresholds track both checksum magnitudes.
+double column_scale(ConstViewD block, index_t j) {
+  const double* col = block.col_ptr(j);
+  double s = 0.0;
+  for (index_t r = 0; r < block.rows(); ++r) s += std::abs(col[r]);
+  return s * static_cast<double>(block.rows() + 1);
+}
+
+double row_scale(ConstViewD block, index_t i) {
+  double s = 0.0;
+  for (index_t j = 0; j < block.cols(); ++j) s += std::abs(block(i, j));
+  return s * static_cast<double>(block.cols() + 1);
+}
+
+}  // namespace
+
+BlockCheckResult verify_col(ConstViewD block, ConstViewD col_cs, const Tolerance& tol,
+                            Encoder encoder) {
+  FTLA_CHECK(col_cs.rows() == 2 && col_cs.cols() == block.cols(),
+             "verify_col: checksum shape mismatch");
+  BlockCheckResult result;
+  result.col_checked = true;
+
+  MatD recomputed(2, block.cols());
+  encode_col(block, recomputed.view(), encoder);
+
+  for (index_t j = 0; j < block.cols(); ++j) {
+    const double d1 = col_cs(0, j) - recomputed(0, j);
+    const double d2 = col_cs(1, j) - recomputed(1, j);
+    const double thr = tol.threshold(column_scale(block, j));
+    if (std::abs(d1) > thr || std::abs(d2) > thr) {
+      result.col_deltas.push_back(ColDelta{j, d1, d2});
+    }
+  }
+  return result;
+}
+
+BlockCheckResult verify_row(ConstViewD block, ConstViewD row_cs, const Tolerance& tol,
+                            Encoder encoder) {
+  FTLA_CHECK(row_cs.rows() == block.rows() && row_cs.cols() == 2,
+             "verify_row: checksum shape mismatch");
+  BlockCheckResult result;
+  result.row_checked = true;
+
+  MatD recomputed(block.rows(), 2);
+  encode_row(block, recomputed.view(), encoder);
+
+  for (index_t i = 0; i < block.rows(); ++i) {
+    const double d1 = row_cs(i, 0) - recomputed(i, 0);
+    const double d2 = row_cs(i, 1) - recomputed(i, 1);
+    const double thr = tol.threshold(row_scale(block, i));
+    if (std::abs(d1) > thr || std::abs(d2) > thr) {
+      result.row_deltas.push_back(RowDelta{i, d1, d2});
+    }
+  }
+  return result;
+}
+
+BlockCheckResult verify_full(ConstViewD block, ConstViewD col_cs, ConstViewD row_cs,
+                             const Tolerance& tol, Encoder encoder) {
+  BlockCheckResult result = verify_col(block, col_cs, tol, encoder);
+  BlockCheckResult rows = verify_row(block, row_cs, tol, encoder);
+  result.row_checked = true;
+  result.row_deltas = std::move(rows.row_deltas);
+  return result;
+}
+
+bool ratio_locates(double d1, double d2, index_t extent, index_t& located_index) {
+  if (d1 == 0.0) return false;
+  const double ratio = d2 / d1;
+  const double rounded = std::round(ratio);
+  if (std::abs(ratio - rounded) > 0.01) return false;
+  if (rounded < 1.0 || rounded > static_cast<double>(extent)) return false;
+  located_index = static_cast<index_t>(rounded) - 1;
+  return true;
+}
+
+Diagnosis diagnose_cols(const std::vector<ColDelta>& deltas, index_t block_height) {
+  Diagnosis d;
+  if (deltas.empty()) {
+    d.pattern = ErrorPattern::Clean;
+    return d;
+  }
+
+  bool all_locatable = true;
+  index_t first_row = -1;
+  for (const auto& cd : deltas) {
+    index_t row = -1;
+    if (!ratio_locates(cd.d1, cd.d2, block_height, row)) {
+      all_locatable = false;
+      break;
+    }
+    if (first_row < 0) first_row = row;
+  }
+
+  if (all_locatable) {
+    if (deltas.size() == 1) {
+      d.pattern = ErrorPattern::Single;
+      d.col = deltas.front().col;
+      ratio_locates(deltas.front().d1, deltas.front().d2, block_height, d.row);
+    } else {
+      d.pattern = ErrorPattern::MultiLocatable;
+      d.row = first_row;
+    }
+    return d;
+  }
+
+  if (deltas.size() == 1) {
+    // One column, multiple corrupted elements: 1D column propagation.
+    d.pattern = ErrorPattern::ColStreak;
+    d.col = deltas.front().col;
+    return d;
+  }
+
+  d.pattern = ErrorPattern::TwoD;
+  return d;
+}
+
+Diagnosis diagnose_rows(const std::vector<RowDelta>& deltas, index_t block_width) {
+  Diagnosis d;
+  if (deltas.empty()) {
+    d.pattern = ErrorPattern::Clean;
+    return d;
+  }
+
+  bool all_locatable = true;
+  for (const auto& rd : deltas) {
+    index_t col = -1;
+    if (!ratio_locates(rd.d1, rd.d2, block_width, col)) {
+      all_locatable = false;
+      break;
+    }
+  }
+
+  if (all_locatable) {
+    if (deltas.size() == 1) {
+      d.pattern = ErrorPattern::Single;
+      d.row = deltas.front().row;
+      ratio_locates(deltas.front().d1, deltas.front().d2, block_width, d.col);
+    } else {
+      d.pattern = ErrorPattern::MultiLocatable;
+    }
+    return d;
+  }
+
+  if (deltas.size() == 1) {
+    d.pattern = ErrorPattern::RowStreak;
+    d.row = deltas.front().row;
+    return d;
+  }
+
+  d.pattern = ErrorPattern::TwoD;
+  return d;
+}
+
+Diagnosis diagnose_full(const BlockCheckResult& result, index_t block_height,
+                        index_t block_width) {
+  const Diagnosis from_cols = diagnose_cols(result.col_deltas, block_height);
+  const Diagnosis from_rows = diagnose_rows(result.row_deltas, block_width);
+
+  // Agreement or one-side-clean cases.
+  if (from_cols.pattern == ErrorPattern::Clean) return from_rows;
+  if (from_rows.pattern == ErrorPattern::Clean && !result.row_checked) return from_cols;
+  if (from_rows.pattern == ErrorPattern::Clean) return from_cols;
+
+  // Column checksums see a streak in one column; row checksums flag the
+  // affected rows: 1D column propagation, correctable via row checksums.
+  if (from_cols.pattern == ErrorPattern::ColStreak) return from_cols;
+  if (from_rows.pattern == ErrorPattern::RowStreak) return from_rows;
+
+  if (from_cols.pattern == ErrorPattern::Single) return from_cols;
+  if (from_cols.pattern == ErrorPattern::MultiLocatable) return from_cols;
+  if (from_rows.pattern == ErrorPattern::Single ||
+      from_rows.pattern == ErrorPattern::MultiLocatable)
+    return from_rows;
+
+  Diagnosis d;
+  d.pattern = ErrorPattern::TwoD;
+  return d;
+}
+
+}  // namespace ftla::checksum

@@ -1,0 +1,91 @@
+#pragma once
+
+/// \file verify.hpp
+/// Checksum verification and error-pattern diagnosis for one block.
+
+#include <vector>
+
+#include "checksum/bounds.hpp"
+#include "checksum/encode.hpp"
+#include "matrix/view.hpp"
+
+namespace ftla::checksum {
+
+/// One flagged column: maintained minus recomputed checksums.
+struct ColDelta {
+  index_t col = 0;
+  double d1 = 0.0;  ///< δ for weight v1 (plain sum)
+  double d2 = 0.0;  ///< δ for weight v2 (index-weighted sum)
+};
+
+/// One flagged row.
+struct RowDelta {
+  index_t row = 0;
+  double d1 = 0.0;
+  double d2 = 0.0;
+};
+
+/// Result of verifying one block against its maintained checksums.
+struct BlockCheckResult {
+  std::vector<ColDelta> col_deltas;
+  std::vector<RowDelta> row_deltas;
+  bool col_checked = false;
+  bool row_checked = false;
+
+  [[nodiscard]] bool clean() const noexcept {
+    return col_deltas.empty() && row_deltas.empty();
+  }
+};
+
+/// Verifies `block` against its maintained column checksum `col_cs`
+/// (2×w). Flags every column whose recomputed checksum deviates beyond
+/// the tolerance.
+BlockCheckResult verify_col(ConstViewD block, ConstViewD col_cs, const Tolerance& tol,
+                            Encoder encoder = Encoder::FusedTiled);
+
+/// Verifies against the maintained row checksum `row_cs` (h×2).
+BlockCheckResult verify_row(ConstViewD block, ConstViewD row_cs, const Tolerance& tol,
+                            Encoder encoder = Encoder::FusedTiled);
+
+/// Verifies both dimensions, merging the results.
+BlockCheckResult verify_full(ConstViewD block, ConstViewD col_cs, ConstViewD row_cs,
+                             const Tolerance& tol, Encoder encoder = Encoder::FusedTiled);
+
+/// Error-pattern classification (paper §VI / §VII.D): what the deltas of
+/// a single verification imply about the corruption.
+enum class ErrorPattern {
+  Clean,           ///< no mismatch
+  Single,          ///< one element, locatable by δ2/δ1 (0D)
+  MultiLocatable,  ///< several columns, each with one locatable element —
+                   ///< e.g. a 1D row streak; correctable column-by-column
+  ColStreak,       ///< several elements in one column (1D column
+                   ///< propagation); needs the orthogonal checksum
+  RowStreak,       ///< several elements in one row, diagnosed from row
+                   ///< checksums; needs the orthogonal checksum
+  TwoD,            ///< errors beyond one row/column — not ABFT-correctable
+};
+
+/// Diagnosis from a column-checksum verification alone.
+struct Diagnosis {
+  ErrorPattern pattern = ErrorPattern::Clean;
+  /// Single: the element. ColStreak: col valid. RowStreak: row valid.
+  index_t row = -1;
+  index_t col = -1;
+};
+
+/// Interprets column deltas: for each flagged column the ratio δ2/δ1
+/// locates a single corrupted row when it rounds to an integer in
+/// [1, h]; non-integral ratios indicate multiple errors in that column.
+Diagnosis diagnose_cols(const std::vector<ColDelta>& deltas, index_t block_height);
+
+/// Interprets row deltas symmetrically.
+Diagnosis diagnose_rows(const std::vector<RowDelta>& deltas, index_t block_width);
+
+/// Combines both dimensions into the final pattern (full checksum).
+Diagnosis diagnose_full(const BlockCheckResult& result, index_t block_height,
+                        index_t block_width);
+
+/// True when δ2/δ1 rounds to an integer index within [1, extent].
+bool ratio_locates(double d1, double d2, index_t extent, index_t& located_index);
+
+}  // namespace ftla::checksum

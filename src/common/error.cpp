@@ -1,0 +1,30 @@
+#include "common/error.hpp"
+
+#include <sstream>
+
+namespace ftla {
+
+namespace {
+
+std::string format_location(const std::source_location& loc) {
+  std::ostringstream oss;
+  oss << loc.file_name() << ":" << loc.line() << " (" << loc.function_name() << ")";
+  return oss.str();
+}
+
+}  // namespace
+
+FtlaError::FtlaError(const std::string& message, std::source_location loc)
+    : std::runtime_error(message + " [at " + format_location(loc) + "]"), loc_(loc) {}
+
+namespace detail {
+
+void throw_check_failure(const char* expr, const std::string& message,
+                         std::source_location loc) {
+  std::ostringstream oss;
+  oss << "FTLA_CHECK failed: (" << expr << ") — " << message;
+  throw FtlaError(oss.str(), loc);
+}
+
+}  // namespace detail
+}  // namespace ftla

@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file error.hpp
+/// Error handling for FT-LA.
+///
+/// Programmer errors (bad dimensions, out-of-range indices) throw
+/// FtlaError. Detected-but-expected runtime conditions (a checksum
+/// mismatch, a fault classified as unrecoverable) are reported through
+/// status values in the relevant module, never through exceptions: faults
+/// are the domain of this library, not exceptional conditions.
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace ftla {
+
+/// Exception thrown on precondition violations and unrecoverable internal
+/// logic errors. Carries the throw site for diagnostics.
+class FtlaError : public std::runtime_error {
+ public:
+  explicit FtlaError(const std::string& message,
+                     std::source_location loc = std::source_location::current());
+
+  [[nodiscard]] const std::source_location& where() const noexcept { return loc_; }
+
+ private:
+  std::source_location loc_;
+};
+
+namespace detail {
+[[noreturn]] void throw_check_failure(const char* expr, const std::string& message,
+                                      std::source_location loc);
+}  // namespace detail
+
+/// Precondition check: throws FtlaError when `expr` is false.
+/// Kept as a macro so the failing expression text reaches the message.
+#define FTLA_CHECK(expr, message)                                            \
+  do {                                                                       \
+    if (!(expr)) {                                                           \
+      ::ftla::detail::throw_check_failure(#expr, (message),                  \
+                                          std::source_location::current());  \
+    }                                                                        \
+  } while (false)
+
+}  // namespace ftla

@@ -1,0 +1,32 @@
+#include "common/logging.hpp"
+
+#include <cstdio>
+
+namespace ftla {
+
+namespace {
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO ";
+    case LogLevel::Warn: return "WARN ";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF  ";
+  }
+  return "?????";
+}
+
+}  // namespace
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::log(LogLevel level, const std::string& message) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::fprintf(stderr, "[ftla %s] %s\n", level_name(level), message.c_str());
+}
+
+}  // namespace ftla

@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file logging.hpp
+/// Minimal leveled logger. Thread-safe; writes to stderr. Default level is
+/// Warn so that library internals stay quiet in tests and benchmarks;
+/// examples and campaign runners raise it to Info/Debug.
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace ftla {
+
+enum class LogLevel : int { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Global logger singleton.
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) noexcept { level_ = level; }
+  [[nodiscard]] LogLevel level() const noexcept { return level_; }
+
+  /// Emit a message at `level` if enabled. Lines are atomic per call.
+  void log(LogLevel level, const std::string& message);
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::Warn;
+  std::mutex mutex_;
+};
+
+namespace detail {
+
+template <typename... Args>
+std::string concat(Args&&... args) {
+  std::ostringstream oss;
+  (oss << ... << std::forward<Args>(args));
+  return oss.str();
+}
+
+}  // namespace detail
+
+template <typename... Args>
+void log_debug(Args&&... args) {
+  auto& lg = Logger::instance();
+  if (lg.level() <= LogLevel::Debug) lg.log(LogLevel::Debug, detail::concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void log_info(Args&&... args) {
+  auto& lg = Logger::instance();
+  if (lg.level() <= LogLevel::Info) lg.log(LogLevel::Info, detail::concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void log_warn(Args&&... args) {
+  auto& lg = Logger::instance();
+  if (lg.level() <= LogLevel::Warn) lg.log(LogLevel::Warn, detail::concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void log_error(Args&&... args) {
+  auto& lg = Logger::instance();
+  if (lg.level() <= LogLevel::Error) lg.log(LogLevel::Error, detail::concat(std::forward<Args>(args)...));
+}
+
+}  // namespace ftla

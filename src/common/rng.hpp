@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file rng.hpp
+/// Deterministic pseudo-random number generation.
+///
+/// Fault-injection campaigns and matrix generators must be reproducible
+/// bit-for-bit across runs and across thread counts, so we ship our own
+/// small generators (std::mt19937 distributions are not guaranteed
+/// identical across standard libraries).
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace ftla {
+
+/// SplitMix64: used to seed Xoshiro and for cheap hashing of coordinates.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  std::uint64_t next() noexcept;
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 (Blackman & Vigna). High-quality, tiny state, fully
+/// deterministic across platforms.
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(std::uint64_t seed) noexcept;
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64() noexcept;
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+
+  /// Standard normal via Box-Muller (deterministic, no cached state skew).
+  double normal() noexcept;
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t bounded(std::uint64_t bound) noexcept;
+
+  /// Uniform index in [0, n).
+  index_t index(index_t n) noexcept;
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace ftla

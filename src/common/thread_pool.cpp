@@ -1,0 +1,127 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+#include "common/error.hpp"
+
+namespace ftla {
+
+ThreadPool::ThreadPool(unsigned num_threads) {
+  if (num_threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    num_threads = hw > 1 ? hw - 1 : 1;
+  }
+  workers_.reserve(num_threads);
+  for (unsigned i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_task_.notify_all();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    FTLA_CHECK(!stop_, "submit() on a stopped pool");
+    queue_.push_back(std::move(task));
+  }
+  cv_task_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_task_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --active_;
+      if (queue_.empty() && active_ == 0) cv_idle_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(index_t begin, index_t end,
+                              const std::function<void(index_t)>& body) {
+  parallel_for_chunked(begin, end, [&body](index_t lo, index_t hi) {
+    for (index_t i = lo; i < hi; ++i) body(i);
+  });
+}
+
+void ThreadPool::parallel_for_chunked(index_t begin, index_t end,
+                                      const std::function<void(index_t, index_t)>& body) {
+  const index_t n = end - begin;
+  if (n <= 0) return;
+  const index_t parts = std::min<index_t>(n, static_cast<index_t>(num_threads()) + 1);
+  if (parts <= 1) {
+    body(begin, end);
+    return;
+  }
+
+  std::atomic<index_t> remaining(parts - 1);
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+
+  const index_t chunk = (n + parts - 1) / parts;
+  // Dispatch parts 1..parts-1 to the pool; part 0 runs on this thread.
+  for (index_t p = 1; p < parts; ++p) {
+    const index_t lo = begin + p * chunk;
+    const index_t hi = std::min(end, lo + chunk);
+    submit([&, lo, hi] {
+      try {
+        if (lo < hi) body(lo, hi);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+      if (remaining.fetch_sub(1) == 1) {
+        std::lock_guard<std::mutex> lock(done_mutex);
+        done_cv.notify_all();
+      }
+    });
+  }
+
+  try {
+    body(begin, std::min(end, begin + chunk));
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(error_mutex);
+    if (!first_error) first_error = std::current_exception();
+  }
+
+  std::unique_lock<std::mutex> lock(done_mutex);
+  done_cv.wait(lock, [&] { return remaining.load() == 0; });
+
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace ftla

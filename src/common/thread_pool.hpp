@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file thread_pool.hpp
+/// Fixed-size worker pool with a blocking parallel_for. This is the
+/// execution engine behind both the simulated GPU devices and the
+/// multithreaded BLAS level-3 kernels.
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace ftla {
+
+/// A classic task-queue thread pool. Tasks are std::function<void()>;
+/// submit() never blocks, wait_idle() blocks until the queue drains and
+/// all workers are idle. parallel_for partitions [begin, end) into
+/// contiguous chunks executed across the pool plus the calling thread.
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers. 0 means hardware_concurrency - 1
+  /// (the calling thread participates in parallel_for).
+  explicit ThreadPool(unsigned num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task for asynchronous execution.
+  void submit(std::function<void()> task);
+
+  /// Block until all submitted tasks have completed.
+  void wait_idle();
+
+  /// Run body(i) for every i in [begin, end), partitioned over the pool
+  /// and the calling thread. Blocks until all iterations finish.
+  /// Exceptions thrown by `body` are rethrown on the calling thread
+  /// (first one wins).
+  void parallel_for(index_t begin, index_t end, const std::function<void(index_t)>& body);
+
+  /// Same but the body receives a contiguous [chunk_begin, chunk_end).
+  void parallel_for_chunked(index_t begin, index_t end,
+                            const std::function<void(index_t, index_t)>& body);
+
+  [[nodiscard]] unsigned num_threads() const noexcept {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// Process-wide default pool (lazily constructed).
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  unsigned active_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace ftla

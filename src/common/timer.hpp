@@ -1,0 +1,69 @@
+#pragma once
+
+/// \file timer.hpp
+/// Wall-clock timing utilities used by the benchmark harness and the
+/// recovery-overhead instrumentation.
+
+#include <chrono>
+
+namespace ftla {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() noexcept { reset(); }
+
+  void reset() noexcept { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double milliseconds() const noexcept { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates time across disjoint intervals (e.g. total verification
+/// time over a whole decomposition).
+class AccumulatingTimer {
+ public:
+  void start() noexcept { timer_.reset(); running_ = true; }
+
+  void stop() noexcept {
+    if (running_) {
+      total_ += timer_.seconds();
+      running_ = false;
+    }
+  }
+
+  void add(double seconds) noexcept { total_ += seconds; }
+
+  [[nodiscard]] double total_seconds() const noexcept { return total_; }
+
+  void reset() noexcept { total_ = 0.0; running_ = false; }
+
+ private:
+  WallTimer timer_;
+  double total_ = 0.0;
+  bool running_ = false;
+};
+
+/// RAII guard that charges the enclosed scope to an AccumulatingTimer.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(AccumulatingTimer& target) noexcept : target_(target) { timer_.reset(); }
+  ~ScopedTimer() { target_.add(timer_.seconds()); }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  AccumulatingTimer& target_;
+  WallTimer timer_;
+};
+
+}  // namespace ftla

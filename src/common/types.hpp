@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file types.hpp
+/// Fundamental aliases shared across the FT-LA library.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ftla {
+
+/// Index type used for matrix dimensions and loops. Signed, following the
+/// C++ Core Guidelines (ES.100-107): subtraction of indices must not wrap.
+using index_t = std::int64_t;
+
+/// Raw byte count.
+using byte_size_t = std::uint64_t;
+
+/// Identifies a simulated device (0 = CPU host, 1..N = accelerators).
+using device_id_t = int;
+
+/// Block coordinates within a blocked matrix (block row, block column).
+struct BlockCoord {
+  index_t br = 0;
+  index_t bc = 0;
+
+  friend bool operator==(const BlockCoord&, const BlockCoord&) = default;
+};
+
+/// Element coordinates within a matrix (row, column).
+struct ElemCoord {
+  index_t row = 0;
+  index_t col = 0;
+
+  friend bool operator==(const ElemCoord&, const ElemCoord&) = default;
+};
+
+}  // namespace ftla

@@ -1,0 +1,50 @@
+#include "core/baseline.hpp"
+
+#include "common/error.hpp"
+#include "lapack/lapack.hpp"
+
+namespace ftla::core {
+
+namespace {
+
+FtOptions plain_options(index_t nb, int ngpu) {
+  FtOptions opts;
+  opts.nb = nb;
+  opts.ngpu = ngpu;
+  opts.checksum = ChecksumKind::None;
+  return opts;
+}
+
+}  // namespace
+
+FtOutput baseline_cholesky(ConstViewD a, index_t nb, int ngpu) {
+  return ft_cholesky(a, plain_options(nb, ngpu));
+}
+
+FtOutput baseline_lu(ConstViewD a, index_t nb, int ngpu) {
+  return ft_lu(a, plain_options(nb, ngpu));
+}
+
+FtOutput baseline_qr(ConstViewD a, index_t nb, int ngpu) {
+  return ft_qr(a, plain_options(nb, ngpu));
+}
+
+MatD host_cholesky(ConstViewD a, index_t nb) {
+  MatD l(a);
+  FTLA_CHECK(lapack::potrf(l.view(), nb) == 0, "host_cholesky: not positive definite");
+  return l;
+}
+
+MatD host_lu_nopiv(ConstViewD a, index_t nb) {
+  MatD lu(a);
+  FTLA_CHECK(lapack::getrf_nopiv(lu.view(), nb) == 0, "host_lu_nopiv: zero pivot");
+  return lu;
+}
+
+MatD host_qr(ConstViewD a, index_t nb, std::vector<double>& tau) {
+  MatD f(a);
+  lapack::geqrf(f.view(), nb, tau);
+  return f;
+}
+
+}  // namespace ftla::core

@@ -1,0 +1,24 @@
+#pragma once
+
+/// \file baseline.hpp
+/// Non-fault-tolerant baselines: the same MAGMA-style distributed
+/// drivers with every checksum/verification turned off (the "original
+/// decomposition" bar of Figs 13-15), plus host-only single-threaded
+/// references used as ground truth in tests.
+
+#include "core/ft_driver.hpp"
+
+namespace ftla::core {
+
+/// Plain distributed Cholesky/LU/QR (ChecksumKind::None).
+FtOutput baseline_cholesky(ConstViewD a, index_t nb, int ngpu);
+FtOutput baseline_lu(ConstViewD a, index_t nb, int ngpu);
+FtOutput baseline_qr(ConstViewD a, index_t nb, int ngpu);
+
+/// Host-only references (lapack substrate, no simulated system).
+MatD host_cholesky(ConstViewD a, index_t nb);
+MatD host_lu_nopiv(ConstViewD a, index_t nb);
+/// Returns the factored V\R panel matrix; tau returned through `tau`.
+MatD host_qr(ConstViewD a, index_t nb, std::vector<double>& tau);
+
+}  // namespace ftla::core

@@ -1,0 +1,138 @@
+#include "core/campaign.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "matrix/compare.hpp"
+#include "matrix/generate.hpp"
+#include "matrix/norms.hpp"
+
+namespace ftla::core {
+
+const char* to_string(Decomp d) {
+  switch (d) {
+    case Decomp::Cholesky: return "cholesky";
+    case Decomp::Lu: return "lu";
+    case Decomp::Qr: return "qr";
+  }
+  return "?";
+}
+
+const char* to_string(Outcome o) {
+  switch (o) {
+    case Outcome::NoImpact: return "no-impact";
+    case Outcome::CorrectedAbft: return "corrected";
+    case Outcome::CorrectedRestart: return "corrected+restart";
+    case Outcome::DetectedUnrecoverable: return "detected-unrecoverable";
+    case Outcome::WrongResult: return "WRONG-RESULT";
+    case Outcome::FaultNotTriggered: return "not-triggered";
+  }
+  return "?";
+}
+
+std::string CampaignResult::summary() const {
+  std::ostringstream oss;
+  oss << to_string(outcome);
+  if (!injections.empty()) {
+    oss << " [" << fault::describe(injections.front().spec) << " at ("
+        << injections.front().global.row << "," << injections.front().global.col << ")]";
+  }
+  oss << " overhead=" << recovery_overhead * 100.0 << "%";
+  return oss.str();
+}
+
+Campaign::Campaign(CampaignConfig config) : config_(std::move(config)) {
+  switch (config_.decomp) {
+    case Decomp::Cholesky:
+      input_ = random_spd(config_.n, config_.matrix_seed);
+      break;
+    case Decomp::Lu:
+      input_ = random_diag_dominant(config_.n, config_.matrix_seed);
+      break;
+    case Decomp::Qr:
+      input_ = random_general(config_.n, config_.n, config_.matrix_seed);
+      break;
+  }
+}
+
+FtOutput Campaign::execute(fault::FaultInjector* injector) {
+  switch (config_.decomp) {
+    case Decomp::Cholesky: return ft_cholesky(input_.const_view(), config_.opts, injector);
+    case Decomp::Lu: return ft_lu(input_.const_view(), config_.opts, injector);
+    case Decomp::Qr: return ft_qr(input_.const_view(), config_.opts, injector);
+  }
+  FTLA_CHECK(false, "unknown decomposition");
+  return {};
+}
+
+const FtOutput& Campaign::reference() {
+  if (!have_reference_) {
+    reference_ = execute(nullptr);
+    FTLA_CHECK(reference_.ok(), "campaign reference run failed");
+    have_reference_ = true;
+  }
+  return reference_;
+}
+
+double Campaign::clean_seconds() { return reference().stats.total_seconds; }
+
+CampaignResult Campaign::run(const fault::FaultSpec& spec) {
+  return run(std::vector<fault::FaultSpec>{spec});
+}
+
+CampaignResult Campaign::run(const std::vector<fault::FaultSpec>& specs) {
+  const FtOutput& ref = reference();
+
+  fault::FaultInjector injector;
+  for (const auto& spec : specs) injector.schedule(spec);
+  FtOutput out = execute(&injector);
+
+  CampaignResult result;
+  result.stats = out.stats;
+  result.injections = injector.records();
+  const double clean = ref.stats.total_seconds;
+  result.recovery_overhead =
+      clean > 0 ? (out.stats.total_seconds - clean) / clean : 0.0;
+
+  if (!injector.all_fired()) {
+    result.outcome = Outcome::FaultNotTriggered;
+    return result;
+  }
+
+  if (out.stats.status != RunStatus::Success) {
+    result.outcome = Outcome::DetectedUnrecoverable;
+    return result;
+  }
+
+  if (config_.decomp == Decomp::Cholesky) {
+    // Only the lower triangle is the Cholesky output; the upper triangle
+    // holds untouched input values (and possibly harmless corruption).
+    double worst = 0.0;
+    for (index_t j = 0; j < config_.n; ++j)
+      for (index_t i = j; i < config_.n; ++i)
+        worst = std::max(worst, std::abs(out.factors(i, j) - ref.factors(i, j)));
+    result.factor_max_diff = worst;
+  } else {
+    result.factor_max_diff =
+        max_abs_diff(out.factors.const_view(), ref.factors.const_view());
+  }
+  const double threshold =
+      config_.result_tol * (1.0 + max_abs(ref.factors.const_view()));
+  if (result.factor_max_diff > threshold) {
+    result.outcome = Outcome::WrongResult;
+    return result;
+  }
+
+  const auto& st = out.stats;
+  if (st.local_restarts > ref.stats.local_restarts) {
+    result.outcome = Outcome::CorrectedRestart;
+  } else if (st.corrected_0d > 0 || st.corrected_1d > 0 || st.comm_errors_corrected > 0) {
+    result.outcome = Outcome::CorrectedAbft;
+  } else {
+    result.outcome = Outcome::NoImpact;
+  }
+  return result;
+}
+
+}  // namespace ftla::core

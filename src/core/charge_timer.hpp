@@ -1,0 +1,25 @@
+#pragma once
+
+/// \file charge_timer.hpp
+/// RAII timer that charges the enclosed scope to a double field (e.g. a
+/// member of FtStats). Each GPU's work charges its own FtStats copy, so
+/// no synchronization is needed.
+
+#include "common/timer.hpp"
+
+namespace ftla::core {
+
+class ChargeTimer {
+ public:
+  explicit ChargeTimer(double* target) noexcept : target_(target) {}
+  ~ChargeTimer() { *target_ += timer_.seconds(); }
+
+  ChargeTimer(const ChargeTimer&) = delete;
+  ChargeTimer& operator=(const ChargeTimer&) = delete;
+
+ private:
+  double* target_;
+  WallTimer timer_;
+};
+
+}  // namespace ftla::core

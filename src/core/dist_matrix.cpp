@@ -1,0 +1,95 @@
+#include "core/dist_matrix.hpp"
+
+#include "common/error.hpp"
+
+namespace ftla::core {
+
+DistMatrix::DistMatrix(sim::HeterogeneousSystem& sys, index_t n, index_t nb,
+                       ChecksumKind kind, SingleSideDim ss_dim)
+    : sys_(sys), n_(n), nb_(nb), b_(n / nb), kind_(kind), ss_dim_(ss_dim),
+      dist_(n / nb, sys.ngpu()) {
+  FTLA_CHECK(n > 0 && nb > 0 && n % nb == 0, "n must be a positive multiple of nb");
+  shards_.resize(static_cast<std::size_t>(sys.ngpu()));
+  for (int g = 0; g < sys.ngpu(); ++g) {
+    const index_t lbc = dist_.local_count(g);
+    auto& shard = shards_[static_cast<std::size_t>(g)];
+    if (lbc == 0) continue;
+    shard.data = &sys.gpu(g).alloc(n_, lbc * nb_);
+    if (has_col_cs()) shard.col_cs = &sys.gpu(g).alloc(2 * b_, lbc * nb_);
+    if (has_row_cs()) shard.row_cs = &sys.gpu(g).alloc(n_, 2 * lbc);
+  }
+}
+
+ViewD DistMatrix::block(index_t br, index_t bc) {
+  auto& shard = shards_[static_cast<std::size_t>(owner(bc))];
+  return shard.data->block(br * nb_, local_col(bc), nb_, nb_);
+}
+
+ViewD DistMatrix::col_panel(index_t bc, index_t br0) {
+  auto& shard = shards_[static_cast<std::size_t>(owner(bc))];
+  return shard.data->block(br0 * nb_, local_col(bc), n_ - br0 * nb_, nb_);
+}
+
+ViewD DistMatrix::col_cs(index_t br, index_t bc) {
+  auto& shard = shards_[static_cast<std::size_t>(owner(bc))];
+  FTLA_CHECK(shard.col_cs != nullptr, "column checksums not maintained");
+  return shard.col_cs->block(2 * br, local_col(bc), 2, nb_);
+}
+
+ViewD DistMatrix::col_cs_panel(index_t bc, index_t br0) {
+  auto& shard = shards_[static_cast<std::size_t>(owner(bc))];
+  FTLA_CHECK(shard.col_cs != nullptr, "column checksums not maintained");
+  return shard.col_cs->block(2 * br0, local_col(bc), 2 * (b_ - br0), nb_);
+}
+
+ViewD DistMatrix::row_cs(index_t br, index_t bc) {
+  auto& shard = shards_[static_cast<std::size_t>(owner(bc))];
+  FTLA_CHECK(shard.row_cs != nullptr, "row checksums not maintained");
+  return shard.row_cs->block(br * nb_, 2 * dist_.local_index(bc), nb_, 2);
+}
+
+ViewD DistMatrix::row_cs_panel(index_t bc, index_t br0) {
+  auto& shard = shards_[static_cast<std::size_t>(owner(bc))];
+  FTLA_CHECK(shard.row_cs != nullptr, "row checksums not maintained");
+  return shard.row_cs->block(br0 * nb_, 2 * dist_.local_index(bc), (b_ - br0) * nb_, 2);
+}
+
+void DistMatrix::scatter(ConstViewD host) {
+  FTLA_CHECK(host.rows() == n_ && host.cols() == n_, "scatter shape mismatch");
+  for (index_t bc = 0; bc < b_; ++bc) {
+    const int g = owner(bc);
+    auto& shard = shards_[static_cast<std::size_t>(g)];
+    sys_.h2d(host.block(0, bc * nb_, n_, nb_),
+             shard.data->block(0, local_col(bc), n_, nb_), g);
+  }
+}
+
+void DistMatrix::gather(ViewD host) {
+  FTLA_CHECK(host.rows() == n_ && host.cols() == n_, "gather shape mismatch");
+  for (index_t bc = 0; bc < b_; ++bc) {
+    const int g = owner(bc);
+    auto& shard = shards_[static_cast<std::size_t>(g)];
+    sys_.d2h(shard.data->block(0, local_col(bc), n_, nb_).as_const(),
+             host.block(0, bc * nb_, n_, nb_), g);
+  }
+}
+
+void DistMatrix::encode_all(checksum::Encoder encoder, bool lower_only) {
+  if (kind_ == ChecksumKind::None) return;
+  sys_.parallel_over_gpus([&](int g) {
+    for (index_t bc : dist_.owned_from(g, 0)) {
+      for (index_t br = lower_only ? bc : 0; br < b_; ++br) {
+        encode_block(br, bc, encoder);
+      }
+    }
+  });
+}
+
+void DistMatrix::encode_block(index_t br, index_t bc, checksum::Encoder encoder) {
+  if (kind_ == ChecksumKind::None) return;
+  const auto blk = block(br, bc);
+  if (has_col_cs()) checksum::encode_col(blk.as_const(), col_cs(br, bc), encoder);
+  if (has_row_cs()) checksum::encode_row(blk.as_const(), row_cs(br, bc), encoder);
+}
+
+}  // namespace ftla::core

@@ -1,0 +1,111 @@
+#pragma once
+
+/// \file dist_matrix.hpp
+/// The checksummed matrix distributed across simulated GPUs.
+///
+/// Layout follows MAGMA's multi-GPU one-sided factorizations: global
+/// block-column bc lives on GPU (bc mod ngpu) as a contiguous strip of
+/// the GPU's local storage. Checksums live next to their data on the
+/// owning GPU:
+///   column checksums — per block, rows [2·br, 2·br+1] of the local
+///     (2·b × local_cols) strip;
+///   row checksums — per block, columns [2·lc, 2·lc+1] of the local
+///     (n × 2·local_bc) strip.
+/// All views returned by block()/col_cs()/row_cs() alias device memory;
+/// only the owning GPU's work (or a PcieLink transfer) may touch them.
+
+#include "checksum/encode.hpp"
+#include "core/options.hpp"
+#include "matrix/block.hpp"
+#include "sim/distribution.hpp"
+#include "sim/system.hpp"
+
+namespace ftla::core {
+
+using ftla::ConstViewD;
+using ftla::MatD;
+using ftla::ViewD;
+
+/// Which dimension a single-side layout maintains: prior work keeps
+/// column checksums for Cholesky/LU [11,12,32] but row checksums for QR
+/// [31] (they protect R).
+enum class SingleSideDim { Col, Row };
+
+class DistMatrix {
+ public:
+  /// Distributes an n×n matrix blocked by nb over sys.ngpu() GPUs.
+  /// n must be a multiple of nb (the paper rounds likewise, §X.D).
+  DistMatrix(sim::HeterogeneousSystem& sys, index_t n, index_t nb, ChecksumKind kind,
+             SingleSideDim ss_dim = SingleSideDim::Col);
+
+  [[nodiscard]] index_t n() const noexcept { return n_; }
+  [[nodiscard]] index_t nb() const noexcept { return nb_; }
+  [[nodiscard]] index_t num_blocks() const noexcept { return b_; }
+  [[nodiscard]] ChecksumKind checksum_kind() const noexcept { return kind_; }
+  [[nodiscard]] bool has_col_cs() const noexcept {
+    return kind_ == ChecksumKind::Full ||
+           (kind_ == ChecksumKind::SingleSide && ss_dim_ == SingleSideDim::Col);
+  }
+  [[nodiscard]] bool has_row_cs() const noexcept {
+    return kind_ == ChecksumKind::Full ||
+           (kind_ == ChecksumKind::SingleSide && ss_dim_ == SingleSideDim::Row);
+  }
+  [[nodiscard]] const sim::BlockCyclic1D& dist() const noexcept { return dist_; }
+  [[nodiscard]] sim::HeterogeneousSystem& system() noexcept { return sys_; }
+
+  [[nodiscard]] int owner(index_t bc) const noexcept { return dist_.owner(bc); }
+
+  /// Device-resident nb×nb block (br, bc).
+  [[nodiscard]] ViewD block(index_t br, index_t bc);
+
+  /// Device-resident column strip: rows [br0·nb, n) of block-column bc.
+  [[nodiscard]] ViewD col_panel(index_t bc, index_t br0);
+
+  /// 2×nb column checksum of block (br, bc), on the owner.
+  [[nodiscard]] ViewD col_cs(index_t br, index_t bc);
+
+  /// Column-checksum strip covering blocks (br0.., bc): (2·(b-br0))×nb.
+  [[nodiscard]] ViewD col_cs_panel(index_t bc, index_t br0);
+
+  /// nb×2 row checksum of block (br, bc), on the owner.
+  [[nodiscard]] ViewD row_cs(index_t br, index_t bc);
+
+  /// Row-checksum strip covering blocks (br0.., bc): ((b-br0)·nb)×2.
+  [[nodiscard]] ViewD row_cs_panel(index_t bc, index_t br0);
+
+  /// Scatters a host matrix over PCIe onto the GPUs.
+  void scatter(ConstViewD host);
+
+  /// Gathers the distributed matrix back to a host view over PCIe.
+  void gather(ViewD host);
+
+  /// Encodes every maintained checksum from the current contents,
+  /// running on all GPUs in parallel. `lower_only` restricts encoding to
+  /// blocks with br >= bc (Cholesky touches only the lower triangle).
+  void encode_all(checksum::Encoder encoder, bool lower_only = false);
+
+  /// Re-encodes the checksums of one block after a repair.
+  void encode_block(index_t br, index_t bc, checksum::Encoder encoder);
+
+ private:
+  struct Shard {
+    MatD* data = nullptr;    // n × (local_bc·nb)
+    MatD* col_cs = nullptr;  // 2b × (local_bc·nb)
+    MatD* row_cs = nullptr;  // n × (2·local_bc)
+  };
+
+  [[nodiscard]] index_t local_col(index_t bc) const noexcept {
+    return dist_.local_index(bc) * nb_;
+  }
+
+  sim::HeterogeneousSystem& sys_;
+  index_t n_;
+  index_t nb_;
+  index_t b_;
+  ChecksumKind kind_;
+  SingleSideDim ss_dim_ = SingleSideDim::Col;
+  sim::BlockCyclic1D dist_;
+  std::vector<Shard> shards_;
+};
+
+}  // namespace ftla::core

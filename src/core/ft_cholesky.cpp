@@ -1,0 +1,628 @@
+#include <atomic>
+#include <cmath>
+
+#include "blas/blas.hpp"
+#include "checksum/correct.hpp"
+#include "common/error.hpp"
+#include "core/charge_timer.hpp"
+#include "core/ft_driver.hpp"
+#include "core/panel_ft.hpp"
+#include "core/recovery.hpp"
+#include "lapack/lapack.hpp"
+
+namespace ftla::core {
+
+namespace {
+
+using blas::Diag;
+using blas::Side;
+using blas::Trans;
+using blas::Uplo;
+using fault::OpKind;
+using fault::OpSite;
+using fault::Part;
+
+/// Fault-tolerant lower Cholesky on the simulated heterogeneous system
+/// (paper Table II, full-checksum column; Fig 2 for the transposed-panel
+/// checksum trick in TMU).
+class CholeskyDriver {
+ public:
+  CholeskyDriver(ConstViewD a, const FtOptions& opts, fault::FaultInjector* inj)
+      : opts_(opts),
+        policy_(opts.policy()),
+        inj_(inj),
+        n_(a.rows()),
+        nb_(opts.nb),
+        b_(a.rows() / opts.nb),
+        sys_(opts.ngpu),
+        a_dist_(sys_, n_, nb_, opts.checksum),
+        host_in_(a) {
+    FTLA_CHECK(a.rows() == a.cols(), "ft_cholesky: matrix must be square");
+    tol_.slack = opts.tol_slack;
+    tol_.context = static_cast<double>(n_);
+
+    diag_h_ = &sys_.cpu().alloc(nb_, nb_);
+    diag_snapshot_ = &sys_.cpu().alloc(nb_, nb_);
+    if (has_cs()) {
+      diag_cs_h_ = &sys_.cpu().alloc(2, nb_);
+      diag_cs_snapshot_ = &sys_.cpu().alloc(2, nb_);
+    }
+    for (int g = 0; g < sys_.ngpu(); ++g) {
+      panel_d_.push_back(&sys_.gpu(g).alloc(n_, nb_));
+      if (has_cs()) {
+        panel_cs_d_.push_back(&sys_.gpu(g).alloc(2 * b_, nb_));
+        bcast_cs_d_.push_back(&sys_.gpu(g).alloc(2 * b_, nb_));
+      }
+    }
+    gpu_stats_.resize(static_cast<std::size_t>(sys_.ngpu()));
+  }
+
+  FtOutput run() {
+    WallTimer total;
+    FtOutput out;
+    out.factors = MatD(n_, n_);
+
+    a_dist_.scatter(host_in_);
+    if (has_cs()) {
+      ChargeTimer t(&stats_.encode_seconds);
+      // Cholesky references only the lower triangle: encode half the
+      // matrix (paper §IX.A.1).
+      a_dist_.encode_all(opts_.encoder, /*lower_only=*/true);
+    }
+
+    for (index_t k = 0; k < b_ && !fatal(); ++k) {
+      iteration(k);
+    }
+
+    merge_gpu_stats();
+    a_dist_.gather(out.factors.view());
+    stats_.comm_modeled_seconds = sys_.link().stats().modeled_seconds;
+    stats_.total_seconds = total.seconds();
+    out.stats = stats_;
+    return out;
+  }
+
+ private:
+  [[nodiscard]] bool has_cs() const { return opts_.checksum != ChecksumKind::None; }
+  [[nodiscard]] bool has_rcs() const { return opts_.checksum == ChecksumKind::Full; }
+  [[nodiscard]] bool fatal() const { return stats_.status != RunStatus::Success; }
+  void fail(RunStatus status) {
+    if (stats_.status == RunStatus::Success) stats_.status = status;
+  }
+
+  RepairContext repair_ctx(FtStats& st) {
+    RepairContext rc;
+    rc.tol = tol_;
+    rc.encoder = opts_.encoder;
+    rc.stats = &st;
+    return rc;
+  }
+
+  [[nodiscard]] double panel_threshold() const {
+    return tol_.slack * checksum::unit_roundoff() * static_cast<double>(n_);
+  }
+
+  void merge_gpu_stats() {
+    for (auto& gs : gpu_stats_) {
+      stats_.merge(gs);
+      gs = FtStats{};
+    }
+  }
+
+  void iteration(index_t k) {
+    const int own = a_dist_.owner(k);
+    const OpSite pd{k, OpKind::PD};
+    const ElemCoord diag_org{k * nb_, k * nb_};
+
+    // -- fetch the diagonal block to the CPU ----------------------------
+    ViewD d = diag_h_->view();
+    ViewD dcs = has_cs() ? diag_cs_h_->view() : ViewD{};
+    sys_.d2h(a_dist_.block(k, k).as_const(), d, own);
+    if (has_cs()) sys_.d2h(a_dist_.col_cs(k, k).as_const(), dcs, own);
+    if (inj_) inj_->post_transfer(pd, -1, d, diag_org, {k, k});
+
+    // -- pre-PD check (heuristic deferred TMU check included) ----------
+    if (inj_) inj_->pre_verify(pd, Part::Reference, d, diag_org, {k, k});
+    if ((policy_.check_before_pd || policy_.heuristic_tmu) && has_cs()) {
+      ChargeTimer t(&stats_.verify_seconds);
+      // Fetch the row checksum too (full layout) so 1D repairs work.
+      MatD drcs;
+      if (has_rcs()) {
+        drcs = MatD(nb_, 2);
+        sys_.d2h(a_dist_.row_cs(k, k).as_const(), drcs.view(), own);
+      }
+      auto rc = repair_ctx(stats_);
+      const auto outcome =
+          verify_and_repair(d, dcs, has_rcs() ? drcs.view() : ViewD{}, rc);
+      ++stats_.verifications_pd_before;
+      if (outcome == RepairOutcome::Uncorrectable) {
+        fail(RunStatus::NeedCompleteRestart);
+        return;
+      }
+    }
+
+    // -- PD (potrf of the diagonal block) with local-restart loop -------
+    copy_view(d.as_const(), diag_snapshot_->view());
+    if (has_cs()) copy_view(dcs.as_const(), diag_cs_snapshot_->view());
+
+    for (int attempt = 0;; ++attempt) {
+      if (attempt > opts_.max_local_restarts) {
+        fail(RunStatus::NeedCompleteRestart);
+        return;
+      }
+      if (attempt > 0) {
+        ChargeTimer t(&stats_.recovery_seconds);
+        copy_view(diag_snapshot_->view().as_const(), d);
+        if (has_cs()) copy_view(diag_cs_snapshot_->view().as_const(), dcs);
+        ++stats_.local_restarts;
+      }
+
+      if (inj_) {
+        inj_->pre_compute(pd, Part::Update, d, diag_org, {k, k});
+        inj_->pre_compute(pd, Part::Reference, d, diag_org, {k, k});
+      }
+      index_t info;
+      if (has_cs()) {
+        info = chol_diag_ft(d, dcs);
+      } else {
+        info = lapack::potrf2(d);
+      }
+      if (info != 0) {
+        fail(RunStatus::NumericalFailure);
+        return;
+      }
+      if (inj_) inj_->post_compute(pd, d, diag_org, {k, k});
+
+      if ((policy_.check_after_pd || policy_.check_after_pd_broadcast) && has_cs()) {
+        // The diagonal block goes only to the owner (PU runs there), so
+        // the post-PD and post-broadcast checks coincide; both verify
+        // the factored block against the derived c(L11).
+        ChargeTimer t(&stats_.verify_seconds);
+        const double mis = chol_diag_verify(d.as_const(), dcs.as_const());
+        ++stats_.verifications_pd_after;
+        ++stats_.blocks_verified;
+        if (mis > panel_threshold()) {
+          ++stats_.errors_detected;
+          continue;  // local restart
+        }
+      }
+      break;
+    }
+
+    // -- send the factored diagonal block to the owner ------------------
+    sys_.h2d(d.as_const(), a_dist_.block(k, k), own);
+    if (has_cs()) sys_.h2d(dcs.as_const(), a_dist_.col_cs(k, k), own);
+    if (inj_) {
+      inj_->post_transfer(OpSite{k, OpKind::BroadcastH2D}, own, a_dist_.block(k, k),
+                          diag_org, {k, k});
+    }
+    // The owner also stages it at the top of its panel workspace.
+    {
+      auto& pan = *panel_d_[static_cast<std::size_t>(own)];
+      copy_view(a_dist_.block(k, k).as_const(), pan.block(0, 0, nb_, nb_));
+      if (has_cs()) {
+        copy_view(a_dist_.col_cs(k, k).as_const(),
+                  panel_cs_d_[static_cast<std::size_t>(own)]->block(0, 0, 2, nb_));
+      }
+    }
+
+    if (k + 1 == b_) return;
+
+    if (!panel_update(k)) return;    // PU + D2D broadcast + voting
+    merge_gpu_stats();
+    if (fatal()) return;
+
+    trailing_update(k);
+    merge_gpu_stats();
+    if (fatal()) return;
+
+    if (policy_.heuristic_tmu && has_cs()) {
+      heuristic_check(k);
+      merge_gpu_stats();
+      if (fatal()) return;
+    }
+
+    if (opts_.periodic_trailing_check > 0 &&
+        (k + 1) % opts_.periodic_trailing_check == 0 && has_cs()) {
+      periodic_trailing_sweep(k);
+      merge_gpu_stats();
+    }
+  }
+
+  /// §VII.B extension: full trailing sweep (lower-triangle blocks).
+  void periodic_trailing_sweep(index_t k) {
+    std::atomic<bool> failed{false};
+    sys_.parallel_over_gpus([&](int g) {
+      auto& st = gpu_stats_[static_cast<std::size_t>(g)];
+      ChargeTimer t(&st.verify_seconds);
+      auto rc = repair_ctx(st);
+      for (index_t j : a_dist_.dist().owned_from(g, k + 1)) {
+        for (index_t i = j; i < b_; ++i) {
+          const auto outcome =
+              verify_and_repair(a_dist_.block(i, j), a_dist_.col_cs(i, j),
+                                has_rcs() ? a_dist_.row_cs(i, j) : ViewD{}, rc);
+          ++st.verifications_tmu_after;
+          if (outcome == RepairOutcome::Uncorrectable) failed = true;
+        }
+      }
+    });
+    if (failed) fail(RunStatus::NeedCompleteRestart);
+  }
+
+  /// PU: L21 ← A21·L11⁻ᵀ on the owner GPU, then the factored column
+  /// panel (with its checksums) is broadcast GPU→GPU; the new scheme
+  /// verifies at the receivers and votes (§VII.C).
+  bool panel_update(index_t k) {
+    const OpSite pu{k, OpKind::PU};
+    const int own = a_dist_.owner(k);
+    const index_t mp = n_ - (k + 1) * nb_;   // panel rows below the diagonal
+    const index_t nblk = b_ - k - 1;
+    const ElemCoord org{(k + 1) * nb_, k * nb_};
+
+    auto& own_pan = *panel_d_[static_cast<std::size_t>(own)];
+    ConstViewD l11 = own_pan.block(0, 0, nb_, nb_).as_const();
+    ViewD a21 = a_dist_.col_panel(k, k + 1);
+    ViewD cs21 = has_cs() ? a_dist_.col_cs_panel(k, k + 1) : ViewD{};
+
+    // Pre-PU check of the blocks to be updated (heuristic included).
+    if (inj_) {
+      for (index_t i = k + 1; i < b_; ++i) {
+        inj_->pre_verify(pu, Part::Update, a_dist_.block(i, k), {i * nb_, k * nb_},
+                         {i, k});
+      }
+    }
+    if ((policy_.check_before_pu || policy_.heuristic_tmu) && has_cs()) {
+      ChargeTimer t(&stats_.verify_seconds);
+      auto rc = repair_ctx(stats_);
+      for (index_t i = k + 1; i < b_; ++i) {
+        const auto outcome = verify_and_repair(
+            a_dist_.block(i, k), a_dist_.col_cs(i, k),
+            has_rcs() ? a_dist_.row_cs(i, k) : ViewD{}, rc);
+        ++stats_.verifications_pu_before;
+        if (outcome == RepairOutcome::Uncorrectable) {
+          fail(RunStatus::NeedCompleteRestart);
+          return false;
+        }
+      }
+    }
+
+    // Snapshot for local restart (paper: copy of the panel before PU).
+    MatD snap(a21.as_const());
+    MatD snap_cs = has_cs() ? MatD(cs21.as_const()) : MatD{};
+
+    for (int attempt = 0;; ++attempt) {
+      if (attempt > opts_.max_local_restarts) {
+        fail(RunStatus::NeedCompleteRestart);
+        return false;
+      }
+      if (attempt > 0) {
+        ChargeTimer t(&stats_.recovery_seconds);
+        copy_view(snap.const_view(), a21);
+        if (has_cs()) copy_view(snap_cs.const_view(), cs21);
+        ++stats_.local_restarts;
+      }
+
+      if (inj_) {
+        ViewD l11_mut = own_pan.block(0, 0, nb_, nb_);
+        inj_->pre_compute(pu, Part::Reference, l11_mut, {k * nb_, k * nb_}, {k, k});
+        inj_->pre_compute(pu, Part::Update, a21, org, {k + 1, k});
+      }
+
+      blas::trsm(Side::Right, Uplo::Lower, Trans::Trans, Diag::NonUnit, 1.0, l11, a21);
+      if (inj_) inj_->restore_onchip(pu);
+      if (has_cs()) {
+        ChargeTimer t(&stats_.maintain_seconds);
+        // c(L21) = c(A21)·L11⁻ᵀ — same solve as the data.
+        blas::trsm(Side::Right, Uplo::Lower, Trans::Trans, Diag::NonUnit, 1.0, l11, cs21);
+      }
+      if (inj_) inj_->post_compute(pu, a21, org, {k + 1, k});
+
+      // Post-PU check on the owner (post-op scheme checks here; the new
+      // scheme checks at the receivers after the broadcast below).
+      if (policy_.check_after_pu && has_cs()) {
+        ChargeTimer t(&stats_.verify_seconds);
+        auto rc = repair_ctx(stats_);
+        bool restart = false;
+        for (index_t i = k + 1; i < b_; ++i) {
+          const auto outcome = verify_and_repair(a_dist_.block(i, k),
+                                                 a_dist_.col_cs(i, k), ViewD{}, rc);
+          ++stats_.verifications_pu_after;
+          if (outcome == RepairOutcome::Uncorrectable) restart = true;
+        }
+        if (restart) continue;
+      }
+
+      // Stage the factored panel in the owner's workspace and broadcast
+      // it (plus checksums) to every other GPU.
+      copy_view(a21.as_const(), own_pan.block(nb_, 0, mp, nb_));
+      if (has_cs()) {
+        copy_view(cs21.as_const(),
+                  panel_cs_d_[static_cast<std::size_t>(own)]->block(2, 0, 2 * nblk, nb_));
+        ChargeTimer t(&stats_.encode_seconds);
+        // Transfer checksums of the panel (including the diagonal block).
+        auto& bcs = *bcast_cs_d_[static_cast<std::size_t>(own)];
+        for (index_t i = k; i < b_; ++i) {
+          checksum::encode_col(own_pan.block((i - k) * nb_, 0, nb_, nb_).as_const(),
+                               bcs.block(2 * (i - k), 0, 2, nb_), opts_.encoder);
+        }
+      }
+
+      const OpSite bcd{k, OpKind::BroadcastD2D};
+      for (int g = 0; g < sys_.ngpu(); ++g) {
+        if (g == own) continue;
+        auto& pan = *panel_d_[static_cast<std::size_t>(g)];
+        sys_.d2d(own_pan.block(0, 0, mp + nb_, nb_).as_const(), own,
+                 pan.block(0, 0, mp + nb_, nb_), g);
+        if (has_cs()) {
+          sys_.d2d(panel_cs_d_[static_cast<std::size_t>(own)]
+                       ->block(0, 0, 2 * (nblk + 1), nb_)
+                       .as_const(),
+                   own, panel_cs_d_[static_cast<std::size_t>(g)]->block(0, 0, 2 * (nblk + 1), nb_),
+                   g);
+          sys_.d2d(bcast_cs_d_[static_cast<std::size_t>(own)]
+                       ->block(0, 0, 2 * (nblk + 1), nb_)
+                       .as_const(),
+                   own, bcast_cs_d_[static_cast<std::size_t>(g)]->block(0, 0, 2 * (nblk + 1), nb_),
+                   g);
+        }
+        if (inj_) {
+          inj_->post_transfer(bcd, g, pan.block(0, 0, mp + nb_, nb_),
+                              {k * nb_, k * nb_}, {k, k});
+        }
+      }
+
+      // Receiver-side verification + voting.
+      if (policy_.check_after_pu_broadcast && has_cs()) {
+        const int vote = post_broadcast_check(k, nblk + 1);
+        if (vote < 0) {
+          fail(RunStatus::NeedCompleteRestart);
+          return false;
+        }
+        if (vote > 0) continue;  // all receivers corrupted → redo PU
+      }
+      return true;
+    }
+  }
+
+  /// Verifies the broadcast panel on every GPU against the *maintained*
+  /// checksums (derived independently during PD/PU, so they expose both
+  /// computation errors in the source and corruption in flight).
+  /// Returns 0 when good, 1 when all receivers were corrupted (source
+  /// suspect → restart PU, §VII.C), -1 on unrecoverable failure.
+  int post_broadcast_check(index_t k, index_t nblk_panel) {
+    const int ngpu = sys_.ngpu();
+    std::vector<int> flag(static_cast<std::size_t>(ngpu), 0);
+
+    sys_.parallel_over_gpus([&](int g) {
+      auto& st = gpu_stats_[static_cast<std::size_t>(g)];
+      ChargeTimer t(&st.verify_seconds);
+      auto& pan = *panel_d_[static_cast<std::size_t>(g)];
+      auto& mcs = *panel_cs_d_[static_cast<std::size_t>(g)];
+      auto rc = repair_ctx(st);
+      int f = 0;
+      // Diagonal block: verify the lower-triangular L11 against the
+      // derived c(L11) (compare only; a mismatch is not δ-repairable
+      // because the checksum covers the triangle, not the raw block).
+      const double mis = chol_diag_verify(pan.block(0, 0, nb_, nb_).as_const(),
+                                          mcs.block(0, 0, 2, nb_).as_const());
+      ++st.verifications_pu_after;
+      ++st.blocks_verified;
+      if (mis > panel_threshold()) f = 2;
+      // Below-diagonal blocks: the maintained c(L21) covers the stored
+      // content exactly — verify and δ-repair in place.
+      for (index_t i = 1; i < nblk_panel; ++i) {
+        const auto outcome = verify_and_repair(pan.block(i * nb_, 0, nb_, nb_),
+                                               mcs.block(2 * i, 0, 2, nb_), ViewD{}, rc);
+        ++st.verifications_pu_after;
+        if (outcome == RepairOutcome::Corrected) f = std::max(f, 1);
+        if (outcome == RepairOutcome::Uncorrectable) f = 2;
+      }
+      flag[static_cast<std::size_t>(g)] = f;
+    });
+
+    int corrupted = 0;
+    for (int f : flag) corrupted += (f != 0);
+    if (corrupted == ngpu) {
+      // Every copy is bad — including the owner's own staging copy — so
+      // the PU (or PD) output itself is suspect: local restart.
+      ++stats_.errors_detected;
+      return 1;
+    }
+    bool bad = false;
+    for (int g = 0; g < ngpu; ++g) {
+      const int f = flag[static_cast<std::size_t>(g)];
+      if (f == 0) continue;
+      ++stats_.comm_errors_corrected;
+      if (f == 2) {
+        // Repair failed: re-transfer from the owner (clean under the
+        // single-fault assumption) and accept.
+        ChargeTimer t(&stats_.recovery_seconds);
+        const int own = a_dist_.owner(k);
+        if (g != own) {
+          auto& own_pan = *panel_d_[static_cast<std::size_t>(own)];
+          sys_.d2d(own_pan.block(0, 0, nblk_panel * nb_, nb_).as_const(), own,
+                   panel_d_[static_cast<std::size_t>(g)]->block(0, 0, nblk_panel * nb_, nb_),
+                   g);
+          sys_.d2d(panel_cs_d_[static_cast<std::size_t>(own)]
+                       ->block(0, 0, 2 * nblk_panel, nb_)
+                       .as_const(),
+                   own,
+                   panel_cs_d_[static_cast<std::size_t>(g)]->block(0, 0, 2 * nblk_panel, nb_),
+                   g);
+        } else {
+          bad = true;
+        }
+      }
+    }
+    return bad ? -1 : 0;
+  }
+
+  /// TMU: A(i,j) ← A(i,j) - L(i,k)·L(j,k)ᵀ for owned lower-triangle
+  /// blocks. Row checksums are maintained from the transposed column
+  /// checksums of the panel (Fig 2).
+  void trailing_update(index_t k) {
+    const OpSite tmu{k, OpKind::TMU};
+    const int ref_gpu = a_dist_.owner(k + 1);
+    std::atomic<bool> failed{false};
+
+    sys_.parallel_over_gpus([&](int g) {
+      auto& st = gpu_stats_[static_cast<std::size_t>(g)];
+      auto& pan = *panel_d_[static_cast<std::size_t>(g)];
+      auto& pan_cs = has_cs() ? *panel_cs_d_[static_cast<std::size_t>(g)] : *panel_d_[0];
+
+      if (inj_ && g == ref_gpu) {
+        for (index_t i = k + 1; i < b_; ++i) {
+          ViewD li = pan.block((i - k) * nb_, 0, nb_, nb_);
+          const ElemCoord org{i * nb_, k * nb_};
+          inj_->pre_verify(tmu, Part::Reference, li, org, {i, k});
+          inj_->pre_compute(tmu, Part::Reference, li, org, {i, k});
+        }
+      }
+
+      for (index_t j : a_dist_.dist().owned_from(g, k + 1)) {
+        ConstViewD lj = pan.block((j - k) * nb_, 0, nb_, nb_).as_const();
+        ConstViewD cs_j = has_cs() ? pan_cs.block(2 * (j - k), 0, 2, nb_).as_const()
+                                   : ConstViewD{};
+
+        for (index_t i = j; i < b_; ++i) {
+          ViewD c = a_dist_.block(i, j);
+          const ElemCoord org_c{i * nb_, j * nb_};
+          ConstViewD li = pan.block((i - k) * nb_, 0, nb_, nb_).as_const();
+
+          if (inj_) inj_->pre_verify(tmu, Part::Update, c, org_c, {i, j});
+          if (policy_.check_before_tmu && has_cs()) {
+            ChargeTimer t(&st.verify_seconds);
+            auto rc = repair_ctx(st);
+            verify_and_repair(c, a_dist_.col_cs(i, j),
+                              has_rcs() ? a_dist_.row_cs(i, j) : ViewD{}, rc);
+            ++st.verifications_tmu_before;
+            verify_and_repair(pan.block((i - k) * nb_, 0, nb_, nb_),
+                              pan_cs.block(2 * (i - k), 0, 2, nb_), ViewD{}, rc);
+            ++st.verifications_tmu_before;
+          }
+          if (inj_) inj_->pre_compute(tmu, Part::Update, c, org_c, {i, j});
+
+          blas::gemm_seq(Trans::NoTrans, Trans::Trans, -1.0, li, lj, 1.0, c);
+          if (inj_) {
+            if (g == ref_gpu) {
+              inj_->restore_onchip(tmu, {i, k});
+              inj_->restore_onchip(tmu, {j, k});
+            }
+            inj_->restore_onchip(tmu, {i, j});
+          }
+          if (has_cs()) {
+            ChargeTimer t(&st.maintain_seconds);
+            // c(A') = c(A) - c(L_i)·L_jᵀ.
+            blas::gemm_seq(Trans::NoTrans, Trans::Trans, -1.0,
+                           pan_cs.block(2 * (i - k), 0, 2, nb_).as_const(), lj, 1.0,
+                           a_dist_.col_cs(i, j));
+            if (has_rcs()) {
+              // r(A') = r(A) - L_i·c(L_j)ᵀ — the column checksum of the
+              // transposed panel serves as its row checksum (Fig 2).
+              blas::gemm_seq(Trans::NoTrans, Trans::Trans, -1.0, li, cs_j, 1.0,
+                             a_dist_.row_cs(i, j));
+            }
+          }
+          if (inj_) inj_->post_compute(tmu, c, org_c, {i, j});
+
+          if (policy_.check_after_tmu && has_cs()) {
+            ChargeTimer t(&st.verify_seconds);
+            auto rc = repair_ctx(st);
+            const auto outcome =
+                verify_and_repair(c, a_dist_.col_cs(i, j),
+                                  has_rcs() ? a_dist_.row_cs(i, j) : ViewD{}, rc);
+            ++st.verifications_tmu_after;
+            if (outcome == RepairOutcome::Uncorrectable) failed = true;
+          }
+        }
+      }
+    });
+    if (failed) fail(RunStatus::NeedCompleteRestart);
+  }
+
+  /// §VII.B heuristic: verify the panel replica each GPU used; a bad
+  /// L(m,k) element damaged one row of the owned blocks in block-row m
+  /// (left-operand use) and, when this GPU owns block-column m, one
+  /// column of the blocks in that column (right-operand use).
+  void heuristic_check(index_t k) {
+    std::atomic<bool> failed{false};
+
+    sys_.parallel_over_gpus([&](int g) {
+      auto& st = gpu_stats_[static_cast<std::size_t>(g)];
+      auto& pan = *panel_d_[static_cast<std::size_t>(g)];
+      auto& pan_cs = *panel_cs_d_[static_cast<std::size_t>(g)];
+      ChargeTimer t(&st.verify_seconds);
+      const auto owned = a_dist_.dist().owned_from(g, k + 1);
+      if (owned.empty()) return;
+
+      for (index_t m = k + 1; m < b_; ++m) {
+        ViewD lm = pan.block((m - k) * nb_, 0, nb_, nb_);
+        const auto res = checksum::verify_col(
+            lm.as_const(), pan_cs.block(2 * (m - k), 0, 2, nb_).as_const(), tol_,
+            opts_.encoder);
+        ++st.verifications_tmu_after;
+        ++st.blocks_verified;
+        if (res.clean()) continue;
+        ++st.errors_detected;
+        const auto diag = checksum::diagnose_cols(res.col_deltas, nb_);
+        if (diag.pattern != checksum::ErrorPattern::Single) {
+          failed = true;
+          continue;
+        }
+        checksum::correct_from_col_deltas(lm, res.col_deltas);
+        ++st.corrected_0d;
+
+        // Left-operand damage: row diag.row of owned blocks (m, j), j<=m.
+        for (index_t j : owned) {
+          if (j > m) continue;
+          checksum::reconstruct_row(a_dist_.block(m, j), a_dist_.col_cs(m, j).as_const(),
+                                    diag.row);
+          ++st.corrected_1d;
+        }
+        // Right-operand damage: column diag.row of blocks (i, m), i>=m,
+        // if this GPU owns block-column m (full checksums required).
+        if (a_dist_.owner(m) == g && has_rcs()) {
+          for (index_t i = m; i < b_; ++i) {
+            checksum::reconstruct_column(a_dist_.block(i, m),
+                                         a_dist_.row_cs(i, m).as_const(), diag.row);
+            checksum::encode_col(a_dist_.block(i, m).as_const(), a_dist_.col_cs(i, m),
+                                 opts_.encoder);
+            ++st.corrected_1d;
+            ++st.checksum_rebuilds;
+          }
+        } else if (a_dist_.owner(m) == g && !has_rcs()) {
+          failed = true;  // single-side cannot repair the column damage
+        }
+      }
+    });
+    if (failed) fail(RunStatus::NeedCompleteRestart);
+  }
+
+  const FtOptions opts_;
+  const SchemePolicy policy_;
+  fault::FaultInjector* inj_;
+  index_t n_, nb_, b_;
+  sim::HeterogeneousSystem sys_;
+  DistMatrix a_dist_;
+  ConstViewD host_in_;
+  FtStats stats_;
+  std::vector<FtStats> gpu_stats_;
+  checksum::Tolerance tol_;
+
+  MatD* diag_h_ = nullptr;
+  MatD* diag_snapshot_ = nullptr;
+  MatD* diag_cs_h_ = nullptr;
+  MatD* diag_cs_snapshot_ = nullptr;
+  std::vector<MatD*> panel_d_;
+  std::vector<MatD*> panel_cs_d_;
+  std::vector<MatD*> bcast_cs_d_;
+};
+
+}  // namespace
+
+FtOutput ft_cholesky(ConstViewD a, const FtOptions& opts, fault::FaultInjector* injector) {
+  CholeskyDriver driver(a, opts, injector);
+  return driver.run();
+}
+
+}  // namespace ftla::core

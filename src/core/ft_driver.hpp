@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file ft_driver.hpp
+/// Public entry points of the fault-tolerant decompositions and the
+/// shared driver context.
+///
+/// Each driver reproduces the MAGMA hybrid schedule on the simulated
+/// heterogeneous system: the matrix lives 1D block-cyclically on the
+/// GPUs; every iteration fetches the panel to the CPU (PCIe), decomposes
+/// it there with checksum maintenance, broadcasts it back (PCIe), and
+/// runs PU/TMU on the GPUs with checksum maintenance riding along the
+/// BLAS-3 updates. Verification points are placed by the configured
+/// SchemePolicy; detected errors flow through the recovery engine
+/// (δ-correction → 1D reconstruction → local restart → complete
+/// restart, in escalating order of cost).
+
+#include "core/dist_matrix.hpp"
+#include "core/options.hpp"
+#include "core/stats.hpp"
+#include "fault/injector.hpp"
+#include "matrix/matrix.hpp"
+
+namespace ftla::core {
+
+/// Result of an FT decomposition run.
+struct FtOutput {
+  /// Gathered n×n factored matrix: L (Cholesky, lower), L\U (LU), or
+  /// V\R (QR, Householder vectors below the diagonal).
+  MatD factors;
+  /// QR only: the tau scalars of all Householder reflectors.
+  std::vector<double> tau;
+  FtStats stats;
+
+  [[nodiscard]] bool ok() const noexcept { return stats.status == RunStatus::Success; }
+};
+
+/// Fault-tolerant lower Cholesky of an SPD matrix (paper Table II).
+FtOutput ft_cholesky(ConstViewD a, const FtOptions& opts,
+                     fault::FaultInjector* injector = nullptr);
+
+/// Fault-tolerant LU without pivoting (diagonally dominant inputs;
+/// paper §III.C / [13]).
+FtOutput ft_lu(ConstViewD a, const FtOptions& opts,
+               fault::FaultInjector* injector = nullptr);
+
+/// Fault-tolerant Householder QR (paper Table III / Algorithm 1).
+FtOutput ft_qr(ConstViewD a, const FtOptions& opts,
+               fault::FaultInjector* injector = nullptr);
+
+}  // namespace ftla::core

@@ -1,0 +1,742 @@
+#include <atomic>
+#include <cmath>
+
+#include "blas/blas.hpp"
+#include "checksum/correct.hpp"
+#include "common/error.hpp"
+#include "common/timer.hpp"
+#include "core/ft_driver.hpp"
+#include "core/charge_timer.hpp"
+#include "core/panel_ft.hpp"
+#include "core/recovery.hpp"
+#include "lapack/lapack.hpp"
+
+namespace ftla::core {
+
+namespace {
+
+using blas::Diag;
+using blas::Side;
+using blas::Trans;
+using blas::Uplo;
+using fault::OpKind;
+using fault::OpSite;
+using fault::Part;
+
+/// One fault-tolerant LU run on the simulated heterogeneous system.
+class LuDriver {
+ public:
+  LuDriver(ConstViewD a, const FtOptions& opts, fault::FaultInjector* inj)
+      : opts_(opts),
+        policy_(opts.policy()),
+        inj_(inj),
+        n_(a.rows()),
+        nb_(opts.nb),
+        b_(a.rows() / opts.nb),
+        sys_(opts.ngpu),
+        a_dist_(sys_, n_, nb_, opts.checksum),
+        host_in_(a) {
+    FTLA_CHECK(a.rows() == a.cols(), "ft_lu: matrix must be square");
+    tol_.slack = opts.tol_slack;
+    tol_.context = static_cast<double>(n_);
+
+    panel_h_ = &sys_.cpu().alloc(n_, nb_);
+    snapshot_ = &sys_.cpu().alloc(n_, nb_);
+    if (has_cs()) {
+      panel_cs_h_ = &sys_.cpu().alloc(2 * b_, nb_);
+      snapshot_cs_ = &sys_.cpu().alloc(2 * b_, nb_);
+      bcast_cs_h_ = &sys_.cpu().alloc(2 * b_, nb_);
+    }
+    if (has_rcs()) panel_rcs_h_ = &sys_.cpu().alloc(n_, 2);
+    for (int g = 0; g < sys_.ngpu(); ++g) {
+      panel_d_.push_back(&sys_.gpu(g).alloc(n_, nb_));
+      if (has_cs()) {
+        panel_cs_d_.push_back(&sys_.gpu(g).alloc(2 * b_, nb_));
+        bcast_cs_d_.push_back(&sys_.gpu(g).alloc(2 * b_, nb_));
+      }
+    }
+    gpu_stats_.resize(static_cast<std::size_t>(sys_.ngpu()));
+  }
+
+  FtOutput run() {
+    WallTimer total;
+    FtOutput out;
+    out.factors = MatD(n_, n_);
+
+    a_dist_.scatter(host_in_);
+    if (has_cs()) {
+      ChargeTimer t(&stats_.encode_seconds);
+      a_dist_.encode_all(opts_.encoder);
+    }
+
+    for (index_t k = 0; k < b_ && !fatal(); ++k) {
+      iteration(k);
+    }
+
+    merge_gpu_stats();
+    a_dist_.gather(out.factors.view());
+    stats_.comm_modeled_seconds = sys_.link().stats().modeled_seconds;
+    stats_.total_seconds = total.seconds();
+    out.stats = stats_;
+    return out;
+  }
+
+ private:
+  [[nodiscard]] bool has_cs() const { return opts_.checksum != ChecksumKind::None; }
+  [[nodiscard]] bool has_rcs() const { return opts_.checksum == ChecksumKind::Full; }
+  [[nodiscard]] bool fatal() const { return stats_.status != RunStatus::Success; }
+  void fail(RunStatus status) {
+    if (stats_.status == RunStatus::Success) stats_.status = status;
+  }
+
+  RepairContext repair_ctx(FtStats& st) {
+    RepairContext rc;
+    rc.tol = tol_;
+    rc.encoder = opts_.encoder;
+    rc.stats = &st;
+    return rc;
+  }
+
+  /// Detection threshold for the scaled panel-verify mismatch values.
+  [[nodiscard]] double panel_threshold() const {
+    return tol_.slack * checksum::unit_roundoff() * static_cast<double>(n_);
+  }
+
+  void merge_gpu_stats() {
+    for (auto& gs : gpu_stats_) {
+      stats_.merge(gs);
+      gs = FtStats{};
+    }
+  }
+
+  // --- iteration phases -------------------------------------------------
+
+  void iteration(index_t k) {
+    const index_t mp = n_ - k * nb_;
+    const index_t nblk = b_ - k;
+    const int own = a_dist_.owner(k);
+    const OpSite pd{k, OpKind::PD};
+    const ElemCoord pan_org{k * nb_, k * nb_};
+
+    ViewD ph = panel_h_->block(0, 0, mp, nb_);
+    ViewD pcs = has_cs() ? panel_cs_h_->block(0, 0, 2 * nblk, nb_) : ViewD{};
+    ViewD prcs = has_rcs() ? panel_rcs_h_->block(0, 0, mp, 2) : ViewD{};
+
+    // -- fetch panel (and its checksums) to the CPU over PCIe ----------
+    sys_.d2h(a_dist_.col_panel(k, k).as_const(), ph, own);
+    if (has_cs()) sys_.d2h(a_dist_.col_cs_panel(k, k).as_const(), pcs, own);
+    if (has_rcs()) sys_.d2h(a_dist_.row_cs_panel(k, k).as_const(), prcs, own);
+    if (inj_) inj_->post_transfer(pd, -1, ph, pan_org, {k, k});
+
+    // Frozen U blocks of column k (rows above the panel) froze with valid
+    // row checksums at earlier panel updates; verify them so errors that
+    // landed there while they were still trailing cannot reach the final
+    // output unseen (full layout only — single-side leaves the row panel
+    // unprotected).
+    if ((policy_.check_before_pd || policy_.heuristic_tmu) && has_rcs() && k > 0) {
+      ChargeTimer t(&stats_.verify_seconds);
+      auto rc = repair_ctx(stats_);
+      for (index_t i = 0; i < k; ++i) {
+        const auto outcome =
+            verify_and_repair(a_dist_.block(i, k), ViewD{}, a_dist_.row_cs(i, k), rc);
+        ++stats_.verifications_pd_before;
+        if (outcome == RepairOutcome::Uncorrectable) {
+          fail(RunStatus::NeedCompleteRestart);
+          return;
+        }
+      }
+    }
+
+    // -- pre-PD check (doubles as the deferred heuristic TMU check) ----
+    if ((policy_.check_before_pd || policy_.heuristic_tmu) && has_cs()) {
+      ChargeTimer t(&stats_.verify_seconds);
+      for (index_t i = 0; i < nblk; ++i) {
+        const index_t br = k + i;
+        ViewD blk = ph.block(i * nb_, 0, nb_, nb_);
+        const ElemCoord org{br * nb_, k * nb_};
+        if (inj_) inj_->pre_verify(pd, Part::Reference, blk, org, {br, k});
+        auto rc = repair_ctx(stats_);
+        const auto outcome =
+            verify_and_repair(blk, pcs.block(2 * i, 0, 2, nb_),
+                              has_rcs() ? prcs.block(i * nb_, 0, nb_, 2) : ViewD{}, rc);
+        ++stats_.verifications_pd_before;
+        if (outcome == RepairOutcome::Uncorrectable) {
+          fail(RunStatus::NeedCompleteRestart);
+          return;
+        }
+      }
+    } else if (inj_) {
+      // Still offer the hook so between-op faults land even when no
+      // scheme check runs here (they then go undetected by design).
+      for (index_t i = 0; i < nblk; ++i) {
+        inj_->pre_verify(pd, Part::Reference, ph.block(i * nb_, 0, nb_, nb_),
+                         {(k + i) * nb_, k * nb_}, {k + i, k});
+      }
+    }
+
+    // -- PD (+ broadcast + receiver voting) with local-restart loop -----
+    copy_view(ph.as_const(), snapshot_->block(0, 0, mp, nb_));
+    if (has_cs()) copy_view(pcs.as_const(), snapshot_cs_->block(0, 0, 2 * nblk, nb_));
+
+    for (int attempt = 0;; ++attempt) {
+      if (attempt > opts_.max_local_restarts) {
+        fail(RunStatus::NeedCompleteRestart);
+        return;
+      }
+      if (attempt > 0) {
+        ChargeTimer t(&stats_.recovery_seconds);
+        copy_view(snapshot_->block(0, 0, mp, nb_).as_const(), ph);
+        if (has_cs()) copy_view(snapshot_cs_->block(0, 0, 2 * nblk, nb_).as_const(), pcs);
+        ++stats_.local_restarts;
+      }
+
+      if (inj_) {
+        inj_->pre_compute(pd, Part::Update, ph, pan_org, {k, k});
+        inj_->pre_compute(pd, Part::Reference, ph, pan_org, {k, k});
+      }
+      index_t info;
+      if (has_cs()) {
+        info = lu_panel_ft(ph, nb_, pcs);
+      } else {
+        info = lapack::getrf2_nopiv(ph);
+      }
+      if (info != 0) {
+        fail(RunStatus::NumericalFailure);
+        return;
+      }
+      if (inj_) inj_->post_compute(pd, ph, pan_org, {k, k});
+
+      // CPU-side post-PD check (post-op scheme; the new scheme defers
+      // this to the broadcast receivers).
+      if (policy_.check_after_pd && has_cs()) {
+        ChargeTimer t(&stats_.verify_seconds);
+        const double mis = lu_panel_verify(ph.as_const(), nb_, pcs.as_const(), opts_.encoder);
+        stats_.verifications_pd_after += static_cast<std::uint64_t>(nblk);
+        stats_.blocks_verified += static_cast<std::uint64_t>(nblk);
+        if (mis > panel_threshold()) {
+          ++stats_.errors_detected;
+          continue;  // local restart
+        }
+      }
+
+      // Transfer checksums: fresh encode of the stored panel content so
+      // receivers can verify the payload end-to-end.
+      ViewD bcs;
+      if (has_cs()) {
+        ChargeTimer t(&stats_.encode_seconds);
+        bcs = bcast_cs_h_->block(0, 0, 2 * nblk, nb_);
+        for (index_t i = 0; i < nblk; ++i) {
+          checksum::encode_col(ph.block(i * nb_, 0, nb_, nb_).as_const(),
+                               bcs.block(2 * i, 0, 2, nb_), opts_.encoder);
+        }
+      }
+
+      // Broadcast the decomposed panel to every GPU.
+      const OpSite bch{k, OpKind::BroadcastH2D};
+      for (int g = 0; g < sys_.ngpu(); ++g) {
+        sys_.h2d(ph.as_const(), panel_d_[static_cast<std::size_t>(g)]->block(0, 0, mp, nb_),
+                 g);
+        if (has_cs()) {
+          sys_.h2d(pcs.as_const(),
+                   panel_cs_d_[static_cast<std::size_t>(g)]->block(0, 0, 2 * nblk, nb_), g);
+          sys_.h2d(bcs.as_const(),
+                   bcast_cs_d_[static_cast<std::size_t>(g)]->block(0, 0, 2 * nblk, nb_), g);
+        }
+        if (inj_) {
+          inj_->post_transfer(bch, g,
+                              panel_d_[static_cast<std::size_t>(g)]->block(0, 0, mp, nb_),
+                              pan_org, {k, k});
+        }
+      }
+
+      // Receiver-side check + communication-error voting (§VII.C).
+      if (policy_.check_after_pd_broadcast && has_cs()) {
+        if (!post_broadcast_check(k, mp, nblk)) continue;  // PD restart voted
+        if (fatal()) return;
+      }
+      break;
+    }
+
+    // -- owner writes the factored panel back into resident storage ----
+    {
+      auto& owner_panel = *panel_d_[static_cast<std::size_t>(own)];
+      copy_view(owner_panel.block(0, 0, mp, nb_).as_const(), a_dist_.col_panel(k, k));
+      if (has_cs()) {
+        copy_view(panel_cs_d_[static_cast<std::size_t>(own)]->block(0, 0, 2 * nblk, nb_)
+                      .as_const(),
+                  a_dist_.col_cs_panel(k, k));
+      }
+    }
+
+    if (k + 1 == b_) return;
+
+    panel_update(k);
+    merge_gpu_stats();
+    if (fatal()) return;
+
+    trailing_update(k);
+    merge_gpu_stats();
+    if (fatal()) return;
+
+    if (policy_.heuristic_tmu && has_cs()) {
+      heuristic_check(k);
+      merge_gpu_stats();
+      if (fatal()) return;
+    }
+
+    if (opts_.periodic_trailing_check > 0 &&
+        (k + 1) % opts_.periodic_trailing_check == 0 && has_cs()) {
+      periodic_trailing_sweep(k);
+      merge_gpu_stats();
+    }
+  }
+
+  /// §VII.B extension: a full verify-and-repair sweep over the owned
+  /// trailing blocks, run every `periodic_trailing_check` iterations to
+  /// bound the accumulation window of undetected on-chip propagations.
+  void periodic_trailing_sweep(index_t k) {
+    std::atomic<bool> failed{false};
+    sys_.parallel_over_gpus([&](int g) {
+      auto& st = gpu_stats_[static_cast<std::size_t>(g)];
+      ChargeTimer t(&st.verify_seconds);
+      auto rc = repair_ctx(st);
+      for (index_t j : a_dist_.dist().owned_from(g, k + 1)) {
+        for (index_t i = k + 1; i < b_; ++i) {
+          const auto outcome =
+              verify_and_repair(a_dist_.block(i, j), a_dist_.col_cs(i, j),
+                                has_rcs() ? a_dist_.row_cs(i, j) : ViewD{}, rc);
+          ++st.verifications_tmu_after;
+          if (outcome == RepairOutcome::Uncorrectable) failed = true;
+        }
+      }
+    });
+    if (failed) fail(RunStatus::NeedCompleteRestart);
+  }
+
+  /// Verifies the broadcast panel on every receiver, repairs comm
+  /// corruption, and votes: all GPUs corrupted → PD error (restart);
+  /// subset → communication error (fixed in place or re-transferred).
+  /// Returns true when the panel is good everywhere.
+  bool post_broadcast_check(index_t k, index_t mp, index_t nblk) {
+    const int ngpu = sys_.ngpu();
+    std::vector<int> flag(static_cast<std::size_t>(ngpu), 0);  // 0 ok, 1 fixed, 2 bad
+    std::vector<char> pd_suspect(static_cast<std::size_t>(ngpu), 0);
+
+    sys_.parallel_over_gpus([&](int g) {
+      auto& st = gpu_stats_[static_cast<std::size_t>(g)];
+      ChargeTimer t(&st.verify_seconds);
+      auto& pan = *panel_d_[static_cast<std::size_t>(g)];
+      auto& bcs = *bcast_cs_d_[static_cast<std::size_t>(g)];
+      auto rc = repair_ctx(st);
+      int f = 0;
+      for (index_t i = 0; i < nblk; ++i) {
+        // Transfer checksums (sender-encoded from its stored panel)
+        // catch in-flight corruption anywhere in the payload.
+        const auto outcome = verify_and_repair(pan.block(i * nb_, 0, nb_, nb_),
+                                               bcs.block(2 * i, 0, 2, nb_), ViewD{}, rc);
+        st.verifications_pd_after += 1;
+        if (outcome == RepairOutcome::Corrected) f = std::max(f, 1);
+        if (outcome == RepairOutcome::Uncorrectable) f = 2;
+      }
+      // The maintained checksums, derived through an independent path
+      // during PD, expose errors in the PD computation itself — which a
+      // transfer checksum encoded after the fact is blind to.
+      const double mis = lu_panel_verify(
+          pan.block(0, 0, mp, nb_).as_const(), nb_,
+          panel_cs_d_[static_cast<std::size_t>(g)]->block(0, 0, 2 * nblk, nb_).as_const(),
+          opts_.encoder);
+      st.verifications_pd_after += static_cast<std::uint64_t>(nblk);
+      st.blocks_verified += static_cast<std::uint64_t>(nblk);
+      if (mis > panel_threshold()) pd_suspect[static_cast<std::size_t>(g)] = 1;
+      flag[static_cast<std::size_t>(g)] = f;
+    });
+
+    int corrupted = 0;
+    for (int f : flag) corrupted += (f != 0);
+    int suspects = 0;
+    for (char c : pd_suspect) suspects += c;
+
+    if ((corrupted == ngpu && ngpu > 1) || suspects == ngpu) {
+      // Every receiver corrupted, or every receiver's maintained-checksum
+      // verification failed: the source (PD output) is suspect — local
+      // in-memory restart of PD (§VII.C).
+      ++stats_.errors_detected;
+      return false;
+    }
+    // A strict subset failing the maintained-checksum check means the
+    // payload or checksum strip was damaged in flight beyond δ-repair:
+    // re-transfer to those receivers.
+    for (int g = 0; g < ngpu; ++g) {
+      if (!pd_suspect[static_cast<std::size_t>(g)]) continue;
+      ChargeTimer t(&stats_.recovery_seconds);
+      ++stats_.comm_errors_corrected;
+      sys_.h2d(panel_h_->block(0, 0, mp, nb_).as_const(),
+               panel_d_[static_cast<std::size_t>(g)]->block(0, 0, mp, nb_), g);
+      sys_.h2d(panel_cs_h_->block(0, 0, 2 * nblk, nb_).as_const(),
+               panel_cs_d_[static_cast<std::size_t>(g)]->block(0, 0, 2 * nblk, nb_), g);
+    }
+
+    for (int g = 0; g < ngpu; ++g) {
+      if (flag[static_cast<std::size_t>(g)] == 0) continue;
+      ++stats_.comm_errors_corrected;
+      if (flag[static_cast<std::size_t>(g)] == 2) {
+        // Repair failed: re-transfer the panel to this receiver.
+        ChargeTimer t(&stats_.recovery_seconds);
+        sys_.h2d(panel_h_->block(0, 0, mp, nb_).as_const(),
+                 panel_d_[static_cast<std::size_t>(g)]->block(0, 0, mp, nb_), g);
+        sys_.h2d(panel_cs_h_->block(0, 0, 2 * nblk, nb_).as_const(),
+                 panel_cs_d_[static_cast<std::size_t>(g)]->block(0, 0, 2 * nblk, nb_), g);
+        auto rc = repair_ctx(stats_);
+        bool clean = true;
+        for (index_t i = 0; i < nblk; ++i) {
+          clean = clean &&
+                  verify_only(panel_d_[static_cast<std::size_t>(g)]
+                                  ->block(i * nb_, 0, nb_, nb_)
+                                  .as_const(),
+                              bcast_cs_d_[static_cast<std::size_t>(g)]
+                                  ->block(2 * i, 0, 2, nb_)
+                                  .as_const(),
+                              ConstViewD{}, rc);
+        }
+        if (!clean) {
+          fail(RunStatus::NeedCompleteRestart);
+          return true;
+        }
+      }
+    }
+    return true;
+  }
+
+  /// PU: U(k, j) ← L11⁻¹·A(k, j) on each GPU's owned columns.
+  void panel_update(index_t k) {
+    const OpSite pu{k, OpKind::PU};
+    const int ref_gpu = a_dist_.owner(k + 1);
+    std::atomic<bool> failed{false};
+
+    sys_.parallel_over_gpus([&](int g) {
+      auto& st = gpu_stats_[static_cast<std::size_t>(g)];
+      auto& pan = *panel_d_[static_cast<std::size_t>(g)];
+      ConstViewD l11 = pan.block(0, 0, nb_, nb_).as_const();
+
+      // Offer the reference-part hooks on a single deterministic GPU.
+      if (inj_ && g == ref_gpu) {
+        ViewD l11_mut = pan.block(0, 0, nb_, nb_);
+        inj_->pre_verify(pu, Part::Reference, l11_mut, {k * nb_, k * nb_}, {k, k});
+      }
+
+      // Verify the L11 replica against its maintained (independently
+      // derived) checksums before consuming it: a memory error here has
+      // 2D reach through the solve (Table IV, PU reference part).
+      if ((policy_.check_before_pu || policy_.heuristic_tmu) && has_cs() &&
+          !a_dist_.dist().owned_from(g, k + 1).empty()) {
+        ChargeTimer t(&st.verify_seconds);
+        index_t fixed = 0;
+        const bool ok = verify_repair_unit_lower(
+            pan.block(0, 0, nb_, nb_),
+            panel_cs_d_[static_cast<std::size_t>(g)]->block(0, 0, 2, nb_).as_const(),
+            tol_.slack, tol_.context, &fixed);
+        ++st.verifications_pu_before;
+        ++st.blocks_verified;
+        if (fixed > 0) {
+          ++st.errors_detected;
+          st.corrected_0d += static_cast<std::uint64_t>(fixed);
+        }
+        if (!ok) {
+          failed = true;
+          return;
+        }
+      }
+
+      if (inj_ && g == ref_gpu) {
+        ViewD l11_mut = pan.block(0, 0, nb_, nb_);
+        inj_->pre_compute(pu, Part::Reference, l11_mut, {k * nb_, k * nb_}, {k, k});
+      }
+
+      for (index_t j : a_dist_.dist().owned_from(g, k + 1)) {
+        ViewD ublk = a_dist_.block(k, j);
+        const ElemCoord org{k * nb_, j * nb_};
+        if (inj_) inj_->pre_verify(pu, Part::Update, ublk, org, {k, j});
+
+        if (policy_.check_before_pu && has_cs()) {
+          ChargeTimer t(&st.verify_seconds);
+          auto rc = repair_ctx(st);
+          const auto outcome = verify_and_repair(
+              ublk, a_dist_.col_cs(k, j), has_rcs() ? a_dist_.row_cs(k, j) : ViewD{}, rc);
+          ++st.verifications_pu_before;
+          if (outcome == RepairOutcome::Uncorrectable) {
+            failed = true;
+            return;
+          }
+        }
+
+        // Snapshot for local restart.
+        MatD snap(ublk.as_const());
+        MatD snap_rcs = has_rcs() ? MatD(a_dist_.row_cs(k, j).as_const()) : MatD{};
+
+        for (int attempt = 0;; ++attempt) {
+          if (attempt > opts_.max_local_restarts) {
+            failed = true;
+            return;
+          }
+          if (attempt > 0) {
+            ChargeTimer t(&st.recovery_seconds);
+            copy_view(snap.const_view(), ublk);
+            if (has_rcs()) copy_view(snap_rcs.const_view(), a_dist_.row_cs(k, j));
+            ++st.local_restarts;
+          }
+
+          if (inj_) inj_->pre_compute(pu, Part::Update, ublk, org, {k, j});
+          blas::trsm(Side::Left, Uplo::Lower, Trans::NoTrans, Diag::Unit, 1.0, l11, ublk);
+          if (inj_) {
+            if (g == ref_gpu) inj_->restore_onchip(pu, {k, k});
+            inj_->restore_onchip(pu, {k, j});
+          }
+          if (has_rcs()) {
+            ChargeTimer t(&st.maintain_seconds);
+            blas::trsm(Side::Left, Uplo::Lower, Trans::NoTrans, Diag::Unit, 1.0, l11,
+                       a_dist_.row_cs(k, j));
+          }
+          if (inj_) inj_->post_compute(pu, ublk, org, {k, j});
+
+          if ((policy_.check_after_pu || policy_.check_after_pu_broadcast) && has_rcs()) {
+            // Only the full scheme protects the updated row panel: the
+            // single-side layout has no checksums for it (paper §X.A).
+            ChargeTimer t(&st.verify_seconds);
+            auto rc = repair_ctx(st);
+            const auto outcome =
+                verify_and_repair(ublk, ViewD{}, a_dist_.row_cs(k, j), rc);
+            ++st.verifications_pu_after;
+            if (outcome == RepairOutcome::Uncorrectable) continue;  // restart PU
+          }
+          break;
+        }
+      }
+    });
+    if (failed) fail(RunStatus::NeedCompleteRestart);
+  }
+
+  /// TMU: A(i, j) ← A(i, j) - L(i, k)·U(k, j) for every owned trailing
+  /// block, with checksum maintenance riding along.
+  void trailing_update(index_t k) {
+    const OpSite tmu{k, OpKind::TMU};
+    const int ref_gpu = a_dist_.owner(k + 1);
+    std::atomic<bool> failed{false};
+
+    sys_.parallel_over_gpus([&](int g) {
+      auto& st = gpu_stats_[static_cast<std::size_t>(g)];
+      auto& pan = *panel_d_[static_cast<std::size_t>(g)];
+      auto& pan_cs = has_cs() ? *panel_cs_d_[static_cast<std::size_t>(g)] : *panel_d_[0];
+
+      // Reference hooks for the column panel (one deterministic GPU).
+      if (inj_ && g == ref_gpu) {
+        for (index_t i = k + 1; i < b_; ++i) {
+          ViewD li = pan.block((i - k) * nb_, 0, nb_, nb_);
+          const ElemCoord org{i * nb_, k * nb_};
+          inj_->pre_verify(tmu, Part::Reference, li, org, {i, k});
+          inj_->pre_compute(tmu, Part::Reference, li, org, {i, k});
+        }
+      }
+
+      for (index_t j : a_dist_.dist().owned_from(g, k + 1)) {
+        ViewD u = a_dist_.block(k, j);
+        const ElemCoord org_u{k * nb_, j * nb_};
+        if (inj_) {
+          inj_->pre_verify(tmu, Part::Reference, u, org_u, {k, j});
+          inj_->pre_compute(tmu, Part::Reference, u, org_u, {k, j});
+        }
+
+        // Prior-op scheme: verify every input of this column's TMU.
+        if (policy_.check_before_tmu && has_cs()) {
+          ChargeTimer t(&st.verify_seconds);
+          auto rc = repair_ctx(st);
+          if (has_rcs()) {
+            // The single-side layout leaves the updated row panel
+            // unprotected, so only the full layout can verify it here.
+            verify_and_repair(u, ViewD{}, a_dist_.row_cs(k, j), rc);
+            ++st.verifications_tmu_before;
+          }
+          for (index_t i = k + 1; i < b_; ++i) {
+            verify_and_repair(pan.block((i - k) * nb_, 0, nb_, nb_),
+                              pan_cs.block(2 * (i - k), 0, 2, nb_), ViewD{}, rc);
+            ++st.verifications_tmu_before;
+          }
+        }
+
+        for (index_t i = k + 1; i < b_; ++i) {
+          ViewD c = a_dist_.block(i, j);
+          const ElemCoord org_c{i * nb_, j * nb_};
+          ConstViewD li = pan.block((i - k) * nb_, 0, nb_, nb_).as_const();
+
+          if (inj_) inj_->pre_verify(tmu, Part::Update, c, org_c, {i, j});
+          if (policy_.check_before_tmu && has_cs()) {
+            ChargeTimer t(&st.verify_seconds);
+            auto rc = repair_ctx(st);
+            verify_and_repair(c, a_dist_.col_cs(i, j),
+                              has_rcs() ? a_dist_.row_cs(i, j) : ViewD{}, rc);
+            ++st.verifications_tmu_before;
+          }
+          if (inj_) inj_->pre_compute(tmu, Part::Update, c, org_c, {i, j});
+
+          blas::gemm_seq(Trans::NoTrans, Trans::NoTrans, -1.0, li, u.as_const(), 1.0, c);
+          if (inj_) {
+            // The consuming GPU clears transient (on-chip) corruption of
+            // the operands it just read, before checksum maintenance
+            // re-reads them from (clean) memory.
+            if (g == ref_gpu) inj_->restore_onchip(tmu, {i, k});
+            inj_->restore_onchip(tmu, {k, j});
+          }
+          if (has_cs()) {
+            ChargeTimer t(&st.maintain_seconds);
+            // c(A') = c(A) - c(L_i)·U.
+            blas::gemm_seq(Trans::NoTrans, Trans::NoTrans, -1.0,
+                           pan_cs.block(2 * (i - k), 0, 2, nb_).as_const(), u.as_const(),
+                           1.0, a_dist_.col_cs(i, j));
+            if (has_rcs()) {
+              // r(A') = r(A) - L_i·r(U).
+              blas::gemm_seq(Trans::NoTrans, Trans::NoTrans, -1.0, li,
+                             a_dist_.row_cs(k, j).as_const(), 1.0, a_dist_.row_cs(i, j));
+            }
+          }
+          if (inj_) inj_->post_compute(tmu, c, org_c, {i, j});
+
+          if (policy_.check_after_tmu && has_cs()) {
+            ChargeTimer t(&st.verify_seconds);
+            auto rc = repair_ctx(st);
+            const auto outcome =
+                verify_and_repair(c, a_dist_.col_cs(i, j),
+                                  has_rcs() ? a_dist_.row_cs(i, j) : ViewD{}, rc);
+            ++st.verifications_tmu_after;
+            if (outcome == RepairOutcome::Uncorrectable) failed = true;
+          }
+        }
+      }
+    });
+    if (failed) fail(RunStatus::NeedCompleteRestart);
+  }
+
+  /// §VII.B heuristic checking after TMU: instead of verifying the whole
+  /// trailing matrix, verify the panels TMU referenced. A corrupted
+  /// panel element means one row/column of every owned trailing block is
+  /// wrong — fix the element, then reconstruct the damaged lines from
+  /// the orthogonal (unharmed) checksums.
+  void heuristic_check(index_t k) {
+    std::atomic<bool> failed{false};
+
+    sys_.parallel_over_gpus([&](int g) {
+      auto& st = gpu_stats_[static_cast<std::size_t>(g)];
+      auto& pan = *panel_d_[static_cast<std::size_t>(g)];
+      auto& pan_cs = *panel_cs_d_[static_cast<std::size_t>(g)];
+      ChargeTimer t(&st.verify_seconds);
+      const auto owned = a_dist_.dist().owned_from(g, k + 1);
+      if (owned.empty()) return;
+
+      // (0) The L11 replica: PU consumed it with 2D reach, and its
+      // checksum maintenance ran through the same (possibly corrupted)
+      // values, so ANY corruption found now — even a repairable single
+      // element — means this GPU's row panel and trailing updates are
+      // suspect beyond 1D repair.
+      {
+        index_t fixed = 0;
+        const bool ok = verify_repair_unit_lower(
+            pan.block(0, 0, nb_, nb_),
+            pan_cs.block(0, 0, 2, nb_).as_const(), tol_.slack, tol_.context, &fixed);
+        ++st.verifications_tmu_after;
+        ++st.blocks_verified;
+        if (!ok || fixed > 0) {
+          ++st.errors_detected;
+          failed = true;
+        }
+      }
+
+      // (1) Column panel copy: a bad L(i,k) element corrupted one row of
+      // every owned trailing block in block-row i.
+      for (index_t i = k + 1; i < b_; ++i) {
+        ViewD li = pan.block((i - k) * nb_, 0, nb_, nb_);
+        const auto res = checksum::verify_col(
+            li.as_const(), pan_cs.block(2 * (i - k), 0, 2, nb_).as_const(), tol_,
+            opts_.encoder);
+        ++st.verifications_tmu_after;
+        ++st.blocks_verified;
+        if (res.clean()) continue;
+        ++st.errors_detected;
+        const auto diag = checksum::diagnose_cols(res.col_deltas, nb_);
+        if (diag.pattern != checksum::ErrorPattern::Single) {
+          failed = true;
+          continue;
+        }
+        checksum::correct_from_col_deltas(li, res.col_deltas);
+        ++st.corrected_0d;
+        // Fix the propagated row in every owned trailing block.
+        for (index_t j : owned) {
+          checksum::reconstruct_row(a_dist_.block(i, j), a_dist_.col_cs(i, j).as_const(),
+                                    diag.row);
+          ++st.corrected_1d;
+        }
+      }
+
+      // (2) Row panel: a bad U(k,j) element corrupted one column of every
+      // trailing block in block-column j (full checksums required).
+      if (has_rcs()) {
+        for (index_t j : owned) {
+          ViewD u = a_dist_.block(k, j);
+          const auto res = checksum::verify_row(u.as_const(),
+                                                a_dist_.row_cs(k, j).as_const(), tol_,
+                                                opts_.encoder);
+          ++st.verifications_tmu_after;
+          ++st.blocks_verified;
+          if (res.clean()) continue;
+          ++st.errors_detected;
+          const auto diag = checksum::diagnose_rows(res.row_deltas, nb_);
+          if (diag.pattern != checksum::ErrorPattern::Single) {
+            failed = true;
+            continue;
+          }
+          checksum::correct_from_row_deltas(u, res.row_deltas);
+          ++st.corrected_0d;
+          for (index_t i = k + 1; i < b_; ++i) {
+            checksum::reconstruct_column(a_dist_.block(i, j),
+                                         a_dist_.row_cs(i, j).as_const(), diag.col);
+            // The reconstruction consumed the row checksums; refresh the
+            // column checksums of the repaired block.
+            checksum::encode_col(a_dist_.block(i, j).as_const(), a_dist_.col_cs(i, j),
+                                 opts_.encoder);
+            ++st.corrected_1d;
+            ++st.checksum_rebuilds;
+          }
+        }
+      }
+    });
+    if (failed) fail(RunStatus::NeedCompleteRestart);
+  }
+
+  const FtOptions opts_;
+  const SchemePolicy policy_;
+  fault::FaultInjector* inj_;
+  index_t n_, nb_, b_;
+  sim::HeterogeneousSystem sys_;
+  DistMatrix a_dist_;
+  ConstViewD host_in_;
+  FtStats stats_;
+  std::vector<FtStats> gpu_stats_;
+  checksum::Tolerance tol_;
+
+  MatD* panel_h_ = nullptr;
+  MatD* snapshot_ = nullptr;
+  MatD* panel_cs_h_ = nullptr;
+  MatD* snapshot_cs_ = nullptr;
+  MatD* bcast_cs_h_ = nullptr;
+  MatD* panel_rcs_h_ = nullptr;
+  std::vector<MatD*> panel_d_;
+  std::vector<MatD*> panel_cs_d_;
+  std::vector<MatD*> bcast_cs_d_;
+
+};
+
+}  // namespace
+
+FtOutput ft_lu(ConstViewD a, const FtOptions& opts, fault::FaultInjector* injector) {
+  LuDriver driver(a, opts, injector);
+  return driver.run();
+}
+
+}  // namespace ftla::core

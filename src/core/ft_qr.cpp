@@ -1,0 +1,599 @@
+#include <atomic>
+#include <cmath>
+
+#include "blas/blas.hpp"
+#include "checksum/correct.hpp"
+#include "common/error.hpp"
+#include "core/charge_timer.hpp"
+#include "core/ft_driver.hpp"
+#include "core/panel_ft.hpp"
+#include "core/recovery.hpp"
+#include "lapack/lapack.hpp"
+#include "matrix/compare.hpp"
+#include "matrix/norms.hpp"
+
+namespace ftla::core {
+
+namespace {
+
+using blas::Diag;
+using blas::Side;
+using blas::Trans;
+using blas::Uplo;
+using fault::OpKind;
+using fault::OpSite;
+using fault::Part;
+
+/// Applies C ← (I - V·Tᵀ·Vᵀ)·C (the Qᵀ update of QR's TMU) and exposes
+/// W = Tᵀ·Vᵀ·C so column-checksum maintenance can reuse it:
+/// c(C'_i) = c(C_i) - c(V_i)·W (paper Table III, red terms).
+void apply_block_reflector(ConstViewD v, ConstViewD t, ViewD c, MatD& w) {
+  const index_t m = c.rows();
+  const index_t n = c.cols();
+  const index_t kb = v.cols();
+
+  w = MatD(kb, n);
+  copy_view(c.block(0, 0, kb, n).as_const(), w.view());
+  blas::trmm(Side::Left, Uplo::Lower, Trans::Trans, Diag::Unit, 1.0, v.block(0, 0, kb, kb),
+             w.view());
+  if (m > kb) {
+    blas::gemm_seq(Trans::Trans, Trans::NoTrans, 1.0, v.block(kb, 0, m - kb, kb),
+                   c.block(kb, 0, m - kb, n).as_const(), 1.0, w.view());
+  }
+  blas::trmm(Side::Left, Uplo::Upper, Trans::Trans, Diag::NonUnit, 1.0, t, w.view());
+
+  if (m > kb) {
+    blas::gemm_seq(Trans::NoTrans, Trans::NoTrans, -1.0, v.block(kb, 0, m - kb, kb),
+                   w.const_view(), 1.0, c.block(kb, 0, m - kb, n));
+  }
+  MatD w2(w.const_view());
+  blas::trmm(Side::Left, Uplo::Lower, Trans::NoTrans, Diag::Unit, 1.0,
+             v.block(0, 0, kb, kb), w2.view());
+  for (index_t j = 0; j < n; ++j) {
+    double* cc = c.col_ptr(j);
+    const double* wc = w2.view().col_ptr(j);
+    for (index_t i = 0; i < kb; ++i) cc[i] -= wc[i];
+  }
+}
+
+/// Fault-tolerant Householder QR (paper §IV.B / Algorithm 1).
+class QrDriver {
+ public:
+  QrDriver(ConstViewD a, const FtOptions& opts, fault::FaultInjector* inj)
+      : opts_(opts),
+        policy_(opts.policy()),
+        inj_(inj),
+        n_(a.rows()),
+        nb_(opts.nb),
+        b_(a.rows() / opts.nb),
+        sys_(opts.ngpu),
+        a_dist_(sys_, n_, nb_, opts.checksum, SingleSideDim::Row),
+        host_in_(a) {
+    FTLA_CHECK(a.rows() == a.cols(), "ft_qr: matrix must be square");
+    tol_.slack = opts.tol_slack;
+    tol_.context = static_cast<double>(n_);
+
+    panel_h_ = &sys_.cpu().alloc(n_, nb_);
+    snapshot_ = &sys_.cpu().alloc(n_, nb_);
+    rcs_h_ = &sys_.cpu().alloc(n_, 2);
+    rcs_work_ = &sys_.cpu().alloc(n_, 2);
+    vcs_h_ = &sys_.cpu().alloc(2 * b_, nb_);
+    bcast_cs_h_ = &sys_.cpu().alloc(2 * b_, nb_);
+    t_h_ = &sys_.cpu().alloc(nb_, nb_);
+    for (int g = 0; g < sys_.ngpu(); ++g) {
+      panel_d_.push_back(&sys_.gpu(g).alloc(n_, nb_));
+      t_d_.push_back(&sys_.gpu(g).alloc(nb_, nb_));
+      if (has_cs()) {
+        vcs_d_.push_back(&sys_.gpu(g).alloc(2 * b_, nb_));
+        bcast_cs_d_.push_back(&sys_.gpu(g).alloc(2 * b_, nb_));
+      }
+    }
+    gpu_stats_.resize(static_cast<std::size_t>(sys_.ngpu()));
+  }
+
+  FtOutput run() {
+    WallTimer total;
+    FtOutput out;
+    out.factors = MatD(n_, n_);
+    out.tau.assign(static_cast<std::size_t>(n_), 0.0);
+
+    a_dist_.scatter(host_in_);
+    if (opts_.checksum != ChecksumKind::None) {
+      ChargeTimer t(&stats_.encode_seconds);
+      a_dist_.encode_all(opts_.encoder);
+    }
+
+    for (index_t k = 0; k < b_ && !fatal(); ++k) {
+      iteration(k, out.tau);
+    }
+
+    merge_gpu_stats();
+    a_dist_.gather(out.factors.view());
+    stats_.comm_modeled_seconds = sys_.link().stats().modeled_seconds;
+    stats_.total_seconds = total.seconds();
+    out.stats = stats_;
+    return out;
+  }
+
+ private:
+  // Single-side QR maintains row checksums only ([31] protects R); the
+  // full layout adds the Householder-vector column checksums of
+  // Algorithm 1.
+  [[nodiscard]] bool has_cs() const { return opts_.checksum == ChecksumKind::Full; }
+  [[nodiscard]] bool has_rcs() const { return opts_.checksum != ChecksumKind::None; }
+  [[nodiscard]] bool fatal() const { return stats_.status != RunStatus::Success; }
+  void fail(RunStatus status) {
+    if (stats_.status == RunStatus::Success) stats_.status = status;
+  }
+
+  RepairContext repair_ctx(FtStats& st) {
+    RepairContext rc;
+    rc.tol = tol_;
+    rc.encoder = opts_.encoder;
+    rc.stats = &st;
+    return rc;
+  }
+
+  [[nodiscard]] double panel_threshold() const {
+    return tol_.slack * checksum::unit_roundoff() * static_cast<double>(n_);
+  }
+
+  void merge_gpu_stats() {
+    for (auto& gs : gpu_stats_) {
+      stats_.merge(gs);
+      gs = FtStats{};
+    }
+  }
+
+  void iteration(index_t k, std::vector<double>& tau_out) {
+    const index_t mp = n_ - k * nb_;
+    const index_t nblk = b_ - k;
+    const int own = a_dist_.owner(k);
+    const OpSite pd{k, OpKind::PD};
+    const OpSite ctf{k, OpKind::CTF};
+    const ElemCoord pan_org{k * nb_, k * nb_};
+
+    ViewD ph = panel_h_->block(0, 0, mp, nb_);
+    ViewD prcs = has_rcs() ? rcs_h_->block(0, 0, mp, 2) : ViewD{};
+
+    // -- fetch panel + checksums to the CPU -----------------------------
+    sys_.d2h(a_dist_.col_panel(k, k).as_const(), ph, own);
+    if (has_rcs()) sys_.d2h(a_dist_.row_cs_panel(k, k).as_const(), prcs, own);
+    MatD pcs;
+    if (has_cs()) {
+      pcs = MatD(2 * nblk, nb_);
+      sys_.d2h(a_dist_.col_cs_panel(k, k).as_const(), pcs.view(), own);
+    }
+    if (inj_) inj_->post_transfer(pd, -1, ph, pan_org, {k, k});
+
+    // Frozen R blocks of column k (rows above the panel) left the active
+    // region at earlier iterations with valid checksums; verify them now
+    // so trailing-matrix errors that landed there before freezing cannot
+    // silently reach the final output.
+    if ((policy_.check_before_pd || policy_.heuristic_tmu) && has_rcs() && k > 0) {
+      ChargeTimer t(&stats_.verify_seconds);
+      auto rc = repair_ctx(stats_);
+      for (index_t i = 0; i < k; ++i) {
+        const auto outcome = verify_and_repair(
+            a_dist_.block(i, k), has_cs() ? a_dist_.col_cs(i, k) : ViewD{},
+            a_dist_.row_cs(i, k), rc);
+        ++stats_.verifications_pd_before;
+        if (outcome == RepairOutcome::Uncorrectable) {
+          fail(RunStatus::NeedCompleteRestart);
+          return;
+        }
+      }
+    }
+
+    // -- pre-PD check ----------------------------------------------------
+    if ((policy_.check_before_pd || policy_.heuristic_tmu) && has_rcs()) {
+      ChargeTimer t(&stats_.verify_seconds);
+      for (index_t i = 0; i < nblk; ++i) {
+        ViewD blk = ph.block(i * nb_, 0, nb_, nb_);
+        const ElemCoord org{(k + i) * nb_, k * nb_};
+        if (inj_) inj_->pre_verify(pd, Part::Reference, blk, org, {k + i, k});
+        auto rc = repair_ctx(stats_);
+        const auto outcome = verify_and_repair(
+            blk, has_cs() ? pcs.block(2 * i, 0, 2, nb_) : ViewD{},
+            prcs.block(i * nb_, 0, nb_, 2), rc);
+        ++stats_.verifications_pd_before;
+        if (outcome == RepairOutcome::Uncorrectable) {
+          fail(RunStatus::NeedCompleteRestart);
+          return;
+        }
+      }
+    } else if (inj_) {
+      for (index_t i = 0; i < nblk; ++i) {
+        inj_->pre_verify(pd, Part::Reference, ph.block(i * nb_, 0, nb_, nb_),
+                         {(k + i) * nb_, k * nb_}, {k + i, k});
+      }
+    }
+
+    // -- PD (checksummed Householder panel) with local-restart loop ------
+    copy_view(ph.as_const(), snapshot_->block(0, 0, mp, nb_));
+    MatD rcs_snapshot;
+    if (has_rcs()) rcs_snapshot = MatD(prcs.as_const());
+
+    std::vector<double> tau_local;
+    std::vector<double> col_norms2;
+    ViewD rcs_w = rcs_work_->block(0, 0, mp, 2);
+
+    for (int attempt = 0;; ++attempt) {
+      if (attempt > opts_.max_local_restarts) {
+        fail(RunStatus::NeedCompleteRestart);
+        return;
+      }
+      if (attempt > 0) {
+        ChargeTimer t(&stats_.recovery_seconds);
+        copy_view(snapshot_->block(0, 0, mp, nb_).as_const(), ph);
+        if (has_rcs()) copy_view(rcs_snapshot.const_view(), prcs);
+        ++stats_.local_restarts;
+      }
+
+      if (inj_) {
+        inj_->pre_compute(pd, Part::Update, ph, pan_org, {k, k});
+        inj_->pre_compute(pd, Part::Reference, ph, pan_org, {k, k});
+      }
+      if (has_rcs()) {
+        copy_view(prcs.as_const(), rcs_w);
+        ChargeTimer t(&stats_.maintain_seconds);
+        qr_panel_ft(ph, rcs_w, tau_local, col_norms2);
+      } else {
+        lapack::geqrf2(ph, tau_local);
+      }
+      // Algorithm 1 maintains the Householder-vector column checksums as
+      // part of PD itself, so they exist before any post-operation fault
+      // can strike the stored panel.
+      if (has_cs()) {
+        ChargeTimer t(&stats_.encode_seconds);
+        encode_v_checksums(ph.as_const(), nb_, vcs_h_->block(0, 0, 2 * nblk, nb_));
+      }
+      if (inj_) inj_->post_compute(pd, ph, pan_org, {k, k});
+
+      if ((policy_.check_after_pd || policy_.check_after_pd_broadcast) && has_rcs()) {
+        ChargeTimer t(&stats_.verify_seconds);
+        double mis = qr_panel_verify(ph.as_const(), rcs_w.as_const(), col_norms2);
+        stats_.verifications_pd_after += static_cast<std::uint64_t>(nblk);
+        stats_.blocks_verified += static_cast<std::uint64_t>(nblk);
+        // Verify the stored V against the maintained c(V): catches
+        // post-computation corruption of the Householder vectors, which
+        // the R-side invariants cannot see.
+        if (has_cs()) {
+          MatD fresh(2 * nblk, nb_);
+          encode_v_checksums(ph.as_const(), nb_, fresh.view());
+          const auto maintained = vcs_h_->block(0, 0, 2 * nblk, nb_);
+          for (index_t r = 0; r < 2 * nblk; ++r) {
+            for (index_t c = 0; c < nb_; ++c) {
+              const double scale =
+                  std::abs(fresh(r, c)) + std::abs(maintained(r, c)) + 1.0;
+              mis = std::max(mis, std::abs(fresh(r, c) - maintained(r, c)) / scale);
+            }
+          }
+        }
+        if (mis > panel_threshold()) {
+          ++stats_.errors_detected;
+          continue;  // local restart
+        }
+      }
+      break;
+    }
+    std::copy(tau_local.begin(), tau_local.end(),
+              tau_out.begin() + static_cast<std::ptrdiff_t>(k * nb_));
+
+    // Maintained checksums of the factored panel: per-block V column
+    // checksums (produced inside PD above) and the row checksums of R.
+    ViewD vcs = vcs_h_->block(0, 0, 2 * nblk, nb_);
+    if (has_rcs()) {
+      // r([R; 0]) rows for the R block; V rows keep no row checksums.
+      copy_view(rcs_w.block(0, 0, nb_, 2).as_const(), prcs.block(0, 0, nb_, 2));
+    }
+
+    // -- CTF: compute the triangular factor T, verify by recompute -------
+    ViewD t_mat = t_h_->view();
+    {
+      MatD t_first(nb_, nb_);
+      lapack::larft(ph.as_const(), tau_local, t_first.view());
+      copy_view(t_first.const_view(), t_mat);
+      if (inj_) inj_->post_compute(ctf, t_mat, {k * nb_, k * nb_}, {k, k});
+      // §IV.B: T has no checksum; verify by recomputation from V and use
+      // the recomputed copy on mismatch.
+      if (has_rcs()) {
+        ChargeTimer t(&stats_.verify_seconds);
+        MatD t_second(nb_, nb_);
+        lapack::larft(ph.as_const(), tau_local, t_second.view());
+        ++stats_.blocks_verified;
+        if (max_abs_diff(t_mat.as_const(), t_second.const_view()) >
+            panel_threshold() * (1.0 + max_abs(t_second.const_view()))) {
+          ++stats_.errors_detected;
+          copy_view(t_second.const_view(), t_mat);
+          ++stats_.corrected_0d;
+        }
+      }
+    }
+
+    // -- broadcast panel + T (+ checksums) to every GPU -------------------
+    ViewD bcs;
+    if (has_cs()) {
+      ChargeTimer t(&stats_.encode_seconds);
+      bcs = bcast_cs_h_->block(0, 0, 2 * nblk, nb_);
+      for (index_t i = 0; i < nblk; ++i) {
+        checksum::encode_col(ph.block(i * nb_, 0, nb_, nb_).as_const(),
+                             bcs.block(2 * i, 0, 2, nb_), opts_.encoder);
+      }
+    }
+    const OpSite bch{k, OpKind::BroadcastH2D};
+    for (int g = 0; g < sys_.ngpu(); ++g) {
+      const auto gi = static_cast<std::size_t>(g);
+      sys_.h2d(ph.as_const(), panel_d_[gi]->block(0, 0, mp, nb_), g);
+      sys_.h2d(t_mat.as_const(), t_d_[gi]->view(), g);
+      if (has_cs()) {
+        sys_.h2d(vcs.as_const(), vcs_d_[gi]->block(0, 0, 2 * nblk, nb_), g);
+        sys_.h2d(bcs.as_const(), bcast_cs_d_[gi]->block(0, 0, 2 * nblk, nb_), g);
+      }
+      if (inj_) {
+        inj_->post_transfer(bch, g, panel_d_[gi]->block(0, 0, mp, nb_), pan_org, {k, k});
+      }
+    }
+
+    // Receiver-side transfer check + voting (§VII.C).
+    if (policy_.check_after_pd_broadcast && has_cs()) {
+      if (!post_broadcast_check(k, mp, nblk)) {
+        // Every receiver corrupted: PD output suspect. Under the single
+        // fault assumption the CPU copy already passed verification, so
+        // re-broadcast from the CPU copy.
+        ChargeTimer t(&stats_.recovery_seconds);
+        ++stats_.errors_detected;
+        for (int g = 0; g < sys_.ngpu(); ++g) {
+          const auto gi = static_cast<std::size_t>(g);
+          sys_.h2d(ph.as_const(), panel_d_[gi]->block(0, 0, mp, nb_), g);
+        }
+      }
+      if (fatal()) return;
+    }
+
+    // Owner writes the factored panel (and its checksums) back.
+    {
+      const auto oi = static_cast<std::size_t>(own);
+      copy_view(panel_d_[oi]->block(0, 0, mp, nb_).as_const(), a_dist_.col_panel(k, k));
+      if (has_cs()) {
+        copy_view(vcs_d_[oi]->block(0, 0, 2 * nblk, nb_).as_const(),
+                  a_dist_.col_cs_panel(k, k));
+      }
+      if (has_rcs()) {
+        sys_.h2d(prcs.block(0, 0, nb_, 2).as_const(), a_dist_.row_cs(k, k), own);
+      }
+    }
+
+    if (k + 1 == b_) return;
+
+    trailing_update(k);
+    merge_gpu_stats();
+    if (fatal()) return;
+
+    if (opts_.periodic_trailing_check > 0 &&
+        (k + 1) % opts_.periodic_trailing_check == 0 && has_rcs()) {
+      periodic_trailing_sweep(k);
+      merge_gpu_stats();
+    }
+  }
+
+  /// §VII.B extension: full trailing sweep of every owned column stack.
+  void periodic_trailing_sweep(index_t k) {
+    std::atomic<bool> failed{false};
+    sys_.parallel_over_gpus([&](int g) {
+      auto& st = gpu_stats_[static_cast<std::size_t>(g)];
+      ChargeTimer t(&st.verify_seconds);
+      auto rc = repair_ctx(st);
+      for (index_t j : a_dist_.dist().owned_from(g, k + 1)) {
+        for (index_t i = k; i < b_; ++i) {
+          const auto outcome =
+              verify_and_repair(a_dist_.block(i, j),
+                                has_cs() ? a_dist_.col_cs(i, j) : ViewD{},
+                                a_dist_.row_cs(i, j), rc);
+          ++st.verifications_tmu_after;
+          if (outcome == RepairOutcome::Uncorrectable) failed = true;
+        }
+      }
+    });
+    if (failed) fail(RunStatus::NeedCompleteRestart);
+  }
+
+  /// Verifies broadcast payloads at the receivers. Returns false when
+  /// every receiver saw corruption (source suspect).
+  bool post_broadcast_check(index_t k, index_t mp, index_t nblk) {
+    (void)mp;
+    const int ngpu = sys_.ngpu();
+    std::vector<int> flag(static_cast<std::size_t>(ngpu), 0);
+
+    sys_.parallel_over_gpus([&](int g) {
+      const auto gi = static_cast<std::size_t>(g);
+      auto& st = gpu_stats_[gi];
+      ChargeTimer t(&st.verify_seconds);
+      auto rc = repair_ctx(st);
+      int f = 0;
+      for (index_t i = 0; i < nblk; ++i) {
+        const auto outcome =
+            verify_and_repair(panel_d_[gi]->block(i * nb_, 0, nb_, nb_),
+                              bcast_cs_d_[gi]->block(2 * i, 0, 2, nb_), ViewD{}, rc);
+        ++st.verifications_pd_after;
+        if (outcome == RepairOutcome::Corrected) f = std::max(f, 1);
+        if (outcome == RepairOutcome::Uncorrectable) f = 2;
+      }
+      flag[gi] = f;
+    });
+
+    int corrupted = 0;
+    for (int f : flag) corrupted += (f != 0);
+    if (corrupted == ngpu && ngpu > 1) return false;
+    for (int f : flag) {
+      if (f != 0) ++stats_.comm_errors_corrected;
+    }
+    return true;
+  }
+
+  /// TMU: every owned trailing block-column stack gets the block
+  /// reflector applied, with column checksums maintained from c(V) and
+  /// row checksums transformed alongside as extra columns.
+  void trailing_update(index_t k) {
+    const OpSite tmu{k, OpKind::TMU};
+    const index_t mp = n_ - k * nb_;
+    const index_t nblk = b_ - k;
+    const int ref_gpu = a_dist_.owner(k + 1);
+    std::atomic<bool> failed{false};
+
+    sys_.parallel_over_gpus([&](int g) {
+      const auto gi = static_cast<std::size_t>(g);
+      auto& st = gpu_stats_[gi];
+      auto& pan = *panel_d_[gi];
+      ConstViewD v = pan.block(0, 0, mp, nb_).as_const();
+      ConstViewD t_mat = t_d_[gi]->view().as_const();
+
+      // Reference-part fault hooks on one deterministic GPU.
+      if (inj_ && g == ref_gpu) {
+        for (index_t i = k; i < b_; ++i) {
+          ViewD vi = pan.block((i - k) * nb_, 0, nb_, nb_);
+          inj_->pre_verify(tmu, Part::Reference, vi, {i * nb_, k * nb_}, {i, k});
+          inj_->pre_compute(tmu, Part::Reference, vi, {i * nb_, k * nb_}, {i, k});
+        }
+      }
+
+      // New scheme: cheap pre-TMU verification of the V replica (the
+      // "check the panel to be updated" analogue) — V corruption causes
+      // 2D damage through W, so it must be caught before use.
+      if ((policy_.heuristic_tmu || policy_.check_before_tmu) && has_cs()) {
+        ChargeTimer tt(&st.verify_seconds);
+        auto rc = repair_ctx(st);
+        for (index_t i = k; i < b_; ++i) {
+          ViewD vi = pan.block((i - k) * nb_, 0, nb_, nb_);
+          MatD fresh(2, nb_);
+          if (i == k) {
+            encode_col_unit_lower(vi.as_const(), fresh.view());
+          } else {
+            checksum::encode_col(vi.as_const(), fresh.view(), opts_.encoder);
+          }
+          ++st.verifications_tmu_before;
+          ++st.blocks_verified;
+          const auto maintained = vcs_d_[gi]->block(2 * (i - k), 0, 2, nb_);
+          checksum::BlockCheckResult res;
+          res.col_checked = true;
+          for (index_t j = 0; j < nb_; ++j) {
+            const double d1 = maintained(0, j) - fresh(0, j);
+            const double d2 = maintained(1, j) - fresh(1, j);
+            const double thr = tol_.threshold(std::abs(fresh(0, j)) + std::abs(fresh(1, j)));
+            if (std::abs(d1) > thr || std::abs(d2) > thr)
+              res.col_deltas.push_back(checksum::ColDelta{j, d1, d2});
+          }
+          if (!res.col_deltas.empty()) {
+            ++st.errors_detected;
+            const auto diag = checksum::diagnose_cols(res.col_deltas, nb_);
+            // δ-correction is valid for plain (non-unit-diagonal) rows.
+            if (diag.pattern == checksum::ErrorPattern::Single && i != k) {
+              checksum::correct_from_col_deltas(vi, res.col_deltas);
+              ++st.corrected_0d;
+            } else if (diag.pattern == checksum::ErrorPattern::Single) {
+              // Diagonal block: delta locates the row in unit-lower
+              // coordinates; apply the same additive fix.
+              index_t row = -1;
+              if (checksum::ratio_locates(res.col_deltas.front().d1,
+                                          res.col_deltas.front().d2, nb_, row)) {
+                vi(row, res.col_deltas.front().col) += res.col_deltas.front().d1;
+                ++st.corrected_0d;
+              } else {
+                failed = true;
+              }
+            } else {
+              failed = true;
+            }
+          }
+        }
+      }
+
+      for (index_t j : a_dist_.dist().owned_from(g, k + 1)) {
+        ViewD c = a_dist_.col_panel(j, k);
+        const ElemCoord org{k * nb_, j * nb_};
+
+        if (inj_) {
+          inj_->pre_verify(tmu, Part::Update, c, org, {k, j});
+          inj_->pre_compute(tmu, Part::Update, c, org, {k, j});
+        }
+        if (policy_.check_before_tmu && has_rcs()) {
+          ChargeTimer tt(&st.verify_seconds);
+          auto rc = repair_ctx(st);
+          for (index_t i = k; i < b_; ++i) {
+            verify_and_repair(a_dist_.block(i, j),
+                              has_cs() ? a_dist_.col_cs(i, j) : ViewD{},
+                              a_dist_.row_cs(i, j), rc);
+            ++st.verifications_tmu_before;
+          }
+        }
+
+        MatD w;
+        apply_block_reflector(v, t_mat, c, w);
+        if (inj_) {
+          if (g == ref_gpu) inj_->restore_onchip(tmu);
+          inj_->restore_onchip(tmu, {k, j});
+        }
+        if (has_cs()) {
+          ChargeTimer tt(&st.maintain_seconds);
+          for (index_t i = k; i < b_; ++i) {
+            blas::gemm_seq(Trans::NoTrans, Trans::NoTrans, -1.0,
+                           vcs_d_[gi]->block(2 * (i - k), 0, 2, nb_).as_const(),
+                           w.const_view(), 1.0, a_dist_.col_cs(i, j));
+          }
+        }
+        if (has_rcs()) {
+          ChargeTimer tt(&st.maintain_seconds);
+          MatD w_rcs;
+          apply_block_reflector(v, t_mat, a_dist_.row_cs_panel(j, k), w_rcs);
+        }
+        if (inj_) inj_->post_compute(tmu, c, org, {k, j});
+
+        if (policy_.check_after_tmu && has_rcs()) {
+          ChargeTimer tt(&st.verify_seconds);
+          auto rc = repair_ctx(st);
+          for (index_t i = k; i < b_; ++i) {
+            const auto outcome =
+                verify_and_repair(a_dist_.block(i, j),
+                                  has_cs() ? a_dist_.col_cs(i, j) : ViewD{},
+                                  a_dist_.row_cs(i, j), rc);
+            ++st.verifications_tmu_after;
+            if (outcome == RepairOutcome::Uncorrectable) failed = true;
+          }
+        }
+      }
+    });
+    if (failed) fail(RunStatus::NeedCompleteRestart);
+  }
+
+  const FtOptions opts_;
+  const SchemePolicy policy_;
+  fault::FaultInjector* inj_;
+  index_t n_, nb_, b_;
+  sim::HeterogeneousSystem sys_;
+  DistMatrix a_dist_;
+  ConstViewD host_in_;
+  FtStats stats_;
+  std::vector<FtStats> gpu_stats_;
+  checksum::Tolerance tol_;
+
+  MatD* panel_h_ = nullptr;
+  MatD* snapshot_ = nullptr;
+  MatD* rcs_h_ = nullptr;
+  MatD* rcs_work_ = nullptr;
+  MatD* vcs_h_ = nullptr;
+  MatD* bcast_cs_h_ = nullptr;
+  MatD* t_h_ = nullptr;
+  std::vector<MatD*> panel_d_;
+  std::vector<MatD*> t_d_;
+  std::vector<MatD*> vcs_d_;
+  std::vector<MatD*> bcast_cs_d_;
+};
+
+}  // namespace
+
+FtOutput ft_qr(ConstViewD a, const FtOptions& opts, fault::FaultInjector* injector) {
+  QrDriver driver(a, opts, injector);
+  return driver.run();
+}
+
+}  // namespace ftla::core

@@ -1,0 +1,54 @@
+#include "core/options.hpp"
+
+namespace ftla::core {
+
+SchemePolicy SchemePolicy::make(SchemeKind kind) {
+  SchemePolicy p;
+  switch (kind) {
+    case SchemeKind::PriorOp:
+      // Verify the inputs of every operation right before using them.
+      p.check_before_pd = true;
+      p.check_before_pu = true;
+      p.check_before_tmu = true;
+      break;
+    case SchemeKind::PostOp:
+      // Verify the outputs of every operation right after producing them
+      // (before any broadcast — the PCIe gap the paper exploits).
+      p.check_after_pd = true;
+      p.check_after_pu = true;
+      p.check_after_tmu = true;
+      break;
+    case SchemeKind::NewScheme:
+      // Algorithm 2: high-sensitivity ops (PD, PU) are checked both
+      // before and after; the post-checks are postponed past the panel
+      // broadcasts so PCIe corruption is caught at the receivers; TMU
+      // checks are replaced by the heuristic panel-based checking.
+      p.check_before_pd = true;
+      p.check_after_pd_broadcast = true;
+      p.check_before_pu = true;
+      p.check_after_pu_broadcast = true;
+      p.heuristic_tmu = true;
+      break;
+  }
+  return p;
+}
+
+const char* to_string(ChecksumKind k) {
+  switch (k) {
+    case ChecksumKind::None: return "none";
+    case ChecksumKind::SingleSide: return "single-side";
+    case ChecksumKind::Full: return "full";
+  }
+  return "?";
+}
+
+const char* to_string(SchemeKind k) {
+  switch (k) {
+    case SchemeKind::PriorOp: return "prior-op";
+    case SchemeKind::PostOp: return "post-op";
+    case SchemeKind::NewScheme: return "new-scheme";
+  }
+  return "?";
+}
+
+}  // namespace ftla::core

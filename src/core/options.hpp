@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file options.hpp
+/// Configuration of the fault-tolerant decompositions: which checksum
+/// layout is maintained and which ABFT checking scheme places the
+/// verifications (paper §VII).
+
+#include "checksum/encode.hpp"
+#include "common/types.hpp"
+
+namespace ftla::core {
+
+/// Checksum layout maintained during the decomposition.
+enum class ChecksumKind {
+  None,        ///< no ABFT at all — the plain (baseline) decomposition
+  SingleSide,  ///< one dimension only, as in prior work [11,12,31,32]
+  Full,        ///< both dimensions for the trailing matrix (this paper)
+};
+
+/// When checksum verifications run.
+enum class SchemeKind {
+  PriorOp,    ///< verify the inputs of every update operation [11,12]
+  PostOp,     ///< verify the outputs of every update operation [13,31,32]
+  NewScheme,  ///< the paper's sensitivity-prioritized scheme (Algorithm 2)
+};
+
+/// Expanded per-hook decisions derived from a SchemeKind.
+struct SchemePolicy {
+  bool check_before_pd = false;
+  bool check_after_pd = false;        ///< on the CPU, before broadcast
+  bool check_after_pd_broadcast = false;  ///< on each GPU, after broadcast
+  bool check_before_pu = false;
+  bool check_after_pu = false;        ///< on the owner, before any D2D broadcast
+  bool check_after_pu_broadcast = false;  ///< on receivers, after broadcast
+  bool check_before_tmu = false;
+  bool check_after_tmu = false;
+  bool heuristic_tmu = false;  ///< §VII.B deferred panel-based TMU checking
+
+  static SchemePolicy make(SchemeKind kind);
+};
+
+const char* to_string(ChecksumKind k);
+const char* to_string(SchemeKind k);
+
+/// Options shared by all three FT decompositions.
+struct FtOptions {
+  index_t nb = 64;               ///< block size (paper uses MAGMA's 256)
+  int ngpu = 1;                  ///< simulated GPUs
+  ChecksumKind checksum = ChecksumKind::Full;
+  SchemeKind scheme = SchemeKind::NewScheme;
+  checksum::Encoder encoder = checksum::Encoder::FusedTiled;
+  double tol_slack = 1024.0;     ///< detection threshold slack factor
+  int max_local_restarts = 3;    ///< per-operation retry budget
+  /// §VII.B extension: every `periodic_trailing_check` iterations,
+  /// verify (and repair) the whole trailing matrix, bounding how long
+  /// undetected on-chip 1D propagations can accumulate before they
+  /// overlap into an uncorrectable 2D pattern. 0 disables the sweep.
+  index_t periodic_trailing_check = 0;
+
+  [[nodiscard]] SchemePolicy policy() const { return SchemePolicy::make(scheme); }
+};
+
+}  // namespace ftla::core

@@ -1,0 +1,271 @@
+#include "core/panel_ft.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "blas/blas.hpp"
+#include "checksum/verify.hpp"
+#include "common/error.hpp"
+#include "lapack/lapack.hpp"
+
+namespace ftla::core {
+
+void encode_col_unit_lower(ConstViewD block, ViewD out) {
+  const index_t nb = std::min(block.rows(), block.cols());
+  for (index_t j = 0; j < block.cols(); ++j) {
+    double s = 0.0;
+    double t = 0.0;
+    if (j < nb) {
+      s = 1.0;                              // implicit unit diagonal
+      t = static_cast<double>(j + 1);
+    }
+    for (index_t r = j + 1; r < block.rows(); ++r) {
+      s += block(r, j);
+      t += static_cast<double>(r + 1) * block(r, j);
+    }
+    out(0, j) = s;
+    out(1, j) = t;
+  }
+}
+
+void encode_col_lower(ConstViewD block, ViewD out) {
+  for (index_t j = 0; j < block.cols(); ++j) {
+    double s = 0.0;
+    double t = 0.0;
+    for (index_t r = j; r < block.rows(); ++r) {
+      s += block(r, j);
+      t += static_cast<double>(r + 1) * block(r, j);
+    }
+    out(0, j) = s;
+    out(1, j) = t;
+  }
+}
+
+void encode_col_upper(ConstViewD block, ViewD out) {
+  for (index_t j = 0; j < block.cols(); ++j) {
+    double s = 0.0;
+    double t = 0.0;
+    const index_t rmax = std::min(j, block.rows() - 1);
+    for (index_t r = 0; r <= rmax; ++r) {
+      s += block(r, j);
+      t += static_cast<double>(r + 1) * block(r, j);
+    }
+    out(0, j) = s;
+    out(1, j) = t;
+  }
+}
+
+// --- LU ----------------------------------------------------------------
+
+index_t lu_panel_ft(ViewD panel, index_t nb, ViewD cs) {
+  const index_t m = panel.rows();
+  FTLA_CHECK(panel.cols() == nb && m % nb == 0, "lu_panel_ft: bad panel shape");
+  FTLA_CHECK(cs.rows() == 2 * (m / nb) && cs.cols() == nb, "lu_panel_ft: bad checksum shape");
+
+  const index_t info = lapack::getrf2_nopiv(panel);
+  if (info != 0) return info;
+
+  // Derive c(L_i) for every block: c(A_i) = c(L_i)·U11  ⇒  solve the
+  // whole checksum strip against the stored U11 from the right. This is
+  // an independent path from the stored L entries.
+  blas::trsm(blas::Side::Right, blas::Uplo::Upper, blas::Trans::NoTrans,
+             blas::Diag::NonUnit, 1.0, panel.block(0, 0, nb, nb).as_const(), cs);
+  return 0;
+}
+
+double lu_panel_verify(ConstViewD panel, index_t nb, ConstViewD cs,
+                       checksum::Encoder encoder) {
+  const index_t m = panel.rows();
+  const index_t nblk = m / nb;
+  MatD fresh(2, nb);
+  double worst = 0.0;
+  for (index_t i = 0; i < nblk; ++i) {
+    const auto block = panel.block(i * nb, 0, nb, nb);
+    if (i == 0) {
+      encode_col_unit_lower(block, fresh.view());
+    } else {
+      checksum::encode_col(block, fresh.view(), encoder);
+    }
+    for (index_t j = 0; j < nb; ++j) {
+      const double scale =
+          std::abs(fresh(0, j)) + std::abs(fresh(1, j)) + std::abs(cs(2 * i, j)) + 1.0;
+      worst = std::max(worst, std::abs(fresh(0, j) - cs(2 * i, j)) / scale);
+      worst = std::max(worst, std::abs(fresh(1, j) - cs(2 * i + 1, j)) / scale);
+    }
+  }
+  return worst;
+}
+
+// --- Cholesky ------------------------------------------------------------
+
+index_t chol_diag_ft(ViewD a11, ViewD cs) {
+  const index_t nb = a11.rows();
+  FTLA_CHECK(cs.rows() == 2 && cs.cols() == nb, "chol_diag_ft: bad checksum shape");
+  const index_t info = lapack::potrf2(a11);
+  if (info != 0) return info;
+  // c(A11) = c(L11)·L11ᵀ  ⇒  c(L11) = c(A11)·L11⁻ᵀ.
+  blas::trsm(blas::Side::Right, blas::Uplo::Lower, blas::Trans::Trans, blas::Diag::NonUnit,
+             1.0, a11.as_const(), cs);
+  return 0;
+}
+
+double chol_diag_verify(ConstViewD a11, ConstViewD cs) {
+  const index_t nb = a11.rows();
+  MatD fresh(2, nb);
+  encode_col_lower(a11, fresh.view());
+  double worst = 0.0;
+  for (index_t j = 0; j < nb; ++j) {
+    const double scale =
+        std::abs(fresh(0, j)) + std::abs(fresh(1, j)) + std::abs(cs(0, j)) + 1.0;
+    worst = std::max(worst, std::abs(fresh(0, j) - cs(0, j)) / scale);
+    worst = std::max(worst, std::abs(fresh(1, j) - cs(1, j)) / scale);
+  }
+  return worst;
+}
+
+// --- QR ------------------------------------------------------------------
+
+void qr_panel_ft(ViewD panel, ViewD row_cs_stack, std::vector<double>& tau,
+                 std::vector<double>& col_norms2) {
+  const index_t m = panel.rows();
+  const index_t nb = panel.cols();
+  FTLA_CHECK(row_cs_stack.rows() == m && row_cs_stack.cols() == 2,
+             "qr_panel_ft: bad row checksum stack");
+  tau.assign(static_cast<std::size_t>(nb), 0.0);
+  col_norms2.assign(static_cast<std::size_t>(nb), 0.0);
+  for (index_t j = 0; j < nb; ++j) {
+    const double nrm = blas::nrm2(m, panel.col_ptr(j), 1);
+    col_norms2[static_cast<std::size_t>(j)] = nrm * nrm;
+  }
+
+  std::vector<double> w(static_cast<std::size_t>(nb));
+  for (index_t j = 0; j < nb && j < m; ++j) {
+    double alpha = panel(j, j);
+    const double t = lapack::larfg(m - j, alpha, panel.col_ptr(j) + j + 1, 1);
+    tau[static_cast<std::size_t>(j)] = t;
+    panel(j, j) = alpha;
+    if (t == 0.0) continue;
+
+    const index_t rows = m - j;
+    // Apply H = I - t·v·vᵀ to the remaining data columns.
+    if (j + 1 < nb) {
+      const index_t cols = nb - j - 1;
+      for (index_t c = 0; c < cols; ++c) {
+        const double* col = panel.col_ptr(j + 1 + c) + j;
+        double s = col[0];
+        for (index_t r = 1; r < rows; ++r) s += panel(j + r, j) * col[r];
+        w[static_cast<std::size_t>(c)] = s;
+      }
+      for (index_t c = 0; c < cols; ++c) {
+        double* col = panel.col_ptr(j + 1 + c) + j;
+        const double tw = t * w[static_cast<std::size_t>(c)];
+        col[0] -= tw;
+        for (index_t r = 1; r < rows; ++r) col[r] -= tw * panel(j + r, j);
+      }
+    }
+    // Apply the same reflector to the carried checksum columns
+    // (Algorithm 1: they transform exactly like data columns).
+    for (index_t c = 0; c < 2; ++c) {
+      double* col = row_cs_stack.col_ptr(c) + j;
+      double s = col[0];
+      for (index_t r = 1; r < rows; ++r) s += panel(j + r, j) * col[r];
+      const double tw = t * s;
+      col[0] -= tw;
+      for (index_t r = 1; r < rows; ++r) col[r] -= tw * panel(j + r, j);
+    }
+  }
+}
+
+double qr_panel_verify(ConstViewD panel, ConstViewD row_cs_stack,
+                       const std::vector<double>& col_norms2) {
+  const index_t m = panel.rows();
+  const index_t nb = panel.cols();
+  double worst = 0.0;
+
+  // (a) maintained row checksums of R rows vs re-encoded stored R.
+  for (index_t r = 0; r < std::min(nb, m); ++r) {
+    double s = 0.0;
+    double t = 0.0;
+    for (index_t c = r; c < nb; ++c) {
+      s += panel(r, c);
+      t += static_cast<double>(c + 1) * panel(r, c);
+    }
+    const double scale = std::abs(s) + std::abs(t) + std::abs(row_cs_stack(r, 0)) + 1.0;
+    worst = std::max(worst, std::abs(s - row_cs_stack(r, 0)) / scale);
+    worst = std::max(worst, std::abs(t - row_cs_stack(r, 1)) / scale);
+  }
+
+  // (b) residual rows below R must be ≈ 0.
+  double below_scale = 1.0;
+  for (index_t r = 0; r < std::min(nb, m); ++r)
+    below_scale = std::max(below_scale, std::abs(row_cs_stack(r, 1)));
+  for (index_t r = nb; r < m; ++r) {
+    worst = std::max(worst, std::abs(row_cs_stack(r, 0)) / below_scale);
+    worst = std::max(worst, std::abs(row_cs_stack(r, 1)) / below_scale);
+  }
+
+  // (c) Householder transforms preserve column 2-norms:
+  // ‖A(:,j)‖₂² = ‖R(0:j, j)‖₂².
+  for (index_t j = 0; j < nb; ++j) {
+    double r2 = 0.0;
+    for (index_t r = 0; r <= std::min(j, m - 1); ++r) r2 += panel(r, j) * panel(r, j);
+    const double orig = col_norms2[static_cast<std::size_t>(j)];
+    worst = std::max(worst, std::abs(r2 - orig) / (orig + 1.0));
+  }
+  return worst;
+}
+
+bool verify_repair_unit_lower(ViewD block, ConstViewD maintained_cs, double tol_slack,
+                              double context, index_t* corrected) {
+  const index_t nb = block.cols();
+  MatD fresh(2, nb);
+  encode_col_unit_lower(block.as_const(), fresh.view());
+
+  // Collect per-column deltas against the unit-lower checksums.
+  std::vector<checksum::ColDelta> deltas;
+  for (index_t j = 0; j < nb; ++j) {
+    const double d1 = maintained_cs(0, j) - fresh(0, j);
+    const double d2 = maintained_cs(1, j) - fresh(1, j);
+    const double scale = std::abs(fresh(0, j)) + std::abs(fresh(1, j)) + 1.0;
+    const double thr = tol_slack * checksum::unit_roundoff() * context * scale;
+    if (std::abs(d1) > thr || std::abs(d2) > thr) {
+      deltas.push_back(checksum::ColDelta{j, d1, d2});
+    }
+  }
+  if (deltas.empty()) return true;
+
+  // Each locatable delta identifies one corrupted stored element (the
+  // implicit unit diagonal and zeros cannot be "corrupted" — they are
+  // never stored — so a located row below the diagonal is a real cell).
+  for (const auto& cd : deltas) {
+    index_t row = -1;
+    if (!checksum::ratio_locates(cd.d1, cd.d2, block.rows(), row)) return false;
+    if (row <= cd.col) return false;  // would fall on the implicit part
+    block(row, cd.col) += cd.d1;
+    if (corrected != nullptr) ++*corrected;
+  }
+  MatD recheck(2, nb);
+  encode_col_unit_lower(block.as_const(), recheck.view());
+  for (index_t j = 0; j < nb; ++j) {
+    const double scale = std::abs(recheck(0, j)) + std::abs(recheck(1, j)) + 1.0;
+    const double thr = tol_slack * checksum::unit_roundoff() * context * scale;
+    if (std::abs(maintained_cs(0, j) - recheck(0, j)) > thr ||
+        std::abs(maintained_cs(1, j) - recheck(1, j)) > thr) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void encode_v_checksums(ConstViewD panel, index_t nb, ViewD v_cs) {
+  const index_t m = panel.rows();
+  const index_t nblk = m / nb;
+  FTLA_CHECK(v_cs.rows() == 2 * nblk && v_cs.cols() == nb, "encode_v_checksums: bad shape");
+  encode_col_unit_lower(panel.block(0, 0, nb, nb), v_cs.block(0, 0, 2, nb));
+  for (index_t i = 1; i < nblk; ++i) {
+    checksum::encode_col(panel.block(i * nb, 0, nb, nb), v_cs.block(2 * i, 0, 2, nb));
+  }
+}
+
+}  // namespace ftla::core

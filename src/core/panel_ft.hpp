@@ -1,0 +1,105 @@
+#pragma once
+
+/// \file panel_ft.hpp
+/// Checksummed panel decompositions — the PD step of each FT
+/// factorization, run on the CPU with checksum maintenance so that PD
+/// output can be verified independently of the data path that computed
+/// it (paper §IV).
+///
+/// LU (no pivoting; see DESIGN.md): the maintained column checksums of
+/// the panel blocks satisfy c(A_i) = c(L_i)·U11, so c(L_i) is derived by
+/// a triangular solve of the incoming checksum strip against the
+/// computed U11 — an independent path from the stored factors. Any
+/// corruption of stored L (encode ≠ c(L)) or stored U (the solve yields
+/// a different c(L)) breaks the comparison.
+///
+/// Cholesky: c(A11) = c(L11)·L11ᵀ gives c(L11) = c(A11)·L11⁻ᵀ.
+///
+/// QR (Algorithm 1): the panel's stacked row checksums are carried
+/// through every reflector application as two extra columns (row
+/// checksums transform exactly like data columns under H·P), converging
+/// to r([R; 0]); additionally Householder transforms preserve column
+/// 2-norms, giving ‖A(:,j)‖₂ = ‖R(0:j, j)‖₂ as a second independent
+/// invariant that catches erroneous reflectors.
+
+#include <vector>
+
+#include "checksum/encode.hpp"
+#include "matrix/matrix.hpp"
+#include "matrix/view.hpp"
+
+namespace ftla::core {
+
+using ftla::ConstViewD;
+using ftla::MatD;
+using ftla::ViewD;
+
+// --- shared encode helpers -------------------------------------------
+
+/// Column checksums of the unit-lower-triangular content of the leading
+/// nb×nb of `block` (implicit 1s on the diagonal, zeros above).
+void encode_col_unit_lower(ConstViewD block, ViewD out);
+
+/// Column checksums of the lower-triangular content (diagonal included,
+/// zeros above) — the L11 of a Cholesky diagonal block.
+void encode_col_lower(ConstViewD block, ViewD out);
+
+/// Column checksums of the upper-triangular content (diagonal included).
+void encode_col_upper(ConstViewD block, ViewD out);
+
+// --- LU ----------------------------------------------------------------
+
+/// Factors an m×nb panel (m = multiple of nb) in place without pivoting
+/// and replaces the checksum strip `cs` ((2·m/nb)×nb, holding the
+/// maintained column checksums of the unfactored panel blocks) with the
+/// derived column checksums of the factored content: c(L_i) for every
+/// block (the diagonal block's checksum covers its unit-lower L part).
+/// Returns 0 on success or the 1-based failing column.
+index_t lu_panel_ft(ViewD panel, index_t nb, ViewD cs);
+
+/// Largest column-checksum mismatch between the stored factored panel
+/// and the derived checksums, scaled for thresholding against
+/// Tolerance::threshold. The diagonal block's U part is covered because
+/// the derived checksums were solved against the stored U.
+double lu_panel_verify(ConstViewD panel, index_t nb, ConstViewD cs,
+                       checksum::Encoder encoder);
+
+// --- Cholesky ------------------------------------------------------------
+
+/// Factors the nb×nb diagonal block in place (lower Cholesky) and
+/// replaces `cs` (2×nb, maintained c(A11)) with the derived c(L11).
+/// Returns 0 or the failing pivot (1-based).
+index_t chol_diag_ft(ViewD a11, ViewD cs);
+
+/// Mismatch between encode(stored L11) and the derived checksum.
+double chol_diag_verify(ConstViewD a11, ConstViewD cs);
+
+// --- QR ------------------------------------------------------------------
+
+/// Householder panel factorization with checksum maintenance
+/// (Algorithm 1). `row_cs_stack` (m×2) enters holding the stacked row
+/// checksums of the panel blocks and leaves holding the maintained
+/// r([R; 0]). `col_norms2` receives the squared 2-norms of the original
+/// panel columns. tau is resized to nb.
+void qr_panel_ft(ViewD panel, ViewD row_cs_stack, std::vector<double>& tau,
+                 std::vector<double>& col_norms2);
+
+/// Verifies a factored QR panel: (a) maintained row checksums against
+/// the re-encoded stored R rows, (b) ≈0 residual rows below R, and
+/// (c) column-norm preservation. Returns the worst scaled deviation.
+double qr_panel_verify(ConstViewD panel, ConstViewD row_cs_stack,
+                       const std::vector<double>& col_norms2);
+
+/// Verifies a block whose maintained column checksums follow the
+/// unit-lower convention (the L11 of LU, the V1 of QR) and δ-repairs a
+/// locatable single corruption in place. Returns true when the block is
+/// consistent (possibly after repair).
+bool verify_repair_unit_lower(ViewD block, ConstViewD maintained_cs, double tol_slack,
+                              double context, index_t* corrected = nullptr);
+
+/// Per-block column checksums of the stored Householder vectors
+/// (block 0 unit-lower, below-diagonal blocks full), for downstream TMU
+/// maintenance and broadcast protection. v_cs is (2·m/nb)×nb.
+void encode_v_checksums(ConstViewD panel, index_t nb, ViewD v_cs);
+
+}  // namespace ftla::core

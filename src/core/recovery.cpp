@@ -1,0 +1,164 @@
+#include "core/recovery.hpp"
+
+#include "checksum/correct.hpp"
+#include "common/error.hpp"
+
+namespace ftla::core {
+
+namespace {
+
+using checksum::BlockCheckResult;
+using checksum::Diagnosis;
+using checksum::ErrorPattern;
+
+RepairOutcome escalate(ViewD block, ViewD col_cs, ViewD row_cs,
+                       const BlockCheckResult& state, RepairContext& ctx);
+
+BlockCheckResult run_verify(ConstViewD block, ConstViewD col_cs, ConstViewD row_cs,
+                            const RepairContext& ctx) {
+  const bool has_col = !col_cs.empty();
+  const bool has_row = !row_cs.empty();
+  FTLA_CHECK(has_col || has_row, "verify called without any checksum");
+  if (has_col && has_row)
+    return checksum::verify_full(block, col_cs, row_cs, ctx.tol, ctx.encoder);
+  if (has_col) return checksum::verify_col(block, col_cs, ctx.tol, ctx.encoder);
+  return checksum::verify_row(block, row_cs, ctx.tol, ctx.encoder);
+}
+
+/// Escalation ladder for damage the first-line δ-correction could not
+/// resolve (e.g. a later update spread a single error across a whole
+/// column while the maintained checksum still shows one element, or a
+/// repair left the other dimension's checksum stale). Each round
+/// re-verifies and applies the strongest applicable repair:
+/// per-element δ-fixes from either dimension, then 1D reconstruction
+/// from the orthogonal checksum with a re-encode of the repaired
+/// dimension. Bounded rounds keep pathological inputs from looping.
+RepairOutcome escalate(ViewD block, ViewD col_cs, ViewD row_cs,
+                       const BlockCheckResult& /*entry_state*/, RepairContext& ctx) {
+  for (int round = 0; round < 4; ++round) {
+    const auto cur =
+        run_verify(block.as_const(), col_cs.as_const(), row_cs.as_const(), ctx);
+    if (cur.clean()) return RepairOutcome::Corrected;
+
+    // (a) Per-element fixes from row deltas when every row locates.
+    if (!cur.row_deltas.empty()) {
+      const auto from_rows = checksum::diagnose_rows(cur.row_deltas, block.cols());
+      if (from_rows.pattern == ErrorPattern::Single ||
+          from_rows.pattern == ErrorPattern::MultiLocatable) {
+        const index_t fixed = checksum::correct_from_row_deltas(block, cur.row_deltas);
+        if (ctx.stats) ctx.stats->corrected_0d += static_cast<std::uint64_t>(fixed);
+        continue;
+      }
+    }
+    // (b) Per-element fixes from column deltas when every column locates.
+    if (!cur.col_deltas.empty()) {
+      const auto from_cols = checksum::diagnose_cols(cur.col_deltas, block.rows());
+      if (from_cols.pattern == ErrorPattern::Single ||
+          from_cols.pattern == ErrorPattern::MultiLocatable) {
+        const index_t fixed = checksum::correct_from_col_deltas(block, cur.col_deltas);
+        if (ctx.stats) ctx.stats->corrected_0d += static_cast<std::uint64_t>(fixed);
+        continue;
+      }
+    }
+    // (c) Damage confined to one column: rebuild it from the row
+    // checksums, then refresh the (now stale) column checksum.
+    if (!row_cs.empty() && cur.col_deltas.size() == 1) {
+      checksum::reconstruct_column(block, row_cs.as_const(), cur.col_deltas.front().col);
+      if (!col_cs.empty()) {
+        checksum::encode_col(block.as_const(), col_cs, ctx.encoder);
+        if (ctx.stats) ++ctx.stats->checksum_rebuilds;
+      }
+      if (ctx.stats) ++ctx.stats->corrected_1d;
+      continue;
+    }
+    // (d) Damage confined to one row: symmetric reconstruction.
+    if (!col_cs.empty() && cur.row_deltas.size() == 1) {
+      checksum::reconstruct_row(block, col_cs.as_const(), cur.row_deltas.front().row);
+      if (!row_cs.empty()) {
+        checksum::encode_row(block.as_const(), row_cs, ctx.encoder);
+        if (ctx.stats) ++ctx.stats->checksum_rebuilds;
+      }
+      if (ctx.stats) ++ctx.stats->corrected_1d;
+      continue;
+    }
+    return RepairOutcome::Uncorrectable;
+  }
+  const auto final_state =
+      run_verify(block.as_const(), col_cs.as_const(), row_cs.as_const(), ctx);
+  return final_state.clean() ? RepairOutcome::Corrected : RepairOutcome::Uncorrectable;
+}
+
+}  // namespace
+
+bool verify_only(ConstViewD block, ConstViewD col_cs, ConstViewD row_cs,
+                 RepairContext& ctx) {
+  const auto result = run_verify(block, col_cs, row_cs, ctx);
+  if (ctx.stats) {
+    ++ctx.stats->blocks_verified;
+    if (!result.clean()) ++ctx.stats->errors_detected;
+  }
+  return result.clean();
+}
+
+RepairOutcome verify_and_repair(ViewD block, ViewD col_cs, ViewD row_cs,
+                                RepairContext& ctx) {
+  const auto result = run_verify(block.as_const(), col_cs.as_const(), row_cs.as_const(), ctx);
+  if (ctx.stats) ++ctx.stats->blocks_verified;
+  if (result.clean()) return RepairOutcome::Clean;
+  if (ctx.stats) ++ctx.stats->errors_detected;
+
+  const Diagnosis diag = checksum::diagnose_full(result, block.rows(), block.cols());
+
+  switch (diag.pattern) {
+    case ErrorPattern::Clean:
+      return RepairOutcome::Clean;
+
+    case ErrorPattern::Single:
+    case ErrorPattern::MultiLocatable: {
+      index_t fixed = 0;
+      if (!result.col_deltas.empty()) {
+        fixed = checksum::correct_from_col_deltas(block, result.col_deltas);
+      } else {
+        fixed = checksum::correct_from_row_deltas(block, result.row_deltas);
+      }
+      if (ctx.stats) ctx.stats->corrected_0d += static_cast<std::uint64_t>(fixed);
+      // Confirm the repair actually restored checksum consistency; if the
+      // delta signature under-described the damage (e.g. a later update
+      // spread a single error across a whole column while the maintained
+      // checksum still shows one element), escalate to the other
+      // dimension's redundancy.
+      const auto recheck =
+          run_verify(block.as_const(), col_cs.as_const(), row_cs.as_const(), ctx);
+      if (recheck.clean()) return RepairOutcome::Corrected;
+      return escalate(block, col_cs, row_cs, recheck, ctx);
+    }
+
+    case ErrorPattern::ColStreak: {
+      if (row_cs.empty()) return RepairOutcome::Uncorrectable;
+      checksum::reconstruct_column(block, row_cs.as_const(), diag.col);
+      if (!col_cs.empty()) {
+        checksum::encode_col(block.as_const(), col_cs, ctx.encoder);
+        if (ctx.stats) ++ctx.stats->checksum_rebuilds;
+      }
+      if (ctx.stats) ++ctx.stats->corrected_1d;
+      return RepairOutcome::Corrected;
+    }
+
+    case ErrorPattern::RowStreak: {
+      if (col_cs.empty()) return RepairOutcome::Uncorrectable;
+      checksum::reconstruct_row(block, col_cs.as_const(), diag.row);
+      if (!row_cs.empty()) {
+        checksum::encode_row(block.as_const(), row_cs, ctx.encoder);
+        if (ctx.stats) ++ctx.stats->checksum_rebuilds;
+      }
+      if (ctx.stats) ++ctx.stats->corrected_1d;
+      return RepairOutcome::Corrected;
+    }
+
+    case ErrorPattern::TwoD:
+      return RepairOutcome::Uncorrectable;
+  }
+  return RepairOutcome::Uncorrectable;
+}
+
+}  // namespace ftla::core

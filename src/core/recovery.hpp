@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file recovery.hpp
+/// The block verify-and-repair engine shared by all three FT
+/// decompositions: verifies a block against its maintained checksums,
+/// classifies the error pattern (0D / 1D / 2D, §VI), and applies the
+/// cheapest applicable correction (§VII).
+
+#include "checksum/bounds.hpp"
+#include "checksum/verify.hpp"
+#include "core/stats.hpp"
+#include "matrix/view.hpp"
+
+namespace ftla::core {
+
+using ftla::ConstViewD;
+using ftla::ViewD;
+
+/// Result of one verify-and-repair pass over a block.
+enum class RepairOutcome {
+  Clean,          ///< checksums matched
+  Corrected,      ///< error(s) found and repaired in place
+  Uncorrectable,  ///< error found; caller must local-restart or give up
+};
+
+/// Collected by the caller to attribute time/counters.
+struct RepairContext {
+  checksum::Tolerance tol;
+  checksum::Encoder encoder = checksum::Encoder::FusedTiled;
+  FtStats* stats = nullptr;
+};
+
+/// Verifies `block` against whichever checksums are supplied (pass empty
+/// views to skip a dimension) and repairs what the available redundancy
+/// allows:
+///   0D / per-column-locatable errors  → δ-correction
+///   column streak + row checksums     → reconstruct the column
+///   row streak + column checksums     → reconstruct the row
+/// After a 1D reconstruction the repaired dimension's checksum is
+/// re-encoded (the reconstruction consumed the orthogonal checksum, so
+/// the repaired data now defines the truth for that dimension).
+RepairOutcome verify_and_repair(ViewD block, ViewD col_cs, ViewD row_cs,
+                                RepairContext& ctx);
+
+/// Verification-only variant (no repair; counts blocks and detections).
+bool verify_only(ConstViewD block, ConstViewD col_cs, ConstViewD row_cs,
+                 RepairContext& ctx);
+
+}  // namespace ftla::core

@@ -1,0 +1,43 @@
+#include "core/stats.hpp"
+
+#include <sstream>
+
+namespace ftla::core {
+
+std::string FtStats::summary() const {
+  std::ostringstream oss;
+  oss << "verified=" << blocks_verified << " blocks, detected=" << errors_detected
+      << ", corrected(0D=" << corrected_0d << ", 1D=" << corrected_1d
+      << ", comm=" << comm_errors_corrected << "), restarts=" << local_restarts
+      << ", time[total=" << total_seconds << "s, ft=" << ft_overhead_seconds() << "s]";
+  switch (status) {
+    case RunStatus::Success: oss << " [ok]"; break;
+    case RunStatus::NeedCompleteRestart: oss << " [COMPLETE RESTART]"; break;
+    case RunStatus::NumericalFailure: oss << " [numerical failure]"; break;
+  }
+  return oss.str();
+}
+
+void FtStats::merge(const FtStats& other) {
+  blocks_verified += other.blocks_verified;
+  verifications_pd_before += other.verifications_pd_before;
+  verifications_pd_after += other.verifications_pd_after;
+  verifications_pu_before += other.verifications_pu_before;
+  verifications_pu_after += other.verifications_pu_after;
+  verifications_tmu_before += other.verifications_tmu_before;
+  verifications_tmu_after += other.verifications_tmu_after;
+  errors_detected += other.errors_detected;
+  corrected_0d += other.corrected_0d;
+  corrected_1d += other.corrected_1d;
+  comm_errors_corrected += other.comm_errors_corrected;
+  local_restarts += other.local_restarts;
+  checksum_rebuilds += other.checksum_rebuilds;
+  encode_seconds += other.encode_seconds;
+  verify_seconds += other.verify_seconds;
+  maintain_seconds += other.maintain_seconds;
+  recovery_seconds += other.recovery_seconds;
+  if (other.status != RunStatus::Success && status == RunStatus::Success)
+    status = other.status;
+}
+
+}  // namespace ftla::core

@@ -1,0 +1,62 @@
+#pragma once
+
+/// \file stats.hpp
+/// Instrumentation collected by the FT decompositions: verification
+/// counts (Table VI), correction/recovery events (Table VIII), and the
+/// time split between useful work and fault-tolerance machinery
+/// (Figs 13-15).
+
+#include <string>
+
+#include "common/types.hpp"
+
+namespace ftla::core {
+
+/// Why a decomposition run ended.
+enum class RunStatus {
+  Success,              ///< factorization completed (errors, if any, handled)
+  NeedCompleteRestart,  ///< an error was detected that ABFT + local restart
+                        ///< cannot fix; the whole computation must rerun
+  NumericalFailure,     ///< non-positive pivot etc. — input problem
+};
+
+struct FtStats {
+  // --- verification accounting (in matrix blocks, Table VI units) -----
+  std::uint64_t blocks_verified = 0;
+  std::uint64_t verifications_pd_before = 0;
+  std::uint64_t verifications_pd_after = 0;
+  std::uint64_t verifications_pu_before = 0;
+  std::uint64_t verifications_pu_after = 0;
+  std::uint64_t verifications_tmu_before = 0;
+  std::uint64_t verifications_tmu_after = 0;
+
+  // --- detection / correction events ----------------------------------
+  std::uint64_t errors_detected = 0;
+  std::uint64_t corrected_0d = 0;       ///< single elements fixed by δ
+  std::uint64_t corrected_1d = 0;       ///< rows/columns reconstructed
+  std::uint64_t comm_errors_corrected = 0;  ///< PCIe corruption fixed at receivers
+  std::uint64_t local_restarts = 0;     ///< PD/PU redone from snapshot
+  std::uint64_t checksum_rebuilds = 0;  ///< blocks re-encoded after repair
+
+  // --- timing ----------------------------------------------------------
+  double total_seconds = 0.0;
+  double encode_seconds = 0.0;    ///< initial + re-encoding
+  double verify_seconds = 0.0;
+  double maintain_seconds = 0.0;  ///< checksum updates riding along ops
+  double recovery_seconds = 0.0;  ///< correction + local restarts
+  double comm_modeled_seconds = 0.0;  ///< PCIe cost-model time
+
+  RunStatus status = RunStatus::Success;
+
+  [[nodiscard]] double ft_overhead_seconds() const noexcept {
+    return encode_seconds + verify_seconds + maintain_seconds + recovery_seconds;
+  }
+
+  [[nodiscard]] std::string summary() const;
+
+  /// Adds another stats record into this one (counters and timers;
+  /// status escalates to the worse of the two).
+  void merge(const FtStats& other);
+};
+
+}  // namespace ftla::core

@@ -1,0 +1,70 @@
+#include "fault/bitflip.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace ftla::fault {
+
+double flip_bit(double value, int bit) {
+  return flip_bits(value, std::uint64_t{1} << bit);
+}
+
+double flip_bits(double value, std::uint64_t mask) {
+  const auto bits = std::bit_cast<std::uint64_t>(value);
+  return std::bit_cast<double>(bits ^ mask);
+}
+
+double relative_change(double a, double b) {
+  return std::abs(a - b) / std::max({std::abs(a), std::abs(b), 1.0});
+}
+
+namespace {
+
+/// Candidate bits guaranteed to move a normal double by a large relative
+/// amount without producing inf/NaN: the top mantissa bits (each worth
+/// 2^-1..2^-8 of the value) and nothing from the top exponent bits.
+constexpr int kHighMantissaLow = 44;   // 2^-8 relative
+constexpr int kHighMantissaHigh = 51;  // 2^-1 relative
+
+bool flip_is_acceptable(double original, double flipped, double min_rel_change) {
+  return std::isfinite(flipped) && relative_change(original, flipped) >= min_rel_change;
+}
+
+int pick_significant_bit(Xoshiro256& rng) {
+  return kHighMantissaLow +
+         static_cast<int>(rng.bounded(kHighMantissaHigh - kHighMantissaLow + 1));
+}
+
+}  // namespace
+
+double flip_one_significant(double value, Xoshiro256& rng, double min_rel_change) {
+  // For zero/denormal values high-mantissa flips barely move the value,
+  // so fall back to an exponent bit that injects a visible magnitude.
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const double flipped = flip_bit(value, pick_significant_bit(rng));
+    if (flip_is_acceptable(value, flipped, min_rel_change)) return flipped;
+  }
+  // Deterministic fallback: set a mid-exponent bit pattern producing a
+  // finite O(1) value regardless of the original.
+  const double fallback = flip_bits(value, (std::uint64_t{0x3ff} << 52));
+  if (flip_is_acceptable(value, fallback, min_rel_change)) return fallback;
+  return value + 1.0;  // last resort: plain additive corruption
+}
+
+double flip_multi_significant(double value, Xoshiro256& rng, double min_rel_change) {
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const int b1 = pick_significant_bit(rng);
+    int b2 = pick_significant_bit(rng);
+    if (b2 == b1) b2 = (b1 == kHighMantissaLow) ? b1 + 1 : b1 - 1;
+    const std::uint64_t mask = (std::uint64_t{1} << b1) | (std::uint64_t{1} << b2);
+    const double flipped = flip_bits(value, mask);
+    if (flip_is_acceptable(value, flipped, min_rel_change)) return flipped;
+  }
+  const double fallback =
+      flip_bits(value, (std::uint64_t{1} << 51) | (std::uint64_t{1} << 50));
+  if (flip_is_acceptable(value, fallback, min_rel_change)) return fallback;
+  return value + 2.0;
+}
+
+}  // namespace ftla::fault

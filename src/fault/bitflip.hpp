@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file bitflip.hpp
+/// IEEE-754-aware bit manipulation for soft-error injection.
+///
+/// The paper's methodology (§X.A): computation errors flip one bit;
+/// memory and PCIe errors flip two or more bits in a word (single-bit
+/// flips there are absorbed by hardware ECC, so ABFT only needs to handle
+/// multi-bit upsets); and flipped bits are always "significant enough
+/// that the value alteration is distinguishable from round-off error".
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+
+namespace ftla::fault {
+
+/// XOR-toggles bit `bit` (0 = LSB of the mantissa, 63 = sign) of an
+/// IEEE-754 double.
+double flip_bit(double value, int bit);
+
+/// XOR-toggles every bit set in `mask`.
+double flip_bits(double value, std::uint64_t mask);
+
+/// Flips one significant bit (a high-mantissa or low-exponent bit chosen
+/// so the relative change exceeds `min_rel_change`). Models a
+/// computation error. Deterministic given the RNG state.
+double flip_one_significant(double value, Xoshiro256& rng, double min_rel_change = 1e-3);
+
+/// Flips two or more significant bits (multi-bit upset beyond ECC
+/// coverage). Models memory and PCIe errors.
+double flip_multi_significant(double value, Xoshiro256& rng, double min_rel_change = 1e-3);
+
+/// Relative change |a - b| / max(|a|, |b|, 1).
+double relative_change(double a, double b);
+
+}  // namespace ftla::fault

@@ -1,0 +1,92 @@
+#pragma once
+
+/// \file fault.hpp
+/// Fault model vocabulary (paper §V) and injection specifications.
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace ftla::fault {
+
+/// The three soft-error classes of the paper's fault model, with memory
+/// errors split by observability (off-chip DRAM vs. on-chip cache /
+/// register / shared-memory).
+enum class FaultType {
+  Computation,   ///< logic fault during an update operation (1 bit)
+  MemoryDram,    ///< off-chip storage cell corrupted (≥2 bits, persistent)
+  MemoryOnChip,  ///< cached copy corrupted during an op; memory unharmed
+  Pcie,          ///< element corrupted in flight during a transfer
+};
+
+/// The update operations of a blocked one-sided decomposition, plus the
+/// communication steps the new checking scheme protects.
+enum class OpKind {
+  PD,            ///< panel decomposition (CPU)
+  CTF,           ///< compute triangular factor (QR only, CPU)
+  PU,            ///< panel update (GPU)
+  TMU,           ///< trailing matrix update (GPU)
+  BroadcastH2D,  ///< decomposed panel broadcast CPU → GPUs
+  BroadcastD2D,  ///< updated panel broadcast GPU → GPUs
+};
+
+/// Whether a fault strikes data an operation reads or data it writes.
+enum class Part { Reference, Update };
+
+/// When a memory fault lands relative to the ABFT verification points:
+/// between two operations (visible to a pre-op check) or during the
+/// operation (after the pre-op check already ran).
+enum class Timing { BetweenOps, DuringOp };
+
+/// Identifies one update operation instance in a decomposition.
+struct OpSite {
+  index_t iteration = 0;
+  OpKind op = OpKind::TMU;
+
+  friend bool operator==(const OpSite&, const OpSite&) = default;
+};
+
+/// A single scheduled fault. One run of a decomposition should carry at
+/// most one spec (paper §X.A injects exactly one fault per execution).
+struct FaultSpec {
+  FaultType type = FaultType::Computation;
+  OpSite site;
+  Part part = Part::Update;
+  Timing timing = Timing::DuringOp;
+  /// Element within the targeted region; -1 selects pseudo-randomly.
+  index_t row = -1;
+  index_t col = -1;
+  /// Global block coordinates the region must match; -1 matches any
+  /// region offered at the hook (pin these for deterministic targeting
+  /// when hooks fire concurrently from several device streams).
+  index_t target_br = -1;
+  index_t target_bc = -1;
+  /// For Pcie faults: index of the receiving GPU to corrupt (-1 = the
+  /// first receiver observed).
+  int target_gpu = -1;
+  /// Seed driving element/bit selection.
+  std::uint64_t seed = 1;
+};
+
+/// What actually happened when a spec fired.
+struct InjectionRecord {
+  FaultSpec spec;
+  /// Region-local coordinates of the corrupted element.
+  ElemCoord where;
+  /// Global matrix coordinates (driver-supplied origin + local).
+  ElemCoord global;
+  double original = 0.0;
+  double corrupted = 0.0;
+  /// On-chip faults only: original value restored after the op.
+  bool restored = false;
+  int gpu = -1;
+};
+
+const char* to_string(FaultType t);
+const char* to_string(OpKind op);
+const char* to_string(Part p);
+const char* to_string(Timing t);
+std::string describe(const FaultSpec& spec);
+
+}  // namespace ftla::fault

@@ -1,0 +1,177 @@
+#include "fault/injector.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace ftla::fault {
+
+const char* to_string(FaultType t) {
+  switch (t) {
+    case FaultType::Computation: return "computation";
+    case FaultType::MemoryDram: return "dram";
+    case FaultType::MemoryOnChip: return "onchip";
+    case FaultType::Pcie: return "pcie";
+  }
+  return "?";
+}
+
+const char* to_string(OpKind op) {
+  switch (op) {
+    case OpKind::PD: return "PD";
+    case OpKind::CTF: return "CTF";
+    case OpKind::PU: return "PU";
+    case OpKind::TMU: return "TMU";
+    case OpKind::BroadcastH2D: return "BcastH2D";
+    case OpKind::BroadcastD2D: return "BcastD2D";
+  }
+  return "?";
+}
+
+const char* to_string(Part p) { return p == Part::Reference ? "ref" : "upd"; }
+
+const char* to_string(Timing t) {
+  return t == Timing::BetweenOps ? "between-ops" : "during-op";
+}
+
+std::string describe(const FaultSpec& spec) {
+  std::ostringstream oss;
+  oss << to_string(spec.type) << "@" << to_string(spec.site.op) << "[iter "
+      << spec.site.iteration << "] " << to_string(spec.part) << " " << to_string(spec.timing);
+  return oss.str();
+}
+
+void FaultInjector::schedule(const FaultSpec& spec) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  pending_.push_back(spec);
+}
+
+void FaultInjector::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  pending_.clear();
+  records_.clear();
+  restores_.clear();
+}
+
+void FaultInjector::fire(const FaultSpec& spec, ViewD region, ElemCoord origin, int gpu) {
+  FTLA_CHECK(!region.empty(), "fault injection into an empty region");
+  Xoshiro256 rng(spec.seed);
+  const index_t r = spec.row >= 0 ? std::min(spec.row, region.rows() - 1)
+                                  : rng.index(region.rows());
+  const index_t c = spec.col >= 0 ? std::min(spec.col, region.cols() - 1)
+                                  : rng.index(region.cols());
+
+  InjectionRecord rec;
+  rec.spec = spec;
+  rec.where = ElemCoord{r, c};
+  rec.global = ElemCoord{origin.row + r, origin.col + c};
+  rec.original = region(r, c);
+  rec.gpu = gpu;
+  rec.corrupted = spec.type == FaultType::Computation
+                      ? flip_one_significant(rec.original, rng)
+                      : flip_multi_significant(rec.original, rng);
+  region(r, c) = rec.corrupted;
+
+  if (spec.type == FaultType::MemoryOnChip) {
+    restores_.push_back(OnChipRestore{spec.site, &region(r, c), rec.original,
+                                      records_.size()});
+  }
+  records_.push_back(rec);
+}
+
+void FaultInjector::pre_verify(const OpSite& site, Part part, ViewD region,
+                               ElemCoord origin, BlockCoord block) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+    if (it->type == FaultType::MemoryDram && it->timing == Timing::BetweenOps &&
+        it->site == site && it->part == part && block_matches(*it, block)) {
+      const FaultSpec spec = *it;
+      pending_.erase(it);
+      fire(spec, region, origin, -1);
+      return;
+    }
+  }
+}
+
+void FaultInjector::pre_compute(const OpSite& site, Part part, ViewD region,
+                                ElemCoord origin, BlockCoord block) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+    const bool dram_during = it->type == FaultType::MemoryDram &&
+                             it->timing == Timing::DuringOp;
+    const bool onchip = it->type == FaultType::MemoryOnChip;
+    if ((dram_during || onchip) && it->site == site && it->part == part &&
+        block_matches(*it, block)) {
+      const FaultSpec spec = *it;
+      pending_.erase(it);
+      fire(spec, region, origin, -1);
+      return;
+    }
+  }
+}
+
+void FaultInjector::restore_onchip(const OpSite& site, BlockCoord block) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = restores_.begin(); it != restores_.end();) {
+    const auto& spec = records_[it->record_index].spec;
+    const bool matches =
+        (block.br < 0 || spec.target_br < 0 || spec.target_br == block.br) &&
+        (block.bc < 0 || spec.target_bc < 0 || spec.target_bc == block.bc);
+    if (it->site == site && matches) {
+      *it->location = it->original;
+      records_[it->record_index].restored = true;
+      it = restores_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void FaultInjector::post_compute(const OpSite& site, ViewD output, ElemCoord origin,
+                                 BlockCoord block) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Restore on-chip corruptions for this site first: the stored cell was
+  // never wrong, only the value the computation consumed. Only entries
+  // matching the completed block are restored — a corruption pinned to a
+  // different region is still "cached" for the operation that reads it.
+  for (auto it = restores_.begin(); it != restores_.end();) {
+    const auto& rspec = records_[it->record_index].spec;
+    const bool rmatch =
+        (block.br < 0 || rspec.target_br < 0 || rspec.target_br == block.br) &&
+        (block.bc < 0 || rspec.target_bc < 0 || rspec.target_bc == block.bc);
+    if (it->site == site && rmatch) {
+      *it->location = it->original;
+      records_[it->record_index].restored = true;
+      it = restores_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+    if (it->type == FaultType::Computation && it->site == site &&
+        block_matches(*it, block)) {
+      const FaultSpec spec = *it;
+      pending_.erase(it);
+      fire(spec, output, origin, -1);
+      return;
+    }
+  }
+}
+
+void FaultInjector::post_transfer(const OpSite& site, int gpu, ViewD received,
+                                  ElemCoord origin, BlockCoord block) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+    if (it->type == FaultType::Pcie && it->site == site &&
+        (it->target_gpu < 0 || it->target_gpu == gpu) && block_matches(*it, block)) {
+      const FaultSpec spec = *it;
+      pending_.erase(it);
+      fire(spec, received, origin, gpu);
+      return;
+    }
+  }
+}
+
+}  // namespace ftla::fault

@@ -1,0 +1,97 @@
+#pragma once
+
+/// \file injector.hpp
+/// Deterministic fault injector.
+///
+/// The FT decomposition drivers expose four hook points per operation
+/// and call the injector at each. The injector fires a scheduled fault
+/// when the hook matches the spec's (site, part, timing):
+///
+///   pre_verify    — before the pre-op checksum verification
+///                   (MemoryDram with Timing::BetweenOps lands here, so a
+///                   prior-op checking scheme can catch it)
+///   pre_compute   — after pre-op verification, before the computation
+///                   (MemoryDram DuringOp and MemoryOnChip land here)
+///   post_compute  — right after the computation, before any post-op
+///                   verification (Computation faults land here; on-chip
+///                   corruptions of this site are restored here, because
+///                   the stored cell was never wrong — only the cached
+///                   copy used during the op)
+///   post_transfer — after a PCIe payload arrived (Pcie faults).
+
+#include <mutex>
+#include <vector>
+
+#include "fault/bitflip.hpp"
+#include "fault/fault.hpp"
+#include "matrix/view.hpp"
+
+namespace ftla::fault {
+
+using ftla::ElemCoord;
+using ftla::ViewD;
+
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+
+  /// Schedules a fault. Multiple specs may be scheduled; each fires at
+  /// most once.
+  void schedule(const FaultSpec& spec);
+
+  /// Removes all schedules and records.
+  void clear();
+
+  // --- driver hooks -------------------------------------------------
+  // `block` identifies the offered region in global block coordinates so
+  // specs pinned to a block fire deterministically even when hooks are
+  // invoked concurrently from several device streams.
+  void pre_verify(const OpSite& site, Part part, ViewD region, ElemCoord origin,
+                  BlockCoord block = {-1, -1});
+  void pre_compute(const OpSite& site, Part part, ViewD region, ElemCoord origin,
+                   BlockCoord block = {-1, -1});
+  void post_compute(const OpSite& site, ViewD output, ElemCoord origin,
+                    BlockCoord block = {-1, -1});
+  void post_transfer(const OpSite& site, int gpu, ViewD received, ElemCoord origin,
+                     BlockCoord block = {-1, -1});
+
+  /// Restores any on-chip corruption of `site` immediately. Drivers call
+  /// this between an operation's data kernel and its checksum-maintenance
+  /// kernel: the transient cached corruption affected the data path, but
+  /// the maintenance kernel re-reads the (clean) memory cell — which is
+  /// what makes on-chip errors detectable by the maintained checksums.
+  /// Only corruptions whose spec matches `block` are restored, so the
+  /// caller that actually consumed the corrupted region is the one that
+  /// clears it (hooks may run concurrently on several device streams).
+  void restore_onchip(const OpSite& site, BlockCoord block = {-1, -1});
+
+  // --- inspection ----------------------------------------------------
+  [[nodiscard]] const std::vector<InjectionRecord>& records() const noexcept {
+    return records_;
+  }
+  /// True when every scheduled fault has fired.
+  [[nodiscard]] bool all_fired() const noexcept { return pending_.empty(); }
+  [[nodiscard]] std::size_t num_pending() const noexcept { return pending_.size(); }
+
+ private:
+  struct OnChipRestore {
+    OpSite site;
+    double* location;
+    double original;
+    std::size_t record_index;
+  };
+
+  void fire(const FaultSpec& spec, ViewD region, ElemCoord origin, int gpu);
+
+  [[nodiscard]] static bool block_matches(const FaultSpec& spec, BlockCoord block) noexcept {
+    return (spec.target_br < 0 || spec.target_br == block.br) &&
+           (spec.target_bc < 0 || spec.target_bc == block.bc);
+  }
+
+  mutable std::mutex mutex_;
+  std::vector<FaultSpec> pending_;
+  std::vector<InjectionRecord> records_;
+  std::vector<OnChipRestore> restores_;
+};
+
+}  // namespace ftla::fault

@@ -1,0 +1,203 @@
+#include "lapack/geqrf.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "blas/blas.hpp"
+#include "common/error.hpp"
+
+namespace ftla::lapack {
+
+double larfg(index_t n, double& alpha, double* x, index_t incx) {
+  if (n <= 1) return 0.0;
+  const double xnorm = blas::nrm2(n - 1, x, incx);
+  if (xnorm == 0.0) return 0.0;
+
+  double beta = -std::copysign(std::hypot(alpha, xnorm), alpha);
+  const double tau = (beta - alpha) / beta;
+  const double inv = 1.0 / (alpha - beta);
+  blas::scal(n - 1, inv, x, incx);
+  alpha = beta;
+  return tau;
+}
+
+void geqrf2(ViewD a, std::vector<double>& tau) {
+  const index_t m = a.rows();
+  const index_t n = a.cols();
+  const index_t k = std::min(m, n);
+  tau.assign(static_cast<std::size_t>(k), 0.0);
+
+  std::vector<double> w(static_cast<std::size_t>(n));
+  for (index_t j = 0; j < k; ++j) {
+    double alpha = a(j, j);
+    const double t = larfg(m - j, alpha, a.col_ptr(j) + j + 1, 1);
+    tau[static_cast<std::size_t>(j)] = t;
+    a(j, j) = alpha;
+
+    if (t != 0.0 && j + 1 < n) {
+      // Apply H = I - t·v·vᵀ to A(j:m, j+1:n) with v = [1; a(j+1:m, j)].
+      const index_t rows = m - j;
+      const index_t cols = n - j - 1;
+      // w ← vᵀ · A(j:, j+1:)
+      for (index_t c = 0; c < cols; ++c) {
+        const double* col = a.col_ptr(j + 1 + c) + j;
+        double s = col[0];
+        for (index_t r = 1; r < rows; ++r) s += a(j + r, j) * col[r];
+        w[static_cast<std::size_t>(c)] = s;
+      }
+      // A(j:, j+1:) -= t · v · wᵀ
+      for (index_t c = 0; c < cols; ++c) {
+        double* col = a.col_ptr(j + 1 + c) + j;
+        const double tw = t * w[static_cast<std::size_t>(c)];
+        col[0] -= tw;
+        for (index_t r = 1; r < rows; ++r) col[r] -= tw * a(j + r, j);
+      }
+    }
+  }
+}
+
+void larft(ConstViewD v, const std::vector<double>& tau, ViewD t) {
+  const index_t m = v.rows();
+  const index_t k = v.cols();
+  FTLA_CHECK(t.rows() == k && t.cols() == k, "larft: T must be k×k");
+
+  fill_view(t, 0.0);
+  for (index_t j = 0; j < k; ++j) {
+    const double tj = tau[static_cast<std::size_t>(j)];
+    t(j, j) = tj;
+    if (j == 0 || tj == 0.0) continue;
+    // t(0:j, j) = -tau_j · T(0:j,0:j) · (V(:,0:j)ᵀ · v_j), where v_j has
+    // an implicit 1 at row j and zeros above.
+    for (index_t i = 0; i < j; ++i) {
+      // (V(:, i)ᵀ v_j): V(:, i) has implicit unit at row i; rows < i are 0.
+      double s = v(j, i);  // row j of column i times v_j(j) = 1
+      for (index_t r = j + 1; r < m; ++r) s += v(r, i) * v(r, j);
+      t(i, j) = -tj * s;
+    }
+    // t(0:j, j) ← T(0:j, 0:j) · t(0:j, j)  (upper-triangular multiply)
+    blas::trmm(blas::Side::Left, blas::Uplo::Upper, blas::Trans::NoTrans, blas::Diag::NonUnit,
+               1.0, t.block(0, 0, j, j).as_const(), t.block(0, j, j, 1));
+  }
+}
+
+void larfb(bool trans, ConstViewD v, ConstViewD t, ViewD c) {
+  const index_t m = c.rows();
+  const index_t n = c.cols();
+  const index_t k = v.cols();
+  FTLA_CHECK(v.rows() == m, "larfb: V rows must match C");
+  if (k == 0 || n == 0) return;
+
+  // W ← V1ᵀ·C1 + V2ᵀ·C2, with V1 the leading k×k unit lower triangle.
+  MatD w(k, n);
+  copy_view(c.block(0, 0, k, n), w.view());
+  blas::trmm(blas::Side::Left, blas::Uplo::Lower, blas::Trans::Trans, blas::Diag::Unit, 1.0,
+             v.block(0, 0, k, k), w.view());
+  if (m > k) {
+    blas::gemm(blas::Trans::Trans, blas::Trans::NoTrans, 1.0, v.block(k, 0, m - k, k),
+               c.block(k, 0, m - k, n).as_const(), 1.0, w.view());
+  }
+
+  // W ← op(T)·W.
+  blas::trmm(blas::Side::Left, blas::Uplo::Upper,
+             trans ? blas::Trans::Trans : blas::Trans::NoTrans, blas::Diag::NonUnit, 1.0, t,
+             w.view());
+
+  // C ← C - V·W.
+  if (m > k) {
+    blas::gemm(blas::Trans::NoTrans, blas::Trans::NoTrans, -1.0, v.block(k, 0, m - k, k),
+               w.const_view(), 1.0, c.block(k, 0, m - k, n));
+  }
+  blas::trmm(blas::Side::Left, blas::Uplo::Lower, blas::Trans::NoTrans, blas::Diag::Unit, 1.0,
+             v.block(0, 0, k, k), w.view());
+  for (index_t j = 0; j < n; ++j) {
+    double* cc = c.col_ptr(j);
+    const double* wc = w.view().col_ptr(j);
+    for (index_t i = 0; i < k; ++i) cc[i] -= wc[i];
+  }
+}
+
+void geqrf(ViewD a, index_t nb, std::vector<double>& tau) {
+  const index_t m = a.rows();
+  const index_t n = a.cols();
+  const index_t mn = std::min(m, n);
+  FTLA_CHECK(nb > 0, "geqrf: block size must be positive");
+  tau.assign(static_cast<std::size_t>(mn), 0.0);
+
+  std::vector<double> tau_local;
+  for (index_t k = 0; k < mn; k += nb) {
+    const index_t kb = std::min(nb, mn - k);
+
+    // Panel decomposition.
+    geqrf2(a.block(k, k, m - k, kb), tau_local);
+    std::copy(tau_local.begin(), tau_local.end(),
+              tau.begin() + static_cast<std::ptrdiff_t>(k));
+
+    if (k + kb < n) {
+      // Compute the triangular factor and update the trailing matrix:
+      // A(k:, k+kb:) ← (I - V·Tᵀ·Vᵀ)·A(k:, k+kb:)  (i.e. Qᵀ applied).
+      MatD t(kb, kb);
+      larft(a.block(k, k, m - k, kb).as_const(), tau_local, t.view());
+      larfb(/*trans=*/true, a.block(k, k, m - k, kb).as_const(), t.const_view(),
+            a.block(k, k + kb, m - k, n - k - kb));
+    }
+  }
+}
+
+MatD orgqr(ConstViewD a, const std::vector<double>& tau, index_t nb) {
+  const index_t m = a.rows();
+  const index_t n = a.cols();
+  const index_t k = std::min(m, n);
+
+  MatD q(m, k, 0.0);
+  for (index_t i = 0; i < k; ++i) q(i, i) = 1.0;
+
+  // Q = H1·H2···Hk·I: apply blocks right-to-left.
+  index_t num_blocks = (k + nb - 1) / nb;
+  for (index_t b = num_blocks - 1; b >= 0; --b) {
+    const index_t j0 = b * nb;
+    const index_t kb = std::min(nb, k - j0);
+    std::vector<double> tau_local(tau.begin() + static_cast<std::ptrdiff_t>(j0),
+                                  tau.begin() + static_cast<std::ptrdiff_t>(j0 + kb));
+    MatD t(kb, kb);
+    larft(a.block(j0, j0, m - j0, kb), tau_local, t.view());
+    larfb(/*trans=*/false, a.block(j0, j0, m - j0, kb), t.const_view(),
+          q.block(j0, j0, m - j0, k - j0));
+  }
+  return q;
+}
+
+void ormqr(bool trans, ConstViewD a, const std::vector<double>& tau, index_t nb, ViewD c) {
+  const index_t m = a.rows();
+  const index_t k = std::min(m, a.cols());
+  FTLA_CHECK(c.rows() == m, "ormqr: C row count must match Q");
+  const index_t num_blocks = (k + nb - 1) / nb;
+
+  // Q = H1·H2···Hk. Qᵀ·C applies blocks left-to-right (H1ᵀ first... note
+  // Hᵢ are symmetric, so Hᵢᵀ = Hᵢ); Q·C applies them right-to-left.
+  auto apply_block = [&](index_t b) {
+    const index_t j0 = b * nb;
+    const index_t kb = std::min(nb, k - j0);
+    std::vector<double> tau_local(tau.begin() + static_cast<std::ptrdiff_t>(j0),
+                                  tau.begin() + static_cast<std::ptrdiff_t>(j0 + kb));
+    MatD t(kb, kb);
+    larft(a.block(j0, j0, m - j0, kb), tau_local, t.view());
+    larfb(trans, a.block(j0, j0, m - j0, kb), t.const_view(),
+          c.block(j0, 0, m - j0, c.cols()));
+  };
+
+  if (trans) {
+    for (index_t b = 0; b < num_blocks; ++b) apply_block(b);
+  } else {
+    for (index_t b = num_blocks - 1; b >= 0; --b) apply_block(b);
+  }
+}
+
+MatD extract_r(ConstViewD a) {
+  const index_t k = std::min(a.rows(), a.cols());
+  MatD r(k, a.cols(), 0.0);
+  for (index_t j = 0; j < a.cols(); ++j)
+    for (index_t i = 0; i <= std::min(j, k - 1); ++i) r(i, j) = a(i, j);
+  return r;
+}
+
+}  // namespace ftla::lapack

@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file geqrf.hpp
+/// Householder QR factorization (LAPACK dgeqrf family).
+///
+/// Storage convention matches LAPACK: after factorization, R occupies the
+/// upper triangle and the Householder vectors V (unit diagonal implicit)
+/// occupy the strictly lower part, with the scalar factors in tau.
+
+#include <vector>
+
+#include "matrix/matrix.hpp"
+#include "matrix/view.hpp"
+
+namespace ftla::lapack {
+
+using ftla::ConstViewD;
+using ftla::MatD;
+using ftla::ViewD;
+using ftla::index_t;
+
+/// Generates an elementary Householder reflector H = I - tau·v·vᵀ such
+/// that H·[alpha; x] = [beta; 0], v(0) = 1 implicit. On return `alpha`
+/// holds beta and x holds v(1:). Returns tau (0 when x is already zero).
+double larfg(index_t n, double& alpha, double* x, index_t incx);
+
+/// Unblocked Householder QR of an m×n panel in place; tau resized to
+/// min(m, n).
+void geqrf2(ViewD a, std::vector<double>& tau);
+
+/// Forms the upper-triangular block-reflector factor T (k×k) from the
+/// Householder vectors V (m×k, unit lower trapezoidal in `v`) and tau,
+/// forward/columnwise convention: H1·H2···Hk = I - V·T·Vᵀ.
+void larft(ConstViewD v, const std::vector<double>& tau, ViewD t);
+
+/// Applies the block reflector to C from the left:
+///   trans == NoTrans: C ← (I - V·T·Vᵀ)·C      (apply Q)
+///   trans == Trans:   C ← (I - V·Tᵀ·Vᵀ)·C     (apply Qᵀ)
+/// V is m×k unit lower trapezoidal, T k×k upper triangular.
+void larfb(bool trans, ConstViewD v, ConstViewD t, ViewD c);
+
+/// Blocked Householder QR with block size nb; tau resized to min(m, n).
+void geqrf(ViewD a, index_t nb, std::vector<double>& tau);
+
+/// Forms the explicit thin Q (m×k, k = min(m,n)) from the factored `a`
+/// and tau produced by geqrf with the same nb.
+MatD orgqr(ConstViewD a, const std::vector<double>& tau, index_t nb);
+
+/// Extracts the upper-triangular R (k×n) from a factored matrix.
+MatD extract_r(ConstViewD a);
+
+/// Applies Q or Qᵀ (from a geqrf factorization with block size nb) to C
+/// from the left, without forming Q explicitly (LAPACK dormqr, side=L):
+///   trans == false: C ← Q·C      trans == true: C ← Qᵀ·C
+void ormqr(bool trans, ConstViewD a, const std::vector<double>& tau, index_t nb, ViewD c);
+
+}  // namespace ftla::lapack

@@ -1,0 +1,122 @@
+#include "lapack/getrf.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "blas/blas.hpp"
+#include "common/error.hpp"
+
+namespace ftla::lapack {
+
+index_t getrf2(ViewD a, std::vector<index_t>& ipiv) {
+  const index_t m = a.rows();
+  const index_t n = a.cols();
+  const index_t mn = std::min(m, n);
+  ipiv.assign(static_cast<std::size_t>(mn), 0);
+
+  for (index_t j = 0; j < mn; ++j) {
+    // Pivot: largest |value| in column j at or below the diagonal.
+    const index_t p = j + blas::iamax(m - j, a.col_ptr(j) + j, 1);
+    ipiv[j] = p;
+    if (a(p, j) == 0.0) return j + 1;
+    if (p != j) blas::swap(n, a.data() + j, a.ld(), a.data() + p, a.ld());
+
+    const double inv = 1.0 / a(j, j);
+    for (index_t i = j + 1; i < m; ++i) a(i, j) *= inv;
+    if (j + 1 < n) {
+      blas::ger(-1.0, a.col_ptr(j) + j + 1, 1, a.data() + j + (j + 1) * a.ld(), a.ld(),
+                a.block(j + 1, j + 1, m - j - 1, n - j - 1));
+    }
+  }
+  return 0;
+}
+
+index_t getrf2_nopiv(ViewD a) {
+  const index_t m = a.rows();
+  const index_t n = a.cols();
+  const index_t mn = std::min(m, n);
+  for (index_t j = 0; j < mn; ++j) {
+    if (a(j, j) == 0.0 || !std::isfinite(a(j, j))) return j + 1;
+    const double inv = 1.0 / a(j, j);
+    for (index_t i = j + 1; i < m; ++i) a(i, j) *= inv;
+    if (j + 1 < n) {
+      blas::ger(-1.0, a.col_ptr(j) + j + 1, 1, a.data() + j + (j + 1) * a.ld(), a.ld(),
+                a.block(j + 1, j + 1, m - j - 1, n - j - 1));
+    }
+  }
+  return 0;
+}
+
+void laswp(ViewD a, const std::vector<index_t>& ipiv, index_t k0, index_t k1) {
+  for (index_t k = k0; k < k1; ++k) {
+    const index_t p = ipiv[static_cast<std::size_t>(k)];
+    if (p != k) blas::swap(a.cols(), a.data() + k, a.ld(), a.data() + p, a.ld());
+  }
+}
+
+index_t getrf(ViewD a, index_t nb, std::vector<index_t>& ipiv) {
+  const index_t m = a.rows();
+  const index_t n = a.cols();
+  const index_t mn = std::min(m, n);
+  FTLA_CHECK(nb > 0, "getrf: block size must be positive");
+  ipiv.assign(static_cast<std::size_t>(mn), 0);
+
+  for (index_t k = 0; k < mn; k += nb) {
+    const index_t kb = std::min(nb, mn - k);
+
+    // Panel decomposition with partial pivoting.
+    std::vector<index_t> piv_local;
+    ViewD panel = a.block(k, k, m - k, kb);
+    const index_t info = getrf2(panel, piv_local);
+    if (info != 0) return k + info;
+    for (index_t j = 0; j < kb; ++j)
+      ipiv[static_cast<std::size_t>(k + j)] = k + piv_local[static_cast<std::size_t>(j)];
+
+    // Apply this panel's interchanges to the columns left and right of it.
+    if (k > 0) laswp(a.block(k, 0, m - k, k), piv_local, 0, kb);
+    if (k + kb < n) laswp(a.block(k, k + kb, m - k, n - k - kb), piv_local, 0, kb);
+
+    if (k + kb < n) {
+      // Panel update: U12 ← L11⁻¹ · A12.
+      blas::trsm(blas::Side::Left, blas::Uplo::Lower, blas::Trans::NoTrans, blas::Diag::Unit,
+                 1.0, a.block(k, k, kb, kb).as_const(),
+                 a.block(k, k + kb, kb, n - k - kb));
+      if (k + kb < m) {
+        // Trailing matrix update: A22 ← A22 - L21·U12.
+        blas::gemm(blas::Trans::NoTrans, blas::Trans::NoTrans, -1.0,
+                   a.block(k + kb, k, m - k - kb, kb).as_const(),
+                   a.block(k, k + kb, kb, n - k - kb).as_const(), 1.0,
+                   a.block(k + kb, k + kb, m - k - kb, n - k - kb));
+      }
+    }
+  }
+  return 0;
+}
+
+index_t getrf_nopiv(ViewD a, index_t nb) {
+  const index_t m = a.rows();
+  const index_t n = a.cols();
+  const index_t mn = std::min(m, n);
+  FTLA_CHECK(nb > 0, "getrf_nopiv: block size must be positive");
+
+  for (index_t k = 0; k < mn; k += nb) {
+    const index_t kb = std::min(nb, mn - k);
+    const index_t info = getrf2_nopiv(a.block(k, k, m - k, kb));
+    if (info != 0) return k + info;
+
+    if (k + kb < n) {
+      blas::trsm(blas::Side::Left, blas::Uplo::Lower, blas::Trans::NoTrans, blas::Diag::Unit,
+                 1.0, a.block(k, k, kb, kb).as_const(),
+                 a.block(k, k + kb, kb, n - k - kb));
+      if (k + kb < m) {
+        blas::gemm(blas::Trans::NoTrans, blas::Trans::NoTrans, -1.0,
+                   a.block(k + kb, k, m - k - kb, kb).as_const(),
+                   a.block(k, k + kb, kb, n - k - kb).as_const(), 1.0,
+                   a.block(k + kb, k + kb, m - k - kb, n - k - kb));
+      }
+    }
+  }
+  return 0;
+}
+
+}  // namespace ftla::lapack

@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file getrf.hpp
+/// LU factorization (LAPACK dgetrf). Both the partial-pivoting reference
+/// and the no-pivoting variant used by the ABFT path are provided. The
+/// ABFT decompositions run without pivoting on diagonally dominant inputs
+/// (the paper does not address pivoting-vs-checksum interaction; see
+/// DESIGN.md), so the no-pivot blocked driver is the apples-to-apples
+/// baseline for FT-LU.
+
+#include <vector>
+
+#include "matrix/view.hpp"
+
+namespace ftla::lapack {
+
+using ftla::ViewD;
+using ftla::index_t;
+
+/// Unblocked right-looking LU with partial pivoting of an m×n panel.
+/// ipiv[j] (0-based) is the row swapped with row j. Returns 0 on success
+/// or the 1-based column index of the first zero pivot.
+index_t getrf2(ViewD a, std::vector<index_t>& ipiv);
+
+/// Unblocked LU without pivoting. Returns 0 or the failing column.
+index_t getrf2_nopiv(ViewD a);
+
+/// Applies row interchanges ipiv[k0..k1) to all columns of `a`
+/// (LAPACK dlaswp with 0-based indices relative to `a`).
+void laswp(ViewD a, const std::vector<index_t>& ipiv, index_t k0, index_t k1);
+
+/// Blocked LU with partial pivoting. ipiv is resized to min(m, n).
+index_t getrf(ViewD a, index_t nb, std::vector<index_t>& ipiv);
+
+/// Blocked LU without pivoting (requires a matrix safe to factor
+/// unpivoted, e.g. diagonally dominant).
+index_t getrf_nopiv(ViewD a, index_t nb);
+
+}  // namespace ftla::lapack

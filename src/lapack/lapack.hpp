@@ -1,0 +1,10 @@
+#pragma once
+
+/// \file lapack.hpp
+/// Umbrella header for the factorization substrate: unblocked panel
+/// kernels plus blocked reference drivers (the non-fault-tolerant
+/// baselines every experiment compares against).
+
+#include "lapack/geqrf.hpp"
+#include "lapack/getrf.hpp"
+#include "lapack/potrf.hpp"

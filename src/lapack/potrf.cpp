@@ -1,0 +1,54 @@
+#include "lapack/potrf.hpp"
+
+#include <cmath>
+
+#include "blas/blas.hpp"
+#include "common/error.hpp"
+
+namespace ftla::lapack {
+
+index_t potrf2(ViewD a) {
+  const index_t n = a.rows();
+  FTLA_CHECK(a.rows() == a.cols(), "potrf2: matrix must be square");
+  for (index_t j = 0; j < n; ++j) {
+    double d = a(j, j);
+    for (index_t k = 0; k < j; ++k) d -= a(j, k) * a(j, k);
+    if (d <= 0.0 || !std::isfinite(d)) return j + 1;
+    d = std::sqrt(d);
+    a(j, j) = d;
+    for (index_t i = j + 1; i < n; ++i) {
+      double s = a(i, j);
+      for (index_t k = 0; k < j; ++k) s -= a(i, k) * a(j, k);
+      a(i, j) = s / d;
+    }
+  }
+  return 0;
+}
+
+index_t potrf(ViewD a, index_t nb) {
+  const index_t n = a.rows();
+  FTLA_CHECK(a.rows() == a.cols(), "potrf: matrix must be square");
+  FTLA_CHECK(nb > 0, "potrf: block size must be positive");
+
+  for (index_t k = 0; k < n; k += nb) {
+    const index_t kb = std::min(nb, n - k);
+    // Panel decomposition: factor the diagonal block.
+    const index_t info = potrf2(a.block(k, k, kb, kb));
+    if (info != 0) return k + info;
+
+    const index_t rest = n - k - kb;
+    if (rest == 0) break;
+
+    // Panel update: L21 ← A21 · L11⁻ᵀ.
+    blas::trsm(blas::Side::Right, blas::Uplo::Lower, blas::Trans::Trans, blas::Diag::NonUnit,
+               1.0, a.block(k, k, kb, kb).as_const(), a.block(k + kb, k, rest, kb));
+
+    // Trailing matrix update: A22 ← A22 - L21·L21ᵀ (lower triangle).
+    blas::syrk(blas::Uplo::Lower, blas::Trans::NoTrans, -1.0,
+               a.block(k + kb, k, rest, kb).as_const(), 1.0,
+               a.block(k + kb, k + kb, rest, rest));
+  }
+  return 0;
+}
+
+}  // namespace ftla::lapack

@@ -1,0 +1,23 @@
+#pragma once
+
+/// \file potrf.hpp
+/// Cholesky factorization A = L·Lᵀ (lower variant, LAPACK dpotrf).
+
+#include "matrix/view.hpp"
+
+namespace ftla::lapack {
+
+using ftla::ViewD;
+using ftla::index_t;
+
+/// Unblocked lower Cholesky of the leading square of `a` in place.
+/// Returns 0 on success, or 1-based index of the first non-positive
+/// pivot (matrix not positive definite).
+index_t potrf2(ViewD a);
+
+/// Blocked lower Cholesky (right-looking), block size nb.
+/// The strictly upper triangle is left untouched.
+/// Returns 0 on success or the 1-based global index of the failing pivot.
+index_t potrf(ViewD a, index_t nb);
+
+}  // namespace ftla::lapack

@@ -1,0 +1,3 @@
+// block.hpp is header-only; this translation unit pins the library's
+// vtable-free symbols and validates the header compiles standalone.
+#include "matrix/block.hpp"

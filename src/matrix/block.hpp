@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file block.hpp
+/// Block partitioning of a matrix into NB×NB tiles — the granularity at
+/// which checksums are encoded, verified and corrected (paper §III.B:
+/// "each matrix block, not the whole input matrix, is used as a unit for
+/// checksum encoding, error detection and correction").
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+#include "matrix/view.hpp"
+
+namespace ftla {
+
+/// Describes the partition of an (rows × cols) matrix into nb×nb blocks.
+/// Edge blocks may be smaller when dimensions are not multiples of nb.
+class BlockLayout {
+ public:
+  BlockLayout() = default;
+
+  BlockLayout(index_t rows, index_t cols, index_t nb)
+      : rows_(rows), cols_(cols), nb_(nb) {
+    FTLA_CHECK(nb > 0, "block size must be positive");
+    FTLA_CHECK(rows >= 0 && cols >= 0, "negative dimension");
+  }
+
+  [[nodiscard]] index_t rows() const noexcept { return rows_; }
+  [[nodiscard]] index_t cols() const noexcept { return cols_; }
+  [[nodiscard]] index_t nb() const noexcept { return nb_; }
+
+  /// Number of block rows / columns (ceil division).
+  [[nodiscard]] index_t block_rows() const noexcept { return (rows_ + nb_ - 1) / nb_; }
+  [[nodiscard]] index_t block_cols() const noexcept { return (cols_ + nb_ - 1) / nb_; }
+
+  /// First row / col of a block.
+  [[nodiscard]] index_t row_start(index_t br) const noexcept { return br * nb_; }
+  [[nodiscard]] index_t col_start(index_t bc) const noexcept { return bc * nb_; }
+
+  /// Height / width of a block (handles ragged edges).
+  [[nodiscard]] index_t block_height(index_t br) const noexcept {
+    const index_t s = row_start(br);
+    return s >= rows_ ? 0 : (rows_ - s < nb_ ? rows_ - s : nb_);
+  }
+  [[nodiscard]] index_t block_width(index_t bc) const noexcept {
+    const index_t s = col_start(bc);
+    return s >= cols_ ? 0 : (cols_ - s < nb_ ? cols_ - s : nb_);
+  }
+
+  /// Block coordinate containing element (i, j).
+  [[nodiscard]] BlockCoord block_of(index_t i, index_t j) const noexcept {
+    return BlockCoord{i / nb_, j / nb_};
+  }
+
+  /// Extracts the block (br, bc) sub-view from a full-matrix view.
+  template <typename T>
+  [[nodiscard]] MatrixView<T> block_view(MatrixView<T> full, index_t br, index_t bc) const {
+    return full.block(row_start(br), col_start(bc), block_height(br), block_width(bc));
+  }
+
+  friend bool operator==(const BlockLayout&, const BlockLayout&) = default;
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  index_t nb_ = 1;
+};
+
+}  // namespace ftla

@@ -1,0 +1,57 @@
+#include "matrix/compare.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "matrix/norms.hpp"
+
+namespace ftla {
+
+double max_abs_diff(ConstViewD a, ConstViewD b) {
+  FTLA_CHECK(a.rows() == b.rows() && a.cols() == b.cols(), "shape mismatch");
+  double best = 0.0;
+  for (index_t j = 0; j < a.cols(); ++j) {
+    const double* ca = a.col_ptr(j);
+    const double* cb = b.col_ptr(j);
+    for (index_t i = 0; i < a.rows(); ++i) best = std::max(best, std::abs(ca[i] - cb[i]));
+  }
+  return best;
+}
+
+double max_rel_diff(ConstViewD a, ConstViewD b) {
+  return max_abs_diff(a, b) / (1.0 + max_abs(a));
+}
+
+bool approx_equal(ConstViewD a, ConstViewD b, double tol) {
+  return max_abs_diff(a, b) <= tol;
+}
+
+index_t count_diff(ConstViewD a, ConstViewD b, double tol) {
+  FTLA_CHECK(a.rows() == b.rows() && a.cols() == b.cols(), "shape mismatch");
+  index_t count = 0;
+  for (index_t j = 0; j < a.cols(); ++j) {
+    const double* ca = a.col_ptr(j);
+    const double* cb = b.col_ptr(j);
+    for (index_t i = 0; i < a.rows(); ++i)
+      if (std::abs(ca[i] - cb[i]) > tol) ++count;
+  }
+  return count;
+}
+
+ElemCoord argmax_abs_diff(ConstViewD a, ConstViewD b) {
+  FTLA_CHECK(a.rows() == b.rows() && a.cols() == b.cols(), "shape mismatch");
+  ElemCoord best{0, 0};
+  double best_val = -1.0;
+  for (index_t j = 0; j < a.cols(); ++j) {
+    for (index_t i = 0; i < a.rows(); ++i) {
+      const double d = std::abs(a(i, j) - b(i, j));
+      if (d > best_val) {
+        best_val = d;
+        best = ElemCoord{i, j};
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace ftla

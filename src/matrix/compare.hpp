@@ -1,0 +1,25 @@
+#pragma once
+
+/// \file compare.hpp
+/// Element-wise matrix comparisons for tests and campaign verdicts.
+
+#include "matrix/view.hpp"
+
+namespace ftla {
+
+/// max |a(i,j) - b(i,j)| over all elements.
+double max_abs_diff(ConstViewD a, ConstViewD b);
+
+/// max |a-b| / (1 + max|a|): scale-aware difference.
+double max_rel_diff(ConstViewD a, ConstViewD b);
+
+/// True when max_abs_diff(a, b) <= tol.
+bool approx_equal(ConstViewD a, ConstViewD b, double tol);
+
+/// Number of elements differing by more than tol.
+index_t count_diff(ConstViewD a, ConstViewD b, double tol);
+
+/// Coordinates of the largest absolute difference.
+ElemCoord argmax_abs_diff(ConstViewD a, ConstViewD b);
+
+}  // namespace ftla

@@ -1,0 +1,111 @@
+#include "matrix/generate.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace ftla {
+
+MatD random_general(index_t rows, index_t cols, std::uint64_t seed, double lo, double hi) {
+  MatD a(rows, cols);
+  Xoshiro256 rng(seed);
+  for (index_t j = 0; j < cols; ++j)
+    for (index_t i = 0; i < rows; ++i) a(i, j) = rng.uniform(lo, hi);
+  return a;
+}
+
+MatD random_symmetric(index_t n, std::uint64_t seed) {
+  MatD a(n, n);
+  Xoshiro256 rng(seed);
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = j; i < n; ++i) {
+      const double v = rng.uniform(-1.0, 1.0);
+      a(i, j) = v;
+      a(j, i) = v;
+    }
+  }
+  return a;
+}
+
+MatD random_spd(index_t n, std::uint64_t seed) {
+  MatD a(n, n);
+  Xoshiro256 rng(seed);
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = j; i < n; ++i) {
+      const double v = rng.uniform(0.0, 1.0);
+      a(i, j) = v;
+      a(j, i) = v;
+    }
+  }
+  for (index_t i = 0; i < n; ++i) a(i, i) += static_cast<double>(n);
+  return a;
+}
+
+MatD random_diag_dominant(index_t n, std::uint64_t seed) {
+  MatD a = random_general(n, n, seed, -1.0, 1.0);
+  for (index_t i = 0; i < n; ++i) {
+    double row_sum = 0.0;
+    for (index_t j = 0; j < n; ++j) row_sum += std::abs(a(i, j));
+    a(i, i) = row_sum + 1.0;
+  }
+  return a;
+}
+
+MatD identity(index_t n) {
+  MatD a(n, n, 0.0);
+  for (index_t i = 0; i < n; ++i) a(i, i) = 1.0;
+  return a;
+}
+
+namespace {
+
+/// Applies the Householder reflector H = I - 2 v vᵀ (‖v‖ = 1) to A from
+/// the left (A ← H A) and from the right (A ← A H), in place.
+void conjugate_by_reflector(MatD& a, const std::vector<double>& v) {
+  const index_t n = a.rows();
+  // Left: A -= 2 v (vᵀ A).
+  std::vector<double> w(n, 0.0);
+  for (index_t j = 0; j < n; ++j) {
+    double dot = 0.0;
+    for (index_t i = 0; i < n; ++i) dot += v[i] * a(i, j);
+    w[j] = dot;
+  }
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < n; ++i) a(i, j) -= 2.0 * v[i] * w[j];
+  // Right: A -= 2 (A v) vᵀ.
+  for (index_t i = 0; i < n; ++i) {
+    double dot = 0.0;
+    for (index_t j = 0; j < n; ++j) dot += a(i, j) * v[j];
+    w[i] = dot;
+  }
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < n; ++i) a(i, j) -= 2.0 * w[i] * v[j];
+}
+
+}  // namespace
+
+MatD random_conditioned(index_t n, double cond, std::uint64_t seed) {
+  FTLA_CHECK(cond >= 1.0, "condition number must be >= 1");
+  MatD a(n, n, 0.0);
+  // Geometric singular-value ladder from 1 down to 1/cond.
+  for (index_t i = 0; i < n; ++i) {
+    const double t = (n == 1) ? 0.0 : static_cast<double>(i) / static_cast<double>(n - 1);
+    a(i, i) = std::pow(cond, -t);
+  }
+  Xoshiro256 rng(seed);
+  std::vector<double> v(n);
+  for (int rep = 0; rep < 2; ++rep) {
+    double norm2 = 0.0;
+    for (index_t i = 0; i < n; ++i) {
+      v[i] = rng.normal();
+      norm2 += v[i] * v[i];
+    }
+    const double inv = 1.0 / std::sqrt(norm2);
+    for (auto& x : v) x *= inv;
+    conjugate_by_reflector(a, v);
+  }
+  return a;
+}
+
+}  // namespace ftla

@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file generate.hpp
+/// Deterministic test-matrix generators. Every generator takes an
+/// explicit seed so fault-injection campaigns can reproduce the exact
+/// input that exposed a behaviour.
+
+#include <cstdint>
+
+#include "matrix/matrix.hpp"
+
+namespace ftla {
+
+/// General dense matrix with i.i.d. uniform entries in [lo, hi).
+MatD random_general(index_t rows, index_t cols, std::uint64_t seed,
+                    double lo = -1.0, double hi = 1.0);
+
+/// Symmetric matrix (uniform entries mirrored across the diagonal).
+MatD random_symmetric(index_t n, std::uint64_t seed);
+
+/// Symmetric positive definite matrix: B + Bᵀ + n·I with B uniform in
+/// [0,1). Strictly diagonally dominant, hence SPD.
+MatD random_spd(index_t n, std::uint64_t seed);
+
+/// Row diagonally dominant matrix (safe for LU without pivoting):
+/// uniform entries with the diagonal boosted past the row's 1-norm.
+MatD random_diag_dominant(index_t n, std::uint64_t seed);
+
+/// Identity.
+MatD identity(index_t n);
+
+/// Matrix with prescribed 2-norm condition number `cond`: D scaled
+/// geometrically between 1 and 1/cond, conjugated by random Householder
+/// reflectors on both sides (a small-scale DLATMS analogue).
+MatD random_conditioned(index_t n, double cond, std::uint64_t seed);
+
+}  // namespace ftla

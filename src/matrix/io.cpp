@@ -1,0 +1,64 @@
+#include "matrix/io.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace ftla {
+
+void print_matrix(std::ostream& os, ConstViewD a, int precision) {
+  os << std::setprecision(precision) << std::fixed;
+  for (index_t i = 0; i < a.rows(); ++i) {
+    for (index_t j = 0; j < a.cols(); ++j) {
+      os << std::setw(precision + 8) << a(i, j);
+    }
+    os << '\n';
+  }
+}
+
+std::string to_string(ConstViewD a, int precision) {
+  std::ostringstream oss;
+  print_matrix(oss, a, precision);
+  return oss.str();
+}
+
+void save_csv(const std::string& path, ConstViewD a) {
+  std::ofstream out(path);
+  FTLA_CHECK(out.good(), "cannot open file for writing: " + path);
+  out << std::setprecision(17);
+  for (index_t i = 0; i < a.rows(); ++i) {
+    for (index_t j = 0; j < a.cols(); ++j) {
+      if (j) out << ',';
+      out << a(i, j);
+    }
+    out << '\n';
+  }
+}
+
+MatD load_csv(const std::string& path) {
+  std::ifstream in(path);
+  FTLA_CHECK(in.good(), "cannot open file for reading: " + path);
+  std::vector<std::vector<double>> rows;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::vector<double> row;
+    std::stringstream ss(line);
+    std::string cell;
+    while (std::getline(ss, cell, ',')) row.push_back(std::stod(cell));
+    FTLA_CHECK(rows.empty() || rows.front().size() == row.size(), "ragged CSV: " + path);
+    rows.push_back(std::move(row));
+  }
+  const index_t m = static_cast<index_t>(rows.size());
+  const index_t n = m > 0 ? static_cast<index_t>(rows.front().size()) : 0;
+  MatD a(m, n);
+  for (index_t i = 0; i < m; ++i)
+    for (index_t j = 0; j < n; ++j) a(i, j) = rows[i][j];
+  return a;
+}
+
+}  // namespace ftla

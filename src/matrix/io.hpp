@@ -1,0 +1,25 @@
+#pragma once
+
+/// \file io.hpp
+/// Human-readable printing and simple CSV persistence for matrices.
+
+#include <iosfwd>
+#include <string>
+
+#include "matrix/matrix.hpp"
+
+namespace ftla {
+
+/// Writes `a` as aligned fixed-precision text (debug-sized matrices only).
+void print_matrix(std::ostream& os, ConstViewD a, int precision = 4);
+
+/// Formats a small matrix to a string.
+std::string to_string(ConstViewD a, int precision = 4);
+
+/// Saves as CSV (one row per line).
+void save_csv(const std::string& path, ConstViewD a);
+
+/// Loads a CSV produced by save_csv.
+MatD load_csv(const std::string& path);
+
+}  // namespace ftla

@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file matrix.hpp
+/// Owning column-major dense matrix.
+
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+#include "matrix/view.hpp"
+
+namespace ftla {
+
+/// Owning, contiguous, column-major dense matrix (ld == rows).
+template <typename T>
+class Matrix {
+ public:
+  Matrix() = default;
+
+  Matrix(index_t rows, index_t cols, T init = T{})
+      : rows_(rows), cols_(cols), data_(static_cast<std::size_t>(rows * cols), init) {
+    FTLA_CHECK(rows >= 0 && cols >= 0, "negative matrix dimension");
+  }
+
+  /// Deep copy from any view.
+  explicit Matrix(MatrixView<const T> v) : Matrix(v.rows(), v.cols()) {
+    copy_view(v, view());
+  }
+  explicit Matrix(MatrixView<T> v) : Matrix(v.as_const()) {}
+
+  [[nodiscard]] index_t rows() const noexcept { return rows_; }
+  [[nodiscard]] index_t cols() const noexcept { return cols_; }
+  [[nodiscard]] index_t ld() const noexcept { return rows_; }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+  [[nodiscard]] index_t size() const noexcept { return rows_ * cols_; }
+
+  T& operator()(index_t i, index_t j) noexcept { return data_[i + j * rows_]; }
+  const T& operator()(index_t i, index_t j) const noexcept { return data_[i + j * rows_]; }
+
+  [[nodiscard]] T* data() noexcept { return data_.data(); }
+  [[nodiscard]] const T* data() const noexcept { return data_.data(); }
+
+  [[nodiscard]] MatrixView<T> view() noexcept {
+    return MatrixView<T>(data_.data(), rows_, cols_, rows_);
+  }
+  [[nodiscard]] MatrixView<const T> view() const noexcept {
+    return MatrixView<const T>(data_.data(), rows_, cols_, rows_);
+  }
+  [[nodiscard]] MatrixView<const T> const_view() const noexcept { return view(); }
+
+  [[nodiscard]] MatrixView<T> block(index_t i0, index_t j0, index_t r, index_t c) {
+    return view().block(i0, j0, r, c);
+  }
+  [[nodiscard]] MatrixView<const T> block(index_t i0, index_t j0, index_t r, index_t c) const {
+    return view().block(i0, j0, r, c);
+  }
+
+  void set_zero() { std::fill(data_.begin(), data_.end(), T{}); }
+
+  friend bool operator==(const Matrix& a, const Matrix& b) {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.data_ == b.data_;
+  }
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  std::vector<T> data_;
+};
+
+using MatD = Matrix<double>;
+
+}  // namespace ftla

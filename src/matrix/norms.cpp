@@ -1,0 +1,109 @@
+#include "matrix/norms.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace ftla {
+
+double one_norm(ConstViewD a) {
+  double best = 0.0;
+  for (index_t j = 0; j < a.cols(); ++j) {
+    double s = 0.0;
+    const double* c = a.col_ptr(j);
+    for (index_t i = 0; i < a.rows(); ++i) s += std::abs(c[i]);
+    best = std::max(best, s);
+  }
+  return best;
+}
+
+double inf_norm(ConstViewD a) {
+  std::vector<double> row_sums(static_cast<std::size_t>(a.rows()), 0.0);
+  for (index_t j = 0; j < a.cols(); ++j) {
+    const double* c = a.col_ptr(j);
+    for (index_t i = 0; i < a.rows(); ++i) row_sums[i] += std::abs(c[i]);
+  }
+  double best = 0.0;
+  for (double s : row_sums) best = std::max(best, s);
+  return best;
+}
+
+double frobenius_norm(ConstViewD a) {
+  double s = 0.0;
+  for (index_t j = 0; j < a.cols(); ++j) {
+    const double* c = a.col_ptr(j);
+    for (index_t i = 0; i < a.rows(); ++i) s += c[i] * c[i];
+  }
+  return std::sqrt(s);
+}
+
+double max_abs(ConstViewD a) {
+  double best = 0.0;
+  for (index_t j = 0; j < a.cols(); ++j) {
+    const double* c = a.col_ptr(j);
+    for (index_t i = 0; i < a.rows(); ++i) best = std::max(best, std::abs(c[i]));
+  }
+  return best;
+}
+
+double cholesky_residual(ConstViewD a, ConstViewD l) {
+  const index_t n = a.rows();
+  MatD r(n, n);
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < n; ++i) {
+      double s = 0.0;
+      const index_t kmax = std::min(i, j);
+      for (index_t k = 0; k <= kmax; ++k) s += l(i, k) * l(j, k);
+      r(i, j) = a(i, j) - s;
+    }
+  }
+  const double na = frobenius_norm(a);
+  return na > 0 ? frobenius_norm(r.view()) / na : frobenius_norm(r.view());
+}
+
+double lu_residual(ConstViewD a, ConstViewD lu) {
+  const index_t n = a.rows();
+  MatD r(n, n);
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < n; ++i) {
+      double s = 0.0;
+      const index_t kmax = std::min(i, j);
+      for (index_t k = 0; k < kmax; ++k) s += lu(i, k) * lu(k, j);
+      // l(i,i) = 1 implicit: add the diagonal crossing term.
+      s += (i <= j) ? lu(i, j) : lu(i, j) * lu(j, j);
+      r(i, j) = a(i, j) - s;
+    }
+  }
+  const double na = frobenius_norm(a);
+  return na > 0 ? frobenius_norm(r.view()) / na : frobenius_norm(r.view());
+}
+
+double qr_residual(ConstViewD a, ConstViewD q, ConstViewD r) {
+  const index_t m = a.rows();
+  const index_t n = a.cols();
+  MatD res(m, n);
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < m; ++i) {
+      double s = 0.0;
+      for (index_t k = 0; k <= j && k < q.cols(); ++k) s += q(i, k) * r(k, j);
+      res(i, j) = a(i, j) - s;
+    }
+  }
+  const double na = frobenius_norm(a);
+  return na > 0 ? frobenius_norm(res.view()) / na : frobenius_norm(res.view());
+}
+
+double orthogonality_residual(ConstViewD q) {
+  const index_t n = q.cols();
+  MatD g(n, n);
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < n; ++i) {
+      double s = 0.0;
+      for (index_t k = 0; k < q.rows(); ++k) s += q(k, i) * q(k, j);
+      g(i, j) = s - (i == j ? 1.0 : 0.0);
+    }
+  }
+  return frobenius_norm(g.view());
+}
+
+}  // namespace ftla

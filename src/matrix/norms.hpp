@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file norms.hpp
+/// Matrix norms and decomposition residuals. The 1- and inf-norms feed
+/// the ABFT round-off error bounds (paper §III.B); the residuals back the
+/// correctness tests and the campaign verdicts.
+
+#include "matrix/matrix.hpp"
+#include "matrix/view.hpp"
+
+namespace ftla {
+
+/// max column sum of |a|.
+double one_norm(ConstViewD a);
+
+/// max row sum of |a|.
+double inf_norm(ConstViewD a);
+
+/// Frobenius norm.
+double frobenius_norm(ConstViewD a);
+
+/// max |a(i,j)|.
+double max_abs(ConstViewD a);
+
+/// ‖A - L·Lᵀ‖_F / ‖A‖_F, with L read from the lower triangle of `l`.
+double cholesky_residual(ConstViewD a, ConstViewD l);
+
+/// ‖A - L·U‖_F / ‖A‖_F with L (unit lower) and U packed in `lu`
+/// (no pivoting).
+double lu_residual(ConstViewD a, ConstViewD lu);
+
+/// ‖A - Q·R‖_F / ‖A‖_F given the explicit Q (m×n) and R (n×n upper).
+double qr_residual(ConstViewD a, ConstViewD q, ConstViewD r);
+
+/// ‖Qᵀ·Q - I‖_F (orthogonality of the thin Q factor).
+double orthogonality_residual(ConstViewD q);
+
+}  // namespace ftla

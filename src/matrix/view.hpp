@@ -1,0 +1,106 @@
+#pragma once
+
+/// \file view.hpp
+/// Non-owning strided matrix views, column-major (LAPACK convention).
+///
+/// A MatrixView<T> is the universal currency of the library: BLAS
+/// kernels, checksum encoders, fault injectors and the simulated-device
+/// transfer layer all speak views, so the same code path runs on host
+/// memory and on simulated device memory.
+
+#include <cstddef>
+#include <type_traits>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace ftla {
+
+/// Mutable (or const, when T is const-qualified) column-major view:
+/// element (i, j) lives at data[i + j * ld].
+template <typename T>
+class MatrixView {
+ public:
+  using value_type = std::remove_const_t<T>;
+
+  constexpr MatrixView() noexcept = default;
+
+  constexpr MatrixView(T* data, index_t rows, index_t cols, index_t ld) noexcept
+      : data_(data), rows_(rows), cols_(cols), ld_(ld) {}
+
+  /// Implicit widening from mutable to const view.
+  template <typename U = T,
+            typename = std::enable_if_t<std::is_const_v<U>>>
+  constexpr MatrixView(const MatrixView<value_type>& other) noexcept  // NOLINT(google-explicit-constructor)
+      : data_(other.data()), rows_(other.rows()), cols_(other.cols()), ld_(other.ld()) {}
+
+  [[nodiscard]] constexpr T* data() const noexcept { return data_; }
+  [[nodiscard]] constexpr index_t rows() const noexcept { return rows_; }
+  [[nodiscard]] constexpr index_t cols() const noexcept { return cols_; }
+  [[nodiscard]] constexpr index_t ld() const noexcept { return ld_; }
+  [[nodiscard]] constexpr bool empty() const noexcept { return rows_ == 0 || cols_ == 0; }
+  [[nodiscard]] constexpr index_t size() const noexcept { return rows_ * cols_; }
+
+  constexpr T& operator()(index_t i, index_t j) const noexcept {
+    return data_[i + j * ld_];
+  }
+
+  [[nodiscard]] T& at(index_t i, index_t j) const {
+    FTLA_CHECK(i >= 0 && i < rows_ && j >= 0 && j < cols_, "matrix index out of range");
+    return (*this)(i, j);
+  }
+
+  /// Sub-view of `r` rows and `c` cols starting at (i0, j0).
+  [[nodiscard]] MatrixView<T> block(index_t i0, index_t j0, index_t r, index_t c) const {
+    FTLA_CHECK(i0 >= 0 && j0 >= 0 && r >= 0 && c >= 0 && i0 + r <= rows_ && j0 + c <= cols_,
+               "sub-view out of range");
+    return MatrixView<T>(data_ + i0 + j0 * ld_, r, c, ld_);
+  }
+
+  [[nodiscard]] MatrixView<T> col(index_t j) const { return block(0, j, rows_, 1); }
+  [[nodiscard]] MatrixView<T> row(index_t i) const { return block(i, 0, 1, cols_); }
+
+  /// Column pointer (stride-1 access down a column).
+  [[nodiscard]] T* col_ptr(index_t j) const noexcept { return data_ + j * ld_; }
+
+  [[nodiscard]] constexpr MatrixView<const value_type> as_const() const noexcept {
+    return MatrixView<const value_type>(data_, rows_, cols_, ld_);
+  }
+
+ private:
+  T* data_ = nullptr;
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  index_t ld_ = 0;
+};
+
+using ViewD = MatrixView<double>;
+using ConstViewD = MatrixView<const double>;
+
+/// Copies src into dst element-wise (shapes must match; strides may differ).
+template <typename T>
+void copy_view(MatrixView<const T> src, MatrixView<T> dst) {
+  FTLA_CHECK(src.rows() == dst.rows() && src.cols() == dst.cols(),
+             "copy_view shape mismatch");
+  for (index_t j = 0; j < src.cols(); ++j) {
+    const T* s = src.col_ptr(j);
+    T* d = dst.col_ptr(j);
+    for (index_t i = 0; i < src.rows(); ++i) d[i] = s[i];
+  }
+}
+
+template <typename T>
+void copy_view(MatrixView<T> src, MatrixView<T> dst) {
+  copy_view(src.as_const(), dst);
+}
+
+/// Fills every element of the view with `value`.
+template <typename T>
+void fill_view(MatrixView<T> v, T value) {
+  for (index_t j = 0; j < v.cols(); ++j) {
+    T* c = v.col_ptr(j);
+    for (index_t i = 0; i < v.rows(); ++i) c[i] = value;
+  }
+}
+
+}  // namespace ftla

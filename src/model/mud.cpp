@@ -1,0 +1,64 @@
+#include "model/mud.hpp"
+
+namespace ftla::model {
+
+const char* to_string(Level level) {
+  switch (level) {
+    case Level::Zero: return "0D";
+    case Level::One: return "1D";
+    case Level::Two: return "2D";
+  }
+  return "?";
+}
+
+Level mud(OpKind op, Part part) {
+  switch (op) {
+    case OpKind::PD:
+    case OpKind::CTF:
+      // Elimination / reflection mixes every element of the panel with
+      // every other: a corrupted pivot or reflector element taints a 2D
+      // region of the output.
+      return Level::Two;
+    case OpKind::PU:
+      // The reference block (L11/T) feeds every row+column of the solve:
+      // 2D. Each update-part element only contributes to its own
+      // row/column of the solve: 1D.
+      return part == Part::Reference ? Level::Two : Level::One;
+    case OpKind::TMU:
+      // A reference-panel element multiplies into one row (or column) of
+      // the product: 1D. An update-part element is only combined with
+      // itself: 0D.
+      return part == Part::Reference ? Level::One : Level::Zero;
+    case OpKind::BroadcastH2D:
+    case OpKind::BroadcastD2D:
+      return Level::Zero;
+  }
+  return Level::Two;
+}
+
+Level propagation(OpKind op, Part part, FaultType fault) {
+  switch (fault) {
+    case FaultType::Computation:
+      // A wrongly computed output element is standalone until referenced.
+      return Level::Zero;
+    case FaultType::MemoryDram:
+    case FaultType::MemoryOnChip:
+      // Corrupted data consumed by the operation propagates with the
+      // part's MUD (the paper's central observation: MUD(x) bounds the
+      // propagation of a corruption of x).
+      return mud(op, part);
+    case FaultType::Pcie:
+      // Corruption arrives as a standalone element at the receiver;
+      // within the transfer itself nothing propagates.
+      return Level::Zero;
+  }
+  return Level::Two;
+}
+
+bool tolerable_single_side(Level level) { return level == Level::Zero; }
+
+bool tolerable_full(Level level) {
+  return level == Level::Zero || level == Level::One;
+}
+
+}  // namespace ftla::model

@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file mud.hpp
+/// Maximum Update Dimension and error-propagation classification
+/// (paper §VI, Tables IV and V).
+///
+/// MUD(x) counts the dimensionality of the region an element can
+/// directly or indirectly update within one operation; the same number
+/// bounds how far a corruption of x propagates during that operation.
+
+#include "fault/fault.hpp"
+
+namespace ftla::model {
+
+using fault::FaultType;
+using fault::OpKind;
+using fault::Part;
+
+/// Propagation / update dimensionality.
+enum class Level : int {
+  Zero = 0,  ///< single standalone element
+  One = 1,   ///< whole or part of one row/column
+  Two = 2,   ///< beyond one row or column
+};
+
+const char* to_string(Level level);
+
+/// Table IV: MUD of an update/reference part of an operation.
+/// PD: both parts reach 2D (elimination/reflection mixes the panel).
+/// PU: reference (the factored diagonal/panel block) reaches 2D; the
+///     update part reaches 1D (each row/column is solved independently).
+/// TMU: reference panels reach 1D (one row or column of the product);
+///     the update part only touches itself (0D).
+Level mud(OpKind op, Part part);
+
+/// Table V: worst-case error propagation within one operation for a
+/// fault of the given class striking the given part.
+/// Communication faults corrupt a standalone received element (0D at the
+/// point of arrival); their downstream effect equals the reference-part
+/// propagation of the operation that consumes them.
+Level propagation(OpKind op, Part part, FaultType fault);
+
+/// Whether a single-side (one-dimensional) checksum layout can correct
+/// the propagation pattern, and whether the full layout can (Table V's
+/// tolerability annotations). 2D is tolerable by neither — it needs a
+/// local restart.
+bool tolerable_single_side(Level level);
+bool tolerable_full(Level level);
+
+}  // namespace ftla::model

@@ -1,0 +1,55 @@
+#include "model/overhead.hpp"
+
+#include "common/error.hpp"
+
+namespace ftla::model {
+
+double decomposition_flops(Decomp decomp, index_t n) {
+  const double nd = static_cast<double>(n);
+  switch (decomp) {
+    case Decomp::Cholesky: return nd * nd * nd / 3.0;
+    case Decomp::Lu: return 2.0 * nd * nd * nd / 3.0;
+    case Decomp::Qr: return 4.0 * nd * nd * nd / 3.0;
+  }
+  return 0.0;
+}
+
+double encode_overhead(Decomp decomp, index_t n, index_t nb) {
+  const double nd = static_cast<double>(n);
+  const double nbd = static_cast<double>(nb);
+  const double blocks = (nd / nbd) * (nd / nbd);
+  const double coverage = decomp == Decomp::Cholesky ? 0.5 : 1.0;
+  const double encode_flops = coverage * blocks * 6.0 * nbd * nbd;
+  return encode_flops / decomposition_flops(decomp, n);
+}
+
+double update_overhead(Decomp decomp, index_t n, index_t nb) {
+  (void)decomp;
+  (void)n;
+  // Column checksums add 2 shadow rows and row checksums 2 shadow
+  // columns to every NB-wide BLAS-3 update: 4/NB of the update flops.
+  return 4.0 / static_cast<double>(nb);
+}
+
+double verification_overhead(Decomp decomp, index_t n, index_t k_repairs) {
+  const double nd = static_cast<double>(n);
+  const double kd = static_cast<double>(k_repairs);
+  switch (decomp) {
+    case Decomp::Cholesky: return (72.0 * kd + 288.0) / nd;
+    case Decomp::Lu: return (36.0 * kd + 144.0) / nd;
+    case Decomp::Qr: return (18.0 * kd + 108.0) / nd;
+  }
+  return 0.0;
+}
+
+double total_overhead(Decomp decomp, index_t n, index_t nb, index_t k_repairs) {
+  return encode_overhead(decomp, n, nb) + update_overhead(decomp, n, nb) +
+         verification_overhead(decomp, n, k_repairs);
+}
+
+double space_overhead(index_t nb) {
+  FTLA_CHECK(nb > 0, "block size must be positive");
+  return 4.0 / static_cast<double>(nb);
+}
+
+}  // namespace ftla::model

@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file overhead.hpp
+/// Closed-form relative fault-tolerance overhead (paper §IX, Table VII):
+/// checksum encoding + checksum updating + checksum verification,
+/// relative to the decomposition's flop count. All overheads vanish as
+/// O(1/n) or O(1/NB), which is the paper's headline scalability claim.
+
+#include "common/types.hpp"
+#include "core/campaign.hpp"
+
+namespace ftla::model {
+
+using core::Decomp;
+using ftla::index_t;
+
+/// Decomposition flop counts (double precision, square n×n).
+double decomposition_flops(Decomp decomp, index_t n);
+
+/// Relative overhead of the initial checksum encoding (§IX.A.1):
+///   Cholesky 9/n, LU 9/n, QR 9/(2n)
+/// with 6·NB² flops per full block encode and Cholesky encoding only the
+/// lower half.
+double encode_overhead(Decomp decomp, index_t n, index_t nb);
+
+/// Relative overhead of checksum updating riding along PU/TMU
+/// (§IX.A.2): the 2-row and 2-column checksum strips shadow each
+/// BLAS-3 update, ≈ 4/NB for the full layout.
+double update_overhead(Decomp decomp, index_t n, index_t nb);
+
+/// Relative overhead of checksum verification with the new scheme
+/// (§IX.A.3): Cholesky (72K+288)/n, LU (36K+144)/n, QR (18K+108)/n,
+/// where K is the number of 1D memory-error repairs per iteration.
+double verification_overhead(Decomp decomp, index_t n, index_t k_repairs);
+
+/// Total relative overhead (Table VII).
+double total_overhead(Decomp decomp, index_t n, index_t nb, index_t k_repairs = 0);
+
+/// Relative memory-space overhead of full checksums (§IX.B): 4/NB.
+double space_overhead(index_t nb);
+
+}  // namespace ftla::model

@@ -1,0 +1,183 @@
+#include "model/probability.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace ftla::model {
+
+namespace {
+
+/// P(exactly one event) for M independent exposures with rate r:
+/// M·r·(1-r)^(M-1); numerically via exp/log1p for tiny r and huge M.
+double p_one(double exposure, double rate) {
+  if (exposure <= 0.0 || rate <= 0.0) return 0.0;
+  return exposure * rate * std::exp((exposure - 1.0) * std::log1p(-rate));
+}
+
+}  // namespace
+
+Resolution resolve(FaultType fault, Timing timing, OpKind op, Part part, ChecksumKind cs,
+                   SchemeKind scheme) {
+  if (cs == ChecksumKind::None) return Resolution::CompleteRestart;
+
+  switch (fault) {
+    case FaultType::Computation:
+      // A standalone wrong output element. Inside the irregular PD/CTF
+      // it taints the factorization → local restart from the snapshot;
+      // in PU the update is protected only when the updated panel
+      // carries checksums (full layout); in TMU it is a 0D fix.
+      if (op == OpKind::PD || op == OpKind::CTF) return Resolution::LocalRestart;
+      if (op == OpKind::PU) {
+        return cs == ChecksumKind::Full ? Resolution::AbftFixable
+                                        : Resolution::CompleteRestart;
+      }
+      return Resolution::AbftFixable;
+
+    case FaultType::MemoryDram:
+      if (timing == Timing::BetweenOps && scheme != SchemeKind::PostOp) {
+        // Caught as a 0D error by the check that precedes consumption
+        // (prior-op input check / our heuristic panel check).
+        return Resolution::AbftFixable;
+      }
+      [[fallthrough]];
+    case FaultType::MemoryOnChip: {
+      // Consumed by the operation: propagates with the part's MUD.
+      const Level level = mud(op, part);
+      if (tolerable_single_side(level)) return Resolution::AbftFixable;
+      if (level == Level::One) {
+        return cs == ChecksumKind::Full ? Resolution::AbftFixable
+                                        : Resolution::CompleteRestart;
+      }
+      return Resolution::LocalRestart;  // 2D, detected around PD/PU
+    }
+
+    case FaultType::Pcie:
+      // The new scheme verifies at the receivers (voting, §VII.C); the
+      // prior-op scheme re-checks inputs before use; the post-op scheme
+      // checked before the broadcast and lets the corruption through.
+      return scheme == SchemeKind::PostOp ? Resolution::CompleteRestart
+                                          : Resolution::AbftFixable;
+  }
+  return Resolution::CompleteRestart;
+}
+
+double p_computation_error(const Rates& rates, const OpProfile& profile) {
+  return p_one(profile.flops, rates.comp);
+}
+
+double p_offchip_between(const Rates& rates, const OpProfile& profile, Part part) {
+  // Exposure is element·seconds: every element of the part sits in DRAM
+  // for the inter-operation window (≈ the operation's own duration).
+  const double mem = part == Part::Update ? profile.mem_update : profile.mem_reference;
+  return p_one(mem * profile.seconds, rates.offchip);
+}
+
+double p_memory_during(const Rates& rates, const OpProfile& profile, Part part) {
+  const double mem = part == Part::Update ? profile.mem_update : profile.mem_reference;
+  return p_one(mem * profile.seconds, rates.offchip + rates.onchip);
+}
+
+double p_broadcast_error(const Rates& rates, const OpProfile& profile) {
+  return p_one(profile.bcast_elements, rates.pcie);
+}
+
+OutcomeDist outcome_distribution(OpKind op, ChecksumKind cs, SchemeKind scheme,
+                                 const Rates& rates, const OpProfile& profile) {
+  struct Case {
+    double probability;
+    Resolution resolution;
+  };
+
+  std::vector<Case> cases;
+  cases.push_back({p_computation_error(rates, profile),
+                   resolve(FaultType::Computation, Timing::DuringOp, op, Part::Update, cs,
+                           scheme)});
+  for (Part part : {Part::Update, Part::Reference}) {
+    cases.push_back({p_offchip_between(rates, profile, part),
+                     resolve(FaultType::MemoryDram, Timing::BetweenOps, op, part, cs,
+                             scheme)});
+    cases.push_back({p_memory_during(rates, profile, part),
+                     resolve(FaultType::MemoryOnChip, Timing::DuringOp, op, part, cs,
+                             scheme)});
+  }
+  cases.push_back({p_broadcast_error(rates, profile),
+                   resolve(FaultType::Pcie, Timing::DuringOp, op, Part::Update, cs,
+                           scheme)});
+
+  OutcomeDist dist;
+  double faulty = 0.0;
+  for (const auto& c : cases) {
+    faulty += c.probability;
+    switch (c.resolution) {
+      case Resolution::AbftFixable: dist.abft_fixable += c.probability; break;
+      case Resolution::LocalRestart: dist.local_restart += c.probability; break;
+      case Resolution::CompleteRestart: dist.complete_restart += c.probability; break;
+    }
+  }
+  dist.fault_free = std::max(0.0, 1.0 - faulty);
+  return dist;
+}
+
+double expected_recovery_seconds(const OutcomeDist& dist, const RecoveryCosts& costs) {
+  return dist.abft_fixable * costs.abft_fix + dist.local_restart * costs.local_restart +
+         dist.complete_restart * costs.complete_restart;
+}
+
+OpProfile lu_profile(OpKind op, index_t j, index_t nb, int ngpu, double gflops,
+                     double pcie_gbs) {
+  FTLA_CHECK(ngpu >= 1, "need at least one GPU");
+  const double jd = static_cast<double>(j);
+  const double nbd = static_cast<double>(nb);
+  OpProfile p;
+  switch (op) {
+    case OpKind::PD:
+      p.flops = jd * nbd * nbd;  // panel elimination over j rows
+      p.mem_update = jd * nbd;
+      p.mem_reference = jd * nbd;
+      p.bcast_elements = jd * nbd * static_cast<double>(ngpu);  // panel to all GPUs
+      break;
+    case OpKind::PU:
+      p.flops = nbd * nbd * (jd - nbd);  // trsm over the row panel
+      p.mem_update = nbd * (jd - nbd);
+      p.mem_reference = nbd * nbd;
+      p.bcast_elements = 0.0;  // LU's row panel stays where it is computed
+      break;
+    case OpKind::TMU:
+      p.flops = 2.0 * (jd - nbd) * (jd - nbd) * nbd;
+      p.mem_update = (jd - nbd) * (jd - nbd);
+      p.mem_reference = 2.0 * (jd - nbd) * nbd;
+      p.bcast_elements = 0.0;
+      break;
+    default:
+      break;
+  }
+  p.seconds = p.flops / (gflops * 1e9);
+  // PCIe time adds to the exposure window of the broadcast payload.
+  p.seconds += p.bcast_elements * 8.0 / (pcie_gbs * 1e9);
+  return p;
+}
+
+RecoveryCosts lu_recovery_costs(OpKind op, index_t n, index_t j, index_t nb,
+                                double gflops) {
+  const double nd = static_cast<double>(n);
+  const double jd = static_cast<double>(j);
+  const double nbd = static_cast<double>(nb);
+  const double per_flop = 1.0 / (gflops * 1e9);
+
+  RecoveryCosts costs;
+  // An ABFT fix re-verifies the affected panel (≈ 4·j·nb flops) and
+  // patches O(nb) elements.
+  costs.abft_fix = (4.0 * jd * nbd + nbd * nbd) * per_flop;
+  // A local restart redoes the faulty operation.
+  costs.local_restart = lu_profile(op, j, nb, 1, gflops).flops * per_flop;
+  // A complete restart redoes everything done so far: the full
+  // decomposition minus the remaining trailing work.
+  const double total = 2.0 / 3.0 * nd * nd * nd;
+  const double remaining = 2.0 / 3.0 * jd * jd * jd;
+  costs.complete_restart = (total - remaining) * per_flop;
+  return costs;
+}
+
+}  // namespace ftla::model

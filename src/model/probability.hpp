@@ -1,0 +1,93 @@
+#pragma once
+
+/// \file probability.hpp
+/// The §X.B probability model: given hardware error rates and the
+/// time/memory profile of each update operation, compute the probability
+/// of the four possible outcomes (Fault Free / ABFT Fixable / Local
+/// Restart / Complete Restart) and the expected recovery cost — the
+/// quantities plotted in Figs 6-8 and 9-11.
+
+#include "core/options.hpp"
+#include "fault/fault.hpp"
+#include "model/mud.hpp"
+
+namespace ftla::model {
+
+using core::ChecksumKind;
+using core::SchemeKind;
+using fault::FaultType;
+using fault::OpKind;
+using fault::Part;
+using fault::Timing;
+
+/// Hardware error rates (paper values: λ1=1e-13, λ2=λ3=1e-9, λ4=1e-11).
+struct Rates {
+  double comp = 1e-13;     ///< λ1: per flop
+  double offchip = 1e-9;   ///< λ2: per element per second in DRAM
+  double onchip = 1e-9;    ///< λ3: per element per op-second on chip
+  double pcie = 1e-11;     ///< λ4: per element transferred
+};
+
+/// Time and memory footprint of one operation instance (Table IX).
+struct OpProfile {
+  double flops = 0.0;          ///< T_OP(n, nb)
+  double seconds = 0.0;        ///< A_OP(n, nb) on the target platform
+  double mem_update = 0.0;     ///< M_OP,U elements
+  double mem_reference = 0.0;  ///< M_OP,R elements
+  double bcast_elements = 0.0; ///< M_OP,BC elements transferred after OP
+};
+
+/// The four §X.B outcomes.
+struct OutcomeDist {
+  double fault_free = 1.0;
+  double abft_fixable = 0.0;
+  double local_restart = 0.0;
+  double complete_restart = 0.0;
+
+  [[nodiscard]] double faulty() const {
+    return abft_fixable + local_restart + complete_restart;
+  }
+};
+
+/// How one fault class resolves under a protection configuration —
+/// the analytic counterpart of a Table VIII cell.
+enum class Resolution { AbftFixable, LocalRestart, CompleteRestart };
+
+Resolution resolve(FaultType fault, Timing timing, OpKind op, Part part, ChecksumKind cs,
+                   SchemeKind scheme);
+
+/// Case probabilities (§X.B cases B, D, F, H). All ≈ M·rate·(1-rate)^M
+/// with the appropriate exposure.
+double p_computation_error(const Rates& rates, const OpProfile& profile);
+double p_offchip_between(const Rates& rates, const OpProfile& profile, Part part);
+double p_memory_during(const Rates& rates, const OpProfile& profile, Part part);
+double p_broadcast_error(const Rates& rates, const OpProfile& profile);
+
+/// Aggregates every fault class into the four-outcome distribution for
+/// one operation instance.
+OutcomeDist outcome_distribution(OpKind op, ChecksumKind cs, SchemeKind scheme,
+                                 const Rates& rates, const OpProfile& profile);
+
+/// Recovery costs per outcome (seconds), measured or modeled.
+struct RecoveryCosts {
+  double abft_fix = 0.0;
+  double local_restart = 0.0;
+  double complete_restart = 0.0;
+};
+
+/// Expected recovery time of one operation instance.
+double expected_recovery_seconds(const OutcomeDist& dist, const RecoveryCosts& costs);
+
+/// Operation profile for one LU iteration with trailing size j, block
+/// size nb, sustained `gflops` and PCIe bandwidth `pcie_gbs` (paper's
+/// example platform in §X.B uses n=10240, nb=256).
+OpProfile lu_profile(OpKind op, index_t j, index_t nb, int ngpu, double gflops = 1000.0,
+                     double pcie_gbs = 12.0);
+
+/// Recovery-cost model for one LU iteration: an ABFT fix re-verifies and
+/// patches a panel; a local restart redoes the faulty operation; a
+/// complete restart redoes the whole decomposition up to this iteration.
+RecoveryCosts lu_recovery_costs(OpKind op, index_t n, index_t j, index_t nb,
+                                double gflops = 1000.0);
+
+}  // namespace ftla::model

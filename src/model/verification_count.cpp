@@ -1,0 +1,47 @@
+#include "model/verification_count.hpp"
+
+namespace ftla::model {
+
+IterationChecks blocks_per_iteration(SchemeKind scheme, index_t b, index_t k_repairs) {
+  IterationChecks c;
+  const auto bd = static_cast<double>(b);
+  const auto kd = static_cast<double>(k_repairs);
+  switch (scheme) {
+    case SchemeKind::PriorOp:
+      // Inputs of PD (the column panel), of PU (row panel + factored
+      // panel), and of TMU (both panels + the b² trailing blocks).
+      c.pd_before = bd;
+      c.pu_before = bd + 1.0;
+      c.tmu_before = bd * bd + 2.0 * bd;
+      break;
+    case SchemeKind::PostOp:
+      // Outputs of PD, PU, and TMU (the whole updated trailing matrix —
+      // "they need to check the trailing matrix in every iteration").
+      c.pd_after = bd;
+      c.pu_after = bd;
+      c.tmu_after = bd * bd;
+      break;
+    case SchemeKind::NewScheme:
+      // Panels before and after PD/PU, post-checks after the broadcasts;
+      // TMU checks replaced by the heuristic panel re-check (2b) plus K
+      // blocks of 1D repair work.
+      c.pd_before = bd;
+      c.pd_after = bd;
+      c.pu_before = bd;
+      c.pu_after = bd;
+      c.tmu_after = 2.0 * bd + kd;
+      break;
+  }
+  return c;
+}
+
+double total_blocks(SchemeKind scheme, index_t n, index_t nb, index_t k_repairs) {
+  const index_t b_total = n / nb;
+  double total = 0.0;
+  for (index_t k = 0; k < b_total; ++k) {
+    total += blocks_per_iteration(scheme, b_total - k, k_repairs).total();
+  }
+  return total;
+}
+
+}  // namespace ftla::model

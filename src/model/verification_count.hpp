@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file verification_count.hpp
+/// Analytic per-iteration verification cost of each ABFT checking scheme,
+/// in matrix blocks (paper §VII.E, Table VI). With the undecomposed
+/// sub-matrix j×j and b = j/NB:
+///
+///   prior-op:  checks every input of every operation — the panels
+///              around PD/PU plus the whole trailing matrix before TMU.
+///   post-op:   checks every output — the panels after PD/PU plus the
+///              whole trailing matrix after TMU.
+///   ours:      panels before+after PD/PU (the post checks riding after
+///              the broadcasts) plus the heuristic panel re-check after
+///              TMU; K extra blocks for the 1D memory-error repairs.
+///
+/// The trailing-matrix term (b², the dominant cost of the two prior
+/// schemes) is what the new scheme eliminates.
+
+#include "common/types.hpp"
+#include "core/options.hpp"
+
+namespace ftla::model {
+
+using core::SchemeKind;
+using ftla::index_t;
+
+/// Blocks verified during one iteration with b remaining block-columns;
+/// K counts 1D memory-error repairs charged to the heuristic checks.
+struct IterationChecks {
+  double pd_before = 0;
+  double pd_after = 0;
+  double pu_before = 0;
+  double pu_after = 0;
+  double tmu_before = 0;
+  double tmu_after = 0;
+
+  [[nodiscard]] double total() const {
+    return pd_before + pd_after + pu_before + pu_after + tmu_before + tmu_after;
+  }
+};
+
+/// Per-iteration verification blocks for one scheme.
+IterationChecks blocks_per_iteration(SchemeKind scheme, index_t b, index_t k_repairs = 0);
+
+/// Sum over the whole decomposition of an n/NB-block matrix.
+double total_blocks(SchemeKind scheme, index_t n, index_t nb, index_t k_repairs = 0);
+
+}  // namespace ftla::model

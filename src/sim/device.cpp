@@ -1,0 +1,24 @@
+#include "sim/device.hpp"
+
+#include <utility>
+
+namespace ftla::sim {
+
+Device::Device(device_id_t id, DeviceKind kind, std::string name)
+    : id_(id), kind_(kind), name_(std::move(name)) {}
+
+MatD& Device::alloc(index_t rows, index_t cols, double init) {
+  allocations_.push_back(std::make_unique<MatD>(rows, cols, init));
+  return *allocations_.back();
+}
+
+void Device::free_all() { allocations_.clear(); }
+
+byte_size_t Device::bytes_allocated() const noexcept {
+  byte_size_t total = 0;
+  for (const auto& m : allocations_)
+    total += static_cast<byte_size_t>(m->size()) * sizeof(double);
+  return total;
+}
+
+}  // namespace ftla::sim

@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file device.hpp
+/// Simulated compute devices.
+///
+/// The paper targets a host with eight K80 GPUs. Without GPU hardware we
+/// model each device as (a) a private memory arena — matrices allocated
+/// on a device are only legally touched by work running on that device or
+/// by explicit PcieLink transfers — and (b) an execution engine (a
+/// dedicated worker thread, see stream.hpp) standing in for the CUDA
+/// stream. This preserves exactly the property ABFT communication
+/// protection depends on: data is in a distinct address space before and
+/// after a transfer, and corruption in flight is visible only at the
+/// receiver.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "matrix/matrix.hpp"
+#include "sim/stream.hpp"
+
+namespace ftla::sim {
+
+enum class DeviceKind { Cpu, Gpu };
+
+/// A simulated device: identity, memory arena, and one execution stream.
+class Device {
+ public:
+  Device(device_id_t id, DeviceKind kind, std::string name);
+
+  [[nodiscard]] device_id_t id() const noexcept { return id_; }
+  [[nodiscard]] DeviceKind kind() const noexcept { return kind_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  /// Allocates a rows×cols matrix in this device's arena. The reference
+  /// stays valid for the lifetime of the device.
+  MatD& alloc(index_t rows, index_t cols, double init = 0.0);
+
+  /// Releases every allocation (e.g. between campaign runs).
+  void free_all();
+
+  [[nodiscard]] byte_size_t bytes_allocated() const noexcept;
+  [[nodiscard]] std::size_t num_allocations() const noexcept { return allocations_.size(); }
+
+  /// The device's execution stream (GPU queue analogue).
+  [[nodiscard]] Stream& stream() noexcept { return stream_; }
+
+ private:
+  device_id_t id_;
+  DeviceKind kind_;
+  std::string name_;
+  std::vector<std::unique_ptr<MatD>> allocations_;
+  Stream stream_;
+};
+
+}  // namespace ftla::sim

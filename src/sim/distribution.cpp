@@ -1,0 +1,2 @@
+// distribution.hpp is header-only; this TU validates standalone compile.
+#include "sim/distribution.hpp"

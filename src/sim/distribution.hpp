@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file distribution.hpp
+/// 1D block-cyclic column distribution — MAGMA's multi-GPU layout for
+/// one-sided factorizations: global block-column bc lives on GPU
+/// (bc mod ngpu), at local block-column (bc div ngpu).
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace ftla::sim {
+
+class BlockCyclic1D {
+ public:
+  BlockCyclic1D() = default;
+
+  BlockCyclic1D(index_t num_block_cols, int ngpu) : nbc_(num_block_cols), ngpu_(ngpu) {
+    FTLA_CHECK(ngpu > 0, "need at least one GPU");
+    FTLA_CHECK(num_block_cols >= 0, "negative block count");
+  }
+
+  [[nodiscard]] index_t num_block_cols() const noexcept { return nbc_; }
+  [[nodiscard]] int ngpu() const noexcept { return ngpu_; }
+
+  /// GPU index (0-based) owning global block-column bc.
+  [[nodiscard]] int owner(index_t bc) const noexcept { return static_cast<int>(bc % ngpu_); }
+
+  /// Local block-column index of bc on its owner.
+  [[nodiscard]] index_t local_index(index_t bc) const noexcept { return bc / ngpu_; }
+
+  /// Number of block columns stored on GPU g.
+  [[nodiscard]] index_t local_count(int g) const noexcept {
+    return (nbc_ - g + ngpu_ - 1) / ngpu_;
+  }
+
+  /// Global block-column for local index l on GPU g.
+  [[nodiscard]] index_t global_index(int g, index_t l) const noexcept {
+    return static_cast<index_t>(g) + l * ngpu_;
+  }
+
+  /// Global block-columns in [bc_min, nbc) owned by GPU g, ascending.
+  [[nodiscard]] std::vector<index_t> owned_from(int g, index_t bc_min) const {
+    std::vector<index_t> out;
+    for (index_t bc = g; bc < nbc_; bc += ngpu_) {
+      if (bc >= bc_min) out.push_back(bc);
+    }
+    return out;
+  }
+
+ private:
+  index_t nbc_ = 0;
+  int ngpu_ = 1;
+};
+
+}  // namespace ftla::sim

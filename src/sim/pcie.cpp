@@ -1,0 +1,25 @@
+#include "sim/pcie.hpp"
+
+#include "common/error.hpp"
+
+namespace ftla::sim {
+
+void PcieLink::transfer(ConstViewD src, ViewD dst, device_id_t from, device_id_t to) {
+  FTLA_CHECK(src.rows() == dst.rows() && src.cols() == dst.cols(),
+             "pcie transfer shape mismatch");
+  copy_view(src, dst);
+
+  TransferInfo info;
+  info.from = from;
+  info.to = to;
+  info.bytes = static_cast<byte_size_t>(src.size()) * sizeof(double);
+  info.sequence = stats_.transfers;
+
+  ++stats_.transfers;
+  stats_.bytes += info.bytes;
+  stats_.modeled_seconds += modeled_transfer_seconds(info.bytes);
+
+  if (hook_) hook_(dst, info);
+}
+
+}  // namespace ftla::sim

@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file pcie.hpp
+/// Simulated PCIe interconnect.
+///
+/// Transfers copy bytes between device arenas, accumulate a modeled time
+/// (latency + bytes/bandwidth, matching a PCIe gen3 x16 link by default)
+/// and expose a fault hook invoked on the *received* bytes — soft errors
+/// on the bus corrupt what arrives, never what was sent (paper §V.3).
+
+#include <functional>
+
+#include "common/types.hpp"
+#include "matrix/view.hpp"
+
+namespace ftla::sim {
+
+/// Metadata describing one transfer, passed to the fault hook.
+struct TransferInfo {
+  device_id_t from = -1;
+  device_id_t to = -1;
+  byte_size_t bytes = 0;
+  /// Monotonic transfer counter (per link) for deterministic targeting.
+  std::uint64_t sequence = 0;
+};
+
+/// Cumulative link statistics.
+struct LinkStats {
+  std::uint64_t transfers = 0;
+  byte_size_t bytes = 0;
+  double modeled_seconds = 0.0;
+};
+
+/// One shared PCIe fabric (the paper's system routes all CPU↔GPU and
+/// GPU↔GPU traffic over PCIe).
+class PcieLink {
+ public:
+  /// Called after the payload landed at the receiver; may corrupt it.
+  using FaultHook = std::function<void(ViewD received, const TransferInfo&)>;
+
+  PcieLink(double latency_seconds = 5e-6, double bandwidth_bytes_per_s = 12.0e9)
+      : latency_s_(latency_seconds), bandwidth_(bandwidth_bytes_per_s) {}
+
+  /// Copies src (on device `from`) into dst (on device `to`), charges the
+  /// cost model, then runs the fault hook on dst.
+  void transfer(ConstViewD src, ViewD dst, device_id_t from, device_id_t to);
+
+  void set_fault_hook(FaultHook hook) { hook_ = std::move(hook); }
+  void clear_fault_hook() { hook_ = nullptr; }
+
+  [[nodiscard]] const LinkStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = LinkStats{}; }
+
+  [[nodiscard]] double modeled_transfer_seconds(byte_size_t bytes) const noexcept {
+    return latency_s_ + static_cast<double>(bytes) / bandwidth_;
+  }
+
+ private:
+  double latency_s_;
+  double bandwidth_;
+  FaultHook hook_;
+  LinkStats stats_;
+};
+
+}  // namespace ftla::sim

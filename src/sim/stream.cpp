@@ -1,0 +1,65 @@
+#include "sim/stream.hpp"
+
+#include <utility>
+
+namespace ftla::sim {
+
+Stream::Stream() {
+  // Start the worker only after every synchronization member is
+  // constructed (the thread touches mutex_/cv_task_ immediately).
+  worker_ = std::thread([this] { worker_loop(); });
+}
+
+Stream::~Stream() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_task_.notify_all();
+  if (worker_.joinable()) worker_.join();
+}
+
+void Stream::enqueue(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  cv_task_.notify_one();
+}
+
+void Stream::synchronize() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_done_.wait(lock, [this] { return queue_.empty() && !busy_; });
+  if (pending_error_) {
+    std::exception_ptr e = std::exchange(pending_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(e);
+  }
+}
+
+void Stream::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_task_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      busy_ = true;
+    }
+    try {
+      task();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!pending_error_) pending_error_ = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      busy_ = false;
+      if (queue_.empty()) cv_done_.notify_all();
+    }
+  }
+}
+
+}  // namespace ftla::sim

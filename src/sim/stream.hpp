@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file stream.hpp
+/// A device execution stream: a dedicated worker thread consuming an
+/// in-order task queue — the analogue of a CUDA stream. Work submitted to
+/// different devices' streams runs concurrently; synchronize() is the
+/// cudaStreamSynchronize analogue.
+
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+namespace ftla::sim {
+
+class Stream {
+ public:
+  Stream();
+  ~Stream();
+
+  Stream(const Stream&) = delete;
+  Stream& operator=(const Stream&) = delete;
+
+  /// Enqueue a task; returns immediately. Tasks execute strictly in
+  /// submission order.
+  void enqueue(std::function<void()> task);
+
+  /// Block until all enqueued tasks have completed. Rethrows the first
+  /// exception raised by any task since the last synchronize().
+  void synchronize();
+
+  /// Convenience: enqueue + synchronize.
+  void run(std::function<void()> task) {
+    enqueue(std::move(task));
+    synchronize();
+  }
+
+ private:
+  void worker_loop();
+
+  std::thread worker_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_done_;
+  std::exception_ptr pending_error_;
+  bool busy_ = false;
+  bool stop_ = false;
+};
+
+}  // namespace ftla::sim

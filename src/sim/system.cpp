@@ -1,0 +1,42 @@
+#include "sim/system.hpp"
+
+#include <string>
+
+#include "common/error.hpp"
+
+namespace ftla::sim {
+
+HeterogeneousSystem::HeterogeneousSystem(int ngpu) {
+  FTLA_CHECK(ngpu >= 1, "system needs at least one GPU");
+  cpu_ = std::make_unique<Device>(0, DeviceKind::Cpu, "cpu0");
+  gpus_.reserve(static_cast<std::size_t>(ngpu));
+  for (int g = 0; g < ngpu; ++g) {
+    gpus_.push_back(
+        std::make_unique<Device>(g + 1, DeviceKind::Gpu, "gpu" + std::to_string(g)));
+  }
+}
+
+void HeterogeneousSystem::parallel_over_gpus(const std::function<void(int)>& body) {
+  for (int g = 0; g < ngpu(); ++g) {
+    gpus_[static_cast<std::size_t>(g)]->stream().enqueue([&body, g] { body(g); });
+  }
+  // Synchronize all streams; remember only the first failure but drain
+  // every queue so no stream is left running.
+  std::exception_ptr first_error;
+  for (auto& gpu_dev : gpus_) {
+    try {
+      gpu_dev->stream().synchronize();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+byte_size_t HeterogeneousSystem::gpu_bytes_allocated() const noexcept {
+  byte_size_t total = 0;
+  for (const auto& g : gpus_) total += g->bytes_allocated();
+  return total;
+}
+
+}  // namespace ftla::sim

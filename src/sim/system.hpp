@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file system.hpp
+/// The simulated heterogeneous node: one CPU device, N GPU devices, a
+/// shared PCIe fabric, and helpers to run work across GPU streams in
+/// parallel — the substrate the FT decompositions are scheduled onto.
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/device.hpp"
+#include "sim/pcie.hpp"
+
+namespace ftla::sim {
+
+class HeterogeneousSystem {
+ public:
+  /// Builds a node with `ngpu` accelerators (device ids: CPU = 0,
+  /// GPU g = g + 1).
+  explicit HeterogeneousSystem(int ngpu);
+
+  [[nodiscard]] int ngpu() const noexcept { return static_cast<int>(gpus_.size()); }
+  [[nodiscard]] Device& cpu() noexcept { return *cpu_; }
+  [[nodiscard]] Device& gpu(int g) { return *gpus_.at(static_cast<std::size_t>(g)); }
+  [[nodiscard]] PcieLink& link() noexcept { return link_; }
+
+  /// Host → device transfer over PCIe.
+  void h2d(ConstViewD src, ViewD dst, int g) {
+    link_.transfer(src, dst, cpu_->id(), gpu(g).id());
+  }
+  /// Device → host transfer over PCIe.
+  void d2h(ConstViewD src, ViewD dst, int g) {
+    link_.transfer(src, dst, gpu(g).id(), cpu_->id());
+  }
+  /// Device → device transfer (peer-to-peer over the same fabric).
+  void d2d(ConstViewD src, int g_src, ViewD dst, int g_dst) {
+    link_.transfer(src, dst, gpu(g_src).id(), gpu(g_dst).id());
+  }
+
+  /// Runs body(g) on every GPU's stream concurrently; blocks until all
+  /// complete. Exceptions are rethrown on the caller (first wins).
+  void parallel_over_gpus(const std::function<void(int)>& body);
+
+  /// Total bytes resident across GPU arenas.
+  [[nodiscard]] byte_size_t gpu_bytes_allocated() const noexcept;
+
+ private:
+  std::unique_ptr<Device> cpu_;
+  std::vector<std::unique_ptr<Device>> gpus_;
+  PcieLink link_;
+};
+
+}  // namespace ftla::sim

@@ -1,0 +1,77 @@
+#include "solve/solve.hpp"
+
+#include "blas/blas.hpp"
+#include "common/error.hpp"
+#include "lapack/lapack.hpp"
+#include "matrix/norms.hpp"
+#include "solve/triangular.hpp"
+
+namespace ftla::solve {
+
+namespace {
+
+double solve_residual(ConstViewD a, ConstViewD x, ConstViewD b) {
+  MatD r(b);
+  // r ← b - A·x
+  blas::gemm(blas::Trans::NoTrans, blas::Trans::NoTrans, -1.0, a, x, 1.0, r.view());
+  const double denom = inf_norm(a) * max_abs(x) + max_abs(b) + 1e-300;
+  return max_abs(r.const_view()) / denom;
+}
+
+void check_shapes(ConstViewD a, ConstViewD b) {
+  FTLA_CHECK(a.rows() == a.cols(), "solve: A must be square");
+  FTLA_CHECK(b.rows() == a.rows(), "solve: B row count must match A");
+}
+
+}  // namespace
+
+SolveResult solve_spd(ConstViewD a, ConstViewD b, const FtOptions& opts,
+                      fault::FaultInjector* injector) {
+  check_shapes(a, b);
+  SolveResult result;
+  auto out = core::ft_cholesky(a, opts, injector);
+  result.stats = out.stats;
+  if (!out.ok()) return result;
+
+  result.x = MatD(b);
+  potrs(out.factors.const_view(), result.x.view());
+  result.residual = solve_residual(a, result.x.const_view(), b);
+  result.ok = true;
+  return result;
+}
+
+SolveResult solve_lu(ConstViewD a, ConstViewD b, const FtOptions& opts,
+                     fault::FaultInjector* injector) {
+  check_shapes(a, b);
+  SolveResult result;
+  auto out = core::ft_lu(a, opts, injector);
+  result.stats = out.stats;
+  if (!out.ok()) return result;
+
+  result.x = MatD(b);
+  getrs_nopiv(out.factors.const_view(), result.x.view());
+  result.residual = solve_residual(a, result.x.const_view(), b);
+  result.ok = true;
+  return result;
+}
+
+SolveResult solve_qr(ConstViewD a, ConstViewD b, const FtOptions& opts,
+                     fault::FaultInjector* injector) {
+  check_shapes(a, b);
+  SolveResult result;
+  auto out = core::ft_qr(a, opts, injector);
+  result.stats = out.stats;
+  if (!out.ok()) return result;
+
+  // x = R⁻¹·(Qᵀ·b), applying Qᵀ from the compact V/tau representation.
+  result.x = MatD(b);
+  lapack::ormqr(/*trans=*/true, out.factors.const_view(), out.tau, opts.nb,
+                result.x.view());
+  trtrs(blas::Uplo::Upper, blas::Trans::NoTrans, blas::Diag::NonUnit,
+        out.factors.const_view(), result.x.view());
+  result.residual = solve_residual(a, result.x.const_view(), b);
+  result.ok = true;
+  return result;
+}
+
+}  // namespace ftla::solve

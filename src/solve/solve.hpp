@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file solve.hpp
+/// High-level fault-tolerant linear solvers: one call factors the matrix
+/// on the simulated heterogeneous system with ABFT protection and solves
+/// for the right-hand sides on the host. This is the "downstream user"
+/// API: applications get soft-error-protected factorizations without
+/// touching checksums, schemes or devices.
+
+#include "core/ft_driver.hpp"
+#include "matrix/matrix.hpp"
+
+namespace ftla::solve {
+
+using core::FtOptions;
+using core::FtStats;
+using ftla::ConstViewD;
+using ftla::MatD;
+
+/// Result of a fault-tolerant solve.
+struct SolveResult {
+  MatD x;            ///< solution(s), one column per right-hand side
+  FtStats stats;     ///< fault-tolerance instrumentation of the factorization
+  bool ok = false;   ///< false on numerical failure or unrecoverable fault
+
+  /// Residual ‖A·x - b‖∞ / (‖A‖∞·‖x‖∞ + ‖b‖∞), for quick validation.
+  double residual = 0.0;
+};
+
+/// Solves A·X = B for SPD A via fault-tolerant Cholesky.
+SolveResult solve_spd(ConstViewD a, ConstViewD b, const FtOptions& opts = {},
+                      fault::FaultInjector* injector = nullptr);
+
+/// Solves A·X = B via fault-tolerant LU without pivoting (A must be safe
+/// to factor unpivoted, e.g. diagonally dominant).
+SolveResult solve_lu(ConstViewD a, ConstViewD b, const FtOptions& opts = {},
+                     fault::FaultInjector* injector = nullptr);
+
+/// Solves A·X = B via fault-tolerant QR (also the right entry point for
+/// ill-conditioned square systems).
+SolveResult solve_qr(ConstViewD a, ConstViewD b, const FtOptions& opts = {},
+                     fault::FaultInjector* injector = nullptr);
+
+}  // namespace ftla::solve

@@ -1,0 +1,29 @@
+#include "solve/triangular.hpp"
+
+#include "blas/blas.hpp"
+#include "common/error.hpp"
+#include "lapack/getrf.hpp"
+
+namespace ftla::solve {
+
+void trtrs(blas::Uplo uplo, blas::Trans trans, blas::Diag diag, ConstViewD t, ViewD b) {
+  FTLA_CHECK(t.rows() == t.cols() && t.rows() == b.rows(), "trtrs: shape mismatch");
+  blas::trsm(blas::Side::Left, uplo, trans, diag, 1.0, t, b);
+}
+
+void potrs(ConstViewD l, ViewD b) {
+  trtrs(blas::Uplo::Lower, blas::Trans::NoTrans, blas::Diag::NonUnit, l, b);
+  trtrs(blas::Uplo::Lower, blas::Trans::Trans, blas::Diag::NonUnit, l, b);
+}
+
+void getrs_nopiv(ConstViewD lu, ViewD b) {
+  trtrs(blas::Uplo::Lower, blas::Trans::NoTrans, blas::Diag::Unit, lu, b);
+  trtrs(blas::Uplo::Upper, blas::Trans::NoTrans, blas::Diag::NonUnit, lu, b);
+}
+
+void getrs(ConstViewD lu, const std::vector<ftla::index_t>& ipiv, ViewD b) {
+  lapack::laswp(b, ipiv, 0, static_cast<ftla::index_t>(ipiv.size()));
+  getrs_nopiv(lu, b);
+}
+
+}  // namespace ftla::solve

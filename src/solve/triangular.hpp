@@ -1,0 +1,33 @@
+#pragma once
+
+/// \file triangular.hpp
+/// Multiple-right-hand-side solves against factorizations produced by
+/// the lapack substrate (LAPACK *trs naming).
+
+#include <vector>
+
+#include "blas/enums.hpp"
+#include "common/types.hpp"
+#include "matrix/view.hpp"
+
+namespace ftla::solve {
+
+using ftla::ConstViewD;
+using ftla::ViewD;
+
+/// B ← op(T)⁻¹·B with T triangular (LAPACK dtrtrs).
+void trtrs(blas::Uplo uplo, blas::Trans trans, blas::Diag diag, ConstViewD t, ViewD b);
+
+/// Solves A·X = B given the lower Cholesky factor L (A = L·Lᵀ):
+/// forward then transposed backward substitution (LAPACK dpotrs).
+void potrs(ConstViewD l, ViewD b);
+
+/// Solves A·X = B given the packed no-pivot LU factors (A = L·U,
+/// L unit lower): dgetrs without row interchanges.
+void getrs_nopiv(ConstViewD lu, ViewD b);
+
+/// Solves A·X = B given the pivoted LU factors and the interchange
+/// vector from lapack::getrf (LAPACK dgetrs).
+void getrs(ConstViewD lu, const std::vector<ftla::index_t>& ipiv, ViewD b);
+
+}  // namespace ftla::solve

@@ -1,0 +1,117 @@
+// Level-1 BLAS tests: hand-computed values, stride handling, edge cases.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "blas/level1.hpp"
+
+namespace ftla::blas {
+namespace {
+
+TEST(Axpy, Basic) {
+  std::vector<double> x{1, 2, 3};
+  std::vector<double> y{10, 20, 30};
+  axpy(3, 2.0, x.data(), 1, y.data(), 1);
+  EXPECT_DOUBLE_EQ(y[0], 12);
+  EXPECT_DOUBLE_EQ(y[1], 24);
+  EXPECT_DOUBLE_EQ(y[2], 36);
+}
+
+TEST(Axpy, ZeroAlphaNoOp) {
+  std::vector<double> x{1, 2};
+  std::vector<double> y{5, 6};
+  axpy(2, 0.0, x.data(), 1, y.data(), 1);
+  EXPECT_DOUBLE_EQ(y[0], 5);
+  EXPECT_DOUBLE_EQ(y[1], 6);
+}
+
+TEST(Axpy, Strided) {
+  std::vector<double> x{1, 99, 2, 99};
+  std::vector<double> y{0, -1, 0, -1};
+  axpy(2, 1.0, x.data(), 2, y.data(), 2);
+  EXPECT_DOUBLE_EQ(y[0], 1);
+  EXPECT_DOUBLE_EQ(y[2], 2);
+  EXPECT_DOUBLE_EQ(y[1], -1);  // untouched
+}
+
+TEST(Dot, BasicAndStrided) {
+  std::vector<double> x{1, 2, 3};
+  std::vector<double> y{4, 5, 6};
+  EXPECT_DOUBLE_EQ(dot(3, x.data(), 1, y.data(), 1), 32.0);
+  EXPECT_DOUBLE_EQ(dot(2, x.data(), 2, y.data(), 2), 1 * 4 + 3 * 6);
+}
+
+TEST(Dot, EmptyIsZero) {
+  EXPECT_DOUBLE_EQ(dot(0, nullptr, 1, nullptr, 1), 0.0);
+}
+
+TEST(Nrm2, Pythagorean) {
+  std::vector<double> x{3, 4};
+  EXPECT_DOUBLE_EQ(nrm2(2, x.data(), 1), 5.0);
+}
+
+TEST(Nrm2, AvoidsOverflow) {
+  // Naive sum of squares would overflow to inf.
+  const double big = 1e200;
+  std::vector<double> x{big, big};
+  EXPECT_DOUBLE_EQ(nrm2(2, x.data(), 1), big * std::sqrt(2.0));
+  EXPECT_TRUE(std::isfinite(nrm2(2, x.data(), 1)));
+}
+
+TEST(Nrm2, AvoidsUnderflow) {
+  const double tiny = 1e-200;
+  std::vector<double> x{tiny, tiny};
+  EXPECT_GT(nrm2(2, x.data(), 1), 0.0);
+  EXPECT_DOUBLE_EQ(nrm2(2, x.data(), 1), tiny * std::sqrt(2.0));
+}
+
+TEST(Nrm2, ZeroVector) {
+  std::vector<double> x{0, 0, 0};
+  EXPECT_DOUBLE_EQ(nrm2(3, x.data(), 1), 0.0);
+}
+
+TEST(Scal, ScalesInPlace) {
+  std::vector<double> x{1, -2, 3};
+  scal(3, -2.0, x.data(), 1);
+  EXPECT_DOUBLE_EQ(x[0], -2);
+  EXPECT_DOUBLE_EQ(x[1], 4);
+  EXPECT_DOUBLE_EQ(x[2], -6);
+}
+
+TEST(Iamax, FindsLargestMagnitude) {
+  std::vector<double> x{1, -7, 3, 7};
+  EXPECT_EQ(iamax(4, x.data(), 1), 1);  // first occurrence of |7|
+  EXPECT_EQ(iamax(0, x.data(), 1), -1);
+}
+
+TEST(Iamax, Strided) {
+  std::vector<double> x{1, 100, -5, 100};
+  EXPECT_EQ(iamax(2, x.data(), 2), 1);  // elements {1, -5}
+}
+
+TEST(Swap, ExchangesContents) {
+  std::vector<double> x{1, 2};
+  std::vector<double> y{3, 4};
+  swap(2, x.data(), 1, y.data(), 1);
+  EXPECT_DOUBLE_EQ(x[0], 3);
+  EXPECT_DOUBLE_EQ(y[1], 2);
+}
+
+TEST(Copy, Strided) {
+  std::vector<double> x{1, 2, 3, 4};
+  std::vector<double> y(2, 0.0);
+  copy(2, x.data(), 2, y.data(), 1);
+  EXPECT_DOUBLE_EQ(y[0], 1);
+  EXPECT_DOUBLE_EQ(y[1], 3);
+}
+
+TEST(Asum, SumsAbsoluteValues) {
+  std::vector<double> x{-1, 2, -3};
+  EXPECT_DOUBLE_EQ(asum(3, x.data(), 1), 6.0);
+}
+
+}  // namespace
+}  // namespace ftla::blas

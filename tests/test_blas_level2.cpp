@@ -1,0 +1,121 @@
+// Level-2 BLAS tests against naive references.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "blas/level2.hpp"
+#include "matrix/compare.hpp"
+#include "matrix/generate.hpp"
+
+namespace ftla::blas {
+namespace {
+
+std::vector<double> naive_gemv(Trans trans, double alpha, const MatD& a,
+                               const std::vector<double>& x, double beta,
+                               std::vector<double> y) {
+  const index_t m = a.rows();
+  const index_t n = a.cols();
+  const index_t leny = trans == Trans::NoTrans ? m : n;
+  for (index_t i = 0; i < leny; ++i) y[i] *= beta;
+  if (trans == Trans::NoTrans) {
+    for (index_t i = 0; i < m; ++i)
+      for (index_t j = 0; j < n; ++j) y[i] += alpha * a(i, j) * x[j];
+  } else {
+    for (index_t j = 0; j < n; ++j)
+      for (index_t i = 0; i < m; ++i) y[j] += alpha * a(i, j) * x[i];
+  }
+  return y;
+}
+
+TEST(Gemv, MatchesNaiveNoTrans) {
+  const MatD a = random_general(7, 5, 1);
+  std::vector<double> x{1, -2, 0.5, 3, -1};
+  std::vector<double> y{1, 1, 1, 1, 1, 1, 1};
+  auto expect = naive_gemv(Trans::NoTrans, 1.5, a, x, 0.5, y);
+  gemv(Trans::NoTrans, 1.5, a.const_view(), x.data(), 1, 0.5, y.data(), 1);
+  for (index_t i = 0; i < 7; ++i) EXPECT_NEAR(y[i], expect[i], 1e-14);
+}
+
+TEST(Gemv, MatchesNaiveTrans) {
+  const MatD a = random_general(6, 4, 2);
+  std::vector<double> x{1, 2, 3, 4, 5, 6};
+  std::vector<double> y{0, 0, 0, 0};
+  auto expect = naive_gemv(Trans::Trans, -2.0, a, x, 0.0, y);
+  gemv(Trans::Trans, -2.0, a.const_view(), x.data(), 1, 0.0, y.data(), 1);
+  for (index_t j = 0; j < 4; ++j) EXPECT_NEAR(y[j], expect[j], 1e-14);
+}
+
+TEST(Ger, Rank1Update) {
+  MatD a(3, 2, 1.0);
+  std::vector<double> x{1, 2, 3};
+  std::vector<double> y{4, 5};
+  ger(2.0, x.data(), 1, y.data(), 1, a.view());
+  EXPECT_DOUBLE_EQ(a(0, 0), 1 + 2 * 1 * 4);
+  EXPECT_DOUBLE_EQ(a(2, 1), 1 + 2 * 3 * 5);
+}
+
+TEST(Trsv, SolvesLowerSystem) {
+  MatD l(3, 3, 0.0);
+  l(0, 0) = 2;
+  l(1, 0) = 1;
+  l(1, 1) = 3;
+  l(2, 0) = -1;
+  l(2, 1) = 2;
+  l(2, 2) = 4;
+  // b = L * [1, 2, 3]ᵀ
+  std::vector<double> b{2, 7, 15};
+  trsv(Uplo::Lower, Trans::NoTrans, Diag::NonUnit, l.const_view(), b.data(), 1);
+  EXPECT_NEAR(b[0], 1, 1e-14);
+  EXPECT_NEAR(b[1], 2, 1e-14);
+  EXPECT_NEAR(b[2], 3, 1e-14);
+}
+
+TEST(Trsv, AllVariantsRoundTrip) {
+  // x -> multiply by op(A) -> trsv should recover x, for all 8 variants.
+  const index_t n = 8;
+  MatD a = random_general(n, n, 9, 0.5, 1.5);  // well-conditioned triangles
+  for (auto uplo : {Uplo::Lower, Uplo::Upper}) {
+    for (auto trans : {Trans::NoTrans, Trans::Trans}) {
+      for (auto diag : {Diag::NonUnit, Diag::Unit}) {
+        std::vector<double> x(n);
+        for (index_t i = 0; i < n; ++i) x[i] = static_cast<double>(i + 1);
+        // b = op(T(A)) x computed naively.
+        std::vector<double> b(n, 0.0);
+        for (index_t i = 0; i < n; ++i) {
+          for (index_t j = 0; j < n; ++j) {
+            const bool in_tri = uplo == Uplo::Lower ? i >= j : i <= j;
+            if (!in_tri) continue;
+            double v = (i == j && diag == Diag::Unit) ? 1.0 : a(i, j);
+            if (trans == Trans::NoTrans)
+              b[i] += v * x[j];
+            else
+              b[j] += v * x[i];
+          }
+        }
+        trsv(uplo, trans, diag, a.const_view(), b.data(), 1);
+        for (index_t i = 0; i < n; ++i)
+          EXPECT_NEAR(b[i], x[i], 1e-10)
+              << "uplo=" << to_string(uplo) << " trans=" << to_string(trans)
+              << " diag=" << to_string(diag) << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(Syr, UpdatesOnlyRequestedTriangle) {
+  MatD a(3, 3, 0.0);
+  std::vector<double> x{1, 2, 3};
+  syr(Uplo::Lower, 1.0, x.data(), 1, a.view());
+  EXPECT_DOUBLE_EQ(a(2, 1), 6.0);
+  EXPECT_DOUBLE_EQ(a(1, 2), 0.0);  // upper untouched
+  EXPECT_DOUBLE_EQ(a(2, 2), 9.0);
+
+  MatD b(3, 3, 0.0);
+  syr(Uplo::Upper, 2.0, x.data(), 1, b.view());
+  EXPECT_DOUBLE_EQ(b(1, 2), 12.0);
+  EXPECT_DOUBLE_EQ(b(2, 1), 0.0);
+}
+
+}  // namespace
+}  // namespace ftla::blas

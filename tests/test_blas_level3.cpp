@@ -1,0 +1,208 @@
+// Level-3 BLAS tests: parameterized sweeps against naive references for
+// gemm (all transpose combos), trsm and trmm (all 16 variants each), and
+// syrk (both uplo/trans combos).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "blas/level3.hpp"
+#include "matrix/compare.hpp"
+#include "matrix/generate.hpp"
+#include "matrix/norms.hpp"
+
+namespace ftla::blas {
+namespace {
+
+MatD naive_gemm(Trans ta, Trans tb, double alpha, const MatD& a, const MatD& b, double beta,
+                MatD c) {
+  const index_t m = c.rows();
+  const index_t n = c.cols();
+  const index_t k = ta == Trans::NoTrans ? a.cols() : a.rows();
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < m; ++i) {
+      double s = 0.0;
+      for (index_t p = 0; p < k; ++p) {
+        const double av = ta == Trans::NoTrans ? a(i, p) : a(p, i);
+        const double bv = tb == Trans::NoTrans ? b(p, j) : b(j, p);
+        s += av * bv;
+      }
+      c(i, j) = alpha * s + beta * c(i, j);
+    }
+  }
+  return c;
+}
+
+/// Builds the dense matrix representing the `uplo`/`diag` triangle of a.
+MatD dense_triangle(const MatD& a, Uplo uplo, Diag diag) {
+  const index_t n = a.rows();
+  MatD t(n, n, 0.0);
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < n; ++i) {
+      const bool in_tri = uplo == Uplo::Lower ? i >= j : i <= j;
+      if (in_tri) t(i, j) = (i == j && diag == Diag::Unit) ? 1.0 : a(i, j);
+    }
+  }
+  return t;
+}
+
+using GemmParam = std::tuple<int, int, int, int, int, double, double>;  // m n k ta tb alpha beta
+
+class GemmSweep : public ::testing::TestWithParam<GemmParam> {};
+
+TEST_P(GemmSweep, MatchesNaive) {
+  const auto [m, n, k, tai, tbi, alpha, beta] = GetParam();
+  const auto ta = tai ? Trans::Trans : Trans::NoTrans;
+  const auto tb = tbi ? Trans::Trans : Trans::NoTrans;
+  const MatD a = ta == Trans::NoTrans ? random_general(m, k, 1) : random_general(k, m, 1);
+  const MatD b = tb == Trans::NoTrans ? random_general(k, n, 2) : random_general(n, k, 2);
+  MatD c = random_general(m, n, 3);
+
+  MatD expect = naive_gemm(ta, tb, alpha, a, b, beta, c);
+  gemm(ta, tb, alpha, a.const_view(), b.const_view(), beta, c.view());
+  EXPECT_LT(max_abs_diff(c.view(), expect.view()), 1e-11 * (1.0 + static_cast<double>(k)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmSweep,
+    ::testing::Values(
+        GemmParam{1, 1, 1, 0, 0, 1.0, 0.0}, GemmParam{5, 7, 3, 0, 0, 1.0, 1.0},
+        GemmParam{16, 16, 16, 0, 0, -1.0, 1.0}, GemmParam{33, 17, 29, 0, 0, 2.5, -0.5},
+        GemmParam{8, 8, 8, 1, 0, 1.0, 0.0}, GemmParam{13, 11, 9, 1, 0, -2.0, 1.0},
+        GemmParam{8, 8, 8, 0, 1, 1.0, 0.0}, GemmParam{13, 11, 9, 0, 1, 1.0, 0.5},
+        GemmParam{8, 8, 8, 1, 1, 1.0, 0.0}, GemmParam{13, 11, 9, 1, 1, -1.5, 2.0},
+        GemmParam{2, 64, 512, 0, 0, 1.0, 0.0},   // checksum-encoding shape
+        GemmParam{64, 2, 512, 1, 0, 1.0, 0.0},   // row-checksum shape
+        GemmParam{100, 100, 100, 0, 0, 1.0, 1.0},
+        GemmParam{7, 5, 0, 0, 0, 1.0, 2.0}));    // k = 0: pure scaling
+
+TEST(Gemm, LargeTriggersThreadedPathAndMatches) {
+  const index_t n = 160;  // above the parallel flop threshold
+  const MatD a = random_general(n, n, 10);
+  const MatD b = random_general(n, n, 11);
+  MatD c1(n, n, 0.0);
+  MatD c2(n, n, 0.0);
+  gemm(Trans::NoTrans, Trans::NoTrans, 1.0, a.const_view(), b.const_view(), 0.0, c1.view());
+  gemm_seq(Trans::NoTrans, Trans::NoTrans, 1.0, a.const_view(), b.const_view(), 0.0,
+           c2.view());
+  EXPECT_LT(max_abs_diff(c1.view(), c2.view()), 1e-12);
+}
+
+TEST(Gemm, DimensionMismatchThrows) {
+  MatD a(3, 4);
+  MatD b(5, 2);
+  MatD c(3, 2);
+  EXPECT_THROW(
+      gemm(Trans::NoTrans, Trans::NoTrans, 1.0, a.const_view(), b.const_view(), 0.0, c.view()),
+      FtlaError);
+}
+
+TEST(Gemm, BetaZeroOverwritesNaN) {
+  // beta == 0 must ignore prior contents, including NaN (BLAS semantics).
+  MatD a = identity(2);
+  MatD b = identity(2);
+  MatD c(2, 2, std::numeric_limits<double>::quiet_NaN());
+  gemm(Trans::NoTrans, Trans::NoTrans, 1.0, a.const_view(), b.const_view(), 0.0, c.view());
+  EXPECT_TRUE(approx_equal(c.view(), identity(2).view(), 0.0));
+}
+
+using TriParam = std::tuple<int, int, int, int>;  // side uplo trans diag
+
+class TrsmSweep : public ::testing::TestWithParam<TriParam> {};
+
+TEST_P(TrsmSweep, SolveRoundTrip) {
+  const auto [si, ui, ti, di] = GetParam();
+  const auto side = si ? Side::Right : Side::Left;
+  const auto uplo = ui ? Uplo::Upper : Uplo::Lower;
+  const auto trans = ti ? Trans::Trans : Trans::NoTrans;
+  const auto diag = di ? Diag::Unit : Diag::NonUnit;
+
+  const index_t m = 9;
+  const index_t n = 6;
+  const index_t asz = side == Side::Left ? m : n;
+  MatD a = random_general(asz, asz, 21, 0.5, 1.5);  // diag bounded away from 0
+  const MatD x = random_general(m, n, 22);
+
+  // B = op(tri(A)) · X  (or X · op(tri(A))) computed densely.
+  const MatD tri = dense_triangle(a, uplo, diag);
+  MatD b(m, n, 0.0);
+  if (side == Side::Left) {
+    b = naive_gemm(trans, Trans::NoTrans, 1.0, tri, x, 0.0, b);
+  } else {
+    b = naive_gemm(Trans::NoTrans, trans, 1.0, x, tri, 0.0, b);
+  }
+
+  trsm(side, uplo, trans, diag, 1.0, a.const_view(), b.view());
+  EXPECT_LT(max_abs_diff(b.view(), x.view()), 1e-9)
+      << to_string(side) << to_string(uplo) << to_string(trans) << to_string(diag);
+}
+
+class TrmmSweep : public ::testing::TestWithParam<TriParam> {};
+
+TEST_P(TrmmSweep, MatchesDenseMultiply) {
+  const auto [si, ui, ti, di] = GetParam();
+  const auto side = si ? Side::Right : Side::Left;
+  const auto uplo = ui ? Uplo::Upper : Uplo::Lower;
+  const auto trans = ti ? Trans::Trans : Trans::NoTrans;
+  const auto diag = di ? Diag::Unit : Diag::NonUnit;
+
+  const index_t m = 8;
+  const index_t n = 5;
+  const index_t asz = side == Side::Left ? m : n;
+  MatD a = random_general(asz, asz, 31);
+  MatD b = random_general(m, n, 32);
+
+  const MatD tri = dense_triangle(a, uplo, diag);
+  MatD expect(m, n, 0.0);
+  if (side == Side::Left) {
+    expect = naive_gemm(trans, Trans::NoTrans, 1.5, tri, b, 0.0, expect);
+  } else {
+    expect = naive_gemm(Trans::NoTrans, trans, 1.5, b, tri, 0.0, expect);
+  }
+
+  trmm(side, uplo, trans, diag, 1.5, a.const_view(), b.view());
+  EXPECT_LT(max_abs_diff(b.view(), expect.view()), 1e-12)
+      << to_string(side) << to_string(uplo) << to_string(trans) << to_string(diag);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVariants, TrsmSweep,
+                         ::testing::Combine(::testing::Values(0, 1), ::testing::Values(0, 1),
+                                            ::testing::Values(0, 1), ::testing::Values(0, 1)));
+INSTANTIATE_TEST_SUITE_P(AllVariants, TrmmSweep,
+                         ::testing::Combine(::testing::Values(0, 1), ::testing::Values(0, 1),
+                                            ::testing::Values(0, 1), ::testing::Values(0, 1)));
+
+TEST(Syrk, LowerNoTransMatchesGemm) {
+  const index_t n = 10;
+  const index_t k = 6;
+  const MatD a = random_general(n, k, 41);
+  MatD c = random_symmetric(n, 42);
+  MatD expect = naive_gemm(Trans::NoTrans, Trans::Trans, -1.0, a, a, 1.0, c);
+  syrk(Uplo::Lower, Trans::NoTrans, -1.0, a.const_view(), 1.0, c.view());
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = j; i < n; ++i) EXPECT_NEAR(c(i, j), expect(i, j), 1e-12);
+}
+
+TEST(Syrk, UpperTransMatchesGemm) {
+  const index_t n = 7;
+  const index_t k = 9;
+  const MatD a = random_general(k, n, 43);  // op(A) = Aᵀ is n×k
+  MatD c = random_symmetric(n, 44);
+  MatD expect = naive_gemm(Trans::Trans, Trans::NoTrans, 2.0, a, a, 0.5, c);
+  syrk(Uplo::Upper, Trans::Trans, 2.0, a.const_view(), 0.5, c.view());
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i <= j; ++i) EXPECT_NEAR(c(i, j), expect(i, j), 1e-12);
+}
+
+TEST(Syrk, LeavesOppositeTriangleUntouched) {
+  const index_t n = 5;
+  const MatD a = random_general(n, 3, 45);
+  MatD c(n, n, 7.0);
+  syrk(Uplo::Lower, Trans::NoTrans, 1.0, a.const_view(), 0.0, c.view());
+  for (index_t j = 1; j < n; ++j)
+    for (index_t i = 0; i < j; ++i) EXPECT_DOUBLE_EQ(c(i, j), 7.0);
+}
+
+}  // namespace
+}  // namespace ftla::blas

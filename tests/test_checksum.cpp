@@ -1,0 +1,349 @@
+// Tests for the checksum module: encoder equivalence across all
+// implementations, block storage, verification, diagnosis, correction.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "blas/blas.hpp"
+#include "checksum/block_checksums.hpp"
+#include "checksum/correct.hpp"
+#include "checksum/verify.hpp"
+#include "fault/bitflip.hpp"
+#include "matrix/compare.hpp"
+#include "matrix/generate.hpp"
+
+namespace ftla::checksum {
+namespace {
+
+Tolerance test_tol(index_t n) {
+  Tolerance t;
+  t.context = static_cast<double>(n);
+  return t;
+}
+
+TEST(Encode, HandComputedColumnChecksums) {
+  MatD a(3, 2);
+  a(0, 0) = 1;
+  a(1, 0) = 2;
+  a(2, 0) = 3;
+  a(0, 1) = -1;
+  a(1, 1) = 0;
+  a(2, 1) = 1;
+  MatD cs(2, 2);
+  encode_col(a.const_view(), cs.view(), Encoder::FusedTiled);
+  EXPECT_DOUBLE_EQ(cs(0, 0), 6.0);                      // 1+2+3
+  EXPECT_DOUBLE_EQ(cs(1, 0), 1 * 1 + 2 * 2 + 3 * 3);    // 14
+  EXPECT_DOUBLE_EQ(cs(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(cs(1, 1), -1 + 0 + 3);               // 2
+}
+
+TEST(Encode, HandComputedRowChecksums) {
+  MatD a(2, 3);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(0, 2) = 3;
+  a(1, 0) = 4;
+  a(1, 1) = 5;
+  a(1, 2) = 6;
+  MatD rs(2, 2);
+  encode_row(a.const_view(), rs.view(), Encoder::FusedTiled);
+  EXPECT_DOUBLE_EQ(rs(0, 0), 6.0);
+  EXPECT_DOUBLE_EQ(rs(0, 1), 1 * 1 + 2 * 2 + 3 * 3);  // 14
+  EXPECT_DOUBLE_EQ(rs(1, 0), 15.0);
+  EXPECT_DOUBLE_EQ(rs(1, 1), 4 + 10 + 18);            // 32
+}
+
+using EncParam = std::tuple<int, int, int>;  // h, w, encoder
+
+class EncoderEquivalence : public ::testing::TestWithParam<EncParam> {};
+
+TEST_P(EncoderEquivalence, MatchesNaiveGemm) {
+  const auto [h, w, enc_i] = GetParam();
+  const auto enc = static_cast<Encoder>(enc_i);
+  const MatD a = random_general(h, w, static_cast<std::uint64_t>(h * 131 + w));
+
+  MatD ref_c(2, w);
+  MatD got_c(2, w);
+  encode_col(a.const_view(), ref_c.view(), Encoder::NaiveGemm);
+  encode_col(a.const_view(), got_c.view(), enc);
+  EXPECT_LT(max_abs_diff(ref_c.const_view(), got_c.const_view()),
+            1e-11 * static_cast<double>(h * h));
+
+  MatD ref_r(h, 2);
+  MatD got_r(h, 2);
+  encode_row(a.const_view(), ref_r.view(), Encoder::NaiveGemm);
+  encode_row(a.const_view(), got_r.view(), enc);
+  EXPECT_LT(max_abs_diff(ref_r.const_view(), got_r.const_view()),
+            1e-11 * static_cast<double>(w * w));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariantsAndShapes, EncoderEquivalence,
+    ::testing::Combine(::testing::Values(1, 3, 4, 7, 64, 129, 256),
+                       ::testing::Values(1, 2, 5, 64, 100),
+                       ::testing::Values(static_cast<int>(Encoder::FusedTiled),
+                                         static_cast<int>(Encoder::FusedNoPrefetch),
+                                         static_cast<int>(Encoder::TwoPassTiled))));
+
+TEST(BlockChecksums, LayoutAndViews) {
+  BlockChecksums cs(8, 12, 4);
+  EXPECT_TRUE(cs.has_col());
+  EXPECT_TRUE(cs.has_row());
+  EXPECT_EQ(cs.col_storage().rows(), 4);   // 2 * 2 block rows
+  EXPECT_EQ(cs.col_storage().cols(), 12);
+  EXPECT_EQ(cs.row_storage().rows(), 8);
+  EXPECT_EQ(cs.row_storage().cols(), 6);   // 2 * 3 block cols
+  EXPECT_EQ(cs.col_block(1, 2).rows(), 2);
+  EXPECT_EQ(cs.col_block(1, 2).cols(), 4);
+  EXPECT_EQ(cs.row_block(0, 1).rows(), 4);
+  EXPECT_EQ(cs.row_block(0, 1).cols(), 2);
+}
+
+TEST(BlockChecksums, SingleSideSkipsRowStorage) {
+  BlockChecksums cs(8, 8, 4, /*with_col=*/true, /*with_row=*/false);
+  EXPECT_TRUE(cs.has_col());
+  EXPECT_FALSE(cs.has_row());
+  EXPECT_THROW((void)cs.row_block(0, 0), FtlaError);
+}
+
+TEST(BlockChecksums, EncodeAllMatchesPerBlockEncode) {
+  const MatD a = random_general(12, 12, 55);
+  BlockChecksums cs(12, 12, 4);
+  cs.encode_all(a.const_view());
+  for (index_t br = 0; br < 3; ++br) {
+    for (index_t bc = 0; bc < 3; ++bc) {
+      MatD expect(2, 4);
+      encode_col(cs.layout().block_view(a.const_view(), br, bc), expect.view());
+      EXPECT_TRUE(approx_equal(cs.col_block(br, bc), expect.const_view(), 1e-12));
+    }
+  }
+}
+
+TEST(BlockChecksums, ColStripSpansBlocks) {
+  const MatD a = random_general(8, 12, 56);
+  BlockChecksums cs(8, 12, 4);
+  cs.encode_all(a.const_view());
+  const auto strip = cs.col_strip(1, 1, 3);
+  EXPECT_EQ(strip.rows(), 2);
+  EXPECT_EQ(strip.cols(), 8);
+  EXPECT_EQ(&strip(0, 0), &cs.col_block(1, 1)(0, 0));
+}
+
+TEST(Verify, CleanBlockPasses) {
+  const MatD a = random_general(16, 16, 60);
+  MatD col_cs(2, 16);
+  MatD row_cs(16, 2);
+  encode_col(a.const_view(), col_cs.view());
+  encode_row(a.const_view(), row_cs.view());
+  const auto res =
+      verify_full(a.const_view(), col_cs.const_view(), row_cs.const_view(), test_tol(16));
+  EXPECT_TRUE(res.clean());
+}
+
+TEST(Verify, DetectsSingleCorruption) {
+  MatD a = random_general(16, 16, 61);
+  MatD col_cs(2, 16);
+  encode_col(a.const_view(), col_cs.view());
+
+  Xoshiro256 rng(5);
+  a(7, 3) = fault::flip_multi_significant(a(7, 3), rng);
+
+  const auto res = verify_col(a.const_view(), col_cs.const_view(), test_tol(16));
+  ASSERT_EQ(res.col_deltas.size(), 1u);
+  EXPECT_EQ(res.col_deltas.front().col, 3);
+
+  const auto diag = diagnose_cols(res.col_deltas, 16);
+  EXPECT_EQ(diag.pattern, ErrorPattern::Single);
+  EXPECT_EQ(diag.row, 7);
+  EXPECT_EQ(diag.col, 3);
+}
+
+TEST(Verify, LocateWorksForEveryPosition) {
+  // Property: δ2/δ1 recovers the exact element for any coordinate.
+  const index_t nb = 8;
+  for (index_t r = 0; r < nb; ++r) {
+    for (index_t c = 0; c < nb; ++c) {
+      MatD a = random_general(nb, nb, static_cast<std::uint64_t>(r * nb + c + 1));
+      MatD col_cs(2, nb);
+      encode_col(a.const_view(), col_cs.view());
+      a(r, c) += 1.5;
+      const auto res = verify_col(a.const_view(), col_cs.const_view(), test_tol(nb));
+      const auto diag = diagnose_cols(res.col_deltas, nb);
+      ASSERT_EQ(diag.pattern, ErrorPattern::Single) << r << "," << c;
+      EXPECT_EQ(diag.row, r);
+      EXPECT_EQ(diag.col, c);
+    }
+  }
+}
+
+TEST(Verify, RowChecksumDetectsAndLocates) {
+  MatD a = random_general(10, 12, 62);
+  MatD row_cs(10, 2);
+  encode_row(a.const_view(), row_cs.view());
+  a(4, 9) -= 2.0;
+  const auto res = verify_row(a.const_view(), row_cs.const_view(), test_tol(12));
+  const auto diag = diagnose_rows(res.row_deltas, 12);
+  EXPECT_EQ(diag.pattern, ErrorPattern::Single);
+  EXPECT_EQ(diag.row, 4);
+  EXPECT_EQ(diag.col, 9);
+}
+
+TEST(Diagnose, RowStreakAcrossColumnsIsMultiLocatable) {
+  // 1D row propagation: one corrupted element per column, same row.
+  MatD a = random_general(8, 8, 63);
+  MatD col_cs(2, 8);
+  encode_col(a.const_view(), col_cs.view());
+  for (index_t c = 0; c < 8; ++c) a(5, c) += 1.0 + static_cast<double>(c);
+  const auto res = verify_col(a.const_view(), col_cs.const_view(), test_tol(8));
+  EXPECT_EQ(res.col_deltas.size(), 8u);
+  const auto diag = diagnose_cols(res.col_deltas, 8);
+  EXPECT_EQ(diag.pattern, ErrorPattern::MultiLocatable);
+  EXPECT_EQ(diag.row, 5);
+}
+
+TEST(Diagnose, ColumnStreakNeedsOrthogonalChecksum) {
+  MatD a = random_general(8, 8, 64);
+  MatD col_cs(2, 8);
+  encode_col(a.const_view(), col_cs.view());
+  // Multiple corruptions in one column: ratio cannot locate.
+  a(1, 4) += 1.0;
+  a(6, 4) += 2.0;
+  const auto res = verify_col(a.const_view(), col_cs.const_view(), test_tol(8));
+  const auto diag = diagnose_cols(res.col_deltas, 8);
+  EXPECT_EQ(diag.pattern, ErrorPattern::ColStreak);
+  EXPECT_EQ(diag.col, 4);
+}
+
+TEST(Diagnose, TwoDWhenMultipleColumnsUnlocatable) {
+  MatD a = random_general(8, 8, 65);
+  MatD col_cs(2, 8);
+  encode_col(a.const_view(), col_cs.view());
+  // Offsets chosen so the per-column δ2/δ1 ratios are non-integral
+  // (two same-signed errors can otherwise masquerade as one locatable
+  // error at their weighted centroid).
+  a(1, 2) += 1.0;
+  a(5, 2) += 0.6;   // ratio (2 + 6·0.6)/1.6 = 3.5
+  a(0, 6) += 1.0;
+  a(3, 6) += 0.35;  // ratio (1 + 4·0.35)/1.35 ≈ 1.78
+  const auto res = verify_col(a.const_view(), col_cs.const_view(), test_tol(8));
+  EXPECT_EQ(diagnose_cols(res.col_deltas, 8).pattern, ErrorPattern::TwoD);
+}
+
+TEST(Diagnose, CancellingStreakCanHideFromOneSideOnly) {
+  // Two corruptions in one column summing to zero under weight v1 are
+  // still caught by weight v2 (this is why two weights are used).
+  MatD a = random_general(8, 8, 66);
+  MatD col_cs(2, 8);
+  encode_col(a.const_view(), col_cs.view());
+  a(2, 3) += 1.0;
+  a(5, 3) -= 1.0;  // v1 delta = 0; v2 delta = (3 - 6) = -3
+  const auto res = verify_col(a.const_view(), col_cs.const_view(), test_tol(8));
+  ASSERT_EQ(res.col_deltas.size(), 1u);
+  EXPECT_NEAR(res.col_deltas.front().d1, 0.0, 1e-10);
+  EXPECT_NEAR(res.col_deltas.front().d2, 3.0, 1e-10);
+}
+
+TEST(Correct, SingleElementRestoredExactly) {
+  MatD a = random_general(16, 16, 70);
+  const MatD original(a.const_view());
+  MatD col_cs(2, 16);
+  encode_col(a.const_view(), col_cs.view());
+
+  Xoshiro256 rng(9);
+  a(11, 2) = fault::flip_multi_significant(a(11, 2), rng);
+
+  const auto res = verify_col(a.const_view(), col_cs.const_view(), test_tol(16));
+  EXPECT_EQ(correct_from_col_deltas(a.view(), res.col_deltas), 1);
+  EXPECT_LT(max_abs_diff(a.const_view(), original.const_view()), 1e-10);
+}
+
+TEST(Correct, RowStreakCorrectedColumnByColumn) {
+  MatD a = random_general(8, 8, 71);
+  const MatD original(a.const_view());
+  MatD col_cs(2, 8);
+  encode_col(a.const_view(), col_cs.view());
+  for (index_t c = 0; c < 8; ++c) a(3, c) += 0.5 * static_cast<double>(c + 1);
+
+  const auto res = verify_col(a.const_view(), col_cs.const_view(), test_tol(8));
+  EXPECT_EQ(correct_from_col_deltas(a.view(), res.col_deltas), 8);
+  EXPECT_LT(max_abs_diff(a.const_view(), original.const_view()), 1e-10);
+}
+
+TEST(Correct, ReconstructColumnFromRowChecksums) {
+  MatD a = random_general(8, 8, 72);
+  const MatD original(a.const_view());
+  MatD row_cs(8, 2);
+  encode_row(a.const_view(), row_cs.view());
+  // Corrupt the whole column 5 (1D column propagation).
+  for (index_t r = 0; r < 8; ++r) a(r, 5) = -1000.0 + static_cast<double>(r);
+
+  reconstruct_column(a.view(), row_cs.const_view(), 5);
+  EXPECT_LT(max_abs_diff(a.const_view(), original.const_view()), 1e-10);
+}
+
+TEST(Correct, ReconstructRowFromColChecksums) {
+  MatD a = random_general(8, 8, 73);
+  const MatD original(a.const_view());
+  MatD col_cs(2, 8);
+  encode_col(a.const_view(), col_cs.view());
+  for (index_t c = 0; c < 8; ++c) a(2, c) = 999.0;
+
+  reconstruct_row(a.view(), col_cs.const_view(), 2);
+  EXPECT_LT(max_abs_diff(a.const_view(), original.const_view()), 1e-10);
+}
+
+TEST(Correct, RoundTripAfterCorrectionVerifiesClean) {
+  MatD a = random_general(16, 16, 74);
+  MatD col_cs(2, 16);
+  encode_col(a.const_view(), col_cs.view());
+  a(0, 0) += 3.0;
+  auto res = verify_col(a.const_view(), col_cs.const_view(), test_tol(16));
+  correct_from_col_deltas(a.view(), res.col_deltas);
+  res = verify_col(a.const_view(), col_cs.const_view(), test_tol(16));
+  EXPECT_TRUE(res.clean());
+}
+
+TEST(Bounds, GammaMonotoneAndSmall) {
+  EXPECT_GT(gamma_n(100.0), gamma_n(10.0));
+  EXPECT_LT(gamma_n(1e6), 1e-9);
+  EXPECT_DOUBLE_EQ(unit_roundoff(), std::ldexp(1.0, -53));
+}
+
+TEST(Bounds, TmuBoundCoversActualRoundoff) {
+  // After C -= A·B, the recomputed checksum of C must deviate from the
+  // maintained one by less than the analytic bound.
+  const index_t n = 64;
+  const MatD a = random_general(n, n, 80);
+  const MatD b = random_general(n, n, 81);
+  MatD c = random_general(n, n, 82);
+  MatD cs(2, n);
+  encode_col(c.const_view(), cs.view());
+
+  // Maintain: cs -= c(A)·B.
+  MatD cs_a(2, n);
+  encode_col(a.const_view(), cs_a.view());
+  ::ftla::blas::gemm(::ftla::blas::Trans::NoTrans, ::ftla::blas::Trans::NoTrans, -1.0, cs_a.const_view(),
+             b.const_view(), 1.0, cs.view());
+  ::ftla::blas::gemm(::ftla::blas::Trans::NoTrans, ::ftla::blas::Trans::NoTrans, -1.0, a.const_view(),
+             b.const_view(), 1.0, c.view());
+
+  MatD recomputed(2, n);
+  encode_col(c.const_view(), recomputed.view());
+  const double max_dev = max_abs_diff(cs.const_view(), recomputed.const_view());
+  EXPECT_LT(max_dev, tmu_col_bound(a.const_view(), b.const_view()));
+}
+
+TEST(RatioLocates, RejectsOutOfRangeAndNonIntegral) {
+  index_t idx = -1;
+  EXPECT_FALSE(ratio_locates(0.0, 5.0, 8, idx));     // zero denominator
+  EXPECT_FALSE(ratio_locates(1.0, 4.5, 8, idx));     // non-integral
+  EXPECT_FALSE(ratio_locates(1.0, 9.0, 8, idx));     // beyond extent
+  EXPECT_FALSE(ratio_locates(1.0, 0.4, 8, idx));     // below 1
+  EXPECT_TRUE(ratio_locates(2.0, 8.0, 8, idx));      // ratio 4 → index 3
+  EXPECT_EQ(idx, 3);
+}
+
+}  // namespace
+}  // namespace ftla::checksum

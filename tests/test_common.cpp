@@ -1,0 +1,190 @@
+// Tests for the common substrate: error handling, RNG determinism,
+// thread pool semantics, timers.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "common/timer.hpp"
+
+namespace ftla {
+namespace {
+
+TEST(Error, CheckThrowsWithMessage) {
+  try {
+    FTLA_CHECK(1 == 2, "one is not two");
+    FAIL() << "expected FtlaError";
+  } catch (const FtlaError& e) {
+    EXPECT_NE(std::string(e.what()).find("one is not two"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("1 == 2"), std::string::npos);
+  }
+}
+
+TEST(Error, CheckPassesSilently) {
+  EXPECT_NO_THROW(FTLA_CHECK(true, "never"));
+}
+
+TEST(Rng, SplitMixDeterministic) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, SplitMixDifferentSeedsDiffer) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Rng, XoshiroDeterministic) {
+  Xoshiro256 a(7);
+  Xoshiro256 b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Xoshiro256 rng(123);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, UniformRespectsRange) {
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-3.0, 7.0);
+    EXPECT_GE(x, -3.0);
+    EXPECT_LT(x, 7.0);
+  }
+}
+
+TEST(Rng, BoundedCoversRangeWithoutOverflow) {
+  Xoshiro256 rng(99);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.bounded(10);
+    EXPECT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);  // all residues hit
+}
+
+TEST(Rng, BoundedZeroAndOne) {
+  Xoshiro256 rng(1);
+  EXPECT_EQ(rng.bounded(0), 0u);
+  EXPECT_EQ(rng.bounded(1), 0u);
+}
+
+TEST(Rng, NormalHasPlausibleMoments) {
+  Xoshiro256 rng(2024);
+  const int n = 50000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.03);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(Rng, IndexWithinBounds) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const index_t v = rng.index(17);
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 17);
+  }
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(0, 1000, [&](index_t i) { hits[static_cast<std::size_t>(i)]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForEmptyRange) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(5, 5, [&](index_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, ParallelForSingleElement) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  pool.parallel_for(3, 4, [&](index_t i) {
+    EXPECT_EQ(i, 3);
+    ++count;
+  });
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPool, ChunkedPartitionIsDisjointAndComplete) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(257);
+  pool.parallel_for_chunked(0, 257, [&](index_t lo, index_t hi) {
+    EXPECT_LT(lo, hi);
+    for (index_t i = lo; i < hi; ++i) hits[static_cast<std::size_t>(i)]++;
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ExceptionPropagates) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(0, 100,
+                        [](index_t i) {
+                          if (i == 57) throw FtlaError("boom");
+                        }),
+      FtlaError);
+}
+
+TEST(ThreadPool, SubmitAndWaitIdle) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 50; ++i) pool.submit([&] { ++done; });
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 50);
+}
+
+TEST(ThreadPool, GlobalPoolIsSingleton) {
+  EXPECT_EQ(&ThreadPool::global(), &ThreadPool::global());
+  EXPECT_GE(ThreadPool::global().num_threads(), 1u);
+}
+
+TEST(Timer, AccumulatesAcrossIntervals) {
+  AccumulatingTimer t;
+  t.add(0.5);
+  t.add(0.25);
+  EXPECT_DOUBLE_EQ(t.total_seconds(), 0.75);
+  t.reset();
+  EXPECT_DOUBLE_EQ(t.total_seconds(), 0.0);
+}
+
+TEST(Timer, WallTimerAdvances) {
+  WallTimer t;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink = sink + 1.0;
+  EXPECT_GE(t.seconds(), 0.0);
+}
+
+TEST(Timer, ScopedTimerCharges) {
+  AccumulatingTimer acc;
+  { ScopedTimer guard(acc); }
+  EXPECT_GE(acc.total_seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace ftla

@@ -1,0 +1,183 @@
+// Error-free integration tests of the three FT decompositions: every
+// (checksum layout × scheme × GPU count) combination must produce the
+// same factors as the host reference, with no spurious detections.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/baseline.hpp"
+#include "lapack/lapack.hpp"
+#include "core/ft_driver.hpp"
+#include "matrix/compare.hpp"
+#include "matrix/generate.hpp"
+#include "matrix/norms.hpp"
+
+namespace ftla::core {
+namespace {
+
+using Param = std::tuple<int, int, int>;  // checksum kind, scheme, ngpu
+
+FtOptions make_options(const Param& p, index_t nb) {
+  const auto [cs, scheme, ngpu] = p;
+  FtOptions opts;
+  opts.nb = nb;
+  opts.ngpu = ngpu;
+  opts.checksum = static_cast<ChecksumKind>(cs);
+  opts.scheme = static_cast<SchemeKind>(scheme);
+  return opts;
+}
+
+class FtSweep : public ::testing::TestWithParam<Param> {};
+
+TEST_P(FtSweep, CholeskyMatchesReferenceAndDetectsNothing) {
+  const index_t n = 96;
+  const index_t nb = 16;
+  const MatD a = random_spd(n, 21);
+  const FtOptions opts = make_options(GetParam(), nb);
+
+  const FtOutput out = ft_cholesky(a.const_view(), opts);
+  ASSERT_TRUE(out.ok()) << out.stats.summary();
+  EXPECT_EQ(out.stats.errors_detected, 0u) << out.stats.summary();
+  EXPECT_EQ(out.stats.local_restarts, 0u);
+
+  const MatD ref = host_cholesky(a.const_view(), nb);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = j; i < n; ++i)
+      ASSERT_NEAR(out.factors(i, j), ref(i, j), 1e-10) << i << "," << j;
+  EXPECT_LT(cholesky_residual(a.const_view(), out.factors.const_view()), 1e-12);
+}
+
+TEST_P(FtSweep, LuMatchesReferenceAndDetectsNothing) {
+  const index_t n = 96;
+  const index_t nb = 16;
+  const MatD a = random_diag_dominant(n, 22);
+  const FtOptions opts = make_options(GetParam(), nb);
+
+  const FtOutput out = ft_lu(a.const_view(), opts);
+  ASSERT_TRUE(out.ok()) << out.stats.summary();
+  EXPECT_EQ(out.stats.errors_detected, 0u) << out.stats.summary();
+  EXPECT_EQ(out.stats.local_restarts, 0u);
+
+  const MatD ref = host_lu_nopiv(a.const_view(), nb);
+  EXPECT_LT(max_abs_diff(out.factors.const_view(), ref.const_view()), 1e-9);
+  EXPECT_LT(lu_residual(a.const_view(), out.factors.const_view()), 1e-12);
+}
+
+TEST_P(FtSweep, QrMatchesReferenceAndDetectsNothing) {
+  const index_t n = 96;
+  const index_t nb = 16;
+  const MatD a = random_general(n, n, 23);
+  const FtOptions opts = make_options(GetParam(), nb);
+
+  const FtOutput out = ft_qr(a.const_view(), opts);
+  ASSERT_TRUE(out.ok()) << out.stats.summary();
+  EXPECT_EQ(out.stats.errors_detected, 0u) << out.stats.summary();
+  EXPECT_EQ(out.stats.local_restarts, 0u);
+
+  std::vector<double> tau_ref;
+  const MatD ref = host_qr(a.const_view(), nb, tau_ref);
+  EXPECT_LT(max_abs_diff(out.factors.const_view(), ref.const_view()), 1e-9);
+  for (index_t i = 0; i < n; ++i)
+    ASSERT_NEAR(out.tau[static_cast<std::size_t>(i)], tau_ref[static_cast<std::size_t>(i)],
+                1e-10);
+
+  // End-to-end: explicit Q·R reconstructs A.
+  const MatD q = ::ftla::lapack::orgqr(out.factors.const_view(), out.tau, nb);
+  const MatD r = ::ftla::lapack::extract_r(out.factors.const_view());
+  EXPECT_LT(qr_residual(a.const_view(), q.const_view(), r.const_view()), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LayoutsSchemesGpus, FtSweep,
+    ::testing::Values(
+        // Baseline (no checksums) on 1 and 3 GPUs.
+        Param{0, 2, 1}, Param{0, 2, 3},
+        // Single-side layout with each scheme.
+        Param{1, 0, 1}, Param{1, 1, 1}, Param{1, 1, 2},
+        // Full layout with each scheme, several GPU counts.
+        Param{2, 0, 1}, Param{2, 1, 1}, Param{2, 2, 1}, Param{2, 2, 2},
+        Param{2, 2, 3}, Param{2, 1, 4}, Param{2, 2, 8}));
+
+TEST(FtErrorFree, VerificationCountsDependOnScheme) {
+  // The prior-op scheme verifies far more blocks around TMU than the new
+  // scheme (Table VI's message).
+  const index_t n = 128;
+  const index_t nb = 16;
+  const MatD a = random_diag_dominant(n, 30);
+
+  FtOptions prior;
+  prior.nb = nb;
+  prior.checksum = ChecksumKind::Full;
+  prior.scheme = SchemeKind::PriorOp;
+  FtOptions ours = prior;
+  ours.scheme = SchemeKind::NewScheme;
+
+  const auto out_prior = ft_lu(a.const_view(), prior);
+  const auto out_ours = ft_lu(a.const_view(), ours);
+  ASSERT_TRUE(out_prior.ok());
+  ASSERT_TRUE(out_ours.ok());
+  EXPECT_GT(out_prior.stats.verifications_tmu_before, 0u);
+  EXPECT_EQ(out_ours.stats.verifications_tmu_before, 0u);
+  EXPECT_GT(out_prior.stats.blocks_verified, out_ours.stats.blocks_verified);
+}
+
+TEST(FtErrorFree, FtOverheadTimeIsTracked) {
+  const index_t n = 128;
+  const index_t nb = 32;
+  const MatD a = random_spd(n, 31);
+  FtOptions opts;
+  opts.nb = nb;
+  opts.checksum = ChecksumKind::Full;
+  const auto out = ft_cholesky(a.const_view(), opts);
+  ASSERT_TRUE(out.ok());
+  EXPECT_GT(out.stats.encode_seconds, 0.0);
+  EXPECT_GT(out.stats.total_seconds, 0.0);
+  EXPECT_GT(out.stats.comm_modeled_seconds, 0.0);
+  EXPECT_LT(out.stats.ft_overhead_seconds(), out.stats.total_seconds);
+}
+
+TEST(FtErrorFree, BaselineHasNoFtWork) {
+  const index_t n = 64;
+  const MatD a = random_diag_dominant(n, 32);
+  const auto out = baseline_lu(a.const_view(), 16, 2);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.stats.blocks_verified, 0u);
+  EXPECT_DOUBLE_EQ(out.stats.encode_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(out.stats.verify_seconds, 0.0);
+}
+
+TEST(FtErrorFree, MultiGpuMatchesSingleGpuBitwiseClose) {
+  const index_t n = 96;
+  const index_t nb = 16;
+  const MatD a = random_diag_dominant(n, 33);
+  FtOptions o1;
+  o1.nb = nb;
+  o1.ngpu = 1;
+  o1.checksum = ChecksumKind::Full;
+  FtOptions o4 = o1;
+  o4.ngpu = 4;
+  const auto r1 = ft_lu(a.const_view(), o1);
+  const auto r4 = ft_lu(a.const_view(), o4);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r4.ok());
+  EXPECT_LT(max_abs_diff(r1.factors.const_view(), r4.factors.const_view()), 1e-11);
+}
+
+TEST(FtErrorFree, RejectsNonMultipleBlockSize) {
+  const MatD a = random_spd(100, 34);
+  FtOptions opts;
+  opts.nb = 48;  // 100 % 48 != 0
+  EXPECT_THROW(ft_cholesky(a.const_view(), opts), FtlaError);
+}
+
+TEST(FtErrorFree, CholeskyRejectsIndefinite) {
+  MatD a = random_symmetric(64, 35);  // symmetric but (almost surely) indefinite
+  FtOptions opts;
+  opts.nb = 16;
+  const auto out = ft_cholesky(a.const_view(), opts);
+  EXPECT_EQ(out.stats.status, RunStatus::NumericalFailure);
+}
+
+}  // namespace
+}  // namespace ftla::core

@@ -1,0 +1,331 @@
+// Fault-injection integration tests: the behaviours behind Table VIII.
+// Each test schedules exactly one fault (paper §X.A) and asserts the
+// campaign classification. The headline contrasts:
+//   * full checksum + new scheme recovers from every fault class here;
+//   * single-side checksum misses PU-update and TMU 1D-propagation
+//     faults;
+//   * the post-op scheme lets PCIe corruption of the owner's panel
+//     reach the final result, the new scheme corrects it at receivers.
+
+#include <gtest/gtest.h>
+
+#include "core/campaign.hpp"
+
+namespace ftla::core {
+namespace {
+
+using fault::FaultSpec;
+using fault::FaultType;
+using fault::OpKind;
+using fault::OpSite;
+using fault::Part;
+using fault::Timing;
+
+constexpr index_t kN = 96;
+constexpr index_t kNb = 16;
+
+CampaignConfig make_config(Decomp decomp, ChecksumKind cs, SchemeKind scheme,
+                           int ngpu = 2) {
+  CampaignConfig cfg;
+  cfg.decomp = decomp;
+  cfg.n = kN;
+  cfg.opts.nb = kNb;
+  cfg.opts.ngpu = ngpu;
+  cfg.opts.checksum = cs;
+  cfg.opts.scheme = scheme;
+  return cfg;
+}
+
+FaultSpec spec_at(FaultType type, OpKind op, index_t iter, index_t br, index_t bc,
+                  Part part = Part::Update, Timing timing = Timing::DuringOp) {
+  FaultSpec s;
+  s.type = type;
+  s.site = OpSite{iter, op};
+  s.part = part;
+  s.timing = timing;
+  s.target_br = br;
+  s.target_bc = bc;
+  s.seed = 12345;
+  return s;
+}
+
+bool is_corrected(Outcome o) {
+  return o == Outcome::CorrectedAbft || o == Outcome::CorrectedRestart;
+}
+
+bool is_failure(Outcome o) {
+  return o == Outcome::WrongResult || o == Outcome::DetectedUnrecoverable;
+}
+
+// ---------------------------------------------------------------------
+// Full checksum + new scheme: the complete fault battery must recover.
+// ---------------------------------------------------------------------
+
+struct BatteryCase {
+  const char* name;
+  FaultSpec spec;
+};
+
+class LuFullNewBattery : public ::testing::TestWithParam<BatteryCase> {};
+
+TEST_P(LuFullNewBattery, Recovers) {
+  Campaign campaign(make_config(Decomp::Lu, ChecksumKind::Full, SchemeKind::NewScheme));
+  const auto result = campaign.run(GetParam().spec);
+  EXPECT_TRUE(is_corrected(result.outcome)) << result.summary();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFaultClasses, LuFullNewBattery,
+    ::testing::Values(
+        BatteryCase{"comp_pd", spec_at(FaultType::Computation, OpKind::PD, 1, 1, 1)},
+        BatteryCase{"comp_pu", spec_at(FaultType::Computation, OpKind::PU, 1, 1, 2)},
+        BatteryCase{"comp_tmu", spec_at(FaultType::Computation, OpKind::TMU, 1, 2, 3)},
+        BatteryCase{"dram_between_pd_ref",
+                    spec_at(FaultType::MemoryDram, OpKind::PD, 1, 3, 1, Part::Reference,
+                            Timing::BetweenOps)},
+        BatteryCase{"dram_between_pu_upd",
+                    spec_at(FaultType::MemoryDram, OpKind::PU, 1, 1, 2, Part::Update,
+                            Timing::BetweenOps)},
+        BatteryCase{"dram_between_tmu_upd",
+                    spec_at(FaultType::MemoryDram, OpKind::TMU, 1, 3, 2, Part::Update,
+                            Timing::BetweenOps)},
+        BatteryCase{"dram_during_tmu_ref_L",
+                    spec_at(FaultType::MemoryDram, OpKind::TMU, 1, 2, 1, Part::Reference)},
+        BatteryCase{"dram_during_tmu_ref_U",
+                    spec_at(FaultType::MemoryDram, OpKind::TMU, 1, 1, 2, Part::Reference)},
+        BatteryCase{"onchip_tmu_ref_U",
+                    spec_at(FaultType::MemoryOnChip, OpKind::TMU, 1, 1, 2,
+                            Part::Reference)},
+        BatteryCase{"onchip_tmu_ref_L",
+                    spec_at(FaultType::MemoryOnChip, OpKind::TMU, 1, 2, 1,
+                            Part::Reference)},
+        BatteryCase{"onchip_pu_ref",
+                    spec_at(FaultType::MemoryOnChip, OpKind::PU, 1, 1, 1,
+                            Part::Reference)}),
+    [](const ::testing::TestParamInfo<BatteryCase>& info) { return info.param.name; });
+
+// ---------------------------------------------------------------------
+// PD faults always end in a local restart (Table VIII: "R" for ⊠ at PD).
+// ---------------------------------------------------------------------
+
+TEST(LuFaults, PdComputationNeedsLocalRestart) {
+  Campaign campaign(make_config(Decomp::Lu, ChecksumKind::Full, SchemeKind::NewScheme));
+  const auto result =
+      campaign.run(spec_at(FaultType::Computation, OpKind::PD, 2, 2, 2));
+  EXPECT_EQ(result.outcome, Outcome::CorrectedRestart) << result.summary();
+  EXPECT_GE(result.stats.local_restarts, 1u);
+}
+
+TEST(LuFaults, PdDramBetweenOpsIsCheapCorrection) {
+  // A memory error caught by the pre-PD check is a 0D fix, no restart.
+  Campaign campaign(make_config(Decomp::Lu, ChecksumKind::Full, SchemeKind::NewScheme));
+  const auto result = campaign.run(spec_at(FaultType::MemoryDram, OpKind::PD, 1, 2, 1,
+                                           Part::Reference, Timing::BetweenOps));
+  EXPECT_EQ(result.outcome, Outcome::CorrectedAbft) << result.summary();
+  EXPECT_EQ(result.stats.local_restarts, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Single-side gaps (Table VIII "N" cells).
+// ---------------------------------------------------------------------
+
+TEST(LuFaults, SingleSideMissesPuComputationError) {
+  // The updated row panel carries no checksum in the single-side layout:
+  // a computation error there reaches the final result.
+  Campaign single(make_config(Decomp::Lu, ChecksumKind::SingleSide, SchemeKind::PostOp));
+  const auto bad = single.run(spec_at(FaultType::Computation, OpKind::PU, 1, 1, 2));
+  EXPECT_TRUE(is_failure(bad.outcome)) << bad.summary();
+
+  Campaign full(make_config(Decomp::Lu, ChecksumKind::Full, SchemeKind::PostOp));
+  const auto good = full.run(spec_at(FaultType::Computation, OpKind::PU, 1, 1, 2));
+  EXPECT_TRUE(is_corrected(good.outcome)) << good.summary();
+}
+
+TEST(LuFaults, SingleSideMissesUSideDramPropagation) {
+  // A DRAM error in U during TMU propagates down one column; column
+  // checksums were maintained from the same corrupted U, so the
+  // single-side layout cannot see it. Full checksum reconstructs the
+  // column from the independent row checksums.
+  const auto spec =
+      spec_at(FaultType::MemoryDram, OpKind::TMU, 1, 1, 2, Part::Reference);
+
+  Campaign single(make_config(Decomp::Lu, ChecksumKind::SingleSide, SchemeKind::NewScheme));
+  const auto bad = single.run(spec);
+  EXPECT_TRUE(is_failure(bad.outcome)) << bad.summary();
+
+  Campaign full(make_config(Decomp::Lu, ChecksumKind::Full, SchemeKind::NewScheme));
+  const auto good = full.run(spec);
+  EXPECT_TRUE(is_corrected(good.outcome)) << good.summary();
+}
+
+TEST(LuFaults, SingleSideMissesOnChipUPropagation) {
+  const auto spec =
+      spec_at(FaultType::MemoryOnChip, OpKind::TMU, 1, 1, 2, Part::Reference);
+  Campaign single(make_config(Decomp::Lu, ChecksumKind::SingleSide, SchemeKind::NewScheme));
+  EXPECT_TRUE(is_failure(single.run(spec).outcome));
+  Campaign full(make_config(Decomp::Lu, ChecksumKind::Full, SchemeKind::NewScheme));
+  EXPECT_TRUE(is_corrected(full.run(spec).outcome));
+}
+
+// ---------------------------------------------------------------------
+// PCIe protection (§VII.C): the new scheme corrects at receivers; the
+// post-op scheme lets owner-side corruption freeze into the result.
+// ---------------------------------------------------------------------
+
+TEST(LuFaults, PcieToNonOwnerCorrectedByNewScheme) {
+  auto spec = spec_at(FaultType::Pcie, OpKind::BroadcastH2D, 1, 1, 1);
+  spec.target_gpu = 0;  // owner of block column 1 is GPU 1 (1 mod 2)
+  Campaign campaign(make_config(Decomp::Lu, ChecksumKind::Full, SchemeKind::NewScheme));
+  const auto result = campaign.run(spec);
+  EXPECT_EQ(result.outcome, Outcome::CorrectedAbft) << result.summary();
+  EXPECT_GE(result.stats.comm_errors_corrected, 1u);
+}
+
+TEST(LuFaults, PcieToOwnerNewSchemeVsPostScheme) {
+  auto spec = spec_at(FaultType::Pcie, OpKind::BroadcastH2D, 1, 1, 1);
+  spec.target_gpu = 1;  // the owner: its copy is written back as output
+
+  Campaign ours(make_config(Decomp::Lu, ChecksumKind::Full, SchemeKind::NewScheme));
+  const auto good = ours.run(spec);
+  EXPECT_TRUE(is_corrected(good.outcome)) << good.summary();
+
+  Campaign post(make_config(Decomp::Lu, ChecksumKind::Full, SchemeKind::PostOp));
+  const auto bad = post.run(spec);
+  EXPECT_TRUE(is_failure(bad.outcome)) << bad.summary();
+}
+
+TEST(LuFaults, PcieOnPanelFetchCorrectedByPrePdCheck) {
+  Campaign campaign(make_config(Decomp::Lu, ChecksumKind::Full, SchemeKind::NewScheme));
+  const auto result = campaign.run(spec_at(FaultType::Pcie, OpKind::PD, 2, 2, 2));
+  EXPECT_TRUE(is_corrected(result.outcome)) << result.summary();
+}
+
+// ---------------------------------------------------------------------
+// Recovery cost: ABFT corrections must be far cheaper than the run.
+// ---------------------------------------------------------------------
+
+TEST(LuFaults, AbftCorrectionOverheadIsSmall) {
+  Campaign campaign(make_config(Decomp::Lu, ChecksumKind::Full, SchemeKind::NewScheme));
+  const auto result =
+      campaign.run(spec_at(FaultType::Computation, OpKind::TMU, 1, 2, 3));
+  ASSERT_TRUE(is_corrected(result.outcome));
+  // §VII.C promises < 1% recovery overhead; allow generous slack for the
+  // tiny problem sizes used in tests.
+  EXPECT_LT(result.stats.recovery_seconds,
+            0.25 * result.stats.total_seconds + 1e-3);
+}
+
+// ---------------------------------------------------------------------
+// Cholesky and QR: the same machinery holds.
+// ---------------------------------------------------------------------
+
+class CholFullNewBattery : public ::testing::TestWithParam<BatteryCase> {};
+
+TEST_P(CholFullNewBattery, Recovers) {
+  Campaign campaign(
+      make_config(Decomp::Cholesky, ChecksumKind::Full, SchemeKind::NewScheme));
+  const auto result = campaign.run(GetParam().spec);
+  EXPECT_TRUE(is_corrected(result.outcome)) << result.summary();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFaultClasses, CholFullNewBattery,
+    ::testing::Values(
+        BatteryCase{"comp_pd", spec_at(FaultType::Computation, OpKind::PD, 1, 1, 1)},
+        BatteryCase{"comp_pu", spec_at(FaultType::Computation, OpKind::PU, 1, 2, 1)},
+        BatteryCase{"comp_tmu", spec_at(FaultType::Computation, OpKind::TMU, 1, 3, 2)},
+        BatteryCase{"dram_between_pd",
+                    spec_at(FaultType::MemoryDram, OpKind::PD, 1, 1, 1, Part::Reference,
+                            Timing::BetweenOps)},
+        BatteryCase{"dram_between_pu_upd",
+                    spec_at(FaultType::MemoryDram, OpKind::PU, 1, 2, 1, Part::Update,
+                            Timing::BetweenOps)},
+        BatteryCase{"dram_during_tmu_ref",
+                    spec_at(FaultType::MemoryDram, OpKind::TMU, 1, 3, 1, Part::Reference)},
+        BatteryCase{"onchip_tmu_ref",
+                    spec_at(FaultType::MemoryOnChip, OpKind::TMU, 1, 3, 1,
+                            Part::Reference)},
+        BatteryCase{"onchip_pu_ref",
+                    spec_at(FaultType::MemoryOnChip, OpKind::PU, 1, 1, 1,
+                            Part::Reference)}),
+    [](const ::testing::TestParamInfo<BatteryCase>& info) { return info.param.name; });
+
+TEST(CholFaults, PcieD2DBroadcastCorrected) {
+  auto spec = spec_at(FaultType::Pcie, OpKind::BroadcastD2D, 1, 1, 1);
+  spec.target_gpu = 0;  // receiver (owner of column 1 is GPU 1)
+  Campaign campaign(
+      make_config(Decomp::Cholesky, ChecksumKind::Full, SchemeKind::NewScheme));
+  const auto result = campaign.run(spec);
+  EXPECT_TRUE(is_corrected(result.outcome)) << result.summary();
+  EXPECT_GE(result.stats.comm_errors_corrected, 1u);
+}
+
+class QrFullNewBattery : public ::testing::TestWithParam<BatteryCase> {};
+
+TEST_P(QrFullNewBattery, Recovers) {
+  Campaign campaign(make_config(Decomp::Qr, ChecksumKind::Full, SchemeKind::NewScheme));
+  const auto result = campaign.run(GetParam().spec);
+  EXPECT_TRUE(is_corrected(result.outcome)) << result.summary();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFaultClasses, QrFullNewBattery,
+    ::testing::Values(
+        BatteryCase{"comp_pd", spec_at(FaultType::Computation, OpKind::PD, 1, 1, 1)},
+        BatteryCase{"comp_ctf", spec_at(FaultType::Computation, OpKind::CTF, 1, 1, 1)},
+        BatteryCase{"comp_tmu", spec_at(FaultType::Computation, OpKind::TMU, 1, 1, 3)},
+        BatteryCase{"dram_between_pd",
+                    spec_at(FaultType::MemoryDram, OpKind::PD, 1, 2, 1, Part::Reference,
+                            Timing::BetweenOps)},
+        BatteryCase{"dram_between_tmu_upd",
+                    spec_at(FaultType::MemoryDram, OpKind::TMU, 1, 1, 2, Part::Update,
+                            Timing::BetweenOps)},
+        BatteryCase{"dram_between_tmu_ref_v",
+                    spec_at(FaultType::MemoryDram, OpKind::TMU, 1, 2, 1, Part::Reference,
+                            Timing::BetweenOps)}),
+    [](const ::testing::TestParamInfo<BatteryCase>& info) { return info.param.name; });
+
+TEST(QrFaults, CtfErrorFixedByRecompute) {
+  Campaign campaign(make_config(Decomp::Qr, ChecksumKind::Full, SchemeKind::NewScheme));
+  const auto result =
+      campaign.run(spec_at(FaultType::Computation, OpKind::CTF, 2, 2, 2));
+  EXPECT_EQ(result.outcome, Outcome::CorrectedAbft) << result.summary();
+}
+
+TEST(QrFaults, PcieBroadcastCorrected) {
+  auto spec = spec_at(FaultType::Pcie, OpKind::BroadcastH2D, 1, 1, 1);
+  spec.target_gpu = 0;
+  Campaign campaign(make_config(Decomp::Qr, ChecksumKind::Full, SchemeKind::NewScheme));
+  const auto result = campaign.run(spec);
+  EXPECT_TRUE(is_corrected(result.outcome)) << result.summary();
+}
+
+// ---------------------------------------------------------------------
+// Baseline: with no checksums every fault reaches the result.
+// ---------------------------------------------------------------------
+
+TEST(BaselineFaults, NoProtectionMeansWrongResult) {
+  Campaign campaign(make_config(Decomp::Lu, ChecksumKind::None, SchemeKind::NewScheme));
+  const auto result =
+      campaign.run(spec_at(FaultType::Computation, OpKind::TMU, 1, 2, 3));
+  EXPECT_EQ(result.outcome, Outcome::WrongResult) << result.summary();
+}
+
+TEST(Campaign, UntriggeredFaultIsReported) {
+  Campaign campaign(make_config(Decomp::Lu, ChecksumKind::Full, SchemeKind::NewScheme));
+  // Iteration 99 never executes for b = 6.
+  const auto result =
+      campaign.run(spec_at(FaultType::Computation, OpKind::TMU, 99, 2, 3));
+  EXPECT_EQ(result.outcome, Outcome::FaultNotTriggered);
+}
+
+TEST(Campaign, ReferenceIsCachedAndClean) {
+  Campaign campaign(make_config(Decomp::Lu, ChecksumKind::Full, SchemeKind::NewScheme));
+  const auto& ref1 = campaign.reference();
+  const auto& ref2 = campaign.reference();
+  EXPECT_EQ(&ref1, &ref2);
+  EXPECT_EQ(ref1.stats.errors_detected, 0u);
+}
+
+}  // namespace
+}  // namespace ftla::core

@@ -1,0 +1,220 @@
+// Tests for the fault-injection framework: bit-flip semantics, injector
+// hook matching, on-chip restore behaviour, PCIe targeting.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fault/injector.hpp"
+#include "matrix/generate.hpp"
+
+namespace ftla::fault {
+namespace {
+
+TEST(BitFlip, FlipBitIsInvolution) {
+  const double x = 3.14159;
+  for (int bit = 0; bit < 64; ++bit) {
+    const double flipped = flip_bit(x, bit);
+    EXPECT_NE(flipped, x) << "bit " << bit;
+    EXPECT_EQ(flip_bit(flipped, bit), x);
+  }
+}
+
+TEST(BitFlip, SignBit) {
+  EXPECT_DOUBLE_EQ(flip_bit(2.5, 63), -2.5);
+}
+
+TEST(BitFlip, MaskFlipsMultiple) {
+  const double x = 1.0;
+  const auto mask = (std::uint64_t{1} << 50) | (std::uint64_t{1} << 40);
+  const double y = flip_bits(x, mask);
+  EXPECT_NE(y, x);
+  EXPECT_EQ(flip_bits(y, mask), x);
+}
+
+TEST(BitFlip, SignificantFlipExceedsThreshold) {
+  Xoshiro256 rng(1);
+  for (double v : {1.0, -3.5, 1e-8, 1e8, 0.0, 123.456}) {
+    for (int rep = 0; rep < 20; ++rep) {
+      const double f = flip_one_significant(v, rng, 1e-3);
+      EXPECT_TRUE(std::isfinite(f));
+      EXPECT_GE(relative_change(v, f), 1e-3) << "v=" << v;
+    }
+  }
+}
+
+TEST(BitFlip, MultiBitFlipExceedsThreshold) {
+  Xoshiro256 rng(2);
+  for (double v : {1.0, -0.25, 1e5, 0.0}) {
+    for (int rep = 0; rep < 20; ++rep) {
+      const double f = flip_multi_significant(v, rng, 1e-3);
+      EXPECT_TRUE(std::isfinite(f));
+      EXPECT_GE(relative_change(v, f), 1e-3);
+    }
+  }
+}
+
+TEST(BitFlip, DeterministicGivenSeed) {
+  Xoshiro256 a(7);
+  Xoshiro256 b(7);
+  EXPECT_EQ(flip_one_significant(2.0, a), flip_one_significant(2.0, b));
+}
+
+TEST(Injector, ComputationFiresAtPostCompute) {
+  FaultInjector inj;
+  FaultSpec spec;
+  spec.type = FaultType::Computation;
+  spec.site = OpSite{3, OpKind::TMU};
+  spec.row = 1;
+  spec.col = 2;
+  inj.schedule(spec);
+
+  MatD m = random_general(4, 4, 1);
+  const double before = m(1, 2);
+
+  // Wrong site: nothing fires.
+  inj.post_compute(OpSite{2, OpKind::TMU}, m.view(), {0, 0});
+  inj.post_compute(OpSite{3, OpKind::PU}, m.view(), {0, 0});
+  EXPECT_FALSE(inj.all_fired());
+  EXPECT_EQ(m(1, 2), before);
+
+  inj.post_compute(OpSite{3, OpKind::TMU}, m.view(), {8, 4});
+  EXPECT_TRUE(inj.all_fired());
+  EXPECT_NE(m(1, 2), before);
+
+  ASSERT_EQ(inj.records().size(), 1u);
+  const auto& rec = inj.records().front();
+  EXPECT_EQ(rec.where, (ElemCoord{1, 2}));
+  EXPECT_EQ(rec.global, (ElemCoord{9, 6}));
+  EXPECT_EQ(rec.original, before);
+  EXPECT_EQ(rec.corrupted, m(1, 2));
+}
+
+TEST(Injector, DramBetweenOpsFiresAtPreVerify) {
+  FaultInjector inj;
+  FaultSpec spec;
+  spec.type = FaultType::MemoryDram;
+  spec.timing = Timing::BetweenOps;
+  spec.site = OpSite{0, OpKind::PD};
+  spec.part = Part::Reference;
+  inj.schedule(spec);
+
+  MatD m(4, 4, 1.0);
+  // During-op hook must not trigger a between-ops fault.
+  inj.pre_compute(OpSite{0, OpKind::PD}, Part::Reference, m.view(), {0, 0});
+  EXPECT_FALSE(inj.all_fired());
+  // Wrong part must not trigger either.
+  inj.pre_verify(OpSite{0, OpKind::PD}, Part::Update, m.view(), {0, 0});
+  EXPECT_FALSE(inj.all_fired());
+
+  inj.pre_verify(OpSite{0, OpKind::PD}, Part::Reference, m.view(), {0, 0});
+  EXPECT_TRUE(inj.all_fired());
+}
+
+TEST(Injector, DramDuringOpFiresAtPreCompute) {
+  FaultInjector inj;
+  FaultSpec spec;
+  spec.type = FaultType::MemoryDram;
+  spec.timing = Timing::DuringOp;
+  spec.site = OpSite{1, OpKind::TMU};
+  spec.part = Part::Update;
+  inj.schedule(spec);
+
+  MatD m(4, 4, 1.0);
+  inj.pre_verify(OpSite{1, OpKind::TMU}, Part::Update, m.view(), {0, 0});
+  EXPECT_FALSE(inj.all_fired());
+  inj.pre_compute(OpSite{1, OpKind::TMU}, Part::Update, m.view(), {0, 0});
+  EXPECT_TRUE(inj.all_fired());
+}
+
+TEST(Injector, OnChipCorruptsThenRestores) {
+  FaultInjector inj;
+  FaultSpec spec;
+  spec.type = FaultType::MemoryOnChip;
+  spec.site = OpSite{2, OpKind::PU};
+  spec.part = Part::Reference;
+  spec.row = 0;
+  spec.col = 0;
+  inj.schedule(spec);
+
+  MatD m(2, 2, 5.0);
+  inj.pre_compute(OpSite{2, OpKind::PU}, Part::Reference, m.view(), {0, 0});
+  EXPECT_NE(m(0, 0), 5.0);  // corrupted during the op
+
+  MatD out(2, 2, 0.0);
+  inj.post_compute(OpSite{2, OpKind::PU}, out.view(), {0, 0});
+  EXPECT_EQ(m(0, 0), 5.0);  // stored cell restored after the op
+  ASSERT_EQ(inj.records().size(), 1u);
+  EXPECT_TRUE(inj.records().front().restored);
+}
+
+TEST(Injector, PcieTargetsSpecificGpu) {
+  FaultInjector inj;
+  FaultSpec spec;
+  spec.type = FaultType::Pcie;
+  spec.site = OpSite{0, OpKind::BroadcastH2D};
+  spec.target_gpu = 2;
+  inj.schedule(spec);
+
+  MatD m(3, 3, 1.0);
+  inj.post_transfer(OpSite{0, OpKind::BroadcastH2D}, 0, m.view(), {0, 0});
+  inj.post_transfer(OpSite{0, OpKind::BroadcastH2D}, 1, m.view(), {0, 0});
+  EXPECT_FALSE(inj.all_fired());
+  inj.post_transfer(OpSite{0, OpKind::BroadcastH2D}, 2, m.view(), {0, 0});
+  EXPECT_TRUE(inj.all_fired());
+  EXPECT_EQ(inj.records().front().gpu, 2);
+}
+
+TEST(Injector, PcieAnyGpuFiresOnFirstReceiver) {
+  FaultInjector inj;
+  FaultSpec spec;
+  spec.type = FaultType::Pcie;
+  spec.site = OpSite{1, OpKind::BroadcastD2D};
+  spec.target_gpu = -1;
+  inj.schedule(spec);
+
+  MatD m(2, 2, 1.0);
+  inj.post_transfer(OpSite{1, OpKind::BroadcastD2D}, 5, m.view(), {0, 0});
+  EXPECT_TRUE(inj.all_fired());
+  EXPECT_EQ(inj.records().front().gpu, 5);
+}
+
+TEST(Injector, RandomElementSelectionIsDeterministic) {
+  for (int rep = 0; rep < 2; ++rep) {
+    FaultInjector inj;
+    FaultSpec spec;
+    spec.type = FaultType::Computation;
+    spec.site = OpSite{0, OpKind::TMU};
+    spec.seed = 99;  // row/col = -1: random
+    inj.schedule(spec);
+    MatD m(8, 8, 1.0);
+    inj.post_compute(OpSite{0, OpKind::TMU}, m.view(), {0, 0});
+    static ElemCoord first_where;
+    if (rep == 0)
+      first_where = inj.records().front().where;
+    else
+      EXPECT_EQ(inj.records().front().where, first_where);
+  }
+}
+
+TEST(Injector, ClearRemovesEverything) {
+  FaultInjector inj;
+  inj.schedule(FaultSpec{});
+  EXPECT_EQ(inj.num_pending(), 1u);
+  inj.clear();
+  EXPECT_TRUE(inj.all_fired());
+  EXPECT_TRUE(inj.records().empty());
+}
+
+TEST(Describe, HumanReadable) {
+  FaultSpec spec;
+  spec.type = FaultType::Pcie;
+  spec.site = OpSite{4, OpKind::BroadcastH2D};
+  const auto s = describe(spec);
+  EXPECT_NE(s.find("pcie"), std::string::npos);
+  EXPECT_NE(s.find("BcastH2D"), std::string::npos);
+  EXPECT_NE(s.find("4"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ftla::fault

@@ -1,0 +1,250 @@
+// LAPACK substrate tests: factorization residuals, blocked-vs-unblocked
+// agreement, pivoting, Householder kernels.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "lapack/lapack.hpp"
+#include "matrix/compare.hpp"
+#include "matrix/generate.hpp"
+#include "matrix/norms.hpp"
+
+namespace ftla::lapack {
+namespace {
+
+using PotrfParam = std::tuple<int, int>;  // n, nb
+
+class PotrfSweep : public ::testing::TestWithParam<PotrfParam> {};
+
+TEST_P(PotrfSweep, ResidualSmall) {
+  const auto [n, nb] = GetParam();
+  const MatD a = random_spd(n, 100 + n);
+  MatD l(a.const_view());
+  ASSERT_EQ(potrf(l.view(), nb), 0);
+  EXPECT_LT(cholesky_residual(a.const_view(), l.const_view()), 1e-13);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, PotrfSweep,
+                         ::testing::Values(PotrfParam{1, 1}, PotrfParam{4, 2},
+                                           PotrfParam{16, 4}, PotrfParam{33, 8},
+                                           PotrfParam{64, 16}, PotrfParam{100, 32},
+                                           PotrfParam{128, 128},   // single block
+                                           PotrfParam{96, 100}));  // nb > n
+
+TEST(Potrf, BlockedMatchesUnblocked) {
+  const index_t n = 40;
+  const MatD a = random_spd(n, 7);
+  MatD l1(a.const_view());
+  MatD l2(a.const_view());
+  ASSERT_EQ(potrf2(l1.view()), 0);
+  ASSERT_EQ(potrf(l2.view(), 8), 0);
+  // Compare lower triangles only (upper is unspecified workspace).
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = j; i < n; ++i) EXPECT_NEAR(l1(i, j), l2(i, j), 1e-11);
+}
+
+TEST(Potrf, RejectsIndefinite) {
+  MatD a = identity(4);
+  a(2, 2) = -1.0;
+  EXPECT_EQ(potrf2(a.view()), 3);  // 1-based failing pivot
+}
+
+TEST(Potrf, RejectsIndefiniteBlocked) {
+  MatD a = identity(10);
+  a(7, 7) = -5.0;
+  MatD c(a.const_view());
+  EXPECT_EQ(potrf(c.view(), 4), 8);
+}
+
+using GetrfParam = std::tuple<int, int>;
+
+class GetrfSweep : public ::testing::TestWithParam<GetrfParam> {};
+
+TEST_P(GetrfSweep, PivotedResidualSmall) {
+  const auto [n, nb] = GetParam();
+  const MatD a = random_general(n, n, 200 + n);
+  MatD lu(a.const_view());
+  std::vector<index_t> ipiv;
+  ASSERT_EQ(getrf(lu.view(), nb, ipiv), 0);
+
+  // Build PA explicitly and check PA = LU.
+  MatD pa(a.const_view());
+  laswp(pa.view(), ipiv, 0, static_cast<index_t>(ipiv.size()));
+  EXPECT_LT(lu_residual(pa.const_view(), lu.const_view()), 1e-12);
+}
+
+TEST_P(GetrfSweep, NoPivotResidualSmallOnDominant) {
+  const auto [n, nb] = GetParam();
+  const MatD a = random_diag_dominant(n, 300 + n);
+  MatD lu(a.const_view());
+  ASSERT_EQ(getrf_nopiv(lu.view(), nb), 0);
+  EXPECT_LT(lu_residual(a.const_view(), lu.const_view()), 1e-13);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, GetrfSweep,
+                         ::testing::Values(GetrfParam{1, 1}, GetrfParam{5, 2},
+                                           GetrfParam{16, 4}, GetrfParam{37, 8},
+                                           GetrfParam{64, 16}, GetrfParam{100, 25},
+                                           GetrfParam{64, 64}, GetrfParam{48, 50}));
+
+TEST(Getrf, PivotingActuallyPivots) {
+  // Leading zero forces a swap; no-pivot variant must fail, pivoted must
+  // succeed.
+  MatD a(2, 2);
+  a(0, 0) = 0.0;
+  a(0, 1) = 1.0;
+  a(1, 0) = 1.0;
+  a(1, 1) = 0.0;
+  MatD c1(a.const_view());
+  EXPECT_NE(getrf_nopiv(c1.view(), 1), 0);
+  MatD c2(a.const_view());
+  std::vector<index_t> ipiv;
+  EXPECT_EQ(getrf(c2.view(), 1, ipiv), 0);
+  EXPECT_EQ(ipiv[0], 1);
+}
+
+TEST(Getrf, BlockedMatchesUnblockedNoPivot) {
+  const index_t n = 32;
+  const MatD a = random_diag_dominant(n, 5);
+  MatD l1(a.const_view());
+  MatD l2(a.const_view());
+  ASSERT_EQ(getrf2_nopiv(l1.view()), 0);
+  ASSERT_EQ(getrf_nopiv(l2.view(), 8), 0);
+  EXPECT_LT(max_abs_diff(l1.const_view(), l2.const_view()), 1e-11);
+}
+
+TEST(Getrf, RectangularPanel) {
+  const index_t m = 12;
+  const index_t n = 4;
+  const MatD a = random_general(m, n, 8, 0.5, 1.5);
+  MatD lu(a.const_view());
+  std::vector<index_t> ipiv;
+  ASSERT_EQ(getrf2(lu.view(), ipiv), 0);
+  EXPECT_EQ(ipiv.size(), 4u);
+  // Multipliers bounded by 1 in magnitude (partial pivoting guarantee).
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = j + 1; i < m; ++i) EXPECT_LE(std::abs(lu(i, j)), 1.0 + 1e-15);
+}
+
+TEST(Larfg, AnnihilatesVector) {
+  // H [alpha; x] should equal [beta; 0] with |beta| = ‖[alpha; x]‖₂.
+  std::vector<double> x{3.0, 4.0};
+  double alpha = 0.0;
+  const double norm_before = 5.0;  // ‖[0,3,4]‖
+  const double tau = larfg(3, alpha, x.data(), 1);
+  EXPECT_GT(tau, 0.0);
+  EXPECT_NEAR(std::abs(alpha), norm_before, 1e-14);
+}
+
+TEST(Larfg, ZeroTailGivesZeroTau) {
+  std::vector<double> x{0.0, 0.0};
+  double alpha = 2.5;
+  EXPECT_DOUBLE_EQ(larfg(3, alpha, x.data(), 1), 0.0);
+  EXPECT_DOUBLE_EQ(alpha, 2.5);
+}
+
+using GeqrfParam = std::tuple<int, int, int>;  // m, n, nb
+
+class GeqrfSweep : public ::testing::TestWithParam<GeqrfParam> {};
+
+TEST_P(GeqrfSweep, QrResidualAndOrthogonality) {
+  const auto [m, n, nb] = GetParam();
+  const MatD a = random_general(m, n, 400 + m + n);
+  MatD f(a.const_view());
+  std::vector<double> tau;
+  geqrf(f.view(), nb, tau);
+
+  const MatD q = orgqr(f.const_view(), tau, nb);
+  const MatD r = extract_r(f.const_view());
+  EXPECT_LT(qr_residual(a.const_view(), q.const_view(), r.const_view()), 1e-13);
+  EXPECT_LT(orthogonality_residual(q.const_view()), 1e-13);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, GeqrfSweep,
+                         ::testing::Values(GeqrfParam{1, 1, 1}, GeqrfParam{8, 8, 4},
+                                           GeqrfParam{20, 12, 4}, GeqrfParam{33, 33, 8},
+                                           GeqrfParam{64, 48, 16}, GeqrfParam{50, 50, 50},
+                                           GeqrfParam{40, 40, 64},  // nb > n
+                                           GeqrfParam{96, 64, 16}));
+
+TEST(Geqrf, BlockedMatchesUnblocked) {
+  const index_t m = 24;
+  const index_t n = 16;
+  const MatD a = random_general(m, n, 12);
+  MatD f1(a.const_view());
+  MatD f2(a.const_view());
+  std::vector<double> tau1;
+  std::vector<double> tau2;
+  geqrf2(f1.view(), tau1);
+  geqrf(f2.view(), 4, tau2);
+  EXPECT_LT(max_abs_diff(f1.const_view(), f2.const_view()), 1e-12);
+  for (std::size_t i = 0; i < tau1.size(); ++i) EXPECT_NEAR(tau1[i], tau2[i], 1e-12);
+}
+
+TEST(Larft, BlockReflectorEqualsProductOfReflectors) {
+  // I - V·T·Vᵀ must equal H1·H2···Hk applied to a probe matrix.
+  const index_t m = 10;
+  const index_t k = 4;
+  const MatD a = random_general(m, k, 77);
+  MatD f(a.const_view());
+  std::vector<double> tau;
+  geqrf2(f.view(), tau);
+
+  MatD t(k, k);
+  larft(f.const_view(), tau, t.view());
+
+  // Probe: apply via larfb (NoTrans) to the identity.
+  MatD probe = identity(m);
+  larfb(false, f.const_view(), t.const_view(), probe.view());
+
+  // Apply reflectors one at a time, right-to-left (Hk first): Q·I.
+  MatD expect = identity(m);
+  for (index_t j = k - 1; j >= 0; --j) {
+    // H_j = I - tau_j v vᵀ, v = [0..0, 1, f(j+1:, j)].
+    std::vector<double> v(m, 0.0);
+    v[j] = 1.0;
+    for (index_t i = j + 1; i < m; ++i) v[i] = f(i, j);
+    for (index_t c = 0; c < m; ++c) {
+      double dot = 0.0;
+      for (index_t i = 0; i < m; ++i) dot += v[i] * expect(i, c);
+      const double t_dot = tau[static_cast<std::size_t>(j)] * dot;
+      for (index_t i = 0; i < m; ++i) expect(i, c) -= t_dot * v[i];
+    }
+  }
+  EXPECT_LT(max_abs_diff(probe.const_view(), expect.const_view()), 1e-13);
+}
+
+TEST(Larfb, TransIsInverseOfNoTrans) {
+  const index_t m = 12;
+  const index_t k = 4;
+  MatD f = random_general(m, k, 55);
+  std::vector<double> tau;
+  geqrf2(f.view(), tau);
+  MatD t(k, k);
+  larft(f.const_view(), tau, t.view());
+
+  const MatD c0 = random_general(m, 6, 56);
+  MatD c(c0.const_view());
+  larfb(false, f.const_view(), t.const_view(), c.view());  // Q·C
+  larfb(true, f.const_view(), t.const_view(), c.view());   // Qᵀ·Q·C = C
+  EXPECT_LT(max_abs_diff(c.const_view(), c0.const_view()), 1e-12);
+}
+
+TEST(ExtractR, UpperTriangularOnly) {
+  MatD a = random_general(6, 4, 66);
+  const MatD r = extract_r(a.const_view());
+  EXPECT_EQ(r.rows(), 4);
+  EXPECT_EQ(r.cols(), 4);
+  for (index_t j = 0; j < 4; ++j)
+    for (index_t i = 0; i < 4; ++i) {
+      if (i > j)
+        EXPECT_EQ(r(i, j), 0.0);
+      else
+        EXPECT_EQ(r(i, j), a(i, j));
+    }
+}
+
+}  // namespace
+}  // namespace ftla::lapack

@@ -1,0 +1,228 @@
+// Tests for the matrix module: views, owning matrices, block layout,
+// generators, norms, comparisons, CSV round-trip.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+
+#include "matrix/block.hpp"
+#include "matrix/compare.hpp"
+#include "matrix/generate.hpp"
+#include "matrix/io.hpp"
+#include "matrix/matrix.hpp"
+#include "matrix/norms.hpp"
+
+namespace ftla {
+namespace {
+
+TEST(MatrixView, IndexingIsColumnMajor) {
+  MatD a(3, 2);
+  a(0, 0) = 1;
+  a(1, 0) = 2;
+  a(2, 0) = 3;
+  a(0, 1) = 4;
+  EXPECT_EQ(a.data()[0], 1);
+  EXPECT_EQ(a.data()[1], 2);
+  EXPECT_EQ(a.data()[2], 3);
+  EXPECT_EQ(a.data()[3], 4);
+}
+
+TEST(MatrixView, SubBlockSharesStorage) {
+  MatD a(4, 4, 0.0);
+  auto b = a.block(1, 1, 2, 2);
+  b(0, 0) = 9.0;
+  EXPECT_EQ(a(1, 1), 9.0);
+  EXPECT_EQ(b.ld(), 4);
+}
+
+TEST(MatrixView, BlockOutOfRangeThrows) {
+  MatD a(4, 4);
+  EXPECT_THROW((void)a.view().block(2, 2, 3, 3), FtlaError);
+  EXPECT_THROW((void)a.view().block(-1, 0, 1, 1), FtlaError);
+}
+
+TEST(MatrixView, AtBoundsChecked) {
+  MatD a(2, 2);
+  EXPECT_THROW((void)a.view().at(2, 0), FtlaError);
+  EXPECT_THROW((void)a.view().at(0, -1), FtlaError);
+  EXPECT_NO_THROW((void)a.view().at(1, 1));
+}
+
+TEST(MatrixView, CopyViewBetweenStrides) {
+  MatD a(4, 4, 1.0);
+  MatD b(2, 2, 0.0);
+  copy_view(a.block(1, 1, 2, 2), b.view());
+  EXPECT_TRUE(approx_equal(a.block(1, 1, 2, 2), b.view(), 0.0));
+}
+
+TEST(MatrixView, FillView) {
+  MatD a(3, 3, 0.0);
+  fill_view(a.block(0, 0, 2, 2), 5.0);
+  EXPECT_EQ(a(0, 0), 5.0);
+  EXPECT_EQ(a(1, 1), 5.0);
+  EXPECT_EQ(a(2, 2), 0.0);
+}
+
+TEST(MatrixView, ConstConversion) {
+  MatD a(2, 2, 3.0);
+  ViewD v = a.view();
+  ConstViewD cv = v;  // implicit widening
+  EXPECT_EQ(cv(0, 0), 3.0);
+}
+
+TEST(Matrix, DeepCopyFromView) {
+  MatD a = random_general(5, 4, 1);
+  MatD b(a.const_view());
+  EXPECT_TRUE(approx_equal(a.view(), b.view(), 0.0));
+  b(0, 0) += 1.0;
+  EXPECT_NE(a(0, 0), b(0, 0));
+}
+
+TEST(BlockLayout, EvenPartition) {
+  BlockLayout bl(8, 8, 4);
+  EXPECT_EQ(bl.block_rows(), 2);
+  EXPECT_EQ(bl.block_cols(), 2);
+  EXPECT_EQ(bl.block_height(0), 4);
+  EXPECT_EQ(bl.block_height(1), 4);
+}
+
+TEST(BlockLayout, RaggedEdges) {
+  BlockLayout bl(10, 7, 4);
+  EXPECT_EQ(bl.block_rows(), 3);
+  EXPECT_EQ(bl.block_cols(), 2);
+  EXPECT_EQ(bl.block_height(2), 2);
+  EXPECT_EQ(bl.block_width(1), 3);
+}
+
+TEST(BlockLayout, BlockOfElement) {
+  BlockLayout bl(16, 16, 4);
+  EXPECT_EQ(bl.block_of(0, 0), (BlockCoord{0, 0}));
+  EXPECT_EQ(bl.block_of(3, 4), (BlockCoord{0, 1}));
+  EXPECT_EQ(bl.block_of(15, 15), (BlockCoord{3, 3}));
+}
+
+TEST(BlockLayout, BlockViewAddressesCorrectRegion) {
+  MatD a(8, 8);
+  for (index_t j = 0; j < 8; ++j)
+    for (index_t i = 0; i < 8; ++i) a(i, j) = static_cast<double>(i * 8 + j);
+  BlockLayout bl(8, 8, 4);
+  auto b = bl.block_view(a.view(), 1, 1);
+  EXPECT_EQ(b(0, 0), a(4, 4));
+  EXPECT_EQ(b.rows(), 4);
+}
+
+TEST(Generate, GeneralIsDeterministic) {
+  MatD a = random_general(6, 6, 42);
+  MatD b = random_general(6, 6, 42);
+  EXPECT_TRUE(approx_equal(a.view(), b.view(), 0.0));
+  MatD c = random_general(6, 6, 43);
+  EXPECT_FALSE(approx_equal(a.view(), c.view(), 0.0));
+}
+
+TEST(Generate, SymmetricIsSymmetric) {
+  MatD a = random_symmetric(9, 3);
+  for (index_t j = 0; j < 9; ++j)
+    for (index_t i = 0; i < 9; ++i) EXPECT_EQ(a(i, j), a(j, i));
+}
+
+TEST(Generate, SpdIsSymmetricAndDominant) {
+  const index_t n = 12;
+  MatD a = random_spd(n, 17);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < n; ++i) EXPECT_EQ(a(i, j), a(j, i));
+  for (index_t i = 0; i < n; ++i) {
+    double off = 0.0;
+    for (index_t j = 0; j < n; ++j)
+      if (j != i) off += std::abs(a(i, j));
+    EXPECT_GT(a(i, i), off);  // strict dominance implies SPD
+  }
+}
+
+TEST(Generate, DiagDominantRows) {
+  const index_t n = 10;
+  MatD a = random_diag_dominant(n, 5);
+  for (index_t i = 0; i < n; ++i) {
+    double off = 0.0;
+    for (index_t j = 0; j < n; ++j)
+      if (j != i) off += std::abs(a(i, j));
+    EXPECT_GT(std::abs(a(i, i)), off);
+  }
+}
+
+TEST(Generate, IdentityIsIdentity) {
+  MatD i3 = identity(3);
+  for (index_t j = 0; j < 3; ++j)
+    for (index_t i = 0; i < 3; ++i) EXPECT_EQ(i3(i, j), i == j ? 1.0 : 0.0);
+}
+
+TEST(Generate, ConditionedHasRequestedSpread) {
+  // Reflector conjugation preserves singular values, so the Frobenius
+  // norm must equal that of the diagonal ladder.
+  const index_t n = 16;
+  const double cond = 100.0;
+  MatD a = random_conditioned(n, cond, 7);
+  double expect_f = 0.0;
+  for (index_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / static_cast<double>(n - 1);
+    const double s = std::pow(cond, -t);
+    expect_f += s * s;
+  }
+  EXPECT_NEAR(frobenius_norm(a.view()), std::sqrt(expect_f), 1e-10);
+}
+
+TEST(Norms, HandComputed) {
+  MatD a(2, 2);
+  a(0, 0) = 1;
+  a(1, 0) = -2;
+  a(0, 1) = 3;
+  a(1, 1) = -4;
+  EXPECT_DOUBLE_EQ(one_norm(a.view()), 7.0);   // col sums: 3, 7
+  EXPECT_DOUBLE_EQ(inf_norm(a.view()), 6.0);   // row sums: 4, 6
+  EXPECT_DOUBLE_EQ(max_abs(a.view()), 4.0);
+  EXPECT_DOUBLE_EQ(frobenius_norm(a.view()), std::sqrt(30.0));
+}
+
+TEST(Norms, NormInequalities) {
+  MatD a = random_general(20, 20, 11);
+  const double n1 = one_norm(a.view());
+  const double ninf = inf_norm(a.view());
+  const double nf = frobenius_norm(a.view());
+  const double nmax = max_abs(a.view());
+  EXPECT_LE(nmax, n1);
+  EXPECT_LE(nmax, ninf);
+  EXPECT_LE(nf, std::sqrt(20.0) * n1 + 1e-12);
+}
+
+TEST(Compare, DiffCountAndArgmax) {
+  MatD a(3, 3, 0.0);
+  MatD b(3, 3, 0.0);
+  b(1, 2) = 0.5;
+  b(2, 0) = -2.0;
+  EXPECT_EQ(count_diff(a.view(), b.view(), 0.1), 2);
+  EXPECT_EQ(count_diff(a.view(), b.view(), 1.0), 1);
+  const auto c = argmax_abs_diff(a.view(), b.view());
+  EXPECT_EQ(c.row, 2);
+  EXPECT_EQ(c.col, 0);
+  EXPECT_DOUBLE_EQ(max_abs_diff(a.view(), b.view()), 2.0);
+}
+
+TEST(Io, CsvRoundTrip) {
+  MatD a = random_general(7, 5, 33);
+  const auto path = std::filesystem::temp_directory_path() / "ftla_io_test.csv";
+  save_csv(path.string(), a.view());
+  MatD b = load_csv(path.string());
+  EXPECT_EQ(b.rows(), 7);
+  EXPECT_EQ(b.cols(), 5);
+  EXPECT_TRUE(approx_equal(a.view(), b.view(), 0.0));
+  std::filesystem::remove(path);
+}
+
+TEST(Io, ToStringContainsValues) {
+  MatD a(1, 1);
+  a(0, 0) = 1.5;
+  EXPECT_NE(to_string(a.view()).find("1.5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ftla

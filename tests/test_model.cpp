@@ -1,0 +1,219 @@
+// Tests for the analytic model module: MUD tables, verification counts,
+// overhead formulas, and the §X.B probability model.
+
+#include <gtest/gtest.h>
+
+#include "model/mud.hpp"
+#include "model/overhead.hpp"
+#include "model/probability.hpp"
+#include "model/verification_count.hpp"
+
+namespace ftla::model {
+namespace {
+
+using core::ChecksumKind;
+using core::Decomp;
+using core::SchemeKind;
+
+// --- Table IV / V -------------------------------------------------------
+
+TEST(Mud, TableIVEntries) {
+  EXPECT_EQ(mud(OpKind::PD, Part::Update), Level::Two);
+  EXPECT_EQ(mud(OpKind::PD, Part::Reference), Level::Two);
+  EXPECT_EQ(mud(OpKind::PU, Part::Reference), Level::Two);
+  EXPECT_EQ(mud(OpKind::PU, Part::Update), Level::One);
+  EXPECT_EQ(mud(OpKind::TMU, Part::Reference), Level::One);
+  EXPECT_EQ(mud(OpKind::TMU, Part::Update), Level::Zero);
+}
+
+TEST(Mud, ComputationErrorsAreStandalone) {
+  for (auto op : {OpKind::PD, OpKind::PU, OpKind::TMU}) {
+    EXPECT_EQ(propagation(op, Part::Update, FaultType::Computation), Level::Zero);
+  }
+}
+
+TEST(Mud, MemoryErrorsPropagateWithMud) {
+  EXPECT_EQ(propagation(OpKind::TMU, Part::Reference, FaultType::MemoryDram), Level::One);
+  EXPECT_EQ(propagation(OpKind::PU, Part::Reference, FaultType::MemoryOnChip), Level::Two);
+  EXPECT_EQ(propagation(OpKind::TMU, Part::Update, FaultType::MemoryDram), Level::Zero);
+}
+
+TEST(Mud, TolerabilityMatchesTableV) {
+  EXPECT_TRUE(tolerable_single_side(Level::Zero));
+  EXPECT_FALSE(tolerable_single_side(Level::One));
+  EXPECT_TRUE(tolerable_full(Level::One));
+  EXPECT_FALSE(tolerable_full(Level::Two));
+}
+
+TEST(Mud, Names) {
+  EXPECT_STREQ(to_string(Level::Zero), "0D");
+  EXPECT_STREQ(to_string(Level::Two), "2D");
+}
+
+// --- Table VI -----------------------------------------------------------
+
+TEST(VerificationCount, NewSchemeHasNoQuadraticTerm) {
+  // The trailing-matrix term grows as b² for prior/post but not ours.
+  const auto prior64 = blocks_per_iteration(SchemeKind::PriorOp, 64).total();
+  const auto prior128 = blocks_per_iteration(SchemeKind::PriorOp, 128).total();
+  const auto ours64 = blocks_per_iteration(SchemeKind::NewScheme, 64).total();
+  const auto ours128 = blocks_per_iteration(SchemeKind::NewScheme, 128).total();
+  EXPECT_GT(prior128 / prior64, 3.5);  // ≈ quadratic growth
+  EXPECT_LT(ours128 / ours64, 2.1);    // linear growth
+}
+
+TEST(VerificationCount, OursIsCheapestAtSmallK) {
+  for (index_t b : {8, 32, 128}) {
+    const auto prior = blocks_per_iteration(SchemeKind::PriorOp, b).total();
+    const auto post = blocks_per_iteration(SchemeKind::PostOp, b).total();
+    const auto ours = blocks_per_iteration(SchemeKind::NewScheme, b, 0).total();
+    EXPECT_LT(ours, post);
+    EXPECT_LT(post, prior);  // prior checks more input than post checks output
+  }
+}
+
+TEST(VerificationCount, KRepairsAddLinearly) {
+  const auto base = blocks_per_iteration(SchemeKind::NewScheme, 16, 0).total();
+  const auto with_k = blocks_per_iteration(SchemeKind::NewScheme, 16, 5).total();
+  EXPECT_DOUBLE_EQ(with_k - base, 5.0);
+}
+
+TEST(VerificationCount, TotalsSumIterations) {
+  // b=2: iterations with b=2 and b=1.
+  const double expect = blocks_per_iteration(SchemeKind::PostOp, 2).total() +
+                        blocks_per_iteration(SchemeKind::PostOp, 1).total();
+  EXPECT_DOUBLE_EQ(total_blocks(SchemeKind::PostOp, 64, 32), expect);
+}
+
+// --- §IX / Table VII ------------------------------------------------------
+
+TEST(Overhead, EncodeMatchesClosedForms) {
+  // Cholesky/LU: 9/n; QR: 9/(2n) (§IX.A.1).
+  const index_t n = 10240;
+  EXPECT_NEAR(encode_overhead(Decomp::Cholesky, n, 256), 9.0 / n, 1e-12);
+  EXPECT_NEAR(encode_overhead(Decomp::Lu, n, 256), 9.0 / n, 1e-12);
+  EXPECT_NEAR(encode_overhead(Decomp::Qr, n, 256), 4.5 / n, 1e-12);
+}
+
+TEST(Overhead, EncodeIndependentOfBlockSize) {
+  EXPECT_NEAR(encode_overhead(Decomp::Lu, 4096, 64), encode_overhead(Decomp::Lu, 4096, 256),
+              1e-12);
+}
+
+TEST(Overhead, VerificationMatchesClosedForms) {
+  const index_t n = 10240;
+  EXPECT_NEAR(verification_overhead(Decomp::Cholesky, n, 1), (72.0 + 288.0) / n, 1e-12);
+  EXPECT_NEAR(verification_overhead(Decomp::Lu, n, 0), 144.0 / n, 1e-12);
+  EXPECT_NEAR(verification_overhead(Decomp::Qr, n, 2), (36.0 + 108.0) / n, 1e-12);
+}
+
+TEST(Overhead, TotalVanishesForLargeProblems) {
+  // Table VII's message: the overhead tends to a small constant (the
+  // 4/NB updating term) as n grows.
+  const double at_1k = total_overhead(Decomp::Lu, 1024, 256);
+  const double at_64k = total_overhead(Decomp::Lu, 65536, 256);
+  EXPECT_LT(at_64k, at_1k);
+  EXPECT_NEAR(at_64k, update_overhead(Decomp::Lu, 65536, 256), 0.01);
+}
+
+TEST(Overhead, SpaceIs4OverNb) {
+  EXPECT_DOUBLE_EQ(space_overhead(256), 4.0 / 256.0);
+  EXPECT_DOUBLE_EQ(space_overhead(64), 4.0 / 64.0);
+}
+
+// --- §X.B probability model ---------------------------------------------
+
+TEST(Probability, SmallExposureIsLinearInRate) {
+  const Rates r;
+  OpProfile p;
+  p.flops = 1e6;
+  // For tiny rate·exposure, P(one error) ≈ exposure · rate.
+  EXPECT_NEAR(p_computation_error(r, p), 1e6 * r.comp, 1e-3 * 1e6 * r.comp);
+  p.flops = 0.0;
+  EXPECT_DOUBLE_EQ(p_computation_error(r, p), 0.0);
+}
+
+TEST(Probability, DistributionSumsToOne) {
+  const Rates rates;
+  for (auto op : {OpKind::PD, OpKind::PU, OpKind::TMU}) {
+    const auto profile = lu_profile(op, 8192, 256, 4);
+    for (auto cs : {ChecksumKind::SingleSide, ChecksumKind::Full}) {
+      for (auto scheme :
+           {SchemeKind::PriorOp, SchemeKind::PostOp, SchemeKind::NewScheme}) {
+        const auto dist = outcome_distribution(op, cs, scheme, rates, profile);
+        EXPECT_NEAR(dist.fault_free + dist.faulty(), 1.0, 1e-12);
+        EXPECT_GE(dist.fault_free, 0.99);  // rates are tiny
+      }
+    }
+  }
+}
+
+TEST(Probability, FullChecksumShrinksCompleteRestart) {
+  // Fig 6-8's message: the full layout converts 1D propagation from
+  // complete-restart territory into ABFT-fixable territory.
+  const Rates rates;
+  const auto profile = lu_profile(OpKind::TMU, 10240, 256, 4);
+  const auto single = outcome_distribution(OpKind::TMU, ChecksumKind::SingleSide,
+                                           SchemeKind::PostOp, rates, profile);
+  const auto full = outcome_distribution(OpKind::TMU, ChecksumKind::Full,
+                                         SchemeKind::NewScheme, rates, profile);
+  EXPECT_GT(single.complete_restart, full.complete_restart);
+  EXPECT_GT(full.abft_fixable, single.abft_fixable);
+}
+
+TEST(Probability, PcieResolutionDependsOnScheme) {
+  EXPECT_EQ(resolve(FaultType::Pcie, Timing::DuringOp, OpKind::PD, Part::Update,
+                    ChecksumKind::Full, SchemeKind::NewScheme),
+            Resolution::AbftFixable);
+  EXPECT_EQ(resolve(FaultType::Pcie, Timing::DuringOp, OpKind::PD, Part::Update,
+                    ChecksumKind::Full, SchemeKind::PostOp),
+            Resolution::CompleteRestart);
+}
+
+TEST(Probability, NoChecksumAlwaysCompleteRestart) {
+  EXPECT_EQ(resolve(FaultType::Computation, Timing::DuringOp, OpKind::TMU, Part::Update,
+                    ChecksumKind::None, SchemeKind::NewScheme),
+            Resolution::CompleteRestart);
+}
+
+TEST(Probability, ExpectedRecoveryOrdersSchemes) {
+  // Fig 9-11's message: expected recovery cost of full+new ≤ single+post.
+  const Rates rates;
+  const index_t n = 10240;
+  const index_t nb = 256;
+  double ours_total = 0.0;
+  double prior_total = 0.0;
+  for (index_t j = n; j >= nb; j -= nb) {
+    for (auto op : {OpKind::PD, OpKind::PU, OpKind::TMU}) {
+      const auto profile = lu_profile(op, j, nb, 4);
+      const auto costs = lu_recovery_costs(op, n, j, nb);
+      ours_total += expected_recovery_seconds(
+          outcome_distribution(op, ChecksumKind::Full, SchemeKind::NewScheme, rates,
+                               profile),
+          costs);
+      prior_total += expected_recovery_seconds(
+          outcome_distribution(op, ChecksumKind::SingleSide, SchemeKind::PostOp, rates,
+                               profile),
+          costs);
+    }
+  }
+  EXPECT_LT(ours_total, prior_total);
+}
+
+TEST(Probability, ProfilesScaleSensibly) {
+  const auto small = lu_profile(OpKind::TMU, 2048, 256, 1);
+  const auto large = lu_profile(OpKind::TMU, 8192, 256, 1);
+  EXPECT_GT(large.flops, small.flops * 10);
+  EXPECT_GT(large.seconds, small.seconds);
+  const auto pd = lu_profile(OpKind::PD, 4096, 256, 8);
+  EXPECT_GT(pd.bcast_elements, 0.0);
+}
+
+TEST(Probability, RecoveryCostsOrdered) {
+  const auto costs = lu_recovery_costs(OpKind::TMU, 10240, 5120, 256);
+  EXPECT_LT(costs.abft_fix, costs.local_restart);
+  EXPECT_LT(costs.local_restart, costs.complete_restart);
+}
+
+}  // namespace
+}  // namespace ftla::model

@@ -1,0 +1,192 @@
+// Tests for the heterogeneous-system simulator: device arenas, streams,
+// PCIe transfers with fault hooks and cost model, block-cyclic layout.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "matrix/compare.hpp"
+#include "matrix/generate.hpp"
+#include "sim/distribution.hpp"
+#include "sim/system.hpp"
+
+namespace ftla::sim {
+namespace {
+
+TEST(Device, ArenaAllocationsPersistAndCount) {
+  Device d(1, DeviceKind::Gpu, "gpu0");
+  MatD& a = d.alloc(4, 4, 1.0);
+  MatD& b = d.alloc(8, 2);
+  EXPECT_EQ(d.num_allocations(), 2u);
+  EXPECT_EQ(d.bytes_allocated(), (16u + 16u) * sizeof(double));
+  a(0, 0) = 7.0;
+  EXPECT_EQ(a(0, 0), 7.0);
+  EXPECT_EQ(b(0, 0), 0.0);
+  d.free_all();
+  EXPECT_EQ(d.num_allocations(), 0u);
+  EXPECT_EQ(d.bytes_allocated(), 0u);
+}
+
+TEST(Stream, TasksRunInOrder) {
+  Stream s;
+  std::vector<int> order;
+  for (int i = 0; i < 20; ++i) s.enqueue([&order, i] { order.push_back(i); });
+  s.synchronize();
+  ASSERT_EQ(order.size(), 20u);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Stream, SynchronizeRethrowsTaskException) {
+  Stream s;
+  s.enqueue([] { throw FtlaError("stream task failed"); });
+  EXPECT_THROW(s.synchronize(), FtlaError);
+  // Stream stays usable afterwards.
+  std::atomic<bool> ran{false};
+  s.run([&] { ran = true; });
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(Stream, RunsOnDedicatedThread) {
+  Stream s;
+  std::thread::id caller = std::this_thread::get_id();
+  std::thread::id worker;
+  s.run([&] { worker = std::this_thread::get_id(); });
+  EXPECT_NE(worker, caller);
+}
+
+TEST(Pcie, TransferCopiesBytes) {
+  PcieLink link;
+  MatD src = random_general(6, 4, 1);
+  MatD dst(6, 4, 0.0);
+  link.transfer(src.const_view(), dst.view(), 0, 1);
+  EXPECT_TRUE(approx_equal(src.const_view(), dst.const_view(), 0.0));
+}
+
+TEST(Pcie, StatsAccumulate) {
+  PcieLink link(1e-6, 1e9);
+  MatD src(10, 10, 1.0);
+  MatD dst(10, 10);
+  link.transfer(src.const_view(), dst.view(), 0, 1);
+  link.transfer(src.const_view(), dst.view(), 1, 2);
+  EXPECT_EQ(link.stats().transfers, 2u);
+  EXPECT_EQ(link.stats().bytes, 2u * 100u * sizeof(double));
+  const double expect = 2.0 * (1e-6 + 800.0 / 1e9);
+  EXPECT_NEAR(link.stats().modeled_seconds, expect, 1e-12);
+  link.reset_stats();
+  EXPECT_EQ(link.stats().transfers, 0u);
+}
+
+TEST(Pcie, FaultHookSeesReceiverOnly) {
+  PcieLink link;
+  MatD src(3, 3, 1.0);
+  MatD dst(3, 3, 0.0);
+  link.set_fault_hook([](ViewD received, const TransferInfo& info) {
+    EXPECT_EQ(info.from, 0);
+    EXPECT_EQ(info.to, 2);
+    received(1, 1) = -99.0;  // corrupt in flight
+  });
+  link.transfer(src.const_view(), dst.view(), 0, 2);
+  EXPECT_EQ(dst(1, 1), -99.0);
+  EXPECT_EQ(src(1, 1), 1.0);  // sender unharmed
+  link.clear_fault_hook();
+  link.transfer(src.const_view(), dst.view(), 0, 2);
+  EXPECT_EQ(dst(1, 1), 1.0);
+}
+
+TEST(Pcie, ShapeMismatchThrows) {
+  PcieLink link;
+  MatD src(2, 2);
+  MatD dst(3, 3);
+  EXPECT_THROW(link.transfer(src.const_view(), dst.view(), 0, 1), FtlaError);
+}
+
+TEST(System, TopologyAndIds) {
+  HeterogeneousSystem sys(4);
+  EXPECT_EQ(sys.ngpu(), 4);
+  EXPECT_EQ(sys.cpu().id(), 0);
+  EXPECT_EQ(sys.gpu(0).id(), 1);
+  EXPECT_EQ(sys.gpu(3).id(), 4);
+  EXPECT_EQ(sys.gpu(2).kind(), DeviceKind::Gpu);
+}
+
+TEST(System, H2DandD2HandD2D) {
+  HeterogeneousSystem sys(2);
+  MatD& host = sys.cpu().alloc(4, 4);
+  MatD& dev0 = sys.gpu(0).alloc(4, 4);
+  MatD& dev1 = sys.gpu(1).alloc(4, 4);
+  MatD data = random_general(4, 4, 5);
+  copy_view(data.const_view(), host.view());
+
+  sys.h2d(host.const_view(), dev0.view(), 0);
+  sys.d2d(dev0.const_view(), 0, dev1.view(), 1);
+  MatD& back = sys.cpu().alloc(4, 4);
+  sys.d2h(dev1.const_view(), back.view(), 1);
+  EXPECT_TRUE(approx_equal(data.const_view(), back.const_view(), 0.0));
+  EXPECT_EQ(sys.link().stats().transfers, 3u);
+}
+
+TEST(System, ParallelOverGpusRunsAll) {
+  HeterogeneousSystem sys(8);
+  std::vector<std::atomic<int>> hits(8);
+  sys.parallel_over_gpus([&](int g) { hits[static_cast<std::size_t>(g)]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(System, ParallelOverGpusPropagatesException) {
+  HeterogeneousSystem sys(3);
+  EXPECT_THROW(sys.parallel_over_gpus([&](int g) {
+    if (g == 1) throw FtlaError("gpu1 failed");
+  }),
+               FtlaError);
+  // System remains usable.
+  std::atomic<int> count{0};
+  sys.parallel_over_gpus([&](int) { ++count; });
+  EXPECT_EQ(count.load(), 3);
+}
+
+TEST(System, GpuBytesAllocated) {
+  HeterogeneousSystem sys(2);
+  sys.gpu(0).alloc(10, 10);
+  sys.gpu(1).alloc(5, 5);
+  EXPECT_EQ(sys.gpu_bytes_allocated(), (100u + 25u) * sizeof(double));
+}
+
+TEST(BlockCyclic, OwnerAndLocalIndexRoundTrip) {
+  BlockCyclic1D dist(13, 4);
+  for (index_t bc = 0; bc < 13; ++bc) {
+    const int g = dist.owner(bc);
+    EXPECT_GE(g, 0);
+    EXPECT_LT(g, 4);
+    EXPECT_EQ(dist.global_index(g, dist.local_index(bc)), bc);
+  }
+}
+
+TEST(BlockCyclic, LocalCountsSumToTotal) {
+  for (int ngpu : {1, 2, 3, 8}) {
+    BlockCyclic1D dist(17, ngpu);
+    index_t total = 0;
+    for (int g = 0; g < ngpu; ++g) total += dist.local_count(g);
+    EXPECT_EQ(total, 17);
+  }
+}
+
+TEST(BlockCyclic, SingleGpuOwnsEverything) {
+  BlockCyclic1D dist(9, 1);
+  for (index_t bc = 0; bc < 9; ++bc) {
+    EXPECT_EQ(dist.owner(bc), 0);
+    EXPECT_EQ(dist.local_index(bc), bc);
+  }
+}
+
+TEST(BlockCyclic, OwnedFromFiltersAndSorts) {
+  BlockCyclic1D dist(10, 3);
+  const auto owned = dist.owned_from(1, 4);  // gpu1 owns 1, 4, 7 → from 4: {4, 7}
+  ASSERT_EQ(owned.size(), 2u);
+  EXPECT_EQ(owned[0], 4);
+  EXPECT_EQ(owned[1], 7);
+}
+
+}  // namespace
+}  // namespace ftla::sim

@@ -1,0 +1,188 @@
+// Tests for the solver layer: triangular solves against factorizations,
+// ormqr, and the high-level fault-tolerant solve API (including solves
+// that transparently absorb injected faults).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "blas/blas.hpp"
+#include "lapack/lapack.hpp"
+#include "matrix/compare.hpp"
+#include "matrix/generate.hpp"
+#include "solve/solve.hpp"
+#include "solve/triangular.hpp"
+
+namespace ftla::solve {
+namespace {
+
+MatD known_rhs(ConstViewD a, const MatD& x_true) {
+  MatD b(a.rows(), x_true.cols(), 0.0);
+  blas::gemm(blas::Trans::NoTrans, blas::Trans::NoTrans, 1.0, a, x_true.const_view(), 0.0,
+             b.view());
+  return b;
+}
+
+TEST(Trtrs, SolvesUpperSystemMultiRhs) {
+  const index_t n = 12;
+  MatD t = random_general(n, n, 1, 0.5, 1.5);
+  const MatD x = random_general(n, 3, 2);
+  // b = upper(T)·x
+  MatD b(n, 3, 0.0);
+  for (index_t c = 0; c < 3; ++c)
+    for (index_t i = 0; i < n; ++i)
+      for (index_t j = i; j < n; ++j) b(i, c) += t(i, j) * x(j, c);
+  trtrs(blas::Uplo::Upper, blas::Trans::NoTrans, blas::Diag::NonUnit, t.const_view(),
+        b.view());
+  EXPECT_LT(max_abs_diff(b.const_view(), x.const_view()), 1e-10);
+}
+
+TEST(Potrs, RecoversKnownSolution) {
+  const index_t n = 48;
+  const MatD a = random_spd(n, 3);
+  const MatD x = random_general(n, 2, 4);
+  MatD b = known_rhs(a.const_view(), x);
+
+  MatD l(a.const_view());
+  ASSERT_EQ(lapack::potrf(l.view(), 16), 0);
+  potrs(l.const_view(), b.view());
+  EXPECT_LT(max_abs_diff(b.const_view(), x.const_view()), 1e-9);
+}
+
+TEST(GetrsNopiv, RecoversKnownSolution) {
+  const index_t n = 40;
+  const MatD a = random_diag_dominant(n, 5);
+  const MatD x = random_general(n, 1, 6);
+  MatD b = known_rhs(a.const_view(), x);
+
+  MatD lu(a.const_view());
+  ASSERT_EQ(lapack::getrf_nopiv(lu.view(), 8), 0);
+  getrs_nopiv(lu.const_view(), b.view());
+  EXPECT_LT(max_abs_diff(b.const_view(), x.const_view()), 1e-9);
+}
+
+TEST(Getrs, PivotedSolveOnGeneralMatrix) {
+  const index_t n = 40;
+  const MatD a = random_general(n, n, 7);
+  const MatD x = random_general(n, 2, 8);
+  MatD b = known_rhs(a.const_view(), x);
+
+  MatD lu(a.const_view());
+  std::vector<index_t> ipiv;
+  ASSERT_EQ(lapack::getrf(lu.view(), 8, ipiv), 0);
+  getrs(lu.const_view(), ipiv, b.view());
+  EXPECT_LT(max_abs_diff(b.const_view(), x.const_view()), 1e-8);
+}
+
+TEST(Ormqr, MatchesExplicitQ) {
+  const index_t m = 32;
+  const index_t nb = 8;
+  MatD f = random_general(m, m, 9);
+  std::vector<double> tau;
+  lapack::geqrf(f.view(), nb, tau);
+
+  const MatD q = lapack::orgqr(f.const_view(), tau, nb);
+  const MatD c0 = random_general(m, 3, 10);
+
+  // Qᵀ·C via ormqr vs explicit multiply.
+  MatD c1(c0.const_view());
+  lapack::ormqr(true, f.const_view(), tau, nb, c1.view());
+  MatD expect(m, 3, 0.0);
+  blas::gemm(blas::Trans::Trans, blas::Trans::NoTrans, 1.0, q.const_view(),
+             c0.const_view(), 0.0, expect.view());
+  EXPECT_LT(max_abs_diff(c1.const_view(), expect.const_view()), 1e-11);
+
+  // Q·(Qᵀ·C) = C.
+  lapack::ormqr(false, f.const_view(), tau, nb, c1.view());
+  EXPECT_LT(max_abs_diff(c1.const_view(), c0.const_view()), 1e-11);
+}
+
+TEST(SolveSpd, ErrorFreeRoundTrip) {
+  const index_t n = 96;
+  const MatD a = random_spd(n, 11);
+  const MatD x = random_general(n, 2, 12);
+  const MatD b = known_rhs(a.const_view(), x);
+
+  core::FtOptions opts;
+  opts.nb = 16;
+  opts.ngpu = 2;
+  const auto result = solve_spd(a.const_view(), b.const_view(), opts);
+  ASSERT_TRUE(result.ok);
+  EXPECT_LT(max_abs_diff(result.x.const_view(), x.const_view()), 1e-8);
+  EXPECT_LT(result.residual, 1e-12);
+  EXPECT_EQ(result.stats.errors_detected, 0u);
+}
+
+TEST(SolveLu, ErrorFreeRoundTrip) {
+  const index_t n = 96;
+  const MatD a = random_diag_dominant(n, 13);
+  const MatD x = random_general(n, 1, 14);
+  const MatD b = known_rhs(a.const_view(), x);
+
+  core::FtOptions opts;
+  opts.nb = 16;
+  const auto result = solve_lu(a.const_view(), b.const_view(), opts);
+  ASSERT_TRUE(result.ok);
+  EXPECT_LT(max_abs_diff(result.x.const_view(), x.const_view()), 1e-8);
+  EXPECT_LT(result.residual, 1e-12);
+}
+
+TEST(SolveQr, ErrorFreeRoundTrip) {
+  const index_t n = 96;
+  const MatD a = random_general(n, n, 15);
+  const MatD x = random_general(n, 3, 16);
+  const MatD b = known_rhs(a.const_view(), x);
+
+  core::FtOptions opts;
+  opts.nb = 16;
+  const auto result = solve_qr(a.const_view(), b.const_view(), opts);
+  ASSERT_TRUE(result.ok);
+  EXPECT_LT(result.residual, 1e-12);
+  EXPECT_LT(max_rel_diff(result.x.const_view(), x.const_view()), 1e-7);
+}
+
+TEST(SolveLu, AbsorbsInjectedFaultTransparently) {
+  const index_t n = 96;
+  const MatD a = random_diag_dominant(n, 17);
+  const MatD x = random_general(n, 1, 18);
+  const MatD b = known_rhs(a.const_view(), x);
+
+  core::FtOptions opts;
+  opts.nb = 16;
+  opts.ngpu = 2;
+
+  fault::FaultInjector injector;
+  fault::FaultSpec spec;
+  spec.type = fault::FaultType::MemoryDram;
+  spec.site = {1, fault::OpKind::TMU};
+  spec.part = fault::Part::Reference;
+  spec.target_br = 2;
+  spec.target_bc = 1;
+  injector.schedule(spec);
+
+  const auto result = solve_lu(a.const_view(), b.const_view(), opts, &injector);
+  ASSERT_TRUE(result.ok);
+  EXPECT_TRUE(injector.all_fired());
+  EXPECT_GE(result.stats.corrected_0d + result.stats.corrected_1d, 1u);
+  EXPECT_LT(max_abs_diff(result.x.const_view(), x.const_view()), 1e-8);
+}
+
+TEST(SolveSpd, ReportsFailureOnIndefiniteInput) {
+  const MatD a = random_symmetric(64, 19);
+  const MatD b = random_general(64, 1, 20);
+  core::FtOptions opts;
+  opts.nb = 16;
+  const auto result = solve_spd(a.const_view(), b.const_view(), opts);
+  EXPECT_FALSE(result.ok);
+}
+
+TEST(Solve, ShapeChecks) {
+  const MatD a = random_spd(32, 21);
+  const MatD b = random_general(16, 1, 22);
+  EXPECT_THROW(solve_spd(a.const_view(), b.const_view()), FtlaError);
+  const MatD rect = random_general(32, 16, 23);
+  EXPECT_THROW(solve_lu(rect.const_view(), b.const_view()), FtlaError);
+}
+
+}  // namespace
+}  // namespace ftla::solve

@@ -1,0 +1,127 @@
+// Stress and hardening tests for the concurrency substrate and the
+// strided-view code paths: many streams under load, repeated
+// system construction/teardown, concurrent pool use from stream
+// workers, and BLAS on non-contiguous sub-views.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "blas/blas.hpp"
+#include "common/thread_pool.hpp"
+#include "matrix/compare.hpp"
+#include "matrix/generate.hpp"
+#include "sim/system.hpp"
+
+namespace ftla {
+namespace {
+
+TEST(Stress, ManyStreamsManyTasks) {
+  sim::HeterogeneousSystem sys(8);
+  std::atomic<int> counter{0};
+  for (int round = 0; round < 20; ++round) {
+    for (int g = 0; g < 8; ++g) {
+      sys.gpu(g).stream().enqueue([&counter] { ++counter; });
+    }
+  }
+  for (int g = 0; g < 8; ++g) sys.gpu(g).stream().synchronize();
+  EXPECT_EQ(counter.load(), 160);
+}
+
+TEST(Stress, RepeatedSystemConstruction) {
+  // Every FT run constructs and destroys a full system (threads
+  // included); this must be leak- and deadlock-free.
+  for (int i = 0; i < 25; ++i) {
+    sim::HeterogeneousSystem sys(3);
+    std::atomic<int> hits{0};
+    sys.parallel_over_gpus([&](int) { ++hits; });
+    ASSERT_EQ(hits.load(), 3);
+  }
+}
+
+TEST(Stress, NestedPoolUseFromStreams) {
+  // GPU stream workers may call library code that touches the global
+  // pool (threaded gemm); this must not deadlock.
+  sim::HeterogeneousSystem sys(4);
+  const MatD a = random_general(96, 96, 1);
+  const MatD b = random_general(96, 96, 2);
+  std::vector<MatD> results;
+  for (int g = 0; g < 4; ++g) results.emplace_back(96, 96, 0.0);
+
+  sys.parallel_over_gpus([&](int g) {
+    blas::gemm(blas::Trans::NoTrans, blas::Trans::NoTrans, 1.0, a.const_view(),
+               b.const_view(), 0.0, results[static_cast<std::size_t>(g)].view());
+  });
+  for (int g = 1; g < 4; ++g) {
+    EXPECT_LT(max_abs_diff(results[0].const_view(),
+                           results[static_cast<std::size_t>(g)].const_view()),
+              1e-12);
+  }
+}
+
+TEST(Stress, GemmOnStridedSubviews) {
+  // Operands that are interior blocks of a larger allocation (ld > rows):
+  // the hot path of every TMU.
+  const MatD big_a = random_general(64, 64, 3);
+  const MatD big_b = random_general(64, 64, 4);
+  MatD big_c(64, 64, 0.0);
+
+  const auto a = big_a.block(8, 16, 24, 16);
+  const auto b = big_b.block(16, 8, 16, 24);
+  auto c = big_c.block(8, 8, 24, 24);
+  blas::gemm(blas::Trans::NoTrans, blas::Trans::NoTrans, 1.0, a, b, 0.0, c);
+
+  // Reference: copy to dense and multiply.
+  MatD da(a);
+  MatD db(b);
+  MatD dc(24, 24, 0.0);
+  blas::gemm(blas::Trans::NoTrans, blas::Trans::NoTrans, 1.0, da.const_view(),
+             db.const_view(), 0.0, dc.view());
+  EXPECT_LT(max_abs_diff(c.as_const(), dc.const_view()), 1e-13);
+
+  // Elements outside the target block stay zero.
+  EXPECT_DOUBLE_EQ(big_c(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(big_c(63, 63), 0.0);
+}
+
+TEST(Stress, TrsmOnStridedSubviews) {
+  const MatD big = random_general(40, 40, 5, 0.5, 1.5);
+  MatD big_b(40, 40);
+  const auto tri = big.block(4, 4, 16, 16);
+  const MatD x = random_general(16, 8, 6);
+
+  // b = lower(tri)·x densely.
+  auto b = big_b.block(4, 20, 16, 8);
+  for (index_t j = 0; j < 8; ++j)
+    for (index_t i = 0; i < 16; ++i) {
+      double s = 0.0;
+      for (index_t k = 0; k <= i; ++k) s += tri(i, k) * x(k, j);
+      b(i, j) = s;
+    }
+  blas::trsm(blas::Side::Left, blas::Uplo::Lower, blas::Trans::NoTrans,
+             blas::Diag::NonUnit, 1.0, tri, b);
+  EXPECT_LT(max_abs_diff(b.as_const(), x.const_view()), 1e-10);
+}
+
+TEST(Stress, ParallelForHeavyContention) {
+  ThreadPool pool(4);
+  std::atomic<long> total{0};
+  for (int round = 0; round < 10; ++round) {
+    pool.parallel_for(0, 1000, [&](index_t i) { total += i; });
+  }
+  EXPECT_EQ(total.load(), 10L * (999L * 1000L / 2));
+}
+
+TEST(Stress, PcieManySmallTransfers) {
+  sim::HeterogeneousSystem sys(2);
+  MatD& src = sys.cpu().alloc(4, 4, 1.5);
+  MatD& dst = sys.gpu(0).alloc(4, 4);
+  for (int i = 0; i < 500; ++i) sys.h2d(src.const_view(), dst.view(), 0);
+  EXPECT_EQ(sys.link().stats().transfers, 500u);
+  EXPECT_DOUBLE_EQ(dst(3, 3), 1.5);
+  EXPECT_GT(sys.link().stats().modeled_seconds, 500 * 5e-6 * 0.99);
+}
+
+}  // namespace
+}  // namespace ftla
