@@ -1,0 +1,57 @@
+# Sanitizer build modes.
+#
+# FTLA_SANITIZE is a list (semicolon- or comma-separated) drawn from:
+#   address | undefined | thread | leak
+# e.g.  cmake -DFTLA_SANITIZE="address;undefined" ..
+#       cmake -DFTLA_SANITIZE=thread ..
+#
+# Flags are applied globally (compile + link) so every target — src,
+# tests, benchmarks, examples — is instrumented consistently; mixing
+# instrumented and uninstrumented TUs produces false positives under
+# TSan and broken interceptors under ASan.
+
+function(ftla_enable_sanitizers sanitize_list)
+  if(NOT sanitize_list)
+    return()
+  endif()
+
+  # Accept comma-separated values as well as CMake lists.
+  string(REPLACE "," ";" _sans "${sanitize_list}")
+
+  set(_valid address undefined thread leak)
+  foreach(_san IN LISTS _sans)
+    if(NOT _san IN_LIST _valid)
+      message(FATAL_ERROR
+        "FTLA_SANITIZE: unknown sanitizer '${_san}' "
+        "(valid: address, undefined, thread, leak)")
+    endif()
+  endforeach()
+
+  if("thread" IN_LIST _sans AND ("address" IN_LIST _sans OR "leak" IN_LIST _sans))
+    message(FATAL_ERROR
+      "FTLA_SANITIZE: 'thread' cannot be combined with 'address' or 'leak'")
+  endif()
+
+  string(REPLACE ";" "," _fsan "${_sans}")
+  set(_flags -fsanitize=${_fsan} -fno-omit-frame-pointer -g)
+
+  add_compile_options(${_flags})
+  add_link_options(-fsanitize=${_fsan})
+
+  message(STATUS "FTLA: sanitizers enabled: ${_fsan}")
+endfunction()
+
+# Clang thread-safety analysis (-Wthread-safety). The annotations in
+# src/common/annotations.hpp compile to nothing elsewhere, so this is a
+# no-op warning on GCC/MSVC rather than an error: CI runs the clang job.
+function(ftla_enable_thread_safety_analysis target)
+  if(CMAKE_CXX_COMPILER_ID MATCHES "Clang")
+    target_compile_options(${target} INTERFACE
+      -Wthread-safety -Werror=thread-safety)
+    message(STATUS "FTLA: clang thread-safety analysis enabled (-Werror=thread-safety)")
+  else()
+    message(WARNING
+      "FTLA_THREAD_SAFETY_ANALYSIS requires Clang; "
+      "'${CMAKE_CXX_COMPILER_ID}' does not implement -Wthread-safety, ignoring")
+  endif()
+endfunction()

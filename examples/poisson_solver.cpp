@@ -97,7 +97,7 @@ int main(int argc, char** argv) {
   if (!injector.all_fired()) {
     std::printf("warning: fault schedule did not trigger\n");
   } else {
-    const auto& rec = injector.records().front();
+    const auto rec = injector.records().front();
     std::printf("injected %s at A(%ld,%ld): %.6f -> %.6f\n",
                 fault::describe(rec.spec).c_str(), static_cast<long>(rec.global.row),
                 static_cast<long>(rec.global.col), rec.original, rec.corrupted);

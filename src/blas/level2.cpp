@@ -1,11 +1,15 @@
 #include "blas/level2.hpp"
 
 #include "common/error.hpp"
+#include "sim/ownership.hpp"
 
 namespace ftla::blas {
 
+namespace ownership = ftla::sim::ownership;
+
 void gemv(Trans trans, double alpha, ConstViewD a, const double* x, index_t incx,
           double beta, double* y, index_t incy) {
+  ownership::check_view(a, "blas::gemv A");
   const index_t m = a.rows();
   const index_t n = a.cols();
   const index_t leny = trans == Trans::NoTrans ? m : n;
@@ -37,6 +41,7 @@ void gemv(Trans trans, double alpha, ConstViewD a, const double* x, index_t incx
 }
 
 void ger(double alpha, const double* x, index_t incx, const double* y, index_t incy, ViewD a) {
+  ownership::check_view(a, "blas::ger A");
   const index_t m = a.rows();
   const index_t n = a.cols();
   if (alpha == 0.0) return;
@@ -49,6 +54,7 @@ void ger(double alpha, const double* x, index_t incx, const double* y, index_t i
 }
 
 void trsv(Uplo uplo, Trans trans, Diag diag, ConstViewD a, double* x, index_t incx) {
+  ownership::check_view(a, "blas::trsv A");
   const index_t n = a.rows();
   FTLA_CHECK(a.rows() == a.cols(), "trsv requires a square matrix");
   const bool unit = diag == Diag::Unit;
@@ -89,6 +95,7 @@ void trsv(Uplo uplo, Trans trans, Diag diag, ConstViewD a, double* x, index_t in
 }
 
 void syr(Uplo uplo, double alpha, const double* x, index_t incx, ViewD a) {
+  ownership::check_view(a, "blas::syr A");
   const index_t n = a.rows();
   FTLA_CHECK(a.rows() == a.cols(), "syr requires a square matrix");
   if (alpha == 0.0) return;

@@ -4,8 +4,11 @@
 
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
+#include "sim/ownership.hpp"
 
 namespace ftla::blas {
+
+namespace ownership = ftla::sim::ownership;
 
 namespace {
 
@@ -80,11 +83,17 @@ void gemm_cols(Trans ta, Trans tb, double alpha, ConstViewD a, ConstViewD b, dou
 
 void gemm_seq(Trans ta, Trans tb, double alpha, ConstViewD a, ConstViewD b, double beta,
               ViewD c) {
+  ownership::check_view(a, "blas::gemm_seq A");
+  ownership::check_view(b, "blas::gemm_seq B");
+  ownership::check_view(c, "blas::gemm_seq C");
   check_gemm_dims(ta, tb, a, b, c);
   gemm_cols(ta, tb, alpha, a, b, beta, c, 0, c.cols());
 }
 
 void gemm(Trans ta, Trans tb, double alpha, ConstViewD a, ConstViewD b, double beta, ViewD c) {
+  ownership::check_view(a, "blas::gemm A");
+  ownership::check_view(b, "blas::gemm B");
+  ownership::check_view(c, "blas::gemm C");
   check_gemm_dims(ta, tb, a, b, c);
   const index_t m = c.rows();
   const index_t n = c.cols();
@@ -99,6 +108,8 @@ void gemm(Trans ta, Trans tb, double alpha, ConstViewD a, ConstViewD b, double b
 }
 
 void trsm(Side side, Uplo uplo, Trans trans, Diag diag, double alpha, ConstViewD a, ViewD b) {
+  ownership::check_view(a, "blas::trsm A");
+  ownership::check_view(b, "blas::trsm B");
   const index_t m = b.rows();
   const index_t n = b.cols();
   FTLA_CHECK(a.rows() == a.cols(), "trsm: A must be square");
@@ -181,6 +192,8 @@ void trsm(Side side, Uplo uplo, Trans trans, Diag diag, double alpha, ConstViewD
 }
 
 void trmm(Side side, Uplo uplo, Trans trans, Diag diag, double alpha, ConstViewD a, ViewD b) {
+  ownership::check_view(a, "blas::trmm A");
+  ownership::check_view(b, "blas::trmm B");
   const index_t m = b.rows();
   const index_t n = b.cols();
   FTLA_CHECK(a.rows() == a.cols(), "trmm: A must be square");
@@ -250,6 +263,8 @@ void trmm(Side side, Uplo uplo, Trans trans, Diag diag, double alpha, ConstViewD
 }
 
 void syrk(Uplo uplo, Trans trans, double alpha, ConstViewD a, double beta, ViewD c) {
+  ownership::check_view(a, "blas::syrk A");
+  ownership::check_view(c, "blas::syrk C");
   const index_t n = c.rows();
   FTLA_CHECK(c.rows() == c.cols(), "syrk: C must be square");
   const index_t opa_rows = trans == Trans::NoTrans ? a.rows() : a.cols();

@@ -1,10 +1,14 @@
 #include "checksum/correct.hpp"
 
 #include "common/error.hpp"
+#include "sim/ownership.hpp"
 
 namespace ftla::checksum {
 
+namespace ownership = ftla::sim::ownership;
+
 index_t correct_from_col_deltas(ViewD block, const std::vector<ColDelta>& deltas) {
+  ownership::check_view(block, "checksum::correct_from_col_deltas block");
   index_t corrected = 0;
   for (const auto& cd : deltas) {
     index_t row = -1;
@@ -16,6 +20,7 @@ index_t correct_from_col_deltas(ViewD block, const std::vector<ColDelta>& deltas
 }
 
 index_t correct_from_row_deltas(ViewD block, const std::vector<RowDelta>& deltas) {
+  ownership::check_view(block, "checksum::correct_from_row_deltas block");
   index_t corrected = 0;
   for (const auto& rd : deltas) {
     index_t col = -1;
@@ -27,6 +32,8 @@ index_t correct_from_row_deltas(ViewD block, const std::vector<RowDelta>& deltas
 }
 
 void reconstruct_column(ViewD block, ConstViewD row_cs, index_t col) {
+  ownership::check_view(block, "checksum::reconstruct_column block");
+  ownership::check_view(row_cs, "checksum::reconstruct_column row_cs");
   FTLA_CHECK(row_cs.rows() == block.rows() && row_cs.cols() == 2,
              "reconstruct_column: checksum shape mismatch");
   FTLA_CHECK(col >= 0 && col < block.cols(), "reconstruct_column: column out of range");
@@ -40,6 +47,8 @@ void reconstruct_column(ViewD block, ConstViewD row_cs, index_t col) {
 }
 
 void reconstruct_row(ViewD block, ConstViewD col_cs, index_t row) {
+  ownership::check_view(block, "checksum::reconstruct_row block");
+  ownership::check_view(col_cs, "checksum::reconstruct_row col_cs");
   FTLA_CHECK(col_cs.rows() == 2 && col_cs.cols() == block.cols(),
              "reconstruct_row: checksum shape mismatch");
   FTLA_CHECK(row >= 0 && row < block.rows(), "reconstruct_row: row out of range");

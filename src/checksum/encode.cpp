@@ -3,8 +3,11 @@
 #include "blas/blas.hpp"
 #include "common/error.hpp"
 #include "matrix/matrix.hpp"
+#include "sim/ownership.hpp"
 
 namespace ftla::checksum {
+
+namespace ownership = ftla::sim::ownership;
 
 namespace {
 
@@ -136,6 +139,8 @@ void encode_row_two_pass(ConstViewD a, ViewD out) {
 }  // namespace
 
 void encode_col(ConstViewD a, ViewD out, Encoder encoder) {
+  ownership::check_view(a, "checksum::encode_col A");
+  ownership::check_view(out, "checksum::encode_col out");
   FTLA_CHECK(out.rows() == 2 && out.cols() == a.cols(),
              "encode_col: output must be 2×cols");
   switch (encoder) {
@@ -147,6 +152,8 @@ void encode_col(ConstViewD a, ViewD out, Encoder encoder) {
 }
 
 void encode_row(ConstViewD a, ViewD out, Encoder encoder) {
+  ownership::check_view(a, "checksum::encode_row A");
+  ownership::check_view(out, "checksum::encode_row out");
   FTLA_CHECK(out.rows() == a.rows() && out.cols() == 2,
              "encode_row: output must be rows×2");
   switch (encoder) {

@@ -4,8 +4,11 @@
 
 #include "common/error.hpp"
 #include "matrix/matrix.hpp"
+#include "sim/ownership.hpp"
 
 namespace ftla::checksum {
+
+namespace ownership = ftla::sim::ownership;
 
 namespace {
 
@@ -28,6 +31,8 @@ double row_scale(ConstViewD block, index_t i) {
 
 BlockCheckResult verify_col(ConstViewD block, ConstViewD col_cs, const Tolerance& tol,
                             Encoder encoder) {
+  ownership::check_view(block, "checksum::verify_col block");
+  ownership::check_view(col_cs, "checksum::verify_col col_cs");
   FTLA_CHECK(col_cs.rows() == 2 && col_cs.cols() == block.cols(),
              "verify_col: checksum shape mismatch");
   BlockCheckResult result;
@@ -49,6 +54,8 @@ BlockCheckResult verify_col(ConstViewD block, ConstViewD col_cs, const Tolerance
 
 BlockCheckResult verify_row(ConstViewD block, ConstViewD row_cs, const Tolerance& tol,
                             Encoder encoder) {
+  ownership::check_view(block, "checksum::verify_row block");
+  ownership::check_view(row_cs, "checksum::verify_row row_cs");
   FTLA_CHECK(row_cs.rows() == block.rows() && row_cs.cols() == 2,
              "verify_row: checksum shape mismatch");
   BlockCheckResult result;

@@ -1,0 +1,104 @@
+#pragma once
+
+/// \file annotations.hpp
+/// Clang thread-safety analysis support.
+///
+/// Two layers live here:
+///   1. Attribute macros (FTLA_GUARDED_BY, FTLA_REQUIRES, ...) that expand
+///      to Clang's thread-safety attributes when the compiler supports
+///      them and to nothing otherwise, so annotated code stays portable.
+///   2. Annotated synchronization primitives — ftla::Mutex, ftla::CondVar
+///      and ftla::LockGuard — thin wrappers over the standard library that
+///      carry capability attributes. std::mutex itself is unannotated, so
+///      every class with locked shared state uses these wrappers; the
+///      FTLA_THREAD_SAFETY_ANALYSIS build mode (-Wthread-safety
+///      -Werror=thread-safety) then machine-checks the locking discipline.
+///
+/// Conventions used across the library:
+///   - every mutable member shared between threads is FTLA_GUARDED_BY its
+///     mutex;
+///   - condition-variable waits are written as explicit `while (!pred)`
+///     loops inside the locked scope, so the analysis sees the guarded
+///     reads under the capability (it cannot look through lambdas);
+///   - functions called with a lock already held are FTLA_REQUIRES(mu).
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define FTLA_THREAD_ANNOTATION_(x) __attribute__((x))
+#endif
+#endif
+#ifndef FTLA_THREAD_ANNOTATION_
+#define FTLA_THREAD_ANNOTATION_(x)  // not supported by this compiler
+#endif
+
+#define FTLA_CAPABILITY(x) FTLA_THREAD_ANNOTATION_(capability(x))
+#define FTLA_SCOPED_CAPABILITY FTLA_THREAD_ANNOTATION_(scoped_lockable)
+#define FTLA_GUARDED_BY(x) FTLA_THREAD_ANNOTATION_(guarded_by(x))
+#define FTLA_PT_GUARDED_BY(x) FTLA_THREAD_ANNOTATION_(pt_guarded_by(x))
+#define FTLA_ACQUIRE(...) FTLA_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define FTLA_RELEASE(...) FTLA_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define FTLA_TRY_ACQUIRE(...) FTLA_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+#define FTLA_REQUIRES(...) FTLA_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define FTLA_EXCLUDES(...) FTLA_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+#define FTLA_ACQUIRED_BEFORE(...) FTLA_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define FTLA_ACQUIRED_AFTER(...) FTLA_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+#define FTLA_RETURN_CAPABILITY(x) FTLA_THREAD_ANNOTATION_(lock_returned(x))
+#define FTLA_ASSERT_CAPABILITY(x) FTLA_THREAD_ANNOTATION_(assert_capability(x))
+#define FTLA_NO_THREAD_SAFETY_ANALYSIS FTLA_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#include <condition_variable>
+#include <mutex>
+
+namespace ftla {
+
+/// Annotated standard mutex. Lock it through LockGuard wherever possible;
+/// the raw lock()/unlock() pair exists for the rare hand-over-hand case.
+class FTLA_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() FTLA_ACQUIRE() { mu_.lock(); }
+  void unlock() FTLA_RELEASE() { mu_.unlock(); }
+  bool try_lock() FTLA_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII lock for ftla::Mutex (std::lock_guard analogue, annotated).
+class FTLA_SCOPED_CAPABILITY LockGuard {
+ public:
+  explicit LockGuard(Mutex& mu) FTLA_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~LockGuard() FTLA_RELEASE() { mu_.unlock(); }
+
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable paired with ftla::Mutex. Waits atomically release
+/// and re-acquire the mutex, so callers must already hold it; write the
+/// predicate re-check as an explicit loop in the locked scope:
+///
+///   LockGuard lock(mutex_);
+///   while (!ready_) cv_.wait(mutex_);
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(Mutex& mu) FTLA_REQUIRES(mu) { cv_.wait(mu); }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace ftla

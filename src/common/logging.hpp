@@ -5,6 +5,7 @@
 /// Warn so that library internals stay quiet in tests and benchmarks;
 /// examples and campaign runners raise it to Info/Debug.
 
+#include <atomic>
 #include <mutex>
 #include <sstream>
 #include <string>
@@ -18,15 +19,21 @@ class Logger {
  public:
   static Logger& instance();
 
-  void set_level(LogLevel level) noexcept { level_ = level; }
-  [[nodiscard]] LogLevel level() const noexcept { return level_; }
+  void set_level(LogLevel level) noexcept {
+    level_.store(level, std::memory_order_relaxed);
+  }
+  [[nodiscard]] LogLevel level() const noexcept {
+    return level_.load(std::memory_order_relaxed);
+  }
 
   /// Emit a message at `level` if enabled. Lines are atomic per call.
   void log(LogLevel level, const std::string& message);
 
  private:
   Logger() = default;
-  LogLevel level_ = LogLevel::Warn;
+  /// Atomic: the level is read on every log call, possibly from worker
+  /// threads, while examples set it from the main thread.
+  std::atomic<LogLevel> level_{LogLevel::Warn};
   std::mutex mutex_;
 };
 

@@ -1,10 +1,10 @@
 #include "common/thread_pool.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <exception>
 
 #include "common/error.hpp"
+#include "common/logging.hpp"
 
 namespace ftla {
 
@@ -21,7 +21,7 @@ ThreadPool::ThreadPool(unsigned num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     stop_ = true;
   }
   cv_task_.notify_all();
@@ -32,7 +32,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     FTLA_CHECK(!stop_, "submit() on a stopped pool");
     queue_.push_back(std::move(task));
   }
@@ -40,24 +40,34 @@ void ThreadPool::submit(std::function<void()> task) {
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  cv_idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  LockGuard lock(mutex_);
+  while (!queue_.empty() || active_ != 0) cv_idle_.wait(mutex_);
 }
 
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_task_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      LockGuard lock(mutex_);
+      while (!stop_ && queue_.empty()) cv_task_.wait(mutex_);
       if (stop_ && queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop_front();
       ++active_;
     }
-    task();
+    // A throwing task must not unwind the worker thread (std::terminate)
+    // or leave active_ stuck nonzero, which would deadlock wait_idle().
+    // parallel_for wraps its chunks to forward errors; anything escaping
+    // a bare submit() is logged and dropped.
+    try {
+      task();
+    } catch (const std::exception& e) {
+      log_error("thread pool task threw: ", e.what());
+    } catch (...) {
+      log_error("thread pool task threw a non-std exception");
+    }
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      LockGuard lock(mutex_);
       --active_;
       if (queue_.empty() && active_ == 0) cv_idle_.notify_all();
     }
@@ -81,11 +91,15 @@ void ThreadPool::parallel_for_chunked(index_t begin, index_t end,
     return;
   }
 
-  std::atomic<index_t> remaining(parts - 1);
   std::exception_ptr first_error;
-  std::mutex error_mutex;
-  std::mutex done_mutex;
-  std::condition_variable done_cv;
+  Mutex error_mutex;
+  Mutex done_mutex;
+  CondVar done_cv;
+  // Guarded by done_mutex. The notify runs while the lock is held and the
+  // caller re-acquires it before leaving, so the last worker can never
+  // still be touching these locals when they are destroyed (an
+  // atomic-decrement-then-lock handshake would allow exactly that).
+  index_t remaining = parts - 1;
 
   const index_t chunk = (n + parts - 1) / parts;
   // Dispatch parts 1..parts-1 to the pool; part 0 runs on this thread.
@@ -96,25 +110,25 @@ void ThreadPool::parallel_for_chunked(index_t begin, index_t end,
       try {
         if (lo < hi) body(lo, hi);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mutex);
+        LockGuard lock(error_mutex);
         if (!first_error) first_error = std::current_exception();
       }
-      if (remaining.fetch_sub(1) == 1) {
-        std::lock_guard<std::mutex> lock(done_mutex);
-        done_cv.notify_all();
-      }
+      LockGuard lock(done_mutex);
+      if (--remaining == 0) done_cv.notify_all();
     });
   }
 
   try {
     body(begin, std::min(end, begin + chunk));
   } catch (...) {
-    std::lock_guard<std::mutex> lock(error_mutex);
+    LockGuard lock(error_mutex);
     if (!first_error) first_error = std::current_exception();
   }
 
-  std::unique_lock<std::mutex> lock(done_mutex);
-  done_cv.wait(lock, [&] { return remaining.load() == 0; });
+  {
+    LockGuard lock(done_mutex);
+    while (remaining != 0) done_cv.wait(done_mutex);
+  }
 
   if (first_error) std::rethrow_exception(first_error);
 }

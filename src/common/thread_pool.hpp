@@ -5,13 +5,12 @@
 /// execution engine behind both the simulated GPU devices and the
 /// multithreaded BLAS level-3 kernels.
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/annotations.hpp"
 #include "common/types.hpp"
 
 namespace ftla {
@@ -20,6 +19,10 @@ namespace ftla {
 /// submit() never blocks, wait_idle() blocks until the queue drains and
 /// all workers are idle. parallel_for partitions [begin, end) into
 /// contiguous chunks executed across the pool plus the calling thread.
+///
+/// Locking discipline (machine-checked under FTLA_THREAD_SAFETY_ANALYSIS):
+/// queue_, active_ and stop_ are guarded by mutex_; cv_task_ signals
+/// work/shutdown, cv_idle_ signals the drained-and-idle state.
 class ThreadPool {
  public:
   /// Creates `num_threads` workers. 0 means hardware_concurrency - 1
@@ -30,7 +33,9 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueue a task for asynchronous execution.
+  /// Enqueue a task for asynchronous execution. A task that throws does
+  /// not kill its worker: the exception is logged and dropped (use
+  /// parallel_for when errors must reach the caller).
   void submit(std::function<void()> task);
 
   /// Block until all submitted tasks have completed.
@@ -57,12 +62,12 @@ class ThreadPool {
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable cv_task_;
-  std::condition_variable cv_idle_;
-  unsigned active_ = 0;
-  bool stop_ = false;
+  mutable Mutex mutex_;
+  CondVar cv_task_;
+  CondVar cv_idle_;
+  std::deque<std::function<void()>> queue_ FTLA_GUARDED_BY(mutex_);
+  unsigned active_ FTLA_GUARDED_BY(mutex_) = 0;
+  bool stop_ FTLA_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace ftla

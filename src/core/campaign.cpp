@@ -67,6 +67,7 @@ FtOutput Campaign::execute(fault::FaultInjector* injector) {
 }
 
 const FtOutput& Campaign::reference() {
+  ftla::LockGuard lock(reference_mutex_);
   if (!have_reference_) {
     reference_ = execute(nullptr);
     FTLA_CHECK(reference_.ok(), "campaign reference run failed");

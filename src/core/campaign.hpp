@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "common/annotations.hpp"
 #include "core/ft_driver.hpp"
 
 namespace ftla::core {
@@ -55,7 +56,8 @@ class Campaign {
  public:
   explicit Campaign(CampaignConfig config);
 
-  /// The fault-free reference run (computed on first use).
+  /// The fault-free reference run (computed on first use; safe to call
+  /// from several threads — the first caller computes, the rest wait).
   const FtOutput& reference();
 
   /// Clean-run wall time (median of 1; benchmarks re-run as needed).
@@ -76,8 +78,11 @@ class Campaign {
 
   CampaignConfig config_;
   MatD input_;
-  FtOutput reference_;
-  bool have_reference_ = false;
+  ftla::Mutex reference_mutex_;
+  /// Guarded by reference_mutex_ until have_reference_ flips; after that
+  /// callers hold only the returned const reference (never mutated again).
+  FtOutput reference_ FTLA_GUARDED_BY(reference_mutex_);
+  bool have_reference_ FTLA_GUARDED_BY(reference_mutex_) = false;
 };
 
 }  // namespace ftla::core

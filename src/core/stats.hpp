@@ -20,6 +20,12 @@ enum class RunStatus {
   NumericalFailure,     ///< non-positive pivot etc. — input problem
 };
 
+/// FtStats is NOT internally synchronized. The drivers follow a
+/// per-thread-ownership discipline instead: each GPU worker accumulates
+/// into its own FtStats (`gpu_stats_[g]`), and the host merges them into
+/// the run-level record only after the fork/join barrier of
+/// `parallel_over_gpus` — so no two threads ever touch the same instance
+/// concurrently. Keep that discipline when adding counters.
 struct FtStats {
   // --- verification accounting (in matrix blocks, Table VI units) -----
   std::uint64_t blocks_verified = 0;

@@ -43,12 +43,12 @@ std::string describe(const FaultSpec& spec) {
 }
 
 void FaultInjector::schedule(const FaultSpec& spec) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  ftla::LockGuard lock(mutex_);
   pending_.push_back(spec);
 }
 
 void FaultInjector::clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  ftla::LockGuard lock(mutex_);
   pending_.clear();
   records_.clear();
   restores_.clear();
@@ -82,7 +82,7 @@ void FaultInjector::fire(const FaultSpec& spec, ViewD region, ElemCoord origin, 
 
 void FaultInjector::pre_verify(const OpSite& site, Part part, ViewD region,
                                ElemCoord origin, BlockCoord block) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  ftla::LockGuard lock(mutex_);
   for (auto it = pending_.begin(); it != pending_.end(); ++it) {
     if (it->type == FaultType::MemoryDram && it->timing == Timing::BetweenOps &&
         it->site == site && it->part == part && block_matches(*it, block)) {
@@ -96,7 +96,7 @@ void FaultInjector::pre_verify(const OpSite& site, Part part, ViewD region,
 
 void FaultInjector::pre_compute(const OpSite& site, Part part, ViewD region,
                                 ElemCoord origin, BlockCoord block) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  ftla::LockGuard lock(mutex_);
   for (auto it = pending_.begin(); it != pending_.end(); ++it) {
     const bool dram_during = it->type == FaultType::MemoryDram &&
                              it->timing == Timing::DuringOp;
@@ -112,7 +112,7 @@ void FaultInjector::pre_compute(const OpSite& site, Part part, ViewD region,
 }
 
 void FaultInjector::restore_onchip(const OpSite& site, BlockCoord block) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  ftla::LockGuard lock(mutex_);
   for (auto it = restores_.begin(); it != restores_.end();) {
     const auto& spec = records_[it->record_index].spec;
     const bool matches =
@@ -130,7 +130,7 @@ void FaultInjector::restore_onchip(const OpSite& site, BlockCoord block) {
 
 void FaultInjector::post_compute(const OpSite& site, ViewD output, ElemCoord origin,
                                  BlockCoord block) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  ftla::LockGuard lock(mutex_);
   // Restore on-chip corruptions for this site first: the stored cell was
   // never wrong, only the value the computation consumed. Only entries
   // matching the completed block are restored — a corruption pinned to a
@@ -162,7 +162,7 @@ void FaultInjector::post_compute(const OpSite& site, ViewD output, ElemCoord ori
 
 void FaultInjector::post_transfer(const OpSite& site, int gpu, ViewD received,
                                   ElemCoord origin, BlockCoord block) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  ftla::LockGuard lock(mutex_);
   for (auto it = pending_.begin(); it != pending_.end(); ++it) {
     if (it->type == FaultType::Pcie && it->site == site &&
         (it->target_gpu < 0 || it->target_gpu == gpu) && block_matches(*it, block)) {

@@ -19,9 +19,9 @@
 ///                   copy used during the op)
 ///   post_transfer — after a PCIe payload arrived (Pcie faults).
 
-#include <mutex>
 #include <vector>
 
+#include "common/annotations.hpp"
 #include "fault/bitflip.hpp"
 #include "fault/fault.hpp"
 #include "matrix/view.hpp"
@@ -66,12 +66,21 @@ class FaultInjector {
   void restore_onchip(const OpSite& site, BlockCoord block = {-1, -1});
 
   // --- inspection ----------------------------------------------------
-  [[nodiscard]] const std::vector<InjectionRecord>& records() const noexcept {
+  /// Snapshot of the injection records (hooks may fire concurrently from
+  /// several device streams, so a reference would race with appends).
+  [[nodiscard]] std::vector<InjectionRecord> records() const {
+    ftla::LockGuard lock(mutex_);
     return records_;
   }
   /// True when every scheduled fault has fired.
-  [[nodiscard]] bool all_fired() const noexcept { return pending_.empty(); }
-  [[nodiscard]] std::size_t num_pending() const noexcept { return pending_.size(); }
+  [[nodiscard]] bool all_fired() const {
+    ftla::LockGuard lock(mutex_);
+    return pending_.empty();
+  }
+  [[nodiscard]] std::size_t num_pending() const {
+    ftla::LockGuard lock(mutex_);
+    return pending_.size();
+  }
 
  private:
   struct OnChipRestore {
@@ -81,17 +90,18 @@ class FaultInjector {
     std::size_t record_index;
   };
 
-  void fire(const FaultSpec& spec, ViewD region, ElemCoord origin, int gpu);
+  void fire(const FaultSpec& spec, ViewD region, ElemCoord origin, int gpu)
+      FTLA_REQUIRES(mutex_);
 
   [[nodiscard]] static bool block_matches(const FaultSpec& spec, BlockCoord block) noexcept {
     return (spec.target_br < 0 || spec.target_br == block.br) &&
            (spec.target_bc < 0 || spec.target_bc == block.bc);
   }
 
-  mutable std::mutex mutex_;
-  std::vector<FaultSpec> pending_;
-  std::vector<InjectionRecord> records_;
-  std::vector<OnChipRestore> restores_;
+  mutable ftla::Mutex mutex_;
+  std::vector<FaultSpec> pending_ FTLA_GUARDED_BY(mutex_);
+  std::vector<InjectionRecord> records_ FTLA_GUARDED_BY(mutex_);
+  std::vector<OnChipRestore> restores_ FTLA_GUARDED_BY(mutex_);
 };
 
 }  // namespace ftla::fault

@@ -5,8 +5,11 @@
 
 #include "blas/blas.hpp"
 #include "common/error.hpp"
+#include "sim/ownership.hpp"
 
 namespace ftla::lapack {
+
+namespace ownership = ftla::sim::ownership;
 
 double larfg(index_t n, double& alpha, double* x, index_t incx) {
   if (n <= 1) return 0.0;
@@ -22,6 +25,7 @@ double larfg(index_t n, double& alpha, double* x, index_t incx) {
 }
 
 void geqrf2(ViewD a, std::vector<double>& tau) {
+  ownership::check_view(a, "lapack::geqrf2 A");
   const index_t m = a.rows();
   const index_t n = a.cols();
   const index_t k = std::min(m, n);
@@ -57,6 +61,8 @@ void geqrf2(ViewD a, std::vector<double>& tau) {
 }
 
 void larft(ConstViewD v, const std::vector<double>& tau, ViewD t) {
+  ownership::check_view(v, "lapack::larft V");
+  ownership::check_view(t, "lapack::larft T");
   const index_t m = v.rows();
   const index_t k = v.cols();
   FTLA_CHECK(t.rows() == k && t.cols() == k, "larft: T must be k×k");
@@ -81,6 +87,9 @@ void larft(ConstViewD v, const std::vector<double>& tau, ViewD t) {
 }
 
 void larfb(bool trans, ConstViewD v, ConstViewD t, ViewD c) {
+  ownership::check_view(v, "lapack::larfb V");
+  ownership::check_view(t, "lapack::larfb T");
+  ownership::check_view(c, "lapack::larfb C");
   const index_t m = c.rows();
   const index_t n = c.cols();
   const index_t k = v.cols();
@@ -117,6 +126,7 @@ void larfb(bool trans, ConstViewD v, ConstViewD t, ViewD c) {
 }
 
 void geqrf(ViewD a, index_t nb, std::vector<double>& tau) {
+  ownership::check_view(a, "lapack::geqrf A");
   const index_t m = a.rows();
   const index_t n = a.cols();
   const index_t mn = std::min(m, n);
@@ -144,6 +154,7 @@ void geqrf(ViewD a, index_t nb, std::vector<double>& tau) {
 }
 
 MatD orgqr(ConstViewD a, const std::vector<double>& tau, index_t nb) {
+  ownership::check_view(a, "lapack::orgqr A");
   const index_t m = a.rows();
   const index_t n = a.cols();
   const index_t k = std::min(m, n);
@@ -167,6 +178,8 @@ MatD orgqr(ConstViewD a, const std::vector<double>& tau, index_t nb) {
 }
 
 void ormqr(bool trans, ConstViewD a, const std::vector<double>& tau, index_t nb, ViewD c) {
+  ownership::check_view(a, "lapack::ormqr A");
+  ownership::check_view(c, "lapack::ormqr C");
   const index_t m = a.rows();
   const index_t k = std::min(m, a.cols());
   FTLA_CHECK(c.rows() == m, "ormqr: C row count must match Q");

@@ -5,10 +5,14 @@
 
 #include "blas/blas.hpp"
 #include "common/error.hpp"
+#include "sim/ownership.hpp"
 
 namespace ftla::lapack {
 
+namespace ownership = ftla::sim::ownership;
+
 index_t getrf2(ViewD a, std::vector<index_t>& ipiv) {
+  ownership::check_view(a, "lapack::getrf2 A");
   const index_t m = a.rows();
   const index_t n = a.cols();
   const index_t mn = std::min(m, n);
@@ -32,6 +36,7 @@ index_t getrf2(ViewD a, std::vector<index_t>& ipiv) {
 }
 
 index_t getrf2_nopiv(ViewD a) {
+  ownership::check_view(a, "lapack::getrf2_nopiv A");
   const index_t m = a.rows();
   const index_t n = a.cols();
   const index_t mn = std::min(m, n);
@@ -48,6 +53,7 @@ index_t getrf2_nopiv(ViewD a) {
 }
 
 void laswp(ViewD a, const std::vector<index_t>& ipiv, index_t k0, index_t k1) {
+  ownership::check_view(a, "lapack::laswp A");
   for (index_t k = k0; k < k1; ++k) {
     const index_t p = ipiv[static_cast<std::size_t>(k)];
     if (p != k) blas::swap(a.cols(), a.data() + k, a.ld(), a.data() + p, a.ld());
@@ -55,6 +61,7 @@ void laswp(ViewD a, const std::vector<index_t>& ipiv, index_t k0, index_t k1) {
 }
 
 index_t getrf(ViewD a, index_t nb, std::vector<index_t>& ipiv) {
+  ownership::check_view(a, "lapack::getrf A");
   const index_t m = a.rows();
   const index_t n = a.cols();
   const index_t mn = std::min(m, n);
@@ -94,6 +101,7 @@ index_t getrf(ViewD a, index_t nb, std::vector<index_t>& ipiv) {
 }
 
 index_t getrf_nopiv(ViewD a, index_t nb) {
+  ownership::check_view(a, "lapack::getrf_nopiv A");
   const index_t m = a.rows();
   const index_t n = a.cols();
   const index_t mn = std::min(m, n);

@@ -4,10 +4,14 @@
 
 #include "blas/blas.hpp"
 #include "common/error.hpp"
+#include "sim/ownership.hpp"
 
 namespace ftla::lapack {
 
+namespace ownership = ftla::sim::ownership;
+
 index_t potrf2(ViewD a) {
+  ownership::check_view(a, "lapack::potrf2 A");
   const index_t n = a.rows();
   FTLA_CHECK(a.rows() == a.cols(), "potrf2: matrix must be square");
   for (index_t j = 0; j < n; ++j) {
@@ -26,6 +30,7 @@ index_t potrf2(ViewD a) {
 }
 
 index_t potrf(ViewD a, index_t nb) {
+  ownership::check_view(a, "lapack::potrf A");
   const index_t n = a.rows();
   FTLA_CHECK(a.rows() == a.cols(), "potrf: matrix must be square");
   FTLA_CHECK(nb > 0, "potrf: block size must be positive");

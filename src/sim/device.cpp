@@ -2,23 +2,41 @@
 
 #include <utility>
 
+#include "sim/ownership.hpp"
+
 namespace ftla::sim {
 
 Device::Device(device_id_t id, DeviceKind kind, std::string name)
-    : id_(id), kind_(kind), name_(std::move(name)) {}
+    : id_(id), kind_(kind), name_(std::move(name)), stream_(id) {}
+
+Device::~Device() { free_all(); }
 
 MatD& Device::alloc(index_t rows, index_t cols, double init) {
-  allocations_.push_back(std::make_unique<MatD>(rows, cols, init));
+  auto m = std::make_unique<MatD>(rows, cols, init);
+  ownership::register_arena(m->data(),
+                            static_cast<std::size_t>(m->size()) * sizeof(double), id_);
+  ftla::LockGuard lock(mutex_);
+  allocations_.push_back(std::move(m));
   return *allocations_.back();
 }
 
-void Device::free_all() { allocations_.clear(); }
+void Device::free_all() {
+  ftla::LockGuard lock(mutex_);
+  for (const auto& m : allocations_) ownership::unregister_arena(m->data());
+  allocations_.clear();
+}
 
 byte_size_t Device::bytes_allocated() const noexcept {
+  ftla::LockGuard lock(mutex_);
   byte_size_t total = 0;
   for (const auto& m : allocations_)
     total += static_cast<byte_size_t>(m->size()) * sizeof(double);
   return total;
+}
+
+std::size_t Device::num_allocations() const noexcept {
+  ftla::LockGuard lock(mutex_);
+  return allocations_.size();
 }
 
 }  // namespace ftla::sim

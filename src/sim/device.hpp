@@ -12,11 +12,17 @@
 /// protection depends on: data is in a distinct address space before and
 /// after a transfer, and corruption in flight is visible only at the
 /// receiver.
+///
+/// The arena invariant is machine-checked: every allocation is registered
+/// with the ownership checker (sim/ownership.hpp), the stream's worker
+/// thread is bound to this device, and under FTLA_CHECK_OWNERSHIP kernel
+/// entry points assert that the touching thread belongs to the owner.
 
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/annotations.hpp"
 #include "common/types.hpp"
 #include "matrix/matrix.hpp"
 #include "sim/stream.hpp"
@@ -26,32 +32,41 @@ namespace ftla::sim {
 enum class DeviceKind { Cpu, Gpu };
 
 /// A simulated device: identity, memory arena, and one execution stream.
+/// Allocation bookkeeping is thread-safe; the returned matrices follow
+/// the ownership discipline above.
 class Device {
  public:
   Device(device_id_t id, DeviceKind kind, std::string name);
+  ~Device();
+
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
 
   [[nodiscard]] device_id_t id() const noexcept { return id_; }
   [[nodiscard]] DeviceKind kind() const noexcept { return kind_; }
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
 
-  /// Allocates a rows×cols matrix in this device's arena. The reference
-  /// stays valid for the lifetime of the device.
+  /// Allocates a rows×cols matrix in this device's arena and registers it
+  /// with the ownership checker. The reference stays valid for the
+  /// lifetime of the device.
   MatD& alloc(index_t rows, index_t cols, double init = 0.0);
 
   /// Releases every allocation (e.g. between campaign runs).
   void free_all();
 
   [[nodiscard]] byte_size_t bytes_allocated() const noexcept;
-  [[nodiscard]] std::size_t num_allocations() const noexcept { return allocations_.size(); }
+  [[nodiscard]] std::size_t num_allocations() const noexcept;
 
-  /// The device's execution stream (GPU queue analogue).
+  /// The device's execution stream (GPU queue analogue); its worker
+  /// thread is bound to this device for ownership checking.
   [[nodiscard]] Stream& stream() noexcept { return stream_; }
 
  private:
   device_id_t id_;
   DeviceKind kind_;
   std::string name_;
-  std::vector<std::unique_ptr<MatD>> allocations_;
+  mutable ftla::Mutex mutex_;
+  std::vector<std::unique_ptr<MatD>> allocations_ FTLA_GUARDED_BY(mutex_);
   Stream stream_;
 };
 

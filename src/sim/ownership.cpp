@@ -1,0 +1,119 @@
+#include "sim/ownership.hpp"
+
+#include <atomic>
+#include <map>
+#include <sstream>
+
+#include "common/annotations.hpp"
+#include "common/error.hpp"
+
+namespace ftla::sim::ownership {
+
+namespace {
+
+struct Arena {
+  std::uintptr_t end = 0;
+  device_id_t owner = kNoDevice;
+};
+
+/// Registry of live arenas keyed by base address. A plain mutex is fine:
+/// registration happens once per Device::alloc and lookups are one
+/// map::upper_bound per *kernel entry* (not per element), which is noise
+/// next to the O(nb³) work behind each entry.
+struct Registry {
+  Mutex mutex;
+  std::map<std::uintptr_t, Arena> arenas FTLA_GUARDED_BY(mutex);
+};
+
+Registry& registry() {
+  static Registry* r = new Registry;  // leaked: outlives static Devices
+  return *r;
+}
+
+std::atomic<std::uint64_t> g_violations{0};
+
+thread_local device_id_t tls_device = kNoDevice;
+thread_local int tls_transfer_depth = 0;
+
+}  // namespace
+
+void register_arena(const void* base, std::size_t bytes, device_id_t owner) {
+  if (base == nullptr || bytes == 0) return;
+  const auto lo = reinterpret_cast<std::uintptr_t>(base);
+  auto& reg = registry();
+  LockGuard lock(reg.mutex);
+  // Reject overlap with the nearest arenas on either side.
+  auto next = reg.arenas.upper_bound(lo);
+  if (next != reg.arenas.end()) {
+    FTLA_CHECK(lo + bytes <= next->first, "ownership: arena overlaps a later arena");
+  }
+  if (next != reg.arenas.begin()) {
+    auto prev = std::prev(next);
+    FTLA_CHECK(prev->second.end <= lo, "ownership: arena overlaps an earlier arena");
+  }
+  reg.arenas.emplace(lo, Arena{lo + bytes, owner});
+}
+
+void unregister_arena(const void* base) {
+  if (base == nullptr) return;
+  auto& reg = registry();
+  LockGuard lock(reg.mutex);
+  reg.arenas.erase(reinterpret_cast<std::uintptr_t>(base));
+}
+
+device_id_t owner_of(const void* p) noexcept {
+  const auto addr = reinterpret_cast<std::uintptr_t>(p);
+  auto& reg = registry();
+  LockGuard lock(reg.mutex);
+  auto it = reg.arenas.upper_bound(addr);
+  if (it == reg.arenas.begin()) return kNoDevice;
+  --it;
+  return addr < it->second.end ? it->second.owner : kNoDevice;
+}
+
+std::size_t num_arenas() noexcept {
+  auto& reg = registry();
+  LockGuard lock(reg.mutex);
+  return reg.arenas.size();
+}
+
+device_id_t current_device() noexcept { return tls_device; }
+
+void bind_thread_to_device(device_id_t device) noexcept { tls_device = device; }
+
+ScopedDevice::ScopedDevice(device_id_t device) noexcept : previous_(tls_device) {
+  tls_device = device;
+}
+
+ScopedDevice::~ScopedDevice() { tls_device = previous_; }
+
+ScopedTransfer::ScopedTransfer() noexcept { ++tls_transfer_depth; }
+
+ScopedTransfer::~ScopedTransfer() { --tls_transfer_depth; }
+
+bool in_transfer() noexcept { return tls_transfer_depth > 0; }
+
+std::uint64_t violation_count() noexcept {
+  return g_violations.load(std::memory_order_relaxed);
+}
+
+void reset_violation_count() noexcept {
+  g_violations.store(0, std::memory_order_relaxed);
+}
+
+void check_access(const void* p, const char* what) {
+  if (tls_transfer_depth > 0) return;
+  const device_id_t bound = tls_device;
+  if (bound == kNoDevice) return;  // unbound host thread: exempt
+  const device_id_t owner = owner_of(p);
+  if (owner == kNoDevice || owner == bound) return;  // host heap / own arena
+
+  g_violations.fetch_add(1, std::memory_order_relaxed);
+  std::ostringstream oss;
+  oss << "device-memory ownership violation in " << (what ? what : "?")
+      << ": thread bound to device " << bound << " touched memory owned by device "
+      << owner << " outside a PcieLink transfer";
+  throw FtlaError(oss.str());
+}
+
+}  // namespace ftla::sim::ownership

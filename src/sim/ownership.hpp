@@ -1,0 +1,129 @@
+#pragma once
+
+/// \file ownership.hpp
+/// Debug-mode device-memory ownership checker.
+///
+/// device.hpp promises that "matrices allocated on a device are only
+/// legally touched by work running on that device or by explicit PcieLink
+/// transfers" — the address-space separation the paper's ABFT
+/// communication protection depends on (§V.3). This module turns that
+/// prose into an enforced invariant:
+///
+///   - Device::alloc registers each arena allocation
+///     [base, base + bytes) → owning device id;
+///   - every Stream worker thread carries a thread-local "current device"
+///     (bound at stream construction), and PcieLink::transfer opens a
+///     ScopedTransfer that legalizes touching both endpoints;
+///   - kernel entry points (BLAS, LAPACK, checksum codecs) call
+///     check_view() on every view operand. A thread bound to device A
+///     touching device B's arena raises a violation: the global counter
+///     is bumped and an FtlaError is thrown (surfacing at
+///     Stream::synchronize like any other stream failure).
+///
+/// Threads with no binding (the host driver thread, global ThreadPool
+/// workers) are exempt: in the simulator the CPU legitimately stands in
+/// for device kernels. Host code can opt into checking a region by
+/// declaring the device it is acting for with ScopedDevice.
+///
+/// The per-access checks compile in only under FTLA_CHECK_OWNERSHIP
+/// (Debug and CI builds); the registry itself is always built so arenas
+/// stay registered across build modes.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "matrix/view.hpp"
+
+namespace ftla::sim::ownership {
+
+/// Sentinel: the thread (or a pointer) is bound to no device.
+inline constexpr device_id_t kNoDevice = -1;
+
+// --- arena registry ---------------------------------------------------
+
+/// Registers [base, base + bytes) as owned by `owner`. Overlapping
+/// registrations are a logic error and throw.
+void register_arena(const void* base, std::size_t bytes, device_id_t owner);
+
+/// Removes a registration made with register_arena (no-op when unknown).
+void unregister_arena(const void* base);
+
+/// Owning device of the arena containing `p`, or kNoDevice for ordinary
+/// host memory.
+[[nodiscard]] device_id_t owner_of(const void* p) noexcept;
+
+/// Number of live registered arenas (test hook).
+[[nodiscard]] std::size_t num_arenas() noexcept;
+
+// --- thread device binding --------------------------------------------
+
+/// Device the calling thread is bound to (kNoDevice when unbound).
+[[nodiscard]] device_id_t current_device() noexcept;
+
+/// Binds the calling thread to `device` for its remaining lifetime.
+/// Stream workers call this once at startup.
+void bind_thread_to_device(device_id_t device) noexcept;
+
+/// RAII: binds the calling thread to `device` for the scope's lifetime —
+/// host code declaring "this section stands in for a kernel on `device`".
+class ScopedDevice {
+ public:
+  explicit ScopedDevice(device_id_t device) noexcept;
+  ~ScopedDevice();
+
+  ScopedDevice(const ScopedDevice&) = delete;
+  ScopedDevice& operator=(const ScopedDevice&) = delete;
+
+ private:
+  device_id_t previous_;
+};
+
+/// RAII: marks the scope as an explicit inter-device transfer, during
+/// which touching both endpoint arenas is legal. Only PcieLink::transfer
+/// (and tests) should open one.
+class ScopedTransfer {
+ public:
+  ScopedTransfer() noexcept;
+  ~ScopedTransfer();
+
+  ScopedTransfer(const ScopedTransfer&) = delete;
+  ScopedTransfer& operator=(const ScopedTransfer&) = delete;
+};
+
+/// True while the calling thread is inside a ScopedTransfer.
+[[nodiscard]] bool in_transfer() noexcept;
+
+// --- violation accounting ---------------------------------------------
+
+/// Total ownership violations detected process-wide.
+[[nodiscard]] std::uint64_t violation_count() noexcept;
+void reset_violation_count() noexcept;
+
+/// Whether per-access checks were compiled in (FTLA_CHECK_OWNERSHIP).
+[[nodiscard]] constexpr bool checks_compiled() noexcept {
+#ifdef FTLA_CHECK_OWNERSHIP
+  return true;
+#else
+  return false;
+#endif
+}
+
+// --- access checks ----------------------------------------------------
+
+/// Core check: records a violation and throws FtlaError when the calling
+/// thread is bound to a device other than the owner of `p` (and no
+/// transfer is in flight). `what` names the access site for diagnostics.
+void check_access(const void* p, const char* what);
+
+/// Checks the memory a view aliases. No-op for empty views and, unless
+/// FTLA_CHECK_OWNERSHIP is defined, compiled out entirely.
+template <typename T>
+inline void check_view([[maybe_unused]] MatrixView<T> v,
+                       [[maybe_unused]] const char* what) {
+#ifdef FTLA_CHECK_OWNERSHIP
+  if (!v.empty()) check_access(v.data(), what);
+#endif
+}
+
+}  // namespace ftla::sim::ownership

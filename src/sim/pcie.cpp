@@ -1,25 +1,81 @@
 #include "sim/pcie.hpp"
 
+#include <sstream>
+#include <utility>
+
 #include "common/error.hpp"
+#include "sim/ownership.hpp"
 
 namespace ftla::sim {
+
+namespace {
+
+/// Endpoint integrity: a view handed to transfer() that aliases a
+/// registered arena must belong to the device the caller declared, or
+/// the simulated address-space separation is already broken.
+[[maybe_unused]] void check_endpoint(const void* p, device_id_t declared,
+                                     const char* which) {
+  const device_id_t owner = ownership::owner_of(p);
+  if (owner == ownership::kNoDevice || owner == declared) return;
+  std::ostringstream oss;
+  oss << "pcie transfer " << which << " endpoint declared on device " << declared
+      << " but aliases memory owned by device " << owner;
+  FTLA_CHECK(false, oss.str());
+}
+
+}  // namespace
 
 void PcieLink::transfer(ConstViewD src, ViewD dst, device_id_t from, device_id_t to) {
   FTLA_CHECK(src.rows() == dst.rows() && src.cols() == dst.cols(),
              "pcie transfer shape mismatch");
-  copy_view(src, dst);
+#ifdef FTLA_CHECK_OWNERSHIP
+  if (!src.empty()) check_endpoint(src.data(), from, "source");
+  if (!dst.empty()) check_endpoint(dst.data(), to, "destination");
+#endif
 
   TransferInfo info;
   info.from = from;
   info.to = to;
   info.bytes = static_cast<byte_size_t>(src.size()) * sizeof(double);
-  info.sequence = stats_.transfers;
 
-  ++stats_.transfers;
-  stats_.bytes += info.bytes;
-  stats_.modeled_seconds += modeled_transfer_seconds(info.bytes);
+  // Capture the hook and claim a sequence number under the lock; the
+  // copy and the hook run outside it so concurrent transfers (and hook
+  // installation) never serialize on the payload work.
+  FaultHook hook;
+  {
+    ftla::LockGuard lock(mutex_);
+    info.sequence = stats_.transfers;
+    ++stats_.transfers;
+    stats_.bytes += info.bytes;
+    stats_.modeled_seconds += modeled_transfer_seconds(info.bytes);
+    hook = hook_;
+  }
 
-  if (hook_) hook_(dst, info);
+  // The explicit transfer is the one legal way for bytes to cross device
+  // arenas; the scope legalizes touching both endpoints.
+  ownership::ScopedTransfer scope;
+  copy_view(src, dst);
+  if (hook) hook(dst, info);
+}
+
+void PcieLink::set_fault_hook(FaultHook hook) {
+  ftla::LockGuard lock(mutex_);
+  hook_ = std::move(hook);
+}
+
+void PcieLink::clear_fault_hook() {
+  ftla::LockGuard lock(mutex_);
+  hook_ = nullptr;
+}
+
+LinkStats PcieLink::stats() const {
+  ftla::LockGuard lock(mutex_);
+  return stats_;
+}
+
+void PcieLink::reset_stats() {
+  ftla::LockGuard lock(mutex_);
+  stats_ = LinkStats{};
 }
 
 }  // namespace ftla::sim

@@ -7,9 +7,15 @@
 /// (latency + bytes/bandwidth, matching a PCIe gen3 x16 link by default)
 /// and expose a fault hook invoked on the *received* bytes — soft errors
 /// on the bus corrupt what arrives, never what was sent (paper §V.3).
+///
+/// The link is shared by every device stream, so transfers run
+/// concurrently: LinkStats accumulation and fault-hook installation are
+/// guarded by a mutex (set_fault_hook/clear_fault_hook are safe against
+/// in-flight transfers — a transfer uses the hook captured at its start).
 
 #include <functional>
 
+#include "common/annotations.hpp"
 #include "common/types.hpp"
 #include "matrix/view.hpp"
 
@@ -36,20 +42,26 @@ struct LinkStats {
 class PcieLink {
  public:
   /// Called after the payload landed at the receiver; may corrupt it.
+  /// Runs inside the transfer scope of the ownership checker (it touches
+  /// the receiver's arena) and may execute on any transferring thread —
+  /// hooks must be thread-safe.
   using FaultHook = std::function<void(ViewD received, const TransferInfo&)>;
 
-  PcieLink(double latency_seconds = 5e-6, double bandwidth_bytes_per_s = 12.0e9)
+  explicit PcieLink(double latency_seconds = 5e-6,
+                    double bandwidth_bytes_per_s = 12.0e9)
       : latency_s_(latency_seconds), bandwidth_(bandwidth_bytes_per_s) {}
 
   /// Copies src (on device `from`) into dst (on device `to`), charges the
-  /// cost model, then runs the fault hook on dst.
+  /// cost model, then runs the fault hook on dst. Safe to call from
+  /// several streams concurrently (for distinct dst regions).
   void transfer(ConstViewD src, ViewD dst, device_id_t from, device_id_t to);
 
-  void set_fault_hook(FaultHook hook) { hook_ = std::move(hook); }
-  void clear_fault_hook() { hook_ = nullptr; }
+  void set_fault_hook(FaultHook hook);
+  void clear_fault_hook();
 
-  [[nodiscard]] const LinkStats& stats() const noexcept { return stats_; }
-  void reset_stats() noexcept { stats_ = LinkStats{}; }
+  /// Snapshot of the cumulative statistics.
+  [[nodiscard]] LinkStats stats() const;
+  void reset_stats();
 
   [[nodiscard]] double modeled_transfer_seconds(byte_size_t bytes) const noexcept {
     return latency_s_ + static_cast<double>(bytes) / bandwidth_;
@@ -58,8 +70,9 @@ class PcieLink {
  private:
   double latency_s_;
   double bandwidth_;
-  FaultHook hook_;
-  LinkStats stats_;
+  mutable ftla::Mutex mutex_;
+  FaultHook hook_ FTLA_GUARDED_BY(mutex_);
+  LinkStats stats_ FTLA_GUARDED_BY(mutex_);
 };
 
 }  // namespace ftla::sim

@@ -2,9 +2,11 @@
 
 #include <utility>
 
+#include "sim/ownership.hpp"
+
 namespace ftla::sim {
 
-Stream::Stream() {
+Stream::Stream(device_id_t device) : device_(device) {
   // Start the worker only after every synchronization member is
   // constructed (the thread touches mutex_/cv_task_ immediately).
   worker_ = std::thread([this] { worker_loop(); });
@@ -12,7 +14,7 @@ Stream::Stream() {
 
 Stream::~Stream() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    ftla::LockGuard lock(mutex_);
     stop_ = true;
   }
   cv_task_.notify_all();
@@ -21,28 +23,29 @@ Stream::~Stream() {
 
 void Stream::enqueue(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    ftla::LockGuard lock(mutex_);
     queue_.push_back(std::move(task));
   }
   cv_task_.notify_one();
 }
 
 void Stream::synchronize() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  cv_done_.wait(lock, [this] { return queue_.empty() && !busy_; });
-  if (pending_error_) {
-    std::exception_ptr e = std::exchange(pending_error_, nullptr);
-    lock.unlock();
-    std::rethrow_exception(e);
+  std::exception_ptr error;
+  {
+    ftla::LockGuard lock(mutex_);
+    while (!queue_.empty() || busy_) cv_done_.wait(mutex_);
+    error = std::exchange(pending_error_, nullptr);
   }
+  if (error) std::rethrow_exception(error);
 }
 
 void Stream::worker_loop() {
+  ownership::bind_thread_to_device(device_);
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_task_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      ftla::LockGuard lock(mutex_);
+      while (!stop_ && queue_.empty()) cv_task_.wait(mutex_);
       if (stop_ && queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -51,11 +54,11 @@ void Stream::worker_loop() {
     try {
       task();
     } catch (...) {
-      std::lock_guard<std::mutex> lock(mutex_);
+      ftla::LockGuard lock(mutex_);
       if (!pending_error_) pending_error_ = std::current_exception();
     }
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      ftla::LockGuard lock(mutex_);
       busy_ = false;
       if (queue_.empty()) cv_done_.notify_all();
     }

@@ -5,19 +5,27 @@
 /// in-order task queue — the analogue of a CUDA stream. Work submitted to
 /// different devices' streams runs concurrently; synchronize() is the
 /// cudaStreamSynchronize analogue.
+///
+/// The worker thread binds itself to the owning device (see
+/// sim/ownership.hpp), so under FTLA_CHECK_OWNERSHIP any task that
+/// touches another device's arena through a kernel entry point raises an
+/// ownership violation, surfaced at the next synchronize().
 
-#include <condition_variable>
 #include <deque>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
+
+#include "common/annotations.hpp"
+#include "common/types.hpp"
 
 namespace ftla::sim {
 
 class Stream {
  public:
-  Stream();
+  /// `device` is the id the worker thread binds to for ownership
+  /// checking; pass the default to leave the worker unbound.
+  explicit Stream(device_id_t device = -1);
   ~Stream();
 
   Stream(const Stream&) = delete;
@@ -37,17 +45,21 @@ class Stream {
     synchronize();
   }
 
+  /// Device this stream's worker is bound to (-1 when unbound).
+  [[nodiscard]] device_id_t device() const noexcept { return device_; }
+
  private:
   void worker_loop();
 
+  const device_id_t device_;
   std::thread worker_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable cv_task_;
-  std::condition_variable cv_done_;
-  std::exception_ptr pending_error_;
-  bool busy_ = false;
-  bool stop_ = false;
+  mutable ftla::Mutex mutex_;
+  ftla::CondVar cv_task_;
+  ftla::CondVar cv_done_;
+  std::deque<std::function<void()>> queue_ FTLA_GUARDED_BY(mutex_);
+  std::exception_ptr pending_error_ FTLA_GUARDED_BY(mutex_);
+  bool busy_ FTLA_GUARDED_BY(mutex_) = false;
+  bool stop_ FTLA_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace ftla::sim

@@ -83,7 +83,7 @@ TEST(Injector, ComputationFiresAtPostCompute) {
   EXPECT_NE(m(1, 2), before);
 
   ASSERT_EQ(inj.records().size(), 1u);
-  const auto& rec = inj.records().front();
+  const auto rec = inj.records().front();
   EXPECT_EQ(rec.where, (ElemCoord{1, 2}));
   EXPECT_EQ(rec.global, (ElemCoord{9, 6}));
   EXPECT_EQ(rec.original, before);

@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Runs clang-tidy over the project sources using the .clang-tidy at the
+# repo root and a compile_commands.json.
+#
+# Usage:
+#   tools/run_clang_tidy.sh [build-dir] [files...]
+#
+#   build-dir  directory containing compile_commands.json (default:
+#              build; configured automatically when missing)
+#   files...   restrict the run to these sources (default: every .cpp
+#              under src/). CI passes the changed files of a PR.
+#
+# Exits 0 with a notice when clang-tidy is not installed, so the script
+# is safe to call from environments that only carry gcc.
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+TIDY="${CLANG_TIDY:-clang-tidy}"
+if ! command -v "$TIDY" >/dev/null 2>&1; then
+  echo "run_clang_tidy: '$TIDY' not found; skipping (install clang-tidy or set CLANG_TIDY)" >&2
+  exit 0
+fi
+
+BUILD_DIR="${1:-build}"
+[ $# -gt 0 ] && shift
+
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  echo "run_clang_tidy: generating compile_commands.json in $BUILD_DIR" >&2
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+fi
+
+if [ $# -gt 0 ]; then
+  FILES=("$@")
+else
+  mapfile -t FILES < <(find src -name '*.cpp' | sort)
+fi
+
+# Keep only translation units the compilation database knows about
+# (changed-file lists from CI may include headers or deleted files).
+KNOWN=()
+for f in "${FILES[@]}"; do
+  case "$f" in
+    *.cpp) [ -f "$f" ] && KNOWN+=("$f") ;;
+  esac
+done
+
+if [ ${#KNOWN[@]} -eq 0 ]; then
+  echo "run_clang_tidy: no translation units to check" >&2
+  exit 0
+fi
+
+echo "run_clang_tidy: checking ${#KNOWN[@]} file(s)" >&2
+"$TIDY" -p "$BUILD_DIR" --quiet "${KNOWN[@]}"
