@@ -55,3 +55,19 @@ function(ftla_enable_thread_safety_analysis target)
       "'${CMAKE_CXX_COMPILER_ID}' does not implement -Wthread-safety, ignoring")
   endif()
 endfunction()
+
+# GCC static analyzer (-fanalyzer): interprocedural path-sensitive
+# checks (leaks, use-after-free, null derefs) at compile time. C++
+# support is still maturing in GCC, so this is an opt-in audit mode
+# (FTLA_GCC_ANALYZER=ON), not part of the default warning set: findings
+# are surfaced as warnings for human review, never -Werror.
+function(ftla_enable_gcc_analyzer)
+  if(CMAKE_CXX_COMPILER_ID STREQUAL "GNU")
+    add_compile_options(-fanalyzer)
+    message(STATUS "FTLA: GCC static analyzer enabled (-fanalyzer)")
+  else()
+    message(WARNING
+      "FTLA_GCC_ANALYZER requires GCC; "
+      "'${CMAKE_CXX_COMPILER_ID}' does not implement -fanalyzer, ignoring")
+  endif()
+endfunction()

@@ -1,0 +1,300 @@
+#include "analysis/coverage.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+#include <tuple>
+
+#include "model/mud.hpp"
+
+namespace ftla::analysis {
+
+namespace {
+
+using trace::BlockRange;
+using trace::CheckPoint;
+using trace::EventKind;
+using trace::RegionClass;
+using trace::TraceEvent;
+using trace::TransferCtx;
+
+/// Recovery and distribution traffic is outside the steady-state
+/// schedule the linter proves: scatter/gather bracket the run, and a
+/// retransfer is itself the *response* to a detected arrival fault (its
+/// payload is re-verified by the same receiver check that triggered it).
+bool taint_exempt(TransferCtx ctx) {
+  return ctx == TransferCtx::Scatter || ctx == TransferCtx::Gather ||
+         ctx == TransferCtx::Retransfer;
+}
+
+struct Window {
+  int device = trace::kHost;
+  index_t br = 0;
+  index_t bc = 0;
+  index_t iteration = -1;
+  FindingKind kind = FindingKind::UnverifiedWriteConsume;
+  fault::OpKind op = fault::OpKind::TMU;
+  bool expired = false;    ///< crossed an IterationEnd while open
+  bool converted = false;  ///< expired, then verified -> ContainmentExceeded
+};
+
+class Analyzer {
+ public:
+  explicit Analyzer(const trace::Trace& trace) : trace_(trace) {}
+
+  CoverageReport run() {
+    report_.meta = trace_.meta;
+    report_.events = trace_.events.size();
+    for (const TraceEvent& e : trace_.events) step(e);
+    finish();
+    return std::move(report_);
+  }
+
+ private:
+  void step(const TraceEvent& e) {
+    switch (e.kind) {
+      case EventKind::ComputeRead:
+        on_read(e);
+        break;
+      case EventKind::ComputeWrite:
+        if (e.rclass == RegionClass::Data) {
+          for (index_t br = e.region.br0; br < e.region.br1; ++br)
+            for (index_t bc = e.region.bc0; bc < e.region.bc1; ++bc)
+              write_taint_.insert({br, bc});
+        }
+        break;
+      case EventKind::TransferArrive:
+        on_arrive(e);
+        break;
+      case EventKind::LinkTransfer:
+        ++report_.link_transfers;
+        break;
+      case EventKind::Verify:
+        on_verify(e);
+        break;
+      case EventKind::IterationEnd:
+        for (Window& w : windows_) w.expired = true;
+        break;
+      default:
+        break;
+    }
+  }
+
+  void on_arrive(const TraceEvent& e) {
+    ++report_.transfer_arrivals;
+    if (e.rclass == RegionClass::Workspace) {
+      ++workspace_arrivals_;
+      return;
+    }
+    if (e.rclass != RegionClass::Data || taint_exempt(e.ctx)) return;
+    for (index_t br = e.region.br0; br < e.region.br1; ++br)
+      for (index_t bc = e.region.bc0; bc < e.region.bc1; ++bc)
+        arrival_taint_.insert({e.device, br, bc});
+  }
+
+  void on_read(const TraceEvent& e) {
+    if (e.rclass != RegionClass::Data) return;
+    if (model::mud(e.op, e.part) == model::Level::Zero) return;
+    for (index_t br = e.region.br0; br < e.region.br1; ++br) {
+      for (index_t bc = e.region.bc0; bc < e.region.bc1; ++bc) {
+        if (arrival_taint_.count({e.device, br, bc}) != 0) {
+          open_window(e, br, bc, FindingKind::UnverifiedTransferConsume);
+        } else if (write_taint_.count({br, bc}) != 0) {
+          open_window(e, br, bc, FindingKind::UnverifiedWriteConsume);
+        }
+      }
+    }
+  }
+
+  void open_window(const TraceEvent& e, index_t br, index_t bc,
+                   FindingKind kind) {
+    // One window per (consumer, block, iteration) is enough: the repeated
+    // reads TMU issues across the trailing columns share the fate of the
+    // first one.
+    auto key = std::make_tuple(e.device, br, bc, e.iteration);
+    if (!window_keys_.insert(key).second) return;
+    windows_.push_back(
+        {e.device, br, bc, e.iteration, kind, e.op, false, false});
+  }
+
+  void on_verify(const TraceEvent& e) {
+    bucket(e);
+    if (e.rclass != RegionClass::Data) return;
+    for (index_t br = e.region.br0; br < e.region.br1; ++br) {
+      for (index_t bc = e.region.bc0; bc < e.region.bc1; ++bc) {
+        arrival_taint_.erase({e.device, br, bc});
+        write_taint_.erase({br, bc});
+      }
+    }
+    // Close open windows at this device; expired ones were detected too
+    // late — containment already failed, keep them as findings.
+    for (Window& w : windows_) {
+      if (w.device != e.device || !e.region.contains(w.br, w.bc)) continue;
+      if (w.expired) {
+        if (!w.converted) {
+          w.kind = FindingKind::ContainmentExceeded;
+          w.converted = true;
+        }
+      } else {
+        window_keys_.erase(std::make_tuple(w.device, w.br, w.bc, w.iteration));
+        w.device = kClosed;
+      }
+    }
+    windows_.erase(std::remove_if(windows_.begin(), windows_.end(),
+                                  [](const Window& w) {
+                                    return w.device == kClosed;
+                                  }),
+                   windows_.end());
+  }
+
+  void bucket(const TraceEvent& e) {
+    const std::uint64_t blocks =
+        static_cast<std::uint64_t>(std::max<index_t>(e.region.blocks(), 0));
+    IterationChecksums& it = counts_[e.iteration];
+    it.iteration = e.iteration;
+    switch (e.check) {
+      case CheckPoint::BeforePD: it.pd_before += blocks; break;
+      case CheckPoint::AfterPD:
+      case CheckPoint::AfterPDBroadcast: it.pd_after += blocks; break;
+      case CheckPoint::BeforePU: it.pu_before += blocks; break;
+      case CheckPoint::AfterPU:
+      case CheckPoint::AfterPUBroadcast: it.pu_after += blocks; break;
+      case CheckPoint::BeforeTMU: it.tmu_before += blocks; break;
+      case CheckPoint::AfterTMU:
+      case CheckPoint::HeuristicTMU: it.tmu_after += blocks; break;
+      default: it.extension += blocks; break;
+    }
+  }
+
+  void finish() {
+    if (!trace_.complete ||
+        report_.link_transfers != report_.transfer_arrivals) {
+      std::ostringstream os;
+      if (!trace_.complete) {
+        os << "no RunEnd recorded";
+      } else {
+        os << report_.link_transfers << " link transfers vs "
+           << report_.transfer_arrivals << " annotated arrivals";
+      }
+      report_.findings.push_back({FindingKind::TraceIncomplete, trace::kHost,
+                                  -1, 0, 0, fault::OpKind::TMU, os.str()});
+    }
+
+    for (const Window& w : windows_) {
+      if (!w.expired) continue;  // never saw an IterationEnd: malformed tail
+      std::ostringstream os;
+      os << fault::to_string(w.op) << " consumed block (" << w.br << ','
+         << w.bc << ") on device " << w.device << " in iteration "
+         << w.iteration
+         << (w.kind == FindingKind::ContainmentExceeded
+                 ? "; verified only after the iteration boundary"
+                 : "; never verified there before the iteration ended");
+      report_.findings.push_back(
+          {w.kind, w.device, w.iteration, w.br, w.bc, w.op, os.str()});
+    }
+
+    final_state_findings();
+
+    if (workspace_arrivals_ > 0) {
+      std::ostringstream os;
+      os << workspace_arrivals_
+         << " workspace payload(s) crossed PCIe without checksum protection"
+            " (verified by recomputation at the receiver)";
+      report_.findings.push_back({FindingKind::UnprotectedTransfer,
+                                  trace::kHost, -1, 0, 0, fault::OpKind::TMU,
+                                  os.str()});
+    }
+
+    for (auto& [k, c] : counts_) {
+      if (k >= 0) report_.per_iteration.push_back(c);
+    }
+  }
+
+  void final_state_findings() {
+    const index_t b = trace_.meta.b;
+    const int ngpu = trace_.meta.ngpu > 0 ? trace_.meta.ngpu : 1;
+    const bool lower_only = trace_.meta.algorithm == "cholesky";
+    for (index_t bc = 0; bc < b; ++bc) {
+      const int owner = static_cast<int>(bc % ngpu);
+      for (index_t br = lower_only ? bc : 0; br < b; ++br) {
+        if (write_taint_.count({br, bc}) != 0) {
+          std::ostringstream os;
+          os << "final output block (" << br << ',' << bc
+             << ") written but never verified afterwards";
+          report_.findings.push_back({FindingKind::FinalWriteUnverified,
+                                      trace::kHost, -1, br, bc,
+                                      fault::OpKind::PD, os.str()});
+        }
+        if (arrival_taint_.count({owner, br, bc}) != 0) {
+          std::ostringstream os;
+          os << "owner copy of final block (" << br << ',' << bc
+             << ") on device " << owner
+             << " received over PCIe but never verified there";
+          report_.findings.push_back({FindingKind::FinalTransferUnverified,
+                                      owner, -1, br, bc,
+                                      fault::OpKind::BroadcastH2D, os.str()});
+        }
+      }
+    }
+  }
+
+  static constexpr int kClosed = -1000;
+
+  const trace::Trace& trace_;
+  CoverageReport report_;
+  std::set<std::tuple<int, index_t, index_t>> arrival_taint_;
+  std::set<std::pair<index_t, index_t>> write_taint_;
+  std::vector<Window> windows_;
+  std::set<std::tuple<int, index_t, index_t, index_t>> window_keys_;
+  std::map<index_t, IterationChecksums> counts_;
+  std::uint64_t workspace_arrivals_ = 0;
+};
+
+}  // namespace
+
+const char* to_string(FindingKind k) {
+  switch (k) {
+    case FindingKind::UnverifiedTransferConsume: return "unverified_transfer_consume";
+    case FindingKind::UnverifiedWriteConsume: return "unverified_write_consume";
+    case FindingKind::ContainmentExceeded: return "containment_exceeded";
+    case FindingKind::FinalWriteUnverified: return "final_write_unverified";
+    case FindingKind::FinalTransferUnverified: return "final_transfer_unverified";
+    case FindingKind::TraceIncomplete: return "trace_incomplete";
+    case FindingKind::UnprotectedTransfer: return "unprotected_transfer";
+  }
+  return "?";
+}
+
+bool is_informational(FindingKind k) {
+  return k == FindingKind::UnprotectedTransfer;
+}
+
+std::size_t CoverageReport::fatal_count() const {
+  std::size_t n = 0;
+  for (const Finding& f : findings) {
+    if (!is_informational(f.kind)) ++n;
+  }
+  return n;
+}
+
+IterationChecksums CoverageReport::totals() const {
+  IterationChecksums t;
+  t.iteration = -1;
+  for (const IterationChecksums& it : per_iteration) {
+    t.pd_before += it.pd_before;
+    t.pd_after += it.pd_after;
+    t.pu_before += it.pu_before;
+    t.pu_after += it.pu_after;
+    t.tmu_before += it.tmu_before;
+    t.tmu_after += it.tmu_after;
+    t.extension += it.extension;
+  }
+  return t;
+}
+
+CoverageReport analyze(const trace::Trace& trace) {
+  return Analyzer(trace).run();
+}
+
+}  // namespace ftla::analysis

@@ -1,0 +1,121 @@
+#pragma once
+
+/// \file coverage.hpp
+/// Trace-based protection-coverage analysis.
+///
+/// The analyzer replays one recorded schedule trace (src/trace) against
+/// the MUD propagation model (src/model/mud) and decides whether the
+/// configured checking scheme *proves* containment: every region that a
+/// fault could have corrupted must be dominated by a verification before
+/// the corruption can propagate beyond what the checksums repair.
+///
+/// The core abstraction is a *taint*: a block becomes tainted when an
+/// event could have corrupted it undetectably —
+///   - a PCIe payload arrives (communication fault at that copy), or
+///   - an operation writes it (computing/memory fault in the output).
+/// A verification covering the block clears the taint. When an operation
+/// *reads* a tainted block with MUD(op, part) >= 1, a corruption there
+/// would propagate into the operation's output — a *detection window*
+/// opens. The window is covered if a verification at the consuming
+/// device checks the block later in the same iteration; it becomes a
+/// violation when the iteration ends first (the one-iteration containment
+/// bound of the paper's recovery scheme no longer holds).
+///
+/// Reads with MUD = 0 (the TMU update part) never open windows: a
+/// corruption there stays a standalone element, which the full checksum
+/// layout corrects whenever it is eventually checked — deferred
+/// detection is exactly the paper's §VII.B heuristic.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "fault/fault.hpp"
+#include "trace/trace.hpp"
+
+namespace ftla::analysis {
+
+enum class FindingKind {
+  /// A transferred copy was consumed (MUD >= 1) at a device before any
+  /// verification of that copy there, and no verification covered it at
+  /// that device before the iteration ended.
+  UnverifiedTransferConsume,
+  /// An operation output was consumed before any verification of it, and
+  /// the detection window crossed the iteration boundary.
+  UnverifiedWriteConsume,
+  /// A window that expired at an iteration boundary *was* later checked:
+  /// detection happens, but beyond the one-iteration containment bound.
+  ContainmentExceeded,
+  /// A block of the final output still carries write taint at RunEnd —
+  /// the result leaves the library without its last write ever checked.
+  FinalWriteUnverified,
+  /// The owner's resident copy of a final-output block still carries
+  /// arrival taint at RunEnd (the gathered result reads that copy).
+  FinalTransferUnverified,
+  /// The trace itself is unusable: no RunEnd, or raw link transfers do
+  /// not match the annotated arrivals (instrumentation gap).
+  TraceIncomplete,
+  /// Informational: payloads of class Workspace crossed PCIe with no
+  /// checksum protection at all (e.g. the QR T factor, verified by
+  /// recomputation instead — paper §IV.B).
+  UnprotectedTransfer,
+};
+
+const char* to_string(FindingKind k);
+
+/// Informational findings never fail a lint run.
+[[nodiscard]] bool is_informational(FindingKind k);
+
+/// One coverage violation, located as precisely as the trace allows.
+struct Finding {
+  FindingKind kind = FindingKind::TraceIncomplete;
+  int device = trace::kHost;  ///< where the uncovered consume happened
+  index_t iteration = -1;     ///< iteration the window opened in (-1: run level)
+  index_t br = 0;             ///< block row
+  index_t bc = 0;             ///< block column
+  fault::OpKind op = fault::OpKind::TMU;  ///< consuming operation
+  std::string detail;
+};
+
+/// Verified blocks per iteration, bucketed by the Table VI columns the
+/// model (src/model/verification_count) predicts. `extension` collects
+/// the checks outside the table: frozen-panel re-verifies, periodic
+/// sweeps, transfer-checksum payload checks and CTF recomputation.
+struct IterationChecksums {
+  index_t iteration = 0;
+  std::uint64_t pd_before = 0;
+  std::uint64_t pd_after = 0;
+  std::uint64_t pu_before = 0;
+  std::uint64_t pu_after = 0;
+  std::uint64_t tmu_before = 0;
+  std::uint64_t tmu_after = 0;
+  std::uint64_t extension = 0;
+
+  /// Table VI blocks only (extension checks excluded).
+  [[nodiscard]] std::uint64_t total() const noexcept {
+    return pd_before + pd_after + pu_before + pu_after + tmu_before + tmu_after;
+  }
+};
+
+/// Result of analyzing one trace.
+struct CoverageReport {
+  trace::RunMeta meta;
+  std::vector<Finding> findings;
+  std::vector<IterationChecksums> per_iteration;  ///< sorted by iteration
+  std::uint64_t events = 0;
+  std::uint64_t link_transfers = 0;
+  std::uint64_t transfer_arrivals = 0;
+
+  [[nodiscard]] std::size_t fatal_count() const;
+  /// No non-informational findings.
+  [[nodiscard]] bool clean() const { return fatal_count() == 0; }
+  /// Bucket sums over all iterations.
+  [[nodiscard]] IterationChecksums totals() const;
+};
+
+/// Replays `trace` and returns every coverage violation. Pure function
+/// of the trace; never throws on any event sequence a recorder can emit.
+CoverageReport analyze(const trace::Trace& trace);
+
+}  // namespace ftla::analysis

@@ -1,0 +1,76 @@
+#pragma once
+
+/// \file lint.hpp
+/// Schedule linter: dry-runs a decomposition with the trace recorder
+/// attached, analyzes the trace, and judges the result against the known
+/// protection profile of the configured checking scheme.
+///
+/// The prior-op and post-op schemes have *documented* PCIe coverage gaps
+/// (paper §V / Table I: neither verifies the copy that actually crossed
+/// the bus at the device that consumes it). The linter treats those as
+/// expected findings — they must appear, proving the analyzer sees the
+/// gap. The paper's new scheme must come out clean on every algorithm
+/// and device count; anything else fails the lint.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "analysis/coverage.hpp"
+#include "core/options.hpp"
+#include "core/stats.hpp"
+
+namespace ftla::analysis {
+
+/// One lint configuration: a zero-fault dry run of one decomposition.
+struct LintCase {
+  std::string algorithm = "cholesky";  ///< "cholesky" | "lu" | "qr"
+  core::SchemeKind scheme = core::SchemeKind::NewScheme;
+  int ngpu = 1;
+  index_t n = 192;
+  index_t nb = 32;
+  core::ChecksumKind checksum = core::ChecksumKind::Full;
+  std::uint64_t seed = 20260806;
+};
+
+/// The protection profile the linter expects for one (algorithm, scheme).
+struct LintExpectation {
+  /// Known gaps that MUST be reported (otherwise the analyzer is blind).
+  std::vector<FindingKind> required;
+  /// Finding kinds tolerated beyond `required` (legacy schemes only).
+  std::vector<FindingKind> allowed;
+};
+
+/// Table of known gaps. Legacy schemes tolerate any uncovered-window /
+/// final-state finding; ContainmentExceeded and TraceIncomplete are
+/// never acceptable. NewScheme allows nothing.
+LintExpectation expected_gaps(const std::string& algorithm,
+                              core::SchemeKind scheme);
+
+/// Verdict for one case.
+struct LintOutcome {
+  LintCase config;
+  CoverageReport report;
+  core::RunStatus run_status = core::RunStatus::Success;
+  std::vector<FindingKind> missing;   ///< required kinds that did not appear
+  std::vector<Finding> unexpected;    ///< fatal findings outside the profile
+  bool pass = false;
+};
+
+/// Runs one dry run and judges it. Throws FtlaError on an invalid
+/// configuration (nb must divide n, ngpu >= 1, known algorithm).
+LintOutcome lint_case(const LintCase& c);
+
+/// The acceptance matrix: all three decompositions x all three schemes
+/// x each device count.
+std::vector<LintCase> default_matrix(index_t n, index_t nb,
+                                     const std::vector<int>& ngpus = {1, 2, 4});
+
+[[nodiscard]] bool all_pass(const std::vector<LintOutcome>& outcomes);
+
+/// JSON violation report: one object with a `cases` array (findings
+/// aggregated per kind, first examples inlined) and an overall verdict.
+void write_report(const std::vector<LintOutcome>& outcomes, std::ostream& os);
+
+}  // namespace ftla::analysis

@@ -1,6 +1,7 @@
 #include "core/dist_matrix.hpp"
 
 #include "common/error.hpp"
+#include "trace/recorder.hpp"
 
 namespace ftla::core {
 
@@ -61,6 +62,10 @@ void DistMatrix::scatter(ConstViewD host) {
     auto& shard = shards_[static_cast<std::size_t>(g)];
     sys_.h2d(host.block(0, bc * nb_, n_, nb_),
              shard.data->block(0, local_col(bc), n_, nb_), g);
+    if (trace_ != nullptr) {
+      trace_->transfer_arrive(trace::TransferCtx::Scatter, trace::kHost, g,
+                              {0, b_, bc, bc + 1});
+    }
   }
 }
 
@@ -71,6 +76,10 @@ void DistMatrix::gather(ViewD host) {
     auto& shard = shards_[static_cast<std::size_t>(g)];
     sys_.d2h(shard.data->block(0, local_col(bc), n_, nb_).as_const(),
              host.block(0, bc * nb_, n_, nb_), g);
+    if (trace_ != nullptr) {
+      trace_->transfer_arrive(trace::TransferCtx::Gather, g, trace::kHost,
+                              {0, b_, bc, bc + 1});
+    }
   }
 }
 

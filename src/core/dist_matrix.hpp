@@ -79,6 +79,11 @@ class DistMatrix {
   /// Gathers the distributed matrix back to a host view over PCIe.
   void gather(ViewD host);
 
+  /// Installs a schedule-trace recorder (nullptr disables). Scatter and
+  /// gather arrivals are recorded with their own TransferCtx so the
+  /// analyzer can tell setup/teardown traffic from in-schedule traffic.
+  void set_trace(trace::TraceRecorder* t) noexcept { trace_ = t; }
+
   /// Encodes every maintained checksum from the current contents,
   /// running on all GPUs in parallel. `lower_only` restricts encoding to
   /// blocks with br >= bc (Cholesky touches only the lower triangle).
@@ -106,6 +111,7 @@ class DistMatrix {
   SingleSideDim ss_dim_ = SingleSideDim::Col;
   sim::BlockCyclic1D dist_;
   std::vector<Shard> shards_;
+  trace::TraceRecorder* trace_ = nullptr;
 };
 
 }  // namespace ftla::core

@@ -9,6 +9,7 @@
 #include "core/panel_ft.hpp"
 #include "core/recovery.hpp"
 #include "lapack/lapack.hpp"
+#include "trace/recorder.hpp"
 
 namespace ftla::core {
 
@@ -21,6 +22,10 @@ using blas::Uplo;
 using fault::OpKind;
 using fault::OpSite;
 using fault::Part;
+using trace::BlockRange;
+using trace::CheckPoint;
+using trace::RegionClass;
+using trace::TransferCtx;
 
 /// Fault-tolerant lower Cholesky on the simulated heterogeneous system
 /// (paper Table II, full-checksum column; Fig 2 for the transposed-panel
@@ -31,6 +36,7 @@ class CholeskyDriver {
       : opts_(opts),
         policy_(opts.policy()),
         inj_(inj),
+        trc_(opts.trace),
         n_(a.rows()),
         nb_(opts.nb),
         b_(a.rows() / opts.nb),
@@ -38,6 +44,7 @@ class CholeskyDriver {
         a_dist_(sys_, n_, nb_, opts.checksum),
         host_in_(a) {
     FTLA_CHECK(a.rows() == a.cols(), "ft_cholesky: matrix must be square");
+    a_dist_.set_trace(trc_);
     tol_.slack = opts.tol_slack;
     tol_.context = static_cast<double>(n_);
 
@@ -62,6 +69,15 @@ class CholeskyDriver {
     FtOutput out;
     out.factors = MatD(n_, n_);
 
+    if (trc_) {
+      trc_->begin_run({"cholesky", std::string(to_string(opts_.scheme)),
+                       std::string(to_string(opts_.checksum)), sys_.ngpu(), n_, nb_,
+                       b_});
+      sys_.link().set_trace_hook([this](const sim::TransferInfo& info) {
+        trc_->link_transfer(info.from, info.to, info.bytes);
+      });
+    }
+
     a_dist_.scatter(host_in_);
     if (has_cs()) {
       ChargeTimer t(&stats_.encode_seconds);
@@ -71,11 +87,17 @@ class CholeskyDriver {
     }
 
     for (index_t k = 0; k < b_ && !fatal(); ++k) {
+      if (trc_) trc_->begin_iteration(k);
       iteration(k);
+      if (trc_) trc_->end_iteration(k);
     }
 
     merge_gpu_stats();
     a_dist_.gather(out.factors.view());
+    if (trc_) {
+      trc_->end_run();
+      sys_.link().clear_trace_hook();
+    }
     stats_.comm_modeled_seconds = sys_.link().stats().modeled_seconds;
     stats_.total_seconds = total.seconds();
     out.stats = stats_;
@@ -109,6 +131,17 @@ class CholeskyDriver {
     }
   }
 
+  /// Stages the owner's resident diagonal block (and checksum) at the
+  /// top of its panel workspace, where PU and the broadcast read it.
+  void stage_diag(index_t k, int own) {
+    auto& pan = *panel_d_[static_cast<std::size_t>(own)];
+    copy_view(a_dist_.block(k, k).as_const(), pan.block(0, 0, nb_, nb_));
+    if (has_cs()) {
+      copy_view(a_dist_.col_cs(k, k).as_const(),
+                panel_cs_d_[static_cast<std::size_t>(own)]->block(0, 0, 2, nb_));
+    }
+  }
+
   void iteration(index_t k) {
     const int own = a_dist_.owner(k);
     const OpSite pd{k, OpKind::PD};
@@ -119,6 +152,14 @@ class CholeskyDriver {
     ViewD dcs = has_cs() ? diag_cs_h_->view() : ViewD{};
     sys_.d2h(a_dist_.block(k, k).as_const(), d, own);
     if (has_cs()) sys_.d2h(a_dist_.col_cs(k, k).as_const(), dcs, own);
+    if (trc_) {
+      trc_->transfer_arrive(TransferCtx::Fetch, own, trace::kHost,
+                            BlockRange::single(k, k));
+      if (has_cs()) {
+        trc_->transfer_arrive(TransferCtx::Fetch, own, trace::kHost,
+                              BlockRange::single(k, k), RegionClass::Checksum);
+      }
+    }
     if (inj_) inj_->post_transfer(pd, -1, d, diag_org, {k, k});
 
     // -- pre-PD check (heuristic deferred TMU check included) ----------
@@ -130,11 +171,16 @@ class CholeskyDriver {
       if (has_rcs()) {
         drcs = MatD(nb_, 2);
         sys_.d2h(a_dist_.row_cs(k, k).as_const(), drcs.view(), own);
+        if (trc_) {
+          trc_->transfer_arrive(TransferCtx::Fetch, own, trace::kHost,
+                                BlockRange::single(k, k), RegionClass::Checksum);
+        }
       }
       auto rc = repair_ctx(stats_);
       const auto outcome =
           verify_and_repair(d, dcs, has_rcs() ? drcs.view() : ViewD{}, rc);
       ++stats_.verifications_pd_before;
+      if (trc_) trc_->verify(CheckPoint::BeforePD, trace::kHost, BlockRange::single(k, k));
       if (outcome == RepairOutcome::Uncorrectable) {
         fail(RunStatus::NeedCompleteRestart);
         return;
@@ -161,6 +207,10 @@ class CholeskyDriver {
         inj_->pre_compute(pd, Part::Update, d, diag_org, {k, k});
         inj_->pre_compute(pd, Part::Reference, d, diag_org, {k, k});
       }
+      if (trc_) {
+        trc_->compute_read(OpKind::PD, Part::Reference, trace::kHost,
+                           BlockRange::single(k, k));
+      }
       index_t info;
       if (has_cs()) {
         info = chol_diag_ft(d, dcs);
@@ -171,6 +221,7 @@ class CholeskyDriver {
         fail(RunStatus::NumericalFailure);
         return;
       }
+      if (trc_) trc_->compute_write(OpKind::PD, trace::kHost, BlockRange::single(k, k));
       if (inj_) inj_->post_compute(pd, d, diag_org, {k, k});
 
       if ((policy_.check_after_pd || policy_.check_after_pd_broadcast) && has_cs()) {
@@ -181,6 +232,7 @@ class CholeskyDriver {
         const double mis = chol_diag_verify(d.as_const(), dcs.as_const());
         ++stats_.verifications_pd_after;
         ++stats_.blocks_verified;
+        if (trc_) trc_->verify(CheckPoint::AfterPD, trace::kHost, BlockRange::single(k, k));
         if (mis > panel_threshold()) {
           ++stats_.errors_detected;
           continue;  // local restart
@@ -192,17 +244,62 @@ class CholeskyDriver {
     // -- send the factored diagonal block to the owner ------------------
     sys_.h2d(d.as_const(), a_dist_.block(k, k), own);
     if (has_cs()) sys_.h2d(dcs.as_const(), a_dist_.col_cs(k, k), own);
+    if (trc_) {
+      trc_->transfer_arrive(TransferCtx::WritebackH2D, trace::kHost, own,
+                            BlockRange::single(k, k));
+      if (has_cs()) {
+        trc_->transfer_arrive(TransferCtx::WritebackH2D, trace::kHost, own,
+                              BlockRange::single(k, k), RegionClass::Checksum);
+      }
+    }
     if (inj_) {
       inj_->post_transfer(OpSite{k, OpKind::BroadcastH2D}, own, a_dist_.block(k, k),
                           diag_org, {k, k});
     }
     // The owner also stages it at the top of its panel workspace.
-    {
-      auto& pan = *panel_d_[static_cast<std::size_t>(own)];
-      copy_view(a_dist_.block(k, k).as_const(), pan.block(0, 0, nb_, nb_));
-      if (has_cs()) {
-        copy_view(a_dist_.col_cs(k, k).as_const(),
-                  panel_cs_d_[static_cast<std::size_t>(own)]->block(0, 0, 2, nb_));
+    stage_diag(k, own);
+
+    // Receiver-side check of the diagonal writeback (§VII.C applies to
+    // every receiver, and the owner is one): the pre-transfer CPU
+    // verification cannot see PCIe corruption of the payload that just
+    // landed in the resident copy, and at the last iteration no
+    // post-broadcast panel check follows that would catch it either.
+    if (policy_.check_after_pd_broadcast && has_cs()) {
+      ChargeTimer t(&stats_.verify_seconds);
+      double mis = chol_diag_verify(a_dist_.block(k, k).as_const(),
+                                    a_dist_.col_cs(k, k).as_const());
+      ++stats_.verifications_pd_after;
+      ++stats_.blocks_verified;
+      if (trc_) trc_->verify(CheckPoint::AfterPDBroadcast, own, BlockRange::single(k, k));
+      if (mis > panel_threshold()) {
+        ++stats_.errors_detected;
+        ++stats_.comm_errors_corrected;
+        {
+          // The CPU copy passed its post-PD check; under the single-fault
+          // assumption it is clean — re-transfer and re-stage.
+          ChargeTimer rt(&stats_.recovery_seconds);
+          sys_.h2d(d.as_const(), a_dist_.block(k, k), own);
+          sys_.h2d(dcs.as_const(), a_dist_.col_cs(k, k), own);
+          if (trc_) {
+            trc_->transfer_arrive(TransferCtx::Retransfer, trace::kHost, own,
+                                  BlockRange::single(k, k));
+            trc_->transfer_arrive(TransferCtx::Retransfer, trace::kHost, own,
+                                  BlockRange::single(k, k), RegionClass::Checksum);
+            trc_->correct(own, BlockRange::single(k, k));
+          }
+          stage_diag(k, own);
+        }
+        mis = chol_diag_verify(a_dist_.block(k, k).as_const(),
+                               a_dist_.col_cs(k, k).as_const());
+        ++stats_.verifications_pd_after;
+        ++stats_.blocks_verified;
+        if (trc_) {
+          trc_->verify(CheckPoint::AfterPDBroadcast, own, BlockRange::single(k, k));
+        }
+        if (mis > panel_threshold()) {
+          fail(RunStatus::NeedCompleteRestart);
+          return;
+        }
       }
     }
 
@@ -242,6 +339,7 @@ class CholeskyDriver {
               verify_and_repair(a_dist_.block(i, j), a_dist_.col_cs(i, j),
                                 has_rcs() ? a_dist_.row_cs(i, j) : ViewD{}, rc);
           ++st.verifications_tmu_after;
+          if (trc_) trc_->verify(CheckPoint::PeriodicSweep, g, BlockRange::single(i, j));
           if (outcome == RepairOutcome::Uncorrectable) failed = true;
         }
       }
@@ -279,6 +377,7 @@ class CholeskyDriver {
             a_dist_.block(i, k), a_dist_.col_cs(i, k),
             has_rcs() ? a_dist_.row_cs(i, k) : ViewD{}, rc);
         ++stats_.verifications_pu_before;
+        if (trc_) trc_->verify(CheckPoint::BeforePU, own, BlockRange::single(i, k));
         if (outcome == RepairOutcome::Uncorrectable) {
           fail(RunStatus::NeedCompleteRestart);
           return false;
@@ -308,6 +407,10 @@ class CholeskyDriver {
         inj_->pre_compute(pu, Part::Update, a21, org, {k + 1, k});
       }
 
+      if (trc_) {
+        trc_->compute_read(OpKind::PU, Part::Reference, own, BlockRange::single(k, k));
+        trc_->compute_read(OpKind::PU, Part::Update, own, {k + 1, b_, k, k + 1});
+      }
       blas::trsm(Side::Right, Uplo::Lower, Trans::Trans, Diag::NonUnit, 1.0, l11, a21);
       if (inj_) inj_->restore_onchip(pu);
       if (has_cs()) {
@@ -315,6 +418,7 @@ class CholeskyDriver {
         // c(L21) = c(A21)·L11⁻ᵀ — same solve as the data.
         blas::trsm(Side::Right, Uplo::Lower, Trans::Trans, Diag::NonUnit, 1.0, l11, cs21);
       }
+      if (trc_) trc_->compute_write(OpKind::PU, own, {k + 1, b_, k, k + 1});
       if (inj_) inj_->post_compute(pu, a21, org, {k + 1, k});
 
       // Post-PU check on the owner (post-op scheme checks here; the new
@@ -327,6 +431,7 @@ class CholeskyDriver {
           const auto outcome = verify_and_repair(a_dist_.block(i, k),
                                                  a_dist_.col_cs(i, k), ViewD{}, rc);
           ++stats_.verifications_pu_after;
+          if (trc_) trc_->verify(CheckPoint::AfterPU, own, BlockRange::single(i, k));
           if (outcome == RepairOutcome::Uncorrectable) restart = true;
         }
         if (restart) continue;
@@ -364,6 +469,15 @@ class CholeskyDriver {
                        .as_const(),
                    own, bcast_cs_d_[static_cast<std::size_t>(g)]->block(0, 0, 2 * (nblk + 1), nb_),
                    g);
+        }
+        if (trc_) {
+          trc_->transfer_arrive(TransferCtx::BroadcastD2D, own, g, {k, b_, k, k + 1});
+          if (has_cs()) {
+            trc_->transfer_arrive(TransferCtx::BroadcastD2D, own, g, {k, b_, k, k + 1},
+                                  RegionClass::Checksum);
+            trc_->transfer_arrive(TransferCtx::BroadcastD2D, own, g, {k, b_, k, k + 1},
+                                  RegionClass::Checksum);
+          }
         }
         if (inj_) {
           inj_->post_transfer(bcd, g, pan.block(0, 0, mp + nb_, nb_),
@@ -407,6 +521,7 @@ class CholeskyDriver {
                                           mcs.block(0, 0, 2, nb_).as_const());
       ++st.verifications_pu_after;
       ++st.blocks_verified;
+      if (trc_) trc_->verify(CheckPoint::AfterPUBroadcast, g, BlockRange::single(k, k));
       if (mis > panel_threshold()) f = 2;
       // Below-diagonal blocks: the maintained c(L21) covers the stored
       // content exactly — verify and δ-repair in place.
@@ -414,6 +529,12 @@ class CholeskyDriver {
         const auto outcome = verify_and_repair(pan.block(i * nb_, 0, nb_, nb_),
                                                mcs.block(2 * i, 0, 2, nb_), ViewD{}, rc);
         ++st.verifications_pu_after;
+        if (trc_) {
+          trc_->verify(CheckPoint::AfterPUBroadcast, g, BlockRange::single(k + i, k));
+          if (outcome == RepairOutcome::Corrected) {
+            trc_->correct(g, BlockRange::single(k + i, k));
+          }
+        }
         if (outcome == RepairOutcome::Corrected) f = std::max(f, 1);
         if (outcome == RepairOutcome::Uncorrectable) f = 2;
       }
@@ -449,6 +570,13 @@ class CholeskyDriver {
                    own,
                    panel_cs_d_[static_cast<std::size_t>(g)]->block(0, 0, 2 * nblk_panel, nb_),
                    g);
+          if (trc_) {
+            trc_->transfer_arrive(TransferCtx::Retransfer, own, g,
+                                  {k, k + nblk_panel, k, k + 1});
+            trc_->transfer_arrive(TransferCtx::Retransfer, own, g,
+                                  {k, k + nblk_panel, k, k + 1}, RegionClass::Checksum);
+            trc_->correct(g, {k, k + nblk_panel, k, k + 1});
+          }
         } else {
           bad = true;
         }
@@ -499,9 +627,18 @@ class CholeskyDriver {
             verify_and_repair(pan.block((i - k) * nb_, 0, nb_, nb_),
                               pan_cs.block(2 * (i - k), 0, 2, nb_), ViewD{}, rc);
             ++st.verifications_tmu_before;
+            if (trc_) {
+              trc_->verify(CheckPoint::BeforeTMU, g, BlockRange::single(i, j));
+              trc_->verify(CheckPoint::BeforeTMU, g, BlockRange::single(i, k));
+            }
           }
           if (inj_) inj_->pre_compute(tmu, Part::Update, c, org_c, {i, j});
 
+          if (trc_) {
+            trc_->compute_read(OpKind::TMU, Part::Reference, g, BlockRange::single(i, k));
+            trc_->compute_read(OpKind::TMU, Part::Reference, g, BlockRange::single(j, k));
+            trc_->compute_read(OpKind::TMU, Part::Update, g, BlockRange::single(i, j));
+          }
           blas::gemm_seq(Trans::NoTrans, Trans::Trans, -1.0, li, lj, 1.0, c);
           if (inj_) {
             if (g == ref_gpu) {
@@ -523,6 +660,7 @@ class CholeskyDriver {
                              a_dist_.row_cs(i, j));
             }
           }
+          if (trc_) trc_->compute_write(OpKind::TMU, g, BlockRange::single(i, j));
           if (inj_) inj_->post_compute(tmu, c, org_c, {i, j});
 
           if (policy_.check_after_tmu && has_cs()) {
@@ -532,6 +670,7 @@ class CholeskyDriver {
                 verify_and_repair(c, a_dist_.col_cs(i, j),
                                   has_rcs() ? a_dist_.row_cs(i, j) : ViewD{}, rc);
             ++st.verifications_tmu_after;
+            if (trc_) trc_->verify(CheckPoint::AfterTMU, g, BlockRange::single(i, j));
             if (outcome == RepairOutcome::Uncorrectable) failed = true;
           }
         }
@@ -562,6 +701,7 @@ class CholeskyDriver {
             opts_.encoder);
         ++st.verifications_tmu_after;
         ++st.blocks_verified;
+        if (trc_) trc_->verify(CheckPoint::HeuristicTMU, g, BlockRange::single(m, k));
         if (res.clean()) continue;
         ++st.errors_detected;
         const auto diag = checksum::diagnose_cols(res.col_deltas, nb_);
@@ -601,6 +741,7 @@ class CholeskyDriver {
   const FtOptions opts_;
   const SchemePolicy policy_;
   fault::FaultInjector* inj_;
+  trace::TraceRecorder* trc_;
   index_t n_, nb_, b_;
   sim::HeterogeneousSystem sys_;
   DistMatrix a_dist_;

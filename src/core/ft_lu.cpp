@@ -10,6 +10,7 @@
 #include "core/panel_ft.hpp"
 #include "core/recovery.hpp"
 #include "lapack/lapack.hpp"
+#include "trace/recorder.hpp"
 
 namespace ftla::core {
 
@@ -22,6 +23,10 @@ using blas::Uplo;
 using fault::OpKind;
 using fault::OpSite;
 using fault::Part;
+using trace::BlockRange;
+using trace::CheckPoint;
+using trace::RegionClass;
+using trace::TransferCtx;
 
 /// One fault-tolerant LU run on the simulated heterogeneous system.
 class LuDriver {
@@ -30,6 +35,7 @@ class LuDriver {
       : opts_(opts),
         policy_(opts.policy()),
         inj_(inj),
+        trc_(opts.trace),
         n_(a.rows()),
         nb_(opts.nb),
         b_(a.rows() / opts.nb),
@@ -37,6 +43,7 @@ class LuDriver {
         a_dist_(sys_, n_, nb_, opts.checksum),
         host_in_(a) {
     FTLA_CHECK(a.rows() == a.cols(), "ft_lu: matrix must be square");
+    a_dist_.set_trace(trc_);
     tol_.slack = opts.tol_slack;
     tol_.context = static_cast<double>(n_);
 
@@ -63,6 +70,15 @@ class LuDriver {
     FtOutput out;
     out.factors = MatD(n_, n_);
 
+    if (trc_) {
+      trc_->begin_run({"lu", std::string(to_string(opts_.scheme)),
+                       std::string(to_string(opts_.checksum)), sys_.ngpu(), n_, nb_,
+                       b_});
+      sys_.link().set_trace_hook([this](const sim::TransferInfo& info) {
+        trc_->link_transfer(info.from, info.to, info.bytes);
+      });
+    }
+
     a_dist_.scatter(host_in_);
     if (has_cs()) {
       ChargeTimer t(&stats_.encode_seconds);
@@ -70,11 +86,17 @@ class LuDriver {
     }
 
     for (index_t k = 0; k < b_ && !fatal(); ++k) {
+      if (trc_) trc_->begin_iteration(k);
       iteration(k);
+      if (trc_) trc_->end_iteration(k);
     }
 
     merge_gpu_stats();
     a_dist_.gather(out.factors.view());
+    if (trc_) {
+      trc_->end_run();
+      sys_.link().clear_trace_hook();
+    }
     stats_.comm_modeled_seconds = sys_.link().stats().modeled_seconds;
     stats_.total_seconds = total.seconds();
     out.stats = stats_;
@@ -126,6 +148,17 @@ class LuDriver {
     sys_.d2h(a_dist_.col_panel(k, k).as_const(), ph, own);
     if (has_cs()) sys_.d2h(a_dist_.col_cs_panel(k, k).as_const(), pcs, own);
     if (has_rcs()) sys_.d2h(a_dist_.row_cs_panel(k, k).as_const(), prcs, own);
+    if (trc_) {
+      trc_->transfer_arrive(TransferCtx::Fetch, own, trace::kHost, {k, b_, k, k + 1});
+      if (has_cs()) {
+        trc_->transfer_arrive(TransferCtx::Fetch, own, trace::kHost, {k, b_, k, k + 1},
+                              RegionClass::Checksum);
+      }
+      if (has_rcs()) {
+        trc_->transfer_arrive(TransferCtx::Fetch, own, trace::kHost, {k, b_, k, k + 1},
+                              RegionClass::Checksum);
+      }
+    }
     if (inj_) inj_->post_transfer(pd, -1, ph, pan_org, {k, k});
 
     // Frozen U blocks of column k (rows above the panel) froze with valid
@@ -140,6 +173,7 @@ class LuDriver {
         const auto outcome =
             verify_and_repair(a_dist_.block(i, k), ViewD{}, a_dist_.row_cs(i, k), rc);
         ++stats_.verifications_pd_before;
+        if (trc_) trc_->verify(CheckPoint::FrozenPanel, own, BlockRange::single(i, k));
         if (outcome == RepairOutcome::Uncorrectable) {
           fail(RunStatus::NeedCompleteRestart);
           return;
@@ -160,6 +194,9 @@ class LuDriver {
             verify_and_repair(blk, pcs.block(2 * i, 0, 2, nb_),
                               has_rcs() ? prcs.block(i * nb_, 0, nb_, 2) : ViewD{}, rc);
         ++stats_.verifications_pd_before;
+        if (trc_) {
+          trc_->verify(CheckPoint::BeforePD, trace::kHost, BlockRange::single(br, k));
+        }
         if (outcome == RepairOutcome::Uncorrectable) {
           fail(RunStatus::NeedCompleteRestart);
           return;
@@ -194,6 +231,10 @@ class LuDriver {
         inj_->pre_compute(pd, Part::Update, ph, pan_org, {k, k});
         inj_->pre_compute(pd, Part::Reference, ph, pan_org, {k, k});
       }
+      if (trc_) {
+        trc_->compute_read(OpKind::PD, Part::Reference, trace::kHost,
+                           {k, b_, k, k + 1});
+      }
       index_t info;
       if (has_cs()) {
         info = lu_panel_ft(ph, nb_, pcs);
@@ -204,6 +245,7 @@ class LuDriver {
         fail(RunStatus::NumericalFailure);
         return;
       }
+      if (trc_) trc_->compute_write(OpKind::PD, trace::kHost, {k, b_, k, k + 1});
       if (inj_) inj_->post_compute(pd, ph, pan_org, {k, k});
 
       // CPU-side post-PD check (post-op scheme; the new scheme defers
@@ -213,6 +255,7 @@ class LuDriver {
         const double mis = lu_panel_verify(ph.as_const(), nb_, pcs.as_const(), opts_.encoder);
         stats_.verifications_pd_after += static_cast<std::uint64_t>(nblk);
         stats_.blocks_verified += static_cast<std::uint64_t>(nblk);
+        if (trc_) trc_->verify(CheckPoint::AfterPD, trace::kHost, {k, b_, k, k + 1});
         if (mis > panel_threshold()) {
           ++stats_.errors_detected;
           continue;  // local restart
@@ -241,6 +284,16 @@ class LuDriver {
                    panel_cs_d_[static_cast<std::size_t>(g)]->block(0, 0, 2 * nblk, nb_), g);
           sys_.h2d(bcs.as_const(),
                    bcast_cs_d_[static_cast<std::size_t>(g)]->block(0, 0, 2 * nblk, nb_), g);
+        }
+        if (trc_) {
+          trc_->transfer_arrive(TransferCtx::BroadcastH2D, trace::kHost, g,
+                                {k, b_, k, k + 1});
+          if (has_cs()) {
+            trc_->transfer_arrive(TransferCtx::BroadcastH2D, trace::kHost, g,
+                                  {k, b_, k, k + 1}, RegionClass::Checksum);
+            trc_->transfer_arrive(TransferCtx::BroadcastH2D, trace::kHost, g,
+                                  {k, b_, k, k + 1}, RegionClass::Checksum);
+          }
         }
         if (inj_) {
           inj_->post_transfer(bch, g,
@@ -306,6 +359,7 @@ class LuDriver {
               verify_and_repair(a_dist_.block(i, j), a_dist_.col_cs(i, j),
                                 has_rcs() ? a_dist_.row_cs(i, j) : ViewD{}, rc);
           ++st.verifications_tmu_after;
+          if (trc_) trc_->verify(CheckPoint::PeriodicSweep, g, BlockRange::single(i, j));
           if (outcome == RepairOutcome::Uncorrectable) failed = true;
         }
       }
@@ -335,6 +389,12 @@ class LuDriver {
         const auto outcome = verify_and_repair(pan.block(i * nb_, 0, nb_, nb_),
                                                bcs.block(2 * i, 0, 2, nb_), ViewD{}, rc);
         st.verifications_pd_after += 1;
+        if (trc_) {
+          trc_->verify(CheckPoint::BroadcastPayload, g, BlockRange::single(k + i, k));
+          if (outcome == RepairOutcome::Corrected) {
+            trc_->correct(g, BlockRange::single(k + i, k));
+          }
+        }
         if (outcome == RepairOutcome::Corrected) f = std::max(f, 1);
         if (outcome == RepairOutcome::Uncorrectable) f = 2;
       }
@@ -347,6 +407,7 @@ class LuDriver {
           opts_.encoder);
       st.verifications_pd_after += static_cast<std::uint64_t>(nblk);
       st.blocks_verified += static_cast<std::uint64_t>(nblk);
+      if (trc_) trc_->verify(CheckPoint::AfterPDBroadcast, g, {k, b_, k, k + 1});
       if (mis > panel_threshold()) pd_suspect[static_cast<std::size_t>(g)] = 1;
       flag[static_cast<std::size_t>(g)] = f;
     });
@@ -374,6 +435,13 @@ class LuDriver {
                panel_d_[static_cast<std::size_t>(g)]->block(0, 0, mp, nb_), g);
       sys_.h2d(panel_cs_h_->block(0, 0, 2 * nblk, nb_).as_const(),
                panel_cs_d_[static_cast<std::size_t>(g)]->block(0, 0, 2 * nblk, nb_), g);
+      if (trc_) {
+        trc_->transfer_arrive(TransferCtx::Retransfer, trace::kHost, g,
+                              {k, b_, k, k + 1});
+        trc_->transfer_arrive(TransferCtx::Retransfer, trace::kHost, g,
+                              {k, b_, k, k + 1}, RegionClass::Checksum);
+        trc_->correct(g, {k, b_, k, k + 1});
+      }
     }
 
     for (int g = 0; g < ngpu; ++g) {
@@ -386,6 +454,13 @@ class LuDriver {
                  panel_d_[static_cast<std::size_t>(g)]->block(0, 0, mp, nb_), g);
         sys_.h2d(panel_cs_h_->block(0, 0, 2 * nblk, nb_).as_const(),
                  panel_cs_d_[static_cast<std::size_t>(g)]->block(0, 0, 2 * nblk, nb_), g);
+        if (trc_) {
+          trc_->transfer_arrive(TransferCtx::Retransfer, trace::kHost, g,
+                                {k, b_, k, k + 1});
+          trc_->transfer_arrive(TransferCtx::Retransfer, trace::kHost, g,
+                                {k, b_, k, k + 1}, RegionClass::Checksum);
+          trc_->correct(g, {k, b_, k, k + 1});
+        }
         auto rc = repair_ctx(stats_);
         bool clean = true;
         for (index_t i = 0; i < nblk; ++i) {
@@ -397,6 +472,9 @@ class LuDriver {
                                   ->block(2 * i, 0, 2, nb_)
                                   .as_const(),
                               ConstViewD{}, rc);
+          if (trc_) {
+            trc_->verify(CheckPoint::BroadcastPayload, g, BlockRange::single(k + i, k));
+          }
         }
         if (!clean) {
           fail(RunStatus::NeedCompleteRestart);
@@ -437,9 +515,11 @@ class LuDriver {
             tol_.slack, tol_.context, &fixed);
         ++st.verifications_pu_before;
         ++st.blocks_verified;
+        if (trc_) trc_->verify(CheckPoint::BeforePU, g, BlockRange::single(k, k));
         if (fixed > 0) {
           ++st.errors_detected;
           st.corrected_0d += static_cast<std::uint64_t>(fixed);
+          if (trc_) trc_->correct(g, BlockRange::single(k, k));
         }
         if (!ok) {
           failed = true;
@@ -463,6 +543,7 @@ class LuDriver {
           const auto outcome = verify_and_repair(
               ublk, a_dist_.col_cs(k, j), has_rcs() ? a_dist_.row_cs(k, j) : ViewD{}, rc);
           ++st.verifications_pu_before;
+          if (trc_) trc_->verify(CheckPoint::BeforePU, g, BlockRange::single(k, j));
           if (outcome == RepairOutcome::Uncorrectable) {
             failed = true;
             return;
@@ -486,6 +567,10 @@ class LuDriver {
           }
 
           if (inj_) inj_->pre_compute(pu, Part::Update, ublk, org, {k, j});
+          if (trc_) {
+            trc_->compute_read(OpKind::PU, Part::Reference, g, BlockRange::single(k, k));
+            trc_->compute_read(OpKind::PU, Part::Update, g, BlockRange::single(k, j));
+          }
           blas::trsm(Side::Left, Uplo::Lower, Trans::NoTrans, Diag::Unit, 1.0, l11, ublk);
           if (inj_) {
             if (g == ref_gpu) inj_->restore_onchip(pu, {k, k});
@@ -496,6 +581,7 @@ class LuDriver {
             blas::trsm(Side::Left, Uplo::Lower, Trans::NoTrans, Diag::Unit, 1.0, l11,
                        a_dist_.row_cs(k, j));
           }
+          if (trc_) trc_->compute_write(OpKind::PU, g, BlockRange::single(k, j));
           if (inj_) inj_->post_compute(pu, ublk, org, {k, j});
 
           if ((policy_.check_after_pu || policy_.check_after_pu_broadcast) && has_rcs()) {
@@ -506,6 +592,14 @@ class LuDriver {
             const auto outcome =
                 verify_and_repair(ublk, ViewD{}, a_dist_.row_cs(k, j), rc);
             ++st.verifications_pu_after;
+            if (trc_) {
+              // U(k,j) never leaves the owner — its post-op and
+              // post-broadcast checks coincide; bucket by policy so the
+              // traced counts land in the scheme's Table VI column.
+              trc_->verify(policy_.check_after_pu ? CheckPoint::AfterPU
+                                                  : CheckPoint::AfterPUBroadcast,
+                           g, BlockRange::single(k, j));
+            }
             if (outcome == RepairOutcome::Uncorrectable) continue;  // restart PU
           }
           break;
@@ -554,11 +648,13 @@ class LuDriver {
             // unprotected, so only the full layout can verify it here.
             verify_and_repair(u, ViewD{}, a_dist_.row_cs(k, j), rc);
             ++st.verifications_tmu_before;
+            if (trc_) trc_->verify(CheckPoint::BeforeTMU, g, BlockRange::single(k, j));
           }
           for (index_t i = k + 1; i < b_; ++i) {
             verify_and_repair(pan.block((i - k) * nb_, 0, nb_, nb_),
                               pan_cs.block(2 * (i - k), 0, 2, nb_), ViewD{}, rc);
             ++st.verifications_tmu_before;
+            if (trc_) trc_->verify(CheckPoint::BeforeTMU, g, BlockRange::single(i, k));
           }
         }
 
@@ -574,9 +670,15 @@ class LuDriver {
             verify_and_repair(c, a_dist_.col_cs(i, j),
                               has_rcs() ? a_dist_.row_cs(i, j) : ViewD{}, rc);
             ++st.verifications_tmu_before;
+            if (trc_) trc_->verify(CheckPoint::BeforeTMU, g, BlockRange::single(i, j));
           }
           if (inj_) inj_->pre_compute(tmu, Part::Update, c, org_c, {i, j});
 
+          if (trc_) {
+            trc_->compute_read(OpKind::TMU, Part::Reference, g, BlockRange::single(i, k));
+            trc_->compute_read(OpKind::TMU, Part::Reference, g, BlockRange::single(k, j));
+            trc_->compute_read(OpKind::TMU, Part::Update, g, BlockRange::single(i, j));
+          }
           blas::gemm_seq(Trans::NoTrans, Trans::NoTrans, -1.0, li, u.as_const(), 1.0, c);
           if (inj_) {
             // The consuming GPU clears transient (on-chip) corruption of
@@ -597,6 +699,7 @@ class LuDriver {
                              a_dist_.row_cs(k, j).as_const(), 1.0, a_dist_.row_cs(i, j));
             }
           }
+          if (trc_) trc_->compute_write(OpKind::TMU, g, BlockRange::single(i, j));
           if (inj_) inj_->post_compute(tmu, c, org_c, {i, j});
 
           if (policy_.check_after_tmu && has_cs()) {
@@ -606,6 +709,7 @@ class LuDriver {
                 verify_and_repair(c, a_dist_.col_cs(i, j),
                                   has_rcs() ? a_dist_.row_cs(i, j) : ViewD{}, rc);
             ++st.verifications_tmu_after;
+            if (trc_) trc_->verify(CheckPoint::AfterTMU, g, BlockRange::single(i, j));
             if (outcome == RepairOutcome::Uncorrectable) failed = true;
           }
         }
@@ -642,6 +746,7 @@ class LuDriver {
             pan_cs.block(0, 0, 2, nb_).as_const(), tol_.slack, tol_.context, &fixed);
         ++st.verifications_tmu_after;
         ++st.blocks_verified;
+        if (trc_) trc_->verify(CheckPoint::HeuristicTMU, g, BlockRange::single(k, k));
         if (!ok || fixed > 0) {
           ++st.errors_detected;
           failed = true;
@@ -657,6 +762,7 @@ class LuDriver {
             opts_.encoder);
         ++st.verifications_tmu_after;
         ++st.blocks_verified;
+        if (trc_) trc_->verify(CheckPoint::HeuristicTMU, g, BlockRange::single(i, k));
         if (res.clean()) continue;
         ++st.errors_detected;
         const auto diag = checksum::diagnose_cols(res.col_deltas, nb_);
@@ -684,6 +790,7 @@ class LuDriver {
                                                 opts_.encoder);
           ++st.verifications_tmu_after;
           ++st.blocks_verified;
+          if (trc_) trc_->verify(CheckPoint::HeuristicTMU, g, BlockRange::single(k, j));
           if (res.clean()) continue;
           ++st.errors_detected;
           const auto diag = checksum::diagnose_rows(res.row_deltas, nb_);
@@ -712,6 +819,7 @@ class LuDriver {
   const FtOptions opts_;
   const SchemePolicy policy_;
   fault::FaultInjector* inj_;
+  trace::TraceRecorder* trc_;
   index_t n_, nb_, b_;
   sim::HeterogeneousSystem sys_;
   DistMatrix a_dist_;

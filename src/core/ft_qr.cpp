@@ -11,6 +11,7 @@
 #include "lapack/lapack.hpp"
 #include "matrix/compare.hpp"
 #include "matrix/norms.hpp"
+#include "trace/recorder.hpp"
 
 namespace ftla::core {
 
@@ -23,6 +24,10 @@ using blas::Uplo;
 using fault::OpKind;
 using fault::OpSite;
 using fault::Part;
+using trace::BlockRange;
+using trace::CheckPoint;
+using trace::RegionClass;
+using trace::TransferCtx;
 
 /// Applies C ← (I - V·Tᵀ·Vᵀ)·C (the Qᵀ update of QR's TMU) and exposes
 /// W = Tᵀ·Vᵀ·C so column-checksum maintenance can reuse it:
@@ -63,6 +68,7 @@ class QrDriver {
       : opts_(opts),
         policy_(opts.policy()),
         inj_(inj),
+        trc_(opts.trace),
         n_(a.rows()),
         nb_(opts.nb),
         b_(a.rows() / opts.nb),
@@ -70,6 +76,7 @@ class QrDriver {
         a_dist_(sys_, n_, nb_, opts.checksum, SingleSideDim::Row),
         host_in_(a) {
     FTLA_CHECK(a.rows() == a.cols(), "ft_qr: matrix must be square");
+    a_dist_.set_trace(trc_);
     tol_.slack = opts.tol_slack;
     tol_.context = static_cast<double>(n_);
 
@@ -97,6 +104,15 @@ class QrDriver {
     out.factors = MatD(n_, n_);
     out.tau.assign(static_cast<std::size_t>(n_), 0.0);
 
+    if (trc_) {
+      trc_->begin_run({"qr", std::string(to_string(opts_.scheme)),
+                       std::string(to_string(opts_.checksum)), sys_.ngpu(), n_, nb_,
+                       b_});
+      sys_.link().set_trace_hook([this](const sim::TransferInfo& info) {
+        trc_->link_transfer(info.from, info.to, info.bytes);
+      });
+    }
+
     a_dist_.scatter(host_in_);
     if (opts_.checksum != ChecksumKind::None) {
       ChargeTimer t(&stats_.encode_seconds);
@@ -104,11 +120,17 @@ class QrDriver {
     }
 
     for (index_t k = 0; k < b_ && !fatal(); ++k) {
+      if (trc_) trc_->begin_iteration(k);
       iteration(k, out.tau);
+      if (trc_) trc_->end_iteration(k);
     }
 
     merge_gpu_stats();
     a_dist_.gather(out.factors.view());
+    if (trc_) {
+      trc_->end_run();
+      sys_.link().clear_trace_hook();
+    }
     stats_.comm_modeled_seconds = sys_.link().stats().modeled_seconds;
     stats_.total_seconds = total.seconds();
     out.stats = stats_;
@@ -164,6 +186,17 @@ class QrDriver {
       pcs = MatD(2 * nblk, nb_);
       sys_.d2h(a_dist_.col_cs_panel(k, k).as_const(), pcs.view(), own);
     }
+    if (trc_) {
+      trc_->transfer_arrive(TransferCtx::Fetch, own, trace::kHost, {k, b_, k, k + 1});
+      if (has_rcs()) {
+        trc_->transfer_arrive(TransferCtx::Fetch, own, trace::kHost, {k, b_, k, k + 1},
+                              RegionClass::Checksum);
+      }
+      if (has_cs()) {
+        trc_->transfer_arrive(TransferCtx::Fetch, own, trace::kHost, {k, b_, k, k + 1},
+                              RegionClass::Checksum);
+      }
+    }
     if (inj_) inj_->post_transfer(pd, -1, ph, pan_org, {k, k});
 
     // Frozen R blocks of column k (rows above the panel) left the active
@@ -178,6 +211,7 @@ class QrDriver {
             a_dist_.block(i, k), has_cs() ? a_dist_.col_cs(i, k) : ViewD{},
             a_dist_.row_cs(i, k), rc);
         ++stats_.verifications_pd_before;
+        if (trc_) trc_->verify(CheckPoint::FrozenPanel, own, BlockRange::single(i, k));
         if (outcome == RepairOutcome::Uncorrectable) {
           fail(RunStatus::NeedCompleteRestart);
           return;
@@ -197,6 +231,9 @@ class QrDriver {
             blk, has_cs() ? pcs.block(2 * i, 0, 2, nb_) : ViewD{},
             prcs.block(i * nb_, 0, nb_, 2), rc);
         ++stats_.verifications_pd_before;
+        if (trc_) {
+          trc_->verify(CheckPoint::BeforePD, trace::kHost, BlockRange::single(k + i, k));
+        }
         if (outcome == RepairOutcome::Uncorrectable) {
           fail(RunStatus::NeedCompleteRestart);
           return;
@@ -234,6 +271,10 @@ class QrDriver {
         inj_->pre_compute(pd, Part::Update, ph, pan_org, {k, k});
         inj_->pre_compute(pd, Part::Reference, ph, pan_org, {k, k});
       }
+      if (trc_) {
+        trc_->compute_read(OpKind::PD, Part::Reference, trace::kHost,
+                           {k, b_, k, k + 1});
+      }
       if (has_rcs()) {
         copy_view(prcs.as_const(), rcs_w);
         ChargeTimer t(&stats_.maintain_seconds);
@@ -248,6 +289,7 @@ class QrDriver {
         ChargeTimer t(&stats_.encode_seconds);
         encode_v_checksums(ph.as_const(), nb_, vcs_h_->block(0, 0, 2 * nblk, nb_));
       }
+      if (trc_) trc_->compute_write(OpKind::PD, trace::kHost, {k, b_, k, k + 1});
       if (inj_) inj_->post_compute(pd, ph, pan_org, {k, k});
 
       if ((policy_.check_after_pd || policy_.check_after_pd_broadcast) && has_rcs()) {
@@ -255,6 +297,7 @@ class QrDriver {
         double mis = qr_panel_verify(ph.as_const(), rcs_w.as_const(), col_norms2);
         stats_.verifications_pd_after += static_cast<std::uint64_t>(nblk);
         stats_.blocks_verified += static_cast<std::uint64_t>(nblk);
+        if (trc_) trc_->verify(CheckPoint::AfterPD, trace::kHost, {k, b_, k, k + 1});
         // Verify the stored V against the maintained c(V): catches
         // post-computation corruption of the Householder vectors, which
         // the R-side invariants cannot see.
@@ -291,9 +334,17 @@ class QrDriver {
     // -- CTF: compute the triangular factor T, verify by recompute -------
     ViewD t_mat = t_h_->view();
     {
+      if (trc_) {
+        trc_->compute_read(OpKind::CTF, Part::Reference, trace::kHost,
+                           {k, b_, k, k + 1});
+      }
       MatD t_first(nb_, nb_);
       lapack::larft(ph.as_const(), tau_local, t_first.view());
       copy_view(t_first.const_view(), t_mat);
+      if (trc_) {
+        trc_->compute_write(OpKind::CTF, trace::kHost, BlockRange::single(k, k),
+                            RegionClass::Workspace);
+      }
       if (inj_) inj_->post_compute(ctf, t_mat, {k * nb_, k * nb_}, {k, k});
       // §IV.B: T has no checksum; verify by recomputation from V and use
       // the recomputed copy on mismatch.
@@ -302,6 +353,10 @@ class QrDriver {
         MatD t_second(nb_, nb_);
         lapack::larft(ph.as_const(), tau_local, t_second.view());
         ++stats_.blocks_verified;
+        if (trc_) {
+          trc_->verify(CheckPoint::CtfRecompute, trace::kHost, BlockRange::single(k, k),
+                       RegionClass::Workspace);
+        }
         if (max_abs_diff(t_mat.as_const(), t_second.const_view()) >
             panel_threshold() * (1.0 + max_abs(t_second.const_view()))) {
           ++stats_.errors_detected;
@@ -330,6 +385,18 @@ class QrDriver {
         sys_.h2d(vcs.as_const(), vcs_d_[gi]->block(0, 0, 2 * nblk, nb_), g);
         sys_.h2d(bcs.as_const(), bcast_cs_d_[gi]->block(0, 0, 2 * nblk, nb_), g);
       }
+      if (trc_) {
+        trc_->transfer_arrive(TransferCtx::BroadcastH2D, trace::kHost, g,
+                              {k, b_, k, k + 1});
+        trc_->transfer_arrive(TransferCtx::BroadcastH2D, trace::kHost, g,
+                              BlockRange::single(k, k), RegionClass::Workspace);
+        if (has_cs()) {
+          trc_->transfer_arrive(TransferCtx::BroadcastH2D, trace::kHost, g,
+                                {k, b_, k, k + 1}, RegionClass::Checksum);
+          trc_->transfer_arrive(TransferCtx::BroadcastH2D, trace::kHost, g,
+                                {k, b_, k, k + 1}, RegionClass::Checksum);
+        }
+      }
       if (inj_) {
         inj_->post_transfer(bch, g, panel_d_[gi]->block(0, 0, mp, nb_), pan_org, {k, k});
       }
@@ -346,6 +413,11 @@ class QrDriver {
         for (int g = 0; g < sys_.ngpu(); ++g) {
           const auto gi = static_cast<std::size_t>(g);
           sys_.h2d(ph.as_const(), panel_d_[gi]->block(0, 0, mp, nb_), g);
+          if (trc_) {
+            trc_->transfer_arrive(TransferCtx::Retransfer, trace::kHost, g,
+                                  {k, b_, k, k + 1});
+            trc_->correct(g, {k, b_, k, k + 1});
+          }
         }
       }
       if (fatal()) return;
@@ -361,6 +433,10 @@ class QrDriver {
       }
       if (has_rcs()) {
         sys_.h2d(prcs.block(0, 0, nb_, 2).as_const(), a_dist_.row_cs(k, k), own);
+        if (trc_) {
+          trc_->transfer_arrive(TransferCtx::WritebackH2D, trace::kHost, own,
+                                BlockRange::single(k, k), RegionClass::Checksum);
+        }
       }
     }
 
@@ -391,6 +467,7 @@ class QrDriver {
                                 has_cs() ? a_dist_.col_cs(i, j) : ViewD{},
                                 a_dist_.row_cs(i, j), rc);
           ++st.verifications_tmu_after;
+          if (trc_) trc_->verify(CheckPoint::PeriodicSweep, g, BlockRange::single(i, j));
           if (outcome == RepairOutcome::Uncorrectable) failed = true;
         }
       }
@@ -416,6 +493,12 @@ class QrDriver {
             verify_and_repair(panel_d_[gi]->block(i * nb_, 0, nb_, nb_),
                               bcast_cs_d_[gi]->block(2 * i, 0, 2, nb_), ViewD{}, rc);
         ++st.verifications_pd_after;
+        if (trc_) {
+          trc_->verify(CheckPoint::BroadcastPayload, g, BlockRange::single(k + i, k));
+          if (outcome == RepairOutcome::Corrected) {
+            trc_->correct(g, BlockRange::single(k + i, k));
+          }
+        }
         if (outcome == RepairOutcome::Corrected) f = std::max(f, 1);
         if (outcome == RepairOutcome::Uncorrectable) f = 2;
       }
@@ -437,7 +520,6 @@ class QrDriver {
   void trailing_update(index_t k) {
     const OpSite tmu{k, OpKind::TMU};
     const index_t mp = n_ - k * nb_;
-    const index_t nblk = b_ - k;
     const int ref_gpu = a_dist_.owner(k + 1);
     std::atomic<bool> failed{false};
 
@@ -462,7 +544,6 @@ class QrDriver {
       // 2D damage through W, so it must be caught before use.
       if ((policy_.heuristic_tmu || policy_.check_before_tmu) && has_cs()) {
         ChargeTimer tt(&st.verify_seconds);
-        auto rc = repair_ctx(st);
         for (index_t i = k; i < b_; ++i) {
           ViewD vi = pan.block((i - k) * nb_, 0, nb_, nb_);
           MatD fresh(2, nb_);
@@ -473,6 +554,11 @@ class QrDriver {
           }
           ++st.verifications_tmu_before;
           ++st.blocks_verified;
+          if (trc_) {
+            trc_->verify(policy_.check_before_tmu ? CheckPoint::BeforeTMU
+                                                  : CheckPoint::HeuristicTMU,
+                         g, BlockRange::single(i, k));
+          }
           const auto maintained = vcs_d_[gi]->block(2 * (i - k), 0, 2, nb_);
           checksum::BlockCheckResult res;
           res.col_checked = true;
@@ -524,9 +610,16 @@ class QrDriver {
                               has_cs() ? a_dist_.col_cs(i, j) : ViewD{},
                               a_dist_.row_cs(i, j), rc);
             ++st.verifications_tmu_before;
+            if (trc_) trc_->verify(CheckPoint::BeforeTMU, g, BlockRange::single(i, j));
           }
         }
 
+        if (trc_) {
+          trc_->compute_read(OpKind::TMU, Part::Reference, g, {k, b_, k, k + 1});
+          trc_->compute_read(OpKind::TMU, Part::Reference, g, BlockRange::single(k, k),
+                             RegionClass::Workspace);
+          trc_->compute_read(OpKind::TMU, Part::Update, g, {k, b_, j, j + 1});
+        }
         MatD w;
         apply_block_reflector(v, t_mat, c, w);
         if (inj_) {
@@ -546,6 +639,7 @@ class QrDriver {
           MatD w_rcs;
           apply_block_reflector(v, t_mat, a_dist_.row_cs_panel(j, k), w_rcs);
         }
+        if (trc_) trc_->compute_write(OpKind::TMU, g, {k, b_, j, j + 1});
         if (inj_) inj_->post_compute(tmu, c, org, {k, j});
 
         if (policy_.check_after_tmu && has_rcs()) {
@@ -557,6 +651,7 @@ class QrDriver {
                                   has_cs() ? a_dist_.col_cs(i, j) : ViewD{},
                                   a_dist_.row_cs(i, j), rc);
             ++st.verifications_tmu_after;
+            if (trc_) trc_->verify(CheckPoint::AfterTMU, g, BlockRange::single(i, j));
             if (outcome == RepairOutcome::Uncorrectable) failed = true;
           }
         }
@@ -568,6 +663,7 @@ class QrDriver {
   const FtOptions opts_;
   const SchemePolicy policy_;
   fault::FaultInjector* inj_;
+  trace::TraceRecorder* trc_;
   index_t n_, nb_, b_;
   sim::HeterogeneousSystem sys_;
   DistMatrix a_dist_;

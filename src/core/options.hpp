@@ -8,6 +8,10 @@
 #include "checksum/encode.hpp"
 #include "common/types.hpp"
 
+namespace ftla::trace {
+class TraceRecorder;
+}  // namespace ftla::trace
+
 namespace ftla::core {
 
 /// Checksum layout maintained during the decomposition.
@@ -56,6 +60,10 @@ struct FtOptions {
   /// undetected on-chip 1D propagations can accumulate before they
   /// overlap into an uncorrectable 2D pattern. 0 disables the sweep.
   index_t periodic_trailing_check = 0;
+  /// When set, the driver records every schedule event (operations,
+  /// transfers, verifications) into this recorder for offline coverage
+  /// analysis (src/analysis). Not owned; must outlive the run.
+  trace::TraceRecorder* trace = nullptr;
 
   [[nodiscard]] SchemePolicy policy() const { return SchemePolicy::make(scheme); }
 };

@@ -6,30 +6,37 @@ IterationChecks blocks_per_iteration(SchemeKind scheme, index_t b, index_t k_rep
   IterationChecks c;
   const auto bd = static_cast<double>(b);
   const auto kd = static_cast<double>(k_repairs);
+  // With b remaining block-columns the iteration decomposes the b-block
+  // column panel, updates the b-1 row-panel blocks, and touches the
+  // (b-1)² trailing blocks; the last iteration (b = 1) has no PU or TMU.
+  const double tail = bd - 1.0;
   switch (scheme) {
     case SchemeKind::PriorOp:
-      // Inputs of PD (the column panel), of PU (row panel + factored
-      // panel), and of TMU (both panels + the b² trailing blocks).
+      // Inputs of PD (the column panel), of PU (factored diagonal + each
+      // row-panel block), and of TMU (each trailing block plus the panel
+      // replicas it multiplies: (b-1)² + (b-1)b = (b-1)(2b-1)).
       c.pd_before = bd;
-      c.pu_before = bd + 1.0;
-      c.tmu_before = bd * bd + 2.0 * bd;
+      c.pu_before = bd > 1.0 ? bd : 0.0;
+      c.tmu_before = tail * (2.0 * bd - 1.0);
       break;
     case SchemeKind::PostOp:
-      // Outputs of PD, PU, and TMU (the whole updated trailing matrix —
+      // Outputs of PD (the column panel), of PU (the b-1 row-panel
+      // blocks), and of TMU (the whole (b-1)² updated trailing matrix —
       // "they need to check the trailing matrix in every iteration").
       c.pd_after = bd;
-      c.pu_after = bd;
-      c.tmu_after = bd * bd;
+      c.pu_after = tail;
+      c.tmu_after = tail * tail;
       break;
     case SchemeKind::NewScheme:
-      // Panels before and after PD/PU, post-checks after the broadcasts;
-      // TMU checks replaced by the heuristic panel re-check (2b) plus K
-      // blocks of 1D repair work.
+      // Panels before and after PD/PU (the post checks riding after the
+      // broadcasts); TMU checks replaced by the heuristic panel re-check
+      // (the b-block column panel + the b-1 row-panel blocks = 2b-1)
+      // plus K blocks of 1D memory-error repair work.
       c.pd_before = bd;
       c.pd_after = bd;
-      c.pu_before = bd;
-      c.pu_after = bd;
-      c.tmu_after = 2.0 * bd + kd;
+      c.pu_before = bd > 1.0 ? bd : 0.0;
+      c.pu_after = tail;
+      c.tmu_after = bd > 1.0 ? 2.0 * bd - 1.0 + kd : 0.0;
       break;
   }
   return c;

@@ -42,6 +42,7 @@ void PcieLink::transfer(ConstViewD src, ViewD dst, device_id_t from, device_id_t
   // copy and the hook run outside it so concurrent transfers (and hook
   // installation) never serialize on the payload work.
   FaultHook hook;
+  TraceHook trace_hook;
   {
     ftla::LockGuard lock(mutex_);
     info.sequence = stats_.transfers;
@@ -49,6 +50,7 @@ void PcieLink::transfer(ConstViewD src, ViewD dst, device_id_t from, device_id_t
     stats_.bytes += info.bytes;
     stats_.modeled_seconds += modeled_transfer_seconds(info.bytes);
     hook = hook_;
+    trace_hook = trace_hook_;
   }
 
   // The explicit transfer is the one legal way for bytes to cross device
@@ -56,6 +58,7 @@ void PcieLink::transfer(ConstViewD src, ViewD dst, device_id_t from, device_id_t
   ownership::ScopedTransfer scope;
   copy_view(src, dst);
   if (hook) hook(dst, info);
+  if (trace_hook) trace_hook(info);
 }
 
 void PcieLink::set_fault_hook(FaultHook hook) {
@@ -66,6 +69,16 @@ void PcieLink::set_fault_hook(FaultHook hook) {
 void PcieLink::clear_fault_hook() {
   ftla::LockGuard lock(mutex_);
   hook_ = nullptr;
+}
+
+void PcieLink::set_trace_hook(TraceHook hook) {
+  ftla::LockGuard lock(mutex_);
+  trace_hook_ = std::move(hook);
+}
+
+void PcieLink::clear_trace_hook() {
+  ftla::LockGuard lock(mutex_);
+  trace_hook_ = nullptr;
 }
 
 LinkStats PcieLink::stats() const {

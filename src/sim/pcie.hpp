@@ -47,6 +47,13 @@ class PcieLink {
   /// hooks must be thread-safe.
   using FaultHook = std::function<void(ViewD received, const TransferInfo&)>;
 
+  /// Passive observer invoked after every transfer completed (and after
+  /// the fault hook ran, so it sees the payload's final state). Used by
+  /// the schedule tracer to record the raw link traffic that the driver
+  /// annotations are cross-checked against. Same thread-safety contract
+  /// as the fault hook: may run on any transferring thread.
+  using TraceHook = std::function<void(const TransferInfo&)>;
+
   explicit PcieLink(double latency_seconds = 5e-6,
                     double bandwidth_bytes_per_s = 12.0e9)
       : latency_s_(latency_seconds), bandwidth_(bandwidth_bytes_per_s) {}
@@ -58,6 +65,9 @@ class PcieLink {
 
   void set_fault_hook(FaultHook hook);
   void clear_fault_hook();
+
+  void set_trace_hook(TraceHook hook);
+  void clear_trace_hook();
 
   /// Snapshot of the cumulative statistics.
   [[nodiscard]] LinkStats stats() const;
@@ -72,6 +82,7 @@ class PcieLink {
   double bandwidth_;
   mutable ftla::Mutex mutex_;
   FaultHook hook_ FTLA_GUARDED_BY(mutex_);
+  TraceHook trace_hook_ FTLA_GUARDED_BY(mutex_);
   LinkStats stats_ FTLA_GUARDED_BY(mutex_);
 };
 

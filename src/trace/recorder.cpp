@@ -1,0 +1,220 @@
+#include "trace/recorder.hpp"
+
+#include <ostream>
+
+namespace ftla::trace {
+
+const char* to_string(EventKind k) {
+  switch (k) {
+    case EventKind::RunBegin: return "run_begin";
+    case EventKind::RunEnd: return "run_end";
+    case EventKind::IterationBegin: return "iter_begin";
+    case EventKind::IterationEnd: return "iter_end";
+    case EventKind::ComputeRead: return "read";
+    case EventKind::ComputeWrite: return "write";
+    case EventKind::TransferArrive: return "arrive";
+    case EventKind::LinkTransfer: return "link";
+    case EventKind::Verify: return "verify";
+    case EventKind::Correct: return "correct";
+  }
+  return "?";
+}
+
+const char* to_string(RegionClass c) {
+  switch (c) {
+    case RegionClass::Data: return "data";
+    case RegionClass::Checksum: return "checksum";
+    case RegionClass::Workspace: return "workspace";
+  }
+  return "?";
+}
+
+const char* to_string(TransferCtx c) {
+  switch (c) {
+    case TransferCtx::None: return "none";
+    case TransferCtx::Fetch: return "fetch";
+    case TransferCtx::WritebackH2D: return "writeback_h2d";
+    case TransferCtx::BroadcastH2D: return "broadcast_h2d";
+    case TransferCtx::BroadcastD2D: return "broadcast_d2d";
+    case TransferCtx::Retransfer: return "retransfer";
+    case TransferCtx::Scatter: return "scatter";
+    case TransferCtx::Gather: return "gather";
+  }
+  return "?";
+}
+
+const char* to_string(CheckPoint p) {
+  switch (p) {
+    case CheckPoint::None: return "none";
+    case CheckPoint::BeforePD: return "before_pd";
+    case CheckPoint::AfterPD: return "after_pd";
+    case CheckPoint::AfterPDBroadcast: return "after_pd_broadcast";
+    case CheckPoint::BeforePU: return "before_pu";
+    case CheckPoint::AfterPU: return "after_pu";
+    case CheckPoint::AfterPUBroadcast: return "after_pu_broadcast";
+    case CheckPoint::BeforeTMU: return "before_tmu";
+    case CheckPoint::AfterTMU: return "after_tmu";
+    case CheckPoint::HeuristicTMU: return "heuristic_tmu";
+    case CheckPoint::FrozenPanel: return "frozen_panel";
+    case CheckPoint::PeriodicSweep: return "periodic_sweep";
+    case CheckPoint::CtfRecompute: return "ctf_recompute";
+    case CheckPoint::BroadcastPayload: return "broadcast_payload";
+  }
+  return "?";
+}
+
+void write_jsonl(const Trace& trace, std::ostream& os) {
+  const RunMeta& m = trace.meta;
+  os << "{\"meta\":{\"algorithm\":\"" << m.algorithm << "\",\"scheme\":\""
+     << m.scheme << "\",\"checksum\":\"" << m.checksum
+     << "\",\"ngpu\":" << m.ngpu << ",\"n\":" << m.n << ",\"nb\":" << m.nb
+     << ",\"b\":" << m.b << ",\"complete\":" << (trace.complete ? "true" : "false")
+     << "}}\n";
+  for (const TraceEvent& e : trace.events) {
+    os << "{\"seq\":" << e.seq << ",\"kind\":\"" << to_string(e.kind)
+       << "\",\"iter\":" << e.iteration << ",\"dev\":" << e.device;
+    switch (e.kind) {
+      case EventKind::ComputeRead:
+        os << ",\"op\":\"" << fault::to_string(e.op) << "\",\"part\":\""
+           << fault::to_string(e.part) << '"';
+        break;
+      case EventKind::ComputeWrite:
+        os << ",\"op\":\"" << fault::to_string(e.op) << '"';
+        break;
+      case EventKind::TransferArrive:
+        os << ",\"ctx\":\"" << to_string(e.ctx) << "\",\"from\":" << e.from_device;
+        break;
+      case EventKind::LinkTransfer:
+        os << ",\"from\":" << e.from_device << ",\"bytes\":" << e.bytes;
+        break;
+      case EventKind::Verify:
+        os << ",\"check\":\"" << to_string(e.check) << '"';
+        break;
+      default:
+        break;
+    }
+    const bool has_region = e.kind == EventKind::ComputeRead ||
+                            e.kind == EventKind::ComputeWrite ||
+                            e.kind == EventKind::TransferArrive ||
+                            e.kind == EventKind::Verify ||
+                            e.kind == EventKind::Correct;
+    if (has_region) {
+      os << ",\"class\":\"" << to_string(e.rclass) << "\",\"region\":["
+         << e.region.br0 << ',' << e.region.br1 << ',' << e.region.bc0 << ','
+         << e.region.bc1 << ']';
+    }
+    os << "}\n";
+  }
+}
+
+TraceEvent& TraceRecorder::append(EventKind kind) {
+  TraceEvent& e = trace_.events.emplace_back();
+  e.seq = next_seq_++;
+  e.kind = kind;
+  e.iteration = current_iteration_;
+  return e;
+}
+
+void TraceRecorder::begin_run(const RunMeta& meta) {
+  ftla::LockGuard lock(mutex_);
+  trace_.meta = meta;
+  append(EventKind::RunBegin);
+}
+
+void TraceRecorder::end_run() {
+  ftla::LockGuard lock(mutex_);
+  current_iteration_ = -1;
+  append(EventKind::RunEnd);
+  trace_.complete = true;
+}
+
+void TraceRecorder::begin_iteration(index_t k) {
+  ftla::LockGuard lock(mutex_);
+  current_iteration_ = k;
+  append(EventKind::IterationBegin);
+}
+
+void TraceRecorder::end_iteration(index_t k) {
+  ftla::LockGuard lock(mutex_);
+  current_iteration_ = k;  // in case emits raced ahead of the boundary
+  append(EventKind::IterationEnd);
+  current_iteration_ = -1;
+}
+
+void TraceRecorder::compute_read(fault::OpKind op, fault::Part part, int device,
+                                 const BlockRange& region, RegionClass rclass) {
+  ftla::LockGuard lock(mutex_);
+  TraceEvent& e = append(EventKind::ComputeRead);
+  e.op = op;
+  e.part = part;
+  e.device = device;
+  e.region = region;
+  e.rclass = rclass;
+}
+
+void TraceRecorder::compute_write(fault::OpKind op, int device,
+                                  const BlockRange& region, RegionClass rclass) {
+  ftla::LockGuard lock(mutex_);
+  TraceEvent& e = append(EventKind::ComputeWrite);
+  e.op = op;
+  e.device = device;
+  e.region = region;
+  e.rclass = rclass;
+}
+
+void TraceRecorder::transfer_arrive(TransferCtx ctx, int from_device,
+                                    int to_device, const BlockRange& region,
+                                    RegionClass rclass) {
+  ftla::LockGuard lock(mutex_);
+  TraceEvent& e = append(EventKind::TransferArrive);
+  e.ctx = ctx;
+  e.from_device = from_device;
+  e.device = to_device;
+  e.region = region;
+  e.rclass = rclass;
+}
+
+void TraceRecorder::verify(CheckPoint check, int device,
+                           const BlockRange& region, RegionClass rclass) {
+  ftla::LockGuard lock(mutex_);
+  TraceEvent& e = append(EventKind::Verify);
+  e.check = check;
+  e.device = device;
+  e.region = region;
+  e.rclass = rclass;
+}
+
+void TraceRecorder::correct(int device, const BlockRange& region) {
+  ftla::LockGuard lock(mutex_);
+  TraceEvent& e = append(EventKind::Correct);
+  e.device = device;
+  e.region = region;
+}
+
+void TraceRecorder::link_transfer(device_id_t from, device_id_t to,
+                                  byte_size_t bytes) {
+  ftla::LockGuard lock(mutex_);
+  TraceEvent& e = append(EventKind::LinkTransfer);
+  e.from_device = static_cast<int>(from) - 1;  // device_id 0 is the CPU
+  e.device = static_cast<int>(to) - 1;
+  e.bytes = bytes;
+}
+
+Trace TraceRecorder::snapshot() const {
+  ftla::LockGuard lock(mutex_);
+  return trace_;
+}
+
+std::size_t TraceRecorder::num_events() const {
+  ftla::LockGuard lock(mutex_);
+  return trace_.events.size();
+}
+
+void TraceRecorder::clear() {
+  ftla::LockGuard lock(mutex_);
+  trace_ = Trace{};
+  current_iteration_ = -1;
+  next_seq_ = 0;
+}
+
+}  // namespace ftla::trace

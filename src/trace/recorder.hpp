@@ -1,0 +1,77 @@
+#pragma once
+
+/// \file recorder.hpp
+/// Thread-safe schedule-trace recorder.
+///
+/// One TraceRecorder instance observes one decomposition run. The FT
+/// drivers call the emit helpers from the host thread and from GPU
+/// worker threads inside `parallel_over_gpus`, so every append is
+/// serialized under a mutex; sequence numbers therefore give a total
+/// order consistent with the happens-before edges the drivers already
+/// establish (fork/join barriers around parallel sections).
+///
+/// The recorder tracks the current iteration itself (begin_iteration /
+/// end_iteration are only ever called from the host thread, between
+/// parallel sections), so emit call sites do not need to thread `k`
+/// through every helper.
+///
+/// Overhead when no recorder is installed is a null-pointer test at each
+/// site; the drivers guard every emit with `if (trace_)`.
+
+#include <iosfwd>
+
+#include "common/annotations.hpp"
+#include "common/types.hpp"
+#include "trace/trace.hpp"
+
+namespace ftla::trace {
+
+class TraceRecorder {
+ public:
+  TraceRecorder() = default;
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  // --- run / iteration structure (host thread) -----------------------
+  void begin_run(const RunMeta& meta);
+  void end_run();
+  void begin_iteration(index_t k);
+  void end_iteration(index_t k);
+
+  // --- schedule events (any thread) ----------------------------------
+  void compute_read(fault::OpKind op, fault::Part part, int device,
+                    const BlockRange& region,
+                    RegionClass rclass = RegionClass::Data);
+  void compute_write(fault::OpKind op, int device, const BlockRange& region,
+                     RegionClass rclass = RegionClass::Data);
+  void transfer_arrive(TransferCtx ctx, int from_device, int to_device,
+                       const BlockRange& region,
+                       RegionClass rclass = RegionClass::Data);
+  void verify(CheckPoint check, int device, const BlockRange& region,
+              RegionClass rclass = RegionClass::Data);
+  void correct(int device, const BlockRange& region);
+
+  /// Raw PcieLink observation. `from`/`to` use the simulator's
+  /// device_id_t convention (CPU = 0, GPU g = g + 1); they are converted
+  /// to trace device indices (kHost / 0-based GPU) here. The analyzer
+  /// cross-checks that every LinkTransfer has a matching annotated
+  /// TransferArrive, proving the drivers' instrumentation is complete.
+  void link_transfer(device_id_t from, device_id_t to, byte_size_t bytes);
+
+  // --- inspection ----------------------------------------------------
+  /// Copy of everything recorded so far (safe against concurrent emits).
+  [[nodiscard]] Trace snapshot() const;
+  [[nodiscard]] std::size_t num_events() const;
+  /// Drops all events and metadata so the instance can observe a new run.
+  void clear();
+
+ private:
+  TraceEvent& append(EventKind kind) FTLA_REQUIRES(mutex_);
+
+  mutable ftla::Mutex mutex_;
+  Trace trace_ FTLA_GUARDED_BY(mutex_);
+  index_t current_iteration_ FTLA_GUARDED_BY(mutex_) = -1;
+  std::uint64_t next_seq_ FTLA_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace ftla::trace

@@ -1,0 +1,155 @@
+#pragma once
+
+/// \file trace.hpp
+/// Structured schedule-trace vocabulary.
+///
+/// A trace is the totally ordered list of scheduling events one FT
+/// decomposition run emits: computations reading/writing tile regions,
+/// PCIe payloads arriving at devices, checksum verifications and
+/// corrections, and iteration boundaries. The offline analyzer
+/// (src/analysis) replays this order against the MUD propagation model
+/// (src/model/mud) to prove — or refute — that every potential fault
+/// window is dominated by a verification before its region is consumed.
+///
+/// Events carry *block* regions (half-open rectangles in block
+/// coordinates), not element regions: the MUD model and the checksum
+/// machinery both operate at tile granularity, so blocks are exactly the
+/// resolution at which coverage can be decided.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "fault/fault.hpp"
+
+namespace ftla::trace {
+
+/// Host pseudo-device index used in traces. GPUs are 0-based; this is
+/// distinct from the simulator's device_id_t convention (CPU = 0,
+/// GPU g = g + 1) — TraceRecorder::link_transfer converts.
+inline constexpr int kHost = -1;
+
+enum class EventKind {
+  RunBegin,        ///< run metadata recorded; trace starts
+  RunEnd,          ///< driver finished (any status)
+  IterationBegin,  ///< outer iteration k starts
+  IterationEnd,    ///< outer iteration k ends (containment boundary)
+  ComputeRead,     ///< an update operation consumed a region
+  ComputeWrite,    ///< an update operation produced a region
+  TransferArrive,  ///< a PCIe payload landed at a device (annotated)
+  LinkTransfer,    ///< raw PcieLink transfer (completeness cross-check)
+  Verify,          ///< a checksum verification covered a region
+  Correct,         ///< a correction/repair was applied to a region
+};
+
+/// What the bytes in a traced region are.
+enum class RegionClass {
+  Data,       ///< checksum-protected matrix tiles
+  Checksum,   ///< checksum rows/columns themselves
+  Workspace,  ///< unprotected scratch (e.g. the QR T factor, §IV.B)
+};
+
+/// Why a payload moved (TransferArrive only).
+enum class TransferCtx {
+  None,
+  Fetch,         ///< panel/diag D2H to the CPU for PD
+  WritebackH2D,  ///< factored result H2D back to the owner's residence
+  BroadcastH2D,  ///< decomposed panel CPU → all GPUs
+  BroadcastD2D,  ///< updated panel owner GPU → other GPUs
+  Retransfer,    ///< recovery re-send after a failed receiver vote
+  Scatter,       ///< initial distribution (before the traced schedule)
+  Gather,        ///< final collection (after the traced schedule)
+};
+
+/// Which detection point a Verify event implements. The first eight
+/// mirror SchemePolicy's hooks; the rest are implementation extensions.
+enum class CheckPoint {
+  None,
+  BeforePD,
+  AfterPD,           ///< on the CPU, before any broadcast
+  AfterPDBroadcast,  ///< at each receiver, after the H2D broadcast
+  BeforePU,
+  AfterPU,           ///< on the owner, before the D2D broadcast
+  AfterPUBroadcast,  ///< at each receiver, after the D2D broadcast
+  BeforeTMU,
+  AfterTMU,
+  HeuristicTMU,      ///< §VII.B deferred panel-replica check
+  FrozenPanel,       ///< already-factored panel re-verify at fetch time
+  PeriodicSweep,     ///< optional periodic trailing-matrix sweep
+  CtfRecompute,      ///< QR T-factor verification by recomputation (§IV.B)
+  BroadcastPayload,  ///< receiver check against sender-encoded transfer
+                     ///< checksums (end-to-end payload integrity; kept out
+                     ///< of the Table VI buckets, which count the
+                     ///< maintained-checksum verifications)
+};
+
+/// Half-open rectangle of blocks: rows [br0, br1) × cols [bc0, bc1).
+struct BlockRange {
+  index_t br0 = 0;
+  index_t br1 = 0;
+  index_t bc0 = 0;
+  index_t bc1 = 0;
+
+  [[nodiscard]] index_t blocks() const noexcept {
+    return (br1 - br0) * (bc1 - bc0);
+  }
+  [[nodiscard]] bool empty() const noexcept { return br1 <= br0 || bc1 <= bc0; }
+  [[nodiscard]] bool contains(index_t br, index_t bc) const noexcept {
+    return br >= br0 && br < br1 && bc >= bc0 && bc < bc1;
+  }
+
+  static BlockRange single(index_t br, index_t bc) {
+    return {br, br + 1, bc, bc + 1};
+  }
+
+  friend bool operator==(const BlockRange&, const BlockRange&) = default;
+};
+
+/// One trace record. Fields beyond (seq, kind, iteration, device) are
+/// meaningful only for the kinds documented next to them.
+struct TraceEvent {
+  std::uint64_t seq = 0;
+  EventKind kind = EventKind::RunBegin;
+  index_t iteration = -1;  ///< -1 outside any iteration (setup/teardown)
+  int device = kHost;      ///< where the event happened (receiver, for arrivals)
+
+  fault::OpKind op = fault::OpKind::TMU;      ///< ComputeRead/ComputeWrite
+  fault::Part part = fault::Part::Reference;  ///< ComputeRead
+  CheckPoint check = CheckPoint::None;        ///< Verify
+  TransferCtx ctx = TransferCtx::None;        ///< TransferArrive
+  RegionClass rclass = RegionClass::Data;     ///< region interpretation
+  BlockRange region;                          ///< all region-bearing kinds
+  int from_device = kHost;                    ///< TransferArrive/LinkTransfer
+  std::uint64_t bytes = 0;                    ///< LinkTransfer
+};
+
+/// Run-level metadata captured at RunBegin.
+struct RunMeta {
+  std::string algorithm;  ///< "cholesky" | "lu" | "qr"
+  std::string scheme;     ///< to_string(SchemeKind)
+  std::string checksum;   ///< to_string(ChecksumKind)
+  int ngpu = 1;
+  index_t n = 0;
+  index_t nb = 0;
+  index_t b = 0;  ///< blocks per side (n / nb)
+};
+
+/// A complete recorded run.
+struct Trace {
+  RunMeta meta;
+  std::vector<TraceEvent> events;
+  bool complete = false;  ///< RunEnd was recorded
+};
+
+const char* to_string(EventKind k);
+const char* to_string(RegionClass c);
+const char* to_string(TransferCtx c);
+const char* to_string(CheckPoint p);
+
+/// Serializes one event per line as JSON (JSON Lines). The first line is
+/// the run metadata object ({"meta": ...}); every following line is one
+/// event object. Intended for report artifacts and offline inspection.
+void write_jsonl(const Trace& trace, std::ostream& os);
+
+}  // namespace ftla::trace

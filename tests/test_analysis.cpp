@@ -1,0 +1,374 @@
+// Tests for the trace recorder and the schedule coverage analyzer:
+// synthetic traces exercising the taint/window machinery, real dry-run
+// traces cross-checked against the analytic verification-count model
+// (Table VI), scheme-policy round-trips, and linter edge cases.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "analysis/coverage.hpp"
+#include "analysis/lint.hpp"
+#include "common/error.hpp"
+#include "core/ft_driver.hpp"
+#include "matrix/generate.hpp"
+#include "model/verification_count.hpp"
+#include "trace/recorder.hpp"
+
+namespace ftla::analysis {
+namespace {
+
+using core::SchemeKind;
+using fault::OpKind;
+using fault::Part;
+using trace::BlockRange;
+using trace::CheckPoint;
+using trace::RegionClass;
+using trace::TraceRecorder;
+using trace::TransferCtx;
+
+// --- synthetic traces ----------------------------------------------------
+
+/// Emits an arrival with its matching raw link observation (the analyzer
+/// cross-checks the two counts; trace devices are kHost/-1 and 0-based
+/// GPUs, the simulator's device ids are CPU = 0 and GPU g = g + 1).
+void arrive(TraceRecorder& rec, TransferCtx ctx, int from, int to,
+            const BlockRange& region,
+            RegionClass rclass = RegionClass::Data) {
+  rec.link_transfer(static_cast<device_id_t>(from + 1),
+                    static_cast<device_id_t>(to + 1), 1024);
+  rec.transfer_arrive(ctx, from, to, region, rclass);
+}
+
+/// Minimal run skeleton: one iteration, the given body, then RunEnd.
+template <typename Body>
+trace::Trace skeleton(Body&& body) {
+  TraceRecorder rec;
+  rec.begin_run({"lu", "post-op", "full", 2, 64, 32, 2});
+  rec.begin_iteration(0);
+  body(rec);
+  rec.end_iteration(0);
+  rec.end_run();
+  return rec.snapshot();
+}
+
+bool has_kind(const CoverageReport& r, FindingKind k) {
+  for (const Finding& f : r.findings) {
+    if (f.kind == k) return true;
+  }
+  return false;
+}
+
+TEST(Coverage, UnverifiedArrivalConsumedOpensViolation) {
+  const auto t = skeleton([](TraceRecorder& rec) {
+    arrive(rec, TransferCtx::BroadcastH2D, trace::kHost, 1,
+           BlockRange::single(0, 0));
+    rec.compute_read(OpKind::PU, Part::Reference, 1, BlockRange::single(0, 0));
+  });
+  const CoverageReport r = analyze(t);
+  EXPECT_TRUE(has_kind(r, FindingKind::UnverifiedTransferConsume));
+  EXPECT_FALSE(r.clean());
+}
+
+TEST(Coverage, VerifyBeforeConsumeIsClean) {
+  const auto t = skeleton([](TraceRecorder& rec) {
+    arrive(rec, TransferCtx::BroadcastH2D, trace::kHost, 1,
+           BlockRange::single(0, 0));
+    rec.verify(CheckPoint::AfterPDBroadcast, 1, BlockRange::single(0, 0));
+    rec.compute_read(OpKind::PU, Part::Reference, 1, BlockRange::single(0, 0));
+  });
+  EXPECT_TRUE(analyze(t).clean());
+}
+
+TEST(Coverage, SameIterationVerifyClosesWindow) {
+  // Post-op style: consume first, check afterwards but within the
+  // iteration at the consuming device — contained.
+  const auto t = skeleton([](TraceRecorder& rec) {
+    arrive(rec, TransferCtx::BroadcastH2D, trace::kHost, 1,
+           BlockRange::single(0, 0));
+    rec.compute_read(OpKind::PU, Part::Reference, 1, BlockRange::single(0, 0));
+    rec.verify(CheckPoint::AfterPU, 1, BlockRange::single(0, 0));
+  });
+  EXPECT_TRUE(analyze(t).clean());
+}
+
+TEST(Coverage, VerifyAtOtherDeviceDoesNotCover) {
+  // The copy that crossed PCIe is the one at device 1; checking the
+  // sender's copy proves nothing about the receiver's.
+  const auto t = skeleton([](TraceRecorder& rec) {
+    arrive(rec, TransferCtx::BroadcastH2D, trace::kHost, 1,
+           BlockRange::single(0, 0));
+    rec.verify(CheckPoint::AfterPD, 0, BlockRange::single(0, 0));
+    rec.compute_read(OpKind::PU, Part::Reference, 1, BlockRange::single(0, 0));
+  });
+  EXPECT_TRUE(has_kind(analyze(t), FindingKind::UnverifiedTransferConsume));
+}
+
+TEST(Coverage, CrossIterationVerifyIsContainmentExceeded) {
+  TraceRecorder rec;
+  rec.begin_run({"lu", "post-op", "full", 2, 64, 32, 2});
+  rec.begin_iteration(0);
+  arrive(rec, TransferCtx::BroadcastH2D, trace::kHost, 1,
+         BlockRange::single(1, 0));
+  rec.compute_read(OpKind::TMU, Part::Reference, 1, BlockRange::single(1, 0));
+  rec.end_iteration(0);
+  rec.begin_iteration(1);
+  rec.verify(CheckPoint::BeforePD, 1, BlockRange::single(1, 0));
+  rec.end_iteration(1);
+  rec.end_run();
+  const CoverageReport r = analyze(rec.snapshot());
+  EXPECT_TRUE(has_kind(r, FindingKind::ContainmentExceeded));
+  EXPECT_FALSE(has_kind(r, FindingKind::UnverifiedTransferConsume));
+}
+
+TEST(Coverage, MudZeroReadsNeverOpenWindows) {
+  // The TMU update part has MUD 0: corruption stays a standalone
+  // element, correctable whenever it is eventually checked.
+  const auto t = skeleton([](TraceRecorder& rec) {
+    rec.compute_write(OpKind::TMU, 1, BlockRange::single(1, 1));
+    rec.compute_read(OpKind::TMU, Part::Update, 1, BlockRange::single(1, 1));
+  });
+  const CoverageReport r = analyze(t);
+  EXPECT_FALSE(has_kind(r, FindingKind::UnverifiedWriteConsume));
+}
+
+TEST(Coverage, UnverifiedWriteConsumedByMudTwoOp) {
+  // QR's prior-op gap: CTF reads the just-written V panel (MUD 2)
+  // before anything checked it.
+  const auto t = skeleton([](TraceRecorder& rec) {
+    rec.compute_write(OpKind::PD, trace::kHost, BlockRange::single(0, 0));
+    rec.compute_read(OpKind::CTF, Part::Reference, trace::kHost,
+                     BlockRange::single(0, 0));
+  });
+  EXPECT_TRUE(has_kind(analyze(t), FindingKind::UnverifiedWriteConsume));
+}
+
+TEST(Coverage, FinalWriteUnverifiedAtRunEnd) {
+  const auto t = skeleton([](TraceRecorder& rec) {
+    rec.compute_write(OpKind::PD, trace::kHost, BlockRange::single(1, 1));
+  });
+  EXPECT_TRUE(has_kind(analyze(t), FindingKind::FinalWriteUnverified));
+}
+
+TEST(Coverage, RetransferIsRecoveryNotTaint) {
+  const auto t = skeleton([](TraceRecorder& rec) {
+    arrive(rec, TransferCtx::Retransfer, trace::kHost, 1,
+           BlockRange::single(0, 0));
+    rec.compute_read(OpKind::PU, Part::Reference, 1, BlockRange::single(0, 0));
+  });
+  EXPECT_FALSE(has_kind(analyze(t), FindingKind::UnverifiedTransferConsume));
+}
+
+TEST(Coverage, WorkspaceArrivalIsInformationalOnly) {
+  const auto t = skeleton([](TraceRecorder& rec) {
+    arrive(rec, TransferCtx::BroadcastH2D, trace::kHost, 1,
+           BlockRange::single(0, 0), RegionClass::Workspace);
+    rec.compute_read(OpKind::TMU, Part::Reference, 1, BlockRange::single(0, 0),
+                     RegionClass::Workspace);
+  });
+  const CoverageReport r = analyze(t);
+  EXPECT_TRUE(has_kind(r, FindingKind::UnprotectedTransfer));
+  EXPECT_TRUE(r.clean());  // informational findings never fail a run
+}
+
+TEST(Coverage, MissingRunEndIsIncomplete) {
+  TraceRecorder rec;
+  rec.begin_run({"lu", "post-op", "full", 1, 64, 32, 2});
+  rec.begin_iteration(0);
+  rec.end_iteration(0);
+  EXPECT_TRUE(has_kind(analyze(rec.snapshot()), FindingKind::TraceIncomplete));
+}
+
+TEST(Coverage, UnannotatedLinkTransferIsIncomplete) {
+  const auto t = skeleton([](TraceRecorder& rec) {
+    // Raw PCIe traffic with no matching annotated arrival: the driver
+    // instrumentation missed a transfer site.
+    rec.link_transfer(0, 1, 1024);
+  });
+  EXPECT_TRUE(has_kind(analyze(t), FindingKind::TraceIncomplete));
+}
+
+TEST(Coverage, ZeroEventTraceOnlyReportsIncomplete) {
+  const CoverageReport r = analyze(trace::Trace{});
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_EQ(r.findings[0].kind, FindingKind::TraceIncomplete);
+}
+
+// --- traced counts vs the analytic model (Table VI) ----------------------
+
+/// Dry-runs LU on one device (the configuration Table VI models: no
+/// replicated receiver checks) and returns the analyzed trace.
+CoverageReport traced_lu(SchemeKind scheme) {
+  trace::TraceRecorder rec;
+  core::FtOptions opts;
+  opts.nb = 32;
+  opts.ngpu = 1;
+  opts.scheme = scheme;
+  opts.trace = &rec;
+  const MatD a = random_diag_dominant(128, 7);
+  const core::FtOutput out = core::ft_lu(a.view().as_const(), opts);
+  EXPECT_TRUE(out.ok());
+  return analyze(rec.snapshot());
+}
+
+TEST(ModelCrossCheck, TracedBlocksMatchTableVI) {
+  for (SchemeKind scheme :
+       {SchemeKind::PriorOp, SchemeKind::PostOp, SchemeKind::NewScheme}) {
+    const CoverageReport r = traced_lu(scheme);
+    const index_t b_total = 4;  // 128 / 32
+    ASSERT_EQ(r.per_iteration.size(), static_cast<std::size_t>(b_total));
+    for (const IterationChecksums& it : r.per_iteration) {
+      const model::IterationChecks m =
+          model::blocks_per_iteration(scheme, b_total - it.iteration);
+      EXPECT_EQ(static_cast<double>(it.pd_before), m.pd_before)
+          << to_string(scheme) << " k=" << it.iteration;
+      EXPECT_EQ(static_cast<double>(it.pd_after), m.pd_after)
+          << to_string(scheme) << " k=" << it.iteration;
+      EXPECT_EQ(static_cast<double>(it.pu_before), m.pu_before)
+          << to_string(scheme) << " k=" << it.iteration;
+      EXPECT_EQ(static_cast<double>(it.pu_after), m.pu_after)
+          << to_string(scheme) << " k=" << it.iteration;
+      EXPECT_EQ(static_cast<double>(it.tmu_before), m.tmu_before)
+          << to_string(scheme) << " k=" << it.iteration;
+      EXPECT_EQ(static_cast<double>(it.tmu_after), m.tmu_after)
+          << to_string(scheme) << " k=" << it.iteration;
+    }
+  }
+}
+
+TEST(ModelCrossCheck, TracedTotalMatchesClosedForm) {
+  for (SchemeKind scheme :
+       {SchemeKind::PriorOp, SchemeKind::PostOp, SchemeKind::NewScheme}) {
+    const CoverageReport r = traced_lu(scheme);
+    EXPECT_EQ(static_cast<double>(r.totals().total()),
+              model::total_blocks(scheme, 128, 32))
+        << to_string(scheme);
+  }
+}
+
+// --- scheme policy round-trips -------------------------------------------
+
+TEST(SchemePolicy, NamesAreDistinctAndStable) {
+  EXPECT_STREQ(core::to_string(SchemeKind::PriorOp), "prior-op");
+  EXPECT_STREQ(core::to_string(SchemeKind::PostOp), "post-op");
+  EXPECT_STREQ(core::to_string(SchemeKind::NewScheme), "new-scheme");
+}
+
+TEST(SchemePolicy, PriorOpChecksExactlyTheInputs) {
+  const core::SchemePolicy p = core::SchemePolicy::make(SchemeKind::PriorOp);
+  EXPECT_TRUE(p.check_before_pd && p.check_before_pu && p.check_before_tmu);
+  EXPECT_FALSE(p.check_after_pd || p.check_after_pd_broadcast ||
+               p.check_after_pu || p.check_after_pu_broadcast ||
+               p.check_after_tmu || p.heuristic_tmu);
+}
+
+TEST(SchemePolicy, PostOpChecksExactlyTheOutputs) {
+  const core::SchemePolicy p = core::SchemePolicy::make(SchemeKind::PostOp);
+  EXPECT_TRUE(p.check_after_pd && p.check_after_pu && p.check_after_tmu);
+  EXPECT_FALSE(p.check_before_pd || p.check_before_pu || p.check_before_tmu ||
+               p.check_after_pd_broadcast || p.check_after_pu_broadcast ||
+               p.heuristic_tmu);
+}
+
+TEST(SchemePolicy, NewSchemeMovesPostChecksPastBroadcasts) {
+  const core::SchemePolicy p = core::SchemePolicy::make(SchemeKind::NewScheme);
+  EXPECT_TRUE(p.check_before_pd && p.check_after_pd_broadcast &&
+              p.check_before_pu && p.check_after_pu_broadcast &&
+              p.heuristic_tmu);
+  EXPECT_FALSE(p.check_after_pd || p.check_after_pu || p.check_before_tmu ||
+               p.check_after_tmu);
+}
+
+// --- linter ---------------------------------------------------------------
+
+TEST(Lint, NewSchemeIsCleanOnEveryAlgorithm) {
+  for (const char* alg : {"cholesky", "lu", "qr"}) {
+    LintCase c;
+    c.algorithm = alg;
+    c.scheme = SchemeKind::NewScheme;
+    c.n = 128;
+    c.nb = 32;
+    const LintOutcome o = lint_case(c);
+    EXPECT_TRUE(o.pass) << alg;
+    EXPECT_TRUE(o.report.clean()) << alg;
+  }
+}
+
+TEST(Lint, LegacySchemesExposeTheirDocumentedGaps) {
+  for (const char* alg : {"cholesky", "lu", "qr"}) {
+    for (SchemeKind s : {SchemeKind::PriorOp, SchemeKind::PostOp}) {
+      LintCase c;
+      c.algorithm = alg;
+      c.scheme = s;
+      c.n = 128;
+      c.nb = 32;
+      const LintOutcome o = lint_case(c);
+      EXPECT_TRUE(o.pass) << alg << '/' << core::to_string(s);
+      EXPECT_FALSE(o.report.clean()) << alg << '/' << core::to_string(s)
+                                     << ": the known gap must surface";
+      EXPECT_TRUE(o.missing.empty());
+      EXPECT_TRUE(o.unexpected.empty());
+    }
+  }
+}
+
+TEST(Lint, BlockSizeMustDivideDimension) {
+  LintCase c;
+  c.n = 100;  // not a multiple of nb = 32
+  EXPECT_THROW(lint_case(c), FtlaError);
+}
+
+TEST(Lint, RejectsBadConfigurations) {
+  LintCase c;
+  c.algorithm = "ldl";
+  EXPECT_THROW(lint_case(c), FtlaError);
+  c = LintCase{};
+  c.ngpu = 0;
+  EXPECT_THROW(lint_case(c), FtlaError);
+}
+
+TEST(Lint, SingleDeviceMatrixStillLints) {
+  LintCase c;
+  c.algorithm = "lu";
+  c.scheme = SchemeKind::NewScheme;
+  c.ngpu = 1;
+  c.n = 64;
+  c.nb = 32;
+  const LintOutcome o = lint_case(c);
+  EXPECT_TRUE(o.pass);
+}
+
+TEST(Lint, ReportSerializesAllCases) {
+  LintCase c;
+  c.n = 64;
+  c.nb = 32;
+  std::vector<LintOutcome> outcomes{lint_case(c)};
+  std::ostringstream os;
+  write_report(outcomes, os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"tool\": \"ftla-schedule-lint\""), std::string::npos);
+  EXPECT_NE(json.find("\"algorithm\":\"cholesky\""), std::string::npos);
+  EXPECT_NE(json.find("\"pass\": true"), std::string::npos);
+}
+
+TEST(Lint, DefaultMatrixCoversAllCombinations) {
+  const auto cases = default_matrix(128, 32, {1, 2});
+  EXPECT_EQ(cases.size(), 3u * 3u * 2u);
+}
+
+// --- trace serialization --------------------------------------------------
+
+TEST(TraceJsonl, EmitsMetaAndEvents) {
+  const auto t = skeleton([](TraceRecorder& rec) {
+    rec.verify(CheckPoint::AfterPD, trace::kHost, BlockRange::single(0, 0));
+  });
+  std::ostringstream os;
+  trace::write_jsonl(t, os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("\"algorithm\":\"lu\""), std::string::npos);
+  EXPECT_NE(s.find("\"kind\":\"verify\""), std::string::npos);
+  EXPECT_NE(s.find("\"check\":\"after_pd\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ftla::analysis

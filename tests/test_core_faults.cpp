@@ -102,7 +102,7 @@ INSTANTIATE_TEST_SUITE_P(
         BatteryCase{"onchip_pu_ref",
                     spec_at(FaultType::MemoryOnChip, OpKind::PU, 1, 1, 1,
                             Part::Reference)}),
-    [](const ::testing::TestParamInfo<BatteryCase>& info) { return info.param.name; });
+    [](const ::testing::TestParamInfo<BatteryCase>& tpi) { return tpi.param.name; });
 
 // ---------------------------------------------------------------------
 // PD faults always end in a local restart (Table VIII: "R" for ⊠ at PD).
@@ -248,7 +248,7 @@ INSTANTIATE_TEST_SUITE_P(
         BatteryCase{"onchip_pu_ref",
                     spec_at(FaultType::MemoryOnChip, OpKind::PU, 1, 1, 1,
                             Part::Reference)}),
-    [](const ::testing::TestParamInfo<BatteryCase>& info) { return info.param.name; });
+    [](const ::testing::TestParamInfo<BatteryCase>& tpi) { return tpi.param.name; });
 
 TEST(CholFaults, PcieD2DBroadcastCorrected) {
   auto spec = spec_at(FaultType::Pcie, OpKind::BroadcastD2D, 1, 1, 1);
@@ -283,7 +283,7 @@ INSTANTIATE_TEST_SUITE_P(
         BatteryCase{"dram_between_tmu_ref_v",
                     spec_at(FaultType::MemoryDram, OpKind::TMU, 1, 2, 1, Part::Reference,
                             Timing::BetweenOps)}),
-    [](const ::testing::TestParamInfo<BatteryCase>& info) { return info.param.name; });
+    [](const ::testing::TestParamInfo<BatteryCase>& tpi) { return tpi.param.name; });
 
 TEST(QrFaults, CtfErrorFixedByRecompute) {
   Campaign campaign(make_config(Decomp::Qr, ChecksumKind::Full, SchemeKind::NewScheme));

@@ -1,0 +1,154 @@
+/// \file schedule_lint.cpp
+/// ftla-schedule-lint: proves the checking schemes against the MUD model.
+///
+/// Dry-runs every decomposition x scheme x device-count combination with
+/// the schedule recorder attached, replays each trace through the
+/// coverage analyzer (src/analysis), and emits a JSON violation report.
+///
+/// Exit status: 0 when every case matches its expected protection
+/// profile (legacy schemes must exhibit their documented PCIe gaps, the
+/// new scheme must be clean); 1 on any unexpected finding, missing
+/// expected finding, or failed run; 2 on bad usage.
+///
+/// Usage:
+///   ftla-schedule-lint [--n N] [--nb NB] [--ngpus 1,2,4]
+///                      [--algo cholesky|lu|qr] [--scheme prior|post|new]
+///                      [--out report.json] [--quiet]
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/lint.hpp"
+#include "common/error.hpp"
+
+namespace {
+
+using ftla::analysis::LintCase;
+using ftla::analysis::LintOutcome;
+
+struct CliOptions {
+  ftla::index_t n = 192;
+  ftla::index_t nb = 32;
+  std::vector<int> ngpus = {1, 2, 4};
+  std::string algo;    // empty = all
+  std::string scheme;  // empty = all
+  std::string out;     // empty = stdout only
+  bool quiet = false;
+};
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--n N] [--nb NB] [--ngpus LIST] [--algo A] [--scheme S]"
+               " [--out FILE] [--quiet]\n";
+  return 2;
+}
+
+bool parse_ngpus(const std::string& s, std::vector<int>* out) {
+  out->clear();
+  std::stringstream ss(s);
+  std::string tok;
+  while (std::getline(ss, tok, ',')) {
+    const int g = std::atoi(tok.c_str());
+    if (g < 1) return false;
+    out->push_back(g);
+  }
+  return !out->empty();
+}
+
+const char* scheme_label(ftla::core::SchemeKind s) {
+  return ftla::core::to_string(s);
+}
+
+bool scheme_matches(ftla::core::SchemeKind s, const std::string& filter) {
+  if (filter.empty()) return true;
+  const std::string name = scheme_label(s);
+  return name == filter ||
+         (filter == "prior" && s == ftla::core::SchemeKind::PriorOp) ||
+         (filter == "post" && s == ftla::core::SchemeKind::PostOp) ||
+         (filter == "new" && s == ftla::core::SchemeKind::NewScheme);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions cli;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--n") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      cli.n = std::atol(v);
+    } else if (arg == "--nb") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      cli.nb = std::atol(v);
+    } else if (arg == "--ngpus") {
+      const char* v = next();
+      if (!v || !parse_ngpus(v, &cli.ngpus)) return usage(argv[0]);
+    } else if (arg == "--algo") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      cli.algo = v;
+    } else if (arg == "--scheme") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      cli.scheme = v;
+    } else if (arg == "--out") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      cli.out = v;
+    } else if (arg == "--quiet") {
+      cli.quiet = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  std::vector<LintOutcome> outcomes;
+  try {
+    for (const LintCase& c :
+         ftla::analysis::default_matrix(cli.n, cli.nb, cli.ngpus)) {
+      if (!cli.algo.empty() && c.algorithm != cli.algo) continue;
+      if (!scheme_matches(c.scheme, cli.scheme)) continue;
+      LintOutcome o = ftla::analysis::lint_case(c);
+      if (!cli.quiet) {
+        std::cerr << (o.pass ? "  ok  " : " FAIL ") << c.algorithm << " / "
+                  << scheme_label(c.scheme) << " / " << c.ngpu
+                  << " gpu: " << o.report.findings.size() << " finding(s), "
+                  << o.report.events << " events\n";
+      }
+      outcomes.push_back(std::move(o));
+    }
+  } catch (const ftla::FtlaError& e) {
+    std::cerr << "ftla-schedule-lint: configuration error: " << e.what()
+              << '\n';
+    return 2;
+  }
+
+  if (outcomes.empty()) {
+    std::cerr << "ftla-schedule-lint: no cases matched the filters\n";
+    return 2;
+  }
+
+  if (!cli.out.empty()) {
+    std::ofstream f(cli.out);
+    if (!f) {
+      std::cerr << "ftla-schedule-lint: cannot write " << cli.out << '\n';
+      return 2;
+    }
+    ftla::analysis::write_report(outcomes, f);
+  } else {
+    ftla::analysis::write_report(outcomes, std::cout);
+  }
+
+  return ftla::analysis::all_pass(outcomes) ? 0 : 1;
+}
