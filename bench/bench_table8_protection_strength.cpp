@@ -67,6 +67,7 @@ const char* cell(Outcome outcome, double overhead) {
     case Outcome::DetectedUnrecoverable: return "N*";
     case Outcome::WrongResult: return "N";
     case Outcome::FaultNotTriggered: return "-";
+    case Outcome::Aborted: return "(aborted)";
   }
   return "?";
 }

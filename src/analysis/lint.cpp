@@ -22,6 +22,7 @@ const char* status_name(RunStatus s) {
     case RunStatus::Success: return "success";
     case RunStatus::NeedCompleteRestart: return "need_complete_restart";
     case RunStatus::NumericalFailure: return "numerical_failure";
+    case RunStatus::Cancelled: return "cancelled";
   }
   return "?";
 }

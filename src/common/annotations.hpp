@@ -46,6 +46,7 @@
 #define FTLA_ASSERT_CAPABILITY(x) FTLA_THREAD_ANNOTATION_(assert_capability(x))
 #define FTLA_NO_THREAD_SAFETY_ANALYSIS FTLA_THREAD_ANNOTATION_(no_thread_safety_analysis)
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -93,6 +94,15 @@ class CondVar {
   CondVar& operator=(const CondVar&) = delete;
 
   void wait(Mutex& mu) FTLA_REQUIRES(mu) { cv_.wait(mu); }
+
+  /// Timed wait (for bounded backoff / idle polling loops). Returns
+  /// std::cv_status::timeout when the duration elapsed without a notify;
+  /// spurious wakeups are possible either way — re-check the predicate.
+  template <typename Rep, typename Period>
+  std::cv_status wait_for(Mutex& mu, const std::chrono::duration<Rep, Period>& rel_time)
+      FTLA_REQUIRES(mu) {
+    return cv_.wait_for(mu, rel_time);
+  }
 
   void notify_one() noexcept { cv_.notify_one(); }
   void notify_all() noexcept { cv_.notify_all(); }

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "core/reference_cache.hpp"
 #include "matrix/compare.hpp"
 #include "matrix/generate.hpp"
 #include "matrix/norms.hpp"
@@ -27,6 +28,7 @@ const char* to_string(Outcome o) {
     case Outcome::DetectedUnrecoverable: return "detected-unrecoverable";
     case Outcome::WrongResult: return "WRONG-RESULT";
     case Outcome::FaultNotTriggered: return "not-triggered";
+    case Outcome::Aborted: return "aborted";
   }
   return "?";
 }
@@ -56,11 +58,15 @@ Campaign::Campaign(CampaignConfig config) : config_(std::move(config)) {
   }
 }
 
-FtOutput Campaign::execute(fault::FaultInjector* injector) {
+FtOutput Campaign::execute(fault::FaultInjector* injector, const RunControls& controls) {
+  FtOptions opts = config_.opts;
+  opts.cancel = controls.cancel;
+  opts.trace = controls.trace;
+  opts.system = controls.system;
   switch (config_.decomp) {
-    case Decomp::Cholesky: return ft_cholesky(input_.const_view(), config_.opts, injector);
-    case Decomp::Lu: return ft_lu(input_.const_view(), config_.opts, injector);
-    case Decomp::Qr: return ft_qr(input_.const_view(), config_.opts, injector);
+    case Decomp::Cholesky: return ft_cholesky(input_.const_view(), opts, injector);
+    case Decomp::Lu: return ft_lu(input_.const_view(), opts, injector);
+    case Decomp::Qr: return ft_qr(input_.const_view(), opts, injector);
   }
   FTLA_CHECK(false, "unknown decomposition");
   return {};
@@ -68,12 +74,20 @@ FtOutput Campaign::execute(fault::FaultInjector* injector) {
 
 const FtOutput& Campaign::reference() {
   ftla::LockGuard lock(reference_mutex_);
-  if (!have_reference_) {
-    reference_ = execute(nullptr);
-    FTLA_CHECK(reference_.ok(), "campaign reference run failed");
-    have_reference_ = true;
+  if (!reference_) {
+    auto factory = [this] {
+      FtOutput out = execute(nullptr, RunControls{});
+      FTLA_CHECK(out.ok(), "campaign reference run failed");
+      return out;
+    };
+    if (config_.reference_cache != nullptr) {
+      reference_ = config_.reference_cache->get_or_compute(
+          ReferenceKey::from(config_), factory);
+    } else {
+      reference_ = std::make_shared<const FtOutput>(factory());
+    }
   }
-  return reference_;
+  return *reference_;
 }
 
 double Campaign::clean_seconds() { return reference().stats.total_seconds; }
@@ -83,11 +97,16 @@ CampaignResult Campaign::run(const fault::FaultSpec& spec) {
 }
 
 CampaignResult Campaign::run(const std::vector<fault::FaultSpec>& specs) {
+  return run(specs, RunControls{});
+}
+
+CampaignResult Campaign::run(const std::vector<fault::FaultSpec>& specs,
+                             const RunControls& controls) {
   const FtOutput& ref = reference();
 
   fault::FaultInjector injector;
   for (const auto& spec : specs) injector.schedule(spec);
-  FtOutput out = execute(&injector);
+  FtOutput out = execute(&injector, controls);
 
   CampaignResult result;
   result.stats = out.stats;
@@ -95,6 +114,13 @@ CampaignResult Campaign::run(const std::vector<fault::FaultSpec>& specs) {
   const double clean = ref.stats.total_seconds;
   result.recovery_overhead =
       clean > 0 ? (out.stats.total_seconds - clean) / clean : 0.0;
+
+  if (out.stats.status == RunStatus::Cancelled) {
+    // Shed before finishing: partial factors are not comparable and the
+    // abort is not a fault outcome — report it as its own class.
+    result.outcome = Outcome::Aborted;
+    return result;
+  }
 
   if (!injector.all_fired()) {
     result.outcome = Outcome::FaultNotTriggered;

@@ -6,13 +6,21 @@
 /// comparing against the fault-free reference run of the same
 /// configuration.
 
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/annotations.hpp"
 #include "core/ft_driver.hpp"
 
+namespace ftla::sim {
+class HeterogeneousSystem;
+}  // namespace ftla::sim
+
 namespace ftla::core {
+
+class ReferenceCache;
 
 enum class Decomp { Cholesky, Lu, Qr };
 
@@ -26,6 +34,7 @@ enum class Outcome {
   DetectedUnrecoverable,  ///< detected; needs a complete restart
   WrongResult,            ///< "N": undetected, final result is corrupt
   FaultNotTriggered,      ///< the schedule never matched an executed op
+  Aborted,                ///< run cancelled via RunControls before finishing
 };
 
 const char* to_string(Outcome o);
@@ -37,6 +46,23 @@ struct CampaignConfig {
   std::uint64_t matrix_seed = 42;
   /// Factor mismatch beyond result_tol·(1+max|ref|) counts as wrong.
   double result_tol = 1e-6;
+  /// Optional shared store of fault-free references (not owned; must
+  /// outlive the campaign). When set, reference() consults it so several
+  /// campaigns — e.g. retries and same-shape jobs in the serving runtime
+  /// — reuse one baseline instead of each recomputing it.
+  ReferenceCache* reference_cache = nullptr;
+};
+
+/// Per-execution knobs a serving layer varies between attempts of the
+/// same configuration; none of them affect the computed factors, so the
+/// cached reference stays valid across all of them.
+struct RunControls {
+  /// Polled at iteration boundaries; true aborts the run (Outcome::Aborted).
+  std::function<bool()> cancel;
+  /// Records the attempt's schedule trace (tag with a job id upstream).
+  trace::TraceRecorder* trace = nullptr;
+  /// Pooled system to execute on (see FtOptions::system).
+  sim::HeterogeneousSystem* system = nullptr;
 };
 
 struct CampaignResult {
@@ -71,18 +97,23 @@ class Campaign {
   /// striking distinct blocks are independently correctable.
   CampaignResult run(const std::vector<fault::FaultSpec>& specs);
 
+  /// Serving-runtime variant: one attempt with per-execution controls
+  /// (cancellation, tracing, pooled system). A cancelled attempt
+  /// classifies as Outcome::Aborted without comparing factors.
+  CampaignResult run(const std::vector<fault::FaultSpec>& specs,
+                     const RunControls& controls);
+
   [[nodiscard]] const CampaignConfig& config() const noexcept { return config_; }
 
  private:
-  FtOutput execute(fault::FaultInjector* injector);
+  FtOutput execute(fault::FaultInjector* injector, const RunControls& controls);
 
   CampaignConfig config_;
   MatD input_;
   ftla::Mutex reference_mutex_;
-  /// Guarded by reference_mutex_ until have_reference_ flips; after that
-  /// callers hold only the returned const reference (never mutated again).
-  FtOutput reference_ FTLA_GUARDED_BY(reference_mutex_);
-  bool have_reference_ FTLA_GUARDED_BY(reference_mutex_) = false;
+  /// Set once under reference_mutex_; the pointee is immutable, so after
+  /// publication callers only read through the shared_ptr.
+  std::shared_ptr<const FtOutput> reference_ FTLA_GUARDED_BY(reference_mutex_);
 };
 
 }  // namespace ftla::core

@@ -1,5 +1,6 @@
 #include <atomic>
 #include <cmath>
+#include <memory>
 
 #include "blas/blas.hpp"
 #include "checksum/correct.hpp"
@@ -72,10 +73,14 @@ class QrDriver {
         n_(a.rows()),
         nb_(opts.nb),
         b_(a.rows() / opts.nb),
-        sys_(opts.ngpu),
+        sys_owned_(opts.system ? nullptr
+                               : std::make_unique<sim::HeterogeneousSystem>(opts.ngpu)),
+        sys_(opts.system ? *opts.system : *sys_owned_),
         a_dist_(sys_, n_, nb_, opts.checksum, SingleSideDim::Row),
         host_in_(a) {
     FTLA_CHECK(a.rows() == a.cols(), "ft_qr: matrix must be square");
+    FTLA_CHECK(!opts.system || opts.system->ngpu() == opts.ngpu,
+               "ft_qr: FtOptions::system must have exactly opts.ngpu GPUs");
     a_dist_.set_trace(trc_);
     tol_.slack = opts.tol_slack;
     tol_.context = static_cast<double>(n_);
@@ -120,6 +125,10 @@ class QrDriver {
     }
 
     for (index_t k = 0; k < b_ && !fatal(); ++k) {
+      if (opts_.cancel && opts_.cancel()) {
+        fail(RunStatus::Cancelled);
+        break;
+      }
       if (trc_) trc_->begin_iteration(k);
       iteration(k, out.tau);
       if (trc_) trc_->end_iteration(k);
@@ -665,7 +674,8 @@ class QrDriver {
   fault::FaultInjector* inj_;
   trace::TraceRecorder* trc_;
   index_t n_, nb_, b_;
-  sim::HeterogeneousSystem sys_;
+  std::unique_ptr<sim::HeterogeneousSystem> sys_owned_;
+  sim::HeterogeneousSystem& sys_;
   DistMatrix a_dist_;
   ConstViewD host_in_;
   FtStats stats_;
@@ -688,6 +698,14 @@ class QrDriver {
 }  // namespace
 
 FtOutput ft_qr(ConstViewD a, const FtOptions& opts, fault::FaultInjector* injector) {
+  if (!opts.system) {
+    QrDriver driver(a, opts, injector);
+    return driver.run();
+  }
+  // Pooled system: per-run link accounting, and arena cleanup on every
+  // exit path so the instance is reusable (declared before the driver so
+  // it outlives the driver's views into the arenas).
+  sim::BorrowedSystemScope scope(*opts.system);
   QrDriver driver(a, opts, injector);
   return driver.run();
 }

@@ -5,12 +5,18 @@
 /// layout is maintained and which ABFT checking scheme places the
 /// verifications (paper §VII).
 
+#include <functional>
+
 #include "checksum/encode.hpp"
 #include "common/types.hpp"
 
 namespace ftla::trace {
 class TraceRecorder;
 }  // namespace ftla::trace
+
+namespace ftla::sim {
+class HeterogeneousSystem;
+}  // namespace ftla::sim
 
 namespace ftla::core {
 
@@ -64,6 +70,18 @@ struct FtOptions {
   /// transfers, verifications) into this recorder for offline coverage
   /// analysis (src/analysis). Not owned; must outlive the run.
   trace::TraceRecorder* trace = nullptr;
+  /// Cancellation hook, polled at every outer-iteration boundary. When it
+  /// returns true the run aborts with RunStatus::Cancelled (partial
+  /// factors, ok() false) instead of finishing dead work — the serving
+  /// layer uses this to shed jobs past their deadline class.
+  std::function<bool()> cancel;
+  /// When set, the decomposition runs on this externally owned system
+  /// instead of constructing its own (ngpu must equal system->ngpu()).
+  /// Every device-arena allocation made during the run is released when
+  /// the driver exits — on success, cancellation, failure or exception —
+  /// so instances can be pooled and reused across jobs (src/serve
+  /// fleets). Not owned; must outlive the run.
+  sim::HeterogeneousSystem* system = nullptr;
 
   [[nodiscard]] SchemePolicy policy() const { return SchemePolicy::make(scheme); }
 };

@@ -1,0 +1,95 @@
+#include "core/reference_cache.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "core/campaign.hpp"
+
+namespace ftla::core {
+
+ReferenceKey ReferenceKey::from(const CampaignConfig& config) {
+  ReferenceKey key;
+  key.decomp = static_cast<int>(config.decomp);
+  key.n = config.n;
+  key.matrix_seed = config.matrix_seed;
+  key.nb = config.opts.nb;
+  key.ngpu = config.opts.ngpu;
+  key.checksum = static_cast<int>(config.opts.checksum);
+  key.scheme = static_cast<int>(config.opts.scheme);
+  key.encoder = static_cast<int>(config.opts.encoder);
+  key.tol_slack = config.opts.tol_slack;
+  key.max_local_restarts = config.opts.max_local_restarts;
+  key.periodic_trailing_check = config.opts.periodic_trailing_check;
+  return key;
+}
+
+ReferenceCache::Entry* ReferenceCache::find(const ReferenceKey& key) {
+  for (Entry& e : entries_)
+    if (e.key == key) return &e;
+  return nullptr;
+}
+
+std::shared_ptr<const FtOutput> ReferenceCache::get_or_compute(const ReferenceKey& key,
+                                                               const Factory& make) {
+  {
+    ftla::LockGuard lock(mutex_);
+    for (;;) {
+      Entry* entry = find(key);
+      if (entry == nullptr) break;
+      if (entry->value) {
+        ++hits_;
+        return entry->value;
+      }
+      // Another thread is computing this key; wait for it to publish (or
+      // give up, which erases the placeholder and re-enters the loop).
+      published_.wait(mutex_);
+    }
+    entries_.push_back(Entry{key, nullptr});
+    ++misses_;
+  }
+
+  std::shared_ptr<const FtOutput> value;
+  try {
+    value = std::make_shared<const FtOutput>(make());
+  } catch (...) {
+    ftla::LockGuard lock(mutex_);
+    entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                  [&](const Entry& e) { return e.key == key && !e.value; }),
+                   entries_.end());
+    published_.notify_all();
+    throw;
+  }
+
+  ftla::LockGuard lock(mutex_);
+  Entry* entry = find(key);
+  FTLA_CHECK(entry != nullptr && !entry->value, "reference cache entry vanished");
+  entry->value = value;
+  published_.notify_all();
+  return value;
+}
+
+std::size_t ReferenceCache::size() const {
+  ftla::LockGuard lock(mutex_);
+  return entries_.size();
+}
+
+std::uint64_t ReferenceCache::hits() const {
+  ftla::LockGuard lock(mutex_);
+  return hits_;
+}
+
+std::uint64_t ReferenceCache::misses() const {
+  ftla::LockGuard lock(mutex_);
+  return misses_;
+}
+
+void ReferenceCache::clear() {
+  ftla::LockGuard lock(mutex_);
+  // In-flight computations keep their placeholders; dropping published
+  // values is safe because callers hold shared_ptrs.
+  entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                [](const Entry& e) { return e.value != nullptr; }),
+                 entries_.end());
+}
+
+}  // namespace ftla::core

@@ -1,0 +1,86 @@
+#pragma once
+
+/// \file reference_cache.hpp
+/// Process-wide cache of fault-free reference runs.
+///
+/// Classifying a faulty run (core/campaign.hpp) needs the fault-free
+/// factorization of the same configuration. A standalone Campaign caches
+/// its reference per instance; a serving runtime executing many jobs of
+/// the same shape — and every retry of a job — would recompute the same
+/// baseline over and over. This cache shares references across Campaign
+/// instances, keyed by everything that determines the reference output:
+/// {decomposition, n, matrix seed, FtOptions numerics}. Lookups are
+/// single-flight: when several threads miss on the same key at once, one
+/// computes and the rest wait for its result.
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/annotations.hpp"
+#include "core/ft_driver.hpp"
+
+namespace ftla::core {
+
+enum class Decomp;
+struct CampaignConfig;
+
+/// The configuration fields a reference run depends on. Runtime-only
+/// knobs (trace recorder, cancel hook, borrowed system) are deliberately
+/// excluded: they never change the computed factors.
+struct ReferenceKey {
+  int decomp = 0;  ///< static_cast<int>(Decomp)
+  index_t n = 0;
+  std::uint64_t matrix_seed = 0;
+  index_t nb = 0;
+  int ngpu = 0;
+  int checksum = 0;  ///< static_cast<int>(ChecksumKind)
+  int scheme = 0;    ///< static_cast<int>(SchemeKind)
+  int encoder = 0;   ///< static_cast<int>(checksum::Encoder)
+  double tol_slack = 0.0;
+  int max_local_restarts = 0;
+  index_t periodic_trailing_check = 0;
+
+  static ReferenceKey from(const CampaignConfig& config);
+
+  friend bool operator==(const ReferenceKey&, const ReferenceKey&) = default;
+};
+
+/// Thread-safe, single-flight reference store. Values are immutable once
+/// published; callers keep them alive via shared_ptr, so a cache clear
+/// never invalidates a reference a run is still comparing against.
+class ReferenceCache {
+ public:
+  using Factory = std::function<FtOutput()>;
+
+  ReferenceCache() = default;
+  ReferenceCache(const ReferenceCache&) = delete;
+  ReferenceCache& operator=(const ReferenceCache&) = delete;
+
+  /// Returns the cached reference for `key`, computing it with `make` on
+  /// first use. Concurrent callers with the same key block until the one
+  /// computing publishes (or fails — then the next caller retries).
+  std::shared_ptr<const FtOutput> get_or_compute(const ReferenceKey& key,
+                                                 const Factory& make);
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::uint64_t hits() const;
+  [[nodiscard]] std::uint64_t misses() const;
+  void clear();
+
+ private:
+  struct Entry {
+    ReferenceKey key;
+    std::shared_ptr<const FtOutput> value;  ///< null while being computed
+  };
+
+  [[nodiscard]] Entry* find(const ReferenceKey& key) FTLA_REQUIRES(mutex_);
+
+  mutable ftla::Mutex mutex_;
+  ftla::CondVar published_;
+  std::vector<Entry> entries_ FTLA_GUARDED_BY(mutex_);
+  std::uint64_t hits_ FTLA_GUARDED_BY(mutex_) = 0;
+  std::uint64_t misses_ FTLA_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace ftla::core

@@ -14,6 +14,7 @@ std::string FtStats::summary() const {
     case RunStatus::Success: oss << " [ok]"; break;
     case RunStatus::NeedCompleteRestart: oss << " [COMPLETE RESTART]"; break;
     case RunStatus::NumericalFailure: oss << " [numerical failure]"; break;
+    case RunStatus::Cancelled: oss << " [cancelled]"; break;
   }
   return oss.str();
 }

@@ -18,6 +18,8 @@ enum class RunStatus {
   NeedCompleteRestart,  ///< an error was detected that ABFT + local restart
                         ///< cannot fix; the whole computation must rerun
   NumericalFailure,     ///< non-positive pivot etc. — input problem
+  Cancelled,            ///< aborted via FtOptions::cancel at an iteration
+                        ///< boundary (serving-layer deadline shedding)
 };
 
 /// FtStats is NOT internally synchronized. The drivers follow a

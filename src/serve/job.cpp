@@ -1,0 +1,46 @@
+#include "serve/job.hpp"
+
+namespace ftla::serve {
+
+const char* to_string(Priority p) {
+  switch (p) {
+    case Priority::Batch: return "batch";
+    case Priority::Normal: return "normal";
+    case Priority::Interactive: return "interactive";
+  }
+  return "?";
+}
+
+const char* to_string(DeadlineClass d) {
+  switch (d) {
+    case DeadlineClass::None: return "none";
+    case DeadlineClass::Relaxed: return "relaxed";
+    case DeadlineClass::Strict: return "strict";
+  }
+  return "?";
+}
+
+const char* to_string(JobState s) {
+  switch (s) {
+    case JobState::Queued: return "queued";
+    case JobState::Running: return "running";
+    case JobState::Completed: return "completed";
+    case JobState::Failed: return "failed";
+    case JobState::Shed: return "shed";
+    case JobState::Rejected: return "rejected";
+  }
+  return "?";
+}
+
+const char* to_string(RejectReason r) {
+  switch (r) {
+    case RejectReason::None: return "none";
+    case RejectReason::QueueFull: return "queue-full";
+    case RejectReason::ShuttingDown: return "shutting-down";
+    case RejectReason::InvalidSize: return "invalid-size";
+    case RejectReason::NoCapableFleet: return "no-capable-fleet";
+  }
+  return "?";
+}
+
+}  // namespace ftla::serve

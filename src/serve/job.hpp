@@ -1,0 +1,89 @@
+#pragma once
+
+/// \file job.hpp
+/// Vocabulary of the multi-tenant serving runtime: what a factorization
+/// job asks for, how admission can refuse it, and what the runtime
+/// reports back when the job reaches a terminal state.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/campaign.hpp"
+#include "fault/fault.hpp"
+
+namespace ftla::serve {
+
+/// Scheduling priority. Higher values preempt lower ones in the queue
+/// (never mid-run); FIFO within a class.
+enum class Priority { Batch = 0, Normal = 1, Interactive = 2 };
+
+/// How long a job may sit in the system before it is shed instead of
+/// served. Budgets per class are configured on the runtime; None never
+/// expires.
+enum class DeadlineClass { None, Relaxed, Strict };
+
+/// One factorization request. `opts.ngpu == 0` means "any fleet" — the
+/// scheduler binds it to a fleet at admission; a nonzero value restricts
+/// placement to fleets with exactly that many GPUs.
+struct JobSpec {
+  core::Decomp decomp = core::Decomp::Lu;
+  index_t n = 256;
+  std::uint64_t matrix_seed = 42;
+  core::FtOptions opts;
+  Priority priority = Priority::Normal;
+  DeadlineClass deadline = DeadlineClass::None;
+  /// Faults injected into the run (the serving analogue of a campaign
+  /// schedule; the load harness uses it to model soft-error rates). By
+  /// default they fire on the first attempt only — transient faults do
+  /// not repeat on retry; set persistent_faults to re-inject every time.
+  std::vector<fault::FaultSpec> faults;
+  bool persistent_faults = false;
+  /// Mismatch tolerance against the fault-free reference (Campaign).
+  double result_tol = 1e-6;
+};
+
+/// Life-cycle state of a submitted job.
+enum class JobState {
+  Queued,     ///< admitted, waiting for a fleet (or for retry backoff)
+  Running,    ///< an attempt is executing on a fleet
+  Completed,  ///< terminal: factors verified against the reference
+  Failed,     ///< terminal: WrongResult or retry budget exhausted
+  Shed,       ///< terminal: deadline expired (before or mid-run)
+  Rejected,   ///< never admitted (see RejectReason)
+};
+
+/// Why admission control refused a submission.
+enum class RejectReason {
+  None,
+  QueueFull,       ///< backpressure: the bounded queue is at capacity
+  ShuttingDown,    ///< the runtime no longer accepts work
+  InvalidSize,     ///< n not a positive multiple of the block size
+  NoCapableFleet,  ///< no fleet has the requested GPU count
+};
+
+/// Terminal report for one job.
+struct JobResult {
+  std::uint64_t id = 0;
+  JobState state = JobState::Rejected;
+  RejectReason reject = RejectReason::None;
+  /// Classification of the final attempt (Aborted for shed jobs).
+  core::Outcome outcome = core::Outcome::FaultNotTriggered;
+  int attempts = 0;
+  int fleet = -1;  ///< fleet of the final attempt
+  /// Time spent admitted-but-not-running, excluding deliberate retry
+  /// backoff (reported separately), summed over attempts.
+  double queue_wait_seconds = 0.0;
+  /// Time spent executing, summed over attempts.
+  double service_seconds = 0.0;
+  double backoff_seconds = 0.0;
+  core::FtStats stats;  ///< stats of the final attempt
+  std::string error;    ///< human-readable cause for Failed / Shed
+};
+
+const char* to_string(Priority p);
+const char* to_string(DeadlineClass d);
+const char* to_string(JobState s);
+const char* to_string(RejectReason r);
+
+}  // namespace ftla::serve

@@ -1,0 +1,173 @@
+#include "serve/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace ftla::serve {
+
+double LatencyTrack::mean() const {
+  if (samples_.empty()) return 0.0;
+  double sum = 0.0;
+  for (double s : samples_) sum += s;
+  return sum / static_cast<double>(samples_.size());
+}
+
+double LatencyTrack::quantile(double q) const {
+  if (samples_.empty()) return 0.0;
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  const auto n = static_cast<double>(samples_.size());
+  auto rank = static_cast<std::size_t>(std::ceil(q * n));
+  if (rank > 0) --rank;  // nearest-rank, 1-based -> 0-based
+  rank = std::min(rank, samples_.size() - 1);
+  return samples_[rank];
+}
+
+ServeMetrics::ServeMetrics(std::vector<int> fleet_ngpu) {
+  fleets_.resize(fleet_ngpu.size());
+  for (std::size_t f = 0; f < fleet_ngpu.size(); ++f) fleets_[f].ngpu = fleet_ngpu[f];
+}
+
+void ServeMetrics::record_rejected(RejectReason reason) {
+  ftla::LockGuard lock(mutex_);
+  ++rejected_;
+  ++reject_histogram_[static_cast<int>(reason)];
+}
+
+void ServeMetrics::record_terminal(const JobResult& result) {
+  ftla::LockGuard lock(mutex_);
+  switch (result.state) {
+    case JobState::Completed: ++completed_; break;
+    case JobState::Failed: ++failed_; break;
+    case JobState::Shed: ++shed_; break;
+    default: FTLA_CHECK(false, "record_terminal: job not in a terminal served state");
+  }
+  ++outcome_histogram_[static_cast<int>(result.outcome)];
+  if (result.attempts > 1) retries_ += static_cast<std::uint64_t>(result.attempts - 1);
+  queue_wait_.add(result.queue_wait_seconds);
+  service_.add(result.service_seconds);
+  total_latency_.add(result.queue_wait_seconds + result.backoff_seconds +
+                     result.service_seconds);
+  if (result.fleet >= 0 && result.fleet < static_cast<int>(fleets_.size())) {
+    auto& fm = fleets_[static_cast<std::size_t>(result.fleet)];
+    switch (result.state) {
+      case JobState::Completed: ++fm.completed; break;
+      case JobState::Failed: ++fm.failed; break;
+      case JobState::Shed: ++fm.shed; break;
+      default: break;
+    }
+  }
+}
+
+void ServeMetrics::record_attempt(int fleet, double service_seconds, bool stolen) {
+  ftla::LockGuard lock(mutex_);
+  if (fleet < 0 || fleet >= static_cast<int>(fleets_.size())) return;
+  auto& fm = fleets_[static_cast<std::size_t>(fleet)];
+  ++fm.attempts;
+  if (stolen) ++fm.stolen;
+  fm.busy_seconds += service_seconds;
+}
+
+namespace {
+
+void emit_latency(std::ostringstream& oss, const char* name, const LatencyTrack& track) {
+  oss << "\"" << name << "\":{\"count\":" << track.count() << ",\"mean_s\":" << track.mean()
+      << ",\"p50_s\":" << track.quantile(0.50) << ",\"p95_s\":" << track.quantile(0.95)
+      << ",\"p99_s\":" << track.quantile(0.99) << "}";
+}
+
+}  // namespace
+
+std::string ServeMetrics::to_json(double elapsed_seconds) const {
+  ftla::LockGuard lock(mutex_);
+  std::ostringstream oss;
+  oss.precision(9);
+  oss << "{";
+  oss << "\"elapsed_seconds\":" << elapsed_seconds;
+  oss << ",\"completed\":" << completed_ << ",\"failed\":" << failed_
+      << ",\"shed\":" << shed_ << ",\"rejected\":" << rejected_
+      << ",\"retries\":" << retries_;
+  const double thr =
+      elapsed_seconds > 0 ? static_cast<double>(completed_) / elapsed_seconds : 0.0;
+  oss << ",\"throughput_jobs_per_s\":" << thr;
+  oss << ",";
+  emit_latency(oss, "queue_wait", queue_wait_);
+  oss << ",";
+  emit_latency(oss, "service", service_);
+  oss << ",";
+  emit_latency(oss, "total_latency", total_latency_);
+  oss << ",\"outcomes\":{";
+  constexpr core::Outcome kOutcomes[] = {
+      core::Outcome::NoImpact,        core::Outcome::CorrectedAbft,
+      core::Outcome::CorrectedRestart, core::Outcome::DetectedUnrecoverable,
+      core::Outcome::WrongResult,     core::Outcome::FaultNotTriggered,
+      core::Outcome::Aborted,
+  };
+  bool first = true;
+  for (core::Outcome o : kOutcomes) {
+    if (!first) oss << ",";
+    first = false;
+    oss << "\"" << core::to_string(o) << "\":" << outcome_histogram_[static_cast<int>(o)];
+  }
+  oss << "},\"rejections\":{";
+  constexpr RejectReason kReasons[] = {
+      RejectReason::QueueFull, RejectReason::ShuttingDown, RejectReason::InvalidSize,
+      RejectReason::NoCapableFleet};
+  first = true;
+  for (RejectReason r : kReasons) {
+    if (!first) oss << ",";
+    first = false;
+    oss << "\"" << to_string(r) << "\":" << reject_histogram_[static_cast<int>(r)];
+  }
+  oss << "},\"fleets\":[";
+  for (std::size_t f = 0; f < fleets_.size(); ++f) {
+    const auto& fm = fleets_[f];
+    if (f > 0) oss << ",";
+    oss << "{\"fleet\":" << f << ",\"ngpu\":" << fm.ngpu
+        << ",\"completed\":" << fm.completed << ",\"failed\":" << fm.failed
+        << ",\"shed\":" << fm.shed << ",\"attempts\":" << fm.attempts
+        << ",\"stolen\":" << fm.stolen << ",\"busy_seconds\":" << fm.busy_seconds;
+    if (elapsed_seconds > 0)
+      oss << ",\"utilization\":" << fm.busy_seconds / elapsed_seconds;
+    oss << "}";
+  }
+  oss << "]}";
+  return oss.str();
+}
+
+std::uint64_t ServeMetrics::completed() const {
+  ftla::LockGuard lock(mutex_);
+  return completed_;
+}
+
+std::uint64_t ServeMetrics::failed() const {
+  ftla::LockGuard lock(mutex_);
+  return failed_;
+}
+
+std::uint64_t ServeMetrics::shed() const {
+  ftla::LockGuard lock(mutex_);
+  return shed_;
+}
+
+std::uint64_t ServeMetrics::rejected() const {
+  ftla::LockGuard lock(mutex_);
+  return rejected_;
+}
+
+std::uint64_t ServeMetrics::retries() const {
+  ftla::LockGuard lock(mutex_);
+  return retries_;
+}
+
+std::uint64_t ServeMetrics::outcome_count(core::Outcome o) const {
+  ftla::LockGuard lock(mutex_);
+  return outcome_histogram_[static_cast<int>(o)];
+}
+
+}  // namespace ftla::serve

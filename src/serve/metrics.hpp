@@ -1,0 +1,80 @@
+#pragma once
+
+/// \file metrics.hpp
+/// Serving metrics: per-job latency samples aggregated into per-fleet
+/// and global counters, outcome histograms, and p50/p95/p99 latency
+/// quantiles, exported as a single JSON document.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/annotations.hpp"
+#include "serve/job.hpp"
+
+namespace ftla::serve {
+
+/// Reservoir of latency samples with quantile extraction. Sample counts
+/// in a serving run are small (thousands), so this keeps everything.
+class LatencyTrack {
+ public:
+  void add(double seconds) { samples_.push_back(seconds); }
+  [[nodiscard]] std::size_t count() const noexcept { return samples_.size(); }
+  [[nodiscard]] double mean() const;
+  /// q in [0,1]; nearest-rank on the sorted samples. 0 when empty.
+  [[nodiscard]] double quantile(double q) const;
+
+ private:
+  mutable std::vector<double> samples_;  // sorted lazily by quantile()
+  mutable bool sorted_ = false;
+};
+
+/// Counters for one fleet.
+struct FleetMetrics {
+  int ngpu = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t attempts = 0;
+  std::uint64_t stolen = 0;  ///< attempts this fleet stole from another lane
+  double busy_seconds = 0.0;
+};
+
+/// Thread-safe aggregate the runtime and its workers report into.
+class ServeMetrics {
+ public:
+  explicit ServeMetrics(std::vector<int> fleet_ngpu);
+
+  void record_rejected(RejectReason reason);
+  /// Called once per job at its terminal state (not for rejections).
+  void record_terminal(const JobResult& result);
+  /// Called once per attempt, successful or not.
+  void record_attempt(int fleet, double service_seconds, bool stolen);
+
+  /// Serializes everything as a JSON object. `elapsed_seconds` scales
+  /// the throughput figure; pass the harness's wall-clock window.
+  [[nodiscard]] std::string to_json(double elapsed_seconds) const;
+
+  [[nodiscard]] std::uint64_t completed() const;
+  [[nodiscard]] std::uint64_t failed() const;
+  [[nodiscard]] std::uint64_t shed() const;
+  [[nodiscard]] std::uint64_t rejected() const;
+  [[nodiscard]] std::uint64_t retries() const;
+  [[nodiscard]] std::uint64_t outcome_count(core::Outcome o) const;
+
+ private:
+  mutable ftla::Mutex mutex_;
+  std::vector<FleetMetrics> fleets_ FTLA_GUARDED_BY(mutex_);
+  LatencyTrack queue_wait_ FTLA_GUARDED_BY(mutex_);
+  LatencyTrack service_ FTLA_GUARDED_BY(mutex_);
+  LatencyTrack total_latency_ FTLA_GUARDED_BY(mutex_);
+  std::uint64_t outcome_histogram_[7] FTLA_GUARDED_BY(mutex_) = {};
+  std::uint64_t reject_histogram_[5] FTLA_GUARDED_BY(mutex_) = {};
+  std::uint64_t completed_ FTLA_GUARDED_BY(mutex_) = 0;
+  std::uint64_t failed_ FTLA_GUARDED_BY(mutex_) = 0;
+  std::uint64_t shed_ FTLA_GUARDED_BY(mutex_) = 0;
+  std::uint64_t rejected_ FTLA_GUARDED_BY(mutex_) = 0;
+  std::uint64_t retries_ FTLA_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace ftla::serve

@@ -1,0 +1,130 @@
+#include "serve/queue.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace ftla::serve {
+
+JobQueue::JobQueue(std::vector<int> fleet_ngpu, std::size_t capacity)
+    : fleet_ngpu_(std::move(fleet_ngpu)), capacity_(capacity) {
+  FTLA_CHECK(!fleet_ngpu_.empty(), "JobQueue: need at least one fleet");
+  FTLA_CHECK(capacity_ > 0, "JobQueue: capacity must be positive");
+  lanes_.resize(fleet_ngpu_.size());
+}
+
+RejectReason JobQueue::try_push(const QueuedJob& job) {
+  FTLA_CHECK(job.fleet >= 0 && job.fleet < static_cast<int>(lanes_.size()),
+             "JobQueue::try_push: fleet out of range");
+  ftla::LockGuard lock(mutex_);
+  if (closed_) return RejectReason::ShuttingDown;
+  if (total_ >= capacity_) return RejectReason::QueueFull;
+  lanes_[static_cast<std::size_t>(job.fleet)].push_back(job);
+  ++total_;
+  work_available_.notify_all();
+  return RejectReason::None;
+}
+
+bool JobQueue::push_requeue(const QueuedJob& job) {
+  FTLA_CHECK(job.fleet >= 0 && job.fleet < static_cast<int>(lanes_.size()),
+             "JobQueue::push_requeue: fleet out of range");
+  ftla::LockGuard lock(mutex_);
+  if (closed_ && discarded_) return false;
+  lanes_[static_cast<std::size_t>(job.fleet)].push_back(job);
+  ++total_;
+  work_available_.notify_all();
+  return true;
+}
+
+int JobQueue::best_ready(int lane, Clock::time_point now) const {
+  const auto& jobs = lanes_[static_cast<std::size_t>(lane)];
+  int best = -1;
+  for (int i = 0; i < static_cast<int>(jobs.size()); ++i) {
+    const auto& j = jobs[static_cast<std::size_t>(i)];
+    if (j.ready_at > now) continue;
+    if (best < 0) {
+      best = i;
+      continue;
+    }
+    const auto& b = jobs[static_cast<std::size_t>(best)];
+    if (j.priority > b.priority || (j.priority == b.priority && j.seq < b.seq)) best = i;
+  }
+  return best;
+}
+
+std::optional<QueuedJob> JobQueue::pop(int fleet) {
+  FTLA_CHECK(fleet >= 0 && fleet < static_cast<int>(lanes_.size()),
+             "JobQueue::pop: fleet out of range");
+  const int my_ngpu = fleet_ngpu_[static_cast<std::size_t>(fleet)];
+  ftla::LockGuard lock(mutex_);
+  for (;;) {
+    const auto now = Clock::now();
+    // Own lane first; otherwise steal the best ready job from a lane
+    // whose fleet has the same GPU count.
+    int lane = fleet;
+    int idx = best_ready(fleet, now);
+    if (idx < 0) {
+      for (int other = 0; other < static_cast<int>(lanes_.size()); ++other) {
+        if (other == fleet || fleet_ngpu_[static_cast<std::size_t>(other)] != my_ngpu)
+          continue;
+        idx = best_ready(other, now);
+        if (idx >= 0) {
+          lane = other;
+          break;
+        }
+      }
+    }
+    if (idx >= 0) {
+      auto& jobs = lanes_[static_cast<std::size_t>(lane)];
+      QueuedJob job = jobs[static_cast<std::size_t>(idx)];
+      jobs.erase(jobs.begin() + idx);
+      --total_;
+      if (lane != fleet) ++stolen_;
+      return job;
+    }
+
+    if (closed_ && total_ == 0) return std::nullopt;
+
+    // Jobs may exist but be gated by retry backoff: sleep no longer than
+    // the earliest ready_at among lanes this fleet may serve.
+    auto earliest = Clock::time_point::max();
+    for (int other = 0; other < static_cast<int>(lanes_.size()); ++other) {
+      if (fleet_ngpu_[static_cast<std::size_t>(other)] != my_ngpu) continue;
+      for (const auto& j : lanes_[static_cast<std::size_t>(other)])
+        earliest = std::min(earliest, j.ready_at);
+    }
+    if (earliest == Clock::time_point::max()) {
+      work_available_.wait(mutex_);
+    } else {
+      work_available_.wait_for(mutex_, earliest - now);
+    }
+  }
+}
+
+std::vector<std::uint64_t> JobQueue::close(bool discard) {
+  ftla::LockGuard lock(mutex_);
+  closed_ = true;
+  std::vector<std::uint64_t> dropped;
+  if (discard) {
+    discarded_ = true;
+    for (auto& lane : lanes_) {
+      for (const auto& j : lane) dropped.push_back(j.id);
+      lane.clear();
+    }
+    total_ = 0;
+  }
+  work_available_.notify_all();
+  return dropped;
+}
+
+std::size_t JobQueue::size() const {
+  ftla::LockGuard lock(mutex_);
+  return total_;
+}
+
+std::uint64_t JobQueue::stolen() const {
+  ftla::LockGuard lock(mutex_);
+  return stolen_;
+}
+
+}  // namespace ftla::serve

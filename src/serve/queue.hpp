@@ -1,0 +1,93 @@
+#pragma once
+
+/// \file queue.hpp
+/// Bounded, priority-aware job queue of the serving runtime.
+///
+/// One lane per fleet. A job is admitted into the lane of the fleet it
+/// was placed on; an idle fleet whose own lane is empty steals the best
+/// ready job from another lane with the same GPU count (jobs are bound
+/// to a GPU count at admission, so stealing across unequal fleets would
+/// change the job's configuration and invalidate its cached reference).
+///
+/// Ordering within a lane: highest Priority first, then
+/// first-admitted-first (a monotone sequence number, not wall time).
+/// A job whose `ready_at` lies in the future — retry backoff — is
+/// invisible to pop() until the deadline passes.
+///
+/// Capacity bounds *new arrivals only*: try_push refuses when the total
+/// backlog is at capacity, but push_requeue always succeeds. A retried
+/// job already consumed its admission slot; bouncing it at requeue time
+/// would turn a recoverable fault into a spurious rejection.
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/annotations.hpp"
+#include "serve/job.hpp"
+
+namespace ftla::serve {
+
+using Clock = std::chrono::steady_clock;
+
+/// Queue entry: the runtime keeps the JobSpec in its own table; the
+/// queue only orders ids.
+struct QueuedJob {
+  std::uint64_t id = 0;
+  Priority priority = Priority::Normal;
+  std::uint64_t seq = 0;  ///< admission order, FIFO tiebreak
+  int fleet = -1;         ///< lane the job was placed on
+  Clock::time_point ready_at{};  ///< not schedulable before this instant
+};
+
+class JobQueue {
+ public:
+  /// `fleet_ngpu[f]` is the GPU count of fleet f (steal compatibility);
+  /// `capacity` bounds the total backlog of new arrivals.
+  JobQueue(std::vector<int> fleet_ngpu, std::size_t capacity);
+
+  /// Admits a new job into its fleet's lane. Returns the rejection
+  /// reason (QueueFull under backpressure, ShuttingDown after close),
+  /// or RejectReason::None on success.
+  RejectReason try_push(const QueuedJob& job);
+
+  /// Re-enqueues a job for retry; exempt from the capacity bound.
+  /// Returns false (job dropped) only if the queue was closed with
+  /// discard=true — the caller must then mark the job terminal itself.
+  bool push_requeue(const QueuedJob& job);
+
+  /// Blocks until fleet `fleet` has work (own lane first, then stealing
+  /// from same-ngpu lanes) or the queue is closed and drained. Returns
+  /// std::nullopt only in the latter case.
+  std::optional<QueuedJob> pop(int fleet);
+
+  /// Stops admission. With discard=true, pending jobs are dropped and
+  /// their ids returned so the caller can mark them terminal; with
+  /// discard=false, workers drain the backlog before pop() returns
+  /// std::nullopt.
+  std::vector<std::uint64_t> close(bool discard);
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  /// Number of pops satisfied from a foreign lane.
+  [[nodiscard]] std::uint64_t stolen() const;
+
+ private:
+  /// Index into lanes_[lane] of the best ready job, or -1.
+  [[nodiscard]] int best_ready(int lane, Clock::time_point now) const
+      FTLA_REQUIRES(mutex_);
+
+  const std::vector<int> fleet_ngpu_;
+  const std::size_t capacity_;
+
+  mutable ftla::Mutex mutex_;
+  ftla::CondVar work_available_;
+  std::vector<std::vector<QueuedJob>> lanes_ FTLA_GUARDED_BY(mutex_);
+  std::size_t total_ FTLA_GUARDED_BY(mutex_) = 0;
+  std::uint64_t stolen_ FTLA_GUARDED_BY(mutex_) = 0;
+  bool closed_ FTLA_GUARDED_BY(mutex_) = false;
+  bool discarded_ FTLA_GUARDED_BY(mutex_) = false;
+};
+
+}  // namespace ftla::serve

@@ -1,0 +1,330 @@
+#include "serve/runtime.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "sim/system.hpp"
+
+namespace ftla::serve {
+
+namespace {
+
+double seconds_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+bool is_terminal(JobState s) {
+  return s == JobState::Completed || s == JobState::Failed || s == JobState::Shed;
+}
+
+}  // namespace
+
+ServeRuntime::ServeRuntime(ServeConfig config)
+    : config_(std::move(config)),
+      queue_(config_.fleet_ngpu, config_.queue_capacity),
+      metrics_(config_.fleet_ngpu) {
+  FTLA_CHECK(!config_.fleet_ngpu.empty(), "ServeRuntime: need at least one fleet");
+  FTLA_CHECK(config_.max_retries >= 0, "ServeRuntime: max_retries must be >= 0");
+  fleet_load_.assign(config_.fleet_ngpu.size(), 0.0);
+  for (int ngpu : config_.fleet_ngpu) {
+    FTLA_CHECK(ngpu > 0, "ServeRuntime: every fleet needs at least one GPU");
+    systems_.push_back(std::make_unique<sim::HeterogeneousSystem>(ngpu));
+    recorders_.push_back(config_.capture_traces ? std::make_unique<trace::TraceRecorder>()
+                                                : nullptr);
+  }
+  workers_.reserve(config_.fleet_ngpu.size());
+  for (int f = 0; f < static_cast<int>(config_.fleet_ngpu.size()); ++f)
+    workers_.emplace_back([this, f] { worker_loop(f); });
+}
+
+ServeRuntime::~ServeRuntime() { shutdown(/*drain=*/true); }
+
+Admission ServeRuntime::submit(const JobSpec& spec) {
+  Admission adm;
+  if (spec.n <= 0 || spec.opts.nb <= 0 || spec.n % spec.opts.nb != 0) {
+    adm.reject = RejectReason::InvalidSize;
+    metrics_.record_rejected(adm.reject);
+    return adm;
+  }
+
+  QueuedJob item;
+  double cost = 0.0;
+  int fleet = -1;
+  {
+    ftla::LockGuard lock(mutex_);
+    if (shutting_down_) {
+      adm.reject = RejectReason::ShuttingDown;
+    } else {
+      // Size-aware placement: least outstanding n³/ngpu among fleets
+      // with the requested GPU count (any fleet when opts.ngpu == 0).
+      for (int f = 0; f < static_cast<int>(config_.fleet_ngpu.size()); ++f) {
+        if (spec.opts.ngpu != 0 && config_.fleet_ngpu[static_cast<std::size_t>(f)] !=
+                                       spec.opts.ngpu)
+          continue;
+        if (fleet < 0 || fleet_load_[static_cast<std::size_t>(f)] <
+                             fleet_load_[static_cast<std::size_t>(fleet)])
+          fleet = f;
+      }
+      if (fleet < 0) adm.reject = RejectReason::NoCapableFleet;
+    }
+    if (adm.reject != RejectReason::None) {
+      metrics_.record_rejected(adm.reject);
+      return adm;
+    }
+
+    const int ngpu = config_.fleet_ngpu[static_cast<std::size_t>(fleet)];
+    const double dn = static_cast<double>(spec.n);
+    cost = dn * dn * dn / static_cast<double>(ngpu);
+
+    auto rec = std::make_unique<JobRecord>();
+    rec->spec = spec;
+    rec->spec.opts.ngpu = ngpu;  // bind "any" jobs to the placement fleet
+    // Per-execution controls are supplied by the worker, never by the
+    // submitter — clear anything smuggled in through the spec.
+    rec->spec.opts.cancel = nullptr;
+    rec->spec.opts.trace = nullptr;
+    rec->spec.opts.system = nullptr;
+    rec->home_fleet = fleet;
+    rec->cost = cost;
+    const auto now = Clock::now();
+    rec->enqueued_at = now;
+    rec->ready_at = now;
+    switch (spec.deadline) {
+      case DeadlineClass::None: break;
+      case DeadlineClass::Relaxed:
+        rec->deadline_at = now + std::chrono::duration_cast<Clock::duration>(
+                                     std::chrono::duration<double>(
+                                         config_.relaxed_deadline_seconds));
+        break;
+      case DeadlineClass::Strict:
+        rec->deadline_at = now + std::chrono::duration_cast<Clock::duration>(
+                                     std::chrono::duration<double>(
+                                         config_.strict_deadline_seconds));
+        break;
+    }
+
+    item.id = next_id_++;
+    item.priority = spec.priority;
+    item.seq = next_seq_++;
+    item.fleet = fleet;
+    item.ready_at = now;
+    records_.emplace(item.id, std::move(rec));
+    fleet_load_[static_cast<std::size_t>(fleet)] += cost;
+  }
+
+  const RejectReason reason = queue_.try_push(item);
+  if (reason != RejectReason::None) {
+    ftla::LockGuard lock(mutex_);
+    records_.erase(item.id);
+    fleet_load_[static_cast<std::size_t>(fleet)] -= cost;
+    metrics_.record_rejected(reason);
+    adm.reject = reason;
+    return adm;
+  }
+  adm.id = item.id;
+  return adm;
+}
+
+void ServeRuntime::worker_loop(int fleet) {
+  while (auto item = queue_.pop(fleet)) process(fleet, *item);
+}
+
+void ServeRuntime::process(int fleet, const QueuedJob& item) {
+  const auto start = Clock::now();
+  JobRecord* rec = nullptr;
+  core::Campaign* campaign = nullptr;
+  std::vector<fault::FaultSpec> faults;
+  Clock::time_point deadline_at = Clock::time_point::max();
+  {
+    ftla::LockGuard lock(mutex_);
+    auto it = records_.find(item.id);
+    FTLA_CHECK(it != records_.end(), "serve: popped a job with no record");
+    rec = it->second.get();
+    rec->backoff_seconds += std::max(0.0, seconds_between(rec->enqueued_at, rec->ready_at));
+    rec->queue_wait_seconds += std::max(0.0, seconds_between(rec->ready_at, start));
+    if (rec->deadline_at < start) {
+      rec->outcome = core::Outcome::Aborted;
+      finalize(*rec, JobState::Shed, "deadline expired while queued");
+      return;
+    }
+    rec->state = JobState::Running;
+    rec->fleet = fleet;
+    ++rec->attempts;
+    deadline_at = rec->deadline_at;
+    if (!rec->campaign) {
+      core::CampaignConfig cfg;
+      cfg.decomp = rec->spec.decomp;
+      cfg.opts = rec->spec.opts;
+      cfg.n = rec->spec.n;
+      cfg.matrix_seed = rec->spec.matrix_seed;
+      cfg.result_tol = rec->spec.result_tol;
+      cfg.reference_cache = &ref_cache_;
+      rec->campaign = std::make_unique<core::Campaign>(cfg);
+    }
+    campaign = rec->campaign.get();
+    // Faults are transient by default: they strike the first attempt and
+    // are gone on retry, which is what makes retry-after-detection a
+    // sound serving policy.
+    if (rec->attempts == 1 || rec->spec.persistent_faults) faults = rec->spec.faults;
+  }
+
+  core::RunControls controls;
+  controls.cancel = [this, deadline_at] {
+    return abort_.load(std::memory_order_relaxed) || Clock::now() > deadline_at;
+  };
+  controls.system = systems_[static_cast<std::size_t>(fleet)].get();
+  if (config_.capture_traces) {
+    recorders_[static_cast<std::size_t>(fleet)]->set_job_id(item.id);
+    controls.trace = recorders_[static_cast<std::size_t>(fleet)].get();
+  }
+
+  const auto t0 = Clock::now();
+  const core::CampaignResult result = campaign->run(faults, controls);
+  const double service = seconds_between(t0, Clock::now());
+  metrics_.record_attempt(fleet, service, /*stolen=*/item.fleet != fleet);
+
+  ftla::LockGuard lock(mutex_);
+  rec->service_seconds += service;
+  rec->stats = result.stats;
+  rec->outcome = result.outcome;
+  switch (result.outcome) {
+    case core::Outcome::Aborted:
+      finalize(*rec, JobState::Shed,
+               abort_.load() ? "aborted at shutdown" : "deadline expired mid-run");
+      return;
+    case core::Outcome::WrongResult: {
+      // Undetected corruption is the one outcome a serving layer must
+      // never retry into silence: surface it as a hard error.
+      std::ostringstream oss;
+      oss << "wrong result: factor mismatch " << result.factor_max_diff
+          << " exceeds tolerance (undetected corruption)";
+      finalize(*rec, JobState::Failed, oss.str());
+      return;
+    }
+    case core::Outcome::DetectedUnrecoverable: {
+      if (rec->attempts > config_.max_retries) {
+        std::ostringstream oss;
+        oss << "detected-unrecoverable after " << rec->attempts
+            << " attempts (retry budget exhausted)";
+        finalize(*rec, JobState::Failed, oss.str());
+        return;
+      }
+      const double backoff =
+          std::min(config_.backoff_cap_seconds,
+                   config_.backoff_base_seconds *
+                       static_cast<double>(1u << std::min(rec->attempts - 1, 20)));
+      rec->state = JobState::Queued;
+      rec->enqueued_at = Clock::now();
+      rec->ready_at =
+          rec->enqueued_at + std::chrono::duration_cast<Clock::duration>(
+                                 std::chrono::duration<double>(backoff));
+      QueuedJob requeue = item;
+      requeue.ready_at = rec->ready_at;
+      if (!queue_.push_requeue(requeue)) {
+        // Queue was closed with discard while this attempt ran.
+        rec->outcome = core::Outcome::Aborted;
+        finalize(*rec, JobState::Shed, "discarded at shutdown");
+      }
+      return;
+    }
+    case core::Outcome::NoImpact:
+    case core::Outcome::CorrectedAbft:
+    case core::Outcome::CorrectedRestart:
+    case core::Outcome::FaultNotTriggered:
+      finalize(*rec, JobState::Completed, "");
+      return;
+  }
+  FTLA_CHECK(false, "serve: unhandled campaign outcome");
+}
+
+void ServeRuntime::finalize(JobRecord& rec, JobState state, const std::string& error) {
+  rec.state = state;
+  rec.error = error;
+  if (rec.home_fleet >= 0)
+    fleet_load_[static_cast<std::size_t>(rec.home_fleet)] -= rec.cost;
+  JobResult summary;
+  summary.state = rec.state;
+  summary.outcome = rec.outcome;
+  summary.attempts = rec.attempts;
+  summary.fleet = rec.fleet;
+  summary.queue_wait_seconds = rec.queue_wait_seconds;
+  summary.service_seconds = rec.service_seconds;
+  summary.backoff_seconds = rec.backoff_seconds;
+  metrics_.record_terminal(summary);
+  terminal_.notify_all();
+}
+
+JobResult ServeRuntime::result_of(std::uint64_t id, const JobRecord& rec) const {
+  JobResult r;
+  r.id = id;
+  r.state = rec.state;
+  r.outcome = rec.outcome;
+  r.attempts = rec.attempts;
+  r.fleet = rec.fleet;
+  r.queue_wait_seconds = rec.queue_wait_seconds;
+  r.service_seconds = rec.service_seconds;
+  r.backoff_seconds = rec.backoff_seconds;
+  r.stats = rec.stats;
+  r.error = rec.error;
+  return r;
+}
+
+JobResult ServeRuntime::wait(std::uint64_t id) {
+  ftla::LockGuard lock(mutex_);
+  auto it = records_.find(id);
+  FTLA_CHECK(it != records_.end(), "ServeRuntime::wait: unknown (or rejected) job id");
+  while (!is_terminal(it->second->state)) terminal_.wait(mutex_);
+  return result_of(id, *it->second);
+}
+
+void ServeRuntime::drain() {
+  ftla::LockGuard lock(mutex_);
+  for (;;) {
+    bool pending = false;
+    for (const auto& [id, rec] : records_) {
+      if (!is_terminal(rec->state)) {
+        pending = true;
+        break;
+      }
+    }
+    if (!pending) return;
+    terminal_.wait(mutex_);
+  }
+}
+
+void ServeRuntime::shutdown(bool drain) {
+  ftla::LockGuard shutdown_lock(shutdown_mutex_);
+  {
+    ftla::LockGuard lock(mutex_);
+    if (workers_joined_) return;
+    shutting_down_ = true;
+  }
+  if (!drain) abort_.store(true);
+  const auto dropped = queue_.close(/*discard=*/!drain);
+  {
+    ftla::LockGuard lock(mutex_);
+    for (std::uint64_t id : dropped) {
+      auto it = records_.find(id);
+      if (it == records_.end() || is_terminal(it->second->state)) continue;
+      it->second->outcome = core::Outcome::Aborted;
+      finalize(*it->second, JobState::Shed, "discarded at shutdown");
+    }
+  }
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  ftla::LockGuard lock(mutex_);
+  workers_joined_ = true;
+}
+
+trace::Trace ServeRuntime::fleet_trace(int fleet) const {
+  FTLA_CHECK(fleet >= 0 && fleet < static_cast<int>(recorders_.size()),
+             "fleet_trace: fleet out of range");
+  FTLA_CHECK(recorders_[static_cast<std::size_t>(fleet)] != nullptr,
+             "fleet_trace: runtime was built with capture_traces=false");
+  return recorders_[static_cast<std::size_t>(fleet)]->snapshot();
+}
+
+}  // namespace ftla::serve

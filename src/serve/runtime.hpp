@@ -1,0 +1,163 @@
+#pragma once
+
+/// \file runtime.hpp
+/// Multi-tenant serving runtime for fault-tolerant decompositions.
+///
+/// A ServeRuntime owns a pool of "fleets" — one simulated
+/// sim::HeterogeneousSystem plus one worker thread each — and serves a
+/// stream of factorization jobs over them:
+///
+///   submit() ──admission──▶ JobQueue ──pop/steal──▶ worker ──▶ Campaign
+///                 │                                     │
+///                 ▼                                     ▼
+///           reject-with-reason              classify via core::Outcome:
+///           (backpressure, size,            retry DetectedUnrecoverable
+///            no capable fleet)              with capped exponential
+///                                           backoff; WrongResult is a
+///                                           hard serving error; deadline
+///                                           expiry sheds via the
+///                                           cancellation hook.
+///
+/// Placement is size-aware: a job lands on the capable fleet with the
+/// least outstanding work (cost model n³/ngpu); idle fleets then steal
+/// ready jobs from equal-GPU-count lanes. Retries reuse the job's
+/// Campaign, and same-shape jobs share fault-free baselines through a
+/// runtime-wide core::ReferenceCache.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/annotations.hpp"
+#include "core/reference_cache.hpp"
+#include "serve/job.hpp"
+#include "serve/metrics.hpp"
+#include "serve/queue.hpp"
+#include "trace/recorder.hpp"
+
+namespace ftla::sim {
+class HeterogeneousSystem;
+}  // namespace ftla::sim
+
+namespace ftla::serve {
+
+struct ServeConfig {
+  /// One fleet per entry; the value is the fleet's GPU count.
+  std::vector<int> fleet_ngpu = {1, 2};
+  /// Backpressure bound on admitted-but-unfinished new arrivals.
+  std::size_t queue_capacity = 64;
+  /// Extra attempts after a DetectedUnrecoverable outcome (0 = never retry).
+  int max_retries = 3;
+  /// Retry backoff: min(cap, base · 2^(attempt−1)).
+  double backoff_base_seconds = 0.005;
+  double backoff_cap_seconds = 0.1;
+  /// Deadline budgets per class, measured from admission.
+  double relaxed_deadline_seconds = 60.0;
+  double strict_deadline_seconds = 2.0;
+  /// Record every attempt's schedule trace, tagged with its job id
+  /// (one recorder per fleet; see fleet_trace()).
+  bool capture_traces = false;
+};
+
+/// Outcome of a submit() call.
+struct Admission {
+  std::uint64_t id = 0;
+  RejectReason reject = RejectReason::None;
+  [[nodiscard]] bool admitted() const noexcept { return reject == RejectReason::None; }
+};
+
+class ServeRuntime {
+ public:
+  explicit ServeRuntime(ServeConfig config);
+  ~ServeRuntime();
+
+  ServeRuntime(const ServeRuntime&) = delete;
+  ServeRuntime& operator=(const ServeRuntime&) = delete;
+
+  /// Admission control: validates the spec, places it on a fleet, and
+  /// enqueues it. Never blocks; a full queue rejects instead (the
+  /// backpressure signal callers are expected to honour by retrying
+  /// later or slowing down).
+  Admission submit(const JobSpec& spec);
+
+  /// Blocks until `id` reaches a terminal state and returns its report.
+  JobResult wait(std::uint64_t id);
+
+  /// Blocks until every admitted job is terminal.
+  void drain();
+
+  /// Stops the runtime. With drain=true, queued and running jobs finish
+  /// first (including pending retries); with drain=false, queued jobs
+  /// are discarded and running attempts are aborted through the
+  /// cancellation hook. Idempotent; the destructor calls shutdown(true).
+  void shutdown(bool drain);
+
+  [[nodiscard]] const ServeMetrics& metrics() const noexcept { return metrics_; }
+  [[nodiscard]] core::ReferenceCache& reference_cache() noexcept { return ref_cache_; }
+  [[nodiscard]] std::size_t queue_depth() const { return queue_.size(); }
+  [[nodiscard]] std::uint64_t jobs_stolen() const { return queue_.stolen(); }
+  [[nodiscard]] int num_fleets() const noexcept {
+    return static_cast<int>(config_.fleet_ngpu.size());
+  }
+  /// Snapshot of fleet f's schedule trace (capture_traces only; events
+  /// of all jobs run by that fleet, separable with trace::filter_job).
+  [[nodiscard]] trace::Trace fleet_trace(int fleet) const;
+
+ private:
+  struct JobRecord {
+    JobSpec spec;
+    JobState state = JobState::Queued;
+    core::Outcome outcome = core::Outcome::FaultNotTriggered;
+    int attempts = 0;
+    int fleet = -1;  ///< fleet of the latest attempt
+    int home_fleet = -1;  ///< placement fleet (load accounting)
+    double cost = 0.0;    ///< n³/ngpu, the placement load unit
+    Clock::time_point deadline_at = Clock::time_point::max();
+    Clock::time_point enqueued_at{};  ///< last (re)enqueue instant
+    Clock::time_point ready_at{};     ///< last backoff gate
+    double queue_wait_seconds = 0.0;
+    double service_seconds = 0.0;
+    double backoff_seconds = 0.0;
+    core::FtStats stats;
+    std::string error;
+    std::unique_ptr<core::Campaign> campaign;  ///< lazy; reused by retries
+  };
+
+  void worker_loop(int fleet);
+  /// Runs one attempt of `id` on `fleet`; requeues or finalizes.
+  void process(int fleet, const QueuedJob& item);
+  /// Marks `rec` terminal and publishes its metrics. Requires mutex_.
+  void finalize(JobRecord& rec, JobState state, const std::string& error)
+      FTLA_REQUIRES(mutex_);
+  [[nodiscard]] JobResult result_of(std::uint64_t id, const JobRecord& rec) const
+      FTLA_REQUIRES(mutex_);
+
+  const ServeConfig config_;
+  core::ReferenceCache ref_cache_;
+  JobQueue queue_;
+  ServeMetrics metrics_;
+  std::vector<std::unique_ptr<sim::HeterogeneousSystem>> systems_;
+  std::vector<std::unique_ptr<trace::TraceRecorder>> recorders_;
+  std::atomic<bool> abort_{false};
+
+  /// Serializes shutdown() bodies (worker joins must happen once).
+  /// Ordering: shutdown_mutex_ before mutex_.
+  ftla::Mutex shutdown_mutex_;
+
+  mutable ftla::Mutex mutex_;
+  ftla::CondVar terminal_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<JobRecord>> records_
+      FTLA_GUARDED_BY(mutex_);
+  std::vector<double> fleet_load_ FTLA_GUARDED_BY(mutex_);
+  std::uint64_t next_id_ FTLA_GUARDED_BY(mutex_) = 1;
+  std::uint64_t next_seq_ FTLA_GUARDED_BY(mutex_) = 1;
+  bool shutting_down_ FTLA_GUARDED_BY(mutex_) = false;
+  bool workers_joined_ FTLA_GUARDED_BY(mutex_) = false;
+
+  std::vector<std::thread> workers_;  // started last, joined in shutdown
+};
+
+}  // namespace ftla::serve

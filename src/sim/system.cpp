@@ -33,6 +33,11 @@ void HeterogeneousSystem::parallel_over_gpus(const std::function<void(int)>& bod
   if (first_error) std::rethrow_exception(first_error);
 }
 
+void HeterogeneousSystem::free_all() {
+  cpu_->free_all();
+  for (auto& g : gpus_) g->free_all();
+}
+
 byte_size_t HeterogeneousSystem::gpu_bytes_allocated() const noexcept {
   byte_size_t total = 0;
   for (const auto& g : gpus_) total += g->bytes_allocated();

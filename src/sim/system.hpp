@@ -45,10 +45,37 @@ class HeterogeneousSystem {
   /// Total bytes resident across GPU arenas.
   [[nodiscard]] byte_size_t gpu_bytes_allocated() const noexcept;
 
+  /// Releases every allocation in every device arena (CPU and GPUs),
+  /// returning the instance to its freshly constructed memory state so it
+  /// can be reused for another run.
+  void free_all();
+
  private:
   std::unique_ptr<Device> cpu_;
   std::vector<std::unique_ptr<Device>> gpus_;
   PcieLink link_;
+};
+
+/// RAII scope for running an FT driver on a pooled (borrowed) system:
+/// resets the per-run link statistics on entry; on exit — normal or
+/// exceptional — clears any leftover trace hook and releases every device
+/// arena allocation, leaving the instance ready for the next job. The FT
+/// drivers open one around every run with FtOptions::system set.
+class BorrowedSystemScope {
+ public:
+  explicit BorrowedSystemScope(HeterogeneousSystem& sys) : sys_(sys) {
+    sys_.link().reset_stats();
+  }
+  ~BorrowedSystemScope() {
+    sys_.link().clear_trace_hook();
+    sys_.free_all();
+  }
+
+  BorrowedSystemScope(const BorrowedSystemScope&) = delete;
+  BorrowedSystemScope& operator=(const BorrowedSystemScope&) = delete;
+
+ private:
+  HeterogeneousSystem& sys_;
 };
 
 }  // namespace ftla::sim

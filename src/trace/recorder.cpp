@@ -68,10 +68,13 @@ void write_jsonl(const Trace& trace, std::ostream& os) {
   os << "{\"meta\":{\"algorithm\":\"" << m.algorithm << "\",\"scheme\":\""
      << m.scheme << "\",\"checksum\":\"" << m.checksum
      << "\",\"ngpu\":" << m.ngpu << ",\"n\":" << m.n << ",\"nb\":" << m.nb
-     << ",\"b\":" << m.b << ",\"complete\":" << (trace.complete ? "true" : "false")
-     << "}}\n";
+     << ",\"b\":" << m.b;
+  if (m.job_id != 0) os << ",\"job\":" << m.job_id;
+  os << ",\"complete\":" << (trace.complete ? "true" : "false") << "}}\n";
   for (const TraceEvent& e : trace.events) {
-    os << "{\"seq\":" << e.seq << ",\"kind\":\"" << to_string(e.kind)
+    os << "{\"seq\":" << e.seq;
+    if (e.job_id != 0) os << ",\"job\":" << e.job_id;
+    os << ",\"kind\":\"" << to_string(e.kind)
        << "\",\"iter\":" << e.iteration << ",\"dev\":" << e.device;
     switch (e.kind) {
       case EventKind::ComputeRead:
@@ -107,17 +110,38 @@ void write_jsonl(const Trace& trace, std::ostream& os) {
   }
 }
 
+Trace filter_job(const Trace& trace, std::uint64_t job_id) {
+  Trace out;
+  out.meta = trace.meta;
+  out.meta.job_id = job_id;
+  bool saw_end = false;
+  for (const TraceEvent& e : trace.events) {
+    if (e.job_id != job_id) continue;
+    out.events.push_back(e);
+    if (e.kind == EventKind::RunEnd) saw_end = true;
+  }
+  out.complete = saw_end;
+  return out;
+}
+
 TraceEvent& TraceRecorder::append(EventKind kind) {
   TraceEvent& e = trace_.events.emplace_back();
   e.seq = next_seq_++;
+  e.job_id = job_id_;
   e.kind = kind;
   e.iteration = current_iteration_;
   return e;
 }
 
+void TraceRecorder::set_job_id(std::uint64_t job_id) {
+  ftla::LockGuard lock(mutex_);
+  job_id_ = job_id;
+}
+
 void TraceRecorder::begin_run(const RunMeta& meta) {
   ftla::LockGuard lock(mutex_);
   trace_.meta = meta;
+  if (job_id_ != 0) trace_.meta.job_id = job_id_;
   append(EventKind::RunBegin);
 }
 

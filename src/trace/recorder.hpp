@@ -32,6 +32,12 @@ class TraceRecorder {
   TraceRecorder(const TraceRecorder&) = delete;
   TraceRecorder& operator=(const TraceRecorder&) = delete;
 
+  /// Tags every subsequently appended event (and the next begin_run's
+  /// metadata) with `job_id`, so traces of several jobs recorded by one
+  /// process stay separable (trace::filter_job). 0 restores the untagged
+  /// single-job behaviour.
+  void set_job_id(std::uint64_t job_id);
+
   // --- run / iteration structure (host thread) -----------------------
   void begin_run(const RunMeta& meta);
   void end_run();
@@ -72,6 +78,7 @@ class TraceRecorder {
   Trace trace_ FTLA_GUARDED_BY(mutex_);
   index_t current_iteration_ FTLA_GUARDED_BY(mutex_) = -1;
   std::uint64_t next_seq_ FTLA_GUARDED_BY(mutex_) = 0;
+  std::uint64_t job_id_ FTLA_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace ftla::trace

@@ -110,6 +110,10 @@ struct BlockRange {
 /// meaningful only for the kinds documented next to them.
 struct TraceEvent {
   std::uint64_t seq = 0;
+  /// Serving-layer job the event belongs to; 0 = untagged (single-job
+  /// run). Lets concurrent jobs recorded in one process — or sequential
+  /// jobs sharing one recorder — produce separable traces.
+  std::uint64_t job_id = 0;
   EventKind kind = EventKind::RunBegin;
   index_t iteration = -1;  ///< -1 outside any iteration (setup/teardown)
   int device = kHost;      ///< where the event happened (receiver, for arrivals)
@@ -133,6 +137,9 @@ struct RunMeta {
   index_t n = 0;
   index_t nb = 0;
   index_t b = 0;  ///< blocks per side (n / nb)
+  /// Serving-layer job id (0 = untagged); stamped by the recorder when
+  /// set_job_id was called, so drivers need not know about jobs.
+  std::uint64_t job_id = 0;
 };
 
 /// A complete recorded run.
@@ -149,7 +156,14 @@ const char* to_string(CheckPoint p);
 
 /// Serializes one event per line as JSON (JSON Lines). The first line is
 /// the run metadata object ({"meta": ...}); every following line is one
-/// event object. Intended for report artifacts and offline inspection.
+/// event object. Job ids are emitted only when nonzero, so the output for
+/// untagged (single-job) runs is byte-identical to a recorder that never
+/// saw a job id. Intended for report artifacts and offline inspection.
 void write_jsonl(const Trace& trace, std::ostream& os);
+
+/// Returns a copy of `trace` keeping only events tagged with `job_id`
+/// (meta preserved, completeness re-derived from the surviving events) —
+/// the per-job view of a recorder shared by several jobs.
+Trace filter_job(const Trace& trace, std::uint64_t job_id);
 
 }  // namespace ftla::trace

@@ -1,0 +1,484 @@
+// Serving-runtime tests: queue ordering and backpressure, work
+// stealing, fault-aware retry, deadline shedding, cancellation hygiene
+// (no leaked device-arena bytes), reference-cache sharing and job-id
+// trace tagging.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <sstream>
+#include <thread>
+
+#include "core/ft_driver.hpp"
+#include "core/reference_cache.hpp"
+#include "matrix/generate.hpp"
+#include "serve/runtime.hpp"
+#include "sim/ownership.hpp"
+#include "sim/system.hpp"
+#include "trace/recorder.hpp"
+
+namespace {
+
+using namespace ftla;
+using namespace ftla::serve;
+using core::ChecksumKind;
+using core::Decomp;
+using core::FtOptions;
+using core::Outcome;
+using core::RunStatus;
+using fault::FaultSpec;
+using fault::FaultType;
+using fault::OpKind;
+using fault::OpSite;
+using fault::Part;
+using fault::Timing;
+
+constexpr index_t kN = 64;
+constexpr index_t kNb = 16;
+
+FaultSpec spec_at(FaultType type, OpKind op, index_t iter, index_t br, index_t bc) {
+  FaultSpec s;
+  s.type = type;
+  s.site = OpSite{iter, op};
+  s.part = Part::Update;
+  s.timing = Timing::DuringOp;
+  s.target_br = br;
+  s.target_bc = bc;
+  s.seed = 12345;
+  return s;
+}
+
+JobSpec clean_job(Decomp decomp = Decomp::Lu, index_t n = kN) {
+  JobSpec spec;
+  spec.decomp = decomp;
+  spec.n = n;
+  spec.opts.nb = kNb;
+  spec.opts.ngpu = 0;  // any fleet
+  return spec;
+}
+
+/// First attempt deterministically ends DetectedUnrecoverable (restart
+/// needed, budget 0); the fault is transient, so the retry succeeds.
+JobSpec harsh_job() {
+  JobSpec spec = clean_job(Decomp::Lu, 96);
+  spec.opts.max_local_restarts = 0;
+  spec.faults.push_back(spec_at(FaultType::Computation, OpKind::PD, 2, 2, 2));
+  return spec;
+}
+
+QueuedJob queued(std::uint64_t id, Priority prio, std::uint64_t seq, int fleet) {
+  QueuedJob j;
+  j.id = id;
+  j.priority = prio;
+  j.seq = seq;
+  j.fleet = fleet;
+  j.ready_at = Clock::now();
+  return j;
+}
+
+// ---------------------------------------------------------------------
+// JobQueue
+// ---------------------------------------------------------------------
+
+TEST(JobQueue, PriorityThenFifoOrdering) {
+  JobQueue q({1}, 8);
+  ASSERT_EQ(q.try_push(queued(1, Priority::Batch, 1, 0)), RejectReason::None);
+  ASSERT_EQ(q.try_push(queued(2, Priority::Interactive, 2, 0)), RejectReason::None);
+  ASSERT_EQ(q.try_push(queued(3, Priority::Normal, 3, 0)), RejectReason::None);
+  ASSERT_EQ(q.try_push(queued(4, Priority::Interactive, 4, 0)), RejectReason::None);
+  EXPECT_EQ(q.pop(0)->id, 2u);  // highest priority, earliest seq
+  EXPECT_EQ(q.pop(0)->id, 4u);
+  EXPECT_EQ(q.pop(0)->id, 3u);
+  EXPECT_EQ(q.pop(0)->id, 1u);
+}
+
+TEST(JobQueue, BackpressureBoundsNewArrivalsButNotRequeues) {
+  JobQueue q({1}, 2);
+  EXPECT_EQ(q.try_push(queued(1, Priority::Normal, 1, 0)), RejectReason::None);
+  EXPECT_EQ(q.try_push(queued(2, Priority::Normal, 2, 0)), RejectReason::None);
+  EXPECT_EQ(q.try_push(queued(3, Priority::Normal, 3, 0)), RejectReason::QueueFull);
+  // A retry must never bounce: it already holds an admission slot.
+  EXPECT_TRUE(q.push_requeue(queued(4, Priority::Normal, 4, 0)));
+  EXPECT_EQ(q.size(), 3u);
+}
+
+TEST(JobQueue, ClosedQueueRejectsWithShuttingDown) {
+  JobQueue q({1}, 4);
+  q.close(/*discard=*/false);
+  EXPECT_EQ(q.try_push(queued(1, Priority::Normal, 1, 0)), RejectReason::ShuttingDown);
+}
+
+TEST(JobQueue, BackoffGatesPopUntilReady) {
+  JobQueue q({1}, 4);
+  QueuedJob j = queued(1, Priority::Normal, 1, 0);
+  const auto t0 = Clock::now();
+  j.ready_at = t0 + std::chrono::milliseconds(60);
+  ASSERT_EQ(q.try_push(j), RejectReason::None);
+  const auto popped = q.pop(0);
+  ASSERT_TRUE(popped.has_value());
+  EXPECT_EQ(popped->id, 1u);
+  EXPECT_GE(Clock::now() - t0, std::chrono::milliseconds(50));
+}
+
+TEST(JobQueue, StealsOnlyFromEqualGpuLanes) {
+  JobQueue q({1, 1, 2}, 8);
+  // Fleet 1 (1 GPU) steals fleet 0's job.
+  ASSERT_EQ(q.try_push(queued(1, Priority::Normal, 1, 0)), RejectReason::None);
+  const auto stolen = q.pop(1);
+  ASSERT_TRUE(stolen.has_value());
+  EXPECT_EQ(stolen->id, 1u);
+  EXPECT_EQ(q.stolen(), 1u);
+
+  // A job bound to the 2-GPU lane is invisible to 1-GPU fleets: fleet 0
+  // keeps waiting past it until its own lane has work.
+  ASSERT_EQ(q.try_push(queued(2, Priority::Normal, 2, 2)), RejectReason::None);
+  std::atomic<bool> got{false};
+  std::uint64_t got_id = 0;
+  std::thread waiter([&] {
+    const auto j = q.pop(0);
+    got_id = j ? j->id : 0;
+    got.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  EXPECT_FALSE(got.load());  // job 2 was not stolen across GPU counts
+  ASSERT_EQ(q.try_push(queued(3, Priority::Normal, 3, 0)), RejectReason::None);
+  waiter.join();
+  EXPECT_EQ(got_id, 3u);
+  EXPECT_EQ(q.stolen(), 1u);
+  EXPECT_EQ(q.pop(2)->id, 2u);
+}
+
+TEST(JobQueue, CloseDiscardReturnsPendingIds) {
+  JobQueue q({1}, 4);
+  ASSERT_EQ(q.try_push(queued(7, Priority::Normal, 1, 0)), RejectReason::None);
+  ASSERT_EQ(q.try_push(queued(8, Priority::Normal, 2, 0)), RejectReason::None);
+  const auto dropped = q.close(/*discard=*/true);
+  ASSERT_EQ(dropped.size(), 2u);
+  EXPECT_FALSE(q.pop(0).has_value());
+  EXPECT_FALSE(q.push_requeue(queued(9, Priority::Normal, 3, 0)));
+}
+
+// ---------------------------------------------------------------------
+// ServeRuntime
+// ---------------------------------------------------------------------
+
+TEST(ServeRuntime, CompletesCleanJobsAcrossFleets) {
+  ServeConfig config;
+  config.fleet_ngpu = {1, 2};
+  ServeRuntime runtime(config);
+  std::vector<std::uint64_t> ids;
+  constexpr Decomp kDecomps[] = {Decomp::Lu, Decomp::Cholesky, Decomp::Qr};
+  for (int i = 0; i < 6; ++i) {
+    const auto adm = runtime.submit(clean_job(kDecomps[i % 3]));
+    ASSERT_TRUE(adm.admitted()) << to_string(adm.reject);
+    ids.push_back(adm.id);
+  }
+  for (const auto id : ids) {
+    const JobResult r = runtime.wait(id);
+    EXPECT_EQ(r.state, JobState::Completed) << r.error;
+    EXPECT_EQ(r.attempts, 1);
+    EXPECT_GE(r.fleet, 0);
+  }
+  runtime.shutdown(/*drain=*/true);
+  EXPECT_EQ(runtime.metrics().completed(), 6u);
+  EXPECT_EQ(runtime.metrics().failed(), 0u);
+}
+
+TEST(ServeRuntime, AdmissionRejectsInvalidAndUnplaceableJobs) {
+  ServeConfig config;
+  config.fleet_ngpu = {1, 2};
+  ServeRuntime runtime(config);
+
+  JobSpec bad_size = clean_job();
+  bad_size.n = 50;  // not a multiple of nb
+  EXPECT_EQ(runtime.submit(bad_size).reject, RejectReason::InvalidSize);
+
+  JobSpec no_fleet = clean_job();
+  no_fleet.opts.ngpu = 4;  // no fleet has 4 GPUs
+  EXPECT_EQ(runtime.submit(no_fleet).reject, RejectReason::NoCapableFleet);
+
+  runtime.shutdown(/*drain=*/true);
+  EXPECT_EQ(runtime.submit(clean_job()).reject, RejectReason::ShuttingDown);
+  EXPECT_EQ(runtime.metrics().rejected(), 3u);
+}
+
+TEST(ServeRuntime, BackpressureRejectsWhenQueueFull) {
+  ServeConfig config;
+  config.fleet_ngpu = {1};
+  config.queue_capacity = 2;
+  ServeRuntime runtime(config);
+  // Occupy the single worker with a larger job, then fill the queue.
+  const auto running = runtime.submit(clean_job(Decomp::Lu, 128));
+  ASSERT_TRUE(running.admitted());
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const auto q1 = runtime.submit(clean_job());
+  const auto q2 = runtime.submit(clean_job());
+  ASSERT_TRUE(q1.admitted());
+  ASSERT_TRUE(q2.admitted());
+  const auto overflow = runtime.submit(clean_job());
+  EXPECT_EQ(overflow.reject, RejectReason::QueueFull);
+  runtime.shutdown(/*drain=*/true);
+  EXPECT_EQ(runtime.metrics().completed(), 3u);
+  EXPECT_EQ(runtime.metrics().rejected(), 1u);
+}
+
+TEST(ServeRuntime, RetriesDetectedUnrecoverableWithBackoff) {
+  ServeConfig config;
+  config.fleet_ngpu = {2};
+  config.max_retries = 3;
+  config.backoff_base_seconds = 0.02;
+  ServeRuntime runtime(config);
+  const auto adm = runtime.submit(harsh_job());
+  ASSERT_TRUE(adm.admitted());
+  const JobResult r = runtime.wait(adm.id);
+  EXPECT_EQ(r.state, JobState::Completed) << r.error;
+  EXPECT_EQ(r.attempts, 2);  // DetectedUnrecoverable once, clean retry
+  EXPECT_GE(r.backoff_seconds, 0.015);
+  runtime.shutdown(/*drain=*/true);
+  EXPECT_EQ(runtime.metrics().retries(), 1u);
+  EXPECT_EQ(runtime.metrics().outcome_count(Outcome::DetectedUnrecoverable), 0u);
+}
+
+TEST(ServeRuntime, ExhaustedRetryBudgetFailsTheJob) {
+  ServeConfig config;
+  config.fleet_ngpu = {2};
+  config.max_retries = 1;
+  config.backoff_base_seconds = 0.001;
+  ServeRuntime runtime(config);
+  JobSpec spec = harsh_job();
+  spec.persistent_faults = true;  // the fault strikes every attempt
+  const auto adm = runtime.submit(spec);
+  ASSERT_TRUE(adm.admitted());
+  const JobResult r = runtime.wait(adm.id);
+  EXPECT_EQ(r.state, JobState::Failed);
+  EXPECT_EQ(r.attempts, 2);
+  EXPECT_EQ(r.outcome, Outcome::DetectedUnrecoverable);
+  EXPECT_NE(r.error.find("retry budget"), std::string::npos) << r.error;
+  runtime.shutdown(/*drain=*/true);
+}
+
+TEST(ServeRuntime, WrongResultIsAHardErrorNeverRetried) {
+  ServeConfig config;
+  config.fleet_ngpu = {2};
+  ServeRuntime runtime(config);
+  JobSpec spec = clean_job(Decomp::Lu, 96);
+  spec.opts.checksum = ChecksumKind::None;  // unprotected baseline
+  spec.faults.push_back(spec_at(FaultType::Computation, OpKind::TMU, 1, 2, 3));
+  const auto adm = runtime.submit(spec);
+  ASSERT_TRUE(adm.admitted());
+  const JobResult r = runtime.wait(adm.id);
+  EXPECT_EQ(r.state, JobState::Failed);
+  EXPECT_EQ(r.outcome, Outcome::WrongResult);
+  EXPECT_EQ(r.attempts, 1);  // no retry: the corruption was undetected
+  EXPECT_NE(r.error.find("wrong result"), std::string::npos) << r.error;
+  runtime.shutdown(/*drain=*/true);
+  EXPECT_EQ(runtime.metrics().outcome_count(Outcome::WrongResult), 1u);
+}
+
+TEST(ServeRuntime, StrictDeadlineShedsQueuedJob) {
+  ServeConfig config;
+  config.fleet_ngpu = {1};
+  // A zero budget means the deadline has already expired by the time the
+  // worker dequeues the job, making the shed decision deterministic even
+  // on fast machines where the blocker finishes quickly.
+  config.strict_deadline_seconds = 0.0;
+  ServeRuntime runtime(config);
+  const auto blocker = runtime.submit(clean_job(Decomp::Lu, 128));
+  ASSERT_TRUE(blocker.admitted());
+  JobSpec urgent = clean_job();
+  urgent.deadline = DeadlineClass::Strict;
+  const auto adm = runtime.submit(urgent);
+  ASSERT_TRUE(adm.admitted());
+  const JobResult r = runtime.wait(adm.id);
+  EXPECT_EQ(r.state, JobState::Shed);
+  EXPECT_EQ(r.outcome, Outcome::Aborted);
+  EXPECT_NE(r.error.find("deadline"), std::string::npos) << r.error;
+  runtime.shutdown(/*drain=*/true);
+  EXPECT_EQ(runtime.metrics().shed(), 1u);
+}
+
+TEST(ServeRuntime, ShutdownDiscardDropsQueuedJobs) {
+  ServeConfig config;
+  config.fleet_ngpu = {1};
+  ServeRuntime runtime(config);
+  const auto running = runtime.submit(clean_job(Decomp::Lu, 128));
+  const auto queued1 = runtime.submit(clean_job());
+  const auto queued2 = runtime.submit(clean_job());
+  ASSERT_TRUE(running.admitted() && queued1.admitted() && queued2.admitted());
+  runtime.shutdown(/*drain=*/false);
+  for (const auto id : {queued1.id, queued2.id}) {
+    const JobResult r = runtime.wait(id);
+    EXPECT_EQ(r.state, JobState::Shed);
+    EXPECT_EQ(r.outcome, Outcome::Aborted);
+  }
+  // The running job either finished before the abort flag was polled or
+  // was shed mid-run; it must be terminal either way.
+  const JobResult r = runtime.wait(running.id);
+  EXPECT_TRUE(r.state == JobState::Completed || r.state == JobState::Shed);
+}
+
+TEST(ServeRuntime, SameShapeJobsShareOneReference) {
+  ServeConfig config;
+  config.fleet_ngpu = {1, 1};
+  ServeRuntime runtime(config);
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 4; ++i) {
+    const auto adm = runtime.submit(clean_job());  // identical shape
+    ASSERT_TRUE(adm.admitted());
+    ids.push_back(adm.id);
+  }
+  for (const auto id : ids) EXPECT_EQ(runtime.wait(id).state, JobState::Completed);
+  runtime.shutdown(/*drain=*/true);
+  EXPECT_EQ(runtime.reference_cache().size(), 1u);
+  EXPECT_EQ(runtime.reference_cache().misses(), 1u);
+  EXPECT_EQ(runtime.reference_cache().hits(), 3u);
+}
+
+// ---------------------------------------------------------------------
+// Reference cache (direct)
+// ---------------------------------------------------------------------
+
+TEST(ReferenceCache, CampaignsWithEqualConfigShareTheBaseline) {
+  core::ReferenceCache cache;
+  core::CampaignConfig cfg;
+  cfg.decomp = Decomp::Lu;
+  cfg.n = kN;
+  cfg.opts.nb = kNb;
+  cfg.opts.ngpu = 2;
+  cfg.reference_cache = &cache;
+  core::Campaign first(cfg);
+  core::Campaign second(cfg);
+  const auto* ref1 = &first.reference();
+  const auto* ref2 = &second.reference();
+  EXPECT_EQ(ref1, ref2);  // same immutable FtOutput instance
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+
+  cfg.opts.ngpu = 1;  // different shape -> different entry
+  core::Campaign third(cfg);
+  third.reference();
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+// ---------------------------------------------------------------------
+// Cancellation hygiene (satellite: no leaked device arena bytes)
+// ---------------------------------------------------------------------
+
+TEST(Cancellation, MidRunCancelOnPooledSystemLeaksNothing) {
+  sim::HeterogeneousSystem sys(2);
+  const auto arenas_before = sim::ownership::num_arenas();
+  const auto violations_before = sim::ownership::violation_count();
+  ASSERT_EQ(sys.gpu_bytes_allocated(), 0u);
+
+  MatD a = random_diag_dominant(96, 7);
+  FtOptions opts;
+  opts.nb = kNb;
+  opts.ngpu = 2;
+  opts.system = &sys;
+  int polls = 0;
+  opts.cancel = [&polls] { return ++polls > 2; };  // cancel mid-factorization
+  const core::FtOutput out = core::ft_lu(a.const_view(), opts);
+  EXPECT_EQ(out.stats.status, RunStatus::Cancelled);
+  EXPECT_FALSE(out.ok());
+
+  // The borrowed-system scope must have freed every arena byte the
+  // partial run allocated, and the ownership checker must be clean.
+  EXPECT_EQ(sys.gpu_bytes_allocated(), 0u);
+  EXPECT_EQ(sim::ownership::num_arenas(), arenas_before);
+  EXPECT_EQ(sim::ownership::violation_count(), violations_before);
+}
+
+TEST(Cancellation, DriverOwnedSystemAlsoCancelsCleanly) {
+  const auto arenas_before = sim::ownership::num_arenas();
+  MatD a = random_spd(kN, 11);
+  FtOptions opts;
+  opts.nb = kNb;
+  opts.ngpu = 1;
+  opts.cancel = [] { return true; };  // cancel at the first boundary
+  const core::FtOutput out = core::ft_cholesky(a.const_view(), opts);
+  EXPECT_EQ(out.stats.status, RunStatus::Cancelled);
+  EXPECT_EQ(sim::ownership::num_arenas(), arenas_before);
+}
+
+// ---------------------------------------------------------------------
+// Trace job tagging (satellite: byte-identical single-job output)
+// ---------------------------------------------------------------------
+
+TEST(TraceTagging, UntaggedRunEmitsNoJobKey) {
+  trace::TraceRecorder recorder;
+  MatD a = random_diag_dominant(kN, 3);
+  FtOptions opts;
+  opts.nb = kNb;
+  opts.ngpu = 1;
+  opts.trace = &recorder;
+  ASSERT_TRUE(core::ft_lu(a.const_view(), opts).ok());
+  std::ostringstream os;
+  trace::write_jsonl(recorder.snapshot(), os);
+  // Single-job (untagged) traces serialize exactly as before job ids
+  // existed: no "job" key anywhere.
+  EXPECT_EQ(os.str().find("\"job\""), std::string::npos);
+}
+
+TEST(TraceTagging, RuntimeTagsEventsAndFilterSeparatesJobs) {
+  ServeConfig config;
+  config.fleet_ngpu = {1};
+  config.capture_traces = true;
+  ServeRuntime runtime(config);
+  const auto a = runtime.submit(clean_job(Decomp::Lu));
+  const auto b = runtime.submit(clean_job(Decomp::Cholesky));
+  ASSERT_TRUE(a.admitted() && b.admitted());
+  ASSERT_EQ(runtime.wait(a.id).state, JobState::Completed);
+  ASSERT_EQ(runtime.wait(b.id).state, JobState::Completed);
+  runtime.shutdown(/*drain=*/true);
+
+  const trace::Trace all = runtime.fleet_trace(0);
+  ASSERT_FALSE(all.events.empty());
+  const trace::Trace only_a = trace::filter_job(all, a.id);
+  const trace::Trace only_b = trace::filter_job(all, b.id);
+  ASSERT_FALSE(only_a.events.empty());
+  ASSERT_FALSE(only_b.events.empty());
+  EXPECT_EQ(only_a.events.size() + only_b.events.size(), all.events.size());
+  for (const auto& e : only_a.events) EXPECT_EQ(e.job_id, a.id);
+  for (const auto& e : only_b.events) EXPECT_EQ(e.job_id, b.id);
+
+  std::ostringstream os;
+  trace::write_jsonl(only_a, os);
+  EXPECT_NE(os.str().find("\"job\":"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------
+
+TEST(ServeMetrics, JsonExportCarriesQuantilesAndHistograms) {
+  ServeMetrics metrics({1, 2});
+  JobResult r;
+  r.state = JobState::Completed;
+  r.outcome = Outcome::NoImpact;
+  r.fleet = 1;
+  r.attempts = 2;
+  r.queue_wait_seconds = 0.25;
+  r.service_seconds = 1.0;
+  metrics.record_attempt(1, 1.0, /*stolen=*/true);
+  metrics.record_terminal(r);
+  const std::string json = metrics.to_json(/*elapsed_seconds=*/2.0);
+  for (const char* key :
+       {"\"p50_s\"", "\"p95_s\"", "\"p99_s\"", "\"throughput_jobs_per_s\"",
+        "\"outcomes\"", "\"rejections\"", "\"fleets\"", "\"stolen\":1",
+        "\"retries\":1"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << "missing " << key << " in " << json;
+  }
+}
+
+TEST(ServeMetrics, QuantilesUseNearestRank) {
+  LatencyTrack track;
+  for (int i = 1; i <= 100; ++i) track.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(track.quantile(0.50), 50.0);
+  EXPECT_DOUBLE_EQ(track.quantile(0.95), 95.0);
+  EXPECT_DOUBLE_EQ(track.quantile(0.99), 99.0);
+  EXPECT_DOUBLE_EQ(track.mean(), 50.5);
+}
+
+}  // namespace
