@@ -1,7 +1,11 @@
 #include "blas/level3.hpp"
 
 #include <algorithm>
+#include <string>
+#include <vector>
 
+#include "blas/microkernel.hpp"
+#include "blas/pack.hpp"
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
 #include "sim/ownership.hpp"
@@ -12,10 +16,19 @@ namespace ownership = ftla::sim::ownership;
 
 namespace {
 
-// Cache-blocking parameters: KC doubles of A panel ≈ 256*8B = 2KB per
-// column strip; JC bounds the C panel processed per task.
-constexpr index_t kKC = 256;
+// Below this flop count the packers cost more than they save: fall back
+// to the naive column-sliced kernel (it is cache-resident anyway).
+constexpr index_t kPackFlopThreshold = 1 << 15;
+// Below this flop count a single thread finishes before the pool's
+// dispatch handshake would.
 constexpr index_t kParallelFlopThreshold = 1 << 18;
+// k-blocking of the naive kernel (kept as the correctness oracle).
+constexpr index_t kNaiveKC = 256;
+// Diagonal-block size of the blocked TRSM; off-diagonal work above this
+// granularity is expressed as GEMM.
+constexpr index_t kTrsmBlock = 64;
+// Tile size of the blocked SYRK (one GEMM per off-diagonal tile).
+constexpr index_t kSyrkBlock = 128;
 
 void check_gemm_dims(Trans ta, Trans tb, ConstViewD a, ConstViewD b, ViewD c) {
   const index_t m = c.rows();
@@ -29,7 +42,8 @@ void check_gemm_dims(Trans ta, Trans tb, ConstViewD a, ConstViewD b, ViewD c) {
   FTLA_CHECK(opa_cols == opb_rows, "gemm: inner dimension mismatch");
 }
 
-/// Core kernel on a column slice C(:, j0:j1). Single-threaded.
+/// Naive column-sliced kernel on C(:, j0:j1). Single-threaded. This is
+/// the correctness oracle behind gemm_seq and the small-problem path.
 void gemm_cols(Trans ta, Trans tb, double alpha, ConstViewD a, ConstViewD b, double beta,
                ViewD c, index_t j0, index_t j1) {
   const index_t m = c.rows();
@@ -47,8 +61,8 @@ void gemm_cols(Trans ta, Trans tb, double alpha, ConstViewD a, ConstViewD b, dou
 
   if (ta == Trans::NoTrans) {
     // Stride-1 down columns of A and C; block over k for cache reuse.
-    for (index_t kk = 0; kk < k; kk += kKC) {
-      const index_t kend = std::min(k, kk + kKC);
+    for (index_t kk = 0; kk < k; kk += kNaiveKC) {
+      const index_t kend = std::min(k, kk + kNaiveKC);
       for (index_t j = j0; j < j1; ++j) {
         double* cc = c.col_ptr(j);
         for (index_t p = kk; p < kend; ++p) {
@@ -79,7 +93,271 @@ void gemm_cols(Trans ta, Trans tb, double alpha, ConstViewD a, ConstViewD b, dou
   }
 }
 
+// Per-thread packing buffers. Pool workers are long-lived, so the
+// allocations amortize to zero; a worker runs one macro-kernel task at a
+// time, so a task has the buffer to itself for its whole duration.
+std::vector<double>& pack_a_buffer() {
+  thread_local std::vector<double> buf;
+  return buf;
+}
+std::vector<double>& pack_b_buffer() {
+  thread_local std::vector<double> buf;
+  return buf;
+}
+
+void scale_cols(double beta, ViewD c, index_t j0, index_t j1) {
+  if (beta == 1.0) return;
+  const index_t m = c.rows();
+  for (index_t j = j0; j < j1; ++j) {
+    double* cc = c.col_ptr(j);
+    if (beta == 0.0) {
+      // Overwrite (not multiply): beta == 0 must clobber NaN/Inf.
+      for (index_t i = 0; i < m; ++i) cc[i] = 0.0;
+    } else {
+      for (index_t i = 0; i < m; ++i) cc[i] *= beta;
+    }
+  }
+}
+
+/// Packed register-tiled GEMM (BLIS-style MC/KC/NC blocking; see
+/// pack.hpp). Parallelism partitions the (A-block row × B-micro-panel
+/// column) tile grid of each macro panel: distinct tasks own disjoint C
+/// tiles, and every C element accumulates its k terms in the same order
+/// regardless of thread count, so results are bitwise reproducible
+/// across pool sizes and sanitizer builds.
+void gemm_packed(Trans ta, Trans tb, double alpha, ConstViewD a, ConstViewD b, double beta,
+                 ViewD c, bool threaded) {
+  const index_t m = c.rows();
+  const index_t n = c.cols();
+  const index_t k = ta == Trans::NoTrans ? a.cols() : a.rows();
+
+  if (threaded && n >= 4) {
+    ThreadPool::global().parallel_for_chunked(
+        0, n, [&](index_t lo, index_t hi) { scale_cols(beta, c, lo, hi); });
+  } else {
+    scale_cols(beta, c, 0, n);
+  }
+  if (alpha == 0.0 || k == 0) return;
+
+  auto& packb = pack_b_buffer();
+  for (index_t jc = 0; jc < n; jc += kNC) {
+    const index_t nc = std::min(kNC, n - jc);
+    const index_t jr_tiles = (nc + kNR - 1) / kNR;
+    for (index_t pc = 0; pc < k; pc += kKC) {
+      const index_t kc = std::min(kKC, k - pc);
+      packb.resize(static_cast<std::size_t>(packed_b_size(kc, nc)));
+      pack_b(tb, b, pc, kc, jc, nc, packb.data());
+      const double* packb_data = packb.data();
+
+      const index_t ic_blocks = (m + kMC - 1) / kMC;
+      auto macro_body = [&, packb_data](index_t ib0, index_t ib1, index_t jt0, index_t jt1) {
+        auto& packa = pack_a_buffer();
+        for (index_t ib = ib0; ib < ib1; ++ib) {
+          const index_t i0 = ib * kMC;
+          const index_t mc = std::min(kMC, m - i0);
+          packa.resize(static_cast<std::size_t>(packed_a_size(mc, kc)));
+          pack_a(ta, a, i0, mc, pc, kc, packa.data());
+          const index_t it_tiles = (mc + kMR - 1) / kMR;
+          for (index_t jt = jt0; jt < jt1; ++jt) {
+            const index_t j = jc + jt * kNR;
+            const index_t nr = std::min(kNR, jc + nc - j);
+            const double* bp = packb_data + jt * kc * kNR;
+            for (index_t it = 0; it < it_tiles; ++it) {
+              const index_t i = i0 + it * kMR;
+              const index_t mr = std::min(kMR, i0 + mc - i);
+              detail::micro_kernel(kc, alpha, packa.data() + it * kMR * kc, bp,
+                                   c.col_ptr(j) + i, c.ld(), mr, nr);
+            }
+          }
+        }
+      };
+      if (threaded) {
+        ThreadPool::global().parallel_for_tiles(ic_blocks, jr_tiles, macro_body);
+      } else {
+        macro_body(0, ic_blocks, 0, jr_tiles);
+      }
+    }
+  }
+}
+
+/// Internal dispatch shared by the public gemm and the blocked TRSM/SYRK
+/// update paths. No ownership re-check: callers are public entry points
+/// that already checked their operands. `allow_threads` must be false
+/// when the caller already runs on a pool worker (nested parallel_for
+/// would deadlock the fixed-size pool).
+void gemm_dispatch(Trans ta, Trans tb, double alpha, ConstViewD a, ConstViewD b, double beta,
+                   ViewD c, bool allow_threads) {
+  const index_t m = c.rows();
+  const index_t n = c.cols();
+  const index_t k = ta == Trans::NoTrans ? a.cols() : a.rows();
+  const index_t flops = m * n * k;
+  if (flops < kPackFlopThreshold) {
+    gemm_cols(ta, tb, alpha, a, b, beta, c, 0, n);
+    return;
+  }
+  const bool threaded = allow_threads && flops >= kParallelFlopThreshold &&
+                        ThreadPool::global().num_threads() > 0;
+  gemm_packed(ta, tb, alpha, a, b, beta, c, threaded);
+}
+
+// ---------------------------------------------------------------------
+// Scalar triangular kernels (oracles + diagonal-block solvers)
+// ---------------------------------------------------------------------
+
+/// op(tri(A))·X = X in place; A is a bs×bs triangular block view.
+void solve_left_scalar(Uplo uplo, Trans trans, Diag diag, ConstViewD a, ViewD x) {
+  const index_t bs = a.rows();
+  const index_t n = x.cols();
+  const bool unit = diag == Diag::Unit;
+  const bool forward = (uplo == Uplo::Lower) == (trans == Trans::NoTrans);
+  for (index_t j = 0; j < n; ++j) {
+    double* xc = x.col_ptr(j);
+    if (forward) {
+      for (index_t i = 0; i < bs; ++i) {
+        double s = xc[i];
+        if (trans == Trans::NoTrans) {
+          for (index_t p = 0; p < i; ++p) s -= a(i, p) * xc[p];
+        } else {
+          for (index_t p = 0; p < i; ++p) s -= a(p, i) * xc[p];
+        }
+        xc[i] = unit ? s : s / a(i, i);
+      }
+    } else {
+      for (index_t i = bs - 1; i >= 0; --i) {
+        double s = xc[i];
+        if (trans == Trans::NoTrans) {
+          for (index_t p = i + 1; p < bs; ++p) s -= a(i, p) * xc[p];
+        } else {
+          for (index_t p = i + 1; p < bs; ++p) s -= a(p, i) * xc[p];
+        }
+        xc[i] = unit ? s : s / a(i, i);
+      }
+    }
+  }
+}
+
+/// X·op(tri(A)) = X in place; A is a bs×bs triangular block view.
+/// Ascending column order when op(A)'s nonzero column entries lie at
+/// p < j (op(A) upper triangular), descending otherwise.
+void solve_right_scalar(Uplo uplo, Trans trans, Diag diag, ConstViewD a, ViewD x) {
+  const index_t bs = a.rows();
+  const index_t m = x.rows();
+  const bool unit = diag == Diag::Unit;
+  const bool ascending = (uplo == Uplo::Upper) == (trans == Trans::NoTrans);
+  auto entry = [&](index_t p, index_t j) {
+    return trans == Trans::NoTrans ? a(p, j) : a(j, p);
+  };
+  if (ascending) {
+    for (index_t j = 0; j < bs; ++j) {
+      double* xj = x.col_ptr(j);
+      for (index_t p = 0; p < j; ++p) {
+        const double t = entry(p, j);
+        if (t == 0.0) continue;
+        const double* xp = x.col_ptr(p);
+        for (index_t i = 0; i < m; ++i) xj[i] -= t * xp[i];
+      }
+      if (!unit) {
+        const double d = 1.0 / a(j, j);
+        for (index_t i = 0; i < m; ++i) xj[i] *= d;
+      }
+    }
+  } else {
+    for (index_t j = bs - 1; j >= 0; --j) {
+      double* xj = x.col_ptr(j);
+      for (index_t p = j + 1; p < bs; ++p) {
+        const double t = entry(p, j);
+        if (t == 0.0) continue;
+        const double* xp = x.col_ptr(p);
+        for (index_t i = 0; i < m; ++i) xj[i] -= t * xp[i];
+      }
+      if (!unit) {
+        const double d = 1.0 / a(j, j);
+        for (index_t i = 0; i < m; ++i) xj[i] *= d;
+      }
+    }
+  }
+}
+
+void check_trsm_dims(Side side, ConstViewD a, ViewD b, const std::string& who) {
+  FTLA_CHECK(a.rows() == a.cols(), who + ": A must be square");
+  FTLA_CHECK(side == Side::Left ? a.rows() == b.rows() : a.rows() == b.cols(),
+             who + ": A dimension does not match B");
+}
+
+void scale_by_alpha(double alpha, ViewD b, bool threaded) {
+  if (alpha == 1.0) return;
+  const index_t m = b.rows();
+  const index_t n = b.cols();
+  auto body = [&](index_t j0, index_t j1) {
+    for (index_t j = j0; j < j1; ++j) {
+      double* col = b.col_ptr(j);
+      for (index_t i = 0; i < m; ++i) col[i] *= alpha;
+    }
+  };
+  if (threaded && n >= 4 && m * n >= kParallelFlopThreshold) {
+    ThreadPool::global().parallel_for_chunked(0, n, body);
+  } else {
+    body(0, n);
+  }
+}
+
+/// Scalar SYRK oracle body: C ← alpha·op(A)·op(A)ᵀ + beta·C on the
+/// `uplo` triangle of the (sub-)views it is given.
+void syrk_scalar(Uplo uplo, Trans trans, double alpha, ConstViewD a, double beta, ViewD c) {
+  const index_t n = c.rows();
+  const index_t k = trans == Trans::NoTrans ? a.cols() : a.rows();
+
+  for (index_t j = 0; j < n; ++j) {
+    double* cc = c.col_ptr(j);
+    const index_t i0 = uplo == Uplo::Lower ? j : 0;
+    const index_t i1 = uplo == Uplo::Lower ? n : j + 1;
+    if (beta == 0.0) {
+      for (index_t i = i0; i < i1; ++i) cc[i] = 0.0;
+    } else if (beta != 1.0) {
+      for (index_t i = i0; i < i1; ++i) cc[i] *= beta;
+    }
+  }
+  if (alpha == 0.0 || k == 0) return;
+
+  if (trans == Trans::NoTrans) {
+    for (index_t p = 0; p < k; ++p) {
+      const double* ap = a.col_ptr(p);
+      for (index_t j = 0; j < n; ++j) {
+        const double t = alpha * ap[j];
+        if (t == 0.0) continue;
+        double* cc = c.col_ptr(j);
+        const index_t i0 = uplo == Uplo::Lower ? j : 0;
+        const index_t i1 = uplo == Uplo::Lower ? n : j + 1;
+        for (index_t i = i0; i < i1; ++i) cc[i] += t * ap[i];
+      }
+    }
+  } else {
+    for (index_t j = 0; j < n; ++j) {
+      const double* aj = a.col_ptr(j);
+      double* cc = c.col_ptr(j);
+      const index_t i0 = uplo == Uplo::Lower ? j : 0;
+      const index_t i1 = uplo == Uplo::Lower ? n : j + 1;
+      for (index_t i = i0; i < i1; ++i) {
+        const double* ai = a.col_ptr(i);
+        double s = 0.0;
+        for (index_t p = 0; p < k; ++p) s += ai[p] * aj[p];
+        cc[i] += alpha * s;
+      }
+    }
+  }
+}
+
+void check_syrk_dims(Trans trans, ConstViewD a, ViewD c, const std::string& who) {
+  FTLA_CHECK(c.rows() == c.cols(), who + ": C must be square");
+  const index_t opa_rows = trans == Trans::NoTrans ? a.rows() : a.cols();
+  FTLA_CHECK(opa_rows == c.rows(), who + ": op(A) row count must match C");
+}
+
 }  // namespace
+
+// ---------------------------------------------------------------------
+// GEMM
+// ---------------------------------------------------------------------
 
 void gemm_seq(Trans ta, Trans tb, double alpha, ConstViewD a, ConstViewD b, double beta,
               ViewD c) {
@@ -95,101 +373,129 @@ void gemm(Trans ta, Trans tb, double alpha, ConstViewD a, ConstViewD b, double b
   ownership::check_view(b, "blas::gemm B");
   ownership::check_view(c, "blas::gemm C");
   check_gemm_dims(ta, tb, a, b, c);
-  const index_t m = c.rows();
-  const index_t n = c.cols();
-  const index_t k = ta == Trans::NoTrans ? a.cols() : a.rows();
-  const index_t flops = m * n * k;
-  if (flops < kParallelFlopThreshold || n == 1) {
-    gemm_cols(ta, tb, alpha, a, b, beta, c, 0, n);
-    return;
+  gemm_dispatch(ta, tb, alpha, a, b, beta, c, /*allow_threads=*/true);
+}
+
+// ---------------------------------------------------------------------
+// TRSM
+// ---------------------------------------------------------------------
+
+void trsm_seq(Side side, Uplo uplo, Trans trans, Diag diag, double alpha, ConstViewD a,
+              ViewD b) {
+  ownership::check_view(a, "blas::trsm_seq A");
+  ownership::check_view(b, "blas::trsm_seq B");
+  check_trsm_dims(side, a, b, "trsm_seq");
+  scale_by_alpha(alpha, b, /*threaded=*/false);
+  if (side == Side::Left) {
+    solve_left_scalar(uplo, trans, diag, a, b);
+  } else {
+    solve_right_scalar(uplo, trans, diag, a, b);
   }
-  ThreadPool::global().parallel_for_chunked(
-      0, n, [&](index_t lo, index_t hi) { gemm_cols(ta, tb, alpha, a, b, beta, c, lo, hi); });
 }
 
 void trsm(Side side, Uplo uplo, Trans trans, Diag diag, double alpha, ConstViewD a, ViewD b) {
   ownership::check_view(a, "blas::trsm A");
   ownership::check_view(b, "blas::trsm B");
+  check_trsm_dims(side, a, b, "trsm");
   const index_t m = b.rows();
   const index_t n = b.cols();
-  FTLA_CHECK(a.rows() == a.cols(), "trsm: A must be square");
-  FTLA_CHECK(side == Side::Left ? a.rows() == m : a.rows() == n,
-             "trsm: A dimension does not match B");
-  const bool unit = diag == Diag::Unit;
+  const index_t tri = side == Side::Left ? m : n;
+  const index_t flops = tri * tri * (side == Side::Left ? n : m) / 2;
+  const bool big = flops >= kParallelFlopThreshold;
+  scale_by_alpha(alpha, b, big);
 
-  if (alpha != 1.0) {
-    for (index_t j = 0; j < n; ++j) {
-      double* col = b.col_ptr(j);
-      for (index_t i = 0; i < m; ++i) col[i] *= alpha;
+  if (!big || tri <= kTrsmBlock) {
+    // Small problems: the scalar kernel is cache-resident and the
+    // blocked machinery would only add dispatch latency.
+    if (side == Side::Left) {
+      solve_left_scalar(uplo, trans, diag, a, b);
+    } else {
+      solve_right_scalar(uplo, trans, diag, a, b);
     }
+    return;
   }
 
+  // Blocked algorithm: scalar-solve one kTrsmBlock diagonal block
+  // (parallel across the independent columns/rows of B), then fold the
+  // solved block into the remainder with one GEMM — which carries the
+  // O(tri²·other) bulk of the flops through the packed threaded kernel.
+  ThreadPool& pool = ThreadPool::global();
   if (side == Side::Left) {
     const bool forward = (uplo == Uplo::Lower) == (trans == Trans::NoTrans);
-    for (index_t j = 0; j < n; ++j) {
-      double* x = b.col_ptr(j);
-      if (forward) {
-        for (index_t i = 0; i < m; ++i) {
-          double s = x[i];
-          if (trans == Trans::NoTrans) {
-            for (index_t p = 0; p < i; ++p) s -= a(i, p) * x[p];
-          } else {
-            for (index_t p = 0; p < i; ++p) s -= a(p, i) * x[p];
-          }
-          x[i] = unit ? s : s / a(i, i);
+    if (forward) {
+      for (index_t b0 = 0; b0 < m; b0 += kTrsmBlock) {
+        const index_t bs = std::min(kTrsmBlock, m - b0);
+        const ConstViewD adiag = a.block(b0, b0, bs, bs);
+        pool.parallel_for_chunked(0, n, [&](index_t j0, index_t j1) {
+          solve_left_scalar(uplo, trans, diag, adiag, b.block(b0, j0, bs, j1 - j0));
+        });
+        const index_t rest = m - (b0 + bs);
+        if (rest > 0) {
+          const ConstViewD asub = trans == Trans::NoTrans
+                                      ? a.block(b0 + bs, b0, rest, bs)
+                                      : a.block(b0, b0 + bs, bs, rest);
+          gemm_dispatch(trans, Trans::NoTrans, -1.0, asub, b.block(b0, 0, bs, n), 1.0,
+                        b.block(b0 + bs, 0, rest, n), /*allow_threads=*/true);
         }
-      } else {
-        for (index_t i = m - 1; i >= 0; --i) {
-          double s = x[i];
-          if (trans == Trans::NoTrans) {
-            for (index_t p = i + 1; p < m; ++p) s -= a(i, p) * x[p];
-          } else {
-            for (index_t p = i + 1; p < m; ++p) s -= a(p, i) * x[p];
-          }
-          x[i] = unit ? s : s / a(i, i);
+      }
+    } else {
+      for (index_t bend = m; bend > 0; bend -= std::min(kTrsmBlock, bend)) {
+        const index_t bs = std::min(kTrsmBlock, bend);
+        const index_t b0 = bend - bs;
+        const ConstViewD adiag = a.block(b0, b0, bs, bs);
+        pool.parallel_for_chunked(0, n, [&](index_t j0, index_t j1) {
+          solve_left_scalar(uplo, trans, diag, adiag, b.block(b0, j0, bs, j1 - j0));
+        });
+        if (b0 > 0) {
+          const ConstViewD asub = trans == Trans::NoTrans ? a.block(0, b0, b0, bs)
+                                                          : a.block(b0, 0, bs, b0);
+          gemm_dispatch(trans, Trans::NoTrans, -1.0, asub, b.block(b0, 0, bs, n), 1.0,
+                        b.block(0, 0, b0, n), /*allow_threads=*/true);
         }
       }
     }
     return;
   }
 
-  // Side::Right: solve X·op(A) = B column-block by column-block.
-  // Ascending j when op(A)'s nonzero column entries lie at k < j,
-  // descending otherwise.
+  // Side::Right: every row of B solves independently against op(A);
+  // block over the columns of B in dependency order.
   const bool ascending = (uplo == Uplo::Upper) == (trans == Trans::NoTrans);
-  auto entry = [&](index_t k, index_t j) {
-    return trans == Trans::NoTrans ? a(k, j) : a(j, k);
-  };
   if (ascending) {
-    for (index_t j = 0; j < n; ++j) {
-      double* xj = b.col_ptr(j);
-      for (index_t k = 0; k < j; ++k) {
-        const double t = entry(k, j);
-        if (t == 0.0) continue;
-        const double* xk = b.col_ptr(k);
-        for (index_t i = 0; i < m; ++i) xj[i] -= t * xk[i];
-      }
-      if (!unit) {
-        const double d = 1.0 / a(j, j);
-        for (index_t i = 0; i < m; ++i) xj[i] *= d;
+    for (index_t c0 = 0; c0 < n; c0 += kTrsmBlock) {
+      const index_t cs = std::min(kTrsmBlock, n - c0);
+      const ConstViewD adiag = a.block(c0, c0, cs, cs);
+      pool.parallel_for_chunked(0, m, [&](index_t r0, index_t r1) {
+        solve_right_scalar(uplo, trans, diag, adiag, b.block(r0, c0, r1 - r0, cs));
+      });
+      const index_t rest = n - (c0 + cs);
+      if (rest > 0) {
+        const ConstViewD asub = trans == Trans::NoTrans ? a.block(c0, c0 + cs, cs, rest)
+                                                        : a.block(c0 + cs, c0, rest, cs);
+        gemm_dispatch(Trans::NoTrans, trans, -1.0, b.block(0, c0, m, cs), asub, 1.0,
+                      b.block(0, c0 + cs, m, rest), /*allow_threads=*/true);
       }
     }
   } else {
-    for (index_t j = n - 1; j >= 0; --j) {
-      double* xj = b.col_ptr(j);
-      for (index_t k = j + 1; k < n; ++k) {
-        const double t = entry(k, j);
-        if (t == 0.0) continue;
-        const double* xk = b.col_ptr(k);
-        for (index_t i = 0; i < m; ++i) xj[i] -= t * xk[i];
-      }
-      if (!unit) {
-        const double d = 1.0 / a(j, j);
-        for (index_t i = 0; i < m; ++i) xj[i] *= d;
+    for (index_t cend = n; cend > 0; cend -= std::min(kTrsmBlock, cend)) {
+      const index_t cs = std::min(kTrsmBlock, cend);
+      const index_t c0 = cend - cs;
+      const ConstViewD adiag = a.block(c0, c0, cs, cs);
+      pool.parallel_for_chunked(0, m, [&](index_t r0, index_t r1) {
+        solve_right_scalar(uplo, trans, diag, adiag, b.block(r0, c0, r1 - r0, cs));
+      });
+      if (c0 > 0) {
+        const ConstViewD asub = trans == Trans::NoTrans ? a.block(c0, 0, cs, c0)
+                                                        : a.block(0, c0, c0, cs);
+        gemm_dispatch(Trans::NoTrans, trans, -1.0, b.block(0, c0, m, cs), asub, 1.0,
+                      b.block(0, 0, m, c0), /*allow_threads=*/true);
       }
     }
   }
 }
+
+// ---------------------------------------------------------------------
+// TRMM
+// ---------------------------------------------------------------------
 
 void trmm(Side side, Uplo uplo, Trans trans, Diag diag, double alpha, ConstViewD a, ViewD b) {
   ownership::check_view(a, "blas::trmm A");
@@ -262,53 +568,61 @@ void trmm(Side side, Uplo uplo, Trans trans, Diag diag, double alpha, ConstViewD
   }
 }
 
+// ---------------------------------------------------------------------
+// SYRK
+// ---------------------------------------------------------------------
+
+void syrk_seq(Uplo uplo, Trans trans, double alpha, ConstViewD a, double beta, ViewD c) {
+  ownership::check_view(a, "blas::syrk_seq A");
+  ownership::check_view(c, "blas::syrk_seq C");
+  check_syrk_dims(trans, a, c, "syrk_seq");
+  syrk_scalar(uplo, trans, alpha, a, beta, c);
+}
+
 void syrk(Uplo uplo, Trans trans, double alpha, ConstViewD a, double beta, ViewD c) {
   ownership::check_view(a, "blas::syrk A");
   ownership::check_view(c, "blas::syrk C");
+  check_syrk_dims(trans, a, c, "syrk");
   const index_t n = c.rows();
-  FTLA_CHECK(c.rows() == c.cols(), "syrk: C must be square");
-  const index_t opa_rows = trans == Trans::NoTrans ? a.rows() : a.cols();
   const index_t k = trans == Trans::NoTrans ? a.cols() : a.rows();
-  FTLA_CHECK(opa_rows == n, "syrk: op(A) row count must match C");
-
-  for (index_t j = 0; j < n; ++j) {
-    double* cc = c.col_ptr(j);
-    const index_t i0 = uplo == Uplo::Lower ? j : 0;
-    const index_t i1 = uplo == Uplo::Lower ? n : j + 1;
-    if (beta == 0.0) {
-      for (index_t i = i0; i < i1; ++i) cc[i] = 0.0;
-    } else if (beta != 1.0) {
-      for (index_t i = i0; i < i1; ++i) cc[i] *= beta;
-    }
+  const index_t flops = n * n * k / 2;
+  if (flops < kParallelFlopThreshold || n <= kSyrkBlock) {
+    syrk_scalar(uplo, trans, alpha, a, beta, c);
+    return;
   }
-  if (alpha == 0.0 || k == 0) return;
 
-  if (trans == Trans::NoTrans) {
-    for (index_t p = 0; p < k; ++p) {
-      const double* ap = a.col_ptr(p);
-      for (index_t j = 0; j < n; ++j) {
-        const double t = alpha * ap[j];
-        if (t == 0.0) continue;
-        double* cc = c.col_ptr(j);
-        const index_t i0 = uplo == Uplo::Lower ? j : 0;
-        const index_t i1 = uplo == Uplo::Lower ? n : j + 1;
-        for (index_t i = i0; i < i1; ++i) cc[i] += t * ap[i];
+  // Blocked algorithm over the stored triangle's tile grid: every
+  // off-diagonal tile C(bi, bj) = alpha·op(A)_bi·op(A)_bjᵀ + beta·C is an
+  // independent GEMM, every diagonal tile a small scalar SYRK. Tiles are
+  // chunked 2D across the pool; tile bodies stay sequential (a nested
+  // parallel_for from a pool worker would deadlock the fixed-size pool).
+  const index_t nt = (n + kSyrkBlock - 1) / kSyrkBlock;
+  ThreadPool::global().parallel_for_tiles(nt, nt, [&](index_t r0, index_t r1, index_t c0,
+                                                      index_t c1) {
+    for (index_t bi = r0; bi < r1; ++bi) {
+      for (index_t bj = c0; bj < c1; ++bj) {
+        if (uplo == Uplo::Lower ? bi < bj : bi > bj) continue;
+        const index_t i0 = bi * kSyrkBlock;
+        const index_t bs_i = std::min(kSyrkBlock, n - i0);
+        const index_t j0 = bj * kSyrkBlock;
+        const index_t bs_j = std::min(kSyrkBlock, n - j0);
+        if (bi == bj) {
+          const ConstViewD adiag = trans == Trans::NoTrans ? a.block(i0, 0, bs_i, k)
+                                                           : a.block(0, i0, k, bs_i);
+          syrk_scalar(uplo, trans, alpha, adiag, beta, c.block(i0, i0, bs_i, bs_i));
+        } else {
+          const ViewD cij = c.block(i0, j0, bs_i, bs_j);
+          if (trans == Trans::NoTrans) {
+            gemm_dispatch(Trans::NoTrans, Trans::Trans, alpha, a.block(i0, 0, bs_i, k),
+                          a.block(j0, 0, bs_j, k), beta, cij, /*allow_threads=*/false);
+          } else {
+            gemm_dispatch(Trans::Trans, Trans::NoTrans, alpha, a.block(0, i0, k, bs_i),
+                          a.block(0, j0, k, bs_j), beta, cij, /*allow_threads=*/false);
+          }
+        }
       }
     }
-  } else {
-    for (index_t j = 0; j < n; ++j) {
-      const double* aj = a.col_ptr(j);
-      double* cc = c.col_ptr(j);
-      const index_t i0 = uplo == Uplo::Lower ? j : 0;
-      const index_t i1 = uplo == Uplo::Lower ? n : j + 1;
-      for (index_t i = i0; i < i1; ++i) {
-        const double* ai = a.col_ptr(i);
-        double s = 0.0;
-        for (index_t p = 0; p < k; ++p) s += ai[p] * aj[p];
-        cc[i] += alpha * s;
-      }
-    }
-  }
+  });
 }
 
 }  // namespace ftla::blas

@@ -1,8 +1,13 @@
 #pragma once
 
 /// \file level3.hpp
-/// BLAS level-3: matrix-matrix operations. gemm is cache-blocked and
+/// BLAS level-3: matrix-matrix operations. gemm is a packed,
+/// register-tiled kernel (BLIS-style MC/KC/NC blocking, see pack.hpp)
 /// threaded over the global pool; it carries the bulk of every TMU.
+/// trsm and syrk are blocked so their off-diagonal flops route through
+/// gemm. The *_seq variants are the straightforward scalar kernels,
+/// kept both as correctness oracles for the blocked paths and for use
+/// inside already-parallel regions.
 
 #include "blas/enums.hpp"
 #include "matrix/view.hpp"
@@ -25,6 +30,10 @@ void gemm_seq(Trans ta, Trans tb, double alpha, ConstViewD a, ConstViewD b, doub
 /// with A triangular.
 void trsm(Side side, Uplo uplo, Trans trans, Diag diag, double alpha, ConstViewD a, ViewD b);
 
+/// Single-threaded scalar trsm (correctness oracle for the blocked path).
+void trsm_seq(Side side, Uplo uplo, Trans trans, Diag diag, double alpha, ConstViewD a,
+              ViewD b);
+
 /// B ← alpha·op(A)·B (Side::Left) or alpha·B·op(A) (Side::Right),
 /// with A triangular.
 void trmm(Side side, Uplo uplo, Trans trans, Diag diag, double alpha, ConstViewD a, ViewD b);
@@ -32,5 +41,8 @@ void trmm(Side side, Uplo uplo, Trans trans, Diag diag, double alpha, ConstViewD
 /// C ← alpha·op(A)·op(A)ᵀ + beta·C, updating only the `uplo` triangle.
 /// Trans::NoTrans: op(A) = A (n×k). Trans::Trans: op(A) = Aᵀ with A k×n.
 void syrk(Uplo uplo, Trans trans, double alpha, ConstViewD a, double beta, ViewD c);
+
+/// Single-threaded scalar syrk (correctness oracle for the blocked path).
+void syrk_seq(Uplo uplo, Trans trans, double alpha, ConstViewD a, double beta, ViewD c);
 
 }  // namespace ftla::blas

@@ -1,0 +1,117 @@
+#include "blas/microkernel.hpp"
+
+#include "common/portability.hpp"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define FTLA_MICROKERNEL_X86 1
+#include <immintrin.h>
+#else
+#define FTLA_MICROKERNEL_X86 0
+#endif
+
+namespace ftla::blas::detail {
+
+namespace {
+
+/// Portable fallback. The fixed trip counts let the compiler unroll and
+/// vectorize for whatever the build's baseline ISA is.
+void micro_kernel_generic(index_t kc, double alpha, const double* FTLA_RESTRICT a,
+                          const double* FTLA_RESTRICT b, double* FTLA_RESTRICT c,
+                          index_t ldc, index_t mr, index_t nr) {
+  double acc[kMR * kNR] = {};
+  for (index_t p = 0; p < kc; ++p) {
+    const double* FTLA_RESTRICT ap = a + p * kMR;
+    const double* FTLA_RESTRICT bp = b + p * kNR;
+    FTLA_PREFETCH(ap + 8 * kMR, 0, 0);
+    for (index_t j = 0; j < kNR; ++j) {
+      const double bv = bp[j];
+      for (index_t i = 0; i < kMR; ++i) acc[j * kMR + i] += ap[i] * bv;
+    }
+  }
+  if (mr == kMR && nr == kNR) {
+    for (index_t j = 0; j < kNR; ++j) {
+      double* FTLA_RESTRICT cc = c + j * ldc;
+      const double* FTLA_RESTRICT av = acc + j * kMR;
+      for (index_t i = 0; i < kMR; ++i) cc[i] += alpha * av[i];
+    }
+  } else {
+    for (index_t j = 0; j < nr; ++j) {
+      double* FTLA_RESTRICT cc = c + j * ldc;
+      const double* FTLA_RESTRICT av = acc + j * kMR;
+      for (index_t i = 0; i < mr; ++i) cc[i] += alpha * av[i];
+    }
+  }
+}
+
+#if FTLA_MICROKERNEL_X86
+
+static_assert(kMR == 8 && kNR == 4, "the AVX2 kernel is written for an 8x4 tile");
+
+/// 8×4 AVX2+FMA kernel: 8 accumulator YMM (two per C column) plus two
+/// A vectors and one broadcast stay inside the 16-register file; each k
+/// step issues 8 FMAs against 6 loads, saturating the FMA ports. The
+/// epilogue scales with mul+add (not FMA) in both the full and the
+/// clipped store so every C element sees the same rounding recipe.
+__attribute__((target("avx2,fma"))) void micro_kernel_avx2(
+    index_t kc, double alpha, const double* FTLA_RESTRICT a, const double* FTLA_RESTRICT b,
+    double* FTLA_RESTRICT c, index_t ldc, index_t mr, index_t nr) {
+  __m256d acc_lo[kNR];
+  __m256d acc_hi[kNR];
+  for (int j = 0; j < kNR; ++j) {
+    acc_lo[j] = _mm256_setzero_pd();
+    acc_hi[j] = _mm256_setzero_pd();
+  }
+  for (index_t p = 0; p < kc; ++p) {
+    const double* FTLA_RESTRICT ap = a + p * kMR;
+    const double* FTLA_RESTRICT bp = b + p * kNR;
+    _mm_prefetch(reinterpret_cast<const char*>(ap + 8 * kMR), _MM_HINT_T0);
+    const __m256d a_lo = _mm256_loadu_pd(ap);
+    const __m256d a_hi = _mm256_loadu_pd(ap + 4);
+    for (int j = 0; j < kNR; ++j) {
+      const __m256d bv = _mm256_broadcast_sd(bp + j);
+      acc_lo[j] = _mm256_fmadd_pd(a_lo, bv, acc_lo[j]);
+      acc_hi[j] = _mm256_fmadd_pd(a_hi, bv, acc_hi[j]);
+    }
+  }
+  const __m256d av = _mm256_set1_pd(alpha);
+  if (mr == kMR && nr == kNR) {
+    for (int j = 0; j < kNR; ++j) {
+      double* FTLA_RESTRICT cc = c + j * ldc;
+      _mm256_storeu_pd(cc, _mm256_add_pd(_mm256_loadu_pd(cc), _mm256_mul_pd(av, acc_lo[j])));
+      _mm256_storeu_pd(cc + 4,
+                       _mm256_add_pd(_mm256_loadu_pd(cc + 4), _mm256_mul_pd(av, acc_hi[j])));
+    }
+  } else {
+    alignas(32) double tile[kMR * kNR];
+    for (int j = 0; j < kNR; ++j) {
+      _mm256_store_pd(tile + j * kMR, _mm256_mul_pd(av, acc_lo[j]));
+      _mm256_store_pd(tile + j * kMR + 4, _mm256_mul_pd(av, acc_hi[j]));
+    }
+    for (index_t j = 0; j < nr; ++j) {
+      double* FTLA_RESTRICT cc = c + j * ldc;
+      for (index_t i = 0; i < mr; ++i) cc[i] += tile[j * kMR + i];
+    }
+  }
+}
+
+bool cpu_has_avx2_fma() {
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+}
+
+#endif  // FTLA_MICROKERNEL_X86
+
+}  // namespace
+
+void micro_kernel(index_t kc, double alpha, const double* a, const double* b, double* c,
+                  index_t ldc, index_t mr, index_t nr) {
+#if FTLA_MICROKERNEL_X86
+  static const bool use_avx2 = cpu_has_avx2_fma();
+  if (use_avx2) {
+    micro_kernel_avx2(kc, alpha, a, b, c, ldc, mr, nr);
+    return;
+  }
+#endif
+  micro_kernel_generic(kc, alpha, a, b, c, ldc, mr, nr);
+}
+
+}  // namespace ftla::blas::detail

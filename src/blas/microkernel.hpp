@@ -1,0 +1,29 @@
+#pragma once
+
+/// \file microkernel.hpp
+/// Register-tiled GEMM microkernel.
+///
+/// Computes one kMR×kNR tile of C += alpha · Â·B̂ from packed micro-panels
+/// (see pack.hpp for the layouts). Tail tiles reuse the same full-width
+/// k-loop (packing zero-pads the operands) and clip only the final
+/// store, so the hot loop is branch-free.
+///
+/// The implementation lives in microkernel.cpp: a portable scalar
+/// kernel plus, on x86-64, an AVX2+FMA variant selected once at
+/// startup by CPU feature detection. The vector variant is written in
+/// intrinsics — not auto-vectorized — so its instruction stream (and
+/// therefore its rounding) is identical across optimization levels and
+/// sanitizer build modes; one process always runs one kernel, keeping
+/// results bitwise reproducible within a build.
+
+#include "blas/pack.hpp"
+
+namespace ftla::blas::detail {
+
+/// c points at C(tile row 0, tile col 0) with leading dimension ldc;
+/// mr×nr (≤ kMR×kNR) is the valid region of the tile. a and b are
+/// packed micro-panels of kc steps (zero-padded to full width).
+void micro_kernel(index_t kc, double alpha, const double* a, const double* b, double* c,
+                  index_t ldc, index_t mr, index_t nr);
+
+}  // namespace ftla::blas::detail

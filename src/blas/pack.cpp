@@ -1,0 +1,71 @@
+#include "blas/pack.hpp"
+
+#include "common/portability.hpp"
+
+namespace ftla::blas {
+
+void pack_a(Trans ta, ConstViewD a, index_t i0, index_t mc, index_t p0, index_t kc,
+            double* buf) {
+  const index_t panels = (mc + kMR - 1) / kMR;
+  for (index_t q = 0; q < panels; ++q) {
+    double* FTLA_RESTRICT dst = buf + q * kMR * kc;
+    const index_t i_base = i0 + q * kMR;
+    const index_t mr = std::min<index_t>(kMR, i0 + mc - i_base);
+    if (ta == Trans::NoTrans) {
+      // op(A)(i, p) = a(i, p): read kMR-long stride-1 runs down columns.
+      for (index_t p = 0; p < kc; ++p) {
+        const double* FTLA_RESTRICT src = a.col_ptr(p0 + p) + i_base;
+        if (p + 1 < kc) FTLA_PREFETCH(a.col_ptr(p0 + p + 1) + i_base, 0, 3);
+        double* FTLA_RESTRICT out = dst + p * kMR;
+        for (index_t i = 0; i < mr; ++i) out[i] = src[i];
+        for (index_t i = mr; i < kMR; ++i) out[i] = 0.0;
+      }
+    } else {
+      // op(A)(i, p) = a(p, i): column i_base+i of A is one micro-panel
+      // row; walk it stride-1 and scatter with stride kMR.
+      for (index_t i = 0; i < mr; ++i) {
+        const double* FTLA_RESTRICT src = a.col_ptr(i_base + i) + p0;
+        double* FTLA_RESTRICT out = dst + i;
+        for (index_t p = 0; p < kc; ++p) out[p * kMR] = src[p];
+      }
+      for (index_t i = mr; i < kMR; ++i) {
+        double* FTLA_RESTRICT out = dst + i;
+        for (index_t p = 0; p < kc; ++p) out[p * kMR] = 0.0;
+      }
+    }
+  }
+}
+
+void pack_b(Trans tb, ConstViewD b, index_t p0, index_t kc, index_t j0, index_t nc,
+            double* buf) {
+  const index_t panels = (nc + kNR - 1) / kNR;
+  for (index_t q = 0; q < panels; ++q) {
+    double* FTLA_RESTRICT dst = buf + q * kc * kNR;
+    const index_t j_base = j0 + q * kNR;
+    const index_t nr = std::min<index_t>(kNR, j0 + nc - j_base);
+    if (tb == Trans::NoTrans) {
+      // op(B)(p, j) = b(p, j): column j of B is one micro-panel column;
+      // walk it stride-1 and scatter with stride kNR.
+      for (index_t j = 0; j < nr; ++j) {
+        const double* FTLA_RESTRICT src = b.col_ptr(j_base + j) + p0;
+        double* FTLA_RESTRICT out = dst + j;
+        for (index_t p = 0; p < kc; ++p) out[p * kNR] = src[p];
+      }
+      for (index_t j = nr; j < kNR; ++j) {
+        double* FTLA_RESTRICT out = dst + j;
+        for (index_t p = 0; p < kc; ++p) out[p * kNR] = 0.0;
+      }
+    } else {
+      // op(B)(p, j) = b(j, p): read kNR-long stride-1 runs down columns.
+      for (index_t p = 0; p < kc; ++p) {
+        const double* FTLA_RESTRICT src = b.col_ptr(p0 + p) + j_base;
+        if (p + 1 < kc) FTLA_PREFETCH(b.col_ptr(p0 + p + 1) + j_base, 0, 3);
+        double* FTLA_RESTRICT out = dst + p * kNR;
+        for (index_t j = 0; j < nr; ++j) out[j] = src[j];
+        for (index_t j = nr; j < kNR; ++j) out[j] = 0.0;
+      }
+    }
+  }
+}
+
+}  // namespace ftla::blas

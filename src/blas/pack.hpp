@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file pack.hpp
+/// Panel packing for the register-tiled GEMM (BLIS-style).
+///
+/// The macro kernel never touches the caller's (possibly strided,
+/// possibly transposed) operands directly: pack_a / pack_b copy one
+/// cache-sized block into contiguous micro-panel order, absorbing all
+/// four Trans combinations, so the microkernel is a single stride-1
+/// loop for every case. Tail rows/columns are zero-padded to the full
+/// kMR/kNR width, which keeps the microkernel branch-free; the padded
+/// products are exact zeros and never reach C.
+///
+/// Packed-A layout (block of op(A), mc×kc): ceil(mc/kMR) micro-panels,
+/// each kMR·kc doubles, element (i, p) of micro-panel q at
+/// buf[q·kMR·kc + p·kMR + i].
+/// Packed-B layout (block of op(B), kc×nc): ceil(nc/kNR) micro-panels,
+/// each kc·kNR doubles, element (p, j) of micro-panel q at
+/// buf[q·kc·kNR + p·kNR + j].
+
+#include "blas/enums.hpp"
+#include "matrix/view.hpp"
+
+namespace ftla::blas {
+
+using ftla::ConstViewD;
+using ftla::index_t;
+
+/// Register micro-tile: each microkernel call produces an MR×NR block of
+/// C. 8×4 is sized for the AVX2+FMA kernel (microkernel.cpp): the 32
+/// accumulators occupy 8 YMM registers — two per C column — leaving
+/// room for the two A vectors and the B broadcast inside the
+/// 16-register file, and each k step's 8 FMAs against 6 loads keep the
+/// FMA ports the binding resource.
+constexpr index_t kMR = 8;
+constexpr index_t kNR = 4;
+
+/// Cache blocking: a packed A block is at most kMC×kKC doubles (256 KiB,
+/// sized for L2 residence while it is swept kNC/kNR times); a packed B
+/// panel is at most kKC×kNC (1 MiB, L3/LLC residence across all A blocks
+/// of the pc iteration); C is visited in kMC×kNC slabs.
+constexpr index_t kMC = 128;
+constexpr index_t kKC = 256;
+constexpr index_t kNC = 512;
+
+[[nodiscard]] constexpr index_t round_up(index_t v, index_t to) noexcept {
+  return ((v + to - 1) / to) * to;
+}
+
+/// Doubles required for a packed mc×kc A block / kc×nc B panel.
+[[nodiscard]] constexpr index_t packed_a_size(index_t mc, index_t kc) noexcept {
+  return round_up(mc, kMR) * kc;
+}
+[[nodiscard]] constexpr index_t packed_b_size(index_t kc, index_t nc) noexcept {
+  return kc * round_up(nc, kNR);
+}
+
+/// Packs op(A)(i0:i0+mc, p0:p0+kc) into `buf` (micro-panel layout above),
+/// where op(A) = A when ta == NoTrans and Aᵀ otherwise. Indices are in
+/// op-space: op(A) is m×k regardless of how A is stored.
+void pack_a(Trans ta, ConstViewD a, index_t i0, index_t mc, index_t p0, index_t kc,
+            double* buf);
+
+/// Packs op(B)(p0:p0+kc, j0:j0+nc) into `buf` (micro-panel layout above).
+void pack_b(Trans tb, ConstViewD b, index_t p0, index_t kc, index_t j0, index_t nc,
+            double* buf);
+
+}  // namespace ftla::blas

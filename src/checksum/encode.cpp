@@ -2,6 +2,7 @@
 
 #include "blas/blas.hpp"
 #include "common/error.hpp"
+#include "common/portability.hpp"
 #include "matrix/matrix.hpp"
 #include "sim/ownership.hpp"
 
@@ -45,7 +46,7 @@ void encode_col_fused(ConstViewD a, ViewD out) {
   for (index_t j = 0; j < w; ++j) {
     const double* col = a.col_ptr(j);
     if constexpr (Prefetch) {
-      if (j + 1 < w) __builtin_prefetch(a.col_ptr(j + 1), 0, 3);
+      if (j + 1 < w) FTLA_PREFETCH(a.col_ptr(j + 1), 0, 3);
     }
     double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;  // sum lanes
     double t0 = 0.0, t1 = 0.0, t2 = 0.0, t3 = 0.0;  // weighted lanes
@@ -107,7 +108,7 @@ void encode_row_fused(ConstViewD a, ViewD out) {
   for (index_t c = 0; c < w; ++c) {
     const double* col = a.col_ptr(c);
     if constexpr (Prefetch) {
-      if (c + 1 < w) __builtin_prefetch(a.col_ptr(c + 1), 0, 3);
+      if (c + 1 < w) FTLA_PREFETCH(a.col_ptr(c + 1), 0, 3);
     }
     const double wgt = static_cast<double>(c + 1);
     for (index_t r = 0; r < h; ++r) {

@@ -1,0 +1,33 @@
+#pragma once
+
+/// \file portability.hpp
+/// Compiler-portability shims for performance hints.
+///
+/// The hot kernels (checksum encoders, BLAS-3 packers) want prefetch and
+/// restrict hints, but the library must still build on compilers that
+/// lack the GCC/Clang builtins. Every hint here degrades to a no-op.
+
+/// FTLA_PREFETCH(addr, rw, locality): best-effort cache prefetch.
+/// `rw` is 0 (read) or 1 (write); `locality` is 0 (none) .. 3 (high).
+/// Expands to nothing on compilers without __builtin_prefetch.
+#if defined(__has_builtin)
+#if __has_builtin(__builtin_prefetch)
+#define FTLA_PREFETCH(addr, rw, locality) __builtin_prefetch((addr), (rw), (locality))
+#endif
+#endif
+#if !defined(FTLA_PREFETCH) && defined(__GNUC__)
+// GCC < 10 has __builtin_prefetch but not __has_builtin.
+#define FTLA_PREFETCH(addr, rw, locality) __builtin_prefetch((addr), (rw), (locality))
+#endif
+#ifndef FTLA_PREFETCH
+#define FTLA_PREFETCH(addr, rw, locality) ((void)0)
+#endif
+
+/// FTLA_RESTRICT: non-aliasing pointer qualifier for kernel inner loops.
+#if defined(__GNUC__) || defined(__clang__)
+#define FTLA_RESTRICT __restrict__
+#elif defined(_MSC_VER)
+#define FTLA_RESTRICT __restrict
+#else
+#define FTLA_RESTRICT
+#endif

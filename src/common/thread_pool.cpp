@@ -133,6 +133,40 @@ void ThreadPool::parallel_for_chunked(index_t begin, index_t end,
   if (first_error) std::rethrow_exception(first_error);
 }
 
+void ThreadPool::parallel_for_tiles(
+    index_t rows, index_t cols,
+    const std::function<void(index_t, index_t, index_t, index_t)>& body) {
+  if (rows <= 0 || cols <= 0) return;
+  // Split the grid into pr×pc chunks with pr·pc ≈ workers+1, biased
+  // toward the longer axis so chunks stay near-square (square chunks
+  // maximize per-chunk data reuse for blocked kernels).
+  const index_t budget = std::min<index_t>(rows * cols, static_cast<index_t>(num_threads()) + 1);
+  index_t pr = 1;
+  index_t pc = 1;
+  while (pr * pc < budget) {
+    const double row_span = static_cast<double>(rows) / static_cast<double>(pr);
+    const double col_span = static_cast<double>(cols) / static_cast<double>(pc);
+    if (row_span >= col_span && pr < rows) {
+      ++pr;
+    } else if (pc < cols) {
+      ++pc;
+    } else if (pr < rows) {
+      ++pr;
+    } else {
+      break;
+    }
+  }
+  const index_t row_chunk = (rows + pr - 1) / pr;
+  const index_t col_chunk = (cols + pc - 1) / pc;
+  // Reuse the 1D dispatcher (and its error handshake) over the chunk list.
+  parallel_for(0, pr * pc, [&](index_t chunk) {
+    const index_t r0 = (chunk / pc) * row_chunk;
+    const index_t c0 = (chunk % pc) * col_chunk;
+    if (r0 >= rows || c0 >= cols) return;
+    body(r0, std::min(rows, r0 + row_chunk), c0, std::min(cols, c0 + col_chunk));
+  });
+}
+
 ThreadPool& ThreadPool::global() {
   static ThreadPool pool;
   return pool;

@@ -51,6 +51,15 @@ class ThreadPool {
   void parallel_for_chunked(index_t begin, index_t end,
                             const std::function<void(index_t, index_t)>& body);
 
+  /// 2D analogue for tile grids (blocked BLAS-3 kernels): partitions the
+  /// rows×cols grid into near-square rectangular chunks, one task each,
+  /// and runs body(r0, r1, c0, c1) per chunk. Distinct chunks never share
+  /// a (row, col) cell, so bodies may write disjoint C tiles without
+  /// synchronization. Blocks until every chunk finishes; exceptions are
+  /// rethrown on the calling thread (first one wins).
+  void parallel_for_tiles(index_t rows, index_t cols,
+                          const std::function<void(index_t, index_t, index_t, index_t)>& body);
+
   [[nodiscard]] unsigned num_threads() const noexcept {
     return static_cast<unsigned>(workers_.size());
   }

@@ -18,7 +18,13 @@ namespace ftla::serve {
 /// in a serving run are small (thousands), so this keeps everything.
 class LatencyTrack {
  public:
-  void add(double seconds) { samples_.push_back(seconds); }
+  void add(double seconds) {
+    samples_.push_back(seconds);
+    // quantile() sorts lazily; a sample appended after a sort lands at
+    // the back of an otherwise-sorted vector, so the flag must drop or
+    // later quantiles read the stale order.
+    sorted_ = false;
+  }
   [[nodiscard]] std::size_t count() const noexcept { return samples_.size(); }
   [[nodiscard]] double mean() const;
   /// q in [0,1]; nearest-rank on the sorted samples. 0 when empty.

@@ -80,6 +80,11 @@ std::optional<QueuedJob> JobQueue::pop(int fleet) {
       jobs.erase(jobs.begin() + idx);
       --total_;
       if (lane != fleet) ++stolen_;
+      // Taking the last job after close() is the drained transition the
+      // shutdown exit above waits on. Workers of a different GPU count
+      // cannot serve this lane, so they sit in the untimed wait() — only
+      // a notify here wakes them; without it shutdown joins hang.
+      if (closed_ && total_ == 0) work_available_.notify_all();
       return job;
     }
 

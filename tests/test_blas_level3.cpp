@@ -6,8 +6,10 @@
 
 #include <string>
 #include <tuple>
+#include <vector>
 
 #include "blas/level3.hpp"
+#include "blas/pack.hpp"
 #include "matrix/compare.hpp"
 #include "matrix/generate.hpp"
 #include "matrix/norms.hpp"
@@ -202,6 +204,186 @@ TEST(Syrk, LeavesOppositeTriangleUntouched) {
   syrk(Uplo::Lower, Trans::NoTrans, 1.0, a.const_view(), 0.0, c.view());
   for (index_t j = 1; j < n; ++j)
     for (index_t i = 0; i < j; ++i) EXPECT_DOUBLE_EQ(c(i, j), 7.0);
+}
+
+// ---------------------------------------------------------------------
+// Packed-kernel property tests: the blocked paths against their scalar
+// *_seq oracles at shapes straddling every blocking parameter edge
+// (kMR, kNR, kMC, kKC, kNC and the trsm/syrk block sizes), on strided
+// sub-views, and across all variant combinations.
+// ---------------------------------------------------------------------
+
+/// A triangular operand whose solves stay well conditioned under both
+/// Diag modes: off-diagonal entries shrunk to O(1/n) — Unit solves see
+/// I + N with ‖N‖ small — and the diagonal pushed far from zero for
+/// NonUnit. Ill-conditioned operands would amplify the (legitimate)
+/// rounding differences between the blocked and scalar summation
+/// orders past any meaningful tolerance.
+MatD boosted_diag(index_t n, std::uint64_t seed) {
+  MatD a = random_general(n, n, seed);
+  const double scale = 1.0 / static_cast<double>(n);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < n; ++i) a(i, j) *= scale;
+  for (index_t i = 0; i < n; ++i) a(i, i) += 2.0;
+  return a;
+}
+
+TEST(PackedGemm, BlockingEdgeShapesMatchOracle) {
+  // One-off and ±1 around each blocking parameter; every value crosses
+  // a packing tail (kMR = 8, kNR = 4), an A-block edge (kMC = 128), a
+  // k-panel edge (kKC = 256) or a B-panel edge (kNC = 512).
+  const std::vector<index_t> edges_m = {1, kMR - 1, kMR, kMR + 1, kMC - 1, kMC + 1};
+  const std::vector<index_t> edges_n = {1, kNR - 1, kNR + 1, 67};
+  const std::vector<index_t> edges_k = {1, 7, kKC - 1, kKC, kKC + 1};
+  for (int tai = 0; tai < 2; ++tai) {
+    for (int tbi = 0; tbi < 2; ++tbi) {
+      const auto ta = tai ? Trans::Trans : Trans::NoTrans;
+      const auto tb = tbi ? Trans::Trans : Trans::NoTrans;
+      for (index_t m : edges_m) {
+        for (index_t n : edges_n) {
+          for (index_t k : edges_k) {
+            const MatD a =
+                ta == Trans::NoTrans ? random_general(m, k, 1) : random_general(k, m, 1);
+            const MatD b =
+                tb == Trans::NoTrans ? random_general(k, n, 2) : random_general(n, k, 2);
+            MatD c = random_general(m, n, 3);
+            MatD expect = c;
+            gemm_seq(ta, tb, 1.25, a.const_view(), b.const_view(), -0.5, expect.view());
+            gemm(ta, tb, 1.25, a.const_view(), b.const_view(), -0.5, c.view());
+            EXPECT_LT(max_abs_diff(c.view(), expect.view()),
+                      1e-12 * (1.0 + static_cast<double>(k)))
+                << "ta=" << tai << " tb=" << tbi << " m=" << m << " n=" << n << " k=" << k;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(PackedGemm, WidePanelCrossesNcEdgeAndMatchesOracle) {
+  // n past kNC exercises the outer jc loop with a ragged final panel.
+  const index_t m = 40;
+  const index_t n = kNC + 3;
+  const index_t k = 33;
+  const MatD a = random_general(m, k, 4);
+  const MatD b = random_general(k, n, 5);
+  MatD c = random_general(m, n, 6);
+  MatD expect = c;
+  gemm_seq(Trans::NoTrans, Trans::NoTrans, 1.0, a.const_view(), b.const_view(), 1.0,
+           expect.view());
+  gemm(Trans::NoTrans, Trans::NoTrans, 1.0, a.const_view(), b.const_view(), 1.0, c.view());
+  EXPECT_LT(max_abs_diff(c.view(), expect.view()), 1e-12 * (1.0 + static_cast<double>(k)));
+}
+
+TEST(PackedGemm, StridedSubViewsMatchOracle) {
+  // The packers must honour the parent's leading dimension: operands and
+  // destination are interior blocks of larger matrices.
+  const index_t m = 133;
+  const index_t n = 71;
+  const index_t k = 259;
+  MatD pa = random_general(m + 9, k + 7, 7);
+  MatD pb = random_general(n + 5, k + 4, 8);  // holds op(B) = Bᵀ
+  MatD pc1 = random_general(m + 6, n + 8, 9);
+  MatD pc2 = pc1;
+  const auto av = pa.const_view().block(2, 3, m, k);
+  const auto bv = pb.const_view().block(1, 2, n, k);
+  gemm_seq(Trans::NoTrans, Trans::Trans, -2.0, av, bv, 0.75,
+           pc2.view().block(4, 1, m, n));
+  gemm(Trans::NoTrans, Trans::Trans, -2.0, av, bv, 0.75, pc1.view().block(4, 1, m, n));
+  EXPECT_LT(max_abs_diff(pc1.view(), pc2.view()), 1e-12 * (1.0 + static_cast<double>(k)));
+}
+
+TEST(PackedGemm, RepeatedRunsAreBitwiseIdentical) {
+  // Parallelism only partitions disjoint C tiles; per-element summation
+  // order is fixed by the sequential jc/pc loops and the microkernel's
+  // k-order, so a rerun on the same inputs must agree to the last bit.
+  const index_t n = 192;  // above the threaded threshold
+  const MatD a = random_general(n, n, 10);
+  const MatD b = random_general(n, n, 11);
+  MatD c1(n, n, 0.0);
+  MatD c2(n, n, 0.0);
+  gemm(Trans::NoTrans, Trans::NoTrans, 1.0, a.const_view(), b.const_view(), 0.0, c1.view());
+  gemm(Trans::NoTrans, Trans::NoTrans, 1.0, a.const_view(), b.const_view(), 0.0, c2.view());
+  EXPECT_EQ(max_abs_diff(c1.view(), c2.view()), 0.0);
+}
+
+class BlockedTrsmSweep : public ::testing::TestWithParam<TriParam> {};
+
+TEST_P(BlockedTrsmSweep, MatchesScalarOracleAcrossBlockEdges) {
+  const auto [si, ui, ti, di] = GetParam();
+  const auto side = si ? Side::Right : Side::Left;
+  const auto uplo = ui ? Uplo::Upper : Uplo::Lower;
+  const auto trans = ti ? Trans::Trans : Trans::NoTrans;
+  const auto diag = di ? Diag::Unit : Diag::NonUnit;
+
+  // Triangular sizes straddling the kTrsmBlock = 64 diagonal block and
+  // large enough (with the paired dimension) to take the blocked path.
+  for (index_t tri : {index_t{63}, index_t{64}, index_t{65}, index_t{200}}) {
+    const index_t other = 130;
+    const index_t m = side == Side::Left ? tri : other;
+    const index_t n = side == Side::Left ? other : tri;
+    const MatD a = boosted_diag(tri, 21);
+    const MatD b0 = random_general(m, n, 22);
+    MatD fast = b0;
+    MatD oracle = b0;
+    trsm(side, uplo, trans, diag, 1.5, a.const_view(), fast.view());
+    trsm_seq(side, uplo, trans, diag, 1.5, a.const_view(), oracle.view());
+    EXPECT_LT(max_abs_diff(fast.view(), oracle.view()), 1e-10)
+        << to_string(side) << to_string(uplo) << to_string(trans) << to_string(diag)
+        << " tri=" << tri;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVariants, BlockedTrsmSweep,
+                         ::testing::Combine(::testing::Values(0, 1), ::testing::Values(0, 1),
+                                            ::testing::Values(0, 1), ::testing::Values(0, 1)));
+
+TEST(BlockedTrsm, StridedSubViewsMatchOracle) {
+  const index_t tri = 129;
+  const index_t n = 140;
+  MatD pa = boosted_diag(tri + 6, 23);
+  MatD pb = random_general(tri + 4, n + 3, 24);
+  MatD pb2 = pb;
+  const auto av = pa.const_view().block(3, 3, tri, tri);
+  trsm(Side::Left, Uplo::Lower, Trans::NoTrans, Diag::NonUnit, 1.0, av,
+       pb.view().block(2, 1, tri, n));
+  trsm_seq(Side::Left, Uplo::Lower, Trans::NoTrans, Diag::NonUnit, 1.0, av,
+           pb2.view().block(2, 1, tri, n));
+  EXPECT_LT(max_abs_diff(pb.view(), pb2.view()), 1e-10);
+}
+
+TEST(BlockedSyrk, MatchesScalarOracleAcrossBlockEdges) {
+  // n straddles kSyrkBlock = 128 (diagonal-tile tails) and k straddles
+  // kKC = 256 inside the per-tile gemm.
+  for (int ui = 0; ui < 2; ++ui) {
+    for (int ti = 0; ti < 2; ++ti) {
+      const auto uplo = ui ? Uplo::Upper : Uplo::Lower;
+      const auto trans = ti ? Trans::Trans : Trans::NoTrans;
+      for (index_t n : {index_t{127}, index_t{129}, index_t{260}}) {
+        for (index_t k : {index_t{64}, index_t{257}}) {
+          const MatD a =
+              trans == Trans::NoTrans ? random_general(n, k, 31) : random_general(k, n, 31);
+          MatD fast = random_general(n, n, 32);
+          MatD oracle = fast;
+          syrk(uplo, trans, -1.0, a.const_view(), 0.5, fast.view());
+          syrk_seq(uplo, trans, -1.0, a.const_view(), 0.5, oracle.view());
+          EXPECT_LT(max_abs_diff(fast.view(), oracle.view()),
+                    1e-12 * (1.0 + static_cast<double>(k)))
+              << to_string(uplo) << to_string(trans) << " n=" << n << " k=" << k;
+        }
+      }
+    }
+  }
+}
+
+TEST(BlockedSyrk, LeavesOppositeTriangleUntouchedAtBlockedSizes) {
+  const index_t n = 260;  // well past kSyrkBlock, takes the tiled path
+  const MatD a = random_general(n, 300, 33);
+  MatD c(n, n, 7.0);
+  syrk(Uplo::Lower, Trans::NoTrans, 1.0, a.const_view(), 0.0, c.view());
+  for (index_t j = 1; j < n; ++j)
+    for (index_t i = 0; i < j; ++i)
+      ASSERT_DOUBLE_EQ(c(i, j), 7.0) << "i=" << i << " j=" << j;
 }
 
 }  // namespace

@@ -1,0 +1,102 @@
+// Concurrency stress for the packed level-3 hot path. The decomposition
+// drivers call gemm/trsm/syrk from stream threads and the main thread
+// concurrently, so the packed kernels' thread-local packing buffers and
+// the pool's tile dispatcher must tolerate overlapping callers. Runs
+// under the TSan stress label.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "blas/level3.hpp"
+#include "matrix/compare.hpp"
+#include "matrix/generate.hpp"
+#include "matrix/matrix.hpp"
+
+namespace ftla::blas {
+namespace {
+
+TEST(BlasStress, ConcurrentPackedGemmCallersMatchOracle) {
+  // Four caller threads, each repeatedly running a threaded packed gemm
+  // on its own operands. Every caller races the others for pool workers;
+  // results must still match the scalar oracle exactly as in isolation.
+  constexpr int kCallers = 4;
+  constexpr int kRounds = 3;
+  const index_t n = 160;  // above the threaded threshold
+
+  std::vector<MatD> expected;
+  for (int t = 0; t < kCallers; ++t) {
+    const MatD a = random_general(n, n, 100 + t);
+    const MatD b = random_general(n, n, 200 + t);
+    MatD c(n, n, 0.0);
+    gemm_seq(Trans::NoTrans, Trans::NoTrans, 1.0, a.const_view(), b.const_view(), 0.0,
+             c.view());
+    expected.push_back(std::move(c));
+  }
+
+  std::vector<int> mismatches(kCallers, 0);
+  std::vector<std::thread> callers;
+  for (int t = 0; t < kCallers; ++t) {
+    callers.emplace_back([t, n, &expected, &mismatches] {
+      const MatD a = random_general(n, n, 100 + t);
+      const MatD b = random_general(n, n, 200 + t);
+      for (int round = 0; round < kRounds; ++round) {
+        MatD c(n, n, 0.0);
+        gemm(Trans::NoTrans, Trans::NoTrans, 1.0, a.const_view(), b.const_view(), 0.0,
+             c.view());
+        if (max_abs_diff(c.view(), expected[static_cast<std::size_t>(t)].view()) >
+            1e-12 * static_cast<double>(n))
+          ++mismatches[static_cast<std::size_t>(t)];
+      }
+    });
+  }
+  for (auto& th : callers) th.join();
+  for (int t = 0; t < kCallers; ++t) EXPECT_EQ(mismatches[static_cast<std::size_t>(t)], 0);
+}
+
+TEST(BlasStress, ConcurrentMixedKernelsMatchOracles) {
+  // One caller drives the blocked trsm, one the tiled syrk, one a packed
+  // gemm — all through the shared global pool at once.
+  const index_t n = 150;
+  MatD tri = random_general(n, n, 301);
+  for (index_t i = 0; i < n; ++i) tri(i, i) += static_cast<double>(n);
+  const MatD rhs0 = random_general(n, n, 302);
+  const MatD asyrk = random_general(n, 96, 303);
+  const MatD ga = random_general(n, n, 304);
+  const MatD gb = random_general(n, n, 305);
+
+  MatD trsm_oracle = rhs0;
+  trsm_seq(Side::Left, Uplo::Lower, Trans::NoTrans, Diag::NonUnit, 1.0, tri.const_view(),
+           trsm_oracle.view());
+  MatD syrk_oracle(n, n, 0.0);
+  syrk_seq(Uplo::Lower, Trans::NoTrans, 1.0, asyrk.const_view(), 0.0, syrk_oracle.view());
+  MatD gemm_oracle(n, n, 0.0);
+  gemm_seq(Trans::NoTrans, Trans::NoTrans, 1.0, ga.const_view(), gb.const_view(), 0.0,
+           gemm_oracle.view());
+
+  MatD trsm_out = rhs0;
+  MatD syrk_out(n, n, 0.0);
+  MatD gemm_out(n, n, 0.0);
+  std::thread t1([&] {
+    trsm(Side::Left, Uplo::Lower, Trans::NoTrans, Diag::NonUnit, 1.0, tri.const_view(),
+         trsm_out.view());
+  });
+  std::thread t2([&] {
+    syrk(Uplo::Lower, Trans::NoTrans, 1.0, asyrk.const_view(), 0.0, syrk_out.view());
+  });
+  std::thread t3([&] {
+    gemm(Trans::NoTrans, Trans::NoTrans, 1.0, ga.const_view(), gb.const_view(), 0.0,
+         gemm_out.view());
+  });
+  t1.join();
+  t2.join();
+  t3.join();
+
+  EXPECT_LT(max_abs_diff(trsm_out.view(), trsm_oracle.view()), 1e-10);
+  EXPECT_LT(max_abs_diff(syrk_out.view(), syrk_oracle.view()), 1e-11);
+  EXPECT_LT(max_abs_diff(gemm_out.view(), gemm_oracle.view()), 1e-11);
+}
+
+}  // namespace
+}  // namespace ftla::blas

@@ -149,6 +149,45 @@ TEST(JobQueue, StealsOnlyFromEqualGpuLanes) {
   EXPECT_EQ(q.pop(2)->id, 2u);
 }
 
+TEST(JobQueue, PopDrainingLastJobWakesForeignGpuWaiter) {
+  JobQueue q({1, 2}, 4);
+  // A retried job, backoff-gated, sits in the 1-GPU lane. The 2-GPU
+  // fleet can never serve it, so after close() its worker parks in an
+  // untimed wait — every lane it may serve is empty.
+  QueuedJob j = queued(1, Priority::Normal, 1, 0);
+  j.ready_at = Clock::now() + std::chrono::milliseconds(40);
+  ASSERT_TRUE(q.push_requeue(j));
+  q.close(/*discard=*/false);
+
+  std::atomic<bool> foreign_done{false};
+  bool foreign_empty = false;
+  std::thread foreign([&] {
+    const auto popped = q.pop(1);
+    foreign_empty = !popped.has_value();
+    foreign_done.store(true);
+  });
+
+  // Drain the backlog from the compatible fleet. Popping the last job
+  // after close() must wake the foreign waiter by itself: no further
+  // push or close notification will ever arrive.
+  const auto drained = q.pop(0);
+  ASSERT_TRUE(drained.has_value());
+  EXPECT_EQ(drained->id, 1u);
+
+  const auto deadline = Clock::now() + std::chrono::seconds(2);
+  while (!foreign_done.load() && Clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  const bool woke = foreign_done.load();
+  EXPECT_TRUE(woke) << "pop(1) still blocked after the queue drained";
+  if (!woke) {
+    // Unstick the stranded waiter so the test fails instead of hanging
+    // in join(): a requeue into its own lane always notifies.
+    q.push_requeue(queued(2, Priority::Normal, 2, 1));
+  }
+  foreign.join();
+  if (woke) EXPECT_TRUE(foreign_empty);
+}
+
 TEST(JobQueue, CloseDiscardReturnsPendingIds) {
   JobQueue q({1}, 4);
   ASSERT_EQ(q.try_push(queued(7, Priority::Normal, 1, 0)), RejectReason::None);
@@ -479,6 +518,22 @@ TEST(ServeMetrics, QuantilesUseNearestRank) {
   EXPECT_DOUBLE_EQ(track.quantile(0.95), 95.0);
   EXPECT_DOUBLE_EQ(track.quantile(0.99), 99.0);
   EXPECT_DOUBLE_EQ(track.mean(), 50.5);
+}
+
+TEST(ServeMetrics, QuantileSeesSamplesAddedAfterASort) {
+  // quantile() sorts lazily; a record after a read must invalidate the
+  // sorted flag or the new sample hides at the back of the vector and
+  // every later quantile reads the stale order.
+  LatencyTrack track;
+  track.add(30.0);
+  track.add(10.0);
+  track.add(20.0);
+  EXPECT_DOUBLE_EQ(track.quantile(1.0), 30.0);  // forces the sort
+  track.add(5.0);
+  EXPECT_DOUBLE_EQ(track.quantile(0.0), 5.0);
+  track.add(40.0);
+  EXPECT_DOUBLE_EQ(track.quantile(1.0), 40.0);
+  EXPECT_DOUBLE_EQ(track.quantile(0.5), 20.0);
 }
 
 }  // namespace

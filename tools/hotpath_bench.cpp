@@ -1,0 +1,366 @@
+/// \file hotpath_bench.cpp
+/// ftla-hotpath-bench: perf-regression harness for the level-3 hot path.
+///
+/// Times the packed register-tiled gemm and the blocked trsm/syrk
+/// against their scalar *_seq oracles at decomposition-representative
+/// shapes (square TMUs, tall/flat panel updates), cross-checking every
+/// result against the oracle, then runs the three FT decompositions
+/// end-to-end. A JSON report with per-shape times and speedups is
+/// written to --out (default BENCH_hotpath.json).
+///
+/// Exit status: 0 on success; 1 when any blocked kernel disagrees with
+/// its oracle beyond tolerance, when packed gemm is slower than the
+/// naive kernel at any shape whose smallest dimension is >= 512, or
+/// when an end-to-end run does not finish Success; 2 on bad usage.
+///
+/// Usage:
+///   ftla-hotpath-bench [--repeats R] [--out FILE] [--smoke] [--quiet]
+///
+/// --smoke shrinks every shape so the whole run finishes in seconds
+/// (used by the CTest/CI smoke job); the >= 512 perf gate then has no
+/// shapes to bind on, so smoke runs only enforce correctness.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "blas/level3.hpp"
+#include "common/timer.hpp"
+#include "core/ft_driver.hpp"
+#include "matrix/generate.hpp"
+#include "matrix/matrix.hpp"
+
+namespace {
+
+using ftla::MatD;
+using ftla::WallTimer;
+using ftla::index_t;
+using namespace ftla::blas;
+
+struct CliOptions {
+  int repeats = 3;
+  std::string out = "BENCH_hotpath.json";
+  bool smoke = false;
+  bool quiet = false;
+};
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0 << " [--repeats R] [--out FILE] [--smoke] [--quiet]\n";
+  return 2;
+}
+
+/// max |x - y| over the matrix, relative to the oracle's max magnitude.
+double rel_max_diff(const MatD& x, const MatD& y) {
+  double diff = 0.0;
+  double scale = 0.0;
+  for (index_t j = 0; j < x.cols(); ++j) {
+    for (index_t i = 0; i < x.rows(); ++i) {
+      diff = std::max(diff, std::abs(x(i, j) - y(i, j)));
+      scale = std::max(scale, std::abs(y(i, j)));
+    }
+  }
+  return scale > 0.0 ? diff / scale : diff;
+}
+
+/// Triangular matrices need a dominant diagonal so the trsm solves stay
+/// well conditioned at every benched size.
+MatD boosted_diag(index_t n, std::uint64_t seed) {
+  MatD a = ftla::random_general(n, n, seed);
+  for (index_t i = 0; i < n; ++i) a(i, i) += static_cast<double>(n);
+  return a;
+}
+
+struct ShapeResult {
+  std::string kernel;
+  std::string label;
+  index_t m = 0, n = 0, k = 0;
+  double naive_seconds = 0.0;
+  double fast_seconds = 0.0;
+  double rel_diff = 0.0;
+  bool gated = false;  ///< participates in the >= 512 perf gate
+
+  [[nodiscard]] double speedup() const {
+    return fast_seconds > 0.0 ? naive_seconds / fast_seconds : 0.0;
+  }
+
+  void to_json(std::ostringstream& os) const {
+    os << "{\"kernel\":\"" << kernel << "\",\"label\":\"" << label << "\",\"m\":" << m
+       << ",\"n\":" << n << ",\"k\":" << k << ",\"naive_seconds\":" << naive_seconds
+       << ",\"fast_seconds\":" << fast_seconds << ",\"speedup\":" << speedup()
+       << ",\"rel_diff\":" << rel_diff << ",\"gated\":" << (gated ? "true" : "false")
+       << "}";
+  }
+};
+
+/// Best-of-R wall time of `body` (one untimed warmup first).
+template <typename F>
+double time_best(int repeats, F&& body) {
+  body();
+  double best = 1e300;
+  for (int r = 0; r < repeats; ++r) {
+    WallTimer t;
+    body();
+    best = std::min(best, t.seconds());
+  }
+  return best;
+}
+
+constexpr double kTol = 1e-12;
+
+ShapeResult bench_gemm(const CliOptions& cli, const char* label, Trans ta, Trans tb,
+                       index_t m, index_t n, index_t k) {
+  const MatD a = ta == Trans::NoTrans ? ftla::random_general(m, k, 1)
+                                      : ftla::random_general(k, m, 1);
+  const MatD b = tb == Trans::NoTrans ? ftla::random_general(k, n, 2)
+                                      : ftla::random_general(n, k, 2);
+  const MatD c0 = ftla::random_general(m, n, 3);
+
+  MatD oracle = c0;
+  MatD fast = c0;
+  gemm_seq(ta, tb, 1.0, a.view(), b.view(), 0.5, oracle.view());
+  gemm(ta, tb, 1.0, a.view(), b.view(), 0.5, fast.view());
+
+  ShapeResult res;
+  res.kernel = "gemm";
+  res.label = label;
+  res.m = m;
+  res.n = n;
+  res.k = k;
+  res.rel_diff = rel_max_diff(fast, oracle);
+  res.gated = std::min({m, n, k}) >= 512;
+  res.naive_seconds = time_best(cli.repeats, [&] {
+    MatD c = c0;
+    gemm_seq(ta, tb, 1.0, a.view(), b.view(), 0.5, c.view());
+  });
+  res.fast_seconds = time_best(cli.repeats, [&] {
+    MatD c = c0;
+    gemm(ta, tb, 1.0, a.view(), b.view(), 0.5, c.view());
+  });
+  return res;
+}
+
+ShapeResult bench_trsm(const CliOptions& cli, const char* label, Side side, Uplo uplo,
+                       Trans trans, Diag diag, index_t m, index_t n) {
+  const index_t tri = side == Side::Left ? m : n;
+  const MatD a = boosted_diag(tri, 4);
+  const MatD b0 = ftla::random_general(m, n, 5);
+
+  MatD oracle = b0;
+  MatD fast = b0;
+  trsm_seq(side, uplo, trans, diag, 1.0, a.view(), oracle.view());
+  trsm(side, uplo, trans, diag, 1.0, a.view(), fast.view());
+
+  ShapeResult res;
+  res.kernel = "trsm";
+  res.label = label;
+  res.m = m;
+  res.n = n;
+  res.rel_diff = rel_max_diff(fast, oracle);
+  res.naive_seconds = time_best(cli.repeats, [&] {
+    MatD b = b0;
+    trsm_seq(side, uplo, trans, diag, 1.0, a.view(), b.view());
+  });
+  res.fast_seconds = time_best(cli.repeats, [&] {
+    MatD b = b0;
+    trsm(side, uplo, trans, diag, 1.0, a.view(), b.view());
+  });
+  return res;
+}
+
+ShapeResult bench_syrk(const CliOptions& cli, const char* label, Uplo uplo, Trans trans,
+                       index_t n, index_t k) {
+  const MatD a = trans == Trans::NoTrans ? ftla::random_general(n, k, 6)
+                                         : ftla::random_general(k, n, 6);
+  const MatD c0 = ftla::random_general(n, n, 7);
+
+  MatD oracle = c0;
+  MatD fast = c0;
+  syrk_seq(uplo, trans, 1.0, a.view(), 0.5, oracle.view());
+  syrk(uplo, trans, 1.0, a.view(), 0.5, fast.view());
+
+  ShapeResult res;
+  res.kernel = "syrk";
+  res.label = label;
+  res.n = n;
+  res.k = k;
+  res.rel_diff = rel_max_diff(fast, oracle);
+  res.naive_seconds = time_best(cli.repeats, [&] {
+    MatD c = c0;
+    syrk_seq(uplo, trans, 1.0, a.view(), 0.5, c.view());
+  });
+  res.fast_seconds = time_best(cli.repeats, [&] {
+    MatD c = c0;
+    syrk(uplo, trans, 1.0, a.view(), 0.5, c.view());
+  });
+  return res;
+}
+
+struct EndToEndResult {
+  std::string decomp;
+  index_t n = 0;
+  double seconds = 0.0;
+  bool ok = false;
+
+  void to_json(std::ostringstream& os) const {
+    os << "{\"decomp\":\"" << decomp << "\",\"n\":" << n << ",\"seconds\":" << seconds
+       << ",\"ok\":" << (ok ? "true" : "false") << "}";
+  }
+};
+
+EndToEndResult bench_end_to_end(const char* decomp, index_t n, index_t nb) {
+  ftla::core::FtOptions opts;
+  opts.nb = nb;
+  opts.ngpu = 1;
+
+  EndToEndResult res;
+  res.decomp = decomp;
+  res.n = n;
+  WallTimer t;
+  ftla::core::FtOutput out;
+  if (std::strcmp(decomp, "cholesky") == 0) {
+    out = ftla::core::ft_cholesky(ftla::random_spd(n, 11).view(), opts);
+  } else if (std::strcmp(decomp, "lu") == 0) {
+    out = ftla::core::ft_lu(ftla::random_diag_dominant(n, 12).view(), opts);
+  } else {
+    out = ftla::core::ft_qr(ftla::random_general(n, n, 13).view(), opts);
+  }
+  res.seconds = t.seconds();
+  res.ok = out.ok();
+  return res;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions cli;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--repeats") {
+      if (i + 1 >= argc) return usage(argv[0]);
+      cli.repeats = std::atoi(argv[++i]);
+    } else if (arg == "--out") {
+      if (i + 1 >= argc) return usage(argv[0]);
+      cli.out = argv[++i];
+    } else if (arg == "--smoke") {
+      cli.smoke = true;
+    } else if (arg == "--quiet") {
+      cli.quiet = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (cli.repeats < 1) return usage(argv[0]);
+
+  // Decomposition-representative shapes: square TMU-style products at
+  // rising sizes (1024 carries the acceptance gate), the tall x flat
+  // trailing-matrix update of an nb=128 panel at n=1024, and the
+  // transposed product QR's TMU performs. Smoke mode shrinks everything
+  // past the packing and threading thresholds but keeps every code path.
+  const index_t s = cli.smoke ? 96 : 0;
+  std::vector<ShapeResult> shapes;
+  if (cli.smoke) {
+    shapes.push_back(bench_gemm(cli, "square-NN", Trans::NoTrans, Trans::NoTrans, s, s, s));
+    shapes.push_back(
+        bench_gemm(cli, "panel-update-NN", Trans::NoTrans, Trans::NoTrans, s, s, 32));
+    shapes.push_back(bench_gemm(cli, "square-TN", Trans::Trans, Trans::NoTrans, s, s, s));
+    shapes.push_back(bench_trsm(cli, "lu-panel", Side::Left, Uplo::Lower, Trans::NoTrans,
+                                Diag::Unit, 32, s));
+    shapes.push_back(bench_trsm(cli, "cholesky-panel", Side::Right, Uplo::Lower, Trans::Trans,
+                                Diag::NonUnit, s, 32));
+    shapes.push_back(bench_syrk(cli, "cholesky-update", Uplo::Lower, Trans::NoTrans, s, 32));
+  } else {
+    shapes.push_back(
+        bench_gemm(cli, "square-NN", Trans::NoTrans, Trans::NoTrans, 256, 256, 256));
+    shapes.push_back(
+        bench_gemm(cli, "square-NN", Trans::NoTrans, Trans::NoTrans, 512, 512, 512));
+    shapes.push_back(
+        bench_gemm(cli, "square-NN", Trans::NoTrans, Trans::NoTrans, 1024, 1024, 1024));
+    shapes.push_back(bench_gemm(cli, "panel-update-NN", Trans::NoTrans, Trans::NoTrans, 896,
+                                896, 128));
+    shapes.push_back(
+        bench_gemm(cli, "square-TN", Trans::Trans, Trans::NoTrans, 512, 512, 512));
+    shapes.push_back(bench_trsm(cli, "lu-panel", Side::Left, Uplo::Lower, Trans::NoTrans,
+                                Diag::Unit, 128, 896));
+    shapes.push_back(bench_trsm(cli, "cholesky-panel", Side::Right, Uplo::Lower, Trans::Trans,
+                                Diag::NonUnit, 896, 128));
+    shapes.push_back(bench_trsm(cli, "square-left", Side::Left, Uplo::Lower, Trans::NoTrans,
+                                Diag::NonUnit, 1024, 1024));
+    shapes.push_back(
+        bench_syrk(cli, "cholesky-update", Uplo::Lower, Trans::NoTrans, 896, 128));
+    shapes.push_back(bench_syrk(cli, "square", Uplo::Lower, Trans::NoTrans, 1024, 256));
+  }
+
+  const index_t e2e_n = cli.smoke ? 128 : 512;
+  const index_t e2e_nb = cli.smoke ? 32 : 64;
+  std::vector<EndToEndResult> runs;
+  runs.push_back(bench_end_to_end("cholesky", e2e_n, e2e_nb));
+  runs.push_back(bench_end_to_end("lu", e2e_n, e2e_nb));
+  runs.push_back(bench_end_to_end("qr", e2e_n, e2e_nb));
+
+  int failures = 0;
+  for (const auto& r : shapes) {
+    if (r.rel_diff > kTol) {
+      std::cerr << "FAIL: " << r.kernel << " " << r.label << " (m=" << r.m << ",n=" << r.n
+                << ",k=" << r.k << ") disagrees with oracle: rel_diff=" << r.rel_diff
+                << "\n";
+      ++failures;
+    }
+    if (r.gated && r.speedup() < 1.0) {
+      std::cerr << "FAIL: " << r.kernel << " " << r.label << " (m=" << r.m << ",n=" << r.n
+                << ",k=" << r.k << ") regressed vs naive: speedup=" << r.speedup() << "\n";
+      ++failures;
+    }
+  }
+  for (const auto& r : runs) {
+    if (!r.ok) {
+      std::cerr << "FAIL: end-to-end ft_" << r.decomp << " n=" << r.n
+                << " did not finish Success\n";
+      ++failures;
+    }
+  }
+
+  std::ostringstream json;
+  json << "{\"config\":{\"repeats\":" << cli.repeats
+       << ",\"smoke\":" << (cli.smoke ? "true" : "false") << "},\"shapes\":[";
+  for (std::size_t i = 0; i < shapes.size(); ++i) {
+    if (i) json << ",";
+    shapes[i].to_json(json);
+  }
+  json << "],\"end_to_end\":[";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    if (i) json << ",";
+    runs[i].to_json(json);
+  }
+  json << "]}";
+
+  std::ofstream out(cli.out);
+  if (!out) {
+    std::cerr << "cannot write " << cli.out << "\n";
+    return 1;
+  }
+  out << json.str() << "\n";
+  out.close();
+
+  if (!cli.quiet) {
+    for (const auto& r : shapes) {
+      std::printf("%-5s %-16s m=%-5lld n=%-5lld k=%-5lld  naive %8.2f ms  fast %8.2f ms"
+                  "  speedup %5.2fx%s\n",
+                  r.kernel.c_str(), r.label.c_str(), static_cast<long long>(r.m),
+                  static_cast<long long>(r.n), static_cast<long long>(r.k),
+                  r.naive_seconds * 1e3, r.fast_seconds * 1e3, r.speedup(),
+                  r.gated ? "  [gated]" : "");
+    }
+    for (const auto& r : runs) {
+      std::printf("ft_%-9s n=%-5lld %8.2f ms  %s\n", r.decomp.c_str(),
+                  static_cast<long long>(r.n), r.seconds * 1e3, r.ok ? "ok" : "FAILED");
+    }
+    std::printf("report: %s\n", cli.out.c_str());
+  }
+  return failures == 0 ? 0 : 1;
+}
