@@ -2,9 +2,21 @@
 
 #include <cmath>
 
+#include "blas/simd.hpp"
+#include "common/portability.hpp"
+
+#if FTLA_SIMD_X86
+#include <immintrin.h>
+#endif
+
 namespace ftla::blas {
 
-void axpy(index_t n, double alpha, const double* x, index_t incx, double* y, index_t incy) {
+// ---------------------------------------------------------------------
+// Scalar oracles (the pre-vectorization kernels, byte-for-byte)
+// ---------------------------------------------------------------------
+
+void axpy_seq(index_t n, double alpha, const double* x, index_t incx, double* y,
+              index_t incy) {
   if (n <= 0 || alpha == 0.0) return;
   if (incx == 1 && incy == 1) {
     for (index_t i = 0; i < n; ++i) y[i] += alpha * x[i];
@@ -13,7 +25,7 @@ void axpy(index_t n, double alpha, const double* x, index_t incx, double* y, ind
   }
 }
 
-double dot(index_t n, const double* x, index_t incx, const double* y, index_t incy) {
+double dot_seq(index_t n, const double* x, index_t incx, const double* y, index_t incy) {
   double s = 0.0;
   if (incx == 1 && incy == 1) {
     for (index_t i = 0; i < n; ++i) s += x[i] * y[i];
@@ -23,7 +35,7 @@ double dot(index_t n, const double* x, index_t incx, const double* y, index_t in
   return s;
 }
 
-double nrm2(index_t n, const double* x, index_t incx) {
+double nrm2_seq(index_t n, const double* x, index_t incx) {
   if (n <= 0) return 0.0;
   // Scaled sum-of-squares accumulation (avoids overflow for large values).
   double scale = 0.0;
@@ -44,7 +56,7 @@ double nrm2(index_t n, const double* x, index_t incx) {
   return scale * std::sqrt(ssq);
 }
 
-void scal(index_t n, double alpha, double* x, index_t incx) {
+void scal_seq(index_t n, double alpha, double* x, index_t incx) {
   if (n <= 0) return;
   if (incx == 1) {
     for (index_t i = 0; i < n; ++i) x[i] *= alpha;
@@ -53,7 +65,7 @@ void scal(index_t n, double alpha, double* x, index_t incx) {
   }
 }
 
-index_t iamax(index_t n, const double* x, index_t incx) {
+index_t iamax_seq(index_t n, const double* x, index_t incx) {
   if (n <= 0) return -1;
   index_t best = 0;
   double best_val = std::abs(x[0]);
@@ -65,6 +77,227 @@ index_t iamax(index_t n, const double* x, index_t incx) {
     }
   }
   return best;
+}
+
+// ---------------------------------------------------------------------
+// AVX2+FMA kernels (unit stride only; callers dispatch once per process)
+// ---------------------------------------------------------------------
+
+#if FTLA_SIMD_X86
+
+namespace {
+
+__attribute__((target("avx2,fma"))) void axpy_avx2(index_t n, double alpha,
+                                                   const double* FTLA_RESTRICT x,
+                                                   double* FTLA_RESTRICT y) {
+  const __m256d av = _mm256_set1_pd(alpha);
+  index_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_pd(y + i,
+                     _mm256_fmadd_pd(av, _mm256_loadu_pd(x + i), _mm256_loadu_pd(y + i)));
+    _mm256_storeu_pd(
+        y + i + 4,
+        _mm256_fmadd_pd(av, _mm256_loadu_pd(x + i + 4), _mm256_loadu_pd(y + i + 4)));
+  }
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(y + i,
+                     _mm256_fmadd_pd(av, _mm256_loadu_pd(x + i), _mm256_loadu_pd(y + i)));
+  }
+  for (; i < n; ++i) y[i] += alpha * x[i];
+}
+
+__attribute__((target("avx2,fma"))) double dot_avx2(index_t n, const double* FTLA_RESTRICT x,
+                                                    const double* FTLA_RESTRICT y) {
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  index_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(x + i), _mm256_loadu_pd(y + i), acc0);
+    acc1 = _mm256_fmadd_pd(_mm256_loadu_pd(x + i + 4), _mm256_loadu_pd(y + i + 4), acc1);
+  }
+  for (; i + 4 <= n; i += 4) {
+    acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(x + i), _mm256_loadu_pd(y + i), acc0);
+  }
+  const __m256d acc = _mm256_add_pd(acc0, acc1);
+  const __m128d lo = _mm256_castpd256_pd128(acc);
+  const __m128d hi = _mm256_extractf128_pd(acc, 1);
+  const __m128d pair = _mm_add_pd(lo, hi);
+  double s = _mm_cvtsd_f64(_mm_add_sd(pair, _mm_unpackhi_pd(pair, pair)));
+  for (; i < n; ++i) s += x[i] * y[i];
+  return s;
+}
+
+__attribute__((target("avx2,fma"))) void scal_avx2(index_t n, double alpha,
+                                                   double* FTLA_RESTRICT x) {
+  const __m256d av = _mm256_set1_pd(alpha);
+  index_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_pd(x + i, _mm256_mul_pd(av, _mm256_loadu_pd(x + i)));
+    _mm256_storeu_pd(x + i + 4, _mm256_mul_pd(av, _mm256_loadu_pd(x + i + 4)));
+  }
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(x + i, _mm256_mul_pd(av, _mm256_loadu_pd(x + i)));
+  }
+  for (; i < n; ++i) x[i] *= alpha;
+}
+
+/// Max |x| over a unit-stride vector (the amax VALUE, used by nrm2 to
+/// pick between the fast direct path and the scaled fallback).
+__attribute__((target("avx2,fma"))) double amax_avx2(index_t n, const double* FTLA_RESTRICT x) {
+  const __m256d sign_mask = _mm256_set1_pd(-0.0);
+  __m256d best = _mm256_setzero_pd();
+  index_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    best = _mm256_max_pd(best, _mm256_andnot_pd(sign_mask, _mm256_loadu_pd(x + i)));
+  }
+  const __m128d lo = _mm256_castpd256_pd128(best);
+  const __m128d hi = _mm256_extractf128_pd(best, 1);
+  const __m128d pair = _mm_max_pd(lo, hi);
+  double m = _mm_cvtsd_f64(_mm_max_sd(pair, _mm_unpackhi_pd(pair, pair)));
+  for (; i < n; ++i) m = std::max(m, std::abs(x[i]));
+  return m;
+}
+
+/// Direct Σx² (no scaling); only valid when amax is in the safe range.
+__attribute__((target("avx2,fma"))) double sumsq_avx2(index_t n,
+                                                      const double* FTLA_RESTRICT x) {
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  index_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256d v0 = _mm256_loadu_pd(x + i);
+    const __m256d v1 = _mm256_loadu_pd(x + i + 4);
+    acc0 = _mm256_fmadd_pd(v0, v0, acc0);
+    acc1 = _mm256_fmadd_pd(v1, v1, acc1);
+  }
+  for (; i + 4 <= n; i += 4) {
+    const __m256d v = _mm256_loadu_pd(x + i);
+    acc0 = _mm256_fmadd_pd(v, v, acc0);
+  }
+  const __m256d acc = _mm256_add_pd(acc0, acc1);
+  const __m128d lo = _mm256_castpd256_pd128(acc);
+  const __m128d hi = _mm256_extractf128_pd(acc, 1);
+  const __m128d pair = _mm_add_pd(lo, hi);
+  double s = _mm_cvtsd_f64(_mm_add_sd(pair, _mm_unpackhi_pd(pair, pair)));
+  for (; i < n; ++i) s += x[i] * x[i];
+  return s;
+}
+
+/// First index of the largest |x(i)|, two-pass. Pass 1 is a pure max
+/// reduction (no index tracking — that would cost a set_pd plus two
+/// blendvs per vector and run near scalar speed); pass 2 rescans for the
+/// first element whose |x(i)| equals the max bit-for-bit, which is the
+/// earliest occurrence, so ties resolve exactly like the scalar oracle.
+/// NaN semantics also match: _mm256_max_pd(v, best) keeps `best` when v
+/// is NaN (the compare is unordered and max_pd returns its second
+/// operand), and NaN == m is false in pass 2, so NaN never wins — except
+/// a NaN in x[0], which poisons the oracle's seed and makes it return 0;
+/// the explicit guard below reproduces that.
+__attribute__((target("avx2,fma"))) index_t iamax_avx2(index_t n,
+                                                       const double* FTLA_RESTRICT x) {
+  const double a0 = std::abs(x[0]);
+  if (a0 != a0) return 0;
+  const __m256d sign_mask = _mm256_set1_pd(-0.0);
+  __m256d m0 = _mm256_setzero_pd();
+  __m256d m1 = _mm256_setzero_pd();
+  __m256d m2 = _mm256_setzero_pd();
+  __m256d m3 = _mm256_setzero_pd();
+  index_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    m0 = _mm256_max_pd(_mm256_andnot_pd(sign_mask, _mm256_loadu_pd(x + i)), m0);
+    m1 = _mm256_max_pd(_mm256_andnot_pd(sign_mask, _mm256_loadu_pd(x + i + 4)), m1);
+    m2 = _mm256_max_pd(_mm256_andnot_pd(sign_mask, _mm256_loadu_pd(x + i + 8)), m2);
+    m3 = _mm256_max_pd(_mm256_andnot_pd(sign_mask, _mm256_loadu_pd(x + i + 12)), m3);
+  }
+  for (; i + 4 <= n; i += 4) {
+    m0 = _mm256_max_pd(_mm256_andnot_pd(sign_mask, _mm256_loadu_pd(x + i)), m0);
+  }
+  // The accumulators hold only non-NaN values, so merge order is free.
+  const __m256d acc = _mm256_max_pd(_mm256_max_pd(m0, m1), _mm256_max_pd(m2, m3));
+  const __m128d lo = _mm256_castpd256_pd128(acc);
+  const __m128d hi = _mm256_extractf128_pd(acc, 1);
+  const __m128d pair = _mm_max_pd(lo, hi);
+  double m = _mm_cvtsd_f64(_mm_max_sd(_mm_unpackhi_pd(pair, pair), pair));
+  for (; i < n; ++i) {
+    const double v = std::abs(x[i]);
+    if (v > m) m = v;
+  }
+  // Pass 2: first index attaining the max. |x(i)| is recomputed the same
+  // way as pass 1, so the bit pattern matches exactly.
+  const __m256d mv = _mm256_set1_pd(m);
+  index_t k = 0;
+  for (; k + 4 <= n; k += 4) {
+    const __m256d v = _mm256_andnot_pd(sign_mask, _mm256_loadu_pd(x + k));
+    const int hit = _mm256_movemask_pd(_mm256_cmp_pd(v, mv, _CMP_EQ_OQ));
+    if (hit != 0) return k + static_cast<index_t>(__builtin_ctz(static_cast<unsigned>(hit)));
+  }
+  for (; k < n; ++k) {
+    if (std::abs(x[k]) == m) return k;
+  }
+  // Unreachable unless every element is NaN (then m == 0 matches nothing);
+  // the oracle returns 0 there too.
+  return 0;
+}
+
+}  // namespace
+
+#endif  // FTLA_SIMD_X86
+
+// ---------------------------------------------------------------------
+// Public entry points (dispatch once per process, unit stride only)
+// ---------------------------------------------------------------------
+
+void axpy(index_t n, double alpha, const double* x, index_t incx, double* y, index_t incy) {
+#if FTLA_SIMD_X86
+  if (incx == 1 && incy == 1 && n > 0 && alpha != 0.0 && detail::cpu_supports_avx2_fma()) {
+    axpy_avx2(n, alpha, x, y);
+    return;
+  }
+#endif
+  axpy_seq(n, alpha, x, incx, y, incy);
+}
+
+double dot(index_t n, const double* x, index_t incx, const double* y, index_t incy) {
+#if FTLA_SIMD_X86
+  if (incx == 1 && incy == 1 && n > 0 && detail::cpu_supports_avx2_fma()) {
+    return dot_avx2(n, x, y);
+  }
+#endif
+  return dot_seq(n, x, incx, y, incy);
+}
+
+double nrm2(index_t n, const double* x, index_t incx) {
+  if (n <= 0) return 0.0;
+#if FTLA_SIMD_X86
+  if (incx == 1 && detail::cpu_supports_avx2_fma()) {
+    // Direct Σx² is safe when amax² can neither overflow nor fully lose
+    // the smallest contributions to underflow; outside that window fall
+    // back to the scaled scalar recurrence.
+    const double amax = amax_avx2(n, x);
+    if (amax == 0.0) return 0.0;
+    if (amax > 1e-140 && amax < 1e140) return std::sqrt(sumsq_avx2(n, x));
+  }
+#endif
+  return nrm2_seq(n, x, incx);
+}
+
+void scal(index_t n, double alpha, double* x, index_t incx) {
+#if FTLA_SIMD_X86
+  if (incx == 1 && n > 0 && detail::cpu_supports_avx2_fma()) {
+    scal_avx2(n, alpha, x);
+    return;
+  }
+#endif
+  scal_seq(n, alpha, x, incx);
+}
+
+index_t iamax(index_t n, const double* x, index_t incx) {
+#if FTLA_SIMD_X86
+  if (incx == 1 && n > 0 && detail::cpu_supports_avx2_fma()) {
+    return iamax_avx2(n, x);
+  }
+#endif
+  return iamax_seq(n, x, incx);
 }
 
 void swap(index_t n, double* x, index_t incx, double* y, index_t incy) {

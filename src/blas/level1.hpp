@@ -2,6 +2,13 @@
 
 /// \file level1.hpp
 /// BLAS level-1: vector-vector operations on strided double arrays.
+///
+/// The public entry points (axpy, dot, nrm2, scal, iamax, ...) select an
+/// AVX2+FMA kernel once per process when the CPU supports it (unit-stride
+/// operands only; strided calls always take the scalar path). The `_seq`
+/// variants are the original scalar loops, retained verbatim as
+/// correctness oracles for the vectorized paths and for callers that
+/// need the historical summation order.
 
 #include "common/types.hpp"
 
@@ -10,17 +17,34 @@ namespace ftla::blas {
 /// y ← alpha·x + y.
 void axpy(index_t n, double alpha, const double* x, index_t incx, double* y, index_t incy);
 
+/// Scalar oracle for axpy.
+void axpy_seq(index_t n, double alpha, const double* x, index_t incx, double* y,
+              index_t incy);
+
 /// Returns xᵀy.
 double dot(index_t n, const double* x, index_t incx, const double* y, index_t incy);
+
+/// Scalar oracle for dot (strictly sequential accumulation).
+double dot_seq(index_t n, const double* x, index_t incx, const double* y, index_t incy);
 
 /// Returns ‖x‖₂ (scaled to avoid overflow/underflow, LAPACK dnrm2 style).
 double nrm2(index_t n, const double* x, index_t incx);
 
+/// Scalar oracle for nrm2 (scaled sum-of-squares accumulation).
+double nrm2_seq(index_t n, const double* x, index_t incx);
+
 /// x ← alpha·x.
 void scal(index_t n, double alpha, double* x, index_t incx);
 
+/// Scalar oracle for scal.
+void scal_seq(index_t n, double alpha, double* x, index_t incx);
+
 /// Index of the element with the largest |x(i)| (0-based; -1 when n<=0).
+/// Ties resolve to the first occurrence, NaNs never win (LAPACK idamax).
 index_t iamax(index_t n, const double* x, index_t incx);
+
+/// Scalar oracle for iamax.
+index_t iamax_seq(index_t n, const double* x, index_t incx);
 
 /// Swap x and y.
 void swap(index_t n, double* x, index_t incx, double* y, index_t incy);

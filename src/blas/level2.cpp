@@ -1,20 +1,26 @@
 #include "blas/level2.hpp"
 
+#include "blas/simd.hpp"
 #include "common/error.hpp"
+#include "common/portability.hpp"
 #include "sim/ownership.hpp"
+
+#if FTLA_SIMD_X86
+#include <immintrin.h>
+#endif
 
 namespace ftla::blas {
 
 namespace ownership = ftla::sim::ownership;
 
-void gemv(Trans trans, double alpha, ConstViewD a, const double* x, index_t incx,
-          double beta, double* y, index_t incy) {
-  ownership::check_view(a, "blas::gemv A");
+namespace {
+
+/// Scalar gemv body (the pre-vectorization kernel, byte-for-byte).
+void gemv_scalar(Trans trans, double alpha, ConstViewD a, const double* x, index_t incx,
+                 double beta, double* y, index_t incy) {
   const index_t m = a.rows();
   const index_t n = a.cols();
   const index_t leny = trans == Trans::NoTrans ? m : n;
-  const index_t lenx = trans == Trans::NoTrans ? n : m;
-  (void)lenx;
 
   if (beta != 1.0) {
     for (index_t i = 0; i < leny; ++i) y[i * incy] *= beta;
@@ -40,8 +46,9 @@ void gemv(Trans trans, double alpha, ConstViewD a, const double* x, index_t incx
   }
 }
 
-void ger(double alpha, const double* x, index_t incx, const double* y, index_t incy, ViewD a) {
-  ownership::check_view(a, "blas::ger A");
+/// Scalar ger body.
+void ger_scalar(double alpha, const double* x, index_t incx, const double* y, index_t incy,
+                ViewD a) {
   const index_t m = a.rows();
   const index_t n = a.cols();
   if (alpha == 0.0) return;
@@ -51,6 +58,212 @@ void ger(double alpha, const double* x, index_t incx, const double* y, index_t i
     double* col = a.col_ptr(j);
     for (index_t i = 0; i < m; ++i) col[i] += t * x[i * incx];
   }
+}
+
+#if FTLA_SIMD_X86
+
+/// y += Σ_j t_j·A(:, j), four columns per sweep: each y vector is loaded
+/// and stored once per 4 columns instead of once per column. Requires
+/// incy == 1 (x is only read as broadcast scalars, any incx works).
+__attribute__((target("avx2,fma"))) void gemv_notrans_avx2(double alpha, ConstViewD a,
+                                                           const double* x, index_t incx,
+                                                           double* FTLA_RESTRICT y) {
+  const index_t m = a.rows();
+  const index_t n = a.cols();
+  index_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    const __m256d t0 = _mm256_set1_pd(alpha * x[j * incx]);
+    const __m256d t1 = _mm256_set1_pd(alpha * x[(j + 1) * incx]);
+    const __m256d t2 = _mm256_set1_pd(alpha * x[(j + 2) * incx]);
+    const __m256d t3 = _mm256_set1_pd(alpha * x[(j + 3) * incx]);
+    const double* FTLA_RESTRICT c0 = a.col_ptr(j);
+    const double* FTLA_RESTRICT c1 = a.col_ptr(j + 1);
+    const double* FTLA_RESTRICT c2 = a.col_ptr(j + 2);
+    const double* FTLA_RESTRICT c3 = a.col_ptr(j + 3);
+    index_t i = 0;
+    for (; i + 4 <= m; i += 4) {
+      __m256d acc = _mm256_loadu_pd(y + i);
+      acc = _mm256_fmadd_pd(t0, _mm256_loadu_pd(c0 + i), acc);
+      acc = _mm256_fmadd_pd(t1, _mm256_loadu_pd(c1 + i), acc);
+      acc = _mm256_fmadd_pd(t2, _mm256_loadu_pd(c2 + i), acc);
+      acc = _mm256_fmadd_pd(t3, _mm256_loadu_pd(c3 + i), acc);
+      _mm256_storeu_pd(y + i, acc);
+    }
+    for (; i < m; ++i) {
+      y[i] += alpha * x[j * incx] * c0[i] + alpha * x[(j + 1) * incx] * c1[i] +
+              alpha * x[(j + 2) * incx] * c2[i] + alpha * x[(j + 3) * incx] * c3[i];
+    }
+  }
+  for (; j < n; ++j) {
+    const double t = alpha * x[j * incx];
+    if (t == 0.0) continue;
+    const __m256d tv = _mm256_set1_pd(t);
+    const double* FTLA_RESTRICT col = a.col_ptr(j);
+    index_t i = 0;
+    for (; i + 4 <= m; i += 4) {
+      _mm256_storeu_pd(y + i,
+                       _mm256_fmadd_pd(tv, _mm256_loadu_pd(col + i), _mm256_loadu_pd(y + i)));
+    }
+    for (; i < m; ++i) y[i] += t * col[i];
+  }
+}
+
+/// y(j) += alpha·A(:, j)ᵀx, four columns per sweep sharing each x vector
+/// load across four dot-product accumulators. Requires incx == 1 (y is
+/// only written as scalars, any incy works).
+__attribute__((target("avx2,fma"))) void gemv_trans_avx2(double alpha, ConstViewD a,
+                                                         const double* FTLA_RESTRICT x,
+                                                         double* y, index_t incy) {
+  const index_t m = a.rows();
+  const index_t n = a.cols();
+  index_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    const double* FTLA_RESTRICT c0 = a.col_ptr(j);
+    const double* FTLA_RESTRICT c1 = a.col_ptr(j + 1);
+    const double* FTLA_RESTRICT c2 = a.col_ptr(j + 2);
+    const double* FTLA_RESTRICT c3 = a.col_ptr(j + 3);
+    __m256d a0 = _mm256_setzero_pd();
+    __m256d a1 = _mm256_setzero_pd();
+    __m256d a2 = _mm256_setzero_pd();
+    __m256d a3 = _mm256_setzero_pd();
+    index_t i = 0;
+    for (; i + 4 <= m; i += 4) {
+      const __m256d xv = _mm256_loadu_pd(x + i);
+      a0 = _mm256_fmadd_pd(_mm256_loadu_pd(c0 + i), xv, a0);
+      a1 = _mm256_fmadd_pd(_mm256_loadu_pd(c1 + i), xv, a1);
+      a2 = _mm256_fmadd_pd(_mm256_loadu_pd(c2 + i), xv, a2);
+      a3 = _mm256_fmadd_pd(_mm256_loadu_pd(c3 + i), xv, a3);
+    }
+    // Horizontal reduce the four accumulators into one 4-lane vector.
+    const __m256d h01 = _mm256_hadd_pd(a0, a1);  // [a0l, a1l, a0h, a1h]
+    const __m256d h23 = _mm256_hadd_pd(a2, a3);
+    const __m256d lo = _mm256_permute2f128_pd(h01, h23, 0x20);
+    const __m256d hi = _mm256_permute2f128_pd(h01, h23, 0x31);
+    __m256d sums = _mm256_add_pd(lo, hi);  // [s0, s1, s2, s3]
+    alignas(32) double s[4];
+    _mm256_store_pd(s, sums);
+    for (; i < m; ++i) {
+      s[0] += c0[i] * x[i];
+      s[1] += c1[i] * x[i];
+      s[2] += c2[i] * x[i];
+      s[3] += c3[i] * x[i];
+    }
+    y[j * incy] += alpha * s[0];
+    y[(j + 1) * incy] += alpha * s[1];
+    y[(j + 2) * incy] += alpha * s[2];
+    y[(j + 3) * incy] += alpha * s[3];
+  }
+  for (; j < n; ++j) {
+    const double* FTLA_RESTRICT col = a.col_ptr(j);
+    __m256d acc = _mm256_setzero_pd();
+    index_t i = 0;
+    for (; i + 4 <= m; i += 4) {
+      acc = _mm256_fmadd_pd(_mm256_loadu_pd(col + i), _mm256_loadu_pd(x + i), acc);
+    }
+    const __m128d plo = _mm256_castpd256_pd128(acc);
+    const __m128d phi = _mm256_extractf128_pd(acc, 1);
+    const __m128d pair = _mm_add_pd(plo, phi);
+    double sum = _mm_cvtsd_f64(_mm_add_sd(pair, _mm_unpackhi_pd(pair, pair)));
+    for (; i < m; ++i) sum += col[i] * x[i];
+    y[j * incy] += alpha * sum;
+  }
+}
+
+/// A(:, j) += t_j·x, four columns per sweep sharing each x vector load.
+/// Requires incx == 1 (y entries are broadcast scalars, any incy works).
+__attribute__((target("avx2,fma"))) void ger_avx2(double alpha, const double* FTLA_RESTRICT x,
+                                                  const double* y, index_t incy, ViewD a) {
+  const index_t m = a.rows();
+  const index_t n = a.cols();
+  index_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    const __m256d t0 = _mm256_set1_pd(alpha * y[j * incy]);
+    const __m256d t1 = _mm256_set1_pd(alpha * y[(j + 1) * incy]);
+    const __m256d t2 = _mm256_set1_pd(alpha * y[(j + 2) * incy]);
+    const __m256d t3 = _mm256_set1_pd(alpha * y[(j + 3) * incy]);
+    double* FTLA_RESTRICT c0 = a.col_ptr(j);
+    double* FTLA_RESTRICT c1 = a.col_ptr(j + 1);
+    double* FTLA_RESTRICT c2 = a.col_ptr(j + 2);
+    double* FTLA_RESTRICT c3 = a.col_ptr(j + 3);
+    index_t i = 0;
+    for (; i + 4 <= m; i += 4) {
+      const __m256d xv = _mm256_loadu_pd(x + i);
+      _mm256_storeu_pd(c0 + i, _mm256_fmadd_pd(t0, xv, _mm256_loadu_pd(c0 + i)));
+      _mm256_storeu_pd(c1 + i, _mm256_fmadd_pd(t1, xv, _mm256_loadu_pd(c1 + i)));
+      _mm256_storeu_pd(c2 + i, _mm256_fmadd_pd(t2, xv, _mm256_loadu_pd(c2 + i)));
+      _mm256_storeu_pd(c3 + i, _mm256_fmadd_pd(t3, xv, _mm256_loadu_pd(c3 + i)));
+    }
+    for (; i < m; ++i) {
+      c0[i] += alpha * y[j * incy] * x[i];
+      c1[i] += alpha * y[(j + 1) * incy] * x[i];
+      c2[i] += alpha * y[(j + 2) * incy] * x[i];
+      c3[i] += alpha * y[(j + 3) * incy] * x[i];
+    }
+  }
+  for (; j < n; ++j) {
+    const double t = alpha * y[j * incy];
+    if (t == 0.0) continue;
+    const __m256d tv = _mm256_set1_pd(t);
+    double* FTLA_RESTRICT col = a.col_ptr(j);
+    index_t i = 0;
+    for (; i + 4 <= m; i += 4) {
+      _mm256_storeu_pd(col + i,
+                       _mm256_fmadd_pd(tv, _mm256_loadu_pd(x + i), _mm256_loadu_pd(col + i)));
+    }
+    for (; i < m; ++i) col[i] += t * x[i];
+  }
+}
+
+#endif  // FTLA_SIMD_X86
+
+}  // namespace
+
+void gemv_seq(Trans trans, double alpha, ConstViewD a, const double* x, index_t incx,
+              double beta, double* y, index_t incy) {
+  ownership::check_view(a, "blas::gemv_seq A");
+  gemv_scalar(trans, alpha, a, x, incx, beta, y, incy);
+}
+
+void gemv(Trans trans, double alpha, ConstViewD a, const double* x, index_t incx,
+          double beta, double* y, index_t incy) {
+  ownership::check_view(a, "blas::gemv A");
+#if FTLA_SIMD_X86
+  if (detail::cpu_supports_avx2_fma()) {
+    const index_t leny = trans == Trans::NoTrans ? a.rows() : a.cols();
+    if (trans == Trans::NoTrans && incy == 1) {
+      if (beta != 1.0) {
+        for (index_t i = 0; i < leny; ++i) y[i] *= beta;
+      }
+      if (alpha != 0.0) gemv_notrans_avx2(alpha, a, x, incx, y);
+      return;
+    }
+    if (trans == Trans::Trans && incx == 1) {
+      if (beta != 1.0) {
+        for (index_t i = 0; i < leny; ++i) y[i * incy] *= beta;
+      }
+      if (alpha != 0.0) gemv_trans_avx2(alpha, a, x, y, incy);
+      return;
+    }
+  }
+#endif
+  gemv_scalar(trans, alpha, a, x, incx, beta, y, incy);
+}
+
+void ger_seq(double alpha, const double* x, index_t incx, const double* y, index_t incy,
+             ViewD a) {
+  ownership::check_view(a, "blas::ger_seq A");
+  ger_scalar(alpha, x, incx, y, incy, a);
+}
+
+void ger(double alpha, const double* x, index_t incx, const double* y, index_t incy, ViewD a) {
+  ownership::check_view(a, "blas::ger A");
+#if FTLA_SIMD_X86
+  if (incx == 1 && alpha != 0.0 && detail::cpu_supports_avx2_fma()) {
+    ger_avx2(alpha, x, y, incy, a);
+    return;
+  }
+#endif
+  ger_scalar(alpha, x, incx, y, incy, a);
 }
 
 void trsv(Uplo uplo, Trans trans, Diag diag, ConstViewD a, double* x, index_t incx) {

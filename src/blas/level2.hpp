@@ -2,6 +2,12 @@
 
 /// \file level2.hpp
 /// BLAS level-2: matrix-vector operations over column-major views.
+///
+/// gemv and ger carry the O(m·n) work of the panel factorizations
+/// (reflector application, rank-1 eliminations); both have AVX2+FMA
+/// kernels selected once per process, with the original scalar loops
+/// retained as `_seq` oracles. The vector paths process four columns
+/// per sweep so x/y vector loads are shared across columns.
 
 #include "blas/enums.hpp"
 #include "matrix/view.hpp"
@@ -16,8 +22,16 @@ using ftla::index_t;
 void gemv(Trans trans, double alpha, ConstViewD a, const double* x, index_t incx,
           double beta, double* y, index_t incy);
 
+/// Scalar oracle for gemv.
+void gemv_seq(Trans trans, double alpha, ConstViewD a, const double* x, index_t incx,
+              double beta, double* y, index_t incy);
+
 /// A ← A + alpha·x·yᵀ (rank-1 update).
 void ger(double alpha, const double* x, index_t incx, const double* y, index_t incy, ViewD a);
+
+/// Scalar oracle for ger.
+void ger_seq(double alpha, const double* x, index_t incx, const double* y, index_t incy,
+             ViewD a);
 
 /// x ← op(A)⁻¹·x with A triangular.
 void trsv(Uplo uplo, Trans trans, Diag diag, ConstViewD a, double* x, index_t incx);

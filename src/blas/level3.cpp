@@ -1,14 +1,21 @@
 #include "blas/level3.hpp"
 
 #include <algorithm>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "blas/microkernel.hpp"
 #include "blas/pack.hpp"
+#include "blas/simd.hpp"
 #include "common/error.hpp"
+#include "common/portability.hpp"
 #include "common/thread_pool.hpp"
 #include "sim/ownership.hpp"
+
+#if FTLA_SIMD_X86
+#include <immintrin.h>
+#endif
 
 namespace ftla::blas {
 
@@ -105,6 +112,25 @@ std::vector<double>& pack_b_buffer() {
   return buf;
 }
 
+/// First-touch warmup of the per-worker packing buffers. Growing a
+/// thread_local vector faults its pages in on the owning thread, so on
+/// NUMA machines each worker's pack buffer lands on that worker's local
+/// node instead of wherever the first gemm's calling thread ran. Runs
+/// once per process, on the first threaded GEMM (which by contract is
+/// never issued from a pool worker, so the barrier inside
+/// run_on_all_workers cannot deadlock).
+void ensure_worker_pack_warmup() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    ThreadPool::global().run_on_all_workers([] {
+      auto& packa = pack_a_buffer();
+      packa.assign(static_cast<std::size_t>(packed_a_size(kMC, kKC)), 0.0);
+      auto& packb = pack_b_buffer();
+      packb.assign(static_cast<std::size_t>(packed_b_size(kKC, kNC)), 0.0);
+    });
+  });
+}
+
 void scale_cols(double beta, ViewD c, index_t j0, index_t j1) {
   if (beta == 1.0) return;
   const index_t m = c.rows();
@@ -197,6 +223,7 @@ void gemm_dispatch(Trans ta, Trans tb, double alpha, ConstViewD a, ConstViewD b,
   }
   const bool threaded = allow_threads && flops >= kParallelFlopThreshold &&
                         ThreadPool::global().num_threads() > 0;
+  if (threaded) ensure_worker_pack_warmup();
   gemm_packed(ta, tb, alpha, a, b, beta, c, threaded);
 }
 
@@ -234,6 +261,90 @@ void solve_left_scalar(Uplo uplo, Trans trans, Diag diag, ConstViewD a, ViewD x)
       }
     }
   }
+}
+
+#if FTLA_SIMD_X86
+
+/// Column-oriented substitution for the NoTrans left solves: once x(k)
+/// is final, the update x(rest) -= x(k)·A(rest, k) walks a contiguous
+/// column of A (the scalar kernel's dot form walks rows of A, one cache
+/// line per element). Four rhs columns share each A-column load.
+__attribute__((target("avx2,fma"))) void solve_left_notrans_avx2(Uplo uplo, Diag diag,
+                                                                 ConstViewD a, ViewD x) {
+  const index_t bs = a.rows();
+  const index_t n = x.cols();
+  const bool unit = diag == Diag::Unit;
+  const bool lower = uplo == Uplo::Lower;
+  index_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    double* FTLA_RESTRICT c0 = x.col_ptr(j);
+    double* FTLA_RESTRICT c1 = x.col_ptr(j + 1);
+    double* FTLA_RESTRICT c2 = x.col_ptr(j + 2);
+    double* FTLA_RESTRICT c3 = x.col_ptr(j + 3);
+    for (index_t s = 0; s < bs; ++s) {
+      const index_t k = lower ? s : bs - 1 - s;
+      const double* FTLA_RESTRICT ak = a.col_ptr(k);
+      if (!unit) {
+        const double d = 1.0 / ak[k];
+        c0[k] *= d;
+        c1[k] *= d;
+        c2[k] *= d;
+        c3[k] *= d;
+      }
+      const __m256d t0 = _mm256_set1_pd(c0[k]);
+      const __m256d t1 = _mm256_set1_pd(c1[k]);
+      const __m256d t2 = _mm256_set1_pd(c2[k]);
+      const __m256d t3 = _mm256_set1_pd(c3[k]);
+      const index_t lo = lower ? k + 1 : 0;
+      const index_t hi = lower ? bs : k;
+      index_t i = lo;
+      for (; i + 4 <= hi; i += 4) {
+        const __m256d av = _mm256_loadu_pd(ak + i);
+        _mm256_storeu_pd(c0 + i, _mm256_fnmadd_pd(t0, av, _mm256_loadu_pd(c0 + i)));
+        _mm256_storeu_pd(c1 + i, _mm256_fnmadd_pd(t1, av, _mm256_loadu_pd(c1 + i)));
+        _mm256_storeu_pd(c2 + i, _mm256_fnmadd_pd(t2, av, _mm256_loadu_pd(c2 + i)));
+        _mm256_storeu_pd(c3 + i, _mm256_fnmadd_pd(t3, av, _mm256_loadu_pd(c3 + i)));
+      }
+      for (; i < hi; ++i) {
+        const double av = ak[i];
+        c0[i] -= c0[k] * av;
+        c1[i] -= c1[k] * av;
+        c2[i] -= c2[k] * av;
+        c3[i] -= c3[k] * av;
+      }
+    }
+  }
+  for (; j < n; ++j) {
+    double* FTLA_RESTRICT c = x.col_ptr(j);
+    for (index_t s = 0; s < bs; ++s) {
+      const index_t k = lower ? s : bs - 1 - s;
+      const double* FTLA_RESTRICT ak = a.col_ptr(k);
+      if (!unit) c[k] *= 1.0 / ak[k];
+      const __m256d t = _mm256_set1_pd(c[k]);
+      const index_t lo = lower ? k + 1 : 0;
+      const index_t hi = lower ? bs : k;
+      index_t i = lo;
+      for (; i + 4 <= hi; i += 4) {
+        _mm256_storeu_pd(c + i, _mm256_fnmadd_pd(t, _mm256_loadu_pd(ak + i),
+                                                 _mm256_loadu_pd(c + i)));
+      }
+      for (; i < hi; ++i) c[i] -= c[k] * ak[i];
+    }
+  }
+}
+
+#endif  // FTLA_SIMD_X86
+
+/// Dispatch wrapper used by the production trsm paths (trsm_seq keeps
+/// calling the scalar kernel directly).
+void solve_left(Uplo uplo, Trans trans, Diag diag, ConstViewD a, ViewD x) {
+#if FTLA_SIMD_X86
+  if (trans == Trans::NoTrans && detail::cpu_supports_avx2_fma()) {
+    solve_left_notrans_avx2(uplo, diag, a, x);
+    return;
+  }
+#endif
+  solve_left_scalar(uplo, trans, diag, a, x);
 }
 
 /// X·op(tri(A)) = X in place; A is a bs×bs triangular block view.
@@ -405,10 +516,10 @@ void trsm(Side side, Uplo uplo, Trans trans, Diag diag, double alpha, ConstViewD
   scale_by_alpha(alpha, b, big);
 
   if (!big || tri <= kTrsmBlock) {
-    // Small problems: the scalar kernel is cache-resident and the
+    // Small problems: the substitution kernel is cache-resident and the
     // blocked machinery would only add dispatch latency.
     if (side == Side::Left) {
-      solve_left_scalar(uplo, trans, diag, a, b);
+      solve_left(uplo, trans, diag, a, b);
     } else {
       solve_right_scalar(uplo, trans, diag, a, b);
     }
@@ -427,7 +538,7 @@ void trsm(Side side, Uplo uplo, Trans trans, Diag diag, double alpha, ConstViewD
         const index_t bs = std::min(kTrsmBlock, m - b0);
         const ConstViewD adiag = a.block(b0, b0, bs, bs);
         pool.parallel_for_chunked(0, n, [&](index_t j0, index_t j1) {
-          solve_left_scalar(uplo, trans, diag, adiag, b.block(b0, j0, bs, j1 - j0));
+          solve_left(uplo, trans, diag, adiag, b.block(b0, j0, bs, j1 - j0));
         });
         const index_t rest = m - (b0 + bs);
         if (rest > 0) {
@@ -444,7 +555,7 @@ void trsm(Side side, Uplo uplo, Trans trans, Diag diag, double alpha, ConstViewD
         const index_t b0 = bend - bs;
         const ConstViewD adiag = a.block(b0, b0, bs, bs);
         pool.parallel_for_chunked(0, n, [&](index_t j0, index_t j1) {
-          solve_left_scalar(uplo, trans, diag, adiag, b.block(b0, j0, bs, j1 - j0));
+          solve_left(uplo, trans, diag, adiag, b.block(b0, j0, bs, j1 - j0));
         });
         if (b0 > 0) {
           const ConstViewD asub = trans == Trans::NoTrans ? a.block(0, b0, b0, bs)

@@ -1,12 +1,11 @@
 #include "blas/microkernel.hpp"
 
+#include "blas/simd.hpp"
 #include "common/portability.hpp"
 
-#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
-#define FTLA_MICROKERNEL_X86 1
+#define FTLA_MICROKERNEL_X86 FTLA_SIMD_X86
+#if FTLA_MICROKERNEL_X86
 #include <immintrin.h>
-#else
-#define FTLA_MICROKERNEL_X86 0
 #endif
 
 namespace ftla::blas::detail {
@@ -94,10 +93,6 @@ __attribute__((target("avx2,fma"))) void micro_kernel_avx2(
   }
 }
 
-bool cpu_has_avx2_fma() {
-  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
-}
-
 #endif  // FTLA_MICROKERNEL_X86
 
 }  // namespace
@@ -105,8 +100,7 @@ bool cpu_has_avx2_fma() {
 void micro_kernel(index_t kc, double alpha, const double* a, const double* b, double* c,
                   index_t ldc, index_t mr, index_t nr) {
 #if FTLA_MICROKERNEL_X86
-  static const bool use_avx2 = cpu_has_avx2_fma();
-  if (use_avx2) {
+  if (cpu_supports_avx2_fma()) {
     micro_kernel_avx2(kc, alpha, a, b, c, ldc, mr, nr);
     return;
   }

@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file simd.hpp
+/// Runtime ISA dispatch shared by the vectorized BLAS kernels.
+///
+/// Every hand-vectorized kernel in this library (the GEMM microkernel,
+/// the level-1/level-2 panel kernels) follows the same pattern: a
+/// portable scalar `_seq` oracle always exists, an AVX2+FMA variant is
+/// compiled with `__attribute__((target))` so the baseline build stays
+/// ISA-clean, and the variant is selected ONCE per process via
+/// `__builtin_cpu_supports` (cached in a function-local static). The
+/// dispatch-once rule is load-bearing for reproducibility: a given
+/// build on a given machine always runs the same kernel, so results
+/// are bitwise identical across reruns, thread counts and call sites —
+/// checksum tolerances never have to absorb a mid-run ISA switch.
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define FTLA_SIMD_X86 1
+#else
+#define FTLA_SIMD_X86 0
+#endif
+
+namespace ftla::blas::detail {
+
+/// True when the CPU supports AVX2 and FMA3 (evaluated once per process).
+inline bool cpu_supports_avx2_fma() noexcept {
+#if FTLA_SIMD_X86
+  static const bool ok =
+      __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+  return ok;
+#else
+  return false;
+#endif
+}
+
+}  // namespace ftla::blas::detail

@@ -8,7 +8,8 @@
 
 namespace ftla {
 
-ThreadPool::ThreadPool(unsigned num_threads) {
+ThreadPool::ThreadPool(unsigned num_threads)
+    : solo_(num_threads == 0 && std::thread::hardware_concurrency() <= 1) {
   if (num_threads == 0) {
     const unsigned hw = std::thread::hardware_concurrency();
     num_threads = hw > 1 ? hw - 1 : 1;
@@ -85,7 +86,13 @@ void ThreadPool::parallel_for_chunked(index_t begin, index_t end,
                                       const std::function<void(index_t, index_t)>& body) {
   const index_t n = end - begin;
   if (n <= 0) return;
-  const index_t parts = std::min<index_t>(n, static_cast<index_t>(num_threads()) + 1);
+  // On a single-CPU machine fan-out can only time-slice: the chunks would
+  // serialize anyway, plus a condvar handoff and a context switch per
+  // call. Run the whole range inline instead (this also makes nested
+  // parallel_for from a worker safe there, though callers must still not
+  // rely on that on multi-core hosts).
+  const index_t parts =
+      solo_ ? 1 : std::min<index_t>(n, static_cast<index_t>(num_threads()) + 1);
   if (parts <= 1) {
     body(begin, end);
     return;
@@ -133,6 +140,48 @@ void ThreadPool::parallel_for_chunked(index_t begin, index_t end,
   if (first_error) std::rethrow_exception(first_error);
 }
 
+void ThreadPool::run_on_all_workers(const std::function<void()>& fn) {
+  const index_t n = static_cast<index_t>(num_threads());
+  if (n <= 0) return;
+
+  Mutex barrier_mutex;
+  CondVar barrier_cv;
+  // Both counters are guarded by barrier_mutex. Every worker holds the
+  // lock through arrival, fn, and departure bookkeeping except while
+  // parked in wait(); the caller re-acquires the lock before returning,
+  // so no worker can still be touching these locals when they are
+  // destroyed (same handshake as parallel_for_chunked).
+  index_t arrived = 0;
+  index_t departed = 0;
+
+  for (index_t t = 0; t < n; ++t) {
+    submit([&] {
+      {
+        LockGuard lock(barrier_mutex);
+        ++arrived;
+        if (arrived == n) barrier_cv.notify_all();
+        // Hold every worker until all n tasks are claimed by distinct
+        // threads — without this rendezvous one worker could run two of
+        // the n tasks and another none.
+        while (arrived < n) barrier_cv.wait(barrier_mutex);
+      }
+      try {
+        fn();
+      } catch (const std::exception& e) {
+        log_error("run_on_all_workers task threw: ", e.what());
+      } catch (...) {
+        log_error("run_on_all_workers task threw a non-std exception");
+      }
+      LockGuard lock(barrier_mutex);
+      ++departed;
+      if (departed == n) barrier_cv.notify_all();
+    });
+  }
+
+  LockGuard lock(barrier_mutex);
+  while (departed < n) barrier_cv.wait(barrier_mutex);
+}
+
 void ThreadPool::parallel_for_tiles(
     index_t rows, index_t cols,
     const std::function<void(index_t, index_t, index_t, index_t)>& body) {
@@ -140,7 +189,8 @@ void ThreadPool::parallel_for_tiles(
   // Split the grid into pr×pc chunks with pr·pc ≈ workers+1, biased
   // toward the longer axis so chunks stay near-square (square chunks
   // maximize per-chunk data reuse for blocked kernels).
-  const index_t budget = std::min<index_t>(rows * cols, static_cast<index_t>(num_threads()) + 1);
+  const index_t budget =
+      solo_ ? 1 : std::min<index_t>(rows * cols, static_cast<index_t>(num_threads()) + 1);
   index_t pr = 1;
   index_t pc = 1;
   while (pr * pc < budget) {

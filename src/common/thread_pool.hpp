@@ -60,9 +60,24 @@ class ThreadPool {
   void parallel_for_tiles(index_t rows, index_t cols,
                           const std::function<void(index_t, index_t, index_t, index_t)>& body);
 
+  /// Run `fn` exactly once on every worker thread (not the caller) and
+  /// block until all of them finish. Workers rendezvous at an internal
+  /// barrier so no worker can run `fn` twice. Used for per-thread setup
+  /// such as first-touch initialization of thread_local buffers. Must
+  /// not be called from a pool worker (the barrier would deadlock).
+  void run_on_all_workers(const std::function<void()>& fn);
+
   [[nodiscard]] unsigned num_threads() const noexcept {
     return static_cast<unsigned>(workers_.size());
   }
+
+  /// True when the pool was auto-sized (num_threads == 0) on a machine
+  /// with a single hardware thread: parallel_for and friends then run
+  /// their whole range inline on the caller (the fan-out could only
+  /// time-slice against itself). Explicitly sized pools always fan out —
+  /// tests and callers that request N workers get N-way chunking.
+  /// submit() and run_on_all_workers() still use the worker threads.
+  [[nodiscard]] bool solo() const noexcept { return solo_; }
 
   /// Process-wide default pool (lazily constructed).
   static ThreadPool& global();
@@ -70,6 +85,7 @@ class ThreadPool {
  private:
   void worker_loop();
 
+  const bool solo_;
   std::vector<std::thread> workers_;
   mutable Mutex mutex_;
   CondVar cv_task_;

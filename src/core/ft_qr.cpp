@@ -284,12 +284,17 @@ class QrDriver {
         trc_->compute_read(OpKind::PD, Part::Reference, trace::kHost,
                            {k, b_, k, k + 1});
       }
+      index_t pd_info;
       if (has_rcs()) {
         copy_view(prcs.as_const(), rcs_w);
         ChargeTimer t(&stats_.maintain_seconds);
-        qr_panel_ft(ph, rcs_w, tau_local, col_norms2);
+        pd_info = qr_panel_ft(ph, rcs_w, tau_local, col_norms2);
       } else {
-        lapack::geqrf2(ph, tau_local);
+        pd_info = lapack::geqrf2(ph, tau_local);
+      }
+      if (pd_info != 0) {
+        fail(RunStatus::NumericalFailure);
+        return;
       }
       // Algorithm 1 maintains the Householder-vector column checksums as
       // part of PD itself, so they exist before any post-operation fault

@@ -126,8 +126,8 @@ double chol_diag_verify(ConstViewD a11, ConstViewD cs) {
 
 // --- QR ------------------------------------------------------------------
 
-void qr_panel_ft(ViewD panel, ViewD row_cs_stack, std::vector<double>& tau,
-                 std::vector<double>& col_norms2) {
+index_t qr_panel_ft(ViewD panel, ViewD row_cs_stack, std::vector<double>& tau,
+                    std::vector<double>& col_norms2) {
   const index_t m = panel.rows();
   const index_t nb = panel.cols();
   FTLA_CHECK(row_cs_stack.rows() == m && row_cs_stack.cols() == 2,
@@ -139,42 +139,38 @@ void qr_panel_ft(ViewD panel, ViewD row_cs_stack, std::vector<double>& tau,
     col_norms2[static_cast<std::size_t>(j)] = nrm * nrm;
   }
 
-  std::vector<double> w(static_cast<std::size_t>(nb));
+  std::vector<double> w(static_cast<std::size_t>(nb) + 2);
   for (index_t j = 0; j < nb && j < m; ++j) {
     double alpha = panel(j, j);
-    const double t = lapack::larfg(m - j, alpha, panel.col_ptr(j) + j + 1, 1);
+    index_t info = 0;
+    const double t = lapack::larfg(m - j, alpha, panel.col_ptr(j) + j + 1, 1, &info);
+    if (info != 0) return j + 1;
     tau[static_cast<std::size_t>(j)] = t;
     panel(j, j) = alpha;
     if (t == 0.0) continue;
 
+    // Park the diagonal at 1 so the gemv/ger kernels see the full
+    // contiguous v (implicit unit head made explicit for the duration).
     const index_t rows = m - j;
-    // Apply H = I - t·v·vᵀ to the remaining data columns.
+    const double diag = panel(j, j);
+    panel(j, j) = 1.0;
+    const double* v = panel.col_ptr(j) + j;
+    // Apply H = I - t·v·vᵀ to the remaining data columns:
+    // w ← vᵀ·A(j:, j+1:), then A ← A - t·v·wᵀ.
     if (j + 1 < nb) {
       const index_t cols = nb - j - 1;
-      for (index_t c = 0; c < cols; ++c) {
-        const double* col = panel.col_ptr(j + 1 + c) + j;
-        double s = col[0];
-        for (index_t r = 1; r < rows; ++r) s += panel(j + r, j) * col[r];
-        w[static_cast<std::size_t>(c)] = s;
-      }
-      for (index_t c = 0; c < cols; ++c) {
-        double* col = panel.col_ptr(j + 1 + c) + j;
-        const double tw = t * w[static_cast<std::size_t>(c)];
-        col[0] -= tw;
-        for (index_t r = 1; r < rows; ++r) col[r] -= tw * panel(j + r, j);
-      }
+      blas::gemv(blas::Trans::Trans, 1.0, panel.block(j, j + 1, rows, cols).as_const(), v, 1,
+                 0.0, w.data(), 1);
+      blas::ger(-t, v, 1, w.data(), 1, panel.block(j, j + 1, rows, cols));
     }
     // Apply the same reflector to the carried checksum columns
     // (Algorithm 1: they transform exactly like data columns).
-    for (index_t c = 0; c < 2; ++c) {
-      double* col = row_cs_stack.col_ptr(c) + j;
-      double s = col[0];
-      for (index_t r = 1; r < rows; ++r) s += panel(j + r, j) * col[r];
-      const double tw = t * s;
-      col[0] -= tw;
-      for (index_t r = 1; r < rows; ++r) col[r] -= tw * panel(j + r, j);
-    }
+    blas::gemv(blas::Trans::Trans, 1.0, row_cs_stack.block(j, 0, rows, 2).as_const(), v, 1,
+               0.0, w.data() + nb, 1);
+    blas::ger(-t, v, 1, w.data() + nb, 1, row_cs_stack.block(j, 0, rows, 2));
+    panel(j, j) = diag;
   }
+  return 0;
 }
 
 double qr_panel_verify(ConstViewD panel, ConstViewD row_cs_stack,

@@ -80,9 +80,12 @@ double chol_diag_verify(ConstViewD a11, ConstViewD cs);
 /// (Algorithm 1). `row_cs_stack` (m×2) enters holding the stacked row
 /// checksums of the panel blocks and leaves holding the maintained
 /// r([R; 0]). `col_norms2` receives the squared 2-norms of the original
-/// panel columns. tau is resized to nb.
-void qr_panel_ft(ViewD panel, ViewD row_cs_stack, std::vector<double>& tau,
-                 std::vector<double>& col_norms2);
+/// panel columns. tau is resized to nb. Reflector application runs as a
+/// fused gemv+ger pair over the data and checksum columns. Returns 0 on
+/// success or the 1-based index of the first column whose reflector
+/// could not be formed (non-finite data).
+index_t qr_panel_ft(ViewD panel, ViewD row_cs_stack, std::vector<double>& tau,
+                    std::vector<double>& col_norms2);
 
 /// Verifies a factored QR panel: (a) maintained row checksums against
 /// the re-encoded stored R rows, (b) ≈0 residual rows below R, and

@@ -11,9 +11,45 @@ namespace ftla::lapack {
 
 namespace ownership = ftla::sim::ownership;
 
-double larfg(index_t n, double& alpha, double* x, index_t incx) {
+namespace {
+
+// Inner blocking of the QR panel: reflectors are applied one-by-one
+// (gemv+ger) inside a kQrPanelIB-wide sub-block, then to the panel
+// remainder as a rank-ib block reflector through larft/larfb (see
+// DESIGN.md §7.13).
+constexpr index_t kQrPanelIB = 16;
+
+/// Applies H = I - t·v·vᵀ to A(j:m, c0:c1) as a fused gemv+ger pair,
+/// with v stored in A(j+1:m, j) under an implicit unit head. The
+/// diagonal entry is parked at 1 for the duration so both kernels see
+/// the full contiguous v. `w` must hold c1-c0 doubles.
+void apply_reflector(ViewD a, index_t j, double t, index_t c0, index_t c1, double* w) {
+  const index_t cols = c1 - c0;
+  if (t == 0.0 || cols <= 0) return;
+  const index_t rows = a.rows() - j;
+  const double beta = a(j, j);
+  a(j, j) = 1.0;
+  double* v = a.col_ptr(j) + j;
+  // w ← vᵀ·A(j:, c0:c1); A(j:, c0:c1) ← A - t·v·wᵀ.
+  blas::gemv(blas::Trans::Trans, 1.0, a.block(j, c0, rows, cols).as_const(), v, 1, 0.0, w, 1);
+  blas::ger(-t, v, 1, w, 1, a.block(j, c0, rows, cols));
+  a(j, j) = beta;
+}
+
+}  // namespace
+
+double larfg(index_t n, double& alpha, double* x, index_t incx, index_t* info) {
+  if (info != nullptr) *info = 0;
+  if (!std::isfinite(alpha)) {
+    if (info != nullptr) *info = 1;
+    return 0.0;
+  }
   if (n <= 1) return 0.0;
   const double xnorm = blas::nrm2(n - 1, x, incx);
+  if (!std::isfinite(xnorm)) {
+    if (info != nullptr) *info = 1;
+    return 0.0;
+  }
   if (xnorm == 0.0) return 0.0;
 
   double beta = -std::copysign(std::hypot(alpha, xnorm), alpha);
@@ -24,8 +60,8 @@ double larfg(index_t n, double& alpha, double* x, index_t incx) {
   return tau;
 }
 
-void geqrf2(ViewD a, std::vector<double>& tau) {
-  ownership::check_view(a, "lapack::geqrf2 A");
+void geqrf2_seq(ViewD a, std::vector<double>& tau) {
+  ownership::check_view(a, "lapack::geqrf2_seq A");
   const index_t m = a.rows();
   const index_t n = a.cols();
   const index_t k = std::min(m, n);
@@ -60,6 +96,45 @@ void geqrf2(ViewD a, std::vector<double>& tau) {
   }
 }
 
+index_t geqrf2(ViewD a, std::vector<double>& tau) {
+  ownership::check_view(a, "lapack::geqrf2 A");
+  const index_t m = a.rows();
+  const index_t n = a.cols();
+  const index_t k = std::min(m, n);
+  tau.assign(static_cast<std::size_t>(k), 0.0);
+
+  std::vector<double> w(static_cast<std::size_t>(n));
+  for (index_t j0 = 0; j0 < k; j0 += kQrPanelIB) {
+    const index_t jb = std::min(kQrPanelIB, k - j0);
+    const index_t jend = j0 + jb;
+
+    // Factor the sub-block: each reflector is formed with larfg and
+    // applied to the remaining sub-block columns as one gemv+ger pair.
+    for (index_t j = j0; j < jend; ++j) {
+      double alpha = a(j, j);
+      index_t info = 0;
+      const double t = larfg(m - j, alpha, a.col_ptr(j) + j + 1, 1, &info);
+      if (info != 0) return j + 1;
+      tau[static_cast<std::size_t>(j)] = t;
+      a(j, j) = alpha;
+      apply_reflector(a, j, t, j + 1, jend, w.data());
+    }
+
+    // Rank-jb application of the sub-block's reflectors to the panel
+    // remainder: Qᵀ through larft + larfb (packed GEMM underneath).
+    if (jend < n) {
+      const std::vector<double> tau_blk(
+          tau.begin() + static_cast<std::ptrdiff_t>(j0),
+          tau.begin() + static_cast<std::ptrdiff_t>(jend));
+      MatD tmat(jb, jb);
+      larft(a.block(j0, j0, m - j0, jb).as_const(), tau_blk, tmat.view());
+      larfb(/*trans=*/true, a.block(j0, j0, m - j0, jb).as_const(), tmat.const_view(),
+            a.block(j0, jend, m - j0, n - jend));
+    }
+  }
+  return 0;
+}
+
 void larft(ConstViewD v, const std::vector<double>& tau, ViewD t) {
   ownership::check_view(v, "lapack::larft V");
   ownership::check_view(t, "lapack::larft T");
@@ -73,13 +148,14 @@ void larft(ConstViewD v, const std::vector<double>& tau, ViewD t) {
     t(j, j) = tj;
     if (j == 0 || tj == 0.0) continue;
     // t(0:j, j) = -tau_j · T(0:j,0:j) · (V(:,0:j)ᵀ · v_j), where v_j has
-    // an implicit 1 at row j and zeros above.
-    for (index_t i = 0; i < j; ++i) {
-      // (V(:, i)ᵀ v_j): V(:, i) has implicit unit at row i; rows < i are 0.
-      double s = v(j, i);  // row j of column i times v_j(j) = 1
-      for (index_t r = j + 1; r < m; ++r) s += v(r, i) * v(r, j);
-      t(i, j) = -tj * s;
+    // an implicit 1 at row j and zeros above: the row-j term seeds the
+    // column, the rows below fold in through one transposed gemv.
+    blas::copy(j, v.data() + j, v.ld(), t.col_ptr(j), 1);
+    if (j + 1 < m) {
+      blas::gemv(blas::Trans::Trans, 1.0, v.block(j + 1, 0, m - j - 1, j),
+                 v.col_ptr(j) + j + 1, 1, 1.0, t.col_ptr(j), 1);
     }
+    blas::scal(j, -tj, t.col_ptr(j), 1);
     // t(0:j, j) ← T(0:j, 0:j) · t(0:j, j)  (upper-triangular multiply)
     blas::trmm(blas::Side::Left, blas::Uplo::Upper, blas::Trans::NoTrans, blas::Diag::NonUnit,
                1.0, t.block(0, 0, j, j).as_const(), t.block(0, j, j, 1));
@@ -125,7 +201,7 @@ void larfb(bool trans, ConstViewD v, ConstViewD t, ViewD c) {
   }
 }
 
-void geqrf(ViewD a, index_t nb, std::vector<double>& tau) {
+index_t geqrf(ViewD a, index_t nb, std::vector<double>& tau) {
   ownership::check_view(a, "lapack::geqrf A");
   const index_t m = a.rows();
   const index_t n = a.cols();
@@ -138,9 +214,10 @@ void geqrf(ViewD a, index_t nb, std::vector<double>& tau) {
     const index_t kb = std::min(nb, mn - k);
 
     // Panel decomposition.
-    geqrf2(a.block(k, k, m - k, kb), tau_local);
+    const index_t info = geqrf2(a.block(k, k, m - k, kb), tau_local);
     std::copy(tau_local.begin(), tau_local.end(),
               tau.begin() + static_cast<std::ptrdiff_t>(k));
+    if (info != 0) return k + info;
 
     if (k + kb < n) {
       // Compute the triangular factor and update the trailing matrix:
@@ -151,6 +228,7 @@ void geqrf(ViewD a, index_t nb, std::vector<double>& tau) {
             a.block(k, k + kb, m - k, n - k - kb));
     }
   }
+  return 0;
 }
 
 MatD orgqr(ConstViewD a, const std::vector<double>& tau, index_t nb) {

@@ -22,11 +22,22 @@ using ftla::index_t;
 /// Generates an elementary Householder reflector H = I - tau·v·vᵀ such
 /// that H·[alpha; x] = [beta; 0], v(0) = 1 implicit. On return `alpha`
 /// holds beta and x holds v(1:). Returns tau (0 when x is already zero).
-double larfg(index_t n, double& alpha, double* x, index_t incx);
+/// When `info` is non-null it is set to 1 (and tau 0, operands untouched)
+/// if alpha or ‖x‖ is non-finite — the reflector cannot be formed — and
+/// to 0 otherwise.
+double larfg(index_t n, double& alpha, double* x, index_t incx, index_t* info = nullptr);
 
-/// Unblocked Householder QR of an m×n panel in place; tau resized to
-/// min(m, n).
-void geqrf2(ViewD a, std::vector<double>& tau);
+/// Householder QR of an m×n panel in place; tau resized to min(m, n).
+/// Internally blocked: reflectors are applied inside each ib-wide
+/// sub-block as a fused gemv+ger pair, and to the rest of the panel as a
+/// rank-ib block reflector (larft + larfb through packed GEMM).
+/// Returns 0 on success or the 1-based index of the first column whose
+/// reflector could not be formed (non-finite data).
+index_t geqrf2(ViewD a, std::vector<double>& tau);
+
+/// Scalar oracle for geqrf2: the original one-reflector-at-a-time sweep
+/// with hand-rolled update loops, retained verbatim.
+void geqrf2_seq(ViewD a, std::vector<double>& tau);
 
 /// Forms the upper-triangular block-reflector factor T (k×k) from the
 /// Householder vectors V (m×k, unit lower trapezoidal in `v`) and tau,
@@ -40,7 +51,9 @@ void larft(ConstViewD v, const std::vector<double>& tau, ViewD t);
 void larfb(bool trans, ConstViewD v, ConstViewD t, ViewD c);
 
 /// Blocked Householder QR with block size nb; tau resized to min(m, n).
-void geqrf(ViewD a, index_t nb, std::vector<double>& tau);
+/// Returns 0 on success or the 1-based global index of the first column
+/// whose reflector could not be formed.
+index_t geqrf(ViewD a, index_t nb, std::vector<double>& tau);
 
 /// Forms the explicit thin Q (m×k, k = min(m,n)) from the factored `a`
 /// and tau produced by geqrf with the same nb.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "blas/blas.hpp"
 #include "common/error.hpp"
@@ -11,8 +12,174 @@ namespace ftla::lapack {
 
 namespace ownership = ftla::sim::ownership;
 
-index_t getrf2(ViewD a, std::vector<index_t>& ipiv) {
-  ownership::check_view(a, "lapack::getrf2 A");
+namespace {
+
+// Recursion cutoff of the panel kernels: sub-blocks at most this wide
+// factor left-looking through gemv; wider blocks split in half so the
+// trailing updates run as rank-n/2 trsm + packed GEMM (see DESIGN.md
+// §7.13 for the parameter choice).
+constexpr index_t kPanelIB = 16;
+
+/// Deferred update of column j against the already-factored columns
+/// 0..j-1 of `a` (L unit lower in the strict lower part): a short
+/// forward substitution fixes up the U entries above the diagonal, then
+/// one gemv folds the L·U contribution into rows j..m. Runs through the
+/// vectorized level-2 kernel instead of per-column rank-1 stores, so the
+/// base-case flops stream loads only.
+void lazy_column_update(ViewD a, index_t j) {
+  const index_t m = a.rows();
+  double* cj = a.col_ptr(j);
+  for (index_t k = 0; k + 1 < j; ++k) {
+    const double yk = cj[k];
+    if (yk != 0.0) {
+      const double* lk = a.col_ptr(k);
+      for (index_t i = k + 1; i < j; ++i) cj[i] -= lk[i] * yk;
+    }
+  }
+  blas::gemv(blas::Trans::NoTrans, -1.0, a.block(j, 0, m - j, j).as_const(), cj, 1, 1.0,
+             cj + j, 1);
+}
+
+/// Left-looking pivoted LU base case over the vectorized level-1/2
+/// kernels: lazy gemv column update, iamax pivot search, eager
+/// full-width row swap, scal column scaling. Building block of the
+/// recursive getrf2; no ownership re-check. ipiv must hold min(m, n)
+/// entries with indices local to `a`.
+index_t getrf2_base(ViewD a, index_t* ipiv) {
+  const index_t m = a.rows();
+  const index_t n = a.cols();
+  const index_t mn = std::min(m, n);
+  for (index_t j = 0; j < mn; ++j) {
+    if (j > 0) lazy_column_update(a, j);
+    const index_t p = j + blas::iamax(m - j, a.col_ptr(j) + j, 1);
+    ipiv[j] = p;
+    if (a(p, j) == 0.0) return j + 1;
+    if (p != j) blas::swap(n, a.data() + j, a.ld(), a.data() + p, a.ld());
+    blas::scal(m - j - 1, 1.0 / a(j, j), a.col_ptr(j) + j + 1, 1);
+  }
+  // Wider-than-tall: the trailing U-only columns still owe their
+  // deferred updates (pure forward substitutions, no rows below m).
+  for (index_t j = mn; j < n; ++j) {
+    double* cj = a.col_ptr(j);
+    for (index_t k = 0; k < mn; ++k) {
+      const double yk = cj[k];
+      if (yk != 0.0) {
+        const double* lk = a.col_ptr(k);
+        for (index_t i = k + 1; i < m; ++i) cj[i] -= lk[i] * yk;
+      }
+    }
+  }
+  return 0;
+}
+
+/// Left-looking no-pivot LU base case.
+index_t getrf2_nopiv_base(ViewD a) {
+  const index_t m = a.rows();
+  const index_t n = a.cols();
+  const index_t mn = std::min(m, n);
+  for (index_t j = 0; j < mn; ++j) {
+    if (j > 0) lazy_column_update(a, j);
+    if (a(j, j) == 0.0 || !std::isfinite(a(j, j))) return j + 1;
+    blas::scal(m - j - 1, 1.0 / a(j, j), a.col_ptr(j) + j + 1, 1);
+  }
+  for (index_t j = mn; j < n; ++j) {
+    double* cj = a.col_ptr(j);
+    for (index_t k = 0; k < mn; ++k) {
+      const double yk = cj[k];
+      if (yk != 0.0) {
+        const double* lk = a.col_ptr(k);
+        for (index_t i = k + 1; i < m; ++i) cj[i] -= lk[i] * yk;
+      }
+    }
+  }
+  return 0;
+}
+
+/// Row swaps k0..k1 of `ipiv` applied to every column of `a`,
+/// column-outer so each column streams once (no ownership re-check).
+void laswp_body(ViewD a, const index_t* ipiv, index_t k0, index_t k1) {
+  const index_t n = a.cols();
+  for (index_t j = 0; j < n; ++j) {
+    double* col = a.col_ptr(j);
+    for (index_t k = k0; k < k1; ++k) {
+      const index_t p = ipiv[k];
+      if (p != k) std::swap(col[k], col[p]);
+    }
+  }
+}
+
+/// Solves the U strip right of a factored n1-wide left part and folds
+/// the rank-n1 Schur update into the trailing block through packed GEMM.
+void panel_trailing_update(ViewD a, index_t n1) {
+  const index_t m = a.rows();
+  const index_t n = a.cols();
+  blas::trsm(blas::Side::Left, blas::Uplo::Lower, blas::Trans::NoTrans, blas::Diag::Unit,
+             1.0, a.block(0, 0, n1, n1).as_const(), a.block(0, n1, n1, n - n1));
+  if (n1 < m) {
+    blas::gemm(blas::Trans::NoTrans, blas::Trans::NoTrans, -1.0,
+               a.block(n1, 0, m - n1, n1).as_const(),
+               a.block(0, n1, n1, n - n1).as_const(), 1.0,
+               a.block(n1, n1, m - n1, n - n1));
+  }
+}
+
+/// Recursive body of getrf2 (LAPACK dgetrf2 style). `ipiv` indices are
+/// local to `a`; pivots of the left half are applied to the right half
+/// and vice versa before returning, so on success every recorded
+/// interchange has been replayed across the full local width.
+index_t getrf2_recursive(ViewD a, index_t* ipiv) {
+  const index_t m = a.rows();
+  const index_t n = a.cols();
+  const index_t mn = std::min(m, n);
+  if (mn <= kPanelIB) return getrf2_base(a, ipiv);
+
+  const index_t n1 = mn / 2;
+  const index_t n2 = n - n1;
+
+  const index_t info1 = getrf2_recursive(a.block(0, 0, m, n1), ipiv);
+  if (info1 != 0) return info1;
+
+  // Replay the left half's interchanges on the right half, then push the
+  // rank-n1 trailing update through trsm + packed GEMM.
+  laswp_body(a.block(0, n1, m, n2), ipiv, 0, n1);
+  panel_trailing_update(a, n1);
+
+  index_t* piv2 = ipiv + n1;
+  const index_t info2 = getrf2_recursive(a.block(n1, n1, m - n1, n2), piv2);
+  // Replay the right half's interchanges (still local to row n1) on the
+  // left half, then globalize the recorded indices. On failure only the
+  // completed prefix has been swapped; the failing column's recorded
+  // pivot is globalized but deliberately left unapplied, mirroring the
+  // base case.
+  const index_t done2 = info2 == 0 ? mn - n1 : info2 - 1;
+  laswp_body(a.block(n1, 0, m - n1, n1), piv2, 0, done2);
+  for (index_t j = 0; j < done2; ++j) piv2[j] += n1;
+  if (info2 != 0) {
+    piv2[info2 - 1] += n1;
+    return n1 + info2;
+  }
+  return 0;
+}
+
+/// Recursive body of getrf2_nopiv.
+index_t getrf2_nopiv_recursive(ViewD a) {
+  const index_t m = a.rows();
+  const index_t n = a.cols();
+  const index_t mn = std::min(m, n);
+  if (mn <= kPanelIB) return getrf2_nopiv_base(a);
+
+  const index_t n1 = mn / 2;
+  const index_t info1 = getrf2_nopiv_recursive(a.block(0, 0, m, n1));
+  if (info1 != 0) return info1;
+  panel_trailing_update(a, n1);
+  const index_t info2 = getrf2_nopiv_recursive(a.block(n1, n1, m - n1, n - n1));
+  return info2 == 0 ? 0 : n1 + info2;
+}
+
+}  // namespace
+
+index_t getrf2_seq(ViewD a, std::vector<index_t>& ipiv) {
+  ownership::check_view(a, "lapack::getrf2_seq A");
   const index_t m = a.rows();
   const index_t n = a.cols();
   const index_t mn = std::min(m, n);
@@ -20,23 +187,31 @@ index_t getrf2(ViewD a, std::vector<index_t>& ipiv) {
 
   for (index_t j = 0; j < mn; ++j) {
     // Pivot: largest |value| in column j at or below the diagonal.
-    const index_t p = j + blas::iamax(m - j, a.col_ptr(j) + j, 1);
-    ipiv[j] = p;
+    const index_t p = j + blas::iamax_seq(m - j, a.col_ptr(j) + j, 1);
+    ipiv[static_cast<std::size_t>(j)] = p;
     if (a(p, j) == 0.0) return j + 1;
     if (p != j) blas::swap(n, a.data() + j, a.ld(), a.data() + p, a.ld());
 
     const double inv = 1.0 / a(j, j);
     for (index_t i = j + 1; i < m; ++i) a(i, j) *= inv;
     if (j + 1 < n) {
-      blas::ger(-1.0, a.col_ptr(j) + j + 1, 1, a.data() + j + (j + 1) * a.ld(), a.ld(),
-                a.block(j + 1, j + 1, m - j - 1, n - j - 1));
+      blas::ger_seq(-1.0, a.col_ptr(j) + j + 1, 1, a.data() + j + (j + 1) * a.ld(), a.ld(),
+                    a.block(j + 1, j + 1, m - j - 1, n - j - 1));
     }
   }
   return 0;
 }
 
-index_t getrf2_nopiv(ViewD a) {
-  ownership::check_view(a, "lapack::getrf2_nopiv A");
+index_t getrf2(ViewD a, std::vector<index_t>& ipiv) {
+  ownership::check_view(a, "lapack::getrf2 A");
+  const index_t mn = std::min(a.rows(), a.cols());
+  ipiv.assign(static_cast<std::size_t>(mn), 0);
+  if (mn == 0) return 0;
+  return getrf2_recursive(a, ipiv.data());
+}
+
+index_t getrf2_nopiv_seq(ViewD a) {
+  ownership::check_view(a, "lapack::getrf2_nopiv_seq A");
   const index_t m = a.rows();
   const index_t n = a.cols();
   const index_t mn = std::min(m, n);
@@ -45,19 +220,22 @@ index_t getrf2_nopiv(ViewD a) {
     const double inv = 1.0 / a(j, j);
     for (index_t i = j + 1; i < m; ++i) a(i, j) *= inv;
     if (j + 1 < n) {
-      blas::ger(-1.0, a.col_ptr(j) + j + 1, 1, a.data() + j + (j + 1) * a.ld(), a.ld(),
-                a.block(j + 1, j + 1, m - j - 1, n - j - 1));
+      blas::ger_seq(-1.0, a.col_ptr(j) + j + 1, 1, a.data() + j + (j + 1) * a.ld(), a.ld(),
+                    a.block(j + 1, j + 1, m - j - 1, n - j - 1));
     }
   }
   return 0;
 }
 
+index_t getrf2_nopiv(ViewD a) {
+  ownership::check_view(a, "lapack::getrf2_nopiv A");
+  if (std::min(a.rows(), a.cols()) == 0) return 0;
+  return getrf2_nopiv_recursive(a);
+}
+
 void laswp(ViewD a, const std::vector<index_t>& ipiv, index_t k0, index_t k1) {
   ownership::check_view(a, "lapack::laswp A");
-  for (index_t k = k0; k < k1; ++k) {
-    const index_t p = ipiv[static_cast<std::size_t>(k)];
-    if (p != k) blas::swap(a.cols(), a.data() + k, a.ld(), a.data() + p, a.ld());
-  }
+  laswp_body(a, ipiv.data(), k0, k1);
 }
 
 index_t getrf(ViewD a, index_t nb, std::vector<index_t>& ipiv) {

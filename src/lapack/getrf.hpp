@@ -17,13 +17,25 @@ namespace ftla::lapack {
 using ftla::ViewD;
 using ftla::index_t;
 
-/// Unblocked right-looking LU with partial pivoting of an m×n panel.
+/// Recursive LU with partial pivoting of an m×n panel (LAPACK dgetrf2
+/// style): the column range is split in half so trailing updates run as
+/// rank-n/2 blas::trsm + packed blas::gemm, and sub-blocks at most ib
+/// wide factor left-looking through gemv with a vectorized iamax pivot
+/// search and eager full-width row swaps.
 /// ipiv[j] (0-based) is the row swapped with row j. Returns 0 on success
 /// or the 1-based column index of the first zero pivot.
 index_t getrf2(ViewD a, std::vector<index_t>& ipiv);
 
-/// Unblocked LU without pivoting. Returns 0 or the failing column.
+/// Scalar oracle for getrf2: the original right-looking unblocked sweep
+/// over scalar level-1/2 kernels, retained verbatim.
+index_t getrf2_seq(ViewD a, std::vector<index_t>& ipiv);
+
+/// Recursive LU without pivoting. Returns 0 or the failing column
+/// (1-based).
 index_t getrf2_nopiv(ViewD a);
+
+/// Scalar oracle for getrf2_nopiv.
+index_t getrf2_nopiv_seq(ViewD a);
 
 /// Applies row interchanges ipiv[k0..k1) to all columns of `a`
 /// (LAPACK dlaswp with 0-based indices relative to `a`).

@@ -10,10 +10,61 @@ namespace ftla::lapack {
 
 namespace ownership = ftla::sim::ownership;
 
-index_t potrf2(ViewD a) {
-  ownership::check_view(a, "lapack::potrf2 A");
+namespace {
+
+// Below this order the trsm/syrk split costs more in dispatch than it
+// saves; the gemv-driven sweep is cache-resident anyway (see DESIGN.md).
+constexpr index_t kPotrf2Cutoff = 32;
+
+/// Left-looking unblocked base case. Column j first folds in the
+/// already-factored columns with one gemv (rank-j update of A(j:n, j)
+/// against the strided row A(j, 0:j)), then scales by the pivot — so the
+/// O(n³) inner work runs through the vectorized level-2 kernel instead
+/// of scalar dot loops.
+index_t potrf2_base(ViewD a) {
   const index_t n = a.rows();
-  FTLA_CHECK(a.rows() == a.cols(), "potrf2: matrix must be square");
+  for (index_t j = 0; j < n; ++j) {
+    if (j > 0) {
+      blas::gemv(blas::Trans::NoTrans, -1.0, a.block(j, 0, n - j, j).as_const(),
+                 a.data() + j, a.ld(), 1.0, a.col_ptr(j) + j, 1);
+    }
+    const double d = a(j, j);
+    if (d <= 0.0 || !std::isfinite(d)) return j + 1;
+    const double root = std::sqrt(d);
+    a(j, j) = root;
+    if (j + 1 < n) blas::scal(n - j - 1, 1.0 / root, a.col_ptr(j) + j + 1, 1);
+  }
+  return 0;
+}
+
+/// Recursive body (no ownership re-check on the sub-blocks).
+index_t potrf2_recursive(ViewD a) {
+  const index_t n = a.rows();
+  if (n <= kPotrf2Cutoff) return potrf2_base(a);
+
+  const index_t n1 = n / 2;
+  const index_t n2 = n - n1;
+
+  index_t info = potrf2_recursive(a.block(0, 0, n1, n1));
+  if (info != 0) return info;
+
+  // A21 ← A21 · L11⁻ᵀ, then A22 ← A22 − L21·L21ᵀ: the off-diagonal flops
+  // route through the blocked level-3 kernels (packed GEMM underneath).
+  blas::trsm(blas::Side::Right, blas::Uplo::Lower, blas::Trans::Trans, blas::Diag::NonUnit,
+             1.0, a.block(0, 0, n1, n1).as_const(), a.block(n1, 0, n2, n1));
+  blas::syrk(blas::Uplo::Lower, blas::Trans::NoTrans, -1.0,
+             a.block(n1, 0, n2, n1).as_const(), 1.0, a.block(n1, n1, n2, n2));
+
+  info = potrf2_recursive(a.block(n1, n1, n2, n2));
+  return info == 0 ? 0 : n1 + info;
+}
+
+}  // namespace
+
+index_t potrf2_seq(ViewD a) {
+  ownership::check_view(a, "lapack::potrf2_seq A");
+  const index_t n = a.rows();
+  FTLA_CHECK(a.rows() == a.cols(), "potrf2_seq: matrix must be square");
   for (index_t j = 0; j < n; ++j) {
     double d = a(j, j);
     for (index_t k = 0; k < j; ++k) d -= a(j, k) * a(j, k);
@@ -27,6 +78,12 @@ index_t potrf2(ViewD a) {
     }
   }
   return 0;
+}
+
+index_t potrf2(ViewD a) {
+  ownership::check_view(a, "lapack::potrf2 A");
+  FTLA_CHECK(a.rows() == a.cols(), "potrf2: matrix must be square");
+  return potrf2_recursive(a);
 }
 
 index_t potrf(ViewD a, index_t nb) {

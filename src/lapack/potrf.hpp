@@ -10,10 +10,18 @@ namespace ftla::lapack {
 using ftla::ViewD;
 using ftla::index_t;
 
-/// Unblocked lower Cholesky of the leading square of `a` in place.
+/// Recursive lower Cholesky of the leading square of `a` in place
+/// (LAPACK dpotrf2 style): the matrix is split in half, the off-diagonal
+/// update is expressed as blas::trsm + blas::syrk (which carry the bulk
+/// of the flops through the packed level-3 kernels), and small diagonal
+/// blocks fall back to a gemv-driven left-looking sweep.
 /// Returns 0 on success, or 1-based index of the first non-positive
 /// pivot (matrix not positive definite).
 index_t potrf2(ViewD a);
+
+/// Scalar oracle for potrf2: the original unblocked column sweep,
+/// retained verbatim for correctness checks and benchmarking.
+index_t potrf2_seq(ViewD a);
 
 /// Blocked lower Cholesky (right-looking), block size nb.
 /// The strictly upper triangle is left untouched.

@@ -113,5 +113,102 @@ TEST(Asum, SumsAbsoluteValues) {
   EXPECT_DOUBLE_EQ(asum(3, x.data(), 1), 6.0);
 }
 
+// --- Vectorized kernels vs the scalar _seq oracles --------------------
+//
+// The dispatchers take the SIMD path for unit-stride operands; these
+// sweeps pin the vector kernels (including their remainder loops) to the
+// retained scalar implementations at lengths that are not multiples of
+// the vector width.
+
+std::vector<double> pseudo_random(index_t n, unsigned seed) {
+  std::vector<double> v(static_cast<std::size_t>(n));
+  unsigned s = seed * 2654435761u + 1u;
+  for (auto& e : v) {
+    s = s * 1664525u + 1013904223u;
+    e = static_cast<double>(static_cast<int>(s >> 8) % 2001 - 1000) / 500.0;
+  }
+  return v;
+}
+
+TEST(VectorOracle, AxpyDotScalMatchSeq) {
+  for (index_t n : {1, 3, 4, 7, 16, 31, 128, 1000, 1027}) {
+    const auto x = pseudo_random(n, static_cast<unsigned>(n));
+    auto y = pseudo_random(n, static_cast<unsigned>(n) + 7);
+    auto y_ref = y;
+    axpy(n, 1.7, x.data(), 1, y.data(), 1);
+    axpy_seq(n, 1.7, x.data(), 1, y_ref.data(), 1);
+    // The AVX2 kernel fuses multiply+add (one rounding); the scalar oracle
+    // rounds twice, so results agree to a ulp, not bit-for-bit.
+    for (index_t i = 0; i < n; ++i) EXPECT_NEAR(y[i], y_ref[i], 1e-14) << "axpy n=" << n;
+
+    // dot reassociates the sum in the SIMD lanes: compare within a few ulps
+    // of the accumulated magnitude, not bit-for-bit.
+    EXPECT_NEAR(dot(n, x.data(), 1, y.data(), 1), dot_seq(n, x.data(), 1, y.data(), 1),
+                1e-12 * static_cast<double>(n))
+        << "dot n=" << n;
+    EXPECT_NEAR(nrm2(n, x.data(), 1), nrm2_seq(n, x.data(), 1), 1e-13 * static_cast<double>(n))
+        << "nrm2 n=" << n;
+
+    auto z = x;
+    auto z_ref = x;
+    scal(n, -0.3, z.data(), 1);
+    scal_seq(n, -0.3, z_ref.data(), 1);
+    for (index_t i = 0; i < n; ++i) EXPECT_DOUBLE_EQ(z[i], z_ref[i]) << "scal n=" << n;
+  }
+}
+
+TEST(Iamax, MatchesSeqOnRandomLengths) {
+  for (index_t n : {1, 2, 5, 16, 63, 256, 1027}) {
+    auto x = pseudo_random(n, 42u + static_cast<unsigned>(n));
+    EXPECT_EQ(iamax(n, x.data(), 1), iamax_seq(n, x.data(), 1)) << "n=" << n;
+    // Plant the max at every remainder-sensitive position.
+    for (index_t pos : {index_t{0}, n / 2, n - 1}) {
+      auto y = x;
+      y[pos] = -9.5;
+      EXPECT_EQ(iamax(n, y.data(), 1), pos) << "n=" << n << " pos=" << pos;
+      EXPECT_EQ(iamax(n, y.data(), 1), iamax_seq(n, y.data(), 1));
+    }
+  }
+}
+
+TEST(Iamax, TieResolvesToFirstOccurrence) {
+  // Duplicated max magnitude with mixed signs, straddling vector lanes.
+  std::vector<double> x(37, 0.25);
+  x[9] = -4.0;
+  x[10] = 4.0;
+  x[33] = 4.0;
+  EXPECT_EQ(iamax(37, x.data(), 1), 9);
+  EXPECT_EQ(iamax(37, x.data(), 1), iamax_seq(37, x.data(), 1));
+}
+
+TEST(Iamax, NanNeverWins) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  std::vector<double> x{1.0, nan, 3.0, nan, -2.0};
+  EXPECT_EQ(iamax(5, x.data(), 1), 2);
+  EXPECT_EQ(iamax(5, x.data(), 1), iamax_seq(5, x.data(), 1));
+}
+
+TEST(Iamax, NanHeadPoisonsLikeOracle) {
+  // The scalar oracle seeds its running max with |x[0]|; a NaN there makes
+  // every later comparison false, so it returns 0. The SIMD kernel must
+  // reproduce that, not "skip" the NaN.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  std::vector<double> x{nan, 5.0, 2.0, 7.0};
+  EXPECT_EQ(iamax_seq(4, x.data(), 1), 0);
+  EXPECT_EQ(iamax(4, x.data(), 1), 0);
+}
+
+TEST(Iamax, AllZerosReturnsFirst) {
+  std::vector<double> x(21, 0.0);
+  EXPECT_EQ(iamax(21, x.data(), 1), 0);
+  EXPECT_EQ(iamax(21, x.data(), 1), iamax_seq(21, x.data(), 1));
+}
+
+TEST(Iamax, MaxInScalarRemainderTail) {
+  std::vector<double> x(1027, 0.5);
+  x[1025] = -2.0;  // 1027 = 256 * 4 + 3: index 1025 lives in the scalar tail
+  EXPECT_EQ(iamax(1027, x.data(), 1), 1025);
+}
+
 }  // namespace
 }  // namespace ftla::blas

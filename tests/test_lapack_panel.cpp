@@ -1,0 +1,277 @@
+// Panel-factorization property tests: the vectorized/blocked potrf2,
+// getrf2 and geqrf2 kernels against their retained scalar _seq oracles.
+//
+// The sweeps deliberately use shapes that are not multiples of the
+// internal blocking factors (kPanelIB / kQrPanelIB = 16, kPotrf2Cutoff =
+// 32) so every recursion split, sub-block remainder and scalar tail is
+// exercised, plus strided sub-views of a larger parent (ld > rows) and
+// pivot-heavy inputs that force a row swap on every column.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "blas/blas.hpp"
+#include "lapack/lapack.hpp"
+#include "matrix/compare.hpp"
+#include "matrix/generate.hpp"
+#include "matrix/matrix.hpp"
+
+namespace ftla::lapack {
+namespace {
+
+// Scale-aware tolerance: the blocked kernels reassociate sums (packed
+// GEMM accumulates in a different order than the scalar sweeps), so
+// factors match the oracle to rounding, not bit-for-bit.
+double tol_for(index_t m, index_t n) {
+  return 1e-11 * static_cast<double>(m + n);
+}
+
+// --- potrf2 vs oracle -------------------------------------------------
+
+TEST(Potrf2Oracle, MatchesSeqAcrossSizes) {
+  for (index_t n : {1, 2, 7, 16, 31, 33, 48, 100, 129}) {
+    MatD a = random_spd(n, static_cast<std::uint64_t>(n));
+    MatD a_ref = a;
+    EXPECT_EQ(potrf2(a.view()), 0) << "n=" << n;
+    EXPECT_EQ(potrf2_seq(a_ref.view()), 0) << "n=" << n;
+    EXPECT_LE(max_abs_diff(a.const_view(), a_ref.const_view()), tol_for(n, n)) << "n=" << n;
+  }
+}
+
+TEST(Potrf2Oracle, SubViewHonorsLeadingDimension) {
+  const index_t n = 45;
+  MatD parent = random_spd(n + 8, 11);
+  MatD dense(n, n);
+  copy_view(parent.const_view().block(3, 3, n, n), dense.view());
+  // The 45×45 interior block of an SPD matrix is SPD (principal minor).
+  MatD dense_ref = dense;
+  EXPECT_EQ(potrf2(parent.block(3, 3, n, n)), 0);
+  EXPECT_EQ(potrf2_seq(dense_ref.view()), 0);
+  EXPECT_LE(max_abs_diff(parent.const_view().block(3, 3, n, n), dense_ref.const_view()),
+            tol_for(n, n));
+}
+
+TEST(Potrf2Oracle, IndefiniteInfoMatchesSeq) {
+  for (index_t bad : {index_t{0}, index_t{5}, index_t{40}}) {
+    MatD a = random_spd(48, 99);
+    a(bad, bad) = -1e3;  // dominant negative diagonal breaks PD at `bad`
+    MatD a_ref = a;
+    const index_t info = potrf2(a.view());
+    const index_t info_ref = potrf2_seq(a_ref.view());
+    EXPECT_NE(info, 0) << "bad=" << bad;
+    EXPECT_EQ(info, info_ref) << "bad=" << bad;
+  }
+}
+
+// --- getrf2 vs oracle -------------------------------------------------
+
+TEST(Getrf2Oracle, MatchesSeqAcrossShapes) {
+  const std::vector<std::pair<index_t, index_t>> shapes{
+      {1, 1}, {5, 3}, {16, 16}, {17, 17}, {37, 23}, {100, 100}, {129, 96}, {200, 48},
+      // wide panels (n > m) cover the trailing-column sweep past the square part
+      {3, 9}, {16, 40}, {33, 70}};
+  for (auto [m, n] : shapes) {
+    MatD a = random_general(m, n, static_cast<std::uint64_t>(13 * m + n));
+    MatD a_ref = a;
+    std::vector<index_t> piv, piv_ref;
+    EXPECT_EQ(getrf2(a.view(), piv), 0) << m << "x" << n;
+    EXPECT_EQ(getrf2_seq(a_ref.view(), piv_ref), 0) << m << "x" << n;
+    EXPECT_EQ(piv, piv_ref) << m << "x" << n;
+    EXPECT_LE(max_abs_diff(a.const_view(), a_ref.const_view()), tol_for(m, n)) << m << "x" << n;
+  }
+}
+
+TEST(Getrf2Oracle, SubViewMatchesDenseCopy) {
+  const index_t m = 61, n = 29;
+  MatD parent = random_general(m + 10, n + 6, 77);
+  MatD dense(m, n);
+  copy_view(parent.const_view().block(4, 2, m, n), dense.view());
+  std::vector<index_t> piv, piv_ref;
+  EXPECT_EQ(getrf2(parent.block(4, 2, m, n), piv), 0);
+  EXPECT_EQ(getrf2_seq(dense.view(), piv_ref), 0);
+  EXPECT_EQ(piv, piv_ref);
+  EXPECT_LE(max_abs_diff(parent.const_view().block(4, 2, m, n), dense.const_view()),
+            tol_for(m, n));
+}
+
+TEST(Getrf2Oracle, PivotHeavyEveryColumnSwaps) {
+  // Row magnitudes increase downward, so the pivot search selects the
+  // last row at every step: maximal swap traffic through the vectorized
+  // row exchange.
+  const index_t m = 50, n = 50;
+  MatD a = random_general(m, n, 5);
+  for (index_t i = 0; i < m; ++i)
+    for (index_t j = 0; j < n; ++j) a(i, j) += static_cast<double>(i * i) * 10.0;
+  MatD a_ref = a;
+  std::vector<index_t> piv, piv_ref;
+  EXPECT_EQ(getrf2(a.view(), piv), 0);
+  EXPECT_EQ(getrf2_seq(a_ref.view(), piv_ref), 0);
+  EXPECT_EQ(piv, piv_ref);
+  index_t swaps = 0;
+  for (index_t j = 0; j < n; ++j)
+    if (piv[static_cast<std::size_t>(j)] != j) ++swaps;
+  EXPECT_GT(swaps, n / 2);
+  EXPECT_LE(max_abs_diff(a.const_view(), a_ref.const_view()), tol_for(m, n));
+}
+
+TEST(Getrf2Oracle, SingularInfoOffsetMatchesSeq) {
+  // A zero column at position k yields a zero pivot exactly at step k:
+  // info must be the 1-based global index even when the failure lands in
+  // the right half of a recursion split.
+  for (index_t k : {index_t{0}, index_t{7}, index_t{16}, index_t{29}, index_t{45}}) {
+    const index_t m = 64, n = 48;
+    MatD a = random_general(m, n, static_cast<std::uint64_t>(k + 2));
+    for (index_t i = 0; i < m; ++i) a(i, k) = 0.0;
+    MatD a_ref = a;
+    std::vector<index_t> piv, piv_ref;
+    const index_t info = getrf2(a.view(), piv);
+    const index_t info_ref = getrf2_seq(a_ref.view(), piv_ref);
+    EXPECT_EQ(info, k + 1) << "k=" << k;
+    EXPECT_EQ(info, info_ref) << "k=" << k;
+  }
+}
+
+TEST(Getrf2Oracle, ReconstructsPA) {
+  // End-to-end property: P·A = L·U within a residual bound, independent
+  // of the oracle comparison above.
+  const index_t m = 96, n = 96;
+  const MatD a0 = random_general(m, n, 21);
+  MatD a = a0;
+  std::vector<index_t> piv;
+  ASSERT_EQ(getrf2(a.view(), piv), 0);
+
+  MatD pa = a0;
+  laswp(pa.view(), piv, 0, n);
+  MatD lu(m, n, 0.0);
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < m; ++i) {
+      double s = 0.0;
+      const index_t kmax = std::min(std::min(i, j) + 1, n);
+      for (index_t k = 0; k < kmax; ++k) {
+        const double l = i == k ? 1.0 : a(i, k);
+        s += l * a(k, j);
+      }
+      lu(i, j) = s;
+    }
+  }
+  EXPECT_LE(max_rel_diff(pa.const_view(), lu.const_view()), 1e-10);
+}
+
+TEST(Getrf2NopivOracle, MatchesSeqOnDominant) {
+  for (index_t n : {3, 16, 31, 64, 90}) {
+    MatD a = random_general(n, n, static_cast<std::uint64_t>(n) + 50);
+    for (index_t i = 0; i < n; ++i) a(i, i) += static_cast<double>(2 * n);
+    MatD a_ref = a;
+    EXPECT_EQ(getrf2_nopiv(a.view()), 0) << "n=" << n;
+    EXPECT_EQ(getrf2_nopiv_seq(a_ref.view()), 0) << "n=" << n;
+    EXPECT_LE(max_abs_diff(a.const_view(), a_ref.const_view()), tol_for(n, n)) << "n=" << n;
+  }
+}
+
+// --- geqrf2 vs oracle -------------------------------------------------
+
+TEST(Geqrf2Oracle, MatchesSeqAcrossShapes) {
+  const std::vector<std::pair<index_t, index_t>> shapes{
+      {1, 1}, {8, 5}, {16, 16}, {23, 17}, {50, 50}, {75, 33}, {130, 64}, {20, 44}};
+  for (auto [m, n] : shapes) {
+    MatD a = random_general(m, n, static_cast<std::uint64_t>(m + 31 * n));
+    MatD a_ref = a;
+    std::vector<double> tau, tau_ref;
+    EXPECT_EQ(geqrf2(a.view(), tau), 0) << m << "x" << n;
+    geqrf2_seq(a_ref.view(), tau_ref);
+    ASSERT_EQ(tau.size(), tau_ref.size());
+    for (std::size_t i = 0; i < tau.size(); ++i)
+      EXPECT_NEAR(tau[i], tau_ref[i], tol_for(m, n)) << m << "x" << n << " tau " << i;
+    EXPECT_LE(max_rel_diff(a.const_view(), a_ref.const_view()), tol_for(m, n)) << m << "x" << n;
+  }
+}
+
+TEST(Geqrf2Oracle, SubViewMatchesDenseCopy) {
+  const index_t m = 57, n = 21;
+  MatD parent = random_general(m + 5, n + 9, 123);
+  MatD dense(m, n);
+  copy_view(parent.const_view().block(2, 6, m, n), dense.view());
+  std::vector<double> tau, tau_ref;
+  EXPECT_EQ(geqrf2(parent.block(2, 6, m, n), tau), 0);
+  geqrf2_seq(dense.view(), tau_ref);
+  for (std::size_t i = 0; i < tau.size(); ++i) EXPECT_NEAR(tau[i], tau_ref[i], tol_for(m, n));
+  EXPECT_LE(max_rel_diff(parent.const_view().block(2, 6, m, n), dense.const_view()),
+            tol_for(m, n));
+}
+
+// --- larfg guards -----------------------------------------------------
+
+TEST(LarfgGuard, NonFiniteAlphaSetsInfo) {
+  std::vector<double> x{1.0, 2.0, 3.0};
+  const std::vector<double> x0 = x;
+  for (double bad : {std::numeric_limits<double>::quiet_NaN(),
+                     std::numeric_limits<double>::infinity(),
+                     -std::numeric_limits<double>::infinity()}) {
+    double alpha = bad;
+    index_t info = -1;
+    const double t = larfg(4, alpha, x.data(), 1, &info);
+    EXPECT_EQ(info, 1);
+    EXPECT_EQ(t, 0.0);
+    EXPECT_EQ(x, x0);  // operands untouched on failure
+  }
+}
+
+TEST(LarfgGuard, NonFiniteTailSetsInfo) {
+  std::vector<double> x{1.0, std::numeric_limits<double>::quiet_NaN(), 3.0};
+  double alpha = 2.0;
+  index_t info = -1;
+  const double t = larfg(4, alpha, x.data(), 1, &info);
+  EXPECT_EQ(info, 1);
+  EXPECT_EQ(t, 0.0);
+  EXPECT_EQ(alpha, 2.0);
+}
+
+TEST(LarfgGuard, FiniteInputReportsZeroInfo) {
+  std::vector<double> x{3.0};
+  double alpha = 4.0;
+  index_t info = -1;
+  const double t = larfg(2, alpha, x.data(), 1, &info);
+  EXPECT_EQ(info, 0);
+  EXPECT_GT(t, 0.0);
+  EXPECT_NEAR(std::abs(alpha), 5.0, 1e-14);  // |beta| = hypot(4, 3)
+}
+
+TEST(Geqrf2Guard, NonFiniteColumnPropagatesInfo) {
+  const index_t m = 40, n = 24;
+  for (index_t k : {index_t{0}, index_t{10}, index_t{20}}) {
+    MatD a = random_general(m, n, static_cast<std::uint64_t>(90 + k));
+    a(m - 1, k) = std::numeric_limits<double>::quiet_NaN();
+    std::vector<double> tau;
+    EXPECT_EQ(geqrf2(a.view(), tau), k + 1) << "k=" << k;
+  }
+}
+
+// --- vectorized trsm substitution vs scalar oracle --------------------
+
+TEST(TrsmOracle, LeftSolvesMatchSeq) {
+  const std::vector<std::pair<index_t, index_t>> shapes{{4, 4}, {13, 7}, {37, 21}, {96, 37}};
+  for (auto [k, nrhs] : shapes) {
+    for (blas::Uplo uplo : {blas::Uplo::Lower, blas::Uplo::Upper}) {
+      for (blas::Diag diag : {blas::Diag::Unit, blas::Diag::NonUnit}) {
+        MatD a = random_general(k, k, static_cast<std::uint64_t>(3 * k + nrhs));
+        for (index_t i = 0; i < k; ++i) a(i, i) += static_cast<double>(k) + 2.0;
+        MatD b = random_general(k, nrhs, static_cast<std::uint64_t>(k + 7));
+        MatD b_ref = b;
+        blas::trsm(blas::Side::Left, uplo, blas::Trans::NoTrans, diag, 1.0, a.const_view(),
+                   b.view());
+        blas::trsm_seq(blas::Side::Left, uplo, blas::Trans::NoTrans, diag, 1.0, a.const_view(),
+                       b_ref.view());
+        EXPECT_LE(max_rel_diff(b.const_view(), b_ref.const_view()), tol_for(k, nrhs))
+            << "k=" << k << " nrhs=" << nrhs << " uplo=" << (uplo == blas::Uplo::Lower)
+            << " unit=" << (diag == blas::Diag::Unit);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ftla::lapack
