@@ -1,0 +1,502 @@
+#include "analysis/hb.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <map>
+#include <set>
+#include <sstream>
+#include <tuple>
+
+#include "model/mud.hpp"
+
+namespace ftla::analysis {
+
+namespace {
+
+using trace::BlockRange;
+using trace::EventKind;
+using trace::RegionClass;
+using trace::TraceEvent;
+using trace::TransferCtx;
+
+/// Matches coverage.cpp: recovery and distribution traffic is outside
+/// the steady-state schedule the coverage proof is about.
+bool taint_exempt(TransferCtx ctx) {
+  return ctx == TransferCtx::Scatter || ctx == TransferCtx::Gather ||
+         ctx == TransferCtx::Retransfer;
+}
+
+bool overlap(const BlockRange& a, const BlockRange& b) {
+  return a.br0 < b.br1 && b.br0 < a.br1 && a.bc0 < b.bc1 && b.bc0 < a.bc1;
+}
+
+using Clock = std::vector<std::uint64_t>;
+
+void join_into(Clock& dst, const Clock& src) {
+  if (dst.size() < src.size()) dst.resize(src.size(), 0);
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    if (src[i] > dst[i]) dst[i] = src[i];
+  }
+}
+
+/// One tile access extracted from the trace, with its vector-clock
+/// timestamp: `tick` on its own context `ctx`, full clock taken right
+/// after the tick. hb(a, b) ⇔ b.clock[a.ctx] >= a.tick.
+struct Access {
+  std::size_t idx = 0;  ///< position in the (possibly permuted) vector
+  std::uint64_t seq = 0;
+  int ctx = 0;  ///< dense context index
+  std::uint64_t tick = 0;
+  Clock clock;
+  EventKind kind = EventKind::ComputeRead;
+  int device = trace::kHost;
+  RegionClass rclass = RegionClass::Data;
+  BlockRange region;
+  bool write = false;
+  index_t iteration = -1;
+  fault::OpKind op = fault::OpKind::TMU;
+  fault::Part part = fault::Part::Reference;
+  TransferCtx tctx = TransferCtx::None;
+};
+
+bool hb(const Access& a, const Access& b) {
+  const auto c = static_cast<std::size_t>(a.ctx);
+  return c < b.clock.size() && b.clock[c] >= a.tick;
+}
+
+const char* access_name(EventKind k, bool write) {
+  switch (k) {
+    case EventKind::ComputeRead: return "read";
+    case EventKind::ComputeWrite: return "write";
+    case EventKind::Verify: return "verify";
+    case EventKind::Correct: return "correct";
+    case EventKind::TransferArrive: return write ? "arrive" : "transfer-source";
+    default: return "access";
+  }
+}
+
+class HbAnalyzer {
+ public:
+  explicit HbAnalyzer(const trace::Trace& trace) : trace_(trace) {}
+
+  HbReport run() {
+    report_.meta = trace_.meta;
+    report_.events = trace_.events.size();
+    if (!trace_.has_sync) {
+      HbFinding f;
+      f.kind = HbFindingKind::NoSyncInfo;
+      f.detail =
+          "trace was recorded without sync capture; the happens-before "
+          "order cannot be reconstructed";
+      report_.sync_findings.push_back(std::move(f));
+      return std::move(report_);
+    }
+    report_.analyzable = true;
+    build_order();
+    detect_races();
+    coverage();
+    finish();
+    return std::move(report_);
+  }
+
+ private:
+  int context_index(int stream) {
+    auto [it, inserted] =
+        ctx_index_.try_emplace(stream, static_cast<int>(ctx_index_.size()));
+    if (inserted) clocks_.emplace_back();
+    return it->second;
+  }
+
+  /// Single pass in vector order: advances per-context vector clocks
+  /// across sync edges and timestamps every tile access.
+  void build_order() {
+    for (std::size_t i = 0; i < trace_.events.size(); ++i) {
+      const TraceEvent& e = trace_.events[i];
+      const int c = context_index(e.stream);
+      Clock& vc = clocks_[static_cast<std::size_t>(c)];
+
+      // Acquire edges come before the local tick, release edges after —
+      // a signal publishes its own tick; a wait does not publish what it
+      // acquired.
+      if (e.kind == EventKind::SyncWait ||
+          (e.kind == EventKind::TransferArrive && e.sync_id != 0)) {
+        auto it = signals_.find(e.sync_id);
+        if (it != signals_.end()) {
+          join_into(vc, it->second);
+        } else if (e.kind == EventKind::SyncWait) {
+          HbFinding f;
+          f.kind = HbFindingKind::WaitWithoutSignal;
+          f.seq_a = e.seq;
+          std::ostringstream os;
+          os << "sync wait (seq " << e.seq << ", edge "
+             << trace::to_string(e.edge) << ", id " << e.sync_id
+             << ") has no prior signal for that id";
+          f.detail = os.str();
+          report_.sync_findings.push_back(std::move(f));
+        }
+      }
+
+      if (static_cast<std::size_t>(c) >= vc.size()) {
+        vc.resize(static_cast<std::size_t>(c) + 1, 0);
+      }
+      const std::uint64_t tick = ++vc[static_cast<std::size_t>(c)];
+
+      switch (e.kind) {
+        case EventKind::SyncSignal:
+          ++report_.sync_edges;
+          join_into(signals_[e.sync_id], vc);
+          break;
+        case EventKind::SyncWait:
+          ++report_.sync_edges;
+          break;
+        case EventKind::LinkTransfer:
+          ++report_.link_transfers;
+          if (e.sync_id != 0) join_into(signals_[e.sync_id], vc);
+          break;
+        case EventKind::IterationEnd:
+          last_iteration_end_ = static_cast<long>(i);
+          break;
+        default:
+          break;
+      }
+
+      add_accesses(e, i, c, tick, vc);
+    }
+    report_.contexts = ctx_index_.size();
+  }
+
+  void add_accesses(const TraceEvent& e, std::size_t idx, int c,
+                    std::uint64_t tick, const Clock& vc) {
+    auto push = [&](int device, bool write) {
+      Access a;
+      a.idx = idx;
+      a.seq = e.seq;
+      a.ctx = c;
+      a.tick = tick;
+      a.clock = vc;
+      a.kind = e.kind;
+      a.device = device;
+      a.rclass = e.rclass;
+      a.region = e.region;
+      a.write = write;
+      a.iteration = e.iteration;
+      a.op = e.op;
+      a.part = e.part;
+      a.tctx = e.ctx;
+      accesses_.push_back(std::move(a));
+    };
+    switch (e.kind) {
+      case EventKind::ComputeRead:
+        push(e.device, false);
+        break;
+      case EventKind::ComputeWrite:
+      case EventKind::Correct:
+        push(e.device, true);
+        break;
+      case EventKind::Verify:
+        push(e.device, false);
+        break;
+      case EventKind::TransferArrive:
+        ++report_.transfer_arrivals;
+        if (e.rclass == RegionClass::Workspace) ++workspace_arrivals_;
+        if (e.sync_id == 0) {
+          HbFinding f;
+          f.kind = HbFindingKind::UnmatchedArrival;
+          f.seq_a = e.seq;
+          f.device = e.device;
+          f.rclass = e.rclass;
+          std::ostringstream os;
+          os << "arrive (seq " << e.seq << ") at device " << e.device
+             << " has no paired link transfer";
+          f.detail = os.str();
+          report_.sync_findings.push_back(std::move(f));
+        }
+        push(e.device, true);          // payload lands at the receiver
+        push(e.from_device, false);    // and was read from the sender copy
+        break;
+      default:
+        break;
+    }
+  }
+
+  void detect_races() {
+    // Group by (device, rclass): accesses to different devices or region
+    // classes can never alias a tile.
+    std::map<std::pair<int, int>, std::vector<const Access*>> groups;
+    for (const Access& a : accesses_) {
+      groups[{a.device, static_cast<int>(a.rclass)}].push_back(&a);
+    }
+    // Dedup races per (device, rclass, context pair): the first unordered
+    // pair is the example, further ones only bump the count.
+    std::map<std::tuple<int, int, int, int>, std::size_t> seen;
+    for (const auto& [key, as] : groups) {
+      for (std::size_t i = 0; i < as.size(); ++i) {
+        for (std::size_t j = i + 1; j < as.size(); ++j) {
+          const Access& a = *as[i];
+          const Access& b = *as[j];
+          if (a.ctx == b.ctx) continue;
+          if (!a.write && !b.write) continue;
+          if (!overlap(a.region, b.region)) continue;
+          if (hb(a, b) || hb(b, a)) continue;
+          const auto dedup = std::make_tuple(
+              key.first, key.second, std::min(a.ctx, b.ctx),
+              std::max(a.ctx, b.ctx));
+          auto it = seen.find(dedup);
+          if (it != seen.end()) {
+            ++report_.sync_findings[it->second].count;
+            continue;
+          }
+          HbFinding f;
+          f.kind = HbFindingKind::Race;
+          f.seq_a = a.seq;
+          f.seq_b = b.seq;
+          f.device = a.device;
+          f.rclass = a.rclass;
+          const index_t br = std::max(a.region.br0, b.region.br0);
+          const index_t bc = std::max(a.region.bc0, b.region.bc0);
+          f.br = br;
+          f.bc = bc;
+          std::ostringstream os;
+          os << "unordered conflicting accesses on device " << a.device
+             << " (" << trace::to_string(a.rclass) << " block (" << br << ','
+             << bc << ")): " << access_name(a.kind, a.write) << " seq "
+             << a.seq << " vs " << access_name(b.kind, b.write) << " seq "
+             << b.seq;
+          f.detail = os.str();
+          seen.emplace(dedup, report_.sync_findings.size());
+          report_.sync_findings.push_back(std::move(f));
+        }
+      }
+    }
+  }
+
+  /// DAG-order MUD coverage: same taint/window/final-state semantics as
+  /// coverage.cpp, with "before"/"after" replaced by happens-before.
+  void coverage() {
+    std::vector<const Access*> arrivals;  // Data, non-exempt receiver copies
+    std::vector<const Access*> writes;    // Data operation outputs
+    std::vector<const Access*> verifies;  // Data verifications
+    std::vector<const Access*> reads;     // Data MUD>=1 consumes
+    for (const Access& a : accesses_) {
+      if (a.rclass != RegionClass::Data) continue;
+      switch (a.kind) {
+        case EventKind::TransferArrive:
+          if (a.write && !taint_exempt(a.tctx)) arrivals.push_back(&a);
+          break;
+        case EventKind::ComputeWrite:
+          writes.push_back(&a);
+          break;
+        case EventKind::Verify:
+          verifies.push_back(&a);
+          break;
+        case EventKind::ComputeRead:
+          if (model::mud(a.op, a.part) != model::Level::Zero) {
+            reads.push_back(&a);
+          }
+          break;
+        default:
+          break;
+      }
+    }
+
+    // Is some taint of `src` still live at consume `r` for this block —
+    // i.e. no clearing verification ordered between them? Arrival taint
+    // clears only at the same device; write taint clears anywhere.
+    auto live = [&](const Access& src, const Access& r, index_t br,
+                    index_t bc, bool same_device_only) {
+      if (!hb(src, r)) return false;
+      for (const Access* v : verifies) {
+        if (same_device_only && v->device != r.device) continue;
+        if (!v->region.contains(br, bc)) continue;
+        if (hb(src, *v) && hb(*v, r)) return false;
+      }
+      return true;
+    };
+
+    std::set<std::tuple<int, index_t, index_t, index_t>> window_keys;
+    for (const Access* r : reads) {
+      for (index_t br = r->region.br0; br < r->region.br1; ++br) {
+        for (index_t bc = r->region.bc0; bc < r->region.bc1; ++bc) {
+          const Access* source = nullptr;
+          FindingKind kind = FindingKind::UnverifiedWriteConsume;
+          for (const Access* a : arrivals) {
+            if (a->device == r->device && a->region.contains(br, bc) &&
+                live(*a, *r, br, bc, /*same_device_only=*/true)) {
+              source = a;
+              kind = FindingKind::UnverifiedTransferConsume;
+              break;
+            }
+          }
+          if (source == nullptr) {
+            for (const Access* w : writes) {
+              if (w->region.contains(br, bc) &&
+                  live(*w, *r, br, bc, /*same_device_only=*/false)) {
+                source = w;
+                kind = FindingKind::UnverifiedWriteConsume;
+                break;
+              }
+            }
+          }
+          if (source == nullptr) continue;
+          // The window only counts once it crossed an iteration boundary
+          // (an open tail window is a malformed trace, not a verdict),
+          // and coverage.cpp's dedup applies per (consumer, block, iter).
+          if (last_iteration_end_ < static_cast<long>(r->idx)) continue;
+          if (!window_keys.insert({r->device, br, bc, r->iteration}).second) {
+            continue;
+          }
+          // Covered ⇔ a verification at the consumer that the consume
+          // happens-before, inside the same iteration. One in a later
+          // iteration detects too late: containment exceeded.
+          bool covered = false;
+          bool late = false;
+          for (const Access* v : verifies) {
+            if (v->device != r->device || !v->region.contains(br, bc)) continue;
+            if (!hb(*r, *v)) continue;
+            if (v->iteration == r->iteration) {
+              covered = true;
+              break;
+            }
+            late = true;
+          }
+          if (covered) continue;
+          std::ostringstream os;
+          os << fault::to_string(r->op) << " consumed block (" << br << ','
+             << bc << ") on device " << r->device << " in iteration "
+             << r->iteration << " (taint source seq " << source->seq
+             << ", consume seq " << r->seq << ")"
+             << (late ? "; verified only after the iteration boundary"
+                      : "; no verification ordered after the consume in its"
+                        " iteration");
+          report_.coverage_findings.push_back(
+              {late ? FindingKind::ContainmentExceeded : kind, r->device,
+               r->iteration, br, bc, r->op, os.str()});
+        }
+      }
+    }
+
+    final_state(arrivals, writes, verifies);
+  }
+
+  void final_state(const std::vector<const Access*>& arrivals,
+                   const std::vector<const Access*>& writes,
+                   const std::vector<const Access*>& verifies) {
+    const index_t b = trace_.meta.b;
+    const int ngpu = trace_.meta.ngpu > 0 ? trace_.meta.ngpu : 1;
+    const bool lower_only = trace_.meta.algorithm == "cholesky";
+    // Taint live at run end: no clearing verification ordered after the
+    // source at all.
+    auto live_at_end = [&](const Access& src, index_t br, index_t bc,
+                           bool same_device_only, int device) {
+      for (const Access* v : verifies) {
+        if (same_device_only && v->device != device) continue;
+        if (!v->region.contains(br, bc)) continue;
+        if (hb(src, *v)) return false;
+      }
+      return true;
+    };
+    for (index_t bc = 0; bc < b; ++bc) {
+      const int owner = static_cast<int>(bc % ngpu);
+      for (index_t br = lower_only ? bc : 0; br < b; ++br) {
+        const Access* w_live = nullptr;
+        for (const Access* w : writes) {
+          if (w->region.contains(br, bc) &&
+              live_at_end(*w, br, bc, /*same_device_only=*/false, 0)) {
+            w_live = w;
+            break;
+          }
+        }
+        if (w_live != nullptr) {
+          std::ostringstream os;
+          os << "final output block (" << br << ',' << bc
+             << ") written (seq " << w_live->seq
+             << ") but never verified afterwards";
+          report_.coverage_findings.push_back({FindingKind::FinalWriteUnverified,
+                                               trace::kHost, -1, br, bc,
+                                               fault::OpKind::PD, os.str()});
+        }
+        const Access* a_live = nullptr;
+        for (const Access* a : arrivals) {
+          if (a->device == owner && a->region.contains(br, bc) &&
+              live_at_end(*a, br, bc, /*same_device_only=*/true, owner)) {
+            a_live = a;
+            break;
+          }
+        }
+        if (a_live != nullptr) {
+          std::ostringstream os;
+          os << "owner copy of final block (" << br << ',' << bc
+             << ") on device " << owner << " received over PCIe (seq "
+             << a_live->seq << ") but never verified there";
+          report_.coverage_findings.push_back(
+              {FindingKind::FinalTransferUnverified, owner, -1, br, bc,
+               fault::OpKind::BroadcastH2D, os.str()});
+        }
+      }
+    }
+  }
+
+  void finish() {
+    if (!trace_.complete ||
+        report_.link_transfers != report_.transfer_arrivals) {
+      std::ostringstream os;
+      if (!trace_.complete) {
+        os << "no RunEnd recorded";
+      } else {
+        os << report_.link_transfers << " link transfers vs "
+           << report_.transfer_arrivals << " annotated arrivals";
+      }
+      report_.coverage_findings.push_back({FindingKind::TraceIncomplete,
+                                           trace::kHost, -1, 0, 0,
+                                           fault::OpKind::TMU, os.str()});
+    }
+    if (workspace_arrivals_ > 0) {
+      std::ostringstream os;
+      os << workspace_arrivals_
+         << " workspace payload(s) crossed PCIe without checksum protection"
+            " (verified by recomputation at the receiver)";
+      report_.coverage_findings.push_back({FindingKind::UnprotectedTransfer,
+                                           trace::kHost, -1, 0, 0,
+                                           fault::OpKind::TMU, os.str()});
+    }
+  }
+
+  const trace::Trace& trace_;
+  HbReport report_;
+  std::map<int, int> ctx_index_;
+  std::vector<Clock> clocks_;
+  std::map<std::uint64_t, Clock> signals_;
+  std::vector<Access> accesses_;
+  long last_iteration_end_ = -1;
+  std::uint64_t workspace_arrivals_ = 0;
+};
+
+}  // namespace
+
+const char* to_string(HbFindingKind k) {
+  switch (k) {
+    case HbFindingKind::Race: return "race";
+    case HbFindingKind::WaitWithoutSignal: return "wait_without_signal";
+    case HbFindingKind::UnmatchedArrival: return "unmatched_arrival";
+    case HbFindingKind::NoSyncInfo: return "no_sync_info";
+  }
+  return "?";
+}
+
+std::size_t HbReport::fatal_coverage_count() const {
+  std::size_t n = 0;
+  for (const Finding& f : coverage_findings) {
+    if (!is_informational(f.kind)) ++n;
+  }
+  return n;
+}
+
+bool HbReport::clean() const {
+  return analyzable && race_free() && fatal_coverage_count() == 0;
+}
+
+HbReport analyze_hb(const trace::Trace& trace) {
+  return HbAnalyzer(trace).run();
+}
+
+}  // namespace ftla::analysis

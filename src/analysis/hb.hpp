@@ -1,0 +1,100 @@
+#pragma once
+
+/// \file hb.hpp
+/// Happens-before reconstruction, race detection, and DAG-order ABFT
+/// coverage over sync-captured schedule traces.
+///
+/// The legacy analyzer (coverage.hpp) replays the *recorded* total order
+/// — valid for the fork-join drivers, whose recorder sequence is one
+/// linearization of the real partial order. This analyzer drops that
+/// assumption: it rebuilds the synchronization partial order itself from
+/// the trace (per-context program order, fork/join barriers, event
+/// record/wait pairs, stream syncs, and PCIe transfer completions) with
+/// per-context vector clocks, then
+///
+///   1. flags every pair of conflicting tile accesses (overlapping block
+///      ranges on the same device and region class, at least one write)
+///      that the partial order leaves unordered — an exact, replayable
+///      race detector for the simulated device runtime, and
+///   2. re-derives the MUD coverage verdicts of coverage.hpp in
+///      happens-before terms: a taint is live at a consume unless a
+///      verification is *ordered* between its source and the consume, and
+///      a window is covered only by a verification the consume
+///      happens-before. On a race-free fork-join trace this coincides
+///      with the linear replay; on an out-of-order schedule (the
+///      task-graph scheduler the roadmap plans) it stays sound where the
+///      linear replay would silently trust the recording interleaving.
+///
+/// Traces must be recorded with TraceRecorder sync capture enabled
+/// (context stamps + sync events + link/arrival pairing); anything else
+/// is reported as not analyzable.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/coverage.hpp"
+#include "trace/trace.hpp"
+
+namespace ftla::analysis {
+
+enum class HbFindingKind {
+  /// Conflicting accesses unordered by happens-before.
+  Race,
+  /// A SyncWait (or paired TransferArrive) acquired a sync id no prior
+  /// SyncSignal released — the trace claims an edge that cannot exist.
+  WaitWithoutSignal,
+  /// A TransferArrive carries no link pairing although sync capture was
+  /// on: the transfer-completion edge for it cannot be reconstructed.
+  UnmatchedArrival,
+  /// The trace was recorded without sync capture; nothing to analyze.
+  NoSyncInfo,
+};
+
+const char* to_string(HbFindingKind k);
+
+/// One synchronization-order violation. Races name both events of the
+/// first unordered pair seen for their (device, class, context-pair)
+/// group; `count` aggregates further pairs in the same group.
+struct HbFinding {
+  HbFindingKind kind = HbFindingKind::NoSyncInfo;
+  std::uint64_t seq_a = 0;  ///< first involved event
+  std::uint64_t seq_b = 0;  ///< second involved event (races only)
+  int device = trace::kHost;
+  trace::RegionClass rclass = trace::RegionClass::Data;
+  index_t br = 0;  ///< representative overlapping block
+  index_t bc = 0;
+  std::uint64_t count = 1;
+  std::string detail;
+};
+
+/// Result of the happens-before analysis of one trace.
+struct HbReport {
+  trace::RunMeta meta;
+  bool analyzable = false;  ///< sync capture was on and RunBegin present
+  std::uint64_t events = 0;
+  std::uint64_t contexts = 0;    ///< distinct execution contexts seen
+  std::uint64_t sync_edges = 0;  ///< SyncSignal + SyncWait events
+  std::uint64_t link_transfers = 0;
+  std::uint64_t transfer_arrivals = 0;
+  /// Races and malformed-sync findings; any entry is fatal.
+  std::vector<HbFinding> sync_findings;
+  /// DAG-order coverage verdicts, same kinds/semantics as coverage.hpp
+  /// so lint expectation profiles apply unchanged. Details name the
+  /// taint-source and consume event sequence numbers.
+  std::vector<Finding> coverage_findings;
+
+  [[nodiscard]] bool race_free() const { return sync_findings.empty(); }
+  [[nodiscard]] std::size_t fatal_coverage_count() const;
+  /// Analyzable, race-free, and no fatal coverage findings.
+  [[nodiscard]] bool clean() const;
+};
+
+/// Reconstructs the happens-before order of `trace` and returns every
+/// race and DAG-order coverage violation. Events are processed in vector
+/// order (which mutation tooling may have permuted); `seq` fields are
+/// used for naming only. Pure function of the trace; never throws on any
+/// event sequence a recorder (or a mutation of one) can produce.
+HbReport analyze_hb(const trace::Trace& trace);
+
+}  // namespace ftla::analysis

@@ -1,0 +1,252 @@
+#include "analysis/hb_lint.hpp"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+
+#include "common/error.hpp"
+#include "core/ft_driver.hpp"
+#include "matrix/generate.hpp"
+#include "trace/recorder.hpp"
+
+namespace ftla::analysis {
+
+namespace {
+
+using core::RunStatus;
+using core::SchemeKind;
+
+const char* status_name(RunStatus s) {
+  switch (s) {
+    case RunStatus::Success: return "success";
+    case RunStatus::NeedCompleteRestart: return "need_complete_restart";
+    case RunStatus::NumericalFailure: return "numerical_failure";
+    case RunStatus::Cancelled: return "cancelled";
+  }
+  return "?";
+}
+
+bool contains(const std::vector<FindingKind>& v, FindingKind k) {
+  return std::find(v.begin(), v.end(), k) != v.end();
+}
+
+MatD make_input(const LintCase& c) {
+  if (c.algorithm == "cholesky") return random_spd(c.n, c.seed);
+  if (c.algorithm == "lu") return random_diag_dominant(c.n, c.seed);
+  return random_general(c.n, c.n, c.seed);
+}
+
+core::FtOutput dispatch(const LintCase& c, ConstViewD a,
+                        const core::FtOptions& opts) {
+  if (c.algorithm == "cholesky") return core::ft_cholesky(a, opts);
+  if (c.algorithm == "lu") return core::ft_lu(a, opts);
+  return core::ft_qr(a, opts);
+}
+
+}  // namespace
+
+HbLintOutcome hb_lint_case(const LintCase& c) {
+  FTLA_CHECK(c.algorithm == "cholesky" || c.algorithm == "lu" ||
+                 c.algorithm == "qr",
+             "hb_lint_case: unknown algorithm '" + c.algorithm + "'");
+  FTLA_CHECK(c.n > 0 && c.nb > 0, "hb_lint_case: n and nb must be positive");
+  FTLA_CHECK(c.n % c.nb == 0, "hb_lint_case: nb must divide n");
+  FTLA_CHECK(c.ngpu >= 1, "hb_lint_case: need at least one device");
+
+  trace::TraceRecorder rec;
+  rec.enable_sync_capture(true);
+  core::FtOptions opts;
+  opts.nb = c.nb;
+  opts.ngpu = c.ngpu;
+  opts.checksum = c.checksum;
+  opts.scheme = c.scheme;
+  opts.trace = &rec;
+
+  const MatD input = make_input(c);
+  const core::FtOutput out = dispatch(c, input.view().as_const(), opts);
+
+  HbLintOutcome outcome;
+  outcome.config = c;
+  outcome.run_status = out.stats.status;
+  outcome.trace = rec.snapshot();
+  outcome.report = analyze_hb(outcome.trace);
+
+  // Coverage verdicts are judged against the same per-scheme profile the
+  // legacy linter uses; the sync findings (races, malformed edges) are
+  // never expected for any scheme.
+  const LintExpectation exp = expected_gaps(c.algorithm, c.scheme);
+  std::vector<FindingKind> seen;
+  for (const Finding& f : outcome.report.coverage_findings) {
+    if (is_informational(f.kind)) continue;
+    if (!contains(seen, f.kind)) seen.push_back(f.kind);
+    if (!contains(exp.required, f.kind) && !contains(exp.allowed, f.kind)) {
+      outcome.unexpected.push_back(f);
+    }
+  }
+  for (FindingKind k : exp.required) {
+    if (!contains(seen, k)) outcome.missing.push_back(k);
+  }
+  outcome.pass = outcome.run_status == RunStatus::Success &&
+                 outcome.report.analyzable && outcome.report.race_free() &&
+                 outcome.missing.empty() && outcome.unexpected.empty();
+  return outcome;
+}
+
+HbLintReport run_hb_lint(const std::vector<LintCase>& matrix,
+                         std::size_t per_kind) {
+  HbLintReport r;
+  for (const LintCase& c : matrix) {
+    r.cases.push_back(hb_lint_case(c));
+  }
+  r.cases_pass = std::all_of(r.cases.begin(), r.cases.end(),
+                             [](const HbLintOutcome& o) { return o.pass; });
+
+  // Seed the corpus from every passing NewScheme trace: those are the
+  // clean baselines where any fatal finding in a mutant is attributable
+  // to the mutation alone.
+  std::map<MutationKind, std::size_t> per_kind_count;
+  bool all_detected = true;
+  for (const HbLintOutcome& o : r.cases) {
+    if (o.config.scheme != SchemeKind::NewScheme || !o.pass) continue;
+    for (const Mutation& m : seed_mutations(o.trace, per_kind)) {
+      MutationOutcome mo;
+      mo.mutation = m;
+      mo.base = o.config;
+      const HbReport rep = analyze_hb(apply_mutation(o.trace, m));
+      if (!rep.sync_findings.empty()) {
+        mo.detected = true;
+        mo.evidence = rep.sync_findings.front().detail;
+      } else {
+        for (const Finding& f : rep.coverage_findings) {
+          if (is_informational(f.kind)) continue;
+          mo.detected = true;
+          mo.evidence = f.detail;
+          break;
+        }
+      }
+      all_detected = all_detected && mo.detected;
+      ++per_kind_count[m.kind];
+      r.mutations.push_back(std::move(mo));
+    }
+  }
+  const bool floor_met = per_kind_count[MutationKind::DropSyncWait] > 0 &&
+                         per_kind_count[MutationKind::DropVerify] > 0 &&
+                         per_kind_count[MutationKind::ReorderTransfer] > 0;
+  r.corpus_pass = all_detected && floor_met;
+  r.pass = r.cases_pass && r.corpus_pass;
+  return r;
+}
+
+namespace {
+
+void write_coverage_finding(const Finding& f, std::ostream& os) {
+  os << "{\"device\":" << f.device << ",\"iteration\":" << f.iteration
+     << ",\"block\":[" << f.br << ',' << f.bc << "],\"op\":\""
+     << fault::to_string(f.op) << "\",\"detail\":\"" << f.detail << "\"}";
+}
+
+void write_sync_finding(const HbFinding& f, std::ostream& os) {
+  os << "{\"kind\":\"" << to_string(f.kind) << "\",\"seq\":[" << f.seq_a
+     << ',' << f.seq_b << "],\"device\":" << f.device << ",\"class\":\""
+     << trace::to_string(f.rclass) << "\",\"block\":[" << f.br << ',' << f.bc
+     << "],\"count\":" << f.count << ",\"detail\":\"" << f.detail << "\"}";
+}
+
+void write_hb_case(const HbLintOutcome& o, std::ostream& os) {
+  const LintCase& c = o.config;
+  os << "    {\"algorithm\":\"" << c.algorithm << "\",\"scheme\":\""
+     << core::to_string(c.scheme) << "\",\"checksum\":\""
+     << core::to_string(c.checksum) << "\",\"ngpu\":" << c.ngpu
+     << ",\"n\":" << c.n << ",\"nb\":" << c.nb << ",\"status\":\""
+     << status_name(o.run_status) << "\",\"pass\":"
+     << (o.pass ? "true" : "false") << ",\"analyzable\":"
+     << (o.report.analyzable ? "true" : "false")
+     << ",\"events\":" << o.report.events
+     << ",\"contexts\":" << o.report.contexts
+     << ",\"sync_edges\":" << o.report.sync_edges
+     << ",\"link_transfers\":" << o.report.link_transfers
+     << ",\"transfer_arrivals\":" << o.report.transfer_arrivals;
+
+  os << ",\"sync_findings\":[";
+  for (std::size_t i = 0; i < o.report.sync_findings.size(); ++i) {
+    if (i != 0) os << ',';
+    write_sync_finding(o.report.sync_findings[i], os);
+  }
+  os << ']';
+
+  // Coverage findings aggregated per kind, like the legacy report.
+  std::map<FindingKind, std::vector<const Finding*>> by_kind;
+  for (const Finding& f : o.report.coverage_findings) {
+    by_kind[f.kind].push_back(&f);
+  }
+  const LintExpectation exp = expected_gaps(c.algorithm, c.scheme);
+  os << ",\"coverage_findings\":[";
+  bool first = true;
+  for (const auto& [kind, fs] : by_kind) {
+    if (!first) os << ',';
+    first = false;
+    const bool expected = std::find(exp.required.begin(), exp.required.end(),
+                                    kind) != exp.required.end() ||
+                          std::find(exp.allowed.begin(), exp.allowed.end(),
+                                    kind) != exp.allowed.end() ||
+                          is_informational(kind);
+    os << "{\"kind\":\"" << to_string(kind) << "\",\"count\":" << fs.size()
+       << ",\"informational\":" << (is_informational(kind) ? "true" : "false")
+       << ",\"expected\":" << (expected ? "true" : "false")
+       << ",\"examples\":[";
+    const std::size_t limit = std::min<std::size_t>(fs.size(), 3);
+    for (std::size_t i = 0; i < limit; ++i) {
+      if (i != 0) os << ',';
+      write_coverage_finding(*fs[i], os);
+    }
+    os << "]}";
+  }
+  os << "],\"missing_expected\":[";
+  for (std::size_t i = 0; i < o.missing.size(); ++i) {
+    if (i != 0) os << ',';
+    os << '"' << to_string(o.missing[i]) << '"';
+  }
+  os << "]}";
+}
+
+void write_mutation(const MutationOutcome& m, std::ostream& os) {
+  os << "    {\"base\":{\"algorithm\":\"" << m.base.algorithm
+     << "\",\"scheme\":\"" << core::to_string(m.base.scheme)
+     << "\",\"ngpu\":" << m.base.ngpu << "},\"kind\":\""
+     << to_string(m.mutation.kind) << "\",\"name\":\"" << m.mutation.name
+     << "\",\"description\":\"" << m.mutation.description
+     << "\",\"detected\":" << (m.detected ? "true" : "false")
+     << ",\"evidence\":\"" << m.evidence << "\"}";
+}
+
+}  // namespace
+
+void write_hb_report(const HbLintReport& r, std::ostream& os) {
+  std::size_t cases_passed = 0;
+  for (const HbLintOutcome& o : r.cases) {
+    if (o.pass) ++cases_passed;
+  }
+  std::size_t detected = 0;
+  for (const MutationOutcome& m : r.mutations) {
+    if (m.detected) ++detected;
+  }
+  os << "{\n  \"tool\": \"ftla-schedule-lint\",\n  \"mode\": \"hb\",\n"
+        "  \"cases\": [\n";
+  for (std::size_t i = 0; i < r.cases.size(); ++i) {
+    write_hb_case(r.cases[i], os);
+    os << (i + 1 < r.cases.size() ? ",\n" : "\n");
+  }
+  os << "  ],\n  \"mutations\": [\n";
+  for (std::size_t i = 0; i < r.mutations.size(); ++i) {
+    write_mutation(r.mutations[i], os);
+    os << (i + 1 < r.mutations.size() ? ",\n" : "\n");
+  }
+  os << "  ],\n  \"summary\": {\"cases\": " << r.cases.size()
+     << ", \"cases_passed\": " << cases_passed
+     << ", \"mutations\": " << r.mutations.size()
+     << ", \"mutations_detected\": " << detected << ", \"corpus_pass\": "
+     << (r.corpus_pass ? "true" : "false") << "},\n  \"pass\": "
+     << (r.pass ? "true" : "false") << "\n}\n";
+}
+
+}  // namespace ftla::analysis

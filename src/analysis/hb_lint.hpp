@@ -1,0 +1,71 @@
+#pragma once
+
+/// \file hb_lint.hpp
+/// Happens-before lint mode: dry-runs the decomposition matrix with
+/// *sync capture* enabled, analyzes each trace with the happens-before
+/// analyzer (hb.hpp), and validates the analyzer itself against a seeded
+/// mutation corpus (mutate.hpp).
+///
+/// A case passes when the run succeeds, the trace is race-free and
+/// well-synchronized, and the DAG-order coverage verdicts match the same
+/// expectation profile the legacy linter uses (legacy schemes must show
+/// their documented gaps; the new scheme must be clean). The corpus
+/// passes when every seeded mutation is detected AND every mutation kind
+/// contributed at least one seed — an analyzer that goes blind cannot
+/// pass by emptying the corpus.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "analysis/hb.hpp"
+#include "analysis/lint.hpp"
+#include "analysis/mutate.hpp"
+
+namespace ftla::analysis {
+
+/// Verdict for one sync-captured dry run.
+struct HbLintOutcome {
+  LintCase config;
+  core::RunStatus run_status = core::RunStatus::Success;
+  HbReport report;
+  std::vector<FindingKind> missing;  ///< required coverage kinds absent
+  std::vector<Finding> unexpected;   ///< fatal coverage outside the profile
+  bool pass = false;
+  /// The recorded trace, retained so the mutation corpus can be seeded
+  /// from passing NewScheme cases.
+  trace::Trace trace;
+};
+
+/// Runs one dry run with sync capture and judges it. Throws FtlaError on
+/// an invalid configuration (same contract as lint_case).
+HbLintOutcome hb_lint_case(const LintCase& c);
+
+/// One corpus entry: a mutation applied to a passing case's trace.
+struct MutationOutcome {
+  Mutation mutation;
+  LintCase base;  ///< the case the trace was seeded from
+  bool detected = false;
+  std::string evidence;  ///< first violation the analyzer named
+};
+
+/// The whole hb-lint run: the case matrix plus the mutation corpus.
+struct HbLintReport {
+  std::vector<HbLintOutcome> cases;
+  std::vector<MutationOutcome> mutations;
+  bool cases_pass = false;
+  bool corpus_pass = false;  ///< 100% detected and every kind seeded
+  bool pass = false;
+};
+
+/// Runs every case, seeds mutations from the passing NewScheme traces
+/// (`per_kind` of each kind per trace), and evaluates detection.
+HbLintReport run_hb_lint(const std::vector<LintCase>& matrix,
+                         std::size_t per_kind = 2);
+
+/// JSON report: per-case race/coverage results, the mutation corpus with
+/// detection evidence, and an overall verdict.
+void write_hb_report(const HbLintReport& r, std::ostream& os);
+
+}  // namespace ftla::analysis

@@ -1,0 +1,470 @@
+#include "analysis/mutate.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <sstream>
+
+#include "model/mud.hpp"
+
+namespace ftla::analysis {
+
+namespace {
+
+using trace::BlockRange;
+using trace::EventKind;
+using trace::RegionClass;
+using trace::TraceEvent;
+using trace::TransferCtx;
+
+constexpr std::size_t kNoIdx = std::numeric_limits<std::size_t>::max();
+
+bool taint_exempt(TransferCtx ctx) {
+  return ctx == TransferCtx::Scatter || ctx == TransferCtx::Gather ||
+         ctx == TransferCtx::Retransfer;
+}
+
+bool overlap(const BlockRange& a, const BlockRange& b) {
+  return a.br0 < b.br1 && b.br0 < a.br1 && a.bc0 < b.bc1 && b.bc0 < a.bc1;
+}
+
+struct Acc {
+  std::size_t idx = 0;
+  std::uint64_t seq = 0;
+  int stream = trace::kHost;
+  int device = trace::kHost;
+  RegionClass rclass = RegionClass::Data;
+  BlockRange region;
+  bool write = false;
+};
+
+struct SyncEv {
+  std::size_t idx = 0;
+  std::uint64_t seq = 0;
+  std::uint64_t sync_id = 0;
+  int stream = trace::kHost;
+};
+
+/// Would these two accesses conflict if left unordered?
+bool conflicting(const Acc& a, const Acc& b) {
+  return a.stream != b.stream && a.device == b.device &&
+         a.rclass == b.rclass && (a.write || b.write) &&
+         overlap(a.region, b.region);
+}
+
+/// Structural view of one sync-captured trace, indexed for seeding.
+struct Indexed {
+  std::vector<Acc> accs;
+  std::vector<SyncEv> fork_signals;  // host releases a parallel section
+  std::vector<SyncEv> fork_waits;    // per-worker section entries
+  std::vector<SyncEv> join_signals;  // per-worker section exits
+  std::vector<SyncEv> join_waits;    // host barrier re-entries
+  std::map<std::uint64_t, int> join_signal_stream;  // sync id -> worker
+  std::size_t last_iter_end = kNoIdx;
+
+  explicit Indexed(const trace::Trace& t) {
+    for (std::size_t i = 0; i < t.events.size(); ++i) {
+      const TraceEvent& e = t.events[i];
+      auto push = [&](int device, bool write) {
+        accs.push_back(
+            {i, e.seq, e.stream, device, e.rclass, e.region, write});
+      };
+      switch (e.kind) {
+        case EventKind::ComputeRead:
+        case EventKind::Verify:
+          push(e.device, false);
+          break;
+        case EventKind::ComputeWrite:
+        case EventKind::Correct:
+          push(e.device, true);
+          break;
+        case EventKind::TransferArrive:
+          push(e.device, true);
+          push(e.from_device, false);
+          break;
+        case EventKind::SyncSignal:
+          if (e.edge == sim::SyncEdgeKind::Fork) {
+            fork_signals.push_back({i, e.seq, e.sync_id, e.stream});
+          } else if (e.edge == sim::SyncEdgeKind::Join) {
+            join_signals.push_back({i, e.seq, e.sync_id, e.stream});
+            join_signal_stream[e.sync_id] = e.stream;
+          }
+          break;
+        case EventKind::SyncWait:
+          if (e.edge == sim::SyncEdgeKind::Fork) {
+            fork_waits.push_back({i, e.seq, e.sync_id, e.stream});
+          } else if (e.edge == sim::SyncEdgeKind::Join) {
+            join_waits.push_back({i, e.seq, e.sync_id, e.stream});
+          }
+          break;
+        case EventKind::IterationEnd:
+          last_iter_end = i;
+          break;
+        default:
+          break;
+      }
+    }
+  }
+
+  /// First join signal the worker `stream` emits after `idx` (the end of
+  /// the parallel section `idx` falls in) — kNoIdx if none.
+  [[nodiscard]] std::size_t section_end(int stream, std::size_t idx) const {
+    for (const SyncEv& j : join_signals) {
+      if (j.stream == stream && j.idx > idx) return j.idx;
+    }
+    return kNoIdx;
+  }
+};
+
+/// Join-family sync-edge drops: the host's join wait on worker g is the
+/// only path from g's section accesses to host accesses issued before the
+/// host's *next* join wait on g — dropping it provably races the first
+/// conflicting pair across it.
+void seed_drop_join_waits(const Indexed& ix, std::size_t per_kind,
+                          std::vector<Mutation>& out) {
+  for (std::size_t wi = 0; wi < ix.join_waits.size() && out.size() < per_kind;
+       ++wi) {
+    const SyncEv& w = ix.join_waits[wi];
+    auto sit = ix.join_signal_stream.find(w.sync_id);
+    if (sit == ix.join_signal_stream.end()) continue;
+    const int g = sit->second;
+    std::size_t prev = 0;
+    std::size_t next = kNoIdx;
+    for (std::size_t o = 0; o < ix.join_waits.size(); ++o) {
+      auto os = ix.join_signal_stream.find(ix.join_waits[o].sync_id);
+      if (os == ix.join_signal_stream.end() || os->second != g) continue;
+      if (o < wi) prev = ix.join_waits[o].idx;
+      if (o > wi && next == kNoIdx) next = ix.join_waits[o].idx;
+    }
+    for (const Acc& b : ix.accs) {
+      if (b.stream != g || b.idx <= prev || b.idx >= w.idx) continue;
+      for (const Acc& h : ix.accs) {
+        if (h.stream != trace::kHost || h.idx <= w.idx || h.idx >= next) {
+          continue;
+        }
+        if (!conflicting(b, h)) continue;
+        Mutation m;
+        m.kind = MutationKind::DropSyncWait;
+        m.target_seq = w.seq;
+        std::ostringstream name;
+        name << "drop-join-wait@seq" << w.seq;
+        m.name = name.str();
+        std::ostringstream desc;
+        desc << "drop the host's join wait (seq " << w.seq << ") on worker "
+             << g << ": its edge is the only ordering between the worker's "
+             << "access seq " << b.seq << " and the host's conflicting "
+             << "access seq " << h.seq << " on device " << b.device;
+        m.description = desc.str();
+        out.push_back(std::move(m));
+        break;
+      }
+      if (!out.empty() && out.back().target_seq == w.seq) break;
+    }
+  }
+}
+
+/// Fork-family sync-edge drops: worker g's fork wait is the only path
+/// from host accesses issued after the *previous* fork signal to g's
+/// section accesses.
+void seed_drop_fork_waits(const Indexed& ix, std::size_t per_kind,
+                          std::vector<Mutation>& out) {
+  for (const SyncEv& fw : ix.fork_waits) {
+    if (out.size() >= per_kind) break;
+    const int g = fw.stream;
+    std::size_t fs_idx = kNoIdx;
+    for (const SyncEv& fs : ix.fork_signals) {
+      if (fs.sync_id == fw.sync_id) fs_idx = fs.idx;
+    }
+    if (fs_idx == kNoIdx) continue;
+    std::size_t prev_fs = 0;
+    for (const SyncEv& fs : ix.fork_signals) {
+      if (fs.idx < fs_idx && fs.idx > prev_fs) prev_fs = fs.idx;
+    }
+    const std::size_t end = ix.section_end(g, fw.idx);
+    bool made = false;
+    for (const Acc& b : ix.accs) {
+      if (made) break;
+      if (b.stream != g || b.idx <= fw.idx) continue;
+      if (end != kNoIdx && b.idx >= end) continue;
+      for (const Acc& h : ix.accs) {
+        if (h.stream != trace::kHost || h.idx <= prev_fs || h.idx >= fs_idx) {
+          continue;
+        }
+        if (!conflicting(b, h)) continue;
+        Mutation m;
+        m.kind = MutationKind::DropSyncWait;
+        m.target_seq = fw.seq;
+        std::ostringstream name;
+        name << "drop-fork-wait@seq" << fw.seq;
+        m.name = name.str();
+        std::ostringstream desc;
+        desc << "drop worker " << g << "'s fork wait (seq " << fw.seq
+             << "): its edge is the only ordering between the host's access "
+             << "seq " << h.seq << " (after the previous fork) and the "
+             << "section's conflicting access seq " << b.seq << " on device "
+             << b.device;
+        m.description = desc.str();
+        out.push_back(std::move(m));
+        made = true;
+        break;
+      }
+    }
+  }
+}
+
+/// Verify drops: remove every verification that could clear one chosen
+/// arrival's taint. Family A targets a final-output owner copy (fires the
+/// final-state check); family B targets an arrival a MUD>=1 read consumes
+/// (fires a detection window).
+void seed_drop_verifies(const trace::Trace& t, const Indexed& ix,
+                        std::size_t per_kind, std::vector<Mutation>& out) {
+  struct Site {
+    std::size_t idx;
+    std::uint64_t seq;
+    int device;
+    BlockRange region;
+    TransferCtx ctx;
+  };
+  std::vector<Site> arrivals;
+  std::vector<Site> verifies;
+  for (std::size_t i = 0; i < t.events.size(); ++i) {
+    const TraceEvent& e = t.events[i];
+    if (e.rclass != RegionClass::Data) continue;
+    if (e.kind == EventKind::TransferArrive && !taint_exempt(e.ctx)) {
+      arrivals.push_back({i, e.seq, e.device, e.region, e.ctx});
+    } else if (e.kind == EventKind::Verify) {
+      verifies.push_back({i, e.seq, e.device, e.region, TransferCtx::None});
+    }
+  }
+  auto covering_after = [&](int device, index_t br, index_t bc,
+                            std::uint64_t seq) {
+    std::size_t n = 0;
+    for (const Site& v : verifies) {
+      if (v.device == device && v.region.contains(br, bc) && v.seq > seq) ++n;
+    }
+    return n;
+  };
+  auto make = [&](const char* family, int device, index_t br, index_t bc,
+                  const Site& a, std::size_t dropped) {
+    Mutation m;
+    m.kind = MutationKind::DropVerify;
+    m.device = device;
+    m.br = br;
+    m.bc = bc;
+    m.from_seq = a.seq;
+    std::ostringstream name;
+    name << "drop-verify@dev" << device << "-blk" << br << ',' << bc << "-"
+         << family;
+    m.name = name.str();
+    std::ostringstream desc;
+    desc << "drop all " << dropped << " verification(s) at device " << device
+         << " covering block (" << br << ',' << bc
+         << ") ordered after arrive seq " << a.seq << " (" << family
+         << " family): that arrival's taint can no longer be cleared";
+    m.description = desc.str();
+    out.push_back(std::move(m));
+  };
+
+  // Family A: last arrival of a final-output block at its owner.
+  const index_t b = t.meta.b;
+  const int ngpu = t.meta.ngpu > 0 ? t.meta.ngpu : 1;
+  const bool lower_only = t.meta.algorithm == "cholesky";
+  bool made_a = false;
+  for (index_t bc = 0; bc < b && !made_a; ++bc) {
+    const int owner = static_cast<int>(bc % ngpu);
+    for (index_t br = lower_only ? bc : 0; br < b && !made_a; ++br) {
+      const Site* last = nullptr;
+      for (const Site& a : arrivals) {
+        if (a.device == owner && a.region.contains(br, bc)) last = &a;
+      }
+      if (last == nullptr) continue;
+      const std::size_t n = covering_after(owner, br, bc, last->seq);
+      if (n == 0) continue;  // baseline would already flag this block
+      make("final-state", owner, br, bc, *last, n);
+      made_a = true;
+    }
+  }
+
+  // Family B: an arrival consumed by a later MUD>=1 read at its device.
+  if (out.size() < per_kind) {
+    for (std::size_t i = 0; i < t.events.size(); ++i) {
+      const TraceEvent& e = t.events[i];
+      if (e.kind != EventKind::ComputeRead || e.rclass != RegionClass::Data) {
+        continue;
+      }
+      if (model::mud(e.op, e.part) == model::Level::Zero) continue;
+      if (ix.last_iter_end == kNoIdx || i >= ix.last_iter_end) continue;
+      bool made_b = false;
+      for (index_t br = e.region.br0; br < e.region.br1 && !made_b; ++br) {
+        for (index_t bc = e.region.bc0; bc < e.region.bc1 && !made_b; ++bc) {
+          for (const Site& a : arrivals) {
+            if (a.device != e.device || a.idx >= i ||
+                !a.region.contains(br, bc)) {
+              continue;
+            }
+            const std::size_t n = covering_after(e.device, br, bc, a.seq);
+            if (n == 0) continue;
+            make("window", e.device, br, bc, a, n);
+            made_b = true;
+            break;
+          }
+        }
+      }
+      if (made_b) break;
+    }
+  }
+}
+
+/// Transfer reorders: move a host-side link/arrival pair to just after
+/// the next fork signal; the forked section that consumes the payload is
+/// then unordered with the arrival.
+void seed_reorder_transfers(const trace::Trace& t, const Indexed& ix,
+                            std::size_t per_kind,
+                            std::vector<Mutation>& out) {
+  for (std::size_t i = 0; i < t.events.size() && out.size() < per_kind; ++i) {
+    const TraceEvent& a = t.events[i];
+    if (a.kind != EventKind::TransferArrive || a.stream != trace::kHost ||
+        a.sync_id == 0 || a.rclass != RegionClass::Data) {
+      continue;
+    }
+    const TraceEvent* link = nullptr;
+    for (std::size_t l = 0; l < i; ++l) {
+      if (t.events[l].kind == EventKind::LinkTransfer &&
+          t.events[l].sync_id == a.sync_id) {
+        link = &t.events[l];
+        break;
+      }
+    }
+    if (link == nullptr) continue;
+    const SyncEv* fork = nullptr;
+    for (const SyncEv& fs : ix.fork_signals) {
+      if (fs.idx > i) {
+        fork = &fs;
+        break;
+      }
+    }
+    if (fork == nullptr) continue;
+    // A conflicting access inside the section this fork launches.
+    const TraceEvent* victim = nullptr;
+    for (const SyncEv& fw : ix.fork_waits) {
+      if (fw.sync_id != fork->sync_id) continue;
+      const std::size_t end = ix.section_end(fw.stream, fw.idx);
+      for (const Acc& bacc : ix.accs) {
+        if (bacc.stream != fw.stream || bacc.idx <= fw.idx) continue;
+        if (end != kNoIdx && bacc.idx >= end) continue;
+        if (bacc.device != a.device || bacc.rclass != RegionClass::Data) {
+          continue;
+        }
+        if (!overlap(bacc.region, a.region)) continue;
+        victim = &t.events[bacc.idx];
+        break;
+      }
+      if (victim != nullptr) break;
+    }
+    if (victim == nullptr) continue;
+    Mutation m;
+    m.kind = MutationKind::ReorderTransfer;
+    m.target_seq = a.seq;
+    m.aux_seq = link->seq;
+    m.anchor_seq = fork->seq;
+    std::ostringstream name;
+    name << "reorder-transfer@seq" << a.seq;
+    m.name = name.str();
+    std::ostringstream desc;
+    desc << "move link seq " << link->seq << " / arrive seq " << a.seq
+         << " past fork signal seq " << fork->seq
+         << ": the forked section's access seq " << victim->seq
+         << " to the same tiles on device " << a.device
+         << " is then unordered with the arrival";
+    m.description = desc.str();
+    out.push_back(std::move(m));
+  }
+}
+
+}  // namespace
+
+const char* to_string(MutationKind k) {
+  switch (k) {
+    case MutationKind::DropSyncWait: return "drop_sync_wait";
+    case MutationKind::DropVerify: return "drop_verify";
+    case MutationKind::ReorderTransfer: return "reorder_transfer";
+  }
+  return "?";
+}
+
+std::vector<Mutation> seed_mutations(const trace::Trace& trace,
+                                     std::size_t per_kind) {
+  std::vector<Mutation> out;
+  if (!trace.has_sync) return out;
+  const Indexed ix(trace);
+
+  std::vector<Mutation> drops;
+  seed_drop_join_waits(ix, per_kind, drops);
+  seed_drop_fork_waits(ix, per_kind, drops);
+  if (drops.size() > per_kind) drops.resize(per_kind);
+  out.insert(out.end(), drops.begin(), drops.end());
+
+  std::vector<Mutation> verifies;
+  seed_drop_verifies(trace, ix, per_kind, verifies);
+  if (verifies.size() > per_kind) verifies.resize(per_kind);
+  out.insert(out.end(), verifies.begin(), verifies.end());
+
+  std::vector<Mutation> reorders;
+  seed_reorder_transfers(trace, ix, per_kind, reorders);
+  if (reorders.size() > per_kind) reorders.resize(per_kind);
+  out.insert(out.end(), reorders.begin(), reorders.end());
+  return out;
+}
+
+trace::Trace apply_mutation(const trace::Trace& trace, const Mutation& m) {
+  trace::Trace out;
+  out.meta = trace.meta;
+  out.complete = trace.complete;
+  out.has_sync = trace.has_sync;
+  out.events.reserve(trace.events.size());
+
+  switch (m.kind) {
+    case MutationKind::DropSyncWait:
+      for (const TraceEvent& e : trace.events) {
+        if (e.kind == EventKind::SyncWait && e.seq == m.target_seq) continue;
+        out.events.push_back(e);
+      }
+      break;
+    case MutationKind::DropVerify:
+      for (const TraceEvent& e : trace.events) {
+        if (e.kind == EventKind::Verify && e.device == m.device &&
+            e.rclass == RegionClass::Data && e.region.contains(m.br, m.bc) &&
+            e.seq >= m.from_seq) {
+          continue;
+        }
+        out.events.push_back(e);
+      }
+      break;
+    case MutationKind::ReorderTransfer: {
+      TraceEvent link;
+      TraceEvent arrive;
+      for (const TraceEvent& e : trace.events) {
+        if (e.kind == EventKind::LinkTransfer && e.seq == m.aux_seq) {
+          link = e;
+          continue;
+        }
+        if (e.kind == EventKind::TransferArrive && e.seq == m.target_seq) {
+          arrive = e;
+          continue;
+        }
+        out.events.push_back(e);
+      }
+      auto anchor = std::find_if(out.events.begin(), out.events.end(),
+                                 [&](const TraceEvent& e) {
+                                   return e.seq == m.anchor_seq;
+                                 });
+      if (anchor != out.events.end()) ++anchor;
+      anchor = out.events.insert(anchor, arrive);
+      out.events.insert(anchor, link);
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace ftla::analysis

@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file mutate.hpp
+/// Seeded trace mutations for validating the happens-before analyzer.
+///
+/// Each mutation edits a clean, sync-captured trace into one that a
+/// correct analyzer provably must reject:
+///
+///   - DropSyncWait removes one fork/join wait whose edge is the *only*
+///     happens-before path between a pair of conflicting tile accesses
+///     (selection checks the structural single-path condition), so the
+///     mutated trace contains a race;
+///   - DropVerify removes every verification that clears one specific
+///     taint (all covering verifies at one device ordered after a chosen
+///     arrival), so a consume or final-state check must fire;
+///   - ReorderTransfer moves one link/arrival pair from before a fork
+///     signal to just after it, severing the arrival's ordering into the
+///     forked section that consumes the payload — again a race.
+///
+/// The corpus these produce is the analyzer's regression oracle: hb-lint
+/// applies every mutation and fails unless 100% are detected, and unless
+/// each kind contributed at least one mutation (so a blind analyzer
+/// cannot pass vacuously via an empty corpus).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "trace/trace.hpp"
+
+namespace ftla::analysis {
+
+enum class MutationKind { DropSyncWait, DropVerify, ReorderTransfer };
+
+const char* to_string(MutationKind k);
+
+/// One seeded schedule defect, parameterized so apply_mutation can
+/// replay it on the trace it was seeded from.
+struct Mutation {
+  MutationKind kind = MutationKind::DropSyncWait;
+  std::string name;         ///< stable id, e.g. "drop-join-wait@seq412"
+  std::string description;  ///< why detection is guaranteed
+  std::uint64_t target_seq = 0;  ///< wait to drop / arrive to move
+  std::uint64_t aux_seq = 0;     ///< ReorderTransfer: paired link transfer
+  std::uint64_t anchor_seq = 0;  ///< ReorderTransfer: fork signal to move past
+  int device = trace::kHost;     ///< DropVerify: clearing device
+  index_t br = 0;                ///< DropVerify: target block
+  index_t bc = 0;
+  std::uint64_t from_seq = 0;  ///< DropVerify: drop covering verifies >= this
+};
+
+/// Seeds up to `per_kind` mutations of each kind from a clean
+/// sync-captured trace. Selection is structural (no analyzer in the
+/// loop): each returned mutation carries a constructive argument that the
+/// mutated trace violates the race- or coverage-discipline. Traces
+/// without sync capture yield an empty corpus.
+std::vector<Mutation> seed_mutations(const trace::Trace& trace,
+                                     std::size_t per_kind = 2);
+
+/// Applies `m` to a copy of `trace`. Original seq numbers are preserved
+/// (ReorderTransfer permutes vector order, which is what the analyzer
+/// replays), so findings still name the original events.
+trace::Trace apply_mutation(const trace::Trace& trace, const Mutation& m);
+
+}  // namespace ftla::analysis

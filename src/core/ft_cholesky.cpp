@@ -81,6 +81,10 @@ class CholeskyDriver {
       sys_.link().set_trace_hook([this](const sim::TransferInfo& info) {
         trc_->link_transfer(info.from, info.to, info.bytes);
       });
+      // Report runtime sync edges (fork/join/stream syncs) to the
+      // recorder; no-ops unless the recorder has sync capture enabled,
+      // so legacy traces are unchanged.
+      sys_.set_sync_observer(trc_);
     }
 
     a_dist_.scatter(host_in_);
@@ -106,6 +110,7 @@ class CholeskyDriver {
     if (trc_) {
       trc_->end_run();
       sys_.link().clear_trace_hook();
+      sys_.set_sync_observer(nullptr);
     }
     stats_.comm_modeled_seconds = sys_.link().stats().modeled_seconds;
     stats_.total_seconds = total.seconds();

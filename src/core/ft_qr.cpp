@@ -116,6 +116,8 @@ class QrDriver {
       sys_.link().set_trace_hook([this](const sim::TransferInfo& info) {
         trc_->link_transfer(info.from, info.to, info.bytes);
       });
+      // No-op unless the recorder has sync capture enabled.
+      sys_.set_sync_observer(trc_);
     }
 
     a_dist_.scatter(host_in_);
@@ -139,6 +141,7 @@ class QrDriver {
     if (trc_) {
       trc_->end_run();
       sys_.link().clear_trace_hook();
+      sys_.set_sync_observer(nullptr);
     }
     stats_.comm_modeled_seconds = sys_.link().stats().modeled_seconds;
     stats_.total_seconds = total.seconds();

@@ -1,0 +1,66 @@
+#include "sim/event.hpp"
+
+namespace ftla::sim {
+
+void Event::record(Stream& s) {
+  std::uint64_t generation;
+  std::uint64_t id = 0;
+  {
+    ftla::LockGuard lock(mutex_);
+    generation = ++issued_;
+    if (observer_ != nullptr) sync_id_ = observer_->fresh_sync_id();
+    id = sync_id_;
+  }
+  s.enqueue([this, generation, id] {
+    // Signal before firing: once a waiter unblocks, the edge is already
+    // visible to the observer in the right order.
+    if (observer_ != nullptr && id != 0) {
+      observer_->sync_signal(SyncEdgeKind::EventRecord, id);
+    }
+    ftla::LockGuard lock(mutex_);
+    if (fired_ < generation) fired_ = generation;
+    cv_.notify_all();
+  });
+}
+
+void Event::wait(Stream& s) {
+  std::uint64_t generation;
+  std::uint64_t id;
+  {
+    ftla::LockGuard lock(mutex_);
+    generation = issued_;
+    id = sync_id_;
+  }
+  if (generation == 0) return;  // never recorded: CUDA no-op semantics
+  s.enqueue([this, generation, id] {
+    {
+      ftla::LockGuard lock(mutex_);
+      while (fired_ < generation) cv_.wait(mutex_);
+    }
+    if (observer_ != nullptr && id != 0) {
+      observer_->sync_wait(SyncEdgeKind::EventWait, id);
+    }
+  });
+}
+
+void Event::synchronize() {
+  std::uint64_t generation;
+  std::uint64_t id;
+  {
+    ftla::LockGuard lock(mutex_);
+    generation = issued_;
+    id = sync_id_;
+    while (fired_ < generation) cv_.wait(mutex_);
+  }
+  if (generation == 0) return;
+  if (observer_ != nullptr && id != 0) {
+    observer_->sync_wait(SyncEdgeKind::EventWait, id);
+  }
+}
+
+bool Event::query() const {
+  ftla::LockGuard lock(mutex_);
+  return fired_ >= issued_;
+}
+
+}  // namespace ftla::sim

@@ -1,0 +1,69 @@
+#pragma once
+
+/// \file event.hpp
+/// Stream events — the cudaEvent analogue for the simulated runtime.
+///
+/// An Event is recorded on one stream and waited on from another stream
+/// (cudaStreamWaitEvent) or from the host (cudaEventSynchronize). The
+/// record completes when the recording stream's queue reaches the marker;
+/// a waiting stream blocks its own queue until that happens; a host
+/// synchronize blocks the calling thread. Like CUDA, waiting on an event
+/// that was never recorded is a no-op, and a wait issued before a record
+/// captures nothing — only records already *issued* at wait-issue time
+/// are waited for (re-recording later does not extend earlier waits).
+///
+/// Events are the point-to-point dependency primitive the task-graph
+/// scheduler needs (lookahead: iteration k+1's panel work waits on the
+/// event recorded after iteration k's owning-column update, not on a full
+/// join barrier). Every record/wait pair reports a synchronization edge
+/// to the attached SyncObserver so the offline happens-before analyzer
+/// can prove the resulting out-of-order schedules correctly ordered.
+
+#include <cstdint>
+
+#include "common/annotations.hpp"
+#include "sim/stream.hpp"
+#include "sim/sync.hpp"
+
+namespace ftla::sim {
+
+class Event {
+ public:
+  /// `observer` (optional, not owned) receives one EventRecord edge per
+  /// record() and one EventWait edge per wait()/synchronize() that had a
+  /// record to wait for.
+  explicit Event(SyncObserver* observer = nullptr) : observer_(observer) {}
+
+  Event(const Event&) = delete;
+  Event& operator=(const Event&) = delete;
+
+  /// Enqueues a completion marker on `s`. Returns immediately; the event
+  /// "fires" when the stream executes the marker.
+  void record(Stream& s);
+
+  /// Enqueues a dependency on `s`: tasks enqueued on `s` after this call
+  /// do not run until the most recently issued record() fires. No-op if
+  /// record() was never called.
+  void wait(Stream& s);
+
+  /// Blocks the calling thread until the most recently issued record()
+  /// fires. No-op if record() was never called.
+  void synchronize();
+
+  /// True once the most recently issued record() has fired (the
+  /// cudaEventQuery analogue; an unrecorded event is "complete").
+  [[nodiscard]] bool query() const;
+
+ private:
+  SyncObserver* const observer_;
+  mutable ftla::Mutex mutex_;
+  ftla::CondVar cv_;
+  /// Generation counters: each record() issues generation n+1; a wait
+  /// captures the issued generation and blocks until fired catches up.
+  std::uint64_t issued_ FTLA_GUARDED_BY(mutex_) = 0;
+  std::uint64_t fired_ FTLA_GUARDED_BY(mutex_) = 0;
+  /// Sync id of the most recently issued record (0 = none / no observer).
+  std::uint64_t sync_id_ FTLA_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace ftla::sim

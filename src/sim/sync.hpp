@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file sync.hpp
+/// Synchronization-edge observation interface.
+///
+/// The simulated runtime establishes happens-before order through four
+/// mechanisms: the fork/join barriers of parallel_over_gpus, event
+/// record/wait pairs (sim/event.hpp), host stream synchronization, and
+/// PcieLink transfer completion. The offline happens-before analyzer
+/// (src/analysis/hb) can only reason about orderings it can see, so every
+/// one of those mechanisms reports its edges to an attached SyncObserver.
+///
+/// The protocol is a signal/wait pair over an opaque id: everything the
+/// signalling context emitted before sync_signal(id) happens-before
+/// everything a waiting context emits after sync_wait(id). A fork barrier
+/// is one signal (the forking thread) with N waits (each worker); a join
+/// is N signals with one wait each; an event record/wait pair maps 1:1.
+///
+/// The observer is called on whatever thread performs the operation; the
+/// calling thread identifies the execution context (the trace recorder
+/// resolves it through the ownership checker's thread binding).
+/// Implementations must be thread-safe.
+
+#include <cstdint>
+
+namespace ftla::sim {
+
+/// Which runtime mechanism produced a synchronization edge.
+enum class SyncEdgeKind {
+  None,
+  Fork,         ///< parallel section start: host signals, workers wait
+  Join,         ///< parallel section end: workers signal, host waits
+  EventRecord,  ///< sim::Event recorded on a stream (signal side)
+  EventWait,    ///< sim::Event waited on (stream- or host-side wait)
+  StreamSync,   ///< host drained one stream outside a full barrier
+  Transfer,     ///< PcieLink completion ordered before the arrival
+};
+
+class SyncObserver {
+ public:
+  virtual ~SyncObserver() = default;
+
+  /// Allocates a fresh nonzero id naming one synchronization object.
+  virtual std::uint64_t fresh_sync_id() = 0;
+
+  /// The calling context's history up to here is released to `id`.
+  virtual void sync_signal(SyncEdgeKind kind, std::uint64_t id) = 0;
+
+  /// The calling context acquires everything released to `id`.
+  virtual void sync_wait(SyncEdgeKind kind, std::uint64_t id) = 0;
+};
+
+}  // namespace ftla::sim

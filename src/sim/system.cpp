@@ -17,20 +17,61 @@ HeterogeneousSystem::HeterogeneousSystem(int ngpu) {
 }
 
 void HeterogeneousSystem::parallel_over_gpus(const std::function<void(int)>& body) {
+  SyncObserver* obs = sync_observer_;
+  std::uint64_t fork_id = 0;
+  std::vector<std::uint64_t> join_ids;
+  if (obs != nullptr) {
+    fork_id = obs->fresh_sync_id();
+    join_ids.resize(static_cast<std::size_t>(ngpu()));
+    for (auto& id : join_ids) id = obs->fresh_sync_id();
+    obs->sync_signal(SyncEdgeKind::Fork, fork_id);
+  }
   for (int g = 0; g < ngpu(); ++g) {
-    gpus_[static_cast<std::size_t>(g)]->stream().enqueue([&body, g] { body(g); });
+    const std::uint64_t join_id =
+        obs != nullptr ? join_ids[static_cast<std::size_t>(g)] : 0;
+    gpus_[static_cast<std::size_t>(g)]->stream().enqueue(
+        [&body, g, obs, fork_id, join_id] {
+          // The wait/signal bracket runs on the worker thread, so the
+          // observer attributes the edges to the GPU's context. The join
+          // signal fires even when the body throws: the barrier is real
+          // (synchronize below still returns only after the task ends),
+          // so the recorded order must say so.
+          if (obs != nullptr) obs->sync_wait(SyncEdgeKind::Fork, fork_id);
+          try {
+            body(g);
+          } catch (...) {
+            if (obs != nullptr) obs->sync_signal(SyncEdgeKind::Join, join_id);
+            throw;
+          }
+          if (obs != nullptr) obs->sync_signal(SyncEdgeKind::Join, join_id);
+        });
   }
   // Synchronize all streams; remember only the first failure but drain
   // every queue so no stream is left running.
   std::exception_ptr first_error;
-  for (auto& gpu_dev : gpus_) {
+  for (int g = 0; g < ngpu(); ++g) {
     try {
-      gpu_dev->stream().synchronize();
+      gpus_[static_cast<std::size_t>(g)]->stream().synchronize();
     } catch (...) {
       if (!first_error) first_error = std::current_exception();
     }
+    if (obs != nullptr) {
+      obs->sync_wait(SyncEdgeKind::Join, join_ids[static_cast<std::size_t>(g)]);
+    }
   }
   if (first_error) std::rethrow_exception(first_error);
+}
+
+void HeterogeneousSystem::synchronize_gpu(int g) {
+  SyncObserver* obs = sync_observer_;
+  std::uint64_t id = 0;
+  if (obs != nullptr) {
+    id = obs->fresh_sync_id();
+    gpu(g).stream().enqueue(
+        [obs, id] { obs->sync_signal(SyncEdgeKind::StreamSync, id); });
+  }
+  gpu(g).stream().synchronize();
+  if (obs != nullptr) obs->sync_wait(SyncEdgeKind::StreamSync, id);
 }
 
 void HeterogeneousSystem::free_all() {

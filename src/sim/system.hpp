@@ -11,6 +11,7 @@
 
 #include "sim/device.hpp"
 #include "sim/pcie.hpp"
+#include "sim/sync.hpp"
 
 namespace ftla::sim {
 
@@ -40,7 +41,27 @@ class HeterogeneousSystem {
 
   /// Runs body(g) on every GPU's stream concurrently; blocks until all
   /// complete. Exceptions are rethrown on the caller (first wins).
+  /// With a sync observer attached, the fork edge (caller → every
+  /// worker) and the join edges (every worker → caller) are reported so
+  /// the offline happens-before analyzer sees the barrier.
   void parallel_over_gpus(const std::function<void(int)>& body);
+
+  /// Drains one GPU's stream from the host (cudaStreamSynchronize
+  /// analogue), reporting the StreamSync edge to the observer. The
+  /// task-graph scheduler uses this for single-stream waits where a full
+  /// barrier would serialize unrelated devices.
+  void synchronize_gpu(int g);
+
+  /// Attaches (or detaches, with nullptr) the observer that receives
+  /// every synchronization edge the runtime establishes. Not owned; must
+  /// outlive all subsequent parallel sections. Callers attach it for the
+  /// duration of one traced run (see core drivers).
+  void set_sync_observer(SyncObserver* observer) noexcept {
+    sync_observer_ = observer;
+  }
+  [[nodiscard]] SyncObserver* sync_observer() const noexcept {
+    return sync_observer_;
+  }
 
   /// Total bytes resident across GPU arenas.
   [[nodiscard]] byte_size_t gpu_bytes_allocated() const noexcept;
@@ -54,6 +75,7 @@ class HeterogeneousSystem {
   std::unique_ptr<Device> cpu_;
   std::vector<std::unique_ptr<Device>> gpus_;
   PcieLink link_;
+  SyncObserver* sync_observer_ = nullptr;
 };
 
 /// RAII scope for running an FT driver on a pooled (borrowed) system:
@@ -68,6 +90,7 @@ class BorrowedSystemScope {
   }
   ~BorrowedSystemScope() {
     sys_.link().clear_trace_hook();
+    sys_.set_sync_observer(nullptr);
     sys_.free_all();
   }
 

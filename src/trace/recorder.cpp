@@ -2,7 +2,20 @@
 
 #include <ostream>
 
+#include "sim/ownership.hpp"
+
 namespace ftla::trace {
+namespace {
+
+/// Trace context of the calling thread: GPU worker threads are bound to
+/// device g + 1 by their Stream, everything else (the host driver thread,
+/// ThreadPool workers) maps to the host context.
+int calling_context() noexcept {
+  const device_id_t d = sim::ownership::current_device();
+  return d <= 0 ? kHost : static_cast<int>(d) - 1;
+}
+
+}  // namespace
 
 const char* to_string(EventKind k) {
   switch (k) {
@@ -16,6 +29,21 @@ const char* to_string(EventKind k) {
     case EventKind::LinkTransfer: return "link";
     case EventKind::Verify: return "verify";
     case EventKind::Correct: return "correct";
+    case EventKind::SyncSignal: return "sync_signal";
+    case EventKind::SyncWait: return "sync_wait";
+  }
+  return "?";
+}
+
+const char* to_string(sim::SyncEdgeKind k) {
+  switch (k) {
+    case sim::SyncEdgeKind::None: return "none";
+    case sim::SyncEdgeKind::Fork: return "fork";
+    case sim::SyncEdgeKind::Join: return "join";
+    case sim::SyncEdgeKind::EventRecord: return "event_record";
+    case sim::SyncEdgeKind::EventWait: return "event_wait";
+    case sim::SyncEdgeKind::StreamSync: return "stream_sync";
+    case sim::SyncEdgeKind::Transfer: return "transfer";
   }
   return "?";
 }
@@ -76,6 +104,9 @@ void write_jsonl(const Trace& trace, std::ostream& os) {
     if (e.job_id != 0) os << ",\"job\":" << e.job_id;
     os << ",\"kind\":\"" << to_string(e.kind)
        << "\",\"iter\":" << e.iteration << ",\"dev\":" << e.device;
+    // Sync-capture fields are emitted only for traces that carry them, so
+    // legacy (capture-off) serialization stays byte-identical.
+    if (trace.has_sync) os << ",\"stream\":" << e.stream;
     switch (e.kind) {
       case EventKind::ComputeRead:
         os << ",\"op\":\"" << fault::to_string(e.op) << "\",\"part\":\""
@@ -86,12 +117,18 @@ void write_jsonl(const Trace& trace, std::ostream& os) {
         break;
       case EventKind::TransferArrive:
         os << ",\"ctx\":\"" << to_string(e.ctx) << "\",\"from\":" << e.from_device;
+        if (trace.has_sync) os << ",\"sync\":" << e.sync_id;
         break;
       case EventKind::LinkTransfer:
         os << ",\"from\":" << e.from_device << ",\"bytes\":" << e.bytes;
+        if (trace.has_sync) os << ",\"sync\":" << e.sync_id;
         break;
       case EventKind::Verify:
         os << ",\"check\":\"" << to_string(e.check) << '"';
+        break;
+      case EventKind::SyncSignal:
+      case EventKind::SyncWait:
+        os << ",\"edge\":\"" << to_string(e.edge) << "\",\"sync\":" << e.sync_id;
         break;
       default:
         break;
@@ -130,6 +167,7 @@ TraceEvent& TraceRecorder::append(EventKind kind) {
   e.job_id = job_id_;
   e.kind = kind;
   e.iteration = current_iteration_;
+  if (sync_capture_) e.stream = calling_context();
   return e;
 }
 
@@ -196,6 +234,18 @@ void TraceRecorder::transfer_arrive(TransferCtx ctx, int from_device,
   e.device = to_device;
   e.region = region;
   e.rclass = rclass;
+  if (sync_capture_) {
+    // Adopt the oldest unclaimed link completion on the same endpoints;
+    // the annotation order of back-to-back transfers matches their issue
+    // order under the link lock, so FIFO pairing is exact. A missing
+    // pairing (sync_id 0) is a finding for the analyzer, not an error.
+    auto it = pending_links_.find({from_device, to_device});
+    if (it != pending_links_.end() && !it->second.empty()) {
+      e.sync_id = it->second.front();
+      it->second.pop_front();
+      if (it->second.empty()) pending_links_.erase(it);
+    }
+  }
 }
 
 void TraceRecorder::verify(CheckPoint check, int device,
@@ -222,6 +272,45 @@ void TraceRecorder::link_transfer(device_id_t from, device_id_t to,
   e.from_device = static_cast<int>(from) - 1;  // device_id 0 is the CPU
   e.device = static_cast<int>(to) - 1;
   e.bytes = bytes;
+  if (sync_capture_) {
+    e.sync_id = ++next_sync_id_;
+    e.edge = sim::SyncEdgeKind::Transfer;
+    pending_links_[{e.from_device, e.device}].push_back(e.sync_id);
+  }
+}
+
+void TraceRecorder::enable_sync_capture(bool on) {
+  ftla::LockGuard lock(mutex_);
+  sync_capture_ = on;
+  if (on) trace_.has_sync = true;
+}
+
+bool TraceRecorder::sync_capture_enabled() const {
+  ftla::LockGuard lock(mutex_);
+  return sync_capture_;
+}
+
+std::uint64_t TraceRecorder::fresh_sync_id() {
+  ftla::LockGuard lock(mutex_);
+  return ++next_sync_id_;
+}
+
+void TraceRecorder::sync_signal(sim::SyncEdgeKind kind, std::uint64_t sync_id) {
+  ftla::LockGuard lock(mutex_);
+  if (!sync_capture_) return;
+  TraceEvent& e = append(EventKind::SyncSignal);
+  e.edge = kind;
+  e.sync_id = sync_id;
+  e.device = e.stream;
+}
+
+void TraceRecorder::sync_wait(sim::SyncEdgeKind kind, std::uint64_t sync_id) {
+  ftla::LockGuard lock(mutex_);
+  if (!sync_capture_) return;
+  TraceEvent& e = append(EventKind::SyncWait);
+  e.edge = kind;
+  e.sync_id = sync_id;
+  e.device = e.stream;
 }
 
 Trace TraceRecorder::snapshot() const {
@@ -239,6 +328,9 @@ void TraceRecorder::clear() {
   trace_ = Trace{};
   current_iteration_ = -1;
   next_seq_ = 0;
+  next_sync_id_ = 0;
+  pending_links_.clear();
+  trace_.has_sync = sync_capture_;  // capture setting survives a clear
 }
 
 }  // namespace ftla::trace

@@ -18,15 +18,20 @@
 /// Overhead when no recorder is installed is a null-pointer test at each
 /// site; the drivers guard every emit with `if (trace_)`.
 
+#include <cstdint>
+#include <deque>
 #include <iosfwd>
+#include <map>
+#include <utility>
 
 #include "common/annotations.hpp"
 #include "common/types.hpp"
+#include "sim/sync.hpp"
 #include "trace/trace.hpp"
 
 namespace ftla::trace {
 
-class TraceRecorder {
+class TraceRecorder : public sim::SyncObserver {
  public:
   TraceRecorder() = default;
   TraceRecorder(const TraceRecorder&) = delete;
@@ -64,6 +69,26 @@ class TraceRecorder {
   /// TransferArrive, proving the drivers' instrumentation is complete.
   void link_transfer(device_id_t from, device_id_t to, byte_size_t bytes);
 
+  // --- synchronization capture ---------------------------------------
+  /// Turns on recording of the synchronization partial order: every
+  /// event gets stamped with its execution context (the emitting
+  /// thread's ownership binding), SyncSignal/SyncWait events are
+  /// appended for runtime edges (fork/join, events, stream syncs), and
+  /// each LinkTransfer is paired with its annotated TransferArrive via a
+  /// shared sync id so the analyzer can treat the transfer completion as
+  /// a cross-context edge. Off by default: legacy traces — and their
+  /// serialized JSON — stay byte-identical.
+  void enable_sync_capture(bool on);
+  [[nodiscard]] bool sync_capture_enabled() const;
+
+  /// sim::SyncObserver implementation. Attach with
+  /// `system.set_sync_observer(&recorder)` for the duration of a run.
+  /// All three are no-ops (beyond id allocation) until sync capture is
+  /// enabled.
+  std::uint64_t fresh_sync_id() override;
+  void sync_signal(sim::SyncEdgeKind kind, std::uint64_t sync_id) override;
+  void sync_wait(sim::SyncEdgeKind kind, std::uint64_t sync_id) override;
+
   // --- inspection ----------------------------------------------------
   /// Copy of everything recorded so far (safe against concurrent emits).
   [[nodiscard]] Trace snapshot() const;
@@ -79,6 +104,13 @@ class TraceRecorder {
   index_t current_iteration_ FTLA_GUARDED_BY(mutex_) = -1;
   std::uint64_t next_seq_ FTLA_GUARDED_BY(mutex_) = 0;
   std::uint64_t job_id_ FTLA_GUARDED_BY(mutex_) = 0;
+  bool sync_capture_ FTLA_GUARDED_BY(mutex_) = false;
+  std::uint64_t next_sync_id_ FTLA_GUARDED_BY(mutex_) = 0;
+  /// In-flight link completions awaiting their annotated arrival, FIFO
+  /// per (from, to) endpoint pair in trace device convention. link_transfer
+  /// pushes a fresh sync id; transfer_arrive pops the oldest match.
+  std::map<std::pair<int, int>, std::deque<std::uint64_t>> pending_links_
+      FTLA_GUARDED_BY(mutex_);
 };
 
 }  // namespace ftla::trace

@@ -22,6 +22,7 @@
 
 #include "common/types.hpp"
 #include "fault/fault.hpp"
+#include "sim/sync.hpp"
 
 namespace ftla::trace {
 
@@ -41,6 +42,8 @@ enum class EventKind {
   LinkTransfer,    ///< raw PcieLink transfer (completeness cross-check)
   Verify,          ///< a checksum verification covered a region
   Correct,         ///< a correction/repair was applied to a region
+  SyncSignal,      ///< a context released its history to a sync object
+  SyncWait,        ///< a context acquired a sync object's history
 };
 
 /// What the bytes in a traced region are.
@@ -126,6 +129,19 @@ struct TraceEvent {
   BlockRange region;                          ///< all region-bearing kinds
   int from_device = kHost;                    ///< TransferArrive/LinkTransfer
   std::uint64_t bytes = 0;                    ///< LinkTransfer
+
+  /// Execution context that emitted the event: kHost for the driver
+  /// thread (and any unbound thread), g for GPU g's stream worker.
+  /// Program order within one context is a happens-before chain; order
+  /// *across* contexts exists only through sync edges. Resolved from the
+  /// ownership checker's thread binding at emit time.
+  int stream = kHost;
+  /// Sync-object id: the signalled/awaited object for SyncSignal and
+  /// SyncWait; the link-completion pairing for LinkTransfer and its
+  /// annotated TransferArrive (0 = unmatched / sync capture off).
+  std::uint64_t sync_id = 0;
+  /// Which runtime mechanism produced a SyncSignal/SyncWait.
+  sim::SyncEdgeKind edge = sim::SyncEdgeKind::None;
 };
 
 /// Run-level metadata captured at RunBegin.
@@ -147,12 +163,18 @@ struct Trace {
   RunMeta meta;
   std::vector<TraceEvent> events;
   bool complete = false;  ///< RunEnd was recorded
+  /// Sync capture was enabled: the trace carries SyncSignal/SyncWait
+  /// events, context stamps and link pairings, so the happens-before
+  /// analyzer (src/analysis/hb) can reconstruct the partial order.
+  /// Traces recorded without it are only analyzable in recorded order.
+  bool has_sync = false;
 };
 
 const char* to_string(EventKind k);
 const char* to_string(RegionClass c);
 const char* to_string(TransferCtx c);
 const char* to_string(CheckPoint p);
+const char* to_string(sim::SyncEdgeKind k);
 
 /// Serializes one event per line as JSON (JSON Lines). The first line is
 /// the run metadata object ({"meta": ...}); every following line is one

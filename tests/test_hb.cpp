@@ -1,0 +1,525 @@
+// Tests for the happens-before analyzer (src/analysis/hb): vector-clock
+// semantics on hand-built sync-captured traces, race detection across
+// execution contexts, DAG-order coverage verdicts (including a case the
+// linear replay gets wrong), malformed-sync findings, the seeded
+// mutation corpus, and the capture-off serialization byte-format guard.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/coverage.hpp"
+#include "analysis/hb.hpp"
+#include "analysis/hb_lint.hpp"
+#include "analysis/lint.hpp"
+#include "analysis/mutate.hpp"
+#include "sim/ownership.hpp"
+#include "sim/sync.hpp"
+#include "trace/recorder.hpp"
+
+namespace ftla::analysis {
+namespace {
+
+using core::SchemeKind;
+using fault::OpKind;
+using fault::Part;
+using sim::SyncEdgeKind;
+using trace::BlockRange;
+using trace::CheckPoint;
+using trace::EventKind;
+using trace::RegionClass;
+using trace::TraceRecorder;
+using trace::TransferCtx;
+
+namespace ownership = sim::ownership;
+
+/// Minimal sync-captured run skeleton: one iteration, the given body,
+/// then RunEnd. The body runs on the host context unless it binds a
+/// device itself (see on_gpu).
+template <typename Body>
+trace::Trace sync_skeleton(Body&& body) {
+  TraceRecorder rec;
+  rec.enable_sync_capture(true);
+  rec.begin_run({"lu", "new-scheme", "full", 2, 64, 32, 2});
+  rec.begin_iteration(0);
+  body(rec);
+  rec.end_iteration(0);
+  rec.end_run();
+  return rec.snapshot();
+}
+
+/// Emits `body`'s events from GPU g's execution context. The recorder
+/// resolves contexts from the ownership thread binding, so a scoped
+/// binding on the calling thread stands in for a stream worker.
+template <typename Body>
+void on_gpu(int g, Body&& body) {
+  ownership::ScopedDevice bind(static_cast<device_id_t>(g + 1));
+  body();
+}
+
+/// Paired raw-link + annotated arrival, as the drivers emit them. The
+/// link is recorded from the current context, so it carries the sender's
+/// history into the arrival's context. Devices are trace indices.
+void arrive(TraceRecorder& rec, TransferCtx ctx, int from, int to,
+            const BlockRange& region,
+            RegionClass rclass = RegionClass::Data) {
+  rec.link_transfer(static_cast<device_id_t>(from + 1),
+                    static_cast<device_id_t>(to + 1), 1024);
+  rec.transfer_arrive(ctx, from, to, region, rclass);
+}
+
+bool has_sync_kind(const HbReport& r, HbFindingKind k) {
+  for (const HbFinding& f : r.sync_findings) {
+    if (f.kind == k) return true;
+  }
+  return false;
+}
+
+bool has_coverage_kind(const HbReport& r, FindingKind k) {
+  for (const Finding& f : r.coverage_findings) {
+    if (f.kind == k) return true;
+  }
+  return false;
+}
+
+// --- analyzability ------------------------------------------------------
+
+TEST(Hb, TraceWithoutSyncCaptureIsNotAnalyzable) {
+  TraceRecorder rec;  // capture off
+  rec.begin_run({"lu", "new-scheme", "full", 1, 64, 32, 2});
+  rec.end_run();
+  const HbReport r = analyze_hb(rec.snapshot());
+  EXPECT_FALSE(r.analyzable);
+  EXPECT_FALSE(r.clean());
+  ASSERT_EQ(r.sync_findings.size(), 1u);
+  EXPECT_EQ(r.sync_findings[0].kind, HbFindingKind::NoSyncInfo);
+}
+
+// --- races --------------------------------------------------------------
+
+TEST(Hb, ProgramOrderWithinOneContextIsNeverARace) {
+  const auto t = sync_skeleton([](TraceRecorder& rec) {
+    rec.compute_write(OpKind::PD, 0, BlockRange::single(0, 0));
+    rec.compute_read(OpKind::TMU, Part::Reference, 0, BlockRange::single(0, 0));
+    rec.compute_write(OpKind::TMU, 0, BlockRange::single(0, 0));
+  });
+  const HbReport r = analyze_hb(t);
+  EXPECT_TRUE(r.analyzable);
+  EXPECT_TRUE(r.race_free());
+}
+
+TEST(Hb, UnorderedCrossContextConflictIsARace) {
+  const auto t = sync_skeleton([](TraceRecorder& rec) {
+    rec.compute_write(OpKind::PD, 0, BlockRange::single(1, 1));
+    on_gpu(0, [&] {
+      // No sync edge from the host write: a write-write race on the tile.
+      rec.compute_write(OpKind::TMU, 0, BlockRange::single(1, 1));
+    });
+  });
+  const HbReport r = analyze_hb(t);
+  ASSERT_FALSE(r.race_free());
+  const HbFinding& f = r.sync_findings.front();
+  EXPECT_EQ(f.kind, HbFindingKind::Race);
+  EXPECT_EQ(f.device, 0);
+  EXPECT_EQ(f.br, 1);
+  EXPECT_EQ(f.bc, 1);
+  EXPECT_NE(f.seq_a, f.seq_b);  // both events of the pair are named
+  EXPECT_NE(f.detail.find("seq"), std::string::npos);
+}
+
+TEST(Hb, ReadReadSharingIsNotARace) {
+  const auto t = sync_skeleton([](TraceRecorder& rec) {
+    rec.compute_read(OpKind::TMU, Part::Reference, 0, BlockRange::single(0, 0));
+    on_gpu(0, [&] {
+      rec.compute_read(OpKind::TMU, Part::Reference, 0,
+                       BlockRange::single(0, 0));
+    });
+  });
+  EXPECT_TRUE(analyze_hb(t).race_free());
+}
+
+TEST(Hb, DisjointRegionsDoNotConflict) {
+  const auto t = sync_skeleton([](TraceRecorder& rec) {
+    rec.compute_write(OpKind::PD, 0, BlockRange::single(0, 0));
+    on_gpu(0, [&] {
+      rec.compute_write(OpKind::TMU, 0, BlockRange::single(1, 1));
+    });
+  });
+  EXPECT_TRUE(analyze_hb(t).race_free());
+}
+
+TEST(Hb, ForkJoinEdgesOrderTheParallelSection) {
+  const auto t = sync_skeleton([](TraceRecorder& rec) {
+    const std::uint64_t fork = rec.fresh_sync_id();
+    const std::uint64_t join = rec.fresh_sync_id();
+    rec.compute_write(OpKind::PD, 0, BlockRange::single(0, 0));
+    rec.sync_signal(SyncEdgeKind::Fork, fork);
+    on_gpu(0, [&] {
+      rec.sync_wait(SyncEdgeKind::Fork, fork);
+      rec.compute_write(OpKind::TMU, 0, BlockRange::single(0, 0));
+      rec.sync_signal(SyncEdgeKind::Join, join);
+    });
+    rec.sync_wait(SyncEdgeKind::Join, join);
+    rec.compute_read(OpKind::TMU, Part::Reference, 0, BlockRange::single(0, 0));
+  });
+  const HbReport r = analyze_hb(t);
+  EXPECT_TRUE(r.race_free());
+  EXPECT_EQ(r.contexts, 2u);
+  EXPECT_EQ(r.sync_edges, 4u);
+}
+
+TEST(Hb, DroppingTheJoinWaitExposesTheRace) {
+  const auto t = sync_skeleton([](TraceRecorder& rec) {
+    const std::uint64_t fork = rec.fresh_sync_id();
+    rec.sync_signal(SyncEdgeKind::Fork, fork);
+    on_gpu(0, [&] {
+      rec.sync_wait(SyncEdgeKind::Fork, fork);
+      rec.compute_write(OpKind::TMU, 0, BlockRange::single(0, 0));
+      // Join signal dropped along with the host's wait: nothing orders
+      // the worker's write before the host read below.
+    });
+    rec.compute_read(OpKind::TMU, Part::Reference, 0, BlockRange::single(0, 0));
+  });
+  const HbReport r = analyze_hb(t);
+  ASSERT_FALSE(r.race_free());
+  EXPECT_EQ(r.sync_findings.front().kind, HbFindingKind::Race);
+}
+
+TEST(Hb, EventRecordWaitOrdersAcrossStreams) {
+  const auto t = sync_skeleton([](TraceRecorder& rec) {
+    const std::uint64_t ev = rec.fresh_sync_id();
+    on_gpu(0, [&] {
+      rec.compute_write(OpKind::PU, 0, BlockRange::single(0, 1));
+      rec.sync_signal(SyncEdgeKind::EventRecord, ev);
+    });
+    on_gpu(1, [&] {
+      rec.sync_wait(SyncEdgeKind::EventWait, ev);
+      rec.compute_write(OpKind::TMU, 0, BlockRange::single(0, 1));
+    });
+  });
+  EXPECT_TRUE(analyze_hb(t).race_free());
+}
+
+TEST(Hb, TransferCompletionOrdersSenderIntoReceiver) {
+  const auto t = sync_skeleton([](TraceRecorder& rec) {
+    rec.compute_write(OpKind::PD, 0, BlockRange::single(0, 0));
+    rec.link_transfer(0, 1, 1024);  // CPU -> GPU 0 in simulator ids
+    on_gpu(0, [&] {
+      rec.transfer_arrive(TransferCtx::BroadcastH2D, trace::kHost, 0,
+                          BlockRange::single(0, 0));
+      rec.verify(CheckPoint::AfterPDBroadcast, 0, BlockRange::single(0, 0));
+      rec.compute_read(OpKind::TMU, Part::Reference, 0, BlockRange::single(0, 0));
+    });
+  });
+  const HbReport r = analyze_hb(t);
+  EXPECT_TRUE(r.race_free());
+  EXPECT_EQ(r.link_transfers, 1u);
+  EXPECT_EQ(r.transfer_arrivals, 1u);
+  EXPECT_TRUE(r.clean());
+}
+
+// --- malformed sync metadata -------------------------------------------
+
+TEST(Hb, WaitWithoutSignalIsFlagged) {
+  const auto t = sync_skeleton([](TraceRecorder& rec) {
+    rec.sync_wait(SyncEdgeKind::Join, 77);  // nobody ever signalled 77
+  });
+  const HbReport r = analyze_hb(t);
+  ASSERT_TRUE(has_sync_kind(r, HbFindingKind::WaitWithoutSignal));
+  EXPECT_NE(r.sync_findings.front().detail.find("77"), std::string::npos);
+}
+
+TEST(Hb, ArrivalWithoutLinkPairingIsFlagged) {
+  auto t = sync_skeleton([](TraceRecorder& rec) {
+    // Annotated arrival with no preceding raw link observation: the
+    // recorder leaves sync_id at 0, which the analyzer must reject.
+    rec.transfer_arrive(TransferCtx::BroadcastH2D, trace::kHost, 0,
+                        BlockRange::single(0, 0));
+  });
+  const HbReport r = analyze_hb(t);
+  EXPECT_TRUE(has_sync_kind(r, HbFindingKind::UnmatchedArrival));
+  // The link/arrival count mismatch independently marks the trace
+  // incomplete, matching the legacy analyzer's cross-check.
+  EXPECT_TRUE(has_coverage_kind(r, FindingKind::TraceIncomplete));
+}
+
+TEST(Hb, TruncatedTraceIsIncomplete) {
+  TraceRecorder rec;
+  rec.enable_sync_capture(true);
+  rec.begin_run({"lu", "new-scheme", "full", 1, 64, 32, 2});
+  rec.begin_iteration(0);  // no end_iteration, no end_run
+  const HbReport r = analyze_hb(rec.snapshot());
+  EXPECT_TRUE(r.analyzable);
+  EXPECT_TRUE(has_coverage_kind(r, FindingKind::TraceIncomplete));
+  EXPECT_FALSE(r.clean());
+}
+
+// --- DAG-order coverage -------------------------------------------------
+
+TEST(HbCoverage, UnverifiedArrivalConsumeIsFlagged) {
+  const auto t = sync_skeleton([](TraceRecorder& rec) {
+    on_gpu(0, [&] {
+      arrive(rec, TransferCtx::BroadcastH2D, trace::kHost, 0,
+             BlockRange::single(0, 0));
+      rec.compute_read(OpKind::TMU, Part::Reference, 0, BlockRange::single(0, 0));
+    });
+  });
+  const HbReport r = analyze_hb(t);
+  EXPECT_TRUE(has_coverage_kind(r, FindingKind::UnverifiedTransferConsume));
+}
+
+TEST(HbCoverage, VerifyOrderedBetweenTaintAndConsumeCovers) {
+  const auto t = sync_skeleton([](TraceRecorder& rec) {
+    on_gpu(0, [&] {
+      arrive(rec, TransferCtx::BroadcastH2D, trace::kHost, 0,
+             BlockRange::single(0, 0));
+      rec.verify(CheckPoint::AfterPDBroadcast, 0, BlockRange::single(0, 0));
+      rec.compute_read(OpKind::TMU, Part::Reference, 0, BlockRange::single(0, 0));
+    });
+  });
+  const HbReport r = analyze_hb(t);
+  EXPECT_FALSE(has_coverage_kind(r, FindingKind::UnverifiedTransferConsume));
+}
+
+TEST(HbCoverage, FindingNamesTaintSourceAndConsumeSeqs) {
+  const auto t = sync_skeleton([](TraceRecorder& rec) {
+    on_gpu(0, [&] {
+      arrive(rec, TransferCtx::BroadcastH2D, trace::kHost, 0,
+             BlockRange::single(0, 0));
+      rec.compute_read(OpKind::TMU, Part::Reference, 0, BlockRange::single(0, 0));
+    });
+  });
+  const HbReport r = analyze_hb(t);
+  bool named = false;
+  for (const Finding& f : r.coverage_findings) {
+    if (f.kind != FindingKind::UnverifiedTransferConsume) continue;
+    named = f.detail.find("taint source seq") != std::string::npos &&
+            f.detail.find("consume seq") != std::string::npos;
+  }
+  EXPECT_TRUE(named);
+}
+
+/// The case the linear replay gets wrong: in *recorded* order the trace
+/// reads arrive -> verify -> consume, so the sequential analyzer calls
+/// the window covered. But the verify ran on the host context with no
+/// sync edge to the arrival, so under happens-before it is concurrent
+/// with the taint — it may have checked the tile before the payload
+/// landed. The HB analyzer must keep the window open (and flag the
+/// verify/arrival race that causes it).
+TEST(HbCoverage, ConcurrentVerifyDoesNotCoverEvenIfSequencedBetween) {
+  const auto t = sync_skeleton([](TraceRecorder& rec) {
+    rec.link_transfer(0, 1, 1024);
+    on_gpu(0, [&] {
+      rec.transfer_arrive(TransferCtx::BroadcastH2D, trace::kHost, 0,
+                          BlockRange::single(0, 0));
+    });
+    rec.verify(CheckPoint::AfterPDBroadcast, 0, BlockRange::single(0, 0));
+    on_gpu(0, [&] {
+      rec.compute_read(OpKind::TMU, Part::Reference, 0, BlockRange::single(0, 0));
+    });
+  });
+  bool linear_flags_it = false;
+  for (const Finding& f : analyze(t).findings) {
+    if (f.kind == FindingKind::UnverifiedTransferConsume) {
+      linear_flags_it = true;
+    }
+  }
+  EXPECT_FALSE(linear_flags_it);
+  const HbReport r = analyze_hb(t);
+  EXPECT_TRUE(has_coverage_kind(r, FindingKind::UnverifiedTransferConsume));
+  EXPECT_FALSE(r.race_free());
+}
+
+TEST(HbCoverage, CrossIterationVerifyIsContainmentExceeded) {
+  TraceRecorder rec;
+  rec.enable_sync_capture(true);
+  rec.begin_run({"lu", "new-scheme", "full", 2, 64, 32, 2});
+  rec.begin_iteration(0);
+  on_gpu(0, [&] {
+    arrive(rec, TransferCtx::BroadcastH2D, trace::kHost, 0,
+           BlockRange::single(1, 1));
+    rec.compute_read(OpKind::TMU, Part::Reference, 0, BlockRange::single(1, 1));
+  });
+  rec.end_iteration(0);
+  rec.begin_iteration(1);
+  on_gpu(0, [&] {
+    rec.verify(CheckPoint::PeriodicSweep, 0, BlockRange::single(1, 1));
+  });
+  rec.end_iteration(1);
+  rec.end_run();
+  const HbReport r = analyze_hb(rec.snapshot());
+  EXPECT_TRUE(has_coverage_kind(r, FindingKind::ContainmentExceeded));
+  EXPECT_FALSE(has_coverage_kind(r, FindingKind::UnverifiedTransferConsume));
+}
+
+TEST(HbCoverage, MudZeroReadsNeverOpenWindows) {
+  const auto t = sync_skeleton([](TraceRecorder& rec) {
+    on_gpu(0, [&] {
+      arrive(rec, TransferCtx::BroadcastH2D, trace::kHost, 0,
+             BlockRange::single(0, 0));
+      // The TMU update part has MUD 0: not a consume.
+      rec.compute_read(OpKind::TMU, Part::Update, 0,
+                       BlockRange::single(0, 0));
+    });
+  });
+  const HbReport r = analyze_hb(t);
+  EXPECT_FALSE(has_coverage_kind(r, FindingKind::UnverifiedTransferConsume));
+}
+
+TEST(HbCoverage, RetransferIsRecoveryNotTaint) {
+  const auto t = sync_skeleton([](TraceRecorder& rec) {
+    on_gpu(0, [&] {
+      arrive(rec, TransferCtx::Retransfer, trace::kHost, 0,
+             BlockRange::single(0, 0));
+      rec.compute_read(OpKind::TMU, Part::Reference, 0, BlockRange::single(0, 0));
+    });
+  });
+  const HbReport r = analyze_hb(t);
+  EXPECT_FALSE(has_coverage_kind(r, FindingKind::UnverifiedTransferConsume));
+}
+
+// --- mutation corpus ----------------------------------------------------
+
+/// Fixture: one small clean NewScheme dry run per algorithm, recorded
+/// with sync capture via hb_lint_case (which retains the trace).
+class HbMutation : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(HbMutation, CleanTraceSeedsAllKindsAndAllAreDetected) {
+  LintCase c;
+  c.algorithm = GetParam();
+  c.scheme = SchemeKind::NewScheme;
+  c.ngpu = 2;
+  c.n = 128;
+  c.nb = 32;
+  const HbLintOutcome base = hb_lint_case(c);
+  ASSERT_TRUE(base.pass);
+  ASSERT_TRUE(base.report.clean());
+
+  const std::vector<Mutation> corpus = seed_mutations(base.trace);
+  ASSERT_FALSE(corpus.empty());
+  std::set<MutationKind> kinds;
+  for (const Mutation& m : corpus) kinds.insert(m.kind);
+  EXPECT_EQ(kinds.size(), 3u) << "every mutation kind must contribute";
+
+  for (const Mutation& m : corpus) {
+    const trace::Trace mutated = apply_mutation(base.trace, m);
+    const HbReport r = analyze_hb(mutated);
+    const bool detected = !r.sync_findings.empty() ||
+                          r.fatal_coverage_count() > 0;
+    EXPECT_TRUE(detected) << to_string(m.kind) << ' ' << m.name << ": "
+                          << m.description;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Algorithms, HbMutation,
+                         ::testing::Values("cholesky", "lu", "qr"));
+
+TEST(HbMutationEdge, TracesWithoutSyncCaptureSeedNothing) {
+  TraceRecorder rec;  // capture off
+  rec.begin_run({"lu", "new-scheme", "full", 1, 64, 32, 2});
+  rec.end_run();
+  EXPECT_TRUE(seed_mutations(rec.snapshot()).empty());
+}
+
+// --- hb-lint end to end -------------------------------------------------
+
+TEST(HbLint, NewSchemeMatrixPassesWithFullCorpusDetection) {
+  std::vector<LintCase> matrix;
+  for (const char* algo : {"cholesky", "lu", "qr"}) {
+    LintCase c;
+    c.algorithm = algo;
+    c.scheme = SchemeKind::NewScheme;
+    c.ngpu = 2;
+    c.n = 128;
+    c.nb = 32;
+    matrix.push_back(c);
+  }
+  const HbLintReport r = run_hb_lint(matrix);
+  EXPECT_TRUE(r.cases_pass);
+  EXPECT_TRUE(r.corpus_pass);
+  EXPECT_TRUE(r.pass);
+  ASSERT_FALSE(r.mutations.empty());
+  for (const MutationOutcome& m : r.mutations) {
+    EXPECT_TRUE(m.detected) << m.mutation.name;
+    EXPECT_FALSE(m.evidence.empty()) << m.mutation.name;
+  }
+}
+
+TEST(HbLint, LegacySchemeGapsStillJudgedByProfile) {
+  LintCase c;
+  c.algorithm = "cholesky";
+  c.scheme = SchemeKind::PriorOp;
+  c.ngpu = 2;
+  c.n = 128;
+  c.nb = 32;
+  const HbLintOutcome o = hb_lint_case(c);
+  // Legacy scheme: documented gaps must appear, race-freedom still holds.
+  EXPECT_TRUE(o.pass);
+  EXPECT_TRUE(o.report.race_free());
+  EXPECT_FALSE(o.report.coverage_findings.empty());
+}
+
+TEST(HbLint, ReportSerializesCasesAndCorpus) {
+  LintCase c;
+  c.algorithm = "lu";
+  c.scheme = SchemeKind::NewScheme;
+  c.ngpu = 1;
+  c.n = 96;
+  c.nb = 32;
+  const HbLintReport r = run_hb_lint({c});
+  std::ostringstream os;
+  write_hb_report(r, os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("\"mode\": \"hb\""), std::string::npos);
+  EXPECT_NE(s.find("\"mutations\""), std::string::npos);
+  EXPECT_NE(s.find("\"corpus_pass\""), std::string::npos);
+  EXPECT_NE(s.find("\"sync_findings\""), std::string::npos);
+}
+
+// --- serialization format guard ----------------------------------------
+
+/// The legacy JSON surface is frozen: a recorder with sync capture off
+/// must serialize without any of the new keys, so existing consumers
+/// (and the seed lint report) stay byte-identical.
+TEST(HbFormat, CaptureOffSerializationHasNoSyncKeys) {
+  TraceRecorder rec;
+  rec.begin_run({"lu", "post-op", "full", 2, 64, 32, 2});
+  rec.begin_iteration(0);
+  rec.link_transfer(0, 1, 1024);
+  rec.transfer_arrive(TransferCtx::BroadcastH2D, trace::kHost, 0,
+                      BlockRange::single(0, 0));
+  rec.verify(CheckPoint::AfterPDBroadcast, 0, BlockRange::single(0, 0));
+  rec.end_iteration(0);
+  rec.end_run();
+  std::ostringstream os;
+  trace::write_jsonl(rec.snapshot(), os);
+  const std::string s = os.str();
+  EXPECT_EQ(s.find("\"stream\""), std::string::npos);
+  EXPECT_EQ(s.find("\"sync\""), std::string::npos);
+  EXPECT_EQ(s.find("\"edge\""), std::string::npos);
+}
+
+TEST(HbFormat, CaptureOnSerializationCarriesSyncMetadata) {
+  const auto t = sync_skeleton([](TraceRecorder& rec) {
+    const std::uint64_t fork = rec.fresh_sync_id();
+    rec.sync_signal(SyncEdgeKind::Fork, fork);
+    on_gpu(0, [&] {
+      rec.sync_wait(SyncEdgeKind::Fork, fork);
+      arrive(rec, TransferCtx::BroadcastH2D, trace::kHost, 0,
+             BlockRange::single(0, 0));
+    });
+  });
+  std::ostringstream os;
+  trace::write_jsonl(t, os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("\"stream\""), std::string::npos);
+  EXPECT_NE(s.find("\"edge\":\"fork\""), std::string::npos);
+  EXPECT_NE(s.find("\"sync\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ftla::analysis

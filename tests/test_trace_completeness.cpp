@@ -1,0 +1,186 @@
+// Trace-completeness contract for the sync-captured recorder: every FT
+// driver, at 1/2/4 devices, must emit a trace in which every raw
+// LinkTransfer is paired with exactly one annotated TransferArrive (via
+// the shared sync id), every SyncWait acquires an id some SyncSignal
+// released earlier, and the happens-before analyzer accepts the whole
+// thing. Plus negative cases proving the analyzer rejects traces that
+// violate those invariants.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/hb.hpp"
+#include "analysis/hb_lint.hpp"
+#include "analysis/lint.hpp"
+#include "trace/recorder.hpp"
+#include "trace/trace.hpp"
+
+namespace ftla::analysis {
+namespace {
+
+using trace::EventKind;
+using trace::Trace;
+using trace::TraceEvent;
+
+struct CompletenessCase {
+  std::string algorithm;
+  int ngpu;
+};
+
+class TraceCompleteness
+    : public ::testing::TestWithParam<CompletenessCase> {};
+
+/// One sync-captured dry run of the parameterized driver configuration.
+Trace record(const CompletenessCase& p) {
+  LintCase c;
+  c.algorithm = p.algorithm;
+  c.scheme = core::SchemeKind::NewScheme;
+  c.ngpu = p.ngpu;
+  c.n = 128;
+  c.nb = 32;
+  const HbLintOutcome o = hb_lint_case(c);
+  EXPECT_EQ(o.run_status, core::RunStatus::Success);
+  return o.trace;
+}
+
+TEST_P(TraceCompleteness, EveryLinkTransferHasExactlyOneArrival) {
+  const Trace t = record(GetParam());
+  ASSERT_TRUE(t.has_sync);
+  ASSERT_TRUE(t.complete);
+  std::map<std::uint64_t, int> links;     // sync id -> link count
+  std::map<std::uint64_t, int> arrivals;  // sync id -> arrival count
+  for (const TraceEvent& e : t.events) {
+    if (e.kind == EventKind::LinkTransfer) {
+      ASSERT_NE(e.sync_id, 0u) << "unpaired link at seq " << e.seq;
+      ++links[e.sync_id];
+    } else if (e.kind == EventKind::TransferArrive) {
+      ASSERT_NE(e.sync_id, 0u) << "unpaired arrival at seq " << e.seq;
+      ++arrivals[e.sync_id];
+    }
+  }
+  ASSERT_FALSE(links.empty());
+  EXPECT_EQ(links.size(), arrivals.size());
+  for (const auto& [id, n] : links) {
+    EXPECT_EQ(n, 1) << "link sync id " << id << " reused";
+    EXPECT_EQ(arrivals[id], 1) << "link sync id " << id
+                               << " lacks its annotated arrival";
+  }
+}
+
+TEST_P(TraceCompleteness, EveryWaitHasAPriorSignal) {
+  const Trace t = record(GetParam());
+  std::map<std::uint64_t, int> signalled;  // id -> signals seen so far
+  std::size_t waits = 0;
+  for (const TraceEvent& e : t.events) {
+    if (e.kind == EventKind::SyncSignal) {
+      ++signalled[e.sync_id];
+    } else if (e.kind == EventKind::SyncWait) {
+      ++waits;
+      EXPECT_GT(signalled[e.sync_id], 0)
+          << "wait at seq " << e.seq << " acquires unsignalled id "
+          << e.sync_id;
+    }
+  }
+  // Every run forks at least one parallel section per iteration, so a
+  // sync-captured trace without waits means the hooks fell off.
+  EXPECT_GT(waits, 0u);
+}
+
+TEST_P(TraceCompleteness, AnalyzerAcceptsTheTrace) {
+  const HbReport r = analyze_hb(record(GetParam()));
+  EXPECT_TRUE(r.analyzable);
+  EXPECT_TRUE(r.race_free()) << r.sync_findings.front().detail;
+  EXPECT_EQ(r.fatal_coverage_count(), 0u);
+  EXPECT_EQ(r.link_transfers, r.transfer_arrivals);
+  EXPECT_GE(r.contexts, static_cast<std::uint64_t>(GetParam().ngpu) + 1);
+}
+
+std::vector<CompletenessCase> all_cases() {
+  std::vector<CompletenessCase> cases;
+  for (const char* algo : {"cholesky", "lu", "qr"}) {
+    for (int g : {1, 2, 4}) cases.push_back({algo, g});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Drivers, TraceCompleteness, ::testing::ValuesIn(all_cases()),
+    [](const ::testing::TestParamInfo<CompletenessCase>& p) {
+      return p.param.algorithm + "_" + std::to_string(p.param.ngpu) + "gpu";
+    });
+
+// --- malformed traces must be rejected ---------------------------------
+
+Trace base_trace() {
+  static const Trace t = record({"lu", 2});
+  return t;
+}
+
+TEST(TraceCompletenessNegative, DroppedSignalYieldsWaitWithoutSignal) {
+  Trace t = base_trace();
+  // Remove the first SyncSignal; its waits now acquire a ghost id.
+  for (std::size_t i = 0; i < t.events.size(); ++i) {
+    if (t.events[i].kind == EventKind::SyncSignal) {
+      t.events.erase(t.events.begin() + static_cast<std::ptrdiff_t>(i));
+      break;
+    }
+  }
+  const HbReport r = analyze_hb(t);
+  bool flagged = false;
+  for (const HbFinding& f : r.sync_findings) {
+    flagged |= f.kind == HbFindingKind::WaitWithoutSignal;
+  }
+  EXPECT_TRUE(flagged);
+}
+
+TEST(TraceCompletenessNegative, DroppedArrivalYieldsCountMismatch) {
+  Trace t = base_trace();
+  for (std::size_t i = 0; i < t.events.size(); ++i) {
+    if (t.events[i].kind == EventKind::TransferArrive) {
+      t.events.erase(t.events.begin() + static_cast<std::ptrdiff_t>(i));
+      break;
+    }
+  }
+  const HbReport r = analyze_hb(t);
+  bool incomplete = false;
+  for (const Finding& f : r.coverage_findings) {
+    incomplete |= f.kind == FindingKind::TraceIncomplete;
+  }
+  EXPECT_TRUE(incomplete);
+  EXPECT_FALSE(r.clean());
+}
+
+TEST(TraceCompletenessNegative, ScrubbedPairingYieldsUnmatchedArrival) {
+  Trace t = base_trace();
+  for (TraceEvent& e : t.events) {
+    if (e.kind == EventKind::TransferArrive) {
+      e.sync_id = 0;  // sever the link pairing but keep both events
+      break;
+    }
+  }
+  const HbReport r = analyze_hb(t);
+  bool flagged = false;
+  for (const HbFinding& f : r.sync_findings) {
+    flagged |= f.kind == HbFindingKind::UnmatchedArrival;
+  }
+  EXPECT_TRUE(flagged);
+}
+
+TEST(TraceCompletenessNegative, TruncatedTraceIsIncomplete) {
+  Trace t = base_trace();
+  t.events.resize(t.events.size() / 2);
+  t.complete = false;
+  const HbReport r = analyze_hb(t);
+  bool incomplete = false;
+  for (const Finding& f : r.coverage_findings) {
+    incomplete |= f.kind == FindingKind::TraceIncomplete;
+  }
+  EXPECT_TRUE(incomplete);
+}
+
+}  // namespace
+}  // namespace ftla::analysis

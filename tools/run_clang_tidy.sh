@@ -7,8 +7,16 @@
 #
 #   build-dir  directory containing compile_commands.json (default:
 #              build; configured automatically when missing)
-#   files...   restrict the run to these sources (default: every .cpp
-#              under src/). CI passes the changed files of a PR.
+#   files...   restrict the run to these sources (default: every first-
+#              party translation unit in the compilation database).
+#              CI passes the changed files of a PR.
+#
+# The default file list is derived from compile_commands.json rather
+# than a directory glob, so new translation units (src/analysis/hb*,
+# src/trace sync capture, new tools) are picked up the moment they are
+# added to a CMakeLists — there is no hand-maintained list to forget.
+# Warnings are promoted to errors: a new file that introduces a tidy
+# finding fails the run.
 #
 # Exits 0 with a notice when clang-tidy is not installed, so the script
 # is safe to call from environments that only carry gcc.
@@ -16,6 +24,7 @@
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+ROOT="$PWD"
 
 TIDY="${CLANG_TIDY:-clang-tidy}"
 if ! command -v "$TIDY" >/dev/null 2>&1; then
@@ -31,19 +40,39 @@ if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
   cmake -B "$BUILD_DIR" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
 fi
 
+# First-party translation units the compilation database knows about,
+# repo-relative and deduplicated. Third-party and generated code (gtest,
+# anything outside src/ and tools/) is excluded.
+mapfile -t DB_FILES < <(
+  sed -n 's/^[[:space:]]*"file":[[:space:]]*"\(.*\)".*$/\1/p' \
+      "$BUILD_DIR/compile_commands.json" |
+    sed "s|^$ROOT/||" |
+    grep -E '^(src|tools)/.*\.cpp$' |
+    sort -u
+)
+
 if [ $# -gt 0 ]; then
   FILES=("$@")
 else
-  mapfile -t FILES < <(find src -name '*.cpp' | sort)
+  FILES=("${DB_FILES[@]}")
 fi
 
 # Keep only translation units the compilation database knows about
 # (changed-file lists from CI may include headers or deleted files).
 KNOWN=()
 for f in "${FILES[@]}"; do
+  f="${f#./}"
   case "$f" in
-    *.cpp) [ -f "$f" ] && KNOWN+=("$f") ;;
+    *.cpp) ;;
+    *) continue ;;
   esac
+  [ -f "$f" ] || continue
+  for db in "${DB_FILES[@]}"; do
+    if [ "$f" = "$db" ]; then
+      KNOWN+=("$f")
+      break
+    fi
+  done
 done
 
 if [ ${#KNOWN[@]} -eq 0 ]; then
@@ -52,4 +81,4 @@ if [ ${#KNOWN[@]} -eq 0 ]; then
 fi
 
 echo "run_clang_tidy: checking ${#KNOWN[@]} file(s)" >&2
-"$TIDY" -p "$BUILD_DIR" --quiet "${KNOWN[@]}"
+"$TIDY" -p "$BUILD_DIR" --quiet --warnings-as-errors='*' "${KNOWN[@]}"

@@ -10,8 +10,16 @@
 /// new scheme must be clean); 1 on any unexpected finding, missing
 /// expected finding, or failed run; 2 on bad usage.
 ///
+/// With --hb the tool records the same matrix with sync capture enabled
+/// and runs the happens-before analyzer instead: every case must be
+/// race-free and well-synchronized on top of its coverage profile, and a
+/// seeded mutation corpus (dropped sync edges, dropped verifications,
+/// reordered transfers) must be detected 100%, with the violating event
+/// pairs named in the report. Exit 1 if any case fails or any mutation
+/// escapes.
+///
 /// Usage:
-///   ftla-schedule-lint [--n N] [--nb NB] [--ngpus 1,2,4]
+///   ftla-schedule-lint [--hb] [--n N] [--nb NB] [--ngpus 1,2,4]
 ///                      [--algo cholesky|lu|qr] [--scheme prior|post|new]
 ///                      [--out report.json] [--quiet]
 
@@ -24,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/hb_lint.hpp"
 #include "analysis/lint.hpp"
 #include "common/error.hpp"
 
@@ -40,12 +49,13 @@ struct CliOptions {
   std::string scheme;  // empty = all
   std::string out;     // empty = stdout only
   bool quiet = false;
+  bool hb = false;
 };
 
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
-            << " [--n N] [--nb NB] [--ngpus LIST] [--algo A] [--scheme S]"
-               " [--out FILE] [--quiet]\n";
+            << " [--hb] [--n N] [--nb NB] [--ngpus LIST] [--algo A]"
+               " [--scheme S] [--out FILE] [--quiet]\n";
   return 2;
 }
 
@@ -72,6 +82,63 @@ bool scheme_matches(ftla::core::SchemeKind s, const std::string& filter) {
          (filter == "prior" && s == ftla::core::SchemeKind::PriorOp) ||
          (filter == "post" && s == ftla::core::SchemeKind::PostOp) ||
          (filter == "new" && s == ftla::core::SchemeKind::NewScheme);
+}
+
+/// The --hb code path is fully separate from the legacy one, which stays
+/// byte-for-byte unchanged (same cases, same analyzer, same JSON).
+int run_hb_mode(const CliOptions& cli, const char* argv0) {
+  std::vector<LintCase> matrix;
+  for (const LintCase& c :
+       ftla::analysis::default_matrix(cli.n, cli.nb, cli.ngpus)) {
+    if (!cli.algo.empty() && c.algorithm != cli.algo) continue;
+    if (!scheme_matches(c.scheme, cli.scheme)) continue;
+    matrix.push_back(c);
+  }
+  if (matrix.empty()) {
+    std::cerr << argv0 << ": no cases matched the filters\n";
+    return 2;
+  }
+
+  ftla::analysis::HbLintReport report;
+  try {
+    report = ftla::analysis::run_hb_lint(matrix);
+  } catch (const ftla::FtlaError& e) {
+    std::cerr << argv0 << ": configuration error: " << e.what() << '\n';
+    return 2;
+  }
+
+  if (!cli.quiet) {
+    for (const ftla::analysis::HbLintOutcome& o : report.cases) {
+      std::cerr << (o.pass ? "  ok  " : " FAIL ") << o.config.algorithm
+                << " / " << scheme_label(o.config.scheme) << " / "
+                << o.config.ngpu << " gpu: " << o.report.sync_findings.size()
+                << " sync finding(s), " << o.report.coverage_findings.size()
+                << " coverage finding(s), " << o.report.sync_edges
+                << " sync edges\n";
+    }
+    std::size_t detected = 0;
+    for (const ftla::analysis::MutationOutcome& m : report.mutations) {
+      if (m.detected) ++detected;
+      if (!m.detected) {
+        std::cerr << " MISS " << m.mutation.name << " on " << m.base.algorithm
+                  << "/" << m.base.ngpu << " gpu\n";
+      }
+    }
+    std::cerr << "mutation corpus: " << detected << '/'
+              << report.mutations.size() << " detected\n";
+  }
+
+  if (!cli.out.empty()) {
+    std::ofstream f(cli.out);
+    if (!f) {
+      std::cerr << argv0 << ": cannot write " << cli.out << '\n';
+      return 2;
+    }
+    ftla::analysis::write_hb_report(report, f);
+  } else {
+    ftla::analysis::write_hb_report(report, std::cout);
+  }
+  return report.pass ? 0 : 1;
 }
 
 }  // namespace
@@ -108,10 +175,14 @@ int main(int argc, char** argv) {
       cli.out = v;
     } else if (arg == "--quiet") {
       cli.quiet = true;
+    } else if (arg == "--hb") {
+      cli.hb = true;
     } else {
       return usage(argv[0]);
     }
   }
+
+  if (cli.hb) return run_hb_mode(cli, argv[0]);
 
   std::vector<LintOutcome> outcomes;
   try {
