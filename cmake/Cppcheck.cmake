@@ -1,0 +1,30 @@
+# Opt-in cppcheck integration (exhaustive analysis, checked-in
+# suppressions). Gated behind FTLA_CPPCHECK and find_program so plain
+# builds never require the tool; CI installs it and runs the `cppcheck`
+# target, which exits nonzero on any unsuppressed finding.
+function(ftla_enable_cppcheck)
+  find_program(FTLA_CPPCHECK_EXE cppcheck)
+  if(NOT FTLA_CPPCHECK_EXE)
+    message(STATUS "FTLA: cppcheck requested but not found; target skipped")
+    return()
+  endif()
+
+  set(_supp "${PROJECT_SOURCE_DIR}/tools/cppcheck-suppressions.txt")
+  add_custom_target(cppcheck
+    COMMAND "${FTLA_CPPCHECK_EXE}"
+      --enable=warning,performance,portability
+      --check-level=exhaustive
+      --inline-suppr
+      --suppressions-list=${_supp}
+      --error-exitcode=1
+      --std=c++20
+      --language=c++
+      -I "${PROJECT_SOURCE_DIR}/src"
+      --quiet
+      "${PROJECT_SOURCE_DIR}/src"
+      "${PROJECT_SOURCE_DIR}/tools"
+    WORKING_DIRECTORY "${PROJECT_SOURCE_DIR}"
+    COMMENT "cppcheck (exhaustive) over src/ and tools/"
+    VERBATIM)
+  message(STATUS "FTLA: cppcheck target enabled (${FTLA_CPPCHECK_EXE})")
+endfunction()

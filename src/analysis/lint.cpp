@@ -82,15 +82,16 @@ LintExpectation expected_gaps(const std::string& algorithm,
   return e;
 }
 
-LintOutcome lint_case(const LintCase& c) {
+RecordedRun record_case(const LintCase& c, bool sync_capture) {
   FTLA_CHECK(c.algorithm == "cholesky" || c.algorithm == "lu" ||
                  c.algorithm == "qr",
-             "lint_case: unknown algorithm '" + c.algorithm + "'");
-  FTLA_CHECK(c.n > 0 && c.nb > 0, "lint_case: n and nb must be positive");
-  FTLA_CHECK(c.n % c.nb == 0, "lint_case: nb must divide n");
-  FTLA_CHECK(c.ngpu >= 1, "lint_case: need at least one device");
+             "record_case: unknown algorithm '" + c.algorithm + "'");
+  FTLA_CHECK(c.n > 0 && c.nb > 0, "record_case: n and nb must be positive");
+  FTLA_CHECK(c.n % c.nb == 0, "record_case: nb must divide n");
+  FTLA_CHECK(c.ngpu >= 1, "record_case: need at least one device");
 
   trace::TraceRecorder rec;
+  rec.enable_sync_capture(sync_capture);
   core::FtOptions opts;
   opts.nb = c.nb;
   opts.ngpu = c.ngpu;
@@ -101,10 +102,19 @@ LintOutcome lint_case(const LintCase& c) {
   const MatD input = make_input(c);
   const core::FtOutput out = dispatch(c, input.view().as_const(), opts);
 
+  RecordedRun run;
+  run.status = out.stats.status;
+  run.trace = rec.snapshot();
+  return run;
+}
+
+LintOutcome lint_case(const LintCase& c) {
+  const RecordedRun run = record_case(c, /*sync_capture=*/false);
+
   LintOutcome outcome;
   outcome.config = c;
-  outcome.run_status = out.stats.status;
-  outcome.report = analyze(rec.snapshot());
+  outcome.run_status = run.status;
+  outcome.report = analyze(run.trace);
 
   const LintExpectation exp = expected_gaps(c.algorithm, c.scheme);
   std::vector<FindingKind> seen;
@@ -215,7 +225,8 @@ void write_report(const std::vector<LintOutcome>& outcomes, std::ostream& os) {
   for (const LintOutcome& o : outcomes) {
     if (o.pass) ++passed;
   }
-  os << "{\n  \"tool\": \"ftla-schedule-lint\",\n  \"cases\": [\n";
+  os << "{\n  \"tool\": \"ftla-schedule-lint\",\n  \"schema_version\": 2,\n"
+        "  \"cases\": [\n";
   for (std::size_t i = 0; i < outcomes.size(); ++i) {
     write_case(outcomes[i], os);
     os << (i + 1 < outcomes.size() ? ",\n" : "\n");

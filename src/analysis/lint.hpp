@@ -48,6 +48,19 @@ struct LintExpectation {
 LintExpectation expected_gaps(const std::string& algorithm,
                               core::SchemeKind scheme);
 
+/// One dry run of a case's decomposition with the recorder attached —
+/// the shared recording step behind the legacy linter, the HB linter and
+/// the task-graph extractor.
+struct RecordedRun {
+  core::RunStatus status = core::RunStatus::Success;
+  trace::Trace trace;
+};
+
+/// Runs the configured decomposition once with a fresh TraceRecorder
+/// (sync capture optional) and returns the trace. Throws FtlaError on an
+/// invalid configuration (nb must divide n, ngpu >= 1, known algorithm).
+RecordedRun record_case(const LintCase& c, bool sync_capture);
+
 /// Verdict for one case.
 struct LintOutcome {
   LintCase config;

@@ -1,0 +1,392 @@
+#include "analysis/modelcheck/check.hpp"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <tuple>
+
+#include "model/mud.hpp"
+
+namespace ftla::analysis {
+
+namespace {
+
+using trace::BlockRange;
+using trace::RegionClass;
+using trace::TransferCtx;
+
+/// Matches coverage.cpp / hb.cpp: recovery and distribution traffic is
+/// outside the steady-state schedule the coverage proof is about.
+bool taint_exempt(TransferCtx ctx) {
+  return ctx == TransferCtx::Scatter || ctx == TransferCtx::Gather ||
+         ctx == TransferCtx::Retransfer;
+}
+
+bool overlap(const BlockRange& a, const BlockRange& b) {
+  return a.br0 < b.br1 && b.br0 < a.br1 && a.bc0 < b.bc1 && b.bc0 < a.bc1;
+}
+
+/// One task access paired with its node.
+struct Acc {
+  const TaskNode* node = nullptr;
+  const TaskAccess* access = nullptr;
+};
+
+const char* access_name(const Acc& a) {
+  switch (a.node->kind) {
+    case TaskKind::Compute:
+      return a.access->is_write() ? "write" : "read";
+    case TaskKind::Verify:
+      return "verify";
+    case TaskKind::Correct:
+      return "correct";
+    case TaskKind::Transfer:
+      return a.access->is_write() ? "arrive" : "transfer-source";
+  }
+  return "access";
+}
+
+class GraphChecker {
+ public:
+  explicit GraphChecker(const TaskGraph& g) : g_(g) {}
+
+  GraphReport run() {
+    report_.meta = g_.meta;
+    report_.nodes = g_.nodes.size();
+    report_.edges = g_.edge_count();
+    report_.contexts = g_.contexts;
+    if (!g_.extracted) {
+      GraphFinding f;
+      f.kind = GraphFindingKind::NotExtracted;
+      f.detail =
+          "graph carries no synchronization structure (source trace was "
+          "recorded without sync capture); nothing to verify";
+      report_.graph_findings.push_back(std::move(f));
+      return std::move(report_);
+    }
+    bool acyclic = true;
+    topo_order(g_, &acyclic);
+    if (!acyclic) {
+      report_.analyzable = true;
+      GraphFinding f;
+      f.kind = GraphFindingKind::Cycle;
+      f.detail =
+          "dependency cycle: the graph has no linearization, every "
+          "schedule deadlocks";
+      report_.graph_findings.push_back(std::move(f));
+      return std::move(report_);  // nothing else is decidable
+    }
+    report_.analyzable = true;
+    reach_.emplace(g_);
+    collect();
+    detect_races();
+    coverage();
+    finish();
+    return std::move(report_);
+  }
+
+ private:
+  [[nodiscard]] bool ordered(const TaskNode& a, const TaskNode& b) const {
+    return reach_->ordered(a.id, b.id);
+  }
+
+  void collect() {
+    for (const TaskNode& n : g_.nodes) {
+      for (const TaskAccess& a : n.accesses) {
+        all_.push_back({&n, &a});
+        if (a.rclass != RegionClass::Data) continue;
+        switch (n.kind) {
+          case TaskKind::Transfer:
+            if (a.is_write() && !taint_exempt(n.tctx)) {
+              arrivals_.push_back({&n, &a});
+            }
+            break;
+          case TaskKind::Compute:
+            if (a.is_write()) {
+              writes_.push_back({&n, &a});
+            } else if (model::mud(n.op, a.part) != model::Level::Zero) {
+              consumes_.push_back({&n, &a});
+            }
+            break;
+          case TaskKind::Correct:
+            if (a.is_write()) writes_.push_back({&n, &a});
+            break;
+          case TaskKind::Verify:
+            verifies_.push_back({&n, &a});
+            break;
+        }
+      }
+    }
+  }
+
+  void detect_races() {
+    // Group by (device, rclass): accesses to different devices or region
+    // classes never alias a tile — same predicate as hb.cpp.
+    std::map<std::pair<int, int>, std::vector<const Acc*>> groups;
+    for (const Acc& a : all_) {
+      groups[{a.access->device, static_cast<int>(a.access->rclass)}]
+          .push_back(&a);
+    }
+    std::map<std::tuple<int, int, int, int>, std::size_t> seen;
+    for (const auto& [key, as] : groups) {
+      for (std::size_t i = 0; i < as.size(); ++i) {
+        for (std::size_t j = i + 1; j < as.size(); ++j) {
+          const Acc& a = *as[i];
+          const Acc& b = *as[j];
+          if (a.node == b.node) continue;
+          if (!a.access->is_write() && !b.access->is_write()) continue;
+          if (!overlap(a.access->region, b.access->region)) continue;
+          if (ordered(*a.node, *b.node)) continue;
+          const auto dedup = std::make_tuple(
+              key.first, key.second,
+              std::min(a.node->context, b.node->context),
+              std::max(a.node->context, b.node->context));
+          auto it = seen.find(dedup);
+          if (it != seen.end()) {
+            ++report_.graph_findings[it->second].count;
+            continue;
+          }
+          GraphFinding f;
+          f.kind = GraphFindingKind::Race;
+          f.seq_a = a.node->seq;
+          f.seq_b = b.node->seq;
+          f.device = a.access->device;
+          f.rclass = a.access->rclass;
+          const index_t br =
+              std::max(a.access->region.br0, b.access->region.br0);
+          const index_t bc =
+              std::max(a.access->region.bc0, b.access->region.bc0);
+          f.br = br;
+          f.bc = bc;
+          std::ostringstream os;
+          os << "unordered conflicting tasks on device " << f.device << " ("
+             << trace::to_string(f.rclass) << " block (" << br << ',' << bc
+             << ")): " << access_name(a) << " seq " << a.node->seq << " vs "
+             << access_name(b) << " seq " << b.node->seq
+             << " — some legal schedule races them";
+          f.detail = os.str();
+          seen.emplace(dedup, report_.graph_findings.size());
+          report_.graph_findings.push_back(std::move(f));
+        }
+      }
+    }
+  }
+
+  /// Is some taint of `s` live at consume `r` in *some* linearization?
+  /// Only a verification ordered between them (reach(s,v) ∧ reach(v,r))
+  /// clears the taint in every order; arrival taint clears at the
+  /// consuming device only, write taint anywhere — same rules as hb.cpp.
+  [[nodiscard]] bool live(const Acc& s, const Acc& r,
+                          index_t br, index_t bc,
+                          bool same_device_only) const {
+    const TaskNode& sn = *s.node;
+    const TaskNode& rn = *r.node;
+    if (sn.id == rn.id || !reach_->reach(sn.id, rn.id)) return false;
+    for (const Acc& v : verifies_) {
+      if (same_device_only && v.access->device != r.access->device) continue;
+      if (!v.access->region.contains(br, bc)) continue;
+      if (reach_->reach(sn.id, v.node->id) &&
+          reach_->reach(v.node->id, rn.id)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// Is the window (s -> r) covered in *every* linearization? True when
+  /// a same-device verification of the block is ordered after the
+  /// consume in its iteration, or is ordered after the source and
+  /// unordered with the consume in the same iteration (then every order
+  /// places it either between s and r — clearing — or after r —
+  /// covering). Sets `late` when a linearization exists whose first
+  /// detection is in a later iteration.
+  [[nodiscard]] bool covered(const Acc& s, const Acc& r, index_t br,
+                             index_t bc, bool* late) const {
+    const TaskNode& rn = *r.node;
+    for (const Acc& v : verifies_) {
+      const TaskNode& vn = *v.node;
+      if (v.access->device != r.access->device) continue;
+      if (!v.access->region.contains(br, bc)) continue;
+      if (reach_->reach(vn.id, rn.id)) continue;  // clearing side: live()
+      if (reach_->reach(rn.id, vn.id)) {
+        if (vn.iteration == rn.iteration) return true;
+        *late = true;
+      } else if (reach_->reach(s.node->id, vn.id)) {
+        if (vn.iteration == rn.iteration) return true;
+        *late = true;  // the after-r linearizations detect too late
+      }
+    }
+    return false;
+  }
+
+  void coverage() {
+    std::set<std::tuple<int, index_t, index_t, index_t>> window_keys;
+    for (const Acc& r : consumes_) {
+      const TaskNode& rn = *r.node;
+      // Open tail windows are a malformed schedule, not a verdict —
+      // same guard the HB analyzer applies past the last IterationEnd.
+      if (rn.tail) continue;
+      const int rdev = r.access->device;
+      for (index_t br = r.access->region.br0; br < r.access->region.br1;
+           ++br) {
+        for (index_t bc = r.access->region.bc0; bc < r.access->region.bc1;
+             ++bc) {
+          const Acc* first = nullptr;
+          FindingKind kind = FindingKind::UnverifiedWriteConsume;
+          bool uncovered = false;
+          bool late = false;
+          bool duplicate = false;
+          auto consider = [&](const Acc& s, bool same_device_only,
+                              FindingKind k) {
+            if (duplicate) return;
+            if (!s.access->region.contains(br, bc)) return;
+            if (same_device_only && s.access->device != rdev) return;
+            if (!live(s, r, br, bc, same_device_only)) return;
+            if (first == nullptr) {
+              first = &s;
+              kind = k;
+              if (!window_keys.insert({rdev, br, bc, rn.iteration}).second) {
+                duplicate = true;
+                return;
+              }
+            }
+            // Unlike the single-trace analyzers, coverage here depends
+            // on the source: quantify over every live one.
+            if (!covered(s, r, br, bc, &late)) uncovered = true;
+          };
+          for (const Acc& a : arrivals_) {
+            consider(a, /*same_device_only=*/true,
+                     FindingKind::UnverifiedTransferConsume);
+          }
+          for (const Acc& w : writes_) {
+            consider(w, /*same_device_only=*/false,
+                     FindingKind::UnverifiedWriteConsume);
+          }
+          if (duplicate || first == nullptr || !uncovered) continue;
+          std::ostringstream os;
+          os << fault::to_string(rn.op) << " consumes block (" << br << ','
+             << bc << ") on device " << rdev << " in iteration "
+             << rn.iteration << " (taint source seq " << first->node->seq
+             << ", consume seq " << rn.seq << "); some linearization "
+             << (late ? "is verified only after the iteration boundary"
+                      : "orders no verification between taint and "
+                        "iteration end");
+          report_.coverage_findings.push_back(
+              {late ? FindingKind::ContainmentExceeded : kind, rdev,
+               rn.iteration, br, bc, rn.op, os.str()});
+        }
+      }
+    }
+    final_state();
+  }
+
+  void final_state() {
+    const index_t b = g_.meta.b;
+    const int ngpu = g_.meta.ngpu > 0 ? g_.meta.ngpu : 1;
+    const bool lower_only = g_.meta.algorithm == "cholesky";
+    // Taint live at run end in some linearization: no clearing
+    // verification ordered after the source at all (one merely unordered
+    // with the source can precede it) — same formula as hb.cpp.
+    auto live_at_end = [&](const Acc& src, index_t br, index_t bc,
+                           bool same_device_only, int device) {
+      for (const Acc& v : verifies_) {
+        if (same_device_only && v.access->device != device) continue;
+        if (!v.access->region.contains(br, bc)) continue;
+        if (reach_->reach(src.node->id, v.node->id)) return false;
+      }
+      return true;
+    };
+    for (index_t bc = 0; bc < b; ++bc) {
+      const int owner = static_cast<int>(bc % ngpu);
+      for (index_t br = lower_only ? bc : 0; br < b; ++br) {
+        for (const Acc& w : writes_) {
+          if (!w.access->region.contains(br, bc) ||
+              !live_at_end(w, br, bc, /*same_device_only=*/false, 0)) {
+            continue;
+          }
+          std::ostringstream os;
+          os << "final output block (" << br << ',' << bc << ") written (seq "
+             << w.node->seq << ") but never verified afterwards in any "
+             << "linearization";
+          report_.coverage_findings.push_back(
+              {FindingKind::FinalWriteUnverified, trace::kHost, -1, br, bc,
+               fault::OpKind::PD, os.str()});
+          break;
+        }
+        for (const Acc& a : arrivals_) {
+          if (a.access->device != owner ||
+              !a.access->region.contains(br, bc) ||
+              !live_at_end(a, br, bc, /*same_device_only=*/true, owner)) {
+            continue;
+          }
+          std::ostringstream os;
+          os << "owner copy of final block (" << br << ',' << bc
+             << ") on device " << owner << " received over PCIe (seq "
+             << a.node->seq << ") but never verified there";
+          report_.coverage_findings.push_back(
+              {FindingKind::FinalTransferUnverified, owner, -1, br, bc,
+               fault::OpKind::BroadcastH2D, os.str()});
+          break;
+        }
+      }
+    }
+  }
+
+  void finish() {
+    if (!g_.complete) {
+      report_.coverage_findings.push_back(
+          {FindingKind::TraceIncomplete, trace::kHost, -1, 0, 0,
+           fault::OpKind::TMU,
+           "graph extracted from a trace without RunEnd"});
+    }
+    if (g_.workspace_transfers > 0) {
+      std::ostringstream os;
+      os << g_.workspace_transfers
+         << " workspace payload(s) crossed PCIe without checksum protection"
+            " (verified by recomputation at the receiver)";
+      report_.coverage_findings.push_back({FindingKind::UnprotectedTransfer,
+                                           trace::kHost, -1, 0, 0,
+                                           fault::OpKind::TMU, os.str()});
+    }
+  }
+
+  const TaskGraph& g_;
+  GraphReport report_;
+  std::optional<Reachability> reach_;
+  std::vector<Acc> all_;
+  std::vector<Acc> arrivals_;
+  std::vector<Acc> writes_;
+  std::vector<Acc> verifies_;
+  std::vector<Acc> consumes_;
+};
+
+}  // namespace
+
+const char* to_string(GraphFindingKind k) {
+  switch (k) {
+    case GraphFindingKind::Race: return "race";
+    case GraphFindingKind::Cycle: return "cycle";
+    case GraphFindingKind::NotExtracted: return "not_extracted";
+  }
+  return "?";
+}
+
+std::size_t GraphReport::fatal_coverage_count() const {
+  std::size_t n = 0;
+  for (const Finding& f : coverage_findings) {
+    if (!is_informational(f.kind)) ++n;
+  }
+  return n;
+}
+
+bool GraphReport::clean() const {
+  return analyzable && race_free() && fatal_coverage_count() == 0;
+}
+
+GraphReport verify_graph(const TaskGraph& g) {
+  return GraphChecker(g).run();
+}
+
+}  // namespace ftla::analysis

@@ -1,0 +1,94 @@
+#pragma once
+
+/// \file check.hpp
+/// Static model checker over the task-graph IR: proves race-freedom,
+/// MUD/taint coverage and cycle-freedom for *every* linearization of the
+/// DAG, not just the recorded one.
+///
+/// The HB analyzer (hb.hpp) decides one trace — one linearization of the
+/// partial order. This checker quantifies over all of them, using strict
+/// DAG reachability in place of happens-before:
+///
+///   - race-freedom: conflicting tile accesses (same device and region
+///     class, overlapping blocks, at least one write — PR 6's conflict
+///     predicate) must be *ordered* by the graph; an unordered pair is a
+///     schedule that can interleave them, i.e. a race in some legal
+///     execution;
+///   - coverage: a detection window (taint source s consumed by r with
+///     MUD >= 1) is covered in every linearization iff some verification
+///     v at the consuming device satisfies reach(s,v) ∧ reach(v,r) (v
+///     clears the taint in each order), reach(r,v) in the same iteration
+///     (v covers the window in each order), or reach(s,v) with v ∥ r in
+///     the same iteration (in any order v is either between s and r —
+///     clearing — or after r — covering). Anything else admits a
+///     linearization with an uncovered window;
+///   - cycles: a cyclic graph has no linearization at all — the schedule
+///     deadlocks; reported as fatal and nothing else is decided.
+///
+/// Verdict kinds reuse coverage.hpp's FindingKind so the per-scheme lint
+/// expectation profiles apply unchanged; on the fork-join driver graphs
+/// (where same-device accesses share one context and are totally
+/// ordered) the verdicts coincide with the HB analyzer's, as a test
+/// pins. The DPOR explorer (explore.hpp) cross-checks these analytic
+/// verdicts by enumerating linearizations.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/coverage.hpp"
+#include "analysis/taskgraph/graph.hpp"
+
+namespace ftla::analysis {
+
+enum class GraphFindingKind {
+  /// Conflicting accesses unordered by the DAG: some legal schedule
+  /// races them.
+  Race,
+  /// The graph has a dependency cycle — no legal schedule exists.
+  Cycle,
+  /// The graph was not extracted from sync-captured instrumentation;
+  /// there is no order to verify.
+  NotExtracted,
+};
+
+const char* to_string(GraphFindingKind k);
+
+/// One structural violation. Races name the first unordered pair per
+/// (device, class, context-pair) group; `count` aggregates the rest.
+struct GraphFinding {
+  GraphFindingKind kind = GraphFindingKind::NotExtracted;
+  std::uint64_t seq_a = 0;  ///< first involved task (trace seq)
+  std::uint64_t seq_b = 0;  ///< second involved task (races only)
+  int device = trace::kHost;
+  trace::RegionClass rclass = trace::RegionClass::Data;
+  index_t br = 0;  ///< representative overlapping block
+  index_t bc = 0;
+  std::uint64_t count = 1;
+  std::string detail;
+};
+
+/// Result of statically checking one task graph.
+struct GraphReport {
+  trace::RunMeta meta;
+  bool analyzable = false;  ///< extracted and acyclic
+  std::uint64_t nodes = 0;
+  std::uint64_t edges = 0;
+  std::uint64_t contexts = 0;
+  /// Races / cycles / not-extracted; any entry is fatal.
+  std::vector<GraphFinding> graph_findings;
+  /// All-linearizations coverage verdicts, same kinds as coverage.hpp.
+  std::vector<Finding> coverage_findings;
+
+  [[nodiscard]] bool race_free() const { return graph_findings.empty(); }
+  [[nodiscard]] std::size_t fatal_coverage_count() const;
+  /// Analyzable, race-free, and no fatal coverage findings.
+  [[nodiscard]] bool clean() const;
+};
+
+/// Statically verifies `g` over all linearizations. Pure function of the
+/// graph; never throws on any graph the extractor (or the mutation
+/// tooling) can produce.
+GraphReport verify_graph(const TaskGraph& g);
+
+}  // namespace ftla::analysis

@@ -1,0 +1,270 @@
+#include "analysis/modelcheck/explore.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+#include <tuple>
+
+#include "model/mud.hpp"
+
+namespace ftla::analysis {
+
+namespace {
+
+using trace::BlockRange;
+using trace::RegionClass;
+using trace::TransferCtx;
+
+bool taint_exempt(TransferCtx ctx) {
+  return ctx == TransferCtx::Scatter || ctx == TransferCtx::Gather ||
+         ctx == TransferCtx::Retransfer;
+}
+
+bool overlap(const BlockRange& a, const BlockRange& b) {
+  return a.br0 < b.br1 && b.br0 < a.br1 && a.bc0 < b.bc1 && b.bc0 < a.bc1;
+}
+
+/// (device, br, bc, iteration) of a window violation.
+using Key = std::tuple<int, index_t, index_t, index_t>;
+
+class Explorer {
+ public:
+  Explorer(const TaskGraph& g, const GraphReport& report,
+           const ExploreOptions& opts)
+      : g_(g), opts_(opts) {
+    for (const Finding& f : report.coverage_findings) {
+      if (f.kind == FindingKind::UnverifiedTransferConsume ||
+          f.kind == FindingKind::UnverifiedWriteConsume ||
+          f.kind == FindingKind::ContainmentExceeded) {
+        static_keys_.insert({f.device, f.br, f.bc, f.iteration});
+      }
+    }
+  }
+
+  ExploreResult run() {
+    const std::size_t n = g_.nodes.size();
+    bool acyclic = true;
+    topo_order(g_, &acyclic);
+    if (!g_.extracted || !acyclic) return result_;
+    result_.ran = true;
+    result_.exhaustive = true;
+    if (n == 0) {
+      result_.schedules = 1;
+      return result_;
+    }
+    const Reachability reach(g_);
+    build_dependence(reach);
+    indeg_.assign(n, 0);
+    for (std::uint32_t u = 0; u < n; ++u) {
+      indeg_[u] = static_cast<std::uint32_t>(g_.preds(u).size());
+    }
+    executed_.assign(n, false);
+    schedule_.reserve(n);
+    dfs(std::vector<std::uint32_t>{});
+    return result_;
+  }
+
+ private:
+  /// Two tasks are dependent when swapping them can change the replay:
+  /// they access overlapping blocks of one (device, class) tile set with
+  /// a write involved, or one of them is a verification (whose position
+  /// decides what it clears or covers).
+  void build_dependence(const Reachability& reach) {
+    const std::size_t n = g_.nodes.size();
+    dep_.assign(n * n, false);
+    branching_.assign(n, false);
+    for (std::uint32_t u = 0; u < n; ++u) {
+      for (std::uint32_t v = u + 1; v < n; ++v) {
+        if (!dependent(g_.nodes[u], g_.nodes[v])) continue;
+        dep_[u * n + v] = dep_[v * n + u] = true;
+        if (!reach.ordered(u, v)) branching_[u] = branching_[v] = true;
+      }
+    }
+  }
+
+  [[nodiscard]] static bool dependent(const TaskNode& a, const TaskNode& b) {
+    const bool verify_involved =
+        a.kind == TaskKind::Verify || b.kind == TaskKind::Verify;
+    for (const TaskAccess& x : a.accesses) {
+      for (const TaskAccess& y : b.accesses) {
+        if (x.device != y.device || x.rclass != y.rclass) continue;
+        if (!overlap(x.region, y.region)) continue;
+        if (x.is_write() || y.is_write() || verify_involved) return true;
+      }
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool is_dep(std::uint32_t u, std::uint32_t v) const {
+    return dep_[static_cast<std::size_t>(u) * g_.nodes.size() + v];
+  }
+
+  void execute(std::uint32_t u) {
+    executed_[u] = true;
+    schedule_.push_back(u);
+    for (std::uint32_t v : g_.succs(u)) --indeg_[v];
+  }
+
+  void undo(std::uint32_t u) {
+    for (std::uint32_t v : g_.succs(u)) ++indeg_[v];
+    schedule_.pop_back();
+    executed_[u] = false;
+  }
+
+  void dfs(std::vector<std::uint32_t> sleep) {
+    if (stop_) return;
+    // Fast path: any enabled task with no unordered dependent partner
+    // commutes with every alternative choice — execute the whole run of
+    // them without branching. (Two enabled tasks are always unordered,
+    // so no sleeping task can be dependent on a non-branching one.)
+    std::vector<std::uint32_t> fast;
+    bool progressed = true;
+    while (progressed) {
+      progressed = false;
+      for (std::uint32_t u = 0; u < g_.nodes.size(); ++u) {
+        if (indeg_[u] == 0 && !executed_[u] && !branching_[u]) {
+          execute(u);
+          fast.push_back(u);
+          progressed = true;
+        }
+      }
+    }
+    std::vector<std::uint32_t> enabled;
+    for (std::uint32_t u = 0; u < g_.nodes.size(); ++u) {
+      if (indeg_[u] == 0 && !executed_[u]) enabled.push_back(u);
+    }
+    if (enabled.empty()) {
+      leaf();
+    } else {
+      // Sleep-set DFS: after exploring u, later siblings need not try
+      // orders starting with u again unless something dependent on u
+      // intervenes.
+      std::vector<std::uint32_t> cur = std::move(sleep);
+      for (std::uint32_t u : enabled) {
+        if (stop_) break;
+        if (std::find(cur.begin(), cur.end(), u) != cur.end()) continue;
+        std::vector<std::uint32_t> child;
+        for (std::uint32_t v : cur) {
+          if (!is_dep(v, u)) child.push_back(v);
+        }
+        execute(u);
+        dfs(std::move(child));
+        undo(u);
+        cur.push_back(u);
+      }
+    }
+    for (std::size_t i = fast.size(); i-- > 0;) undo(fast[i]);
+  }
+
+  void leaf() {
+    if (result_.schedules >= opts_.max_schedules) {
+      result_.exhaustive = false;
+      stop_ = true;
+      return;
+    }
+    ++result_.schedules;
+    replay();
+  }
+
+  /// Linear taint replay of one total order — the same machine the
+  /// single-trace analyzers run, keyed to windows instead of findings.
+  void replay() {
+    std::set<std::tuple<int, index_t, index_t>> arr_taint;
+    std::set<std::pair<index_t, index_t>> wr_taint;
+    std::set<Key> open;
+    std::set<Key> violations;
+
+    for (std::uint32_t id : schedule_) {
+      const TaskNode& n = g_.nodes[id];
+      for (const TaskAccess& a : n.accesses) {
+        if (a.rclass != RegionClass::Data) continue;
+        switch (n.kind) {
+          case TaskKind::Transfer:
+            if (a.is_write() && !taint_exempt(n.tctx)) {
+              for (index_t br = a.region.br0; br < a.region.br1; ++br) {
+                for (index_t bc = a.region.bc0; bc < a.region.bc1; ++bc) {
+                  arr_taint.insert({a.device, br, bc});
+                }
+              }
+            }
+            break;
+          case TaskKind::Compute:
+          case TaskKind::Correct:
+            if (a.is_write()) {
+              for (index_t br = a.region.br0; br < a.region.br1; ++br) {
+                for (index_t bc = a.region.bc0; bc < a.region.bc1; ++bc) {
+                  wr_taint.insert({br, bc});
+                }
+              }
+            } else if (n.kind == TaskKind::Compute && !n.tail &&
+                       model::mud(n.op, a.part) != model::Level::Zero) {
+              for (index_t br = a.region.br0; br < a.region.br1; ++br) {
+                for (index_t bc = a.region.bc0; bc < a.region.bc1; ++bc) {
+                  if (arr_taint.count({a.device, br, bc}) != 0 ||
+                      wr_taint.count({br, bc}) != 0) {
+                    open.insert({a.device, br, bc, n.iteration});
+                  }
+                }
+              }
+            }
+            break;
+          case TaskKind::Verify: {
+            const int dev = a.device;
+            for (auto it = open.begin(); it != open.end();) {
+              const auto& [d, br, bc, iter] = *it;
+              if (d == dev && a.region.contains(br, bc)) {
+                if (iter != n.iteration) violations.insert(*it);  // late
+                it = open.erase(it);
+              } else {
+                ++it;
+              }
+            }
+            for (index_t br = a.region.br0; br < a.region.br1; ++br) {
+              for (index_t bc = a.region.bc0; bc < a.region.bc1; ++bc) {
+                arr_taint.erase({dev, br, bc});
+                wr_taint.erase({br, bc});
+              }
+            }
+            break;
+          }
+        }
+      }
+    }
+    violations.insert(open.begin(), open.end());  // never verified at all
+
+    if (!violations.empty()) ++result_.violating_schedules;
+    for (const Key& k : violations) {
+      if (static_keys_.count(k) != 0 || !reported_.insert(k).second) continue;
+      if (result_.inconsistencies.size() >= 16) return;
+      const auto& [d, br, bc, iter] = k;
+      std::ostringstream os;
+      os << "schedule #" << result_.schedules << " leaves window (device "
+         << d << ", block (" << br << ',' << bc << "), iteration " << iter
+         << ") uncovered or late, but the static checker reports no such "
+            "finding";
+      result_.inconsistencies.push_back(os.str());
+    }
+  }
+
+  const TaskGraph& g_;
+  const ExploreOptions& opts_;
+  ExploreResult result_;
+  std::set<Key> static_keys_;
+  std::set<Key> reported_;
+  std::vector<bool> dep_;
+  std::vector<bool> branching_;
+  std::vector<std::uint32_t> indeg_;
+  std::vector<bool> executed_;
+  std::vector<std::uint32_t> schedule_;
+  bool stop_ = false;
+};
+
+}  // namespace
+
+ExploreResult explore(const TaskGraph& g, const GraphReport& report,
+                      const ExploreOptions& opts) {
+  return Explorer(g, report, opts).run();
+}
+
+}  // namespace ftla::analysis

@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file explore.hpp
+/// Schedule explorer: enumerates linearizations of a task graph with
+/// DPOR-style partial-order reduction and replays each one through the
+/// linear taint machine, cross-checking the static verdicts of
+/// check.hpp.
+///
+/// Two linearizations that differ only in the order of *independent*
+/// tasks open and close exactly the same detection windows, so the
+/// explorer only branches where two enabled tasks are dependent
+/// (conflicting tile accesses, or a verification racing an access it
+/// could clear or cover); sleep sets prune re-exploration of commuted
+/// prefixes. On the fork-join driver graphs every dependent pair is
+/// ordered, so the whole graph collapses to a single schedule class —
+/// the interesting branching shows up precisely on mutated or
+/// hand-built graphs.
+///
+/// The cross-check is an inclusion proof in the sound direction: every
+/// window violation any replayed schedule produces must already be a
+/// static finding (same (device, br, bc, iteration) key). A violation
+/// the static checker missed is reported as an inconsistency — i.e. a
+/// bug in the all-linearizations semantics, which tests assert never
+/// happens.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/modelcheck/check.hpp"
+#include "analysis/taskgraph/graph.hpp"
+
+namespace ftla::analysis {
+
+struct ExploreOptions {
+  /// Stop after this many replayed schedules; `exhaustive` reports
+  /// whether the budget covered every schedule class.
+  std::uint64_t max_schedules = 256;
+};
+
+struct ExploreResult {
+  bool ran = false;         ///< graph was extracted and acyclic
+  bool exhaustive = false;  ///< every schedule class replayed in budget
+  std::uint64_t schedules = 0;  ///< linearizations replayed
+  /// Schedules whose replay produced at least one window violation.
+  std::uint64_t violating_schedules = 0;
+  /// Replay violations the static report does not predict (soundness
+  /// failures). Deduplicated; empty on every correct checker.
+  std::vector<std::string> inconsistencies;
+};
+
+/// Enumerates linearizations of `g` and checks each replay's window
+/// violations against `report` (the static verdicts for the same graph).
+ExploreResult explore(const TaskGraph& g, const GraphReport& report,
+                      const ExploreOptions& opts = {});
+
+}  // namespace ftla::analysis

@@ -1,0 +1,311 @@
+#include "analysis/modelcheck/gmutate.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <set>
+#include <sstream>
+
+#include "model/mud.hpp"
+
+namespace ftla::analysis {
+
+namespace {
+
+using trace::BlockRange;
+using trace::RegionClass;
+using trace::TransferCtx;
+
+bool taint_exempt(TransferCtx ctx) {
+  return ctx == TransferCtx::Scatter || ctx == TransferCtx::Gather ||
+         ctx == TransferCtx::Retransfer;
+}
+
+bool overlap(const BlockRange& a, const BlockRange& b) {
+  return a.br0 < b.br1 && b.br0 < a.br1 && a.bc0 < b.bc1 && b.bc0 < a.bc1;
+}
+
+/// PR 6's conflict predicate, lifted to accesses.
+bool conflicting(const TaskAccess& x, const TaskAccess& y) {
+  return x.device == y.device && x.rclass == y.rclass &&
+         overlap(x.region, y.region) && (x.is_write() || y.is_write());
+}
+
+bool node_conflict(const TaskNode& a, const TaskNode& b) {
+  for (const TaskAccess& x : a.accesses) {
+    for (const TaskAccess& y : b.accesses) {
+      if (conflicting(x, y)) return true;
+    }
+  }
+  return false;
+}
+
+/// Is there a path u -> ... -> v that does not use the direct edge?
+bool alternative_path(const TaskGraph& g, std::uint32_t u, std::uint32_t v) {
+  std::vector<bool> seen(g.nodes.size(), false);
+  std::queue<std::uint32_t> q;
+  for (std::uint32_t s : g.succs(u)) {
+    if (s != v && !seen[s]) {
+      seen[s] = true;
+      q.push(s);
+    }
+  }
+  while (!q.empty()) {
+    const std::uint32_t x = q.front();
+    q.pop();
+    if (x == v) return true;
+    for (std::uint32_t s : g.succs(x)) {
+      if (!seen[s]) {
+        seen[s] = true;
+        q.push(s);
+      }
+    }
+  }
+  return false;
+}
+
+const TaskAccess* data_out(const TaskNode& n) {
+  for (const TaskAccess& a : n.accesses) {
+    if (a.is_write() && a.rclass == RegionClass::Data) return &a;
+  }
+  return nullptr;
+}
+
+/// Verifies at `device` whose region contains the block and that are
+/// reachable from the arrival — exactly the set that can clear or cover
+/// its taint on that block in some linearization.
+std::vector<std::uint32_t> covering_verifies(const TaskGraph& g,
+                                             const Reachability& reach,
+                                             std::uint32_t arrival, int device,
+                                             index_t br, index_t bc) {
+  std::vector<std::uint32_t> out;
+  for (const TaskNode& n : g.nodes) {
+    if (n.kind != TaskKind::Verify) continue;
+    for (const TaskAccess& a : n.accesses) {
+      if (a.device == device && a.region.contains(br, bc) &&
+          reach.reach(arrival, n.id)) {
+        out.push_back(n.id);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+void seed_drop_edge(const TaskGraph& g, std::vector<GraphMutation>& out) {
+  for (const auto& [u, v] : g.edges()) {
+    if (!node_conflict(g.nodes[u], g.nodes[v])) continue;
+    if (alternative_path(g, u, v)) continue;
+    GraphMutation m;
+    m.kind = GraphMutationKind::DropEdge;
+    m.u = u;
+    m.v = v;
+    std::ostringstream name;
+    name << "drop-edge-" << u << "-" << v;
+    m.name = name.str();
+    std::ostringstream desc;
+    desc << "drop the only dependency edge between conflicting "
+         << to_string(g.nodes[u].kind) << " (seq " << g.nodes[u].seq
+         << ") and " << to_string(g.nodes[v].kind) << " (seq "
+         << g.nodes[v].seq << ")";
+    m.description = desc.str();
+    out.push_back(std::move(m));
+    return;
+  }
+}
+
+void seed_drop_verify(const TaskGraph& g, const Reachability& reach,
+                      std::vector<GraphMutation>& out) {
+  const index_t b = g.meta.b;
+  const int ngpu = g.meta.ngpu > 0 ? g.meta.ngpu : 1;
+  const bool lower_only = g.meta.algorithm == "cholesky";
+  for (const TaskNode& n : g.nodes) {
+    if (n.kind != TaskKind::Transfer || taint_exempt(n.tctx)) continue;
+    const TaskAccess* arr = data_out(n);
+    if (arr == nullptr) continue;
+    for (index_t br = arr->region.br0; br < arr->region.br1; ++br) {
+      for (index_t bc = arr->region.bc0; bc < arr->region.bc1; ++bc) {
+        if (covering_verifies(g, reach, n.id, arr->device, br, bc).empty()) {
+          continue;
+        }
+        // The drop must be detectable: either the taint reaches a MUD
+        // consume (window family) or the block is a final owner copy
+        // (final-state family).
+        bool detectable = br < b && bc < b && arr->device == bc % ngpu &&
+                          (!lower_only || br >= bc);
+        if (!detectable) {
+          for (const TaskNode& r : g.nodes) {
+            if (r.kind != TaskKind::Compute || r.tail ||
+                !reach.reach(n.id, r.id)) {
+              continue;
+            }
+            for (const TaskAccess& a : r.accesses) {
+              if (!a.is_write() && a.rclass == RegionClass::Data &&
+                  a.device == arr->device && a.region.contains(br, bc) &&
+                  model::mud(r.op, a.part) != model::Level::Zero) {
+                detectable = true;
+                break;
+              }
+            }
+            if (detectable) break;
+          }
+        }
+        if (!detectable) continue;
+        GraphMutation m;
+        m.kind = GraphMutationKind::DropVerifyNode;
+        m.u = n.id;
+        m.device = arr->device;
+        m.br = br;
+        m.bc = bc;
+        std::ostringstream name;
+        name << "drop-verify-d" << arr->device << "-b" << br << "." << bc;
+        m.name = name.str();
+        std::ostringstream desc;
+        desc << "contract every verification that could clear or cover the "
+             << "arrival (seq " << n.seq << ") taint on block (" << br << ','
+             << bc << ") at device " << arr->device;
+        m.description = desc.str();
+        out.push_back(std::move(m));
+        return;
+      }
+    }
+  }
+}
+
+void seed_reorder_transfer(const TaskGraph& g, const Reachability& reach,
+                           std::vector<GraphMutation>& out) {
+  for (const TaskNode& tn : g.nodes) {
+    if (tn.kind != TaskKind::Transfer || taint_exempt(tn.tctx)) continue;
+    const TaskAccess* arr = data_out(tn);
+    if (arr == nullptr) continue;
+    for (const TaskNode& hf : g.nodes) {
+      if (hf.context != tn.context || hf.id <= tn.id) continue;
+      bool forks = false;
+      for (std::uint32_t s : g.succs(hf.id)) {
+        if (g.nodes[s].context != hf.context) forks = true;
+      }
+      if (!forks) continue;
+      for (const TaskNode& wn : g.nodes) {
+        if (wn.context == tn.context || !reach.reach(hf.id, wn.id) ||
+            reach.reach(wn.id, tn.id)) {
+          continue;
+        }
+        bool conflicts = false;
+        for (const TaskAccess& a : wn.accesses) {
+          if (conflicting(a, *arr)) conflicts = true;
+        }
+        if (!conflicts) continue;
+        GraphMutation m;
+        m.kind = GraphMutationKind::ReorderTransfer;
+        m.u = tn.id;
+        m.v = hf.id;
+        std::ostringstream name;
+        name << "reorder-transfer-" << tn.id << "-past-" << hf.id;
+        m.name = name.str();
+        std::ostringstream desc;
+        desc << "move the arrival (seq " << tn.seq
+             << ") from before the fork (seq " << hf.seq
+             << ") to after it, unordering it against "
+             << to_string(wn.kind) << " seq " << wn.seq;
+        m.description = desc.str();
+        out.push_back(std::move(m));
+        return;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+const char* to_string(GraphMutationKind k) {
+  switch (k) {
+    case GraphMutationKind::DropEdge: return "drop_edge";
+    case GraphMutationKind::DropVerifyNode: return "drop_verify_node";
+    case GraphMutationKind::ReorderTransfer: return "reorder_transfer";
+  }
+  return "?";
+}
+
+std::vector<GraphMutation> seed_graph_mutations(const TaskGraph& g) {
+  std::vector<GraphMutation> out;
+  if (!g.extracted || g.nodes.empty()) return out;
+  bool acyclic = true;
+  topo_order(g, &acyclic);
+  if (!acyclic) return out;
+  const Reachability reach(g);
+  seed_drop_edge(g, out);
+  seed_drop_verify(g, reach, out);
+  seed_reorder_transfer(g, reach, out);
+  return out;
+}
+
+TaskGraph apply_graph_mutation(const TaskGraph& g, const GraphMutation& m) {
+  TaskGraph mut = g;
+  const auto edges = g.edges();
+  switch (m.kind) {
+    case GraphMutationKind::DropEdge: {
+      mut.reset_edges();
+      for (const auto& [u, v] : edges) {
+        if (u == m.u && v == m.v) continue;
+        mut.add_edge(u, v);
+      }
+      break;
+    }
+    case GraphMutationKind::DropVerifyNode: {
+      const Reachability reach(g);
+      const std::vector<std::uint32_t> drop =
+          covering_verifies(g, reach, m.u, m.device, m.br, m.bc);
+      std::vector<bool> dropped(g.nodes.size(), false);
+      for (std::uint32_t d : drop) dropped[d] = true;
+      // Non-dropped nodes reachable from `d` through dropped interiors:
+      // the bypass targets that keep unrelated order intact.
+      auto bypass_targets = [&](std::uint32_t d) {
+        std::set<std::uint32_t> out;
+        std::vector<std::uint32_t> stack{d};
+        std::vector<bool> seen(g.nodes.size(), false);
+        seen[d] = true;
+        while (!stack.empty()) {
+          const std::uint32_t x = stack.back();
+          stack.pop_back();
+          for (std::uint32_t s : g.succs(x)) {
+            if (seen[s]) continue;
+            seen[s] = true;
+            if (dropped[s]) {
+              stack.push_back(s);
+            } else {
+              out.insert(s);
+            }
+          }
+        }
+        return out;
+      };
+      mut.reset_edges();
+      for (const auto& [u, v] : edges) {
+        if (dropped[u]) continue;
+        if (!dropped[v]) {
+          mut.add_edge(u, v);
+        } else {
+          for (std::uint32_t t : bypass_targets(v)) mut.add_edge(u, t);
+        }
+      }
+      for (std::uint32_t d : drop) mut.nodes[d].accesses.clear();
+      break;
+    }
+    case GraphMutationKind::ReorderTransfer: {
+      mut.reset_edges();
+      for (const auto& [u, v] : edges) {
+        if (u != m.u) mut.add_edge(u, v);
+      }
+      // Preserve the orders that used to flow through the transfer, then
+      // re-anchor it after the fork. It keeps no outgoing edges, so the
+      // high-to-low edge cannot close a cycle.
+      for (std::uint32_t p : g.preds(m.u)) {
+        for (std::uint32_t s : g.succs(m.u)) mut.add_edge(p, s);
+      }
+      mut.add_edge(m.v, m.u);
+      break;
+    }
+  }
+  return mut;
+}
+
+}  // namespace ftla::analysis

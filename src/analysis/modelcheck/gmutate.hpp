@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file gmutate.hpp
+/// Graph-mutation corpus for the static verifier — the task-graph port
+/// of the trace-mutation corpus (mutate.hpp). Each mutation surgically
+/// edits a known-clean extracted graph into one that MUST be rejected:
+///
+///   - DropEdge: removes one dependency edge whose endpoints carry
+///     conflicting tile accesses and which is the only path between
+///     them — the mutant admits a schedule that races the two tasks;
+///   - DropVerifyNode: contracts every verification that could clear or
+///     cover one arrival's taint on one block (bypassing their edges so
+///     unrelated order is preserved) — the mutant leaves a detection
+///     window or the final owner copy unverified in every schedule;
+///   - ReorderTransfer: moves one arrival from before a fork barrier to
+///     after it (its outgoing edges bypassed, re-anchored behind the
+///     fork) — the mutant races the arrival against a worker task that
+///     the barrier used to protect.
+///
+/// Seeding is structural — candidates are chosen by graph shape alone,
+/// never by running the checker first — so "the corpus is 100% rejected"
+/// is a real property of the verifier, not of the seeding.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/taskgraph/graph.hpp"
+
+namespace ftla::analysis {
+
+enum class GraphMutationKind {
+  DropEdge,
+  DropVerifyNode,
+  ReorderTransfer,
+};
+
+const char* to_string(GraphMutationKind k);
+
+struct GraphMutation {
+  GraphMutationKind kind = GraphMutationKind::DropEdge;
+  std::string name;
+  std::string description;
+  /// DropEdge: edge u -> v. ReorderTransfer: u = transfer, v = fork.
+  /// DropVerifyNode: u = anchor arrival.
+  std::uint32_t u = 0;
+  std::uint32_t v = 0;
+  int device = trace::kHost;  ///< DropVerifyNode: anchor device
+  index_t br = 0;             ///< DropVerifyNode: anchor block
+  index_t bc = 0;
+};
+
+/// Seeds at most one mutation of each kind from `g` (a clean extracted
+/// graph). Kinds with no structural candidate in `g` are skipped.
+std::vector<GraphMutation> seed_graph_mutations(const TaskGraph& g);
+
+/// Applies `m` to a copy of `g`. Dropped nodes stay (ids are stable) but
+/// are made inert: their edges are bypassed and their accesses cleared.
+TaskGraph apply_graph_mutation(const TaskGraph& g, const GraphMutation& m);
+
+}  // namespace ftla::analysis

@@ -1,4 +1,4 @@
-#include "analysis/hb_lint.hpp"
+#include "analysis/modelcheck/gverify.hpp"
 
 #include <algorithm>
 #include <map>
@@ -28,60 +28,70 @@ bool contains(const std::vector<FindingKind>& v, FindingKind k) {
 
 }  // namespace
 
-HbLintOutcome hb_lint_case(const LintCase& c) {
-  RecordedRun run = record_case(c, /*sync_capture=*/true);
+GraphVerifyOutcome graph_verify_case(const LintCase& c) {
+  CaseGraph cg = extract_case_graph(c);
 
-  HbLintOutcome outcome;
-  outcome.config = c;
-  outcome.run_status = run.status;
-  outcome.trace = std::move(run.trace);
-  outcome.report = analyze_hb(outcome.trace);
+  GraphVerifyOutcome o;
+  o.config = c;
+  o.run_status = cg.status;
+  o.graph = std::move(cg.graph);
+  o.report = verify_graph(o.graph);
 
-  // Coverage verdicts are judged against the same per-scheme profile the
-  // legacy linter uses; the sync findings (races, malformed edges) are
-  // never expected for any scheme.
+  // Coverage verdicts judged against the same per-scheme profile the
+  // single-trace linters use; graph findings (races, cycles, inert
+  // graphs) are never expected for any scheme.
   const LintExpectation exp = expected_gaps(c.algorithm, c.scheme);
   std::vector<FindingKind> seen;
-  for (const Finding& f : outcome.report.coverage_findings) {
+  for (const Finding& f : o.report.coverage_findings) {
     if (is_informational(f.kind)) continue;
     if (!contains(seen, f.kind)) seen.push_back(f.kind);
     if (!contains(exp.required, f.kind) && !contains(exp.allowed, f.kind)) {
-      outcome.unexpected.push_back(f);
+      o.unexpected.push_back(f);
     }
   }
   for (FindingKind k : exp.required) {
-    if (!contains(seen, k)) outcome.missing.push_back(k);
+    if (!contains(seen, k)) o.missing.push_back(k);
   }
-  outcome.pass = outcome.run_status == RunStatus::Success &&
-                 outcome.report.analyzable && outcome.report.race_free() &&
-                 outcome.missing.empty() && outcome.unexpected.empty();
-  return outcome;
+
+  // A second, independently recorded trace of the same configuration
+  // must be a linearization of the extracted graph.
+  o.refinement = check_refinement(o.graph, record_case(c, true).trace);
+
+  // Cross-check the static verdicts by enumerating schedules.
+  o.explored = explore(o.graph, o.report);
+
+  o.pass = o.run_status == RunStatus::Success && o.report.analyzable &&
+           o.report.race_free() && o.missing.empty() &&
+           o.unexpected.empty() && o.refinement.pass && o.explored.ran &&
+           o.explored.inconsistencies.empty();
+  return o;
 }
 
-HbLintReport run_hb_lint(const std::vector<LintCase>& matrix,
-                         std::size_t per_kind) {
-  HbLintReport r;
+GraphVerifyReport run_graph_verify(const std::vector<LintCase>& matrix) {
+  GraphVerifyReport r;
   for (const LintCase& c : matrix) {
-    r.cases.push_back(hb_lint_case(c));
+    r.cases.push_back(graph_verify_case(c));
   }
-  r.cases_pass = std::all_of(r.cases.begin(), r.cases.end(),
-                             [](const HbLintOutcome& o) { return o.pass; });
+  r.cases_pass =
+      std::all_of(r.cases.begin(), r.cases.end(),
+                  [](const GraphVerifyOutcome& o) { return o.pass; });
 
-  // Seed the corpus from every passing NewScheme trace: those are the
-  // clean baselines where any fatal finding in a mutant is attributable
-  // to the mutation alone.
-  std::map<MutationKind, std::size_t> per_kind_count;
+  // Seed the corpus from every passing NewScheme graph: those are clean
+  // baselines, so any fatal finding in a mutant is attributable to the
+  // mutation alone.
+  std::map<GraphMutationKind, std::size_t> per_kind;
   bool all_detected = true;
-  for (const HbLintOutcome& o : r.cases) {
+  for (const GraphVerifyOutcome& o : r.cases) {
     if (o.config.scheme != SchemeKind::NewScheme || !o.pass) continue;
-    for (const Mutation& m : seed_mutations(o.trace, per_kind)) {
-      MutationOutcome mo;
+    for (const GraphMutation& m : seed_graph_mutations(o.graph)) {
+      GraphMutationOutcome mo;
       mo.mutation = m;
       mo.base = o.config;
-      const HbReport rep = analyze_hb(apply_mutation(o.trace, m));
-      if (!rep.sync_findings.empty()) {
+      const GraphReport rep =
+          verify_graph(apply_graph_mutation(o.graph, m));
+      if (!rep.graph_findings.empty()) {
         mo.detected = true;
-        mo.evidence = rep.sync_findings.front().detail;
+        mo.evidence = rep.graph_findings.front().detail;
       } else {
         for (const Finding& f : rep.coverage_findings) {
           if (is_informational(f.kind)) continue;
@@ -91,13 +101,13 @@ HbLintReport run_hb_lint(const std::vector<LintCase>& matrix,
         }
       }
       all_detected = all_detected && mo.detected;
-      ++per_kind_count[m.kind];
+      ++per_kind[m.kind];
       r.mutations.push_back(std::move(mo));
     }
   }
-  const bool floor_met = per_kind_count[MutationKind::DropSyncWait] > 0 &&
-                         per_kind_count[MutationKind::DropVerify] > 0 &&
-                         per_kind_count[MutationKind::ReorderTransfer] > 0;
+  const bool floor_met = per_kind[GraphMutationKind::DropEdge] > 0 &&
+                         per_kind[GraphMutationKind::DropVerifyNode] > 0 &&
+                         per_kind[GraphMutationKind::ReorderTransfer] > 0;
   r.corpus_pass = all_detected && floor_met;
   r.pass = r.cases_pass && r.corpus_pass;
   return r;
@@ -111,14 +121,14 @@ void write_coverage_finding(const Finding& f, std::ostream& os) {
      << fault::to_string(f.op) << "\",\"detail\":\"" << f.detail << "\"}";
 }
 
-void write_sync_finding(const HbFinding& f, std::ostream& os) {
+void write_graph_finding(const GraphFinding& f, std::ostream& os) {
   os << "{\"kind\":\"" << to_string(f.kind) << "\",\"seq\":[" << f.seq_a
      << ',' << f.seq_b << "],\"device\":" << f.device << ",\"class\":\""
      << trace::to_string(f.rclass) << "\",\"block\":[" << f.br << ',' << f.bc
      << "],\"count\":" << f.count << ",\"detail\":\"" << f.detail << "\"}";
 }
 
-void write_hb_case(const HbLintOutcome& o, std::ostream& os) {
+void write_case(const GraphVerifyOutcome& o, std::ostream& os) {
   const LintCase& c = o.config;
   os << "    {\"algorithm\":\"" << c.algorithm << "\",\"scheme\":\""
      << core::to_string(c.scheme) << "\",\"checksum\":\""
@@ -127,20 +137,18 @@ void write_hb_case(const HbLintOutcome& o, std::ostream& os) {
      << status_name(o.run_status) << "\",\"pass\":"
      << (o.pass ? "true" : "false") << ",\"analyzable\":"
      << (o.report.analyzable ? "true" : "false")
-     << ",\"events\":" << o.report.events
+     << ",\"nodes\":" << o.report.nodes << ",\"edges\":" << o.report.edges
      << ",\"contexts\":" << o.report.contexts
-     << ",\"sync_edges\":" << o.report.sync_edges
-     << ",\"link_transfers\":" << o.report.link_transfers
-     << ",\"transfer_arrivals\":" << o.report.transfer_arrivals;
+     << ",\"race_free\":" << (o.report.race_free() ? "true" : "false");
 
-  os << ",\"sync_findings\":[";
-  for (std::size_t i = 0; i < o.report.sync_findings.size(); ++i) {
+  os << ",\"graph_findings\":[";
+  for (std::size_t i = 0; i < o.report.graph_findings.size(); ++i) {
     if (i != 0) os << ',';
-    write_sync_finding(o.report.sync_findings[i], os);
+    write_graph_finding(o.report.graph_findings[i], os);
   }
   os << ']';
 
-  // Coverage findings aggregated per kind, like the legacy report.
+  // Coverage findings aggregated per kind, like the lint reports.
   std::map<FindingKind, std::vector<const Finding*>> by_kind;
   for (const Finding& f : o.report.coverage_findings) {
     by_kind[f.kind].push_back(&f);
@@ -172,10 +180,24 @@ void write_hb_case(const HbLintOutcome& o, std::ostream& os) {
     if (i != 0) os << ',';
     os << '"' << to_string(o.missing[i]) << '"';
   }
-  os << "]}";
+  os << "],\"refinement\":{\"checked\":"
+     << (o.refinement.checked ? "true" : "false")
+     << ",\"pass\":" << (o.refinement.pass ? "true" : "false")
+     << ",\"matched\":" << o.refinement.matched << ",\"detail\":\""
+     << o.refinement.detail << "\"}";
+  os << ",\"exploration\":{\"ran\":" << (o.explored.ran ? "true" : "false")
+     << ",\"exhaustive\":" << (o.explored.exhaustive ? "true" : "false")
+     << ",\"schedules\":" << o.explored.schedules
+     << ",\"violating_schedules\":" << o.explored.violating_schedules
+     << ",\"inconsistencies\":[";
+  for (std::size_t i = 0; i < o.explored.inconsistencies.size(); ++i) {
+    if (i != 0) os << ',';
+    os << '"' << o.explored.inconsistencies[i] << '"';
+  }
+  os << "]}}";
 }
 
-void write_mutation(const MutationOutcome& m, std::ostream& os) {
+void write_mutation(const GraphMutationOutcome& m, std::ostream& os) {
   os << "    {\"base\":{\"algorithm\":\"" << m.base.algorithm
      << "\",\"scheme\":\"" << core::to_string(m.base.scheme)
      << "\",\"ngpu\":" << m.base.ngpu << "},\"kind\":\""
@@ -187,19 +209,19 @@ void write_mutation(const MutationOutcome& m, std::ostream& os) {
 
 }  // namespace
 
-void write_hb_report(const HbLintReport& r, std::ostream& os) {
+void write_graph_certificate(const GraphVerifyReport& r, std::ostream& os) {
   std::size_t cases_passed = 0;
-  for (const HbLintOutcome& o : r.cases) {
+  for (const GraphVerifyOutcome& o : r.cases) {
     if (o.pass) ++cases_passed;
   }
   std::size_t detected = 0;
-  for (const MutationOutcome& m : r.mutations) {
+  for (const GraphMutationOutcome& m : r.mutations) {
     if (m.detected) ++detected;
   }
-  os << "{\n  \"tool\": \"ftla-schedule-lint\",\n  \"schema_version\": 2,\n"
-        "  \"mode\": \"hb\",\n  \"cases\": [\n";
+  os << "{\n  \"tool\": \"ftla-graph-verify\",\n  \"schema_version\": 1,\n"
+        "  \"cases\": [\n";
   for (std::size_t i = 0; i < r.cases.size(); ++i) {
-    write_hb_case(r.cases[i], os);
+    write_case(r.cases[i], os);
     os << (i + 1 < r.cases.size() ? ",\n" : "\n");
   }
   os << "  ],\n  \"mutations\": [\n";

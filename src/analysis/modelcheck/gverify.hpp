@@ -1,0 +1,75 @@
+#pragma once
+
+/// \file gverify.hpp
+/// Graph-verify driver: the all-linearizations counterpart of hb_lint.
+///
+/// For each case of the acceptance matrix it extracts the task graph
+/// from a sync-captured dry run, statically verifies it over every
+/// linearization (check.hpp), judges the coverage verdicts against the
+/// per-scheme expectation profile the other linters use, validates a
+/// *second* independently recorded trace as a linearization of the graph
+/// (refine.hpp), and cross-checks the static verdicts by DPOR schedule
+/// enumeration (explore.hpp). The graph-mutation corpus (gmutate.hpp) is
+/// seeded from the passing NewScheme graphs and must be 100% rejected,
+/// with every mutation kind contributing at least one seed.
+///
+/// write_graph_certificate emits the machine-readable JSON certificate
+/// consumed by CI (tools/ftla-graph-verify).
+
+#include <cstddef>
+#include <iosfwd>
+#include <vector>
+
+#include "analysis/modelcheck/check.hpp"
+#include "analysis/modelcheck/explore.hpp"
+#include "analysis/modelcheck/gmutate.hpp"
+#include "analysis/taskgraph/extract.hpp"
+#include "analysis/taskgraph/refine.hpp"
+
+namespace ftla::analysis {
+
+/// Verdict for one extracted-and-verified case.
+struct GraphVerifyOutcome {
+  LintCase config;
+  core::RunStatus run_status = core::RunStatus::Success;
+  GraphReport report;
+  RefinementResult refinement;
+  ExploreResult explored;
+  std::vector<FindingKind> missing;  ///< required coverage kinds absent
+  std::vector<Finding> unexpected;   ///< fatal coverage outside the profile
+  bool pass = false;
+  /// The extracted graph, retained so the mutation corpus can be seeded
+  /// from passing NewScheme cases.
+  TaskGraph graph;
+};
+
+/// Extracts, verifies, refinement-checks and explores one case. Throws
+/// FtlaError on an invalid configuration (same contract as lint_case).
+GraphVerifyOutcome graph_verify_case(const LintCase& c);
+
+/// One corpus entry: a graph mutation applied to a passing case's graph.
+struct GraphMutationOutcome {
+  GraphMutation mutation;
+  LintCase base;
+  bool detected = false;
+  std::string evidence;  ///< first violation the verifier named
+};
+
+/// The whole graph-verify run.
+struct GraphVerifyReport {
+  std::vector<GraphVerifyOutcome> cases;
+  std::vector<GraphMutationOutcome> mutations;
+  bool cases_pass = false;
+  bool corpus_pass = false;  ///< 100% rejected and every kind seeded
+  bool pass = false;
+};
+
+/// Runs every case and evaluates the mutation corpus.
+GraphVerifyReport run_graph_verify(const std::vector<LintCase>& matrix);
+
+/// JSON certificate: per-case graph statistics, race/coverage verdicts,
+/// refinement and exploration results, the mutation corpus, and an
+/// overall verdict.
+void write_graph_certificate(const GraphVerifyReport& r, std::ostream& os);
+
+}  // namespace ftla::analysis

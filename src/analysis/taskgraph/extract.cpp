@@ -1,0 +1,207 @@
+#include "analysis/taskgraph/extract.hpp"
+
+#include <cstddef>
+#include <map>
+#include <utility>
+#include <vector>
+
+namespace ftla::analysis {
+
+namespace {
+
+using trace::EventKind;
+using trace::RegionClass;
+using trace::TraceEvent;
+
+/// Per-context extraction state.
+struct ContextState {
+  long open = -1;         ///< compute node still accepting fused events
+  bool open_wrote = false;  ///< open node emitted an Out access already
+  long last = -1;         ///< most recent node (program-order frontier)
+  /// Nodes acquired through sync waits since the last node was created;
+  /// they become incoming edges of the next node on this context.
+  std::vector<std::uint32_t> pending;
+};
+
+class Extractor {
+ public:
+  explicit Extractor(const trace::Trace& trace) : trace_(trace) {}
+
+  TaskGraph run() {
+    graph_.meta = trace_.meta;
+    graph_.complete = trace_.complete;
+    if (!trace_.has_sync) return std::move(graph_);
+    graph_.extracted = true;
+
+    for (std::size_t i = 0; i < trace_.events.size(); ++i) {
+      const TraceEvent& e = trace_.events[i];
+      ContextState& cs = ctx_[e.stream];
+      switch (e.kind) {
+        case EventKind::ComputeRead:
+        case EventKind::ComputeWrite:
+          on_compute(e, i, cs);
+          break;
+        case EventKind::TaskBegin:
+          cs.open = -1;  // the marker delimits; the next read/write opens
+          break;
+        case EventKind::Verify: {
+          TaskNode& n = new_node(TaskKind::Verify, e, i, cs);
+          n.device = e.device;
+          n.check = e.check;
+          push_access(n, AccessMode::In, e.device, e.rclass, e.region);
+          break;
+        }
+        case EventKind::Correct: {
+          TaskNode& n = new_node(TaskKind::Correct, e, i, cs);
+          n.device = e.device;
+          push_access(n, AccessMode::Out, e.device, e.rclass, e.region);
+          break;
+        }
+        case EventKind::TransferArrive: {
+          TaskNode& n = new_node(TaskKind::Transfer, e, i, cs);
+          n.device = e.device;
+          n.from_device = e.from_device;
+          n.tctx = e.ctx;
+          // The payload lands at the receiver and was read from the
+          // sender's copy — same two accesses the HB analyzer derives.
+          push_access(n, AccessMode::Out, e.device, e.rclass, e.region);
+          push_access(n, AccessMode::In, e.from_device, e.rclass, e.region);
+          if (e.rclass == RegionClass::Workspace) ++graph_.workspace_transfers;
+          // The completion edge from the sender's link frontier.
+          if (e.sync_id != 0) acquire(n.id, e.sync_id);
+          break;
+        }
+        case EventKind::LinkTransfer:
+          cs.open = -1;
+          if (e.sync_id != 0) release(cs, e.sync_id);
+          break;
+        case EventKind::SyncSignal:
+          cs.open = -1;
+          release(cs, e.sync_id);
+          break;
+        case EventKind::SyncWait: {
+          cs.open = -1;
+          auto it = signals_.find(e.sync_id);
+          if (it != signals_.end()) {
+            for (std::uint32_t u : it->second) cs.pending.push_back(u);
+          }
+          break;
+        }
+        case EventKind::IterationEnd:
+          cs.open = -1;
+          last_iteration_end_ = static_cast<long>(i);
+          break;
+        case EventKind::IterationBegin:
+          cs.open = -1;
+          break;
+        default:
+          break;
+      }
+    }
+
+    graph_.contexts = ctx_.size();
+    for (TaskNode& n : graph_.nodes) {
+      n.tail = last_iteration_end_ < first_index_[n.id];
+    }
+    return std::move(graph_);
+  }
+
+ private:
+  void push_access(TaskNode& n, AccessMode mode, int device,
+                   RegionClass rclass, const trace::BlockRange& region,
+                   fault::Part part = fault::Part::Reference) {
+    TaskAccess a;
+    a.mode = mode;
+    a.device = device;
+    a.rclass = rclass;
+    a.region = region;
+    a.part = part;
+    n.accesses.push_back(a);
+  }
+
+  /// Creates a node on context `cs` with its program-order and pending
+  /// sync-acquisition edges, and makes it the context frontier.
+  TaskNode& new_node(TaskKind kind, const TraceEvent& e, std::size_t index,
+                     ContextState& cs) {
+    cs.open = -1;
+    TaskNode& n = graph_.add_node(kind);
+    n.context = e.stream;
+    n.seq = e.seq;
+    n.iteration = e.iteration;
+    if (cs.last >= 0) {
+      graph_.add_edge(static_cast<std::uint32_t>(cs.last), n.id);
+    }
+    for (std::uint32_t u : cs.pending) graph_.add_edge(u, n.id);
+    cs.pending.clear();
+    cs.last = static_cast<long>(n.id);
+    first_index_.push_back(static_cast<long>(index));
+    return n;
+  }
+
+  void on_compute(const TraceEvent& e, std::size_t index, ContextState& cs) {
+    const bool is_read = e.kind == EventKind::ComputeRead;
+    // Fuse into the open compute task of the same op instance. A read
+    // after a write starts a new instance (every driver op emits its
+    // reads before its writes), as does any op/device/iteration change —
+    // the fallback for traces without TaskBegin markers.
+    bool fuse = cs.open >= 0;
+    if (fuse) {
+      const TaskNode& open = graph_.nodes[static_cast<std::size_t>(cs.open)];
+      fuse = open.op == e.op && open.device == e.device &&
+             open.iteration == e.iteration && !(cs.open_wrote && is_read);
+    }
+    if (!fuse) {
+      TaskNode& n = new_node(TaskKind::Compute, e, index, cs);
+      n.device = e.device;
+      n.op = e.op;
+      cs.open = static_cast<long>(n.id);
+      cs.open_wrote = false;
+    }
+    TaskNode& n = graph_.nodes[static_cast<std::size_t>(cs.open)];
+    if (is_read) {
+      push_access(n, AccessMode::In, e.device, e.rclass, e.region, e.part);
+    } else {
+      push_access(n, AccessMode::Out, e.device, e.rclass, e.region);
+      cs.open_wrote = true;
+    }
+  }
+
+  /// Publishes the context's history frontier under `sync_id`: its last
+  /// node plus anything it acquired but has not yet anchored to a node.
+  void release(const ContextState& cs, std::uint64_t sync_id) {
+    std::vector<std::uint32_t>& frontier = signals_[sync_id];
+    if (cs.last >= 0) frontier.push_back(static_cast<std::uint32_t>(cs.last));
+    for (std::uint32_t u : cs.pending) frontier.push_back(u);
+  }
+
+  void acquire(std::uint32_t node, std::uint64_t sync_id) {
+    auto it = signals_.find(sync_id);
+    if (it == signals_.end()) return;  // malformed pairing; hb flags it
+    for (std::uint32_t u : it->second) graph_.add_edge(u, node);
+  }
+
+  const trace::Trace& trace_;
+  TaskGraph graph_;
+  std::map<int, ContextState> ctx_;
+  std::map<std::uint64_t, std::vector<std::uint32_t>> signals_;
+  std::vector<long> first_index_;  ///< per node: trace index of first event
+  long last_iteration_end_ = -1;
+};
+
+}  // namespace
+
+TaskGraph extract_graph(const trace::Trace& trace) {
+  return Extractor(trace).run();
+}
+
+CaseGraph extract_case_graph(const LintCase& c) {
+  CaseGraph cg;
+  cg.config = c;
+  RecordedRun run = record_case(c, /*sync_capture=*/true);
+  cg.status = run.status;
+  cg.trace = std::move(run.trace);
+  cg.graph = extract_graph(cg.trace);
+  return cg;
+}
+
+}  // namespace ftla::analysis

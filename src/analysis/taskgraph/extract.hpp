@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file extract.hpp
+/// Task-graph extraction from sync-captured schedule traces.
+///
+/// The extractor rebuilds the task DAG of one run from exactly the
+/// instrumentation the TraceRecorder captured:
+///
+///   - TaskBegin markers (and a read-after-write fusion fallback for
+///     traces that predate them) delimit compute tasks, whose
+///     ComputeRead/ComputeWrite events become IN/OUT accesses;
+///   - Verify / Correct / TransferArrive events become their own nodes;
+///   - edges mirror the synchronization structure only: per-context
+///     program order, SyncSignal/SyncWait (fork/join barriers, events,
+///     stream syncs) and LinkTransfer -> TransferArrive completions.
+///
+/// Edges are *not* derived from data dependencies — that is the point:
+/// the model checker proves that this synchronization skeleton already
+/// orders every conflicting tile access in every linearization. A graph
+/// built from dataflow would make race-freedom vacuously true.
+///
+/// Traces recorded without sync capture carry no order and yield a graph
+/// with `extracted == false`.
+
+#include "analysis/lint.hpp"
+#include "analysis/taskgraph/graph.hpp"
+#include "trace/trace.hpp"
+
+namespace ftla::analysis {
+
+/// Builds the task graph of one sync-captured trace. Pure function of
+/// the trace; never throws on any event sequence a recorder (or a
+/// mutation of one) can produce.
+TaskGraph extract_graph(const trace::Trace& trace);
+
+/// One extracted driver case: the dry run's status and trace plus the
+/// graph built from it.
+struct CaseGraph {
+  LintCase config;
+  core::RunStatus status = core::RunStatus::Success;
+  trace::Trace trace;
+  TaskGraph graph;
+};
+
+/// Records one sync-captured dry run of the configured FT driver
+/// (ft_cholesky / ft_lu / ft_qr × scheme × ngpu) and extracts its task
+/// graph. Throws FtlaError on an invalid configuration (same contract as
+/// record_case).
+CaseGraph extract_case_graph(const LintCase& c);
+
+}  // namespace ftla::analysis

@@ -1,0 +1,105 @@
+#include "analysis/taskgraph/graph.hpp"
+
+#include <algorithm>
+#include <cstddef>
+
+namespace ftla::analysis {
+
+const char* to_string(TaskKind k) {
+  switch (k) {
+    case TaskKind::Compute: return "compute";
+    case TaskKind::Verify: return "verify";
+    case TaskKind::Transfer: return "transfer";
+    case TaskKind::Correct: return "correct";
+  }
+  return "?";
+}
+
+TaskNode& TaskGraph::add_node(TaskKind kind) {
+  TaskNode& n = nodes.emplace_back();
+  n.id = static_cast<std::uint32_t>(nodes.size() - 1);
+  n.kind = kind;
+  succ_.emplace_back();
+  pred_.emplace_back();
+  return n;
+}
+
+void TaskGraph::add_edge(std::uint32_t u, std::uint32_t v) {
+  if (u == v || u >= nodes.size() || v >= nodes.size()) return;
+  std::vector<std::uint32_t>& s = succ_[u];
+  if (std::find(s.begin(), s.end(), v) != s.end()) return;
+  s.push_back(v);
+  pred_[v].push_back(u);
+}
+
+std::size_t TaskGraph::edge_count() const {
+  std::size_t n = 0;
+  for (const auto& s : succ_) n += s.size();
+  return n;
+}
+
+const std::vector<std::uint32_t>& TaskGraph::succs(std::uint32_t u) const {
+  return succ_[u];
+}
+
+const std::vector<std::uint32_t>& TaskGraph::preds(std::uint32_t u) const {
+  return pred_[u];
+}
+
+std::vector<std::pair<std::uint32_t, std::uint32_t>> TaskGraph::edges() const {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> out;
+  out.reserve(edge_count());
+  for (std::uint32_t u = 0; u < succ_.size(); ++u) {
+    for (std::uint32_t v : succ_[u]) out.emplace_back(u, v);
+  }
+  return out;
+}
+
+void TaskGraph::reset_edges() {
+  succ_.assign(nodes.size(), {});
+  pred_.assign(nodes.size(), {});
+}
+
+std::vector<std::uint32_t> topo_order(const TaskGraph& g, bool* acyclic) {
+  const std::size_t n = g.nodes.size();
+  std::vector<std::uint32_t> indeg(n, 0);
+  for (std::uint32_t u = 0; u < n; ++u) {
+    indeg[u] = static_cast<std::uint32_t>(g.preds(u).size());
+  }
+  std::vector<std::uint32_t> order;
+  order.reserve(n);
+  // Seed in id order so the result is deterministic (and, for extracted
+  // graphs, a valid recorder order).
+  for (std::uint32_t u = 0; u < n; ++u) {
+    if (indeg[u] == 0) order.push_back(u);
+  }
+  for (std::size_t head = 0; head < order.size(); ++head) {
+    for (std::uint32_t v : g.succs(order[head])) {
+      if (--indeg[v] == 0) order.push_back(v);
+    }
+  }
+  const bool ok = order.size() == n;
+  if (acyclic != nullptr) *acyclic = ok;
+  if (!ok) order.clear();
+  return order;
+}
+
+Reachability::Reachability(const TaskGraph& g) {
+  const std::size_t n = g.nodes.size();
+  const std::size_t words = (n + 63) / 64;
+  rows_.assign(n, std::vector<std::uint64_t>(words, 0));
+  bool acyclic = true;
+  const std::vector<std::uint32_t> order = topo_order(g, &acyclic);
+  if (!acyclic) return;  // caller contract violated; leave rows empty
+  for (std::size_t i = order.size(); i-- > 0;) {
+    const std::uint32_t u = order[i];
+    std::vector<std::uint64_t>& row = rows_[u];
+    for (std::uint32_t v : g.succs(u)) {
+      row[v >> 6] |= std::uint64_t{1} << (v & 63);
+      const std::vector<std::uint64_t>& sub = rows_[v];
+      for (std::size_t w = 0; w < words; ++w) row[w] |= sub[w];
+    }
+  }
+}
+
+}  // namespace ftla::analysis

@@ -1,0 +1,134 @@
+#pragma once
+
+/// \file graph.hpp
+/// Tile-level task-graph IR.
+///
+/// A TaskGraph is the dependency-structure view of one FT decomposition
+/// schedule: nodes are tasks (one compute-op instance, one verification,
+/// one PCIe transfer, one correction), each carrying the tile regions it
+/// reads (IN) and writes (OUT) with device and region class; edges are
+/// the *synchronization* structure (per-context program order, fork/join
+/// barriers, transfer completions) — deliberately not the data
+/// dependencies, so the model checker (src/analysis/modelcheck) can prove
+/// that the synchronization alone orders every conflicting access over
+/// every linearization, not just the recorded one.
+///
+/// The IR mirrors the EventKinds of src/trace: a graph is extracted from
+/// the same instrumentation points the TraceRecorder captures
+/// (extract.hpp), and every sync-captured trace of the same configuration
+/// must be a linearization of it (refine.hpp).
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+#include "fault/fault.hpp"
+#include "trace/trace.hpp"
+
+namespace ftla::analysis {
+
+enum class TaskKind {
+  Compute,   ///< one op instance (PD/PU/TMU/CTF tile task)
+  Verify,    ///< one checksum verification
+  Transfer,  ///< one PCIe payload delivery (sender read + receiver write)
+  Correct,   ///< one correction/repair applied to a region
+};
+
+const char* to_string(TaskKind k);
+
+enum class AccessMode { In, Out };
+
+/// One tile-region access of a task. INOUT regions appear as an In and an
+/// Out access of the same node; the In logically precedes the Out.
+struct TaskAccess {
+  AccessMode mode = AccessMode::In;
+  int device = trace::kHost;
+  trace::RegionClass rclass = trace::RegionClass::Data;
+  trace::BlockRange region;
+  /// MUD part of a Compute In access (drives the consume semantics).
+  fault::Part part = fault::Part::Reference;
+
+  [[nodiscard]] bool is_write() const noexcept {
+    return mode == AccessMode::Out;
+  }
+};
+
+/// One task. Node ids are dense [0, nodes.size()) in creation order; for
+/// extracted graphs creation order is the trace order of each task's
+/// first event, so per-context id order is program order.
+struct TaskNode {
+  std::uint32_t id = 0;
+  TaskKind kind = TaskKind::Compute;
+  /// Execution context (trace stream) the task runs on: kHost or GPU g.
+  int context = trace::kHost;
+  /// Device the task's effect lands on (receiver, for transfers).
+  int device = trace::kHost;
+  index_t iteration = -1;
+  /// Task sits after the last complete iteration (open tail windows there
+  /// are a malformed schedule, not a coverage verdict — same guard the HB
+  /// analyzer applies).
+  bool tail = false;
+  std::uint64_t seq = 0;  ///< seq of the first contributing trace event
+  fault::OpKind op = fault::OpKind::TMU;           ///< Compute
+  trace::CheckPoint check = trace::CheckPoint::None;  ///< Verify
+  trace::TransferCtx tctx = trace::TransferCtx::None;  ///< Transfer
+  int from_device = trace::kHost;                  ///< Transfer sender
+  std::vector<TaskAccess> accesses;
+};
+
+/// The task DAG plus the run metadata the coverage semantics need.
+struct TaskGraph {
+  trace::RunMeta meta;
+  std::vector<TaskNode> nodes;
+  /// True when the graph was extracted from a sync-captured trace (or
+  /// built by hand); graphs without this flag carry no order to verify.
+  bool extracted = false;
+  bool complete = false;  ///< source trace recorded RunEnd
+  std::uint64_t contexts = 0;
+  std::uint64_t workspace_transfers = 0;  ///< unprotected PCIe payloads
+
+  TaskNode& add_node(TaskKind kind);
+  /// Adds u -> v; duplicate edges and self-edges are ignored.
+  void add_edge(std::uint32_t u, std::uint32_t v);
+
+  [[nodiscard]] std::size_t edge_count() const;
+  [[nodiscard]] const std::vector<std::uint32_t>& succs(std::uint32_t u) const;
+  [[nodiscard]] const std::vector<std::uint32_t>& preds(std::uint32_t u) const;
+  /// All edges as (u, v) pairs, grouped by source in id order.
+  [[nodiscard]] std::vector<std::pair<std::uint32_t, std::uint32_t>> edges()
+      const;
+  /// Drops every edge (nodes stay) — used by the mutation tooling to
+  /// rebuild a surgically edited edge set.
+  void reset_edges();
+
+ private:
+  std::vector<std::vector<std::uint32_t>> succ_;
+  std::vector<std::vector<std::uint32_t>> pred_;
+};
+
+/// Kahn topological order. Empty result with *acyclic = false when the
+/// graph has a cycle (and at least one node).
+std::vector<std::uint32_t> topo_order(const TaskGraph& g, bool* acyclic);
+
+/// Strict reachability closure over the DAG: reach(u, v) ⇔ a nonempty
+/// path u -> ... -> v exists. Bitset rows, built in one reverse-topo
+/// sweep; O(V·E/64) time, O(V²/8) space — fine for the few thousand
+/// tasks a lint-sized run produces.
+class Reachability {
+ public:
+  /// Graph must be acyclic (checked by the caller via topo_order).
+  explicit Reachability(const TaskGraph& g);
+
+  [[nodiscard]] bool reach(std::uint32_t u, std::uint32_t v) const {
+    return (rows_[u][v >> 6] >> (v & 63)) & 1u;
+  }
+  [[nodiscard]] bool ordered(std::uint32_t u, std::uint32_t v) const {
+    return reach(u, v) || reach(v, u);
+  }
+
+ private:
+  std::vector<std::vector<std::uint64_t>> rows_;
+};
+
+}  // namespace ftla::analysis

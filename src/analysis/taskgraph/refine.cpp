@@ -1,0 +1,125 @@
+#include "analysis/taskgraph/refine.hpp"
+
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "analysis/taskgraph/extract.hpp"
+
+namespace ftla::analysis {
+
+namespace {
+
+bool same_access(const TaskAccess& a, const TaskAccess& b) {
+  return a.mode == b.mode && a.device == b.device && a.rclass == b.rclass &&
+         a.region == b.region && a.part == b.part;
+}
+
+/// Substantive task label: everything except id/seq/tail, which are
+/// positional rather than structural.
+bool same_label(const TaskNode& a, const TaskNode& b) {
+  if (a.kind != b.kind || a.context != b.context || a.device != b.device ||
+      a.iteration != b.iteration) {
+    return false;
+  }
+  switch (a.kind) {
+    case TaskKind::Compute:
+      if (a.op != b.op) return false;
+      break;
+    case TaskKind::Verify:
+      if (a.check != b.check) return false;
+      break;
+    case TaskKind::Transfer:
+      if (a.tctx != b.tctx || a.from_device != b.from_device) return false;
+      break;
+    case TaskKind::Correct:
+      break;
+  }
+  if (a.accesses.size() != b.accesses.size()) return false;
+  for (std::size_t i = 0; i < a.accesses.size(); ++i) {
+    if (!same_access(a.accesses[i], b.accesses[i])) return false;
+  }
+  return true;
+}
+
+std::string describe(const TaskNode& n) {
+  std::ostringstream os;
+  os << to_string(n.kind) << " task (seq " << n.seq << ", context "
+     << n.context << ", device " << n.device << ", iteration " << n.iteration
+     << ')';
+  return os.str();
+}
+
+}  // namespace
+
+RefinementResult check_refinement(const TaskGraph& graph,
+                                  const trace::Trace& trace) {
+  RefinementResult r;
+  if (!graph.extracted || !trace.has_sync) {
+    r.detail = "refinement needs a sync-extracted graph and a sync-captured "
+               "trace";
+    return r;
+  }
+  r.checked = true;
+
+  const TaskGraph cand = extract_graph(trace);
+
+  // Reference tasks grouped per context in id order — for extracted
+  // graphs that IS per-context program order, and it is deterministic
+  // because each context's emit sequence is a function of the
+  // configuration alone.
+  std::map<int, std::vector<std::uint32_t>> queue;
+  for (const TaskNode& n : graph.nodes) queue[n.context].push_back(n.id);
+  std::map<int, std::size_t> head;
+
+  std::vector<bool> executed(graph.nodes.size(), false);
+  for (const TaskNode& t : cand.nodes) {
+    auto qit = queue.find(t.context);
+    std::size_t& h = head[t.context];
+    if (qit == queue.end() || h >= qit->second.size()) {
+      std::ostringstream os;
+      os << "trace executes " << describe(t)
+         << " beyond the graph's task sequence for that context";
+      r.detail = os.str();
+      return r;
+    }
+    const TaskNode& expect = graph.nodes[qit->second[h]];
+    if (!same_label(t, expect)) {
+      std::ostringstream os;
+      os << "trace " << describe(t) << " diverges from graph "
+         << describe(expect);
+      r.detail = os.str();
+      return r;
+    }
+    for (std::uint32_t p : graph.preds(expect.id)) {
+      if (!executed[p]) {
+        std::ostringstream os;
+        os << "trace executes " << describe(expect)
+           << " before its graph dependency " << describe(graph.nodes[p])
+           << " — not a linearization";
+        r.detail = os.str();
+        return r;
+      }
+    }
+    executed[expect.id] = true;
+    ++h;
+    ++r.matched;
+  }
+
+  for (const auto& [ctx, ids] : queue) {
+    const std::size_t h = head[ctx];
+    if (h < ids.size()) {
+      std::ostringstream os;
+      os << "trace is missing " << (ids.size() - h)
+         << " task(s) of context " << ctx << ", first: "
+         << describe(graph.nodes[ids[h]]);
+      r.detail = os.str();
+      return r;
+    }
+  }
+
+  r.pass = true;
+  return r;
+}
+
+}  // namespace ftla::analysis

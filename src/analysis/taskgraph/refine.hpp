@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file refine.hpp
+/// Trace ⊆ graph refinement: is a sync-captured trace a linearization of
+/// an extracted task graph?
+///
+/// This is the consistency check that pins the static model to reality:
+/// the model checker proves properties of the *graph*, so every trace the
+/// real runtime produces for the same configuration must be one of the
+/// graph's linearizations — same per-context task sequences (program
+/// order is deterministic per context) executed in a global order that
+/// respects every graph edge. A trace that executes a task before one of
+/// its graph predecessors, or whose per-context task content diverges,
+/// refutes the extraction and fails the certificate.
+
+#include <cstddef>
+#include <string>
+
+#include "analysis/taskgraph/graph.hpp"
+#include "trace/trace.hpp"
+
+namespace ftla::analysis {
+
+struct RefinementResult {
+  /// Both sides carried sync information; without it there is nothing to
+  /// check and `pass` is false.
+  bool checked = false;
+  bool pass = false;
+  std::size_t matched = 0;  ///< tasks matched before a divergence (or all)
+  std::string detail;       ///< first violation, empty when pass
+};
+
+/// Checks that `trace` is a linearization of `graph`. The candidate is
+/// tasked with the same extraction rules (so both sides speak the same
+/// task vocabulary), then matched greedily: per-context task sequences
+/// must agree node-for-node, and each task may only execute once all its
+/// graph predecessors have.
+RefinementResult check_refinement(const TaskGraph& graph,
+                                  const trace::Trace& trace);
+
+}  // namespace ftla::analysis

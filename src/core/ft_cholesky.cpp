@@ -222,6 +222,7 @@ class CholeskyDriver {
         inj_->pre_compute(pd, Part::Reference, d, diag_org, {k, k});
       }
       if (trc_) {
+        trc_->task_begin(OpKind::PD, trace::kHost);
         trc_->compute_read(OpKind::PD, Part::Reference, trace::kHost,
                            BlockRange::single(k, k));
       }
@@ -422,6 +423,7 @@ class CholeskyDriver {
       }
 
       if (trc_) {
+        trc_->task_begin(OpKind::PU, own);
         trc_->compute_read(OpKind::PU, Part::Reference, own, BlockRange::single(k, k));
         trc_->compute_read(OpKind::PU, Part::Update, own, {k + 1, b_, k, k + 1});
       }
@@ -649,6 +651,7 @@ class CholeskyDriver {
           if (inj_) inj_->pre_compute(tmu, Part::Update, c, org_c, {i, j});
 
           if (trc_) {
+            trc_->task_begin(OpKind::TMU, g);
             trc_->compute_read(OpKind::TMU, Part::Reference, g, BlockRange::single(i, k));
             trc_->compute_read(OpKind::TMU, Part::Reference, g, BlockRange::single(j, k));
             trc_->compute_read(OpKind::TMU, Part::Update, g, BlockRange::single(i, j));

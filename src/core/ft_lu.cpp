@@ -244,6 +244,7 @@ class LuDriver {
         inj_->pre_compute(pd, Part::Reference, ph, pan_org, {k, k});
       }
       if (trc_) {
+        trc_->task_begin(OpKind::PD, trace::kHost);
         trc_->compute_read(OpKind::PD, Part::Reference, trace::kHost,
                            {k, b_, k, k + 1});
       }
@@ -580,6 +581,7 @@ class LuDriver {
 
           if (inj_) inj_->pre_compute(pu, Part::Update, ublk, org, {k, j});
           if (trc_) {
+            trc_->task_begin(OpKind::PU, g);
             trc_->compute_read(OpKind::PU, Part::Reference, g, BlockRange::single(k, k));
             trc_->compute_read(OpKind::PU, Part::Update, g, BlockRange::single(k, j));
           }
@@ -687,6 +689,7 @@ class LuDriver {
           if (inj_) inj_->pre_compute(tmu, Part::Update, c, org_c, {i, j});
 
           if (trc_) {
+            trc_->task_begin(OpKind::TMU, g);
             trc_->compute_read(OpKind::TMU, Part::Reference, g, BlockRange::single(i, k));
             trc_->compute_read(OpKind::TMU, Part::Reference, g, BlockRange::single(k, j));
             trc_->compute_read(OpKind::TMU, Part::Update, g, BlockRange::single(i, j));

@@ -284,6 +284,7 @@ class QrDriver {
         inj_->pre_compute(pd, Part::Reference, ph, pan_org, {k, k});
       }
       if (trc_) {
+        trc_->task_begin(OpKind::PD, trace::kHost);
         trc_->compute_read(OpKind::PD, Part::Reference, trace::kHost,
                            {k, b_, k, k + 1});
       }
@@ -352,6 +353,7 @@ class QrDriver {
     ViewD t_mat = t_h_->view();
     {
       if (trc_) {
+        trc_->task_begin(OpKind::CTF, trace::kHost);
         trc_->compute_read(OpKind::CTF, Part::Reference, trace::kHost,
                            {k, b_, k, k + 1});
       }
@@ -632,6 +634,7 @@ class QrDriver {
         }
 
         if (trc_) {
+          trc_->task_begin(OpKind::TMU, g);
           trc_->compute_read(OpKind::TMU, Part::Reference, g, {k, b_, k, k + 1});
           trc_->compute_read(OpKind::TMU, Part::Reference, g, BlockRange::single(k, k),
                              RegionClass::Workspace);

@@ -31,6 +31,7 @@ const char* to_string(EventKind k) {
     case EventKind::Correct: return "correct";
     case EventKind::SyncSignal: return "sync_signal";
     case EventKind::SyncWait: return "sync_wait";
+    case EventKind::TaskBegin: return "task_begin";
   }
   return "?";
 }
@@ -129,6 +130,9 @@ void write_jsonl(const Trace& trace, std::ostream& os) {
       case EventKind::SyncSignal:
       case EventKind::SyncWait:
         os << ",\"edge\":\"" << to_string(e.edge) << "\",\"sync\":" << e.sync_id;
+        break;
+      case EventKind::TaskBegin:
+        os << ",\"op\":\"" << fault::to_string(e.op) << '"';
         break;
       default:
         break;
@@ -263,6 +267,14 @@ void TraceRecorder::correct(int device, const BlockRange& region) {
   TraceEvent& e = append(EventKind::Correct);
   e.device = device;
   e.region = region;
+}
+
+void TraceRecorder::task_begin(fault::OpKind op, int device) {
+  ftla::LockGuard lock(mutex_);
+  if (!sync_capture_) return;
+  TraceEvent& e = append(EventKind::TaskBegin);
+  e.op = op;
+  e.device = device;
 }
 
 void TraceRecorder::link_transfer(device_id_t from, device_id_t to,

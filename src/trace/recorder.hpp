@@ -62,6 +62,12 @@ class TraceRecorder : public sim::SyncObserver {
               RegionClass rclass = RegionClass::Data);
   void correct(int device, const BlockRange& region);
 
+  /// Marks the start of one driver task (a single op instance, e.g. one
+  /// TMU tile update). Gives the task-graph extractor exact task
+  /// boundaries instead of the read-after-write fusion heuristic. No-op
+  /// unless sync capture is on, so legacy traces stay byte-identical.
+  void task_begin(fault::OpKind op, int device);
+
   /// Raw PcieLink observation. `from`/`to` use the simulator's
   /// device_id_t convention (CPU = 0, GPU g = g + 1); they are converted
   /// to trace device indices (kHost / 0-based GPU) here. The analyzer

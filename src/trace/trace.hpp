@@ -44,6 +44,7 @@ enum class EventKind {
   Correct,         ///< a correction/repair was applied to a region
   SyncSignal,      ///< a context released its history to a sync object
   SyncWait,        ///< a context acquired a sync object's history
+  TaskBegin,       ///< a driver task (one op instance) starts; sync capture only
 };
 
 /// What the bytes in a traced region are.

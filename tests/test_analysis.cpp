@@ -346,7 +346,11 @@ TEST(Lint, ReportSerializesAllCases) {
   std::ostringstream os;
   write_report(outcomes, os);
   const std::string json = os.str();
-  EXPECT_NE(json.find("\"tool\": \"ftla-schedule-lint\""), std::string::npos);
+  // The report header is frozen in its versioned form: tool name first,
+  // then the schema version consumers dispatch on.
+  EXPECT_NE(json.find("{\n  \"tool\": \"ftla-schedule-lint\",\n"
+                      "  \"schema_version\": 2,\n  \"cases\": [\n"),
+            std::string::npos);
   EXPECT_NE(json.find("\"algorithm\":\"cholesky\""), std::string::npos);
   EXPECT_NE(json.find("\"pass\": true"), std::string::npos);
 }

@@ -474,6 +474,10 @@ TEST(HbLint, ReportSerializesCasesAndCorpus) {
   std::ostringstream os;
   write_hb_report(r, os);
   const std::string s = os.str();
+  // The report header is frozen in its versioned form.
+  EXPECT_NE(s.find("{\n  \"tool\": \"ftla-schedule-lint\",\n"
+                   "  \"schema_version\": 2,\n  \"mode\": \"hb\",\n"),
+            std::string::npos);
   EXPECT_NE(s.find("\"mode\": \"hb\""), std::string::npos);
   EXPECT_NE(s.find("\"mutations\""), std::string::npos);
   EXPECT_NE(s.find("\"corpus_pass\""), std::string::npos);

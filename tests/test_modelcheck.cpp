@@ -1,0 +1,441 @@
+// Static task-graph verifier tests: hand-built DAGs with known-covered /
+// known-uncovered windows and a known race exercise the
+// all-linearizations semantics directly; the DPOR explorer is
+// cross-checked against the static verdicts; the graph-mutation corpus
+// has hard per-kind detection floors; and the driver graphs must agree
+// with the single-trace analyzers' expectation profiles.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "analysis/modelcheck/check.hpp"
+#include "analysis/modelcheck/explore.hpp"
+#include "analysis/modelcheck/gmutate.hpp"
+#include "analysis/modelcheck/gverify.hpp"
+#include "analysis/taskgraph/extract.hpp"
+#include "analysis/taskgraph/graph.hpp"
+
+namespace ftla::analysis {
+namespace {
+
+using trace::BlockRange;
+using trace::RegionClass;
+
+/// Hand-built graphs use meta.b == 0 so the final-state sweep is inert
+/// and each test isolates exactly the windows it constructs.
+TaskGraph base() {
+  TaskGraph g;
+  g.extracted = true;
+  g.complete = true;
+  g.meta.algorithm = "test";
+  g.meta.ngpu = 1;
+  g.meta.b = 0;
+  g.contexts = 2;
+  return g;
+}
+
+TaskAccess access(AccessMode mode, int dev, index_t br, index_t bc,
+                  fault::Part part = fault::Part::Update) {
+  TaskAccess a;
+  a.mode = mode;
+  a.device = dev;
+  a.rclass = RegionClass::Data;
+  a.region = BlockRange::single(br, bc);
+  a.part = part;
+  return a;
+}
+
+std::uint32_t arrival(TaskGraph& g, int ctx, int dev, index_t iter) {
+  TaskNode& n = g.add_node(TaskKind::Transfer);
+  n.context = ctx;
+  n.device = dev;
+  n.iteration = iter;
+  n.tctx = trace::TransferCtx::BroadcastH2D;
+  n.from_device = trace::kHost;
+  n.accesses.push_back(access(AccessMode::Out, dev, 0, 0));
+  return n.id;
+}
+
+/// MUD(TMU, Reference) = One, so this read is a taint consume.
+std::uint32_t consume(TaskGraph& g, int ctx, int dev, index_t iter) {
+  TaskNode& n = g.add_node(TaskKind::Compute);
+  n.context = ctx;
+  n.device = dev;
+  n.iteration = iter;
+  n.op = fault::OpKind::TMU;
+  n.accesses.push_back(
+      access(AccessMode::In, dev, 0, 0, fault::Part::Reference));
+  return n.id;
+}
+
+std::uint32_t verify(TaskGraph& g, int ctx, int dev, index_t iter) {
+  TaskNode& n = g.add_node(TaskKind::Verify);
+  n.context = ctx;
+  n.device = dev;
+  n.iteration = iter;
+  n.check = trace::CheckPoint::AfterTMU;
+  n.accesses.push_back(access(AccessMode::In, dev, 0, 0));
+  return n.id;
+}
+
+std::uint32_t write(TaskGraph& g, int ctx, int dev, index_t iter) {
+  TaskNode& n = g.add_node(TaskKind::Compute);
+  n.context = ctx;
+  n.device = dev;
+  n.iteration = iter;
+  n.op = fault::OpKind::PU;
+  n.accesses.push_back(access(AccessMode::Out, dev, 0, 0));
+  return n.id;
+}
+
+// --- structural verdicts ------------------------------------------------
+
+TEST(GraphCheck, UnorderedConflictIsARace) {
+  TaskGraph g = base();
+  write(g, /*ctx=*/0, /*dev=*/0, /*iter=*/0);
+  consume(g, /*ctx=*/1, /*dev=*/0, /*iter=*/0);
+  const GraphReport r = verify_graph(g);
+  ASSERT_TRUE(r.analyzable);
+  ASSERT_FALSE(r.graph_findings.empty());
+  EXPECT_EQ(r.graph_findings.front().kind, GraphFindingKind::Race);
+  EXPECT_FALSE(r.clean());
+}
+
+TEST(GraphCheck, OrderingTheConflictRemovesTheRace) {
+  TaskGraph g = base();
+  const std::uint32_t w1 = write(g, 0, 0, 0);
+  const std::uint32_t w2 = write(g, 1, 0, 0);
+  g.add_edge(w1, w2);
+  const GraphReport r = verify_graph(g);
+  EXPECT_TRUE(r.race_free());
+  EXPECT_TRUE(r.clean());
+}
+
+TEST(GraphCheck, CycleIsFatalAndNothingElseIsDecided) {
+  TaskGraph g = base();
+  const std::uint32_t a = write(g, 0, 0, 0);
+  const std::uint32_t b = write(g, 1, 0, 0);
+  g.add_edge(a, b);
+  g.add_edge(b, a);
+  const GraphReport r = verify_graph(g);
+  ASSERT_EQ(r.graph_findings.size(), 1u);
+  EXPECT_EQ(r.graph_findings.front().kind, GraphFindingKind::Cycle);
+  EXPECT_TRUE(r.coverage_findings.empty());
+  EXPECT_FALSE(r.clean());
+}
+
+TEST(GraphCheck, UnextractedGraphIsRejected) {
+  TaskGraph g;  // extracted == false
+  const GraphReport r = verify_graph(g);
+  EXPECT_FALSE(r.analyzable);
+  ASSERT_FALSE(r.graph_findings.empty());
+  EXPECT_EQ(r.graph_findings.front().kind, GraphFindingKind::NotExtracted);
+}
+
+// --- window coverage over all linearizations ----------------------------
+
+TEST(GraphCheck, UnverifiedArrivalConsumeIsUncovered) {
+  TaskGraph g = base();
+  const std::uint32_t a = arrival(g, 0, 0, 0);
+  const std::uint32_t r = consume(g, 0, 0, 0);
+  g.add_edge(a, r);
+  const GraphReport rep = verify_graph(g);
+  EXPECT_TRUE(rep.race_free());
+  ASSERT_EQ(rep.coverage_findings.size(), 1u);
+  EXPECT_EQ(rep.coverage_findings.front().kind,
+            FindingKind::UnverifiedTransferConsume);
+}
+
+TEST(GraphCheck, VerifyAfterConsumeInSameIterationCovers) {
+  TaskGraph g = base();
+  const std::uint32_t a = arrival(g, 0, 0, 0);
+  const std::uint32_t r = consume(g, 0, 0, 0);
+  const std::uint32_t v = verify(g, 0, 0, 0);
+  g.add_edge(a, r);
+  g.add_edge(r, v);
+  EXPECT_TRUE(verify_graph(g).clean());
+}
+
+TEST(GraphCheck, VerifyBetweenSourceAndConsumeClears) {
+  TaskGraph g = base();
+  const std::uint32_t a = arrival(g, 0, 0, 0);
+  const std::uint32_t v = verify(g, 0, 0, 0);
+  const std::uint32_t r = consume(g, 0, 0, 0);
+  g.add_edge(a, v);
+  g.add_edge(v, r);
+  EXPECT_TRUE(verify_graph(g).clean());
+}
+
+TEST(GraphCheck, VerifyInLaterIterationExceedsContainment) {
+  TaskGraph g = base();
+  const std::uint32_t a = arrival(g, 0, 0, 0);
+  const std::uint32_t r = consume(g, 0, 0, 0);
+  const std::uint32_t v = verify(g, 0, 0, /*iter=*/1);
+  g.add_edge(a, r);
+  g.add_edge(r, v);
+  const GraphReport rep = verify_graph(g);
+  ASSERT_EQ(rep.coverage_findings.size(), 1u);
+  EXPECT_EQ(rep.coverage_findings.front().kind,
+            FindingKind::ContainmentExceeded);
+}
+
+TEST(GraphCheck, WriteTaintIsClearedByAnyDeviceVerify) {
+  TaskGraph g = base();
+  const std::uint32_t w = write(g, 0, /*dev=*/1, 0);
+  // The consume reads a copy of the block at device 1; the verify runs
+  // at device 1 too and clears the write taint for every device.
+  const std::uint32_t r = consume(g, 0, 1, 0);
+  g.add_edge(w, r);
+  const GraphReport uncovered = verify_graph(g);
+  ASSERT_EQ(uncovered.coverage_findings.size(), 1u);
+  EXPECT_EQ(uncovered.coverage_findings.front().kind,
+            FindingKind::UnverifiedWriteConsume);
+
+  TaskGraph g2 = base();
+  const std::uint32_t w2 = write(g2, 0, 1, 0);
+  const std::uint32_t v2 = verify(g2, 0, 1, 0);
+  const std::uint32_t r2 = consume(g2, 0, 1, 0);
+  g2.add_edge(w2, v2);
+  g2.add_edge(v2, r2);
+  EXPECT_TRUE(verify_graph(g2).clean());
+}
+
+/// The distinguishing case vs the linear-replay analyzers: a verify that
+/// is ordered after the source but UNORDERED with the consume covers in
+/// every linearization (before the consume it clears, after it covers),
+/// so the static checker must NOT flag it.
+TEST(GraphCheck, FloatingVerifyCoversInEveryLinearization) {
+  TaskGraph g = base();
+  const std::uint32_t a = arrival(g, 0, 0, 0);
+  const std::uint32_t r = consume(g, 0, 0, 0);
+  const std::uint32_t v = verify(g, 1, 0, 0);
+  g.add_edge(a, r);
+  g.add_edge(a, v);  // v floats relative to r
+  const GraphReport rep = verify_graph(g);
+  EXPECT_TRUE(rep.race_free());  // verify read vs consume read: no write
+  EXPECT_TRUE(rep.clean());
+
+  // The explorer agrees: both interleavings replay clean.
+  const ExploreResult ex = explore(g, rep);
+  ASSERT_TRUE(ex.ran);
+  EXPECT_TRUE(ex.exhaustive);
+  EXPECT_EQ(ex.schedules, 2u);
+  EXPECT_EQ(ex.violating_schedules, 0u);
+  EXPECT_TRUE(ex.inconsistencies.empty());
+}
+
+/// A verify unordered with the SOURCE does not cover: some schedule runs
+/// it before the taint even arrives. The static finding must exist even
+/// though other schedules happen to be clean — that is the
+/// all-linearizations quantifier at work.
+TEST(GraphCheck, VerifyUnorderedWithSourceDoesNotCover) {
+  TaskGraph g = base();
+  const std::uint32_t a = arrival(g, 0, 0, 0);
+  const std::uint32_t r = consume(g, 0, 0, 0);
+  verify(g, 1, 0, 0);  // unordered with both a and r
+  g.add_edge(a, r);
+  const GraphReport rep = verify_graph(g);
+  ASSERT_EQ(rep.coverage_findings.size(), 1u);
+  EXPECT_EQ(rep.coverage_findings.front().kind,
+            FindingKind::UnverifiedTransferConsume);
+
+  const ExploreResult ex = explore(g, rep);
+  ASSERT_TRUE(ex.ran);
+  EXPECT_TRUE(ex.exhaustive);
+  EXPECT_GE(ex.schedules, 2u);
+  EXPECT_GE(ex.violating_schedules, 1u);   // the verify-first schedules
+  EXPECT_LT(ex.violating_schedules, ex.schedules);  // ...but not all
+  EXPECT_TRUE(ex.inconsistencies.empty());
+}
+
+// --- explorer ------------------------------------------------------------
+
+TEST(GraphExplore, IndependentTasksCollapseToOneSchedule) {
+  TaskGraph g = base();
+  write(g, 0, 0, 0);
+  write(g, 1, 1, 0);  // different device: independent
+  const GraphReport rep = verify_graph(g);
+  const ExploreResult ex = explore(g, rep);
+  ASSERT_TRUE(ex.ran);
+  EXPECT_TRUE(ex.exhaustive);
+  EXPECT_EQ(ex.schedules, 1u);
+}
+
+TEST(GraphExplore, BudgetBoundsTheEnumeration) {
+  TaskGraph g = base();
+  const std::uint32_t a = arrival(g, 0, 0, 0);
+  const std::uint32_t r = consume(g, 0, 0, 0);
+  g.add_edge(a, r);
+  g.add_edge(a, verify(g, 1, 0, 0));
+  ExploreOptions opts;
+  opts.max_schedules = 1;
+  const ExploreResult ex = explore(g, verify_graph(g), opts);
+  ASSERT_TRUE(ex.ran);
+  EXPECT_FALSE(ex.exhaustive);
+  EXPECT_EQ(ex.schedules, 1u);
+}
+
+TEST(GraphExplore, RefusesCyclicGraphs) {
+  TaskGraph g = base();
+  const std::uint32_t a = write(g, 0, 0, 0);
+  const std::uint32_t b = write(g, 1, 0, 0);
+  g.add_edge(a, b);
+  g.add_edge(b, a);
+  EXPECT_FALSE(explore(g, verify_graph(g)).ran);
+}
+
+// --- mutation surgery ----------------------------------------------------
+
+TEST(GraphMutate, DropEdgeCreatesARace) {
+  TaskGraph g = base();
+  const std::uint32_t a = arrival(g, 0, 0, 0);
+  const std::uint32_t r = consume(g, 0, 0, 0);
+  const std::uint32_t v = verify(g, 0, 0, 0);
+  g.add_edge(a, r);
+  g.add_edge(r, v);
+  ASSERT_TRUE(verify_graph(g).clean());
+
+  GraphMutation m;
+  m.kind = GraphMutationKind::DropEdge;
+  m.u = a;
+  m.v = r;
+  const GraphReport rep = verify_graph(apply_graph_mutation(g, m));
+  ASSERT_FALSE(rep.graph_findings.empty());
+  EXPECT_EQ(rep.graph_findings.front().kind, GraphFindingKind::Race);
+}
+
+TEST(GraphMutate, DropVerifyNodeUncoversTheWindow) {
+  TaskGraph g = base();
+  const std::uint32_t a = arrival(g, 0, 0, 0);
+  const std::uint32_t r = consume(g, 0, 0, 0);
+  const std::uint32_t v = verify(g, 0, 0, 0);
+  const std::uint32_t w = write(g, 0, 0, 1);  // downstream of the verify
+  g.add_edge(a, r);
+  g.add_edge(r, v);
+  g.add_edge(v, w);
+  GraphMutation m;
+  m.kind = GraphMutationKind::DropVerifyNode;
+  m.u = a;
+  m.device = 0;
+  m.br = 0;
+  m.bc = 0;
+  const TaskGraph mut = apply_graph_mutation(g, m);
+  // Contraction keeps the bypassed order: consume still precedes the
+  // downstream write, so no race — only the uncovered window remains.
+  const GraphReport rep = verify_graph(mut);
+  EXPECT_TRUE(rep.race_free());
+  ASSERT_EQ(rep.coverage_findings.size(), 1u);
+  EXPECT_EQ(rep.coverage_findings.front().kind,
+            FindingKind::UnverifiedTransferConsume);
+}
+
+TEST(GraphMutate, ReorderTransferRacesThePostForkWorker) {
+  TaskGraph g = base();
+  const std::uint32_t t = arrival(g, 0, 0, 0);
+  const std::uint32_t f = write(g, 0, 1, 0);  // the fork point
+  const std::uint32_t w = write(g, 1, 0, 0);  // post-fork worker, conflicts t
+  g.add_edge(t, f);
+  g.add_edge(f, w);
+  ASSERT_TRUE(verify_graph(g).race_free());
+
+  GraphMutation m;
+  m.kind = GraphMutationKind::ReorderTransfer;
+  m.u = t;
+  m.v = f;
+  const TaskGraph mut = apply_graph_mutation(g, m);
+  bool acyclic = false;
+  topo_order(mut, &acyclic);
+  EXPECT_TRUE(acyclic);
+  const GraphReport rep = verify_graph(mut);
+  ASSERT_FALSE(rep.graph_findings.empty());
+  EXPECT_EQ(rep.graph_findings.front().kind, GraphFindingKind::Race);
+}
+
+// --- driver graphs -------------------------------------------------------
+
+TEST(GraphVerify, NewSchemeCholeskyProvesCleanOverAllSchedules) {
+  LintCase c;
+  c.algorithm = "cholesky";
+  c.scheme = core::SchemeKind::NewScheme;
+  c.ngpu = 2;
+  c.n = 96;
+  c.nb = 32;
+  const GraphVerifyOutcome o = graph_verify_case(c);
+  EXPECT_TRUE(o.pass);
+  EXPECT_TRUE(o.report.clean());
+  EXPECT_TRUE(o.refinement.pass);
+  EXPECT_EQ(o.refinement.matched, o.graph.nodes.size());
+  // Fork-join synchronization orders every dependent pair, so the whole
+  // graph is one schedule class.
+  EXPECT_TRUE(o.explored.exhaustive);
+  EXPECT_EQ(o.explored.schedules, 1u);
+  EXPECT_TRUE(o.explored.inconsistencies.empty());
+}
+
+TEST(GraphVerify, PriorOpCholeskyShowsItsDocumentedGapsOnly) {
+  LintCase c;
+  c.algorithm = "cholesky";
+  c.scheme = core::SchemeKind::PriorOp;
+  c.ngpu = 1;
+  c.n = 96;
+  c.nb = 32;
+  const GraphVerifyOutcome o = graph_verify_case(c);
+  EXPECT_TRUE(o.pass);  // gaps are expected findings, not failures
+  EXPECT_TRUE(o.report.race_free());
+  EXPECT_GT(o.report.fatal_coverage_count(), 0u);
+  EXPECT_TRUE(o.missing.empty());
+  EXPECT_TRUE(o.unexpected.empty());
+}
+
+TEST(GraphVerify, MutationCorpusFloorsPerKind) {
+  LintCase c;
+  c.algorithm = "cholesky";
+  c.scheme = core::SchemeKind::NewScheme;
+  c.ngpu = 1;
+  c.n = 96;
+  c.nb = 32;
+  const GraphVerifyReport r = run_graph_verify({c});
+  EXPECT_TRUE(r.cases_pass);
+  // Hard floors: every kind seeded at least once, zero escapes.
+  std::size_t drop_edge = 0;
+  std::size_t drop_verify = 0;
+  std::size_t reorder = 0;
+  for (const GraphMutationOutcome& m : r.mutations) {
+    EXPECT_TRUE(m.detected) << m.mutation.name << ": " << m.mutation.description;
+    switch (m.mutation.kind) {
+      case GraphMutationKind::DropEdge: ++drop_edge; break;
+      case GraphMutationKind::DropVerifyNode: ++drop_verify; break;
+      case GraphMutationKind::ReorderTransfer: ++reorder; break;
+    }
+  }
+  EXPECT_GT(drop_edge, 0u);
+  EXPECT_GT(drop_verify, 0u);
+  EXPECT_GT(reorder, 0u);
+  EXPECT_TRUE(r.corpus_pass);
+  EXPECT_TRUE(r.pass);
+}
+
+TEST(GraphVerify, CertificateSerializesVersionedHeader) {
+  LintCase c;
+  c.algorithm = "lu";
+  c.scheme = core::SchemeKind::NewScheme;
+  c.ngpu = 1;
+  c.n = 96;
+  c.nb = 32;
+  const GraphVerifyReport r = run_graph_verify({c});
+  std::ostringstream os;
+  write_graph_certificate(r, os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("{\n  \"tool\": \"ftla-graph-verify\",\n"
+                      "  \"schema_version\": 1,\n  \"cases\": [\n"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"refinement\""), std::string::npos);
+  EXPECT_NE(json.find("\"exploration\""), std::string::npos);
+  EXPECT_NE(json.find("\"mutations\""), std::string::npos);
+  EXPECT_NE(json.find("\"corpus_pass\": true"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ftla::analysis

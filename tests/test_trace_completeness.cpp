@@ -16,6 +16,8 @@
 #include "analysis/hb.hpp"
 #include "analysis/hb_lint.hpp"
 #include "analysis/lint.hpp"
+#include "analysis/taskgraph/extract.hpp"
+#include "analysis/taskgraph/refine.hpp"
 #include "trace/recorder.hpp"
 #include "trace/trace.hpp"
 
@@ -99,6 +101,18 @@ TEST_P(TraceCompleteness, AnalyzerAcceptsTheTrace) {
   EXPECT_GE(r.contexts, static_cast<std::uint64_t>(GetParam().ngpu) + 1);
 }
 
+/// Every sync-captured trace must be a linearization of the task graph
+/// extracted from an independent run of the same configuration — the
+/// consistency contract between the recorder and the static verifier.
+TEST_P(TraceCompleteness, TraceRefinesTheExtractedTaskGraph) {
+  const TaskGraph g = extract_graph(record(GetParam()));
+  ASSERT_TRUE(g.extracted);
+  const RefinementResult r = check_refinement(g, record(GetParam()));
+  ASSERT_TRUE(r.checked);
+  EXPECT_TRUE(r.pass) << r.detail;
+  EXPECT_EQ(r.matched, g.nodes.size());
+}
+
 std::vector<CompletenessCase> all_cases() {
   std::vector<CompletenessCase> cases;
   for (const char* algo : {"cholesky", "lu", "qr"}) {
@@ -118,6 +132,30 @@ INSTANTIATE_TEST_SUITE_P(
 Trace base_trace() {
   static const Trace t = record({"lu", 2});
   return t;
+}
+
+TEST(TraceRefinementNegative, DroppedVerifyEventBreaksRefinement) {
+  const TaskGraph g = extract_graph(base_trace());
+  Trace t = base_trace();
+  for (std::size_t i = 0; i < t.events.size(); ++i) {
+    if (t.events[i].kind == EventKind::Verify) {
+      t.events.erase(t.events.begin() + static_cast<std::ptrdiff_t>(i));
+      break;
+    }
+  }
+  const RefinementResult r = check_refinement(g, t);
+  ASSERT_TRUE(r.checked);
+  EXPECT_FALSE(r.pass);
+  EXPECT_FALSE(r.detail.empty());
+}
+
+TEST(TraceRefinementNegative, CaptureOffTraceCannotBeChecked) {
+  const TaskGraph g = extract_graph(base_trace());
+  Trace t = base_trace();
+  t.has_sync = false;
+  const RefinementResult r = check_refinement(g, t);
+  EXPECT_FALSE(r.checked);
+  EXPECT_FALSE(r.pass);
 }
 
 TEST(TraceCompletenessNegative, DroppedSignalYieldsWaitWithoutSignal) {
