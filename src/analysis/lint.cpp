@@ -97,6 +97,8 @@ RecordedRun record_case(const LintCase& c, bool sync_capture) {
   opts.ngpu = c.ngpu;
   opts.checksum = c.checksum;
   opts.scheme = c.scheme;
+  opts.scheduler = c.scheduler;
+  opts.lookahead = c.lookahead;
   opts.trace = &rec;
 
   const MatD input = make_input(c);

@@ -32,6 +32,12 @@ struct LintCase {
   index_t nb = 32;
   core::ChecksumKind checksum = core::ChecksumKind::Full;
   std::uint64_t seed = 20260806;
+  /// Which driver schedule to record. ForkJoin keeps the legacy report
+  /// byte-identical; Dataflow produces genuinely out-of-order traces
+  /// (only meaningful to the task-graph tools, which record with sync
+  /// capture on).
+  core::SchedulerKind scheduler = core::SchedulerKind::ForkJoin;
+  index_t lookahead = 1;  ///< panel generations the dataflow host runs ahead
 };
 
 /// The protection profile the linter expects for one (algorithm, scheme).

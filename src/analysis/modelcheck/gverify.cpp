@@ -133,7 +133,9 @@ void write_case(const GraphVerifyOutcome& o, std::ostream& os) {
   os << "    {\"algorithm\":\"" << c.algorithm << "\",\"scheme\":\""
      << core::to_string(c.scheme) << "\",\"checksum\":\""
      << core::to_string(c.checksum) << "\",\"ngpu\":" << c.ngpu
-     << ",\"n\":" << c.n << ",\"nb\":" << c.nb << ",\"status\":\""
+     << ",\"n\":" << c.n << ",\"nb\":" << c.nb << ",\"scheduler\":\""
+     << core::to_string(c.scheduler) << "\",\"lookahead\":" << c.lookahead
+     << ",\"status\":\""
      << status_name(o.run_status) << "\",\"pass\":"
      << (o.pass ? "true" : "false") << ",\"analyzable\":"
      << (o.report.analyzable ? "true" : "false")
@@ -218,7 +220,11 @@ void write_graph_certificate(const GraphVerifyReport& r, std::ostream& os) {
   for (const GraphMutationOutcome& m : r.mutations) {
     if (m.detected) ++detected;
   }
-  os << "{\n  \"tool\": \"ftla-graph-verify\",\n  \"schema_version\": 1,\n"
+  // Schema v2: each case carries the `scheduler` that produced its trace
+  // ("fork-join" | "dataflow") and the `lookahead` depth (panel
+  // generations the dataflow host lane may run ahead; meaningless under
+  // fork-join). v1 consumers keying on case identity must add both.
+  os << "{\n  \"tool\": \"ftla-graph-verify\",\n  \"schema_version\": 2,\n"
         "  \"cases\": [\n";
   for (std::size_t i = 0; i < r.cases.size(); ++i) {
     write_case(r.cases[i], os);

@@ -106,7 +106,10 @@ CampaignResult Campaign::run(const std::vector<fault::FaultSpec>& specs,
 
   fault::FaultInjector injector;
   for (const auto& spec : specs) injector.schedule(spec);
-  FtOutput out = execute(&injector, controls);
+  // Fault-free runs pass no injector so the drivers may honour
+  // FtOptions::scheduler (the dataflow runtime rejects injectors: its
+  // graph is submitted before execution).
+  FtOutput out = execute(specs.empty() ? nullptr : &injector, controls);
 
   CampaignResult result;
   result.stats = out.stats;

@@ -1,0 +1,781 @@
+/// \file df_cholesky.cpp
+/// Dataflow-scheduled FT Cholesky (FtOptions::scheduler == Dataflow).
+///
+/// Task-for-task port of the fork-join CholeskyDriver (ft_cholesky.cpp):
+/// the host lane runs the diagonal fetch / PD / writeback / broadcasts,
+/// the owner lane runs PU and the diagonal receiver check, every GPU
+/// lane runs its per-block trailing updates. TMU tasks are submitted
+/// column-major so block (k+1, k+1) finishes first and iteration k+1's
+/// PD overlaps the rest of iteration k's trailing update (lookahead).
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "blas/blas.hpp"
+#include "checksum/correct.hpp"
+#include "common/error.hpp"
+#include "core/charge_timer.hpp"
+#include "core/ft_dataflow.hpp"
+#include "core/panel_ft.hpp"
+#include "core/recovery.hpp"
+#include "lapack/lapack.hpp"
+#include "runtime/task_runtime.hpp"
+#include "trace/recorder.hpp"
+
+namespace ftla::core::detail {
+
+namespace {
+
+using blas::Diag;
+using blas::Side;
+using blas::Trans;
+using blas::Uplo;
+using fault::OpKind;
+using fault::Part;
+using runtime::Access;
+using runtime::Space;
+using trace::BlockRange;
+using trace::CheckPoint;
+using trace::RegionClass;
+using trace::TransferCtx;
+
+/// Rotating per-GPU staging buffers (lookahead slots).
+enum DeviceBuf : index_t { kBufPanel = 0, kBufPanelCs = 1, kBufBcastCs = 2 };
+
+class DfCholeskyDriver {
+ public:
+  DfCholeskyDriver(ConstViewD a, const FtOptions& opts)
+      : opts_(opts),
+        policy_(opts.policy()),
+        trc_(opts.trace),
+        n_(a.rows()),
+        nb_(opts.nb),
+        b_(a.rows() / opts.nb),
+        num_slots_(std::max<index_t>(opts.lookahead, 0) + 1),
+        sys_owned_(opts.system ? nullptr
+                               : std::make_unique<sim::HeterogeneousSystem>(opts.ngpu)),
+        sys_(opts.system ? *opts.system : *sys_owned_),
+        a_dist_(sys_, n_, nb_, opts.checksum),
+        host_in_(a),
+        rt_(sys_, runtime::TaskRuntime::Config{opts.cancel}) {
+    FTLA_CHECK(a.rows() == a.cols(), "ft_cholesky: matrix must be square");
+    FTLA_CHECK(!opts.system || opts.system->ngpu() == opts.ngpu,
+               "ft_cholesky: FtOptions::system must have exactly opts.ngpu GPUs");
+    a_dist_.set_trace(trc_);
+    tol_.slack = opts.tol_slack;
+    tol_.context = static_cast<double>(n_);
+
+    diag_h_ = &sys_.cpu().alloc(nb_, nb_);
+    diag_snapshot_ = &sys_.cpu().alloc(nb_, nb_);
+    if (has_cs()) {
+      diag_cs_h_ = &sys_.cpu().alloc(2, nb_);
+      diag_cs_snapshot_ = &sys_.cpu().alloc(2, nb_);
+    }
+    panel_d_.resize(static_cast<std::size_t>(sys_.ngpu()));
+    panel_cs_d_.resize(static_cast<std::size_t>(sys_.ngpu()));
+    bcast_cs_d_.resize(static_cast<std::size_t>(sys_.ngpu()));
+    for (int g = 0; g < sys_.ngpu(); ++g) {
+      const auto gi = static_cast<std::size_t>(g);
+      for (index_t sl = 0; sl < num_slots_; ++sl) {
+        panel_d_[gi].push_back(&sys_.gpu(g).alloc(n_, nb_));
+        if (has_cs()) {
+          panel_cs_d_[gi].push_back(&sys_.gpu(g).alloc(2 * b_, nb_));
+          bcast_cs_d_[gi].push_back(&sys_.gpu(g).alloc(2 * b_, nb_));
+        }
+      }
+    }
+    gpu_st_.resize(static_cast<std::size_t>(sys_.ngpu()));
+    iters_.resize(static_cast<std::size_t>(b_));
+  }
+
+  FtOutput run() {
+    WallTimer total;
+    FtOutput out;
+    out.factors = MatD(n_, n_);
+
+    if (trc_) {
+      trc_->begin_run({"cholesky", std::string(to_string(opts_.scheme)),
+                       std::string(to_string(opts_.checksum)), sys_.ngpu(), n_, nb_,
+                       b_});
+      sys_.link().set_trace_hook([this](const sim::TransferInfo& info) {
+        trc_->link_transfer(info.from, info.to, info.bytes);
+      });
+      sys_.set_sync_observer(trc_);
+    }
+
+    a_dist_.scatter(host_in_);
+    if (has_cs()) {
+      ChargeTimer t(&stats_.encode_seconds);
+      a_dist_.encode_all(opts_.encoder, /*lower_only=*/true);
+    }
+
+    for (index_t k = 0; k < b_; ++k) submit_iteration(k);
+    const bool complete = rt_.run();
+    if (!complete && rt_.cancelled()) fail(RunStatus::Cancelled);
+
+    stats_.merge(host_st_);
+    for (auto& gs : gpu_st_) {
+      stats_.merge(gs);
+      gs = FtStats{};
+    }
+    {
+      ftla::LockGuard lock(status_mutex_);
+      stats_.status = status_;
+    }
+
+    if (trc_) trc_->end_iteration(b_ - 1);
+    a_dist_.gather(out.factors.view());
+    if (trc_) {
+      trc_->end_run();
+      sys_.link().clear_trace_hook();
+      sys_.set_sync_observer(nullptr);
+    }
+    stats_.comm_modeled_seconds = sys_.link().stats().modeled_seconds;
+    stats_.total_seconds = total.seconds();
+    out.stats = stats_;
+    return out;
+  }
+
+ private:
+  struct IterState {
+    std::vector<int> flag;  ///< per-GPU broadcast verdicts for the vote
+  };
+
+  [[nodiscard]] bool has_cs() const { return opts_.checksum != ChecksumKind::None; }
+  [[nodiscard]] bool has_rcs() const { return opts_.checksum == ChecksumKind::Full; }
+
+  void fail(RunStatus status) {
+    {
+      ftla::LockGuard lock(status_mutex_);
+      if (status_ == RunStatus::Success) status_ = status;
+    }
+    rt_.abort();
+  }
+
+  RepairContext repair_ctx(FtStats& st) {
+    RepairContext rc;
+    rc.tol = tol_;
+    rc.encoder = opts_.encoder;
+    rc.stats = &st;
+    return rc;
+  }
+
+  [[nodiscard]] double panel_threshold() const {
+    return tol_.slack * checksum::unit_roundoff() * static_cast<double>(n_);
+  }
+
+  void submit_iteration(index_t k) {
+    const int own = a_dist_.owner(k);
+    const index_t sl = k % num_slots_;
+    const index_t mp = n_ - (k + 1) * nb_;  // panel rows below the diagonal
+    const index_t nblk = b_ - k - 1;
+    const int h = runtime::kHostLane;
+    IterState& it = iters_[static_cast<std::size_t>(k)];
+    it.flag.assign(static_cast<std::size_t>(sys_.ngpu()), 0);
+
+    // -- fetch diagonal + pre-check + PD (potrf) on the CPU -------------
+    rt_.submit(h, k,
+               {Access::in_tile(own, Space::Data, k, k),
+                Access::in_tile(own, Space::Checksum, k, k),
+                Access::out_tile(h, Space::Data, k, k),
+                Access::out_tile(h, Space::Checksum, k, k)},
+               [this, k, own] {
+                 auto& st = host_st_;
+                 ViewD d = diag_h_->view();
+                 ViewD dcs = has_cs() ? diag_cs_h_->view() : ViewD{};
+                 sys_.d2h(a_dist_.block(k, k).as_const(), d, own);
+                 if (has_cs()) sys_.d2h(a_dist_.col_cs(k, k).as_const(), dcs, own);
+                 if (trc_) {
+                   trc_->transfer_arrive(TransferCtx::Fetch, own, trace::kHost,
+                                         BlockRange::single(k, k));
+                   if (has_cs()) {
+                     trc_->transfer_arrive(TransferCtx::Fetch, own, trace::kHost,
+                                           BlockRange::single(k, k),
+                                           RegionClass::Checksum);
+                   }
+                 }
+
+                 if ((policy_.check_before_pd || policy_.heuristic_tmu) && has_cs()) {
+                   ChargeTimer t(&st.verify_seconds);
+                   MatD drcs;
+                   if (has_rcs()) {
+                     drcs = MatD(nb_, 2);
+                     sys_.d2h(a_dist_.row_cs(k, k).as_const(), drcs.view(), own);
+                     if (trc_) {
+                       trc_->transfer_arrive(TransferCtx::Fetch, own, trace::kHost,
+                                             BlockRange::single(k, k),
+                                             RegionClass::Checksum);
+                     }
+                   }
+                   auto rc = repair_ctx(st);
+                   const auto outcome =
+                       verify_and_repair(d, dcs, has_rcs() ? drcs.view() : ViewD{}, rc);
+                   ++st.verifications_pd_before;
+                   if (trc_) {
+                     trc_->verify(CheckPoint::BeforePD, trace::kHost,
+                                  BlockRange::single(k, k));
+                   }
+                   if (outcome == RepairOutcome::Uncorrectable) {
+                     fail(RunStatus::NeedCompleteRestart);
+                     return;
+                   }
+                 }
+
+                 copy_view(d.as_const(), diag_snapshot_->view());
+                 if (has_cs()) copy_view(dcs.as_const(), diag_cs_snapshot_->view());
+
+                 for (int attempt = 0;; ++attempt) {
+                   if (attempt > opts_.max_local_restarts) {
+                     fail(RunStatus::NeedCompleteRestart);
+                     return;
+                   }
+                   if (attempt > 0) {
+                     ChargeTimer t(&st.recovery_seconds);
+                     copy_view(diag_snapshot_->view().as_const(), d);
+                     if (has_cs()) copy_view(diag_cs_snapshot_->view().as_const(), dcs);
+                     ++st.local_restarts;
+                   }
+
+                   if (trc_) {
+                     trc_->task_begin(OpKind::PD, trace::kHost);
+                     trc_->compute_read(OpKind::PD, Part::Reference, trace::kHost,
+                                        BlockRange::single(k, k));
+                   }
+                   index_t info;
+                   if (has_cs()) {
+                     info = chol_diag_ft(d, dcs);
+                   } else {
+                     info = lapack::potrf2(d);
+                   }
+                   if (info != 0) {
+                     fail(RunStatus::NumericalFailure);
+                     return;
+                   }
+                   if (trc_) {
+                     trc_->compute_write(OpKind::PD, trace::kHost,
+                                         BlockRange::single(k, k));
+                   }
+
+                   if ((policy_.check_after_pd || policy_.check_after_pd_broadcast) &&
+                       has_cs()) {
+                     ChargeTimer t(&st.verify_seconds);
+                     const double mis = chol_diag_verify(d.as_const(), dcs.as_const());
+                     ++st.verifications_pd_after;
+                     ++st.blocks_verified;
+                     if (trc_) {
+                       trc_->verify(CheckPoint::AfterPD, trace::kHost,
+                                    BlockRange::single(k, k));
+                     }
+                     if (mis > panel_threshold()) {
+                       ++st.errors_detected;
+                       continue;  // local restart
+                     }
+                   }
+                   break;
+                 }
+               });
+
+    // -- write the factored diagonal block back to the owner ------------
+    rt_.submit(h, k,
+               {Access::in_tile(h, Space::Data, k, k),
+                Access::in_tile(h, Space::Checksum, k, k),
+                Access::out_tile(own, Space::Data, k, k),
+                Access::out_tile(own, Space::Checksum, k, k)},
+               [this, k, own] {
+                 sys_.h2d(diag_h_->view().as_const(), a_dist_.block(k, k), own);
+                 if (has_cs()) {
+                   sys_.h2d(diag_cs_h_->view().as_const(), a_dist_.col_cs(k, k), own);
+                 }
+                 if (trc_) {
+                   trc_->transfer_arrive(TransferCtx::WritebackH2D, trace::kHost, own,
+                                         BlockRange::single(k, k));
+                   if (has_cs()) {
+                     trc_->transfer_arrive(TransferCtx::WritebackH2D, trace::kHost,
+                                           own, BlockRange::single(k, k),
+                                           RegionClass::Checksum);
+                   }
+                 }
+               });
+
+    // -- owner stages the diagonal at the top of its panel workspace ----
+    {
+      std::vector<Access> acc = {Access::in_tile(own, Space::Data, k, k),
+                                 Access::in_tile(own, Space::Checksum, k, k),
+                                 Access::out_slot(own, kBufPanel, sl)};
+      if (has_cs()) acc.push_back(Access::out_slot(own, kBufPanelCs, sl));
+      rt_.submit(own, k, acc, [this, k, sl, own] {
+        const auto oi = static_cast<std::size_t>(own);
+        const auto si = static_cast<std::size_t>(sl);
+        copy_view(a_dist_.block(k, k).as_const(),
+                  panel_d_[oi][si]->block(0, 0, nb_, nb_));
+        if (has_cs()) {
+          copy_view(a_dist_.col_cs(k, k).as_const(),
+                    panel_cs_d_[oi][si]->block(0, 0, 2, nb_));
+        }
+      });
+    }
+
+    // -- receiver-side check of the diagonal writeback (§VII.C) ---------
+    // Reads only: unordered against the column broadcast below, which is
+    // where genuinely distinct schedule classes come from.
+    if (policy_.check_after_pd_broadcast && has_cs()) {
+      rt_.submit(own, k,
+                 {Access::in_tile(own, Space::Data, k, k),
+                  Access::in_tile(own, Space::Checksum, k, k)},
+                 [this, k, own] {
+                   auto& st = gpu_st_[static_cast<std::size_t>(own)];
+                   ChargeTimer t(&st.verify_seconds);
+                   const double mis =
+                       chol_diag_verify(a_dist_.block(k, k).as_const(),
+                                        a_dist_.col_cs(k, k).as_const());
+                   ++st.verifications_pd_after;
+                   ++st.blocks_verified;
+                   if (trc_) {
+                     trc_->verify(CheckPoint::AfterPDBroadcast, own,
+                                  BlockRange::single(k, k));
+                   }
+                   if (mis > panel_threshold()) {
+                     // The fork-join driver re-transfers from the verified
+                     // CPU copy; re-planning tasks mid-graph is out of
+                     // scope for the dataflow path (unreachable without
+                     // fault injection).
+                     ++st.errors_detected;
+                     fail(RunStatus::NeedCompleteRestart);
+                     return;
+                   }
+                 });
+    }
+
+    if (k + 1 == b_) return;
+
+    // -- PU on the owner lane: L21 ← A21·L11⁻ᵀ + panel staging ----------
+    {
+      std::vector<Access> acc = {
+          Access::in_tile(own, Space::Data, k, k),
+          Access::in_tile(own, Space::Checksum, k, k),
+          Access::out(own, Space::Data, k + 1, b_, k, k + 1),
+          Access::out(own, Space::Checksum, k + 1, b_, k, k + 1),
+          Access::out_slot(own, kBufPanel, sl)};
+      if (has_cs()) {
+        acc.push_back(Access::out_slot(own, kBufPanelCs, sl));
+        acc.push_back(Access::out_slot(own, kBufBcastCs, sl));
+      }
+      rt_.submit(own, k, acc, [this, k, mp, nblk, sl, own] {
+        const auto oi = static_cast<std::size_t>(own);
+        const auto si = static_cast<std::size_t>(sl);
+        auto& st = gpu_st_[oi];
+        auto& own_pan = *panel_d_[oi][si];
+        ConstViewD l11 = own_pan.block(0, 0, nb_, nb_).as_const();
+        ViewD a21 = a_dist_.col_panel(k, k + 1);
+        ViewD cs21 = has_cs() ? a_dist_.col_cs_panel(k, k + 1) : ViewD{};
+
+        if ((policy_.check_before_pu || policy_.heuristic_tmu) && has_cs()) {
+          ChargeTimer t(&st.verify_seconds);
+          auto rc = repair_ctx(st);
+          for (index_t i = k + 1; i < b_; ++i) {
+            const auto outcome = verify_and_repair(
+                a_dist_.block(i, k), a_dist_.col_cs(i, k),
+                has_rcs() ? a_dist_.row_cs(i, k) : ViewD{}, rc);
+            ++st.verifications_pu_before;
+            if (trc_) trc_->verify(CheckPoint::BeforePU, own, BlockRange::single(i, k));
+            if (outcome == RepairOutcome::Uncorrectable) {
+              fail(RunStatus::NeedCompleteRestart);
+              return;
+            }
+          }
+        }
+
+        MatD snap(a21.as_const());
+        MatD snap_cs = has_cs() ? MatD(cs21.as_const()) : MatD{};
+
+        for (int attempt = 0;; ++attempt) {
+          if (attempt > opts_.max_local_restarts) {
+            fail(RunStatus::NeedCompleteRestart);
+            return;
+          }
+          if (attempt > 0) {
+            ChargeTimer t(&st.recovery_seconds);
+            copy_view(snap.const_view(), a21);
+            if (has_cs()) copy_view(snap_cs.const_view(), cs21);
+            ++st.local_restarts;
+          }
+
+          if (trc_) {
+            trc_->task_begin(OpKind::PU, own);
+            trc_->compute_read(OpKind::PU, Part::Reference, own,
+                               BlockRange::single(k, k));
+            trc_->compute_read(OpKind::PU, Part::Update, own, {k + 1, b_, k, k + 1});
+          }
+          blas::trsm(Side::Right, Uplo::Lower, Trans::Trans, Diag::NonUnit, 1.0, l11,
+                     a21);
+          if (has_cs()) {
+            ChargeTimer t(&st.maintain_seconds);
+            blas::trsm(Side::Right, Uplo::Lower, Trans::Trans, Diag::NonUnit, 1.0, l11,
+                       cs21);
+          }
+          if (trc_) trc_->compute_write(OpKind::PU, own, {k + 1, b_, k, k + 1});
+
+          if (policy_.check_after_pu && has_cs()) {
+            ChargeTimer t(&st.verify_seconds);
+            auto rc = repair_ctx(st);
+            bool restart = false;
+            for (index_t i = k + 1; i < b_; ++i) {
+              const auto outcome = verify_and_repair(a_dist_.block(i, k),
+                                                     a_dist_.col_cs(i, k), ViewD{}, rc);
+              ++st.verifications_pu_after;
+              if (trc_) {
+                trc_->verify(CheckPoint::AfterPU, own, BlockRange::single(i, k));
+              }
+              if (outcome == RepairOutcome::Uncorrectable) restart = true;
+            }
+            if (restart) continue;
+          }
+          break;
+        }
+
+        copy_view(a21.as_const(), own_pan.block(nb_, 0, mp, nb_));
+        if (has_cs()) {
+          copy_view(cs21.as_const(),
+                    panel_cs_d_[oi][si]->block(2, 0, 2 * nblk, nb_));
+          ChargeTimer t(&st.encode_seconds);
+          auto& bcs = *bcast_cs_d_[oi][si];
+          for (index_t i = k; i < b_; ++i) {
+            checksum::encode_col(own_pan.block((i - k) * nb_, 0, nb_, nb_).as_const(),
+                                 bcs.block(2 * (i - k), 0, 2, nb_), opts_.encoder);
+          }
+        }
+      });
+    }
+
+    // -- GPU→GPU panel broadcast (host lane serializes the PCIe model) --
+    for (int g = 0; g < sys_.ngpu(); ++g) {
+      if (g == own) continue;
+      std::vector<Access> acc = {
+          Access::in(own, Space::Data, k, b_, k, k + 1),
+          Access::in(own, Space::Checksum, k, b_, k, k + 1),
+          Access::in_slot(own, kBufPanel, sl),
+          Access::out(g, Space::Data, k, b_, k, k + 1),
+          Access::out(g, Space::Checksum, k, b_, k, k + 1),
+          Access::out_slot(g, kBufPanel, sl)};
+      if (has_cs()) {
+        acc.push_back(Access::in_slot(own, kBufPanelCs, sl));
+        acc.push_back(Access::in_slot(own, kBufBcastCs, sl));
+        acc.push_back(Access::out_slot(g, kBufPanelCs, sl));
+        acc.push_back(Access::out_slot(g, kBufBcastCs, sl));
+      }
+      rt_.submit(h, k, acc, [this, k, mp, nblk, sl, own, g] {
+        const auto oi = static_cast<std::size_t>(own);
+        const auto gi = static_cast<std::size_t>(g);
+        const auto si = static_cast<std::size_t>(sl);
+        sys_.d2d(panel_d_[oi][si]->block(0, 0, mp + nb_, nb_).as_const(), own,
+                 panel_d_[gi][si]->block(0, 0, mp + nb_, nb_), g);
+        if (has_cs()) {
+          sys_.d2d(panel_cs_d_[oi][si]->block(0, 0, 2 * (nblk + 1), nb_).as_const(),
+                   own, panel_cs_d_[gi][si]->block(0, 0, 2 * (nblk + 1), nb_), g);
+          sys_.d2d(bcast_cs_d_[oi][si]->block(0, 0, 2 * (nblk + 1), nb_).as_const(),
+                   own, bcast_cs_d_[gi][si]->block(0, 0, 2 * (nblk + 1), nb_), g);
+        }
+        if (trc_) {
+          trc_->transfer_arrive(TransferCtx::BroadcastD2D, own, g, {k, b_, k, k + 1});
+          if (has_cs()) {
+            trc_->transfer_arrive(TransferCtx::BroadcastD2D, own, g,
+                                  {k, b_, k, k + 1}, RegionClass::Checksum);
+            trc_->transfer_arrive(TransferCtx::BroadcastD2D, own, g,
+                                  {k, b_, k, k + 1}, RegionClass::Checksum);
+          }
+        }
+      });
+    }
+
+    // -- receiver-side verification + voting (§VII.C) -------------------
+    if (policy_.check_after_pu_broadcast && has_cs()) {
+      for (int g = 0; g < sys_.ngpu(); ++g) {
+        rt_.submit(g, k,
+                   {Access::out(g, Space::Data, k, b_, k, k + 1),
+                    Access::in(g, Space::Checksum, k, b_, k, k + 1),
+                    Access::in_slot(g, kBufPanel, sl),
+                    Access::in_slot(g, kBufPanelCs, sl)},
+                   [this, k, nblk, sl, g, &it] {
+                     const auto gi = static_cast<std::size_t>(g);
+                     const auto si = static_cast<std::size_t>(sl);
+                     auto& st = gpu_st_[gi];
+                     ChargeTimer t(&st.verify_seconds);
+                     auto& pan = *panel_d_[gi][si];
+                     auto& mcs = *panel_cs_d_[gi][si];
+                     auto rc = repair_ctx(st);
+                     int f = 0;
+                     const double mis =
+                         chol_diag_verify(pan.block(0, 0, nb_, nb_).as_const(),
+                                          mcs.block(0, 0, 2, nb_).as_const());
+                     ++st.verifications_pu_after;
+                     ++st.blocks_verified;
+                     if (trc_) {
+                       trc_->verify(CheckPoint::AfterPUBroadcast, g,
+                                    BlockRange::single(k, k));
+                     }
+                     if (mis > panel_threshold()) f = 2;
+                     for (index_t i = 1; i < nblk + 1; ++i) {
+                       const auto outcome =
+                           verify_and_repair(pan.block(i * nb_, 0, nb_, nb_),
+                                             mcs.block(2 * i, 0, 2, nb_), ViewD{}, rc);
+                       ++st.verifications_pu_after;
+                       if (trc_) {
+                         trc_->verify(CheckPoint::AfterPUBroadcast, g,
+                                      BlockRange::single(k + i, k));
+                         if (outcome == RepairOutcome::Corrected) {
+                           trc_->correct(g, BlockRange::single(k + i, k));
+                         }
+                       }
+                       if (outcome == RepairOutcome::Corrected) f = std::max(f, 1);
+                       if (outcome == RepairOutcome::Uncorrectable) f = 2;
+                     }
+                     it.flag[gi] = f;
+                   });
+      }
+
+      std::vector<Access> acc;
+      acc.reserve(static_cast<std::size_t>(sys_.ngpu()));
+      for (int g = 0; g < sys_.ngpu(); ++g) {
+        acc.push_back(Access::out(g, Space::Data, k, b_, k, k + 1));
+      }
+      rt_.submit(h, k, acc, [this, &it] {
+        int corrupted = 0;
+        for (int f : it.flag) corrupted += (f != 0);
+        if (corrupted == sys_.ngpu()) {
+          // Every replica bad, including the owner's staging copy: the PU
+          // output itself is suspect. The fork-join driver redoes PU; here
+          // that means a complete restart (unreachable without faults).
+          ++host_st_.errors_detected;
+          fail(RunStatus::NeedCompleteRestart);
+          return;
+        }
+        for (int f : it.flag) {
+          if (f == 0) continue;
+          ++host_st_.comm_errors_corrected;
+          if (f == 2) fail(RunStatus::NeedCompleteRestart);  // no mid-graph retransfer
+        }
+      });
+    }
+
+    // -- trailing update: one task per owned lower-triangle block -------
+    // Column-major submission puts block column k+1 first on its owner's
+    // lane so the next PD unblocks as early as possible (lookahead).
+    for (index_t j = k + 1; j < b_; ++j) {
+      const int g = a_dist_.owner(j);
+      for (index_t i = j; i < b_; ++i) {
+        std::vector<Access> acc = {
+            Access::in_tile(g, Space::Data, i, k),
+            Access::in_tile(g, Space::Data, j, k),
+            Access::in_slot(g, kBufPanel, sl),
+            Access::out_tile(g, Space::Data, i, j)};
+        if (has_cs()) {
+          acc.push_back(Access::in_slot(g, kBufPanelCs, sl));
+          acc.push_back(Access::out_tile(g, Space::Checksum, i, j));
+        }
+        rt_.submit(g, k, acc, [this, k, sl, g, i, j] {
+          const auto gi = static_cast<std::size_t>(g);
+          const auto si = static_cast<std::size_t>(sl);
+          auto& st = gpu_st_[gi];
+          auto& pan = *panel_d_[gi][si];
+          auto& pan_cs = has_cs() ? *panel_cs_d_[gi][si] : *panel_d_[gi][si];
+          ConstViewD lj = pan.block((j - k) * nb_, 0, nb_, nb_).as_const();
+          ConstViewD cs_j = has_cs()
+                                ? pan_cs.block(2 * (j - k), 0, 2, nb_).as_const()
+                                : ConstViewD{};
+          ViewD c = a_dist_.block(i, j);
+          ConstViewD li = pan.block((i - k) * nb_, 0, nb_, nb_).as_const();
+
+          if (policy_.check_before_tmu && has_cs()) {
+            ChargeTimer t(&st.verify_seconds);
+            auto rc = repair_ctx(st);
+            verify_and_repair(c, a_dist_.col_cs(i, j),
+                              has_rcs() ? a_dist_.row_cs(i, j) : ViewD{}, rc);
+            ++st.verifications_tmu_before;
+            verify_and_repair(pan.block((i - k) * nb_, 0, nb_, nb_),
+                              pan_cs.block(2 * (i - k), 0, 2, nb_), ViewD{}, rc);
+            ++st.verifications_tmu_before;
+            if (trc_) {
+              trc_->verify(CheckPoint::BeforeTMU, g, BlockRange::single(i, j));
+              trc_->verify(CheckPoint::BeforeTMU, g, BlockRange::single(i, k));
+            }
+          }
+
+          if (trc_) {
+            trc_->task_begin(OpKind::TMU, g);
+            trc_->compute_read(OpKind::TMU, Part::Reference, g,
+                               BlockRange::single(i, k));
+            trc_->compute_read(OpKind::TMU, Part::Reference, g,
+                               BlockRange::single(j, k));
+            trc_->compute_read(OpKind::TMU, Part::Update, g, BlockRange::single(i, j));
+          }
+          blas::gemm_seq(Trans::NoTrans, Trans::Trans, -1.0, li, lj, 1.0, c);
+          if (has_cs()) {
+            ChargeTimer t(&st.maintain_seconds);
+            blas::gemm_seq(Trans::NoTrans, Trans::Trans, -1.0,
+                           pan_cs.block(2 * (i - k), 0, 2, nb_).as_const(), lj, 1.0,
+                           a_dist_.col_cs(i, j));
+            if (has_rcs()) {
+              blas::gemm_seq(Trans::NoTrans, Trans::Trans, -1.0, li, cs_j, 1.0,
+                             a_dist_.row_cs(i, j));
+            }
+          }
+          if (trc_) trc_->compute_write(OpKind::TMU, g, BlockRange::single(i, j));
+
+          if (policy_.check_after_tmu && has_cs()) {
+            ChargeTimer t(&st.verify_seconds);
+            auto rc = repair_ctx(st);
+            const auto outcome =
+                verify_and_repair(c, a_dist_.col_cs(i, j),
+                                  has_rcs() ? a_dist_.row_cs(i, j) : ViewD{}, rc);
+            ++st.verifications_tmu_after;
+            if (trc_) trc_->verify(CheckPoint::AfterTMU, g, BlockRange::single(i, j));
+            if (outcome == RepairOutcome::Uncorrectable) {
+              fail(RunStatus::NeedCompleteRestart);
+              return;
+            }
+          }
+        });
+      }
+    }
+
+    // -- §VII.B heuristic: deferred check of the panel replicas ---------
+    if (policy_.heuristic_tmu && has_cs()) {
+      for (int g = 0; g < sys_.ngpu(); ++g) {
+        rt_.submit(g, k,
+                   {Access::in(g, Space::Data, k + 1, b_, k, k + 1),
+                    Access::in_slot(g, kBufPanel, sl),
+                    Access::in_slot(g, kBufPanelCs, sl),
+                    Access::out(g, Space::Data, k + 1, b_, k + 1, b_),
+                    Access::out(g, Space::Checksum, k + 1, b_, k + 1, b_)},
+                   [this, k, sl, g] {
+                     const auto gi = static_cast<std::size_t>(g);
+                     const auto si = static_cast<std::size_t>(sl);
+                     auto& st = gpu_st_[gi];
+                     auto& pan = *panel_d_[gi][si];
+                     auto& pan_cs = *panel_cs_d_[gi][si];
+                     ChargeTimer t(&st.verify_seconds);
+                     const auto owned = a_dist_.dist().owned_from(g, k + 1);
+                     if (owned.empty()) return;
+
+                     for (index_t m = k + 1; m < b_; ++m) {
+                       ViewD lm = pan.block((m - k) * nb_, 0, nb_, nb_);
+                       const auto res = checksum::verify_col(
+                           lm.as_const(), pan_cs.block(2 * (m - k), 0, 2, nb_).as_const(),
+                           tol_, opts_.encoder);
+                       ++st.verifications_tmu_after;
+                       ++st.blocks_verified;
+                       if (trc_) {
+                         trc_->verify(CheckPoint::HeuristicTMU, g,
+                                      BlockRange::single(m, k));
+                       }
+                       if (res.clean()) continue;
+                       ++st.errors_detected;
+                       const auto diag = checksum::diagnose_cols(res.col_deltas, nb_);
+                       if (diag.pattern != checksum::ErrorPattern::Single) {
+                         fail(RunStatus::NeedCompleteRestart);
+                         return;
+                       }
+                       checksum::correct_from_col_deltas(lm, res.col_deltas);
+                       ++st.corrected_0d;
+
+                       for (index_t j : owned) {
+                         if (j > m) continue;
+                         checksum::reconstruct_row(a_dist_.block(m, j),
+                                                   a_dist_.col_cs(m, j).as_const(),
+                                                   diag.row);
+                         ++st.corrected_1d;
+                       }
+                       if (a_dist_.owner(m) == g && has_rcs()) {
+                         for (index_t i = m; i < b_; ++i) {
+                           checksum::reconstruct_column(a_dist_.block(i, m),
+                                                        a_dist_.row_cs(i, m).as_const(),
+                                                        diag.row);
+                           checksum::encode_col(a_dist_.block(i, m).as_const(),
+                                                a_dist_.col_cs(i, m), opts_.encoder);
+                           ++st.corrected_1d;
+                           ++st.checksum_rebuilds;
+                         }
+                       } else if (a_dist_.owner(m) == g && !has_rcs()) {
+                         fail(RunStatus::NeedCompleteRestart);
+                         return;
+                       }
+                     }
+                   });
+      }
+    }
+
+    // -- §VII.B extension: periodic full trailing sweep -----------------
+    if (opts_.periodic_trailing_check > 0 &&
+        (k + 1) % opts_.periodic_trailing_check == 0 && has_cs()) {
+      for (int g = 0; g < sys_.ngpu(); ++g) {
+        rt_.submit(g, k,
+                   {Access::out(g, Space::Data, k + 1, b_, k + 1, b_),
+                    Access::out(g, Space::Checksum, k + 1, b_, k + 1, b_)},
+                   [this, k, g] {
+                     auto& st = gpu_st_[static_cast<std::size_t>(g)];
+                     ChargeTimer t(&st.verify_seconds);
+                     auto rc = repair_ctx(st);
+                     for (index_t j : a_dist_.dist().owned_from(g, k + 1)) {
+                       for (index_t i = j; i < b_; ++i) {
+                         const auto outcome = verify_and_repair(
+                             a_dist_.block(i, j), a_dist_.col_cs(i, j),
+                             has_rcs() ? a_dist_.row_cs(i, j) : ViewD{}, rc);
+                         ++st.verifications_tmu_after;
+                         if (trc_) {
+                           trc_->verify(CheckPoint::PeriodicSweep, g,
+                                        BlockRange::single(i, j));
+                         }
+                         if (outcome == RepairOutcome::Uncorrectable) {
+                           fail(RunStatus::NeedCompleteRestart);
+                           return;
+                         }
+                       }
+                     }
+                   });
+      }
+    }
+  }
+
+  const FtOptions opts_;
+  const SchemePolicy policy_;
+  trace::TraceRecorder* trc_;
+  index_t n_, nb_, b_;
+  index_t num_slots_;
+  std::unique_ptr<sim::HeterogeneousSystem> sys_owned_;
+  sim::HeterogeneousSystem& sys_;
+  DistMatrix a_dist_;
+  ConstViewD host_in_;
+  runtime::TaskRuntime rt_;
+  FtStats stats_;
+  FtStats host_st_;
+  std::vector<FtStats> gpu_st_;
+  checksum::Tolerance tol_;
+  std::vector<IterState> iters_;
+
+  ftla::Mutex status_mutex_;
+  RunStatus status_ FTLA_GUARDED_BY(status_mutex_) = RunStatus::Success;
+
+  MatD* diag_h_ = nullptr;
+  MatD* diag_snapshot_ = nullptr;
+  MatD* diag_cs_h_ = nullptr;
+  MatD* diag_cs_snapshot_ = nullptr;
+  std::vector<std::vector<MatD*>> panel_d_;
+  std::vector<std::vector<MatD*>> panel_cs_d_;
+  std::vector<std::vector<MatD*>> bcast_cs_d_;
+};
+
+}  // namespace
+
+FtOutput df_cholesky(ConstViewD a, const FtOptions& opts) {
+  if (!opts.system) {
+    DfCholeskyDriver driver(a, opts);
+    return driver.run();
+  }
+  sim::BorrowedSystemScope scope(*opts.system);
+  DfCholeskyDriver driver(a, opts);
+  return driver.run();
+}
+
+}  // namespace ftla::core::detail

@@ -1,0 +1,877 @@
+/// \file df_lu.cpp
+/// Dataflow-scheduled FT LU (FtOptions::scheduler == Dataflow).
+///
+/// Task-for-task port of the fork-join LuDriver (ft_lu.cpp): the host
+/// lane runs fetch / PD / broadcasts / voting, each GPU lane runs its
+/// receiver check, panel updates of owned columns, and per-block
+/// trailing updates. Work is submitted column-major so block column k+1
+/// completes first on its owner's lane and iteration k+1's panel
+/// factorization overlaps the rest of iteration k's trailing update.
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "blas/blas.hpp"
+#include "checksum/correct.hpp"
+#include "common/error.hpp"
+#include "common/timer.hpp"
+#include "core/charge_timer.hpp"
+#include "core/ft_dataflow.hpp"
+#include "core/panel_ft.hpp"
+#include "core/recovery.hpp"
+#include "lapack/lapack.hpp"
+#include "runtime/task_runtime.hpp"
+#include "trace/recorder.hpp"
+
+namespace ftla::core::detail {
+
+namespace {
+
+using blas::Diag;
+using blas::Side;
+using blas::Trans;
+using blas::Uplo;
+using fault::OpKind;
+using fault::Part;
+using runtime::Access;
+using runtime::Space;
+using trace::BlockRange;
+using trace::CheckPoint;
+using trace::RegionClass;
+using trace::TransferCtx;
+
+/// Rotating per-GPU staging buffers (lookahead slots).
+enum DeviceBuf : index_t { kBufPanel = 0, kBufPanelCs = 1, kBufBcastCs = 2 };
+
+class DfLuDriver {
+ public:
+  DfLuDriver(ConstViewD a, const FtOptions& opts)
+      : opts_(opts),
+        policy_(opts.policy()),
+        trc_(opts.trace),
+        n_(a.rows()),
+        nb_(opts.nb),
+        b_(a.rows() / opts.nb),
+        num_slots_(std::max<index_t>(opts.lookahead, 0) + 1),
+        sys_owned_(opts.system ? nullptr
+                               : std::make_unique<sim::HeterogeneousSystem>(opts.ngpu)),
+        sys_(opts.system ? *opts.system : *sys_owned_),
+        a_dist_(sys_, n_, nb_, opts.checksum),
+        host_in_(a),
+        rt_(sys_, runtime::TaskRuntime::Config{opts.cancel}) {
+    FTLA_CHECK(a.rows() == a.cols(), "ft_lu: matrix must be square");
+    FTLA_CHECK(!opts.system || opts.system->ngpu() == opts.ngpu,
+               "ft_lu: FtOptions::system must have exactly opts.ngpu GPUs");
+    a_dist_.set_trace(trc_);
+    tol_.slack = opts.tol_slack;
+    tol_.context = static_cast<double>(n_);
+
+    panel_h_ = &sys_.cpu().alloc(n_, nb_);
+    snapshot_ = &sys_.cpu().alloc(n_, nb_);
+    if (has_cs()) {
+      panel_cs_h_ = &sys_.cpu().alloc(2 * b_, nb_);
+      snapshot_cs_ = &sys_.cpu().alloc(2 * b_, nb_);
+      bcast_cs_h_ = &sys_.cpu().alloc(2 * b_, nb_);
+    }
+    if (has_rcs()) panel_rcs_h_ = &sys_.cpu().alloc(n_, 2);
+    panel_d_.resize(static_cast<std::size_t>(sys_.ngpu()));
+    panel_cs_d_.resize(static_cast<std::size_t>(sys_.ngpu()));
+    bcast_cs_d_.resize(static_cast<std::size_t>(sys_.ngpu()));
+    for (int g = 0; g < sys_.ngpu(); ++g) {
+      const auto gi = static_cast<std::size_t>(g);
+      for (index_t sl = 0; sl < num_slots_; ++sl) {
+        panel_d_[gi].push_back(&sys_.gpu(g).alloc(n_, nb_));
+        if (has_cs()) {
+          panel_cs_d_[gi].push_back(&sys_.gpu(g).alloc(2 * b_, nb_));
+          bcast_cs_d_[gi].push_back(&sys_.gpu(g).alloc(2 * b_, nb_));
+        }
+      }
+    }
+    gpu_st_.resize(static_cast<std::size_t>(sys_.ngpu()));
+    iters_.resize(static_cast<std::size_t>(b_));
+  }
+
+  FtOutput run() {
+    WallTimer total;
+    FtOutput out;
+    out.factors = MatD(n_, n_);
+
+    if (trc_) {
+      trc_->begin_run({"lu", std::string(to_string(opts_.scheme)),
+                       std::string(to_string(opts_.checksum)), sys_.ngpu(), n_, nb_,
+                       b_});
+      sys_.link().set_trace_hook([this](const sim::TransferInfo& info) {
+        trc_->link_transfer(info.from, info.to, info.bytes);
+      });
+      sys_.set_sync_observer(trc_);
+    }
+
+    a_dist_.scatter(host_in_);
+    if (has_cs()) {
+      ChargeTimer t(&stats_.encode_seconds);
+      a_dist_.encode_all(opts_.encoder);
+    }
+
+    for (index_t k = 0; k < b_; ++k) submit_iteration(k);
+    const bool complete = rt_.run();
+    if (!complete && rt_.cancelled()) fail(RunStatus::Cancelled);
+
+    stats_.merge(host_st_);
+    for (auto& gs : gpu_st_) {
+      stats_.merge(gs);
+      gs = FtStats{};
+    }
+    {
+      ftla::LockGuard lock(status_mutex_);
+      stats_.status = status_;
+    }
+
+    if (trc_) trc_->end_iteration(b_ - 1);
+    a_dist_.gather(out.factors.view());
+    if (trc_) {
+      trc_->end_run();
+      sys_.link().clear_trace_hook();
+      sys_.set_sync_observer(nullptr);
+    }
+    stats_.comm_modeled_seconds = sys_.link().stats().modeled_seconds;
+    stats_.total_seconds = total.seconds();
+    out.stats = stats_;
+    return out;
+  }
+
+ private:
+  struct IterState {
+    std::vector<int> flag;       ///< payload-checksum verdicts per receiver
+    std::vector<char> suspect;   ///< maintained-checksum verdicts per receiver
+  };
+
+  [[nodiscard]] bool has_cs() const { return opts_.checksum != ChecksumKind::None; }
+  [[nodiscard]] bool has_rcs() const { return opts_.checksum == ChecksumKind::Full; }
+
+  void fail(RunStatus status) {
+    {
+      ftla::LockGuard lock(status_mutex_);
+      if (status_ == RunStatus::Success) status_ = status;
+    }
+    rt_.abort();
+  }
+
+  RepairContext repair_ctx(FtStats& st) {
+    RepairContext rc;
+    rc.tol = tol_;
+    rc.encoder = opts_.encoder;
+    rc.stats = &st;
+    return rc;
+  }
+
+  [[nodiscard]] double panel_threshold() const {
+    return tol_.slack * checksum::unit_roundoff() * static_cast<double>(n_);
+  }
+
+  void submit_iteration(index_t k) {
+    const index_t mp = n_ - k * nb_;
+    const index_t nblk = b_ - k;
+    const int own = a_dist_.owner(k);
+    const index_t sl = k % num_slots_;
+    const int h = runtime::kHostLane;
+    IterState& it = iters_[static_cast<std::size_t>(k)];
+    it.flag.assign(static_cast<std::size_t>(sys_.ngpu()), 0);
+    it.suspect.assign(static_cast<std::size_t>(sys_.ngpu()), 0);
+
+    // -- fetch panel (and its checksums) to the CPU over PCIe ----------
+    rt_.submit(h, k,
+               {Access::in(own, Space::Data, k, b_, k, k + 1),
+                Access::in(own, Space::Checksum, k, b_, k, k + 1),
+                Access::out(h, Space::Data, k, b_, k, k + 1),
+                Access::out(h, Space::Checksum, k, b_, k, k + 1)},
+               [this, k, mp, nblk, own] {
+                 sys_.d2h(a_dist_.col_panel(k, k).as_const(),
+                          panel_h_->block(0, 0, mp, nb_), own);
+                 if (has_cs()) {
+                   sys_.d2h(a_dist_.col_cs_panel(k, k).as_const(),
+                            panel_cs_h_->block(0, 0, 2 * nblk, nb_), own);
+                 }
+                 if (has_rcs()) {
+                   sys_.d2h(a_dist_.row_cs_panel(k, k).as_const(),
+                            panel_rcs_h_->block(0, 0, mp, 2), own);
+                 }
+                 if (trc_) {
+                   trc_->transfer_arrive(TransferCtx::Fetch, own, trace::kHost,
+                                         {k, b_, k, k + 1});
+                   if (has_cs()) {
+                     trc_->transfer_arrive(TransferCtx::Fetch, own, trace::kHost,
+                                           {k, b_, k, k + 1}, RegionClass::Checksum);
+                   }
+                   if (has_rcs()) {
+                     trc_->transfer_arrive(TransferCtx::Fetch, own, trace::kHost,
+                                           {k, b_, k, k + 1}, RegionClass::Checksum);
+                   }
+                 }
+               });
+
+    // -- frozen U blocks of column k (rows above the panel) ------------
+    if ((policy_.check_before_pd || policy_.heuristic_tmu) && has_rcs() && k > 0) {
+      rt_.submit(own, k,
+                 {Access::out(own, Space::Data, 0, k, k, k + 1),
+                  Access::out(own, Space::Checksum, 0, k, k, k + 1)},
+                 [this, k, own] {
+                   auto& st = gpu_st_[static_cast<std::size_t>(own)];
+                   ChargeTimer t(&st.verify_seconds);
+                   auto rc = repair_ctx(st);
+                   for (index_t i = 0; i < k; ++i) {
+                     const auto outcome = verify_and_repair(
+                         a_dist_.block(i, k), ViewD{}, a_dist_.row_cs(i, k), rc);
+                     ++st.verifications_pd_before;
+                     if (trc_) {
+                       trc_->verify(CheckPoint::FrozenPanel, own,
+                                    BlockRange::single(i, k));
+                     }
+                     if (outcome == RepairOutcome::Uncorrectable) {
+                       fail(RunStatus::NeedCompleteRestart);
+                       return;
+                     }
+                   }
+                 });
+    }
+
+    // -- pre-PD check + PD (getrf, no pivoting) on the CPU -------------
+    rt_.submit(h, k,
+               {Access::out(h, Space::Data, k, b_, k, k + 1),
+                Access::out(h, Space::Checksum, k, b_, k, k + 1)},
+               [this, k, mp, nblk] {
+                 auto& st = host_st_;
+                 ViewD ph = panel_h_->block(0, 0, mp, nb_);
+                 ViewD pcs = has_cs() ? panel_cs_h_->block(0, 0, 2 * nblk, nb_)
+                                      : ViewD{};
+                 ViewD prcs = has_rcs() ? panel_rcs_h_->block(0, 0, mp, 2) : ViewD{};
+
+                 if ((policy_.check_before_pd || policy_.heuristic_tmu) && has_cs()) {
+                   ChargeTimer t(&st.verify_seconds);
+                   for (index_t i = 0; i < nblk; ++i) {
+                     auto rc = repair_ctx(st);
+                     const auto outcome = verify_and_repair(
+                         ph.block(i * nb_, 0, nb_, nb_), pcs.block(2 * i, 0, 2, nb_),
+                         has_rcs() ? prcs.block(i * nb_, 0, nb_, 2) : ViewD{}, rc);
+                     ++st.verifications_pd_before;
+                     if (trc_) {
+                       trc_->verify(CheckPoint::BeforePD, trace::kHost,
+                                    BlockRange::single(k + i, k));
+                     }
+                     if (outcome == RepairOutcome::Uncorrectable) {
+                       fail(RunStatus::NeedCompleteRestart);
+                       return;
+                     }
+                   }
+                 }
+
+                 copy_view(ph.as_const(), snapshot_->block(0, 0, mp, nb_));
+                 if (has_cs()) {
+                   copy_view(pcs.as_const(), snapshot_cs_->block(0, 0, 2 * nblk, nb_));
+                 }
+
+                 for (int attempt = 0;; ++attempt) {
+                   if (attempt > opts_.max_local_restarts) {
+                     fail(RunStatus::NeedCompleteRestart);
+                     return;
+                   }
+                   if (attempt > 0) {
+                     ChargeTimer t(&st.recovery_seconds);
+                     copy_view(snapshot_->block(0, 0, mp, nb_).as_const(), ph);
+                     if (has_cs()) {
+                       copy_view(snapshot_cs_->block(0, 0, 2 * nblk, nb_).as_const(),
+                                 pcs);
+                     }
+                     ++st.local_restarts;
+                   }
+
+                   if (trc_) {
+                     trc_->task_begin(OpKind::PD, trace::kHost);
+                     trc_->compute_read(OpKind::PD, Part::Reference, trace::kHost,
+                                        {k, b_, k, k + 1});
+                   }
+                   index_t info;
+                   if (has_cs()) {
+                     info = lu_panel_ft(ph, nb_, pcs);
+                   } else {
+                     info = lapack::getrf2_nopiv(ph);
+                   }
+                   if (info != 0) {
+                     fail(RunStatus::NumericalFailure);
+                     return;
+                   }
+                   if (trc_) {
+                     trc_->compute_write(OpKind::PD, trace::kHost, {k, b_, k, k + 1});
+                   }
+
+                   if (policy_.check_after_pd && has_cs()) {
+                     ChargeTimer t(&st.verify_seconds);
+                     const double mis = lu_panel_verify(ph.as_const(), nb_,
+                                                        pcs.as_const(), opts_.encoder);
+                     st.verifications_pd_after += static_cast<std::uint64_t>(nblk);
+                     st.blocks_verified += static_cast<std::uint64_t>(nblk);
+                     if (trc_) {
+                       trc_->verify(CheckPoint::AfterPD, trace::kHost,
+                                    {k, b_, k, k + 1});
+                     }
+                     if (mis > panel_threshold()) {
+                       ++st.errors_detected;
+                       continue;  // local restart
+                     }
+                   }
+                   break;
+                 }
+
+                 if (has_cs()) {
+                   ChargeTimer t(&st.encode_seconds);
+                   ViewD bcs = bcast_cs_h_->block(0, 0, 2 * nblk, nb_);
+                   for (index_t i = 0; i < nblk; ++i) {
+                     checksum::encode_col(ph.block(i * nb_, 0, nb_, nb_).as_const(),
+                                          bcs.block(2 * i, 0, 2, nb_), opts_.encoder);
+                   }
+                 }
+               });
+
+    // -- broadcast the decomposed panel to every GPU -------------------
+    for (int g = 0; g < sys_.ngpu(); ++g) {
+      std::vector<Access> acc = {
+          Access::in(h, Space::Data, k, b_, k, k + 1),
+          Access::in(h, Space::Checksum, k, b_, k, k + 1),
+          Access::out(g, Space::Data, k, b_, k, k + 1),
+          Access::out(g, Space::Checksum, k, b_, k, k + 1),
+          Access::out_slot(g, kBufPanel, sl)};
+      if (has_cs()) {
+        acc.push_back(Access::out_slot(g, kBufPanelCs, sl));
+        acc.push_back(Access::out_slot(g, kBufBcastCs, sl));
+      }
+      rt_.submit(h, k, acc, [this, k, mp, nblk, sl, g] {
+        const auto gi = static_cast<std::size_t>(g);
+        const auto si = static_cast<std::size_t>(sl);
+        sys_.h2d(panel_h_->block(0, 0, mp, nb_).as_const(),
+                 panel_d_[gi][si]->block(0, 0, mp, nb_), g);
+        if (has_cs()) {
+          sys_.h2d(panel_cs_h_->block(0, 0, 2 * nblk, nb_).as_const(),
+                   panel_cs_d_[gi][si]->block(0, 0, 2 * nblk, nb_), g);
+          sys_.h2d(bcast_cs_h_->block(0, 0, 2 * nblk, nb_).as_const(),
+                   bcast_cs_d_[gi][si]->block(0, 0, 2 * nblk, nb_), g);
+        }
+        if (trc_) {
+          trc_->transfer_arrive(TransferCtx::BroadcastH2D, trace::kHost, g,
+                                {k, b_, k, k + 1});
+          if (has_cs()) {
+            trc_->transfer_arrive(TransferCtx::BroadcastH2D, trace::kHost, g,
+                                  {k, b_, k, k + 1}, RegionClass::Checksum);
+            trc_->transfer_arrive(TransferCtx::BroadcastH2D, trace::kHost, g,
+                                  {k, b_, k, k + 1}, RegionClass::Checksum);
+          }
+        }
+      });
+    }
+
+    // -- receiver-side check + communication-error voting (§VII.C) -----
+    if (policy_.check_after_pd_broadcast && has_cs()) {
+      for (int g = 0; g < sys_.ngpu(); ++g) {
+        rt_.submit(g, k,
+                   {Access::out(g, Space::Data, k, b_, k, k + 1),
+                    Access::in(g, Space::Checksum, k, b_, k, k + 1),
+                    Access::in_slot(g, kBufPanel, sl),
+                    Access::in_slot(g, kBufPanelCs, sl),
+                    Access::in_slot(g, kBufBcastCs, sl)},
+                   [this, k, mp, nblk, sl, g, &it] {
+                     const auto gi = static_cast<std::size_t>(g);
+                     const auto si = static_cast<std::size_t>(sl);
+                     auto& st = gpu_st_[gi];
+                     ChargeTimer t(&st.verify_seconds);
+                     auto& pan = *panel_d_[gi][si];
+                     auto& bcs = *bcast_cs_d_[gi][si];
+                     auto rc = repair_ctx(st);
+                     int f = 0;
+                     for (index_t i = 0; i < nblk; ++i) {
+                       const auto outcome = verify_and_repair(
+                           pan.block(i * nb_, 0, nb_, nb_),
+                           bcs.block(2 * i, 0, 2, nb_), ViewD{}, rc);
+                       st.verifications_pd_after += 1;
+                       if (trc_) {
+                         trc_->verify(CheckPoint::BroadcastPayload, g,
+                                      BlockRange::single(k + i, k));
+                         if (outcome == RepairOutcome::Corrected) {
+                           trc_->correct(g, BlockRange::single(k + i, k));
+                         }
+                       }
+                       if (outcome == RepairOutcome::Corrected) f = std::max(f, 1);
+                       if (outcome == RepairOutcome::Uncorrectable) f = 2;
+                     }
+                     const double mis = lu_panel_verify(
+                         pan.block(0, 0, mp, nb_).as_const(), nb_,
+                         panel_cs_d_[gi][si]->block(0, 0, 2 * nblk, nb_).as_const(),
+                         opts_.encoder);
+                     st.verifications_pd_after += static_cast<std::uint64_t>(nblk);
+                     st.blocks_verified += static_cast<std::uint64_t>(nblk);
+                     if (trc_) {
+                       trc_->verify(CheckPoint::AfterPDBroadcast, g,
+                                    {k, b_, k, k + 1});
+                     }
+                     if (mis > panel_threshold()) it.suspect[gi] = 1;
+                     it.flag[gi] = f;
+                   });
+      }
+
+      std::vector<Access> acc;
+      acc.reserve(static_cast<std::size_t>(sys_.ngpu()));
+      for (int g = 0; g < sys_.ngpu(); ++g) {
+        acc.push_back(Access::out(g, Space::Data, k, b_, k, k + 1));
+      }
+      rt_.submit(h, k, acc, [this, &it] {
+        int corrupted = 0;
+        for (int f : it.flag) corrupted += (f != 0);
+        int suspects = 0;
+        for (char c : it.suspect) suspects += c;
+        if ((corrupted == sys_.ngpu() && sys_.ngpu() > 1) ||
+            suspects == sys_.ngpu()) {
+          // Source (PD output) suspect: the fork-join driver redoes PD in
+          // memory; re-planning tasks mid-graph is out of scope for the
+          // dataflow path (unreachable without fault injection).
+          ++host_st_.errors_detected;
+          fail(RunStatus::NeedCompleteRestart);
+          return;
+        }
+        for (int g = 0; g < sys_.ngpu(); ++g) {
+          const auto gi = static_cast<std::size_t>(g);
+          if (it.suspect[gi]) {
+            ++host_st_.comm_errors_corrected;
+            fail(RunStatus::NeedCompleteRestart);  // no mid-graph retransfer
+          }
+          if (it.flag[gi] != 0) {
+            ++host_st_.comm_errors_corrected;
+            if (it.flag[gi] == 2) fail(RunStatus::NeedCompleteRestart);
+          }
+        }
+      });
+    }
+
+    // -- owner writes the factored panel back into resident storage ----
+    {
+      std::vector<Access> acc = {Access::in_slot(own, kBufPanel, sl),
+                                 Access::out(own, Space::Data, k, b_, k, k + 1),
+                                 Access::out(own, Space::Checksum, k, b_, k, k + 1)};
+      if (has_cs()) acc.push_back(Access::in_slot(own, kBufPanelCs, sl));
+      rt_.submit(own, k, acc, [this, k, mp, nblk, sl, own] {
+        const auto oi = static_cast<std::size_t>(own);
+        const auto si = static_cast<std::size_t>(sl);
+        copy_view(panel_d_[oi][si]->block(0, 0, mp, nb_).as_const(),
+                  a_dist_.col_panel(k, k));
+        if (has_cs()) {
+          copy_view(panel_cs_d_[oi][si]->block(0, 0, 2 * nblk, nb_).as_const(),
+                    a_dist_.col_cs_panel(k, k));
+        }
+      });
+    }
+
+    if (k + 1 == b_) return;
+
+    // -- pre-PU check of each GPU's L11 replica ------------------------
+    if ((policy_.check_before_pu || policy_.heuristic_tmu) && has_cs()) {
+      for (int g = 0; g < sys_.ngpu(); ++g) {
+        if (a_dist_.dist().owned_from(g, k + 1).empty()) continue;
+        std::vector<Access> acc = {Access::out_tile(g, Space::Data, k, k),
+                                   Access::in_slot(g, kBufPanel, sl),
+                                   Access::in_slot(g, kBufPanelCs, sl)};
+        rt_.submit(g, k, acc, [this, k, sl, g] {
+          const auto gi = static_cast<std::size_t>(g);
+          const auto si = static_cast<std::size_t>(sl);
+          auto& st = gpu_st_[gi];
+          ChargeTimer t(&st.verify_seconds);
+          index_t fixed = 0;
+          const bool ok = verify_repair_unit_lower(
+              panel_d_[gi][si]->block(0, 0, nb_, nb_),
+              panel_cs_d_[gi][si]->block(0, 0, 2, nb_).as_const(), tol_.slack,
+              tol_.context, &fixed);
+          ++st.verifications_pu_before;
+          ++st.blocks_verified;
+          if (trc_) trc_->verify(CheckPoint::BeforePU, g, BlockRange::single(k, k));
+          if (fixed > 0) {
+            ++st.errors_detected;
+            st.corrected_0d += static_cast<std::uint64_t>(fixed);
+            if (trc_) trc_->correct(g, BlockRange::single(k, k));
+          }
+          if (!ok) fail(RunStatus::NeedCompleteRestart);
+        });
+      }
+    }
+
+    // -- per-column PU + TMU, submitted column-major for lookahead -----
+    for (index_t j = k + 1; j < b_; ++j) {
+      const int g = a_dist_.owner(j);
+      submit_pu(k, j, g, sl);
+      if (policy_.check_before_tmu && has_cs()) submit_tmu_pre(k, j, g, sl);
+      for (index_t i = k + 1; i < b_; ++i) submit_tmu(k, i, j, g, sl);
+    }
+
+    // -- §VII.B heuristic: deferred check of the consumed panels -------
+    if (policy_.heuristic_tmu && has_cs()) {
+      for (int g = 0; g < sys_.ngpu(); ++g) submit_heuristic(k, g, sl);
+    }
+
+    // -- §VII.B extension: periodic full trailing sweep ----------------
+    if (opts_.periodic_trailing_check > 0 &&
+        (k + 1) % opts_.periodic_trailing_check == 0 && has_cs()) {
+      for (int g = 0; g < sys_.ngpu(); ++g) {
+        rt_.submit(g, k,
+                   {Access::out(g, Space::Data, k + 1, b_, k + 1, b_),
+                    Access::out(g, Space::Checksum, k + 1, b_, k + 1, b_)},
+                   [this, k, g] {
+                     auto& st = gpu_st_[static_cast<std::size_t>(g)];
+                     ChargeTimer t(&st.verify_seconds);
+                     auto rc = repair_ctx(st);
+                     for (index_t j : a_dist_.dist().owned_from(g, k + 1)) {
+                       for (index_t i = k + 1; i < b_; ++i) {
+                         const auto outcome = verify_and_repair(
+                             a_dist_.block(i, j), a_dist_.col_cs(i, j),
+                             has_rcs() ? a_dist_.row_cs(i, j) : ViewD{}, rc);
+                         ++st.verifications_tmu_after;
+                         if (trc_) {
+                           trc_->verify(CheckPoint::PeriodicSweep, g,
+                                        BlockRange::single(i, j));
+                         }
+                         if (outcome == RepairOutcome::Uncorrectable) {
+                           fail(RunStatus::NeedCompleteRestart);
+                           return;
+                         }
+                       }
+                     }
+                   });
+      }
+    }
+  }
+
+  /// PU: U(k, j) ← L11⁻¹·A(k, j) on the owner of column j.
+  void submit_pu(index_t k, index_t j, int g, index_t sl) {
+    rt_.submit(g, k,
+               {Access::in_tile(g, Space::Data, k, k),
+                Access::in_slot(g, kBufPanel, sl),
+                Access::out(g, Space::Data, k, k + 1, j, j + 1),
+                Access::out(g, Space::Checksum, k, k + 1, j, j + 1)},
+               [this, k, sl, g, j] {
+                 const auto gi = static_cast<std::size_t>(g);
+                 const auto si = static_cast<std::size_t>(sl);
+                 auto& st = gpu_st_[gi];
+                 ConstViewD l11 = panel_d_[gi][si]->block(0, 0, nb_, nb_).as_const();
+                 ViewD ublk = a_dist_.block(k, j);
+
+                 if (policy_.check_before_pu && has_cs()) {
+                   ChargeTimer t(&st.verify_seconds);
+                   auto rc = repair_ctx(st);
+                   const auto outcome = verify_and_repair(
+                       ublk, a_dist_.col_cs(k, j),
+                       has_rcs() ? a_dist_.row_cs(k, j) : ViewD{}, rc);
+                   ++st.verifications_pu_before;
+                   if (trc_) {
+                     trc_->verify(CheckPoint::BeforePU, g, BlockRange::single(k, j));
+                   }
+                   if (outcome == RepairOutcome::Uncorrectable) {
+                     fail(RunStatus::NeedCompleteRestart);
+                     return;
+                   }
+                 }
+
+                 MatD snap(ublk.as_const());
+                 MatD snap_rcs =
+                     has_rcs() ? MatD(a_dist_.row_cs(k, j).as_const()) : MatD{};
+
+                 for (int attempt = 0;; ++attempt) {
+                   if (attempt > opts_.max_local_restarts) {
+                     fail(RunStatus::NeedCompleteRestart);
+                     return;
+                   }
+                   if (attempt > 0) {
+                     ChargeTimer t(&st.recovery_seconds);
+                     copy_view(snap.const_view(), ublk);
+                     if (has_rcs()) {
+                       copy_view(snap_rcs.const_view(), a_dist_.row_cs(k, j));
+                     }
+                     ++st.local_restarts;
+                   }
+
+                   if (trc_) {
+                     trc_->task_begin(OpKind::PU, g);
+                     trc_->compute_read(OpKind::PU, Part::Reference, g,
+                                        BlockRange::single(k, k));
+                     trc_->compute_read(OpKind::PU, Part::Update, g,
+                                        BlockRange::single(k, j));
+                   }
+                   blas::trsm(Side::Left, Uplo::Lower, Trans::NoTrans, Diag::Unit, 1.0,
+                              l11, ublk);
+                   if (has_rcs()) {
+                     ChargeTimer t(&st.maintain_seconds);
+                     blas::trsm(Side::Left, Uplo::Lower, Trans::NoTrans, Diag::Unit,
+                                1.0, l11, a_dist_.row_cs(k, j));
+                   }
+                   if (trc_) {
+                     trc_->compute_write(OpKind::PU, g, BlockRange::single(k, j));
+                   }
+
+                   if ((policy_.check_after_pu || policy_.check_after_pu_broadcast) &&
+                       has_rcs()) {
+                     ChargeTimer t(&st.verify_seconds);
+                     auto rc = repair_ctx(st);
+                     const auto outcome =
+                         verify_and_repair(ublk, ViewD{}, a_dist_.row_cs(k, j), rc);
+                     ++st.verifications_pu_after;
+                     if (trc_) {
+                       trc_->verify(policy_.check_after_pu
+                                        ? CheckPoint::AfterPU
+                                        : CheckPoint::AfterPUBroadcast,
+                                    g, BlockRange::single(k, j));
+                     }
+                     if (outcome == RepairOutcome::Uncorrectable) continue;
+                   }
+                   break;
+                 }
+               });
+  }
+
+  /// Prior-op scheme: verify every input of column j's TMU chain once.
+  void submit_tmu_pre(index_t k, index_t j, int g, index_t sl) {
+    rt_.submit(g, k,
+               {Access::out(g, Space::Data, k, k + 1, j, j + 1),
+                Access::out(g, Space::Checksum, k, k + 1, j, j + 1),
+                Access::in(g, Space::Data, k + 1, b_, k, k + 1),
+                Access::in_slot(g, kBufPanel, sl),
+                Access::in_slot(g, kBufPanelCs, sl)},
+               [this, k, sl, g, j] {
+                 const auto gi = static_cast<std::size_t>(g);
+                 const auto si = static_cast<std::size_t>(sl);
+                 auto& st = gpu_st_[gi];
+                 auto& pan = *panel_d_[gi][si];
+                 auto& pan_cs = *panel_cs_d_[gi][si];
+                 ChargeTimer t(&st.verify_seconds);
+                 auto rc = repair_ctx(st);
+                 if (has_rcs()) {
+                   verify_and_repair(a_dist_.block(k, j), ViewD{},
+                                     a_dist_.row_cs(k, j), rc);
+                   ++st.verifications_tmu_before;
+                   if (trc_) {
+                     trc_->verify(CheckPoint::BeforeTMU, g, BlockRange::single(k, j));
+                   }
+                 }
+                 for (index_t i = k + 1; i < b_; ++i) {
+                   verify_and_repair(pan.block((i - k) * nb_, 0, nb_, nb_),
+                                     pan_cs.block(2 * (i - k), 0, 2, nb_), ViewD{}, rc);
+                   ++st.verifications_tmu_before;
+                   if (trc_) {
+                     trc_->verify(CheckPoint::BeforeTMU, g, BlockRange::single(i, k));
+                   }
+                 }
+               });
+  }
+
+  /// TMU: A(i, j) ← A(i, j) - L(i, k)·U(k, j), checksums maintained.
+  void submit_tmu(index_t k, index_t i, index_t j, int g, index_t sl) {
+    std::vector<Access> acc = {
+        Access::in_tile(g, Space::Data, i, k),
+        Access::in(g, Space::Data, k, k + 1, j, j + 1),
+        Access::in(g, Space::Checksum, k, k + 1, j, j + 1),
+        Access::in_slot(g, kBufPanel, sl),
+        Access::out_tile(g, Space::Data, i, j)};
+    if (has_cs()) {
+      acc.push_back(Access::in_slot(g, kBufPanelCs, sl));
+      acc.push_back(Access::out_tile(g, Space::Checksum, i, j));
+    }
+    rt_.submit(g, k, acc, [this, k, sl, g, i, j] {
+      const auto gi = static_cast<std::size_t>(g);
+      const auto si = static_cast<std::size_t>(sl);
+      auto& st = gpu_st_[gi];
+      auto& pan = *panel_d_[gi][si];
+      auto& pan_cs = has_cs() ? *panel_cs_d_[gi][si] : *panel_d_[gi][si];
+      ViewD u = a_dist_.block(k, j);
+      ViewD c = a_dist_.block(i, j);
+      ConstViewD li = pan.block((i - k) * nb_, 0, nb_, nb_).as_const();
+
+      if (policy_.check_before_tmu && has_cs()) {
+        ChargeTimer t(&st.verify_seconds);
+        auto rc = repair_ctx(st);
+        verify_and_repair(c, a_dist_.col_cs(i, j),
+                          has_rcs() ? a_dist_.row_cs(i, j) : ViewD{}, rc);
+        ++st.verifications_tmu_before;
+        if (trc_) trc_->verify(CheckPoint::BeforeTMU, g, BlockRange::single(i, j));
+      }
+
+      if (trc_) {
+        trc_->task_begin(OpKind::TMU, g);
+        trc_->compute_read(OpKind::TMU, Part::Reference, g, BlockRange::single(i, k));
+        trc_->compute_read(OpKind::TMU, Part::Reference, g, BlockRange::single(k, j));
+        trc_->compute_read(OpKind::TMU, Part::Update, g, BlockRange::single(i, j));
+      }
+      blas::gemm_seq(Trans::NoTrans, Trans::NoTrans, -1.0, li, u.as_const(), 1.0, c);
+      if (has_cs()) {
+        ChargeTimer t(&st.maintain_seconds);
+        blas::gemm_seq(Trans::NoTrans, Trans::NoTrans, -1.0,
+                       pan_cs.block(2 * (i - k), 0, 2, nb_).as_const(), u.as_const(),
+                       1.0, a_dist_.col_cs(i, j));
+        if (has_rcs()) {
+          blas::gemm_seq(Trans::NoTrans, Trans::NoTrans, -1.0, li,
+                         a_dist_.row_cs(k, j).as_const(), 1.0, a_dist_.row_cs(i, j));
+        }
+      }
+      if (trc_) trc_->compute_write(OpKind::TMU, g, BlockRange::single(i, j));
+
+      if (policy_.check_after_tmu && has_cs()) {
+        ChargeTimer t(&st.verify_seconds);
+        auto rc = repair_ctx(st);
+        const auto outcome =
+            verify_and_repair(c, a_dist_.col_cs(i, j),
+                              has_rcs() ? a_dist_.row_cs(i, j) : ViewD{}, rc);
+        ++st.verifications_tmu_after;
+        if (trc_) trc_->verify(CheckPoint::AfterTMU, g, BlockRange::single(i, j));
+        if (outcome == RepairOutcome::Uncorrectable) {
+          fail(RunStatus::NeedCompleteRestart);
+          return;
+        }
+      }
+    });
+  }
+
+  /// §VII.B heuristic checking after TMU for one GPU.
+  void submit_heuristic(index_t k, int g, index_t sl) {
+    rt_.submit(g, k,
+               {Access::in(g, Space::Data, k, b_, k, k + 1),
+                Access::in_slot(g, kBufPanel, sl),
+                Access::in_slot(g, kBufPanelCs, sl),
+                Access::out(g, Space::Data, k, b_, k + 1, b_),
+                Access::out(g, Space::Checksum, k, b_, k + 1, b_)},
+               [this, k, sl, g] {
+                 const auto gi = static_cast<std::size_t>(g);
+                 const auto si = static_cast<std::size_t>(sl);
+                 auto& st = gpu_st_[gi];
+                 auto& pan = *panel_d_[gi][si];
+                 auto& pan_cs = *panel_cs_d_[gi][si];
+                 ChargeTimer t(&st.verify_seconds);
+                 const auto owned = a_dist_.dist().owned_from(g, k + 1);
+                 if (owned.empty()) return;
+
+                 {
+                   index_t fixed = 0;
+                   const bool ok = verify_repair_unit_lower(
+                       pan.block(0, 0, nb_, nb_),
+                       pan_cs.block(0, 0, 2, nb_).as_const(), tol_.slack,
+                       tol_.context, &fixed);
+                   ++st.verifications_tmu_after;
+                   ++st.blocks_verified;
+                   if (trc_) {
+                     trc_->verify(CheckPoint::HeuristicTMU, g,
+                                  BlockRange::single(k, k));
+                   }
+                   if (!ok || fixed > 0) {
+                     ++st.errors_detected;
+                     fail(RunStatus::NeedCompleteRestart);
+                     return;
+                   }
+                 }
+
+                 for (index_t i = k + 1; i < b_; ++i) {
+                   ViewD li = pan.block((i - k) * nb_, 0, nb_, nb_);
+                   const auto res = checksum::verify_col(
+                       li.as_const(), pan_cs.block(2 * (i - k), 0, 2, nb_).as_const(),
+                       tol_, opts_.encoder);
+                   ++st.verifications_tmu_after;
+                   ++st.blocks_verified;
+                   if (trc_) {
+                     trc_->verify(CheckPoint::HeuristicTMU, g,
+                                  BlockRange::single(i, k));
+                   }
+                   if (res.clean()) continue;
+                   ++st.errors_detected;
+                   const auto diag = checksum::diagnose_cols(res.col_deltas, nb_);
+                   if (diag.pattern != checksum::ErrorPattern::Single) {
+                     fail(RunStatus::NeedCompleteRestart);
+                     return;
+                   }
+                   checksum::correct_from_col_deltas(li, res.col_deltas);
+                   ++st.corrected_0d;
+                   for (index_t j : owned) {
+                     checksum::reconstruct_row(a_dist_.block(i, j),
+                                               a_dist_.col_cs(i, j).as_const(),
+                                               diag.row);
+                     ++st.corrected_1d;
+                   }
+                 }
+
+                 if (has_rcs()) {
+                   for (index_t j : owned) {
+                     ViewD u = a_dist_.block(k, j);
+                     const auto res = checksum::verify_row(
+                         u.as_const(), a_dist_.row_cs(k, j).as_const(), tol_,
+                         opts_.encoder);
+                     ++st.verifications_tmu_after;
+                     ++st.blocks_verified;
+                     if (trc_) {
+                       trc_->verify(CheckPoint::HeuristicTMU, g,
+                                    BlockRange::single(k, j));
+                     }
+                     if (res.clean()) continue;
+                     ++st.errors_detected;
+                     const auto diag = checksum::diagnose_rows(res.row_deltas, nb_);
+                     if (diag.pattern != checksum::ErrorPattern::Single) {
+                       fail(RunStatus::NeedCompleteRestart);
+                       return;
+                     }
+                     checksum::correct_from_row_deltas(u, res.row_deltas);
+                     ++st.corrected_0d;
+                     for (index_t i = k + 1; i < b_; ++i) {
+                       checksum::reconstruct_column(a_dist_.block(i, j),
+                                                    a_dist_.row_cs(i, j).as_const(),
+                                                    diag.col);
+                       checksum::encode_col(a_dist_.block(i, j).as_const(),
+                                            a_dist_.col_cs(i, j), opts_.encoder);
+                       ++st.corrected_1d;
+                       ++st.checksum_rebuilds;
+                     }
+                   }
+                 }
+               });
+  }
+
+  const FtOptions opts_;
+  const SchemePolicy policy_;
+  trace::TraceRecorder* trc_;
+  index_t n_, nb_, b_;
+  index_t num_slots_;
+  std::unique_ptr<sim::HeterogeneousSystem> sys_owned_;
+  sim::HeterogeneousSystem& sys_;
+  DistMatrix a_dist_;
+  ConstViewD host_in_;
+  runtime::TaskRuntime rt_;
+  FtStats stats_;
+  FtStats host_st_;
+  std::vector<FtStats> gpu_st_;
+  checksum::Tolerance tol_;
+  std::vector<IterState> iters_;
+
+  ftla::Mutex status_mutex_;
+  RunStatus status_ FTLA_GUARDED_BY(status_mutex_) = RunStatus::Success;
+
+  MatD* panel_h_ = nullptr;
+  MatD* snapshot_ = nullptr;
+  MatD* panel_cs_h_ = nullptr;
+  MatD* snapshot_cs_ = nullptr;
+  MatD* bcast_cs_h_ = nullptr;
+  MatD* panel_rcs_h_ = nullptr;
+  std::vector<std::vector<MatD*>> panel_d_;
+  std::vector<std::vector<MatD*>> panel_cs_d_;
+  std::vector<std::vector<MatD*>> bcast_cs_d_;
+};
+
+}  // namespace
+
+FtOutput df_lu(ConstViewD a, const FtOptions& opts) {
+  if (!opts.system) {
+    DfLuDriver driver(a, opts);
+    return driver.run();
+  }
+  sim::BorrowedSystemScope scope(*opts.system);
+  DfLuDriver driver(a, opts);
+  return driver.run();
+}
+
+}  // namespace ftla::core::detail

@@ -1,0 +1,827 @@
+/// \file df_qr.cpp
+/// Dataflow-scheduled FT QR (FtOptions::scheduler == Dataflow).
+///
+/// Emits the same logical schedule events as the fork-join QrDriver
+/// (ft_qr.cpp) — identical regions, checkpoints and per-tile work — but
+/// decomposed into runtime tasks ordered by tile dependencies: the host
+/// lane runs fetch / PD / CTF / broadcasts, each GPU lane runs its
+/// receiver-side checks and per-column trailing updates, and iteration
+/// k+1's panel factorization overlaps iteration k's remaining trailing
+/// update (lookahead). See DESIGN.md §11 for the task decomposition.
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "blas/blas.hpp"
+#include "checksum/correct.hpp"
+#include "common/error.hpp"
+#include "core/charge_timer.hpp"
+#include "core/ft_dataflow.hpp"
+#include "core/panel_ft.hpp"
+#include "core/recovery.hpp"
+#include "lapack/lapack.hpp"
+#include "matrix/compare.hpp"
+#include "matrix/norms.hpp"
+#include "runtime/task_runtime.hpp"
+#include "trace/recorder.hpp"
+
+namespace ftla::core::detail {
+
+namespace {
+
+using blas::Diag;
+using blas::Side;
+using blas::Trans;
+using blas::Uplo;
+using fault::OpKind;
+using fault::Part;
+using runtime::Access;
+using runtime::Space;
+using trace::BlockRange;
+using trace::CheckPoint;
+using trace::RegionClass;
+using trace::TransferCtx;
+
+/// Same update as ft_qr.cpp's helper: C ← (I - V·Tᵀ·Vᵀ)·C with
+/// W = Tᵀ·Vᵀ·C exposed for column-checksum maintenance.
+void apply_block_reflector(ConstViewD v, ConstViewD t, ViewD c, MatD& w) {
+  const index_t m = c.rows();
+  const index_t n = c.cols();
+  const index_t kb = v.cols();
+
+  w = MatD(kb, n);
+  copy_view(c.block(0, 0, kb, n).as_const(), w.view());
+  blas::trmm(Side::Left, Uplo::Lower, Trans::Trans, Diag::Unit, 1.0, v.block(0, 0, kb, kb),
+             w.view());
+  if (m > kb) {
+    blas::gemm_seq(Trans::Trans, Trans::NoTrans, 1.0, v.block(kb, 0, m - kb, kb),
+                   c.block(kb, 0, m - kb, n).as_const(), 1.0, w.view());
+  }
+  blas::trmm(Side::Left, Uplo::Upper, Trans::Trans, Diag::NonUnit, 1.0, t, w.view());
+
+  if (m > kb) {
+    blas::gemm_seq(Trans::NoTrans, Trans::NoTrans, -1.0, v.block(kb, 0, m - kb, kb),
+                   w.const_view(), 1.0, c.block(kb, 0, m - kb, n));
+  }
+  MatD w2(w.const_view());
+  blas::trmm(Side::Left, Uplo::Lower, Trans::NoTrans, Diag::Unit, 1.0,
+             v.block(0, 0, kb, kb), w2.view());
+  for (index_t j = 0; j < n; ++j) {
+    double* cc = c.col_ptr(j);
+    const double* wc = w2.view().col_ptr(j);
+    for (index_t i = 0; i < kb; ++i) cc[i] -= wc[i];
+  }
+}
+
+/// Rotating per-GPU staging buffers (lookahead slots).
+enum DeviceBuf : index_t { kBufPanel = 0, kBufT = 1, kBufVcs = 2, kBufBcastCs = 3 };
+
+class DfQrDriver {
+ public:
+  DfQrDriver(ConstViewD a, const FtOptions& opts)
+      : opts_(opts),
+        policy_(opts.policy()),
+        trc_(opts.trace),
+        n_(a.rows()),
+        nb_(opts.nb),
+        b_(a.rows() / opts.nb),
+        num_slots_(std::max<index_t>(opts.lookahead, 0) + 1),
+        sys_owned_(opts.system ? nullptr
+                               : std::make_unique<sim::HeterogeneousSystem>(opts.ngpu)),
+        sys_(opts.system ? *opts.system : *sys_owned_),
+        a_dist_(sys_, n_, nb_, opts.checksum, SingleSideDim::Row),
+        host_in_(a),
+        rt_(sys_, runtime::TaskRuntime::Config{opts.cancel}) {
+    FTLA_CHECK(a.rows() == a.cols(), "ft_qr: matrix must be square");
+    FTLA_CHECK(!opts.system || opts.system->ngpu() == opts.ngpu,
+               "ft_qr: FtOptions::system must have exactly opts.ngpu GPUs");
+    a_dist_.set_trace(trc_);
+    tol_.slack = opts.tol_slack;
+    tol_.context = static_cast<double>(n_);
+
+    panel_h_ = &sys_.cpu().alloc(n_, nb_);
+    snapshot_ = &sys_.cpu().alloc(n_, nb_);
+    rcs_h_ = &sys_.cpu().alloc(n_, 2);
+    rcs_work_ = &sys_.cpu().alloc(n_, 2);
+    vcs_h_ = &sys_.cpu().alloc(2 * b_, nb_);
+    bcast_cs_h_ = &sys_.cpu().alloc(2 * b_, nb_);
+    t_h_ = &sys_.cpu().alloc(nb_, nb_);
+    pcs_h_ = &sys_.cpu().alloc(2 * b_, nb_);
+    panel_d_.resize(static_cast<std::size_t>(sys_.ngpu()));
+    t_d_.resize(static_cast<std::size_t>(sys_.ngpu()));
+    vcs_d_.resize(static_cast<std::size_t>(sys_.ngpu()));
+    bcast_cs_d_.resize(static_cast<std::size_t>(sys_.ngpu()));
+    for (int g = 0; g < sys_.ngpu(); ++g) {
+      const auto gi = static_cast<std::size_t>(g);
+      for (index_t sl = 0; sl < num_slots_; ++sl) {
+        panel_d_[gi].push_back(&sys_.gpu(g).alloc(n_, nb_));
+        t_d_[gi].push_back(&sys_.gpu(g).alloc(nb_, nb_));
+        if (has_cs()) {
+          vcs_d_[gi].push_back(&sys_.gpu(g).alloc(2 * b_, nb_));
+          bcast_cs_d_[gi].push_back(&sys_.gpu(g).alloc(2 * b_, nb_));
+        }
+      }
+    }
+    gpu_st_.resize(static_cast<std::size_t>(sys_.ngpu()));
+    iters_.resize(static_cast<std::size_t>(b_));
+  }
+
+  FtOutput run() {
+    WallTimer total;
+    FtOutput out;
+    out.factors = MatD(n_, n_);
+    out.tau.assign(static_cast<std::size_t>(n_), 0.0);
+
+    if (trc_) {
+      trc_->begin_run({"qr", std::string(to_string(opts_.scheme)),
+                       std::string(to_string(opts_.checksum)), sys_.ngpu(), n_, nb_,
+                       b_});
+      sys_.link().set_trace_hook([this](const sim::TransferInfo& info) {
+        trc_->link_transfer(info.from, info.to, info.bytes);
+      });
+      sys_.set_sync_observer(trc_);
+    }
+
+    a_dist_.scatter(host_in_);
+    if (opts_.checksum != ChecksumKind::None) {
+      ChargeTimer t(&stats_.encode_seconds);
+      a_dist_.encode_all(opts_.encoder);
+    }
+
+    for (index_t k = 0; k < b_; ++k) submit_iteration(k, out.tau);
+    const bool complete = rt_.run();
+    if (!complete && rt_.cancelled()) fail(RunStatus::Cancelled);
+
+    stats_.merge(host_st_);
+    for (auto& gs : gpu_st_) {
+      stats_.merge(gs);
+      gs = FtStats{};
+    }
+    {
+      ftla::LockGuard lock(status_mutex_);
+      stats_.status = status_;
+    }
+
+    // One trailing iteration marker so the gather traffic below is
+    // recognized as post-run (tail) by the graph extractor, matching the
+    // fork-join trace structure.
+    if (trc_) trc_->end_iteration(b_ - 1);
+    a_dist_.gather(out.factors.view());
+    if (trc_) {
+      trc_->end_run();
+      sys_.link().clear_trace_hook();
+      sys_.set_sync_observer(nullptr);
+    }
+    stats_.comm_modeled_seconds = sys_.link().stats().modeled_seconds;
+    stats_.total_seconds = total.seconds();
+    out.stats = stats_;
+    return out;
+  }
+
+ private:
+  struct IterState {
+    std::vector<double> tau;  ///< PD's reflector scalars, consumed by CTF
+    std::vector<int> flag;    ///< per-GPU broadcast verdicts for the vote
+  };
+
+  [[nodiscard]] bool has_cs() const { return opts_.checksum == ChecksumKind::Full; }
+  [[nodiscard]] bool has_rcs() const { return opts_.checksum != ChecksumKind::None; }
+
+  void fail(RunStatus status) {
+    {
+      ftla::LockGuard lock(status_mutex_);
+      if (status_ == RunStatus::Success) status_ = status;
+    }
+    rt_.abort();
+  }
+
+  RepairContext repair_ctx(FtStats& st) {
+    RepairContext rc;
+    rc.tol = tol_;
+    rc.encoder = opts_.encoder;
+    rc.stats = &st;
+    return rc;
+  }
+
+  [[nodiscard]] double panel_threshold() const {
+    return tol_.slack * checksum::unit_roundoff() * static_cast<double>(n_);
+  }
+
+  void submit_iteration(index_t k, std::vector<double>& tau_out) {
+    const index_t mp = n_ - k * nb_;
+    const index_t nblk = b_ - k;
+    const int own = a_dist_.owner(k);
+    const index_t sl = k % num_slots_;
+    const int h = runtime::kHostLane;
+    IterState& it = iters_[static_cast<std::size_t>(k)];
+    it.flag.assign(static_cast<std::size_t>(sys_.ngpu()), 0);
+
+    // -- fetch panel + checksums to the CPU ---------------------------
+    rt_.submit(h, k,
+               {Access::in(own, Space::Data, k, b_, k, k + 1),
+                Access::in(own, Space::Checksum, k, b_, k, k + 1),
+                Access::out(h, Space::Data, k, b_, k, k + 1),
+                Access::out(h, Space::Checksum, k, b_, k, k + 1)},
+               [this, k, mp, nblk, own] {
+                 ViewD ph = panel_h_->block(0, 0, mp, nb_);
+                 sys_.d2h(a_dist_.col_panel(k, k).as_const(), ph, own);
+                 if (has_rcs()) {
+                   sys_.d2h(a_dist_.row_cs_panel(k, k).as_const(),
+                            rcs_h_->block(0, 0, mp, 2), own);
+                 }
+                 if (has_cs()) {
+                   sys_.d2h(a_dist_.col_cs_panel(k, k).as_const(),
+                            pcs_h_->block(0, 0, 2 * nblk, nb_), own);
+                 }
+                 if (trc_) {
+                   trc_->transfer_arrive(TransferCtx::Fetch, own, trace::kHost,
+                                         {k, b_, k, k + 1});
+                   if (has_rcs()) {
+                     trc_->transfer_arrive(TransferCtx::Fetch, own, trace::kHost,
+                                           {k, b_, k, k + 1}, RegionClass::Checksum);
+                   }
+                   if (has_cs()) {
+                     trc_->transfer_arrive(TransferCtx::Fetch, own, trace::kHost,
+                                           {k, b_, k, k + 1}, RegionClass::Checksum);
+                   }
+                 }
+               });
+
+    // -- frozen R blocks of column k (owner-resident, rows above the
+    //    panel): first-class verify task on the owner lane -------------
+    if ((policy_.check_before_pd || policy_.heuristic_tmu) && has_rcs() && k > 0) {
+      rt_.submit(own, k,
+                 {Access::out(own, Space::Data, 0, k, k, k + 1),
+                  Access::out(own, Space::Checksum, 0, k, k, k + 1)},
+                 [this, k, own] {
+                   auto& st = gpu_st_[static_cast<std::size_t>(own)];
+                   ChargeTimer t(&st.verify_seconds);
+                   auto rc = repair_ctx(st);
+                   for (index_t i = 0; i < k; ++i) {
+                     const auto outcome = verify_and_repair(
+                         a_dist_.block(i, k),
+                         has_cs() ? a_dist_.col_cs(i, k) : ViewD{},
+                         a_dist_.row_cs(i, k), rc);
+                     ++st.verifications_pd_before;
+                     if (trc_) {
+                       trc_->verify(CheckPoint::FrozenPanel, own,
+                                    BlockRange::single(i, k));
+                     }
+                     if (outcome == RepairOutcome::Uncorrectable) {
+                       fail(RunStatus::NeedCompleteRestart);
+                       return;
+                     }
+                   }
+                 });
+    }
+
+    // -- PD (pre-check + checksummed Householder panel + post-check) ---
+    rt_.submit(h, k,
+               {Access::out(h, Space::Data, k, b_, k, k + 1),
+                Access::out(h, Space::Checksum, k, b_, k, k + 1)},
+               [this, k, mp, nblk, &it, &tau_out] {
+                 auto& st = host_st_;
+                 ViewD ph = panel_h_->block(0, 0, mp, nb_);
+                 ViewD prcs = has_rcs() ? rcs_h_->block(0, 0, mp, 2) : ViewD{};
+
+                 if ((policy_.check_before_pd || policy_.heuristic_tmu) && has_rcs()) {
+                   ChargeTimer t(&st.verify_seconds);
+                   for (index_t i = 0; i < nblk; ++i) {
+                     ViewD blk = ph.block(i * nb_, 0, nb_, nb_);
+                     auto rc = repair_ctx(st);
+                     const auto outcome = verify_and_repair(
+                         blk, has_cs() ? pcs_h_->block(2 * i, 0, 2, nb_) : ViewD{},
+                         prcs.block(i * nb_, 0, nb_, 2), rc);
+                     ++st.verifications_pd_before;
+                     if (trc_) {
+                       trc_->verify(CheckPoint::BeforePD, trace::kHost,
+                                    BlockRange::single(k + i, k));
+                     }
+                     if (outcome == RepairOutcome::Uncorrectable) {
+                       fail(RunStatus::NeedCompleteRestart);
+                       return;
+                     }
+                   }
+                 }
+
+                 copy_view(ph.as_const(), snapshot_->block(0, 0, mp, nb_));
+                 MatD rcs_snapshot;
+                 if (has_rcs()) rcs_snapshot = MatD(prcs.as_const());
+
+                 std::vector<double>& tau_local = it.tau;
+                 std::vector<double> col_norms2;
+                 ViewD rcs_w = rcs_work_->block(0, 0, mp, 2);
+
+                 for (int attempt = 0;; ++attempt) {
+                   if (attempt > opts_.max_local_restarts) {
+                     fail(RunStatus::NeedCompleteRestart);
+                     return;
+                   }
+                   if (attempt > 0) {
+                     ChargeTimer t(&st.recovery_seconds);
+                     copy_view(snapshot_->block(0, 0, mp, nb_).as_const(), ph);
+                     if (has_rcs()) copy_view(rcs_snapshot.const_view(), prcs);
+                     ++st.local_restarts;
+                   }
+
+                   if (trc_) {
+                     trc_->task_begin(OpKind::PD, trace::kHost);
+                     trc_->compute_read(OpKind::PD, Part::Reference, trace::kHost,
+                                        {k, b_, k, k + 1});
+                   }
+                   index_t pd_info;
+                   if (has_rcs()) {
+                     copy_view(prcs.as_const(), rcs_w);
+                     ChargeTimer t(&st.maintain_seconds);
+                     pd_info = qr_panel_ft(ph, rcs_w, tau_local, col_norms2);
+                   } else {
+                     pd_info = lapack::geqrf2(ph, tau_local);
+                   }
+                   if (pd_info != 0) {
+                     fail(RunStatus::NumericalFailure);
+                     return;
+                   }
+                   if (has_cs()) {
+                     ChargeTimer t(&st.encode_seconds);
+                     encode_v_checksums(ph.as_const(), nb_,
+                                        vcs_h_->block(0, 0, 2 * nblk, nb_));
+                   }
+                   if (trc_) {
+                     trc_->compute_write(OpKind::PD, trace::kHost, {k, b_, k, k + 1});
+                   }
+
+                   if ((policy_.check_after_pd || policy_.check_after_pd_broadcast) &&
+                       has_rcs()) {
+                     ChargeTimer t(&st.verify_seconds);
+                     double mis = qr_panel_verify(ph.as_const(), rcs_w.as_const(),
+                                                  col_norms2);
+                     st.verifications_pd_after += static_cast<std::uint64_t>(nblk);
+                     st.blocks_verified += static_cast<std::uint64_t>(nblk);
+                     if (trc_) {
+                       trc_->verify(CheckPoint::AfterPD, trace::kHost,
+                                    {k, b_, k, k + 1});
+                     }
+                     if (has_cs()) {
+                       MatD fresh(2 * nblk, nb_);
+                       encode_v_checksums(ph.as_const(), nb_, fresh.view());
+                       const auto maintained = vcs_h_->block(0, 0, 2 * nblk, nb_);
+                       for (index_t r = 0; r < 2 * nblk; ++r) {
+                         for (index_t c = 0; c < nb_; ++c) {
+                           const double scale = std::abs(fresh(r, c)) +
+                                                std::abs(maintained(r, c)) + 1.0;
+                           mis = std::max(mis,
+                                          std::abs(fresh(r, c) - maintained(r, c)) /
+                                              scale);
+                         }
+                       }
+                     }
+                     if (mis > panel_threshold()) {
+                       ++st.errors_detected;
+                       continue;  // local restart
+                     }
+                   }
+                   break;
+                 }
+                 std::copy(tau_local.begin(), tau_local.end(),
+                           tau_out.begin() + static_cast<std::ptrdiff_t>(k * nb_));
+                 if (has_rcs()) {
+                   copy_view(rcs_w.block(0, 0, nb_, 2).as_const(),
+                             prcs.block(0, 0, nb_, 2));
+                 }
+               });
+
+    // -- CTF: triangular factor T, verified by recompute ---------------
+    rt_.submit(h, k,
+               {Access::in(h, Space::Data, k, b_, k, k + 1),
+                Access::out(h, Space::Workspace, k, k + 1, k, k + 1)},
+               [this, k, mp, &it] {
+                 auto& st = host_st_;
+                 ConstViewD ph = panel_h_->block(0, 0, mp, nb_).as_const();
+                 ViewD t_mat = t_h_->view();
+                 if (trc_) {
+                   trc_->task_begin(OpKind::CTF, trace::kHost);
+                   trc_->compute_read(OpKind::CTF, Part::Reference, trace::kHost,
+                                      {k, b_, k, k + 1});
+                 }
+                 MatD t_first(nb_, nb_);
+                 lapack::larft(ph, it.tau, t_first.view());
+                 copy_view(t_first.const_view(), t_mat);
+                 if (trc_) {
+                   trc_->compute_write(OpKind::CTF, trace::kHost,
+                                       BlockRange::single(k, k),
+                                       RegionClass::Workspace);
+                 }
+                 if (has_rcs()) {
+                   ChargeTimer t(&st.verify_seconds);
+                   MatD t_second(nb_, nb_);
+                   lapack::larft(ph, it.tau, t_second.view());
+                   ++st.blocks_verified;
+                   if (trc_) {
+                     trc_->verify(CheckPoint::CtfRecompute, trace::kHost,
+                                  BlockRange::single(k, k), RegionClass::Workspace);
+                   }
+                   if (max_abs_diff(t_mat.as_const(), t_second.const_view()) >
+                       panel_threshold() * (1.0 + max_abs(t_second.const_view()))) {
+                     ++st.errors_detected;
+                     copy_view(t_second.const_view(), t_mat);
+                     ++st.corrected_0d;
+                   }
+                 }
+               });
+
+    // -- broadcast-payload checksums of the factored panel -------------
+    if (has_cs()) {
+      rt_.submit(h, k,
+                 {Access::in(h, Space::Data, k, b_, k, k + 1),
+                  Access::out(h, Space::Checksum, k, b_, k, k + 1)},
+                 [this, k, mp, nblk] {
+                   ChargeTimer t(&host_st_.encode_seconds);
+                   ViewD ph = panel_h_->block(0, 0, mp, nb_);
+                   ViewD bcs = bcast_cs_h_->block(0, 0, 2 * nblk, nb_);
+                   for (index_t i = 0; i < nblk; ++i) {
+                     checksum::encode_col(ph.block(i * nb_, 0, nb_, nb_).as_const(),
+                                          bcs.block(2 * i, 0, 2, nb_), opts_.encoder);
+                   }
+                 });
+    }
+
+    // -- broadcast panel + T (+ checksums) to every GPU ----------------
+    for (int g = 0; g < sys_.ngpu(); ++g) {
+      std::vector<Access> acc = {
+          Access::in(h, Space::Data, k, b_, k, k + 1),
+          Access::in(h, Space::Workspace, k, k + 1, k, k + 1),
+          Access::in(h, Space::Checksum, k, b_, k, k + 1),
+          Access::out(g, Space::Data, k, b_, k, k + 1),
+          Access::out(g, Space::Workspace, k, k + 1, k, k + 1),
+          Access::out(g, Space::Checksum, k, b_, k, k + 1),
+          Access::out_slot(g, kBufPanel, sl),
+          Access::out_slot(g, kBufT, sl)};
+      if (has_cs()) {
+        acc.push_back(Access::out_slot(g, kBufVcs, sl));
+        acc.push_back(Access::out_slot(g, kBufBcastCs, sl));
+      }
+      rt_.submit(h, k, acc, [this, k, mp, nblk, sl, g] {
+        const auto gi = static_cast<std::size_t>(g);
+        const auto si = static_cast<std::size_t>(sl);
+        ViewD ph = panel_h_->block(0, 0, mp, nb_);
+        sys_.h2d(ph.as_const(), panel_d_[gi][si]->block(0, 0, mp, nb_), g);
+        sys_.h2d(t_h_->view().as_const(), t_d_[gi][si]->view(), g);
+        if (has_cs()) {
+          sys_.h2d(vcs_h_->block(0, 0, 2 * nblk, nb_).as_const(),
+                   vcs_d_[gi][si]->block(0, 0, 2 * nblk, nb_), g);
+          sys_.h2d(bcast_cs_h_->block(0, 0, 2 * nblk, nb_).as_const(),
+                   bcast_cs_d_[gi][si]->block(0, 0, 2 * nblk, nb_), g);
+        }
+        if (trc_) {
+          trc_->transfer_arrive(TransferCtx::BroadcastH2D, trace::kHost, g,
+                                {k, b_, k, k + 1});
+          trc_->transfer_arrive(TransferCtx::BroadcastH2D, trace::kHost, g,
+                                BlockRange::single(k, k), RegionClass::Workspace);
+          if (has_cs()) {
+            trc_->transfer_arrive(TransferCtx::BroadcastH2D, trace::kHost, g,
+                                  {k, b_, k, k + 1}, RegionClass::Checksum);
+            trc_->transfer_arrive(TransferCtx::BroadcastH2D, trace::kHost, g,
+                                  {k, b_, k, k + 1}, RegionClass::Checksum);
+          }
+        }
+      });
+    }
+
+    // -- receiver-side transfer check + voting (§VII.C) ----------------
+    if (policy_.check_after_pd_broadcast && has_cs()) {
+      for (int g = 0; g < sys_.ngpu(); ++g) {
+        rt_.submit(g, k,
+                   {Access::out(g, Space::Data, k, b_, k, k + 1),
+                    Access::in(g, Space::Checksum, k, b_, k, k + 1),
+                    Access::in_slot(g, kBufPanel, sl),
+                    Access::in_slot(g, kBufBcastCs, sl)},
+                   [this, k, nblk, sl, g, &it] {
+                     const auto gi = static_cast<std::size_t>(g);
+                     const auto si = static_cast<std::size_t>(sl);
+                     auto& st = gpu_st_[gi];
+                     ChargeTimer t(&st.verify_seconds);
+                     auto rc = repair_ctx(st);
+                     int f = 0;
+                     for (index_t i = 0; i < nblk; ++i) {
+                       const auto outcome = verify_and_repair(
+                           panel_d_[gi][si]->block(i * nb_, 0, nb_, nb_),
+                           bcast_cs_d_[gi][si]->block(2 * i, 0, 2, nb_), ViewD{},
+                           rc);
+                       ++st.verifications_pd_after;
+                       if (trc_) {
+                         trc_->verify(CheckPoint::BroadcastPayload, g,
+                                      BlockRange::single(k + i, k));
+                         if (outcome == RepairOutcome::Corrected) {
+                           trc_->correct(g, BlockRange::single(k + i, k));
+                         }
+                       }
+                       if (outcome == RepairOutcome::Corrected) f = std::max(f, 1);
+                       if (outcome == RepairOutcome::Uncorrectable) f = 2;
+                     }
+                     it.flag[gi] = f;
+                   });
+      }
+
+      // The vote is a host-side rendezvous over all receivers' verdicts.
+      // It emits no schedule events in a zero-fault run; its Out accesses
+      // pin every subsequent reader of the replicas behind the vote, as
+      // the fork-join barrier did.
+      std::vector<Access> acc;
+      acc.reserve(static_cast<std::size_t>(sys_.ngpu()));
+      for (int g = 0; g < sys_.ngpu(); ++g) {
+        acc.push_back(Access::out(g, Space::Data, k, b_, k, k + 1));
+      }
+      rt_.submit(h, k, acc, [this, &it] {
+        int corrupted = 0;
+        for (int f : it.flag) corrupted += (f != 0);
+        if (corrupted == sys_.ngpu() && sys_.ngpu() > 1) {
+          // Every receiver corrupted: the fork-join driver rebroadcasts
+          // from the verified CPU copy; re-planning tasks mid-graph is
+          // out of scope for the dataflow path, so escalate (unreachable
+          // without fault injection).
+          ++host_st_.errors_detected;
+          fail(RunStatus::NeedCompleteRestart);
+          return;
+        }
+        for (int f : it.flag) {
+          if (f != 0) ++host_st_.comm_errors_corrected;
+        }
+      });
+    }
+
+    // -- owner writes the factored panel (and checksums) back ----------
+    rt_.submit(own, k,
+               {Access::in_slot(own, kBufPanel, sl),
+                Access::in_slot(own, kBufVcs, sl),
+                Access::out(own, Space::Data, k, b_, k, k + 1),
+                Access::out(own, Space::Checksum, k, b_, k, k + 1)},
+               [this, k, mp, nblk, sl, own] {
+                 const auto oi = static_cast<std::size_t>(own);
+                 const auto si = static_cast<std::size_t>(sl);
+                 copy_view(panel_d_[oi][si]->block(0, 0, mp, nb_).as_const(),
+                           a_dist_.col_panel(k, k));
+                 if (has_cs()) {
+                   copy_view(vcs_d_[oi][si]->block(0, 0, 2 * nblk, nb_).as_const(),
+                             a_dist_.col_cs_panel(k, k));
+                 }
+               });
+    if (has_rcs()) {
+      rt_.submit(h, k,
+                 {Access::in(h, Space::Checksum, k, k + 1, k, k + 1),
+                  Access::out(own, Space::Checksum, k, k + 1, k, k + 1)},
+                 [this, k, own] {
+                   sys_.h2d(rcs_h_->block(0, 0, nb_, 2).as_const(),
+                            a_dist_.row_cs(k, k), own);
+                   if (trc_) {
+                     trc_->transfer_arrive(TransferCtx::WritebackH2D, trace::kHost,
+                                           own, BlockRange::single(k, k),
+                                           RegionClass::Checksum);
+                   }
+                 });
+    }
+
+    if (k + 1 == b_) return;
+
+    // -- pre-TMU verification of the V replica on every GPU ------------
+    if ((policy_.heuristic_tmu || policy_.check_before_tmu) && has_cs()) {
+      for (int g = 0; g < sys_.ngpu(); ++g) {
+        rt_.submit(g, k,
+                   {Access::out(g, Space::Data, k, b_, k, k + 1),
+                    Access::in(g, Space::Checksum, k, b_, k, k + 1),
+                    Access::in_slot(g, kBufPanel, sl),
+                    Access::in_slot(g, kBufVcs, sl)},
+                   [this, k, sl, g] {
+                     const auto gi = static_cast<std::size_t>(g);
+                     const auto si = static_cast<std::size_t>(sl);
+                     auto& st = gpu_st_[gi];
+                     auto& pan = *panel_d_[gi][si];
+                     ChargeTimer tt(&st.verify_seconds);
+                     for (index_t i = k; i < b_; ++i) {
+                       ViewD vi = pan.block((i - k) * nb_, 0, nb_, nb_);
+                       MatD fresh(2, nb_);
+                       if (i == k) {
+                         encode_col_unit_lower(vi.as_const(), fresh.view());
+                       } else {
+                         checksum::encode_col(vi.as_const(), fresh.view(),
+                                              opts_.encoder);
+                       }
+                       ++st.verifications_tmu_before;
+                       ++st.blocks_verified;
+                       if (trc_) {
+                         trc_->verify(policy_.check_before_tmu
+                                          ? CheckPoint::BeforeTMU
+                                          : CheckPoint::HeuristicTMU,
+                                      g, BlockRange::single(i, k));
+                       }
+                       const auto maintained =
+                           vcs_d_[gi][si]->block(2 * (i - k), 0, 2, nb_);
+                       checksum::BlockCheckResult res;
+                       res.col_checked = true;
+                       for (index_t j = 0; j < nb_; ++j) {
+                         const double d1 = maintained(0, j) - fresh(0, j);
+                         const double d2 = maintained(1, j) - fresh(1, j);
+                         const double thr = tol_.threshold(std::abs(fresh(0, j)) +
+                                                           std::abs(fresh(1, j)));
+                         if (std::abs(d1) > thr || std::abs(d2) > thr) {
+                           res.col_deltas.push_back(checksum::ColDelta{j, d1, d2});
+                         }
+                       }
+                       if (!res.col_deltas.empty()) {
+                         ++st.errors_detected;
+                         const auto diag = checksum::diagnose_cols(res.col_deltas, nb_);
+                         if (diag.pattern == checksum::ErrorPattern::Single &&
+                             i != k) {
+                           checksum::correct_from_col_deltas(vi, res.col_deltas);
+                           ++st.corrected_0d;
+                         } else if (diag.pattern == checksum::ErrorPattern::Single) {
+                           index_t row = -1;
+                           if (checksum::ratio_locates(res.col_deltas.front().d1,
+                                                       res.col_deltas.front().d2,
+                                                       nb_, row)) {
+                             vi(row, res.col_deltas.front().col) +=
+                                 res.col_deltas.front().d1;
+                             ++st.corrected_0d;
+                           } else {
+                             fail(RunStatus::NeedCompleteRestart);
+                             return;
+                           }
+                         } else {
+                           fail(RunStatus::NeedCompleteRestart);
+                           return;
+                         }
+                       }
+                     }
+                   });
+      }
+    }
+
+    // -- trailing update: one task per owned block column --------------
+    // Ascending j puts column k+1 first on its owner's lane, so the next
+    // panel fetch unblocks as early as possible (lookahead).
+    for (index_t j = k + 1; j < b_; ++j) {
+      const int g = a_dist_.owner(j);
+      std::vector<Access> acc = {
+          Access::in(g, Space::Data, k, b_, k, k + 1),
+          Access::in(g, Space::Workspace, k, k + 1, k, k + 1),
+          Access::in(g, Space::Checksum, k, b_, k, k + 1),
+          Access::out(g, Space::Data, k, b_, j, j + 1),
+          Access::out(g, Space::Checksum, k, b_, j, j + 1),
+          Access::in_slot(g, kBufPanel, sl),
+          Access::in_slot(g, kBufT, sl)};
+      if (has_cs()) acc.push_back(Access::in_slot(g, kBufVcs, sl));
+      rt_.submit(g, k, acc, [this, k, mp, sl, g, j] {
+        const auto gi = static_cast<std::size_t>(g);
+        const auto si = static_cast<std::size_t>(sl);
+        auto& st = gpu_st_[gi];
+        ConstViewD v = panel_d_[gi][si]->block(0, 0, mp, nb_).as_const();
+        ConstViewD t_mat = t_d_[gi][si]->view().as_const();
+        ViewD c = a_dist_.col_panel(j, k);
+
+        if (policy_.check_before_tmu && has_rcs()) {
+          ChargeTimer tt(&st.verify_seconds);
+          auto rc = repair_ctx(st);
+          for (index_t i = k; i < b_; ++i) {
+            verify_and_repair(a_dist_.block(i, j),
+                              has_cs() ? a_dist_.col_cs(i, j) : ViewD{},
+                              a_dist_.row_cs(i, j), rc);
+            ++st.verifications_tmu_before;
+            if (trc_) trc_->verify(CheckPoint::BeforeTMU, g, BlockRange::single(i, j));
+          }
+        }
+
+        if (trc_) {
+          trc_->task_begin(OpKind::TMU, g);
+          trc_->compute_read(OpKind::TMU, Part::Reference, g, {k, b_, k, k + 1});
+          trc_->compute_read(OpKind::TMU, Part::Reference, g, BlockRange::single(k, k),
+                             RegionClass::Workspace);
+          trc_->compute_read(OpKind::TMU, Part::Update, g, {k, b_, j, j + 1});
+        }
+        MatD w;
+        apply_block_reflector(v, t_mat, c, w);
+        if (has_cs()) {
+          ChargeTimer tt(&st.maintain_seconds);
+          for (index_t i = k; i < b_; ++i) {
+            blas::gemm_seq(Trans::NoTrans, Trans::NoTrans, -1.0,
+                           vcs_d_[gi][si]->block(2 * (i - k), 0, 2, nb_).as_const(),
+                           w.const_view(), 1.0, a_dist_.col_cs(i, j));
+          }
+        }
+        if (has_rcs()) {
+          ChargeTimer tt(&st.maintain_seconds);
+          MatD w_rcs;
+          apply_block_reflector(v, t_mat, a_dist_.row_cs_panel(j, k), w_rcs);
+        }
+        if (trc_) trc_->compute_write(OpKind::TMU, g, {k, b_, j, j + 1});
+      });
+
+      // Post-op verification rides as its own task, so the TMU's
+      // dependency release precedes the verify events — downstream
+      // consumers order against the verify only when they truly must.
+      if (policy_.check_after_tmu && has_rcs()) {
+        rt_.submit(g, k,
+                   {Access::out(g, Space::Data, k, b_, j, j + 1),
+                    Access::out(g, Space::Checksum, k, b_, j, j + 1)},
+                   [this, k, g, j] {
+                     auto& st = gpu_st_[static_cast<std::size_t>(g)];
+                     ChargeTimer tt(&st.verify_seconds);
+                     auto rc = repair_ctx(st);
+                     for (index_t i = k; i < b_; ++i) {
+                       const auto outcome = verify_and_repair(
+                           a_dist_.block(i, j),
+                           has_cs() ? a_dist_.col_cs(i, j) : ViewD{},
+                           a_dist_.row_cs(i, j), rc);
+                       ++st.verifications_tmu_after;
+                       if (trc_) {
+                         trc_->verify(CheckPoint::AfterTMU, g,
+                                      BlockRange::single(i, j));
+                       }
+                       if (outcome == RepairOutcome::Uncorrectable) {
+                         fail(RunStatus::NeedCompleteRestart);
+                         return;
+                       }
+                     }
+                   });
+      }
+    }
+
+    // -- §VII.B extension: periodic full trailing sweep ----------------
+    if (opts_.periodic_trailing_check > 0 &&
+        (k + 1) % opts_.periodic_trailing_check == 0 && has_rcs()) {
+      for (int g = 0; g < sys_.ngpu(); ++g) {
+        rt_.submit(g, k,
+                   {Access::out(g, Space::Data, k, b_, k + 1, b_),
+                    Access::out(g, Space::Checksum, k, b_, k + 1, b_)},
+                   [this, k, g] {
+                     auto& st = gpu_st_[static_cast<std::size_t>(g)];
+                     ChargeTimer t(&st.verify_seconds);
+                     auto rc = repair_ctx(st);
+                     for (index_t j : a_dist_.dist().owned_from(g, k + 1)) {
+                       for (index_t i = k; i < b_; ++i) {
+                         const auto outcome = verify_and_repair(
+                             a_dist_.block(i, j),
+                             has_cs() ? a_dist_.col_cs(i, j) : ViewD{},
+                             a_dist_.row_cs(i, j), rc);
+                         ++st.verifications_tmu_after;
+                         if (trc_) {
+                           trc_->verify(CheckPoint::PeriodicSweep, g,
+                                        BlockRange::single(i, j));
+                         }
+                         if (outcome == RepairOutcome::Uncorrectable) {
+                           fail(RunStatus::NeedCompleteRestart);
+                           return;
+                         }
+                       }
+                     }
+                   });
+      }
+    }
+  }
+
+  const FtOptions opts_;
+  const SchemePolicy policy_;
+  trace::TraceRecorder* trc_;
+  index_t n_, nb_, b_;
+  index_t num_slots_;
+  std::unique_ptr<sim::HeterogeneousSystem> sys_owned_;
+  sim::HeterogeneousSystem& sys_;
+  DistMatrix a_dist_;
+  ConstViewD host_in_;
+  runtime::TaskRuntime rt_;
+  FtStats stats_;
+  FtStats host_st_;
+  std::vector<FtStats> gpu_st_;
+  checksum::Tolerance tol_;
+  std::vector<IterState> iters_;
+
+  ftla::Mutex status_mutex_;
+  RunStatus status_ FTLA_GUARDED_BY(status_mutex_) = RunStatus::Success;
+
+  MatD* panel_h_ = nullptr;
+  MatD* snapshot_ = nullptr;
+  MatD* rcs_h_ = nullptr;
+  MatD* rcs_work_ = nullptr;
+  MatD* vcs_h_ = nullptr;
+  MatD* bcast_cs_h_ = nullptr;
+  MatD* t_h_ = nullptr;
+  MatD* pcs_h_ = nullptr;
+  std::vector<std::vector<MatD*>> panel_d_;
+  std::vector<std::vector<MatD*>> t_d_;
+  std::vector<std::vector<MatD*>> vcs_d_;
+  std::vector<std::vector<MatD*>> bcast_cs_d_;
+};
+
+}  // namespace
+
+FtOutput df_qr(ConstViewD a, const FtOptions& opts) {
+  if (!opts.system) {
+    DfQrDriver driver(a, opts);
+    return driver.run();
+  }
+  sim::BorrowedSystemScope scope(*opts.system);
+  DfQrDriver driver(a, opts);
+  return driver.run();
+}
+
+}  // namespace ftla::core::detail

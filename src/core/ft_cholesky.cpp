@@ -6,6 +6,7 @@
 #include "checksum/correct.hpp"
 #include "common/error.hpp"
 #include "core/charge_timer.hpp"
+#include "core/ft_dataflow.hpp"
 #include "core/ft_driver.hpp"
 #include "core/panel_ft.hpp"
 #include "core/recovery.hpp"
@@ -780,6 +781,12 @@ class CholeskyDriver {
 }  // namespace
 
 FtOutput ft_cholesky(ConstViewD a, const FtOptions& opts, fault::FaultInjector* injector) {
+  // The dataflow scheduler does not support fault injection (its graph is
+  // submitted ahead of execution); fall back to fork-join when an injector
+  // is attached.
+  if (opts.scheduler == SchedulerKind::Dataflow && injector == nullptr) {
+    return detail::df_cholesky(a, opts);
+  }
   if (!opts.system) {
     CholeskyDriver driver(a, opts, injector);
     return driver.run();

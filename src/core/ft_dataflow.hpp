@@ -1,0 +1,28 @@
+#pragma once
+
+/// \file ft_dataflow.hpp
+/// Internal entry points of the dataflow-scheduled FT drivers
+/// (FtOptions::scheduler == SchedulerKind::Dataflow).
+///
+/// The public entries in ft_{cholesky,lu,qr}.cpp dispatch here when the
+/// dataflow scheduler is selected and no fault injector is attached; the
+/// fork-join drivers remain the oracle and the only path supporting
+/// fault injection (the dataflow graph is submitted ahead of execution,
+/// so recovery that re-plans future tasks aborts to a complete restart
+/// instead — see src/runtime/task_runtime.hpp and DESIGN.md §11).
+///
+/// Each df_* driver emits the same logical schedule events as its
+/// fork-join twin (same regions, checkpoints and per-tile operations),
+/// but ordered by real tile dependencies: iteration k+1's panel
+/// factorization on the CPU overlaps iteration k's remaining trailing
+/// update on the GPUs up to FtOptions::lookahead panel generations.
+
+#include "core/ft_driver.hpp"
+
+namespace ftla::core::detail {
+
+FtOutput df_cholesky(ConstViewD a, const FtOptions& opts);
+FtOutput df_lu(ConstViewD a, const FtOptions& opts);
+FtOutput df_qr(ConstViewD a, const FtOptions& opts);
+
+}  // namespace ftla::core::detail

@@ -8,6 +8,7 @@
 #include "common/timer.hpp"
 #include "core/ft_driver.hpp"
 #include "core/charge_timer.hpp"
+#include "core/ft_dataflow.hpp"
 #include "core/panel_ft.hpp"
 #include "core/recovery.hpp"
 #include "lapack/lapack.hpp"
@@ -859,6 +860,12 @@ class LuDriver {
 }  // namespace
 
 FtOutput ft_lu(ConstViewD a, const FtOptions& opts, fault::FaultInjector* injector) {
+  // The dataflow scheduler does not support fault injection (its graph is
+  // submitted ahead of execution); fall back to fork-join when an injector
+  // is attached.
+  if (opts.scheduler == SchedulerKind::Dataflow && injector == nullptr) {
+    return detail::df_lu(a, opts);
+  }
   if (!opts.system) {
     LuDriver driver(a, opts, injector);
     return driver.run();

@@ -6,6 +6,7 @@
 #include "checksum/correct.hpp"
 #include "common/error.hpp"
 #include "core/charge_timer.hpp"
+#include "core/ft_dataflow.hpp"
 #include "core/ft_driver.hpp"
 #include "core/panel_ft.hpp"
 #include "core/recovery.hpp"
@@ -709,6 +710,12 @@ class QrDriver {
 }  // namespace
 
 FtOutput ft_qr(ConstViewD a, const FtOptions& opts, fault::FaultInjector* injector) {
+  // The dataflow scheduler does not support fault injection (its graph is
+  // submitted ahead of execution); fall back to fork-join when an injector
+  // is attached.
+  if (opts.scheduler == SchedulerKind::Dataflow && injector == nullptr) {
+    return detail::df_qr(a, opts);
+  }
   if (!opts.system) {
     QrDriver driver(a, opts, injector);
     return driver.run();

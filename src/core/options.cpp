@@ -42,6 +42,14 @@ const char* to_string(ChecksumKind k) {
   return "?";
 }
 
+const char* to_string(SchedulerKind k) {
+  switch (k) {
+    case SchedulerKind::ForkJoin: return "fork-join";
+    case SchedulerKind::Dataflow: return "dataflow";
+  }
+  return "?";
+}
+
 const char* to_string(SchemeKind k) {
   switch (k) {
     case SchemeKind::PriorOp: return "prior-op";

@@ -34,6 +34,12 @@ enum class SchemeKind {
   NewScheme,  ///< the paper's sensitivity-prioritized scheme (Algorithm 2)
 };
 
+/// Which task schedule the FT drivers execute.
+enum class SchedulerKind {
+  ForkJoin,  ///< the paper's barriered schedule — the correctness oracle
+  Dataflow,  ///< tile-granular dependency-tracked runtime with lookahead
+};
+
 /// Expanded per-hook decisions derived from a SchemeKind.
 struct SchemePolicy {
   bool check_before_pd = false;
@@ -51,6 +57,7 @@ struct SchemePolicy {
 
 const char* to_string(ChecksumKind k);
 const char* to_string(SchemeKind k);
+const char* to_string(SchedulerKind k);
 
 /// Options shared by all three FT decompositions.
 struct FtOptions {
@@ -59,6 +66,19 @@ struct FtOptions {
   ChecksumKind checksum = ChecksumKind::Full;
   SchemeKind scheme = SchemeKind::NewScheme;
   checksum::Encoder encoder = checksum::Encoder::FusedTiled;
+  /// Task schedule. ForkJoin is the paper's barriered loop and stays
+  /// bit-identical to earlier releases; Dataflow runs the same logical
+  /// work through the src/runtime dependency-tracked scheduler so
+  /// iteration k+1's panel factorization overlaps iteration k's trailing
+  /// update. Fault injection always uses ForkJoin (the dataflow graph is
+  /// submitted ahead of execution, so cross-task recovery re-planning is
+  /// out of scope; zero-fault semantics are identical).
+  SchedulerKind scheduler = SchedulerKind::ForkJoin;
+  /// Dataflow only: extra panel generations allowed in flight (the
+  /// lookahead depth). The runtime keeps lookahead+1 rotating slot sets
+  /// for the panel staging buffers; 0 degrades to fork-join-like depth
+  /// while still running out-of-order within one iteration.
+  index_t lookahead = 1;
   double tol_slack = 1024.0;     ///< detection threshold slack factor
   int max_local_restarts = 3;    ///< per-operation retry budget
   /// §VII.B extension: every `periodic_trailing_check` iterations,

@@ -1,0 +1,169 @@
+#include "runtime/task_runtime.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "sim/system.hpp"
+#include "trace/recorder.hpp"
+
+namespace ftla::runtime {
+
+TaskRuntime::TaskRuntime(sim::HeterogeneousSystem& sys, Config cfg)
+    : sys_(sys), cfg_(std::move(cfg)) {}
+
+TaskRuntime::~TaskRuntime() = default;
+
+sim::Stream& TaskRuntime::lane_stream(int lane) {
+  return lane < 0 ? host_lane_ : sys_.gpu(lane).stream();
+}
+
+TaskId TaskRuntime::submit(int lane, index_t iteration,
+                           const std::vector<Access>& accesses,
+                           std::function<void()> body) {
+  FTLA_CHECK(!ran_, "TaskRuntime::submit: graph already executed");
+  FTLA_CHECK(lane >= kHostLane && lane < sys_.ngpu(),
+             "TaskRuntime::submit: lane out of range");
+  const TaskId id = static_cast<TaskId>(tasks_.size());
+
+  std::vector<TaskId> deps;
+  for (const Access& a : accesses) {
+    for (index_t br = a.br0; br < a.br1; ++br) {
+      for (index_t bc = a.bc0; bc < a.bc1; ++bc) {
+        TileState& s =
+            registry_[TileKey{a.device, static_cast<int>(a.space), br, bc}];
+        if (s.last_writer >= 0) deps.push_back(s.last_writer);
+        if (a.mode == Access::Mode::Out) {
+          deps.insert(deps.end(), s.readers.begin(), s.readers.end());
+          s.readers.clear();
+          s.last_writer = id;
+        } else {
+          s.readers.push_back(id);
+        }
+      }
+    }
+  }
+  std::sort(deps.begin(), deps.end());
+  deps.erase(std::unique(deps.begin(), deps.end()), deps.end());
+
+  Task t;
+  t.lane = lane;
+  t.iteration = iteration;
+  t.body = std::move(body);
+  for (TaskId d : deps) {
+    // Same-lane dependencies are implied by in-order lane execution; only
+    // cross-lane edges need a latch (and a DepRelease trace edge).
+    if (d != id && tasks_[static_cast<std::size_t>(d)].lane != lane) {
+      t.deps.push_back(d);
+    }
+  }
+  edges_ += t.deps.size();
+  tasks_.push_back(std::move(t));
+  {
+    ftla::LockGuard lock(mutex_);
+    done_.push_back(0);
+  }
+  return id;
+}
+
+void TaskRuntime::abort() {
+  ftla::LockGuard lock(mutex_);
+  aborted_ = true;
+}
+
+bool TaskRuntime::cancelled() const {
+  ftla::LockGuard lock(mutex_);
+  return cancelled_;
+}
+
+void TaskRuntime::wait_done(TaskId id) {
+  ftla::LockGuard lock(mutex_);
+  while (!done_[static_cast<std::size_t>(id)]) cv_done_.wait(mutex_);
+}
+
+void TaskRuntime::mark_done(TaskId id) {
+  ftla::LockGuard lock(mutex_);
+  done_[static_cast<std::size_t>(id)] = 1;
+  cv_done_.notify_all();
+}
+
+bool TaskRuntime::enter_task() {
+  {
+    ftla::LockGuard lock(mutex_);
+    if (aborted_) return false;
+  }
+  // Poll outside the lock (the hook may be arbitrarily slow); the skip
+  // decision is made sticky below so dependents of a skipped task always
+  // skip too — no DepRelease wait is ever emitted without its signal.
+  if (cfg_.cancel && cfg_.cancel()) {
+    ftla::LockGuard lock(mutex_);
+    cancelled_ = true;
+    aborted_ = true;
+    return false;
+  }
+  return true;
+}
+
+void TaskRuntime::execute(TaskId id) {
+  Task& t = tasks_[static_cast<std::size_t>(id)];
+  for (TaskId d : t.deps) wait_done(d);
+  sim::SyncObserver* obs = sys_.sync_observer();
+  // enter_task() runs after every dependency latch opened, so a skipped
+  // dependency (abort already set when it was reached) implies this task
+  // skips as well — the abort flag is monotonic.
+  if (enter_task()) {
+    if (obs) {
+      for (TaskId d : t.deps) {
+        obs->sync_wait(sim::SyncEdgeKind::DepRelease,
+                       tasks_[static_cast<std::size_t>(d)].sync_id);
+      }
+    }
+    {
+      trace::TraceRecorder::IterationScope iter(t.iteration);
+      try {
+        t.body();
+      } catch (...) {
+        ftla::LockGuard lock(mutex_);
+        if (!first_error_) first_error_ = std::current_exception();
+        aborted_ = true;
+      }
+    }
+    // Signal after the body's last trace event (even on a body error, so
+    // already-running dependents that emitted waits stay consistent).
+    if (obs && t.signals) {
+      obs->sync_signal(sim::SyncEdgeKind::DepRelease, t.sync_id);
+    }
+  }
+  mark_done(id);
+}
+
+bool TaskRuntime::run() {
+  FTLA_CHECK(!ran_, "TaskRuntime::run: single-shot");
+  ran_ = true;
+  sim::SyncObserver* obs = sys_.sync_observer();
+  if (obs) {
+    for (const Task& t : tasks_) {
+      for (TaskId d : t.deps) tasks_[static_cast<std::size_t>(d)].signals = true;
+    }
+    for (Task& t : tasks_) {
+      if (t.signals) t.sync_id = obs->fresh_sync_id();
+    }
+  }
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    const TaskId id = static_cast<TaskId>(i);
+    lane_stream(tasks_[i].lane).enqueue([this, id] { execute(id); });
+  }
+  host_lane_.synchronize();
+  for (int g = 0; g < sys_.ngpu(); ++g) sys_.gpu(g).stream().synchronize();
+
+  std::exception_ptr err;
+  bool complete;
+  {
+    ftla::LockGuard lock(mutex_);
+    err = first_error_;
+    complete = !aborted_;
+  }
+  if (err) std::rethrow_exception(err);
+  return complete;
+}
+
+}  // namespace ftla::runtime

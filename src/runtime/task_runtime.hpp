@@ -1,0 +1,188 @@
+#pragma once
+
+/// \file task_runtime.hpp
+/// Tile-granular dataflow task runtime for the FT drivers.
+///
+/// A TaskRuntime schedules tasks onto per-device *lanes*: one lane per
+/// simulated GPU (the device's own sim::Stream, so task bodies are
+/// ownership-checked exactly like fork-join parallel sections) plus one
+/// host lane — an unbound Stream owned by the runtime that maps to the
+/// trace's host context and issues *all* PCIe traffic, keeping the
+/// recorder's LinkTransfer / TransferArrive pairing FIFO-exact per
+/// endpoint pair.
+///
+/// Dependencies are inferred MiniRun-style from declared IN/OUT accesses,
+/// keyed on (device, region class, block row, block column) tiles — the
+/// same coordinates the trace substrate records — plus Phys keys naming
+/// physical staging-buffer slots whose reuse is invisible at the tile
+/// level (lookahead slot rotation). An In access depends on the key's
+/// last writer; an Out access additionally depends on every reader since
+/// that writer (WAR) and becomes the new last writer. Lanes execute
+/// their tasks strictly in submission order, so only cross-lane
+/// dependencies need completion latches; every dependency points to an
+/// earlier-submitted task, making the wait graph acyclic — the runtime
+/// cannot deadlock regardless of how lanes interleave.
+///
+/// Happens-before edges are reported to the system's SyncObserver as
+/// DepRelease signal/wait pairs: a finishing task signals once (after
+/// its last trace event), and every cross-lane dependent waits once
+/// before its first event. The task-graph extractor therefore sees the
+/// runtime's real partial order, and ftla-graph-verify proves
+/// race-freedom and checksum coverage over every linearization of a
+/// genuinely out-of-order schedule.
+///
+/// Whole-graph submission: drivers submit the complete task graph before
+/// run(). Task bodies may perform task-local (delta / 1D) repairs, but
+/// recovery that would re-plan future tasks must abort() the graph and
+/// escalate (the FT drivers map this to NeedCompleteRestart; fault
+/// injection stays on the fork-join oracle). Cancellation is polled at
+/// task granularity: once the cancel hook fires, every body that has not
+/// started is skipped, while latches still open so all lanes drain.
+
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "common/annotations.hpp"
+#include "common/types.hpp"
+#include "sim/stream.hpp"
+
+namespace ftla::sim {
+class HeterogeneousSystem;
+}  // namespace ftla::sim
+
+namespace ftla::runtime {
+
+/// Lane index of the runtime-owned host lane (GPU lanes are 0-based).
+inline constexpr int kHostLane = -1;
+
+/// Registry namespace of one access key. Data / Checksum / Workspace
+/// mirror trace::RegionClass over (device, block row, block col) tiles;
+/// Phys names a physical staging-buffer slot (buffer id × slot index).
+enum class Space : int { Data = 0, Checksum = 1, Workspace = 2, Phys = 3 };
+
+/// One declared access of a task. Declared accesses must be a superset
+/// of what the body's trace events touch on each device — that is the
+/// invariant that makes the extracted graph race-free by construction.
+struct Access {
+  enum class Mode : int { In, Out };
+
+  Mode mode = Mode::In;
+  int device = kHostLane;
+  Space space = Space::Data;
+  index_t br0 = 0, br1 = 0;  ///< half-open tile-row range
+  index_t bc0 = 0, bc1 = 0;  ///< half-open tile-column range
+
+  static Access in(int device, Space space, index_t br0, index_t br1,
+                   index_t bc0, index_t bc1) {
+    return {Mode::In, device, space, br0, br1, bc0, bc1};
+  }
+  static Access out(int device, Space space, index_t br0, index_t br1,
+                    index_t bc0, index_t bc1) {
+    return {Mode::Out, device, space, br0, br1, bc0, bc1};
+  }
+  static Access in_tile(int device, Space space, index_t br, index_t bc) {
+    return in(device, space, br, br + 1, bc, bc + 1);
+  }
+  static Access out_tile(int device, Space space, index_t br, index_t bc) {
+    return out(device, space, br, br + 1, bc, bc + 1);
+  }
+  /// Physical staging-buffer slot; serializes reuse of rotating
+  /// lookahead buffers that tile coordinates cannot see.
+  static Access in_slot(int device, index_t buffer, index_t slot) {
+    return in(device, Space::Phys, buffer, buffer + 1, slot, slot + 1);
+  }
+  static Access out_slot(int device, index_t buffer, index_t slot) {
+    return out(device, Space::Phys, buffer, buffer + 1, slot, slot + 1);
+  }
+};
+
+using TaskId = std::int32_t;
+
+class TaskRuntime {
+ public:
+  struct Config {
+    /// Polled before every task body, possibly concurrently from several
+    /// lane threads — must be safe to call concurrently. Once it returns
+    /// true the decision is sticky: all remaining bodies are skipped and
+    /// run() reports cancellation.
+    std::function<bool()> cancel;
+  };
+
+  explicit TaskRuntime(sim::HeterogeneousSystem& sys, Config cfg = {});
+  ~TaskRuntime();
+
+  TaskRuntime(const TaskRuntime&) = delete;
+  TaskRuntime& operator=(const TaskRuntime&) = delete;
+
+  /// Registers one task on `lane` (kHostLane or a GPU index). Tasks run
+  /// in submission order within a lane; cross-lane order comes from the
+  /// declared accesses. `iteration` stamps every trace event the body
+  /// emits (TraceRecorder::IterationScope). Submission is single-threaded
+  /// and must finish before run().
+  TaskId submit(int lane, index_t iteration, const std::vector<Access>& accesses,
+                std::function<void()> body);
+
+  /// Skips every task body that has not started yet (latches still open,
+  /// lanes drain). Callable from task bodies — drivers use it when a
+  /// failed verification escalates to a complete restart.
+  void abort();
+
+  /// Executes the submitted graph and blocks until every lane drained.
+  /// Rethrows the first exception a body raised. Returns true when every
+  /// body ran, false when abort() or cancellation skipped a suffix.
+  bool run();
+
+  /// True when the cancel hook stopped the run (subset of !run()).
+  [[nodiscard]] bool cancelled() const;
+
+  [[nodiscard]] std::size_t num_tasks() const noexcept { return tasks_.size(); }
+  /// Cross-lane dependency edges (after dedup; same-lane program order
+  /// is implicit and not counted).
+  [[nodiscard]] std::size_t num_edges() const noexcept { return edges_; }
+
+ private:
+  struct Task {
+    int lane = kHostLane;
+    index_t iteration = -1;
+    std::function<void()> body;
+    std::vector<TaskId> deps;  ///< cross-lane, deduped, ascending
+    std::uint64_t sync_id = 0;
+    bool signals = false;  ///< has cross-lane dependents → emits DepRelease
+  };
+  struct TileState {
+    TaskId last_writer = -1;
+    std::vector<TaskId> readers;  ///< readers since last_writer
+  };
+  using TileKey = std::tuple<int, int, index_t, index_t>;
+
+  sim::Stream& lane_stream(int lane);
+  void execute(TaskId id);
+  void wait_done(TaskId id);
+  bool enter_task();
+  void mark_done(TaskId id);
+
+  sim::HeterogeneousSystem& sys_;
+  Config cfg_;
+  sim::Stream host_lane_{-1};
+
+  // Graph state: written only by the submitting thread before run(); the
+  // Stream enqueue handoff publishes it to the lane workers, which then
+  // only read it — no lock needed.
+  std::vector<Task> tasks_;
+  std::map<TileKey, TileState> registry_;
+  std::size_t edges_ = 0;
+  bool ran_ = false;
+
+  mutable ftla::Mutex mutex_;
+  ftla::CondVar cv_done_;
+  std::vector<std::uint8_t> done_ FTLA_GUARDED_BY(mutex_);
+  bool aborted_ FTLA_GUARDED_BY(mutex_) = false;
+  bool cancelled_ FTLA_GUARDED_BY(mutex_) = false;
+  std::exception_ptr first_error_ FTLA_GUARDED_BY(mutex_);
+};
+
+}  // namespace ftla::runtime

@@ -34,6 +34,8 @@ enum class SyncEdgeKind {
   EventWait,    ///< sim::Event waited on (stream- or host-side wait)
   StreamSync,   ///< host drained one stream outside a full barrier
   Transfer,     ///< PcieLink completion ordered before the arrival
+  DepRelease,   ///< task-runtime dependency release: the finishing task
+                ///< signals once; every cross-lane dependent waits once
 };
 
 class SyncObserver {

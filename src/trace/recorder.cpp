@@ -15,6 +15,12 @@ int calling_context() noexcept {
   return d <= 0 ? kHost : static_cast<int>(d) - 1;
 }
 
+// Thread-local iteration override (TraceRecorder::IterationScope). The
+// flag pair lives outside any recorder instance: a scope covers whatever
+// recorder the wrapped task body emits into.
+thread_local index_t tls_iteration = -1;
+thread_local bool tls_iteration_active = false;
+
 }  // namespace
 
 const char* to_string(EventKind k) {
@@ -45,6 +51,7 @@ const char* to_string(sim::SyncEdgeKind k) {
     case sim::SyncEdgeKind::EventWait: return "event_wait";
     case sim::SyncEdgeKind::StreamSync: return "stream_sync";
     case sim::SyncEdgeKind::Transfer: return "transfer";
+    case sim::SyncEdgeKind::DepRelease: return "dep_release";
   }
   return "?";
 }
@@ -165,12 +172,23 @@ Trace filter_job(const Trace& trace, std::uint64_t job_id) {
   return out;
 }
 
+TraceRecorder::IterationScope::IterationScope(index_t k)
+    : saved_(tls_iteration), saved_active_(tls_iteration_active) {
+  tls_iteration = k;
+  tls_iteration_active = true;
+}
+
+TraceRecorder::IterationScope::~IterationScope() {
+  tls_iteration = saved_;
+  tls_iteration_active = saved_active_;
+}
+
 TraceEvent& TraceRecorder::append(EventKind kind) {
   TraceEvent& e = trace_.events.emplace_back();
   e.seq = next_seq_++;
   e.job_id = job_id_;
   e.kind = kind;
-  e.iteration = current_iteration_;
+  e.iteration = tls_iteration_active ? tls_iteration : current_iteration_;
   if (sync_capture_) e.stream = calling_context();
   return e;
 }

@@ -68,6 +68,25 @@ class TraceRecorder : public sim::SyncObserver {
   /// unless sync capture is on, so legacy traces stay byte-identical.
   void task_begin(fault::OpKind op, int device);
 
+  /// Per-thread iteration override for out-of-order schedulers. While a
+  /// scope is alive on a thread, every event that thread appends is
+  /// stamped with `k` instead of the recorder-global current iteration —
+  /// the dataflow runtime wraps each task body in one so tasks of
+  /// different panel generations can interleave without begin_iteration /
+  /// end_iteration bracketing. Fork-join drivers never construct scopes,
+  /// so their stamping (and serialized traces) are unchanged.
+  class IterationScope {
+   public:
+    explicit IterationScope(index_t k);
+    ~IterationScope();
+    IterationScope(const IterationScope&) = delete;
+    IterationScope& operator=(const IterationScope&) = delete;
+
+   private:
+    index_t saved_;
+    bool saved_active_;
+  };
+
   /// Raw PcieLink observation. `from`/`to` use the simulator's
   /// device_id_t convention (CPU = 0, GPU g = g + 1); they are converted
   /// to trace device indices (kHost / 0-based GPU) here. The analyzer

@@ -1,0 +1,263 @@
+// Dataflow-scheduler tests: the out-of-order drivers must produce
+// bit-identical factors and identical FT bookkeeping to the fork-join
+// oracle at every (algorithm × scheme × GPU count × lookahead) point,
+// cancellation must abort mid-graph without leaking device arenas, and
+// selecting ForkJoin explicitly must stay byte-stable (trace JSONL and
+// schedule-lint JSON) against the default configuration.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+#include <string>
+#include <tuple>
+
+#include "analysis/lint.hpp"
+#include "core/baseline.hpp"
+#include "core/ft_driver.hpp"
+#include "matrix/compare.hpp"
+#include "matrix/generate.hpp"
+#include "matrix/norms.hpp"
+#include "sim/system.hpp"
+#include "trace/recorder.hpp"
+
+namespace ftla::core {
+namespace {
+
+using Param = std::tuple<int, int, int, index_t>;  // checksum, scheme, ngpu, lookahead
+
+FtOptions make_options(const Param& p, index_t nb) {
+  const auto [cs, scheme, ngpu, lookahead] = p;
+  FtOptions opts;
+  opts.nb = nb;
+  opts.ngpu = ngpu;
+  opts.checksum = static_cast<ChecksumKind>(cs);
+  opts.scheme = static_cast<SchemeKind>(scheme);
+  opts.scheduler = SchedulerKind::Dataflow;
+  opts.lookahead = lookahead;
+  return opts;
+}
+
+// FT bookkeeping that must not depend on the scheduler. Timings and
+// comm_modeled_seconds legitimately differ (that is the point of
+// lookahead), so they are excluded.
+void expect_same_ft_work(const FtStats& df, const FtStats& fj) {
+  EXPECT_EQ(df.status, fj.status);
+  EXPECT_EQ(df.errors_detected, fj.errors_detected);
+  EXPECT_EQ(df.local_restarts, fj.local_restarts);
+  EXPECT_EQ(df.blocks_verified, fj.blocks_verified);
+  EXPECT_EQ(df.verifications_pd_before, fj.verifications_pd_before);
+  EXPECT_EQ(df.verifications_pd_after, fj.verifications_pd_after);
+  EXPECT_EQ(df.verifications_pu_before, fj.verifications_pu_before);
+  EXPECT_EQ(df.verifications_pu_after, fj.verifications_pu_after);
+  EXPECT_EQ(df.verifications_tmu_before, fj.verifications_tmu_before);
+  EXPECT_EQ(df.verifications_tmu_after, fj.verifications_tmu_after);
+  EXPECT_EQ(df.comm_errors_corrected, fj.comm_errors_corrected);
+  EXPECT_EQ(df.corrected_0d, fj.corrected_0d);
+  EXPECT_EQ(df.corrected_1d, fj.corrected_1d);
+  EXPECT_EQ(df.checksum_rebuilds, fj.checksum_rebuilds);
+}
+
+class DataflowSweep : public ::testing::TestWithParam<Param> {};
+
+TEST_P(DataflowSweep, CholeskyBitIdenticalToForkJoin) {
+  const index_t n = 96;
+  const index_t nb = 16;
+  const MatD a = random_spd(n, 41);
+  const FtOptions df_opts = make_options(GetParam(), nb);
+  FtOptions fj_opts = df_opts;
+  fj_opts.scheduler = SchedulerKind::ForkJoin;
+
+  const FtOutput df = ft_cholesky(a.const_view(), df_opts);
+  const FtOutput fj = ft_cholesky(a.const_view(), fj_opts);
+  ASSERT_TRUE(df.ok()) << df.stats.summary();
+  ASSERT_TRUE(fj.ok());
+  EXPECT_EQ(max_abs_diff(df.factors.const_view(), fj.factors.const_view()), 0.0);
+  expect_same_ft_work(df.stats, fj.stats);
+}
+
+TEST_P(DataflowSweep, LuBitIdenticalToForkJoin) {
+  const index_t n = 96;
+  const index_t nb = 16;
+  const MatD a = random_diag_dominant(n, 42);
+  const FtOptions df_opts = make_options(GetParam(), nb);
+  FtOptions fj_opts = df_opts;
+  fj_opts.scheduler = SchedulerKind::ForkJoin;
+
+  const FtOutput df = ft_lu(a.const_view(), df_opts);
+  const FtOutput fj = ft_lu(a.const_view(), fj_opts);
+  ASSERT_TRUE(df.ok()) << df.stats.summary();
+  ASSERT_TRUE(fj.ok());
+  EXPECT_EQ(max_abs_diff(df.factors.const_view(), fj.factors.const_view()), 0.0);
+  expect_same_ft_work(df.stats, fj.stats);
+}
+
+TEST_P(DataflowSweep, QrBitIdenticalToForkJoin) {
+  const index_t n = 96;
+  const index_t nb = 16;
+  const MatD a = random_general(n, n, 43);
+  const FtOptions df_opts = make_options(GetParam(), nb);
+  FtOptions fj_opts = df_opts;
+  fj_opts.scheduler = SchedulerKind::ForkJoin;
+
+  const FtOutput df = ft_qr(a.const_view(), df_opts);
+  const FtOutput fj = ft_qr(a.const_view(), fj_opts);
+  ASSERT_TRUE(df.ok()) << df.stats.summary();
+  ASSERT_TRUE(fj.ok());
+  EXPECT_EQ(max_abs_diff(df.factors.const_view(), fj.factors.const_view()), 0.0);
+  ASSERT_EQ(df.tau.size(), fj.tau.size());
+  for (std::size_t i = 0; i < df.tau.size(); ++i) {
+    ASSERT_EQ(df.tau[i], fj.tau[i]) << i;
+  }
+  expect_same_ft_work(df.stats, fj.stats);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LayoutsSchemesGpusLookahead, DataflowSweep,
+    ::testing::Values(
+        // Baseline (no checksums).
+        Param{0, 2, 1, 1}, Param{0, 2, 3, 1},
+        // Single-side layout with each scheme.
+        Param{1, 0, 1, 1}, Param{1, 1, 2, 1},
+        // Full layout with each scheme, several GPU counts.
+        Param{2, 0, 1, 1}, Param{2, 1, 1, 1}, Param{2, 2, 1, 1},
+        Param{2, 2, 2, 1}, Param{2, 2, 3, 1}, Param{2, 1, 4, 1},
+        // Lookahead depths: 0 serializes like fork-join, deeper values
+        // only widen the window — results must not change.
+        Param{2, 2, 2, 0}, Param{2, 2, 2, 3}, Param{2, 2, 4, 5}));
+
+TEST(Dataflow, PeriodicSweepAndHeuristicMatchForkJoin) {
+  const index_t n = 128;
+  const index_t nb = 16;
+  const MatD a = random_diag_dominant(n, 44);
+  FtOptions df_opts;
+  df_opts.nb = nb;
+  df_opts.ngpu = 2;
+  df_opts.checksum = ChecksumKind::Full;
+  df_opts.scheme = SchemeKind::NewScheme;
+  df_opts.periodic_trailing_check = 2;
+  df_opts.scheduler = SchedulerKind::Dataflow;
+  FtOptions fj_opts = df_opts;
+  fj_opts.scheduler = SchedulerKind::ForkJoin;
+
+  const FtOutput df = ft_lu(a.const_view(), df_opts);
+  const FtOutput fj = ft_lu(a.const_view(), fj_opts);
+  ASSERT_TRUE(df.ok()) << df.stats.summary();
+  ASSERT_TRUE(fj.ok());
+  EXPECT_EQ(max_abs_diff(df.factors.const_view(), fj.factors.const_view()), 0.0);
+  expect_same_ft_work(df.stats, fj.stats);
+  EXPECT_GT(df.stats.verifications_tmu_after, 0u);
+}
+
+TEST(Dataflow, InjectorFallsBackToForkJoin) {
+  // A fault injector forces the fork-join oracle even when Dataflow is
+  // requested — recovery that re-plans future work needs it.
+  const index_t n = 64;
+  const MatD a = random_diag_dominant(n, 45);
+  FtOptions opts;
+  opts.nb = 16;
+  opts.checksum = ChecksumKind::Full;
+  opts.scheduler = SchedulerKind::Dataflow;
+  fault::FaultInjector inj;  // nothing scheduled: zero faults
+  const FtOutput out = ft_lu(a.const_view(), opts, &inj);
+  ASSERT_TRUE(out.ok());
+  const FtOutput ref = ft_lu(a.const_view(), opts);
+  EXPECT_EQ(max_abs_diff(out.factors.const_view(), ref.factors.const_view()), 0.0);
+}
+
+TEST(Dataflow, CancellationAbortsMidGraph) {
+  const index_t n = 256;
+  const index_t nb = 16;
+  const MatD a = random_diag_dominant(n, 46);
+  std::atomic<int> polls{0};
+  FtOptions opts;
+  opts.nb = nb;
+  opts.ngpu = 2;
+  opts.checksum = ChecksumKind::Full;
+  opts.scheduler = SchedulerKind::Dataflow;
+  opts.cancel = [&polls] { return ++polls > 40; };
+  const FtOutput out = ft_lu(a.const_view(), opts);
+  EXPECT_EQ(out.stats.status, RunStatus::Cancelled);
+  EXPECT_GT(polls.load(), 40);
+}
+
+TEST(Dataflow, MidGraphAbortLeavesBorrowedSystemReusable) {
+  // A pooled system must come back arena-clean from a cancelled dataflow
+  // run (mid-graph abort) and support a subsequent full run.
+  const index_t n = 128;
+  const index_t nb = 16;
+  const MatD a = random_diag_dominant(n, 47);
+  sim::HeterogeneousSystem sys(2);
+  const auto host_base = sys.cpu().bytes_allocated();
+  FtOptions opts;
+  opts.nb = nb;
+  opts.ngpu = 2;
+  opts.checksum = ChecksumKind::Full;
+  opts.scheduler = SchedulerKind::Dataflow;
+  opts.system = &sys;
+
+  std::atomic<int> polls{0};
+  opts.cancel = [&polls] { return ++polls > 10; };
+  const FtOutput cancelled = ft_lu(a.const_view(), opts);
+  EXPECT_EQ(cancelled.stats.status, RunStatus::Cancelled);
+  EXPECT_EQ(sys.cpu().bytes_allocated(), host_base);
+  EXPECT_EQ(sys.gpu_bytes_allocated(), 0u);
+
+  opts.cancel = nullptr;
+  const FtOutput out = ft_lu(a.const_view(), opts);
+  ASSERT_TRUE(out.ok()) << out.stats.summary();
+  EXPECT_EQ(sys.gpu_bytes_allocated(), 0u);
+
+  FtOptions ref_opts;
+  ref_opts.nb = nb;
+  ref_opts.ngpu = 2;
+  ref_opts.checksum = ChecksumKind::Full;
+  const FtOutput ref = ft_lu(a.const_view(), ref_opts);
+  ASSERT_TRUE(ref.ok());
+  EXPECT_EQ(max_abs_diff(out.factors.const_view(), ref.factors.const_view()), 0.0);
+}
+
+TEST(Dataflow, ForkJoinTraceBytesUnchangedByDefaultOptions) {
+  // Byte-stability pin: the default-constructed options and an explicit
+  // ForkJoin + lookahead request must produce byte-identical capture-off
+  // trace JSONL and byte-identical legacy schedule-lint v2 JSON. Pinned
+  // at ngpu=1 where fork-join emission is single-threaded, so the trace
+  // is run-to-run deterministic and the comparison is exact.
+  const index_t n = 96;
+  const index_t nb = 16;
+  const MatD a = random_diag_dominant(n, 48);
+
+  const auto run_jsonl = [&](SchedulerKind sched, index_t lookahead) {
+    trace::TraceRecorder rec;  // sync capture off by default
+    FtOptions opts;
+    opts.nb = nb;
+    opts.checksum = ChecksumKind::Full;
+    opts.trace = &rec;
+    opts.scheduler = sched;
+    opts.lookahead = lookahead;
+    const FtOutput out = ft_lu(a.const_view(), opts);
+    EXPECT_TRUE(out.ok());
+    std::ostringstream os;
+    trace::write_jsonl(rec.snapshot(), os);
+    return os.str();
+  };
+  const std::string base = run_jsonl(SchedulerKind::ForkJoin, 1);
+  EXPECT_FALSE(base.empty());
+  EXPECT_EQ(base, run_jsonl(SchedulerKind::ForkJoin, 5));
+
+  const auto lint_json = [](SchedulerKind sched, index_t lookahead) {
+    analysis::LintCase c;
+    c.algorithm = "lu";
+    c.scheduler = sched;
+    c.lookahead = lookahead;
+    std::ostringstream os;
+    analysis::write_report({analysis::lint_case(c)}, os);
+    return os.str();
+  };
+  const std::string lint_base = lint_json(SchedulerKind::ForkJoin, 1);
+  EXPECT_FALSE(lint_base.empty());
+  EXPECT_EQ(lint_base, lint_json(SchedulerKind::ForkJoin, 5));
+}
+
+}  // namespace
+}  // namespace ftla::core

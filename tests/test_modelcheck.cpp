@@ -417,6 +417,120 @@ TEST(GraphVerify, MutationCorpusFloorsPerKind) {
   EXPECT_TRUE(r.pass);
 }
 
+/// The capability PR 7 was waiting for: a dataflow-scheduled run emits a
+/// genuinely partial order, so the extracted graph has more than one
+/// schedule class — and the new scheme's MUD coverage must hold over
+/// every one of those linearizations, not just the recorded schedule.
+TEST(GraphVerify, DataflowLookaheadProducesMultipleScheduleClasses) {
+  LintCase c;
+  c.algorithm = "cholesky";
+  c.scheme = core::SchemeKind::NewScheme;
+  c.ngpu = 2;
+  c.n = 96;
+  c.nb = 32;
+  c.scheduler = core::SchedulerKind::Dataflow;
+  c.lookahead = 2;
+  const GraphVerifyOutcome o = graph_verify_case(c);
+  EXPECT_TRUE(o.pass);
+  EXPECT_TRUE(o.report.race_free());
+  EXPECT_TRUE(o.report.clean());  // coverage clean over ALL linearizations
+  EXPECT_TRUE(o.refinement.pass);
+  EXPECT_EQ(o.refinement.matched, o.graph.nodes.size());
+  ASSERT_TRUE(o.explored.exhaustive);
+  EXPECT_GT(o.explored.schedules, 1u);  // genuinely out-of-order
+  EXPECT_EQ(o.explored.violating_schedules, 0u);
+  EXPECT_TRUE(o.explored.inconsistencies.empty());
+}
+
+TEST(GraphVerify, DataflowMutationCorpusStillFullyDetected) {
+  LintCase c;
+  c.algorithm = "lu";
+  c.scheme = core::SchemeKind::NewScheme;
+  c.ngpu = 2;
+  c.n = 96;
+  c.nb = 32;
+  c.scheduler = core::SchedulerKind::Dataflow;
+  const GraphVerifyReport r = run_graph_verify({c});
+  EXPECT_TRUE(r.cases_pass);
+  std::size_t kinds_seen = 0;
+  std::size_t detected = 0;
+  for (const GraphMutationOutcome& m : r.mutations) {
+    if (m.detected) ++detected;
+    EXPECT_TRUE(m.detected) << m.mutation.name;
+    kinds_seen |= 1u << static_cast<unsigned>(m.mutation.kind);
+  }
+  EXPECT_EQ(detected, r.mutations.size());
+  EXPECT_EQ(kinds_seen, 0b111u);  // all three mutation kinds seeded
+  EXPECT_TRUE(r.corpus_pass);
+}
+
+/// Lookahead zero degenerates to fork-join-like serialization, and the
+/// graph must still verify; deeper lookahead must not change verdicts.
+TEST(GraphVerify, DataflowLookaheadDepthsAllVerify) {
+  for (const index_t lookahead : {index_t{0}, index_t{3}}) {
+    LintCase c;
+    c.algorithm = "qr";
+    c.scheme = core::SchemeKind::NewScheme;
+    c.ngpu = 2;
+    c.n = 96;
+    c.nb = 32;
+    c.scheduler = core::SchedulerKind::Dataflow;
+    c.lookahead = lookahead;
+    const GraphVerifyOutcome o = graph_verify_case(c);
+    EXPECT_TRUE(o.pass) << "lookahead=" << lookahead;
+    EXPECT_TRUE(o.report.race_free()) << "lookahead=" << lookahead;
+  }
+}
+
+/// Longest chain through the DAG, in tasks. This is the schedule's
+/// makespan on idealized hardware (every task one step, unlimited
+/// parallel lanes), so it is the deterministic form of the lookahead
+/// claim: no wall clock, no core count, no noise.
+std::size_t critical_path(const TaskGraph& g) {
+  bool acyclic = false;
+  const std::vector<std::uint32_t> order = topo_order(g, &acyclic);
+  if (!acyclic || g.nodes.empty()) return 0;
+  std::vector<std::size_t> depth(g.nodes.size(), 1);
+  std::size_t best = 1;
+  for (const std::uint32_t u : order) {
+    for (const std::uint32_t v : g.succs(u)) {
+      depth[v] = std::max(depth[v], depth[u] + 1);
+      best = std::max(best, depth[v]);
+    }
+  }
+  return best;
+}
+
+/// The lookahead win, stated structurally: for every decomposition the
+/// dataflow graph's critical path is strictly shorter than fork-join's
+/// (whose per-iteration barriers chain every task into the makespan).
+/// This is the CI-stable counterpart of the wall-clock gate in
+/// ftla-hotpath-bench, which only arms on multi-core hosts.
+TEST(GraphVerify, DataflowCriticalPathBeatsForkJoin) {
+  for (const char* algo : {"cholesky", "lu", "qr"}) {
+    LintCase c;
+    c.algorithm = algo;
+    c.scheme = core::SchemeKind::NewScheme;
+    c.ngpu = 2;
+    c.n = 96;
+    c.nb = 32;
+    const CaseGraph fj = extract_case_graph(c);
+    c.scheduler = core::SchedulerKind::Dataflow;
+    c.lookahead = 2;
+    const CaseGraph df = extract_case_graph(c);
+    ASSERT_EQ(fj.status, core::RunStatus::Success) << algo;
+    ASSERT_EQ(df.status, core::RunStatus::Success) << algo;
+    const std::size_t cp_fj = critical_path(fj.graph);
+    const std::size_t cp_df = critical_path(df.graph);
+    ASSERT_GT(cp_fj, 0u) << algo;
+    ASSERT_GT(cp_df, 0u) << algo;
+    EXPECT_LT(cp_df, cp_fj)
+        << algo << ": dataflow critical path " << cp_df << " of "
+        << df.graph.nodes.size() << " tasks vs fork-join " << cp_fj << " of "
+        << fj.graph.nodes.size();
+  }
+}
+
 TEST(GraphVerify, CertificateSerializesVersionedHeader) {
   LintCase c;
   c.algorithm = "lu";
@@ -429,8 +543,10 @@ TEST(GraphVerify, CertificateSerializesVersionedHeader) {
   write_graph_certificate(r, os);
   const std::string json = os.str();
   EXPECT_NE(json.find("{\n  \"tool\": \"ftla-graph-verify\",\n"
-                      "  \"schema_version\": 1,\n  \"cases\": [\n"),
+                      "  \"schema_version\": 2,\n  \"cases\": [\n"),
             std::string::npos);
+  EXPECT_NE(json.find("\"scheduler\":\"fork-join\""), std::string::npos);
+  EXPECT_NE(json.find("\"lookahead\":1"), std::string::npos);
   EXPECT_NE(json.find("\"refinement\""), std::string::npos);
   EXPECT_NE(json.find("\"exploration\""), std::string::npos);
   EXPECT_NE(json.find("\"mutations\""), std::string::npos);

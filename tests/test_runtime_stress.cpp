@@ -1,0 +1,232 @@
+// TSan stress for the dataflow TaskRuntime: hammers concurrent task
+// completion and dependency release across {1,2,4} simulated GPUs, plus
+// mid-run cancellation and mid-graph abort. Shared state touched by the
+// task bodies is deliberately NOT atomic where a dependency edge should
+// order it — under ThreadSanitizer (the CI stress job) any missing or
+// misfired DepRelease shows up as a data race, so a clean run is
+// evidence the runtime's happens-before edges are real.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <functional>
+#include <vector>
+
+#include "runtime/task_runtime.hpp"
+#include "sim/system.hpp"
+
+namespace ftla::runtime {
+namespace {
+
+class RuntimeStress : public ::testing::TestWithParam<int> {};
+
+// Broadcast / consume / rotate: the host lane writes a per-device tile,
+// every GPU lane reads it several times, and the next round's host write
+// must wait for all readers (WAR). The round counter and the per-device
+// payloads are plain ints — only the inferred RAW and WAR edges order
+// them.
+TEST_P(RuntimeStress, BroadcastConsumeRotateRounds) {
+  const int ngpu = GetParam();
+  const int rounds = 60;
+  const int consumers = 4;
+  sim::HeterogeneousSystem sys(ngpu);
+  TaskRuntime rt(sys);
+
+  std::vector<int> payload(static_cast<std::size_t>(ngpu), -1);
+  std::vector<std::vector<int>> seen(
+      static_cast<std::size_t>(ngpu),
+      std::vector<int>(static_cast<std::size_t>(rounds * consumers), -2));
+
+  for (int r = 0; r < rounds; ++r) {
+    for (int g = 0; g < ngpu; ++g) {
+      rt.submit(kHostLane, r, {Access::out_tile(g, Space::Data, 0, g)},
+                [&payload, g, r] { payload[static_cast<std::size_t>(g)] = r; });
+    }
+    for (int g = 0; g < ngpu; ++g) {
+      for (int c = 0; c < consumers; ++c) {
+        rt.submit(g, r, {Access::in_tile(g, Space::Data, 0, g)},
+                  [&payload, &seen, g, r, c, consumers_ = consumers] {
+                    seen[static_cast<std::size_t>(g)]
+                        [static_cast<std::size_t>(r * consumers_ + c)] =
+                            payload[static_cast<std::size_t>(g)];
+                  });
+      }
+    }
+  }
+  ASSERT_TRUE(rt.run());
+  for (int g = 0; g < ngpu; ++g) {
+    for (int r = 0; r < rounds; ++r) {
+      for (int c = 0; c < consumers; ++c) {
+        ASSERT_EQ(seen[static_cast<std::size_t>(g)]
+                      [static_cast<std::size_t>(r * consumers + c)],
+                  r)
+            << "g=" << g << " r=" << r << " c=" << c;
+      }
+    }
+  }
+}
+
+// Fan-in joins: every GPU writes its own tile, a host task reads them
+// all, repeatedly — hammers the many-signals-one-waiter path of the
+// completion latches.
+TEST_P(RuntimeStress, WideFanInJoins) {
+  const int ngpu = GetParam();
+  const int rounds = 100;
+  sim::HeterogeneousSystem sys(ngpu);
+  TaskRuntime rt(sys);
+
+  std::vector<long> partial(static_cast<std::size_t>(ngpu), 0);
+  std::vector<long> totals(static_cast<std::size_t>(rounds), -1);
+
+  for (int r = 0; r < rounds; ++r) {
+    for (int g = 0; g < ngpu; ++g) {
+      rt.submit(g, r, {Access::out_tile(g, Space::Data, 1, 0)},
+                [&partial, g, r] {
+                  partial[static_cast<std::size_t>(g)] += r + g;
+                });
+    }
+    std::vector<Access> acc;
+    for (int g = 0; g < ngpu; ++g) acc.push_back(Access::in_tile(g, Space::Data, 1, 0));
+    rt.submit(kHostLane, r, acc, [&partial, &totals, r, ngpu] {
+      long t = 0;
+      for (int g = 0; g < ngpu; ++g) t += partial[static_cast<std::size_t>(g)];
+      totals[static_cast<std::size_t>(r)] = t;
+    });
+  }
+  ASSERT_TRUE(rt.run());
+  long expect = 0;
+  for (int r = 0; r < rounds; ++r) {
+    for (int g = 0; g < GetParam(); ++g) expect += r + g;
+    ASSERT_EQ(totals[static_cast<std::size_t>(r)], expect) << r;
+  }
+}
+
+// Cross-lane chains through rotating staging slots: lane g's task reads
+// the slot lane g-1 wrote, writes the next one. Slot keys (Space::Phys)
+// must serialize reuse exactly like the drivers' lookahead buffers.
+TEST_P(RuntimeStress, SlotRotationChains) {
+  const int ngpu = GetParam();
+  const int steps = 120;
+  const index_t slots = 3;
+  sim::HeterogeneousSystem sys(ngpu);
+  TaskRuntime rt(sys);
+
+  std::vector<int> slot_val(static_cast<std::size_t>(slots), 0);
+  int chain = 0;
+
+  for (int s = 0; s < steps; ++s) {
+    const int lane = s % ngpu;
+    const index_t slot = s % slots;
+    const index_t prev = (s + slots - 1) % slots;
+    std::vector<Access> acc = {Access::out_slot(0, 0, slot)};
+    if (s > 0) acc.push_back(Access::in_slot(0, 0, prev));
+    rt.submit(lane, s, acc, [&slot_val, &chain, slot, prev, s] {
+      const int incoming =
+          s > 0 ? slot_val[static_cast<std::size_t>(prev)] : 0;
+      slot_val[static_cast<std::size_t>(slot)] = incoming + 1;
+      chain = incoming + 1;
+    });
+  }
+  ASSERT_TRUE(rt.run());
+  EXPECT_EQ(chain, steps);
+}
+
+// Mid-run cancellation at task granularity: the hook flips after a
+// bounded number of polls; the suffix must be skipped while latches
+// still open (run() returns, no deadlock), repeatedly at varying points.
+TEST_P(RuntimeStress, MidRunCancellationDrains) {
+  const int ngpu = GetParam();
+  for (int trigger : {1, 7, 23, 61}) {
+    sim::HeterogeneousSystem sys(ngpu);
+    std::atomic<int> polls{0};
+    TaskRuntime::Config cfg;
+    cfg.cancel = [&polls, trigger] { return ++polls > trigger; };
+    TaskRuntime rt(sys, cfg);
+
+    std::atomic<int> executed{0};
+    const int rounds = 40;
+    for (int r = 0; r < rounds; ++r) {
+      for (int g = 0; g < ngpu; ++g) {
+        rt.submit(g, r, {Access::out_tile(g, Space::Data, 2, 0)},
+                  [&executed] { ++executed; });
+      }
+      std::vector<Access> acc;
+      for (int g = 0; g < ngpu; ++g) {
+        acc.push_back(Access::in_tile(g, Space::Data, 2, 0));
+      }
+      rt.submit(kHostLane, r, acc, [&executed] { ++executed; });
+    }
+    EXPECT_FALSE(rt.run());
+    EXPECT_TRUE(rt.cancelled());
+    EXPECT_LT(executed.load(), rounds * (ngpu + 1));
+  }
+}
+
+// abort() called from inside a body (the drivers' NeedCompleteRestart
+// path): the remaining suffix is skipped, run() reports incomplete, and
+// cancelled() stays false.
+TEST_P(RuntimeStress, BodyAbortSkipsSuffix) {
+  const int ngpu = GetParam();
+  sim::HeterogeneousSystem sys(ngpu);
+  TaskRuntime rt(sys);
+
+  std::atomic<int> executed{0};
+  const int rounds = 50;
+  const int abort_at = 17;
+  for (int r = 0; r < rounds; ++r) {
+    for (int g = 0; g < ngpu; ++g) {
+      rt.submit(g, r, {Access::out_tile(g, Space::Data, 3, 0)},
+                [&executed, &rt, r, abort_at_ = abort_at] {
+                  ++executed;
+                  if (r == abort_at_) rt.abort();
+                });
+    }
+  }
+  EXPECT_FALSE(rt.run());
+  EXPECT_FALSE(rt.cancelled());
+  EXPECT_LT(executed.load(), rounds * ngpu);
+  // Lanes are independent here, so only the aborting lane is guaranteed
+  // to have reached round abort_at before the skip became visible.
+  EXPECT_GE(executed.load(), abort_at + 1);
+}
+
+// A throwing body must surface from run() after all lanes drained, not
+// hang or crash a worker.
+TEST_P(RuntimeStress, BodyExceptionPropagates) {
+  const int ngpu = GetParam();
+  sim::HeterogeneousSystem sys(ngpu);
+  TaskRuntime rt(sys);
+  for (int r = 0; r < 30; ++r) {
+    for (int g = 0; g < ngpu; ++g) {
+      rt.submit(g, r, {Access::out_tile(g, Space::Data, 4, 0)}, [r] {
+        if (r == 11) throw std::runtime_error("boom");
+      });
+    }
+  }
+  EXPECT_THROW(rt.run(), std::runtime_error);
+}
+
+INSTANTIATE_TEST_SUITE_P(Gpus, RuntimeStress, ::testing::Values(1, 2, 4));
+
+// Dependency bookkeeping sanity on a mixed graph: same-lane program
+// order is implicit (not an edge), cross-lane RAW/WAR edges are deduped.
+TEST(RuntimeGraph, EdgeAccounting) {
+  sim::HeterogeneousSystem sys(2);
+  TaskRuntime rt(sys);
+  rt.submit(kHostLane, 0, {Access::out_tile(0, Space::Data, 0, 0)}, [] {});
+  rt.submit(kHostLane, 0, {Access::out_tile(0, Space::Data, 0, 0)}, [] {});
+  EXPECT_EQ(rt.num_edges(), 0u);  // same lane: program order suffices
+  rt.submit(0, 0,
+            {Access::in_tile(0, Space::Data, 0, 0),
+             Access::in_tile(0, Space::Data, 0, 0)},
+            [] {});
+  EXPECT_EQ(rt.num_edges(), 1u);  // duplicate In deduped
+  rt.submit(1, 0, {Access::out_tile(0, Space::Data, 0, 0)}, [] {});
+  // WAR on the reader + WAW on the writer (distinct lanes).
+  EXPECT_EQ(rt.num_edges(), 3u);
+  EXPECT_EQ(rt.num_tasks(), 4u);
+  ASSERT_TRUE(rt.run());
+}
+
+}  // namespace
+}  // namespace ftla::runtime

@@ -21,6 +21,7 @@
 /// Usage:
 ///   ftla-graph-verify [--n N] [--nb NB] [--ngpus 1,2,4]
 ///                     [--algo cholesky|lu|qr] [--scheme prior|post|new]
+///                     [--scheduler fork-join|dataflow] [--lookahead K]
 ///                     [--out certificate.json] [--quiet]
 
 #include <cstdint>
@@ -46,12 +47,15 @@ struct CliOptions {
   std::string scheme;  // empty = all
   std::string out;     // empty = stdout only
   bool quiet = false;
+  ftla::core::SchedulerKind scheduler = ftla::core::SchedulerKind::ForkJoin;
+  ftla::index_t lookahead = 1;
 };
 
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " [--n N] [--nb NB] [--ngpus LIST] [--algo A]"
-               " [--scheme S] [--out FILE] [--quiet]\n";
+               " [--scheme S] [--scheduler fork-join|dataflow]"
+               " [--lookahead K] [--out FILE] [--quiet]\n";
   return 2;
 }
 
@@ -104,6 +108,21 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return usage(argv[0]);
       cli.scheme = v;
+    } else if (arg == "--scheduler") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      const std::string s = v;
+      if (s == "fork-join" || s == "forkjoin") {
+        cli.scheduler = ftla::core::SchedulerKind::ForkJoin;
+      } else if (s == "dataflow") {
+        cli.scheduler = ftla::core::SchedulerKind::Dataflow;
+      } else {
+        return usage(argv[0]);
+      }
+    } else if (arg == "--lookahead") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      cli.lookahead = std::atol(v);
     } else if (arg == "--out") {
       const char* v = next();
       if (!v) return usage(argv[0]);
@@ -116,10 +135,12 @@ int main(int argc, char** argv) {
   }
 
   std::vector<LintCase> matrix;
-  for (const LintCase& c :
+  for (LintCase c :
        ftla::analysis::default_matrix(cli.n, cli.nb, cli.ngpus)) {
     if (!cli.algo.empty() && c.algorithm != cli.algo) continue;
     if (!scheme_matches(c.scheme, cli.scheme)) continue;
+    c.scheduler = cli.scheduler;
+    c.lookahead = cli.lookahead;
     matrix.push_back(c);
   }
   if (matrix.empty()) {
