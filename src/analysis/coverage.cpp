@@ -23,6 +23,9 @@ using trace::TransferCtx;
 /// schedule the linter proves: scatter/gather bracket the run, and a
 /// retransfer is itself the *response* to a detected arrival fault (its
 /// payload is re-verified by the same receiver check that triggered it).
+/// Migrate arrivals are deliberately NOT exempt: a load-balance move is
+/// steady-state traffic and must be closed by an AfterMigrate verify at
+/// the receiver before anything consumes the moved column.
 bool taint_exempt(TransferCtx ctx) {
   return ctx == TransferCtx::Scatter || ctx == TransferCtx::Gather ||
          ctx == TransferCtx::Retransfer;
@@ -86,6 +89,13 @@ class Analyzer {
     if (e.rclass == RegionClass::Workspace) {
       ++workspace_arrivals_;
       return;
+    }
+    if (e.ctx == TransferCtx::Migrate && e.rclass == RegionClass::Data) {
+      // A load-balance move re-homes the column: from here on its owner
+      // copy — including the final-state obligation — lives at the
+      // receiver. Last move wins.
+      for (index_t bc = e.region.bc0; bc < e.region.bc1; ++bc)
+        migrated_owner_[bc] = e.device;
     }
     if (e.rclass != RegionClass::Data || taint_exempt(e.ctx)) return;
     for (index_t br = e.region.br0; br < e.region.br1; ++br)
@@ -216,7 +226,10 @@ class Analyzer {
     const int ngpu = trace_.meta.ngpu > 0 ? trace_.meta.ngpu : 1;
     const bool lower_only = trace_.meta.algorithm == "cholesky";
     for (index_t bc = 0; bc < b; ++bc) {
-      const int owner = static_cast<int>(bc % ngpu);
+      const auto moved = migrated_owner_.find(bc);
+      const int owner = moved != migrated_owner_.end()
+                            ? moved->second
+                            : static_cast<int>(bc % ngpu);
       for (index_t br = lower_only ? bc : 0; br < b; ++br) {
         if (write_taint_.count({br, bc}) != 0) {
           std::ostringstream os;
@@ -248,6 +261,7 @@ class Analyzer {
   std::vector<Window> windows_;
   std::set<std::tuple<int, index_t, index_t, index_t>> window_keys_;
   std::map<index_t, IterationChecksums> counts_;
+  std::map<index_t, int> migrated_owner_;  ///< bc → last Migrate receiver
   std::uint64_t workspace_arrivals_ = 0;
 };
 

@@ -20,7 +20,9 @@ using trace::TraceEvent;
 using trace::TransferCtx;
 
 /// Matches coverage.cpp: recovery and distribution traffic is outside
-/// the steady-state schedule the coverage proof is about.
+/// the steady-state schedule the coverage proof is about. Migrate
+/// arrivals stay in — a load-balance move must be closed by a receiver
+/// verify like any other steady-state transfer.
 bool taint_exempt(TransferCtx ctx) {
   return ctx == TransferCtx::Scatter || ctx == TransferCtx::Gather ||
          ctx == TransferCtx::Retransfer;
@@ -388,6 +390,16 @@ class HbAnalyzer {
     const index_t b = trace_.meta.b;
     const int ngpu = trace_.meta.ngpu > 0 ? trace_.meta.ngpu : 1;
     const bool lower_only = trace_.meta.algorithm == "cholesky";
+    // Dynamic ownership: a Migrate arrival re-homes its column, so the
+    // final-state obligation sits with the receiver of the last move.
+    std::map<index_t, std::pair<std::uint64_t, int>> moved;  // bc → (seq, dev)
+    for (const Access* a : arrivals) {
+      if (a->tctx != TransferCtx::Migrate) continue;
+      for (index_t bc = a->region.bc0; bc < a->region.bc1; ++bc) {
+        auto& slot = moved[bc];
+        if (a->seq >= slot.first) slot = {a->seq, a->device};
+      }
+    }
     // Taint live at run end: no clearing verification ordered after the
     // source at all.
     auto live_at_end = [&](const Access& src, index_t br, index_t bc,
@@ -400,7 +412,9 @@ class HbAnalyzer {
       return true;
     };
     for (index_t bc = 0; bc < b; ++bc) {
-      const int owner = static_cast<int>(bc % ngpu);
+      const auto mv = moved.find(bc);
+      const int owner =
+          mv != moved.end() ? mv->second.second : static_cast<int>(bc % ngpu);
       for (index_t br = lower_only ? bc : 0; br < b; ++br) {
         const Access* w_live = nullptr;
         for (const Access* w : writes) {

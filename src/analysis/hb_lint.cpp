@@ -72,8 +72,17 @@ HbLintReport run_hb_lint(const std::vector<LintCase>& matrix,
   // to the mutation alone.
   std::map<MutationKind, std::size_t> per_kind_count;
   bool all_detected = true;
+  bool any_migration = false;
+  std::size_t migration_mutations = 0;
   for (const HbLintOutcome& o : r.cases) {
     if (o.config.scheme != SchemeKind::NewScheme || !o.pass) continue;
+    for (const trace::TraceEvent& e : o.trace.events) {
+      if (e.kind == trace::EventKind::TransferArrive &&
+          e.ctx == trace::TransferCtx::Migrate) {
+        any_migration = true;
+        break;
+      }
+    }
     for (const Mutation& m : seed_mutations(o.trace, per_kind)) {
       MutationOutcome mo;
       mo.mutation = m;
@@ -92,12 +101,19 @@ HbLintReport run_hb_lint(const std::vector<LintCase>& matrix,
       }
       all_detected = all_detected && mo.detected;
       ++per_kind_count[m.kind];
+      if (m.name.find("-migration") != std::string::npos) {
+        ++migration_mutations;
+      }
       r.mutations.push_back(std::move(mo));
     }
   }
+  // When any clean trace migrates, the corpus must include a
+  // migration-family verify drop — otherwise "all detected" says nothing
+  // about the AfterMigrate windows the balancer introduced.
   const bool floor_met = per_kind_count[MutationKind::DropSyncWait] > 0 &&
                          per_kind_count[MutationKind::DropVerify] > 0 &&
-                         per_kind_count[MutationKind::ReorderTransfer] > 0;
+                         per_kind_count[MutationKind::ReorderTransfer] > 0 &&
+                         (!any_migration || migration_mutations > 0);
   r.corpus_pass = all_detected && floor_met;
   r.pass = r.cases_pass && r.corpus_pass;
   return r;
@@ -123,7 +139,13 @@ void write_hb_case(const HbLintOutcome& o, std::ostream& os) {
   os << "    {\"algorithm\":\"" << c.algorithm << "\",\"scheme\":\""
      << core::to_string(c.scheme) << "\",\"checksum\":\""
      << core::to_string(c.checksum) << "\",\"ngpu\":" << c.ngpu
-     << ",\"n\":" << c.n << ",\"nb\":" << c.nb << ",\"status\":\""
+     << ",\"n\":" << c.n << ",\"nb\":" << c.nb << ",\"adaptive_balance\":"
+     << (c.adaptive_balance ? "true" : "false") << ",\"gpu_time_scale\":[";
+  for (std::size_t i = 0; i < c.gpu_time_scale.size(); ++i) {
+    if (i != 0) os << ',';
+    os << c.gpu_time_scale[i];
+  }
+  os << "],\"status\":\""
      << status_name(o.run_status) << "\",\"pass\":"
      << (o.pass ? "true" : "false") << ",\"analyzable\":"
      << (o.report.analyzable ? "true" : "false")
@@ -196,7 +218,9 @@ void write_hb_report(const HbLintReport& r, std::ostream& os) {
   for (const MutationOutcome& m : r.mutations) {
     if (m.detected) ++detected;
   }
-  os << "{\n  \"tool\": \"ftla-schedule-lint\",\n  \"schema_version\": 2,\n"
+  // Schema v3: cases carry `adaptive_balance` + `gpu_time_scale` (the
+  // fleet shape that makes a schedule migrate) — see lint.cpp.
+  os << "{\n  \"tool\": \"ftla-schedule-lint\",\n  \"schema_version\": 3,\n"
         "  \"mode\": \"hb\",\n  \"cases\": [\n";
   for (std::size_t i = 0; i < r.cases.size(); ++i) {
     write_hb_case(r.cases[i], os);

@@ -99,6 +99,8 @@ RecordedRun record_case(const LintCase& c, bool sync_capture) {
   opts.scheme = c.scheme;
   opts.scheduler = c.scheduler;
   opts.lookahead = c.lookahead;
+  opts.adaptive_balance = c.adaptive_balance;
+  opts.gpu_time_scale = c.gpu_time_scale;
   opts.trace = &rec;
 
   const MatD input = make_input(c);
@@ -158,6 +160,27 @@ std::vector<LintCase> default_matrix(index_t n, index_t nb,
   return cases;
 }
 
+std::vector<LintCase> migration_cases(index_t n, index_t nb) {
+  std::vector<LintCase> cases;
+  auto push = [&](const char* alg, core::SchedulerKind sched) {
+    LintCase c;
+    c.algorithm = alg;
+    c.scheme = SchemeKind::NewScheme;
+    c.ngpu = 2;
+    c.n = n;
+    c.nb = nb;
+    c.scheduler = sched;
+    c.adaptive_balance = true;
+    c.gpu_time_scale = {1.0, 2.0};
+    cases.push_back(std::move(c));
+  };
+  push("cholesky", core::SchedulerKind::ForkJoin);
+  push("cholesky", core::SchedulerKind::Dataflow);
+  push("lu", core::SchedulerKind::ForkJoin);
+  push("qr", core::SchedulerKind::ForkJoin);
+  return cases;
+}
+
 bool all_pass(const std::vector<LintOutcome>& outcomes) {
   return std::all_of(outcomes.begin(), outcomes.end(),
                      [](const LintOutcome& o) { return o.pass; });
@@ -176,7 +199,13 @@ void write_case(const LintOutcome& o, std::ostream& os) {
   os << "    {\"algorithm\":\"" << c.algorithm << "\",\"scheme\":\""
      << core::to_string(c.scheme) << "\",\"checksum\":\""
      << core::to_string(c.checksum) << "\",\"ngpu\":" << c.ngpu
-     << ",\"n\":" << c.n << ",\"nb\":" << c.nb << ",\"status\":\""
+     << ",\"n\":" << c.n << ",\"nb\":" << c.nb << ",\"adaptive_balance\":"
+     << (c.adaptive_balance ? "true" : "false") << ",\"gpu_time_scale\":[";
+  for (std::size_t i = 0; i < c.gpu_time_scale.size(); ++i) {
+    if (i != 0) os << ',';
+    os << c.gpu_time_scale[i];
+  }
+  os << "],\"status\":\""
      << status_name(o.run_status) << "\",\"pass\":"
      << (o.pass ? "true" : "false") << ",\"events\":" << o.report.events
      << ",\"link_transfers\":" << o.report.link_transfers
@@ -227,7 +256,10 @@ void write_report(const std::vector<LintOutcome>& outcomes, std::ostream& os) {
   for (const LintOutcome& o : outcomes) {
     if (o.pass) ++passed;
   }
-  os << "{\n  \"tool\": \"ftla-schedule-lint\",\n  \"schema_version\": 2,\n"
+  // Schema v3: each case carries `adaptive_balance` and the
+  // `gpu_time_scale` vector that produced its trace — migration coverage
+  // verdicts are meaningless without the fleet that triggered the moves.
+  os << "{\n  \"tool\": \"ftla-schedule-lint\",\n  \"schema_version\": 3,\n"
         "  \"cases\": [\n";
   for (std::size_t i = 0; i < outcomes.size(); ++i) {
     write_case(outcomes[i], os);

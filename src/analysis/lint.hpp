@@ -38,6 +38,14 @@ struct LintCase {
   /// capture on).
   core::SchedulerKind scheduler = core::SchedulerKind::ForkJoin;
   index_t lookahead = 1;  ///< panel generations the dataflow host runs ahead
+  /// Dynamic ownership: re-partition trailing columns at iteration
+  /// boundaries. The recorded trace then carries Migrate transfers and
+  /// AfterMigrate verifies, which the analyzers must prove covered.
+  bool adaptive_balance = false;
+  /// Per-GPU modeled slowdowns (index g; missing entries are 1.0) — how
+  /// lint cases model the heterogeneous fleet that makes the balancer
+  /// actually move tiles.
+  std::vector<double> gpu_time_scale;
 };
 
 /// The protection profile the linter expects for one (algorithm, scheme).
@@ -85,6 +93,12 @@ LintOutcome lint_case(const LintCase& c);
 /// x each device count.
 std::vector<LintCase> default_matrix(index_t n, index_t nb,
                                      const std::vector<int>& ngpus = {1, 2, 4});
+
+/// Adaptive-balance extension of the matrix: NewScheme on a 2-GPU fleet
+/// with a 2:1 modeled skew, so every case's trace actually migrates.
+/// Cholesky is recorded under both schedulers (the dataflow driver
+/// pre-plans the same moves); LU/QR under fork-join.
+std::vector<LintCase> migration_cases(index_t n, index_t nb);
 
 [[nodiscard]] bool all_pass(const std::vector<LintOutcome>& outcomes);
 

@@ -101,6 +101,9 @@ class GraphChecker {
           case TaskKind::Transfer:
             if (a.is_write() && !taint_exempt(n.tctx)) {
               arrivals_.push_back({&n, &a});
+              if (n.tctx == TransferCtx::Migrate) {
+                migrate_arrivals_.push_back({&n, &a});
+              }
             }
             break;
           case TaskKind::Compute:
@@ -298,8 +301,26 @@ class GraphChecker {
       }
       return true;
     };
+    // Dynamic ownership: the receiver of the column's graph-maximal
+    // Migrate arrival holds the final-state obligation. Per-column moves
+    // are totally ordered by the commit chain, so "maximal" is well
+    // defined; seq breaks the (never expected) unordered case.
+    auto final_owner = [&](index_t bc) {
+      const Acc* last = nullptr;
+      for (const Acc& m : migrate_arrivals_) {
+        if (bc < m.access->region.bc0 || bc >= m.access->region.bc1) continue;
+        if (last == nullptr ||
+            reach_->reach(last->node->id, m.node->id) ||
+            (!reach_->reach(m.node->id, last->node->id) &&
+             m.node->seq > last->node->seq)) {
+          last = &m;
+        }
+      }
+      return last != nullptr ? last->access->device
+                             : static_cast<int>(bc % ngpu);
+    };
     for (index_t bc = 0; bc < b; ++bc) {
-      const int owner = static_cast<int>(bc % ngpu);
+      const int owner = final_owner(bc);
       for (index_t br = lower_only ? bc : 0; br < b; ++br) {
         for (const Acc& w : writes_) {
           if (!w.access->region.contains(br, bc) ||
@@ -357,6 +378,7 @@ class GraphChecker {
   std::optional<Reachability> reach_;
   std::vector<Acc> all_;
   std::vector<Acc> arrivals_;
+  std::vector<Acc> migrate_arrivals_;  ///< load-balance moves, for ownership
   std::vector<Acc> writes_;
   std::vector<Acc> verifies_;
   std::vector<Acc> consumes_;

@@ -91,6 +91,31 @@ std::vector<std::uint32_t> covering_verifies(const TaskGraph& g,
   return out;
 }
 
+/// Final owner of column `bc` under dynamic ownership: the receiver of
+/// the graph-maximal Migrate arrival covering it, block-cyclic otherwise.
+/// Per-column moves are chained through the commit edges, so "maximal"
+/// is well defined; seq breaks the (never expected) unordered case.
+int final_owner(const TaskGraph& g, const Reachability& reach, index_t bc) {
+  const TaskNode* last = nullptr;
+  const TaskAccess* lacc = nullptr;
+  for (const TaskNode& n : g.nodes) {
+    if (n.kind != TaskKind::Transfer || n.tctx != TransferCtx::Migrate) {
+      continue;
+    }
+    const TaskAccess* arr = data_out(n);
+    if (arr == nullptr || bc < arr->region.bc0 || bc >= arr->region.bc1) {
+      continue;
+    }
+    if (last == nullptr || reach.reach(last->id, n.id) ||
+        (!reach.reach(n.id, last->id) && n.seq > last->seq)) {
+      last = &n;
+      lacc = arr;
+    }
+  }
+  const int ngpu = g.meta.ngpu > 0 ? g.meta.ngpu : 1;
+  return lacc != nullptr ? lacc->device : static_cast<int>(bc % ngpu);
+}
+
 void seed_drop_edge(const TaskGraph& g, std::vector<GraphMutation>& out) {
   for (const auto& [u, v] : g.edges()) {
     if (!node_conflict(g.nodes[u], g.nodes[v])) continue;
@@ -116,7 +141,6 @@ void seed_drop_edge(const TaskGraph& g, std::vector<GraphMutation>& out) {
 void seed_drop_verify(const TaskGraph& g, const Reachability& reach,
                       std::vector<GraphMutation>& out) {
   const index_t b = g.meta.b;
-  const int ngpu = g.meta.ngpu > 0 ? g.meta.ngpu : 1;
   const bool lower_only = g.meta.algorithm == "cholesky";
   for (const TaskNode& n : g.nodes) {
     if (n.kind != TaskKind::Transfer || taint_exempt(n.tctx)) continue;
@@ -130,7 +154,8 @@ void seed_drop_verify(const TaskGraph& g, const Reachability& reach,
         // The drop must be detectable: either the taint reaches a MUD
         // consume (window family) or the block is a final owner copy
         // (final-state family).
-        bool detectable = br < b && bc < b && arr->device == bc % ngpu &&
+        bool detectable = br < b && bc < b &&
+                          arr->device == final_owner(g, reach, bc) &&
                           (!lower_only || br >= bc);
         if (!detectable) {
           for (const TaskNode& r : g.nodes) {
@@ -163,6 +188,46 @@ void seed_drop_verify(const TaskGraph& g, const Reachability& reach,
         desc << "contract every verification that could clear or cover the "
              << "arrival (seq " << n.seq << ") taint on block (" << br << ','
              << bc << ") at device " << arr->device;
+        m.description = desc.str();
+        out.push_back(std::move(m));
+        return;
+      }
+    }
+  }
+}
+
+/// Migration-targeted corpus entry: contract the verifications closing a
+/// load-balance Migrate arrival's taint on one moved block. Always
+/// detectable — the receiver either TMU-consumes the column in the very
+/// next iteration (window) or holds the final owner copy (final state).
+void seed_drop_migration_verify(const TaskGraph& g, const Reachability& reach,
+                                std::vector<GraphMutation>& out) {
+  for (const TaskNode& n : g.nodes) {
+    if (n.kind != TaskKind::Transfer || n.tctx != TransferCtx::Migrate) {
+      continue;
+    }
+    const TaskAccess* arr = data_out(n);
+    if (arr == nullptr) continue;
+    for (index_t br = arr->region.br0; br < arr->region.br1; ++br) {
+      for (index_t bc = arr->region.bc0; bc < arr->region.bc1; ++bc) {
+        if (covering_verifies(g, reach, n.id, arr->device, br, bc).empty()) {
+          continue;
+        }
+        GraphMutation m;
+        m.kind = GraphMutationKind::DropMigrationVerify;
+        m.u = n.id;
+        m.device = arr->device;
+        m.br = br;
+        m.bc = bc;
+        std::ostringstream name;
+        name << "drop-migration-verify-d" << arr->device << "-b" << br << "."
+             << bc;
+        m.name = name.str();
+        std::ostringstream desc;
+        desc << "contract every verification that could clear or cover the "
+             << "migrated column's arrival (seq " << n.seq << ") taint on "
+             << "block (" << br << ',' << bc << ") at receiver device "
+             << arr->device;
         m.description = desc.str();
         out.push_back(std::move(m));
         return;
@@ -220,6 +285,8 @@ const char* to_string(GraphMutationKind k) {
   switch (k) {
     case GraphMutationKind::DropEdge: return "drop_edge";
     case GraphMutationKind::DropVerifyNode: return "drop_verify_node";
+    case GraphMutationKind::DropMigrationVerify:
+      return "drop_migration_verify";
     case GraphMutationKind::ReorderTransfer: return "reorder_transfer";
   }
   return "?";
@@ -234,6 +301,7 @@ std::vector<GraphMutation> seed_graph_mutations(const TaskGraph& g) {
   const Reachability reach(g);
   seed_drop_edge(g, out);
   seed_drop_verify(g, reach, out);
+  seed_drop_migration_verify(g, reach, out);
   seed_reorder_transfer(g, reach, out);
   return out;
 }
@@ -250,7 +318,8 @@ TaskGraph apply_graph_mutation(const TaskGraph& g, const GraphMutation& m) {
       }
       break;
     }
-    case GraphMutationKind::DropVerifyNode: {
+    case GraphMutationKind::DropVerifyNode:
+    case GraphMutationKind::DropMigrationVerify: {
       const Reachability reach(g);
       const std::vector<std::uint32_t> drop =
           covering_verifies(g, reach, m.u, m.device, m.br, m.bc);

@@ -12,6 +12,11 @@
 ///     cover one arrival's taint on one block (bypassing their edges so
 ///     unrelated order is preserved) — the mutant leaves a detection
 ///     window or the final owner copy unverified in every schedule;
+///   - DropMigrationVerify: same contraction as DropVerifyNode but
+///     anchored on a load-balance Migrate arrival — the mutant leaves
+///     the re-homed column's AfterMigrate window open, so the corpus
+///     provably exercises migration coverage whenever the schedule
+///     migrates at all;
 ///   - ReorderTransfer: moves one arrival from before a fork barrier to
 ///     after it (its outgoing edges bypassed, re-anchored behind the
 ///     fork) — the mutant races the arrival against a worker task that
@@ -32,6 +37,7 @@ namespace ftla::analysis {
 enum class GraphMutationKind {
   DropEdge,
   DropVerifyNode,
+  DropMigrationVerify,
   ReorderTransfer,
 };
 
@@ -42,11 +48,11 @@ struct GraphMutation {
   std::string name;
   std::string description;
   /// DropEdge: edge u -> v. ReorderTransfer: u = transfer, v = fork.
-  /// DropVerifyNode: u = anchor arrival.
+  /// DropVerifyNode / DropMigrationVerify: u = anchor arrival.
   std::uint32_t u = 0;
   std::uint32_t v = 0;
-  int device = trace::kHost;  ///< DropVerifyNode: anchor device
-  index_t br = 0;             ///< DropVerifyNode: anchor block
+  int device = trace::kHost;  ///< verify drops: anchor device
+  index_t br = 0;             ///< verify drops: anchor block
   index_t bc = 0;
 };
 

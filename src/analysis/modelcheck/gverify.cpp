@@ -81,8 +81,16 @@ GraphVerifyReport run_graph_verify(const std::vector<LintCase>& matrix) {
   // mutation alone.
   std::map<GraphMutationKind, std::size_t> per_kind;
   bool all_detected = true;
+  bool any_migration = false;
   for (const GraphVerifyOutcome& o : r.cases) {
     if (o.config.scheme != SchemeKind::NewScheme || !o.pass) continue;
+    for (const TaskNode& n : o.graph.nodes) {
+      if (n.kind == TaskKind::Transfer &&
+          n.tctx == trace::TransferCtx::Migrate) {
+        any_migration = true;
+        break;
+      }
+    }
     for (const GraphMutation& m : seed_graph_mutations(o.graph)) {
       GraphMutationOutcome mo;
       mo.mutation = m;
@@ -105,9 +113,17 @@ GraphVerifyReport run_graph_verify(const std::vector<LintCase>& matrix) {
       r.mutations.push_back(std::move(mo));
     }
   }
-  const bool floor_met = per_kind[GraphMutationKind::DropEdge] > 0 &&
-                         per_kind[GraphMutationKind::DropVerifyNode] > 0 &&
-                         per_kind[GraphMutationKind::ReorderTransfer] > 0;
+  // The floor is what makes "all detected" meaningful: every kind with a
+  // structural candidate must actually be in the corpus. When any clean
+  // graph migrates, a migration-targeted mutation is mandatory too — a
+  // certificate over a migrating schedule that never attacked a
+  // migration window would prove nothing about them.
+  const bool floor_met =
+      per_kind[GraphMutationKind::DropEdge] > 0 &&
+      per_kind[GraphMutationKind::DropVerifyNode] > 0 &&
+      per_kind[GraphMutationKind::ReorderTransfer] > 0 &&
+      (!any_migration ||
+       per_kind[GraphMutationKind::DropMigrationVerify] > 0);
   r.corpus_pass = all_detected && floor_met;
   r.pass = r.cases_pass && r.corpus_pass;
   return r;
@@ -135,7 +151,13 @@ void write_case(const GraphVerifyOutcome& o, std::ostream& os) {
      << core::to_string(c.checksum) << "\",\"ngpu\":" << c.ngpu
      << ",\"n\":" << c.n << ",\"nb\":" << c.nb << ",\"scheduler\":\""
      << core::to_string(c.scheduler) << "\",\"lookahead\":" << c.lookahead
-     << ",\"status\":\""
+     << ",\"adaptive_balance\":" << (c.adaptive_balance ? "true" : "false")
+     << ",\"gpu_time_scale\":[";
+  for (std::size_t i = 0; i < c.gpu_time_scale.size(); ++i) {
+    if (i != 0) os << ',';
+    os << c.gpu_time_scale[i];
+  }
+  os << "],\"status\":\""
      << status_name(o.run_status) << "\",\"pass\":"
      << (o.pass ? "true" : "false") << ",\"analyzable\":"
      << (o.report.analyzable ? "true" : "false")
@@ -220,11 +242,13 @@ void write_graph_certificate(const GraphVerifyReport& r, std::ostream& os) {
   for (const GraphMutationOutcome& m : r.mutations) {
     if (m.detected) ++detected;
   }
-  // Schema v2: each case carries the `scheduler` that produced its trace
+  // Schema v2 added the `scheduler` that produced each case's trace
   // ("fork-join" | "dataflow") and the `lookahead` depth (panel
   // generations the dataflow host lane may run ahead; meaningless under
-  // fork-join). v1 consumers keying on case identity must add both.
-  os << "{\n  \"tool\": \"ftla-graph-verify\",\n  \"schema_version\": 2,\n"
+  // fork-join). v3 adds `adaptive_balance` and `gpu_time_scale` — the
+  // fleet shape that makes a case's schedule migrate. Consumers keying
+  // on case identity must include all four.
+  os << "{\n  \"tool\": \"ftla-graph-verify\",\n  \"schema_version\": 3,\n"
         "  \"cases\": [\n";
   for (std::size_t i = 0; i < r.cases.size(); ++i) {
     write_case(r.cases[i], os);

@@ -265,13 +265,26 @@ void seed_drop_verifies(const trace::Trace& t, const Indexed& ix,
     out.push_back(std::move(m));
   };
 
+  // Dynamic ownership: the receiver of a column's last Migrate arrival
+  // holds the final-state obligation, not the block-cyclic formula.
+  std::map<index_t, std::pair<std::uint64_t, int>> moved;  // bc → (seq, dev)
+  for (const Site& a : arrivals) {
+    if (a.ctx != TransferCtx::Migrate) continue;
+    for (index_t bc = a.region.bc0; bc < a.region.bc1; ++bc) {
+      auto& slot = moved[bc];
+      if (a.seq >= slot.first) slot = {a.seq, a.device};
+    }
+  }
+
   // Family A: last arrival of a final-output block at its owner.
   const index_t b = t.meta.b;
   const int ngpu = t.meta.ngpu > 0 ? t.meta.ngpu : 1;
   const bool lower_only = t.meta.algorithm == "cholesky";
   bool made_a = false;
   for (index_t bc = 0; bc < b && !made_a; ++bc) {
-    const int owner = static_cast<int>(bc % ngpu);
+    const auto mv = moved.find(bc);
+    const int owner =
+        mv != moved.end() ? mv->second.second : static_cast<int>(bc % ngpu);
     for (index_t br = lower_only ? bc : 0; br < b && !made_a; ++br) {
       const Site* last = nullptr;
       for (const Site& a : arrivals) {
@@ -282,6 +295,27 @@ void seed_drop_verifies(const trace::Trace& t, const Indexed& ix,
       if (n == 0) continue;  // baseline would already flag this block
       make("final-state", owner, br, bc, *last, n);
       made_a = true;
+    }
+  }
+
+  // Family M: a load-balance migration whose receiver-side AfterMigrate
+  // verification chain is removed. The moved column's taint then either
+  // reaches a trailing-update read at the new owner (window) or survives
+  // to the final state — the certificate must show migration windows are
+  // closed, not just broadcast windows.
+  if (out.size() < per_kind) {
+    for (const Site& a : arrivals) {
+      if (a.ctx != TransferCtx::Migrate) continue;
+      bool made_m = false;
+      for (index_t bc = a.region.bc0; bc < a.region.bc1 && !made_m; ++bc) {
+        for (index_t br = a.region.br0; br < a.region.br1 && !made_m; ++br) {
+          const std::size_t n = covering_after(a.device, br, bc, a.seq);
+          if (n == 0) continue;
+          make("migration", a.device, br, bc, a, n);
+          made_m = true;
+        }
+      }
+      if (made_m) break;
     }
   }
 

@@ -1,0 +1,266 @@
+#include "core/balance.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "core/charge_timer.hpp"
+#include "core/recovery.hpp"
+#include "trace/recorder.hpp"
+
+namespace ftla::core {
+
+TileBalancer::TileBalancer(DistMatrix& a, const FtOptions& opts,
+                           MigrationLayout layout)
+    : a_(a), layout_(layout), b_(a.num_blocks()), nb_(a.nb()),
+      encoder_(opts.encoder), trc_(opts.trace), scales_(opts.gpu_time_scale) {
+  FTLA_CHECK(opts.balance_base_flops > 0.0,
+             "balance_base_flops must be positive");
+  unit_seconds_ = static_cast<double>(nb_) * static_cast<double>(nb_) *
+                  static_cast<double>(nb_) / opts.balance_base_flops;
+  tol_.slack = opts.tol_slack;
+  tol_.context = static_cast<double>(a.n());
+  enabled_ = opts.adaptive_balance && a.system().ngpu() > 1;
+  if (opts.adaptive_balance) {
+    FTLA_CHECK(opts.checksum == ChecksumKind::Full,
+               "adaptive balance requires full checksums (the migration "
+               "verify needs both dimensions)");
+    FTLA_CHECK(a.ownership().dynamic(),
+               "adaptive balance requires a dynamic ownership map");
+  }
+  sim::LoadBalancerConfig cfg;
+  cfg.alpha = opts.balance_alpha;
+  cfg.min_rel_gain = opts.balance_min_gain;
+  cfg.max_moves_per_step = opts.balance_max_moves;
+  cfg.prior_rate = 1.0 / unit_seconds_;  // a time_scale-1.0 device
+  lb_ = sim::LoadBalancer(a.system().ngpu(), cfg);
+}
+
+void TileBalancer::apply_time_scales() {
+  auto& sys = a_.system();
+  const int n = std::min(sys.ngpu(), static_cast<int>(scales_.size()));
+  for (int g = 0; g < n; ++g) {
+    FTLA_CHECK(scales_[static_cast<std::size_t>(g)] > 0.0,
+               "gpu_time_scale entries must be positive");
+    sys.gpu(g).set_time_scale(scales_[static_cast<std::size_t>(g)]);
+  }
+}
+
+TileBalancer::IterWork TileBalancer::iteration_work(
+    index_t k, const sim::OwnershipMap& map) const {
+  IterWork w;
+  w.dev_units.assign(static_cast<std::size_t>(a_.system().ngpu()), 0.0);
+  const double bk = static_cast<double>(b_ - k);
+  switch (layout_) {
+    case MigrationLayout::CholeskyLower:
+      w.pd_units = 1.0 / 3.0;
+      if (k + 1 < b_) {
+        w.dev_units[static_cast<std::size_t>(map.owner(k))] +=
+            static_cast<double>(b_ - k - 1);
+      }
+      for (int g = 0; g < a_.system().ngpu(); ++g) {
+        for (index_t j : map.owned_from(g, k + 1)) {
+          w.dev_units[static_cast<std::size_t>(g)] +=
+              2.0 * static_cast<double>(b_ - j);
+        }
+      }
+      break;
+    case MigrationLayout::LuSquare:
+      w.pd_units = bk;
+      for (int g = 0; g < a_.system().ngpu(); ++g) {
+        w.dev_units[static_cast<std::size_t>(g)] +=
+            static_cast<double>(map.owned_from(g, k + 1).size()) *
+            (1.0 + 2.0 * static_cast<double>(b_ - k - 1));
+      }
+      break;
+    case MigrationLayout::QrSquare:
+      w.pd_units = 2.0 * bk;
+      for (int g = 0; g < a_.system().ngpu(); ++g) {
+        w.dev_units[static_cast<std::size_t>(g)] +=
+            static_cast<double>(map.owned_from(g, k + 1).size()) * 4.0 * bk;
+      }
+      break;
+  }
+  return w;
+}
+
+void TileBalancer::feed_estimators(sim::LoadBalancer& lb, const IterWork& w) const {
+  auto& sys = a_.system();
+  for (int g = 0; g < sys.ngpu(); ++g) {
+    const double units = w.dev_units[static_cast<std::size_t>(g)];
+    if (!(units > 0.0)) continue;
+    lb.record(g, units, units * unit_seconds_ * sys.gpu(g).time_scale());
+  }
+}
+
+void TileBalancer::account_iteration(index_t k, FtStats& stats) {
+  auto& sys = a_.system();
+  const IterWork w = iteration_work(k, a_.ownership());
+  double dev_max = 0.0;
+  for (int g = 0; g < sys.ngpu(); ++g) {
+    dev_max = std::max(dev_max, w.dev_units[static_cast<std::size_t>(g)] *
+                                    unit_seconds_ * sys.gpu(g).time_scale());
+  }
+  stats.compute_modeled_seconds +=
+      w.pd_units * unit_seconds_ * sys.cpu().time_scale() + dev_max;
+  feed_estimators(lb_, w);
+}
+
+std::vector<double> TileBalancer::next_iteration_weights(index_t k) const {
+  std::vector<double> w(static_cast<std::size_t>(b_), 0.0);
+  for (index_t j = k + 2; j < b_; ++j) {
+    switch (layout_) {
+      case MigrationLayout::CholeskyLower:
+        w[static_cast<std::size_t>(j)] = 2.0 * static_cast<double>(b_ - j);
+        break;
+      case MigrationLayout::LuSquare:
+        w[static_cast<std::size_t>(j)] =
+            1.0 + 2.0 * static_cast<double>(b_ - k - 2);
+        break;
+      case MigrationLayout::QrSquare:
+        w[static_cast<std::size_t>(j)] = 4.0 * static_cast<double>(b_ - k - 1);
+        break;
+    }
+  }
+  return w;
+}
+
+std::vector<sim::TileMigration> TileBalancer::plan(index_t k) const {
+  if (!enabled_ || k + 2 >= b_) return {};
+  return lb_.rebalance(a_.ownership(), k + 2, next_iteration_weights(k));
+}
+
+trace::BlockRange TileBalancer::data_region(index_t bc) const {
+  // Cholesky only ever references (and checksums) the lower triangle, so
+  // the data payload is annotated with its live rows; the analyzer would
+  // otherwise demand verification of bytes no checksum can cover.
+  if (layout_ == MigrationLayout::CholeskyLower) return {bc, b_, bc, bc + 1};
+  return {0, b_, bc, bc + 1};
+}
+
+bool TileBalancer::execute(index_t k, const std::vector<sim::TileMigration>& plan,
+                           FtStats& stats, std::vector<FtStats>& gpu_stats) {
+  if (plan.empty()) return true;
+  auto& sys = a_.system();
+
+  for (const auto& m : plan) {
+    a_.migrate_stage(m.bc, m.to, data_region(m.bc));
+  }
+
+  // Receiver-side verification of every staged column, on the receiver's
+  // stream (the migration window closes here — traced as AfterMigrate).
+  struct Damaged {
+    index_t bc;
+    index_t br;
+  };
+  std::vector<std::vector<Damaged>> damaged(
+      static_cast<std::size_t>(sys.ngpu()));
+  const index_t frozen_end =
+      layout_ == MigrationLayout::CholeskyLower ? 0 : k + 1;
+
+  const auto verify_column = [&](int g, index_t bc, FtStats& st,
+                                 std::vector<Damaged>* bad) {
+    auto rc = RepairContext{tol_, encoder_, &st};
+    const index_t first =
+        layout_ == MigrationLayout::CholeskyLower ? bc : index_t{0};
+    for (index_t br = first; br < b_; ++br) {
+      // Frozen factor rows (U/R) are maintained by row checksums only —
+      // their column checksums went stale when the rows froze.
+      const bool frozen = br < frozen_end;
+      const auto outcome = verify_and_repair(
+          a_.block_on(g, br, bc),
+          frozen ? ViewD{} : a_.col_cs_on(g, br, bc), a_.row_cs_on(g, br, bc),
+          rc);
+      ++st.verifications_tmu_after;
+      if (trc_) {
+        trc_->verify(trace::CheckPoint::AfterMigrate, g,
+                     trace::BlockRange::single(br, bc));
+      }
+      if (outcome == RepairOutcome::Uncorrectable && bad != nullptr) {
+        bad->push_back({bc, br});
+      }
+    }
+  };
+
+  sys.parallel_over_gpus([&](int g) {
+    auto& st = gpu_stats[static_cast<std::size_t>(g)];
+    ChargeTimer t(&st.verify_seconds);
+    for (const auto& m : plan) {
+      if (m.to != g) continue;
+      verify_column(g, m.bc, st, &damaged[static_cast<std::size_t>(g)]);
+    }
+  });
+
+  bool any_damaged = false;
+  for (const auto& d : damaged) any_damaged |= !d.empty();
+  if (any_damaged) {
+    // The ownership map has not flipped, so the source copies are still
+    // addressable and — under the single-fault assumption — intact:
+    // re-send block plus checksums, then re-verify at the receiver.
+    ChargeTimer t(&stats.recovery_seconds);
+    for (int g = 0; g < sys.ngpu(); ++g) {
+      for (const auto& d : damaged[static_cast<std::size_t>(g)]) {
+        a_.migrate_retransfer(d.bc, d.br, g);
+        ++stats.comm_errors_corrected;
+        if (trc_) trc_->correct(g, trace::BlockRange::single(d.br, d.bc));
+      }
+    }
+    std::vector<int> still_bad(static_cast<std::size_t>(sys.ngpu()), 0);
+    sys.parallel_over_gpus([&](int g) {
+      auto& st = gpu_stats[static_cast<std::size_t>(g)];
+      ChargeTimer vt(&st.verify_seconds);
+      auto rc = RepairContext{tol_, encoder_, &st};
+      for (const auto& d : damaged[static_cast<std::size_t>(g)]) {
+        const bool frozen = d.br < frozen_end;
+        const auto outcome = verify_and_repair(
+            a_.block_on(g, d.br, d.bc),
+            frozen ? ViewD{} : a_.col_cs_on(g, d.br, d.bc),
+            a_.row_cs_on(g, d.br, d.bc), rc);
+        ++st.verifications_tmu_after;
+        if (trc_) {
+          trc_->verify(trace::CheckPoint::AfterMigrate, g,
+                       trace::BlockRange::single(d.br, d.bc));
+        }
+        if (outcome == RepairOutcome::Uncorrectable) {
+          still_bad[static_cast<std::size_t>(g)] = 1;
+        }
+      }
+    });
+    for (int bad : still_bad) {
+      if (bad != 0) return false;
+    }
+  }
+
+  // Every staged copy verified — commit the flips.
+  for (const auto& m : plan) a_.migrate_commit(m.bc, m.to);
+  stats.tiles_migrated += static_cast<std::uint64_t>(plan.size());
+  return true;
+}
+
+std::vector<std::vector<sim::TileMigration>> TileBalancer::plan_schedule(
+    FtStats* stats) const {
+  std::vector<std::vector<sim::TileMigration>> out(static_cast<std::size_t>(b_));
+  auto& sys = a_.system();
+  sim::OwnershipMap shadow = a_.ownership();
+  sim::LoadBalancer lb(sys.ngpu(), lb_.config());
+  for (index_t k = 0; k < b_; ++k) {
+    const IterWork w = iteration_work(k, shadow);
+    if (stats != nullptr) {
+      double dev_max = 0.0;
+      for (int g = 0; g < sys.ngpu(); ++g) {
+        dev_max = std::max(dev_max, w.dev_units[static_cast<std::size_t>(g)] *
+                                        unit_seconds_ * sys.gpu(g).time_scale());
+      }
+      stats->compute_modeled_seconds +=
+          w.pd_units * unit_seconds_ * sys.cpu().time_scale() + dev_max;
+    }
+    feed_estimators(lb, w);
+    if (enabled_ && k + 2 < b_) {
+      auto p = lb.rebalance(shadow, k + 2, next_iteration_weights(k));
+      for (const auto& m : p) shadow.set_owner(m.bc, m.to);
+      out[static_cast<std::size_t>(k)] = std::move(p);
+    }
+  }
+  return out;
+}
+
+}  // namespace ftla::core

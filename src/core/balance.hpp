@@ -1,0 +1,119 @@
+#pragma once
+
+/// \file balance.hpp
+/// Adaptive CPU/GPU load balancing for the FT decompositions.
+///
+/// The paper's schedule assigns trailing-matrix block-columns statically
+/// (1D block-cyclic). On a heterogeneous fleet the slowest GPU then gates
+/// every iteration's trailing update. The TileBalancer closes that gap:
+///
+///   1. *Accounting* — after every iteration it converts the phase's
+///      work (in nb³-flop units, per the algorithm's operation counts)
+///      into modeled seconds using each device's time_scale and feeds the
+///      per-device EWMA throughput estimators (sim::LoadBalancer). The
+///      same accounting accumulates FtStats::compute_modeled_seconds, the
+///      deterministic metric the heterogeneous bench compares on.
+///   2. *Re-partitioning* — at the iteration boundary it asks the
+///      balancer for a migration plan over the still-trailing columns
+///      (weighted by next-iteration work) and executes it.
+///
+/// Migration is checksum-protected end to end (paper §V.3 applied to the
+/// re-partition transfer): the column's maintained checksums move with it
+/// over PCIe, the staged copy is verified at the receiver, damaged blocks
+/// are re-sent from the still-intact source copy (the ownership map has
+/// not flipped yet, so old views still resolve), and only a verified copy
+/// is committed. Every transfer is traced as a Migrate arrival and every
+/// receiver check as an AfterMigrate verify, so ftla-schedule-lint and
+/// ftla-graph-verify can prove the migration window is covered.
+
+#include <vector>
+
+#include "checksum/bounds.hpp"
+#include "core/dist_matrix.hpp"
+#include "core/options.hpp"
+#include "core/stats.hpp"
+#include "sim/load_balancer.hpp"
+
+namespace ftla::core {
+
+/// Which rows of a migrated block-column are live (still checked against
+/// both checksums) versus frozen (finished factor rows, row-checksum
+/// protected only).
+enum class MigrationLayout {
+  CholeskyLower,  ///< live rows [bc, b); upper triangle never referenced
+  LuSquare,       ///< frozen U rows [0, k+1), live rows [k+1, b)
+  QrSquare,       ///< frozen R rows [0, k+1), live rows [k+1, b)
+};
+
+class TileBalancer {
+ public:
+  /// Binds to the driver's distributed matrix. When opts.adaptive_balance
+  /// is set this checks the prerequisites (full checksums, dynamic
+  /// ownership) and arms the re-partition step; otherwise only the
+  /// modeled accounting runs.
+  TileBalancer(DistMatrix& a, const FtOptions& opts, MigrationLayout layout);
+
+  /// Re-partitioning armed: adaptive option on and more than one GPU.
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+
+  /// Applies FtOptions::gpu_time_scale to the bound system's devices.
+  /// Call once at run start (BorrowedSystemScope resets them on exit).
+  void apply_time_scales();
+
+  /// Modeled cost accounting for completed iteration k: adds the
+  /// iteration's critical path (host panel + slowest device update) to
+  /// stats.compute_modeled_seconds and feeds the throughput estimators.
+  void account_iteration(index_t k, FtStats& stats);
+
+  /// Migration plan at the boundary of iteration k (pure — no state
+  /// change). Empty when disabled, when fewer than two trailing columns
+  /// remain, or when no move clears the balancer's hysteresis.
+  [[nodiscard]] std::vector<sim::TileMigration> plan(index_t k) const;
+
+  /// Executes a plan: stage over PCIe, verify at the receivers, re-send
+  /// damaged blocks from the intact source, commit the ownership flips.
+  /// Returns false when a staged copy stays uncorrectable after the
+  /// retransfer (caller must escalate to a complete restart).
+  /// `gpu_stats[g]` receives the receiver-side verify accounting (merge
+  /// after, per the FtStats ownership discipline).
+  [[nodiscard]] bool execute(index_t k,
+                             const std::vector<sim::TileMigration>& plan,
+                             FtStats& stats, std::vector<FtStats>& gpu_stats);
+
+  /// Deterministic replay for graph-ahead schedulers: plans every
+  /// iteration's migrations up front against a shadow ownership map,
+  /// using the device time scales as of now. Index k holds the plan for
+  /// the boundary of iteration k. Matches the fork-join behaviour exactly
+  /// as long as time scales do not change mid-run. When `stats` is given,
+  /// the replay also accumulates compute_modeled_seconds (the dataflow
+  /// driver has no quiescent per-iteration point to account at).
+  [[nodiscard]] std::vector<std::vector<sim::TileMigration>> plan_schedule(
+      FtStats* stats = nullptr) const;
+
+ private:
+  struct IterWork {
+    double pd_units = 0.0;          ///< host panel decomposition
+    std::vector<double> dev_units;  ///< per-GPU update work
+  };
+
+  [[nodiscard]] IterWork iteration_work(index_t k,
+                                        const sim::OwnershipMap& map) const;
+  /// Per-column work units at iteration k+1 (rebalance weights).
+  [[nodiscard]] std::vector<double> next_iteration_weights(index_t k) const;
+  [[nodiscard]] trace::BlockRange data_region(index_t bc) const;
+  void feed_estimators(sim::LoadBalancer& lb, const IterWork& w) const;
+
+  DistMatrix& a_;
+  MigrationLayout layout_;
+  bool enabled_ = false;
+  index_t b_;
+  index_t nb_;
+  double unit_seconds_;  ///< modeled seconds per nb³-flop unit at scale 1
+  checksum::Tolerance tol_;
+  checksum::Encoder encoder_;
+  trace::TraceRecorder* trc_;
+  std::vector<double> scales_;  ///< FtOptions::gpu_time_scale
+  sim::LoadBalancer lb_;
+};
+
+}  // namespace ftla::core

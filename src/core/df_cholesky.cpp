@@ -7,6 +7,17 @@
 /// lane runs its per-block trailing updates. TMU tasks are submitted
 /// column-major so block (k+1, k+1) finishes first and iteration k+1's
 /// PD overlaps the rest of iteration k's trailing update (lookahead).
+///
+/// Adaptive load balancing: the whole graph is submitted before run(),
+/// so migrations are planned deterministically up front
+/// (TileBalancer::plan_schedule replays the estimator against a shadow
+/// ownership map) and emitted as first-class task nodes between
+/// iterations — a host-lane stage (PCIe, like the broadcasts), then a
+/// receiver-lane verify-and-commit. A submission-time owner table
+/// mirrors the planned flips so later iterations' tasks are placed on
+/// (and declare accesses against) the post-migration owners; dependency
+/// edges on the moved column make the live map agree by the time each
+/// task body runs.
 
 #include <algorithm>
 #include <cmath>
@@ -16,6 +27,7 @@
 #include "blas/blas.hpp"
 #include "checksum/correct.hpp"
 #include "common/error.hpp"
+#include "core/balance.hpp"
 #include "core/charge_timer.hpp"
 #include "core/ft_dataflow.hpp"
 #include "core/panel_ft.hpp"
@@ -57,7 +69,9 @@ class DfCholeskyDriver {
         sys_owned_(opts.system ? nullptr
                                : std::make_unique<sim::HeterogeneousSystem>(opts.ngpu)),
         sys_(opts.system ? *opts.system : *sys_owned_),
-        a_dist_(sys_, n_, nb_, opts.checksum),
+        a_dist_(sys_, n_, nb_, opts.checksum, SingleSideDim::Col,
+                opts.adaptive_balance),
+        balancer_(a_dist_, opts, MigrationLayout::CholeskyLower),
         host_in_(a),
         rt_(sys_, runtime::TaskRuntime::Config{opts.cancel}) {
     FTLA_CHECK(a.rows() == a.cols(), "ft_cholesky: matrix must be square");
@@ -88,6 +102,10 @@ class DfCholeskyDriver {
     }
     gpu_st_.resize(static_cast<std::size_t>(sys_.ngpu()));
     iters_.resize(static_cast<std::size_t>(b_));
+    sub_owner_.resize(static_cast<std::size_t>(b_));
+    for (index_t bc = 0; bc < b_; ++bc) {
+      sub_owner_[static_cast<std::size_t>(bc)] = a_dist_.owner(bc);
+    }
   }
 
   FtOutput run() {
@@ -105,13 +123,21 @@ class DfCholeskyDriver {
       sys_.set_sync_observer(trc_);
     }
 
+    balancer_.apply_time_scales();
     a_dist_.scatter(host_in_);
     if (has_cs()) {
       ChargeTimer t(&stats_.encode_seconds);
       a_dist_.encode_all(opts_.encoder, /*lower_only=*/true);
     }
 
-    for (index_t k = 0; k < b_; ++k) submit_iteration(k);
+    // Plan all migrations up front (deterministic shadow replay); the
+    // same replay accumulates the modeled compute metric, which the
+    // fork-join drivers account per iteration instead.
+    plans_ = balancer_.plan_schedule(&stats_);
+    for (index_t k = 0; k < b_; ++k) {
+      submit_iteration(k);
+      submit_migrations(k);
+    }
     const bool complete = rt_.run();
     if (!complete && rt_.cancelled()) fail(RunStatus::Cancelled);
 
@@ -166,8 +192,14 @@ class DfCholeskyDriver {
     return tol_.slack * checksum::unit_roundoff() * static_cast<double>(n_);
   }
 
+  /// Planned owner of bc at submission time — a_dist_.owner(bc) only
+  /// reflects migrations whose commit tasks have already *run*.
+  [[nodiscard]] int sub_owner(index_t bc) const {
+    return sub_owner_[static_cast<std::size_t>(bc)];
+  }
+
   void submit_iteration(index_t k) {
-    const int own = a_dist_.owner(k);
+    const int own = sub_owner(k);
     const index_t sl = k % num_slots_;
     const index_t mp = n_ - (k + 1) * nb_;  // panel rows below the diagonal
     const index_t nblk = b_ - k - 1;
@@ -563,7 +595,7 @@ class DfCholeskyDriver {
     // Column-major submission puts block column k+1 first on its owner's
     // lane so the next PD unblocks as early as possible (lookahead).
     for (index_t j = k + 1; j < b_; ++j) {
-      const int g = a_dist_.owner(j);
+      const int g = sub_owner(j);
       for (index_t i = j; i < b_; ++i) {
         std::vector<Access> acc = {
             Access::in_tile(g, Space::Data, i, k),
@@ -656,7 +688,7 @@ class DfCholeskyDriver {
                      auto& pan = *panel_d_[gi][si];
                      auto& pan_cs = *panel_cs_d_[gi][si];
                      ChargeTimer t(&st.verify_seconds);
-                     const auto owned = a_dist_.dist().owned_from(g, k + 1);
+                     const auto owned = a_dist_.owned_from(g, k + 1);
                      if (owned.empty()) return;
 
                      for (index_t m = k + 1; m < b_; ++m) {
@@ -717,7 +749,7 @@ class DfCholeskyDriver {
                      auto& st = gpu_st_[static_cast<std::size_t>(g)];
                      ChargeTimer t(&st.verify_seconds);
                      auto rc = repair_ctx(st);
-                     for (index_t j : a_dist_.dist().owned_from(g, k + 1)) {
+                     for (index_t j : a_dist_.owned_from(g, k + 1)) {
                        for (index_t i = j; i < b_; ++i) {
                          const auto outcome = verify_and_repair(
                              a_dist_.block(i, j), a_dist_.col_cs(i, j),
@@ -738,6 +770,60 @@ class DfCholeskyDriver {
     }
   }
 
+  // -- planned tile migrations at the boundary of iteration k -----------
+  // First-class task nodes so lookahead still overlaps: the stage runs on
+  // the host lane (it serializes the PCIe model, like the broadcasts) and
+  // reads the source column, the verify-and-commit runs on the receiver's
+  // lane and writes the destination column. Tasks of later iterations
+  // that touch the column address the receiver's tiles (sub_owner_), so
+  // the dependency tracker orders them after the commit.
+  void submit_migrations(index_t k) {
+    if (plans_.empty()) return;
+    const int h = runtime::kHostLane;
+    for (const auto& m : plans_[static_cast<std::size_t>(k)]) {
+      const index_t bc = m.bc;
+      rt_.submit(h, k,
+                 {Access::in(m.from, Space::Data, 0, b_, bc, bc + 1),
+                  Access::in(m.from, Space::Checksum, 0, b_, bc, bc + 1),
+                  Access::out(m.to, Space::Data, 0, b_, bc, bc + 1),
+                  Access::out(m.to, Space::Checksum, 0, b_, bc, bc + 1)},
+                 [this, bc, to = m.to] {
+                   // Live rows only: Cholesky never references the upper
+                   // triangle (the full physical strip still moves).
+                   a_dist_.migrate_stage(bc, to, {bc, b_, bc, bc + 1});
+                 });
+      rt_.submit(m.to, k,
+                 {Access::out(m.to, Space::Data, 0, b_, bc, bc + 1),
+                  Access::out(m.to, Space::Checksum, 0, b_, bc, bc + 1)},
+                 [this, bc, to = m.to] {
+                   auto& st = gpu_st_[static_cast<std::size_t>(to)];
+                   ChargeTimer t(&st.verify_seconds);
+                   auto rc = repair_ctx(st);
+                   for (index_t br = bc; br < b_; ++br) {
+                     const auto outcome = verify_and_repair(
+                         a_dist_.block_on(to, br, bc), a_dist_.col_cs_on(to, br, bc),
+                         a_dist_.row_cs_on(to, br, bc), rc);
+                     ++st.verifications_tmu_after;
+                     if (trc_) {
+                       trc_->verify(CheckPoint::AfterMigrate, to,
+                                    BlockRange::single(br, bc));
+                     }
+                     if (outcome == RepairOutcome::Uncorrectable) {
+                       // The fork-join driver re-sends from the intact
+                       // source copy; mid-graph retransfer is out of
+                       // scope for the dataflow path (unreachable
+                       // without fault injection).
+                       fail(RunStatus::NeedCompleteRestart);
+                       return;
+                     }
+                   }
+                   a_dist_.migrate_commit(bc, to);
+                   ++st.tiles_migrated;
+                 });
+      sub_owner_[static_cast<std::size_t>(bc)] = m.to;
+    }
+  }
+
   const FtOptions opts_;
   const SchemePolicy policy_;
   trace::TraceRecorder* trc_;
@@ -746,6 +832,7 @@ class DfCholeskyDriver {
   std::unique_ptr<sim::HeterogeneousSystem> sys_owned_;
   sim::HeterogeneousSystem& sys_;
   DistMatrix a_dist_;
+  TileBalancer balancer_;
   ConstViewD host_in_;
   runtime::TaskRuntime rt_;
   FtStats stats_;
@@ -753,6 +840,8 @@ class DfCholeskyDriver {
   std::vector<FtStats> gpu_st_;
   checksum::Tolerance tol_;
   std::vector<IterState> iters_;
+  std::vector<std::vector<sim::TileMigration>> plans_;  ///< per boundary k
+  std::vector<int> sub_owner_;  ///< planned owner at submission time
 
   ftla::Mutex status_mutex_;
   RunStatus status_ FTLA_GUARDED_BY(status_mutex_) = RunStatus::Success;

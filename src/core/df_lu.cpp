@@ -473,7 +473,7 @@ class DfLuDriver {
     // -- pre-PU check of each GPU's L11 replica ------------------------
     if ((policy_.check_before_pu || policy_.heuristic_tmu) && has_cs()) {
       for (int g = 0; g < sys_.ngpu(); ++g) {
-        if (a_dist_.dist().owned_from(g, k + 1).empty()) continue;
+        if (a_dist_.owned_from(g, k + 1).empty()) continue;
         std::vector<Access> acc = {Access::out_tile(g, Space::Data, k, k),
                                    Access::in_slot(g, kBufPanel, sl),
                                    Access::in_slot(g, kBufPanelCs, sl)};
@@ -524,7 +524,7 @@ class DfLuDriver {
                      auto& st = gpu_st_[static_cast<std::size_t>(g)];
                      ChargeTimer t(&st.verify_seconds);
                      auto rc = repair_ctx(st);
-                     for (index_t j : a_dist_.dist().owned_from(g, k + 1)) {
+                     for (index_t j : a_dist_.owned_from(g, k + 1)) {
                        for (index_t i = k + 1; i < b_; ++i) {
                          const auto outcome = verify_and_repair(
                              a_dist_.block(i, j), a_dist_.col_cs(i, j),
@@ -747,7 +747,7 @@ class DfLuDriver {
                  auto& pan = *panel_d_[gi][si];
                  auto& pan_cs = *panel_cs_d_[gi][si];
                  ChargeTimer t(&st.verify_seconds);
-                 const auto owned = a_dist_.dist().owned_from(g, k + 1);
+                 const auto owned = a_dist_.owned_from(g, k + 1);
                  if (owned.empty()) return;
 
                  {

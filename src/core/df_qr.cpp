@@ -757,7 +757,7 @@ class DfQrDriver {
                      auto& st = gpu_st_[static_cast<std::size_t>(g)];
                      ChargeTimer t(&st.verify_seconds);
                      auto rc = repair_ctx(st);
-                     for (index_t j : a_dist_.dist().owned_from(g, k + 1)) {
+                     for (index_t j : a_dist_.owned_from(g, k + 1)) {
                        for (index_t i = k; i < b_; ++i) {
                          const auto outcome = verify_and_repair(
                              a_dist_.block(i, j),

@@ -6,60 +6,141 @@
 namespace ftla::core {
 
 DistMatrix::DistMatrix(sim::HeterogeneousSystem& sys, index_t n, index_t nb,
-                       ChecksumKind kind, SingleSideDim ss_dim)
+                       ChecksumKind kind, SingleSideDim ss_dim,
+                       bool dynamic_ownership)
     : sys_(sys), n_(n), nb_(nb), b_(n / nb), kind_(kind), ss_dim_(ss_dim),
-      dist_(n / nb, sys.ngpu()) {
+      map_(sim::BlockCyclic1D(n / nb, sys.ngpu()), dynamic_ownership) {
   FTLA_CHECK(n > 0 && nb > 0 && n % nb == 0, "n must be a positive multiple of nb");
   shards_.resize(static_cast<std::size_t>(sys.ngpu()));
   for (int g = 0; g < sys.ngpu(); ++g) {
-    const index_t lbc = dist_.local_count(g);
+    const index_t cap = map_.capacity(g);
     auto& shard = shards_[static_cast<std::size_t>(g)];
-    if (lbc == 0) continue;
-    shard.data = &sys.gpu(g).alloc(n_, lbc * nb_);
-    if (has_col_cs()) shard.col_cs = &sys.gpu(g).alloc(2 * b_, lbc * nb_);
-    if (has_row_cs()) shard.row_cs = &sys.gpu(g).alloc(n_, 2 * lbc);
+    if (cap == 0) continue;
+    shard.data = &sys.gpu(g).alloc(n_, cap * nb_);
+    if (has_col_cs()) shard.col_cs = &sys.gpu(g).alloc(2 * b_, cap * nb_);
+    if (has_row_cs()) shard.row_cs = &sys.gpu(g).alloc(n_, 2 * cap);
   }
 }
 
 ViewD DistMatrix::block(index_t br, index_t bc) {
-  auto& shard = shards_[static_cast<std::size_t>(owner(bc))];
-  return shard.data->block(br * nb_, local_col(bc), nb_, nb_);
+  return shard_of(owner(bc)).data->block(br * nb_, local_col(bc), nb_, nb_);
 }
 
 ViewD DistMatrix::col_panel(index_t bc, index_t br0) {
-  auto& shard = shards_[static_cast<std::size_t>(owner(bc))];
-  return shard.data->block(br0 * nb_, local_col(bc), n_ - br0 * nb_, nb_);
+  return shard_of(owner(bc)).data->block(br0 * nb_, local_col(bc), n_ - br0 * nb_,
+                                         nb_);
 }
 
 ViewD DistMatrix::col_cs(index_t br, index_t bc) {
-  auto& shard = shards_[static_cast<std::size_t>(owner(bc))];
+  auto& shard = shard_of(owner(bc));
   FTLA_CHECK(shard.col_cs != nullptr, "column checksums not maintained");
   return shard.col_cs->block(2 * br, local_col(bc), 2, nb_);
 }
 
 ViewD DistMatrix::col_cs_panel(index_t bc, index_t br0) {
-  auto& shard = shards_[static_cast<std::size_t>(owner(bc))];
+  auto& shard = shard_of(owner(bc));
   FTLA_CHECK(shard.col_cs != nullptr, "column checksums not maintained");
   return shard.col_cs->block(2 * br0, local_col(bc), 2 * (b_ - br0), nb_);
 }
 
 ViewD DistMatrix::row_cs(index_t br, index_t bc) {
-  auto& shard = shards_[static_cast<std::size_t>(owner(bc))];
+  auto& shard = shard_of(owner(bc));
   FTLA_CHECK(shard.row_cs != nullptr, "row checksums not maintained");
-  return shard.row_cs->block(br * nb_, 2 * dist_.local_index(bc), nb_, 2);
+  return shard.row_cs->block(br * nb_, 2 * map_.slot(bc), nb_, 2);
 }
 
 ViewD DistMatrix::row_cs_panel(index_t bc, index_t br0) {
-  auto& shard = shards_[static_cast<std::size_t>(owner(bc))];
+  auto& shard = shard_of(owner(bc));
   FTLA_CHECK(shard.row_cs != nullptr, "row checksums not maintained");
-  return shard.row_cs->block(br0 * nb_, 2 * dist_.local_index(bc), (b_ - br0) * nb_, 2);
+  return shard.row_cs->block(br0 * nb_, 2 * map_.slot(bc), (b_ - br0) * nb_, 2);
 }
+
+ViewD DistMatrix::block_on(int g, index_t br, index_t bc) {
+  FTLA_CHECK(map_.dynamic(), "per-device views need dynamic ownership");
+  return shard_of(g).data->block(br * nb_, local_col(bc), nb_, nb_);
+}
+
+ViewD DistMatrix::col_cs_on(int g, index_t br, index_t bc) {
+  FTLA_CHECK(map_.dynamic(), "per-device views need dynamic ownership");
+  auto& shard = shard_of(g);
+  FTLA_CHECK(shard.col_cs != nullptr, "column checksums not maintained");
+  return shard.col_cs->block(2 * br, local_col(bc), 2, nb_);
+}
+
+ViewD DistMatrix::row_cs_on(int g, index_t br, index_t bc) {
+  FTLA_CHECK(map_.dynamic(), "per-device views need dynamic ownership");
+  auto& shard = shard_of(g);
+  FTLA_CHECK(shard.row_cs != nullptr, "row checksums not maintained");
+  return shard.row_cs->block(br * nb_, 2 * map_.slot(bc), nb_, 2);
+}
+
+void DistMatrix::migrate_stage(index_t bc, int to,
+                               const trace::BlockRange& data_region) {
+  FTLA_CHECK(map_.dynamic(), "migration needs dynamic ownership");
+  FTLA_CHECK(kind_ == ChecksumKind::Full, "migration needs full checksums");
+  const int from = owner(bc);
+  FTLA_CHECK(from != to, "migration source and target coincide");
+  auto& src = shard_of(from);
+  auto& dst = shard_of(to);
+  const index_t lc = local_col(bc);
+
+  // The full physical strip always moves — including rows the algorithm
+  // considers dead (Cholesky's upper triangle) — so gather() output stays
+  // bit-identical to the static layout. data_region annotates only the
+  // live (checksum-verifiable) rows for the analyzer.
+  sys_.d2d(src.data->block(0, lc, n_, nb_).as_const(), from,
+           dst.data->block(0, lc, n_, nb_), to);
+  if (trace_ != nullptr) {
+    trace_->transfer_arrive(trace::TransferCtx::Migrate, from, to, data_region);
+  }
+  sys_.d2d(src.col_cs->block(0, lc, 2 * b_, nb_).as_const(), from,
+           dst.col_cs->block(0, lc, 2 * b_, nb_), to);
+  if (trace_ != nullptr) {
+    trace_->transfer_arrive(trace::TransferCtx::Migrate, from, to,
+                            {0, b_, bc, bc + 1}, trace::RegionClass::Checksum);
+  }
+  sys_.d2d(src.row_cs->block(0, 2 * map_.slot(bc), n_, 2).as_const(), from,
+           dst.row_cs->block(0, 2 * map_.slot(bc), n_, 2), to);
+  if (trace_ != nullptr) {
+    trace_->transfer_arrive(trace::TransferCtx::Migrate, from, to,
+                            {0, b_, bc, bc + 1}, trace::RegionClass::Checksum);
+  }
+}
+
+void DistMatrix::migrate_retransfer(index_t bc, index_t br, int to) {
+  FTLA_CHECK(map_.dynamic(), "migration needs dynamic ownership");
+  FTLA_CHECK(kind_ == ChecksumKind::Full, "migration needs full checksums");
+  const int from = owner(bc);
+  FTLA_CHECK(from != to, "retransfer source and target coincide");
+  // Block plus its checksums: in-flight damage may have hit either, and
+  // the source copy of all three is still intact because the map has not
+  // flipped yet. One annotated arrival per link transfer.
+  sys_.d2d(block(br, bc).as_const(), from, block_on(to, br, bc), to);
+  if (trace_ != nullptr) {
+    trace_->transfer_arrive(trace::TransferCtx::Retransfer, from, to,
+                            trace::BlockRange::single(br, bc));
+  }
+  sys_.d2d(col_cs(br, bc).as_const(), from, col_cs_on(to, br, bc), to);
+  if (trace_ != nullptr) {
+    trace_->transfer_arrive(trace::TransferCtx::Retransfer, from, to,
+                            trace::BlockRange::single(br, bc),
+                            trace::RegionClass::Checksum);
+  }
+  sys_.d2d(row_cs(br, bc).as_const(), from, row_cs_on(to, br, bc), to);
+  if (trace_ != nullptr) {
+    trace_->transfer_arrive(trace::TransferCtx::Retransfer, from, to,
+                            trace::BlockRange::single(br, bc),
+                            trace::RegionClass::Checksum);
+  }
+}
+
+void DistMatrix::migrate_commit(index_t bc, int to) { map_.set_owner(bc, to); }
 
 void DistMatrix::scatter(ConstViewD host) {
   FTLA_CHECK(host.rows() == n_ && host.cols() == n_, "scatter shape mismatch");
   for (index_t bc = 0; bc < b_; ++bc) {
     const int g = owner(bc);
-    auto& shard = shards_[static_cast<std::size_t>(g)];
+    auto& shard = shard_of(g);
     sys_.h2d(host.block(0, bc * nb_, n_, nb_),
              shard.data->block(0, local_col(bc), n_, nb_), g);
     if (trace_ != nullptr) {
@@ -73,7 +154,7 @@ void DistMatrix::gather(ViewD host) {
   FTLA_CHECK(host.rows() == n_ && host.cols() == n_, "gather shape mismatch");
   for (index_t bc = 0; bc < b_; ++bc) {
     const int g = owner(bc);
-    auto& shard = shards_[static_cast<std::size_t>(g)];
+    auto& shard = shard_of(g);
     sys_.d2h(shard.data->block(0, local_col(bc), n_, nb_).as_const(),
              host.block(0, bc * nb_, n_, nb_), g);
     if (trace_ != nullptr) {
@@ -86,7 +167,7 @@ void DistMatrix::gather(ViewD host) {
 void DistMatrix::encode_all(checksum::Encoder encoder, bool lower_only) {
   if (kind_ == ChecksumKind::None) return;
   sys_.parallel_over_gpus([&](int g) {
-    for (index_t bc : dist_.owned_from(g, 0)) {
+    for (index_t bc : map_.owned_from(g, 0)) {
       for (index_t br = lower_only ? bc : 0; br < b_; ++br) {
         encode_block(br, bc, encoder);
       }

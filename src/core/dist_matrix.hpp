@@ -13,12 +13,21 @@
 ///     (n × 2·local_bc) strip.
 /// All views returned by block()/col_cs()/row_cs() alias device memory;
 /// only the owning GPU's work (or a PcieLink transfer) may touch them.
+///
+/// With `dynamic_ownership` set, the block-cyclic assignment is only the
+/// starting point: an OwnershipMap resolves owners and the load balancer
+/// may re-home trailing block-columns at iteration boundaries. Dynamic
+/// shards are allocated at full capacity with global slots (the strip for
+/// bc sits at column bc·nb on every device), so migration is a strip copy
+/// over PCIe plus a map commit — see migrate_stage()/migrate_commit().
 
 #include "checksum/encode.hpp"
 #include "core/options.hpp"
 #include "matrix/block.hpp"
 #include "sim/distribution.hpp"
+#include "sim/ownership_map.hpp"
 #include "sim/system.hpp"
+#include "trace/trace.hpp"
 
 namespace ftla::core {
 
@@ -35,8 +44,11 @@ class DistMatrix {
  public:
   /// Distributes an n×n matrix blocked by nb over sys.ngpu() GPUs.
   /// n must be a multiple of nb (the paper rounds likewise, §X.D).
+  /// `dynamic_ownership` allocates full-capacity shards and a mutable
+  /// ownership map so block-columns can migrate between devices.
   DistMatrix(sim::HeterogeneousSystem& sys, index_t n, index_t nb, ChecksumKind kind,
-             SingleSideDim ss_dim = SingleSideDim::Col);
+             SingleSideDim ss_dim = SingleSideDim::Col,
+             bool dynamic_ownership = false);
 
   [[nodiscard]] index_t n() const noexcept { return n_; }
   [[nodiscard]] index_t nb() const noexcept { return nb_; }
@@ -50,10 +62,20 @@ class DistMatrix {
     return kind_ == ChecksumKind::Full ||
            (kind_ == ChecksumKind::SingleSide && ss_dim_ == SingleSideDim::Row);
   }
-  [[nodiscard]] const sim::BlockCyclic1D& dist() const noexcept { return dist_; }
+  [[nodiscard]] const sim::BlockCyclic1D& dist() const noexcept {
+    return map_.dist();
+  }
+  [[nodiscard]] const sim::OwnershipMap& ownership() const noexcept { return map_; }
   [[nodiscard]] sim::HeterogeneousSystem& system() noexcept { return sys_; }
 
-  [[nodiscard]] int owner(index_t bc) const noexcept { return dist_.owner(bc); }
+  [[nodiscard]] int owner(index_t bc) const { return map_.owner(bc); }
+
+  /// Global block-columns in [bc_min, b) currently owned by GPU g. The
+  /// drivers iterate ownership through this (not the raw distribution) so
+  /// migrated columns land in the right device's work list.
+  [[nodiscard]] std::vector<index_t> owned_from(int g, index_t bc_min) const {
+    return map_.owned_from(g, bc_min);
+  }
 
   /// Device-resident nb×nb block (br, bc).
   [[nodiscard]] ViewD block(index_t br, index_t bc);
@@ -72,6 +94,33 @@ class DistMatrix {
 
   /// Row-checksum strip covering blocks (br0.., bc): ((b-br0)·nb)×2.
   [[nodiscard]] ViewD row_cs_panel(index_t bc, index_t br0);
+
+  /// Same views resolved against a *specific* device's shard instead of
+  /// the current owner (dynamic mode only — slots are global there).
+  /// Migration verifies the staged copy on the receiver through these
+  /// before the map commits, and repairs read the still-intact source
+  /// copy after a damaged transfer.
+  [[nodiscard]] ViewD block_on(int g, index_t br, index_t bc);
+  [[nodiscard]] ViewD col_cs_on(int g, index_t br, index_t bc);
+  [[nodiscard]] ViewD row_cs_on(int g, index_t br, index_t bc);
+
+  /// Stage one block-column's migration: copies the full data strip plus
+  /// both checksum strips from the current owner to device `to` over the
+  /// PCIe fabric (three link transfers, each traced as a Migrate
+  /// arrival; `data_region` annotates the data payload — Cholesky passes
+  /// the live lower-triangle rows only). Ownership does NOT change: the
+  /// caller must verify the staged copy (block_on/col_cs_on/row_cs_on)
+  /// and then migrate_commit(). Requires dynamic ownership and full
+  /// checksums.
+  void migrate_stage(index_t bc, int to, const trace::BlockRange& data_region);
+
+  /// Re-sends one staged block from the (still current) owner's intact
+  /// copy after the receiver-side verify found uncorrectable damage.
+  /// Traced as a Retransfer arrival.
+  void migrate_retransfer(index_t bc, index_t br, int to);
+
+  /// Commits the ownership flip for a staged, verified column.
+  void migrate_commit(index_t bc, int to);
 
   /// Scatters a host matrix over PCIe onto the GPUs.
   void scatter(ConstViewD host);
@@ -94,13 +143,15 @@ class DistMatrix {
 
  private:
   struct Shard {
-    MatD* data = nullptr;    // n × (local_bc·nb)
-    MatD* col_cs = nullptr;  // 2b × (local_bc·nb)
-    MatD* row_cs = nullptr;  // n × (2·local_bc)
+    MatD* data = nullptr;    // n × (capacity·nb)
+    MatD* col_cs = nullptr;  // 2b × (capacity·nb)
+    MatD* row_cs = nullptr;  // n × (2·capacity)
   };
 
-  [[nodiscard]] index_t local_col(index_t bc) const noexcept {
-    return dist_.local_index(bc) * nb_;
+  [[nodiscard]] index_t local_col(index_t bc) const { return map_.slot(bc) * nb_; }
+
+  [[nodiscard]] Shard& shard_of(int g) {
+    return shards_[static_cast<std::size_t>(g)];
   }
 
   sim::HeterogeneousSystem& sys_;
@@ -109,7 +160,7 @@ class DistMatrix {
   index_t b_;
   ChecksumKind kind_;
   SingleSideDim ss_dim_ = SingleSideDim::Col;
-  sim::BlockCyclic1D dist_;
+  sim::OwnershipMap map_;
   std::vector<Shard> shards_;
   trace::TraceRecorder* trace_ = nullptr;
 };

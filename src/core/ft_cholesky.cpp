@@ -5,6 +5,7 @@
 #include "blas/blas.hpp"
 #include "checksum/correct.hpp"
 #include "common/error.hpp"
+#include "core/balance.hpp"
 #include "core/charge_timer.hpp"
 #include "core/ft_dataflow.hpp"
 #include "core/ft_driver.hpp"
@@ -45,7 +46,9 @@ class CholeskyDriver {
         sys_owned_(opts.system ? nullptr
                                : std::make_unique<sim::HeterogeneousSystem>(opts.ngpu)),
         sys_(opts.system ? *opts.system : *sys_owned_),
-        a_dist_(sys_, n_, nb_, opts.checksum),
+        a_dist_(sys_, n_, nb_, opts.checksum, SingleSideDim::Col,
+                opts.adaptive_balance),
+        balancer_(a_dist_, opts, MigrationLayout::CholeskyLower),
         host_in_(a) {
     FTLA_CHECK(a.rows() == a.cols(), "ft_cholesky: matrix must be square");
     FTLA_CHECK(!opts.system || opts.system->ngpu() == opts.ngpu,
@@ -88,6 +91,7 @@ class CholeskyDriver {
       sys_.set_sync_observer(trc_);
     }
 
+    balancer_.apply_time_scales();
     a_dist_.scatter(host_in_);
     if (has_cs()) {
       ChargeTimer t(&stats_.encode_seconds);
@@ -103,6 +107,7 @@ class CholeskyDriver {
       }
       if (trc_) trc_->begin_iteration(k);
       iteration(k);
+      if (!fatal()) balance_step(k);
       if (trc_) trc_->end_iteration(k);
     }
 
@@ -144,6 +149,19 @@ class CholeskyDriver {
       stats_.merge(gs);
       gs = FtStats{};
     }
+  }
+
+  /// Iteration-boundary load balancing: modeled-cost accounting (always),
+  /// the bench's slowdown hook, then the protected re-partition step.
+  void balance_step(index_t k) {
+    balancer_.account_iteration(k, stats_);
+    if (opts_.on_iteration) opts_.on_iteration(k);
+    const auto plan = balancer_.plan(k);
+    if (plan.empty()) return;
+    if (!balancer_.execute(k, plan, stats_, gpu_stats_)) {
+      fail(RunStatus::NeedCompleteRestart);
+    }
+    merge_gpu_stats();
   }
 
   /// Stages the owner's resident diagonal block (and checksum) at the
@@ -349,7 +367,7 @@ class CholeskyDriver {
       auto& st = gpu_stats_[static_cast<std::size_t>(g)];
       ChargeTimer t(&st.verify_seconds);
       auto rc = repair_ctx(st);
-      for (index_t j : a_dist_.dist().owned_from(g, k + 1)) {
+      for (index_t j : a_dist_.owned_from(g, k + 1)) {
         for (index_t i = j; i < b_; ++i) {
           const auto outcome =
               verify_and_repair(a_dist_.block(i, j), a_dist_.col_cs(i, j),
@@ -624,7 +642,7 @@ class CholeskyDriver {
         }
       }
 
-      for (index_t j : a_dist_.dist().owned_from(g, k + 1)) {
+      for (index_t j : a_dist_.owned_from(g, k + 1)) {
         ConstViewD lj = pan.block((j - k) * nb_, 0, nb_, nb_).as_const();
         ConstViewD cs_j = has_cs() ? pan_cs.block(2 * (j - k), 0, 2, nb_).as_const()
                                    : ConstViewD{};
@@ -709,7 +727,7 @@ class CholeskyDriver {
       auto& pan = *panel_d_[static_cast<std::size_t>(g)];
       auto& pan_cs = *panel_cs_d_[static_cast<std::size_t>(g)];
       ChargeTimer t(&st.verify_seconds);
-      const auto owned = a_dist_.dist().owned_from(g, k + 1);
+      const auto owned = a_dist_.owned_from(g, k + 1);
       if (owned.empty()) return;
 
       for (index_t m = k + 1; m < b_; ++m) {
@@ -764,6 +782,7 @@ class CholeskyDriver {
   std::unique_ptr<sim::HeterogeneousSystem> sys_owned_;
   sim::HeterogeneousSystem& sys_;
   DistMatrix a_dist_;
+  TileBalancer balancer_;
   ConstViewD host_in_;
   FtStats stats_;
   std::vector<FtStats> gpu_stats_;

@@ -7,6 +7,7 @@
 #include "common/error.hpp"
 #include "common/timer.hpp"
 #include "core/ft_driver.hpp"
+#include "core/balance.hpp"
 #include "core/charge_timer.hpp"
 #include "core/ft_dataflow.hpp"
 #include "core/panel_ft.hpp"
@@ -44,7 +45,9 @@ class LuDriver {
         sys_owned_(opts.system ? nullptr
                                : std::make_unique<sim::HeterogeneousSystem>(opts.ngpu)),
         sys_(opts.system ? *opts.system : *sys_owned_),
-        a_dist_(sys_, n_, nb_, opts.checksum),
+        a_dist_(sys_, n_, nb_, opts.checksum, SingleSideDim::Col,
+                opts.adaptive_balance),
+        balancer_(a_dist_, opts, MigrationLayout::LuSquare),
         host_in_(a) {
     FTLA_CHECK(a.rows() == a.cols(), "ft_lu: matrix must be square");
     FTLA_CHECK(!opts.system || opts.system->ngpu() == opts.ngpu,
@@ -87,6 +90,7 @@ class LuDriver {
       sys_.set_sync_observer(trc_);
     }
 
+    balancer_.apply_time_scales();
     a_dist_.scatter(host_in_);
     if (has_cs()) {
       ChargeTimer t(&stats_.encode_seconds);
@@ -100,6 +104,7 @@ class LuDriver {
       }
       if (trc_) trc_->begin_iteration(k);
       iteration(k);
+      if (!fatal()) balance_step(k);
       if (trc_) trc_->end_iteration(k);
     }
 
@@ -142,6 +147,19 @@ class LuDriver {
       stats_.merge(gs);
       gs = FtStats{};
     }
+  }
+
+  /// Iteration-boundary load balancing: modeled-cost accounting (always),
+  /// the bench's slowdown hook, then the protected re-partition step.
+  void balance_step(index_t k) {
+    balancer_.account_iteration(k, stats_);
+    if (opts_.on_iteration) opts_.on_iteration(k);
+    const auto plan = balancer_.plan(k);
+    if (plan.empty()) return;
+    if (!balancer_.execute(k, plan, stats_, gpu_stats_)) {
+      fail(RunStatus::NeedCompleteRestart);
+    }
+    merge_gpu_stats();
   }
 
   // --- iteration phases -------------------------------------------------
@@ -367,7 +385,7 @@ class LuDriver {
       auto& st = gpu_stats_[static_cast<std::size_t>(g)];
       ChargeTimer t(&st.verify_seconds);
       auto rc = repair_ctx(st);
-      for (index_t j : a_dist_.dist().owned_from(g, k + 1)) {
+      for (index_t j : a_dist_.owned_from(g, k + 1)) {
         for (index_t i = k + 1; i < b_; ++i) {
           const auto outcome =
               verify_and_repair(a_dist_.block(i, j), a_dist_.col_cs(i, j),
@@ -520,7 +538,7 @@ class LuDriver {
       // derived) checksums before consuming it: a memory error here has
       // 2D reach through the solve (Table IV, PU reference part).
       if ((policy_.check_before_pu || policy_.heuristic_tmu) && has_cs() &&
-          !a_dist_.dist().owned_from(g, k + 1).empty()) {
+          !a_dist_.owned_from(g, k + 1).empty()) {
         ChargeTimer t(&st.verify_seconds);
         index_t fixed = 0;
         const bool ok = verify_repair_unit_lower(
@@ -546,7 +564,7 @@ class LuDriver {
         inj_->pre_compute(pu, Part::Reference, l11_mut, {k * nb_, k * nb_}, {k, k});
       }
 
-      for (index_t j : a_dist_.dist().owned_from(g, k + 1)) {
+      for (index_t j : a_dist_.owned_from(g, k + 1)) {
         ViewD ublk = a_dist_.block(k, j);
         const ElemCoord org{k * nb_, j * nb_};
         if (inj_) inj_->pre_verify(pu, Part::Update, ublk, org, {k, j});
@@ -646,7 +664,7 @@ class LuDriver {
         }
       }
 
-      for (index_t j : a_dist_.dist().owned_from(g, k + 1)) {
+      for (index_t j : a_dist_.owned_from(g, k + 1)) {
         ViewD u = a_dist_.block(k, j);
         const ElemCoord org_u{k * nb_, j * nb_};
         if (inj_) {
@@ -747,7 +765,7 @@ class LuDriver {
       auto& pan = *panel_d_[static_cast<std::size_t>(g)];
       auto& pan_cs = *panel_cs_d_[static_cast<std::size_t>(g)];
       ChargeTimer t(&st.verify_seconds);
-      const auto owned = a_dist_.dist().owned_from(g, k + 1);
+      const auto owned = a_dist_.owned_from(g, k + 1);
       if (owned.empty()) return;
 
       // (0) The L11 replica: PU consumed it with 2D reach, and its
@@ -840,6 +858,7 @@ class LuDriver {
   std::unique_ptr<sim::HeterogeneousSystem> sys_owned_;
   sim::HeterogeneousSystem& sys_;
   DistMatrix a_dist_;
+  TileBalancer balancer_;
   ConstViewD host_in_;
   FtStats stats_;
   std::vector<FtStats> gpu_stats_;
@@ -863,7 +882,11 @@ FtOutput ft_lu(ConstViewD a, const FtOptions& opts, fault::FaultInjector* inject
   // The dataflow scheduler does not support fault injection (its graph is
   // submitted ahead of execution); fall back to fork-join when an injector
   // is attached.
-  if (opts.scheduler == SchedulerKind::Dataflow && injector == nullptr) {
+  // Adaptive load balancing is likewise fork-join only for LU/QR: their
+  // dataflow graphs bake submission-time owners into every task, and only
+  // the Cholesky dataflow driver re-plans migrations at submission.
+  if (opts.scheduler == SchedulerKind::Dataflow && injector == nullptr &&
+      !opts.adaptive_balance) {
     return detail::df_lu(a, opts);
   }
   if (!opts.system) {

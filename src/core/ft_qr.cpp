@@ -5,6 +5,7 @@
 #include "blas/blas.hpp"
 #include "checksum/correct.hpp"
 #include "common/error.hpp"
+#include "core/balance.hpp"
 #include "core/charge_timer.hpp"
 #include "core/ft_dataflow.hpp"
 #include "core/ft_driver.hpp"
@@ -77,7 +78,9 @@ class QrDriver {
         sys_owned_(opts.system ? nullptr
                                : std::make_unique<sim::HeterogeneousSystem>(opts.ngpu)),
         sys_(opts.system ? *opts.system : *sys_owned_),
-        a_dist_(sys_, n_, nb_, opts.checksum, SingleSideDim::Row),
+        a_dist_(sys_, n_, nb_, opts.checksum, SingleSideDim::Row,
+                opts.adaptive_balance),
+        balancer_(a_dist_, opts, MigrationLayout::QrSquare),
         host_in_(a) {
     FTLA_CHECK(a.rows() == a.cols(), "ft_qr: matrix must be square");
     FTLA_CHECK(!opts.system || opts.system->ngpu() == opts.ngpu,
@@ -121,6 +124,7 @@ class QrDriver {
       sys_.set_sync_observer(trc_);
     }
 
+    balancer_.apply_time_scales();
     a_dist_.scatter(host_in_);
     if (opts_.checksum != ChecksumKind::None) {
       ChargeTimer t(&stats_.encode_seconds);
@@ -134,6 +138,7 @@ class QrDriver {
       }
       if (trc_) trc_->begin_iteration(k);
       iteration(k, out.tau);
+      if (!fatal()) balance_step(k);
       if (trc_) trc_->end_iteration(k);
     }
 
@@ -178,6 +183,19 @@ class QrDriver {
       stats_.merge(gs);
       gs = FtStats{};
     }
+  }
+
+  /// Iteration-boundary load balancing: modeled-cost accounting (always),
+  /// the bench's slowdown hook, then the protected re-partition step.
+  void balance_step(index_t k) {
+    balancer_.account_iteration(k, stats_);
+    if (opts_.on_iteration) opts_.on_iteration(k);
+    const auto plan = balancer_.plan(k);
+    if (plan.empty()) return;
+    if (!balancer_.execute(k, plan, stats_, gpu_stats_)) {
+      fail(RunStatus::NeedCompleteRestart);
+    }
+    merge_gpu_stats();
   }
 
   void iteration(index_t k, std::vector<double>& tau_out) {
@@ -480,7 +498,7 @@ class QrDriver {
       auto& st = gpu_stats_[static_cast<std::size_t>(g)];
       ChargeTimer t(&st.verify_seconds);
       auto rc = repair_ctx(st);
-      for (index_t j : a_dist_.dist().owned_from(g, k + 1)) {
+      for (index_t j : a_dist_.owned_from(g, k + 1)) {
         for (index_t i = k; i < b_; ++i) {
           const auto outcome =
               verify_and_repair(a_dist_.block(i, j),
@@ -614,7 +632,7 @@ class QrDriver {
         }
       }
 
-      for (index_t j : a_dist_.dist().owned_from(g, k + 1)) {
+      for (index_t j : a_dist_.owned_from(g, k + 1)) {
         ViewD c = a_dist_.col_panel(j, k);
         const ElemCoord org{k * nb_, j * nb_};
 
@@ -689,6 +707,7 @@ class QrDriver {
   std::unique_ptr<sim::HeterogeneousSystem> sys_owned_;
   sim::HeterogeneousSystem& sys_;
   DistMatrix a_dist_;
+  TileBalancer balancer_;
   ConstViewD host_in_;
   FtStats stats_;
   std::vector<FtStats> gpu_stats_;
@@ -713,7 +732,11 @@ FtOutput ft_qr(ConstViewD a, const FtOptions& opts, fault::FaultInjector* inject
   // The dataflow scheduler does not support fault injection (its graph is
   // submitted ahead of execution); fall back to fork-join when an injector
   // is attached.
-  if (opts.scheduler == SchedulerKind::Dataflow && injector == nullptr) {
+  // Adaptive load balancing is likewise fork-join only for LU/QR: their
+  // dataflow graphs bake submission-time owners into every task, and only
+  // the Cholesky dataflow driver re-plans migrations at submission.
+  if (opts.scheduler == SchedulerKind::Dataflow && injector == nullptr &&
+      !opts.adaptive_balance) {
     return detail::df_qr(a, opts);
   }
   if (!opts.system) {

@@ -6,6 +6,7 @@
 /// verifications (paper §VII).
 
 #include <functional>
+#include <vector>
 
 #include "checksum/encode.hpp"
 #include "common/types.hpp"
@@ -95,6 +96,29 @@ struct FtOptions {
   /// factors, ok() false) instead of finishing dead work — the serving
   /// layer uses this to shed jobs past their deadline class.
   std::function<bool()> cancel;
+  /// Adaptive CPU/GPU load balancing: re-partition trailing-matrix tile
+  /// ownership at iteration boundaries based on modeled per-device
+  /// throughput. Migrations move the column plus both checksum strips over
+  /// PCIe and are verified at the receiver before the ownership map
+  /// commits, so the ABFT coverage guarantee extends across the move.
+  /// Requires ChecksumKind::Full; ForkJoin and the Cholesky dataflow
+  /// driver support it (LU/QR dataflow falls back to ForkJoin).
+  bool adaptive_balance = false;
+  /// Balancer tuning (see sim::LoadBalancerConfig for semantics).
+  double balance_alpha = 0.5;      ///< EWMA smoothing for throughput samples
+  double balance_min_gain = 0.02;  ///< relative makespan gain hysteresis
+  int balance_max_moves = 4;       ///< migration cap per iteration boundary
+  /// Work-unit normalization: modeled seconds for one nb³-flop unit on a
+  /// time_scale-1.0 device are nb³ / balance_base_flops.
+  double balance_base_flops = 50.0e9;
+  /// Per-GPU modeled time scales applied at run start (index g; missing
+  /// entries default to 1.0). This is how benchmarks model heterogeneous
+  /// fleets — it feeds the modeled phase costs, not wall-clock.
+  std::vector<double> gpu_time_scale;
+  /// Called at the end of every outer iteration k (before the balancer's
+  /// re-partition step). Benchmarks use it to inject mid-run slowdown
+  /// faults via Device::set_time_scale.
+  std::function<void(index_t)> on_iteration;
   /// When set, the decomposition runs on this externally owned system
   /// instead of constructing its own (ngpu must equal system->ngpu()).
   /// Every device-arena allocation made during the run is released when

@@ -33,10 +33,12 @@ void FtStats::merge(const FtStats& other) {
   comm_errors_corrected += other.comm_errors_corrected;
   local_restarts += other.local_restarts;
   checksum_rebuilds += other.checksum_rebuilds;
+  tiles_migrated += other.tiles_migrated;
   encode_seconds += other.encode_seconds;
   verify_seconds += other.verify_seconds;
   maintain_seconds += other.maintain_seconds;
   recovery_seconds += other.recovery_seconds;
+  compute_modeled_seconds += other.compute_modeled_seconds;
   if (other.status != RunStatus::Success && status == RunStatus::Success)
     status = other.status;
 }

@@ -45,6 +45,7 @@ struct FtStats {
   std::uint64_t comm_errors_corrected = 0;  ///< PCIe corruption fixed at receivers
   std::uint64_t local_restarts = 0;     ///< PD/PU redone from snapshot
   std::uint64_t checksum_rebuilds = 0;  ///< blocks re-encoded after repair
+  std::uint64_t tiles_migrated = 0;     ///< load-balance column re-homings
 
   // --- timing ----------------------------------------------------------
   double total_seconds = 0.0;
@@ -53,6 +54,11 @@ struct FtStats {
   double maintain_seconds = 0.0;  ///< checksum updates riding along ops
   double recovery_seconds = 0.0;  ///< correction + local restarts
   double comm_modeled_seconds = 0.0;  ///< PCIe cost-model time
+  /// Modeled compute time under the flops model: per iteration, host
+  /// panel seconds plus the slowest device's update seconds (time_scale
+  /// aware). The heterogeneous-fleet bench compares schedules on
+  /// compute_modeled + comm_modeled, never wall-clock.
+  double compute_modeled_seconds = 0.0;
 
   RunStatus status = RunStatus::Success;
 

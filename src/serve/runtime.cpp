@@ -142,7 +142,6 @@ void ServeRuntime::process(int fleet, const QueuedJob& item) {
     auto it = records_.find(item.id);
     FTLA_CHECK(it != records_.end(), "serve: popped a job with no record");
     rec = it->second.get();
-    rec->backoff_seconds += std::max(0.0, seconds_between(rec->enqueued_at, rec->ready_at));
     rec->queue_wait_seconds += std::max(0.0, seconds_between(rec->ready_at, start));
     if (rec->deadline_at < start) {
       rec->outcome = core::Outcome::Aborted;
@@ -216,6 +215,10 @@ void ServeRuntime::process(int fleet, const QueuedJob& item) {
                    config_.backoff_base_seconds *
                        static_cast<double>(1u << std::min(rec->attempts - 1, 20)));
       rec->state = JobState::Queued;
+      // Account the injected delay here, where it is decided: deriving
+      // it back from (enqueued_at, ready_at) at dequeue time conflates
+      // rounding and early pops with real backoff.
+      rec->backoff_seconds += backoff;
       rec->enqueued_at = Clock::now();
       rec->ready_at =
           rec->enqueued_at + std::chrono::duration_cast<Clock::duration>(

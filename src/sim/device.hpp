@@ -18,6 +18,7 @@
 /// thread is bound to this device, and under FTLA_CHECK_OWNERSHIP kernel
 /// entry points assert that the touching thread belongs to the owner.
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
@@ -61,12 +62,26 @@ class Device {
   /// thread is bound to this device for ownership checking.
   [[nodiscard]] Stream& stream() noexcept { return stream_; }
 
+  /// Modeled slowdown multiplier of this device relative to the fleet
+  /// baseline (1.0 = nominal; 2.0 = half throughput). Feeds the modeled
+  /// phase-cost accounting and the load balancer's throughput estimators;
+  /// deliberately NOT wall-clock so heterogeneous-fleet runs stay
+  /// deterministic on timesliced CI hosts. May be changed mid-run (bench
+  /// slowdown faults), hence atomic.
+  [[nodiscard]] double time_scale() const noexcept {
+    return time_scale_.load(std::memory_order_relaxed);
+  }
+  void set_time_scale(double scale) noexcept {
+    time_scale_.store(scale, std::memory_order_relaxed);
+  }
+
  private:
   device_id_t id_;
   DeviceKind kind_;
   std::string name_;
   mutable ftla::Mutex mutex_;
   std::vector<std::unique_ptr<MatD>> allocations_ FTLA_GUARDED_BY(mutex_);
+  std::atomic<double> time_scale_{1.0};
   Stream stream_;
 };
 

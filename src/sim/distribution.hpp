@@ -24,11 +24,23 @@ class BlockCyclic1D {
   [[nodiscard]] index_t num_block_cols() const noexcept { return nbc_; }
   [[nodiscard]] int ngpu() const noexcept { return ngpu_; }
 
-  /// GPU index (0-based) owning global block-column bc.
-  [[nodiscard]] int owner(index_t bc) const noexcept { return static_cast<int>(bc % ngpu_); }
+  /// GPU index (0-based) owning global block-column bc. Signed modulo of
+  /// a negative bc would silently yield a negative owner, so debug builds
+  /// reject it here.
+  [[nodiscard]] int owner(index_t bc) const {
+#ifndef NDEBUG
+    FTLA_CHECK(bc >= 0, "negative block column");
+#endif
+    return static_cast<int>(bc % ngpu_);
+  }
 
   /// Local block-column index of bc on its owner.
-  [[nodiscard]] index_t local_index(index_t bc) const noexcept { return bc / ngpu_; }
+  [[nodiscard]] index_t local_index(index_t bc) const {
+#ifndef NDEBUG
+    FTLA_CHECK(bc >= 0, "negative block column");
+#endif
+    return bc / ngpu_;
+  }
 
   /// Number of block columns stored on GPU g.
   [[nodiscard]] index_t local_count(int g) const noexcept {
@@ -41,10 +53,18 @@ class BlockCyclic1D {
   }
 
   /// Global block-columns in [bc_min, nbc) owned by GPU g, ascending.
+  /// The first owned column >= bc_min is computed arithmetically (columns
+  /// owned by g are g, g + ngpu, ...), so the cost is proportional to the
+  /// result, not to nbc.
   [[nodiscard]] std::vector<index_t> owned_from(int g, index_t bc_min) const {
+    index_t first = g;
+    if (bc_min > first) {
+      first += ((bc_min - first + ngpu_ - 1) / ngpu_) * ngpu_;
+    }
     std::vector<index_t> out;
-    for (index_t bc = g; bc < nbc_; bc += ngpu_) {
-      if (bc >= bc_min) out.push_back(bc);
+    if (first < nbc_) {
+      out.reserve(static_cast<std::size_t>((nbc_ - first + ngpu_ - 1) / ngpu_));
+      for (index_t bc = first; bc < nbc_; bc += ngpu_) out.push_back(bc);
     }
     return out;
   }

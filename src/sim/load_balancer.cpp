@@ -1,0 +1,129 @@
+#include "sim/load_balancer.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace ftla::sim {
+
+namespace {
+
+/// Modeled makespan: the slowest device's completion time.
+double makespan(const std::vector<double>& loads) {
+  double worst = 0.0;
+  for (double l : loads) worst = std::max(worst, l);
+  return worst;
+}
+
+}  // namespace
+
+LoadBalancer::LoadBalancer(int ndev, LoadBalancerConfig cfg) : cfg_(cfg) {
+  FTLA_CHECK(ndev > 0, "load balancer needs at least one device");
+  FTLA_CHECK(cfg_.alpha > 0.0 && cfg_.alpha <= 1.0,
+             "load balancer EWMA alpha must be in (0, 1]");
+  FTLA_CHECK(cfg_.prior_rate > 0.0, "load balancer prior rate must be positive");
+  rate_.assign(static_cast<std::size_t>(ndev), cfg_.prior_rate);
+  seeded_.assign(static_cast<std::size_t>(ndev), false);
+}
+
+void LoadBalancer::record(int dev, double work, double seconds) {
+  FTLA_CHECK(dev >= 0 && dev < ndev(), "load balancer: device out of range");
+  if (!(work > 0.0) || !(seconds > 0.0)) return;
+  const double sample = work / seconds;
+  auto& rate = rate_[static_cast<std::size_t>(dev)];
+  if (seeded_[static_cast<std::size_t>(dev)]) {
+    rate = cfg_.alpha * sample + (1.0 - cfg_.alpha) * rate;
+  } else {
+    rate = sample;
+    seeded_[static_cast<std::size_t>(dev)] = true;
+  }
+}
+
+double LoadBalancer::rate(int dev) const {
+  FTLA_CHECK(dev >= 0 && dev < ndev(), "load balancer: device out of range");
+  return rate_[static_cast<std::size_t>(dev)];
+}
+
+std::vector<TileMigration> LoadBalancer::rebalance(
+    const OwnershipMap& owners, index_t bc_min,
+    const std::vector<double>& weight) const {
+  FTLA_CHECK(owners.ngpu() == ndev(),
+             "load balancer: ownership map device count mismatch");
+  FTLA_CHECK(static_cast<index_t>(weight.size()) >= owners.num_block_cols(),
+             "load balancer: weight vector shorter than block columns");
+
+  const int nd = ndev();
+  if (nd < 2) return {};
+
+  // Working copy of the trailing assignment: per-device owned columns
+  // (ascending) and per-device modeled completion time.
+  std::vector<std::vector<index_t>> cols(static_cast<std::size_t>(nd));
+  std::vector<double> loads(static_cast<std::size_t>(nd), 0.0);
+  for (int g = 0; g < nd; ++g) {
+    cols[static_cast<std::size_t>(g)] = owners.owned_from(g, bc_min);
+    for (index_t bc : cols[static_cast<std::size_t>(g)]) {
+      loads[static_cast<std::size_t>(g)] +=
+          weight[static_cast<std::size_t>(bc)] / rate_[static_cast<std::size_t>(g)];
+    }
+  }
+
+  const double initial = makespan(loads);
+  if (!(initial > 0.0)) return {};
+  // Rounding guard: a move whose real-arithmetic effect is neutral can
+  // look like an O(ulp) improvement in floats; demand more than that.
+  const double margin = 1.0e-12 * initial;
+
+  std::vector<TileMigration> plan;
+  for (int step = 0; step < cfg_.max_moves_per_step; ++step) {
+    // Busiest and least-busy devices; ties break to the lowest id so the
+    // plan is reproducible at dataflow submission time.
+    int dmax = 0, dmin = 0;
+    for (int g = 1; g < nd; ++g) {
+      if (loads[static_cast<std::size_t>(g)] > loads[static_cast<std::size_t>(dmax)])
+        dmax = g;
+      if (loads[static_cast<std::size_t>(g)] < loads[static_cast<std::size_t>(dmin)])
+        dmin = g;
+    }
+    if (dmax == dmin) break;
+
+    // Best single column to shift: minimizes the pair's new worse side.
+    // Strict improvement only; first (lowest) candidate wins ties.
+    auto& donor = cols[static_cast<std::size_t>(dmax)];
+    const double pair_before = std::max(loads[static_cast<std::size_t>(dmax)],
+                                        loads[static_cast<std::size_t>(dmin)]);
+    double best_after = pair_before;
+    std::size_t best_idx = donor.size();
+    for (std::size_t i = 0; i < donor.size(); ++i) {
+      const double w = weight[static_cast<std::size_t>(donor[i])];
+      if (!(w > 0.0)) continue;
+      const double after =
+          std::max(loads[static_cast<std::size_t>(dmax)] -
+                       w / rate_[static_cast<std::size_t>(dmax)],
+                   loads[static_cast<std::size_t>(dmin)] +
+                       w / rate_[static_cast<std::size_t>(dmin)]);
+      if (after < best_after - margin) {
+        best_after = after;
+        best_idx = i;
+      }
+    }
+    if (best_idx == donor.size()) break;
+
+    const index_t bc = donor[best_idx];
+    const double w = weight[static_cast<std::size_t>(bc)];
+    loads[static_cast<std::size_t>(dmax)] -= w / rate_[static_cast<std::size_t>(dmax)];
+    loads[static_cast<std::size_t>(dmin)] += w / rate_[static_cast<std::size_t>(dmin)];
+    donor.erase(donor.begin() + static_cast<std::ptrdiff_t>(best_idx));
+    cols[static_cast<std::size_t>(dmin)].push_back(bc);
+    plan.push_back(TileMigration{bc, dmax, dmin});
+  }
+
+  // Whole-plan hysteresis: migration traffic must buy a real makespan
+  // reduction or we keep the current partition.
+  if (plan.empty()) return {};
+  const double final_ms = makespan(loads);
+  if (final_ms > initial * (1.0 - cfg_.min_rel_gain)) return {};
+  return plan;
+}
+
+}  // namespace ftla::sim

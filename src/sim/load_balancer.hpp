@@ -1,0 +1,77 @@
+#pragma once
+
+/// \file load_balancer.hpp
+/// Throughput-driven re-partitioning of trailing-matrix tile ownership.
+///
+/// Static 1D block-cyclic ownership puts the slowest device on the
+/// critical path of every trailing update the moment the fleet is
+/// heterogeneous. The balancer keeps a per-device EWMA throughput
+/// estimate fed by the drivers' modeled phase costs (work units per
+/// modeled second — deliberately not wall-clock, so CI timeslicing cannot
+/// perturb the plan) and, at each iteration boundary, proposes a small
+/// set of tile migrations that shrink the modeled makespan of the
+/// remaining trailing work toward the rate-proportional optimum.
+///
+/// The plan is deterministic: greedy max-to-min moves with lowest-index
+/// tie-breaking, a per-step move cap, and a relative-gain hysteresis that
+/// discards plans not worth the migration traffic. Determinism is what
+/// lets the dataflow driver pre-plan migrations at graph-submission time
+/// and still match the fork-join execution.
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/ownership_map.hpp"
+
+namespace ftla::sim {
+
+struct LoadBalancerConfig {
+  /// EWMA smoothing factor for throughput samples (1.0 = latest only).
+  double alpha = 0.5;
+  /// A re-partition step must shrink the modeled trailing makespan by at
+  /// least this relative margin or the whole plan is discarded.
+  double min_rel_gain = 0.02;
+  /// Migration cap per iteration boundary.
+  int max_moves_per_step = 4;
+  /// Assumed throughput (work units per second) before the first sample.
+  double prior_rate = 1.0;
+};
+
+/// One planned tile migration.
+struct TileMigration {
+  index_t bc = 0;
+  int from = 0;
+  int to = 0;
+};
+
+class LoadBalancer {
+ public:
+  LoadBalancer() = default;
+  explicit LoadBalancer(int ndev, LoadBalancerConfig cfg = {});
+
+  [[nodiscard]] int ndev() const noexcept { return static_cast<int>(rate_.size()); }
+  [[nodiscard]] const LoadBalancerConfig& config() const noexcept { return cfg_; }
+
+  /// Feeds one phase sample: device `dev` completed `work` units in
+  /// `seconds`. Non-positive samples are ignored.
+  void record(int dev, double work, double seconds);
+
+  /// Current throughput estimate (work units per second) for `dev`.
+  [[nodiscard]] double rate(int dev) const;
+
+  /// Proposes migrations for the block-columns in [bc_min, nbc) so their
+  /// per-device completion times even out under the current rate
+  /// estimates. `weight[bc]` is the relative work remaining in column bc
+  /// (entries below bc_min are ignored). Returns an empty plan when no
+  /// move clears the hysteresis.
+  [[nodiscard]] std::vector<TileMigration> rebalance(
+      const OwnershipMap& owners, index_t bc_min,
+      const std::vector<double>& weight) const;
+
+ private:
+  LoadBalancerConfig cfg_;
+  std::vector<double> rate_;
+  std::vector<bool> seeded_;
+};
+
+}  // namespace ftla::sim

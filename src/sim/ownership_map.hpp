@@ -1,0 +1,129 @@
+#pragma once
+
+/// \file ownership_map.hpp
+/// Tile-ownership abstraction over the 1D block-cyclic distribution.
+///
+/// The FT drivers resolve "which device owns block-column bc, and where
+/// does it live in that device's shard" through this map instead of
+/// hard-coding BlockCyclic1D. Static mode IS the block-cyclic layout
+/// (owner bc mod ngpu, dense local slots bc div ngpu) and adds no state.
+/// Dynamic mode starts block-cyclic but lets the load balancer re-home
+/// trailing block-columns at iteration boundaries: every device's shard
+/// is allocated at full capacity and slots are global (slot(bc) == bc),
+/// so a column's storage address is the same on every device and a
+/// migration is a strip copy plus a map update — no shard compaction.
+///
+/// Thread-safety: owner()/slot()/owned_from() are called concurrently
+/// from GPU worker threads during parallel phases. set_owner() for a
+/// column is ordered against every task that touches that column
+/// (iteration boundaries in the fork-join drivers; dependency edges in
+/// the dataflow runtime), but a dataflow lane that merely *scans* the
+/// map (owned_from over the trailing matrix) can overlap a commit for a
+/// column it does not own either side of — so dynamic-mode entries are
+/// accessed through std::atomic_ref. Such a racing reader sees either
+/// the old or the new owner, and since neither is the scanning device
+/// the scan result is unaffected.
+///
+/// Not to be confused with sim/ownership.hpp, which machine-checks which
+/// *thread* may touch which memory arena.
+
+#include <atomic>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+#include "sim/distribution.hpp"
+
+namespace ftla::sim {
+
+class OwnershipMap {
+ public:
+  OwnershipMap() = default;
+
+  /// Wraps `dist`. Static mode delegates everything to the block-cyclic
+  /// formulas; dynamic mode materializes the same initial assignment as a
+  /// mutable owner table.
+  explicit OwnershipMap(BlockCyclic1D dist, bool dynamic = false)
+      : dist_(dist), dynamic_(dynamic) {
+    if (dynamic_) {
+      owner_.resize(static_cast<std::size_t>(dist_.num_block_cols()));
+      for (index_t bc = 0; bc < dist_.num_block_cols(); ++bc) {
+        owner_[static_cast<std::size_t>(bc)] = dist_.owner(bc);
+      }
+    }
+  }
+
+  [[nodiscard]] const BlockCyclic1D& dist() const noexcept { return dist_; }
+  [[nodiscard]] index_t num_block_cols() const noexcept {
+    return dist_.num_block_cols();
+  }
+  [[nodiscard]] int ngpu() const noexcept { return dist_.ngpu(); }
+  [[nodiscard]] bool dynamic() const noexcept { return dynamic_; }
+
+  /// Device owning global block-column bc.
+  [[nodiscard]] int owner(index_t bc) const {
+    if (!dynamic_) return dist_.owner(bc);
+    FTLA_CHECK(bc >= 0 && bc < dist_.num_block_cols(),
+               "ownership map: block column out of range");
+    return load(bc);
+  }
+
+  /// Local block-column slot of bc inside its owner's shard storage.
+  /// Dynamic shards are full-capacity, so the slot is the global index —
+  /// identical on every device, which is what makes migration a copy.
+  [[nodiscard]] index_t slot(index_t bc) const {
+    return dynamic_ ? bc : dist_.local_index(bc);
+  }
+
+  /// Block-column slots device g must allocate.
+  [[nodiscard]] index_t capacity(int g) const {
+    return dynamic_ ? dist_.num_block_cols() : dist_.local_count(g);
+  }
+
+  /// Global block-columns in [bc_min, nbc) owned by g, ascending.
+  [[nodiscard]] std::vector<index_t> owned_from(int g, index_t bc_min) const {
+    if (!dynamic_) return dist_.owned_from(g, bc_min);
+    std::vector<index_t> out;
+    for (index_t bc = bc_min < 0 ? 0 : bc_min; bc < dist_.num_block_cols(); ++bc) {
+      if (load(bc) == g) out.push_back(bc);
+    }
+    return out;
+  }
+
+  /// Number of block-columns in [bc_min, nbc) owned by g.
+  [[nodiscard]] index_t owned_count(int g, index_t bc_min = 0) const {
+    if (!dynamic_) {
+      return static_cast<index_t>(dist_.owned_from(g, bc_min).size());
+    }
+    index_t count = 0;
+    for (index_t bc = bc_min < 0 ? 0 : bc_min; bc < dist_.num_block_cols(); ++bc) {
+      if (load(bc) == g) ++count;
+    }
+    return count;
+  }
+
+  /// Re-homes bc (dynamic mode only). The caller must have moved the
+  /// bytes first and must be at a quiescent point — see file comment.
+  void set_owner(index_t bc, int g) {
+    FTLA_CHECK(dynamic_, "ownership map: static assignment is immutable");
+    FTLA_CHECK(bc >= 0 && bc < dist_.num_block_cols(),
+               "ownership map: block column out of range");
+    FTLA_CHECK(g >= 0 && g < dist_.ngpu(), "ownership map: device out of range");
+    std::atomic_ref<int>(owner_[static_cast<std::size_t>(bc)])
+        .store(g, std::memory_order_relaxed);
+  }
+
+ private:
+  // atomic_ref over a const element is not available until C++26, hence
+  // the mutable storage.
+  [[nodiscard]] int load(index_t bc) const {
+    return std::atomic_ref<int>(owner_[static_cast<std::size_t>(bc)])
+        .load(std::memory_order_relaxed);
+  }
+
+  BlockCyclic1D dist_;
+  bool dynamic_ = false;
+  mutable std::vector<int> owner_;  ///< dynamic mode only, indexed by bc
+};
+
+}  // namespace ftla::sim

@@ -25,6 +25,17 @@ namespace {
 
 }  // namespace
 
+PcieLink::PcieLink(double latency_seconds, double bandwidth_bytes_per_s)
+    : latency_s_(latency_seconds), bandwidth_(bandwidth_bytes_per_s) {
+  FTLA_CHECK(latency_seconds >= 0.0 && latency_seconds == latency_seconds &&
+                 latency_seconds < 1.0e12,
+             "pcie latency must be finite and non-negative");
+  FTLA_CHECK(bandwidth_bytes_per_s > 0.0 &&
+                 bandwidth_bytes_per_s == bandwidth_bytes_per_s &&
+                 bandwidth_bytes_per_s < 1.0e30,
+             "pcie bandwidth must be finite and positive");
+}
+
 void PcieLink::transfer(ConstViewD src, ViewD dst, device_id_t from, device_id_t to) {
   FTLA_CHECK(src.rows() == dst.rows() && src.cols() == dst.cols(),
              "pcie transfer shape mismatch");

@@ -54,9 +54,11 @@ class PcieLink {
   /// as the fault hook: may run on any transferring thread.
   using TraceHook = std::function<void(const TransferInfo&)>;
 
+  /// Both parameters must be positive and finite: a zero or negative
+  /// bandwidth would make modeled_transfer_seconds return inf/NaN and
+  /// silently poison every downstream rate estimate (throws FtlaError).
   explicit PcieLink(double latency_seconds = 5e-6,
-                    double bandwidth_bytes_per_s = 12.0e9)
-      : latency_s_(latency_seconds), bandwidth_(bandwidth_bytes_per_s) {}
+                    double bandwidth_bytes_per_s = 12.0e9);
 
   /// Copies src (on device `from`) into dst (on device `to`), charges the
   /// cost model, then runs the fault hook on dst. Safe to call from

@@ -63,6 +63,13 @@ class HeterogeneousSystem {
     return sync_observer_;
   }
 
+  /// Restores every device's modeled time scale to 1.0 (heterogeneous
+  /// fleets and mid-run slowdown faults are per-run configuration).
+  void reset_time_scales() noexcept {
+    cpu_->set_time_scale(1.0);
+    for (auto& g : gpus_) g->set_time_scale(1.0);
+  }
+
   /// Total bytes resident across GPU arenas.
   [[nodiscard]] byte_size_t gpu_bytes_allocated() const noexcept;
 
@@ -91,6 +98,7 @@ class BorrowedSystemScope {
   ~BorrowedSystemScope() {
     sys_.link().clear_trace_hook();
     sys_.set_sync_observer(nullptr);
+    sys_.reset_time_scales();
     sys_.free_all();
   }
 

@@ -75,6 +75,7 @@ const char* to_string(TransferCtx c) {
     case TransferCtx::Retransfer: return "retransfer";
     case TransferCtx::Scatter: return "scatter";
     case TransferCtx::Gather: return "gather";
+    case TransferCtx::Migrate: return "migrate";
   }
   return "?";
 }
@@ -95,6 +96,7 @@ const char* to_string(CheckPoint p) {
     case CheckPoint::PeriodicSweep: return "periodic_sweep";
     case CheckPoint::CtfRecompute: return "ctf_recompute";
     case CheckPoint::BroadcastPayload: return "broadcast_payload";
+    case CheckPoint::AfterMigrate: return "after_migrate";
   }
   return "?";
 }

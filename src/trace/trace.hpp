@@ -64,6 +64,7 @@ enum class TransferCtx {
   Retransfer,    ///< recovery re-send after a failed receiver vote
   Scatter,       ///< initial distribution (before the traced schedule)
   Gather,        ///< final collection (after the traced schedule)
+  Migrate,       ///< load-balance re-partition moving an owned column
 };
 
 /// Which detection point a Verify event implements. The first eight
@@ -86,6 +87,8 @@ enum class CheckPoint {
                      ///< checksums (end-to-end payload integrity; kept out
                      ///< of the Table VI buckets, which count the
                      ///< maintained-checksum verifications)
+  AfterMigrate,      ///< receiver-side verify of a migrated column before
+                     ///< the ownership map commits to the new residence
 };
 
 /// Half-open rectangle of blocks: rows [br0, br1) × cols [bc0, bc1).

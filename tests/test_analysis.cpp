@@ -349,7 +349,7 @@ TEST(Lint, ReportSerializesAllCases) {
   // The report header is frozen in its versioned form: tool name first,
   // then the schema version consumers dispatch on.
   EXPECT_NE(json.find("{\n  \"tool\": \"ftla-schedule-lint\",\n"
-                      "  \"schema_version\": 2,\n  \"cases\": [\n"),
+                      "  \"schema_version\": 3,\n  \"cases\": [\n"),
             std::string::npos);
   EXPECT_NE(json.find("\"algorithm\":\"cholesky\""), std::string::npos);
   EXPECT_NE(json.find("\"pass\": true"), std::string::npos);
@@ -358,6 +358,30 @@ TEST(Lint, ReportSerializesAllCases) {
 TEST(Lint, DefaultMatrixCoversAllCombinations) {
   const auto cases = default_matrix(128, 32, {1, 2});
   EXPECT_EQ(cases.size(), 3u * 3u * 2u);
+}
+
+TEST(Lint, MigrationCasesPinTheSkewedFleet) {
+  const auto cases = migration_cases(96, 16);
+  ASSERT_EQ(cases.size(), 4u);
+  for (const LintCase& c : cases) {
+    EXPECT_TRUE(c.adaptive_balance);
+    EXPECT_EQ(c.scheme, SchemeKind::NewScheme);
+    EXPECT_EQ(c.ngpu, 2);
+    ASSERT_EQ(c.gpu_time_scale.size(), 2u);
+    EXPECT_EQ(c.gpu_time_scale[1], 2.0);
+  }
+  EXPECT_EQ(cases[1].scheduler, core::SchedulerKind::Dataflow);
+}
+
+TEST(Lint, MigrationCasesStayCleanAndActuallyMigrate) {
+  for (const LintCase& c : migration_cases(96, 16)) {
+    const LintOutcome o = lint_case(c);
+    EXPECT_TRUE(o.pass) << c.algorithm;
+    EXPECT_TRUE(o.report.clean()) << c.algorithm;
+    // Migration verifies land in the extension bucket: a migration case
+    // whose trace never migrated would prove nothing.
+    EXPECT_GT(o.report.totals().extension, 0u) << c.algorithm;
+  }
 }
 
 // --- trace serialization --------------------------------------------------

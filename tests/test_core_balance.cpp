@@ -1,0 +1,205 @@
+// Adaptive load-balancing integration tests: on a skewed fleet the
+// balancer must actually migrate trailing block-columns, the migration
+// must be checksum-protected end to end (no spurious detections), and —
+// since re-partitioning only changes *where* each block update runs, not
+// the arithmetic — the factors must stay bit-identical to the static
+// block-cyclic oracle.
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/ft_driver.hpp"
+#include "matrix/generate.hpp"
+#include "sim/system.hpp"
+
+namespace ftla::core {
+namespace {
+
+FtOptions skewed_options(int ngpu, bool adaptive,
+                         SchedulerKind sched = SchedulerKind::ForkJoin) {
+  FtOptions opts;
+  opts.nb = 16;
+  opts.ngpu = ngpu;
+  opts.checksum = ChecksumKind::Full;
+  opts.scheme = SchemeKind::NewScheme;
+  opts.scheduler = sched;
+  opts.adaptive_balance = adaptive;
+  opts.gpu_time_scale = {1.0, 2.0};  // gpu1 is modeled twice as slow
+  return opts;
+}
+
+void expect_bitwise_equal(const MatD& a, const MatD& b) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  for (index_t j = 0; j < a.cols(); ++j) {
+    for (index_t i = 0; i < a.rows(); ++i) {
+      ASSERT_EQ(a(i, j), b(i, j)) << "block element (" << i << "," << j
+                                  << ") diverged from the static oracle";
+    }
+  }
+}
+
+TEST(AdaptiveBalance, CholeskyMigratesAndMatchesStaticOracleBitwise) {
+  const index_t n = 192;
+  const MatD a = random_spd(n, 31);
+
+  const FtOutput stat = ft_cholesky(a.const_view(), skewed_options(2, false));
+  const FtOutput adap = ft_cholesky(a.const_view(), skewed_options(2, true));
+  ASSERT_TRUE(stat.ok()) << stat.stats.summary();
+  ASSERT_TRUE(adap.ok()) << adap.stats.summary();
+
+  EXPECT_EQ(stat.stats.tiles_migrated, 0u);
+  EXPECT_GT(adap.stats.tiles_migrated, 0u);
+  EXPECT_EQ(adap.stats.errors_detected, 0u) << adap.stats.summary();
+  EXPECT_EQ(adap.stats.comm_errors_corrected, 0u);
+  expect_bitwise_equal(adap.factors, stat.factors);
+
+  // Both runs account the same deterministic cost model; shifting work
+  // off the slow device must shrink the modeled compute time.
+  EXPECT_GT(stat.stats.compute_modeled_seconds, 0.0);
+  EXPECT_LT(adap.stats.compute_modeled_seconds,
+            stat.stats.compute_modeled_seconds);
+}
+
+TEST(AdaptiveBalance, LuMigratesAndMatchesStaticOracleBitwise) {
+  const index_t n = 192;
+  const MatD a = random_diag_dominant(n, 32);
+
+  const FtOutput stat = ft_lu(a.const_view(), skewed_options(2, false));
+  const FtOutput adap = ft_lu(a.const_view(), skewed_options(2, true));
+  ASSERT_TRUE(stat.ok()) << stat.stats.summary();
+  ASSERT_TRUE(adap.ok()) << adap.stats.summary();
+
+  EXPECT_GT(adap.stats.tiles_migrated, 0u);
+  EXPECT_EQ(adap.stats.errors_detected, 0u) << adap.stats.summary();
+  expect_bitwise_equal(adap.factors, stat.factors);
+  EXPECT_LT(adap.stats.compute_modeled_seconds,
+            stat.stats.compute_modeled_seconds);
+}
+
+TEST(AdaptiveBalance, QrMigratesAndMatchesStaticOracleBitwise) {
+  const index_t n = 192;
+  const MatD a = random_general(n, n, 33);
+
+  const FtOutput stat = ft_qr(a.const_view(), skewed_options(2, false));
+  const FtOutput adap = ft_qr(a.const_view(), skewed_options(2, true));
+  ASSERT_TRUE(stat.ok()) << stat.stats.summary();
+  ASSERT_TRUE(adap.ok()) << adap.stats.summary();
+
+  EXPECT_GT(adap.stats.tiles_migrated, 0u);
+  EXPECT_EQ(adap.stats.errors_detected, 0u) << adap.stats.summary();
+  expect_bitwise_equal(adap.factors, stat.factors);
+  ASSERT_EQ(adap.tau.size(), stat.tau.size());
+  for (std::size_t i = 0; i < stat.tau.size(); ++i) {
+    ASSERT_EQ(adap.tau[i], stat.tau[i]) << "tau[" << i << "]";
+  }
+  EXPECT_LT(adap.stats.compute_modeled_seconds,
+            stat.stats.compute_modeled_seconds);
+}
+
+TEST(AdaptiveBalance, DataflowCholeskyPlansTheSameMigrationsUpFront) {
+  const index_t n = 192;
+  const MatD a = random_spd(n, 34);
+
+  const FtOutput fj = ft_cholesky(a.const_view(), skewed_options(2, true));
+  const FtOutput df = ft_cholesky(a.const_view(),
+                                  skewed_options(2, true, SchedulerKind::Dataflow));
+  ASSERT_TRUE(fj.ok()) << fj.stats.summary();
+  ASSERT_TRUE(df.ok()) << df.stats.summary();
+
+  // The dataflow driver pre-plans migrations at submission time via the
+  // same deterministic replay the fork-join driver runs live.
+  EXPECT_EQ(df.stats.tiles_migrated, fj.stats.tiles_migrated);
+  EXPECT_GT(df.stats.tiles_migrated, 0u);
+  EXPECT_EQ(df.stats.errors_detected, 0u) << df.stats.summary();
+  expect_bitwise_equal(df.factors, fj.factors);
+  EXPECT_DOUBLE_EQ(df.stats.compute_modeled_seconds,
+                   fj.stats.compute_modeled_seconds);
+}
+
+TEST(AdaptiveBalance, LuQrDataflowFallsBackToForkJoinWithMigrations) {
+  const index_t n = 128;
+  const MatD a = random_diag_dominant(n, 35);
+  const FtOutput out =
+      ft_lu(a.const_view(), skewed_options(2, true, SchedulerKind::Dataflow));
+  ASSERT_TRUE(out.ok()) << out.stats.summary();
+  EXPECT_GT(out.stats.tiles_migrated, 0u);
+
+  const MatD q = random_general(n, n, 36);
+  const FtOutput qr =
+      ft_qr(q.const_view(), skewed_options(2, true, SchedulerKind::Dataflow));
+  ASSERT_TRUE(qr.ok()) << qr.stats.summary();
+  EXPECT_GT(qr.stats.tiles_migrated, 0u);
+}
+
+TEST(AdaptiveBalance, SingleGpuHasNowhereToMigrate) {
+  const index_t n = 96;
+  const MatD a = random_spd(n, 37);
+  FtOptions one = skewed_options(1, true);
+  one.gpu_time_scale = {1.0};
+  const FtOutput o1 = ft_cholesky(a.const_view(), one);
+  ASSERT_TRUE(o1.ok());
+  EXPECT_EQ(o1.stats.tiles_migrated, 0u);
+}
+
+TEST(AdaptiveBalance, HomogeneousFleetMayEvenTheTailButStaysBitIdentical) {
+  // Equal rates do not mean no migrations: the block-cyclic weighted
+  // tail is uneven near the end, and evening it is a legitimate
+  // modeled-makespan win. Correctness must be unaffected either way.
+  const index_t n = 96;
+  const MatD a = random_spd(n, 37);
+  FtOptions homog = skewed_options(2, true);
+  homog.gpu_time_scale = {1.0, 1.0};
+  const FtOutput o2 = ft_cholesky(a.const_view(), homog);
+  ASSERT_TRUE(o2.ok());
+  EXPECT_EQ(o2.stats.errors_detected, 0u);
+  const FtOutput o2s = ft_cholesky(a.const_view(), skewed_options(2, false));
+  ASSERT_LE(o2.stats.compute_modeled_seconds,
+            o2s.stats.compute_modeled_seconds);
+  expect_bitwise_equal(o2.factors, o2s.factors);
+}
+
+TEST(AdaptiveBalance, RequiresFullChecksums) {
+  const index_t n = 64;
+  const MatD a = random_spd(n, 38);
+  FtOptions opts = skewed_options(2, true);
+  opts.checksum = ChecksumKind::SingleSide;
+  EXPECT_THROW((void)ft_cholesky(a.const_view(), opts), FtlaError);
+}
+
+TEST(AdaptiveBalance, RejectsNonPositiveTimeScales) {
+  const index_t n = 64;
+  const MatD a = random_spd(n, 39);
+  FtOptions opts = skewed_options(2, true);
+  opts.gpu_time_scale = {1.0, 0.0};
+  EXPECT_THROW((void)ft_cholesky(a.const_view(), opts), FtlaError);
+}
+
+TEST(AdaptiveBalance, MidRunSlowdownShiftsWorkAway) {
+  // A device that degrades mid-run (e.g. thermal throttling) should shed
+  // tiles once the estimator catches up — the on_iteration hook is how
+  // the benchs model the fault.
+  const index_t n = 192;
+  const MatD a = random_spd(n, 40);
+  sim::HeterogeneousSystem sys(2);
+  FtOptions opts = skewed_options(2, true);
+  opts.gpu_time_scale = {1.0, 1.0};  // homogeneous until the fault
+  opts.system = &sys;
+  bool slowed = false;
+  opts.on_iteration = [&](index_t k) {
+    if (k == 3 && !slowed) {
+      slowed = true;
+      sys.gpu(1).set_time_scale(4.0);
+    }
+  };
+  const FtOutput out = ft_cholesky(a.const_view(), opts);
+  ASSERT_TRUE(out.ok()) << out.stats.summary();
+  EXPECT_GT(out.stats.tiles_migrated, 0u);
+  EXPECT_EQ(out.stats.errors_detected, 0u);
+
+  const FtOutput oracle = ft_cholesky(a.const_view(), skewed_options(2, false));
+  expect_bitwise_equal(out.factors, oracle.factors);
+}
+
+}  // namespace
+}  // namespace ftla::core

@@ -449,6 +449,25 @@ TEST(HbLint, NewSchemeMatrixPassesWithFullCorpusDetection) {
   }
 }
 
+TEST(HbLint, MigrationMatrixProvesCleanAndAttacksMigrationWindows) {
+  // The skewed-fleet cases really migrate, every trace proves clean, and
+  // the corpus must include the migration verify-drop family — dropping
+  // a receiver's AfterMigrate chain has to surface as a finding.
+  const HbLintReport r = run_hb_lint(migration_cases(96, 16));
+  EXPECT_TRUE(r.cases_pass);
+  EXPECT_TRUE(r.corpus_pass);
+  EXPECT_TRUE(r.pass);
+  bool saw_migration_family = false;
+  for (const MutationOutcome& m : r.mutations) {
+    EXPECT_TRUE(m.detected) << m.mutation.name;
+    if (m.mutation.name.find("-migration") != std::string::npos) {
+      saw_migration_family = true;
+      EXPECT_EQ(m.mutation.kind, MutationKind::DropVerify);
+    }
+  }
+  EXPECT_TRUE(saw_migration_family);
+}
+
 TEST(HbLint, LegacySchemeGapsStillJudgedByProfile) {
   LintCase c;
   c.algorithm = "cholesky";
@@ -476,7 +495,7 @@ TEST(HbLint, ReportSerializesCasesAndCorpus) {
   const std::string s = os.str();
   // The report header is frozen in its versioned form.
   EXPECT_NE(s.find("{\n  \"tool\": \"ftla-schedule-lint\",\n"
-                   "  \"schema_version\": 2,\n  \"mode\": \"hb\",\n"),
+                   "  \"schema_version\": 3,\n  \"mode\": \"hb\",\n"),
             std::string::npos);
   EXPECT_NE(s.find("\"mode\": \"hb\""), std::string::npos);
   EXPECT_NE(s.find("\"mutations\""), std::string::npos);

@@ -401,18 +401,23 @@ TEST(GraphVerify, MutationCorpusFloorsPerKind) {
   // Hard floors: every kind seeded at least once, zero escapes.
   std::size_t drop_edge = 0;
   std::size_t drop_verify = 0;
+  std::size_t drop_migration = 0;
   std::size_t reorder = 0;
   for (const GraphMutationOutcome& m : r.mutations) {
     EXPECT_TRUE(m.detected) << m.mutation.name << ": " << m.mutation.description;
     switch (m.mutation.kind) {
       case GraphMutationKind::DropEdge: ++drop_edge; break;
       case GraphMutationKind::DropVerifyNode: ++drop_verify; break;
+      case GraphMutationKind::DropMigrationVerify: ++drop_migration; break;
       case GraphMutationKind::ReorderTransfer: ++reorder; break;
     }
   }
   EXPECT_GT(drop_edge, 0u);
   EXPECT_GT(drop_verify, 0u);
   EXPECT_GT(reorder, 0u);
+  // A static single-GPU schedule never migrates, so the migration kind
+  // has no structural candidate — and the floor must not demand one.
+  EXPECT_EQ(drop_migration, 0u);
   EXPECT_TRUE(r.corpus_pass);
   EXPECT_TRUE(r.pass);
 }
@@ -460,7 +465,13 @@ TEST(GraphVerify, DataflowMutationCorpusStillFullyDetected) {
     kinds_seen |= 1u << static_cast<unsigned>(m.mutation.kind);
   }
   EXPECT_EQ(detected, r.mutations.size());
-  EXPECT_EQ(kinds_seen, 0b111u);  // all three mutation kinds seeded
+  // The three structural kinds are seeded; DropMigrationVerify is not —
+  // a static-ownership schedule has no Migrate arrival to anchor on.
+  const std::size_t expected =
+      (1u << static_cast<unsigned>(GraphMutationKind::DropEdge)) |
+      (1u << static_cast<unsigned>(GraphMutationKind::DropVerifyNode)) |
+      (1u << static_cast<unsigned>(GraphMutationKind::ReorderTransfer));
+  EXPECT_EQ(kinds_seen, expected);
   EXPECT_TRUE(r.corpus_pass);
 }
 
@@ -531,6 +542,37 @@ TEST(GraphVerify, DataflowCriticalPathBeatsForkJoin) {
   }
 }
 
+TEST(GraphVerify, MigrationCasesProveCleanOverAllSchedules) {
+  // Skewed-fleet adaptive cases: the graphs carry first-class Migrate
+  // transfer nodes and AfterMigrate verify nodes, and must still prove
+  // race-free and covered in every linearization. The corpus floor now
+  // demands a migration-targeted mutation, and it must be rejected.
+  const GraphVerifyReport r =
+      run_graph_verify(ftla::analysis::migration_cases(96, 16));
+  EXPECT_TRUE(r.cases_pass);
+  EXPECT_TRUE(r.corpus_pass);
+  EXPECT_TRUE(r.pass);
+  bool saw_migration_kind = false;
+  for (const GraphMutationOutcome& m : r.mutations) {
+    EXPECT_TRUE(m.detected) << m.mutation.name << ": "
+                            << m.mutation.description;
+    if (m.mutation.kind == GraphMutationKind::DropMigrationVerify) {
+      saw_migration_kind = true;
+    }
+  }
+  EXPECT_TRUE(saw_migration_kind);
+  bool any_migrating_graph = false;
+  for (const GraphVerifyOutcome& o : r.cases) {
+    for (const TaskNode& n : o.graph.nodes) {
+      if (n.kind == TaskKind::Transfer &&
+          n.tctx == trace::TransferCtx::Migrate) {
+        any_migrating_graph = true;
+      }
+    }
+  }
+  EXPECT_TRUE(any_migrating_graph);
+}
+
 TEST(GraphVerify, CertificateSerializesVersionedHeader) {
   LintCase c;
   c.algorithm = "lu";
@@ -543,7 +585,7 @@ TEST(GraphVerify, CertificateSerializesVersionedHeader) {
   write_graph_certificate(r, os);
   const std::string json = os.str();
   EXPECT_NE(json.find("{\n  \"tool\": \"ftla-graph-verify\",\n"
-                      "  \"schema_version\": 2,\n  \"cases\": [\n"),
+                      "  \"schema_version\": 3,\n  \"cases\": [\n"),
             std::string::npos);
   EXPECT_NE(json.find("\"scheduler\":\"fork-join\""), std::string::npos);
   EXPECT_NE(json.find("\"lookahead\":1"), std::string::npos);

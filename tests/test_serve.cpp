@@ -280,6 +280,34 @@ TEST(ServeRuntime, RetriesDetectedUnrecoverableWithBackoff) {
   EXPECT_EQ(runtime.metrics().outcome_count(Outcome::DetectedUnrecoverable), 0u);
 }
 
+TEST(ServeRuntime, BackoffLedgerIsExactlyTheInjectedDelays) {
+  ServeConfig config;
+  config.fleet_ngpu = {2};
+  config.max_retries = 2;
+  config.backoff_base_seconds = 0.01;
+  ServeRuntime runtime(config);
+
+  // No retries: exactly zero backoff, however long the job queued.
+  const auto clean = runtime.submit(clean_job(Decomp::Cholesky, 96));
+  ASSERT_TRUE(clean.admitted());
+  const JobResult rc = runtime.wait(clean.id);
+  EXPECT_EQ(rc.state, JobState::Completed) << rc.error;
+  EXPECT_EQ(rc.backoff_seconds, 0.0);
+
+  // Two retries: the ledger is the sum of the injected delays (base,
+  // then 2·base) — not a timestamp difference re-derived at dequeue,
+  // which drifts with duration_cast rounding and early pops.
+  JobSpec spec = harsh_job();
+  spec.persistent_faults = true;
+  const auto adm = runtime.submit(spec);
+  ASSERT_TRUE(adm.admitted());
+  const JobResult r = runtime.wait(adm.id);
+  EXPECT_EQ(r.state, JobState::Failed);
+  EXPECT_EQ(r.attempts, 3);
+  EXPECT_DOUBLE_EQ(r.backoff_seconds, 0.01 + 0.02);
+  runtime.shutdown(/*drain=*/true);
+}
+
 TEST(ServeRuntime, ExhaustedRetryBudgetFailsTheJob) {
   ServeConfig config;
   config.fleet_ngpu = {2};

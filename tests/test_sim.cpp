@@ -4,12 +4,15 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <limits>
 #include <thread>
 #include <vector>
 
 #include "matrix/compare.hpp"
 #include "matrix/generate.hpp"
 #include "sim/distribution.hpp"
+#include "sim/load_balancer.hpp"
+#include "sim/ownership_map.hpp"
 #include "sim/system.hpp"
 
 namespace ftla::sim {
@@ -186,6 +189,199 @@ TEST(BlockCyclic, OwnedFromFiltersAndSorts) {
   ASSERT_EQ(owned.size(), 2u);
   EXPECT_EQ(owned[0], 4);
   EXPECT_EQ(owned[1], 7);
+}
+
+TEST(BlockCyclic, EmptyMatrixOwnsNothing) {
+  BlockCyclic1D dist(0, 3);
+  for (int g = 0; g < 3; ++g) {
+    EXPECT_EQ(dist.local_count(g), 0);
+    EXPECT_TRUE(dist.owned_from(g, 0).empty());
+  }
+}
+
+TEST(BlockCyclic, MoreGpusThanColumnsLeavesTailIdle) {
+  BlockCyclic1D dist(2, 5);
+  EXPECT_EQ(dist.local_count(0), 1);
+  EXPECT_EQ(dist.local_count(1), 1);
+  for (int g = 2; g < 5; ++g) {
+    EXPECT_EQ(dist.local_count(g), 0);
+    EXPECT_TRUE(dist.owned_from(g, 0).empty());
+  }
+}
+
+TEST(BlockCyclic, OwnedFromPastTheEndIsEmpty) {
+  BlockCyclic1D dist(6, 2);
+  EXPECT_TRUE(dist.owned_from(0, 6).empty());
+  EXPECT_TRUE(dist.owned_from(1, 99).empty());
+}
+
+#ifndef NDEBUG
+TEST(BlockCyclic, NegativeBlockColumnIsRejectedInDebug) {
+  BlockCyclic1D dist(6, 2);
+  EXPECT_THROW((void)dist.owner(-1), FtlaError);
+  EXPECT_THROW((void)dist.local_index(-3), FtlaError);
+}
+#endif
+
+TEST(Pcie, CtorRejectsNonFiniteOrNonPositiveParameters) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(PcieLink(-1.0e-6, 1.0e9), FtlaError);
+  EXPECT_THROW(PcieLink(nan, 1.0e9), FtlaError);
+  EXPECT_THROW(PcieLink(inf, 1.0e9), FtlaError);
+  EXPECT_THROW(PcieLink(5e-6, 0.0), FtlaError);
+  EXPECT_THROW(PcieLink(5e-6, -2.0), FtlaError);
+  EXPECT_THROW(PcieLink(5e-6, nan), FtlaError);
+  EXPECT_THROW(PcieLink(5e-6, inf), FtlaError);
+  EXPECT_NO_THROW(PcieLink(0.0, 1.0));  // zero latency is a legal model
+}
+
+TEST(OwnershipMap, StaticModeDelegatesToBlockCyclic) {
+  BlockCyclic1D dist(10, 3);
+  OwnershipMap map(dist);
+  EXPECT_FALSE(map.dynamic());
+  for (index_t bc = 0; bc < 10; ++bc) {
+    EXPECT_EQ(map.owner(bc), dist.owner(bc));
+    EXPECT_EQ(map.slot(bc), dist.local_index(bc));
+  }
+  for (int g = 0; g < 3; ++g) {
+    EXPECT_EQ(map.capacity(g), dist.local_count(g));
+    EXPECT_EQ(map.owned_from(g, 4), dist.owned_from(g, 4));
+    EXPECT_EQ(map.owned_count(g),
+              static_cast<index_t>(dist.owned_from(g, 0).size()));
+  }
+  EXPECT_THROW(map.set_owner(0, 1), FtlaError);
+}
+
+TEST(OwnershipMap, DynamicModeStartsBlockCyclicWithGlobalSlots) {
+  OwnershipMap map(BlockCyclic1D(7, 2), /*dynamic=*/true);
+  EXPECT_TRUE(map.dynamic());
+  for (index_t bc = 0; bc < 7; ++bc) {
+    EXPECT_EQ(map.owner(bc), static_cast<int>(bc % 2));
+    EXPECT_EQ(map.slot(bc), bc);  // full-capacity shards: slot == global
+  }
+  EXPECT_EQ(map.capacity(0), 7);
+  EXPECT_EQ(map.capacity(1), 7);
+}
+
+TEST(OwnershipMap, SetOwnerRehomesAndUpdatesScans) {
+  OwnershipMap map(BlockCyclic1D(6, 2), /*dynamic=*/true);
+  map.set_owner(4, 1);  // 4 was gpu0's
+  EXPECT_EQ(map.owner(4), 1);
+  EXPECT_EQ(map.slot(4), 4);  // address is stable across the move
+  const auto g0 = map.owned_from(0, 0);
+  const auto g1 = map.owned_from(1, 0);
+  EXPECT_EQ(g0, (std::vector<index_t>{0, 2}));
+  EXPECT_EQ(g1, (std::vector<index_t>{1, 3, 4, 5}));
+  EXPECT_EQ(map.owned_count(0, 3), 0);
+  EXPECT_EQ(map.owned_count(1, 3), 3);
+  EXPECT_THROW(map.set_owner(-1, 0), FtlaError);
+  EXPECT_THROW(map.set_owner(6, 0), FtlaError);
+  EXPECT_THROW(map.set_owner(2, 9), FtlaError);
+}
+
+TEST(OwnershipMap, SingleDeviceDynamicHasNowhereToMigrate) {
+  OwnershipMap map(BlockCyclic1D(4, 1), /*dynamic=*/true);
+  for (index_t bc = 0; bc < 4; ++bc) EXPECT_EQ(map.owner(bc), 0);
+  map.set_owner(2, 0);  // self-move is legal, a no-op
+  EXPECT_EQ(map.owned_count(0), 4);
+}
+
+TEST(LoadBalancer, CtorValidatesAndSeedsPriorRate) {
+  LoadBalancerConfig cfg;
+  cfg.prior_rate = 4.0;
+  LoadBalancer lb(3, cfg);
+  EXPECT_EQ(lb.ndev(), 3);
+  for (int g = 0; g < 3; ++g) EXPECT_DOUBLE_EQ(lb.rate(g), 4.0);
+  EXPECT_THROW(LoadBalancer(0), FtlaError);
+  LoadBalancerConfig bad;
+  bad.alpha = 0.0;
+  EXPECT_THROW(LoadBalancer(2, bad), FtlaError);
+  bad.alpha = 1.5;
+  EXPECT_THROW(LoadBalancer(2, bad), FtlaError);
+  bad.alpha = 0.5;
+  bad.prior_rate = 0.0;
+  EXPECT_THROW(LoadBalancer(2, bad), FtlaError);
+}
+
+TEST(LoadBalancer, FirstSampleReplacesPriorThenEwmaSmooths) {
+  LoadBalancerConfig cfg;
+  cfg.alpha = 0.5;
+  cfg.prior_rate = 100.0;  // deliberately far off
+  LoadBalancer lb(2, cfg);
+  lb.record(0, 10.0, 1.0);  // 10 units/s
+  EXPECT_DOUBLE_EQ(lb.rate(0), 10.0);  // prior discarded, not blended
+  lb.record(0, 20.0, 1.0);  // 20 units/s sample
+  EXPECT_DOUBLE_EQ(lb.rate(0), 0.5 * 20.0 + 0.5 * 10.0);
+  lb.record(0, 0.0, 1.0);  // non-positive work: ignored
+  lb.record(0, 10.0, 0.0);  // non-positive time: ignored
+  EXPECT_DOUBLE_EQ(lb.rate(0), 15.0);
+  EXPECT_DOUBLE_EQ(lb.rate(1), 100.0);  // untouched device keeps the prior
+}
+
+TEST(LoadBalancer, RebalanceMovesWorkTowardTheFasterDevice) {
+  LoadBalancerConfig cfg;
+  cfg.max_moves_per_step = 8;
+  cfg.min_rel_gain = 0.02;
+  LoadBalancer lb(2, cfg);
+  lb.record(0, 10.0, 1.0);  // 10 units/s
+  lb.record(1, 10.0, 2.0);  // 5 units/s — half as fast
+  OwnershipMap map(BlockCyclic1D(8, 2), /*dynamic=*/true);
+  std::vector<double> weight(8, 1.0);
+  const auto plan = lb.rebalance(map, 0, weight);
+  ASSERT_FALSE(plan.empty());
+  for (const auto& m : plan) {
+    EXPECT_EQ(m.from, 1);  // only the slow device sheds work
+    EXPECT_EQ(m.to, 0);
+  }
+  // 8 unit-weight columns, rates 2:1 → optimum ~5.33/2.67 split. One move
+  // (5 on fast, 3 on slow) reaches makespan 0.6 vs initial 0.8.
+  EXPECT_EQ(plan.size(), 1u);
+}
+
+TEST(LoadBalancer, RebalanceIsDeterministic) {
+  LoadBalancerConfig cfg;
+  cfg.max_moves_per_step = 4;
+  const auto run = [&] {
+    LoadBalancer lb(3, cfg);
+    lb.record(0, 12.0, 1.0);
+    lb.record(1, 6.0, 1.0);
+    lb.record(2, 3.0, 1.0);
+    OwnershipMap map(BlockCyclic1D(12, 3), /*dynamic=*/true);
+    std::vector<double> weight(12);
+    for (index_t bc = 0; bc < 12; ++bc) {
+      weight[static_cast<std::size_t>(bc)] = static_cast<double>(12 - bc);
+    }
+    return lb.rebalance(map, 2, weight);
+  };
+  const auto a = run();
+  const auto b = run();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].bc, b[i].bc);
+    EXPECT_EQ(a[i].from, b[i].from);
+    EXPECT_EQ(a[i].to, b[i].to);
+  }
+}
+
+TEST(LoadBalancer, HysteresisDiscardsMarginalPlans) {
+  LoadBalancerConfig cfg;
+  cfg.min_rel_gain = 0.9;  // demand a 90% makespan cut — unattainable
+  LoadBalancer lb(2, cfg);
+  lb.record(0, 10.0, 1.0);
+  lb.record(1, 10.0, 2.0);
+  OwnershipMap map(BlockCyclic1D(8, 2), /*dynamic=*/true);
+  std::vector<double> weight(8, 1.0);
+  EXPECT_TRUE(lb.rebalance(map, 0, weight).empty());
+}
+
+TEST(LoadBalancer, BalancedFleetNeedsNoPlan) {
+  LoadBalancer lb(2);
+  lb.record(0, 10.0, 1.0);
+  lb.record(1, 10.0, 1.0);
+  OwnershipMap map(BlockCyclic1D(8, 2), /*dynamic=*/true);
+  std::vector<double> weight(8, 1.0);
+  EXPECT_TRUE(lb.rebalance(map, 0, weight).empty());
 }
 
 }  // namespace

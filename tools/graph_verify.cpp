@@ -18,8 +18,15 @@
 /// missed, and 100% of the mutation corpus is rejected; 1 otherwise;
 /// 2 on bad usage or configuration errors.
 ///
+/// With --migration the matrix is extended by the adaptive-balance cases
+/// (NewScheme, 2 GPUs, 2:1 modeled skew). Their graphs carry first-class
+/// Migrate/AfterMigrate task nodes, must prove clean over every
+/// linearization, and force a migration-targeted mutation into the
+/// corpus: the certificate fails if no DropMigrationVerify entry exists
+/// while any clean graph migrates.
+///
 /// Usage:
-///   ftla-graph-verify [--n N] [--nb NB] [--ngpus 1,2,4]
+///   ftla-graph-verify [--migration] [--n N] [--nb NB] [--ngpus 1,2,4]
 ///                     [--algo cholesky|lu|qr] [--scheme prior|post|new]
 ///                     [--scheduler fork-join|dataflow] [--lookahead K]
 ///                     [--out certificate.json] [--quiet]
@@ -47,13 +54,14 @@ struct CliOptions {
   std::string scheme;  // empty = all
   std::string out;     // empty = stdout only
   bool quiet = false;
+  bool migration = false;
   ftla::core::SchedulerKind scheduler = ftla::core::SchedulerKind::ForkJoin;
   ftla::index_t lookahead = 1;
 };
 
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
-            << " [--n N] [--nb NB] [--ngpus LIST] [--algo A]"
+            << " [--migration] [--n N] [--nb NB] [--ngpus LIST] [--algo A]"
                " [--scheme S] [--scheduler fork-join|dataflow]"
                " [--lookahead K] [--out FILE] [--quiet]\n";
   return 2;
@@ -129,6 +137,8 @@ int main(int argc, char** argv) {
       cli.out = v;
     } else if (arg == "--quiet") {
       cli.quiet = true;
+    } else if (arg == "--migration") {
+      cli.migration = true;
     } else {
       return usage(argv[0]);
     }
@@ -142,6 +152,16 @@ int main(int argc, char** argv) {
     c.scheduler = cli.scheduler;
     c.lookahead = cli.lookahead;
     matrix.push_back(c);
+  }
+  if (cli.migration) {
+    // Migration cases pin their own scheduler (each records the driver
+    // that supports adaptive balance); only the size and filters apply.
+    for (LintCase c : ftla::analysis::migration_cases(cli.n, cli.nb)) {
+      if (!cli.algo.empty() && c.algorithm != cli.algo) continue;
+      if (!scheme_matches(c.scheme, cli.scheme)) continue;
+      c.lookahead = cli.lookahead;
+      matrix.push_back(std::move(c));
+    }
   }
   if (matrix.empty()) {
     std::cerr << "ftla-graph-verify: no cases matched the filters\n";

@@ -8,25 +8,41 @@
 /// kernels (potrf2, the pivoted LU panel, the Householder QR panel) at
 /// m x nb panel shapes against their *_seq oracles, cross-checking every
 /// result against the oracle, then runs the three FT decompositions
-/// end-to-end, and finally races the dataflow scheduler against the
-/// fork-join oracle on multi-GPU end-to-end runs (same input, both
-/// schedulers, factors must agree bit-exactly). A JSON report with
-/// per-shape times and speedups is written to --out (default
+/// end-to-end, races the dataflow scheduler against the fork-join
+/// oracle on multi-GPU end-to-end runs (same input, both schedulers,
+/// factors must agree bit-exactly), and finally races the adaptive
+/// load balancer against static block-cyclic ownership on a modeled
+/// heterogeneous fleet (2:1 GPU skew, plus a mid-run slowdown injected
+/// via FtOptions::on_iteration). The fleet race compares modeled
+/// end-to-end time (compute_modeled + comm_modeled seconds — the
+/// deterministic cost model, not wall-clock) and at the full size gates
+/// a >= 15% adaptive improvement on every decomposition. A JSON report
+/// with per-shape times and speedups is written to --out (default
 /// BENCH_hotpath.json).
 ///
 /// Exit status: 0 on success; 1 when any blocked kernel disagrees with
 /// its oracle beyond tolerance, when a gated shape (smallest gate
 /// dimension >= 512) is slower than its oracle, when an end-to-end
-/// run does not finish Success, or when a dataflow run diverges from
+/// run does not finish Success, when a dataflow run diverges from
 /// fork-join or — gated at n >= 512 on multi-core hosts, where overlap
-/// can actually buy wall time — loses to it; 2 on bad usage.
+/// can actually buy wall time — loses to it, or when a fleet race
+/// diverges from the static oracle, never migrates, or (on the gated
+/// skew scenario) improves modeled time by less than 15%; 2 on bad
+/// usage.
 ///
 /// Usage:
-///   ftla-hotpath-bench [--repeats R] [--out FILE] [--smoke] [--quiet]
+///   ftla-hotpath-bench [--repeats R] [--out FILE] [--smoke]
+///                      [--fleet-only] [--quiet]
 ///
 /// --smoke shrinks every shape so the whole run finishes in seconds
-/// (used by the CTest/CI smoke job); the >= 512 perf gate then has no
-/// shapes to bind on, so smoke runs only enforce correctness.
+/// (used by the CTest/CI smoke job); the >= 512 perf gate and the fleet
+/// >= 15% gate then have nothing meaningful to bind on (tiny fleets
+/// cannot amortize the modeled comm bill), so smoke runs enforce
+/// correctness — including that every fleet scenario actually migrates —
+/// but no perf thresholds. --fleet-only skips the kernel sweep and the
+/// scheduler race and runs just the heterogeneous-fleet section at full
+/// size; CI uses it to bind the 15% gate cheaply (the fleet metric is
+/// modeled, so it needs no quiet machine).
 
 #include <algorithm>
 #include <cmath>
@@ -45,6 +61,7 @@
 #include "lapack/lapack.hpp"
 #include "matrix/generate.hpp"
 #include "matrix/matrix.hpp"
+#include "sim/system.hpp"
 
 namespace {
 
@@ -58,10 +75,15 @@ struct CliOptions {
   std::string out = "BENCH_hotpath.json";
   bool smoke = false;
   bool quiet = false;
+  /// Run only the heterogeneous-fleet race (CI uses this to bind the
+  /// full-size >= 15% gate without paying for the wall-clock kernel
+  /// sweep, which needs a quiet machine to be meaningful).
+  bool fleet_only = false;
 };
 
 int usage(const char* argv0) {
-  std::cerr << "usage: " << argv0 << " [--repeats R] [--out FILE] [--smoke] [--quiet]\n";
+  std::cerr << "usage: " << argv0
+            << " [--repeats R] [--out FILE] [--smoke] [--fleet-only] [--quiet]\n";
   return 2;
 }
 
@@ -444,6 +466,116 @@ SchedulerCompareResult bench_scheduler(const CliOptions& cli, const char* decomp
   return res;
 }
 
+/// Heterogeneous-fleet race: the same input factored with static
+/// block-cyclic ownership and with the adaptive load balancer, compared
+/// on modeled end-to-end time (compute_modeled + comm_modeled seconds —
+/// the deterministic flops/PCIe cost model, never wall-clock, so one run
+/// per configuration suffices and the gates cannot flake). Fault-free
+/// adaptive factors must match the static oracle bit-exactly — migration
+/// re-homes columns, it never reassociates arithmetic — and the adaptive
+/// run must have actually migrated for the comparison to mean anything.
+struct FleetCompareResult {
+  std::string decomp;
+  std::string scenario;  ///< "skew-2to1" or "midrun-slowdown"
+  index_t n = 0, nb = 0;
+  int ngpu = 0;
+  double static_modeled_seconds = 0.0;
+  double adaptive_modeled_seconds = 0.0;
+  double max_abs_diff = 0.0;  ///< adaptive vs static factors (want 0)
+  std::uint64_t tiles_migrated = 0;
+  bool ok = false;    ///< both runs finished Success
+  bool gated = false; ///< carries the >= 15% modeled-improvement gate
+
+  /// Fraction of the static modeled time the balancer saved.
+  [[nodiscard]] double gain() const {
+    return static_modeled_seconds > 0.0
+               ? 1.0 - adaptive_modeled_seconds / static_modeled_seconds
+               : 0.0;
+  }
+
+  void to_json(std::ostringstream& os) const {
+    os << "{\"decomp\":\"" << decomp << "\",\"scenario\":\"" << scenario
+       << "\",\"n\":" << n << ",\"nb\":" << nb << ",\"ngpu\":" << ngpu
+       << ",\"static_modeled_seconds\":" << static_modeled_seconds
+       << ",\"adaptive_modeled_seconds\":" << adaptive_modeled_seconds
+       << ",\"gain\":" << gain() << ",\"max_abs_diff\":" << max_abs_diff
+       << ",\"tiles_migrated\":" << tiles_migrated
+       << ",\"ok\":" << (ok ? "true" : "false")
+       << ",\"gated\":" << (gated ? "true" : "false") << "}";
+  }
+};
+
+/// `slow_at < 0` runs the pure skew scenario (`scales` applied at start);
+/// otherwise GPU 1 drops to `slow_scale` at the end of iteration
+/// `slow_at`, exercising the estimator's mid-run re-convergence. Both
+/// runs share the injection so the comparison stays apples-to-apples.
+FleetCompareResult bench_fleet(const char* decomp, const char* scenario,
+                               index_t n, index_t nb,
+                               std::vector<double> scales, index_t slow_at,
+                               double slow_scale, bool gate) {
+  MatD input;
+  if (std::strcmp(decomp, "cholesky") == 0) {
+    input = ftla::random_spd(n, 31);
+  } else if (std::strcmp(decomp, "lu") == 0) {
+    input = ftla::random_diag_dominant(n, 32);
+  } else {
+    input = ftla::random_general(n, n, 33);
+  }
+
+  ftla::sim::HeterogeneousSystem sys(2);
+  ftla::core::FtOptions opts;
+  opts.nb = nb;
+  opts.ngpu = 2;
+  opts.checksum = ftla::core::ChecksumKind::Full;
+  opts.scheme = ftla::core::SchemeKind::NewScheme;
+  opts.gpu_time_scale = std::move(scales);
+  opts.system = &sys;
+  if (slow_at >= 0) {
+    opts.on_iteration = [&sys, slow_at, slow_scale](index_t k) {
+      if (k == slow_at) sys.gpu(1).set_time_scale(slow_scale);
+    };
+  }
+
+  auto run = [&](bool adaptive) {
+    ftla::core::FtOptions o = opts;
+    o.adaptive_balance = adaptive;
+    if (std::strcmp(decomp, "cholesky") == 0)
+      return ftla::core::ft_cholesky(input.const_view(), o);
+    if (std::strcmp(decomp, "lu") == 0)
+      return ftla::core::ft_lu(input.const_view(), o);
+    return ftla::core::ft_qr(input.const_view(), o);
+  };
+
+  const ftla::core::FtOutput st = run(false);
+  const ftla::core::FtOutput ad = run(true);
+
+  FleetCompareResult res;
+  res.decomp = decomp;
+  res.scenario = scenario;
+  res.n = n;
+  res.nb = nb;
+  res.ngpu = 2;
+  res.static_modeled_seconds =
+      st.stats.compute_modeled_seconds + st.stats.comm_modeled_seconds;
+  res.adaptive_modeled_seconds =
+      ad.stats.compute_modeled_seconds + ad.stats.comm_modeled_seconds;
+  res.tiles_migrated = ad.stats.tiles_migrated;
+  res.ok = st.ok() && ad.ok();
+  res.gated = gate;
+  double diff = 0.0;
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < n; ++i) {
+      diff = std::max(diff, std::abs(ad.factors(i, j) - st.factors(i, j)));
+    }
+  }
+  for (std::size_t i = 0; i < std::min(ad.tau.size(), st.tau.size()); ++i) {
+    diff = std::max(diff, std::abs(ad.tau[i] - st.tau[i]));
+  }
+  if (ad.tau.size() != st.tau.size()) diff = 1.0;
+  res.max_abs_diff = diff;
+  return res;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -458,6 +590,8 @@ int main(int argc, char** argv) {
       cli.out = argv[++i];
     } else if (arg == "--smoke") {
       cli.smoke = true;
+    } else if (arg == "--fleet-only") {
+      cli.fleet_only = true;
     } else if (arg == "--quiet") {
       cli.quiet = true;
     } else {
@@ -473,7 +607,10 @@ int main(int argc, char** argv) {
   // past the packing and threading thresholds but keeps every code path.
   const index_t s = cli.smoke ? 96 : 0;
   std::vector<ShapeResult> shapes;
-  if (cli.smoke) {
+  if (cli.fleet_only) {
+    // Kernel, end-to-end and scheduler sections skipped: only the
+    // heterogeneous-fleet race below runs.
+  } else if (cli.smoke) {
     shapes.push_back(bench_gemm(cli, "square-NN", Trans::NoTrans, Trans::NoTrans, s, s, s));
     shapes.push_back(
         bench_gemm(cli, "panel-update-NN", Trans::NoTrans, Trans::NoTrans, s, s, 32));
@@ -520,19 +657,46 @@ int main(int argc, char** argv) {
   const index_t e2e_n = cli.smoke ? 128 : 1024;
   const index_t e2e_nb = cli.smoke ? 32 : 64;
   std::vector<EndToEndResult> runs;
-  runs.push_back(bench_end_to_end("cholesky", e2e_n, e2e_nb));
-  runs.push_back(bench_end_to_end("lu", e2e_n, e2e_nb));
-  runs.push_back(bench_end_to_end("qr", e2e_n, e2e_nb));
-
   // Dataflow vs fork-join on multi-GPU end-to-end runs (NewScheme/Full).
   // Every shape gates bit-exact agreement; the LU row — the acceptance
   // shape, whose host panel is the deepest of the three — additionally
   // carries the >= 1.0 wall-clock speedup gate at n=1024 (on multi-core
   // hosts). Cholesky/QR speedups are reported for the trajectory only.
   std::vector<SchedulerCompareResult> sched;
-  sched.push_back(bench_scheduler(cli, "cholesky", e2e_n, e2e_nb, 2, 2, false));
-  sched.push_back(bench_scheduler(cli, "lu", e2e_n, e2e_nb, 2, 2, true));
-  sched.push_back(bench_scheduler(cli, "qr", e2e_n, e2e_nb, 2, 2, false));
+  if (!cli.fleet_only) {
+    runs.push_back(bench_end_to_end("cholesky", e2e_n, e2e_nb));
+    runs.push_back(bench_end_to_end("lu", e2e_n, e2e_nb));
+    runs.push_back(bench_end_to_end("qr", e2e_n, e2e_nb));
+    sched.push_back(bench_scheduler(cli, "cholesky", e2e_n, e2e_nb, 2, 2, false));
+    sched.push_back(bench_scheduler(cli, "lu", e2e_n, e2e_nb, 2, 2, true));
+    sched.push_back(bench_scheduler(cli, "qr", e2e_n, e2e_nb, 2, 2, false));
+  }
+
+  // Heterogeneous-fleet race: static vs adaptive ownership on a 2-GPU
+  // fleet with GPU 1 modeled 2x slower. At the full size all three
+  // decompositions carry the >= 15% modeled-improvement acceptance gate;
+  // n=2048/nb=128 (16 block-columns) is the smallest shape where the
+  // compute savings clear the PCIe cost-model dilution — migration
+  // traffic plus the fixed scatter/broadcast/gather bill — with margin
+  // on every algorithm. Smoke shrinks to 16 tiny columns, which still
+  // exercises migration on every row (enforced) but cannot amortize the
+  // comm bill, so the % gate stays dormant there like the other smoke
+  // gates. The fourth row starts homogeneous and slows GPU 1 to 3x a
+  // quarter of the way in — the estimator has to notice and re-partition
+  // mid-run — and is reported ungated since the reachable gain depends
+  // on when the fault lands.
+  const index_t fleet_n = cli.smoke ? 256 : 2048;
+  const index_t fleet_nb = cli.smoke ? 16 : 128;
+  std::vector<FleetCompareResult> fleet;
+  const bool fleet_gate = !cli.smoke;
+  fleet.push_back(bench_fleet("cholesky", "skew-2to1", fleet_n, fleet_nb,
+                              {1.0, 2.0}, -1, 0.0, fleet_gate));
+  fleet.push_back(bench_fleet("lu", "skew-2to1", fleet_n, fleet_nb, {1.0, 2.0},
+                              -1, 0.0, fleet_gate));
+  fleet.push_back(bench_fleet("qr", "skew-2to1", fleet_n, fleet_nb, {1.0, 2.0},
+                              -1, 0.0, fleet_gate));
+  fleet.push_back(bench_fleet("cholesky", "midrun-slowdown", fleet_n, fleet_nb,
+                              {1.0, 1.0}, fleet_n / fleet_nb / 4, 3.0, false));
 
   int failures = 0;
   for (const auto& r : shapes) {
@@ -574,6 +738,32 @@ int main(int argc, char** argv) {
       ++failures;
     }
   }
+  for (const auto& r : fleet) {
+    if (!r.ok) {
+      std::cerr << "FAIL: fleet ft_" << r.decomp << " " << r.scenario
+                << " n=" << r.n << " did not finish Success under both "
+                << "ownership modes\n";
+      ++failures;
+    }
+    if (r.max_abs_diff != 0.0) {
+      std::cerr << "FAIL: fleet ft_" << r.decomp << " " << r.scenario
+                << " n=" << r.n << " adaptive diverges from the static "
+                << "oracle: max_abs_diff=" << r.max_abs_diff << "\n";
+      ++failures;
+    }
+    if (r.tiles_migrated == 0) {
+      std::cerr << "FAIL: fleet ft_" << r.decomp << " " << r.scenario
+                << " n=" << r.n << " adaptive run never migrated — the "
+                << "comparison is vacuous\n";
+      ++failures;
+    }
+    if (r.gated && r.gain() < 0.15) {
+      std::cerr << "FAIL: fleet ft_" << r.decomp << " " << r.scenario
+                << " n=" << r.n << " modeled improvement " << r.gain() * 100.0
+                << "% is below the 15% gate\n";
+      ++failures;
+    }
+  }
 
   std::ostringstream json;
   json << "{\"config\":{\"repeats\":" << cli.repeats
@@ -591,6 +781,11 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < sched.size(); ++i) {
     if (i) json << ",";
     sched[i].to_json(json);
+  }
+  json << "],\"heterogeneous_fleet\":[";
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    if (i) json << ",";
+    fleet[i].to_json(json);
   }
   json << "]}";
 
@@ -622,6 +817,15 @@ int main(int argc, char** argv) {
                   static_cast<long long>(r.lookahead), r.forkjoin_seconds * 1e3,
                   r.dataflow_seconds * 1e3, r.speedup(), r.max_abs_diff,
                   r.gated ? "  [gated]" : "", r.ok ? "" : "  FAILED");
+    }
+    for (const auto& r : fleet) {
+      std::printf("fleet ft_%-9s %-16s n=%-5lld  static %8.2f ms  adaptive %8.2f ms"
+                  "  gain %5.1f%%  moved %llu  diff %g%s%s\n",
+                  r.decomp.c_str(), r.scenario.c_str(), static_cast<long long>(r.n),
+                  r.static_modeled_seconds * 1e3, r.adaptive_modeled_seconds * 1e3,
+                  r.gain() * 100.0, static_cast<unsigned long long>(r.tiles_migrated),
+                  r.max_abs_diff, r.gated ? "  [gated]" : "",
+                  r.ok ? "" : "  FAILED");
     }
     std::printf("report: %s\n", cli.out.c_str());
   }

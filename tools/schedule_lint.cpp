@@ -18,10 +18,16 @@
 /// pairs named in the report. Exit 1 if any case fails or any mutation
 /// escapes.
 ///
+/// With --migration the matrix is extended by the adaptive-balance cases
+/// (NewScheme, 2 GPUs, 2:1 modeled skew): every such trace carries
+/// Migrate transfers and AfterMigrate verifies, and must still prove
+/// clean — the coverage guarantee extends across re-partitioning.
+///
 /// Usage:
-///   ftla-schedule-lint [--hb] [--n N] [--nb NB] [--ngpus 1,2,4]
-///                      [--algo cholesky|lu|qr] [--scheme prior|post|new]
-///                      [--out report.json] [--quiet]
+///   ftla-schedule-lint [--hb] [--migration] [--n N] [--nb NB]
+///                      [--ngpus 1,2,4] [--algo cholesky|lu|qr]
+///                      [--scheme prior|post|new] [--out report.json]
+///                      [--quiet]
 
 #include <cstdint>
 #include <cstdlib>
@@ -50,13 +56,27 @@ struct CliOptions {
   std::string out;     // empty = stdout only
   bool quiet = false;
   bool hb = false;
+  bool migration = false;
 };
 
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
-            << " [--hb] [--n N] [--nb NB] [--ngpus LIST] [--algo A]"
-               " [--scheme S] [--out FILE] [--quiet]\n";
+            << " [--hb] [--migration] [--n N] [--nb NB] [--ngpus LIST]"
+               " [--algo A] [--scheme S] [--out FILE] [--quiet]\n";
   return 2;
+}
+
+/// The full matrix for one invocation: the static block-cyclic cases,
+/// plus (with --migration) the adaptive skewed-fleet cases.
+std::vector<LintCase> build_matrix(const CliOptions& cli) {
+  std::vector<LintCase> matrix =
+      ftla::analysis::default_matrix(cli.n, cli.nb, cli.ngpus);
+  if (cli.migration) {
+    for (LintCase& c : ftla::analysis::migration_cases(cli.n, cli.nb)) {
+      matrix.push_back(std::move(c));
+    }
+  }
+  return matrix;
 }
 
 bool parse_ngpus(const std::string& s, std::vector<int>* out) {
@@ -88,8 +108,7 @@ bool scheme_matches(ftla::core::SchemeKind s, const std::string& filter) {
 /// byte-for-byte unchanged (same cases, same analyzer, same JSON).
 int run_hb_mode(const CliOptions& cli, const char* argv0) {
   std::vector<LintCase> matrix;
-  for (const LintCase& c :
-       ftla::analysis::default_matrix(cli.n, cli.nb, cli.ngpus)) {
+  for (const LintCase& c : build_matrix(cli)) {
     if (!cli.algo.empty() && c.algorithm != cli.algo) continue;
     if (!scheme_matches(c.scheme, cli.scheme)) continue;
     matrix.push_back(c);
@@ -177,6 +196,8 @@ int main(int argc, char** argv) {
       cli.quiet = true;
     } else if (arg == "--hb") {
       cli.hb = true;
+    } else if (arg == "--migration") {
+      cli.migration = true;
     } else {
       return usage(argv[0]);
     }
@@ -186,8 +207,7 @@ int main(int argc, char** argv) {
 
   std::vector<LintOutcome> outcomes;
   try {
-    for (const LintCase& c :
-         ftla::analysis::default_matrix(cli.n, cli.nb, cli.ngpus)) {
+    for (const LintCase& c : build_matrix(cli)) {
       if (!cli.algo.empty() && c.algorithm != cli.algo) continue;
       if (!scheme_matches(c.scheme, cli.scheme)) continue;
       LintOutcome o = ftla::analysis::lint_case(c);
