@@ -100,6 +100,7 @@ RecordedRun record_case(const LintCase& c, bool sync_capture) {
   opts.scheduler = c.scheduler;
   opts.lookahead = c.lookahead;
   opts.adaptive_balance = c.adaptive_balance;
+  opts.fused_abft = c.fused_abft;
   opts.gpu_time_scale = c.gpu_time_scale;
   opts.trace = &rec;
 

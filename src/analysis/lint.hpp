@@ -42,6 +42,12 @@ struct LintCase {
   /// boundaries. The recorded trace then carries Migrate transfers and
   /// AfterMigrate verifies, which the analyzers must prove covered.
   bool adaptive_balance = false;
+  /// Fused in-kernel ABFT: trailing-update GEMMs verify their own output
+  /// tiles (CheckPoint::FusedTmu events). The recorded trace then carries
+  /// tile-granular verify nodes closing every TMU write window the
+  /// instant it opens, which the analyzers must see as extra coverage —
+  /// never as a new gap.
+  bool fused_abft = false;
   /// Per-GPU modeled slowdowns (index g; missing entries are 1.0) — how
   /// lint cases model the heterogeneous fleet that makes the balancer
   /// actually move tiles.

@@ -228,6 +228,227 @@ void gemm_dispatch(Trans ta, Trans tb, double alpha, ConstViewD a, ConstViewD b,
 }
 
 // ---------------------------------------------------------------------
+// Fused-ABFT GEMM (FT-GEMM direction)
+// ---------------------------------------------------------------------
+
+// Per-thread scratch for the fused A-pack checksums (2·kc doubles,
+// interleaved). Same lifetime discipline as the packing buffers: one
+// macro-kernel task per worker at a time.
+std::vector<double>& pack_cs_buffer() {
+  thread_local std::vector<double> buf;
+  return buf;
+}
+
+/// Fresh global-weight column checksums of a view, scalar. Used by the
+/// small-problem fallback where no packed write-back exists; the sums
+/// are tolerance-compared downstream, so lane order is free.
+void fused_encode_actual(ConstViewD c, ViewD out) {
+  const index_t m = c.rows();
+  const index_t n = c.cols();
+  for (index_t j = 0; j < n; ++j) {
+    const double* cc = c.col_ptr(j);
+    double s = 0.0;
+    double t = 0.0;
+    for (index_t i = 0; i < m; ++i) {
+      const double x = cc[i];
+      s += x;
+      t += static_cast<double>(i + 1) * x;
+    }
+    out(0, j) = s;
+    out(1, j) = t;
+  }
+}
+
+/// Small-problem analytic reference: alpha·c(op(A))·op(B), scalar.
+void fused_reference_small(Trans ta, Trans tb, double alpha, ConstViewD a, ConstViewD b,
+                           ViewD ref) {
+  const index_t m = ta == Trans::NoTrans ? a.rows() : a.cols();
+  const index_t k = ta == Trans::NoTrans ? a.cols() : a.rows();
+  const index_t n = ref.cols();
+  std::vector<double> cs(static_cast<std::size_t>(2 * k));
+  for (index_t p = 0; p < k; ++p) {
+    double s = 0.0;
+    double t = 0.0;
+    for (index_t i = 0; i < m; ++i) {
+      const double x = ta == Trans::NoTrans ? a(i, p) : a(p, i);
+      s += x;
+      t += static_cast<double>(i + 1) * x;
+    }
+    cs[2 * p] = s;
+    cs[2 * p + 1] = t;
+  }
+  for (index_t j = 0; j < n; ++j) {
+    double r0 = 0.0;
+    double r1 = 0.0;
+    for (index_t p = 0; p < k; ++p) {
+      const double bv = tb == Trans::NoTrans ? b(p, j) : b(j, p);
+      r0 += cs[2 * p] * bv;
+      r1 += cs[2 * p + 1] * bv;
+    }
+    ref(0, j) = alpha * r0;
+    ref(1, j) = alpha * r1;
+  }
+}
+
+/// Packed GEMM with fused ABFT. Identical blocking, packing and
+/// microkernel arithmetic to gemm_packed — C is bit-identical — with
+/// three riders:
+///  * VerifyTile packs A through pack_a_fused, so each mc×kc block
+///    leaves the packing pass with its column checksums formed; the
+///    2×kc × kc×nr analytic reference product per (block row, tile
+///    column) is ~2/mc of the tile's GEMM flops.
+///  * the final k step runs micro_kernel_ft, which folds the finished C
+///    values into per-column sums during the register write-back.
+///  * when out.b_row_cs is supplied, B packs through pack_b_fused and
+///    the per-panel row checksums accumulate into the global k×2 view.
+/// Determinism: tasks own disjoint (block row, tile column) rectangles
+/// of the per-ib partial arrays, redundant A packs of a shared block
+/// row are bit-identical, and the ib reduction is sequential — so the
+/// checksum outputs are bitwise reproducible across pool sizes, like C
+/// itself.
+void gemm_packed_fused(Trans ta, Trans tb, double alpha, ConstViewD a, ConstViewD b,
+                       double beta, ViewD c, bool threaded, GemmFt mode,
+                       const GemmFtOut& out) {
+  const index_t m = c.rows();
+  const index_t n = c.cols();
+  const index_t k = ta == Trans::NoTrans ? a.cols() : a.rows();
+  const bool verify = mode == GemmFt::VerifyTile;
+  const bool want_brcs = !out.b_row_cs.empty();
+
+  if (threaded && n >= 4) {
+    ThreadPool::global().parallel_for_chunked(
+        0, n, [&](index_t lo, index_t hi) { scale_cols(beta, c, lo, hi); });
+  } else {
+    scale_cols(beta, c, 0, n);
+  }
+
+  const index_t ic_blocks = (m + kMC - 1) / kMC;
+  // Partial checksum sums per (A-block row, C column of the jc panel):
+  // actual_partial is written on the final k step only; ref_partial
+  // accumulates every k step. Both are reduced over ib sequentially.
+  std::vector<double> actual_partial(
+      static_cast<std::size_t>(ic_blocks) * 2 * kNC, 0.0);
+  std::vector<double> ref_partial(
+      verify ? static_cast<std::size_t>(ic_blocks) * 2 * kNC : 0, 0.0);
+  std::vector<double> brcs_local(want_brcs ? static_cast<std::size_t>(2 * kKC) : 0);
+
+  auto& packb = pack_b_buffer();
+  for (index_t jc = 0; jc < n; jc += kNC) {
+    const index_t nc = std::min(kNC, n - jc);
+    const index_t jr_tiles = (nc + kNR - 1) / kNR;
+    if (verify) std::fill(ref_partial.begin(), ref_partial.end(), 0.0);
+    for (index_t pc = 0; pc < k; pc += kKC) {
+      const index_t kc = std::min(kKC, k - pc);
+      const bool last_step = pc + kc == k;
+      packb.resize(static_cast<std::size_t>(packed_b_size(kc, nc)));
+      if (want_brcs) {
+        pack_b_fused(tb, b, pc, kc, jc, nc, packb.data(), brcs_local.data());
+        for (index_t p = 0; p < kc; ++p) {
+          if (jc == 0) {
+            out.b_row_cs(pc + p, 0) = brcs_local[2 * p];
+            out.b_row_cs(pc + p, 1) = brcs_local[2 * p + 1];
+          } else {
+            out.b_row_cs(pc + p, 0) += brcs_local[2 * p];
+            out.b_row_cs(pc + p, 1) +=
+                brcs_local[2 * p + 1] + static_cast<double>(jc) * brcs_local[2 * p];
+          }
+        }
+      } else {
+        pack_b(tb, b, pc, kc, jc, nc, packb.data());
+      }
+      const double* packb_data = packb.data();
+
+      auto macro_body = [&, packb_data](index_t ib0, index_t ib1, index_t jt0, index_t jt1) {
+        auto& packa = pack_a_buffer();
+        for (index_t ib = ib0; ib < ib1; ++ib) {
+          const index_t i0 = ib * kMC;
+          const index_t mc = std::min(kMC, m - i0);
+          packa.resize(static_cast<std::size_t>(packed_a_size(mc, kc)));
+          double* acs = nullptr;
+          if (verify) {
+            auto& csbuf = pack_cs_buffer();
+            csbuf.resize(static_cast<std::size_t>(2 * kc));
+            acs = csbuf.data();
+            pack_a_fused(ta, a, i0, mc, pc, kc, packa.data(), acs);
+            // Globalize the weighted row: local weights 1..mc live at
+            // row offset i0, so t_glob = t_local + i0·s_local.
+            const double i0_d = static_cast<double>(i0);
+            for (index_t p = 0; p < kc; ++p) acs[2 * p + 1] += i0_d * acs[2 * p];
+          } else {
+            pack_a(ta, a, i0, mc, pc, kc, packa.data());
+          }
+          const index_t it_tiles = (mc + kMR - 1) / kMR;
+          double* actual_ib = actual_partial.data() + ib * 2 * kNC;
+          double* ref_ib = verify ? ref_partial.data() + ib * 2 * kNC : nullptr;
+          for (index_t jt = jt0; jt < jt1; ++jt) {
+            const index_t j = jc + jt * kNR;
+            const index_t nr = std::min(kNR, jc + nc - j);
+            const double* bp = packb_data + jt * kc * kNR;
+            if (verify) {
+              for (index_t jj = 0; jj < nr; ++jj) {
+                double r0 = 0.0;
+                double r1 = 0.0;
+                for (index_t p = 0; p < kc; ++p) {
+                  const double bv = bp[p * kNR + jj];
+                  r0 += acs[2 * p] * bv;
+                  r1 += acs[2 * p + 1] * bv;
+                }
+                ref_ib[2 * (jt * kNR + jj)] += r0;
+                ref_ib[2 * (jt * kNR + jj) + 1] += r1;
+              }
+            }
+            if (last_step) {
+              double* cs = actual_ib + 2 * jt * kNR;
+              for (index_t jj = 0; jj < 2 * nr; ++jj) cs[jj] = 0.0;
+              for (index_t it = 0; it < it_tiles; ++it) {
+                const index_t i = i0 + it * kMR;
+                const index_t mr = std::min(kMR, i0 + mc - i);
+                detail::micro_kernel_ft(kc, alpha, packa.data() + it * kMR * kc, bp,
+                                        c.col_ptr(j) + i, c.ld(), mr, nr,
+                                        static_cast<double>(i + 1), cs);
+              }
+            } else {
+              for (index_t it = 0; it < it_tiles; ++it) {
+                const index_t i = i0 + it * kMR;
+                const index_t mr = std::min(kMR, i0 + mc - i);
+                detail::micro_kernel(kc, alpha, packa.data() + it * kMR * kc, bp,
+                                     c.col_ptr(j) + i, c.ld(), mr, nr);
+              }
+            }
+          }
+        }
+      };
+      if (threaded) {
+        ThreadPool::global().parallel_for_tiles(ic_blocks, jr_tiles, macro_body);
+      } else {
+        macro_body(0, ic_blocks, 0, jr_tiles);
+      }
+    }
+    // Sequential ib reduction: deterministic regardless of pool size.
+    for (index_t jj = 0; jj < nc; ++jj) {
+      double s = 0.0;
+      double t = 0.0;
+      for (index_t ib = 0; ib < ic_blocks; ++ib) {
+        s += actual_partial[ib * 2 * kNC + 2 * jj];
+        t += actual_partial[ib * 2 * kNC + 2 * jj + 1];
+      }
+      out.actual(0, jc + jj) = s;
+      out.actual(1, jc + jj) = t;
+      if (verify) {
+        double r0 = 0.0;
+        double r1 = 0.0;
+        for (index_t ib = 0; ib < ic_blocks; ++ib) {
+          r0 += ref_partial[ib * 2 * kNC + 2 * jj];
+          r1 += ref_partial[ib * 2 * kNC + 2 * jj + 1];
+        }
+        out.reference(0, jc + jj) = alpha * r0;
+        out.reference(1, jc + jj) = alpha * r1;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
 // Scalar triangular kernels (oracles + diagonal-block solvers)
 // ---------------------------------------------------------------------
 
@@ -485,6 +706,69 @@ void gemm(Trans ta, Trans tb, double alpha, ConstViewD a, ConstViewD b, double b
   ownership::check_view(c, "blas::gemm C");
   check_gemm_dims(ta, tb, a, b, c);
   gemm_dispatch(ta, tb, alpha, a, b, beta, c, /*allow_threads=*/true);
+}
+
+void gemm_fused(Trans ta, Trans tb, double alpha, ConstViewD a, ConstViewD b, double beta,
+                ViewD c, GemmFt mode, bool allow_threads, const GemmFtOut& out) {
+  ownership::check_view(a, "blas::gemm_fused A");
+  ownership::check_view(b, "blas::gemm_fused B");
+  ownership::check_view(c, "blas::gemm_fused C");
+  check_gemm_dims(ta, tb, a, b, c);
+  if (mode == GemmFt::Off) {
+    gemm_dispatch(ta, tb, alpha, a, b, beta, c, allow_threads);
+    return;
+  }
+  const index_t m = c.rows();
+  const index_t n = c.cols();
+  const index_t k = ta == Trans::NoTrans ? a.cols() : a.rows();
+  FTLA_CHECK(out.actual.rows() == 2 && out.actual.cols() == n,
+             "gemm_fused: out.actual must be 2×n");
+  if (mode == GemmFt::VerifyTile) {
+    FTLA_CHECK(out.reference.rows() == 2 && out.reference.cols() == n,
+               "gemm_fused: out.reference must be 2×n for VerifyTile");
+  }
+  if (!out.b_row_cs.empty()) {
+    FTLA_CHECK(out.b_row_cs.rows() == k && out.b_row_cs.cols() == 2,
+               "gemm_fused: out.b_row_cs must be k×2");
+  }
+
+  const index_t flops = m * n * k;
+  if (flops < kPackFlopThreshold || alpha == 0.0 || k == 0) {
+    // No packing pass exists down here; run the small-problem kernel
+    // and form the checksums in cache-resident scalar sweeps.
+    gemm_cols(ta, tb, alpha, a, b, beta, c, 0, n);
+    fused_encode_actual(c.as_const(), out.actual);
+    if (mode == GemmFt::VerifyTile) {
+      if (alpha == 0.0 || k == 0) {
+        fill_view(out.reference, 0.0);
+      } else {
+        fused_reference_small(ta, tb, alpha, a, b, out.reference);
+      }
+    }
+    if (!out.b_row_cs.empty()) {
+      std::vector<double> rcs(static_cast<std::size_t>(2 * k));
+      for (index_t p = 0; p < k; ++p) {
+        double s = 0.0;
+        double t = 0.0;
+        for (index_t j = 0; j < n; ++j) {
+          const double x = tb == Trans::NoTrans ? b(p, j) : b(j, p);
+          s += x;
+          t += static_cast<double>(j + 1) * x;
+        }
+        rcs[2 * p] = s;
+        rcs[2 * p + 1] = t;
+      }
+      for (index_t p = 0; p < k; ++p) {
+        out.b_row_cs(p, 0) = rcs[2 * p];
+        out.b_row_cs(p, 1) = rcs[2 * p + 1];
+      }
+    }
+    return;
+  }
+  const bool threaded = allow_threads && flops >= kParallelFlopThreshold &&
+                        ThreadPool::global().num_threads() > 0;
+  if (threaded) ensure_worker_pack_warmup();
+  gemm_packed_fused(ta, tb, alpha, a, b, beta, c, threaded, mode, out);
 }
 
 // ---------------------------------------------------------------------

@@ -22,6 +22,41 @@ using ftla::index_t;
 /// op(A) must be m×k and op(B) k×n where C is m×n.
 void gemm(Trans ta, Trans tb, double alpha, ConstViewD a, ConstViewD b, double beta, ViewD c);
 
+/// Fused-ABFT mode of the packed GEMM (FT-GEMM direction): the checksum
+/// encode rides along inside the memory-bound packing and write-back
+/// passes instead of re-reading the operands in standalone sweeps.
+enum class GemmFt {
+  Off,         ///< plain gemm, no checksum work
+  EncodeOnly,  ///< also form fresh column checksums of C in the write-back
+  VerifyTile,  ///< EncodeOnly + analytic reference from the packing-pass checksums
+};
+
+/// Checksum outputs of gemm_fused. All views are caller-allocated.
+struct GemmFtOut {
+  /// 2×n (required unless mode == Off): fresh column checksums of C
+  /// after the update, global row weights 1..m, accumulated in the
+  /// microkernel write-back on the final k step.
+  ViewD actual;
+  /// 2×n (required for VerifyTile): alpha·c(op(A))·op(B), the analytic
+  /// column-checksum update, formed from the A-packing-pass checksums.
+  /// The caller closes the ABFT loop: expected = beta·c(C_in) + this,
+  /// and expected − actual localizes any error (see checksum::gemm_ft).
+  ViewD reference;
+  /// k×2 (optional, leave empty to skip): fused row checksums of op(B),
+  /// global column weights 1..n, accumulated in the B-packing pass.
+  /// Bit-identical to checksum::encode_row(op(B)) when n <= kNC (a
+  /// single B macro panel); within tolerance otherwise.
+  ViewD b_row_cs;
+};
+
+/// C ← alpha·op(A)·op(B) + beta·C with in-pipeline ABFT checksum
+/// formation per `mode`. The C values are bit-identical to blas::gemm
+/// under the same threading decision (same packed pipeline, same
+/// rounding); only the checksum outputs are new. `allow_threads` must
+/// be false when the caller already runs on a pool worker.
+void gemm_fused(Trans ta, Trans tb, double alpha, ConstViewD a, ConstViewD b, double beta,
+                ViewD c, GemmFt mode, bool allow_threads, const GemmFtOut& out);
+
 /// Single-threaded gemm (used inside already-parallel regions).
 void gemm_seq(Trans ta, Trans tb, double alpha, ConstViewD a, ConstViewD b, double beta,
               ViewD c);

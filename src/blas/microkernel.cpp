@@ -95,6 +95,112 @@ __attribute__((target("avx2,fma"))) void micro_kernel_avx2(
 
 #endif  // FTLA_MICROKERNEL_X86
 
+/// Fused-ABFT fallback: the same accumulator recipe and epilogue
+/// rounding as micro_kernel_generic, with the final stored values
+/// folded into the per-column checksum pair on their way out.
+void micro_kernel_ft_generic(index_t kc, double alpha, const double* FTLA_RESTRICT a,
+                             const double* FTLA_RESTRICT b, double* FTLA_RESTRICT c,
+                             index_t ldc, index_t mr, index_t nr, double w0,
+                             double* FTLA_RESTRICT cs) {
+  double acc[kMR * kNR] = {};
+  for (index_t p = 0; p < kc; ++p) {
+    const double* FTLA_RESTRICT ap = a + p * kMR;
+    const double* FTLA_RESTRICT bp = b + p * kNR;
+    FTLA_PREFETCH(ap + 8 * kMR, 0, 0);
+    for (index_t j = 0; j < kNR; ++j) {
+      const double bv = bp[j];
+      for (index_t i = 0; i < kMR; ++i) acc[j * kMR + i] += ap[i] * bv;
+    }
+  }
+  for (index_t j = 0; j < nr; ++j) {
+    double* FTLA_RESTRICT cc = c + j * ldc;
+    const double* FTLA_RESTRICT av = acc + j * kMR;
+    double s = 0.0;
+    double t = 0.0;
+    for (index_t i = 0; i < mr; ++i) {
+      cc[i] += alpha * av[i];
+      const double x = cc[i];
+      s += x;
+      t += (w0 + static_cast<double>(i)) * x;
+    }
+    cs[2 * j] += s;
+    cs[2 * j + 1] += t;
+  }
+}
+
+#if FTLA_MICROKERNEL_X86
+
+__attribute__((target("avx2"))) inline double hsum4(__m256d v) {
+  const __m128d lo = _mm256_castpd256_pd128(v);
+  const __m128d hi = _mm256_extractf128_pd(v, 1);
+  const __m128d s = _mm_add_pd(lo, hi);
+  return _mm_cvtsd_f64(_mm_add_sd(s, _mm_unpackhi_pd(s, s)));
+}
+
+/// Fused-ABFT AVX2 kernel: identical compute loop and epilogue rounding
+/// to micro_kernel_avx2; the freshly formed C vectors are reused in
+/// registers for the checksum sums before they leave the tile.
+__attribute__((target("avx2,fma"))) void micro_kernel_ft_avx2(
+    index_t kc, double alpha, const double* FTLA_RESTRICT a, const double* FTLA_RESTRICT b,
+    double* FTLA_RESTRICT c, index_t ldc, index_t mr, index_t nr, double w0,
+    double* FTLA_RESTRICT cs) {
+  __m256d acc_lo[kNR];
+  __m256d acc_hi[kNR];
+  for (int j = 0; j < kNR; ++j) {
+    acc_lo[j] = _mm256_setzero_pd();
+    acc_hi[j] = _mm256_setzero_pd();
+  }
+  for (index_t p = 0; p < kc; ++p) {
+    const double* FTLA_RESTRICT ap = a + p * kMR;
+    const double* FTLA_RESTRICT bp = b + p * kNR;
+    _mm_prefetch(reinterpret_cast<const char*>(ap + 8 * kMR), _MM_HINT_T0);
+    const __m256d a_lo = _mm256_loadu_pd(ap);
+    const __m256d a_hi = _mm256_loadu_pd(ap + 4);
+    for (int j = 0; j < kNR; ++j) {
+      const __m256d bv = _mm256_broadcast_sd(bp + j);
+      acc_lo[j] = _mm256_fmadd_pd(a_lo, bv, acc_lo[j]);
+      acc_hi[j] = _mm256_fmadd_pd(a_hi, bv, acc_hi[j]);
+    }
+  }
+  const __m256d av = _mm256_set1_pd(alpha);
+  if (mr == kMR && nr == kNR) {
+    const __m256d w_lo = _mm256_setr_pd(w0, w0 + 1.0, w0 + 2.0, w0 + 3.0);
+    const __m256d w_hi = _mm256_setr_pd(w0 + 4.0, w0 + 5.0, w0 + 6.0, w0 + 7.0);
+    for (int j = 0; j < kNR; ++j) {
+      double* FTLA_RESTRICT cc = c + j * ldc;
+      const __m256d cn_lo = _mm256_add_pd(_mm256_loadu_pd(cc), _mm256_mul_pd(av, acc_lo[j]));
+      const __m256d cn_hi =
+          _mm256_add_pd(_mm256_loadu_pd(cc + 4), _mm256_mul_pd(av, acc_hi[j]));
+      _mm256_storeu_pd(cc, cn_lo);
+      _mm256_storeu_pd(cc + 4, cn_hi);
+      cs[2 * j] += hsum4(_mm256_add_pd(cn_lo, cn_hi));
+      cs[2 * j + 1] +=
+          hsum4(_mm256_add_pd(_mm256_mul_pd(cn_lo, w_lo), _mm256_mul_pd(cn_hi, w_hi)));
+    }
+  } else {
+    alignas(32) double tile[kMR * kNR];
+    for (int j = 0; j < kNR; ++j) {
+      _mm256_store_pd(tile + j * kMR, _mm256_mul_pd(av, acc_lo[j]));
+      _mm256_store_pd(tile + j * kMR + 4, _mm256_mul_pd(av, acc_hi[j]));
+    }
+    for (index_t j = 0; j < nr; ++j) {
+      double* FTLA_RESTRICT cc = c + j * ldc;
+      double s = 0.0;
+      double t = 0.0;
+      for (index_t i = 0; i < mr; ++i) {
+        cc[i] += tile[j * kMR + i];
+        const double x = cc[i];
+        s += x;
+        t += (w0 + static_cast<double>(i)) * x;
+      }
+      cs[2 * j] += s;
+      cs[2 * j + 1] += t;
+    }
+  }
+}
+
+#endif  // FTLA_MICROKERNEL_X86
+
 }  // namespace
 
 void micro_kernel(index_t kc, double alpha, const double* a, const double* b, double* c,
@@ -106,6 +212,17 @@ void micro_kernel(index_t kc, double alpha, const double* a, const double* b, do
   }
 #endif
   micro_kernel_generic(kc, alpha, a, b, c, ldc, mr, nr);
+}
+
+void micro_kernel_ft(index_t kc, double alpha, const double* a, const double* b, double* c,
+                     index_t ldc, index_t mr, index_t nr, double w0, double* cs) {
+#if FTLA_MICROKERNEL_X86
+  if (cpu_supports_avx2_fma()) {
+    micro_kernel_ft_avx2(kc, alpha, a, b, c, ldc, mr, nr, w0, cs);
+    return;
+  }
+#endif
+  micro_kernel_ft_generic(kc, alpha, a, b, c, ldc, mr, nr, w0, cs);
 }
 
 }  // namespace ftla::blas::detail

@@ -26,4 +26,23 @@ namespace ftla::blas::detail {
 void micro_kernel(index_t kc, double alpha, const double* a, const double* b, double* c,
                   index_t ldc, index_t mr, index_t nr);
 
+/// Fused-ABFT microkernel: identical C update to micro_kernel (same
+/// accumulator recipe, same epilogue rounding), plus the write-back
+/// keeps each final C value in registers a moment longer to fold it
+/// into a per-column checksum pair. For tile column j it accumulates
+///   cs[2j]   += Σ_i C_final(i, j)
+///   cs[2j+1] += Σ_i (w0 + i) · C_final(i, j)
+/// over the valid mr rows, where w0 is the global ABFT weight of the
+/// tile's first row (row index within the checksummed block + 1).
+/// Callers zero the cs slots once per block column and invoke this only
+/// on the final k-step, when the stored values are the finished C: the
+/// checksum of a whole MC-high block column is then formed by the time
+/// the last tile retires, without re-reading C from memory. The
+/// horizontal sums are tolerance-compared downstream, so they need not
+/// (and do not) match the standalone encoder's lane order bit for bit —
+/// but the instruction sequence is fixed, keeping reruns bitwise
+/// reproducible.
+void micro_kernel_ft(index_t kc, double alpha, const double* a, const double* b, double* c,
+                     index_t ldc, index_t mr, index_t nr, double w0, double* cs);
+
 }  // namespace ftla::blas::detail

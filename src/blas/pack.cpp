@@ -1,5 +1,6 @@
 #include "blas/pack.hpp"
 
+#include "common/error.hpp"
 #include "common/portability.hpp"
 
 namespace ftla::blas {
@@ -62,6 +63,123 @@ void pack_b(Trans tb, ConstViewD b, index_t p0, index_t kc, index_t j0, index_t 
         if (p + 1 < kc) FTLA_PREFETCH(b.col_ptr(p0 + p + 1) + j_base, 0, 3);
         double* FTLA_RESTRICT out = dst + p * kNR;
         for (index_t j = 0; j < nr; ++j) out[j] = src[j];
+        for (index_t j = nr; j < kNR; ++j) out[j] = 0.0;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Fused-ABFT packers
+// ---------------------------------------------------------------------
+//
+// Bit-identity contract: the accumulations below replay the FusedTiled
+// lane recipe of checksum::encode_col / encode_row exactly — same lane
+// assignment (local row % 4 while r < h4, lane 0 for the tail; single
+// accumulator per row for the row encode), same weight expression
+// static_cast<double>(r + 1) * x, same final (l0+l1)+(l2+l3) combine —
+// and both packing orders visit each accumulator's elements in the same
+// ascending order as a standalone encode of the block. Keep the
+// expression shapes in sync with encode.cpp or the bit-identity
+// property tests will fail.
+
+void pack_a_fused(Trans ta, ConstViewD a, index_t i0, index_t mc, index_t p0, index_t kc,
+                  double* buf, double* cs) {
+  FTLA_CHECK(kc <= kKC, "pack_a_fused: kc exceeds the kKC lane scratch");
+  // Lane accumulators: per packed column p, 4 sum lanes at lanes[8p+l]
+  // and 4 weighted lanes at lanes[8p+4+l]. They persist across the kMR
+  // micro-panels because a column's rows span every panel.
+  double lanes[8 * kKC];
+  for (index_t p = 0; p < 8 * kc; ++p) lanes[p] = 0.0;
+  // Rows r < h4 run through the 4-wide lane rotation; the tail folds
+  // into lane 0 (mirrors the unroll boundary of encode_col's sweep).
+  const index_t h4 = mc - mc % 4;
+
+  const index_t panels = (mc + kMR - 1) / kMR;
+  for (index_t q = 0; q < panels; ++q) {
+    double* FTLA_RESTRICT dst = buf + q * kMR * kc;
+    const index_t i_base = i0 + q * kMR;
+    const index_t r_base = q * kMR;  // local row of this panel's first row
+    const index_t mr = std::min<index_t>(kMR, i0 + mc - i_base);
+    if (ta == Trans::NoTrans) {
+      for (index_t p = 0; p < kc; ++p) {
+        const double* FTLA_RESTRICT src = a.col_ptr(p0 + p) + i_base;
+        if (p + 1 < kc) FTLA_PREFETCH(a.col_ptr(p0 + p + 1) + i_base, 0, 3);
+        double* FTLA_RESTRICT out = dst + p * kMR;
+        double* FTLA_RESTRICT ln = lanes + p * 8;
+        for (index_t i = 0; i < mr; ++i) {
+          const double x = src[i];
+          out[i] = x;
+          const index_t r = r_base + i;
+          const index_t l = r < h4 ? (r & 3) : 0;
+          ln[l] += x;
+          ln[4 + l] += static_cast<double>(r + 1) * x;
+        }
+        for (index_t i = mr; i < kMR; ++i) out[i] = 0.0;
+      }
+    } else {
+      for (index_t i = 0; i < mr; ++i) {
+        const double* FTLA_RESTRICT src = a.col_ptr(i_base + i) + p0;
+        double* FTLA_RESTRICT out = dst + i;
+        const index_t r = r_base + i;
+        const index_t l = r < h4 ? (r & 3) : 0;
+        const double wgt = static_cast<double>(r + 1);
+        for (index_t p = 0; p < kc; ++p) {
+          const double x = src[p];
+          out[p * kMR] = x;
+          lanes[p * 8 + l] += x;
+          lanes[p * 8 + 4 + l] += wgt * x;
+        }
+      }
+      for (index_t i = mr; i < kMR; ++i) {
+        double* FTLA_RESTRICT out = dst + i;
+        for (index_t p = 0; p < kc; ++p) out[p * kMR] = 0.0;
+      }
+    }
+  }
+  for (index_t p = 0; p < kc; ++p) {
+    const double* FTLA_RESTRICT ln = lanes + p * 8;
+    cs[2 * p] = (ln[0] + ln[1]) + (ln[2] + ln[3]);
+    cs[2 * p + 1] = (ln[4] + ln[5]) + (ln[6] + ln[7]);
+  }
+}
+
+void pack_b_fused(Trans tb, ConstViewD b, index_t p0, index_t kc, index_t j0, index_t nc,
+                  double* buf, double* rcs) {
+  for (index_t p = 0; p < 2 * kc; ++p) rcs[p] = 0.0;
+  const index_t panels = (nc + kNR - 1) / kNR;
+  for (index_t q = 0; q < panels; ++q) {
+    double* FTLA_RESTRICT dst = buf + q * kc * kNR;
+    const index_t j_base = j0 + q * kNR;
+    const index_t c_base = q * kNR;  // local column of this panel's first column
+    const index_t nr = std::min<index_t>(kNR, j0 + nc - j_base);
+    if (tb == Trans::NoTrans) {
+      for (index_t j = 0; j < nr; ++j) {
+        const double* FTLA_RESTRICT src = b.col_ptr(j_base + j) + p0;
+        double* FTLA_RESTRICT out = dst + j;
+        const double wgt = static_cast<double>(c_base + j + 1);
+        for (index_t p = 0; p < kc; ++p) {
+          const double x = src[p];
+          out[p * kNR] = x;
+          rcs[2 * p] += x;
+          rcs[2 * p + 1] += wgt * x;
+        }
+      }
+      for (index_t j = nr; j < kNR; ++j) {
+        double* FTLA_RESTRICT out = dst + j;
+        for (index_t p = 0; p < kc; ++p) out[p * kNR] = 0.0;
+      }
+    } else {
+      for (index_t p = 0; p < kc; ++p) {
+        const double* FTLA_RESTRICT src = b.col_ptr(p0 + p) + j_base;
+        if (p + 1 < kc) FTLA_PREFETCH(b.col_ptr(p0 + p + 1) + j_base, 0, 3);
+        double* FTLA_RESTRICT out = dst + p * kNR;
+        for (index_t j = 0; j < nr; ++j) {
+          const double x = src[j];
+          out[j] = x;
+          rcs[2 * p] += x;
+          rcs[2 * p + 1] += static_cast<double>(c_base + j + 1) * x;
+        }
         for (index_t j = nr; j < kNR; ++j) out[j] = 0.0;
       }
     }

@@ -65,4 +65,35 @@ void pack_a(Trans ta, ConstViewD a, index_t i0, index_t mc, index_t p0, index_t 
 void pack_b(Trans tb, ConstViewD b, index_t p0, index_t kc, index_t j0, index_t nc,
             double* buf);
 
+/// Fused-ABFT packers: identical packed output to pack_a / pack_b, plus
+/// the ABFT checksums of the packed block accumulated in the same
+/// streaming pass — the block is already moving through the core, so
+/// the encode rides along at the cost of a few FMAs per element instead
+/// of a second memory sweep.
+///
+/// The checksum accumulation replays checksum::encode_col /
+/// encode_row's FusedTiled lane recipe exactly (4 sum + 4 weighted
+/// lanes keyed by local row % 4 for the column encode; a single
+/// ascending-column fold for the row encode), and both packing
+/// iteration orders deliver elements to each accumulator in the same
+/// order as a standalone encode of the mc×kc (resp. kc×nc) block, so
+/// the fused checksums are BIT-IDENTICAL to the standalone encoders —
+/// no extra tolerance is ever spent on the fusion. Zero-padded tail
+/// rows/columns are excluded from the accumulation.
+///
+/// pack_a_fused: cs must hold 2·kc doubles; on return cs[2p] is the
+/// plain column sum and cs[2p+1] the weighted column sum (local row
+/// weights 1..mc) of packed column p — i.e. encode_col of the mc×kc
+/// block of op(A), interleaved. Requires kc <= kKC (the lane scratch is
+/// stack-sized for the production blocking).
+void pack_a_fused(Trans ta, ConstViewD a, index_t i0, index_t mc, index_t p0, index_t kc,
+                  double* buf, double* cs);
+
+/// pack_b_fused: rcs must hold 2·kc doubles; on return rcs[2p] is the
+/// plain row sum and rcs[2p+1] the weighted row sum (local column
+/// weights 1..nc) of packed row p — i.e. encode_row of the kc×nc block
+/// of op(B), interleaved.
+void pack_b_fused(Trans tb, ConstViewD b, index_t p0, index_t kc, index_t j0, index_t nc,
+                  double* buf, double* rcs);
+
 }  // namespace ftla::blas

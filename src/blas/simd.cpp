@@ -1,0 +1,32 @@
+#include "blas/simd.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace ftla::blas::detail {
+
+namespace {
+
+CpuFeatures detect() noexcept {
+  CpuFeatures f;
+  const char* force = std::getenv("FTLA_FORCE_SCALAR");
+  f.force_scalar =
+      force != nullptr && force[0] != '\0' && std::strcmp(force, "0") != 0;
+#if FTLA_SIMD_X86
+  f.avx2 = __builtin_cpu_supports("avx2");
+  f.fma = __builtin_cpu_supports("fma");
+#endif
+  return f;
+}
+
+}  // namespace
+
+const CpuFeatures& cpu_features() noexcept {
+  // One static in one translation unit: every caller in the process —
+  // microkernel, level-1/2 kernels, the blocked TRSM — sees the same
+  // snapshot, so an environment override cannot split the dispatch.
+  static const CpuFeatures features = detect();
+  return features;
+}
+
+}  // namespace ftla::blas::detail

@@ -7,12 +7,17 @@
 /// the level-1/level-2 panel kernels) follows the same pattern: a
 /// portable scalar `_seq` oracle always exists, an AVX2+FMA variant is
 /// compiled with `__attribute__((target))` so the baseline build stays
-/// ISA-clean, and the variant is selected ONCE per process via
-/// `__builtin_cpu_supports` (cached in a function-local static). The
-/// dispatch-once rule is load-bearing for reproducibility: a given
-/// build on a given machine always runs the same kernel, so results
-/// are bitwise identical across reruns, thread counts and call sites —
-/// checksum tolerances never have to absorb a mid-run ISA switch.
+/// ISA-clean, and the variant is selected ONCE per process via the
+/// shared `cpu_features()` snapshot below. The dispatch-once rule is
+/// load-bearing for reproducibility: a given build on a given machine
+/// always runs the same kernel, so results are bitwise identical across
+/// reruns, thread counts and call sites — checksum tolerances never
+/// have to absorb a mid-run ISA switch.
+///
+/// `FTLA_FORCE_SCALAR=1` in the environment disables every vector
+/// kernel process-wide. Because all call sites share the one snapshot,
+/// the override cannot leave the microkernel and the level-1/2 kernels
+/// disagreeing about which ISA is active.
 
 #if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
 #define FTLA_SIMD_X86 1
@@ -22,15 +27,23 @@
 
 namespace ftla::blas::detail {
 
-/// True when the CPU supports AVX2 and FMA3 (evaluated once per process).
-inline bool cpu_supports_avx2_fma() noexcept {
-#if FTLA_SIMD_X86
-  static const bool ok =
-      __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
-  return ok;
-#else
-  return false;
-#endif
-}
+/// Process-wide CPU feature snapshot, taken once on first use.
+struct CpuFeatures {
+  bool avx2 = false;          ///< hardware supports AVX2
+  bool fma = false;           ///< hardware supports FMA3
+  bool force_scalar = false;  ///< FTLA_FORCE_SCALAR override active
+
+  /// True when the AVX2+FMA kernels may run.
+  [[nodiscard]] bool avx2_fma() const noexcept { return avx2 && fma && !force_scalar; }
+};
+
+/// The single dispatch-once snapshot (defined in simd.cpp). Every
+/// ISA-dispatching kernel must route through this — never call
+/// __builtin_cpu_supports directly — so overrides apply uniformly.
+const CpuFeatures& cpu_features() noexcept;
+
+/// True when the CPU supports AVX2 and FMA3 and no override disables
+/// them (evaluated once per process).
+inline bool cpu_supports_avx2_fma() noexcept { return cpu_features().avx2_fma(); }
 
 }  // namespace ftla::blas::detail

@@ -1,0 +1,56 @@
+#include "checksum/fused.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "checksum/correct.hpp"
+#include "common/error.hpp"
+#include "matrix/matrix.hpp"
+
+namespace ftla::checksum {
+
+GemmFtReport gemm_ft(blas::Trans ta, blas::Trans tb, double alpha, ConstViewD a,
+                     ConstViewD b, double beta, ViewD c, const GemmFtSpec& spec) {
+  GemmFtReport rep;
+  if (spec.mode == blas::GemmFt::Off) {
+    blas::GemmFtOut none;
+    blas::gemm_fused(ta, tb, alpha, a, b, beta, c, blas::GemmFt::Off, spec.allow_threads,
+                     none);
+    return rep;
+  }
+
+  const index_t n = c.cols();
+  MatD actual(2, n);
+  MatD reference;
+  blas::GemmFtOut out;
+  out.actual = actual.view();
+  const bool verify = spec.mode == blas::GemmFt::VerifyTile;
+  if (verify) {
+    FTLA_CHECK(spec.c_cs_in.rows() == 2 && spec.c_cs_in.cols() == n,
+               "gemm_ft: c_cs_in must be 2×n for VerifyTile");
+    reference = MatD(2, n);
+    out.reference = reference.view();
+  }
+  blas::gemm_fused(ta, tb, alpha, a, b, beta, c, spec.mode, spec.allow_threads, out);
+  if (!verify) return rep;
+
+  rep.verified = true;
+  std::vector<ColDelta> deltas;
+  for (index_t j = 0; j < n; ++j) {
+    const double e0 = beta * spec.c_cs_in(0, j) + reference(0, j);
+    const double e1 = beta * spec.c_cs_in(1, j) + reference(1, j);
+    const double d1 = e0 - actual(0, j);
+    const double d2 = e1 - actual(1, j);
+    const double thr =
+        spec.tol.threshold(std::abs(actual(0, j)) + std::abs(actual(1, j)));
+    if (std::abs(d1) > thr || std::abs(d2) > thr) deltas.push_back({j, d1, d2});
+  }
+  rep.columns_flagged = static_cast<index_t>(deltas.size());
+  if (!deltas.empty()) {
+    rep.pattern = diagnose_cols(deltas, c.rows()).pattern;
+    rep.elements_corrected = correct_from_col_deltas(c, deltas);
+  }
+  return rep;
+}
+
+}  // namespace ftla::checksum

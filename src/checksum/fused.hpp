@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file fused.hpp
+/// Tile-granular verify/correct on top of the fused-ABFT packed GEMM.
+///
+/// blas::gemm_fused produces two checksum streams as side effects of
+/// the GEMM's own memory traffic: `actual`, the fresh column checksums
+/// of C formed in the microkernel write-back, and `reference`, the
+/// analytic update alpha·c(op(A))·op(B) formed from the packing-pass
+/// checksums. This wrapper closes the ABFT loop: the expected checksum
+/// of the output is
+///     expected = beta · c(C_in) + alpha · c(op(A)) · op(B)
+/// where c(C_in) is the caller's MAINTAINED checksum of C before the
+/// update — deliberately not a fresh encode, so corruption already
+/// sitting in C when the GEMM starts still surfaces as a mismatch.
+/// Columns whose expected − actual deltas exceed the tolerance are
+/// diagnosed (checksum::diagnose_cols) and single errors corrected in
+/// place (checksum::correct_from_col_deltas), all before the caller's
+/// result leaves the operation — finer containment than the paper's
+/// whole-window PD/PU/TMU verifies, at in-pipeline cost.
+
+#include "blas/level3.hpp"
+#include "checksum/bounds.hpp"
+#include "checksum/verify.hpp"
+#include "matrix/view.hpp"
+
+namespace ftla::checksum {
+
+/// Configuration of one fused-ABFT GEMM call.
+struct GemmFtSpec {
+  blas::GemmFt mode = blas::GemmFt::VerifyTile;
+  /// 2×n maintained column checksums of C *before* the update
+  /// (required for VerifyTile; ignored otherwise). Not modified: the
+  /// caller's checksum-maintenance updates stay wherever they already
+  /// live.
+  ConstViewD c_cs_in;
+  Tolerance tol;
+  /// False whenever the caller already runs on a pool worker.
+  bool allow_threads = false;
+};
+
+/// Outcome of the in-pipeline verification.
+struct GemmFtReport {
+  index_t columns_flagged = 0;     ///< columns whose deltas exceeded tolerance
+  index_t elements_corrected = 0;  ///< single errors fixed in place
+  ErrorPattern pattern = ErrorPattern::Clean;
+  bool verified = false;  ///< true when VerifyTile ran the comparison
+
+  /// True when C left the call fault-free (possibly after correction).
+  [[nodiscard]] bool ok() const noexcept { return columns_flagged == elements_corrected; }
+};
+
+/// C ← alpha·op(A)·op(B) + beta·C with fused checksum formation and,
+/// for VerifyTile, immediate verify + single-error correction of C.
+/// The C values are bit-identical to blas::gemm under the same
+/// threading decision when no correction fires.
+GemmFtReport gemm_ft(blas::Trans ta, blas::Trans tb, double alpha, ConstViewD a,
+                     ConstViewD b, double beta, ViewD c, const GemmFtSpec& spec);
+
+}  // namespace ftla::checksum

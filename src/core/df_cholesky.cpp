@@ -26,6 +26,7 @@
 
 #include "blas/blas.hpp"
 #include "checksum/correct.hpp"
+#include "checksum/fused.hpp"
 #include "common/error.hpp"
 #include "core/balance.hpp"
 #include "core/charge_timer.hpp"
@@ -171,6 +172,7 @@ class DfCholeskyDriver {
 
   [[nodiscard]] bool has_cs() const { return opts_.checksum != ChecksumKind::None; }
   [[nodiscard]] bool has_rcs() const { return opts_.checksum == ChecksumKind::Full; }
+  [[nodiscard]] bool fused() const { return opts_.fused_abft && has_cs(); }
 
   void fail(RunStatus status) {
     {
@@ -642,7 +644,26 @@ class DfCholeskyDriver {
                                BlockRange::single(j, k));
             trc_->compute_read(OpKind::TMU, Part::Update, g, BlockRange::single(i, j));
           }
-          blas::gemm_seq(Trans::NoTrans, Trans::Trans, -1.0, li, lj, 1.0, c);
+          bool fused_bad = false;
+          if (fused()) {
+            // Fused in-kernel ABFT: checksums form inside the packed GEMM
+            // and this tile is verified (single errors corrected) against
+            // the maintained checksum before the task retires.
+            checksum::GemmFtSpec fspec;
+            fspec.c_cs_in = a_dist_.col_cs(i, j).as_const();
+            fspec.tol = tol_;
+            const checksum::GemmFtReport frep = checksum::gemm_ft(
+                Trans::NoTrans, Trans::Trans, -1.0, li, lj, 1.0, c, fspec);
+            ++st.verifications_tmu_fused;
+            ++st.blocks_verified;
+            if (frep.columns_flagged > 0) {
+              ++st.errors_detected;
+              st.corrected_0d += static_cast<std::uint64_t>(frep.elements_corrected);
+              if (!frep.ok()) fused_bad = true;
+            }
+          } else {
+            blas::gemm_seq(Trans::NoTrans, Trans::Trans, -1.0, li, lj, 1.0, c);
+          }
           if (has_cs()) {
             ChargeTimer t(&st.maintain_seconds);
             blas::gemm_seq(Trans::NoTrans, Trans::Trans, -1.0,
@@ -654,6 +675,14 @@ class DfCholeskyDriver {
             }
           }
           if (trc_) trc_->compute_write(OpKind::TMU, g, BlockRange::single(i, j));
+          if (fused()) {
+            // The in-kernel verify covered exactly this tile's update.
+            if (trc_) trc_->verify(CheckPoint::FusedTmu, g, BlockRange::single(i, j));
+            if (fused_bad) {
+              fail(RunStatus::NeedCompleteRestart);
+              return;
+            }
+          }
 
           if (policy_.check_after_tmu && has_cs()) {
             ChargeTimer t(&st.verify_seconds);

@@ -11,11 +11,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <memory>
 #include <vector>
 
 #include "blas/blas.hpp"
 #include "checksum/correct.hpp"
+#include "checksum/fused.hpp"
 #include "common/error.hpp"
 #include "core/charge_timer.hpp"
 #include "core/ft_dataflow.hpp"
@@ -44,9 +46,16 @@ using trace::CheckPoint;
 using trace::RegionClass;
 using trace::TransferCtx;
 
+/// Same hook as ft_qr.cpp's: replaces the C_low ← C_low - V_low·W GEMM
+/// so the fused-ABFT mode can route it through checksum::gemm_ft per
+/// nb-row tile.
+using ReflectorLowGemm =
+    std::function<void(ConstViewD vlow, ConstViewD w, ViewD clow)>;
+
 /// Same update as ft_qr.cpp's helper: C ← (I - V·Tᵀ·Vᵀ)·C with
 /// W = Tᵀ·Vᵀ·C exposed for column-checksum maintenance.
-void apply_block_reflector(ConstViewD v, ConstViewD t, ViewD c, MatD& w) {
+void apply_block_reflector(ConstViewD v, ConstViewD t, ViewD c, MatD& w,
+                           const ReflectorLowGemm& low_gemm = {}) {
   const index_t m = c.rows();
   const index_t n = c.cols();
   const index_t kb = v.cols();
@@ -62,8 +71,12 @@ void apply_block_reflector(ConstViewD v, ConstViewD t, ViewD c, MatD& w) {
   blas::trmm(Side::Left, Uplo::Upper, Trans::Trans, Diag::NonUnit, 1.0, t, w.view());
 
   if (m > kb) {
-    blas::gemm_seq(Trans::NoTrans, Trans::NoTrans, -1.0, v.block(kb, 0, m - kb, kb),
-                   w.const_view(), 1.0, c.block(kb, 0, m - kb, n));
+    if (low_gemm) {
+      low_gemm(v.block(kb, 0, m - kb, kb), w.const_view(), c.block(kb, 0, m - kb, n));
+    } else {
+      blas::gemm_seq(Trans::NoTrans, Trans::NoTrans, -1.0, v.block(kb, 0, m - kb, kb),
+                     w.const_view(), 1.0, c.block(kb, 0, m - kb, n));
+    }
   }
   MatD w2(w.const_view());
   blas::trmm(Side::Left, Uplo::Lower, Trans::NoTrans, Diag::Unit, 1.0,
@@ -188,6 +201,7 @@ class DfQrDriver {
 
   [[nodiscard]] bool has_cs() const { return opts_.checksum == ChecksumKind::Full; }
   [[nodiscard]] bool has_rcs() const { return opts_.checksum != ChecksumKind::None; }
+  [[nodiscard]] bool fused() const { return opts_.fused_abft && has_cs(); }
 
   void fail(RunStatus status) {
     {
@@ -699,7 +713,37 @@ class DfQrDriver {
           trc_->compute_read(OpKind::TMU, Part::Update, g, {k, b_, j, j + 1});
         }
         MatD w;
-        apply_block_reflector(v, t_mat, c, w);
+        bool fused_bad = false;
+        if (fused()) {
+          // Fused in-kernel ABFT for the C_low -= V_low·W rank-nb update:
+          // one FT-GEMM per nb-row tile, verified against its maintained
+          // column checksum before the task retires. The top
+          // (triangular-reflector) tile stays on the windowed paths.
+          apply_block_reflector(
+              v, t_mat, c, w,
+              [&](ConstViewD vlow, ConstViewD wv, ViewD clow) {
+                for (index_t i = k + 1; i < b_; ++i) {
+                  const index_t r0 = (i - k - 1) * nb_;
+                  checksum::GemmFtSpec fspec;
+                  fspec.c_cs_in = a_dist_.col_cs(i, j).as_const();
+                  fspec.tol = tol_;
+                  const checksum::GemmFtReport frep = checksum::gemm_ft(
+                      Trans::NoTrans, Trans::NoTrans, -1.0,
+                      vlow.block(r0, 0, nb_, vlow.cols()), wv, 1.0,
+                      clow.block(r0, 0, nb_, clow.cols()), fspec);
+                  ++st.verifications_tmu_fused;
+                  ++st.blocks_verified;
+                  if (frep.columns_flagged > 0) {
+                    ++st.errors_detected;
+                    st.corrected_0d +=
+                        static_cast<std::uint64_t>(frep.elements_corrected);
+                    if (!frep.ok()) fused_bad = true;
+                  }
+                }
+              });
+        } else {
+          apply_block_reflector(v, t_mat, c, w);
+        }
         if (has_cs()) {
           ChargeTimer tt(&st.maintain_seconds);
           for (index_t i = k; i < b_; ++i) {
@@ -714,6 +758,16 @@ class DfQrDriver {
           apply_block_reflector(v, t_mat, a_dist_.row_cs_panel(j, k), w_rcs);
         }
         if (trc_) trc_->compute_write(OpKind::TMU, g, {k, b_, j, j + 1});
+        if (fused()) {
+          // The in-kernel verify covered block rows k+1..b_-1.
+          if (trc_ && k + 1 < b_) {
+            trc_->verify(CheckPoint::FusedTmu, g, {k + 1, b_, j, j + 1});
+          }
+          if (fused_bad) {
+            fail(RunStatus::NeedCompleteRestart);
+            return;
+          }
+        }
       });
 
       // Post-op verification rides as its own task, so the TMU's

@@ -4,6 +4,7 @@
 
 #include "blas/blas.hpp"
 #include "checksum/correct.hpp"
+#include "checksum/fused.hpp"
 #include "common/error.hpp"
 #include "core/balance.hpp"
 #include "core/charge_timer.hpp"
@@ -127,6 +128,7 @@ class CholeskyDriver {
  private:
   [[nodiscard]] bool has_cs() const { return opts_.checksum != ChecksumKind::None; }
   [[nodiscard]] bool has_rcs() const { return opts_.checksum == ChecksumKind::Full; }
+  [[nodiscard]] bool fused() const { return opts_.fused_abft && has_cs(); }
   [[nodiscard]] bool fatal() const { return stats_.status != RunStatus::Success; }
   void fail(RunStatus status) {
     if (stats_.status == RunStatus::Success) stats_.status = status;
@@ -675,7 +677,25 @@ class CholeskyDriver {
             trc_->compute_read(OpKind::TMU, Part::Reference, g, BlockRange::single(j, k));
             trc_->compute_read(OpKind::TMU, Part::Update, g, BlockRange::single(i, j));
           }
-          blas::gemm_seq(Trans::NoTrans, Trans::Trans, -1.0, li, lj, 1.0, c);
+          if (fused()) {
+            // Fused in-kernel ABFT: checksums form inside the packed GEMM
+            // and this tile is verified (single errors corrected) against
+            // the maintained checksum before the task retires.
+            checksum::GemmFtSpec fspec;
+            fspec.c_cs_in = a_dist_.col_cs(i, j).as_const();
+            fspec.tol = tol_;
+            const checksum::GemmFtReport frep =
+                checksum::gemm_ft(Trans::NoTrans, Trans::Trans, -1.0, li, lj, 1.0, c, fspec);
+            ++st.verifications_tmu_fused;
+            ++st.blocks_verified;
+            if (frep.columns_flagged > 0) {
+              ++st.errors_detected;
+              st.corrected_0d += static_cast<std::uint64_t>(frep.elements_corrected);
+              if (!frep.ok()) failed = true;
+            }
+          } else {
+            blas::gemm_seq(Trans::NoTrans, Trans::Trans, -1.0, li, lj, 1.0, c);
+          }
           if (inj_) {
             if (g == ref_gpu) {
               inj_->restore_onchip(tmu, {i, k});
@@ -697,6 +717,10 @@ class CholeskyDriver {
             }
           }
           if (trc_) trc_->compute_write(OpKind::TMU, g, BlockRange::single(i, j));
+          if (fused() && trc_) {
+            // The in-kernel verify covered exactly this tile's update.
+            trc_->verify(CheckPoint::FusedTmu, g, BlockRange::single(i, j));
+          }
           if (inj_) inj_->post_compute(tmu, c, org_c, {i, j});
 
           if (policy_.check_after_tmu && has_cs()) {

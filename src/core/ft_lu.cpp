@@ -4,6 +4,7 @@
 
 #include "blas/blas.hpp"
 #include "checksum/correct.hpp"
+#include "checksum/fused.hpp"
 #include "common/error.hpp"
 #include "common/timer.hpp"
 #include "core/ft_driver.hpp"
@@ -123,6 +124,9 @@ class LuDriver {
 
  private:
   [[nodiscard]] bool has_cs() const { return opts_.checksum != ChecksumKind::None; }
+  /// Fused in-kernel ABFT for the trailing update: needs a maintained
+  /// column-checksum strip to anchor the analytic reference.
+  [[nodiscard]] bool fused() const { return opts_.fused_abft && has_cs(); }
   [[nodiscard]] bool has_rcs() const { return opts_.checksum == ChecksumKind::Full; }
   [[nodiscard]] bool fatal() const { return stats_.status != RunStatus::Success; }
   void fail(RunStatus status) {
@@ -713,7 +717,27 @@ class LuDriver {
             trc_->compute_read(OpKind::TMU, Part::Reference, g, BlockRange::single(k, j));
             trc_->compute_read(OpKind::TMU, Part::Update, g, BlockRange::single(i, j));
           }
-          blas::gemm_seq(Trans::NoTrans, Trans::NoTrans, -1.0, li, u.as_const(), 1.0, c);
+          if (fused()) {
+            // Fused in-kernel ABFT: the packed pipeline forms write-back
+            // and packing-pass checksums alongside the GEMM, verifies
+            // this tile against the maintained (pre-update) checksum +
+            // analytic update, and fixes single errors before the task
+            // retires — containment per tile instead of per TMU window.
+            checksum::GemmFtSpec fspec;
+            fspec.c_cs_in = a_dist_.col_cs(i, j).as_const();
+            fspec.tol = tol_;
+            const checksum::GemmFtReport frep = checksum::gemm_ft(
+                Trans::NoTrans, Trans::NoTrans, -1.0, li, u.as_const(), 1.0, c, fspec);
+            ++st.verifications_tmu_fused;
+            ++st.blocks_verified;
+            if (frep.columns_flagged > 0) {
+              ++st.errors_detected;
+              st.corrected_0d += static_cast<std::uint64_t>(frep.elements_corrected);
+              if (!frep.ok()) failed = true;
+            }
+          } else {
+            blas::gemm_seq(Trans::NoTrans, Trans::NoTrans, -1.0, li, u.as_const(), 1.0, c);
+          }
           if (inj_) {
             // The consuming GPU clears transient (on-chip) corruption of
             // the operands it just read, before checksum maintenance
@@ -734,6 +758,12 @@ class LuDriver {
             }
           }
           if (trc_) trc_->compute_write(OpKind::TMU, g, BlockRange::single(i, j));
+          if (fused() && trc_) {
+            // The in-kernel verify covered exactly this tile's update;
+            // record it so the offline analyzers can prove tile-granular
+            // coverage of the TMU window.
+            trc_->verify(CheckPoint::FusedTmu, g, BlockRange::single(i, j));
+          }
           if (inj_) inj_->post_compute(tmu, c, org_c, {i, j});
 
           if (policy_.check_after_tmu && has_cs()) {

@@ -1,9 +1,11 @@
 #include <atomic>
 #include <cmath>
+#include <functional>
 #include <memory>
 
 #include "blas/blas.hpp"
 #include "checksum/correct.hpp"
+#include "checksum/fused.hpp"
 #include "common/error.hpp"
 #include "core/balance.hpp"
 #include "core/charge_timer.hpp"
@@ -32,10 +34,19 @@ using trace::CheckPoint;
 using trace::RegionClass;
 using trace::TransferCtx;
 
+/// Replaces the C_low ← C_low - V_low·W rank-kb update inside
+/// apply_block_reflector. The fused-ABFT drivers use this to route that
+/// GEMM — the only one whose output rows carry maintained per-tile
+/// column checksums — through checksum::gemm_ft one nb-row tile at a
+/// time; the triangular-reflector top rows stay on the plain path.
+using ReflectorLowGemm =
+    std::function<void(ConstViewD vlow, ConstViewD w, ViewD clow)>;
+
 /// Applies C ← (I - V·Tᵀ·Vᵀ)·C (the Qᵀ update of QR's TMU) and exposes
 /// W = Tᵀ·Vᵀ·C so column-checksum maintenance can reuse it:
 /// c(C'_i) = c(C_i) - c(V_i)·W (paper Table III, red terms).
-void apply_block_reflector(ConstViewD v, ConstViewD t, ViewD c, MatD& w) {
+void apply_block_reflector(ConstViewD v, ConstViewD t, ViewD c, MatD& w,
+                           const ReflectorLowGemm& low_gemm = {}) {
   const index_t m = c.rows();
   const index_t n = c.cols();
   const index_t kb = v.cols();
@@ -51,8 +62,12 @@ void apply_block_reflector(ConstViewD v, ConstViewD t, ViewD c, MatD& w) {
   blas::trmm(Side::Left, Uplo::Upper, Trans::Trans, Diag::NonUnit, 1.0, t, w.view());
 
   if (m > kb) {
-    blas::gemm_seq(Trans::NoTrans, Trans::NoTrans, -1.0, v.block(kb, 0, m - kb, kb),
-                   w.const_view(), 1.0, c.block(kb, 0, m - kb, n));
+    if (low_gemm) {
+      low_gemm(v.block(kb, 0, m - kb, kb), w.const_view(), c.block(kb, 0, m - kb, n));
+    } else {
+      blas::gemm_seq(Trans::NoTrans, Trans::NoTrans, -1.0, v.block(kb, 0, m - kb, kb),
+                     w.const_view(), 1.0, c.block(kb, 0, m - kb, n));
+    }
   }
   MatD w2(w.const_view());
   blas::trmm(Side::Left, Uplo::Lower, Trans::NoTrans, Diag::Unit, 1.0,
@@ -161,6 +176,7 @@ class QrDriver {
   // Algorithm 1.
   [[nodiscard]] bool has_cs() const { return opts_.checksum == ChecksumKind::Full; }
   [[nodiscard]] bool has_rcs() const { return opts_.checksum != ChecksumKind::None; }
+  [[nodiscard]] bool fused() const { return opts_.fused_abft && has_cs(); }
   [[nodiscard]] bool fatal() const { return stats_.status != RunStatus::Success; }
   void fail(RunStatus status) {
     if (stats_.status == RunStatus::Success) stats_.status = status;
@@ -660,7 +676,37 @@ class QrDriver {
           trc_->compute_read(OpKind::TMU, Part::Update, g, {k, b_, j, j + 1});
         }
         MatD w;
-        apply_block_reflector(v, t_mat, c, w);
+        if (fused()) {
+          // Fused in-kernel ABFT for the C_low -= V_low·W rank-nb update:
+          // one FT-GEMM per nb-row tile, each verified (single errors
+          // corrected) against its maintained column checksum before the
+          // task retires. The top (triangular-reflector) tile has no
+          // standalone GEMM and stays on the windowed checking paths.
+          apply_block_reflector(
+              v, t_mat, c, w,
+              [&](ConstViewD vlow, ConstViewD wv, ViewD clow) {
+                for (index_t i = k + 1; i < b_; ++i) {
+                  const index_t r0 = (i - k - 1) * nb_;
+                  checksum::GemmFtSpec fspec;
+                  fspec.c_cs_in = a_dist_.col_cs(i, j).as_const();
+                  fspec.tol = tol_;
+                  const checksum::GemmFtReport frep = checksum::gemm_ft(
+                      Trans::NoTrans, Trans::NoTrans, -1.0,
+                      vlow.block(r0, 0, nb_, vlow.cols()), wv, 1.0,
+                      clow.block(r0, 0, nb_, clow.cols()), fspec);
+                  ++st.verifications_tmu_fused;
+                  ++st.blocks_verified;
+                  if (frep.columns_flagged > 0) {
+                    ++st.errors_detected;
+                    st.corrected_0d +=
+                        static_cast<std::uint64_t>(frep.elements_corrected);
+                    if (!frep.ok()) failed = true;
+                  }
+                }
+              });
+        } else {
+          apply_block_reflector(v, t_mat, c, w);
+        }
         if (inj_) {
           if (g == ref_gpu) inj_->restore_onchip(tmu);
           inj_->restore_onchip(tmu, {k, j});
@@ -679,6 +725,11 @@ class QrDriver {
           apply_block_reflector(v, t_mat, a_dist_.row_cs_panel(j, k), w_rcs);
         }
         if (trc_) trc_->compute_write(OpKind::TMU, g, {k, b_, j, j + 1});
+        if (fused() && trc_ && k + 1 < b_) {
+          // The in-kernel verify covered block rows k+1..b_-1 of this
+          // column; the top reflector tile stays on the windowed paths.
+          trc_->verify(CheckPoint::FusedTmu, g, {k + 1, b_, j, j + 1});
+        }
         if (inj_) inj_->post_compute(tmu, c, org, {k, j});
 
         if (policy_.check_after_tmu && has_rcs()) {

@@ -104,6 +104,17 @@ struct FtOptions {
   /// Requires ChecksumKind::Full; ForkJoin and the Cholesky dataflow
   /// driver support it (LU/QR dataflow falls back to ForkJoin).
   bool adaptive_balance = false;
+  /// Fused in-kernel ABFT (FT-GEMM direction): trailing-update GEMMs run
+  /// through the packed fused pipeline — checksums encode during the
+  /// pack/write-back passes and every updated tile is verified (and
+  /// single errors corrected) against the analytic reference before the
+  /// task retires, at tile granularity instead of the paper's
+  /// whole-window TMU checks. Emits CheckPoint::FusedTmu verify events.
+  /// Requires maintained column checksums (any ChecksumKind with a
+  /// column strip). Off keeps the trailing update bit-identical to
+  /// earlier releases; on, the TMU arithmetic routes through the packed
+  /// kernel, so results match within tolerance rather than bitwise.
+  bool fused_abft = false;
   /// Balancer tuning (see sim::LoadBalancerConfig for semantics).
   double balance_alpha = 0.5;      ///< EWMA smoothing for throughput samples
   double balance_min_gain = 0.02;  ///< relative makespan gain hysteresis

@@ -27,6 +27,7 @@ void FtStats::merge(const FtStats& other) {
   verifications_pu_after += other.verifications_pu_after;
   verifications_tmu_before += other.verifications_tmu_before;
   verifications_tmu_after += other.verifications_tmu_after;
+  verifications_tmu_fused += other.verifications_tmu_fused;
   errors_detected += other.errors_detected;
   corrected_0d += other.corrected_0d;
   corrected_1d += other.corrected_1d;

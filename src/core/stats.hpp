@@ -37,6 +37,9 @@ struct FtStats {
   std::uint64_t verifications_pu_after = 0;
   std::uint64_t verifications_tmu_before = 0;
   std::uint64_t verifications_tmu_after = 0;
+  /// Tile-granular in-kernel verifies performed by the fused-ABFT GEMM
+  /// pipeline (FtOptions::fused_abft); one per trailing-update block.
+  std::uint64_t verifications_tmu_fused = 0;
 
   // --- detection / correction events ----------------------------------
   std::uint64_t errors_detected = 0;

@@ -97,6 +97,7 @@ const char* to_string(CheckPoint p) {
     case CheckPoint::CtfRecompute: return "ctf_recompute";
     case CheckPoint::BroadcastPayload: return "broadcast_payload";
     case CheckPoint::AfterMigrate: return "after_migrate";
+    case CheckPoint::FusedTmu: return "fused_tmu";
   }
   return "?";
 }

@@ -89,6 +89,10 @@ enum class CheckPoint {
                      ///< maintained-checksum verifications)
   AfterMigrate,      ///< receiver-side verify of a migrated column before
                      ///< the ownership map commits to the new residence
+  FusedTmu,          ///< in-kernel tile-granular verify: the TMU GEMM's
+                     ///< fused checksum pipeline compared the write-back
+                     ///< checksums against the packing-pass reference
+                     ///< before the tile left the operation
 };
 
 /// Half-open rectangle of blocks: rows [br0, br1) × cols [bc0, bc1).

@@ -384,6 +384,54 @@ TEST(Lint, MigrationCasesStayCleanAndActuallyMigrate) {
   }
 }
 
+TEST(Lint, FusedAbftCasesStayCleanWithFusedTmuEvents) {
+  // With fused ABFT on, the trailing-update GEMMs verify their own
+  // output tiles in-kernel: the traces carry FusedTmu verify events
+  // (counted in the extension bucket), and the new scheme still proves
+  // clean — fused verifies are extra coverage, never a new gap.
+  for (const char* alg : {"cholesky", "lu", "qr"}) {
+    LintCase c;
+    c.algorithm = alg;
+    c.scheme = SchemeKind::NewScheme;
+    c.n = 128;
+    c.nb = 32;
+    c.fused_abft = true;
+    const LintOutcome o = lint_case(c);
+    EXPECT_TRUE(o.pass) << alg;
+    EXPECT_TRUE(o.report.clean()) << alg;
+    EXPECT_GT(o.report.totals().extension, 0u) << alg;
+
+    std::size_t fused_events = 0;
+    const RecordedRun run = record_case(c, /*sync_capture=*/false);
+    for (const trace::TraceEvent& e : run.trace.events) {
+      if (e.kind == trace::EventKind::Verify &&
+          e.check == CheckPoint::FusedTmu) {
+        ++fused_events;
+      }
+    }
+    EXPECT_GT(fused_events, 0u) << alg;
+  }
+}
+
+TEST(Lint, FusedAbftKeepsLegacyGapsSurfacing) {
+  // The legacy schemes' documented gaps are PD/transfer windows, not TMU
+  // writes: turning on fused ABFT must not mask them.
+  for (const char* alg : {"cholesky", "lu", "qr"}) {
+    for (SchemeKind s : {SchemeKind::PriorOp, SchemeKind::PostOp}) {
+      LintCase c;
+      c.algorithm = alg;
+      c.scheme = s;
+      c.n = 128;
+      c.nb = 32;
+      c.fused_abft = true;
+      const LintOutcome o = lint_case(c);
+      EXPECT_TRUE(o.pass) << alg << '/' << core::to_string(s);
+      EXPECT_FALSE(o.report.clean()) << alg << '/' << core::to_string(s);
+      EXPECT_TRUE(o.missing.empty()) << alg << '/' << core::to_string(s);
+    }
+  }
+}
+
 // --- trace serialization --------------------------------------------------
 
 TEST(TraceJsonl, EmitsMetaAndEvents) {

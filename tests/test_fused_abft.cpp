@@ -1,0 +1,557 @@
+// Fused in-kernel ABFT tests.
+//
+// The fused pipeline has three contracts, each exercised here at its own
+// layer:
+//  * packing: pack_a_fused / pack_b_fused produce the same packed bytes
+//    as pack_a / pack_b (including the zero-padded tails at exact
+//    kMR/kNR boundaries) AND checksums BIT-IDENTICAL to the standalone
+//    checksum::encode_col / encode_row of the packed block, for all four
+//    transpose combinations;
+//  * gemm_fused: C is bit-identical to blas::gemm, the write-back
+//    `actual` checksums match a fresh encode within tolerance, and the
+//    packing-pass b_row_cs is bit-identical to encode_row(op(B)) when a
+//    single B macro panel covers the problem;
+//  * checksum::gemm_ft: a clean run flags nothing, a single flipped
+//    element of C (corruption predating the GEMM) is detected and
+//    corrected in place at tile granularity, and a two-error column is
+//    flagged but reported uncorrectable;
+//  * drivers: ft_lu / ft_cholesky / ft_qr with FtOptions::fused_abft
+//    produce correct factors error-free (fork-join and dataflow), and a
+//    fault-injection campaign shows the fused verify catching and
+//    fixing a TMU-tile flip (suite FusedAbftFaults doubles as the ASan
+//    smoke in CI).
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <tuple>
+#include <vector>
+
+#include "blas/level3.hpp"
+#include "blas/pack.hpp"
+#include "blas/simd.hpp"
+#include "checksum/encode.hpp"
+#include "checksum/fused.hpp"
+#include "core/baseline.hpp"
+#include "core/campaign.hpp"
+#include "core/ft_driver.hpp"
+#include "matrix/compare.hpp"
+#include "matrix/generate.hpp"
+#include "matrix/norms.hpp"
+
+namespace ftla {
+namespace {
+
+using blas::kKC;
+using blas::kMR;
+using blas::kNR;
+using blas::Trans;
+
+/// Dense copy of op(A)(i0:i0+mc, p0:p0+kc).
+MatD op_block(Trans ta, const MatD& a, index_t i0, index_t mc, index_t p0, index_t kc) {
+  MatD blk(mc, kc);
+  for (index_t p = 0; p < kc; ++p)
+    for (index_t i = 0; i < mc; ++i)
+      blk(i, p) = ta == Trans::NoTrans ? a(i0 + i, p0 + p) : a(p0 + p, i0 + i);
+  return blk;
+}
+
+// ---------------------------------------------------------------------
+// Packing: remainder-path zero padding at exact micro-tile boundaries.
+// ---------------------------------------------------------------------
+
+using PackShape = std::tuple<int, int, int>;  // mc (or nc), kc, trans
+
+class PackAPad : public ::testing::TestWithParam<PackShape> {};
+
+TEST_P(PackAPad, TailRowsAreZeroAndDataExact) {
+  const auto [mc_i, kc_i, t] = GetParam();
+  const index_t mc = mc_i, kc = kc_i;
+  const auto ta = t ? Trans::Trans : Trans::NoTrans;
+  const index_t i0 = 3, p0 = 2;
+  const MatD a = ta == Trans::NoTrans ? random_general(i0 + mc + 1, p0 + kc + 1, 7)
+                                      : random_general(p0 + kc + 1, i0 + mc + 1, 7);
+
+  // Poison the buffer so stale values can never pass for padding.
+  std::vector<double> buf(static_cast<std::size_t>(blas::packed_a_size(mc, kc)), -777.0);
+  blas::pack_a(ta, a.const_view(), i0, mc, p0, kc, buf.data());
+
+  const MatD blk = op_block(ta, a, i0, mc, p0, kc);
+  const index_t panels = (mc + kMR - 1) / kMR;
+  for (index_t q = 0; q < panels; ++q) {
+    for (index_t p = 0; p < kc; ++p) {
+      for (index_t i = 0; i < kMR; ++i) {
+        const index_t r = q * kMR + i;
+        const double got = buf[static_cast<std::size_t>(q * kMR * kc + p * kMR + i)];
+        if (r < mc) {
+          EXPECT_EQ(got, blk(r, p)) << "q=" << q << " p=" << p << " i=" << i;
+        } else {
+          EXPECT_EQ(got, 0.0) << "pad q=" << q << " p=" << p << " i=" << i;
+        }
+      }
+    }
+  }
+}
+
+// mc = kMR and mc = 2·kMR are the exact-boundary cases: the remainder
+// loop must be a no-op, not an over- or under-run.
+INSTANTIATE_TEST_SUITE_P(Shapes, PackAPad,
+                         ::testing::Values(PackShape{8, 5, 0}, PackShape{8, 5, 1},
+                                           PackShape{16, 7, 0}, PackShape{16, 7, 1},
+                                           PackShape{1, 3, 0}, PackShape{9, 4, 0},
+                                           PackShape{9, 4, 1}, PackShape{15, 6, 0},
+                                           PackShape{23, 9, 1}));
+
+class PackBPad : public ::testing::TestWithParam<PackShape> {};
+
+TEST_P(PackBPad, TailColsAreZeroAndDataExact) {
+  const auto [nc_i, kc_i, t] = GetParam();
+  const index_t nc = nc_i, kc = kc_i;
+  const auto tb = t ? Trans::Trans : Trans::NoTrans;
+  const index_t j0 = 2, p0 = 1;
+  const MatD b = tb == Trans::NoTrans ? random_general(p0 + kc + 1, j0 + nc + 1, 8)
+                                      : random_general(j0 + nc + 1, p0 + kc + 1, 8);
+
+  std::vector<double> buf(static_cast<std::size_t>(blas::packed_b_size(kc, nc)), -777.0);
+  blas::pack_b(tb, b.const_view(), p0, kc, j0, nc, buf.data());
+
+  MatD blk(kc, nc);
+  for (index_t j = 0; j < nc; ++j)
+    for (index_t p = 0; p < kc; ++p)
+      blk(p, j) = tb == Trans::NoTrans ? b(p0 + p, j0 + j) : b(j0 + j, p0 + p);
+  const index_t panels = (nc + kNR - 1) / kNR;
+  for (index_t q = 0; q < panels; ++q) {
+    for (index_t p = 0; p < kc; ++p) {
+      for (index_t j = 0; j < kNR; ++j) {
+        const index_t col = q * kNR + j;
+        const double got = buf[static_cast<std::size_t>(q * kc * kNR + p * kNR + j)];
+        if (col < nc) {
+          EXPECT_EQ(got, blk(p, col)) << "q=" << q << " p=" << p << " j=" << j;
+        } else {
+          EXPECT_EQ(got, 0.0) << "pad q=" << q << " p=" << p << " j=" << j;
+        }
+      }
+    }
+  }
+}
+
+// nc = kNR and nc = 2·kNR are the exact-boundary cases.
+INSTANTIATE_TEST_SUITE_P(Shapes, PackBPad,
+                         ::testing::Values(PackShape{4, 5, 0}, PackShape{4, 5, 1},
+                                           PackShape{8, 7, 0}, PackShape{8, 7, 1},
+                                           PackShape{1, 3, 0}, PackShape{5, 4, 0},
+                                           PackShape{5, 4, 1}, PackShape{7, 6, 0},
+                                           PackShape{11, 9, 1}));
+
+// ---------------------------------------------------------------------
+// Fused packers: checksums bit-identical to the standalone encoders,
+// packed bytes identical to the plain packers.
+// ---------------------------------------------------------------------
+
+class FusedPack : public ::testing::TestWithParam<PackShape> {};
+
+TEST_P(FusedPack, AChecksumBitIdenticalToEncodeCol) {
+  const auto [mc_i, kc_i, t] = GetParam();
+  const index_t mc = mc_i, kc = kc_i;
+  const auto ta = t ? Trans::Trans : Trans::NoTrans;
+  const index_t i0 = 5, p0 = 3;
+  const MatD a = ta == Trans::NoTrans ? random_general(i0 + mc + 2, p0 + kc + 2, 11)
+                                      : random_general(p0 + kc + 2, i0 + mc + 2, 11);
+
+  const std::size_t sz = static_cast<std::size_t>(blas::packed_a_size(mc, kc));
+  std::vector<double> plain(sz, -1.0), fused(sz, -2.0), cs(2 * static_cast<std::size_t>(kc));
+  blas::pack_a(ta, a.const_view(), i0, mc, p0, kc, plain.data());
+  blas::pack_a_fused(ta, a.const_view(), i0, mc, p0, kc, fused.data(), cs.data());
+  EXPECT_EQ(0, std::memcmp(plain.data(), fused.data(), sz * sizeof(double)));
+
+  const MatD blk = op_block(ta, a, i0, mc, p0, kc);
+  MatD enc(2, kc);
+  checksum::encode_col(blk.const_view(), enc.view());
+  for (index_t p = 0; p < kc; ++p) {
+    EXPECT_EQ(cs[static_cast<std::size_t>(2 * p)], enc(0, p)) << "sum p=" << p;
+    EXPECT_EQ(cs[static_cast<std::size_t>(2 * p + 1)], enc(1, p)) << "weighted p=" << p;
+  }
+}
+
+TEST_P(FusedPack, BChecksumBitIdenticalToEncodeRow) {
+  const auto [nc_i, kc_i, t] = GetParam();
+  const index_t nc = nc_i, kc = kc_i;
+  const auto tb = t ? Trans::Trans : Trans::NoTrans;
+  const index_t j0 = 4, p0 = 2;
+  const MatD b = tb == Trans::NoTrans ? random_general(p0 + kc + 2, j0 + nc + 2, 12)
+                                      : random_general(j0 + nc + 2, p0 + kc + 2, 12);
+
+  const std::size_t sz = static_cast<std::size_t>(blas::packed_b_size(kc, nc));
+  std::vector<double> plain(sz, -1.0), fused(sz, -2.0), rcs(2 * static_cast<std::size_t>(kc));
+  blas::pack_b(tb, b.const_view(), p0, kc, j0, nc, plain.data());
+  blas::pack_b_fused(tb, b.const_view(), p0, kc, j0, nc, fused.data(), rcs.data());
+  EXPECT_EQ(0, std::memcmp(plain.data(), fused.data(), sz * sizeof(double)));
+
+  MatD blk(kc, nc);
+  for (index_t j = 0; j < nc; ++j)
+    for (index_t p = 0; p < kc; ++p)
+      blk(p, j) = tb == Trans::NoTrans ? b(p0 + p, j0 + j) : b(j0 + j, p0 + p);
+  MatD enc(kc, 2);
+  checksum::encode_row(blk.const_view(), enc.view());
+  for (index_t p = 0; p < kc; ++p) {
+    EXPECT_EQ(rcs[static_cast<std::size_t>(2 * p)], enc(p, 0)) << "sum p=" << p;
+    EXPECT_EQ(rcs[static_cast<std::size_t>(2 * p + 1)], enc(p, 1)) << "weighted p=" << p;
+  }
+}
+
+// Shapes straddle every unroll boundary: multiples of 4/kMR, odd tails,
+// single row/column, and a full production-size block.
+INSTANTIATE_TEST_SUITE_P(Shapes, FusedPack,
+                         ::testing::Values(PackShape{8, 8, 0}, PackShape{8, 8, 1},
+                                           PackShape{13, 7, 0}, PackShape{13, 7, 1},
+                                           PackShape{1, 5, 0}, PackShape{1, 5, 1},
+                                           PackShape{4, 3, 0}, PackShape{31, 5, 1},
+                                           PackShape{64, 32, 0}, PackShape{64, 32, 1},
+                                           PackShape{100, 100, 0}, PackShape{100, 100, 1}));
+
+// ---------------------------------------------------------------------
+// gemm_fused: C bit-identical to gemm, checksum streams consistent.
+// ---------------------------------------------------------------------
+
+using GemmShape = std::tuple<int, int, int, int, int>;  // m n k ta tb
+
+class GemmFused : public ::testing::TestWithParam<GemmShape> {};
+
+TEST_P(GemmFused, CBitIdenticalAndChecksumsConsistent) {
+  const auto [m, n, k, tai, tbi] = GetParam();
+  const auto ta = tai ? Trans::Trans : Trans::NoTrans;
+  const auto tb = tbi ? Trans::Trans : Trans::NoTrans;
+  const double alpha = -1.0, beta = 1.0;
+  const MatD a = ta == Trans::NoTrans ? random_general(m, k, 31) : random_general(k, m, 31);
+  const MatD b = tb == Trans::NoTrans ? random_general(k, n, 32) : random_general(n, k, 32);
+  const MatD c0 = random_general(m, n, 33);
+
+  MatD c_in_cs(2, n);
+  checksum::encode_col(c0.const_view(), c_in_cs.view());
+
+  MatD c_plain(c0.const_view());
+  blas::gemm(ta, tb, alpha, a.const_view(), b.const_view(), beta, c_plain.view());
+
+  for (const auto mode : {blas::GemmFt::EncodeOnly, blas::GemmFt::VerifyTile}) {
+    MatD c_fused(c0.const_view());
+    MatD actual(2, n, 0.0), reference(2, n, 0.0), brcs(k, 2, 0.0);
+    blas::GemmFtOut out;
+    out.actual = actual.view();
+    if (mode == blas::GemmFt::VerifyTile) out.reference = reference.view();
+    out.b_row_cs = brcs.view();
+    blas::gemm_fused(ta, tb, alpha, a.const_view(), b.const_view(), beta, c_fused.view(),
+                     mode, /*allow_threads=*/true, out);
+
+    // C must be bit-identical to the plain packed GEMM.
+    for (index_t j = 0; j < n; ++j)
+      for (index_t i = 0; i < m; ++i)
+        ASSERT_EQ(c_fused(i, j), c_plain(i, j))
+            << "mode=" << static_cast<int>(mode) << " at " << i << "," << j;
+
+    // Write-back checksums ≈ fresh encode of the result.
+    MatD enc(2, n);
+    checksum::encode_col(c_plain.const_view(), enc.view());
+    const double scale = 1e-10 * (1.0 + max_abs(enc.const_view()));
+    EXPECT_LT(max_abs_diff(actual.const_view(), enc.const_view()), scale);
+
+    if (mode == blas::GemmFt::VerifyTile) {
+      // Error-free closure: beta·c(C_in) + alpha·c(op(A))·op(B) ≈ actual.
+      for (index_t j = 0; j < n; ++j) {
+        EXPECT_NEAR(beta * c_in_cs(0, j) + reference(0, j), actual(0, j), scale) << j;
+        EXPECT_NEAR(beta * c_in_cs(1, j) + reference(1, j), actual(1, j), scale) << j;
+      }
+    }
+
+    // Packing-pass row checksums of op(B): bit-identical to the
+    // standalone encoder while one macro panel spans all n columns.
+    if (n <= blas::kNC) {
+      MatD opb(k, n);
+      for (index_t j = 0; j < n; ++j)
+        for (index_t p = 0; p < k; ++p)
+          opb(p, j) = tb == Trans::NoTrans ? b(p, j) : b(j, p);
+      MatD encb(k, 2);
+      checksum::encode_row(opb.const_view(), encb.view());
+      for (index_t p = 0; p < k; ++p) {
+        EXPECT_EQ(brcs(p, 0), encb(p, 0)) << "row sum p=" << p;
+        EXPECT_EQ(brcs(p, 1), encb(p, 1)) << "row weighted p=" << p;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmFused,
+    ::testing::Values(
+        // Below the packing threshold: scalar fallback path.
+        GemmShape{17, 9, 11, 0, 0}, GemmShape{17, 9, 11, 1, 1},
+        // Packed single-thread path (≥ 2^15 flops, < 2^18).
+        GemmShape{32, 32, 32, 0, 0}, GemmShape{32, 32, 32, 0, 1},
+        GemmShape{32, 32, 32, 1, 0}, GemmShape{32, 32, 32, 1, 1},
+        GemmShape{45, 37, 53, 0, 0}, GemmShape{45, 37, 53, 1, 1},
+        // Threaded packed path (≥ 2^18 flops), multiple ic/jc blocks.
+        GemmShape{150, 130, 90, 0, 0}, GemmShape{150, 130, 90, 0, 1},
+        GemmShape{150, 130, 90, 1, 0}, GemmShape{150, 130, 90, 1, 1},
+        // k spanning several kKC steps is covered by 90 < kKC=256 above;
+        // force two pc steps and two jc blocks explicitly.
+        GemmShape{64, 520, 300, 0, 0}));
+
+// ---------------------------------------------------------------------
+// checksum::gemm_ft — tile verify/correct on top of the fused pipeline.
+// ---------------------------------------------------------------------
+
+struct FtFixture {
+  MatD a, b, c_clean, cs_in;
+  double alpha = -1.0, beta = 1.0;
+
+  explicit FtFixture(index_t m = 32, index_t n = 32, index_t k = 32)
+      : a(random_general(m, k, 41)),
+        b(random_general(k, n, 42)),
+        c_clean(random_general(m, n, 43)),
+        cs_in(2, n) {
+    checksum::encode_col(c_clean.const_view(), cs_in.view());
+  }
+
+  MatD oracle() const {
+    MatD c(c_clean.const_view());
+    blas::gemm(Trans::NoTrans, Trans::NoTrans, alpha, a.const_view(), b.const_view(), beta,
+               c.view());
+    return c;
+  }
+
+  checksum::GemmFtReport run(MatD& c) const {
+    checksum::GemmFtSpec spec;
+    spec.c_cs_in = cs_in.const_view();
+    spec.tol.context = static_cast<double>(c.rows());
+    return checksum::gemm_ft(Trans::NoTrans, Trans::NoTrans, alpha, a.const_view(),
+                             b.const_view(), beta, c.view(), spec);
+  }
+};
+
+TEST(GemmFt, CleanRunFlagsNothing) {
+  FtFixture f;
+  MatD c(f.c_clean.const_view());
+  const auto rep = f.run(c);
+  EXPECT_TRUE(rep.verified);
+  EXPECT_EQ(rep.columns_flagged, 0);
+  EXPECT_EQ(rep.elements_corrected, 0);
+  EXPECT_TRUE(rep.ok());
+  const MatD want = f.oracle();
+  for (index_t j = 0; j < c.cols(); ++j)
+    for (index_t i = 0; i < c.rows(); ++i) ASSERT_EQ(c(i, j), want(i, j));
+}
+
+TEST(GemmFt, SingleFlipDetectedAndCorrected) {
+  FtFixture f;
+  MatD c(f.c_clean.const_view());
+  c(7, 13) += 5.0;  // corruption sitting in C before the GEMM starts
+  const auto rep = f.run(c);
+  EXPECT_EQ(rep.columns_flagged, 1);
+  EXPECT_EQ(rep.elements_corrected, 1);
+  EXPECT_TRUE(rep.ok());
+  const MatD want = f.oracle();
+  EXPECT_LT(max_abs_diff(c.const_view(), want.const_view()),
+            1e-8 * (1.0 + max_abs(want.const_view())));
+}
+
+TEST(GemmFt, TwoFlipsInDifferentColumnsBothCorrected) {
+  FtFixture f;
+  MatD c(f.c_clean.const_view());
+  c(3, 2) -= 4.0;
+  c(20, 29) += 9.0;
+  const auto rep = f.run(c);
+  EXPECT_EQ(rep.columns_flagged, 2);
+  EXPECT_EQ(rep.elements_corrected, 2);
+  EXPECT_TRUE(rep.ok());
+  const MatD want = f.oracle();
+  EXPECT_LT(max_abs_diff(c.const_view(), want.const_view()),
+            1e-8 * (1.0 + max_abs(want.const_view())));
+}
+
+TEST(GemmFt, TwoFlipsInOneColumnIsUncorrectable) {
+  FtFixture f;
+  MatD c(f.c_clean.const_view());
+  c(4, 17) += 3.0;
+  c(25, 17) += 7.0;  // second error in the same column: δ₂/δ₁ localization fails
+  const auto rep = f.run(c);
+  EXPECT_GE(rep.columns_flagged, 1);
+  EXPECT_FALSE(rep.ok());
+}
+
+TEST(GemmFt, EncodeOnlySkipsVerification) {
+  FtFixture f;
+  MatD c(f.c_clean.const_view());
+  c(7, 13) += 5.0;
+  checksum::GemmFtSpec spec;
+  spec.mode = blas::GemmFt::EncodeOnly;
+  const auto rep = checksum::gemm_ft(Trans::NoTrans, Trans::NoTrans, f.alpha,
+                                     f.a.const_view(), f.b.const_view(), f.beta, c.view(),
+                                     spec);
+  EXPECT_FALSE(rep.verified);
+  EXPECT_EQ(rep.columns_flagged, 0);
+}
+
+// ---------------------------------------------------------------------
+// CPU feature dispatch: one process-wide snapshot, consistent answers.
+// ---------------------------------------------------------------------
+
+TEST(CpuFeatures, SnapshotIsStableAndConsistent) {
+  const blas::detail::CpuFeatures& f1 = blas::detail::cpu_features();
+  const blas::detail::CpuFeatures& f2 = blas::detail::cpu_features();
+  EXPECT_EQ(&f1, &f2);  // one function-local static, dispatch decided once
+  EXPECT_EQ(blas::detail::cpu_supports_avx2_fma(), f1.avx2_fma());
+  if (f1.force_scalar) EXPECT_FALSE(f1.avx2_fma());
+}
+
+// ---------------------------------------------------------------------
+// Drivers, error-free: fused_abft produces correct factors and counts
+// one fused verify per trailing-update tile.
+// ---------------------------------------------------------------------
+
+namespace cdriver = ftla::core;
+
+cdriver::FtOptions fused_options(int ngpu, cdriver::SchedulerKind sched) {
+  cdriver::FtOptions opts;
+  opts.nb = 16;
+  opts.ngpu = ngpu;
+  opts.checksum = cdriver::ChecksumKind::Full;
+  opts.scheme = cdriver::SchemeKind::NewScheme;
+  opts.scheduler = sched;
+  opts.fused_abft = true;
+  return opts;
+}
+
+using FleetParam = std::tuple<int, int>;  // ngpu, scheduler
+
+class FusedDrivers : public ::testing::TestWithParam<FleetParam> {};
+
+TEST_P(FusedDrivers, LuErrorFree) {
+  const auto [ngpu, sched] = GetParam();
+  const index_t n = 96;
+  const MatD a = random_diag_dominant(n, 22);
+  const auto opts = fused_options(ngpu, static_cast<cdriver::SchedulerKind>(sched));
+  const cdriver::FtOutput out = cdriver::ft_lu(a.const_view(), opts);
+  ASSERT_TRUE(out.ok()) << out.stats.summary();
+  EXPECT_EQ(out.stats.errors_detected, 0u) << out.stats.summary();
+  EXPECT_GT(out.stats.verifications_tmu_fused, 0u);
+  const MatD ref = cdriver::host_lu_nopiv(a.const_view(), opts.nb);
+  EXPECT_LT(max_abs_diff(out.factors.const_view(), ref.const_view()), 1e-9);
+  EXPECT_LT(lu_residual(a.const_view(), out.factors.const_view()), 1e-12);
+}
+
+TEST_P(FusedDrivers, CholeskyErrorFree) {
+  const auto [ngpu, sched] = GetParam();
+  const index_t n = 96;
+  const MatD a = random_spd(n, 21);
+  const auto opts = fused_options(ngpu, static_cast<cdriver::SchedulerKind>(sched));
+  const cdriver::FtOutput out = cdriver::ft_cholesky(a.const_view(), opts);
+  ASSERT_TRUE(out.ok()) << out.stats.summary();
+  EXPECT_EQ(out.stats.errors_detected, 0u) << out.stats.summary();
+  EXPECT_GT(out.stats.verifications_tmu_fused, 0u);
+  EXPECT_LT(cholesky_residual(a.const_view(), out.factors.const_view()), 1e-12);
+}
+
+TEST_P(FusedDrivers, QrErrorFree) {
+  const auto [ngpu, sched] = GetParam();
+  const index_t n = 96;
+  const MatD a = random_general(n, n, 23);
+  const auto opts = fused_options(ngpu, static_cast<cdriver::SchedulerKind>(sched));
+  const cdriver::FtOutput out = cdriver::ft_qr(a.const_view(), opts);
+  ASSERT_TRUE(out.ok()) << out.stats.summary();
+  EXPECT_EQ(out.stats.errors_detected, 0u) << out.stats.summary();
+  EXPECT_GT(out.stats.verifications_tmu_fused, 0u);
+  std::vector<double> tau_ref;
+  const MatD ref = cdriver::host_qr(a.const_view(), opts.nb, tau_ref);
+  EXPECT_LT(max_abs_diff(out.factors.const_view(), ref.const_view()), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fleets, FusedDrivers,
+    ::testing::Values(FleetParam{1, 0}, FleetParam{2, 0}, FleetParam{2, 1}),
+    [](const ::testing::TestParamInfo<FleetParam>& tpi) {
+      return std::string(std::get<1>(tpi.param) ? "dataflow" : "forkjoin") + "_" +
+             std::to_string(std::get<0>(tpi.param)) + "gpu";
+    });
+
+// Fork-join results with fused_abft OFF must remain bit-identical to the
+// options-default run — the flag defaults off and must not perturb the
+// legacy path.
+TEST(FusedOff, ForkJoinBitIdenticalToLegacy) {
+  const index_t n = 96;
+  const MatD a = random_diag_dominant(n, 22);
+  cdriver::FtOptions opts;
+  opts.nb = 16;
+  opts.ngpu = 2;
+  const cdriver::FtOutput base = cdriver::ft_lu(a.const_view(), opts);
+  opts.fused_abft = false;  // explicit off == default
+  const cdriver::FtOutput off = cdriver::ft_lu(a.const_view(), opts);
+  ASSERT_TRUE(base.ok());
+  ASSERT_TRUE(off.ok());
+  EXPECT_EQ(off.stats.verifications_tmu_fused, 0u);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < n; ++i)
+      ASSERT_EQ(base.factors(i, j), off.factors(i, j)) << i << "," << j;
+}
+
+// ---------------------------------------------------------------------
+// Fault injection: a flipped TMU-tile element is caught and fixed by the
+// fused in-kernel verify, at tile granularity, with no restart. The
+// FusedAbftFaults suite is the CI ASan fused smoke (-R filter).
+// ---------------------------------------------------------------------
+
+cdriver::CampaignConfig fused_campaign(cdriver::Decomp decomp) {
+  cdriver::CampaignConfig cfg;
+  cfg.decomp = decomp;
+  cfg.n = 96;
+  cfg.opts.nb = 16;
+  cfg.opts.ngpu = 2;
+  cfg.opts.checksum = cdriver::ChecksumKind::Full;
+  cfg.opts.scheme = cdriver::SchemeKind::NewScheme;
+  cfg.opts.fused_abft = true;
+  return cfg;
+}
+
+fault::FaultSpec tmu_update_flip(index_t iter, index_t br, index_t bc) {
+  fault::FaultSpec s;
+  s.type = fault::FaultType::MemoryDram;
+  s.site = fault::OpSite{iter, fault::OpKind::TMU};
+  s.part = fault::Part::Update;
+  s.timing = fault::Timing::BetweenOps;
+  s.target_br = br;
+  s.target_bc = bc;
+  s.seed = 12345;
+  return s;
+}
+
+TEST(FusedAbftFaults, LuTmuTileFlipCorrectedInKernel) {
+  cdriver::Campaign campaign(fused_campaign(cdriver::Decomp::Lu));
+  const auto result = campaign.run(tmu_update_flip(1, 3, 2));
+  EXPECT_EQ(result.outcome, cdriver::Outcome::CorrectedAbft) << result.summary();
+  EXPECT_GT(result.stats.verifications_tmu_fused, 0u);
+  EXPECT_GE(result.stats.corrected_0d, 1u);
+  EXPECT_EQ(result.stats.local_restarts, 0u);
+}
+
+TEST(FusedAbftFaults, CholeskyTmuTileFlipCorrectedInKernel) {
+  cdriver::Campaign campaign(fused_campaign(cdriver::Decomp::Cholesky));
+  const auto result = campaign.run(tmu_update_flip(1, 3, 2));
+  EXPECT_EQ(result.outcome, cdriver::Outcome::CorrectedAbft) << result.summary();
+  EXPECT_GT(result.stats.verifications_tmu_fused, 0u);
+  EXPECT_GE(result.stats.corrected_0d, 1u);
+  EXPECT_EQ(result.stats.local_restarts, 0u);
+}
+
+TEST(FusedAbftFaults, QrTmuPanelFlipCorrected) {
+  // QR injects TMU faults at panel granularity ({k, j} spans every block
+  // row of the trailing column): the flip may land in the top reflector
+  // tile (outside the fused window, caught by the windowed checks) or in
+  // a lower tile (corrected in-kernel), so accept either correction path.
+  cdriver::Campaign campaign(fused_campaign(cdriver::Decomp::Qr));
+  const auto result = campaign.run(tmu_update_flip(1, 1, 2));
+  EXPECT_TRUE(result.outcome == cdriver::Outcome::CorrectedAbft ||
+              result.outcome == cdriver::Outcome::CorrectedRestart)
+      << result.summary();
+  EXPECT_GT(result.stats.verifications_tmu_fused, 0u);
+}
+
+}  // namespace
+}  // namespace ftla

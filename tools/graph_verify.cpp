@@ -25,8 +25,15 @@
 /// corpus: the certificate fails if no DropMigrationVerify entry exists
 /// while any clean graph migrates.
 ///
+/// With --fused-abft every matrix case records with FtOptions::fused_abft
+/// on: the trailing-update GEMMs verify their own output tiles in-kernel,
+/// so the graphs carry tile-granular FusedTmu verify nodes covering each
+/// TMU write window. The same protection profiles must hold — the fused
+/// verifies are extra coverage, never a new gap.
+///
 /// Usage:
-///   ftla-graph-verify [--migration] [--n N] [--nb NB] [--ngpus 1,2,4]
+///   ftla-graph-verify [--migration] [--fused-abft] [--n N] [--nb NB]
+///                     [--ngpus 1,2,4]
 ///                     [--algo cholesky|lu|qr] [--scheme prior|post|new]
 ///                     [--scheduler fork-join|dataflow] [--lookahead K]
 ///                     [--out certificate.json] [--quiet]
@@ -55,13 +62,15 @@ struct CliOptions {
   std::string out;     // empty = stdout only
   bool quiet = false;
   bool migration = false;
+  bool fused_abft = false;
   ftla::core::SchedulerKind scheduler = ftla::core::SchedulerKind::ForkJoin;
   ftla::index_t lookahead = 1;
 };
 
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
-            << " [--migration] [--n N] [--nb NB] [--ngpus LIST] [--algo A]"
+            << " [--migration] [--fused-abft] [--n N] [--nb NB]"
+               " [--ngpus LIST] [--algo A]"
                " [--scheme S] [--scheduler fork-join|dataflow]"
                " [--lookahead K] [--out FILE] [--quiet]\n";
   return 2;
@@ -139,6 +148,8 @@ int main(int argc, char** argv) {
       cli.quiet = true;
     } else if (arg == "--migration") {
       cli.migration = true;
+    } else if (arg == "--fused-abft") {
+      cli.fused_abft = true;
     } else {
       return usage(argv[0]);
     }
@@ -151,6 +162,7 @@ int main(int argc, char** argv) {
     if (!scheme_matches(c.scheme, cli.scheme)) continue;
     c.scheduler = cli.scheduler;
     c.lookahead = cli.lookahead;
+    c.fused_abft = cli.fused_abft;
     matrix.push_back(c);
   }
   if (cli.migration) {
@@ -160,6 +172,7 @@ int main(int argc, char** argv) {
       if (!cli.algo.empty() && c.algorithm != cli.algo) continue;
       if (!scheme_matches(c.scheme, cli.scheme)) continue;
       c.lookahead = cli.lookahead;
+      c.fused_abft = cli.fused_abft;
       matrix.push_back(std::move(c));
     }
   }

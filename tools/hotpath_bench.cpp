@@ -7,7 +7,11 @@
 /// shapes (square TMUs, tall/flat panel updates), plus the three panel
 /// kernels (potrf2, the pivoted LU panel, the Householder QR panel) at
 /// m x nb panel shapes against their *_seq oracles, cross-checking every
-/// result against the oracle, then runs the three FT decompositions
+/// result against the oracle, races the fused in-kernel ABFT encode
+/// (gemm_fused EncodeOnly) against the plain packed gemm and against the
+/// separate gemm-then-encode_col sequence it replaces (at n=1024 the
+/// in-kernel encode must cost < 10% over plain and strictly beat the
+/// separate sequence), then runs the three FT decompositions
 /// end-to-end, races the dataflow scheduler against the fork-join
 /// oracle on multi-GPU end-to-end runs (same input, both schedulers,
 /// factors must agree bit-exactly), and finally races the adaptive
@@ -56,6 +60,7 @@
 #include <vector>
 
 #include "blas/level3.hpp"
+#include "checksum/encode.hpp"
 #include "common/timer.hpp"
 #include "core/ft_driver.hpp"
 #include "lapack/lapack.hpp"
@@ -331,6 +336,100 @@ ShapeResult bench_geqrf_panel(const CliOptions& cli, const char* label, index_t 
     MatD a = a0;
     std::vector<double> tau;
     ftla::lapack::geqrf2(a.view(), tau);
+  });
+  return res;
+}
+
+/// Fused in-kernel ABFT race: the same update under the plain packed
+/// gemm, under gemm_fused(EncodeOnly) — which forms the fresh column
+/// checksums of C in the microkernel write-back — and as the separate
+/// gemm-then-encode_col sequence the fused pipeline replaces. The fused
+/// C must stay bit-identical to the plain packed result (the kernel
+/// only *adds* checksum lanes), and at the gated size the in-kernel
+/// encode must cost < 10% over the plain gemm while strictly beating
+/// the separate sequence.
+struct FusedAbftResult {
+  std::string label;
+  index_t m = 0, n = 0, k = 0;
+  double plain_seconds = 0.0;
+  double fused_seconds = 0.0;
+  double separate_seconds = 0.0;
+  double max_abs_diff = 0.0;  ///< fused C vs plain packed C (want 0)
+  double cs_rel_diff = 0.0;   ///< fused checksums vs standalone encode_col
+  bool gated = false;         ///< n >= 1024: overhead and separate gates bind
+
+  /// Fraction of the plain gemm's time the in-kernel encode costs extra.
+  [[nodiscard]] double overhead() const {
+    return plain_seconds > 0.0 ? fused_seconds / plain_seconds - 1.0 : 0.0;
+  }
+
+  void to_json(std::ostringstream& os) const {
+    os << "{\"label\":\"" << label << "\",\"m\":" << m << ",\"n\":" << n
+       << ",\"k\":" << k << ",\"plain_seconds\":" << plain_seconds
+       << ",\"fused_seconds\":" << fused_seconds
+       << ",\"separate_seconds\":" << separate_seconds
+       << ",\"overhead\":" << overhead()
+       << ",\"max_abs_diff\":" << max_abs_diff
+       << ",\"cs_rel_diff\":" << cs_rel_diff
+       << ",\"gated\":" << (gated ? "true" : "false") << "}";
+  }
+};
+
+FusedAbftResult bench_fused_abft(const CliOptions& cli, const char* label,
+                                 index_t m, index_t n, index_t k) {
+  const MatD a = ftla::random_general(m, k, 14);
+  const MatD b = ftla::random_general(k, n, 15);
+  const MatD c0 = ftla::random_general(m, n, 16);
+
+  MatD plain = c0;
+  gemm(Trans::NoTrans, Trans::NoTrans, -1.0, a.view(), b.view(), 1.0, plain.view());
+
+  MatD fused = c0;
+  MatD actual(2, n);
+  GemmFtOut ft;
+  ft.actual = actual.view();
+  gemm_fused(Trans::NoTrans, Trans::NoTrans, -1.0, a.view(), b.view(), 1.0,
+             fused.view(), GemmFt::EncodeOnly, /*allow_threads=*/true, ft);
+
+  FusedAbftResult res;
+  res.label = label;
+  res.m = m;
+  res.n = n;
+  res.k = k;
+  res.gated = !cli.smoke && std::min({m, n, k}) >= 1024;
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < m; ++i) {
+      res.max_abs_diff =
+          std::max(res.max_abs_diff, std::abs(fused(i, j) - plain(i, j)));
+    }
+  }
+  // The write-back checksums must agree with a standalone encode of the
+  // finished tile (reassociated sums: relative, not bit-exact).
+  MatD standalone(2, n);
+  ftla::checksum::encode_col(plain.const_view(), standalone.view());
+  double diff = 0.0;
+  double scale = 0.0;
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < 2; ++i) {
+      diff = std::max(diff, std::abs(actual(i, j) - standalone(i, j)));
+      scale = std::max(scale, std::abs(standalone(i, j)));
+    }
+  }
+  res.cs_rel_diff = scale > 0.0 ? diff / scale : diff;
+
+  res.plain_seconds = time_best(cli.repeats, [&] {
+    MatD c = c0;
+    gemm(Trans::NoTrans, Trans::NoTrans, -1.0, a.view(), b.view(), 1.0, c.view());
+  });
+  res.fused_seconds = time_best(cli.repeats, [&] {
+    MatD c = c0;
+    gemm_fused(Trans::NoTrans, Trans::NoTrans, -1.0, a.view(), b.view(), 1.0,
+               c.view(), GemmFt::EncodeOnly, true, ft);
+  });
+  res.separate_seconds = time_best(cli.repeats, [&] {
+    MatD c = c0;
+    gemm(Trans::NoTrans, Trans::NoTrans, -1.0, a.view(), b.view(), 1.0, c.view());
+    ftla::checksum::encode_col(c.const_view(), standalone.view());
   });
   return res;
 }
@@ -654,6 +753,22 @@ int main(int argc, char** argv) {
     shapes.push_back(bench_geqrf_panel(cli, "qr-panel", 1024, 128));
   }
 
+  // Fused-ABFT shapes: the acceptance row is the n=1024 square TMU-style
+  // update, where the in-kernel encode must cost < 10% over the plain
+  // packed gemm and strictly beat gemm-then-encode_col. The smaller rows
+  // (and smoke) report the trajectory without binding the perf gates.
+  std::vector<FusedAbftResult> fused_rows;
+  if (!cli.fleet_only) {
+    if (cli.smoke) {
+      fused_rows.push_back(bench_fused_abft(cli, "square-NN", s, s, s));
+    } else {
+      fused_rows.push_back(bench_fused_abft(cli, "square-NN", 512, 512, 512));
+      fused_rows.push_back(bench_fused_abft(cli, "square-NN", 1024, 1024, 1024));
+      fused_rows.push_back(
+          bench_fused_abft(cli, "panel-update-NN", 896, 896, 128));
+    }
+  }
+
   const index_t e2e_n = cli.smoke ? 128 : 1024;
   const index_t e2e_nb = cli.smoke ? 32 : 64;
   std::vector<EndToEndResult> runs;
@@ -712,6 +827,33 @@ int main(int argc, char** argv) {
       ++failures;
     }
   }
+  for (const auto& r : fused_rows) {
+    if (r.max_abs_diff != 0.0) {
+      std::cerr << "FAIL: fused-abft " << r.label << " n=" << r.n
+                << " fused C diverges from the plain packed gemm: "
+                << "max_abs_diff=" << r.max_abs_diff << "\n";
+      ++failures;
+    }
+    if (r.cs_rel_diff > 1e-10) {
+      std::cerr << "FAIL: fused-abft " << r.label << " n=" << r.n
+                << " write-back checksums disagree with encode_col: "
+                << "cs_rel_diff=" << r.cs_rel_diff << "\n";
+      ++failures;
+    }
+    if (r.gated && r.overhead() > 0.10) {
+      std::cerr << "FAIL: fused-abft " << r.label << " n=" << r.n
+                << " in-kernel encode overhead " << r.overhead() * 100.0
+                << "% exceeds the 10% gate\n";
+      ++failures;
+    }
+    if (r.gated && r.fused_seconds >= r.separate_seconds) {
+      std::cerr << "FAIL: fused-abft " << r.label << " n=" << r.n
+                << " fused encode lost to separate gemm+encode: "
+                << r.fused_seconds * 1e3 << " ms vs "
+                << r.separate_seconds * 1e3 << " ms\n";
+      ++failures;
+    }
+  }
   for (const auto& r : runs) {
     if (!r.ok) {
       std::cerr << "FAIL: end-to-end ft_" << r.decomp << " n=" << r.n
@@ -766,11 +908,23 @@ int main(int argc, char** argv) {
   }
 
   std::ostringstream json;
+  // Schema note: `fused_abft` rows report the in-kernel checksum-encode
+  // race (plain packed gemm vs gemm_fused(EncodeOnly) vs separate
+  // gemm-then-encode_col); `overhead` is fused/plain - 1 and gated rows
+  // enforce overhead <= 0.10 and fused < separate.
   json << "{\"config\":{\"repeats\":" << cli.repeats
-       << ",\"smoke\":" << (cli.smoke ? "true" : "false") << "},\"shapes\":[";
+       << ",\"smoke\":" << (cli.smoke ? "true" : "false")
+       << ",\"fused_abft_schema\":"
+          "\"plain vs in-kernel encode vs separate encode; "
+          "gated: overhead<=0.10 && fused<separate\"},\"shapes\":[";
   for (std::size_t i = 0; i < shapes.size(); ++i) {
     if (i) json << ",";
     shapes[i].to_json(json);
+  }
+  json << "],\"fused_abft\":[";
+  for (std::size_t i = 0; i < fused_rows.size(); ++i) {
+    if (i) json << ",";
+    fused_rows[i].to_json(json);
   }
   json << "],\"end_to_end\":[";
   for (std::size_t i = 0; i < runs.size(); ++i) {
@@ -804,6 +958,15 @@ int main(int argc, char** argv) {
                   r.kernel.c_str(), r.label.c_str(), static_cast<long long>(r.m),
                   static_cast<long long>(r.n), static_cast<long long>(r.k),
                   r.naive_seconds * 1e3, r.fast_seconds * 1e3, r.speedup(),
+                  r.gated ? "  [gated]" : "");
+    }
+    for (const auto& r : fused_rows) {
+      std::printf("fused %-16s m=%-5lld n=%-5lld k=%-5lld  plain %8.2f ms"
+                  "  fused %8.2f ms  separate %8.2f ms  overhead %5.1f%%%s\n",
+                  r.label.c_str(), static_cast<long long>(r.m),
+                  static_cast<long long>(r.n), static_cast<long long>(r.k),
+                  r.plain_seconds * 1e3, r.fused_seconds * 1e3,
+                  r.separate_seconds * 1e3, r.overhead() * 100.0,
                   r.gated ? "  [gated]" : "");
     }
     for (const auto& r : runs) {

@@ -23,8 +23,15 @@
 /// Migrate transfers and AfterMigrate verifies, and must still prove
 /// clean — the coverage guarantee extends across re-partitioning.
 ///
+/// With --fused-abft every case records with FtOptions::fused_abft on:
+/// trailing-update GEMMs verify their own output tiles in-kernel, so the
+/// traces carry tile-granular FusedTmu verify events. The same
+/// protection profiles must hold — fused verifies are extra coverage,
+/// never a new gap.
+///
 /// Usage:
-///   ftla-schedule-lint [--hb] [--migration] [--n N] [--nb NB]
+///   ftla-schedule-lint [--hb] [--migration] [--fused-abft] [--n N]
+///                      [--nb NB]
 ///                      [--ngpus 1,2,4] [--algo cholesky|lu|qr]
 ///                      [--scheme prior|post|new] [--out report.json]
 ///                      [--quiet]
@@ -57,11 +64,13 @@ struct CliOptions {
   bool quiet = false;
   bool hb = false;
   bool migration = false;
+  bool fused_abft = false;
 };
 
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
-            << " [--hb] [--migration] [--n N] [--nb NB] [--ngpus LIST]"
+            << " [--hb] [--migration] [--fused-abft] [--n N] [--nb NB]"
+               " [--ngpus LIST]"
                " [--algo A] [--scheme S] [--out FILE] [--quiet]\n";
   return 2;
 }
@@ -75,6 +84,9 @@ std::vector<LintCase> build_matrix(const CliOptions& cli) {
     for (LintCase& c : ftla::analysis::migration_cases(cli.n, cli.nb)) {
       matrix.push_back(std::move(c));
     }
+  }
+  if (cli.fused_abft) {
+    for (LintCase& c : matrix) c.fused_abft = true;
   }
   return matrix;
 }
@@ -198,6 +210,8 @@ int main(int argc, char** argv) {
       cli.hb = true;
     } else if (arg == "--migration") {
       cli.migration = true;
+    } else if (arg == "--fused-abft") {
+      cli.fused_abft = true;
     } else {
       return usage(argv[0]);
     }
